@@ -1,0 +1,118 @@
+// E8 — "Context ablation" of the triadic model itself: what does each
+// ingredient of the match contribute? Variants:
+//   full          — U-L ⋈ U-C with slot filtering (the model)
+//   no-time       — slot filtering off
+//   topic-side    — U-C match only (no location join)
+//   location-side — U-L match only (no topic join)
+// Expected shape: full > no-time > either single side on F-score; the
+// single sides trade precision for recall in opposite directions.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "core/recommender.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using adrec::core::AdContext;
+using adrec::core::Community;
+
+/// Users of all slot-eligible communities on one side of the match.
+std::vector<adrec::UserId> SideUsers(
+    const adrec::core::TimeAwareConceptAnalysis& analysis,
+    const AdContext& ad, bool topic_side, bool filter_by_slot) {
+  std::unordered_set<uint32_t> users;
+  auto eligible = [&](const Community& c) {
+    if (!filter_by_slot || ad.slots.empty()) return true;
+    for (adrec::SlotId s : c.slots) {
+      for (adrec::SlotId t : ad.slots) {
+        if (s == t) return true;
+      }
+    }
+    return false;
+  };
+  if (topic_side) {
+    for (const auto& e : ad.topics.entries()) {
+      if (e.weight < 0.1) continue;
+      for (const Community& c :
+           analysis.TopicCommunities(adrec::TopicId(e.id))) {
+        if (!eligible(c)) continue;
+        for (adrec::UserId u : c.users) users.insert(u.value);
+      }
+    }
+  } else {
+    for (adrec::LocationId m : ad.locations) {
+      for (const Community& c : analysis.LocationCommunities(m)) {
+        if (!eligible(c)) continue;
+        for (adrec::UserId u : c.users) users.insert(u.value);
+      }
+    }
+  }
+  std::vector<adrec::UserId> out;
+  for (uint32_t u : users) out.push_back(adrec::UserId(u));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  adrec::feed::WorkloadOptions opts = adrec::feed::CaseStudyOptions();
+  opts.seed = 999;
+  adrec::eval::ExperimentSetup setup = adrec::eval::BuildExperiment(opts);
+  adrec::eval::GroundTruthOracle oracle(&setup.workload);
+  if (!setup.engine->RunAnalysis(0.55).ok()) return 1;
+
+  struct Variant {
+    const char* name;
+    int mode;  // 0=full, 1=no-time, 2=topic-side, 3=location-side
+  };
+  const Variant variants[] = {{"full (U-L join U-C, timed)", 0},
+                              {"no-time (slot filter off)", 1},
+                              {"topic-side only (U-C)", 2},
+                              {"location-side only (U-L)", 3}};
+
+  adrec::TableWriter table("E8: ablation of the triadic matching model",
+                           {"variant", "precision", "recall", "f-score"});
+  for (const Variant& v : variants) {
+    std::vector<adrec::eval::Prf> per_pair;
+    for (uint32_t s : {1u, 2u}) {
+      const adrec::SlotId slot(s);
+      for (size_t a = 0; a < setup.workload.ads.size(); ++a) {
+        const auto& targets = setup.workload.ads[a].target_slots;
+        if (!targets.empty() &&
+            std::find(targets.begin(), targets.end(), slot) ==
+                targets.end()) {
+          continue;
+        }
+        AdContext ctx =
+            setup.engine->semantic().ProcessAd(setup.workload.ads[a]);
+        ctx.slots = {slot};
+        std::vector<adrec::UserId> predicted;
+        if (v.mode == 0 || v.mode == 1) {
+          adrec::core::MatchOptions mopts;
+          mopts.filter_by_slot = (v.mode == 0);
+          for (const auto& mu :
+               adrec::core::MatchAd(setup.engine->analysis(), ctx, mopts)
+                   .users) {
+            predicted.push_back(mu.user);
+          }
+        } else {
+          predicted = SideUsers(setup.engine->analysis(), ctx,
+                                /*topic_side=*/v.mode == 2,
+                                /*filter_by_slot=*/true);
+        }
+        per_pair.push_back(adrec::eval::ComputePrf(
+            predicted, oracle.RelevantUsers(a, slot)));
+      }
+    }
+    const adrec::eval::Prf prf = adrec::eval::MacroAverage(per_pair);
+    table.AddRow({v.name, adrec::StringFormat("%.3f", prf.precision),
+                  adrec::StringFormat("%.3f", prf.recall),
+                  adrec::StringFormat("%.3f", prf.f_score)});
+  }
+  table.Print();
+  return 0;
+}

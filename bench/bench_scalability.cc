@@ -1,0 +1,56 @@
+// E11 — "End-to-end pipeline scalability": total cost of ingesting a
+// trace and running the full triadic analysis as the user population
+// grows. Reports ingest rate (annotation + profiles + TFCA accumulation)
+// and the analysis cost with its concept counts. Expected shape: ingest
+// scales linearly with event count; TFCA mining grows with the concept
+// count (superlinear in users, which is why the analysis runs windowed /
+// periodically rather than per event).
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "eval/experiment.h"
+
+int main() {
+  adrec::TableWriter table(
+      "E11: end-to-end scalability (14-day trace, alpha=0.55)",
+      {"users", "events", "ingest_ms", "events_per_s", "analyze_ms",
+       "loc_concepts", "topic_concepts"});
+  for (size_t users : {10u, 25u, 50u, 100u, 200u}) {
+    adrec::feed::WorkloadOptions opts;
+    opts.seed = 1000 + users;
+    opts.num_users = users;
+    opts.num_places = 29;
+    opts.num_ads = 5;
+    opts.days = 14;
+    adrec::feed::Workload w = adrec::feed::GenerateWorkload(opts);
+    adrec::core::RecommendationEngine engine(w.kb, w.slots);
+    for (const auto& ad : w.ads) (void)engine.InsertAd(ad);
+
+    const auto events = w.MergedEvents();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& e : events) engine.OnEvent(e);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!engine.RunAnalysis(0.55).ok()) return 1;
+    const auto t2 = std::chrono::steady_clock::now();
+
+    const double ingest_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double analyze_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    table.AddRow(
+        {adrec::StringFormat("%zu", users),
+         adrec::StringFormat("%zu", events.size()),
+         adrec::StringFormat("%.1f", ingest_ms),
+         adrec::StringFormat("%.0f", 1000.0 * events.size() / ingest_ms),
+         adrec::StringFormat("%.1f", analyze_ms),
+         adrec::StringFormat("%zu",
+                             engine.analysis().stats().location_triconcepts),
+         adrec::StringFormat("%zu",
+                             engine.analysis().stats().topic_triconcepts)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E3 — "Feed-processing throughput vs. ad-inventory size": the headline
+// high-speed claim. Compares the TA-based inverted index against the
+// exhaustive scorer as the number of live ads grows. Expected shape: the
+// indexed matcher's cost grows sub-linearly (it touches a bounded prefix
+// of the impact-ordered lists), the scan grows linearly, so the gap
+// widens with inventory size.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "index/ad_index.h"
+#include "index/wand_index.h"
+
+namespace {
+
+using adrec::Rng;
+using adrec::index::AdIndex;
+using adrec::index::AdQuery;
+
+constexpr size_t kNumTopics = 500;
+
+/// Builds an index with `n` synthetic ads (Zipf-popular topics, 1-4 topics
+/// per ad) and returns it with a pool of realistic queries.
+struct Fixture {
+  AdIndex index;
+  adrec::index::WandIndex wand;
+  std::vector<AdQuery> queries;
+};
+
+Fixture BuildFixture(size_t num_ads) {
+  Fixture f;
+  Rng rng(7777);
+  adrec::ZipfSampler topic_zipf(kNumTopics, 1.0);
+  for (uint32_t i = 0; i < num_ads; ++i) {
+    std::vector<adrec::text::SparseEntry> entries;
+    const size_t nnz = 1 + rng.NextBounded(4);
+    for (size_t j = 0; j < nnz; ++j) {
+      entries.push_back({static_cast<uint32_t>(topic_zipf.Sample(rng)),
+                         0.2 + 0.8 * rng.NextDouble()});
+    }
+    std::vector<adrec::LocationId> locs;
+    if (rng.NextBool(0.5)) {
+      locs.push_back(adrec::LocationId(
+          static_cast<uint32_t>(rng.NextBounded(29))));
+    }
+    std::vector<adrec::SlotId> slots;
+    if (rng.NextBool(0.5)) {
+      slots.push_back(
+          adrec::SlotId(1 + static_cast<uint32_t>(rng.NextBounded(2))));
+    }
+    const adrec::text::SparseVector topics =
+        adrec::text::SparseVector::FromUnsorted(entries);
+    const double bid = 0.5 + rng.NextDouble();
+    benchmark::DoNotOptimize(
+        f.index.Insert(adrec::AdId(i), topics, locs, slots, bid));
+    benchmark::DoNotOptimize(
+        f.wand.Insert(adrec::AdId(i), topics, locs, slots, bid));
+  }
+  for (int q = 0; q < 64; ++q) {
+    AdQuery query;
+    std::vector<adrec::text::SparseEntry> entries;
+    const size_t nnz = 1 + rng.NextBounded(3);
+    for (size_t j = 0; j < nnz; ++j) {
+      entries.push_back({static_cast<uint32_t>(topic_zipf.Sample(rng)),
+                         0.2 + 0.8 * rng.NextDouble()});
+    }
+    query.topics = adrec::text::SparseVector::FromUnsorted(entries);
+    query.k = 10;
+    query.location =
+        adrec::LocationId(static_cast<uint32_t>(rng.NextBounded(29)));
+    query.slot = adrec::SlotId(1 + static_cast<uint32_t>(rng.NextBounded(2)));
+    f.queries.push_back(std::move(query));
+  }
+  return f;
+}
+
+void BM_IndexedTopK(benchmark::State& state) {
+  Fixture f = BuildFixture(static_cast<size_t>(state.range(0)));
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index.TopK(f.queries[q++ % f.queries.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_WandTopK(benchmark::State& state) {
+  Fixture f = BuildFixture(static_cast<size_t>(state.range(0)));
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.wand.TopK(f.queries[q++ % f.queries.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ExhaustiveTopK(benchmark::State& state) {
+  Fixture f = BuildFixture(static_cast<size_t>(state.range(0)));
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.index.TopKExhaustive(f.queries[q++ % f.queries.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_IndexedTopK)->Arg(1000)->Arg(5000)->Arg(20000)->Arg(50000);
+BENCHMARK(BM_WandTopK)->Arg(1000)->Arg(5000)->Arg(20000)->Arg(50000);
+BENCHMARK(BM_ExhaustiveTopK)->Arg(1000)->Arg(5000)->Arg(20000)->Arg(50000);
+
+BENCHMARK_MAIN();

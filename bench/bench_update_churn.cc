@@ -1,0 +1,83 @@
+// E6 — "Query throughput under ad churn": the index must absorb
+// campaign starts/stops while serving queries. Mixes insert/delete pairs
+// into the query stream at increasing rates and reports sustained query
+// throughput. Expected shape: throughput degrades gracefully (lazy
+// tombstoning + compaction), staying within a small factor of the
+// churn-free rate even at 1 update per query.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "index/ad_index.h"
+
+namespace {
+
+using adrec::index::AdIndex;
+
+constexpr size_t kTopics = 300;
+constexpr size_t kBaseAds = 10000;
+
+adrec::text::SparseVector RandomTopics(adrec::Rng& rng,
+                                       const adrec::ZipfSampler& zipf) {
+  std::vector<adrec::text::SparseEntry> entries;
+  const size_t nnz = 1 + rng.NextBounded(4);
+  for (size_t j = 0; j < nnz; ++j) {
+    entries.push_back({static_cast<uint32_t>(zipf.Sample(rng)),
+                       0.2 + 0.8 * rng.NextDouble()});
+  }
+  return adrec::text::SparseVector::FromUnsorted(std::move(entries));
+}
+
+}  // namespace
+
+int main() {
+  adrec::TableWriter table(
+      "E6: query throughput under ad churn (10k base ads, k=10)",
+      {"updates_per_query", "queries_per_sec", "final_live_ads"});
+
+  for (double churn : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    adrec::Rng rng(31337);
+    adrec::ZipfSampler zipf(kTopics, 1.0);
+    AdIndex index;
+    for (uint32_t i = 0; i < kBaseAds; ++i) {
+      (void)index.Insert(adrec::AdId(i), RandomTopics(rng, zipf), {}, {},
+                         0.5 + rng.NextDouble());
+    }
+    uint32_t next_id = kBaseAds;
+    std::vector<uint32_t> live;
+    for (uint32_t i = 0; i < kBaseAds; ++i) live.push_back(i);
+
+    const int kQueries = 5000;
+    double accumulated_updates = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int q = 0; q < kQueries; ++q) {
+      accumulated_updates += churn;
+      while (accumulated_updates >= 1.0 && !live.empty()) {
+        accumulated_updates -= 1.0;
+        // One delete + one insert keeps the inventory size stable.
+        const size_t victim = rng.NextBounded(live.size());
+        (void)index.Remove(adrec::AdId(live[victim]));
+        live[victim] = next_id;
+        (void)index.Insert(adrec::AdId(next_id++), RandomTopics(rng, zipf),
+                           {}, {}, 0.5 + rng.NextDouble());
+      }
+      adrec::index::AdQuery query;
+      query.topics = RandomTopics(rng, zipf);
+      query.k = 10;
+      auto result = index.TopK(query);
+      if (result.size() > 10) return 1;
+    }
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    table.AddRow({adrec::StringFormat("%.2f", churn),
+                  adrec::StringFormat("%.0f", kQueries / elapsed),
+                  adrec::StringFormat("%zu", index.size())});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E9 — "Quality vs temporal configuration": two sweeps.
+//   (a) profile decay half-life vs content-only quality — short half-lives
+//       forget the user's interests (recall drops), long ones never forget
+//       noise (precision drops);
+//   (b) analysis-window length vs triadic quality — one fixed 30-day
+//       trace, engines fed only the most recent N days. Expected shape:
+//       quality *degrades* as the window grows, for two reasons inherent
+//       to the timed-context construction: (i) membership degrees
+//       aggregate by max, so one strong off-interest mention pollutes the
+//       α-cut for the whole window (precision drops); (ii) denser
+//       contexts make attributes co-occur, so singleton-attribute
+//       (m-triadic) concepts — the communities — disappear (recall
+//       drops). This is the ablation behind the engine's windowed
+//       re-analysis design: short windows are not just cheaper, they are
+//       better.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "core/baselines.h"
+#include "eval/experiment.h"
+
+namespace {
+
+adrec::feed::WorkloadOptions BaseOptions() {
+  adrec::feed::WorkloadOptions opts = adrec::feed::CaseStudyOptions();
+  opts.seed = 2718;
+  opts.topic_skew = 0.3;  // diverse interests (see bench_strategies)
+  return opts;
+}
+
+void HalfLifeSweep() {
+  adrec::TableWriter table(
+      "E9a: content-only quality vs profile decay half-life "
+      "(threshold 0.5)",
+      {"half_life", "precision", "recall", "f-score"});
+  const adrec::feed::WorkloadOptions opts = BaseOptions();
+  struct Row {
+    const char* label;
+    adrec::DurationSec seconds;
+  };
+  const Row rows[] = {{"2h", 2 * adrec::kSecondsPerHour},
+                      {"12h", 12 * adrec::kSecondsPerHour},
+                      {"2d", 2 * adrec::kSecondsPerDay},
+                      {"7d", 7 * adrec::kSecondsPerDay},
+                      {"30d", 30 * adrec::kSecondsPerDay},
+                      {"365d", 365 * adrec::kSecondsPerDay}};
+  for (const Row& row : rows) {
+    adrec::core::EngineOptions eopts;
+    eopts.profile_half_life = row.seconds;
+    adrec::eval::ExperimentSetup setup =
+        adrec::eval::BuildExperiment(opts, eopts);
+    adrec::eval::GroundTruthOracle oracle(&setup.workload);
+    if (!setup.engine->RunAnalysis(0.45).ok()) return;
+    adrec::core::BaselineOptions bopts;
+    bopts.now = opts.days * adrec::kSecondsPerDay;
+    bopts.content_threshold = 0.5;
+    const adrec::eval::Prf prf = adrec::eval::EvaluateStrategy(
+        adrec::core::StrategyKind::kContentOnly, setup, oracle, bopts);
+    table.AddRow({row.label, adrec::StringFormat("%.3f", prf.precision),
+                  adrec::StringFormat("%.3f", prf.recall),
+                  adrec::StringFormat("%.3f", prf.f_score)});
+  }
+  table.Print();
+}
+
+void WindowSweep() {
+  adrec::TableWriter table(
+      "E9b: triadic quality vs analysis-window length "
+      "(suffix of one 30-day trace, alpha=0.45)",
+      {"window_days", "precision", "recall", "f-score", "topic_concepts"});
+  const adrec::feed::WorkloadOptions opts = BaseOptions();
+  const adrec::feed::Workload workload = adrec::feed::GenerateWorkload(opts);
+  adrec::eval::GroundTruthOracle oracle(&workload);
+  for (int days : {1, 3, 7, 14, 30}) {
+    const adrec::Timestamp cutoff =
+        static_cast<adrec::Timestamp>(opts.days - days) *
+        adrec::kSecondsPerDay;
+    adrec::core::RecommendationEngine engine(workload.kb, workload.slots);
+    for (const auto& ad : workload.ads) (void)engine.InsertAd(ad);
+    for (const auto& e : workload.MergedEvents()) {
+      if (e.time >= cutoff) engine.OnEvent(e);
+    }
+    if (!engine.RunAnalysis(0.45).ok()) return;
+
+    std::vector<adrec::eval::Prf> per_pair;
+    for (uint32_t s : {1u, 2u}) {
+      const adrec::SlotId slot(s);
+      for (size_t a = 0; a < workload.ads.size(); ++a) {
+        const auto& targets = workload.ads[a].target_slots;
+        if (!targets.empty() &&
+            std::find(targets.begin(), targets.end(), slot) ==
+                targets.end()) {
+          continue;
+        }
+        adrec::core::AdContext ctx =
+            engine.semantic().ProcessAd(workload.ads[a]);
+        ctx.slots = {slot};
+        std::vector<adrec::UserId> predicted;
+        for (const auto& mu :
+             adrec::core::MatchAd(engine.analysis(), ctx,
+                                  adrec::core::MatchOptions{})
+                 .users) {
+          predicted.push_back(mu.user);
+        }
+        per_pair.push_back(adrec::eval::ComputePrf(
+            predicted, oracle.RelevantUsers(a, slot)));
+      }
+    }
+    const adrec::eval::Prf prf = adrec::eval::MacroAverage(per_pair);
+    table.AddRow(
+        {adrec::StringFormat("%d", days),
+         adrec::StringFormat("%.3f", prf.precision),
+         adrec::StringFormat("%.3f", prf.recall),
+         adrec::StringFormat("%.3f", prf.f_score),
+         adrec::StringFormat("%zu",
+                             engine.analysis().stats().topic_triconcepts)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  HalfLifeSweep();
+  WindowSweep();
+  return 0;
+}

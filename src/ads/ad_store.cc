@@ -1,0 +1,104 @@
+#include "ads/ad_store.h"
+
+#include "common/string_util.h"
+
+namespace adrec::ads {
+
+Status AdStore::Insert(const feed::Ad& ad, text::SparseVector topics) {
+  if (ads_.find(ad.id.value) != ads_.end()) {
+    return Status::AlreadyExists(
+        StringFormat("ad %u already in store", ad.id.value));
+  }
+  StoredAd stored;
+  stored.ad = ad;
+  stored.topics = std::move(topics);
+  stored.version = ++mutations_;
+  ads_.emplace(ad.id.value, std::move(stored));
+  return Status::OK();
+}
+
+Status AdStore::Remove(AdId id) {
+  auto it = ads_.find(id.value);
+  if (it == ads_.end()) {
+    return Status::NotFound(StringFormat("ad %u not in store", id.value));
+  }
+  ads_.erase(it);
+  ++mutations_;
+  return Status::OK();
+}
+
+Status AdStore::Update(const feed::Ad& ad, text::SparseVector topics) {
+  auto it = ads_.find(ad.id.value);
+  if (it == ads_.end()) {
+    return Status::NotFound(StringFormat("ad %u not in store", ad.id.value));
+  }
+  it->second.ad = ad;
+  it->second.topics = std::move(topics);
+  it->second.version = ++mutations_;
+  return Status::OK();
+}
+
+const StoredAd* AdStore::Find(AdId id) const {
+  auto it = ads_.find(id.value);
+  return it == ads_.end() ? nullptr : &it->second;
+}
+
+bool AdStore::HasBudget(AdId id) const {
+  const StoredAd* stored = Find(id);
+  if (stored == nullptr) return false;
+  return stored->ad.budget_impressions == 0 ||
+         stored->impressions_served < stored->ad.budget_impressions;
+}
+
+Status AdStore::RecordImpression(AdId id) {
+  auto it = ads_.find(id.value);
+  if (it == ads_.end()) {
+    return Status::NotFound(StringFormat("ad %u not in store", id.value));
+  }
+  StoredAd& stored = it->second;
+  if (stored.ad.budget_impressions != 0 &&
+      stored.impressions_served >= stored.ad.budget_impressions) {
+    return Status::FailedPrecondition(
+        StringFormat("ad %u budget exhausted", id.value));
+  }
+  ++stored.impressions_served;
+  return Status::OK();
+}
+
+Status AdStore::RestoreImpressions(AdId id, int64_t impressions_served) {
+  auto it = ads_.find(id.value);
+  if (it == ads_.end()) {
+    return Status::NotFound(StringFormat("ad %u not in store", id.value));
+  }
+  it->second.impressions_served = impressions_served;
+  return Status::OK();
+}
+
+void AdStore::ForEach(const std::function<void(const StoredAd&)>& fn) const {
+  for (const auto& [id, stored] : ads_) fn(stored);
+}
+
+BudgetPacer::BudgetPacer(Timestamp start, Timestamp end,
+                         int64_t budget_impressions)
+    : start_(start), end_(end > start ? end : start + 1),
+      budget_(budget_impressions) {}
+
+int64_t BudgetPacer::AllowedBy(Timestamp now) const {
+  if (budget_ <= 0) return INT64_MAX;  // unlimited
+  if (now >= end_) return budget_;
+  const double frac =
+      now <= start_ ? 0.0
+                    : static_cast<double>(now - start_) /
+                          static_cast<double>(end_ - start_);
+  // The +1 lets the very first impression through at flight start.
+  return std::min(
+      budget_, static_cast<int64_t>(frac * static_cast<double>(budget_)) + 1);
+}
+
+bool BudgetPacer::ShouldServe(Timestamp now, int64_t impressions_served) const {
+  if (budget_ <= 0) return true;
+  if (impressions_served >= budget_) return false;
+  return impressions_served < AllowedBy(now);
+}
+
+}  // namespace adrec::ads

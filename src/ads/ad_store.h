@@ -1,0 +1,93 @@
+#ifndef ADREC_ADS_AD_STORE_H_
+#define ADREC_ADS_AD_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "feed/types.h"
+#include "text/sparse_vector.h"
+
+namespace adrec::ads {
+
+/// One stored ad: the advertiser's record plus the engine's semantic
+/// representation of its copy (topic-id weights from annotation) and
+/// delivery counters.
+struct StoredAd {
+  feed::Ad ad;
+  text::SparseVector topics;  ///< <URI, score> pairs as a topic vector
+  int64_t impressions_served = 0;
+  uint64_t version = 0;  ///< bumped on every update
+};
+
+/// The mutable ad inventory. Supports the churn the "high-speed" setting
+/// implies: campaigns start, stop and rebalance while the feed is live.
+/// Single-writer; reads are const.
+class AdStore {
+ public:
+  AdStore() = default;
+
+  /// Inserts a new ad; AlreadyExists if the id is live.
+  Status Insert(const feed::Ad& ad, text::SparseVector topics);
+
+  /// Removes an ad; NotFound if absent.
+  Status Remove(AdId id);
+
+  /// Replaces an existing ad's record and topics; NotFound if absent.
+  Status Update(const feed::Ad& ad, text::SparseVector topics);
+
+  /// Lookup (nullptr when absent).
+  const StoredAd* Find(AdId id) const;
+
+  /// True iff the ad exists and still has budget.
+  bool HasBudget(AdId id) const;
+
+  /// Records one served impression; FailedPrecondition when the budget is
+  /// exhausted, NotFound when the ad is absent.
+  Status RecordImpression(AdId id);
+
+  /// Overwrites the served-impression counter (snapshot restore).
+  Status RestoreImpressions(AdId id, int64_t impressions_served);
+
+  /// Iterates all live ads (unspecified order).
+  void ForEach(const std::function<void(const StoredAd&)>& fn) const;
+
+  size_t size() const { return ads_.size(); }
+
+  /// Monotone counter incremented by every mutation; index maintenance
+  /// uses it to cheaply detect staleness.
+  uint64_t mutation_count() const { return mutations_; }
+
+ private:
+  std::unordered_map<uint32_t, StoredAd> ads_;
+  uint64_t mutations_ = 0;
+};
+
+/// Budget pacing: spreads a campaign's impressions uniformly over its
+/// flight window instead of spending the budget in the first minutes
+/// (the standard production guard against budget bursts).
+class BudgetPacer {
+ public:
+  /// Flight from `start` to `end` with a total impression budget.
+  BudgetPacer(Timestamp start, Timestamp end, int64_t budget_impressions);
+
+  /// True iff serving one more impression now keeps delivery on or behind
+  /// the uniform schedule. Unlimited budgets always pass.
+  bool ShouldServe(Timestamp now, int64_t impressions_served) const;
+
+  /// The impression count the uniform schedule allows by `now`.
+  int64_t AllowedBy(Timestamp now) const;
+
+ private:
+  Timestamp start_;
+  Timestamp end_;
+  int64_t budget_;
+};
+
+}  // namespace adrec::ads
+
+#endif  // ADREC_ADS_AD_STORE_H_

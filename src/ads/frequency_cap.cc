@@ -1,0 +1,49 @@
+#include "ads/frequency_cap.h"
+
+namespace adrec::ads {
+
+FrequencyCapper::FrequencyCapper(FrequencyCapOptions options)
+    : options_(options) {}
+
+int FrequencyCapper::CountInWindow(UserId user, AdId ad,
+                                   Timestamp now) const {
+  auto it = impressions_.find(KeyOf(user, ad));
+  if (it == impressions_.end()) return 0;
+  auto& times = it->second;
+  const Timestamp horizon = now - options_.window;
+  while (!times.empty() && times.front() <= horizon) times.pop_front();
+  if (times.empty()) {
+    impressions_.erase(it);
+    return 0;
+  }
+  return static_cast<int>(times.size());
+}
+
+bool FrequencyCapper::Allowed(UserId user, AdId ad, Timestamp now) const {
+  return CountInWindow(user, ad, now) < options_.max_impressions;
+}
+
+void FrequencyCapper::Record(UserId user, AdId ad, Timestamp now) {
+  impressions_[KeyOf(user, ad)].push_back(now);
+}
+
+bool FrequencyCapper::TryServe(UserId user, AdId ad, Timestamp now) {
+  if (!Allowed(user, ad, now)) return false;
+  Record(user, ad, now);
+  return true;
+}
+
+void FrequencyCapper::Expire(Timestamp now) {
+  const Timestamp horizon = now - options_.window;
+  for (auto it = impressions_.begin(); it != impressions_.end();) {
+    auto& times = it->second;
+    while (!times.empty() && times.front() <= horizon) times.pop_front();
+    if (times.empty()) {
+      it = impressions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace adrec::ads

@@ -1,0 +1,56 @@
+#ifndef ADREC_ADS_FREQUENCY_CAP_H_
+#define ADREC_ADS_FREQUENCY_CAP_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+
+namespace adrec::ads {
+
+/// Frequency-cap policy: at most `max_impressions` of the same ad to the
+/// same user within a sliding `window`.
+struct FrequencyCapOptions {
+  int max_impressions = 3;
+  DurationSec window = kSecondsPerDay;
+};
+
+/// Per-(user, ad) sliding-window impression counter — the guard that
+/// stops the matcher from hammering one user with one ad. O(1) amortised
+/// per call; expired impressions are pruned lazily on access.
+class FrequencyCapper {
+ public:
+  explicit FrequencyCapper(FrequencyCapOptions options = {});
+
+  /// True iff showing `ad` to `user` at `now` stays under the cap.
+  bool Allowed(UserId user, AdId ad, Timestamp now) const;
+
+  /// Records a served impression.
+  void Record(UserId user, AdId ad, Timestamp now);
+
+  /// Convenience: Allowed() followed by Record() when allowed.
+  bool TryServe(UserId user, AdId ad, Timestamp now);
+
+  /// Impressions of (user, ad) still inside the window.
+  int CountInWindow(UserId user, AdId ad, Timestamp now) const;
+
+  /// Drops all state older than the window (bulk housekeeping).
+  void Expire(Timestamp now);
+
+  size_t tracked_pairs() const { return impressions_.size(); }
+
+ private:
+  uint64_t KeyOf(UserId user, AdId ad) const {
+    return (static_cast<uint64_t>(user.value) << 32) | ad.value;
+  }
+
+  FrequencyCapOptions options_;
+  // (user, ad) -> timestamps of impressions, oldest first.
+  mutable std::unordered_map<uint64_t, std::deque<Timestamp>> impressions_;
+};
+
+}  // namespace adrec::ads
+
+#endif  // ADREC_ADS_FREQUENCY_CAP_H_

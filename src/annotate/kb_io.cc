@@ -1,0 +1,81 @@
+#include "annotate/kb_io.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace adrec::annotate {
+
+Status WriteKnowledgeBase(const std::string& path, const KnowledgeBase& kb) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (uint32_t i = 0; i < kb.size(); ++i) {
+    const Entity& e = kb.entity(TopicId(i));
+    out << "E\t" << e.uri << '\t' << StringFormat("%.6f", e.prior) << '\t'
+        << e.label << '\n';
+    for (const std::string& s : e.surface_phrases) {
+      out << "S\t" << e.uri << '\t' << s << '\n';
+    }
+    for (const std::string& c : e.context_texts) {
+      out << "X\t" << e.uri << '\t' << c << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<KnowledgeBase>> ReadKnowledgeBase(
+    const std::string& path, text::Analyzer* analyzer) {
+  if (analyzer == nullptr) {
+    return Status::InvalidArgument("analyzer must not be null");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  auto kb = std::make_unique<KnowledgeBase>(analyzer);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(
+          StringFormat("%s:%zu: %s", path.c_str(), line_no, why.c_str()));
+    };
+    const auto fields = SplitString(line, '\t', /*keep_empty=*/true);
+    if (fields.size() < 3) return bad("record needs at least 3 fields");
+    const std::string uri(fields[1]);
+    // The payload is everything after the second tab.
+    size_t pos = line.find('\t');
+    pos = line.find('\t', pos + 1);
+    if (fields[0] == "E") {
+      if (fields.size() < 4) return bad("entity needs 4 fields");
+      char* end = nullptr;
+      const std::string prior_str(fields[2]);
+      const double prior = std::strtod(prior_str.c_str(), &end);
+      if (end == prior_str.c_str() || *end != '\0') {
+        return bad("bad prior '" + prior_str + "'");
+      }
+      pos = line.find('\t', pos + 1);  // label starts after the third tab
+      Entity e;
+      e.uri = uri;
+      e.prior = prior;
+      e.label = line.substr(pos + 1);
+      Result<TopicId> added = kb->AddEntity(std::move(e));
+      if (!added.ok()) return bad(added.status().ToString());
+    } else if (fields[0] == "S" || fields[0] == "X") {
+      Result<TopicId> id = kb->FindByUri(uri);
+      if (!id.ok()) return bad("reference to undeclared entity " + uri);
+      const std::string payload = line.substr(pos + 1);
+      const Status s = fields[0] == "S"
+                           ? kb->AddSurfaceForm(id.value(), payload)
+                           : kb->AddContextText(id.value(), payload);
+      if (!s.ok()) return bad(s.ToString());
+    } else {
+      return bad("unknown record tag '" + std::string(fields[0]) + "'");
+    }
+  }
+  return kb;
+}
+
+}  // namespace adrec::annotate

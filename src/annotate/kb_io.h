@@ -1,0 +1,30 @@
+#ifndef ADREC_ANNOTATE_KB_IO_H_
+#define ADREC_ANNOTATE_KB_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "annotate/knowledge_base.h"
+#include "common/status.h"
+
+namespace adrec::annotate {
+
+/// Knowledge-base persistence: a single tab-separated file with one
+/// record per line, mirroring the in-memory registration calls:
+///   E <uri> <prior> <label...>      (entity; label is the line tail)
+///   S <uri> <surface phrase...>     (surface form of the last-declared
+///                                    or any earlier entity)
+///   X <uri> <context sentence...>   (context text)
+/// Record order: an entity's E line must precede its S/X lines.
+
+/// Writes `kb` to `path` in the format above.
+Status WriteKnowledgeBase(const std::string& path, const KnowledgeBase& kb);
+
+/// Loads a knowledge base from `path`, registering everything through
+/// `analyzer` (which must outlive the returned KB).
+Result<std::unique_ptr<KnowledgeBase>> ReadKnowledgeBase(
+    const std::string& path, text::Analyzer* analyzer);
+
+}  // namespace adrec::annotate
+
+#endif  // ADREC_ANNOTATE_KB_IO_H_

@@ -1,0 +1,117 @@
+#ifndef ADREC_ANNOTATE_KNOWLEDGE_BASE_H_
+#define ADREC_ANNOTATE_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/status.h"
+#include "text/analyzer.h"
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace adrec::annotate {
+
+/// One knowledge-base entity: the offline stand-in for a DBpedia resource.
+/// Annotation maps tweet text onto entities; an entity's id (TopicId) is
+/// what flows through the rest of the system as a "topic URI".
+struct Entity {
+  std::string uri;    ///< e.g. "http://dbpedia.org/resource/Volleyball"
+  std::string label;  ///< human-readable label, e.g. "Volleyball"
+  /// Commonness prior in [0,1]: how often this entity is the intended sense
+  /// of its surface forms (DBpedia Spotlight's "support"-derived prior).
+  double prior = 1.0;
+  /// Context profile: term-id weights describing words that co-occur with
+  /// this sense. Drives disambiguation of ambiguous surface forms.
+  text::SparseVector context;
+  /// Raw surface phrases registered for this entity (kept for workload
+  /// generation: synthetic tweets must *mention* entities in plain text).
+  std::vector<std::string> surface_phrases;
+  /// Raw context sentences registered for this entity (same purpose).
+  std::vector<std::string> context_texts;
+};
+
+/// The offline knowledge base: entities, a URI index, and a surface-form
+/// trie over analyzed token sequences. Surface forms are registered through
+/// the same Analyzer used on tweets, so "coaches" and "coach" meet at one
+/// trie path.
+class KnowledgeBase {
+ public:
+  /// The KB analyses surface forms with `analyzer`, which it does not own;
+  /// the analyzer must outlive the KB and be the same instance used to
+  /// analyse documents at annotation time.
+  explicit KnowledgeBase(text::Analyzer* analyzer);
+
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  /// Adds an entity; fails with AlreadyExists on duplicate URI.
+  Result<TopicId> AddEntity(Entity entity);
+
+  /// Registers `phrase` (free text; will be analyzed) as a surface form of
+  /// `topic`. Multiple entities may share a surface form (ambiguity).
+  Status AddSurfaceForm(TopicId topic, std::string_view phrase);
+
+  /// Adds `text`'s analyzed terms to the entity's context profile with the
+  /// given weight (builds disambiguation context from example sentences).
+  Status AddContextText(TopicId topic, std::string_view text,
+                        double weight = 1.0);
+
+  /// Entity accessors.
+  const Entity& entity(TopicId id) const;
+  Result<TopicId> FindByUri(std::string_view uri) const;
+  size_t size() const { return entities_.size(); }
+
+  /// Trie node handle; 0 is the root. kNoNode means "no such child".
+  using NodeId = uint32_t;
+  static constexpr NodeId kNoNode = UINT32_MAX;
+
+  /// Walks one trie edge labelled with `term`; kNoNode if absent.
+  NodeId Step(NodeId node, text::TermId term) const;
+
+  /// Entities whose surface form ends exactly at `node` (empty for none).
+  const std::vector<TopicId>& CandidatesAt(NodeId node) const;
+
+  /// Fuzzy lookup for misspelled single-token mentions: entities whose
+  /// single-token surface stems have character-trigram Jaccard similarity
+  /// >= `min_similarity` with `term`. Returns (topic, similarity) pairs,
+  /// best first. Tweet text is noisy; "volleybal" should still hit
+  /// Volleyball.
+  struct FuzzyMatch {
+    TopicId topic;
+    double similarity;
+  };
+  std::vector<FuzzyMatch> FuzzyCandidates(std::string_view term,
+                                          double min_similarity) const;
+
+  text::Analyzer* analyzer() const { return analyzer_; }
+
+ private:
+  struct TrieNode {
+    std::unordered_map<text::TermId, NodeId> children;
+    std::vector<TopicId> candidates;
+  };
+
+  text::Analyzer* analyzer_;  // not owned
+  std::vector<Entity> entities_;
+  std::unordered_map<std::string, TopicId> by_uri_;
+  std::vector<TrieNode> trie_;  // trie_[0] is the root
+  std::vector<TopicId> empty_candidates_;
+  // Fuzzy-match support: single-token surface stems and their candidate
+  // entities, plus a character-trigram posting index over those stems.
+  std::unordered_map<std::string, std::vector<TopicId>> single_token_;
+  std::unordered_map<std::string, std::vector<std::string>> trigrams_;
+};
+
+/// Builds the demo knowledge base used by tests, examples and the pinned
+/// case-study experiment: sports/brand/food/tech entities including
+/// deliberately ambiguous surface forms ("pitch", "apple").
+/// Returned KB references `analyzer`.
+std::unique_ptr<KnowledgeBase> BuildDemoKnowledgeBase(text::Analyzer* analyzer);
+
+}  // namespace adrec::annotate
+
+#endif  // ADREC_ANNOTATE_KNOWLEDGE_BASE_H_

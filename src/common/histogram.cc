@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace adrec {
+
+namespace {
+// Geometric bucket growth factor: 2^(1/4).
+const double kGrowth = std::pow(2.0, 0.25);
+const double kLogGrowth = std::log(kGrowth);
+// Bucket 0 holds [0, kFirstUpper).
+constexpr double kFirstUpper = 1e-3;
+}  // namespace
+
+Histogram::Histogram() : buckets_(1, 0) {}
+
+size_t Histogram::BucketOf(double value) const {
+  if (value < kFirstUpper) return 0;
+  return 1 + static_cast<size_t>(std::log(value / kFirstUpper) / kLogGrowth);
+}
+
+double Histogram::BucketUpper(size_t bucket) const {
+  if (bucket == 0) return kFirstUpper;
+  return kFirstUpper * std::pow(kGrowth, static_cast<double>(bucket));
+}
+
+void Histogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  const size_t bucket = BucketOf(value);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      return std::min(BucketUpper(b), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  return StringFormat(
+      "count=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f", count_,
+      Mean(), Quantile(0.5), Quantile(0.95), Quantile(0.99), max());
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace adrec

@@ -1,0 +1,57 @@
+#ifndef ADREC_COMMON_HISTOGRAM_H_
+#define ADREC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adrec {
+
+/// A log-bucketed histogram for latency/size measurements: O(1) record,
+/// approximate quantiles without retaining samples. Buckets grow
+/// geometrically (factor ~2^(1/4)), giving <= ~19% quantile error —
+/// plenty for benchmark reporting while bounding memory for multi-million
+/// sample runs.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one non-negative value (negative values clamp to 0).
+  void Record(double value);
+
+  /// Number of recorded values.
+  size_t count() const { return count_; }
+
+  /// Sum and mean of recorded values.
+  double sum() const { return sum_; }
+  double Mean() const;
+
+  /// Smallest/largest recorded value (0 when empty).
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Approximate quantile q in [0, 1] (upper bound of the bucket holding
+  /// the q-th sample). 0 when empty.
+  double Quantile(double q) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..." summary line.
+  std::string Summary() const;
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  size_t BucketOf(double value) const;
+  double BucketUpper(size_t bucket) const;
+
+  std::vector<uint64_t> buckets_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace adrec
+
+#endif  // ADREC_COMMON_HISTOGRAM_H_

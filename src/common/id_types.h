@@ -1,0 +1,69 @@
+#ifndef ADREC_COMMON_ID_TYPES_H_
+#define ADREC_COMMON_ID_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace adrec {
+
+/// Strongly-typed integer id. Tag makes UserId, AdId, ... distinct types so
+/// they cannot be swapped accidentally at call sites, at zero runtime cost.
+template <typename Tag>
+struct TypedId {
+  /// Sentinel for "no id".
+  static constexpr uint32_t kInvalidValue = UINT32_MAX;
+
+  uint32_t value = kInvalidValue;
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(uint32_t v) : value(v) {}
+
+  /// True iff this id holds a real value.
+  constexpr bool valid() const { return value != kInvalidValue; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value < b.value;
+  }
+};
+
+struct UserIdTag {};
+struct LocationIdTag {};
+struct TopicIdTag {};
+struct AdIdTag {};
+struct SlotIdTag {};
+struct CampaignIdTag {};
+
+/// A user (tweet author / ad audience member).
+using UserId = TypedId<UserIdTag>;
+/// A named check-in location.
+using LocationId = TypedId<LocationIdTag>;
+/// An interned knowledge-base URI (topic).
+using TopicId = TypedId<TopicIdTag>;
+/// An advertisement.
+using AdId = TypedId<AdIdTag>;
+/// A discretised time slot (index into a TimeSlotScheme).
+using SlotId = TypedId<SlotIdTag>;
+/// An advertising campaign (owns ads and a budget).
+using CampaignId = TypedId<CampaignIdTag>;
+
+}  // namespace adrec
+
+namespace std {
+
+template <typename Tag>
+struct hash<adrec::TypedId<Tag>> {
+  size_t operator()(adrec::TypedId<Tag> id) const noexcept {
+    // Fibonacci hashing spreads sequential ids across buckets.
+    return static_cast<size_t>(id.value) * 0x9E3779B97F4A7C15ull >> 32;
+  }
+};
+
+}  // namespace std
+
+#endif  // ADREC_COMMON_ID_TYPES_H_

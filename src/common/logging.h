@@ -1,0 +1,55 @@
+#ifndef ADREC_COMMON_LOGGING_H_
+#define ADREC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace adrec {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates the message and emits it (with level
+/// prefix, to stderr) on destruction. Used via the ADREC_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace adrec
+
+/// Usage: ADREC_LOG(kInfo) << "built lattice with " << n << " concepts";
+#define ADREC_LOG(severity)                                              \
+  ::adrec::internal::LogMessage(::adrec::LogLevel::severity, __FILE__,   \
+                                __LINE__)                                \
+      .stream()
+
+/// Fatal invariant check: prints the failed condition and aborts. Used for
+/// programmer errors only (never for data-dependent conditions, which
+/// return Status).
+#define ADREC_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ADREC_LOG(kError) << "CHECK failed: " #cond;                          \
+      ::abort();                                                            \
+    }                                                                       \
+  } while (false)
+
+#endif  // ADREC_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#ifndef ADREC_COMMON_RANDOM_H_
+#define ADREC_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adrec {
+
+/// SplitMix64: used to seed the main generator from a single 64-bit seed.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit output.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the library's deterministic PRNG. All synthetic workloads
+/// are reproducible from a single seed, which the experiment harness pins.
+class Rng {
+ public:
+  /// Seeds the four-word state via SplitMix64.
+  explicit Rng(uint64_t seed = 0x5DEECE66Dull);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Standard normal via Box-Muller transform.
+  double NextGaussian();
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Samples ranks from a Zipf distribution over {0, .., n-1} with skew s,
+/// i.e. P(k) proportional to 1/(k+1)^s. Precomputes the CDF once; each
+/// sample is a binary search (O(log n)). Used for topic and user popularity
+/// in synthetic social streams, whose heavy tails are the property the
+/// high-speed experiments exercise.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for n items with exponent s >= 0 (s = 0 is uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Number of items.
+  size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank k.
+  double Pmf(size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Returns a random permutation of {0..n-1} (Fisher-Yates).
+std::vector<size_t> RandomPermutation(size_t n, Rng& rng);
+
+}  // namespace adrec
+
+#endif  // ADREC_COMMON_RANDOM_H_

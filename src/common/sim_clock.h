@@ -1,0 +1,61 @@
+#ifndef ADREC_COMMON_SIM_CLOCK_H_
+#define ADREC_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace adrec {
+
+/// Timestamps are seconds since an arbitrary epoch (the start of the
+/// simulated trace). 64-bit signed so arithmetic on differences is safe.
+using Timestamp = int64_t;
+
+/// Duration in seconds.
+using DurationSec = int64_t;
+
+constexpr DurationSec kSecondsPerMinute = 60;
+constexpr DurationSec kSecondsPerHour = 3600;
+constexpr DurationSec kSecondsPerDay = 86400;
+
+/// A manually-advanced clock. All streaming components read time from a
+/// SimClock so experiments replay identically regardless of wall-clock
+/// speed; benchmarks advance it from event timestamps.
+class SimClock {
+ public:
+  /// Starts at time 0 unless given an epoch.
+  explicit SimClock(Timestamp start = 0) : now_(start) {}
+
+  /// Current simulated time.
+  Timestamp Now() const { return now_; }
+
+  /// Moves time forward by `delta` seconds (negative deltas are ignored:
+  /// simulated time is monotone).
+  void Advance(DurationSec delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  /// Jumps to `t` if `t` is later than now (monotone).
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+/// Second-of-day in [0, 86400) for a timestamp.
+inline int64_t SecondOfDay(Timestamp t) {
+  int64_t s = t % kSecondsPerDay;
+  if (s < 0) s += kSecondsPerDay;
+  return s;
+}
+
+/// Day index (floor division) for a timestamp.
+inline int64_t DayIndex(Timestamp t) {
+  int64_t d = t / kSecondsPerDay;
+  if (t % kSecondsPerDay < 0) --d;
+  return d;
+}
+
+}  // namespace adrec
+
+#endif  // ADREC_COMMON_SIM_CLOCK_H_

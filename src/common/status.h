@@ -1,0 +1,144 @@
+#ifndef ADREC_COMMON_STATUS_H_
+#define ADREC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace adrec {
+
+/// Error categories used across the library. The library never throws;
+/// all fallible operations return a Status or a Result<T> (RocksDB/Arrow
+/// idiom), so callers must inspect the outcome explicitly.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kIoError = 9,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// The OK status carries no message and is trivially copyable in practice
+/// (empty string). Error statuses carry a code plus a context message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers mirroring the StatusCode enumerators.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The context message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "<Code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T: the return type of fallible functions
+/// that produce a value.
+///
+/// Result is cheap to move and deliberately minimal: `ok()`, `status()`,
+/// `value()` (requires ok) and `ValueOr(fallback)`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status: `return Status::NotFound(..)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// The contained value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK when value_ is set.
+  std::optional<T> value_;
+};
+
+}  // namespace adrec
+
+/// Propagates an error status to the caller: `ADREC_RETURN_NOT_OK(DoIt());`.
+#define ADREC_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::adrec::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#endif  // ADREC_COMMON_STATUS_H_

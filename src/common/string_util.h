@@ -1,0 +1,33 @@
+#ifndef ADREC_COMMON_STRING_UTIL_H_
+#define ADREC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrec {
+
+/// Splits `input` on `delim`, optionally dropping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view input, char delim,
+                                          bool keep_empty = false);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// True iff `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace adrec
+
+#endif  // ADREC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,80 @@
+#include "common/table_writer.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  ADREC_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::AddNumericRow(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    cells.push_back(StringFormat("%.*f", precision, v));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string TableWriter::ToText() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out = "== " + title_ + " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TableWriter::ToCsv() const {
+  std::string out;
+  auto sanitize = [](std::string cell) {
+    for (char& ch : cell) {
+      if (ch == ',') ch = ';';
+    }
+    return cell;
+  };
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) out += ',';
+    out += sanitize(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += sanitize(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TableWriter::Print() const { std::fputs(ToText().c_str(), stdout); }
+
+}  // namespace adrec

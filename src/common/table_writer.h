@@ -1,0 +1,43 @@
+#ifndef ADREC_COMMON_TABLE_WRITER_H_
+#define ADREC_COMMON_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace adrec {
+
+/// Accumulates rows and renders an aligned, human-readable table (the
+/// format every bench binary prints for its paper table/figure) plus a CSV
+/// form suitable for plotting.
+class TableWriter {
+ public:
+  /// Creates a table titled `title` with the given column headers.
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; the cell count must equal the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` decimals.
+  void AddNumericRow(const std::vector<double>& values, int precision = 3);
+
+  /// Renders the aligned text table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
+  /// data, but commas in cells are replaced by ';').
+  std::string ToCsv() const;
+
+  /// Prints ToText() to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adrec
+
+#endif  // ADREC_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,138 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace adrec::core {
+
+std::string StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kTriadic:
+      return "triadic";
+    case StrategyKind::kContentOnly:
+      return "content-only";
+    case StrategyKind::kLocationOnly:
+      return "location-only";
+    case StrategyKind::kPopularity:
+      return "popularity";
+    case StrategyKind::kLdaLite:
+      return "lda-lite";
+  }
+  return "?";
+}
+
+std::vector<UserId> ContentOnlyPredict(const RecommendationEngine& engine,
+                                       const AdContext& ad,
+                                       const BaselineOptions& options) {
+  std::vector<UserId> out;
+  for (UserId user : engine.profiles().KnownUsers()) {
+    const text::SparseVector interests =
+        engine.profiles().InterestsAt(user, options.now);
+    if (interests.Dot(ad.topics) >= options.content_threshold) {
+      out.push_back(user);
+    }
+  }
+  return out;
+}
+
+std::vector<UserId> LocationOnlyPredict(const RecommendationEngine& engine,
+                                        const AdContext& ad,
+                                        const BaselineOptions& options) {
+  // Slots to consider: the ad's targets, or every slot when untargeted.
+  std::vector<SlotId> slots = ad.slots;
+  if (slots.empty()) {
+    for (size_t s = 0; s < engine.slots().size(); ++s) {
+      slots.push_back(SlotId(static_cast<uint32_t>(s)));
+    }
+  }
+  std::vector<UserId> out;
+  for (UserId user : engine.profiles().KnownUsers()) {
+    bool hit = false;
+    for (LocationId m : ad.locations) {
+      for (SlotId s : slots) {
+        if (engine.profiles().VisitMass(user, s, m) >=
+            options.min_visit_mass) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+    if (hit) out.push_back(user);
+  }
+  return out;
+}
+
+std::vector<UserId> PopularityPredict(const RecommendationEngine& engine,
+                                      const BaselineOptions& options) {
+  struct Activity {
+    UserId user;
+    double mass;
+  };
+  std::vector<Activity> activities;
+  for (UserId user : engine.profiles().KnownUsers()) {
+    activities.push_back(
+        Activity{user, engine.profiles().InterestsAt(user, options.now).Norm()});
+  }
+  std::sort(activities.begin(), activities.end(),
+            [](const Activity& a, const Activity& b) {
+              if (a.mass != b.mass) return a.mass > b.mass;
+              return a.user.value < b.user.value;
+            });
+  const size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(options.popularity_fraction *
+                             static_cast<double>(activities.size())));
+  std::vector<UserId> out;
+  for (size_t i = 0; i < std::min(keep, activities.size()); ++i) {
+    out.push_back(activities[i].user);
+  }
+  return out;
+}
+
+Result<LdaStrategy> LdaStrategy::Train(const std::vector<feed::Tweet>& tweets,
+                                       text::Analyzer* analyzer,
+                                       const LdaOptions& options) {
+  if (analyzer == nullptr) {
+    return Status::InvalidArgument("analyzer must not be null");
+  }
+  // One document per user: the concatenation of all their tweets.
+  std::unordered_map<uint32_t, size_t> row_of;
+  LdaStrategy strategy;
+  strategy.analyzer_ = analyzer;
+  std::vector<std::vector<uint32_t>> docs;
+  for (const feed::Tweet& t : tweets) {
+    auto it = row_of.find(t.user.value);
+    if (it == row_of.end()) {
+      it = row_of.emplace(t.user.value, docs.size()).first;
+      docs.emplace_back();
+      strategy.users_.push_back(t.user);
+    }
+    for (text::TermId term : analyzer->Analyze(t.text)) {
+      docs[it->second].push_back(term);
+    }
+  }
+  if (docs.empty()) {
+    return Status::InvalidArgument("no tweets to train on");
+  }
+  Result<LdaModel> model =
+      LdaModel::Train(docs, analyzer->vocabulary().size(), options);
+  if (!model.ok()) return model.status();
+  strategy.model_ = std::move(model).value();
+  return strategy;
+}
+
+std::vector<UserId> LdaStrategy::Predict(const std::string& ad_copy,
+                                         double threshold) const {
+  const std::vector<text::TermId> terms = analyzer_->AnalyzeReadOnly(ad_copy);
+  std::vector<uint32_t> doc(terms.begin(), terms.end());
+  const std::vector<double> ad_dist = model_.Infer(doc);
+  std::vector<UserId> out;
+  for (size_t row = 0; row < users_.size(); ++row) {
+    const double sim =
+        LdaModel::Similarity(model_.DocTopicDistribution(row), ad_dist);
+    if (sim >= threshold) out.push_back(users_[row]);
+  }
+  return out;
+}
+
+}  // namespace adrec::core

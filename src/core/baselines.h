@@ -1,0 +1,82 @@
+#ifndef ADREC_CORE_BASELINES_H_
+#define ADREC_CORE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/lda.h"
+#include "feed/types.h"
+
+namespace adrec::core {
+
+/// The recommendation strategies the evaluation compares (E8/E12). The
+/// triadic strategy is the paper's model; the others are the ablations and
+/// the named topic-model comparator.
+enum class StrategyKind {
+  kTriadic,       ///< full model: U-L ⋈ U-C with time filtering
+  kContentOnly,   ///< topical profile overlap, no location/time
+  kLocationOnly,  ///< co-location in the target slots, no topics
+  kPopularity,    ///< most active users regardless of context
+  kLdaLite,       ///< LDA topic-mixture similarity (future-work comparator)
+};
+
+/// Printable strategy name.
+std::string StrategyName(StrategyKind kind);
+
+/// Baseline knobs.
+struct BaselineOptions {
+  /// ContentOnly: minimum profile-vs-ad topic dot product.
+  double content_threshold = 0.05;
+  /// LocationOnly: minimum decayed visit mass at a target location.
+  double min_visit_mass = 1e-6;
+  /// Popularity: fraction of known users to return (most active first).
+  double popularity_fraction = 0.25;
+  /// LdaLite: minimum mixture cosine similarity.
+  double lda_threshold = 0.6;
+  /// Evaluation timestamp for decayed quantities.
+  Timestamp now = 0;
+};
+
+/// ContentOnly: users whose decayed interests overlap the ad's topics.
+std::vector<UserId> ContentOnlyPredict(const RecommendationEngine& engine,
+                                       const AdContext& ad,
+                                       const BaselineOptions& options);
+
+/// LocationOnly: users with check-in mass at any target location during
+/// any target slot (all slots when untargeted).
+std::vector<UserId> LocationOnlyPredict(const RecommendationEngine& engine,
+                                        const AdContext& ad,
+                                        const BaselineOptions& options);
+
+/// Popularity: the most active known users (interest-mass proxy).
+std::vector<UserId> PopularityPredict(const RecommendationEngine& engine,
+                                      const BaselineOptions& options);
+
+/// The LDA baseline: trained once on per-user documents, then queried per
+/// ad. Ignores location and time by construction.
+class LdaStrategy {
+ public:
+  /// Trains on the users' tweets. `analyzer` must be the workload's
+  /// analyzer (shared vocabulary).
+  static Result<LdaStrategy> Train(const std::vector<feed::Tweet>& tweets,
+                                   text::Analyzer* analyzer,
+                                   const LdaOptions& options = {});
+
+  /// Users whose topic mixture is similar to the ad copy's mixture.
+  std::vector<UserId> Predict(const std::string& ad_copy,
+                              double threshold) const;
+
+  const LdaModel& model() const { return model_; }
+
+ private:
+  LdaStrategy() = default;
+
+  text::Analyzer* analyzer_ = nullptr;  // not owned
+  LdaModel model_;
+  std::vector<UserId> users_;  // row -> user of the training documents
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_BASELINES_H_

@@ -1,0 +1,259 @@
+#include "core/decay_topic_model.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace adrec::core {
+
+Result<WeightedLdaModel> WeightedLdaModel::Train(
+    const std::vector<std::vector<Token>>& docs, size_t vocab_size,
+    const DecayTopicOptions& options) {
+  if (options.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (vocab_size == 0) {
+    return Status::InvalidArgument("vocab_size must be positive");
+  }
+  for (const auto& doc : docs) {
+    for (const Token& t : doc) {
+      if (t.word >= vocab_size) {
+        return Status::OutOfRange("word id beyond vocab_size");
+      }
+      if (t.weight < 0.0) {
+        return Status::InvalidArgument("token weight must be >= 0");
+      }
+    }
+  }
+
+  WeightedLdaModel model;
+  model.options_ = options;
+  model.vocab_size_ = vocab_size;
+  const size_t k = options.num_topics;
+
+  Rng rng(options.seed);
+  model.topic_word_.assign(k, std::vector<double>(vocab_size, 0.0));
+  model.topic_total_.assign(k, 0.0);
+  std::vector<std::vector<double>> doc_topic(docs.size(),
+                                             std::vector<double>(k, 0.0));
+  std::vector<std::vector<uint8_t>> assignments(docs.size());
+  std::vector<double> doc_mass(docs.size(), 0.0);
+
+  for (size_t d = 0; d < docs.size(); ++d) {
+    assignments[d].resize(docs[d].size());
+    for (size_t i = 0; i < docs[d].size(); ++i) {
+      const size_t z = rng.NextBounded(k);
+      assignments[d][i] = static_cast<uint8_t>(z);
+      const double w = docs[d][i].weight;
+      doc_topic[d][z] += w;
+      model.topic_word_[z][docs[d][i].word] += w;
+      model.topic_total_[z] += w;
+      doc_mass[d] += w;
+    }
+  }
+
+  std::vector<double> weights(k);
+  const double vbeta = static_cast<double>(vocab_size) * options.beta;
+  for (int iter = 0; iter < options.train_iterations; ++iter) {
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (size_t i = 0; i < docs[d].size(); ++i) {
+        const Token& tok = docs[d][i];
+        if (tok.weight <= 0.0) continue;
+        const size_t old_z = assignments[d][i];
+        doc_topic[d][old_z] -= tok.weight;
+        model.topic_word_[old_z][tok.word] -= tok.weight;
+        model.topic_total_[old_z] -= tok.weight;
+
+        double total = 0.0;
+        for (size_t z = 0; z < k; ++z) {
+          const double p = (doc_topic[d][z] + options.alpha) *
+                           (model.topic_word_[z][tok.word] + options.beta) /
+                           (model.topic_total_[z] + vbeta);
+          weights[z] = p;
+          total += p;
+        }
+        double u = rng.NextDouble() * total;
+        size_t new_z = k - 1;
+        for (size_t z = 0; z < k; ++z) {
+          u -= weights[z];
+          if (u <= 0.0) {
+            new_z = z;
+            break;
+          }
+        }
+        assignments[d][i] = static_cast<uint8_t>(new_z);
+        doc_topic[d][new_z] += tok.weight;
+        model.topic_word_[new_z][tok.word] += tok.weight;
+        model.topic_total_[new_z] += tok.weight;
+      }
+    }
+  }
+
+  model.doc_topic_dist_.resize(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    model.doc_topic_dist_[d].resize(k);
+    const double denom =
+        doc_mass[d] + static_cast<double>(k) * options.alpha;
+    for (size_t z = 0; z < k; ++z) {
+      model.doc_topic_dist_[d][z] = (doc_topic[d][z] + options.alpha) / denom;
+    }
+  }
+  return model;
+}
+
+std::vector<double> WeightedLdaModel::DocTopicDistribution(size_t doc) const {
+  ADREC_CHECK(doc < doc_topic_dist_.size());
+  return doc_topic_dist_[doc];
+}
+
+std::vector<double> WeightedLdaModel::Infer(
+    const std::vector<uint32_t>& doc) const {
+  const size_t k = options_.num_topics;
+  const double vbeta = static_cast<double>(vocab_size_) * options_.beta;
+  Rng rng(options_.seed ^ 0xFEDCBA);
+  std::vector<uint32_t> kept;
+  for (uint32_t w : doc) {
+    if (w < vocab_size_) kept.push_back(w);
+  }
+  std::vector<double> doc_topic(k, 0.0);
+  std::vector<uint8_t> assignment(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    const size_t z = rng.NextBounded(k);
+    assignment[i] = static_cast<uint8_t>(z);
+    doc_topic[z] += 1.0;
+  }
+  std::vector<double> weights(k);
+  for (int iter = 0; iter < options_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < kept.size(); ++i) {
+      const size_t old_z = assignment[i];
+      doc_topic[old_z] -= 1.0;
+      double total = 0.0;
+      for (size_t z = 0; z < k; ++z) {
+        const double p = (doc_topic[z] + options_.alpha) *
+                         (topic_word_[z][kept[i]] + options_.beta) /
+                         (topic_total_[z] + vbeta);
+        weights[z] = p;
+        total += p;
+      }
+      double u = rng.NextDouble() * total;
+      size_t new_z = k - 1;
+      for (size_t z = 0; z < k; ++z) {
+        u -= weights[z];
+        if (u <= 0.0) {
+          new_z = z;
+          break;
+        }
+      }
+      assignment[i] = static_cast<uint8_t>(new_z);
+      doc_topic[new_z] += 1.0;
+    }
+  }
+  std::vector<double> dist(k);
+  const double denom = static_cast<double>(kept.size()) +
+                       static_cast<double>(k) * options_.alpha;
+  for (size_t z = 0; z < k; ++z) {
+    dist[z] = (doc_topic[z] + options_.alpha) / denom;
+  }
+  return dist;
+}
+
+double WeightedLdaModel::Similarity(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  ADREC_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+namespace {
+
+/// Circular time-of-day distance in seconds (<= half a day).
+int64_t TimeOfDayDistance(int64_t a, int64_t b) {
+  int64_t d = a - b;
+  if (d < 0) d = -d;
+  return std::min(d, kSecondsPerDay - d);
+}
+
+}  // namespace
+
+Result<DecayTopicStrategy> DecayTopicStrategy::TrainImpl(
+    const std::vector<feed::Tweet>& tweets, text::Analyzer* analyzer,
+    DecayKernel kernel, Timestamp reference, int64_t target_second,
+    const DecayTopicOptions& options) {
+  if (analyzer == nullptr) {
+    return Status::InvalidArgument("analyzer must not be null");
+  }
+  DecayTopicStrategy strategy;
+  strategy.analyzer_ = analyzer;
+  std::unordered_map<uint32_t, size_t> row_of;
+  std::vector<std::vector<WeightedLdaModel::Token>> docs;
+  for (const feed::Tweet& t : tweets) {
+    double w = 1.0;
+    if (kernel == DecayKernel::kExponential) {
+      const DurationSec age = reference - t.time;
+      w = age <= 0 ? 1.0
+                   : std::exp2(-static_cast<double>(age) /
+                               static_cast<double>(options.half_life));
+    } else {
+      const int64_t d = TimeOfDayDistance(SecondOfDay(t.time), target_second);
+      const double s = static_cast<double>(options.sigma);
+      w = std::exp(-static_cast<double>(d) * static_cast<double>(d) /
+                   (2.0 * s * s));
+    }
+    if (w < options.min_token_weight) continue;
+    auto it = row_of.find(t.user.value);
+    if (it == row_of.end()) {
+      it = row_of.emplace(t.user.value, docs.size()).first;
+      docs.emplace_back();
+      strategy.users_.push_back(t.user);
+    }
+    for (text::TermId term : analyzer->Analyze(t.text)) {
+      docs[it->second].push_back(WeightedLdaModel::Token{term, w});
+    }
+  }
+  if (docs.empty()) {
+    return Status::InvalidArgument("no tweets survive the kernel cutoff");
+  }
+  Result<WeightedLdaModel> model =
+      WeightedLdaModel::Train(docs, analyzer->vocabulary().size(), options);
+  if (!model.ok()) return model.status();
+  strategy.model_ = std::move(model).value();
+  return strategy;
+}
+
+Result<DecayTopicStrategy> DecayTopicStrategy::TrainDtm(
+    const std::vector<feed::Tweet>& tweets, text::Analyzer* analyzer,
+    Timestamp reference, const DecayTopicOptions& options) {
+  return TrainImpl(tweets, analyzer, DecayKernel::kExponential, reference, 0,
+                   options);
+}
+
+Result<DecayTopicStrategy> DecayTopicStrategy::TrainGdtm(
+    const std::vector<feed::Tweet>& tweets, text::Analyzer* analyzer,
+    int64_t target_second_of_day, const DecayTopicOptions& options) {
+  return TrainImpl(tweets, analyzer, DecayKernel::kGaussianTimeOfDay, 0,
+                   target_second_of_day, options);
+}
+
+std::vector<UserId> DecayTopicStrategy::Predict(const std::string& ad_copy,
+                                                double threshold) const {
+  const std::vector<text::TermId> terms = analyzer_->AnalyzeReadOnly(ad_copy);
+  std::vector<uint32_t> doc(terms.begin(), terms.end());
+  const std::vector<double> ad_dist = model_.Infer(doc);
+  std::vector<UserId> out;
+  for (size_t row = 0; row < users_.size(); ++row) {
+    if (WeightedLdaModel::Similarity(model_.DocTopicDistribution(row),
+                                     ad_dist) >= threshold) {
+      out.push_back(users_[row]);
+    }
+  }
+  return out;
+}
+
+}  // namespace adrec::core

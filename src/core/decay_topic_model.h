@@ -1,0 +1,123 @@
+#ifndef ADREC_CORE_DECAY_TOPIC_MODEL_H_
+#define ADREC_CORE_DECAY_TOPIC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "feed/types.h"
+#include "text/analyzer.h"
+
+namespace adrec::core {
+
+/// Temporal weighting kernels for the decay topic models — the two
+/// remaining comparators the source paper names (DTM and GDTM).
+enum class DecayKernel {
+  /// DTM: recency decay — weight(token) = 0.5^(age / half_life), age
+  /// measured against the reference time. Old interests fade.
+  kExponential,
+  /// GDTM: time-of-day affinity — weight(token) =
+  /// exp(-(Δ second-of-day)^2 / (2 sigma^2)) against the reference
+  /// second-of-day, with wrap-around. Tweets posted near the target time
+  /// of day dominate the mixture.
+  kGaussianTimeOfDay,
+};
+
+/// Weighted-LDA hyper-parameters.
+struct DecayTopicOptions {
+  size_t num_topics = 8;
+  int train_iterations = 60;
+  int infer_iterations = 25;
+  double alpha = 0.5;
+  double beta = 0.01;
+  uint64_t seed = 4321;
+  /// kExponential: half-life of the recency decay.
+  DurationSec half_life = 7 * kSecondsPerDay;
+  /// kGaussianTimeOfDay: kernel width in seconds of time-of-day distance.
+  DurationSec sigma = 3 * kSecondsPerHour;
+  /// Tokens with kernel weight below this are dropped from training.
+  double min_token_weight = 0.01;
+};
+
+/// A topic model over temporally *weighted* tokens: collapsed Gibbs
+/// sampling with fractional counts, where each token's count is its
+/// kernel weight. With all weights 1 this reduces exactly to LDA.
+class WeightedLdaModel {
+ public:
+  /// One training token: a word id with its temporal weight.
+  struct Token {
+    uint32_t word;
+    double weight;
+  };
+
+  /// Trains on weighted documents.
+  static Result<WeightedLdaModel> Train(
+      const std::vector<std::vector<Token>>& docs, size_t vocab_size,
+      const DecayTopicOptions& options);
+
+  /// Topic distribution of training document `doc`.
+  std::vector<double> DocTopicDistribution(size_t doc) const;
+
+  /// Folds in an unweighted document (weights 1) and returns its mixture.
+  std::vector<double> Infer(const std::vector<uint32_t>& doc) const;
+
+  size_t num_topics() const { return options_.num_topics; }
+
+  /// Cosine similarity of two mixtures.
+  static double Similarity(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+  /// An empty (untrained) model; placeholder before assignment from
+  /// Train().
+  WeightedLdaModel() = default;
+
+ private:
+  DecayTopicOptions options_;
+  size_t vocab_size_ = 0;
+  std::vector<std::vector<double>> topic_word_;  // fractional counts
+  std::vector<double> topic_total_;
+  std::vector<std::vector<double>> doc_topic_dist_;
+};
+
+/// The per-user decay-topic-model strategy: trains a WeightedLdaModel on
+/// per-user documents with the chosen kernel, then matches ads by mixture
+/// similarity. The GDTM variant is retrained per target slot (its kernel
+/// is anchored at the slot's midpoint).
+class DecayTopicStrategy {
+ public:
+  /// Trains with the exponential (DTM) kernel anchored at `reference`
+  /// (typically the end of the trace).
+  static Result<DecayTopicStrategy> TrainDtm(
+      const std::vector<feed::Tweet>& tweets, text::Analyzer* analyzer,
+      Timestamp reference, const DecayTopicOptions& options = {});
+
+  /// Trains with the Gaussian time-of-day (GDTM) kernel anchored at
+  /// `target_second_of_day`.
+  static Result<DecayTopicStrategy> TrainGdtm(
+      const std::vector<feed::Tweet>& tweets, text::Analyzer* analyzer,
+      int64_t target_second_of_day, const DecayTopicOptions& options = {});
+
+  /// Users whose mixture matches the ad copy's at >= threshold cosine.
+  std::vector<UserId> Predict(const std::string& ad_copy,
+                              double threshold) const;
+
+  const WeightedLdaModel& model() const { return model_; }
+
+ private:
+  static Result<DecayTopicStrategy> TrainImpl(
+      const std::vector<feed::Tweet>& tweets, text::Analyzer* analyzer,
+      DecayKernel kernel, Timestamp reference, int64_t target_second,
+      const DecayTopicOptions& options);
+
+  DecayTopicStrategy() = default;
+
+  text::Analyzer* analyzer_ = nullptr;  // not owned
+  WeightedLdaModel model_;
+  std::vector<UserId> users_;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_DECAY_TOPIC_MODEL_H_

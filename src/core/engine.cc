@@ -1,0 +1,160 @@
+#include "core/engine.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec::core {
+
+RecommendationEngine::RecommendationEngine(
+    std::shared_ptr<annotate::KnowledgeBase> kb,
+    timeline::TimeSlotScheme slots, EngineOptions options)
+    : kb_(std::move(kb)),
+      slots_(std::move(slots)),
+      options_(options),
+      semantic_(kb_.get(), options.annotator),
+      profiles_(&slots_, options.profile_half_life),
+      tfca_(&slots_, kb_->size()),
+      capper_(options.frequency_cap) {
+  ADREC_CHECK(kb_ != nullptr);
+}
+
+void RecommendationEngine::OnTweet(const feed::Tweet& tweet) {
+  const AnnotatedTweet annotated = semantic_.ProcessTweet(tweet);
+  profiles_.ObserveTweet(tweet.user, tweet.time, annotated.annotations);
+  tfca_.AddTweet(annotated);
+  analysis_valid_ = false;
+  ++tweets_ingested_;
+}
+
+void RecommendationEngine::OnCheckIn(const feed::CheckIn& check_in) {
+  profiles_.ObserveCheckIn(check_in.user, check_in.time, check_in.location);
+  tfca_.AddCheckIn(check_in);
+  current_location_[check_in.user.value] = check_in.location;
+  analysis_valid_ = false;
+  ++checkins_ingested_;
+}
+
+void RecommendationEngine::OnEvent(const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      OnTweet(event.tweet);
+      break;
+    case feed::EventKind::kCheckIn:
+      OnCheckIn(event.check_in);
+      break;
+    case feed::EventKind::kAdInsert:
+      (void)InsertAd(event.ad);
+      break;
+    case feed::EventKind::kAdDelete:
+      (void)RemoveAd(event.ad_id);
+      break;
+  }
+}
+
+Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
+  const AdContext ctx = semantic_.ProcessAd(ad);
+  ADREC_RETURN_NOT_OK(store_.Insert(ad, ctx.topics));
+  Status indexed = index_.Insert(ad.id, ctx.topics, ad.target_locations,
+                                 ad.target_slots, ad.bid);
+  if (!indexed.ok()) {
+    (void)store_.Remove(ad.id);  // keep store and index consistent
+    return indexed;
+  }
+  return Status::OK();
+}
+
+Status RecommendationEngine::RemoveAd(AdId id) {
+  ADREC_RETURN_NOT_OK(store_.Remove(id));
+  return index_.Remove(id);
+}
+
+Status RecommendationEngine::RunAnalysis() {
+  return RunAnalysis(options_.alpha);
+}
+
+Status RecommendationEngine::RunAnalysis(double alpha) {
+  TfcaOptions opts;
+  opts.alpha = alpha;
+  ADREC_RETURN_NOT_OK(tfca_.Analyze(opts));
+  analysis_valid_ = true;
+  return Status::OK();
+}
+
+Result<MatchResult> RecommendationEngine::RecommendUsers(AdId id) const {
+  const ads::StoredAd* stored = store_.Find(id);
+  if (stored == nullptr) {
+    return Status::NotFound(StringFormat("ad %u not in store", id.value));
+  }
+  return RecommendUsersFor(stored->ad);
+}
+
+Result<MatchResult> RecommendationEngine::RecommendUsersFor(
+    const feed::Ad& ad) const {
+  if (!analysis_valid_) {
+    return Status::FailedPrecondition(
+        "RunAnalysis() must succeed before RecommendUsers()");
+  }
+  const AdContext ctx = semantic_.ProcessAd(ad);
+  return MatchAd(tfca_, ctx, options_.match);
+}
+
+index::AdQuery RecommendationEngine::BuildQuery(const feed::Tweet& tweet,
+                                                size_t k) const {
+  index::AdQuery query;
+  query.k = k;
+  query.slot = slots_.SlotOf(tweet.time);
+  // "Where is this user now?": the profile's top location for the current
+  // slot (habits are slot-dependent), falling back to the last check-in.
+  query.location = profiles_.TopLocation(tweet.user, query.slot);
+  if (!query.location.valid()) {
+    auto loc = current_location_.find(tweet.user.value);
+    if (loc != current_location_.end()) query.location = loc->second;
+  }
+
+  // Topic vector: the tweet's own annotations blended with the author's
+  // decayed interest profile (weight 0.5) so short tweets still carry
+  // context.
+  std::vector<text::SparseEntry> entries;
+  for (const annotate::Annotation& a :
+       semantic_.annotator().Annotate(tweet.text)) {
+    entries.push_back({a.topic.value, a.score});
+  }
+  text::SparseVector topics =
+      text::SparseVector::FromUnsorted(std::move(entries));
+  text::SparseVector interests = profiles_.InterestsAt(tweet.user, tweet.time);
+  interests.NormalizeL2();
+  topics.AddScaled(interests, 0.5);
+  query.topics = std::move(topics);
+  return query;
+}
+
+std::vector<index::ScoredAd> RecommendationEngine::TopKAdsForTweet(
+    const feed::Tweet& tweet, size_t k) {
+  // Over-fetch to survive budget filtering, then keep the first k with
+  // budget and charge them.
+  index::AdQuery query = BuildQuery(tweet, k * 2 + 4);
+  std::vector<index::ScoredAd> ranked = index_.TopK(query);
+  const bool cap_enabled = options_.frequency_cap.max_impressions > 0;
+  std::vector<index::ScoredAd> out;
+  for (const index::ScoredAd& sa : ranked) {
+    if (out.size() >= k) break;
+    if (!store_.HasBudget(sa.ad)) continue;
+    if (cap_enabled && !capper_.Allowed(tweet.user, sa.ad, tweet.time)) {
+      continue;
+    }
+    if (store_.RecordImpression(sa.ad).ok()) {
+      if (cap_enabled) capper_.Record(tweet.user, sa.ad, tweet.time);
+      out.push_back(sa);
+    }
+  }
+  return out;
+}
+
+std::vector<index::ScoredAd>
+RecommendationEngine::TopKAdsForTweetExhaustive(const feed::Tweet& tweet,
+                                                size_t k) {
+  index::AdQuery query = BuildQuery(tweet, k);
+  return index_.TopKExhaustive(query);
+}
+
+}  // namespace adrec::core

@@ -1,0 +1,153 @@
+#ifndef ADREC_CORE_ENGINE_H_
+#define ADREC_CORE_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ads/ad_store.h"
+#include "ads/frequency_cap.h"
+#include "annotate/knowledge_base.h"
+#include "common/status.h"
+#include "core/recommender.h"
+#include "core/semantic.h"
+#include "core/tfca.h"
+#include "feed/types.h"
+#include "index/ad_index.h"
+#include "profile/user_profile.h"
+#include "timeline/time_slots.h"
+
+namespace adrec::core {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Decay half-life of incremental user profiles.
+  DurationSec profile_half_life = 7 * kSecondsPerDay;
+  /// Default α for RunAnalysis when none is given.
+  double alpha = 0.6;
+  /// Annotator configuration.
+  annotate::AnnotatorOptions annotator;
+  /// Matching configuration.
+  MatchOptions match;
+  /// Per-(user, ad) frequency capping on the streaming path; set
+  /// frequency_cap.max_impressions <= 0 to disable.
+  ads::FrequencyCapOptions frequency_cap{/*max_impressions=*/5,
+                                         /*window=*/kSecondsPerDay};
+};
+
+/// The full context-aware advertisement recommendation engine — the
+/// library's main entry point. It wires the three macro-phases together
+/// with the streaming substrate:
+///
+///  * feed events (tweets / check-ins / ad churn) stream in through the
+///    On*/Insert*/Remove* methods; per-event work is incremental
+///    (annotation, profile update, index maintenance);
+///  * RunAnalysis() mines the triadic timed contexts of the accumulated
+///    window (macro-phase 2);
+///  * RecommendUsers() answers "who should see ad A?" via the triadic
+///    matching model (macro-phase 3);
+///  * TopKAdsForTweet() answers the dual streaming question "which ads
+///    belong on this feed event right now?" via the inverted-index
+///    matcher — the high-speed path.
+///
+/// Single-threaded by design (single-writer stream processing); wrap
+/// externally for sharded deployments.
+class RecommendationEngine {
+ public:
+  /// `kb` supplies topics and annotation; shared so workloads and engine
+  /// can use one KB. `slots` is copied.
+  RecommendationEngine(std::shared_ptr<annotate::KnowledgeBase> kb,
+                       timeline::TimeSlotScheme slots,
+                       EngineOptions options = {});
+
+  // --- Streaming input. ---
+
+  /// Ingests one tweet: annotates it, updates the author's profile, feeds
+  /// the TFCA window, and remembers it as the author's latest context.
+  void OnTweet(const feed::Tweet& tweet);
+
+  /// Ingests one check-in: updates the profile, the TFCA window and the
+  /// user's current location.
+  void OnCheckIn(const feed::CheckIn& check_in);
+
+  /// Dispatches any feed event.
+  void OnEvent(const feed::FeedEvent& event);
+
+  /// Inserts an ad: annotates the copy and indexes it.
+  Status InsertAd(const feed::Ad& ad);
+
+  /// Removes an ad from store and index.
+  Status RemoveAd(AdId id);
+
+  // --- Macro-phase 2/3: triadic analysis and matching. ---
+
+  /// Mines the triadic contexts of everything ingested so far. Call after
+  /// (re)filling the window or to re-cut with a different α.
+  Status RunAnalysis();
+  Status RunAnalysis(double alpha);
+
+  /// Target users for a stored ad via the triadic model. Requires a prior
+  /// successful RunAnalysis(); fails with FailedPrecondition otherwise.
+  Result<MatchResult> RecommendUsers(AdId id) const;
+
+  /// Same, for an un-stored ad record.
+  Result<MatchResult> RecommendUsersFor(const feed::Ad& ad) const;
+
+  // --- The high-speed streaming path. ---
+
+  /// Top-k ads to attach to a tweet right now: the tweet is annotated,
+  /// the author's decayed interests are blended in, and the query runs
+  /// against the inverted index with the author's current location and
+  /// the tweet's slot as filters. Budget-exhausted ads are skipped and
+  /// impressions are recorded for returned ads.
+  std::vector<index::ScoredAd> TopKAdsForTweet(const feed::Tweet& tweet,
+                                               size_t k);
+
+  /// The same query answered by the exhaustive scorer (baseline for E3).
+  std::vector<index::ScoredAd> TopKAdsForTweetExhaustive(
+      const feed::Tweet& tweet, size_t k);
+
+  // --- Introspection. ---
+
+  const TimeAwareConceptAnalysis& analysis() const { return tfca_; }
+  const profile::UserProfileStore& profiles() const { return profiles_; }
+
+  // --- Snapshot support (used by core/snapshot). The TFCA window is not
+  // part of a snapshot; re-ingest the recent trace after a restore to
+  // rebuild concept analysis (event sourcing).
+  profile::UserProfileStore* mutable_profiles() { return &profiles_; }
+  ads::AdStore* mutable_ad_store() { return &store_; }
+  const std::unordered_map<uint32_t, LocationId>& current_locations() const {
+    return current_location_;
+  }
+  void RestoreCurrentLocation(UserId user, LocationId location) {
+    current_location_[user.value] = location;
+  }
+  const ads::AdStore& ad_store() const { return store_; }
+  const index::AdIndex& ad_index() const { return index_; }
+  const timeline::TimeSlotScheme& slots() const { return slots_; }
+  const SemanticRepresentation& semantic() const { return semantic_; }
+  size_t tweets_ingested() const { return tweets_ingested_; }
+  size_t checkins_ingested() const { return checkins_ingested_; }
+
+ private:
+  index::AdQuery BuildQuery(const feed::Tweet& tweet, size_t k) const;
+
+  std::shared_ptr<annotate::KnowledgeBase> kb_;
+  timeline::TimeSlotScheme slots_;
+  EngineOptions options_;
+  SemanticRepresentation semantic_;
+  profile::UserProfileStore profiles_;
+  TimeAwareConceptAnalysis tfca_;
+  ads::AdStore store_;
+  index::AdIndex index_;
+  ads::FrequencyCapper capper_;
+  std::unordered_map<uint32_t, LocationId> current_location_;
+  bool analysis_valid_ = false;
+  size_t tweets_ingested_ = 0;
+  size_t checkins_ingested_ = 0;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_ENGINE_H_

@@ -1,0 +1,179 @@
+#include "core/lda.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace adrec::core {
+
+Result<LdaModel> LdaModel::Train(
+    const std::vector<std::vector<uint32_t>>& docs, size_t vocab_size,
+    const LdaOptions& options) {
+  if (options.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (vocab_size == 0) {
+    return Status::InvalidArgument("vocab_size must be positive");
+  }
+  for (const auto& doc : docs) {
+    for (uint32_t w : doc) {
+      if (w >= vocab_size) {
+        return Status::OutOfRange("word id beyond vocab_size");
+      }
+    }
+  }
+
+  LdaModel model;
+  model.options_ = options;
+  model.vocab_size_ = vocab_size;
+  const size_t k = options.num_topics;
+
+  Rng rng(options.seed);
+  model.topic_word_.assign(k, std::vector<int32_t>(vocab_size, 0));
+  model.topic_total_.assign(k, 0);
+  std::vector<std::vector<int32_t>> doc_topic(docs.size(),
+                                              std::vector<int32_t>(k, 0));
+  std::vector<std::vector<uint8_t>> assignments(docs.size());
+
+  // Random initialisation.
+  for (size_t d = 0; d < docs.size(); ++d) {
+    assignments[d].resize(docs[d].size());
+    for (size_t i = 0; i < docs[d].size(); ++i) {
+      const size_t z = rng.NextBounded(k);
+      assignments[d][i] = static_cast<uint8_t>(z);
+      ++doc_topic[d][z];
+      ++model.topic_word_[z][docs[d][i]];
+      ++model.topic_total_[z];
+    }
+  }
+
+  // Collapsed Gibbs sweeps.
+  std::vector<double> weights(k);
+  const double vbeta = static_cast<double>(vocab_size) * options.beta;
+  for (int iter = 0; iter < options.train_iterations; ++iter) {
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (size_t i = 0; i < docs[d].size(); ++i) {
+        const uint32_t w = docs[d][i];
+        const size_t old_z = assignments[d][i];
+        --doc_topic[d][old_z];
+        --model.topic_word_[old_z][w];
+        --model.topic_total_[old_z];
+
+        double total = 0.0;
+        for (size_t z = 0; z < k; ++z) {
+          const double p =
+              (doc_topic[d][z] + options.alpha) *
+              (model.topic_word_[z][w] + options.beta) /
+              (static_cast<double>(model.topic_total_[z]) + vbeta);
+          weights[z] = p;
+          total += p;
+        }
+        double u = rng.NextDouble() * total;
+        size_t new_z = k - 1;
+        for (size_t z = 0; z < k; ++z) {
+          u -= weights[z];
+          if (u <= 0.0) {
+            new_z = z;
+            break;
+          }
+        }
+        assignments[d][i] = static_cast<uint8_t>(new_z);
+        ++doc_topic[d][new_z];
+        ++model.topic_word_[new_z][w];
+        ++model.topic_total_[new_z];
+      }
+    }
+  }
+
+  // Final document-topic distributions.
+  model.doc_topic_dist_.resize(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    model.doc_topic_dist_[d].resize(k);
+    const double denom =
+        static_cast<double>(docs[d].size()) + static_cast<double>(k) * options.alpha;
+    for (size_t z = 0; z < k; ++z) {
+      model.doc_topic_dist_[d][z] = (doc_topic[d][z] + options.alpha) / denom;
+    }
+  }
+  return model;
+}
+
+std::vector<double> LdaModel::DocTopicDistribution(size_t doc) const {
+  ADREC_CHECK(doc < doc_topic_dist_.size());
+  return doc_topic_dist_[doc];
+}
+
+std::vector<double> LdaModel::Infer(const std::vector<uint32_t>& doc) const {
+  const size_t k = options_.num_topics;
+  const double vbeta = static_cast<double>(vocab_size_) * options_.beta;
+  Rng rng(options_.seed ^ 0xABCDEF);
+  std::vector<int32_t> doc_topic(k, 0);
+  std::vector<uint8_t> assignment(doc.size());
+  std::vector<uint32_t> kept;
+  kept.reserve(doc.size());
+  for (uint32_t w : doc) {
+    if (w < vocab_size_) kept.push_back(w);  // unseen words are dropped
+  }
+  assignment.resize(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    const size_t z = rng.NextBounded(k);
+    assignment[i] = static_cast<uint8_t>(z);
+    ++doc_topic[z];
+  }
+  std::vector<double> weights(k);
+  for (int iter = 0; iter < options_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < kept.size(); ++i) {
+      const uint32_t w = kept[i];
+      const size_t old_z = assignment[i];
+      --doc_topic[old_z];
+      double total = 0.0;
+      for (size_t z = 0; z < k; ++z) {
+        const double p = (doc_topic[z] + options_.alpha) *
+                         (topic_word_[z][w] + options_.beta) /
+                         (static_cast<double>(topic_total_[z]) + vbeta);
+        weights[z] = p;
+        total += p;
+      }
+      double u = rng.NextDouble() * total;
+      size_t new_z = k - 1;
+      for (size_t z = 0; z < k; ++z) {
+        u -= weights[z];
+        if (u <= 0.0) {
+          new_z = z;
+          break;
+        }
+      }
+      assignment[i] = static_cast<uint8_t>(new_z);
+      ++doc_topic[new_z];
+    }
+  }
+  std::vector<double> dist(k);
+  const double denom = static_cast<double>(kept.size()) +
+                       static_cast<double>(k) * options_.alpha;
+  for (size_t z = 0; z < k; ++z) {
+    dist[z] = (doc_topic[z] + options_.alpha) / denom;
+  }
+  return dist;
+}
+
+double LdaModel::TopicWordProbability(size_t topic, uint32_t word) const {
+  ADREC_CHECK(topic < options_.num_topics && word < vocab_size_);
+  const double vbeta = static_cast<double>(vocab_size_) * options_.beta;
+  return (topic_word_[topic][word] + options_.beta) /
+         (static_cast<double>(topic_total_[topic]) + vbeta);
+}
+
+double LdaModel::Similarity(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  ADREC_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace adrec::core

@@ -1,0 +1,67 @@
+#ifndef ADREC_CORE_LDA_H_
+#define ADREC_CORE_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace adrec::core {
+
+/// LDA hyper-parameters.
+struct LdaOptions {
+  size_t num_topics = 8;
+  int train_iterations = 60;
+  int infer_iterations = 25;
+  double alpha = 0.5;   ///< document-topic Dirichlet prior
+  double beta = 0.01;   ///< topic-word Dirichlet prior
+  uint64_t seed = 1234;
+};
+
+/// A compact latent-Dirichlet-allocation topic model trained by collapsed
+/// Gibbs sampling. This is the comparator the source paper names as
+/// future work (LDA / decay topic models); the evaluation uses it as the
+/// topic-model baseline strategy (E12).
+class LdaModel {
+ public:
+  /// Trains on `docs` (term-id sequences over a vocabulary of
+  /// `vocab_size`). Empty documents are allowed and get the uniform prior
+  /// distribution.
+  static Result<LdaModel> Train(const std::vector<std::vector<uint32_t>>& docs,
+                                size_t vocab_size, const LdaOptions& options);
+
+  /// Topic distribution of training document `doc` (smoothed, sums to 1).
+  std::vector<double> DocTopicDistribution(size_t doc) const;
+
+  /// Folds in an unseen document and returns its topic distribution.
+  std::vector<double> Infer(const std::vector<uint32_t>& doc) const;
+
+  /// P(word | topic), smoothed.
+  double TopicWordProbability(size_t topic, uint32_t word) const;
+
+  size_t num_topics() const { return options_.num_topics; }
+  size_t vocab_size() const { return vocab_size_; }
+
+  /// Cosine similarity of two topic distributions (a standard matching
+  /// score between a user's and an ad's mixtures).
+  static double Similarity(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+  /// An empty (untrained) model; only useful as a placeholder before
+  /// assignment from Train().
+  LdaModel() = default;
+
+ private:
+  LdaOptions options_;
+  size_t vocab_size_ = 0;
+  // Counts after training: topic-word and topic totals (doc-topic kept
+  // only as final distributions).
+  std::vector<std::vector<int32_t>> topic_word_;  // [topic][word]
+  std::vector<int64_t> topic_total_;              // [topic]
+  std::vector<std::vector<double>> doc_topic_dist_;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_LDA_H_

@@ -1,0 +1,113 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fca/implications.h"
+
+namespace adrec::core {
+
+namespace {
+
+/// True iff the community's slot set intersects the ad's target slots.
+bool SlotsIntersect(const Community& community,
+                    const std::vector<SlotId>& targets) {
+  if (targets.empty()) return true;  // untargeted ads run in every slot
+  for (SlotId s : community.slots) {
+    for (SlotId t : targets) {
+      if (s == t) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AdContext ExpandAdTopics(const TimeAwareConceptAnalysis& analysis,
+                         const AdContext& ad, const ExpandOptions& options) {
+  const fca::FormalContext ctx = analysis.BuildUserTopicContext(
+      options.alpha, options.min_mentions, options.min_mention_fraction);
+  fca::Bitset support(ctx.num_attributes());
+  for (const text::SparseEntry& e : ad.topics.entries()) {
+    if (e.id < ctx.num_attributes() && e.weight > 0.0) support.Set(e.id);
+  }
+
+  fca::Bitset closed(ctx.num_attributes());
+  if (options.exact_only) {
+    fca::EnumerateOptions mine_opts;
+    mine_opts.max_concepts = options.max_concepts;
+    Result<std::vector<fca::Implication>> basis =
+        fca::StemBase(ctx, mine_opts);
+    if (!basis.ok()) return ad;
+    // Keep only short-premise implications; long premises rarely fire and
+    // overfit small windows.
+    std::vector<fca::Implication> usable;
+    for (fca::Implication& imp : basis.value()) {
+      if (imp.premise.Count() >= 1 &&
+          imp.premise.Count() <= options.max_premise) {
+        usable.push_back(std::move(imp));
+      }
+    }
+    closed = fca::CloseUnderImplications(usable, support);
+  } else {
+    const std::vector<fca::AssociationRule> rules = fca::MineAssociationRules(
+        ctx, options.min_support, options.min_confidence);
+    closed = fca::CloseUnderRules(rules, support);
+  }
+
+  AdContext out = ad;
+  for (uint32_t topic : closed.ToVector()) {
+    if (!support.Test(topic)) {
+      out.topics.Add(topic, options.implied_weight);
+    }
+  }
+  return out;
+}
+
+MatchResult MatchAd(const TimeAwareConceptAnalysis& analysis,
+                    const AdContext& ad, const MatchOptions& options) {
+  MatchResult result;
+
+  // U-L matching: users of the location communities of every m*.
+  std::unordered_map<uint32_t, int> location_support;
+  for (LocationId m : ad.locations) {
+    for (const Community& c : analysis.LocationCommunities(m)) {
+      if (c.stability < options.min_community_stability) continue;
+      if (options.filter_by_slot && !SlotsIntersect(c, ad.slots)) continue;
+      for (UserId u : c.users) ++location_support[u.value];
+    }
+  }
+  result.location_candidates = location_support.size();
+
+  // U-C matching: users of the topic communities of every uri ∈ P.
+  std::unordered_map<uint32_t, int> topic_support;
+  for (const text::SparseEntry& e : ad.topics.entries()) {
+    if (e.weight < options.min_topic_score) continue;
+    for (const Community& c : analysis.TopicCommunities(TopicId(e.id))) {
+      if (c.stability < options.min_community_stability) continue;
+      if (options.filter_by_slot && !SlotsIntersect(c, ad.slots)) continue;
+      for (UserId u : c.users) ++topic_support[u.value];
+    }
+  }
+  result.topic_candidates = topic_support.size();
+
+  // Join ⋈_u: users present on both sides.
+  for (const auto& [user, t_support] : topic_support) {
+    auto it = location_support.find(user);
+    if (it == location_support.end()) continue;
+    MatchedUser mu;
+    mu.user = UserId(user);
+    mu.topic_support = t_support;
+    mu.location_support = it->second;
+    mu.score = static_cast<double>(t_support + it->second);
+    result.users.push_back(mu);
+  }
+  std::sort(result.users.begin(), result.users.end(),
+            [](const MatchedUser& a, const MatchedUser& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user.value < b.user.value;
+            });
+  return result;
+}
+
+}  // namespace adrec::core

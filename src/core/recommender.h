@@ -1,0 +1,97 @@
+#ifndef ADREC_CORE_RECOMMENDER_H_
+#define ADREC_CORE_RECOMMENDER_H_
+
+#include <vector>
+
+#include "core/semantic.h"
+#include "core/tfca.h"
+
+namespace adrec::core {
+
+/// One matched user with its ranking evidence.
+struct MatchedUser {
+  UserId user;
+  /// Number of topic communities (over the ad's URIs) containing the user.
+  int topic_support = 0;
+  /// Number of location communities (over the ad's m*) containing the user.
+  int location_support = 0;
+  /// Ranking score: topic_support + location_support.
+  double score = 0.0;
+};
+
+/// The result of matching one ad against the analysed window.
+struct MatchResult {
+  /// Users in both the U-C match and the U-L match, ranked by descending
+  /// score (ties by ascending user id) — the join ⋈_u of the model.
+  std::vector<MatchedUser> users;
+  /// Sizes of the two sides before the join (diagnostics).
+  size_t location_candidates = 0;
+  size_t topic_candidates = 0;
+};
+
+/// Options of the matching phase.
+struct MatchOptions {
+  /// Minimum annotation score for an ad URI to participate in the U-C
+  /// match (very weak annotations only add noise).
+  double min_topic_score = 0.1;
+  /// When true (default), a community only counts if its slot set
+  /// intersects the ad's target slots t* (ads with empty t* match any
+  /// slot). This is the "in a specific time" part of the model.
+  bool filter_by_slot = true;
+  /// Communities with stability below this are ignored (only effective
+  /// when the analysis ran with compute_stability; otherwise every
+  /// community reports stability 1.0).
+  double min_community_stability = 0.0;
+};
+
+/// Audience-expansion configuration.
+struct ExpandOptions {
+  /// α-cut used to build the (users × topics) context the implications
+  /// are mined from.
+  double alpha = 0.45;
+  /// Weight given to implied topics added to the ad context.
+  double implied_weight = 0.3;
+  /// When true, only *exact* implications (the Duquenne–Guigues stem
+  /// base, singleton-to-short premises) fire. Exact rules barely exist on
+  /// noisy social windows, so the default mines partial association
+  /// rules with the thresholds below.
+  bool exact_only = false;
+  /// Implications whose premise is larger than this are ignored (long
+  /// premises are rarely-firing noise on small windows). Exact mode only.
+  size_t max_premise = 2;
+  /// Association-rule thresholds (partial mode). Deliberately strict:
+  /// loose thresholds connect every popular topic to every other and the
+  /// expansion degenerates to "everyone topical".
+  size_t min_support = 5;
+  double min_confidence = 0.85;
+  /// A (user, topic) incidence in the rule-mining context requires this
+  /// many qualifying tweets; one-off mentions are noise, not interest.
+  size_t min_mentions = 3;
+  /// ... and this share of the user's qualifying tweets (window-length
+  /// independent noise guard).
+  double min_mention_fraction = 0.08;
+  /// Safety cap for the stem-base enumeration.
+  size_t max_concepts = 1u << 16;
+};
+
+/// Audience expansion: mines the Duquenne–Guigues implication basis of
+/// the window's (users × topics) context and closes the ad's topic set
+/// under it — "everyone tweeting about running shoes also tweets about
+/// marathons, so the marathon communities are eligible too". Implied
+/// topics are added with `implied_weight`; existing weights are kept.
+/// Returns the input unchanged on miner failure (expansion is best-effort).
+AdContext ExpandAdTopics(const TimeAwareConceptAnalysis& analysis,
+                         const AdContext& ad,
+                         const ExpandOptions& options = {});
+
+/// Macro-phase 3: the ads recommendation model. Computes
+///   TC_m*  = ∪ Comm(H, m*)        (U-L matching, Eq. 3)
+///   TC_URI = ∪ Comm(TFC, uri∈P)   (U-C matching, Eq. 4)
+///   result = TC_URI ⋈_u TC_m*      (matching/join, Eq. 5)
+/// and ranks the joined users by how many communities support them.
+MatchResult MatchAd(const TimeAwareConceptAnalysis& analysis,
+                    const AdContext& ad, const MatchOptions& options = {});
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_RECOMMENDER_H_

@@ -1,0 +1,60 @@
+#include "core/selling_points.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace adrec::core {
+
+std::vector<SellingPoint> DiscoverSellingPoints(
+    const TimeAwareConceptAnalysis& analysis,
+    const annotate::KnowledgeBase& kb, const std::vector<UserId>& users,
+    const SellingPointOptions& options) {
+  const fca::FormalContext ctx = analysis.BuildUserTopicContext(
+      options.alpha, options.min_mentions, options.min_mention_fraction);
+  if (ctx.num_objects() == 0 || users.empty()) return {};
+
+  // Map the target users onto the analysis's dense object indices.
+  std::unordered_set<uint32_t> target_raw;
+  for (UserId u : users) target_raw.insert(u.value);
+  fca::Bitset target(ctx.num_objects());
+  const std::vector<UserId>& known = analysis.known_users();
+  for (size_t dense = 0; dense < known.size(); ++dense) {
+    if (target_raw.count(known[dense].value)) target.Set(dense);
+  }
+  const double target_count = static_cast<double>(target.Count());
+  const double population = static_cast<double>(ctx.num_objects());
+  if (target_count == 0.0) return {};
+
+  std::vector<SellingPoint> out;
+  for (uint32_t topic = 0; topic < ctx.num_attributes(); ++topic) {
+    const fca::Bitset& holders = ctx.Column(topic);
+    const size_t support = And(holders, target).Count();
+    if (support < options.min_support) continue;
+    const double target_rate = (static_cast<double>(support) +
+                                options.smoothing) /
+                               (target_count + 2.0 * options.smoothing);
+    const double base_rate =
+        (static_cast<double>(holders.Count()) + options.smoothing) /
+        (population + 2.0 * options.smoothing);
+    const double lift = target_rate / base_rate;
+    if (lift < options.min_lift) continue;
+    SellingPoint point;
+    point.topic = TopicId(topic);
+    if (topic < kb.size()) {
+      point.uri = kb.entity(TopicId(topic)).uri;
+      point.label = kb.entity(TopicId(topic)).label;
+    }
+    point.lift = lift;
+    point.support = support;
+    out.push_back(std::move(point));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SellingPoint& a, const SellingPoint& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              return a.topic.value < b.topic.value;
+            });
+  if (out.size() > options.max_points) out.resize(options.max_points);
+  return out;
+}
+
+}  // namespace adrec::core

@@ -1,0 +1,51 @@
+#ifndef ADREC_CORE_SELLING_POINTS_H_
+#define ADREC_CORE_SELLING_POINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "annotate/knowledge_base.h"
+#include "core/tfca.h"
+
+namespace adrec::core {
+
+/// One discovered selling point: a topic over-represented in the target
+/// user set relative to the whole population.
+struct SellingPoint {
+  TopicId topic;
+  std::string uri;
+  std::string label;
+  /// Smoothed lift: P(topic | target users) / P(topic | all users).
+  double lift = 0.0;
+  /// Target users exhibiting the topic.
+  size_t support = 0;
+};
+
+/// Discovery knobs.
+struct SellingPointOptions {
+  /// Context construction (see BuildUserTopicContext).
+  double alpha = 0.45;
+  size_t min_mentions = 2;
+  double min_mention_fraction = 0.05;
+  /// A topic must be exhibited by this many target users.
+  size_t min_support = 2;
+  /// Only lifts above this are interesting (1.0 = population average).
+  double min_lift = 1.2;
+  /// Laplace smoothing added to both rates.
+  double smoothing = 0.5;
+  size_t max_points = 10;
+};
+
+/// Profiles a user set against the population: which topics distinguish
+/// these users? The advertiser-facing dual of the matching problem —
+/// given the community an ad reaches (e.g. a MatchResult's users), what
+/// should the creative talk about? Returns points sorted by descending
+/// lift (ties by topic id).
+std::vector<SellingPoint> DiscoverSellingPoints(
+    const TimeAwareConceptAnalysis& analysis,
+    const annotate::KnowledgeBase& kb, const std::vector<UserId>& users,
+    const SellingPointOptions& options = {});
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_SELLING_POINTS_H_

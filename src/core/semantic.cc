@@ -1,0 +1,32 @@
+#include "core/semantic.h"
+
+namespace adrec::core {
+
+SemanticRepresentation::SemanticRepresentation(
+    const annotate::KnowledgeBase* kb, annotate::AnnotatorOptions options)
+    : annotator_(kb, options) {}
+
+AnnotatedTweet SemanticRepresentation::ProcessTweet(
+    const feed::Tweet& tweet) const {
+  AnnotatedTweet out;
+  out.user = tweet.user;
+  out.time = tweet.time;
+  out.annotations = annotator_.Annotate(tweet.text);
+  return out;
+}
+
+AdContext SemanticRepresentation::ProcessAd(const feed::Ad& ad) const {
+  AdContext out;
+  out.id = ad.id;
+  out.locations = ad.target_locations;
+  out.slots = ad.target_slots;
+  out.bid = ad.bid;
+  std::vector<text::SparseEntry> entries;
+  for (const annotate::Annotation& a : annotator_.Annotate(ad.copy)) {
+    entries.push_back({a.topic.value, a.score});
+  }
+  out.topics = text::SparseVector::FromUnsorted(std::move(entries));
+  return out;
+}
+
+}  // namespace adrec::core

@@ -1,0 +1,53 @@
+#ifndef ADREC_CORE_SEMANTIC_H_
+#define ADREC_CORE_SEMANTIC_H_
+
+#include <vector>
+
+#include "annotate/annotator.h"
+#include "feed/types.h"
+#include "text/sparse_vector.h"
+
+namespace adrec::core {
+
+/// A tweet after the semantic-representation phase: the raw record plus
+/// its <URI, score> pairs.
+struct AnnotatedTweet {
+  UserId user;
+  Timestamp time = 0;
+  std::vector<annotate::Annotation> annotations;
+};
+
+/// An ad after the semantic-representation phase: the advertiser context
+/// (m*, t*, P) of the recommendation model, with P as a scored topic
+/// vector.
+struct AdContext {
+  AdId id;
+  text::SparseVector topics;  ///< P with annotation scores as weights
+  std::vector<LocationId> locations;  ///< m*
+  std::vector<SlotId> slots;          ///< t*
+  double bid = 1.0;
+};
+
+/// Macro-phase 1: turns raw text (tweets, ad copy) into scored topic-URI
+/// representations via the offline Spotlight-equivalent annotator.
+class SemanticRepresentation {
+ public:
+  /// Borrows the annotator's knowledge base; must outlive this object.
+  explicit SemanticRepresentation(const annotate::KnowledgeBase* kb,
+                                  annotate::AnnotatorOptions options = {});
+
+  /// Annotates one tweet.
+  AnnotatedTweet ProcessTweet(const feed::Tweet& tweet) const;
+
+  /// Annotates one ad's copy and carries over its targeting.
+  AdContext ProcessAd(const feed::Ad& ad) const;
+
+  const annotate::SpotlightAnnotator& annotator() const { return annotator_; }
+
+ private:
+  annotate::SpotlightAnnotator annotator_;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_SEMANTIC_H_

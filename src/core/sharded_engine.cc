@@ -1,0 +1,106 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace adrec::core {
+
+ShardedEngine::ShardedEngine(std::shared_ptr<annotate::KnowledgeBase> kb,
+                             timeline::TimeSlotScheme slots,
+                             size_t num_shards, EngineOptions options) {
+  ADREC_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<RecommendationEngine>(kb, slots, options));
+  }
+}
+
+size_t ShardedEngine::ShardOf(UserId user) const {
+  // Fibonacci hashing spreads sequential user ids evenly.
+  const uint64_t h = static_cast<uint64_t>(user.value) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(h >> 32) % shards_.size();
+}
+
+void ShardedEngine::OnTweet(const feed::Tweet& tweet) {
+  shards_[ShardOf(tweet.user)]->OnTweet(tweet);
+}
+
+void ShardedEngine::OnCheckIn(const feed::CheckIn& check_in) {
+  shards_[ShardOf(check_in.user)]->OnCheckIn(check_in);
+}
+
+void ShardedEngine::OnEvent(const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      OnTweet(event.tweet);
+      break;
+    case feed::EventKind::kCheckIn:
+      OnCheckIn(event.check_in);
+      break;
+    case feed::EventKind::kAdInsert:
+      (void)InsertAd(event.ad);
+      break;
+    case feed::EventKind::kAdDelete:
+      (void)RemoveAd(event.ad_id);
+      break;
+  }
+}
+
+Status ShardedEngine::InsertAd(const feed::Ad& ad) {
+  for (auto& shard : shards_) {
+    ADREC_RETURN_NOT_OK(shard->InsertAd(ad));
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RemoveAd(AdId id) {
+  for (auto& shard : shards_) {
+    ADREC_RETURN_NOT_OK(shard->RemoveAd(id));
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RunAnalysis(double alpha) {
+  std::vector<Status> results(shards_.size());
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    workers.emplace_back([this, s, alpha, &results] {
+      results[s] = shards_[s]->RunAnalysis(alpha);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const Status& st : results) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Result<MatchResult> ShardedEngine::RecommendUsers(AdId id) const {
+  MatchResult merged;
+  for (const auto& shard : shards_) {
+    Result<MatchResult> r = shard->RecommendUsers(id);
+    if (!r.ok()) return r.status();
+    for (const MatchedUser& mu : r.value().users) {
+      merged.users.push_back(mu);
+    }
+    merged.location_candidates += r.value().location_candidates;
+    merged.topic_candidates += r.value().topic_candidates;
+  }
+  std::sort(merged.users.begin(), merged.users.end(),
+            [](const MatchedUser& a, const MatchedUser& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user.value < b.user.value;
+            });
+  return merged;
+}
+
+std::vector<index::ScoredAd> ShardedEngine::TopKAdsForTweet(
+    const feed::Tweet& tweet, size_t k) {
+  return shards_[ShardOf(tweet.user)]->TopKAdsForTweet(tweet, k);
+}
+
+}  // namespace adrec::core

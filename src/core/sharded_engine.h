@@ -1,0 +1,59 @@
+#ifndef ADREC_CORE_SHARDED_ENGINE_H_
+#define ADREC_CORE_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace adrec::core {
+
+/// A user-sharded deployment of the engine: users are hash-partitioned
+/// across N independent single-threaded engines; ad operations are
+/// broadcast; the expensive triadic analysis runs shard-parallel with
+/// std::thread.
+///
+/// Semantics note: concept mining is per shard, so communities spanning
+/// shards are mined as their shard-local projections. A user's
+/// *membership* in the match is preserved in practice (their own
+/// incidences travel with them), but community extents reported by a
+/// shard contain only that shard's users — the standard accuracy/scale
+/// trade of user partitioning. The sharded match is the union of shard
+/// matches.
+class ShardedEngine {
+ public:
+  /// Creates `num_shards` engines sharing one knowledge base.
+  ShardedEngine(std::shared_ptr<annotate::KnowledgeBase> kb,
+                timeline::TimeSlotScheme slots, size_t num_shards,
+                EngineOptions options = {});
+
+  /// Routes a tweet/check-in to its owner shard; broadcasts ad ops.
+  void OnEvent(const feed::FeedEvent& event);
+  void OnTweet(const feed::Tweet& tweet);
+  void OnCheckIn(const feed::CheckIn& check_in);
+  Status InsertAd(const feed::Ad& ad);
+  Status RemoveAd(AdId id);
+
+  /// Runs the triadic analysis on every shard in parallel.
+  Status RunAnalysis(double alpha);
+
+  /// Union of the shard matches, re-ranked (score desc, user asc).
+  Result<MatchResult> RecommendUsers(AdId id) const;
+
+  /// Routed to the author's shard.
+  std::vector<index::ScoredAd> TopKAdsForTweet(const feed::Tweet& tweet,
+                                               size_t k);
+
+  size_t num_shards() const { return shards_.size(); }
+  const RecommendationEngine& shard(size_t i) const { return *shards_[i]; }
+
+  /// The shard owning a user.
+  size_t ShardOf(UserId user) const;
+
+ private:
+  std::vector<std::unique_ptr<RecommendationEngine>> shards_;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_SHARDED_ENGINE_H_

@@ -1,0 +1,229 @@
+#include "core/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "feed/trace_io.h"
+
+namespace adrec::core {
+
+namespace {
+
+std::string ProfilesPath(const std::string& dir) {
+  return dir + "/snapshot_profiles.tsv";
+}
+std::string AdsPath(const std::string& dir) {
+  return dir + "/snapshot_ads.tsv";
+}
+std::string ImpressionsPath(const std::string& dir) {
+  return dir + "/snapshot_impressions.tsv";
+}
+
+std::string EncodeVector(const text::SparseVector& v) {
+  std::string out;
+  for (const text::SparseEntry& e : v.entries()) {
+    if (!out.empty()) out += ';';
+    out += StringFormat("%u:%.9g", e.id, e.weight);
+  }
+  return out.empty() ? "-" : out;
+}
+
+Result<text::SparseVector> DecodeVector(std::string_view field) {
+  std::vector<text::SparseEntry> entries;
+  if (field != "-") {
+    for (std::string_view piece : SplitString(field, ';')) {
+      const size_t colon = piece.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("bad sparse entry");
+      }
+      const std::string id_str(piece.substr(0, colon));
+      const std::string w_str(piece.substr(colon + 1));
+      char* end = nullptr;
+      const unsigned long id = std::strtoul(id_str.c_str(), &end, 10);
+      if (end == id_str.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad sparse id");
+      }
+      end = nullptr;
+      const double w = std::strtod(w_str.c_str(), &end);
+      if (end == w_str.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad sparse weight");
+      }
+      entries.push_back({static_cast<uint32_t>(id), w});
+    }
+  }
+  return text::SparseVector::FromUnsorted(std::move(entries));
+}
+
+}  // namespace
+
+Status SaveEngineSnapshot(const RecommendationEngine& engine,
+                          const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir);
+
+  // --- Profiles + current locations. ---
+  {
+    std::ofstream out(ProfilesPath(dir));
+    if (!out) return Status::IoError("cannot open profiles file");
+    engine.profiles().ForEachState([&](UserId user,
+                                       const profile::UserState& state) {
+      out << "P\t" << user.value << '\t' << state.as_of << '\n';
+      out << "I\t" << user.value << '\t' << EncodeVector(state.interests)
+          << '\n';
+      for (size_t slot = 0; slot < state.visits.size(); ++slot) {
+        if (state.visits[slot].empty()) continue;
+        out << "V\t" << user.value << '\t' << slot << '\t';
+        bool first = true;
+        for (const auto& [loc, mass] : state.visits[slot]) {
+          if (!first) out << ';';
+          first = false;
+          out << loc << ':' << StringFormat("%.9g", mass);
+        }
+        out << '\n';
+      }
+    });
+    for (const auto& [user, loc] : engine.current_locations()) {
+      out << "L\t" << user << '\t' << loc.value << '\n';
+    }
+    out.flush();
+    if (!out) return Status::IoError("profiles write failed");
+  }
+
+  // --- Ads + impressions. ---
+  std::vector<feed::Ad> ads;
+  std::vector<std::pair<uint32_t, int64_t>> impressions;
+  engine.ad_store().ForEach([&](const ads::StoredAd& stored) {
+    ads.push_back(stored.ad);
+    impressions.emplace_back(stored.ad.id.value, stored.impressions_served);
+  });
+  ADREC_RETURN_NOT_OK(feed::WriteAds(AdsPath(dir), ads));
+  {
+    std::ofstream out(ImpressionsPath(dir));
+    if (!out) return Status::IoError("cannot open impressions file");
+    for (const auto& [ad, served] : impressions) {
+      out << "M\t" << ad << '\t' << served << '\n';
+    }
+    out.flush();
+    if (!out) return Status::IoError("impressions write failed");
+  }
+  return Status::OK();
+}
+
+Status LoadEngineSnapshot(const std::string& dir,
+                          RecommendationEngine* engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  // --- Ads first (they define the index). ---
+  Result<std::vector<feed::Ad>> ads = feed::ReadAds(AdsPath(dir));
+  if (!ads.ok()) return ads.status();
+
+  // --- Parse profiles fully before mutating the engine. ---
+  std::ifstream in(ProfilesPath(dir));
+  if (!in) return Status::IoError("cannot open " + ProfilesPath(dir));
+  struct PendingState {
+    UserId user;
+    profile::UserState state;
+  };
+  std::vector<PendingState> states;
+  std::vector<std::pair<UserId, LocationId>> locations;
+  std::unordered_map<uint32_t, size_t> row_of;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(StringFormat(
+          "%s:%zu: %s", ProfilesPath(dir).c_str(), line_no, why.c_str()));
+    };
+    const auto fields = SplitString(line, '\t', /*keep_empty=*/true);
+    if (fields.size() < 3) return bad("record needs >= 3 fields");
+    char* end = nullptr;
+    const std::string user_str(fields[1]);
+    const unsigned long user_raw = std::strtoul(user_str.c_str(), &end, 10);
+    if (end == user_str.c_str() || *end != '\0') return bad("bad user id");
+    const UserId user(static_cast<uint32_t>(user_raw));
+
+    if (fields[0] == "P") {
+      PendingState ps;
+      ps.user = user;
+      const std::string as_of_str(fields[2]);
+      ps.state.as_of = std::strtoll(as_of_str.c_str(), nullptr, 10);
+      row_of[user.value] = states.size();
+      states.push_back(std::move(ps));
+    } else if (fields[0] == "I") {
+      auto it = row_of.find(user.value);
+      if (it == row_of.end()) return bad("I before P");
+      Result<text::SparseVector> v = DecodeVector(fields[2]);
+      if (!v.ok()) return bad(v.status().ToString());
+      states[it->second].state.interests = std::move(v).value();
+    } else if (fields[0] == "V") {
+      if (fields.size() < 4) return bad("V needs 4 fields");
+      auto it = row_of.find(user.value);
+      if (it == row_of.end()) return bad("V before P");
+      const std::string slot_str(fields[2]);
+      const size_t slot = std::strtoul(slot_str.c_str(), nullptr, 10);
+      auto& visits = states[it->second].state.visits;
+      if (slot >= visits.size()) visits.resize(slot + 1);
+      for (std::string_view piece : SplitString(fields[3], ';')) {
+        const size_t colon = piece.find(':');
+        if (colon == std::string_view::npos) return bad("bad visit entry");
+        const std::string loc_str(piece.substr(0, colon));
+        const std::string mass_str(piece.substr(colon + 1));
+        visits[slot][static_cast<uint32_t>(
+            std::strtoul(loc_str.c_str(), nullptr, 10))] =
+            std::strtod(mass_str.c_str(), nullptr);
+      }
+    } else if (fields[0] == "L") {
+      const std::string loc_str(fields[2]);
+      locations.emplace_back(
+          user, LocationId(static_cast<uint32_t>(
+                    std::strtoul(loc_str.c_str(), nullptr, 10))));
+    } else {
+      return bad("unknown record tag");
+    }
+  }
+
+  // --- Impressions. ---
+  std::vector<std::pair<uint32_t, int64_t>> impressions;
+  {
+    std::ifstream imp(ImpressionsPath(dir));
+    if (!imp) return Status::IoError("cannot open " + ImpressionsPath(dir));
+    size_t imp_line = 0;
+    while (std::getline(imp, line)) {
+      ++imp_line;
+      if (line.empty()) continue;
+      const auto fields = SplitString(line, '\t', true);
+      if (fields.size() != 3 || fields[0] != "M") {
+        return Status::InvalidArgument(
+            StringFormat("%s:%zu: bad impression record",
+                         ImpressionsPath(dir).c_str(), imp_line));
+      }
+      impressions.emplace_back(
+          static_cast<uint32_t>(
+              std::strtoul(std::string(fields[1]).c_str(), nullptr, 10)),
+          std::strtoll(std::string(fields[2]).c_str(), nullptr, 10));
+    }
+  }
+
+  // --- Everything parsed: apply. ---
+  for (const feed::Ad& ad : ads.value()) {
+    ADREC_RETURN_NOT_OK(engine->InsertAd(ad));
+  }
+  for (const auto& [ad, served] : impressions) {
+    ADREC_RETURN_NOT_OK(
+        engine->mutable_ad_store()->RestoreImpressions(AdId(ad), served));
+  }
+  for (PendingState& ps : states) {
+    engine->mutable_profiles()->RestoreState(ps.user, std::move(ps.state));
+  }
+  for (const auto& [user, loc] : locations) {
+    engine->RestoreCurrentLocation(user, loc);
+  }
+  return Status::OK();
+}
+
+}  // namespace adrec::core

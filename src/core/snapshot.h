@@ -1,0 +1,38 @@
+#ifndef ADREC_CORE_SNAPSHOT_H_
+#define ADREC_CORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace adrec::core {
+
+/// Engine-state snapshots for restart recovery. A snapshot captures the
+/// *cumulative* state that cannot be rebuilt from a bounded replay:
+///  * user profiles (decayed interests + per-slot visit masses),
+///  * users' current locations,
+///  * the ad inventory with served-impression counters.
+/// The TFCA analysis window is deliberately NOT part of a snapshot — it
+/// is bounded by design (E9b/E16), so the recovery procedure is
+/// snapshot-restore + replay of the last window of the event log
+/// (written with feed::WriteTrace).
+///
+/// On-disk layout under `dir`:
+///   snapshot_profiles.tsv   P/I/V/L records (see .cc)
+///   snapshot_ads.tsv        feed::WriteAds format
+///   snapshot_impressions.tsv  "M <ad> <served>" records
+
+/// Writes the engine's snapshot into `dir` (created if needed).
+Status SaveEngineSnapshot(const RecommendationEngine& engine,
+                          const std::string& dir);
+
+/// Restores a snapshot into a fresh engine (same KB and slot scheme as at
+/// save time; the caller guarantees that). Fails without partial effects
+/// on unreadable/malformed files... (files are loaded before mutation).
+Status LoadEngineSnapshot(const std::string& dir,
+                          RecommendationEngine* engine);
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_SNAPSHOT_H_

@@ -1,0 +1,166 @@
+#include "core/tfca.h"
+
+#include "common/logging.h"
+#include "fca/stability.h"
+
+namespace adrec::core {
+
+TimeAwareConceptAnalysis::TimeAwareConceptAnalysis(
+    const timeline::TimeSlotScheme* slots, size_t num_topics)
+    : slots_(slots), num_topics_(num_topics) {
+  ADREC_CHECK(slots != nullptr);
+}
+
+size_t TimeAwareConceptAnalysis::DenseUser(UserId user) {
+  auto it = user_index_.find(user.value);
+  if (it != user_index_.end()) return it->second;
+  const size_t idx = user_ids_.size();
+  user_index_.emplace(user.value, idx);
+  user_ids_.push_back(user);
+  return idx;
+}
+
+size_t TimeAwareConceptAnalysis::DenseLocation(LocationId loc) {
+  auto it = location_index_.find(loc.value);
+  if (it != location_index_.end()) return it->second;
+  const size_t idx = location_ids_.size();
+  location_index_.emplace(loc.value, idx);
+  location_ids_.push_back(loc);
+  return idx;
+}
+
+void TimeAwareConceptAnalysis::AddCheckIn(const feed::CheckIn& check_in) {
+  CheckInCell cell;
+  cell.user = static_cast<uint32_t>(DenseUser(check_in.user));
+  cell.location = static_cast<uint32_t>(DenseLocation(check_in.location));
+  cell.slot = slots_->SlotOf(check_in.time).value;
+  checkin_cells_.push_back(cell);
+}
+
+void TimeAwareConceptAnalysis::AddTweet(const AnnotatedTweet& tweet) {
+  const uint32_t user = static_cast<uint32_t>(DenseUser(tweet.user));
+  const uint32_t slot = slots_->SlotOf(tweet.time).value;
+  for (const annotate::Annotation& a : tweet.annotations) {
+    if (a.topic.value >= num_topics_) continue;  // unknown topic: skip
+    tweet_cells_.push_back(TweetCell{user, a.topic.value, slot, a.score});
+  }
+}
+
+void TimeAwareConceptAnalysis::Reset() {
+  user_index_.clear();
+  user_ids_.clear();
+  location_index_.clear();
+  location_ids_.clear();
+  checkin_cells_.clear();
+  tweet_cells_.clear();
+  location_communities_.clear();
+  topic_communities_.clear();
+  stats_ = {};
+}
+
+Status TimeAwareConceptAnalysis::Analyze(const TfcaOptions& options) {
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  location_communities_.clear();
+  topic_communities_.clear();
+  stats_ = {};
+  stats_.users = user_ids_.size();
+  stats_.locations = location_ids_.size();
+  stats_.topics = num_topics_;
+
+  const size_t num_users = user_ids_.size();
+  const size_t num_slots = slots_->size();
+  fca::EnumerateOptions mine_opts;
+  mine_opts.max_concepts = options.max_concepts;
+
+  auto decode = [&](const fca::TriConcept& tc,
+                    const fca::TriadicContext& from) {
+    Community c;
+    for (uint32_t u : tc.objects.ToVector()) c.users.push_back(user_ids_[u]);
+    for (uint32_t s : tc.conditions.ToVector()) c.slots.push_back(SlotId(s));
+    if (options.compute_stability) {
+      c.stability = fca::TriConceptStability(from, tc);
+    }
+    return c;
+  };
+
+  // --- Location context H = (U, M, T, I). ---
+  if (!checkin_cells_.empty()) {
+    fca::TriadicContext h(num_users, location_ids_.size(), num_slots);
+    for (const CheckInCell& cell : checkin_cells_) {
+      h.Set(cell.user, cell.location, cell.slot);
+    }
+    stats_.checkin_incidences = h.IncidenceCount();
+    Result<std::vector<fca::TriConcept>> mined =
+        fca::MineTriConcepts(h, mine_opts);
+    if (!mined.ok()) return mined.status();
+    stats_.location_triconcepts = mined.value().size();
+    // File the m-triadic concepts (singleton attribute sets) under their
+    // location — Algorithm 1's Comm(H, m) for every m at once.
+    for (const fca::TriConcept& tc : mined.value()) {
+      if (tc.attributes.Count() != 1 || tc.objects.Empty()) continue;
+      const uint32_t dense_loc = tc.attributes.ToVector()[0];
+      location_communities_[location_ids_[dense_loc].value].push_back(
+          decode(tc, h));
+    }
+  }
+
+  // --- Topic context TFC = (U, URIs, T, I), fuzzy with α-cut. ---
+  if (!tweet_cells_.empty()) {
+    fca::FuzzyTriadicContext tfc(num_users, num_topics_, num_slots);
+    for (const TweetCell& cell : tweet_cells_) {
+      tfc.SetDegree(cell.user, cell.topic, cell.slot, cell.score);
+    }
+    stats_.tweet_cells = tfc.NonZeroCount();
+    const fca::TriadicContext cut = tfc.AlphaCut(options.alpha);
+    Result<std::vector<fca::TriConcept>> mined =
+        fca::MineTriConcepts(cut, mine_opts);
+    if (!mined.ok()) return mined.status();
+    stats_.topic_triconcepts = mined.value().size();
+    for (const fca::TriConcept& tc : mined.value()) {
+      if (tc.attributes.Count() != 1 || tc.objects.Empty()) continue;
+      const uint32_t topic = tc.attributes.ToVector()[0];
+      topic_communities_[topic].push_back(decode(tc, cut));
+    }
+  }
+  return Status::OK();
+}
+
+fca::FormalContext TimeAwareConceptAnalysis::BuildUserTopicContext(
+    double alpha, size_t min_mentions, double min_fraction) const {
+  std::unordered_map<uint64_t, size_t> counts;
+  std::vector<size_t> user_totals(user_ids_.size(), 0);
+  for (const TweetCell& cell : tweet_cells_) {
+    if (cell.score >= alpha) {
+      ++counts[(static_cast<uint64_t>(cell.user) << 32) | cell.topic];
+      ++user_totals[cell.user];
+    }
+  }
+  fca::FormalContext ctx(user_ids_.size(), num_topics_);
+  for (const auto& [key, count] : counts) {
+    const size_t user = static_cast<size_t>(key >> 32);
+    if (count < min_mentions) continue;
+    if (min_fraction > 0.0 &&
+        static_cast<double>(count) <
+            min_fraction * static_cast<double>(user_totals[user])) {
+      continue;
+    }
+    ctx.Set(user, static_cast<size_t>(key & 0xFFFFFFFF));
+  }
+  return ctx;
+}
+
+const std::vector<Community>& TimeAwareConceptAnalysis::LocationCommunities(
+    LocationId m) const {
+  auto it = location_communities_.find(m.value);
+  return it == location_communities_.end() ? empty_ : it->second;
+}
+
+const std::vector<Community>& TimeAwareConceptAnalysis::TopicCommunities(
+    TopicId uri) const {
+  auto it = topic_communities_.find(uri.value);
+  return it == topic_communities_.end() ? empty_ : it->second;
+}
+
+}  // namespace adrec::core

@@ -1,0 +1,143 @@
+#ifndef ADREC_CORE_TFCA_H_
+#define ADREC_CORE_TFCA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/status.h"
+#include "core/semantic.h"
+#include "fca/fuzzy_triadic.h"
+#include "fca/triadic_context.h"
+#include "feed/types.h"
+#include "timeline/time_slots.h"
+
+namespace adrec::core {
+
+/// One community extracted from a triadic concept, decoded back to domain
+/// ids: the users of the concept's extent and the time slots of its
+/// condition set. The focus attribute (location or topic) is implied by
+/// where the community is filed.
+struct Community {
+  std::vector<UserId> users;
+  std::vector<SlotId> slots;
+  /// Kuznetsov stability of the underlying triadic concept in [0,1]
+  /// (1.0 when stability computation is disabled): how robust the
+  /// community is to removing individual members. Noise-sensitive
+  /// communities score low and can be filtered at match time.
+  double stability = 1.0;
+};
+
+/// Parameters of an analysis run.
+struct TfcaOptions {
+  /// Membership threshold α of the topic fuzzy context (the x-axis of the
+  /// F-score experiments). The location context is binary and unaffected.
+  double alpha = 0.6;
+  /// Safety cap forwarded to the concept miners.
+  size_t max_concepts = 1u << 20;
+  /// When true, every community's concept stability is computed (costs
+  /// one subset enumeration or Monte-Carlo estimate per concept).
+  bool compute_stability = false;
+};
+
+/// Summary counters of the last Analyze() call.
+struct TfcaStats {
+  size_t users = 0;
+  size_t locations = 0;
+  size_t topics = 0;
+  size_t checkin_incidences = 0;
+  size_t tweet_cells = 0;
+  size_t location_triconcepts = 0;
+  size_t topic_triconcepts = 0;
+};
+
+/// Macro-phase 2: Time-aware concept analysis. Accumulates the window's
+/// check-ins and annotated tweets, then mines two triadic timed contexts:
+///
+///  * H  = (U, M, T, I): users × locations × slots (binary check-ins) —
+///    location-based communities Comm(H, m) are the m-triadic concepts
+///    (Algorithm 1 of the methodology);
+///  * TFC = (U, URIs, T, I): users × topics × slots (fuzzy, α-cut) —
+///    context-based communities Comm(TFC, uri) (Algorithm 2).
+///
+/// Conditions are the named slots of the scheme (day-of-trace aggregated):
+/// "users who are at m in the morning" is the granularity the ad targeting
+/// speaks.
+class TimeAwareConceptAnalysis {
+ public:
+  /// `slots` must outlive this object; `num_topics` is the KB size.
+  TimeAwareConceptAnalysis(const timeline::TimeSlotScheme* slots,
+                           size_t num_topics);
+
+  /// Feeds one check-in into the window.
+  void AddCheckIn(const feed::CheckIn& check_in);
+
+  /// Feeds one annotated tweet into the window.
+  void AddTweet(const AnnotatedTweet& tweet);
+
+  /// Drops all accumulated events and results (window restart).
+  void Reset();
+
+  /// Mines both contexts. May be called repeatedly with different α over
+  /// the same accumulated window (the α sweep of E1/E2 does exactly that).
+  Status Analyze(const TfcaOptions& options = {});
+
+  /// Comm(H, m): location-based communities of `m` (empty if none).
+  const std::vector<Community>& LocationCommunities(LocationId m) const;
+
+  /// Comm(TFC, uri): context-based communities of `uri` (empty if none).
+  const std::vector<Community>& TopicCommunities(TopicId uri) const;
+
+  /// The dyadic (users × topics) context of the accumulated window at
+  /// threshold `alpha`, slots aggregated — the context whose attribute
+  /// implications ("whoever tweets about A also tweets about B") drive
+  /// audience expansion. A (user, topic) incidence requires at least
+  /// `min_mentions` qualifying tweet cells: one-off mentions are noise,
+  /// not interest. Independent of Analyze().
+  /// `min_fraction` additionally requires the topic to account for that
+  /// share of the user's qualifying tweet cells, which keeps the filter
+  /// meaningful regardless of window length.
+  fca::FormalContext BuildUserTopicContext(double alpha,
+                                           size_t min_mentions = 1,
+                                           double min_fraction = 0.0) const;
+
+  /// Counters of the last Analyze() run.
+  const TfcaStats& stats() const { return stats_; }
+
+  /// Users seen in the window, in first-seen order.
+  const std::vector<UserId>& known_users() const { return user_ids_; }
+
+ private:
+  size_t DenseUser(UserId user);
+  size_t DenseLocation(LocationId loc);
+
+  const timeline::TimeSlotScheme* slots_;  // not owned
+  size_t num_topics_;
+
+  // Dense id mapping (users and locations arrive with arbitrary ids).
+  std::unordered_map<uint32_t, size_t> user_index_;
+  std::vector<UserId> user_ids_;
+  std::unordered_map<uint32_t, size_t> location_index_;
+  std::vector<LocationId> location_ids_;
+
+  // Accumulated window events in dense coordinates.
+  struct CheckInCell {
+    uint32_t user, location, slot;
+  };
+  struct TweetCell {
+    uint32_t user, topic, slot;
+    double score;
+  };
+  std::vector<CheckInCell> checkin_cells_;
+  std::vector<TweetCell> tweet_cells_;
+
+  // Results of the last Analyze().
+  std::unordered_map<uint32_t, std::vector<Community>> location_communities_;
+  std::unordered_map<uint32_t, std::vector<Community>> topic_communities_;
+  std::vector<Community> empty_;
+  TfcaStats stats_;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_TFCA_H_

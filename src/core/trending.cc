@@ -1,0 +1,82 @@
+#include "core/trending.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adrec::core {
+
+TrendingDetector::TrendingDetector(TrendingOptions options)
+    : options_(options) {}
+
+void TrendingDetector::RollWindows(Timestamp now) {
+  if (!started_) {
+    window_start_ = (now / options_.window) * options_.window;
+    started_ = true;
+    return;
+  }
+  while (now >= window_start_ + options_.window) {
+    history_.push_back(std::move(current_));
+    current_ = {};
+    if (history_.size() > options_.history_windows) history_.pop_front();
+    window_start_ += options_.window;
+  }
+}
+
+void TrendingDetector::OnTweet(const AnnotatedTweet& tweet) {
+  RollWindows(tweet.time);
+  for (const annotate::Annotation& a : tweet.annotations) {
+    ++current_.counts[a.topic.value];
+    ++current_.total;
+  }
+}
+
+std::pair<double, double> TrendingDetector::Baseline(TopicId topic) const {
+  if (history_.empty()) return {0.0, 0.0};
+  double sum = 0.0, sumsq = 0.0;
+  for (const WindowCounts& window : history_) {
+    double share = 0.0;
+    if (window.total > 0) {
+      auto it = window.counts.find(topic.value);
+      if (it != window.counts.end()) {
+        share = static_cast<double>(it->second) /
+                static_cast<double>(window.total);
+      }
+    }
+    sum += share;
+    sumsq += share * share;
+  }
+  const double n = static_cast<double>(history_.size());
+  const double mean = sum / n;
+  const double var = std::max(0.0, sumsq / n - mean * mean);
+  return {mean, std::sqrt(var)};
+}
+
+std::vector<TrendingTopic> TrendingDetector::Trending() const {
+  std::vector<TrendingTopic> out;
+  if (history_.size() < options_.min_history) return out;  // warm-up
+  if (current_.total == 0) return out;
+  for (const auto& [topic, count] : current_.counts) {
+    if (count < options_.min_count) continue;
+    const double share =
+        static_cast<double>(count) / static_cast<double>(current_.total);
+    const auto [mean, stddev] = Baseline(TopicId(topic));
+    const double z =
+        (share - mean) / std::max(stddev, options_.stddev_floor);
+    if (z < options_.min_z) continue;
+    TrendingTopic t;
+    t.topic = TopicId(topic);
+    t.current_count = count;
+    t.current_share = share;
+    t.baseline_share = mean;
+    t.z_score = z;
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TrendingTopic& a, const TrendingTopic& b) {
+              if (a.z_score != b.z_score) return a.z_score > b.z_score;
+              return a.topic.value < b.topic.value;
+            });
+  return out;
+}
+
+}  // namespace adrec::core

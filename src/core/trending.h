@@ -1,0 +1,91 @@
+#ifndef ADREC_CORE_TRENDING_H_
+#define ADREC_CORE_TRENDING_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+#include "core/semantic.h"
+
+namespace adrec::core {
+
+/// One trending topic with its burst evidence.
+struct TrendingTopic {
+  TopicId topic;
+  /// Mentions in the current (foreground) window.
+  size_t current_count = 0;
+  /// Share of voice in the current window (mentions / all mentions).
+  double current_share = 0.0;
+  /// Mean share per window over the history (baseline).
+  double baseline_share = 0.0;
+  /// Burst z-score on shares: (current − mean) / max(stddev, floor).
+  double z_score = 0.0;
+};
+
+/// Detector configuration.
+struct TrendingOptions {
+  /// Width of one counting window.
+  DurationSec window = kSecondsPerHour;
+  /// How many past windows form the baseline.
+  size_t history_windows = 24;
+  /// Minimum mentions in the current window before a topic can trend.
+  size_t min_count = 3;
+  /// Minimum z-score to report.
+  double min_z = 2.0;
+  /// Warm-up: no topic trends until this many windows completed (a thin
+  /// baseline has stddev ~0 and would flag ordinary activity).
+  size_t min_history = 6;
+  /// Floor for the share stddev in the z denominator (guards topics with
+  /// perfectly flat history).
+  double stddev_floor = 0.02;
+};
+
+/// Burst detection over the annotated tweet stream, on *share of voice*
+/// rather than absolute counts: a topic trends when its fraction of all
+/// mentions departs from its per-window baseline share. Shares are
+/// invariant to diurnal volume swings (afternoons are always louder than
+/// nights), which absolute-count detectors misread as bursts. The
+/// "high-speed news feeding" counterpart of the batch topic analysis:
+/// advertisers surge bids on bursting topics.
+///
+/// Single-writer streaming: feed annotated tweets in time order; query at
+/// any moment.
+class TrendingDetector {
+ public:
+  explicit TrendingDetector(TrendingOptions options = {});
+
+  /// Folds one annotated tweet in (monotone-ish time; events older than
+  /// the current window are counted into it anyway).
+  void OnTweet(const AnnotatedTweet& tweet);
+
+  /// Topics trending as of the latest data, hottest first.
+  std::vector<TrendingTopic> Trending() const;
+
+  /// Baseline (mean, stddev) of a topic's per-window share of voice.
+  std::pair<double, double> Baseline(TopicId topic) const;
+
+  /// Windows completed so far (diagnostics).
+  size_t completed_windows() const { return history_.size(); }
+
+ private:
+  struct WindowCounts {
+    std::unordered_map<uint32_t, size_t> counts;
+    size_t total = 0;
+  };
+
+  void RollWindows(Timestamp now);
+
+  TrendingOptions options_;
+  Timestamp window_start_ = 0;
+  bool started_ = false;
+  WindowCounts current_;
+  std::deque<WindowCounts> history_;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_TRENDING_H_

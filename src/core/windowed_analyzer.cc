@@ -1,0 +1,51 @@
+#include "core/windowed_analyzer.h"
+
+namespace adrec::core {
+
+WindowedAnalyzer::WindowedAnalyzer(const timeline::TimeSlotScheme* slots,
+                                   size_t num_topics,
+                                   WindowedOptions options)
+    : options_(options), tfca_(slots, num_topics) {}
+
+void WindowedAnalyzer::OnTweet(const AnnotatedTweet& tweet) {
+  tweets_.push_back(tweet);
+}
+
+void WindowedAnalyzer::OnCheckIn(const feed::CheckIn& check_in) {
+  checkins_.push_back(check_in);
+}
+
+void WindowedAnalyzer::Evict(Timestamp now) {
+  const Timestamp horizon = now - options_.window;
+  while (!tweets_.empty() && tweets_.front().time < horizon) {
+    tweets_.pop_front();
+  }
+  while (!checkins_.empty() && checkins_.front().time < horizon) {
+    checkins_.pop_front();
+  }
+}
+
+Status WindowedAnalyzer::Refresh(Timestamp now) {
+  Evict(now);
+  tfca_.Reset();
+  for (const AnnotatedTweet& t : tweets_) tfca_.AddTweet(t);
+  for (const feed::CheckIn& c : checkins_) tfca_.AddCheckIn(c);
+  TfcaOptions opts;
+  opts.alpha = options_.alpha;
+  opts.max_concepts = options_.max_concepts;
+  ADREC_RETURN_NOT_OK(tfca_.Analyze(opts));
+  last_refresh_ = now;
+  ++refresh_count_;
+  return Status::OK();
+}
+
+Result<bool> WindowedAnalyzer::MaybeRefresh(Timestamp now) {
+  if (last_refresh_ != INT64_MIN &&
+      now - last_refresh_ < options_.refresh_every) {
+    return false;
+  }
+  ADREC_RETURN_NOT_OK(Refresh(now));
+  return true;
+}
+
+}  // namespace adrec::core

@@ -1,0 +1,69 @@
+#ifndef ADREC_CORE_WINDOWED_ANALYZER_H_
+#define ADREC_CORE_WINDOWED_ANALYZER_H_
+
+#include <deque>
+
+#include "common/status.h"
+#include "core/tfca.h"
+
+namespace adrec::core {
+
+/// Windowing configuration.
+struct WindowedOptions {
+  /// Events older than now − window are evicted before each analysis.
+  DurationSec window = 3 * kSecondsPerDay;
+  /// Minimum stream-time between two analyses.
+  DurationSec refresh_every = 6 * kSecondsPerHour;
+  /// Membership threshold forwarded to the TFCA.
+  double alpha = 0.45;
+  size_t max_concepts = 1u << 20;
+};
+
+/// Continuous-operation wrapper around TimeAwareConceptAnalysis: buffers
+/// the stream, evicts events that left the window, and re-mines the
+/// triadic contexts on a fixed refresh cadence. This is how the engine
+/// keeps concept analysis fresh on an unbounded feed — E9b shows bounded
+/// windows are also a *quality* requirement, not just a cost one.
+///
+/// Single-writer; queries against analysis() see the last refresh.
+class WindowedAnalyzer {
+ public:
+  WindowedAnalyzer(const timeline::TimeSlotScheme* slots, size_t num_topics,
+                   WindowedOptions options = {});
+
+  /// Buffers one annotated tweet (time must be stream-monotone within
+  /// `window` slack; late events older than the window are dropped).
+  void OnTweet(const AnnotatedTweet& tweet);
+
+  /// Buffers one check-in.
+  void OnCheckIn(const feed::CheckIn& check_in);
+
+  /// Re-analyzes if at least `refresh_every` stream time has passed since
+  /// the last refresh. Returns true when a refresh ran.
+  Result<bool> MaybeRefresh(Timestamp now);
+
+  /// Unconditional refresh at `now`.
+  Status Refresh(Timestamp now);
+
+  /// The analysis of the last refresh (empty before the first).
+  const TimeAwareConceptAnalysis& analysis() const { return tfca_; }
+
+  /// Buffered event counts (diagnostics).
+  size_t buffered_tweets() const { return tweets_.size(); }
+  size_t buffered_checkins() const { return checkins_.size(); }
+  size_t refresh_count() const { return refresh_count_; }
+
+ private:
+  void Evict(Timestamp now);
+
+  WindowedOptions options_;
+  TimeAwareConceptAnalysis tfca_;
+  std::deque<AnnotatedTweet> tweets_;
+  std::deque<feed::CheckIn> checkins_;
+  Timestamp last_refresh_ = INT64_MIN;
+  size_t refresh_count_ = 0;
+};
+
+}  // namespace adrec::core
+
+#endif  // ADREC_CORE_WINDOWED_ANALYZER_H_

@@ -1,0 +1,36 @@
+#include "eval/ab_test.h"
+
+#include <cmath>
+
+namespace adrec::eval {
+
+namespace {
+
+/// Standard normal CDF via erfc.
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+AbResult TwoProportionZTest(const ArmStats& a, const ArmStats& b) {
+  AbResult out;
+  out.ctr_a = a.Ctr();
+  out.ctr_b = b.Ctr();
+  out.lift = out.ctr_a == 0.0 ? 0.0 : (out.ctr_b - out.ctr_a) / out.ctr_a;
+  out.p_value = 1.0;
+  if (a.impressions == 0 || b.impressions == 0) return out;
+
+  const double na = static_cast<double>(a.impressions);
+  const double nb = static_cast<double>(b.impressions);
+  const double pooled =
+      (static_cast<double>(a.clicks) + static_cast<double>(b.clicks)) /
+      (na + nb);
+  const double var = pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb);
+  if (var <= 0.0) return out;
+
+  out.z = (out.ctr_b - out.ctr_a) / std::sqrt(var);
+  out.p_value = 2.0 * (1.0 - NormalCdf(std::abs(out.z)));
+  out.significant_95 = out.p_value < 0.05;
+  return out;
+}
+
+}  // namespace adrec::eval

@@ -1,0 +1,39 @@
+#ifndef ADREC_EVAL_AB_TEST_H_
+#define ADREC_EVAL_AB_TEST_H_
+
+#include <cstddef>
+
+namespace adrec::eval {
+
+/// Outcome counts of one experiment arm.
+struct ArmStats {
+  size_t impressions = 0;
+  size_t clicks = 0;
+
+  double Ctr() const {
+    return impressions == 0
+               ? 0.0
+               : static_cast<double>(clicks) /
+                     static_cast<double>(impressions);
+  }
+};
+
+/// Result of a two-proportion z-test between arms.
+struct AbResult {
+  double ctr_a = 0.0;
+  double ctr_b = 0.0;
+  double lift = 0.0;     ///< (ctr_b - ctr_a) / ctr_a; 0 when ctr_a == 0
+  double z = 0.0;        ///< z statistic (b vs a)
+  double p_value = 0.0;  ///< two-sided
+  bool significant_95 = false;
+};
+
+/// Two-proportion z-test: is arm B's CTR different from arm A's? Uses the
+/// pooled-variance normal approximation, adequate for the impression
+/// volumes the serving simulations produce. Degenerate inputs (an empty
+/// arm, or zero pooled variance) return z = 0, p = 1.
+AbResult TwoProportionZTest(const ArmStats& a, const ArmStats& b);
+
+}  // namespace adrec::eval
+
+#endif  // ADREC_EVAL_AB_TEST_H_

@@ -1,0 +1,60 @@
+#include "eval/click_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adrec::eval {
+
+ClickModel::ClickModel(const feed::Workload* workload,
+                       ClickModelOptions options)
+    : workload_(workload), options_(options), rng_(options.seed) {
+  ADREC_CHECK(workload != nullptr);
+}
+
+int ClickModel::RelevanceTier(UserId user, size_t ad_index,
+                              Timestamp time) const {
+  ADREC_CHECK(ad_index < workload_->ads.size());
+  ADREC_CHECK(user.value < workload_->truth.size());
+  const feed::UserTruth& truth = workload_->truth[user.value];
+  const std::vector<TopicId>& ad_topics = workload_->ad_topics[ad_index];
+
+  bool topical = false;
+  for (TopicId t : truth.interests) {
+    if (std::find(ad_topics.begin(), ad_topics.end(), t) != ad_topics.end()) {
+      topical = true;
+      break;
+    }
+  }
+  if (!topical) return 0;
+
+  const SlotId slot = workload_->slots.SlotOf(time);
+  const feed::Ad& ad = workload_->ads[ad_index];
+  if (slot.value < truth.frequented.size()) {
+    for (LocationId m : truth.frequented[slot.value]) {
+      if (std::find(ad.target_locations.begin(), ad.target_locations.end(),
+                    m) != ad.target_locations.end()) {
+        return 2;
+      }
+    }
+  }
+  return 1;
+}
+
+double ClickModel::ClickProbability(UserId user, size_t ad_index,
+                                    Timestamp time) const {
+  switch (RelevanceTier(user, ad_index, time)) {
+    case 2:
+      return options_.ctr_relevant;
+    case 1:
+      return options_.ctr_topical;
+    default:
+      return options_.ctr_irrelevant;
+  }
+}
+
+bool ClickModel::SampleClick(UserId user, size_t ad_index, Timestamp time) {
+  return rng_.NextBool(ClickProbability(user, ad_index, time));
+}
+
+}  // namespace adrec::eval

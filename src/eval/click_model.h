@@ -1,0 +1,49 @@
+#ifndef ADREC_EVAL_CLICK_MODEL_H_
+#define ADREC_EVAL_CLICK_MODEL_H_
+
+#include "common/random.h"
+#include "feed/workload.h"
+
+namespace adrec::eval {
+
+/// Click-model parameters.
+struct ClickModelOptions {
+  /// Click probability when the ad matches the user's true interests AND
+  /// the user frequents a target location in the current slot.
+  double ctr_relevant = 0.12;
+  /// Click probability when only the topical condition holds.
+  double ctr_topical = 0.04;
+  /// Click probability for irrelevant impressions.
+  double ctr_irrelevant = 0.005;
+  uint64_t seed = 7;
+};
+
+/// A position-less probabilistic click model over the generator's ground
+/// truth: users click relevant ads at `ctr_relevant`, merely-topical ads
+/// at `ctr_topical`, and anything else at `ctr_irrelevant`. Drives the
+/// online serving experiment (E14): a policy that places context-matched
+/// ads earns clicks at the relevant rate.
+class ClickModel {
+ public:
+  ClickModel(const feed::Workload* workload, ClickModelOptions options = {});
+
+  /// Relevance tier of showing `ad_index` to `user` at `time`:
+  /// 2 = relevant (topical + co-located in slot), 1 = topical only,
+  /// 0 = irrelevant.
+  int RelevanceTier(UserId user, size_t ad_index, Timestamp time) const;
+
+  /// Samples a click for one impression (deterministic stream per model).
+  bool SampleClick(UserId user, size_t ad_index, Timestamp time);
+
+  /// The click probability of an impression (no sampling).
+  double ClickProbability(UserId user, size_t ad_index, Timestamp time) const;
+
+ private:
+  const feed::Workload* workload_;  // not owned
+  ClickModelOptions options_;
+  Rng rng_;
+};
+
+}  // namespace adrec::eval
+
+#endif  // ADREC_EVAL_CLICK_MODEL_H_

@@ -1,0 +1,118 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/recommender.h"
+
+namespace adrec::eval {
+
+ExperimentSetup BuildExperiment(const feed::WorkloadOptions& options,
+                                const core::EngineOptions& engine_options) {
+  ExperimentSetup setup;
+  setup.workload = feed::GenerateWorkload(options);
+  setup.engine = std::make_unique<core::RecommendationEngine>(
+      setup.workload.kb, setup.workload.slots, engine_options);
+  for (const feed::Ad& ad : setup.workload.ads) {
+    ADREC_CHECK(setup.engine->InsertAd(ad).ok());
+  }
+  for (const feed::FeedEvent& event : setup.workload.MergedEvents()) {
+    setup.engine->OnEvent(event);
+  }
+  return setup;
+}
+
+std::vector<UserId> PredictUsers(core::StrategyKind strategy,
+                                 const ExperimentSetup& setup,
+                                 size_t ad_index, SlotId slot,
+                                 const core::BaselineOptions& options,
+                                 const core::LdaStrategy* lda) {
+  ADREC_CHECK(ad_index < setup.workload.ads.size());
+  const feed::Ad& ad = setup.workload.ads[ad_index];
+  const core::RecommendationEngine& engine = *setup.engine;
+  core::AdContext ctx = engine.semantic().ProcessAd(ad);
+  // The evaluation asks about one specific slot.
+  ctx.slots = {slot};
+
+  switch (strategy) {
+    case core::StrategyKind::kTriadic: {
+      core::MatchResult match =
+          core::MatchAd(engine.analysis(), ctx, core::MatchOptions{});
+      std::vector<UserId> out;
+      for (const core::MatchedUser& mu : match.users) out.push_back(mu.user);
+      return out;
+    }
+    case core::StrategyKind::kContentOnly:
+      return core::ContentOnlyPredict(engine, ctx, options);
+    case core::StrategyKind::kLocationOnly:
+      return core::LocationOnlyPredict(engine, ctx, options);
+    case core::StrategyKind::kPopularity:
+      return core::PopularityPredict(engine, options);
+    case core::StrategyKind::kLdaLite: {
+      ADREC_CHECK(lda != nullptr);
+      return lda->Predict(ad.copy, options.lda_threshold);
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// All (ad, slot) pairs the ads actually target within `slot` (or all
+/// slots when slot is invalid), as ad indices.
+std::vector<size_t> TargetedAds(const feed::Workload& workload, SlotId slot) {
+  std::vector<size_t> out;
+  for (size_t a = 0; a < workload.ads.size(); ++a) {
+    const auto& targets = workload.ads[a].target_slots;
+    if (targets.empty() ||
+        std::find(targets.begin(), targets.end(), slot) != targets.end()) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AlphaPoint> RunAlphaSweep(ExperimentSetup& setup,
+                                      const GroundTruthOracle& oracle,
+                                      SlotId slot,
+                                      const std::vector<double>& alphas) {
+  std::vector<AlphaPoint> out;
+  const std::vector<size_t> ads = TargetedAds(setup.workload, slot);
+  core::BaselineOptions unused;
+  for (double alpha : alphas) {
+    ADREC_CHECK(setup.engine->RunAnalysis(alpha).ok());
+    std::vector<Prf> per_ad;
+    for (size_t a : ads) {
+      const std::vector<UserId> predicted = PredictUsers(
+          core::StrategyKind::kTriadic, setup, a, slot, unused);
+      per_ad.push_back(ComputePrf(predicted, oracle.RelevantUsers(a, slot)));
+    }
+    AlphaPoint point;
+    point.alpha = alpha;
+    point.prf = MacroAverage(per_ad);
+    out.push_back(point);
+  }
+  return out;
+}
+
+Prf EvaluateStrategy(core::StrategyKind strategy, ExperimentSetup& setup,
+                     const GroundTruthOracle& oracle,
+                     const core::BaselineOptions& options,
+                     const core::LdaStrategy* lda) {
+  std::vector<Prf> per_pair;
+  // Daytime slots of the paper scheme: slot1 (1) and slot2 (2).
+  for (uint32_t s : {1u, 2u}) {
+    const SlotId slot(s);
+    for (size_t a : TargetedAds(setup.workload, slot)) {
+      const std::vector<UserId> predicted =
+          PredictUsers(strategy, setup, a, slot, options, lda);
+      per_pair.push_back(
+          ComputePrf(predicted, oracle.RelevantUsers(a, slot)));
+    }
+  }
+  return MacroAverage(per_pair);
+}
+
+}  // namespace adrec::eval

@@ -1,0 +1,60 @@
+#ifndef ADREC_EVAL_EXPERIMENT_H_
+#define ADREC_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "eval/metrics.h"
+#include "eval/oracle.h"
+#include "feed/workload.h"
+
+namespace adrec::eval {
+
+/// A generated workload plus an engine that has ingested all of it — the
+/// starting state of every quality experiment.
+struct ExperimentSetup {
+  feed::Workload workload;
+  std::unique_ptr<core::RecommendationEngine> engine;
+};
+
+/// Generates the workload and streams every tweet, check-in and ad into a
+/// fresh engine (no analysis run yet).
+ExperimentSetup BuildExperiment(const feed::WorkloadOptions& options,
+                                const core::EngineOptions& engine_options = {});
+
+/// Predicted user set of `strategy` for (ad_index, slot). For the triadic
+/// strategy the engine's current analysis is used (caller runs
+/// RunAnalysis(alpha) first); `lda` is required only for kLdaLite.
+std::vector<UserId> PredictUsers(core::StrategyKind strategy,
+                                 const ExperimentSetup& setup,
+                                 size_t ad_index, SlotId slot,
+                                 const core::BaselineOptions& options,
+                                 const core::LdaStrategy* lda = nullptr);
+
+/// One point of the α sweep.
+struct AlphaPoint {
+  double alpha = 0.0;
+  Prf prf;
+};
+
+/// E1/E2: macro-averaged P/R/F over the workload's ads in `slot`, for each
+/// α. Only (ad, slot) pairs the ad actually targets participate. Runs
+/// engine->RunAnalysis(alpha) per point (the location side is α-invariant,
+/// matching the paper's remark).
+std::vector<AlphaPoint> RunAlphaSweep(ExperimentSetup& setup,
+                                      const GroundTruthOracle& oracle,
+                                      SlotId slot,
+                                      const std::vector<double>& alphas);
+
+/// E8/E12: macro-averaged quality of one strategy across all targeted
+/// (ad, slot) pairs of the daytime slots.
+Prf EvaluateStrategy(core::StrategyKind strategy, ExperimentSetup& setup,
+                     const GroundTruthOracle& oracle,
+                     const core::BaselineOptions& options,
+                     const core::LdaStrategy* lda = nullptr);
+
+}  // namespace adrec::eval
+
+#endif  // ADREC_EVAL_EXPERIMENT_H_

@@ -1,0 +1,52 @@
+#include "eval/metrics.h"
+
+#include <unordered_set>
+
+namespace adrec::eval {
+
+Prf ComputePrf(const std::vector<UserId>& predicted,
+               const std::vector<UserId>& relevant) {
+  Prf out;
+  std::unordered_set<uint32_t> predicted_set;
+  for (UserId u : predicted) predicted_set.insert(u.value);
+  std::unordered_set<uint32_t> relevant_set;
+  for (UserId u : relevant) relevant_set.insert(u.value);
+  out.predicted = predicted_set.size();
+  out.relevant = relevant_set.size();
+  for (uint32_t u : predicted_set) {
+    if (relevant_set.count(u)) ++out.hits;
+  }
+  if (out.predicted == 0 && out.relevant == 0) {
+    out.precision = out.recall = out.f_score = 1.0;
+    return out;
+  }
+  out.precision = out.predicted == 0
+                      ? 0.0
+                      : static_cast<double>(out.hits) / out.predicted;
+  out.recall = out.relevant == 0
+                   ? 0.0
+                   : static_cast<double>(out.hits) / out.relevant;
+  const double denom = out.precision + out.recall;
+  out.f_score = denom == 0.0 ? 0.0 : 2.0 * out.precision * out.recall / denom;
+  return out;
+}
+
+Prf MacroAverage(const std::vector<Prf>& results) {
+  Prf avg;
+  if (results.empty()) return avg;
+  for (const Prf& r : results) {
+    avg.precision += r.precision;
+    avg.recall += r.recall;
+    avg.f_score += r.f_score;
+    avg.predicted += r.predicted;
+    avg.relevant += r.relevant;
+    avg.hits += r.hits;
+  }
+  const double n = static_cast<double>(results.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f_score /= n;
+  return avg;
+}
+
+}  // namespace adrec::eval

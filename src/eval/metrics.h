@@ -1,0 +1,33 @@
+#ifndef ADREC_EVAL_METRICS_H_
+#define ADREC_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/id_types.h"
+
+namespace adrec::eval {
+
+/// Set-retrieval quality numbers (Eqs. 7-9 of the methodology).
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+  size_t predicted = 0;  ///< |Ũ|
+  size_t relevant = 0;   ///< |U*|
+  size_t hits = 0;       ///< |U* ∩ Ũ|
+};
+
+/// Computes precision/recall/F-score of a predicted user set against the
+/// relevant set. Conventions: empty-predicted yields precision 0 (and
+/// recall 0 unless relevant is also empty); if both sets are empty the
+/// result is a perfect 1/1/1 (the system correctly said "nobody").
+Prf ComputePrf(const std::vector<UserId>& predicted,
+               const std::vector<UserId>& relevant);
+
+/// Arithmetic mean over per-ad results (macro average, the convention for
+/// small ad inventories).
+Prf MacroAverage(const std::vector<Prf>& results);
+
+}  // namespace adrec::eval
+
+#endif  // ADREC_EVAL_METRICS_H_

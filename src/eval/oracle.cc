@@ -1,0 +1,84 @@
+#include "eval/oracle.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adrec::eval {
+
+GroundTruthOracle::GroundTruthOracle(const feed::Workload* workload,
+                                     OracleOptions options)
+    : workload_(workload), options_(options) {
+  ADREC_CHECK(workload != nullptr);
+}
+
+bool GroundTruthOracle::FlipNoise(uint32_t user, size_t ad_index,
+                                  SlotId slot) const {
+  if (options_.label_noise <= 0.0) return false;
+  // Deterministic per-(user, ad, slot) noise: hash into a seeded stream.
+  Rng rng(options_.noise_seed ^ (static_cast<uint64_t>(user) << 32) ^
+          (static_cast<uint64_t>(ad_index) << 8) ^ slot.value);
+  return rng.NextBool(options_.label_noise);
+}
+
+std::vector<UserId> GroundTruthOracle::RelevantUsers(size_t ad_index,
+                                                     SlotId slot) const {
+  ADREC_CHECK(ad_index < workload_->ads.size());
+  const feed::Ad& ad = workload_->ads[ad_index];
+  const std::vector<TopicId>& ad_topics = workload_->ad_topics[ad_index];
+
+  // Slot-targeted ads are relevant to nobody outside their slots.
+  if (!ad.target_slots.empty() &&
+      std::find(ad.target_slots.begin(), ad.target_slots.end(), slot) ==
+          ad.target_slots.end()) {
+    return {};
+  }
+
+  std::vector<UserId> out;
+  for (size_t u = 0; u < workload_->truth.size(); ++u) {
+    const feed::UserTruth& truth = workload_->truth[u];
+    bool topical = false;
+    for (TopicId t : truth.interests) {
+      if (std::find(ad_topics.begin(), ad_topics.end(), t) !=
+          ad_topics.end()) {
+        topical = true;
+        break;
+      }
+    }
+    bool located = false;
+    if (slot.value < truth.frequented.size()) {
+      for (LocationId m : truth.frequented[slot.value]) {
+        if (std::find(ad.target_locations.begin(), ad.target_locations.end(),
+                      m) != ad.target_locations.end()) {
+          located = true;
+          break;
+        }
+      }
+    }
+    bool relevant = topical && located;
+    if (FlipNoise(static_cast<uint32_t>(u), ad_index, slot)) {
+      relevant = !relevant;
+    }
+    if (relevant) out.push_back(UserId(static_cast<uint32_t>(u)));
+  }
+  return out;
+}
+
+std::vector<UserId> GroundTruthOracle::TopicallyInterested(
+    size_t ad_index) const {
+  ADREC_CHECK(ad_index < workload_->ads.size());
+  const std::vector<TopicId>& ad_topics = workload_->ad_topics[ad_index];
+  std::vector<UserId> out;
+  for (size_t u = 0; u < workload_->truth.size(); ++u) {
+    for (TopicId t : workload_->truth[u].interests) {
+      if (std::find(ad_topics.begin(), ad_topics.end(), t) !=
+          ad_topics.end()) {
+        out.push_back(UserId(static_cast<uint32_t>(u)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace adrec::eval

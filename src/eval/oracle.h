@@ -1,0 +1,48 @@
+#ifndef ADREC_EVAL_ORACLE_H_
+#define ADREC_EVAL_ORACLE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "feed/workload.h"
+
+namespace adrec::eval {
+
+/// Oracle knobs.
+struct OracleOptions {
+  /// Probability of flipping each user's relevance label (simulates
+  /// imperfect human annotators; 0 = exact truth).
+  double label_noise = 0.0;
+  uint64_t noise_seed = 99;
+};
+
+/// Plays the role of the paper's domain experts: given an ad and a time
+/// slot, produces U* — the users genuinely interested in the ad there and
+/// then. Because the workload generator samples tweets *from* user
+/// interests and check-ins *from* user mobility, relevance is decidable
+/// exactly:
+///   u ∈ U*(a, t)  ⇔  interests(u) ∩ topics(a) ≠ ∅
+///                  ∧ frequented(u, t) ∩ locations(a) ≠ ∅
+///                  ∧ t ∈ slots(a)  (when the ad is slot-targeted).
+class GroundTruthOracle {
+ public:
+  explicit GroundTruthOracle(const feed::Workload* workload,
+                             OracleOptions options = {});
+
+  /// U* for (ad_index, slot).
+  std::vector<UserId> RelevantUsers(size_t ad_index, SlotId slot) const;
+
+  /// Users topically interested in the ad, ignoring location and time
+  /// (the oracle for content-only ablations).
+  std::vector<UserId> TopicallyInterested(size_t ad_index) const;
+
+ private:
+  bool FlipNoise(uint32_t user, size_t ad_index, SlotId slot) const;
+
+  const feed::Workload* workload_;  // not owned
+  OracleOptions options_;
+};
+
+}  // namespace adrec::eval
+
+#endif  // ADREC_EVAL_ORACLE_H_

@@ -1,0 +1,134 @@
+#include "fca/bitset.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace adrec::fca {
+
+namespace {
+constexpr size_t kWordBits = 64;
+
+size_t WordsFor(size_t nbits) { return (nbits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+Bitset::Bitset(size_t nbits) : nbits_(nbits), words_(WordsFor(nbits), 0) {}
+
+Bitset Bitset::Full(size_t nbits) {
+  Bitset b(nbits);
+  for (auto& w : b.words_) w = ~0ull;
+  // Clear the bits beyond nbits in the last word.
+  const size_t tail = nbits % kWordBits;
+  if (tail != 0 && !b.words_.empty()) {
+    b.words_.back() &= (1ull << tail) - 1;
+  }
+  return b;
+}
+
+void Bitset::Set(size_t i) {
+  ADREC_CHECK(i < nbits_);
+  words_[i / kWordBits] |= 1ull << (i % kWordBits);
+}
+
+void Bitset::Reset(size_t i) {
+  ADREC_CHECK(i < nbits_);
+  words_[i / kWordBits] &= ~(1ull << (i % kWordBits));
+}
+
+bool Bitset::Test(size_t i) const {
+  ADREC_CHECK(i < nbits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ull;
+}
+
+size_t Bitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  ADREC_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  ADREC_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::SubtractInPlace(const Bitset& other) {
+  ADREC_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  ADREC_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  ADREC_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+size_t Bitset::FindFirst() const { return FindNext(0); }
+
+size_t Bitset::FindNext(size_t from) const {
+  if (from >= nbits_) return nbits_;
+  size_t word = from / kWordBits;
+  uint64_t w = words_[word] & (~0ull << (from % kWordBits));
+  for (;;) {
+    if (w != 0) {
+      const size_t bit =
+          word * kWordBits + static_cast<size_t>(std::countr_zero(w));
+      return bit < nbits_ ? bit : nbits_;
+    }
+    if (++word >= words_.size()) return nbits_;
+    w = words_[word];
+  }
+}
+
+std::vector<uint32_t> Bitset::ToVector() const {
+  std::vector<uint32_t> out;
+  for (size_t i = FindFirst(); i < nbits_; i = FindNext(i + 1)) {
+    out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+Bitset Bitset::FromIndices(size_t nbits, const std::vector<uint32_t>& idx) {
+  Bitset b(nbits);
+  for (uint32_t i : idx) b.Set(i);
+  return b;
+}
+
+size_t Bitset::Hash() const {
+  uint64_t h = 0x9E3779B97F4A7C15ull ^ nbits_;
+  for (uint64_t w : words_) {
+    h ^= w + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  return static_cast<size_t>(h);
+}
+
+Bitset And(const Bitset& a, const Bitset& b) {
+  Bitset out = a;
+  out &= b;
+  return out;
+}
+
+Bitset Or(const Bitset& a, const Bitset& b) {
+  Bitset out = a;
+  out |= b;
+  return out;
+}
+
+}  // namespace adrec::fca

@@ -1,0 +1,81 @@
+#ifndef ADREC_FCA_BITSET_H_
+#define ADREC_FCA_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adrec::fca {
+
+/// A fixed-size dynamic bitset specialised for concept-analysis workloads:
+/// extents and intents are bitsets, and the hot operations are bulk
+/// intersection, subset tests and population counts (all word-parallel).
+class Bitset {
+ public:
+  /// An empty set over a universe of `nbits` elements.
+  explicit Bitset(size_t nbits = 0);
+
+  /// The full set {0, .., nbits-1}.
+  static Bitset Full(size_t nbits);
+
+  /// Single-bit operations. Index must be < size().
+  void Set(size_t i);
+  void Reset(size_t i);
+  bool Test(size_t i) const;
+
+  /// Number of elements in the universe.
+  size_t size() const { return nbits_; }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  bool Empty() const { return Count() == 0; }
+
+  /// In-place set algebra (operands must have equal size()).
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator|=(const Bitset& other);
+  /// this \ other.
+  Bitset& SubtractInPlace(const Bitset& other);
+
+  /// True iff this ⊆ other.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// True iff this ∩ other ≠ ∅.
+  bool Intersects(const Bitset& other) const;
+
+  /// Index of the lowest set bit, or size() when empty.
+  size_t FindFirst() const;
+
+  /// Index of the lowest set bit that is >= from, or size().
+  size_t FindNext(size_t from) const;
+
+  /// The set as a sorted index vector.
+  std::vector<uint32_t> ToVector() const;
+
+  /// Builds a bitset from indices (must all be < nbits).
+  static Bitset FromIndices(size_t nbits, const std::vector<uint32_t>& idx);
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+  /// 64-bit mixing hash usable in unordered containers.
+  size_t Hash() const;
+
+ private:
+  size_t nbits_;
+  std::vector<uint64_t> words_;
+};
+
+/// a ∩ b as a new bitset.
+Bitset And(const Bitset& a, const Bitset& b);
+/// a ∪ b as a new bitset.
+Bitset Or(const Bitset& a, const Bitset& b);
+
+struct BitsetHash {
+  size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_BITSET_H_

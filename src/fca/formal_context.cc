@@ -1,0 +1,102 @@
+#include "fca/formal_context.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec::fca {
+
+FormalContext::FormalContext(size_t num_objects, size_t num_attributes)
+    : num_objects_(num_objects),
+      num_attributes_(num_attributes),
+      rows_(num_objects, Bitset(num_attributes)),
+      cols_(num_attributes, Bitset(num_objects)) {}
+
+void FormalContext::Set(size_t g, size_t m) {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_);
+  rows_[g].Set(m);
+  cols_[m].Set(g);
+}
+
+bool FormalContext::Incidence(size_t g, size_t m) const {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_);
+  return rows_[g].Test(m);
+}
+
+const Bitset& FormalContext::Row(size_t g) const {
+  ADREC_CHECK(g < num_objects_);
+  return rows_[g];
+}
+
+const Bitset& FormalContext::Column(size_t m) const {
+  ADREC_CHECK(m < num_attributes_);
+  return cols_[m];
+}
+
+Bitset FormalContext::DeriveObjects(const Bitset& objects) const {
+  ADREC_CHECK(objects.size() == num_objects_);
+  Bitset out = Bitset::Full(num_attributes_);
+  for (size_t g = objects.FindFirst(); g < num_objects_;
+       g = objects.FindNext(g + 1)) {
+    out &= rows_[g];
+  }
+  return out;
+}
+
+Bitset FormalContext::DeriveAttributes(const Bitset& attrs) const {
+  ADREC_CHECK(attrs.size() == num_attributes_);
+  Bitset out = Bitset::Full(num_objects_);
+  for (size_t m = attrs.FindFirst(); m < num_attributes_;
+       m = attrs.FindNext(m + 1)) {
+    out &= cols_[m];
+  }
+  return out;
+}
+
+Bitset FormalContext::CloseAttributes(const Bitset& attrs) const {
+  return DeriveObjects(DeriveAttributes(attrs));
+}
+
+Result<std::vector<Concept>> EnumerateConcepts(
+    const FormalContext& ctx, const EnumerateOptions& options) {
+  const size_t m = ctx.num_attributes();
+  std::vector<Concept> out;
+
+  // First intent in lectic order: the closure of the empty attribute set.
+  Bitset intent = ctx.CloseAttributes(Bitset(m));
+  for (;;) {
+    Bitset extent = ctx.DeriveAttributes(intent);
+    if (extent.Count() >= options.min_extent) {
+      out.push_back(Concept{std::move(extent), intent});
+    }
+    if (out.size() > options.max_concepts) {
+      return Status::ResourceExhausted(StringFormat(
+          "concept enumeration exceeded cap of %zu", options.max_concepts));
+    }
+    if (intent.Count() == m) break;  // the full intent is lectically last
+
+    // NextClosure: find the lectically next closed set.
+    bool advanced = false;
+    Bitset working = intent;
+    for (size_t i = m; i-- > 0;) {
+      if (working.Test(i)) {
+        working.Reset(i);
+      } else {
+        Bitset candidate = working;
+        candidate.Set(i);
+        Bitset closed = ctx.CloseAttributes(candidate);
+        // Accept iff closed \ working contains no element below i.
+        Bitset added = closed;
+        added.SubtractInPlace(working);
+        if (added.FindFirst() >= i) {
+          intent = std::move(closed);
+          advanced = true;
+          break;
+        }
+      }
+    }
+    if (!advanced) break;  // exhausted (only when M = ∅)
+  }
+  return out;
+}
+
+}  // namespace adrec::fca

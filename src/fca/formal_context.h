@@ -1,0 +1,82 @@
+#ifndef ADREC_FCA_FORMAL_CONTEXT_H_
+#define ADREC_FCA_FORMAL_CONTEXT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "fca/bitset.h"
+
+namespace adrec::fca {
+
+/// A dyadic formal context (G, M, I): a binary incidence relation between
+/// `num_objects` objects and `num_attributes` attributes. Rows (per-object
+/// attribute sets) and columns (per-attribute object sets) are both
+/// materialised as bitsets so the two derivation operators are pure
+/// intersections.
+class FormalContext {
+ public:
+  FormalContext(size_t num_objects, size_t num_attributes);
+
+  /// Declares that object g has attribute m.
+  void Set(size_t g, size_t m);
+
+  /// True iff (g, m) ∈ I.
+  bool Incidence(size_t g, size_t m) const;
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_attributes() const { return num_attributes_; }
+
+  /// The attribute set of object g.
+  const Bitset& Row(size_t g) const;
+  /// The object set of attribute m.
+  const Bitset& Column(size_t m) const;
+
+  /// Derivation A' for A ⊆ G: attributes common to all objects in A.
+  /// A = ∅ derives the full attribute set.
+  Bitset DeriveObjects(const Bitset& objects) const;
+
+  /// Derivation B' for B ⊆ M: objects having every attribute in B.
+  /// B = ∅ derives the full object set.
+  Bitset DeriveAttributes(const Bitset& attrs) const;
+
+  /// Intent closure B'' of an attribute set.
+  Bitset CloseAttributes(const Bitset& attrs) const;
+
+ private:
+  size_t num_objects_;
+  size_t num_attributes_;
+  std::vector<Bitset> rows_;
+  std::vector<Bitset> cols_;
+};
+
+/// A formal concept: a maximal (extent, intent) rectangle of the context.
+struct Concept {
+  Bitset extent;  ///< objects (⊆ G)
+  Bitset intent;  ///< attributes (⊆ M)
+
+  friend bool operator==(const Concept& a, const Concept& b) {
+    return a.extent == b.extent && a.intent == b.intent;
+  }
+};
+
+/// Limits for concept enumeration.
+struct EnumerateOptions {
+  /// Mining stops with ResourceExhausted beyond this many concepts.
+  size_t max_concepts = 1u << 20;
+  /// Iceberg mining: concepts whose extent has fewer objects than this are
+  /// not emitted (enumeration still visits them; the lattice of frequent
+  /// intents is not downward closed under NextClosure's order, so pruning
+  /// the traversal itself would lose concepts). 0 keeps everything.
+  size_t min_extent = 0;
+};
+
+/// Enumerates all formal concepts of `ctx` with Ganter's NextClosure
+/// algorithm (lectic order over intents). Deterministic; returns concepts
+/// ordered by their intents' lectic order.
+Result<std::vector<Concept>> EnumerateConcepts(
+    const FormalContext& ctx, const EnumerateOptions& options = {});
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_FORMAL_CONTEXT_H_

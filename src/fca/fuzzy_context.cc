@@ -1,0 +1,36 @@
+#include "fca/fuzzy_context.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adrec::fca {
+
+FuzzyContext::FuzzyContext(size_t num_objects, size_t num_attributes)
+    : num_objects_(num_objects),
+      num_attributes_(num_attributes),
+      degrees_(num_objects * num_attributes, 0.0) {}
+
+void FuzzyContext::SetDegree(size_t g, size_t m, double degree) {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_);
+  degree = std::clamp(degree, 0.0, 1.0);
+  double& cell = degrees_[g * num_attributes_ + m];
+  cell = std::max(cell, degree);
+}
+
+double FuzzyContext::Degree(size_t g, size_t m) const {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_);
+  return degrees_[g * num_attributes_ + m];
+}
+
+FormalContext FuzzyContext::AlphaCut(double alpha) const {
+  FormalContext ctx(num_objects_, num_attributes_);
+  for (size_t g = 0; g < num_objects_; ++g) {
+    for (size_t m = 0; m < num_attributes_; ++m) {
+      if (degrees_[g * num_attributes_ + m] >= alpha) ctx.Set(g, m);
+    }
+  }
+  return ctx;
+}
+
+}  // namespace adrec::fca

@@ -1,0 +1,42 @@
+#ifndef ADREC_FCA_FUZZY_CONTEXT_H_
+#define ADREC_FCA_FUZZY_CONTEXT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fca/formal_context.h"
+
+namespace adrec::fca {
+
+/// A dyadic fuzzy formal context: incidence degrees in [0,1] instead of
+/// {0,1}. The analysis path used by the paper is crisp-by-cut: choose a
+/// membership threshold α and analyse the binary α-cut context.
+class FuzzyContext {
+ public:
+  FuzzyContext(size_t num_objects, size_t num_attributes);
+
+  /// Sets the membership degree of (g, m); values are clamped to [0,1].
+  /// Repeated sets keep the maximum degree (evidence accumulates from
+  /// multiple tweets mentioning the same topic).
+  void SetDegree(size_t g, size_t m, double degree);
+
+  /// Membership degree of (g, m), 0.0 when never set.
+  double Degree(size_t g, size_t m) const;
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_attributes() const { return num_attributes_; }
+
+  /// The binary context whose incidence is degree >= alpha. (The boundary
+  /// is inclusive: α-cuts are the standard closed upper level sets; the
+  /// experiment sweeps α so either convention only shifts the curve.)
+  FormalContext AlphaCut(double alpha) const;
+
+ private:
+  size_t num_objects_;
+  size_t num_attributes_;
+  std::vector<double> degrees_;  // row-major [g * num_attributes_ + m]
+};
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_FUZZY_CONTEXT_H_

@@ -1,0 +1,48 @@
+#include "fca/fuzzy_triadic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adrec::fca {
+
+FuzzyTriadicContext::FuzzyTriadicContext(size_t num_objects,
+                                         size_t num_attributes,
+                                         size_t num_conditions)
+    : num_objects_(num_objects),
+      num_attributes_(num_attributes),
+      num_conditions_(num_conditions) {}
+
+uint64_t FuzzyTriadicContext::KeyOf(size_t g, size_t m, size_t b) const {
+  return (static_cast<uint64_t>(g) * num_attributes_ + m) * num_conditions_ +
+         b;
+}
+
+void FuzzyTriadicContext::SetDegree(size_t g, size_t m, size_t b,
+                                    double degree) {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_ && b < num_conditions_);
+  degree = std::clamp(degree, 0.0, 1.0);
+  if (degree <= 0.0) return;
+  double& cell = degrees_[KeyOf(g, m, b)];
+  cell = std::max(cell, degree);
+}
+
+double FuzzyTriadicContext::Degree(size_t g, size_t m, size_t b) const {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_ && b < num_conditions_);
+  auto it = degrees_.find(KeyOf(g, m, b));
+  return it == degrees_.end() ? 0.0 : it->second;
+}
+
+TriadicContext FuzzyTriadicContext::AlphaCut(double alpha) const {
+  TriadicContext ctx(num_objects_, num_attributes_, num_conditions_);
+  for (const auto& [key, degree] : degrees_) {
+    if (degree >= alpha) {
+      const size_t b = key % num_conditions_;
+      const size_t gm = key / num_conditions_;
+      ctx.Set(gm / num_attributes_, gm % num_attributes_, b);
+    }
+  }
+  return ctx;
+}
+
+}  // namespace adrec::fca

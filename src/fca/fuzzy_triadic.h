@@ -1,0 +1,49 @@
+#ifndef ADREC_FCA_FUZZY_TRIADIC_H_
+#define ADREC_FCA_FUZZY_TRIADIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "fca/triadic_context.h"
+
+namespace adrec::fca {
+
+/// A triadic fuzzy formal context: ternary incidence degrees in [0,1],
+/// stored sparsely (social data is overwhelmingly sparse: most users never
+/// mention most topics in most slots). The crisp analysis path is the
+/// α-cut to a binary TriadicContext, mirroring the dyadic FuzzyContext.
+class FuzzyTriadicContext {
+ public:
+  FuzzyTriadicContext(size_t num_objects, size_t num_attributes,
+                      size_t num_conditions);
+
+  /// Raises the degree of (g, m, b) to at least `degree` (clamped to
+  /// [0,1]; evidence accumulates by max, the fuzzy-set union).
+  void SetDegree(size_t g, size_t m, size_t b, double degree);
+
+  /// Degree of (g, m, b); 0.0 when never set.
+  double Degree(size_t g, size_t m, size_t b) const;
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_attributes() const { return num_attributes_; }
+  size_t num_conditions() const { return num_conditions_; }
+
+  /// Number of nonzero cells.
+  size_t NonZeroCount() const { return degrees_.size(); }
+
+  /// Binary context of cells with degree >= alpha.
+  TriadicContext AlphaCut(double alpha) const;
+
+ private:
+  uint64_t KeyOf(size_t g, size_t m, size_t b) const;
+
+  size_t num_objects_;
+  size_t num_attributes_;
+  size_t num_conditions_;
+  std::unordered_map<uint64_t, double> degrees_;
+};
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_FUZZY_TRIADIC_H_

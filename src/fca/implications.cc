@@ -1,0 +1,120 @@
+#include "fca/implications.h"
+
+#include "common/logging.h"
+
+namespace adrec::fca {
+
+Bitset CloseUnderImplications(const std::vector<Implication>& implications,
+                              const Bitset& attrs) {
+  Bitset closed = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Implication& imp : implications) {
+      if (imp.premise.IsSubsetOf(closed) &&
+          !imp.conclusion.IsSubsetOf(closed)) {
+        closed |= imp.conclusion;
+        changed = true;
+      }
+    }
+  }
+  return closed;
+}
+
+bool HoldsIn(const FormalContext& ctx, const Implication& implication) {
+  ADREC_CHECK(implication.premise.size() == ctx.num_attributes());
+  return implication.conclusion.IsSubsetOf(
+      ctx.CloseAttributes(implication.premise));
+}
+
+std::vector<AssociationRule> MineAssociationRules(const FormalContext& ctx,
+                                                  size_t min_support,
+                                                  double min_confidence) {
+  std::vector<AssociationRule> rules;
+  const size_t m = ctx.num_attributes();
+  for (size_t a = 0; a < m; ++a) {
+    const Bitset& objs_a = ctx.Column(a);
+    const size_t count_a = objs_a.Count();
+    if (count_a == 0) continue;
+    for (size_t b = 0; b < m; ++b) {
+      if (a == b) continue;
+      const size_t both = And(objs_a, ctx.Column(b)).Count();
+      if (both < min_support) continue;
+      const double confidence =
+          static_cast<double>(both) / static_cast<double>(count_a);
+      if (confidence < min_confidence) continue;
+      rules.push_back(AssociationRule{static_cast<uint32_t>(a),
+                                      static_cast<uint32_t>(b), both,
+                                      confidence});
+    }
+  }
+  return rules;
+}
+
+Bitset CloseUnderRules(const std::vector<AssociationRule>& rules,
+                       const Bitset& attrs) {
+  Bitset closed = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const AssociationRule& rule : rules) {
+      if (closed.Test(rule.premise) && !closed.Test(rule.conclusion)) {
+        closed.Set(rule.conclusion);
+        changed = true;
+      }
+    }
+  }
+  return closed;
+}
+
+Result<std::vector<Implication>> StemBase(const FormalContext& ctx,
+                                          const EnumerateOptions& options) {
+  const size_t m = ctx.num_attributes();
+  std::vector<Implication> basis;
+
+  // Ganter's algorithm: enumerate, in lectic order, the sets closed under
+  // the implications found so far (the "L-closed" sets). Each such set is
+  // either a concept intent (context-closed) or a pseudo-intent, which
+  // contributes the implication (P -> P'').
+  Bitset a = CloseUnderImplications(basis, Bitset(m));
+  size_t iterations = 0;
+  for (;;) {
+    if (++iterations > options.max_concepts * 2 + 16) {
+      return Status::ResourceExhausted("stem-base enumeration exceeded cap");
+    }
+    Bitset closed = ctx.CloseAttributes(a);
+    if (!(closed == a)) {
+      // a is a pseudo-intent.
+      Bitset conclusion = closed;
+      conclusion.SubtractInPlace(a);  // store the proper part
+      basis.push_back(Implication{a, std::move(conclusion)});
+      if (basis.size() > options.max_concepts) {
+        return Status::ResourceExhausted("stem base exceeded concept cap");
+      }
+    }
+    if (a.Count() == m) break;
+    // Lectic next w.r.t. the L-closure of the current basis.
+    bool advanced = false;
+    Bitset working = a;
+    for (size_t i = m; i-- > 0;) {
+      if (working.Test(i)) {
+        working.Reset(i);
+      } else {
+        Bitset candidate = working;
+        candidate.Set(i);
+        Bitset next = CloseUnderImplications(basis, candidate);
+        Bitset added = next;
+        added.SubtractInPlace(working);
+        if (added.FindFirst() >= i) {
+          a = std::move(next);
+          advanced = true;
+          break;
+        }
+      }
+    }
+    if (!advanced) break;  // only possible when m == 0
+  }
+  return basis;
+}
+
+}  // namespace adrec::fca

@@ -1,0 +1,67 @@
+#ifndef ADREC_FCA_IMPLICATIONS_H_
+#define ADREC_FCA_IMPLICATIONS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "fca/formal_context.h"
+
+namespace adrec::fca {
+
+/// An attribute implication A -> B: every object having all attributes of
+/// the premise also has all attributes of the conclusion.
+struct Implication {
+  Bitset premise;
+  Bitset conclusion;
+
+  friend bool operator==(const Implication& a, const Implication& b) {
+    return a.premise == b.premise && a.conclusion == b.conclusion;
+  }
+};
+
+/// Closure of `attrs` under a set of implications: repeatedly fires every
+/// implication whose premise is contained until a fixpoint.
+Bitset CloseUnderImplications(const std::vector<Implication>& implications,
+                              const Bitset& attrs);
+
+/// True iff the implication holds in the context (premise'' ⊇ conclusion).
+bool HoldsIn(const FormalContext& ctx, const Implication& implication);
+
+/// Computes the Duquenne–Guigues basis (stem base) of the context with
+/// Ganter's pseudo-intent enumeration: the unique minimal set of
+/// implications from which every valid attribute implication of the
+/// context follows. Premises are the pseudo-intents; conclusions their
+/// context closures.
+///
+/// The basis powers audience expansion: in the (users × topics) context,
+/// "everyone who tweets about A also tweets about B" lets an advertiser's
+/// topic set be closed before matching.
+Result<std::vector<Implication>> StemBase(
+    const FormalContext& ctx, const EnumerateOptions& options = {});
+
+/// A partial implication (association rule) a -> b between two single
+/// attributes, with its observed support and confidence.
+struct AssociationRule {
+  uint32_t premise;
+  uint32_t conclusion;
+  size_t support = 0;      ///< |{g : g has both}|
+  double confidence = 0.0; ///< support / |{g : g has premise}|
+};
+
+/// Mines all pairwise rules a -> b with support >= min_support and
+/// confidence >= min_confidence. Exact implications (confidence 1.0) are
+/// the stem base's singleton-premise fragment; lowering the confidence
+/// threshold admits the noisy-but-useful co-interest signals real social
+/// data produces (no user set follows an exact rule for 30 days).
+std::vector<AssociationRule> MineAssociationRules(const FormalContext& ctx,
+                                                  size_t min_support,
+                                                  double min_confidence);
+
+/// Closure of `attrs` under association rules (single firing round per
+/// rule; rules chain transitively until fixpoint like implications).
+Bitset CloseUnderRules(const std::vector<AssociationRule>& rules,
+                       const Bitset& attrs);
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_IMPLICATIONS_H_

@@ -1,0 +1,78 @@
+#include "fca/lattice.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adrec::fca {
+
+Result<ConceptLattice> ConceptLattice::Build(const FormalContext& ctx,
+                                             const EnumerateOptions& options) {
+  Result<std::vector<Concept>> mined = EnumerateConcepts(ctx, options);
+  if (!mined.ok()) return mined.status();
+
+  ConceptLattice lattice;
+  lattice.concepts_ = std::move(mined).value();
+  // Sort by ascending extent size; ties by intent lectic-ish comparison is
+  // unnecessary — any stable order works for cover computation.
+  std::stable_sort(lattice.concepts_.begin(), lattice.concepts_.end(),
+                   [](const Concept& a, const Concept& b) {
+                     return a.extent.Count() < b.extent.Count();
+                   });
+  const size_t n = lattice.concepts_.size();
+  lattice.lower_.assign(n, {});
+  lattice.upper_.assign(n, {});
+
+  // For each concept, its upper covers are the minimal strictly-larger
+  // extents containing it. With concepts sorted by extent size, scan
+  // upward and keep candidates not above an already-chosen cover.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const Concept& ci = lattice.concepts_[i];
+      const Concept& cj = lattice.concepts_[j];
+      if (ci.extent.Count() == cj.extent.Count()) continue;
+      if (!ci.extent.IsSubsetOf(cj.extent)) continue;
+      // j is above i; check no existing cover k of i sits strictly below j.
+      bool covered = false;
+      for (size_t k : lattice.upper_[i]) {
+        if (lattice.concepts_[k].extent.IsSubsetOf(cj.extent)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        lattice.upper_[i].push_back(j);
+        lattice.lower_[j].push_back(i);
+      }
+    }
+  }
+
+  // Locate top (largest extent) and bottom (smallest extent). With the
+  // sort, bottom is index 0 and top is index n-1; assert the invariant.
+  if (n > 0) {
+    lattice.bottom_ = 0;
+    lattice.top_ = n - 1;
+    ADREC_CHECK(lattice.concepts_[lattice.top_].extent.Count() ==
+                ctx.DeriveAttributes(Bitset(ctx.num_attributes())).Count());
+  }
+  return lattice;
+}
+
+const std::vector<size_t>& ConceptLattice::LowerCovers(
+    size_t concept_index) const {
+  ADREC_CHECK(concept_index < lower_.size());
+  return lower_[concept_index];
+}
+
+const std::vector<size_t>& ConceptLattice::UpperCovers(
+    size_t concept_index) const {
+  ADREC_CHECK(concept_index < upper_.size());
+  return upper_[concept_index];
+}
+
+bool ConceptLattice::LessEqual(size_t a, size_t b) const {
+  ADREC_CHECK(a < concepts_.size() && b < concepts_.size());
+  return concepts_[a].extent.IsSubsetOf(concepts_[b].extent);
+}
+
+}  // namespace adrec::fca

@@ -1,0 +1,57 @@
+#ifndef ADREC_FCA_LATTICE_H_
+#define ADREC_FCA_LATTICE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "fca/formal_context.h"
+
+namespace adrec::fca {
+
+/// The concept lattice: all concepts of a context ordered by extent
+/// inclusion, with explicit covering (Hasse-diagram) edges. This is the
+/// "hierarchy of time-dependent concepts" the knowledge-extraction phase
+/// arranges tweets into.
+class ConceptLattice {
+ public:
+  /// Builds the lattice of `ctx` (concepts + covering edges).
+  static Result<ConceptLattice> Build(const FormalContext& ctx,
+                                      const EnumerateOptions& options = {});
+
+  /// All concepts. Indices below are positions in this vector. Concepts
+  /// are sorted by ascending extent size (so parents of an index are
+  /// always at a higher index... see edges for exact order).
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  /// Direct subconcepts (children: strictly smaller extents, no concept
+  /// strictly in between).
+  const std::vector<size_t>& LowerCovers(size_t concept_index) const;
+
+  /// Direct superconcepts (parents).
+  const std::vector<size_t>& UpperCovers(size_t concept_index) const;
+
+  /// Index of the top concept (full object set).
+  size_t TopIndex() const { return top_; }
+  /// Index of the bottom concept (full attribute set).
+  size_t BottomIndex() const { return bottom_; }
+
+  /// True iff concepts()[a] <= concepts()[b] in the lattice order
+  /// (extent(a) ⊆ extent(b)).
+  bool LessEqual(size_t a, size_t b) const;
+
+  size_t size() const { return concepts_.size(); }
+
+ private:
+  ConceptLattice() = default;
+
+  std::vector<Concept> concepts_;
+  std::vector<std::vector<size_t>> lower_;
+  std::vector<std::vector<size_t>> upper_;
+  size_t top_ = 0;
+  size_t bottom_ = 0;
+};
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_LATTICE_H_

@@ -1,0 +1,81 @@
+#include "fca/stability.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace adrec::fca {
+
+namespace {
+
+/// Shared implementation: fraction of subsets S ⊆ extent (given as index
+/// vector) with Derive(S) == reference intent, where Derive intersects
+/// per-object rows.
+double StabilityOverRows(const std::vector<const Bitset*>& rows,
+                         const Bitset& reference,
+                         const StabilityOptions& options) {
+  const size_t n = rows.size();
+  if (n == 0) return 1.0;  // the empty extent's only subset derives top
+
+  auto derive = [&](uint64_t mask) {
+    Bitset out = Bitset::Full(reference.size());
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) out &= *rows[i];
+    }
+    return out;
+  };
+
+  if (n <= options.max_exact_extent) {
+    size_t hits = 0;
+    const uint64_t total = 1ull << n;
+    for (uint64_t mask = 0; mask < total; ++mask) {
+      // The full intersection over S must equal the reference intent.
+      // S = ∅ derives the full attribute set: only counts if reference
+      // is full.
+      if (derive(mask) == reference) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  // Monte-Carlo estimate for large extents.
+  Rng rng(options.seed);
+  size_t hits = 0;
+  for (size_t s = 0; s < options.samples; ++s) {
+    // Sample a uniform subset via 64-bit chunks of random bits.
+    Bitset out = Bitset::Full(reference.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(0.5)) out &= *rows[i];
+    }
+    if (out == reference) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(options.samples);
+}
+
+}  // namespace
+
+double ConceptStability(const FormalContext& ctx, const Concept& c,
+                        const StabilityOptions& options) {
+  ADREC_CHECK(c.extent.size() == ctx.num_objects());
+  std::vector<const Bitset*> rows;
+  for (uint32_t g : c.extent.ToVector()) {
+    rows.push_back(&ctx.Row(g));
+  }
+  return StabilityOverRows(rows, c.intent, options);
+}
+
+double TriConceptStability(const TriadicContext& ctx, const TriConcept& tc,
+                           const StabilityOptions& options) {
+  ADREC_CHECK(tc.objects.size() == ctx.num_objects());
+  // Reference: the flattened box attributes × conditions... note the
+  // triconcept's flattened intent is exactly the set of (m, b) pairs all
+  // its objects share — which may be a superset of the box. Stability is
+  // measured against the objects' *common* flattened intent, mirroring
+  // the dyadic definition on the flattened context.
+  const Bitset reference = ctx.Flattened().DeriveObjects(tc.objects);
+  std::vector<const Bitset*> rows;
+  for (uint32_t g : tc.objects.ToVector()) {
+    rows.push_back(&ctx.Flattened().Row(g));
+  }
+  return StabilityOverRows(rows, reference, options);
+}
+
+}  // namespace adrec::fca

@@ -1,0 +1,35 @@
+#ifndef ADREC_FCA_STABILITY_H_
+#define ADREC_FCA_STABILITY_H_
+
+#include "fca/formal_context.h"
+#include "fca/triadic_context.h"
+
+namespace adrec::fca {
+
+/// Kuznetsov's intensional stability of a concept: the fraction of the
+/// 2^|extent| subsets of the extent whose derivation still yields the
+/// concept's intent. Stable concepts survive removal of individual
+/// objects — a noise-robustness score for communities.
+///
+/// Cost is exponential in the extent size; extents larger than
+/// `max_exact_extent` are scored by Monte-Carlo estimation with
+/// `samples` draws (deterministic seed).
+struct StabilityOptions {
+  size_t max_exact_extent = 16;
+  size_t samples = 1024;
+  uint64_t seed = 31;
+};
+
+/// Stability of a dyadic concept in its context, in [0, 1].
+double ConceptStability(const FormalContext& ctx, const Concept& c,
+                        const StabilityOptions& options = {});
+
+/// Stability of a triadic concept: computed on the flattened context
+/// (objects vs attribute×condition pairs), where the triconcept's
+/// "intent" is the box attributes×conditions.
+double TriConceptStability(const TriadicContext& ctx, const TriConcept& tc,
+                           const StabilityOptions& options = {});
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_STABILITY_H_

@@ -1,0 +1,169 @@
+#include "fca/triadic_context.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace adrec::fca {
+
+TriadicContext::TriadicContext(size_t num_objects, size_t num_attributes,
+                               size_t num_conditions)
+    : num_objects_(num_objects),
+      num_attributes_(num_attributes),
+      num_conditions_(num_conditions),
+      flat_(num_objects, num_attributes * num_conditions) {}
+
+void TriadicContext::Set(size_t g, size_t m, size_t b) {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_ && b < num_conditions_);
+  flat_.Set(g, m * num_conditions_ + b);
+}
+
+bool TriadicContext::Incidence(size_t g, size_t m, size_t b) const {
+  ADREC_CHECK(g < num_objects_ && m < num_attributes_ && b < num_conditions_);
+  return flat_.Incidence(g, m * num_conditions_ + b);
+}
+
+size_t TriadicContext::IncidenceCount() const {
+  size_t total = 0;
+  for (size_t g = 0; g < num_objects_; ++g) total += flat_.Row(g).Count();
+  return total;
+}
+
+Bitset TriadicContext::DeriveExtent(const Bitset& attrs,
+                                    const Bitset& conds) const {
+  ADREC_CHECK(attrs.size() == num_attributes_);
+  ADREC_CHECK(conds.size() == num_conditions_);
+  Bitset flat_attrs(num_attributes_ * num_conditions_);
+  for (size_t m = attrs.FindFirst(); m < num_attributes_;
+       m = attrs.FindNext(m + 1)) {
+    for (size_t b = conds.FindFirst(); b < num_conditions_;
+         b = conds.FindNext(b + 1)) {
+      flat_attrs.Set(m * num_conditions_ + b);
+    }
+  }
+  return flat_.DeriveAttributes(flat_attrs);
+}
+
+namespace {
+
+/// Builds the inner dyadic context (M, B, Z) from a flattened intent
+/// Z ⊆ M×B of the outer context.
+FormalContext InnerContext(const Bitset& flat_intent, size_t num_attributes,
+                           size_t num_conditions) {
+  FormalContext inner(num_attributes, num_conditions);
+  for (size_t f = flat_intent.FindFirst(); f < flat_intent.size();
+       f = flat_intent.FindNext(f + 1)) {
+    inner.Set(f / num_conditions, f % num_conditions);
+  }
+  return inner;
+}
+
+struct TriConceptKey {
+  size_t hash;
+  friend bool operator==(const TriConceptKey&, const TriConceptKey&) = default;
+};
+
+}  // namespace
+
+Result<std::vector<TriConcept>> MineTriConcepts(
+    const TriadicContext& ctx, const EnumerateOptions& options) {
+  // The outer enumeration honours min_extent: every triconcept's object
+  // set equals its outer concept's extent, so iceberg pruning here drops
+  // exactly the infrequent triconcepts and skips their inner mining.
+  Result<std::vector<Concept>> outer =
+      EnumerateConcepts(ctx.Flattened(), options);
+  if (!outer.ok()) return outer.status();
+
+  // Inner mining must see every inner concept: no support filter there.
+  EnumerateOptions inner_options = options;
+  inner_options.min_extent = 0;
+
+  std::vector<TriConcept> out;
+  for (const Concept& oc : outer.value()) {
+    const FormalContext inner = InnerContext(
+        oc.intent, ctx.num_attributes(), ctx.num_conditions());
+    Result<std::vector<Concept>> inner_concepts =
+        EnumerateConcepts(inner, inner_options);
+    if (!inner_concepts.ok()) return inner_concepts.status();
+    for (const Concept& ic : inner_concepts.value()) {
+      // Candidate (A1, A2, A3) with A2 = ic.extent (⊆ M), A3 = ic.intent
+      // (⊆ B). Emit only when the recomputed extent equals the outer
+      // extent: this is TRIAS's uniqueness test.
+      Bitset extent = ctx.DeriveExtent(ic.extent, ic.intent);
+      if (extent == oc.extent) {
+        out.push_back(TriConcept{std::move(extent), ic.extent, ic.intent});
+        if (out.size() > options.max_concepts) {
+          return Status::ResourceExhausted(
+              "triconcept enumeration exceeded cap");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<TriConcept>> MineTriConceptsNaive(
+    const TriadicContext& ctx, const EnumerateOptions& options) {
+  Result<std::vector<Concept>> outer =
+      EnumerateConcepts(ctx.Flattened(), options);
+  if (!outer.ok()) return outer.status();
+
+  EnumerateOptions inner_options = options;
+  inner_options.min_extent = 0;
+
+  std::vector<TriConcept> out;
+  std::unordered_set<size_t> seen;  // hash-based dedup (collision-checked)
+  auto key_of = [](const TriConcept& tc) {
+    size_t h = tc.objects.Hash();
+    h = h * 1315423911u ^ tc.attributes.Hash();
+    h = h * 2654435761u ^ tc.conditions.Hash();
+    return h;
+  };
+  for (const Concept& oc : outer.value()) {
+    const FormalContext inner = InnerContext(
+        oc.intent, ctx.num_attributes(), ctx.num_conditions());
+    Result<std::vector<Concept>> inner_concepts =
+        EnumerateConcepts(inner, inner_options);
+    if (!inner_concepts.ok()) return inner_concepts.status();
+    for (const Concept& ic : inner_concepts.value()) {
+      Bitset extent = ctx.DeriveExtent(ic.extent, ic.intent);
+      // Maximality in the object direction requires re-deriving the
+      // attribute/condition box from the extent and keeping fixpoints only.
+      TriConcept tc{std::move(extent), ic.extent, ic.intent};
+      // Check the box is maximal: re-derive (A2, A3) from A1 via the inner
+      // context of A1's shared (m, b) pairs.
+      Bitset shared = ctx.Flattened().DeriveObjects(tc.objects);
+      const FormalContext check = InnerContext(
+          shared, ctx.num_attributes(), ctx.num_conditions());
+      const Bitset a3 = check.DeriveObjects(tc.attributes);
+      const Bitset a2 = check.DeriveAttributes(tc.conditions);
+      if (!(a3 == tc.conditions) || !(a2 == tc.attributes)) continue;
+      if (tc.objects.Count() < options.min_extent) continue;  // iceberg
+      const size_t key = key_of(tc);
+      if (seen.insert(key).second) {
+        // Paranoid collision check against stored concepts is skipped: a
+        // 64-bit mixed key over three bitset hashes makes collisions
+        // negligible for the enumeration sizes the cap admits.
+        out.push_back(std::move(tc));
+        if (out.size() > options.max_concepts) {
+          return Status::ResourceExhausted(
+              "triconcept enumeration exceeded cap");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TriConcept> FilterMConcepts(const std::vector<TriConcept>& all,
+                                        size_t attribute) {
+  std::vector<TriConcept> out;
+  for (const TriConcept& tc : all) {
+    if (tc.attributes.Count() == 1 && tc.attributes.Test(attribute)) {
+      out.push_back(tc);
+    }
+  }
+  return out;
+}
+
+}  // namespace adrec::fca

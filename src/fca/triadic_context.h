@@ -1,0 +1,85 @@
+#ifndef ADREC_FCA_TRIADIC_CONTEXT_H_
+#define ADREC_FCA_TRIADIC_CONTEXT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "fca/bitset.h"
+#include "fca/formal_context.h"
+
+namespace adrec::fca {
+
+/// A triadic formal context (G, M, B, Y): objects × attributes ×
+/// conditions with ternary incidence Y. For this system the instantiations
+/// are (users, locations, time slots) for check-ins and (users, topic
+/// URIs, time slots) for tweet content.
+class TriadicContext {
+ public:
+  TriadicContext(size_t num_objects, size_t num_attributes,
+                 size_t num_conditions);
+
+  /// Declares (g, m, b) ∈ Y.
+  void Set(size_t g, size_t m, size_t b);
+
+  /// True iff (g, m, b) ∈ Y.
+  bool Incidence(size_t g, size_t m, size_t b) const;
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_attributes() const { return num_attributes_; }
+  size_t num_conditions() const { return num_conditions_; }
+
+  /// Number of incidences set.
+  size_t IncidenceCount() const;
+
+  /// The flattened dyadic context K1 = (G, M×B, Y) with attribute index
+  /// m * num_conditions + b. The first step of TRIAS.
+  const FormalContext& Flattened() const { return flat_; }
+
+  /// Objects g such that {g} × attrs × conds ⊆ Y (the outer derivation).
+  Bitset DeriveExtent(const Bitset& attrs, const Bitset& conds) const;
+
+ private:
+  size_t num_objects_;
+  size_t num_attributes_;
+  size_t num_conditions_;
+  FormalContext flat_;  // (G, M×B)
+};
+
+/// A triadic concept (A1, A2, A3): a maximal box A1×A2×A3 ⊆ Y.
+struct TriConcept {
+  Bitset objects;     ///< A1 ⊆ G (the community, for this system)
+  Bitset attributes;  ///< A2 ⊆ M (locations / topic URIs)
+  Bitset conditions;  ///< A3 ⊆ B (time slots)
+
+  friend bool operator==(const TriConcept& a, const TriConcept& b) {
+    return a.objects == b.objects && a.attributes == b.attributes &&
+           a.conditions == b.conditions;
+  }
+};
+
+/// Enumerates all triadic concepts with the TRIAS strategy (Jäschke et
+/// al.): outer NextClosure over the flattened context (G, M×B), inner
+/// NextClosure over each outer intent viewed as a dyadic (M, B) context,
+/// and an extent-equality check that makes each triconcept appear exactly
+/// once. Deterministic order.
+Result<std::vector<TriConcept>> MineTriConcepts(
+    const TriadicContext& ctx, const EnumerateOptions& options = {});
+
+/// Reference implementation used as the E5 baseline and the test oracle
+/// driver: same outer/inner enumeration but no extent-equality pruning;
+/// duplicates are removed through a global hash set. Asymptotically does
+/// redundant inner mining and hashing, which is what E5 measures.
+Result<std::vector<TriConcept>> MineTriConceptsNaive(
+    const TriadicContext& ctx, const EnumerateOptions& options = {});
+
+/// The m-triadic concepts of Hao et al. 2018: triconcepts whose attribute
+/// set is exactly {m}. These are the skeletons of the location-based
+/// communities (Algorithm 1) and of the uri-focused communities
+/// (Algorithm 2).
+std::vector<TriConcept> FilterMConcepts(const std::vector<TriConcept>& all,
+                                        size_t attribute);
+
+}  // namespace adrec::fca
+
+#endif  // ADREC_FCA_TRIADIC_CONTEXT_H_

@@ -1,0 +1,57 @@
+#include "feed/stream_replayer.h"
+
+#include <chrono>
+#include <thread>
+
+namespace adrec::feed {
+
+StreamReplayer::StreamReplayer(ReplayOptions options) : options_(options) {}
+
+ReplayStats StreamReplayer::Replay(
+    const std::vector<FeedEvent>& events,
+    const std::function<void(const FeedEvent&)>& handler) {
+  ReplayStats stats;
+  if (events.empty()) return stats;
+
+  using Clock = std::chrono::steady_clock;
+  const auto wall_start = Clock::now();
+  const Timestamp sim_start = events.front().time;
+
+  for (const FeedEvent& event : events) {
+    if (options_.speedup > 0.0) {
+      // The wall time at which this event is due.
+      const double due_wall =
+          static_cast<double>(event.time - sim_start) / options_.speedup;
+      const double now_wall =
+          std::chrono::duration<double>(Clock::now() - wall_start).count();
+      if (now_wall < due_wall) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(due_wall - now_wall));
+      } else if (options_.max_lag > 0) {
+        // How far behind schedule are we, in simulated seconds?
+        const double lag_sim =
+            (now_wall - due_wall) * options_.speedup;
+        if (lag_sim > static_cast<double>(options_.max_lag)) {
+          ++stats.events_dropped;
+          continue;  // shed this event
+        }
+      }
+    }
+    const auto h0 = Clock::now();
+    handler(event);
+    const auto h1 = Clock::now();
+    stats.handler_micros.Record(
+        std::chrono::duration<double, std::micro>(h1 - h0).count());
+    ++stats.events_delivered;
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  stats.events_per_second =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.events_delivered) / stats.wall_seconds
+          : 0.0;
+  return stats;
+}
+
+}  // namespace adrec::feed

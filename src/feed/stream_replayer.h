@@ -1,0 +1,54 @@
+#ifndef ADREC_FEED_STREAM_REPLAYER_H_
+#define ADREC_FEED_STREAM_REPLAYER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/sim_clock.h"
+#include "feed/types.h"
+
+namespace adrec::feed {
+
+/// Replay statistics.
+struct ReplayStats {
+  size_t events_delivered = 0;
+  size_t events_dropped = 0;  ///< load shedding (see max_lag)
+  double wall_seconds = 0.0;
+  double events_per_second = 0.0;
+  /// Per-event handler latency in microseconds.
+  Histogram handler_micros;
+};
+
+/// Replayer configuration.
+struct ReplayOptions {
+  /// Time-compression factor: simulated seconds per wall second.
+  /// 0 = as-fast-as-possible (no pacing), the benchmark mode.
+  double speedup = 0.0;
+  /// Load shedding: when pacing is on and the replay falls more than
+  /// this many simulated seconds behind schedule, events are dropped
+  /// until it catches up (0 = never drop). Models the "high-speed feed
+  /// outruns the consumer" regime.
+  DurationSec max_lag = 0;
+};
+
+/// Drives a time-ordered event vector through a handler, optionally
+/// pacing delivery against the wall clock (compressed simulated time) and
+/// shedding load when the handler cannot keep up. Collects handler
+/// latency and throughput statistics — the measurement harness of the
+/// streaming experiments.
+class StreamReplayer {
+ public:
+  explicit StreamReplayer(ReplayOptions options = {});
+
+  /// Replays `events` (must be time-ordered) through `handler`.
+  ReplayStats Replay(const std::vector<FeedEvent>& events,
+                     const std::function<void(const FeedEvent&)>& handler);
+
+ private:
+  ReplayOptions options_;
+};
+
+}  // namespace adrec::feed
+
+#endif  // ADREC_FEED_STREAM_REPLAYER_H_

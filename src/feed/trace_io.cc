@@ -1,0 +1,204 @@
+#include "feed/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace adrec::feed {
+
+namespace {
+
+/// Makes text single-line and tab-free for the line format.
+std::string Sanitize(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+std::string JoinIds(const std::vector<LocationId>& ids) {
+  std::string out;
+  for (LocationId id : ids) {
+    if (!out.empty()) out += ';';
+    out += StringFormat("%u", id.value);
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string JoinSlots(const std::vector<SlotId>& ids) {
+  std::string out;
+  for (SlotId id : ids) {
+    if (!out.empty()) out += ';';
+    out += StringFormat("%u", id.value);
+  }
+  return out.empty() ? "-" : out;
+}
+
+Result<std::vector<uint32_t>> ParseIdList(std::string_view field) {
+  std::vector<uint32_t> out;
+  if (field == "-") return out;
+  for (std::string_view piece : SplitString(field, ';')) {
+    char* end = nullptr;
+    const std::string s(piece);
+    const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0') {
+      return Status::InvalidArgument(StringFormat("bad id '%s'", s.c_str()));
+    }
+    out.push_back(static_cast<uint32_t>(v));
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt(std::string_view field) {
+  const std::string s(field);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StringFormat("bad integer '%s'", s.c_str()));
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view field) {
+  const std::string s(field);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StringFormat("bad double '%s'", s.c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+Status WriteTrace(const std::string& path, const std::vector<Tweet>& tweets,
+                  const std::vector<CheckIn>& check_ins) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  size_t i = 0, j = 0;
+  while (i < tweets.size() || j < check_ins.size()) {
+    const bool take_tweet =
+        j >= check_ins.size() ||
+        (i < tweets.size() && tweets[i].time <= check_ins[j].time);
+    if (take_tweet) {
+      const Tweet& t = tweets[i++];
+      out << "T\t" << t.user.value << '\t' << t.time << '\t'
+          << Sanitize(t.text) << '\n';
+    } else {
+      const CheckIn& c = check_ins[j++];
+      out << "C\t" << c.user.value << '\t' << c.time << '\t'
+          << c.location.value << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed on " + path);
+  return Status::OK();
+}
+
+Status WriteAds(const std::string& path, const std::vector<Ad>& ads) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const Ad& ad : ads) {
+    out << "A\t" << ad.id.value << '\t' << ad.campaign.value << '\t'
+        << ad.budget_impressions << '\t' << StringFormat("%.6f", ad.bid)
+        << '\t' << JoinIds(ad.target_locations) << '\t'
+        << JoinSlots(ad.target_slots) << '\t' << Sanitize(ad.copy) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<Trace> ReadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(
+          StringFormat("%s:%zu: %s", path.c_str(), line_no, why.c_str()));
+    };
+    const auto fields = SplitString(line, '\t', /*keep_empty=*/true);
+    if (fields.empty()) continue;
+    if (fields[0] == "T") {
+      if (fields.size() < 4) return bad("tweet needs 4 fields");
+      auto user = ParseInt(fields[1]);
+      auto time = ParseInt(fields[2]);
+      if (!user.ok() || !time.ok()) return bad("bad tweet numbers");
+      Tweet t;
+      t.user = UserId(static_cast<uint32_t>(user.value()));
+      t.time = time.value();
+      // The text is everything after the third tab (may itself be empty,
+      // and joins any further tabs back — sanitised on write anyway).
+      size_t pos = 0;
+      for (int k = 0; k < 3; ++k) pos = line.find('\t', pos) + 1;
+      t.text = line.substr(pos);
+      trace.tweets.push_back(std::move(t));
+    } else if (fields[0] == "C") {
+      if (fields.size() != 4) return bad("check-in needs 4 fields");
+      auto user = ParseInt(fields[1]);
+      auto time = ParseInt(fields[2]);
+      auto loc = ParseInt(fields[3]);
+      if (!user.ok() || !time.ok() || !loc.ok()) {
+        return bad("bad check-in numbers");
+      }
+      CheckIn c;
+      c.user = UserId(static_cast<uint32_t>(user.value()));
+      c.time = time.value();
+      c.location = LocationId(static_cast<uint32_t>(loc.value()));
+      trace.check_ins.push_back(c);
+    } else {
+      return bad("unknown record tag '" + std::string(fields[0]) + "'");
+    }
+  }
+  return trace;
+}
+
+Result<std::vector<Ad>> ReadAds(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<Ad> ads;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(
+          StringFormat("%s:%zu: %s", path.c_str(), line_no, why.c_str()));
+    };
+    const auto fields = SplitString(line, '\t', /*keep_empty=*/true);
+    if (fields.size() < 8 || fields[0] != "A") return bad("bad ad record");
+    auto id = ParseInt(fields[1]);
+    auto campaign = ParseInt(fields[2]);
+    auto budget = ParseInt(fields[3]);
+    auto bid = ParseDouble(fields[4]);
+    auto locs = ParseIdList(fields[5]);
+    auto slots = ParseIdList(fields[6]);
+    if (!id.ok() || !campaign.ok() || !budget.ok() || !bid.ok() ||
+        !locs.ok() || !slots.ok()) {
+      return bad("bad ad fields");
+    }
+    Ad ad;
+    ad.id = AdId(static_cast<uint32_t>(id.value()));
+    ad.campaign = CampaignId(static_cast<uint32_t>(campaign.value()));
+    ad.budget_impressions = budget.value();
+    ad.bid = bid.value();
+    for (uint32_t v : locs.value()) ad.target_locations.push_back(LocationId(v));
+    for (uint32_t v : slots.value()) ad.target_slots.push_back(SlotId(v));
+    size_t pos = 0;
+    for (int k = 0; k < 7; ++k) pos = line.find('\t', pos) + 1;
+    ad.copy = line.substr(pos);
+    ads.push_back(std::move(ad));
+  }
+  return ads;
+}
+
+}  // namespace adrec::feed

@@ -1,0 +1,43 @@
+#ifndef ADREC_FEED_TRACE_IO_H_
+#define ADREC_FEED_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "feed/types.h"
+
+namespace adrec::feed {
+
+/// Line-oriented trace persistence. One record per line, tab-separated,
+/// with a leading record-type tag — robust to tweet texts containing
+/// commas and easy to stream:
+///   T <user> <time> <text...>          (tweet; text is the line tail)
+///   C <user> <time> <location>         (check-in)
+///   A <id> <campaign> <budget> <bid> <locs;...> <slots;...> <copy...>
+/// Escapes in text: tabs and newlines are replaced by spaces on write
+/// (tweets are single-line by construction).
+
+/// Writes tweets and check-ins (merged, time-ordered) to `path`.
+Status WriteTrace(const std::string& path, const std::vector<Tweet>& tweets,
+                  const std::vector<CheckIn>& check_ins);
+
+/// Writes ads to `path`.
+Status WriteAds(const std::string& path, const std::vector<Ad>& ads);
+
+/// Parsed trace contents.
+struct Trace {
+  std::vector<Tweet> tweets;
+  std::vector<CheckIn> check_ins;
+};
+
+/// Reads a trace written by WriteTrace. Fails on malformed lines with the
+/// line number in the message.
+Result<Trace> ReadTrace(const std::string& path);
+
+/// Reads ads written by WriteAds.
+Result<std::vector<Ad>> ReadAds(const std::string& path);
+
+}  // namespace adrec::feed
+
+#endif  // ADREC_FEED_TRACE_IO_H_

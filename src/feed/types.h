@@ -1,0 +1,57 @@
+#ifndef ADREC_FEED_TYPES_H_
+#define ADREC_FEED_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+#include "geo/point.h"
+
+namespace adrec::feed {
+
+/// A social post: author, timestamp and raw text. Annotation happens in the
+/// engine's semantic-representation phase, not here.
+struct Tweet {
+  UserId user;
+  Timestamp time = 0;
+  std::string text;
+};
+
+/// A check-in: a user declaring presence at a named location.
+struct CheckIn {
+  UserId user;
+  Timestamp time = 0;
+  LocationId location;
+};
+
+/// An advertisement: copy text plus the advertiser's context — target
+/// locations m*, target time slots t*, and a budget in impressions.
+struct Ad {
+  AdId id;
+  CampaignId campaign;
+  std::string copy;
+  std::vector<LocationId> target_locations;  ///< m* (any-of)
+  std::vector<SlotId> target_slots;          ///< t* (any-of)
+  int64_t budget_impressions = 0;            ///< 0 means unlimited
+  double bid = 1.0;                          ///< value per impression
+};
+
+/// Stream event kinds (the high-speed feed interleaves all three).
+enum class EventKind { kTweet, kCheckIn, kAdInsert, kAdDelete };
+
+/// One event of the unified input stream, ordered by timestamp.
+struct FeedEvent {
+  EventKind kind = EventKind::kTweet;
+  Timestamp time = 0;
+  // Exactly one of the following is meaningful, per kind. A plain struct
+  // (not std::variant) keeps the hot path free of visitation overhead.
+  Tweet tweet;
+  CheckIn check_in;
+  Ad ad;          // for kAdInsert
+  AdId ad_id;     // for kAdDelete
+};
+
+}  // namespace adrec::feed
+
+#endif  // ADREC_FEED_TYPES_H_

@@ -1,0 +1,330 @@
+#include "feed/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec::feed {
+
+namespace {
+
+/// Knuth's Poisson sampler; fine for the small per-slot rates used here.
+int SamplePoisson(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  double p = 1.0;
+  int k = 0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+const char* const kFillerWords[] = {
+    "really", "loving", "hanging", "around", "finally", "excited",
+    "friends", "awesome", "crazy", "weekend", "vibes", "mood",
+    "honestly", "literally", "thinking", "remember", "amazing",
+};
+
+/// Picks `count` distinct words from a context sentence of `entity`.
+std::string SampleContextWords(Rng& rng, const annotate::Entity& entity,
+                               int count) {
+  if (entity.context_texts.empty() || count <= 0) return "";
+  const std::string& sentence =
+      entity.context_texts[rng.NextBounded(entity.context_texts.size())];
+  const std::vector<std::string_view> words = SplitString(sentence, ' ');
+  std::string out;
+  for (int i = 0; i < count && !words.empty(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += std::string(words[rng.NextBounded(words.size())]);
+  }
+  return out;
+}
+
+/// Composes one synthetic tweet mentioning `topic`.
+std::string ComposeTweet(Rng& rng, const annotate::KnowledgeBase& kb,
+                         TopicId topic) {
+  const annotate::Entity& e = kb.entity(topic);
+  std::string text;
+  // Mention: one registered surface phrase.
+  const std::string surface =
+      e.surface_phrases.empty()
+          ? e.label
+          : e.surface_phrases[rng.NextBounded(e.surface_phrases.size())];
+  // 2-4 supporting context words pull the disambiguator toward this sense.
+  const std::string support =
+      SampleContextWords(rng, e, 2 + static_cast<int>(rng.NextBounded(3)));
+  // 1-3 filler words of tweet noise.
+  const int fillers = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < fillers; ++i) {
+    if (!text.empty()) text += ' ';
+    text += kFillerWords[rng.NextBounded(std::size(kFillerWords))];
+  }
+  text += ' ';
+  text += surface;
+  if (!support.empty()) {
+    text += ' ';
+    text += support;
+  }
+  return text;
+}
+
+/// Composes ad copy mentioning every topic in `topics`.
+std::string ComposeAdCopy(Rng& rng, const annotate::KnowledgeBase& kb,
+                          const std::vector<TopicId>& topics) {
+  std::string text = "introducing";
+  for (TopicId t : topics) {
+    const annotate::Entity& e = kb.entity(t);
+    const std::string surface =
+        e.surface_phrases.empty()
+            ? e.label
+            : e.surface_phrases[rng.NextBounded(e.surface_phrases.size())];
+    text += ' ';
+    text += surface;
+    const std::string support = SampleContextWords(rng, e, 2);
+    if (!support.empty()) {
+      text += ' ';
+      text += support;
+    }
+  }
+  text += " offer deal discount";
+  return text;
+}
+
+/// Samples `k` distinct topics via the Zipf sampler.
+std::vector<TopicId> SampleDistinctTopics(Rng& rng, const ZipfSampler& zipf,
+                                          size_t k, size_t universe) {
+  std::vector<TopicId> out;
+  size_t guard = 0;
+  while (out.size() < std::min(k, universe) && guard++ < 1000) {
+    const TopicId cand(static_cast<uint32_t>(zipf.Sample(rng)));
+    if (std::find(out.begin(), out.end(), cand) == out.end()) {
+      out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+/// Coherent interest clusters over the demo KB, by entity label. Entities
+/// not listed fall into a residual cluster.
+std::vector<std::vector<TopicId>> BuildInterestClusters(
+    const annotate::KnowledgeBase& kb) {
+  auto cluster_of = [](const std::string& label) -> int {
+    static constexpr const char* kSports[] = {
+        "Volleyball", "Basketball", "Marathon", "Adidas", "Nike, Inc.",
+        "Pitch (sports field)", "Team", "Yoga"};
+    static constexpr const char* kFood[] = {"Coffee", "Pizza", "Sushi",
+                                            "Apple (fruit)"};
+    static constexpr const char* kEntertainment[] = {
+        "Concert", "Cinema", "The CW", "Pitch (music)"};
+    for (const char* s : kSports) {
+      if (label == s) return 0;
+    }
+    for (const char* s : kFood) {
+      if (label == s) return 1;
+    }
+    for (const char* s : kEntertainment) {
+      if (label == s) return 2;
+    }
+    return 3;  // residual (Nation, Apple Inc., ...)
+  };
+  std::vector<std::vector<TopicId>> clusters(4);
+  for (uint32_t i = 0; i < kb.size(); ++i) {
+    clusters[cluster_of(kb.entity(TopicId(i)).label)].push_back(TopicId(i));
+  }
+  // Drop empty clusters so sampling never lands on one.
+  std::vector<std::vector<TopicId>> out;
+  for (auto& c : clusters) {
+    if (!c.empty()) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkloadOptions CaseStudyOptions() {
+  WorkloadOptions opts;  // defaults are the pinned configuration
+  return opts;
+}
+
+std::vector<FeedEvent> Workload::MergedEvents() const {
+  std::vector<FeedEvent> out;
+  out.reserve(tweets.size() + check_ins.size());
+  size_t i = 0, j = 0;
+  while (i < tweets.size() || j < check_ins.size()) {
+    const bool take_tweet =
+        j >= check_ins.size() ||
+        (i < tweets.size() && tweets[i].time <= check_ins[j].time);
+    FeedEvent ev;
+    if (take_tweet) {
+      ev.kind = EventKind::kTweet;
+      ev.time = tweets[i].time;
+      ev.tweet = tweets[i];
+      ++i;
+    } else {
+      ev.kind = EventKind::kCheckIn;
+      ev.time = check_ins[j].time;
+      ev.check_in = check_ins[j];
+      ++j;
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+Workload GenerateWorkload(const WorkloadOptions& options) {
+  Workload w;
+  w.options = options;
+  Rng rng(options.seed);
+
+  w.analyzer = std::make_shared<text::Analyzer>();
+  std::unique_ptr<annotate::KnowledgeBase> kb =
+      annotate::BuildDemoKnowledgeBase(w.analyzer.get());
+  w.kb = std::shared_ptr<annotate::KnowledgeBase>(std::move(kb));
+
+  // Places scattered around a city center (~Rome), far enough apart that
+  // nearest-place snapping is unambiguous.
+  for (size_t p = 0; p < options.num_places; ++p) {
+    const geo::GeoPoint point{41.80 + 0.005 * static_cast<double>(p % 10),
+                              12.40 + 0.02 * static_cast<double>(p / 10)};
+    auto added = w.places.AddPlace(StringFormat("place_%zu", p), point);
+    ADREC_CHECK(added.ok());
+  }
+
+  const size_t num_topics = w.kb->size();
+  ZipfSampler topic_zipf(num_topics, options.topic_skew);
+  ZipfSampler user_zipf(options.num_users, options.user_skew);
+
+  const size_t num_slots = w.slots.size();
+  std::vector<double> intensity = options.slot_intensity;
+  intensity.resize(num_slots, 0.5);
+  double intensity_sum = 0;
+  for (double v : intensity) intensity_sum += v;
+  if (intensity_sum <= 0) intensity_sum = 1;
+
+  // --- Users: interests + mobility (the ground truth). ---
+  const std::vector<std::vector<TopicId>> clusters =
+      BuildInterestClusters(*w.kb);
+  w.truth.resize(options.num_users);
+  for (size_t u = 0; u < options.num_users; ++u) {
+    UserTruth& truth = w.truth[u];
+    const int k = static_cast<int>(
+        rng.NextInt(options.min_interests, options.max_interests));
+    if (rng.NextBool(options.clustered_interest_probability)) {
+      // Coherent user: all interests from one cluster.
+      const auto& cluster = clusters[rng.NextBounded(clusters.size())];
+      size_t guard = 0;
+      while (truth.interests.size() <
+                 std::min<size_t>(static_cast<size_t>(k), cluster.size()) &&
+             guard++ < 1000) {
+        const TopicId cand = cluster[rng.NextBounded(cluster.size())];
+        if (std::find(truth.interests.begin(), truth.interests.end(), cand) ==
+            truth.interests.end()) {
+          truth.interests.push_back(cand);
+        }
+      }
+    } else {
+      truth.interests = SampleDistinctTopics(
+          rng, topic_zipf, static_cast<size_t>(k), num_topics);
+    }
+    truth.activity = 0.3 + 3.0 * user_zipf.Pmf(u) * options.num_users /
+                               (1.0 + options.user_skew);
+    truth.frequented.resize(num_slots);
+    for (size_t s = 0; s < num_slots; ++s) {
+      const int places_here =
+          1 + static_cast<int>(rng.NextBounded(
+                  static_cast<uint64_t>(options.max_places_per_slot)));
+      for (int p = 0; p < places_here; ++p) {
+        const LocationId loc(
+            static_cast<uint32_t>(rng.NextBounded(options.num_places)));
+        if (std::find(truth.frequented[s].begin(), truth.frequented[s].end(),
+                      loc) == truth.frequented[s].end()) {
+          truth.frequented[s].push_back(loc);
+        }
+      }
+    }
+  }
+
+  // --- Tweets and check-ins, day by day, slot by slot. ---
+  for (int day = 0; day < options.days; ++day) {
+    for (size_t u = 0; u < options.num_users; ++u) {
+      const UserTruth& truth = w.truth[u];
+      for (size_t s = 0; s < num_slots; ++s) {
+        const timeline::TimeSlot& slot = w.slots.slot(SlotId(s));
+        const double share = intensity[s] / intensity_sum;
+        // Tweets in this slot.
+        const double tweet_rate =
+            options.tweets_per_user_day * truth.activity * share;
+        const int tweet_count = SamplePoisson(rng, tweet_rate);
+        for (int i = 0; i < tweet_count; ++i) {
+          Tweet tw;
+          tw.user = UserId(static_cast<uint32_t>(u));
+          tw.time = static_cast<Timestamp>(day) * kSecondsPerDay +
+                    rng.NextInt(slot.begin_second, slot.end_second - 1);
+          TopicId topic;
+          if (!truth.interests.empty() &&
+              !rng.NextBool(options.noise_probability)) {
+            topic = truth.interests[rng.NextBounded(truth.interests.size())];
+          } else {
+            topic = TopicId(static_cast<uint32_t>(topic_zipf.Sample(rng)));
+          }
+          tw.text = ComposeTweet(rng, *w.kb, topic);
+          w.tweets.push_back(std::move(tw));
+        }
+        // Check-ins in this slot.
+        const double checkin_rate =
+            options.checkins_per_user_day * truth.activity * share;
+        const int checkin_count = SamplePoisson(rng, checkin_rate);
+        const auto& frequented = truth.frequented[s];
+        for (int i = 0; i < checkin_count && !frequented.empty(); ++i) {
+          CheckIn ci;
+          ci.user = UserId(static_cast<uint32_t>(u));
+          ci.time = static_cast<Timestamp>(day) * kSecondsPerDay +
+                    rng.NextInt(slot.begin_second, slot.end_second - 1);
+          ci.location = frequented[rng.NextBounded(frequented.size())];
+          w.check_ins.push_back(ci);
+        }
+      }
+    }
+  }
+  auto by_time = [](const auto& a, const auto& b) { return a.time < b.time; };
+  std::stable_sort(w.tweets.begin(), w.tweets.end(), by_time);
+  std::stable_sort(w.check_ins.begin(), w.check_ins.end(), by_time);
+
+  // --- Ads. ---
+  for (size_t a = 0; a < options.num_ads; ++a) {
+    Ad ad;
+    ad.id = AdId(static_cast<uint32_t>(a));
+    ad.campaign = CampaignId(static_cast<uint32_t>(a));
+    const size_t topics_here =
+        1 + rng.NextBounded(static_cast<uint64_t>(options.max_topics_per_ad));
+    std::vector<TopicId> topics =
+        SampleDistinctTopics(rng, topic_zipf, topics_here, num_topics);
+    ad.copy = ComposeAdCopy(rng, *w.kb, topics);
+    const size_t locs =
+        1 + rng.NextBounded(static_cast<uint64_t>(options.max_locations_per_ad));
+    for (size_t l = 0; l < locs; ++l) {
+      const LocationId loc(
+          static_cast<uint32_t>(rng.NextBounded(options.num_places)));
+      if (std::find(ad.target_locations.begin(), ad.target_locations.end(),
+                    loc) == ad.target_locations.end()) {
+        ad.target_locations.push_back(loc);
+      }
+    }
+    // Daytime targeting: slot1 and/or slot2 of the paper scheme.
+    ad.target_slots.push_back(SlotId(1 + static_cast<uint32_t>(
+                                             rng.NextBounded(2))));
+    if (rng.NextBool(0.5)) {
+      const SlotId other(ad.target_slots[0].value == 1 ? 2u : 1u);
+      ad.target_slots.push_back(other);
+    }
+    w.ad_topics.push_back(std::move(topics));
+    w.ads.push_back(std::move(ad));
+  }
+  return w;
+}
+
+}  // namespace adrec::feed

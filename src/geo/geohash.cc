@@ -1,0 +1,127 @@
+#include "geo/geohash.h"
+
+#include <algorithm>
+
+namespace adrec::geo {
+
+namespace {
+
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int Base32Value(char c) {
+  const char* pos =
+      std::char_traits<char>::find(kBase32, sizeof(kBase32) - 1, c);
+  return pos == nullptr ? -1 : static_cast<int>(pos - kBase32);
+}
+
+}  // namespace
+
+std::string GeohashEncode(const GeoPoint& p, int precision) {
+  precision = std::clamp(precision, 1, 12);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  std::string out;
+  out.reserve(precision);
+  int bit = 0;
+  int current = 0;
+  bool even_bit = true;  // even bits encode longitude
+  while (static_cast<int>(out.size()) < precision) {
+    if (even_bit) {
+      const double mid = (lon_lo + lon_hi) / 2.0;
+      if (p.lon >= mid) {
+        current = (current << 1) | 1;
+        lon_lo = mid;
+      } else {
+        current <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (p.lat >= mid) {
+        current = (current << 1) | 1;
+        lat_lo = mid;
+      } else {
+        current <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      out.push_back(kBase32[current]);
+      bit = 0;
+      current = 0;
+    }
+  }
+  return out;
+}
+
+Result<GeohashBounds> GeohashDecodeBounds(std::string_view hash) {
+  if (hash.empty()) return Status::InvalidArgument("empty geohash");
+  GeohashBounds b{-90.0, 90.0, -180.0, 180.0};
+  bool even_bit = true;
+  for (char c : hash) {
+    const int value = Base32Value(c);
+    if (value < 0) {
+      return Status::InvalidArgument(std::string("bad geohash char: ") + c);
+    }
+    for (int bit_pos = 4; bit_pos >= 0; --bit_pos) {
+      const int bit = (value >> bit_pos) & 1;
+      if (even_bit) {
+        const double mid = (b.lon_lo + b.lon_hi) / 2.0;
+        if (bit) {
+          b.lon_lo = mid;
+        } else {
+          b.lon_hi = mid;
+        }
+      } else {
+        const double mid = (b.lat_lo + b.lat_hi) / 2.0;
+        if (bit) {
+          b.lat_lo = mid;
+        } else {
+          b.lat_hi = mid;
+        }
+      }
+      even_bit = !even_bit;
+    }
+  }
+  return b;
+}
+
+Result<GeoPoint> GeohashDecode(std::string_view hash) {
+  Result<GeohashBounds> bounds = GeohashDecodeBounds(hash);
+  if (!bounds.ok()) return bounds.status();
+  const GeohashBounds& b = bounds.value();
+  return GeoPoint{(b.lat_lo + b.lat_hi) / 2.0, (b.lon_lo + b.lon_hi) / 2.0};
+}
+
+Result<std::vector<std::string>> GeohashNeighbors(std::string_view hash) {
+  Result<GeohashBounds> bounds = GeohashDecodeBounds(hash);
+  if (!bounds.ok()) return bounds.status();
+  const GeohashBounds& b = bounds.value();
+  const double dlat = b.lat_hi - b.lat_lo;
+  const double dlon = b.lon_hi - b.lon_lo;
+  const double clat = (b.lat_lo + b.lat_hi) / 2.0;
+  const double clon = (b.lon_lo + b.lon_hi) / 2.0;
+  const int precision = static_cast<int>(hash.size());
+
+  auto wrap_lon = [](double lon) {
+    while (lon >= 180.0) lon -= 360.0;
+    while (lon < -180.0) lon += 360.0;
+    return lon;
+  };
+  auto clamp_lat = [](double lat) { return std::clamp(lat, -90.0, 90.0); };
+
+  // N, NE, E, SE, S, SW, W, NW offsets in cell units.
+  const double offsets[8][2] = {{1, 0},  {1, 1},  {0, 1},  {-1, 1},
+                                {-1, 0}, {-1, -1}, {0, -1}, {1, -1}};
+  std::vector<std::string> out;
+  out.reserve(8);
+  for (const auto& o : offsets) {
+    const GeoPoint p{clamp_lat(clat + o[0] * dlat),
+                     wrap_lon(clon + o[1] * dlon)};
+    out.push_back(GeohashEncode(p, precision));
+  }
+  return out;
+}
+
+}  // namespace adrec::geo

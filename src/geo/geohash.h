@@ -1,0 +1,35 @@
+#ifndef ADREC_GEO_GEOHASH_H_
+#define ADREC_GEO_GEOHASH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace adrec::geo {
+
+/// Encodes `p` as a standard base-32 geohash of `precision` characters
+/// (1..12). Longer hashes denote smaller cells; prefix containment implies
+/// spatial containment, which the grid experiments rely on.
+std::string GeohashEncode(const GeoPoint& p, int precision);
+
+/// Decodes a geohash to its cell-center point. Fails on invalid characters
+/// or an empty hash.
+Result<GeoPoint> GeohashDecode(std::string_view hash);
+
+/// Decodes a geohash to its bounding box (lat_lo, lat_hi, lon_lo, lon_hi).
+struct GeohashBounds {
+  double lat_lo, lat_hi, lon_lo, lon_hi;
+};
+Result<GeohashBounds> GeohashDecodeBounds(std::string_view hash);
+
+/// The eight neighbouring cells of a geohash (N, NE, E, SE, S, SW, W,
+/// NW order), at the same precision. Cells at the poles clamp; cells at
+/// the antimeridian wrap. Fails on invalid input.
+Result<std::vector<std::string>> GeohashNeighbors(std::string_view hash);
+
+}  // namespace adrec::geo
+
+#endif  // ADREC_GEO_GEOHASH_H_

@@ -1,0 +1,87 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adrec::geo {
+
+GridIndex::GridIndex(double cell_degrees)
+    : cell_degrees_(cell_degrees > 0 ? cell_degrees : 0.01) {}
+
+int64_t GridIndex::CellKey(const GeoPoint& p) const {
+  const int64_t row =
+      static_cast<int64_t>(std::floor((p.lat + 90.0) / cell_degrees_));
+  const int64_t col =
+      static_cast<int64_t>(std::floor((p.lon + 180.0) / cell_degrees_));
+  return (row << 32) ^ (col & 0xFFFFFFFFll);
+}
+
+Status GridIndex::Insert(uint32_t id, const GeoPoint& p) {
+  if (!IsValidPoint(p)) {
+    return Status::InvalidArgument("point out of WGS-84 range");
+  }
+  cells_[CellKey(p)].push_back(Item{id, p});
+  ++size_;
+  return Status::OK();
+}
+
+Status GridIndex::Remove(uint32_t id, const GeoPoint& p) {
+  auto it = cells_.find(CellKey(p));
+  if (it == cells_.end()) return Status::NotFound("no such item");
+  auto& items = it->second;
+  const size_t before = items.size();
+  items.erase(std::remove_if(items.begin(), items.end(),
+                             [&](const Item& item) {
+                               return item.id == id && item.point == p;
+                             }),
+              items.end());
+  const size_t removed = before - items.size();
+  if (removed == 0) return Status::NotFound("no such item");
+  size_ -= removed;
+  if (items.empty()) cells_.erase(it);
+  return Status::OK();
+}
+
+std::vector<uint32_t> GridIndex::QueryRadius(const GeoPoint& center,
+                                             double radius_m) const {
+  // Convert the radius to a degree envelope. 1 deg latitude ~ 111.2 km;
+  // longitude shrinks with cos(lat) (guard the poles).
+  const double lat_deg = radius_m / 111194.9;
+  const double cos_lat =
+      std::max(0.01, std::cos(center.lat * M_PI / 180.0));
+  const double lon_deg = lat_deg / cos_lat;
+
+  struct Hit {
+    uint32_t id;
+    double dist;
+  };
+  std::vector<Hit> hits;
+  const int64_t row_lo =
+      static_cast<int64_t>(std::floor((center.lat - lat_deg + 90.0) / cell_degrees_));
+  const int64_t row_hi =
+      static_cast<int64_t>(std::floor((center.lat + lat_deg + 90.0) / cell_degrees_));
+  const int64_t col_lo =
+      static_cast<int64_t>(std::floor((center.lon - lon_deg + 180.0) / cell_degrees_));
+  const int64_t col_hi =
+      static_cast<int64_t>(std::floor((center.lon + lon_deg + 180.0) / cell_degrees_));
+  for (int64_t row = row_lo; row <= row_hi; ++row) {
+    for (int64_t col = col_lo; col <= col_hi; ++col) {
+      const int64_t key = (row << 32) ^ (col & 0xFFFFFFFFll);
+      auto it = cells_.find(key);
+      if (it == cells_.end()) continue;
+      for (const Item& item : it->second) {
+        const double d = HaversineMeters(center, item.point);
+        if (d <= radius_m) hits.push_back(Hit{item.id, d});
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return a.dist < b.dist || (a.dist == b.dist && a.id < b.id);
+  });
+  std::vector<uint32_t> out;
+  out.reserve(hits.size());
+  for (const Hit& h : hits) out.push_back(h.id);
+  return out;
+}
+
+}  // namespace adrec::geo

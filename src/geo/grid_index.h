@@ -1,0 +1,52 @@
+#ifndef ADREC_GEO_GRID_INDEX_H_
+#define ADREC_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace adrec::geo {
+
+/// A uniform lat/lon grid index over (id, point) items supporting radius
+/// queries. Cell size is chosen from the expected query radius; a radius
+/// query visits only the cells overlapping the query circle's bounding box
+/// and then distance-filters, so cost is proportional to local density
+/// rather than the full item count.
+class GridIndex {
+ public:
+  /// `cell_degrees` is the grid pitch in degrees (e.g. 0.01 ~ 1.1 km N-S).
+  explicit GridIndex(double cell_degrees = 0.01);
+
+  /// Inserts an item. Duplicate ids are allowed (caller's semantics);
+  /// Remove deletes all copies.
+  Status Insert(uint32_t id, const GeoPoint& p);
+
+  /// Removes every copy of `id` at point `p`; NotFound if absent.
+  Status Remove(uint32_t id, const GeoPoint& p);
+
+  /// All item ids within `radius_m` meters of `center`, distance-sorted.
+  std::vector<uint32_t> QueryRadius(const GeoPoint& center,
+                                    double radius_m) const;
+
+  /// Number of stored items.
+  size_t size() const { return size_; }
+
+ private:
+  struct Item {
+    uint32_t id;
+    GeoPoint point;
+  };
+
+  int64_t CellKey(const GeoPoint& p) const;
+
+  double cell_degrees_;
+  std::unordered_map<int64_t, std::vector<Item>> cells_;
+  size_t size_ = 0;
+};
+
+}  // namespace adrec::geo
+
+#endif  // ADREC_GEO_GRID_INDEX_H_

@@ -1,0 +1,61 @@
+#include "geo/places.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec::geo {
+
+PlaceRegistry::PlaceRegistry() : grid_(0.02) {}
+
+Result<LocationId> PlaceRegistry::AddPlace(std::string_view name,
+                                           const GeoPoint& point) {
+  if (!IsValidPoint(point)) {
+    return Status::InvalidArgument("place coordinates out of range");
+  }
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    return Status::AlreadyExists(StringFormat(
+        "place '%.*s' already registered", static_cast<int>(name.size()),
+        name.data()));
+  }
+  const LocationId id(static_cast<uint32_t>(places_.size()));
+  places_.push_back(Place{std::string(name), point});
+  by_name_.emplace(std::string(name), id);
+  ADREC_CHECK(grid_.Insert(id.value, point).ok());
+  return id;
+}
+
+const Place& PlaceRegistry::place(LocationId id) const {
+  ADREC_CHECK(id.value < places_.size());
+  return places_[id.value];
+}
+
+Result<LocationId> PlaceRegistry::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound(StringFormat("no place named '%.*s'",
+                                         static_cast<int>(name.size()),
+                                         name.data()));
+  }
+  return it->second;
+}
+
+Result<LocationId> PlaceRegistry::Nearest(const GeoPoint& p,
+                                          double max_distance_m) const {
+  const std::vector<uint32_t> hits = grid_.QueryRadius(p, max_distance_m);
+  if (hits.empty()) {
+    return Status::NotFound("no place within the snap radius");
+  }
+  return LocationId(hits.front());
+}
+
+std::vector<LocationId> PlaceRegistry::Within(const GeoPoint& p,
+                                              double radius_m) const {
+  std::vector<LocationId> out;
+  for (uint32_t id : grid_.QueryRadius(p, radius_m)) {
+    out.push_back(LocationId(id));
+  }
+  return out;
+}
+
+}  // namespace adrec::geo

@@ -1,0 +1,51 @@
+#ifndef ADREC_GEO_PLACES_H_
+#define ADREC_GEO_PLACES_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/status.h"
+#include "geo/grid_index.h"
+#include "geo/point.h"
+
+namespace adrec::geo {
+
+/// A named check-in location (a venue in the paper's location set M).
+struct Place {
+  std::string name;
+  GeoPoint point;
+};
+
+/// Registry mapping LocationId <-> named places, with nearest-place snap
+/// for raw GPS check-ins. Backed by a GridIndex for sub-linear lookup.
+class PlaceRegistry {
+ public:
+  PlaceRegistry();
+
+  /// Registers a place; fails with AlreadyExists on duplicate name.
+  Result<LocationId> AddPlace(std::string_view name, const GeoPoint& point);
+
+  /// Accessors.
+  const Place& place(LocationId id) const;
+  Result<LocationId> FindByName(std::string_view name) const;
+  size_t size() const { return places_.size(); }
+
+  /// Snaps a raw point to the nearest registered place within
+  /// `max_distance_m`; NotFound when no place is that close.
+  Result<LocationId> Nearest(const GeoPoint& p, double max_distance_m) const;
+
+  /// All places within the radius, nearest first.
+  std::vector<LocationId> Within(const GeoPoint& p, double radius_m) const;
+
+ private:
+  std::vector<Place> places_;
+  std::unordered_map<std::string, LocationId> by_name_;
+  GridIndex grid_;
+};
+
+}  // namespace adrec::geo
+
+#endif  // ADREC_GEO_PLACES_H_

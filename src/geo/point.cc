@@ -1,0 +1,26 @@
+#include "geo/point.h"
+
+#include <cmath>
+
+namespace adrec::geo {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+bool IsValidPoint(const GeoPoint& p) {
+  return p.lat >= -90.0 && p.lat <= 90.0 && p.lon >= -180.0 && p.lon <= 180.0;
+}
+
+}  // namespace adrec::geo

@@ -1,0 +1,27 @@
+#ifndef ADREC_GEO_POINT_H_
+#define ADREC_GEO_POINT_H_
+
+namespace adrec::geo {
+
+/// A WGS-84 coordinate pair in degrees.
+struct GeoPoint {
+  double lat = 0.0;  ///< latitude in [-90, 90]
+  double lon = 0.0;  ///< longitude in [-180, 180]
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) {
+    return a.lat == b.lat && a.lon == b.lon;
+  }
+};
+
+/// Mean Earth radius in meters (IUGG).
+constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Great-circle distance between two points in meters (haversine formula).
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// True iff `p` has in-range latitude/longitude.
+bool IsValidPoint(const GeoPoint& p);
+
+}  // namespace adrec::geo
+
+#endif  // ADREC_GEO_POINT_H_

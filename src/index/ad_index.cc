@@ -1,0 +1,223 @@
+#include "index/ad_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace adrec::index {
+
+namespace {
+
+/// Keeps the best k (score, ad) pairs with deterministic tie-breaks
+/// (higher score first, then smaller ad id).
+struct TopKHeap {
+  struct Entry {
+    double score;
+    uint32_t ad;
+    // Min-heap on score; for equal scores the larger ad id is nearer the
+    // top so it is evicted first (final order prefers smaller ids).
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.ad < b.ad;
+    }
+  };
+
+  explicit TopKHeap(size_t k) : k(k) {}
+
+  void Offer(double score, uint32_t ad) {
+    if (score <= 0.0 || k == 0) return;
+    if (heap.size() < k) {
+      heap.push(Entry{score, ad});
+    } else if (Entry{score, ad} < heap.top()) {
+      heap.pop();
+      heap.push(Entry{score, ad});
+    }
+  }
+
+  /// Score an entry must strictly beat to enter a full heap.
+  double Threshold() const {
+    return heap.size() < k ? 0.0 : heap.top().score;
+  }
+
+  bool Full() const { return heap.size() >= k; }
+
+  std::vector<ScoredAd> Drain() {
+    std::vector<ScoredAd> out(heap.size());
+    for (size_t i = heap.size(); i-- > 0;) {
+      out[i] = ScoredAd{AdId(heap.top().ad), heap.top().score};
+      heap.pop();
+    }
+    return out;
+  }
+
+  size_t k;
+  std::priority_queue<Entry> heap;
+};
+
+}  // namespace
+
+Status AdIndex::Insert(AdId id, const text::SparseVector& topics,
+                       const std::vector<LocationId>& target_locations,
+                       const std::vector<SlotId>& target_slots, double bid) {
+  if (ads_.find(id.value) != ads_.end()) {
+    return Status::AlreadyExists(
+        StringFormat("ad %u already indexed", id.value));
+  }
+  AdMeta meta;
+  meta.bid = bid;
+  meta.topics = topics;
+  for (LocationId l : target_locations) meta.locations.insert(l.value);
+  for (SlotId s : target_slots) meta.slots.insert(s.value);
+  for (const text::SparseEntry& e : topics.entries()) {
+    if (e.weight <= 0.0) continue;
+    meta.topic_ids.push_back(e.id);
+    auto& list = postings_[e.id];
+    // Insert keeping impact (descending-weight) order.
+    const Posting p{id.value, e.weight};
+    auto it = std::lower_bound(list.begin(), list.end(), p,
+                               [](const Posting& a, const Posting& b) {
+                                 return a.weight > b.weight;
+                               });
+    list.insert(it, p);
+    ++live_counts_[e.id];
+  }
+  max_bid_bound_ = std::max(max_bid_bound_, bid);
+  ads_.emplace(id.value, std::move(meta));
+  return Status::OK();
+}
+
+Status AdIndex::Remove(AdId id) {
+  auto it = ads_.find(id.value);
+  if (it == ads_.end()) {
+    return Status::NotFound(StringFormat("ad %u not indexed", id.value));
+  }
+  // Lazy delete: drop the meta entry; postings referencing the id become
+  // tombstones skipped at query time and compacted when they dominate.
+  std::vector<uint32_t> topics = std::move(it->second.topic_ids);
+  ads_.erase(it);
+  for (uint32_t topic : topics) {
+    auto lc = live_counts_.find(topic);
+    if (lc == live_counts_.end()) continue;
+    if (lc->second > 0) --lc->second;
+    auto pl = postings_.find(topic);
+    if (pl != postings_.end() && lc->second * 2 < pl->second.size()) {
+      CompactList(topic);
+    }
+  }
+  return Status::OK();
+}
+
+void AdIndex::CompactList(uint32_t topic) {
+  auto it = postings_.find(topic);
+  if (it == postings_.end()) return;
+  auto& list = it->second;
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [this](const Posting& p) {
+                              return ads_.find(p.ad) == ads_.end();
+                            }),
+             list.end());
+  if (list.empty()) {
+    postings_.erase(it);
+    live_counts_.erase(topic);
+  } else {
+    live_counts_[topic] = list.size();
+  }
+}
+
+bool AdIndex::PassesFilters(const AdMeta& meta, const AdQuery& query) const {
+  if (query.location.valid() && !meta.locations.empty() &&
+      meta.locations.find(query.location.value) == meta.locations.end()) {
+    return false;
+  }
+  if (query.slot.valid() && !meta.slots.empty() &&
+      meta.slots.find(query.slot.value) == meta.slots.end()) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<ScoredAd> AdIndex::TopK(const AdQuery& query) const {
+  // Fagin's Threshold Algorithm over impact-ordered lists: sorted access
+  // round-robins the per-topic posting lists; the first time an ad is
+  // seen it is fully scored by random access to its stored topic vector.
+  // The unseen-ad upper bound is sum_i(query_weight_i * current depth
+  // weight_i) * max_bid; once the k-th score reaches it, stop.
+  last_postings_scanned_ = 0;
+  if (query.k == 0 || query.topics.empty() || ads_.empty()) return {};
+
+  const double max_bid = max_bid_bound_;
+  if (max_bid <= 0.0) return {};
+
+  struct Cursor {
+    double query_weight;
+    const std::vector<Posting>* list;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (const text::SparseEntry& e : query.topics.entries()) {
+    if (e.weight <= 0.0) continue;
+    auto it = postings_.find(e.id);
+    if (it == postings_.end() || it->second.empty()) continue;
+    cursors.push_back(Cursor{e.weight, &it->second, 0});
+  }
+  if (cursors.empty()) return {};
+
+  TopKHeap heap(query.k);
+  std::unordered_set<uint32_t> seen;
+  size_t exhausted = 0;
+  while (exhausted < cursors.size()) {
+    exhausted = 0;
+    // One round of sorted accesses.
+    for (Cursor& c : cursors) {
+      // Skip tombstones at the cursor.
+      while (c.pos < c.list->size() &&
+             ads_.find((*c.list)[c.pos].ad) == ads_.end()) {
+        ++c.pos;
+        ++last_postings_scanned_;
+      }
+      if (c.pos >= c.list->size()) {
+        ++exhausted;
+        continue;
+      }
+      const Posting& p = (*c.list)[c.pos++];
+      ++last_postings_scanned_;
+      if (seen.insert(p.ad).second) {
+        const AdMeta& meta = ads_.at(p.ad);
+        if (PassesFilters(meta, query)) {
+          const double score = query.topics.Dot(meta.topics) * meta.bid;
+          heap.Offer(score, p.ad);
+        }
+      }
+    }
+    // Threshold test: best possible score of any unseen ad.
+    if (heap.Full()) {
+      double bound = 0.0;
+      for (const Cursor& c : cursors) {
+        if (c.pos < c.list->size()) {
+          bound += c.query_weight * (*c.list)[c.pos].weight;
+        }
+      }
+      bound *= max_bid;
+      // Strict comparison: an unseen ad scoring exactly the threshold
+      // could still win its tie-break, so only a strictly smaller bound
+      // is safe to stop on.
+      if (bound < heap.Threshold()) break;
+    }
+  }
+  return heap.Drain();
+}
+
+std::vector<ScoredAd> AdIndex::TopKExhaustive(const AdQuery& query) const {
+  last_postings_scanned_ = 0;
+  TopKHeap heap(query.k);
+  for (const auto& [id, meta] : ads_) {
+    ++last_postings_scanned_;
+    if (!PassesFilters(meta, query)) continue;
+    const double dot = query.topics.Dot(meta.topics);
+    if (dot > 0.0) heap.Offer(dot * meta.bid, id);
+  }
+  return heap.Drain();
+}
+
+}  // namespace adrec::index

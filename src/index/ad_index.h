@@ -1,0 +1,98 @@
+#ifndef ADREC_INDEX_AD_INDEX_H_
+#define ADREC_INDEX_AD_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ads/ad_store.h"
+#include "common/id_types.h"
+#include "common/status.h"
+#include "text/sparse_vector.h"
+
+namespace adrec::index {
+
+/// One top-k result.
+struct ScoredAd {
+  AdId ad;
+  double score = 0.0;
+};
+
+/// A per-feed-event query: the event's topic vector plus its hard context
+/// filters (location and time slot). Ads failing a filter score zero.
+struct AdQuery {
+  text::SparseVector topics;        ///< annotation-derived topic weights
+  LocationId location;              ///< invalid() means "no location filter"
+  SlotId slot;                      ///< invalid() means "no slot filter"
+  size_t k = 10;
+};
+
+/// The high-speed matcher: an inverted index over ad topic vectors with
+/// impact-ordered postings and a threshold-based early-termination top-k,
+/// plus location/slot filter bitmaps. Supports incremental insert/delete
+/// (lazy tombstones with periodic compaction), which is what lets the
+/// engine sustain ad churn without rebuilds (E6).
+class AdIndex {
+ public:
+  AdIndex() = default;
+
+  /// Indexes an ad. `topics` weights must be >= 0.
+  Status Insert(AdId id, const text::SparseVector& topics,
+                const std::vector<LocationId>& target_locations,
+                const std::vector<SlotId>& target_slots, double bid = 1.0);
+
+  /// Removes an ad (lazy: postings are tombstoned, lists compact when
+  /// tombstones dominate). NotFound if absent.
+  Status Remove(AdId id);
+
+  /// Top-k ads for a query, scored as
+  ///   score = bid * dot(query.topics, ad.topics)
+  /// over ads passing the location/slot filters. Results sorted by
+  /// descending score, ties by ascending ad id; zero-score ads never
+  /// appear. Early termination: posting lists are consumed in impact
+  /// order and scanning stops when the remaining upper bound cannot beat
+  /// the current k-th score.
+  std::vector<ScoredAd> TopK(const AdQuery& query) const;
+
+  /// Reference scorer: same semantics via a full scan (the E3 baseline).
+  std::vector<ScoredAd> TopKExhaustive(const AdQuery& query) const;
+
+  /// Number of live (non-deleted) ads.
+  size_t size() const { return ads_.size(); }
+
+  /// Diagnostics: postings touched by the last TopK call (E3/E4 report).
+  size_t last_postings_scanned() const { return last_postings_scanned_; }
+
+ private:
+  struct Posting {
+    uint32_t ad;
+    double weight;
+  };
+
+  struct AdMeta {
+    double bid = 1.0;
+    std::vector<uint32_t> topic_ids;  // for delete-time cleanup
+    std::unordered_set<uint32_t> locations;  // empty = everywhere
+    std::unordered_set<uint32_t> slots;      // empty = always
+    text::SparseVector topics;
+  };
+
+  bool PassesFilters(const AdMeta& meta, const AdQuery& query) const;
+  void CompactList(uint32_t topic);
+
+  // topic -> postings sorted by descending weight (impact order).
+  std::unordered_map<uint32_t, std::vector<Posting>> postings_;
+  // topic -> live entries in its list (compaction trigger).
+  std::unordered_map<uint32_t, size_t> live_counts_;
+  std::unordered_map<uint32_t, AdMeta> ads_;
+  // Monotone upper bound on live bids (never lowered on Remove). Safe for
+  // the TA stopping rule: a too-high bound only delays termination, it
+  // can never admit a wrong result.
+  double max_bid_bound_ = 0.0;
+  mutable size_t last_postings_scanned_ = 0;
+};
+
+}  // namespace adrec::index
+
+#endif  // ADREC_INDEX_AD_INDEX_H_

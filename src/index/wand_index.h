@@ -1,0 +1,76 @@
+#ifndef ADREC_INDEX_WAND_INDEX_H_
+#define ADREC_INDEX_WAND_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/status.h"
+#include "index/ad_index.h"
+#include "text/sparse_vector.h"
+
+namespace adrec::index {
+
+/// The WAND (Weak-AND) top-k matcher: the classic document-at-a-time
+/// alternative to AdIndex's TA strategy. Posting lists are *id-ordered*
+/// with a per-list max weight; the pivot test skips every ad whose
+/// upper-bound score (sum of the max weights of the lists that could
+/// contain it) cannot beat the current k-th score.
+///
+/// Same query semantics as AdIndex::TopK — score = bid · dot(query, ad),
+/// location/slot hard filters, deterministic tie-breaks — so the two
+/// engines are interchangeable and equivalence-tested against each other.
+/// The E3b ablation measures which strategy wins at which selectivity.
+class WandIndex {
+ public:
+  WandIndex() = default;
+
+  /// Indexes an ad (weights must be >= 0).
+  Status Insert(AdId id, const text::SparseVector& topics,
+                const std::vector<LocationId>& target_locations,
+                const std::vector<SlotId>& target_slots, double bid = 1.0);
+
+  /// Removes an ad. Postings are erased eagerly (id-ordered lists make
+  /// the erase a binary search + shift).
+  Status Remove(AdId id);
+
+  /// Top-k ads for the query (same contract as AdIndex::TopK).
+  std::vector<ScoredAd> TopK(const AdQuery& query) const;
+
+  size_t size() const { return ads_.size(); }
+
+  /// Full evaluations performed by the last TopK (pivot hits).
+  size_t last_full_evaluations() const { return last_full_evaluations_; }
+
+ private:
+  struct Posting {
+    uint32_t ad;
+    double weight;
+  };
+
+  struct AdMeta {
+    double bid = 1.0;
+    std::vector<uint32_t> topic_ids;
+    std::unordered_set<uint32_t> locations;  // empty = everywhere
+    std::unordered_set<uint32_t> slots;      // empty = always
+    text::SparseVector topics;
+  };
+
+  struct PostingList {
+    std::vector<Posting> postings;  // ascending ad id
+    double max_weight = 0.0;
+  };
+
+  bool PassesFilters(const AdMeta& meta, const AdQuery& query) const;
+
+  std::unordered_map<uint32_t, PostingList> lists_;
+  std::unordered_map<uint32_t, AdMeta> ads_;
+  double max_bid_bound_ = 0.0;
+  mutable size_t last_full_evaluations_ = 0;
+};
+
+}  // namespace adrec::index
+
+#endif  // ADREC_INDEX_WAND_INDEX_H_

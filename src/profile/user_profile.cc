@@ -1,0 +1,119 @@
+#include "profile/user_profile.h"
+
+#include "common/logging.h"
+
+namespace adrec::profile {
+
+UserProfileStore::UserProfileStore(const timeline::TimeSlotScheme* slots,
+                                   DurationSec half_life_seconds)
+    : slots_(slots), decay_(half_life_seconds) {
+  ADREC_CHECK(slots != nullptr);
+}
+
+UserState& UserProfileStore::StateOf(UserId user) {
+  auto it = states_.find(user.value);
+  if (it == states_.end()) {
+    it = states_.emplace(user.value, UserState{}).first;
+    it->second.visits.resize(slots_->size());
+    insertion_order_.push_back(user);
+  }
+  return it->second;
+}
+
+void UserProfileStore::AdvanceTo(UserState& state, Timestamp now) const {
+  if (now <= state.as_of) return;
+  const double factor = decay_.DecayFactor(state.as_of, now);
+  state.interests.Scale(factor);
+  state.interests.Prune(1e-9);
+  for (auto& slot_map : state.visits) {
+    for (auto it = slot_map.begin(); it != slot_map.end();) {
+      it->second *= factor;
+      if (it->second < 1e-9) {
+        it = slot_map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  state.as_of = now;
+}
+
+void UserProfileStore::ObserveTweet(
+    UserId user, Timestamp time,
+    const std::vector<annotate::Annotation>& annotations) {
+  UserState& state = StateOf(user);
+  AdvanceTo(state, time);
+  for (const annotate::Annotation& a : annotations) {
+    state.interests.Add(a.topic.value, a.score);
+  }
+}
+
+void UserProfileStore::ObserveCheckIn(UserId user, Timestamp time,
+                                      LocationId location) {
+  UserState& state = StateOf(user);
+  AdvanceTo(state, time);
+  const SlotId slot = slots_->SlotOf(time);
+  state.visits[slot.value][location.value] += 1.0;
+}
+
+text::SparseVector UserProfileStore::InterestsAt(UserId user,
+                                                 Timestamp now) const {
+  auto it = states_.find(user.value);
+  if (it == states_.end()) return {};
+  const UserState& state = it->second;
+  text::SparseVector out = state.interests;
+  if (now > state.as_of) out.Scale(decay_.DecayFactor(state.as_of, now));
+  return out;
+}
+
+double UserProfileStore::VisitMass(UserId user, SlotId slot,
+                                   LocationId location) const {
+  auto it = states_.find(user.value);
+  if (it == states_.end()) return 0.0;
+  const UserState& state = it->second;
+  if (slot.value >= state.visits.size()) return 0.0;
+  auto vit = state.visits[slot.value].find(location.value);
+  return vit == state.visits[slot.value].end() ? 0.0 : vit->second;
+}
+
+LocationId UserProfileStore::TopLocation(UserId user, SlotId slot) const {
+  auto it = states_.find(user.value);
+  if (it == states_.end()) return LocationId();
+  const UserState& state = it->second;
+  if (slot.value >= state.visits.size()) return LocationId();
+  LocationId best;
+  double best_mass = 0.0;
+  for (const auto& [location, mass] : state.visits[slot.value]) {
+    if (mass > best_mass ||
+        (mass == best_mass && best.valid() && location < best.value)) {
+      best_mass = mass;
+      best = LocationId(location);
+    }
+  }
+  return best;
+}
+
+std::vector<UserId> UserProfileStore::KnownUsers() const {
+  return insertion_order_;
+}
+
+void UserProfileStore::ForEachState(
+    const std::function<void(UserId, const UserState&)>& fn) const {
+  for (UserId user : insertion_order_) {
+    auto it = states_.find(user.value);
+    if (it != states_.end()) fn(user, it->second);
+  }
+}
+
+void UserProfileStore::RestoreState(UserId user, UserState state) {
+  state.visits.resize(slots_->size());
+  auto it = states_.find(user.value);
+  if (it == states_.end()) {
+    insertion_order_.push_back(user);
+    states_.emplace(user.value, std::move(state));
+  } else {
+    it->second = std::move(state);
+  }
+}
+
+}  // namespace adrec::profile

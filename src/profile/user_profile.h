@@ -1,0 +1,81 @@
+#ifndef ADREC_PROFILE_USER_PROFILE_H_
+#define ADREC_PROFILE_USER_PROFILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "annotate/annotator.h"
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+#include "text/sparse_vector.h"
+#include "timeline/decay.h"
+#include "timeline/time_slots.h"
+
+namespace adrec::profile {
+
+/// Incrementally-maintained interest state for one user: a decayed topic
+/// vector (dimensions are TopicIds) plus per-slot location visit counters.
+/// The decay trick: weights are stored scaled to the last-update time and
+/// multiplied by one decay factor on each touch, so updates are O(profile
+/// size) with no timer wheel.
+struct UserState {
+  text::SparseVector interests;  ///< topic-id weights at time `as_of`
+  Timestamp as_of = 0;
+  /// visit_counts[slot][location] — decayed check-in mass.
+  std::vector<std::unordered_map<uint32_t, double>> visits;
+};
+
+/// Store of all user states. Single-writer streaming semantics.
+class UserProfileStore {
+ public:
+  /// `half_life` controls how fast stale interests fade (E9 sweeps it).
+  UserProfileStore(const timeline::TimeSlotScheme* slots,
+                   DurationSec half_life_seconds);
+
+  /// Folds an annotated tweet into the author's interest vector.
+  void ObserveTweet(UserId user, Timestamp time,
+                    const std::vector<annotate::Annotation>& annotations);
+
+  /// Folds a check-in into the author's per-slot location counters.
+  void ObserveCheckIn(UserId user, Timestamp time, LocationId location);
+
+  /// The user's interest vector decayed to `now` (empty for unknown user).
+  text::SparseVector InterestsAt(UserId user, Timestamp now) const;
+
+  /// Decayed visit mass of (user, slot, location); 0 when never visited.
+  double VisitMass(UserId user, SlotId slot, LocationId location) const;
+
+  /// The user's most-visited location during `slot` (by decayed mass);
+  /// invalid LocationId when the user has no check-ins in that slot.
+  LocationId TopLocation(UserId user, SlotId slot) const;
+
+  /// Users with any state (ids in insertion order).
+  std::vector<UserId> KnownUsers() const;
+
+  /// Visits every state (snapshot serialization).
+  void ForEachState(
+      const std::function<void(UserId, const UserState&)>& fn) const;
+
+  /// Replaces (or creates) a user's state wholesale (snapshot restore).
+  /// The state's visits vector is resized to the slot scheme.
+  void RestoreState(UserId user, UserState state);
+
+  size_t size() const { return states_.size(); }
+
+ private:
+  UserState& StateOf(UserId user);
+
+  /// Brings a state's decayed quantities forward to `now`.
+  void AdvanceTo(UserState& state, Timestamp now) const;
+
+  const timeline::TimeSlotScheme* slots_;  // not owned
+  timeline::ExponentialDecay decay_;
+  std::unordered_map<uint32_t, UserState> states_;
+  std::vector<UserId> insertion_order_;
+};
+
+}  // namespace adrec::profile
+
+#endif  // ADREC_PROFILE_USER_PROFILE_H_

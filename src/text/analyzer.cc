@@ -1,0 +1,45 @@
+#include "text/analyzer.h"
+
+namespace adrec::text {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options),
+      tokenizer_(options.tokenizer),
+      stopwords_(options.remove_stopwords ? StopwordSet::English()
+                                          : StopwordSet()) {}
+
+std::vector<std::string> Analyzer::AnalyzeToStrings(
+    std::string_view input) const {
+  std::vector<std::string> out;
+  for (const Token& tok : tokenizer_.Tokenize(input)) {
+    if (options_.remove_stopwords && stopwords_.Contains(tok.text)) continue;
+    std::string term = tok.text;
+    // Strip possessive suffixes before stemming ("nation's" -> "nation").
+    if (term.size() > 2 && term.ends_with("'s")) {
+      term.resize(term.size() - 2);
+    } else if (term.size() > 1 && term.back() == '\'') {
+      term.pop_back();
+    }
+    out.push_back(options_.stem ? PorterStem(term) : term);
+  }
+  return out;
+}
+
+std::vector<TermId> Analyzer::Analyze(std::string_view input) {
+  std::vector<TermId> out;
+  for (const std::string& term : AnalyzeToStrings(input)) {
+    out.push_back(vocab_.Intern(term));
+  }
+  return out;
+}
+
+std::vector<TermId> Analyzer::AnalyzeReadOnly(std::string_view input) const {
+  std::vector<TermId> out;
+  for (const std::string& term : AnalyzeToStrings(input)) {
+    const TermId id = vocab_.Lookup(term);
+    if (id != kInvalidTerm) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace adrec::text

@@ -1,0 +1,50 @@
+#ifndef ADREC_TEXT_ANALYZER_H_
+#define ADREC_TEXT_ANALYZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace adrec::text {
+
+/// Analyzer configuration.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+/// The full lexical pipeline: tokenize -> stopword filter -> Porter stem ->
+/// intern. Owns the vocabulary so repeated analyses share term ids.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Analyzes `input` into interned term ids (with duplicates, in order).
+  std::vector<TermId> Analyze(std::string_view input);
+
+  /// Like Analyze but read-only: unseen terms map to kInvalidTerm and are
+  /// dropped. Use for query-time analysis against a frozen vocabulary.
+  std::vector<TermId> AnalyzeReadOnly(std::string_view input) const;
+
+  /// Analyzes and returns the processed surface strings (for debugging and
+  /// the annotator, which matches on stems).
+  std::vector<std::string> AnalyzeToStrings(std::string_view input) const;
+
+  Vocabulary& vocabulary() { return vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordSet stopwords_;
+  Vocabulary vocab_;
+};
+
+}  // namespace adrec::text
+
+#endif  // ADREC_TEXT_ANALYZER_H_

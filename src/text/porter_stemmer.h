@@ -1,0 +1,19 @@
+#ifndef ADREC_TEXT_PORTER_STEMMER_H_
+#define ADREC_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace adrec::text {
+
+/// The classic Porter (1980) suffix-stripping stemmer, steps 1a-5b.
+/// Input must be lowercase ASCII; words shorter than 3 characters are
+/// returned unchanged (per the original algorithm's guard).
+///
+/// Examples: "caresses"->"caress", "ponies"->"poni",
+/// "relational"->"relat", "adjustable"->"adjust".
+std::string PorterStem(std::string_view word);
+
+}  // namespace adrec::text
+
+#endif  // ADREC_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,77 @@
+#ifndef ADREC_TEXT_SPARSE_VECTOR_H_
+#define ADREC_TEXT_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adrec::text {
+
+/// One (dimension, weight) entry of a sparse vector.
+struct SparseEntry {
+  uint32_t id;
+  double weight;
+
+  friend bool operator==(const SparseEntry& a, const SparseEntry& b) {
+    return a.id == b.id && a.weight == b.weight;
+  }
+};
+
+/// A sparse vector stored as id-sorted (id, weight) pairs. The canonical
+/// representation of documents, ad copies and user-interest profiles.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from unsorted entries; duplicate ids are summed.
+  static SparseVector FromUnsorted(std::vector<SparseEntry> entries);
+
+  /// Adds `weight` to dimension `id` (keeps sort order; O(n) worst case,
+  /// amortised fine for our small per-document vectors).
+  void Add(uint32_t id, double weight);
+
+  /// Weight of dimension `id` (0.0 when absent).
+  double Get(uint32_t id) const;
+
+  /// Dot product with another sparse vector (merge join, O(n+m)).
+  double Dot(const SparseVector& other) const;
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Cosine similarity in [−1, 1]; 0.0 when either vector is empty/zero.
+  double Cosine(const SparseVector& other) const;
+
+  /// Jaccard similarity of the support sets (dimension overlap).
+  double JaccardSupport(const SparseVector& other) const;
+
+  /// Scales all weights in place.
+  void Scale(double factor);
+
+  /// this += factor * other (used by decayed profile updates).
+  void AddScaled(const SparseVector& other, double factor);
+
+  /// Normalises to unit Euclidean norm (no-op on the zero vector).
+  void NormalizeL2();
+
+  /// Drops entries with |weight| < epsilon (profile compaction).
+  void Prune(double epsilon);
+
+  /// Keeps only the `k` highest-weight entries.
+  void TruncateTopK(size_t k);
+
+  const std::vector<SparseEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  friend bool operator==(const SparseVector& a, const SparseVector& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<SparseEntry> entries_;  // sorted by id, unique ids
+};
+
+}  // namespace adrec::text
+
+#endif  // ADREC_TEXT_SPARSE_VECTOR_H_

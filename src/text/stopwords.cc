@@ -1,0 +1,57 @@
+#include "text/stopwords.h"
+
+namespace adrec::text {
+
+namespace {
+
+// Compact English stopword list. Kept sorted for readability; membership is
+// via hash set so order is irrelevant.
+constexpr const char* kEnglishStopwords[] = {
+    "a",       "about",  "above",  "after",   "again",   "against", "all",
+    "am",      "an",     "and",    "any",     "are",     "aren't",  "as",
+    "at",      "be",     "because", "been",   "before",  "being",   "below",
+    "between", "both",   "but",    "by",      "can",     "can't",   "could",
+    "couldn't", "did",   "didn't", "do",      "does",    "doesn't", "doing",
+    "don't",   "down",   "during", "each",    "few",     "for",     "from",
+    "further", "had",    "hadn't", "has",     "hasn't",  "have",    "haven't",
+    "having",  "he",     "he'd",   "he'll",   "he's",    "her",     "here",
+    "here's",  "hers",   "herself", "him",    "himself", "his",     "how",
+    "how's",   "i",      "i'd",    "i'll",    "i'm",     "i've",    "if",
+    "in",      "into",   "is",     "isn't",   "it",      "it's",    "its",
+    "itself",  "let's",  "me",     "more",    "most",    "mustn't", "my",
+    "myself",  "no",     "nor",    "not",     "of",      "off",     "on",
+    "once",    "only",   "or",     "other",   "ought",   "our",     "ours",
+    "ourselves", "out",  "over",   "own",     "same",    "shan't",  "she",
+    "she'd",   "she'll", "she's",  "should",  "shouldn't", "so",    "some",
+    "such",    "than",   "that",   "that's",  "the",     "their",   "theirs",
+    "them",    "themselves", "then", "there", "there's", "these",   "they",
+    "they'd",  "they'll", "they're", "they've", "this",  "those",   "through",
+    "to",      "too",    "under",  "until",   "up",      "very",    "was",
+    "wasn't",  "we",     "we'd",   "we'll",   "we're",   "we've",   "were",
+    "weren't", "what",   "what's", "when",    "when's",  "where",   "where's",
+    "which",   "while",  "who",    "who's",   "whom",    "why",     "why's",
+    "with",    "won't",  "would",  "wouldn't", "you",    "you'd",   "you'll",
+    "you're",  "you've", "your",   "yours",   "yourself", "yourselves",
+    // Tweet noise.
+    "rt", "amp", "via", "u", "ur", "im", "dont", "didnt", "isnt",
+    // Common verbs/adverbs with no topical value.
+    "will", "just", "get", "got", "go", "going", "gonna", "one", "two",
+    "also", "like", "new", "now", "today", "tomorrow", "tonight", "day",
+    "here's", "heres", "how", "our",
+};
+
+}  // namespace
+
+StopwordSet StopwordSet::English() {
+  StopwordSet set;
+  for (const char* word : kEnglishStopwords) set.Add(word);
+  return set;
+}
+
+void StopwordSet::Add(std::string_view word) { words_.emplace(word); }
+
+bool StopwordSet::Contains(std::string_view word) const {
+  return words_.find(std::string(word)) != words_.end();
+}
+
+}  // namespace adrec::text

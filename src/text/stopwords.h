@@ -1,0 +1,35 @@
+#ifndef ADREC_TEXT_STOPWORDS_H_
+#define ADREC_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace adrec::text {
+
+/// A set of words to exclude from semantic processing. Starts from a
+/// built-in English list (articles, pronouns, auxiliaries, common
+/// tweet-noise like "rt", "amp") and can be extended per corpus.
+class StopwordSet {
+ public:
+  /// Constructs the built-in English stopword set.
+  static StopwordSet English();
+
+  /// Constructs an empty set.
+  StopwordSet() = default;
+
+  /// Adds a word (expected lowercase).
+  void Add(std::string_view word);
+
+  /// True iff `word` (lowercase) is a stopword.
+  bool Contains(std::string_view word) const;
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace adrec::text
+
+#endif  // ADREC_TEXT_STOPWORDS_H_

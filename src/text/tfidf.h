@@ -1,0 +1,44 @@
+#ifndef ADREC_TEXT_TFIDF_H_
+#define ADREC_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace adrec::text {
+
+/// TF-IDF weighting model over term-id documents. Document frequencies are
+/// maintained incrementally (AddDocument) so the model works on streams;
+/// idf(t) = ln((1 + N) / (1 + df(t))) + 1 (smoothed, always positive).
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Folds one document's distinct terms into the document-frequency table.
+  void AddDocument(const std::vector<TermId>& terms);
+
+  /// Number of documents folded in so far.
+  size_t num_documents() const { return num_documents_; }
+
+  /// Document frequency of a term (0 for unseen).
+  uint32_t DocumentFrequency(TermId term) const;
+
+  /// Smoothed inverse document frequency of a term.
+  double Idf(TermId term) const;
+
+  /// Raw term-frequency vector of a document.
+  static SparseVector TermFrequency(const std::vector<TermId>& terms);
+
+  /// TF-IDF vector of a document, L2-normalised.
+  SparseVector Vectorize(const std::vector<TermId>& terms) const;
+
+ private:
+  std::vector<uint32_t> df_;  // indexed by TermId
+  size_t num_documents_ = 0;
+};
+
+}  // namespace adrec::text
+
+#endif  // ADREC_TEXT_TFIDF_H_

@@ -1,0 +1,96 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace adrec::text {
+
+namespace {
+
+bool IsWordChar(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c >= 0x80;  // pass UTF-8 bytes through
+}
+
+bool IsDigitsOnly(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<Token> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    // URLs: consume to the next whitespace.
+    if ((c == 'h' || c == 'H') &&
+        (StartsWith(input.substr(i), "http://") ||
+         StartsWith(input.substr(i), "https://") ||
+         StartsWith(input.substr(i), "HTTP://") ||
+         StartsWith(input.substr(i), "HTTPS://"))) {
+      size_t end = i;
+      while (end < n && !std::isspace(static_cast<unsigned char>(input[end]))) {
+        ++end;
+      }
+      if (options_.keep_urls) {
+        out.push_back({std::string(input.substr(i, end - i)), i,
+                       TokenKind::kUrl});
+      }
+      i = end;
+      continue;
+    }
+    TokenKind kind = TokenKind::kWord;
+    size_t start = i;
+    if (c == '#' || c == '@') {
+      kind = (c == '#') ? TokenKind::kHashtag : TokenKind::kMention;
+      ++i;
+      start = i;
+    }
+    if (i < n && IsWordChar(static_cast<unsigned char>(input[i]))) {
+      size_t end = i;
+      while (end < n) {
+        const unsigned char wc = static_cast<unsigned char>(input[end]);
+        if (IsWordChar(wc)) {
+          ++end;
+        } else if (wc == '\'' && end + 1 < n &&
+                   IsWordChar(static_cast<unsigned char>(input[end + 1])) &&
+                   kind == TokenKind::kWord) {
+          ++end;  // keep internal apostrophe: "nation's"
+        } else {
+          break;
+        }
+      }
+      std::string_view raw = input.substr(i, end - i);
+      if (kind == TokenKind::kWord && IsDigitsOnly(raw)) {
+        kind = TokenKind::kNumber;
+      }
+      const bool keep =
+          (kind == TokenKind::kWord) ||
+          (kind == TokenKind::kHashtag && options_.keep_hashtags) ||
+          (kind == TokenKind::kMention && options_.keep_mentions) ||
+          (kind == TokenKind::kNumber && options_.keep_numbers);
+      if (keep && raw.size() >= options_.min_token_length) {
+        Token tok;
+        tok.text = options_.lowercase ? ToLowerAscii(raw) : std::string(raw);
+        tok.offset = start;
+        tok.kind = kind;
+        out.push_back(std::move(tok));
+      }
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace adrec::text

@@ -1,0 +1,55 @@
+#ifndef ADREC_TEXT_TOKENIZER_H_
+#define ADREC_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrec::text {
+
+/// What kind of surface form a token was.
+enum class TokenKind {
+  kWord,     // plain word
+  kHashtag,  // "#volleyball" (emitted without '#')
+  kMention,  // "@coach" (emitted without '@')
+  kNumber,   // digits only
+  kUrl,      // http(s)://... (emitted verbatim)
+};
+
+/// One token plus provenance into the original text.
+struct Token {
+  std::string text;   // normalised form (lowercased unless configured off)
+  size_t offset = 0;  // byte offset of the first character in the input
+  TokenKind kind = TokenKind::kWord;
+};
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool keep_hashtags = true;   // emit hashtag bodies as tokens
+  bool keep_mentions = false;  // @mentions are usually noise for topics
+  bool keep_numbers = false;
+  bool keep_urls = false;
+  size_t min_token_length = 2;
+};
+
+/// A tweet-aware word tokenizer. Understands #hashtags, @mentions and URLs,
+/// splits on everything non-alphanumeric otherwise, and keeps internal
+/// apostrophes ("nation's" -> "nation's"). ASCII-oriented: multi-byte UTF-8
+/// sequences are passed through inside words.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `input` into tokens per the configured options.
+  std::vector<Token> Tokenize(std::string_view input) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace adrec::text
+
+#endif  // ADREC_TEXT_TOKENIZER_H_

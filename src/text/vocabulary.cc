@@ -1,0 +1,35 @@
+#include "text/vocabulary.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec::text {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  ADREC_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+Result<std::string> Vocabulary::TryTermOf(TermId id) const {
+  if (id >= terms_.size()) {
+    return Status::OutOfRange(
+        StringFormat("term id %u >= vocabulary size %zu", id, terms_.size()));
+  }
+  return terms_[id];
+}
+
+}  // namespace adrec::text

@@ -1,0 +1,47 @@
+#ifndef ADREC_TEXT_VOCABULARY_H_
+#define ADREC_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adrec::text {
+
+/// Interned term id (index into a Vocabulary).
+using TermId = uint32_t;
+constexpr TermId kInvalidTerm = UINT32_MAX;
+
+/// Bidirectional string <-> dense-id interning table. Used for word terms
+/// and, via a separate instance, for knowledge-base URIs, so the rest of
+/// the system works with dense integers.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTerm if unseen.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the term for an id; id must be < size().
+  const std::string& TermOf(TermId id) const;
+
+  /// Returns the term for an id, or an error if out of range.
+  Result<std::string> TryTermOf(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace adrec::text
+
+#endif  // ADREC_TEXT_VOCABULARY_H_

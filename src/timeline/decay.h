@@ -1,0 +1,55 @@
+#ifndef ADREC_TIMELINE_DECAY_H_
+#define ADREC_TIMELINE_DECAY_H_
+
+#include <cmath>
+
+#include "common/sim_clock.h"
+
+namespace adrec::timeline {
+
+/// Exponential decay with a configurable half-life: the weight of evidence
+/// aged `age` seconds is 0.5^(age/half_life). User-interest profiles use
+/// this so stale tweets stop driving recommendations (E9 sweeps it).
+class ExponentialDecay {
+ public:
+  explicit ExponentialDecay(DurationSec half_life_seconds)
+      : half_life_(half_life_seconds > 0 ? half_life_seconds : 1) {}
+
+  /// Weight of evidence `age` seconds old; 1.0 at age 0, 0.5 at one
+  /// half-life. Negative ages (future evidence) clamp to 1.0.
+  double WeightAtAge(DurationSec age) const {
+    if (age <= 0) return 1.0;
+    return std::exp2(-static_cast<double>(age) / half_life_);
+  }
+
+  /// Multiplier that advances an accumulated weight from `from` to `to`.
+  double DecayFactor(Timestamp from, Timestamp to) const {
+    return WeightAtAge(to - from);
+  }
+
+  DurationSec half_life() const { return half_life_; }
+
+ private:
+  DurationSec half_life_;
+};
+
+/// Linear window decay: full weight inside the window, zero outside.
+/// The recompute-from-window baseline of E9.
+class WindowDecay {
+ public:
+  explicit WindowDecay(DurationSec window_seconds)
+      : window_(window_seconds > 0 ? window_seconds : 1) {}
+
+  double WeightAtAge(DurationSec age) const {
+    return (age >= 0 && age < window_) ? 1.0 : 0.0;
+  }
+
+  DurationSec window() const { return window_; }
+
+ private:
+  DurationSec window_;
+};
+
+}  // namespace adrec::timeline
+
+#endif  // ADREC_TIMELINE_DECAY_H_

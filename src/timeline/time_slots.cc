@@ -1,0 +1,124 @@
+#include "timeline/time_slots.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec::timeline {
+
+Result<TimeSlotScheme> TimeSlotScheme::Create(std::vector<TimeSlot> slots) {
+  if (slots.empty()) {
+    return Status::InvalidArgument("a slot scheme needs at least one slot");
+  }
+  int64_t cursor = 0;
+  for (const TimeSlot& s : slots) {
+    if (s.begin_second != cursor) {
+      return Status::InvalidArgument(StringFormat(
+          "slot '%s' begins at %lld, expected %lld (gap or overlap)",
+          s.name.c_str(), static_cast<long long>(s.begin_second),
+          static_cast<long long>(cursor)));
+    }
+    if (s.end_second <= s.begin_second) {
+      return Status::InvalidArgument(
+          StringFormat("slot '%s' is empty or inverted", s.name.c_str()));
+    }
+    cursor = s.end_second;
+  }
+  if (cursor != kSecondsPerDay) {
+    return Status::InvalidArgument(
+        StringFormat("slots cover only %lld of %lld seconds",
+                     static_cast<long long>(cursor),
+                     static_cast<long long>(kSecondsPerDay)));
+  }
+  return TimeSlotScheme(std::move(slots));
+}
+
+TimeSlotScheme TimeSlotScheme::PaperScheme() {
+  auto r = Create({
+      {"night", 0, 5 * kSecondsPerHour},
+      {"slot1_05am_01pm", 5 * kSecondsPerHour, 13 * kSecondsPerHour},
+      {"slot2_01pm_08pm", 13 * kSecondsPerHour, 20 * kSecondsPerHour},
+      {"late", 20 * kSecondsPerHour, kSecondsPerDay},
+  });
+  ADREC_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+TimeSlotScheme TimeSlotScheme::MorningAfternoonEvening() {
+  auto r = Create({
+      {"morning", 0, 12 * kSecondsPerHour},
+      {"afternoon", 12 * kSecondsPerHour, 18 * kSecondsPerHour},
+      {"evening", 18 * kSecondsPerHour, kSecondsPerDay},
+  });
+  ADREC_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+TimeSlotScheme TimeSlotScheme::Uniform(size_t n) {
+  if (n == 0) n = 1;
+  if (n > static_cast<size_t>(kSecondsPerDay)) {
+    n = static_cast<size_t>(kSecondsPerDay);
+  }
+  const int64_t width = kSecondsPerDay / static_cast<int64_t>(n);
+  std::vector<TimeSlot> slots;
+  int64_t cursor = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t end =
+        (i + 1 == n) ? kSecondsPerDay : cursor + width;
+    slots.push_back(TimeSlot{StringFormat("slot%zu", i), cursor, end});
+    cursor = end;
+  }
+  auto r = Create(std::move(slots));
+  ADREC_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+TimeSlotScheme TimeSlotScheme::Hourly() {
+  std::vector<TimeSlot> slots;
+  for (int h = 0; h < 24; ++h) {
+    slots.push_back(TimeSlot{StringFormat("h%02d", h),
+                             h * kSecondsPerHour, (h + 1) * kSecondsPerHour});
+  }
+  auto r = Create(std::move(slots));
+  ADREC_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+SlotId TimeSlotScheme::SlotOf(Timestamp t) const {
+  const int64_t s = SecondOfDay(t);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (s >= slots_[i].begin_second && s < slots_[i].end_second) {
+      return SlotId(static_cast<uint32_t>(i));
+    }
+  }
+  // Unreachable when the scheme covers the whole day (validated on Create).
+  return SlotId(static_cast<uint32_t>(slots_.size() - 1));
+}
+
+const TimeSlot& TimeSlotScheme::slot(SlotId id) const {
+  ADREC_CHECK(id.value < slots_.size());
+  return slots_[id.value];
+}
+
+Result<SlotId> TimeSlotScheme::FindByName(std::string_view name) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].name == name) return SlotId(static_cast<uint32_t>(i));
+  }
+  return Status::NotFound(StringFormat("no slot named '%.*s'",
+                                       static_cast<int>(name.size()),
+                                       name.data()));
+}
+
+uint32_t TimeSlotScheme::SlotInstanceOf(Timestamp t) const {
+  const int64_t day = DayIndex(t);
+  ADREC_CHECK(day >= 0);  // simulated timelines start at 0
+  return static_cast<uint32_t>(day) * static_cast<uint32_t>(slots_.size()) +
+         SlotOf(t).value;
+}
+
+std::pair<int64_t, SlotId> TimeSlotScheme::DecomposeInstance(
+    uint32_t instance) const {
+  const uint32_t n = static_cast<uint32_t>(slots_.size());
+  return {static_cast<int64_t>(instance / n), SlotId(instance % n)};
+}
+
+}  // namespace adrec::timeline

@@ -1,0 +1,70 @@
+#ifndef ADREC_TIMELINE_TIME_SLOTS_H_
+#define ADREC_TIMELINE_TIME_SLOTS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace adrec::timeline {
+
+/// One named slot: a half-open interval of second-of-day [begin, end).
+struct TimeSlot {
+  std::string name;        ///< e.g. "morning"
+  int64_t begin_second;    ///< inclusive, in [0, 86400)
+  int64_t end_second;      ///< exclusive, in (begin, 86400]
+};
+
+/// A partition of the day into named slots — the condition dimension T of
+/// both triadic contexts. Slots must cover [0, 86400) without overlap.
+class TimeSlotScheme {
+ public:
+  /// Builds a scheme from ordered slots; validates coverage and ordering.
+  static Result<TimeSlotScheme> Create(std::vector<TimeSlot> slots);
+
+  /// The evaluation scheme of the reconstructed experiments: three slots —
+  /// night [00:00-05:00), slot1 [05:00-13:00) ("05:00am-01:00pm"),
+  /// slot2 [13:00-20:00) ("01:01pm-08:00pm"), late [20:00-24:00).
+  static TimeSlotScheme PaperScheme();
+
+  /// Morning / afternoon / evening thirds used by the worked example.
+  static TimeSlotScheme MorningAfternoonEvening();
+
+  /// `n` equal slots named "slot0".."slot{n-1}" (n in [1, 86400],
+  /// clamped; the last slot absorbs the remainder when 86400 % n != 0).
+  static TimeSlotScheme Uniform(size_t n);
+
+  /// 24 hourly slots "h00".."h23" — the granularity trending analyses
+  /// tend to want.
+  static TimeSlotScheme Hourly();
+
+  /// The slot containing the timestamp's second-of-day.
+  SlotId SlotOf(Timestamp t) const;
+
+  /// Slot metadata.
+  const TimeSlot& slot(SlotId id) const;
+  Result<SlotId> FindByName(std::string_view name) const;
+  size_t size() const { return slots_.size(); }
+
+  /// The "slot instance" of t: day index * num_slots + slot. Two events in
+  /// the same named slot on different days are different conditions for the
+  /// timed analysis (t1, t2, ... in the paper's tables).
+  uint32_t SlotInstanceOf(Timestamp t) const;
+
+  /// Decomposes a slot instance into (day, slot).
+  std::pair<int64_t, SlotId> DecomposeInstance(uint32_t instance) const;
+
+ private:
+  explicit TimeSlotScheme(std::vector<TimeSlot> slots)
+      : slots_(std::move(slots)) {}
+
+  std::vector<TimeSlot> slots_;
+};
+
+}  // namespace adrec::timeline
+
+#endif  // ADREC_TIMELINE_TIME_SLOTS_H_

@@ -1,0 +1,117 @@
+#include "ads/frequency_cap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace adrec::ads {
+namespace {
+
+TEST(FrequencyCapTest, AllowsUpToCap) {
+  FrequencyCapOptions opts;
+  opts.max_impressions = 3;
+  opts.window = 1000;
+  FrequencyCapper cap(opts);
+  const UserId u(1);
+  const AdId a(7);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cap.TryServe(u, a, 100 + i));
+  }
+  EXPECT_FALSE(cap.TryServe(u, a, 103));
+  EXPECT_EQ(cap.CountInWindow(u, a, 103), 3);
+}
+
+TEST(FrequencyCapTest, WindowSlides) {
+  FrequencyCapOptions opts;
+  opts.max_impressions = 1;
+  opts.window = 100;
+  FrequencyCapper cap(opts);
+  const UserId u(1);
+  const AdId a(7);
+  EXPECT_TRUE(cap.TryServe(u, a, 0));
+  EXPECT_FALSE(cap.Allowed(u, a, 50));
+  // At exactly horizon boundary the old impression expires.
+  EXPECT_TRUE(cap.Allowed(u, a, 100));
+  EXPECT_TRUE(cap.TryServe(u, a, 100));
+  EXPECT_FALSE(cap.Allowed(u, a, 150));
+}
+
+TEST(FrequencyCapTest, PairsAreIndependent) {
+  FrequencyCapOptions opts;
+  opts.max_impressions = 1;
+  FrequencyCapper cap(opts);
+  EXPECT_TRUE(cap.TryServe(UserId(1), AdId(1), 10));
+  EXPECT_TRUE(cap.TryServe(UserId(1), AdId(2), 10));  // different ad
+  EXPECT_TRUE(cap.TryServe(UserId(2), AdId(1), 10));  // different user
+  EXPECT_FALSE(cap.TryServe(UserId(1), AdId(1), 10));
+}
+
+TEST(FrequencyCapTest, ExpireDropsStaleState) {
+  FrequencyCapOptions opts;
+  opts.max_impressions = 5;
+  opts.window = 100;
+  FrequencyCapper cap(opts);
+  for (uint32_t i = 0; i < 10; ++i) {
+    cap.Record(UserId(i), AdId(0), 0);
+  }
+  EXPECT_EQ(cap.tracked_pairs(), 10u);
+  cap.Expire(500);
+  EXPECT_EQ(cap.tracked_pairs(), 0u);
+}
+
+TEST(FrequencyCapTest, EngineHonoursCap) {
+  auto analyzer = std::make_shared<text::Analyzer>();
+  std::shared_ptr<annotate::KnowledgeBase> kb(
+      annotate::BuildDemoKnowledgeBase(analyzer.get()));
+  core::EngineOptions eopts;
+  eopts.frequency_cap.max_impressions = 2;
+  eopts.frequency_cap.window = kSecondsPerDay;
+  core::RecommendationEngine engine(
+      kb, timeline::TimeSlotScheme::PaperScheme(), eopts);
+  feed::Ad ad;
+  ad.id = AdId(1);
+  ad.copy = "volleyball gear spike";
+  ASSERT_TRUE(engine.InsertAd(ad).ok());
+
+  const feed::Tweet tweet{UserId(3), 6 * kSecondsPerHour, "volleyball"};
+  EXPECT_EQ(engine.TopKAdsForTweet(tweet, 1).size(), 1u);
+  EXPECT_EQ(engine.TopKAdsForTweet(tweet, 1).size(), 1u);
+  // Third exposure of the same ad to the same user is capped.
+  EXPECT_TRUE(engine.TopKAdsForTweet(tweet, 1).empty());
+  // A different user still gets it.
+  EXPECT_EQ(engine
+                .TopKAdsForTweet({UserId(4), 6 * kSecondsPerHour,
+                                  "volleyball"},
+                                 1)
+                .size(),
+            1u);
+  // And the same user gets it again the next day.
+  EXPECT_EQ(engine
+                .TopKAdsForTweet({UserId(3),
+                                  6 * kSecondsPerHour + 2 * kSecondsPerDay,
+                                  "volleyball"},
+                                 1)
+                .size(),
+            1u);
+}
+
+TEST(FrequencyCapTest, EngineCapDisabled) {
+  auto analyzer = std::make_shared<text::Analyzer>();
+  std::shared_ptr<annotate::KnowledgeBase> kb(
+      annotate::BuildDemoKnowledgeBase(analyzer.get()));
+  core::EngineOptions eopts;
+  eopts.frequency_cap.max_impressions = 0;  // disabled
+  core::RecommendationEngine engine(
+      kb, timeline::TimeSlotScheme::PaperScheme(), eopts);
+  feed::Ad ad;
+  ad.id = AdId(1);
+  ad.copy = "volleyball gear";
+  ASSERT_TRUE(engine.InsertAd(ad).ok());
+  const feed::Tweet tweet{UserId(3), 6 * kSecondsPerHour, "volleyball"};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(engine.TopKAdsForTweet(tweet, 1).size(), 1u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace adrec::ads

@@ -1,0 +1,105 @@
+#include "ads/ad_store.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::ads {
+namespace {
+
+feed::Ad MakeAd(uint32_t id, int64_t budget = 0) {
+  feed::Ad ad;
+  ad.id = AdId(id);
+  ad.campaign = CampaignId(id);
+  ad.copy = "test ad";
+  ad.budget_impressions = budget;
+  return ad;
+}
+
+text::SparseVector Topics(std::vector<text::SparseEntry> entries) {
+  return text::SparseVector::FromUnsorted(std::move(entries));
+}
+
+TEST(AdStoreTest, InsertFindRemove) {
+  AdStore store;
+  ASSERT_TRUE(store.Insert(MakeAd(1), Topics({{0, 1.0}})).ok());
+  EXPECT_EQ(store.size(), 1u);
+  const StoredAd* found = store.Find(AdId(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->topics.Get(0), 1.0);
+  EXPECT_EQ(store.Insert(MakeAd(1), {}).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(store.Remove(AdId(1)).ok());
+  EXPECT_EQ(store.Find(AdId(1)), nullptr);
+  EXPECT_EQ(store.Remove(AdId(1)).code(), StatusCode::kNotFound);
+}
+
+TEST(AdStoreTest, UpdateReplacesAndBumpsVersion) {
+  AdStore store;
+  ASSERT_TRUE(store.Insert(MakeAd(1), Topics({{0, 1.0}})).ok());
+  const uint64_t v1 = store.Find(AdId(1))->version;
+  ASSERT_TRUE(store.Update(MakeAd(1), Topics({{5, 0.7}})).ok());
+  const StoredAd* updated = store.Find(AdId(1));
+  EXPECT_GT(updated->version, v1);
+  EXPECT_DOUBLE_EQ(updated->topics.Get(5), 0.7);
+  EXPECT_DOUBLE_EQ(updated->topics.Get(0), 0.0);
+  EXPECT_EQ(store.Update(MakeAd(9), {}).code(), StatusCode::kNotFound);
+}
+
+TEST(AdStoreTest, BudgetAccounting) {
+  AdStore store;
+  ASSERT_TRUE(store.Insert(MakeAd(1, /*budget=*/2), {}).ok());
+  EXPECT_TRUE(store.HasBudget(AdId(1)));
+  EXPECT_TRUE(store.RecordImpression(AdId(1)).ok());
+  EXPECT_TRUE(store.RecordImpression(AdId(1)).ok());
+  EXPECT_FALSE(store.HasBudget(AdId(1)));
+  EXPECT_EQ(store.RecordImpression(AdId(1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.RecordImpression(AdId(7)).code(), StatusCode::kNotFound);
+}
+
+TEST(AdStoreTest, ZeroBudgetMeansUnlimited) {
+  AdStore store;
+  ASSERT_TRUE(store.Insert(MakeAd(1, 0), {}).ok());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(store.RecordImpression(AdId(1)).ok());
+  }
+  EXPECT_TRUE(store.HasBudget(AdId(1)));
+}
+
+TEST(AdStoreTest, ForEachVisitsAllAndMutationCountAdvances) {
+  AdStore store;
+  const uint64_t m0 = store.mutation_count();
+  ASSERT_TRUE(store.Insert(MakeAd(1), {}).ok());
+  ASSERT_TRUE(store.Insert(MakeAd(2), {}).ok());
+  size_t visited = 0;
+  store.ForEach([&](const StoredAd&) { ++visited; });
+  EXPECT_EQ(visited, 2u);
+  ASSERT_TRUE(store.Remove(AdId(2)).ok());
+  EXPECT_EQ(store.mutation_count(), m0 + 3);
+}
+
+TEST(BudgetPacerTest, UniformSchedule) {
+  BudgetPacer pacer(0, 1000, 100);
+  // At t=0 nothing is allowed yet beyond the +1 slack.
+  EXPECT_TRUE(pacer.ShouldServe(0, 0));
+  EXPECT_FALSE(pacer.ShouldServe(0, 1));
+  // Halfway: about half the budget.
+  EXPECT_EQ(pacer.AllowedBy(500), 51);
+  EXPECT_TRUE(pacer.ShouldServe(500, 50));
+  EXPECT_FALSE(pacer.ShouldServe(500, 51));
+  // At/after the end: the full budget, never more.
+  EXPECT_EQ(pacer.AllowedBy(2000), 100);
+  EXPECT_FALSE(pacer.ShouldServe(2000, 100));
+  EXPECT_TRUE(pacer.ShouldServe(2000, 99));
+}
+
+TEST(BudgetPacerTest, UnlimitedBudgetAlwaysServes) {
+  BudgetPacer pacer(0, 10, 0);
+  EXPECT_TRUE(pacer.ShouldServe(0, 123456));
+}
+
+TEST(BudgetPacerTest, DegenerateWindow) {
+  BudgetPacer pacer(100, 100, 10);  // end clamped to start+1
+  EXPECT_EQ(pacer.AllowedBy(101), 10);
+}
+
+}  // namespace
+}  // namespace adrec::ads

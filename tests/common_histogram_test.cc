@@ -1,0 +1,97 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace adrec {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  // Quantiles are clamped to max.
+  EXPECT_LE(h.Quantile(0.99), 42.0);
+}
+
+TEST(HistogramTest, ExactStatsAreExact) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(HistogramTest, QuantileErrorBounded) {
+  // Uniform samples: the q-quantile of U[0,1000] is ~1000q; log-bucketed
+  // approximation must stay within the bucket growth factor (~19%).
+  Histogram h;
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextDouble() * 1000.0;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const double approx = h.Quantile(q);
+    EXPECT_GE(approx, exact * 0.81) << q;
+    EXPECT_LE(approx, exact * 1.19 + 1e-3) << q;
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1.0);
+  for (int i = 0; i < 100; ++i) b.Record(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_NEAR(a.Mean(), 50.5, 1e-9);
+  // Median sits at the low cluster's bucket.
+  EXPECT_LT(a.Quantile(0.49), 2.0);
+  EXPECT_GT(a.Quantile(0.51), 90.0);
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  const size_t before = a.count();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), before);
+}
+
+TEST(HistogramTest, SummaryMentionsAllFields) {
+  Histogram h;
+  h.Record(5.0);
+  const std::string s = h.Summary();
+  for (const char* field : {"count=", "mean=", "p50=", "p95=", "p99=",
+                            "max="}) {
+    EXPECT_NE(s.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace adrec

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+namespace adrec {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, DropsEmptyByDefault) {
+  auto parts = SplitString(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(SplitStringTest, KeepsEmptyWhenAsked) {
+  auto parts = SplitString(",a,,b,", ',', /*keep_empty=*/true);
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  EXPECT_TRUE(SplitString("", ',').empty());
+  EXPECT_EQ(SplitString("", ',', true).size(), 1u);
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(TrimWhitespaceTest, Trims) {
+  EXPECT_EQ(TrimWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+  EXPECT_EQ(TrimWhitespace("z"), "z");
+}
+
+TEST(ToLowerAsciiTest, Lowercases) {
+  EXPECT_EQ(ToLowerAscii("VolleyBall 123!"), "volleyball 123!");
+}
+
+TEST(StartsEndsWithTest, Matches) {
+  EXPECT_TRUE(StartsWith("http://dbpedia.org/resource/Team", "http://"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_TRUE(EndsWith("feed.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(StringFormatTest, Formats) {
+  EXPECT_EQ(StringFormat("%d/%d=%.2f", 1, 2, 0.5), "1/2=0.50");
+  EXPECT_EQ(StringFormat("%s", ""), "");
+}
+
+TEST(TypedIdTest, DistinctTypesAndValidity) {
+  UserId u(3);
+  EXPECT_TRUE(u.valid());
+  EXPECT_FALSE(UserId().valid());
+  EXPECT_EQ(u, UserId(3));
+  EXPECT_NE(u, UserId(4));
+  EXPECT_LT(UserId(1), UserId(2));
+  // Hashing is usable in unordered containers.
+  std::hash<UserId> h;
+  EXPECT_NE(h(UserId(1)), h(UserId(2)));
+}
+
+TEST(SimClockTest, MonotoneAdvance) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(5);
+  EXPECT_EQ(clock.Now(), 105);
+  clock.Advance(-50);  // ignored
+  EXPECT_EQ(clock.Now(), 105);
+  clock.AdvanceTo(90);  // ignored: earlier than now
+  EXPECT_EQ(clock.Now(), 105);
+  clock.AdvanceTo(200);
+  EXPECT_EQ(clock.Now(), 200);
+}
+
+TEST(SimClockTest, DayHelpers) {
+  EXPECT_EQ(SecondOfDay(0), 0);
+  EXPECT_EQ(SecondOfDay(kSecondsPerDay + 5), 5);
+  EXPECT_EQ(SecondOfDay(-1), kSecondsPerDay - 1);
+  EXPECT_EQ(DayIndex(0), 0);
+  EXPECT_EQ(DayIndex(kSecondsPerDay), 1);
+  EXPECT_EQ(DayIndex(-1), -1);
+}
+
+TEST(TableWriterTest, AlignedTextAndCsv) {
+  TableWriter t("demo", {"k", "value"});
+  t.AddRow({"1", "alpha"});
+  t.AddNumericRow({2.0, 0.12345}, 2);
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("k,value"), std::string::npos);
+  EXPECT_NE(csv.find("2.00,0.12"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, CsvSanitizesCommas) {
+  TableWriter t("x", {"c"});
+  t.AddRow({"a,b"});
+  EXPECT_NE(t.ToCsv().find("a;b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adrec

@@ -1,0 +1,130 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace adrec::core {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : analyzer_(std::make_shared<text::Analyzer>()),
+        kb_(annotate::BuildDemoKnowledgeBase(analyzer_.get())),
+        engine_(std::shared_ptr<annotate::KnowledgeBase>(std::move(kb_)),
+                timeline::TimeSlotScheme::PaperScheme()) {
+    const Timestamp morning = 6 * kSecondsPerHour;
+    // User 0: heavy volleyball tweeting, checks in at location 3 mornings.
+    for (int i = 0; i < 5; ++i) {
+      engine_.OnTweet({UserId(0), morning + i * 60,
+                       "volleyball spike serve court match"});
+    }
+    engine_.OnCheckIn({UserId(0), morning, LocationId(3)});
+    // User 1: single coffee tweet, checks in at location 9 afternoons.
+    engine_.OnTweet({UserId(1), 15 * kSecondsPerHour, "espresso coffee"});
+    engine_.OnCheckIn({UserId(1), 15 * kSecondsPerHour, LocationId(9)});
+  }
+
+  AdContext VolleyballAd() {
+    feed::Ad ad;
+    ad.id = AdId(1);
+    ad.copy = "introducing volleyball gear spike serve";
+    ad.target_locations = {LocationId(3)};
+    ad.target_slots = {SlotId(1)};
+    return engine_.semantic().ProcessAd(ad);
+  }
+
+  bool Contains(const std::vector<UserId>& users, uint32_t id) {
+    return std::find(users.begin(), users.end(), UserId(id)) != users.end();
+  }
+
+  std::shared_ptr<text::Analyzer> analyzer_;
+  std::unique_ptr<annotate::KnowledgeBase> kb_;
+  RecommendationEngine engine_;
+};
+
+TEST_F(BaselinesTest, StrategyNamesAreStable) {
+  EXPECT_EQ(StrategyName(StrategyKind::kTriadic), "triadic");
+  EXPECT_EQ(StrategyName(StrategyKind::kContentOnly), "content-only");
+  EXPECT_EQ(StrategyName(StrategyKind::kLocationOnly), "location-only");
+  EXPECT_EQ(StrategyName(StrategyKind::kPopularity), "popularity");
+  EXPECT_EQ(StrategyName(StrategyKind::kLdaLite), "lda-lite");
+}
+
+TEST_F(BaselinesTest, ContentOnlySelectsTopicalUsers) {
+  BaselineOptions opts;
+  opts.now = kSecondsPerDay;
+  opts.content_threshold = 0.1;
+  auto users = ContentOnlyPredict(engine_, VolleyballAd(), opts);
+  EXPECT_TRUE(Contains(users, 0));
+  EXPECT_FALSE(Contains(users, 1));  // coffee user has no volleyball mass
+}
+
+TEST_F(BaselinesTest, ContentThresholdControlsAdmission) {
+  BaselineOptions opts;
+  opts.now = kSecondsPerDay;
+  opts.content_threshold = 1e9;  // impossible
+  EXPECT_TRUE(ContentOnlyPredict(engine_, VolleyballAd(), opts).empty());
+}
+
+TEST_F(BaselinesTest, LocationOnlySelectsCoLocatedUsers) {
+  BaselineOptions opts;
+  auto users = LocationOnlyPredict(engine_, VolleyballAd(), opts);
+  // User 0 checked in at location 3 in slot 1; user 1 did not.
+  EXPECT_TRUE(Contains(users, 0));
+  EXPECT_FALSE(Contains(users, 1));
+}
+
+TEST_F(BaselinesTest, LocationOnlyHonoursSlotTargets) {
+  AdContext ad = VolleyballAd();
+  ad.slots = {SlotId(2)};  // afternoon only: user 0 checked in mornings
+  BaselineOptions opts;
+  EXPECT_FALSE(Contains(LocationOnlyPredict(engine_, ad, opts), 0));
+  // Untargeted: any slot counts.
+  ad.slots.clear();
+  EXPECT_TRUE(Contains(LocationOnlyPredict(engine_, ad, opts), 0));
+}
+
+TEST_F(BaselinesTest, PopularityReturnsMostActiveFraction) {
+  BaselineOptions opts;
+  opts.now = kSecondsPerDay;
+  opts.popularity_fraction = 0.5;  // top 1 of 2 users
+  auto users = PopularityPredict(engine_, opts);
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_EQ(users[0], UserId(0));  // five tweets beat one
+}
+
+TEST_F(BaselinesTest, PopularityReturnsAtLeastOne) {
+  BaselineOptions opts;
+  opts.popularity_fraction = 0.0;
+  EXPECT_EQ(PopularityPredict(engine_, opts).size(), 1u);
+}
+
+TEST_F(BaselinesTest, LdaStrategyValidation) {
+  EXPECT_FALSE(LdaStrategy::Train({}, analyzer_.get()).ok());
+  std::vector<feed::Tweet> tweets = {{UserId(0), 0, "volleyball"}};
+  EXPECT_FALSE(LdaStrategy::Train(tweets, nullptr).ok());
+  EXPECT_TRUE(LdaStrategy::Train(tweets, analyzer_.get()).ok());
+}
+
+TEST_F(BaselinesTest, LdaStrategySeparatesUsers) {
+  std::vector<feed::Tweet> tweets;
+  for (int i = 0; i < 20; ++i) {
+    tweets.push_back({UserId(0), i * 100,
+                      "volleyball spike serve court block match"});
+    tweets.push_back({UserId(1), i * 100,
+                      "espresso latte coffee beans barista brew"});
+  }
+  auto lda = LdaStrategy::Train(tweets, analyzer_.get());
+  ASSERT_TRUE(lda.ok());
+  auto sporty = lda.value().Predict("volleyball spike serve", 0.8);
+  EXPECT_TRUE(Contains(sporty, 0));
+  EXPECT_FALSE(Contains(sporty, 1));
+  auto caffeinated = lda.value().Predict("coffee espresso latte", 0.8);
+  EXPECT_TRUE(Contains(caffeinated, 1));
+  EXPECT_FALSE(Contains(caffeinated, 0));
+}
+
+}  // namespace
+}  // namespace adrec::core

@@ -1,0 +1,175 @@
+#include "core/decay_topic_model.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::core {
+namespace {
+
+using Token = WeightedLdaModel::Token;
+
+DecayTopicOptions SmallOptions() {
+  DecayTopicOptions opts;
+  opts.num_topics = 2;
+  opts.train_iterations = 80;
+  opts.seed = 11;
+  return opts;
+}
+
+std::vector<std::vector<Token>> ClusteredDocs(double weight = 1.0) {
+  std::vector<std::vector<Token>> docs;
+  for (int d = 0; d < 8; ++d) {
+    std::vector<Token> doc;
+    for (int i = 0; i < 30; ++i) {
+      doc.push_back(
+          Token{static_cast<uint32_t>((d % 2 == 0 ? 0 : 5) + i % 5), weight});
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+TEST(WeightedLdaTest, Validation) {
+  DecayTopicOptions opts = SmallOptions();
+  opts.num_topics = 0;
+  EXPECT_FALSE(WeightedLdaModel::Train({{Token{0, 1.0}}}, 5, opts).ok());
+  EXPECT_FALSE(
+      WeightedLdaModel::Train({{Token{0, 1.0}}}, 0, SmallOptions()).ok());
+  EXPECT_FALSE(
+      WeightedLdaModel::Train({{Token{9, 1.0}}}, 5, SmallOptions()).ok());
+  EXPECT_FALSE(
+      WeightedLdaModel::Train({{Token{0, -1.0}}}, 5, SmallOptions()).ok());
+}
+
+TEST(WeightedLdaTest, UnitWeightsSeparateClusters) {
+  auto model = WeightedLdaModel::Train(ClusteredDocs(), 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  const auto d0 = model.value().DocTopicDistribution(0);
+  const auto d1 = model.value().DocTopicDistribution(1);
+  const auto d2 = model.value().DocTopicDistribution(2);
+  EXPECT_GT(WeightedLdaModel::Similarity(d0, d2), 0.9);
+  EXPECT_LT(WeightedLdaModel::Similarity(d0, d1), 0.7);
+}
+
+TEST(WeightedLdaTest, ZeroWeightTokensAreInert) {
+  // A document whose words are all weight-0 gets the prior distribution.
+  auto docs = ClusteredDocs();
+  std::vector<Token> dead;
+  for (int i = 0; i < 10; ++i) dead.push_back(Token{9, 0.0});
+  docs.push_back(dead);
+  auto model = WeightedLdaModel::Train(docs, 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  const auto dist = model.value().DocTopicDistribution(8);
+  EXPECT_NEAR(dist[0], 0.5, 1e-9);
+  EXPECT_NEAR(dist[1], 0.5, 1e-9);
+}
+
+TEST(WeightedLdaTest, DownWeightedEvidenceMattersLess) {
+  // Mixed doc: cluster-A words at high weight, cluster-B words at tiny
+  // weight. Its mixture should lean strongly toward cluster A's topic.
+  auto docs = ClusteredDocs();
+  std::vector<Token> mixed;
+  for (int i = 0; i < 5; ++i) mixed.push_back(Token{static_cast<uint32_t>(i), 1.0});
+  for (int i = 5; i < 10; ++i) {
+    mixed.push_back(Token{static_cast<uint32_t>(i), 0.05});
+  }
+  docs.push_back(mixed);
+  auto model = WeightedLdaModel::Train(docs, 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  const auto mixture = model.value().DocTopicDistribution(8);
+  const auto pure_a = model.value().DocTopicDistribution(0);
+  const auto pure_b = model.value().DocTopicDistribution(1);
+  EXPECT_GT(WeightedLdaModel::Similarity(mixture, pure_a),
+            WeightedLdaModel::Similarity(mixture, pure_b));
+}
+
+class DecayStrategyTest : public ::testing::Test {
+ protected:
+  DecayStrategyTest() {
+    // User 0: tweets about volleyball long ago, then switches to coffee.
+    // User 1: consistent pizza tweets throughout.
+    const Timestamp early = 1 * kSecondsPerDay + 8 * kSecondsPerHour;
+    const Timestamp late = 20 * kSecondsPerDay + 8 * kSecondsPerHour;
+    for (int i = 0; i < 10; ++i) {
+      tweets_.push_back({UserId(0), early + i * 600,
+                         "volleyball spike serve block court match"});
+      tweets_.push_back({UserId(0), late + i * 600,
+                         "espresso latte coffee beans barista cafe"});
+      tweets_.push_back({UserId(1), early + i * 600,
+                         "pizza cheese slice oven dough italian"});
+      tweets_.push_back({UserId(1), late + i * 600,
+                         "pizza pepperoni margherita restaurant"});
+    }
+    // User 2 tweets sports only in the morning, food only in the evening.
+    for (int day = 0; day < 10; ++day) {
+      tweets_.push_back({UserId(2),
+                         day * kSecondsPerDay + 8 * kSecondsPerHour,
+                         "volleyball match spike court serve"});
+      tweets_.push_back({UserId(2),
+                         day * kSecondsPerDay + 19 * kSecondsPerHour,
+                         "pizza cheese oven slice restaurant"});
+    }
+  }
+
+  bool Contains(const std::vector<UserId>& users, uint32_t id) {
+    for (UserId u : users) {
+      if (u.value == id) return true;
+    }
+    return false;
+  }
+
+  std::vector<feed::Tweet> tweets_;
+  text::Analyzer analyzer_;
+};
+
+TEST_F(DecayStrategyTest, DtmPrefersRecentInterests) {
+  DecayTopicOptions opts;
+  opts.num_topics = 4;
+  opts.half_life = 3 * kSecondsPerDay;
+  opts.seed = 99;
+  const Timestamp now = 21 * kSecondsPerDay;
+  auto dtm = DecayTopicStrategy::TrainDtm(tweets_, &analyzer_, now, opts);
+  ASSERT_TRUE(dtm.ok()) << dtm.status().ToString();
+  // User 0's volleyball phase decayed away; a coffee ad should match
+  // user 0, a volleyball ad should not.
+  auto coffee = dtm.value().Predict("espresso coffee latte beans", 0.7);
+  EXPECT_TRUE(Contains(coffee, 0));
+  auto volleyball = dtm.value().Predict("volleyball spike serve court", 0.7);
+  EXPECT_FALSE(Contains(volleyball, 0));
+}
+
+TEST_F(DecayStrategyTest, GdtmIsTimeOfDayAware) {
+  DecayTopicOptions opts;
+  opts.num_topics = 4;
+  opts.sigma = 2 * kSecondsPerHour;
+  opts.seed = 99;
+  // Morning anchor: user 2 looks like a sports fan.
+  auto morning = DecayTopicStrategy::TrainGdtm(tweets_, &analyzer_,
+                                               8 * kSecondsPerHour, opts);
+  ASSERT_TRUE(morning.ok());
+  auto sporty = morning.value().Predict("volleyball spike court match", 0.7);
+  EXPECT_TRUE(Contains(sporty, 2));
+  // Evening anchor: user 2 looks like a food fan, not a sports fan.
+  auto evening = DecayTopicStrategy::TrainGdtm(tweets_, &analyzer_,
+                                               19 * kSecondsPerHour, opts);
+  ASSERT_TRUE(evening.ok());
+  auto foody = evening.value().Predict("pizza cheese oven slice", 0.7);
+  EXPECT_TRUE(Contains(foody, 2));
+  auto sporty_evening =
+      evening.value().Predict("volleyball spike court match", 0.7);
+  EXPECT_FALSE(Contains(sporty_evening, 2));
+}
+
+TEST_F(DecayStrategyTest, KernelCutoffCanEmptyTraining) {
+  DecayTopicOptions opts;
+  opts.half_life = 1;  // everything decays to ~0 instantly
+  const Timestamp now = 100 * kSecondsPerDay;
+  auto dtm = DecayTopicStrategy::TrainDtm(tweets_, &analyzer_, now, opts);
+  EXPECT_FALSE(dtm.ok());
+}
+
+TEST_F(DecayStrategyTest, NullAnalyzerRejected) {
+  EXPECT_FALSE(DecayTopicStrategy::TrainDtm(tweets_, nullptr, 0).ok());
+}
+
+}  // namespace
+}  // namespace adrec::core

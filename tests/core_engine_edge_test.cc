@@ -1,0 +1,127 @@
+// Edge-case and robustness tests for the engine: degenerate inputs,
+// analysis boundary values, out-of-order streams, and re-analysis
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "feed/workload.h"
+
+namespace adrec::core {
+namespace {
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  EngineEdgeTest() {
+    analyzer_ = std::make_shared<text::Analyzer>();
+    kb_ = std::shared_ptr<annotate::KnowledgeBase>(
+        annotate::BuildDemoKnowledgeBase(analyzer_.get()));
+    engine_ = std::make_unique<RecommendationEngine>(
+        kb_, timeline::TimeSlotScheme::PaperScheme());
+  }
+
+  std::shared_ptr<text::Analyzer> analyzer_;
+  std::shared_ptr<annotate::KnowledgeBase> kb_;
+  std::unique_ptr<RecommendationEngine> engine_;
+};
+
+TEST_F(EngineEdgeTest, AnalysisOnEmptyEngineSucceeds) {
+  ASSERT_TRUE(engine_->RunAnalysis(0.5).ok());
+  feed::Ad ad;
+  ad.id = AdId(1);
+  ad.copy = "volleyball";
+  ASSERT_TRUE(engine_->InsertAd(ad).ok());
+  auto r = engine_->RecommendUsers(AdId(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().users.empty());
+}
+
+TEST_F(EngineEdgeTest, AlphaBoundaryValues) {
+  engine_->OnTweet({UserId(0), 6 * kSecondsPerHour, "volleyball match"});
+  EXPECT_TRUE(engine_->RunAnalysis(0.0).ok());
+  EXPECT_TRUE(engine_->RunAnalysis(1.0).ok());
+  EXPECT_FALSE(engine_->RunAnalysis(-0.1).ok());
+  EXPECT_FALSE(engine_->RunAnalysis(1.1).ok());
+}
+
+TEST_F(EngineEdgeTest, TweetsWithNoAnnotationsAreHarmless) {
+  engine_->OnTweet({UserId(0), 100, "zzz qqq unmatched verbiage"});
+  engine_->OnTweet({UserId(0), 200, ""});
+  EXPECT_EQ(engine_->tweets_ingested(), 2u);
+  EXPECT_TRUE(engine_->RunAnalysis(0.5).ok());
+  EXPECT_TRUE(engine_->TopKAdsForTweet({UserId(0), 300, ""}, 5).empty());
+}
+
+TEST_F(EngineEdgeTest, OutOfOrderEventsDoNotBreakAnalysis) {
+  // Events arrive shuffled in time; the TFCA is order-insensitive (it
+  // accumulates cells) and profiles clamp monotonically.
+  engine_->OnTweet({UserId(0), 5 * kSecondsPerDay, "volleyball spike"});
+  engine_->OnCheckIn({UserId(0), 1 * kSecondsPerDay, LocationId(3)});
+  engine_->OnTweet({UserId(0), 2 * kSecondsPerDay, "volleyball serve"});
+  engine_->OnCheckIn({UserId(0), 4 * kSecondsPerDay, LocationId(3)});
+  ASSERT_TRUE(engine_->RunAnalysis(0.3).ok());
+  EXPECT_GT(engine_->analysis().stats().checkin_incidences, 0u);
+  EXPECT_GT(engine_->analysis().stats().tweet_cells, 0u);
+}
+
+TEST_F(EngineEdgeTest, ReAnalysisReplacesResults) {
+  engine_->OnTweet({UserId(0), 6 * kSecondsPerHour,
+                    "volleyball spike serve match"});
+  ASSERT_TRUE(engine_->RunAnalysis(0.1).ok());
+  const size_t loose = engine_->analysis().stats().topic_triconcepts;
+  ASSERT_TRUE(engine_->RunAnalysis(1.0).ok());
+  const size_t strict = engine_->analysis().stats().topic_triconcepts;
+  EXPECT_GE(loose, strict);
+}
+
+TEST_F(EngineEdgeTest, NewEventsInvalidateAnalysis) {
+  ASSERT_TRUE(engine_->RunAnalysis(0.5).ok());
+  feed::Ad ad;
+  ad.id = AdId(1);
+  ad.copy = "volleyball";
+  ASSERT_TRUE(engine_->InsertAd(ad).ok());
+  ASSERT_TRUE(engine_->RecommendUsers(AdId(1)).ok());
+  // Ingesting after analysis marks it stale.
+  engine_->OnTweet({UserId(0), 100, "volleyball"});
+  auto r = engine_->RecommendUsers(AdId(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineEdgeTest, ManyUsersSameText) {
+  for (uint32_t u = 0; u < 64; ++u) {
+    engine_->OnTweet({UserId(u), 6 * kSecondsPerHour + u,
+                      "volleyball match tonight"});
+    engine_->OnCheckIn({UserId(u), 6 * kSecondsPerHour + u, LocationId(1)});
+  }
+  ASSERT_TRUE(engine_->RunAnalysis(0.3).ok());
+  // One big community: everyone at location 1 in slot 1.
+  const auto& communities =
+      engine_->analysis().LocationCommunities(LocationId(1));
+  ASSERT_FALSE(communities.empty());
+  size_t max_size = 0;
+  for (const auto& c : communities) max_size = std::max(max_size, c.users.size());
+  EXPECT_EQ(max_size, 64u);
+}
+
+TEST_F(EngineEdgeTest, DuplicateCheckInsAreIdempotentInContext) {
+  for (int i = 0; i < 10; ++i) {
+    engine_->OnCheckIn({UserId(1), 6 * kSecondsPerHour, LocationId(2)});
+  }
+  ASSERT_TRUE(engine_->RunAnalysis(0.5).ok());
+  // The triadic context is binary: ten identical check-ins, one incidence.
+  EXPECT_EQ(engine_->analysis().stats().checkin_incidences, 1u);
+}
+
+TEST_F(EngineEdgeTest, TopKWithHugeK) {
+  feed::Ad ad;
+  ad.id = AdId(1);
+  ad.copy = "volleyball gear";
+  ASSERT_TRUE(engine_->InsertAd(ad).ok());
+  auto ads = engine_->TopKAdsForTweet(
+      {UserId(0), 6 * kSecondsPerHour, "volleyball"}, 1000000);
+  EXPECT_EQ(ads.size(), 1u);  // bounded by inventory
+}
+
+}  // namespace
+}  // namespace adrec::core

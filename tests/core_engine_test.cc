@@ -1,0 +1,200 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "feed/workload.h"
+
+namespace adrec::core {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    analyzer_ = std::make_shared<text::Analyzer>();
+    kb_ = std::shared_ptr<annotate::KnowledgeBase>(
+        annotate::BuildDemoKnowledgeBase(analyzer_.get()));
+    engine_ = std::make_unique<RecommendationEngine>(
+        kb_, timeline::TimeSlotScheme::PaperScheme());
+  }
+
+  feed::Tweet MakeTweet(uint32_t user, Timestamp time, std::string text) {
+    feed::Tweet t;
+    t.user = UserId(user);
+    t.time = time;
+    t.text = std::move(text);
+    return t;
+  }
+
+  feed::CheckIn MakeCheckIn(uint32_t user, Timestamp time, uint32_t loc) {
+    feed::CheckIn c;
+    c.user = UserId(user);
+    c.time = time;
+    c.location = LocationId(loc);
+    return c;
+  }
+
+  feed::Ad MakeAd(uint32_t id, std::string copy,
+                  std::vector<LocationId> locs = {},
+                  std::vector<SlotId> slots = {}, int64_t budget = 0) {
+    feed::Ad ad;
+    ad.id = AdId(id);
+    ad.campaign = CampaignId(id);
+    ad.copy = std::move(copy);
+    ad.target_locations = std::move(locs);
+    ad.target_slots = std::move(slots);
+    ad.budget_impressions = budget;
+    return ad;
+  }
+
+  std::shared_ptr<text::Analyzer> analyzer_;
+  std::shared_ptr<annotate::KnowledgeBase> kb_;
+  std::unique_ptr<RecommendationEngine> engine_;
+};
+
+constexpr Timestamp kMorning = 6 * kSecondsPerHour;    // slot1
+constexpr Timestamp kAfternoon = 15 * kSecondsPerHour;  // slot2
+
+TEST_F(EngineTest, IngestionCounters) {
+  engine_->OnTweet(MakeTweet(0, kMorning, "volleyball match today"));
+  engine_->OnCheckIn(MakeCheckIn(0, kMorning, 3));
+  EXPECT_EQ(engine_->tweets_ingested(), 1u);
+  EXPECT_EQ(engine_->checkins_ingested(), 1u);
+}
+
+TEST_F(EngineTest, RecommendRequiresAnalysis) {
+  ASSERT_TRUE(engine_->InsertAd(MakeAd(1, "adidas shoes")).ok());
+  auto r = engine_->RecommendUsers(AdId(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine_->RunAnalysis().ok());
+  EXPECT_TRUE(engine_->RecommendUsers(AdId(1)).ok());
+}
+
+TEST_F(EngineTest, RecommendUnknownAdIsNotFound) {
+  ASSERT_TRUE(engine_->RunAnalysis().ok());
+  EXPECT_EQ(engine_->RecommendUsers(AdId(99)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, EndToEndTriadicMatch) {
+  // User 0 tweets about volleyball every morning and checks in at loc 7;
+  // user 1 tweets about coffee and checks in at loc 8.
+  for (int day = 0; day < 3; ++day) {
+    const Timestamp morning = day * kSecondsPerDay + kMorning;
+    engine_->OnTweet(MakeTweet(0, morning,
+                               "volleyball serve spike great match"));
+    engine_->OnCheckIn(MakeCheckIn(0, morning, 7));
+    engine_->OnTweet(MakeTweet(1, morning, "espresso coffee morning cup"));
+    engine_->OnCheckIn(MakeCheckIn(1, morning, 8));
+  }
+  ASSERT_TRUE(engine_->InsertAd(
+      MakeAd(1, "introducing volleyball gear spike serve",
+             {LocationId(7)}, {SlotId(1)}))
+                  .ok());
+  ASSERT_TRUE(engine_->RunAnalysis(0.3).ok());
+  auto r = engine_->RecommendUsers(AdId(1));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().users.size(), 1u);
+  EXPECT_EQ(r.value().users[0].user, UserId(0));
+}
+
+TEST_F(EngineTest, TopKAdsForTweetRanksRelevantFirst) {
+  ASSERT_TRUE(engine_->InsertAd(MakeAd(1, "volleyball gear spike")).ok());
+  ASSERT_TRUE(engine_->InsertAd(MakeAd(2, "espresso coffee beans")).ok());
+  auto ads = engine_->TopKAdsForTweet(
+      MakeTweet(0, kMorning, "volleyball tournament tonight"), 2);
+  ASSERT_GE(ads.size(), 1u);
+  EXPECT_EQ(ads[0].ad, AdId(1));
+}
+
+TEST_F(EngineTest, TopKRespectsLocationTargeting) {
+  ASSERT_TRUE(engine_->InsertAd(
+      MakeAd(1, "volleyball gear", {LocationId(5)})).ok());
+  // The user's last check-in is location 9: the ad targets 5 only.
+  engine_->OnCheckIn(MakeCheckIn(0, kMorning, 9));
+  auto ads = engine_->TopKAdsForTweet(
+      MakeTweet(0, kMorning + 60, "volleyball tonight"), 3);
+  EXPECT_TRUE(ads.empty());
+  // After checking in at 5, the ad is eligible.
+  engine_->OnCheckIn(MakeCheckIn(0, kMorning + 120, 5));
+  ads = engine_->TopKAdsForTweet(
+      MakeTweet(0, kMorning + 180, "volleyball tonight"), 3);
+  ASSERT_EQ(ads.size(), 1u);
+  EXPECT_EQ(ads[0].ad, AdId(1));
+}
+
+TEST_F(EngineTest, TopKChargesBudgetAndStopsWhenExhausted) {
+  ASSERT_TRUE(engine_->InsertAd(
+      MakeAd(1, "volleyball gear", {}, {}, /*budget=*/2)).ok());
+  const feed::Tweet tweet = MakeTweet(0, kMorning, "volleyball");
+  EXPECT_EQ(engine_->TopKAdsForTweet(tweet, 1).size(), 1u);
+  EXPECT_EQ(engine_->TopKAdsForTweet(tweet, 1).size(), 1u);
+  // Budget (2) exhausted: no more impressions.
+  EXPECT_TRUE(engine_->TopKAdsForTweet(tweet, 1).empty());
+}
+
+TEST_F(EngineTest, InsertRemoveAdConsistency) {
+  ASSERT_TRUE(engine_->InsertAd(MakeAd(1, "volleyball")).ok());
+  EXPECT_EQ(engine_->InsertAd(MakeAd(1, "volleyball")).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(engine_->RemoveAd(AdId(1)).ok());
+  EXPECT_EQ(engine_->RemoveAd(AdId(1)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine_->ad_store().size(), 0u);
+  EXPECT_EQ(engine_->ad_index().size(), 0u);
+  // Removed ads never surface.
+  EXPECT_TRUE(engine_->TopKAdsForTweet(
+                        MakeTweet(0, kMorning, "volleyball"), 5)
+                  .empty());
+}
+
+TEST_F(EngineTest, OnEventDispatches) {
+  feed::FeedEvent ev;
+  ev.kind = feed::EventKind::kAdInsert;
+  ev.ad = MakeAd(4, "pizza margherita slice");
+  engine_->OnEvent(ev);
+  EXPECT_EQ(engine_->ad_store().size(), 1u);
+
+  ev = {};
+  ev.kind = feed::EventKind::kTweet;
+  ev.tweet = MakeTweet(0, kAfternoon, "pizza for lunch");
+  engine_->OnEvent(ev);
+  EXPECT_EQ(engine_->tweets_ingested(), 1u);
+
+  ev = {};
+  ev.kind = feed::EventKind::kCheckIn;
+  ev.check_in = MakeCheckIn(0, kAfternoon, 2);
+  engine_->OnEvent(ev);
+  EXPECT_EQ(engine_->checkins_ingested(), 1u);
+
+  ev = {};
+  ev.kind = feed::EventKind::kAdDelete;
+  ev.ad_id = AdId(4);
+  engine_->OnEvent(ev);
+  EXPECT_EQ(engine_->ad_store().size(), 0u);
+}
+
+TEST_F(EngineTest, WorksOnGeneratedWorkload) {
+  feed::WorkloadOptions opts;
+  opts.num_users = 10;
+  opts.num_places = 8;
+  opts.num_ads = 3;
+  opts.days = 4;
+  opts.seed = 5;
+  feed::Workload w = feed::GenerateWorkload(opts);
+  RecommendationEngine engine(w.kb, w.slots);
+  for (const feed::Ad& ad : w.ads) ASSERT_TRUE(engine.InsertAd(ad).ok());
+  for (const feed::FeedEvent& e : w.MergedEvents()) engine.OnEvent(e);
+  ASSERT_TRUE(engine.RunAnalysis(0.6).ok());
+  for (const feed::Ad& ad : w.ads) {
+    auto r = engine.RecommendUsers(ad.id);
+    ASSERT_TRUE(r.ok());
+    // Matched users are known users with valid ids.
+    for (const MatchedUser& mu : r.value().users) {
+      EXPECT_LT(mu.user.value, opts.num_users);
+      EXPECT_GT(mu.score, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adrec::core

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "core/tfca.h"
+
+namespace adrec::core {
+namespace {
+
+// A window where topic 0 ("running shoes") co-occurs with topic 1
+// ("marathon") for every user who mentions it, so the stem base contains
+// 0 -> 1.
+class ExpansionTest : public ::testing::Test {
+ protected:
+  ExpansionTest()
+      : slots_(timeline::TimeSlotScheme::MorningAfternoonEvening()),
+        tfca_(&slots_, /*num_topics=*/4) {
+    // Users 0,1,2 tweet topics {0,1}; user 3 tweets {1} only; user 4
+    // tweets {2}.
+    for (uint32_t u : {0u, 1u, 2u}) {
+      AddTweet(u, 0, 1.0);
+      AddTweet(u, 1, 1.0);
+    }
+    AddTweet(3, 1, 1.0);
+    AddTweet(4, 2, 1.0);
+  }
+
+  void AddTweet(uint32_t user, uint32_t topic, double score) {
+    AnnotatedTweet t;
+    t.user = UserId(user);
+    t.time = 9 * kSecondsPerHour;
+    annotate::Annotation a;
+    a.topic = TopicId(topic);
+    a.score = score;
+    t.annotations.push_back(a);
+    tfca_.AddTweet(t);
+  }
+
+  timeline::TimeSlotScheme slots_;
+  TimeAwareConceptAnalysis tfca_;
+};
+
+TEST_F(ExpansionTest, UserTopicContextReflectsWindow) {
+  fca::FormalContext ctx = tfca_.BuildUserTopicContext(0.5);
+  EXPECT_EQ(ctx.num_objects(), 5u);
+  EXPECT_EQ(ctx.num_attributes(), 4u);
+  EXPECT_TRUE(ctx.Incidence(0, 0));
+  EXPECT_TRUE(ctx.Incidence(3, 1));
+  EXPECT_FALSE(ctx.Incidence(3, 0));
+  // Alpha filters low-score cells.
+  fca::FormalContext strict = tfca_.BuildUserTopicContext(1.1);
+  EXPECT_FALSE(strict.Incidence(0, 0));
+}
+
+// Rule thresholds sized for the 5-user fixture.
+ExpandOptions FixtureOptions() {
+  ExpandOptions opts;
+  opts.min_support = 3;
+  opts.min_confidence = 0.9;
+  opts.min_mentions = 1;  // the fixture has one tweet per (user, topic)
+  return opts;
+}
+
+TEST_F(ExpansionTest, ImpliedTopicIsAdded) {
+  AdContext ad;
+  ad.topics = text::SparseVector::FromUnsorted({{0, 1.0}});  // topic 0 only
+  AdContext expanded = ExpandAdTopics(tfca_, ad, FixtureOptions());
+  // 0 -> 1 holds in the window, so topic 1 joins with the implied weight.
+  EXPECT_GT(expanded.topics.Get(1), 0.0);
+  EXPECT_DOUBLE_EQ(expanded.topics.Get(1), 0.3);
+  // Original weight untouched; unrelated topic 2 not added.
+  EXPECT_DOUBLE_EQ(expanded.topics.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(expanded.topics.Get(2), 0.0);
+}
+
+TEST_F(ExpansionTest, ExactModeRejectsPartialImplication) {
+  // 1 -> 0 is not exact (user 3 has 1 without 0), so the stem-base mode
+  // must not fire it.
+  AdContext ad;
+  ad.topics = text::SparseVector::FromUnsorted({{1, 1.0}});
+  ExpandOptions opts = FixtureOptions();
+  opts.exact_only = true;
+  AdContext expanded = ExpandAdTopics(tfca_, ad, opts);
+  EXPECT_DOUBLE_EQ(expanded.topics.Get(0), 0.0);
+}
+
+TEST_F(ExpansionTest, PartialModeFiresHighConfidenceRules) {
+  // 1 -> 0 has confidence 3/4 = 0.75: fires at threshold 0.6, not 0.8.
+  AdContext ad;
+  ad.topics = text::SparseVector::FromUnsorted({{1, 1.0}});
+  ExpandOptions opts = FixtureOptions();
+  opts.min_confidence = 0.6;
+  EXPECT_GT(ExpandAdTopics(tfca_, ad, opts).topics.Get(0), 0.0);
+  opts.min_confidence = 0.8;
+  EXPECT_DOUBLE_EQ(ExpandAdTopics(tfca_, ad, opts).topics.Get(0), 0.0);
+}
+
+TEST_F(ExpansionTest, SupportThresholdSuppressesRareRules) {
+  // 2 -> nothing and nothing -> 2: topic 2 has a single supporter, below
+  // min_support 3 in both directions.
+  AdContext ad;
+  ad.topics = text::SparseVector::FromUnsorted({{2, 1.0}});
+  AdContext expanded = ExpandAdTopics(tfca_, ad, FixtureOptions());
+  EXPECT_EQ(expanded.topics.size(), 1u);
+}
+
+TEST_F(ExpansionTest, ImpliedWeightConfigurable) {
+  AdContext ad;
+  ad.topics = text::SparseVector::FromUnsorted({{0, 1.0}});
+  ExpandOptions opts = FixtureOptions();
+  opts.implied_weight = 0.7;
+  AdContext expanded = ExpandAdTopics(tfca_, ad, opts);
+  EXPECT_DOUBLE_EQ(expanded.topics.Get(1), 0.7);
+}
+
+TEST_F(ExpansionTest, EmptyAdUnchanged) {
+  AdContext ad;
+  AdContext expanded = ExpandAdTopics(tfca_, ad);
+  // The empty premise implication (∅ -> common topics) must not fire for
+  // an ad with no topics: premises of size 0 are filtered out.
+  EXPECT_TRUE(expanded.topics.empty());
+}
+
+TEST_F(ExpansionTest, ExpansionWidensTheMatch) {
+  // Add check-ins so the location side matches everyone at m0 morning.
+  for (uint32_t u = 0; u < 5; ++u) {
+    feed::CheckIn c;
+    c.user = UserId(u);
+    c.time = 9 * kSecondsPerHour;
+    c.location = LocationId(0);
+    tfca_.AddCheckIn(c);
+  }
+  TfcaOptions topts;
+  topts.alpha = 0.5;
+  ASSERT_TRUE(tfca_.Analyze(topts).ok());
+
+  AdContext ad;
+  ad.locations = {LocationId(0)};
+  ad.topics = text::SparseVector::FromUnsorted({{0, 1.0}});
+  const MatchResult plain = MatchAd(tfca_, ad, MatchOptions{});
+  const MatchResult expanded =
+      MatchAd(tfca_, ExpandAdTopics(tfca_, ad, FixtureOptions()),
+              MatchOptions{});
+  // Expansion can only add candidate users.
+  EXPECT_GE(expanded.users.size(), plain.users.size());
+  EXPECT_GE(expanded.topic_candidates, plain.topic_candidates);
+}
+
+}  // namespace
+}  // namespace adrec::core

@@ -1,0 +1,124 @@
+#include "core/lda.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adrec::core {
+namespace {
+
+// Two sharply separated word clusters: words 0-4 vs words 5-9.
+std::vector<std::vector<uint32_t>> ClusteredDocs() {
+  std::vector<std::vector<uint32_t>> docs;
+  for (int d = 0; d < 10; ++d) {
+    std::vector<uint32_t> doc;
+    for (int i = 0; i < 30; ++i) {
+      doc.push_back(static_cast<uint32_t>((d % 2 == 0 ? 0 : 5) + i % 5));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+LdaOptions SmallOptions() {
+  LdaOptions opts;
+  opts.num_topics = 2;
+  opts.train_iterations = 80;
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(LdaTest, ValidatesArguments) {
+  LdaOptions opts;
+  opts.num_topics = 0;
+  EXPECT_FALSE(LdaModel::Train({{0}}, 5, opts).ok());
+  EXPECT_FALSE(LdaModel::Train({{0}}, 0, LdaOptions{}).ok());
+  EXPECT_EQ(LdaModel::Train({{7}}, 5, LdaOptions{}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(LdaTest, DistributionsAreNormalized) {
+  auto model = LdaModel::Train(ClusteredDocs(), 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  for (size_t d = 0; d < 10; ++d) {
+    const auto dist = model.value().DocTopicDistribution(d);
+    double sum = 0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Topic-word rows are proper distributions too.
+  for (size_t z = 0; z < 2; ++z) {
+    double sum = 0;
+    for (uint32_t w = 0; w < 10; ++w) {
+      sum += model.value().TopicWordProbability(z, w);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, SeparatesObviousClusters) {
+  auto model = LdaModel::Train(ClusteredDocs(), 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  // Same-cluster documents should be much more similar than cross-cluster.
+  const auto d0 = model.value().DocTopicDistribution(0);
+  const auto d2 = model.value().DocTopicDistribution(2);
+  const auto d1 = model.value().DocTopicDistribution(1);
+  EXPECT_GT(LdaModel::Similarity(d0, d2), 0.9);
+  EXPECT_LT(LdaModel::Similarity(d0, d1), 0.7);
+}
+
+TEST(LdaTest, InferenceMatchesTraining) {
+  auto model = LdaModel::Train(ClusteredDocs(), 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  // An unseen doc from cluster A should land near cluster-A training docs.
+  std::vector<uint32_t> doc_a = {0, 1, 2, 3, 4, 0, 1, 2, 3, 4};
+  const auto inferred = model.value().Infer(doc_a);
+  EXPECT_GT(LdaModel::Similarity(inferred,
+                                 model.value().DocTopicDistribution(0)),
+            0.9);
+}
+
+TEST(LdaTest, InferDropsUnknownWordsAndHandlesEmpty) {
+  auto model = LdaModel::Train(ClusteredDocs(), 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  const auto dist = model.value().Infer({999, 1000});
+  double sum = 0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // uniform prior fallback, still normalised
+  const auto empty = model.value().Infer({});
+  EXPECT_EQ(empty.size(), 2u);
+}
+
+TEST(LdaTest, EmptyDocumentGetsPriorDistribution) {
+  auto docs = ClusteredDocs();
+  docs.push_back({});  // empty doc
+  auto model = LdaModel::Train(docs, 10, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  const auto dist = model.value().DocTopicDistribution(10);
+  EXPECT_NEAR(dist[0], 0.5, 1e-9);
+  EXPECT_NEAR(dist[1], 0.5, 1e-9);
+}
+
+TEST(LdaTest, SimilarityBasics) {
+  EXPECT_NEAR(LdaModel::Similarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(LdaModel::Similarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(LdaModel::Similarity({0, 0}, {1, 0}), 0.0);
+}
+
+TEST(LdaTest, DeterministicForFixedSeed) {
+  auto a = LdaModel::Train(ClusteredDocs(), 10, SmallOptions());
+  auto b = LdaModel::Train(ClusteredDocs(), 10, SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t d = 0; d < 10; ++d) {
+    const auto da = a.value().DocTopicDistribution(d);
+    const auto db = b.value().DocTopicDistribution(d);
+    for (size_t z = 0; z < 2; ++z) EXPECT_DOUBLE_EQ(da[z], db[z]);
+  }
+}
+
+}  // namespace
+}  // namespace adrec::core

@@ -1,0 +1,89 @@
+#include "core/selling_points.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::core {
+namespace {
+
+class SellingPointsTest : public ::testing::Test {
+ protected:
+  SellingPointsTest()
+      : kb_(annotate::BuildDemoKnowledgeBase(&analyzer_)),
+        slots_(timeline::TimeSlotScheme::PaperScheme()),
+        tfca_(&slots_, kb_->size()) {
+    // Users 0-2 tweet topic 0 (heavily) and topic 1; users 3-9 tweet
+    // topic 1 only. Topic 0 distinguishes the first group.
+    for (uint32_t u = 0; u < 10; ++u) {
+      for (int i = 0; i < 4; ++i) {
+        if (u < 3) AddTweet(u, 0);
+        AddTweet(u, 1);
+      }
+    }
+  }
+
+  void AddTweet(uint32_t user, uint32_t topic) {
+    AnnotatedTweet t;
+    t.user = UserId(user);
+    t.time = 9 * kSecondsPerHour;
+    annotate::Annotation a;
+    a.topic = TopicId(topic);
+    a.score = 1.0;
+    t.annotations.push_back(a);
+    tfca_.AddTweet(t);
+  }
+
+  text::Analyzer analyzer_;
+  std::unique_ptr<annotate::KnowledgeBase> kb_;
+  timeline::TimeSlotScheme slots_;
+  TimeAwareConceptAnalysis tfca_;
+};
+
+TEST_F(SellingPointsTest, DistinguishingTopicTops) {
+  auto points = DiscoverSellingPoints(tfca_, *kb_,
+                                      {UserId(0), UserId(1), UserId(2)});
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points[0].topic, TopicId(0));
+  EXPECT_GT(points[0].lift, 1.5);
+  EXPECT_EQ(points[0].support, 3u);
+  EXPECT_EQ(points[0].uri, kb_->entity(TopicId(0)).uri);
+  // Topic 1 is universal: lift ≈ 1, below the default 1.2 cut.
+  for (const SellingPoint& p : points) {
+    EXPECT_NE(p.topic, TopicId(1));
+  }
+}
+
+TEST_F(SellingPointsTest, WholePopulationHasNoSellingPoints) {
+  std::vector<UserId> everyone;
+  for (uint32_t u = 0; u < 10; ++u) everyone.push_back(UserId(u));
+  auto points = DiscoverSellingPoints(tfca_, *kb_, everyone);
+  // Against itself every lift is exactly 1.0.
+  EXPECT_TRUE(points.empty());
+}
+
+TEST_F(SellingPointsTest, EmptyAndUnknownInputs) {
+  EXPECT_TRUE(DiscoverSellingPoints(tfca_, *kb_, {}).empty());
+  // Users never seen by the analysis.
+  EXPECT_TRUE(
+      DiscoverSellingPoints(tfca_, *kb_, {UserId(999)}).empty());
+}
+
+TEST_F(SellingPointsTest, MinSupportFilters) {
+  SellingPointOptions opts;
+  opts.min_support = 4;  // group has only 3 members
+  EXPECT_TRUE(DiscoverSellingPoints(tfca_, *kb_,
+                                    {UserId(0), UserId(1), UserId(2)}, opts)
+                  .empty());
+}
+
+TEST_F(SellingPointsTest, MaxPointsTruncates) {
+  SellingPointOptions opts;
+  opts.min_lift = 0.0;
+  opts.min_support = 1;
+  opts.max_points = 1;
+  auto points = DiscoverSellingPoints(tfca_, *kb_,
+                                      {UserId(0), UserId(1), UserId(2)}, opts);
+  EXPECT_EQ(points.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adrec::core

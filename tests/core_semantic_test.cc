@@ -1,0 +1,78 @@
+#include "core/semantic.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::core {
+namespace {
+
+class SemanticTest : public ::testing::Test {
+ protected:
+  SemanticTest()
+      : kb_(annotate::BuildDemoKnowledgeBase(&analyzer_)),
+        semantic_(kb_.get()) {}
+
+  text::Analyzer analyzer_;
+  std::unique_ptr<annotate::KnowledgeBase> kb_;
+  SemanticRepresentation semantic_;
+};
+
+TEST_F(SemanticTest, ProcessTweetCarriesIdentityAndAnnotations) {
+  feed::Tweet tweet;
+  tweet.user = UserId(9);
+  tweet.time = 12345;
+  tweet.text = "volleyball match and a coffee afterwards";
+  AnnotatedTweet at = semantic_.ProcessTweet(tweet);
+  EXPECT_EQ(at.user, UserId(9));
+  EXPECT_EQ(at.time, 12345);
+  ASSERT_GE(at.annotations.size(), 2u);
+  bool volleyball = false, coffee = false;
+  for (const auto& a : at.annotations) {
+    volleyball |= a.uri.ends_with("/Volleyball");
+    coffee |= a.uri.ends_with("/Coffee");
+  }
+  EXPECT_TRUE(volleyball);
+  EXPECT_TRUE(coffee);
+}
+
+TEST_F(SemanticTest, ProcessAdBuildsContext) {
+  feed::Ad ad;
+  ad.id = AdId(4);
+  ad.copy = "introducing adidas volleyball gear";
+  ad.target_locations = {LocationId(2), LocationId(5)};
+  ad.target_slots = {SlotId(1)};
+  ad.bid = 2.0;
+  AdContext ctx = semantic_.ProcessAd(ad);
+  EXPECT_EQ(ctx.id, AdId(4));
+  EXPECT_EQ(ctx.locations.size(), 2u);
+  EXPECT_EQ(ctx.slots.size(), 1u);
+  EXPECT_DOUBLE_EQ(ctx.bid, 2.0);
+  // The topic vector has positive weights on the mentioned entities.
+  auto adidas = kb_->FindByUri("http://dbpedia.org/resource/Adidas");
+  auto volleyball = kb_->FindByUri("http://dbpedia.org/resource/Volleyball");
+  ASSERT_TRUE(adidas.ok());
+  ASSERT_TRUE(volleyball.ok());
+  EXPECT_GT(ctx.topics.Get(adidas.value().value), 0.0);
+  EXPECT_GT(ctx.topics.Get(volleyball.value().value), 0.0);
+}
+
+TEST_F(SemanticTest, EmptyTextsYieldEmptyRepresentations) {
+  feed::Tweet tweet;
+  tweet.user = UserId(0);
+  tweet.text = "";
+  EXPECT_TRUE(semantic_.ProcessTweet(tweet).annotations.empty());
+  feed::Ad ad;
+  ad.copy = "nothing matches here zzz";
+  EXPECT_TRUE(semantic_.ProcessAd(ad).topics.empty());
+}
+
+TEST_F(SemanticTest, AnnotatorOptionsAreForwarded) {
+  annotate::AnnotatorOptions opts;
+  opts.min_score = 0.99;  // drop everything
+  SemanticRepresentation strict(kb_.get(), opts);
+  feed::Tweet tweet;
+  tweet.text = "nation team";
+  EXPECT_TRUE(strict.ProcessTweet(tweet).annotations.empty());
+}
+
+}  // namespace
+}  // namespace adrec::core

@@ -1,0 +1,124 @@
+#include "core/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace adrec::core {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("adrec_snap_" + std::to_string(::getpid())))
+               .string();
+  }
+  ~SnapshotTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesServingState) {
+  feed::WorkloadOptions opts;
+  opts.seed = 81;
+  opts.num_users = 10;
+  opts.num_places = 8;
+  opts.num_ads = 4;
+  opts.days = 3;
+  eval::ExperimentSetup setup = eval::BuildExperiment(opts);
+  RecommendationEngine& original = *setup.engine;
+
+  // Serve a few impressions so counters are non-trivial.
+  for (size_t i = 0; i < 20 && i < setup.workload.tweets.size(); ++i) {
+    original.TopKAdsForTweet(setup.workload.tweets[i], 1);
+  }
+
+  ASSERT_TRUE(SaveEngineSnapshot(original, dir_).ok());
+
+  RecommendationEngine restored(setup.workload.kb, setup.workload.slots);
+  ASSERT_TRUE(LoadEngineSnapshot(dir_, &restored).ok());
+
+  // Ad inventory and impression counters match.
+  EXPECT_EQ(restored.ad_store().size(), original.ad_store().size());
+  original.ad_store().ForEach([&](const ads::StoredAd& stored) {
+    const ads::StoredAd* r = restored.ad_store().Find(stored.ad.id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->impressions_served, stored.impressions_served);
+    EXPECT_EQ(r->ad.copy, stored.ad.copy);
+    EXPECT_EQ(r->ad.target_locations, stored.ad.target_locations);
+  });
+
+  // Profiles match: interests and visit masses at a probe time.
+  const Timestamp probe = opts.days * kSecondsPerDay;
+  for (UserId user : original.profiles().KnownUsers()) {
+    const auto a = original.profiles().InterestsAt(user, probe);
+    const auto b = restored.profiles().InterestsAt(user, probe);
+    ASSERT_EQ(a.size(), b.size()) << user.value;
+    for (size_t i = 0; i < a.entries().size(); ++i) {
+      EXPECT_EQ(a.entries()[i].id, b.entries()[i].id);
+      EXPECT_NEAR(a.entries()[i].weight, b.entries()[i].weight, 1e-6);
+    }
+    for (uint32_t s = 0; s < setup.workload.slots.size(); ++s) {
+      EXPECT_EQ(original.profiles().TopLocation(user, SlotId(s)),
+                restored.profiles().TopLocation(user, SlotId(s)))
+          << "user " << user.value << " slot " << s;
+    }
+  }
+
+  // The streaming path produces identical results post-restore.
+  const feed::Tweet& probe_tweet = setup.workload.tweets.back();
+  auto orig_ads = original.TopKAdsForTweetExhaustive(probe_tweet, 5);
+  auto rest_ads = restored.TopKAdsForTweetExhaustive(probe_tweet, 5);
+  ASSERT_EQ(orig_ads.size(), rest_ads.size());
+  for (size_t i = 0; i < orig_ads.size(); ++i) {
+    EXPECT_EQ(orig_ads[i].ad, rest_ads[i].ad);
+    EXPECT_NEAR(orig_ads[i].score, rest_ads[i].score, 1e-6);
+  }
+}
+
+TEST_F(SnapshotTest, LoadFailsCleanlyOnMissingDir) {
+  auto analyzer = std::make_shared<text::Analyzer>();
+  std::shared_ptr<annotate::KnowledgeBase> kb(
+      annotate::BuildDemoKnowledgeBase(analyzer.get()));
+  RecommendationEngine engine(kb, timeline::TimeSlotScheme::PaperScheme());
+  EXPECT_FALSE(LoadEngineSnapshot(dir_ + "/nope", &engine).ok());
+  EXPECT_EQ(engine.ad_store().size(), 0u);
+  EXPECT_EQ(LoadEngineSnapshot(dir_, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, EmptyEngineRoundTrips) {
+  auto analyzer = std::make_shared<text::Analyzer>();
+  std::shared_ptr<annotate::KnowledgeBase> kb(
+      annotate::BuildDemoKnowledgeBase(analyzer.get()));
+  RecommendationEngine engine(kb, timeline::TimeSlotScheme::PaperScheme());
+  ASSERT_TRUE(SaveEngineSnapshot(engine, dir_).ok());
+  RecommendationEngine restored(kb, timeline::TimeSlotScheme::PaperScheme());
+  ASSERT_TRUE(LoadEngineSnapshot(dir_, &restored).ok());
+  EXPECT_EQ(restored.ad_store().size(), 0u);
+  EXPECT_EQ(restored.profiles().size(), 0u);
+}
+
+TEST_F(SnapshotTest, MalformedProfilesRejectedBeforeMutation) {
+  std::filesystem::create_directories(dir_);
+  // Valid empty ads + impressions, malformed profiles.
+  { std::ofstream(dir_ + "/snapshot_ads.tsv"); }
+  { std::ofstream(dir_ + "/snapshot_impressions.tsv"); }
+  {
+    std::ofstream out(dir_ + "/snapshot_profiles.tsv");
+    out << "I\t5\t0:1.0\n";  // I before P
+  }
+  auto analyzer = std::make_shared<text::Analyzer>();
+  std::shared_ptr<annotate::KnowledgeBase> kb(
+      annotate::BuildDemoKnowledgeBase(analyzer.get()));
+  RecommendationEngine engine(kb, timeline::TimeSlotScheme::PaperScheme());
+  EXPECT_FALSE(LoadEngineSnapshot(dir_, &engine).ok());
+  EXPECT_EQ(engine.profiles().size(), 0u);  // nothing applied
+}
+
+}  // namespace
+}  // namespace adrec::core

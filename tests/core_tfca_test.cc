@@ -1,0 +1,265 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "core/tfca.h"
+
+namespace adrec::core {
+namespace {
+
+// The worked example: users Tom=0, Luke=1, Anna=2, Sam=3, Lia=4;
+// locations m1=0, m2=1, m3=2; slots morning=0, afternoon=1, evening=2;
+// topics URI1=0 .. URI5=4.
+class WorkedExampleTest : public ::testing::Test {
+ protected:
+  WorkedExampleTest()
+      : slots_(timeline::TimeSlotScheme::MorningAfternoonEvening()),
+        tfca_(&slots_, /*num_topics=*/5) {
+    // Check-in context (Table-3-style).
+    AddCheckIn(0, 0, 0);
+    AddCheckIn(0, 0, 1);
+    AddCheckIn(0, 0, 2);  // Tom at m1, all slots
+    AddCheckIn(1, 1, 0);
+    AddCheckIn(1, 1, 1);  // Luke at m2 morning+afternoon
+    AddCheckIn(1, 2, 2);  // Luke at m3 evening
+    AddCheckIn(3, 0, 2);  // Sam at m1 evening
+    AddCheckIn(4, 1, 0);
+    AddCheckIn(4, 1, 1);
+    AddCheckIn(4, 1, 2);  // Lia at m2, all slots
+
+    // Fuzzy topic context (Table-4-style membership degrees).
+    AddTweet(0, 0, 0, 1.0);   // Tom URI1 morning
+    AddTweet(1, 0, 0, 1.0);   // Luke URI1 morning
+    AddTweet(2, 2, 0, 0.9);   // Anna URI3 morning
+    AddTweet(3, 1, 0, 1.0);   // Sam URI2 morning
+    AddTweet(4, 4, 0, 1.0);   // Lia URI5 morning
+    AddTweet(0, 0, 1, 1.0);   // Tom URI1 afternoon
+    AddTweet(1, 3, 1, 0.8);   // Luke URI4 afternoon
+    AddTweet(2, 2, 1, 0.8);   // Anna URI3 afternoon
+    AddTweet(3, 4, 1, 0.75);  // Sam URI5 afternoon
+    AddTweet(4, 4, 1, 0.8);   // Lia URI5 afternoon
+    AddTweet(0, 2, 2, 0.8);   // Tom URI3 evening
+    AddTweet(1, 0, 2, 1.0);   // Luke URI1 evening
+    AddTweet(2, 2, 2, 1.0);   // Anna URI3 evening
+    AddTweet(3, 1, 2, 1.0);   // Sam URI2 evening
+    AddTweet(4, 4, 2, 1.0);   // Lia URI5 evening
+  }
+
+  void AddCheckIn(uint32_t user, uint32_t loc, uint32_t slot) {
+    feed::CheckIn c;
+    c.user = UserId(user);
+    c.location = LocationId(loc);
+    c.time = SlotTime(slot);
+    tfca_.AddCheckIn(c);
+  }
+
+  void AddTweet(uint32_t user, uint32_t topic, uint32_t slot, double score) {
+    AnnotatedTweet t;
+    t.user = UserId(user);
+    t.time = SlotTime(slot);
+    annotate::Annotation a;
+    a.topic = TopicId(topic);
+    a.score = score;
+    t.annotations.push_back(a);
+    tfca_.AddTweet(t);
+  }
+
+  Timestamp SlotTime(uint32_t slot) {
+    // Mid-slot times of the morning/afternoon/evening scheme.
+    const timeline::TimeSlot& s = tfca_stats_slot(slot);
+    return (s.begin_second + s.end_second) / 2;
+  }
+
+  const timeline::TimeSlot& tfca_stats_slot(uint32_t slot) {
+    return slots_.slot(SlotId(slot));
+  }
+
+  static std::set<uint32_t> UserSet(const Community& c) {
+    std::set<uint32_t> out;
+    for (UserId u : c.users) out.insert(u.value);
+    return out;
+  }
+
+  timeline::TimeSlotScheme slots_;
+  TimeAwareConceptAnalysis tfca_;
+};
+
+TEST_F(WorkedExampleTest, LocationCommunities) {
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  // Comm(H, m2): ({Luke, Lia}, {t1,t2}) and ({Lia}, {t1,t2,t3}).
+  const auto& m2 = tfca_.LocationCommunities(LocationId(1));
+  ASSERT_EQ(m2.size(), 2u);
+  std::set<std::set<uint32_t>> extents;
+  for (const Community& c : m2) extents.insert(UserSet(c));
+  EXPECT_TRUE(extents.count({1, 4}));
+  EXPECT_TRUE(extents.count({4}));
+  // Comm(H, m3): ({Luke}, {t3}).
+  const auto& m3 = tfca_.LocationCommunities(LocationId(2));
+  ASSERT_EQ(m3.size(), 1u);
+  EXPECT_EQ(UserSet(m3[0]), (std::set<uint32_t>{1}));
+  // Comm(H, m1): Tom always, Tom+Sam evening.
+  const auto& m1 = tfca_.LocationCommunities(LocationId(0));
+  std::set<std::set<uint32_t>> m1_extents;
+  for (const Community& c : m1) m1_extents.insert(UserSet(c));
+  EXPECT_TRUE(m1_extents.count({0}));
+  EXPECT_TRUE(m1_extents.count({0, 3}));
+  // Anna checked in nowhere: no singleton-location community contains 2.
+  for (uint32_t m = 0; m < 3; ++m) {
+    for (const Community& c : tfca_.LocationCommunities(LocationId(m))) {
+      EXPECT_FALSE(UserSet(c).count(2));
+    }
+  }
+}
+
+TEST_F(WorkedExampleTest, TopicCommunitiesAtAlpha06) {
+  TfcaOptions opts;
+  opts.alpha = 0.6;
+  ASSERT_TRUE(tfca_.Analyze(opts).ok());
+  // URI1: ({Tom,Luke},{t1}), ({Tom},{t1,t2}), ({Luke},{t1,t3}).
+  const auto& uri1 = tfca_.TopicCommunities(TopicId(0));
+  std::set<std::set<uint32_t>> extents;
+  for (const Community& c : uri1) extents.insert(UserSet(c));
+  EXPECT_TRUE(extents.count({0, 1}));
+  EXPECT_TRUE(extents.count({0}));
+  EXPECT_TRUE(extents.count({1}));
+  // URI2: Sam in t1 and t3.
+  const auto& uri2 = tfca_.TopicCommunities(TopicId(1));
+  ASSERT_EQ(uri2.size(), 1u);
+  EXPECT_EQ(UserSet(uri2[0]), (std::set<uint32_t>{3}));
+  EXPECT_EQ(uri2[0].slots.size(), 2u);
+  // URI5: ({Lia},{t1,t2,t3}) and ({Sam,Lia},{t2}).
+  const auto& uri5 = tfca_.TopicCommunities(TopicId(4));
+  std::set<std::set<uint32_t>> uri5_extents;
+  for (const Community& c : uri5) uri5_extents.insert(UserSet(c));
+  EXPECT_TRUE(uri5_extents.count({4}));
+  EXPECT_TRUE(uri5_extents.count({3, 4}));
+}
+
+TEST_F(WorkedExampleTest, HigherAlphaShrinksTopicContext) {
+  TfcaOptions opts;
+  opts.alpha = 0.85;  // drops the 0.8/0.75 cells
+  ASSERT_TRUE(tfca_.Analyze(opts).ok());
+  // Luke's URI4 (0.8) disappears.
+  EXPECT_TRUE(tfca_.TopicCommunities(TopicId(3)).empty());
+  // Sam's URI5 afternoon (0.75) disappears; only Lia remains on URI5.
+  for (const Community& c : tfca_.TopicCommunities(TopicId(4))) {
+    EXPECT_FALSE(UserSet(c).count(3));
+  }
+  // Location communities are unaffected by alpha.
+  EXPECT_EQ(tfca_.LocationCommunities(LocationId(1)).size(), 2u);
+}
+
+TEST_F(WorkedExampleTest, AdidasAdMatchesExactlyLuke) {
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  // The case-study ad: location m2, topics URI1 + URI2.
+  AdContext ad;
+  ad.id = AdId(0);
+  ad.locations = {LocationId(1)};
+  ad.topics = text::SparseVector::FromUnsorted({{0, 1.0}, {1, 1.0}});
+  MatchOptions opts;
+  opts.filter_by_slot = true;  // ad has no slot targets -> matches any slot
+  MatchResult result = MatchAd(tfca_, ad, opts);
+  ASSERT_EQ(result.users.size(), 1u);
+  EXPECT_EQ(result.users[0].user, UserId(1));  // Luke
+  // Evidence: Luke is in two URI1 communities and one m2 community.
+  EXPECT_EQ(result.users[0].topic_support, 2);
+  EXPECT_EQ(result.users[0].location_support, 1);
+  // Diagnostics: U-L side was {Luke, Lia}; U-C side {Tom, Luke, Sam}.
+  EXPECT_EQ(result.location_candidates, 2u);
+  EXPECT_EQ(result.topic_candidates, 3u);
+}
+
+TEST_F(WorkedExampleTest, SlotFilterNarrowsTheMatch) {
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  AdContext ad;
+  ad.id = AdId(0);
+  ad.locations = {LocationId(1)};
+  ad.topics = text::SparseVector::FromUnsorted({{0, 1.0}, {1, 1.0}});
+  // Target only the evening slot: Luke's m2 community is morning+afternoon,
+  // so the U-L side keeps only Lia and the join is empty.
+  ad.slots = {SlotId(2)};
+  MatchResult result = MatchAd(tfca_, ad, MatchOptions{});
+  EXPECT_TRUE(result.users.empty());
+  // Morning targeting keeps Luke.
+  ad.slots = {SlotId(0)};
+  result = MatchAd(tfca_, ad, MatchOptions{});
+  ASSERT_EQ(result.users.size(), 1u);
+  EXPECT_EQ(result.users[0].user, UserId(1));
+}
+
+TEST_F(WorkedExampleTest, MinTopicScoreFiltersWeakAdTopics) {
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  AdContext ad;
+  ad.locations = {LocationId(1)};
+  // URI1 weakly annotated: below min_topic_score it must not contribute.
+  ad.topics = text::SparseVector::FromUnsorted({{0, 0.01}});
+  MatchResult result = MatchAd(tfca_, ad, MatchOptions{});
+  EXPECT_TRUE(result.users.empty());
+}
+
+TEST_F(WorkedExampleTest, StatsAreFilled) {
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  const TfcaStats& s = tfca_.stats();
+  EXPECT_EQ(s.users, 5u);
+  EXPECT_EQ(s.locations, 3u);
+  EXPECT_EQ(s.topics, 5u);
+  EXPECT_EQ(s.checkin_incidences, 10u);
+  EXPECT_EQ(s.tweet_cells, 15u);
+  EXPECT_GT(s.location_triconcepts, 0u);
+  EXPECT_GT(s.topic_triconcepts, 0u);
+}
+
+TEST_F(WorkedExampleTest, ResetClearsEverything) {
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  tfca_.Reset();
+  EXPECT_TRUE(tfca_.known_users().empty());
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  EXPECT_TRUE(tfca_.LocationCommunities(LocationId(1)).empty());
+  EXPECT_TRUE(tfca_.TopicCommunities(TopicId(0)).empty());
+}
+
+TEST_F(WorkedExampleTest, StabilityComputedWhenRequested) {
+  TfcaOptions opts;
+  opts.compute_stability = true;
+  ASSERT_TRUE(tfca_.Analyze(opts).ok());
+  bool any_below_one = false;
+  for (uint32_t m = 0; m < 3; ++m) {
+    for (const Community& c : tfca_.LocationCommunities(LocationId(m))) {
+      EXPECT_GE(c.stability, 0.0);
+      EXPECT_LE(c.stability, 1.0);
+      any_below_one |= (c.stability < 1.0);
+    }
+  }
+  EXPECT_TRUE(any_below_one);  // single-user communities score 0.5 here
+  // Disabled by default: stability stays 1.0.
+  ASSERT_TRUE(tfca_.Analyze({}).ok());
+  for (const Community& c : tfca_.LocationCommunities(LocationId(1))) {
+    EXPECT_DOUBLE_EQ(c.stability, 1.0);
+  }
+}
+
+TEST_F(WorkedExampleTest, StabilityFilterNarrowsMatch) {
+  TfcaOptions opts;
+  opts.compute_stability = true;
+  ASSERT_TRUE(tfca_.Analyze(opts).ok());
+  AdContext ad;
+  ad.locations = {LocationId(1)};
+  ad.topics = text::SparseVector::FromUnsorted({{0, 1.0}, {1, 1.0}});
+  MatchOptions strict;
+  strict.min_community_stability = 0.99;  // kills every small community
+  EXPECT_TRUE(MatchAd(tfca_, ad, strict).users.empty());
+  MatchOptions relaxed;
+  relaxed.min_community_stability = 0.0;
+  EXPECT_EQ(MatchAd(tfca_, ad, relaxed).users.size(), 1u);
+}
+
+TEST_F(WorkedExampleTest, InvalidAlphaRejected) {
+  TfcaOptions opts;
+  opts.alpha = 1.5;
+  EXPECT_EQ(tfca_.Analyze(opts).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace adrec::core

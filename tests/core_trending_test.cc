@@ -1,0 +1,136 @@
+#include "core/trending.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::core {
+namespace {
+
+AnnotatedTweet Tw(Timestamp time, uint32_t topic) {
+  AnnotatedTweet t;
+  t.user = UserId(0);
+  t.time = time;
+  annotate::Annotation a;
+  a.topic = TopicId(topic);
+  a.score = 1.0;
+  t.annotations.push_back(a);
+  return t;
+}
+
+TrendingOptions Opts() {
+  TrendingOptions o;
+  o.window = kSecondsPerHour;
+  o.history_windows = 12;
+  o.min_count = 3;
+  o.min_z = 2.0;
+  o.min_history = 6;
+  return o;
+}
+
+/// Fills `w` windows where topic 0 gets `background` mentions and topic
+/// `other` gets `other_count` mentions per window.
+void FillWindows(TrendingDetector& d, int windows, int background,
+                 uint32_t other = 1, int other_count = 0,
+                 Timestamp start = 0) {
+  for (int w = 0; w < windows; ++w) {
+    const Timestamp base = start + w * kSecondsPerHour;
+    for (int i = 0; i < background; ++i) d.OnTweet(Tw(base + i, 0));
+    for (int i = 0; i < other_count; ++i) {
+      d.OnTweet(Tw(base + 1800 + i, other));
+    }
+  }
+}
+
+TEST(TrendingTest, NothingIngestedNothingTrends) {
+  TrendingDetector d(Opts());
+  EXPECT_TRUE(d.Trending().empty());
+}
+
+TEST(TrendingTest, WarmupSuppressesEarlyBursts) {
+  TrendingDetector d(Opts());
+  // A huge burst in window 2 of 6 required: still warm-up.
+  FillWindows(d, 3, 5, /*other=*/7, /*other_count=*/20);
+  EXPECT_LT(d.completed_windows(), 6u);
+  EXPECT_TRUE(d.Trending().empty());
+}
+
+TEST(TrendingTest, SteadyShareDoesNotTrend) {
+  TrendingDetector d(Opts());
+  // Topic 1 holds a constant 50% share for 8 windows + current.
+  FillWindows(d, 9, 4, /*other=*/1, /*other_count=*/4);
+  EXPECT_GE(d.completed_windows(), 6u);
+  auto [mean, stddev] = d.Baseline(TopicId(1));
+  EXPECT_NEAR(mean, 0.5, 1e-9);
+  EXPECT_NEAR(stddev, 0.0, 1e-9);
+  EXPECT_TRUE(d.Trending().empty());
+}
+
+TEST(TrendingTest, ShareBurstTrends) {
+  TrendingDetector d(Opts());
+  // History: topic 7 absent, topic 0 dominant.
+  FillWindows(d, 8, 6);
+  // Current window: topic 7 bursts to a large share.
+  const Timestamp now = 8 * kSecondsPerHour;
+  for (int i = 0; i < 10; ++i) d.OnTweet(Tw(now + i, 7));
+  for (int i = 0; i < 3; ++i) d.OnTweet(Tw(now + 100 + i, 0));
+  auto trending = d.Trending();
+  ASSERT_EQ(trending.size(), 1u);
+  EXPECT_EQ(trending[0].topic, TopicId(7));
+  EXPECT_EQ(trending[0].current_count, 10u);
+  EXPECT_NEAR(trending[0].baseline_share, 0.0, 1e-9);
+  EXPECT_GT(trending[0].z_score, 2.0);
+}
+
+TEST(TrendingTest, VolumeSwingAloneDoesNotTrend) {
+  // The diurnal case absolute-count detectors get wrong: every topic's
+  // volume triples but shares are unchanged — nothing should trend.
+  TrendingDetector d(Opts());
+  FillWindows(d, 8, 4, /*other=*/1, /*other_count=*/4);
+  const Timestamp now = 8 * kSecondsPerHour;
+  for (int i = 0; i < 12; ++i) d.OnTweet(Tw(now + i, 0));
+  for (int i = 0; i < 12; ++i) d.OnTweet(Tw(now + 100 + i, 1));
+  EXPECT_TRUE(d.Trending().empty());
+}
+
+TEST(TrendingTest, MinCountSuppressesTinyBursts) {
+  TrendingOptions opts = Opts();
+  opts.min_count = 5;
+  TrendingDetector d(opts);
+  FillWindows(d, 8, 6);
+  const Timestamp now = 8 * kSecondsPerHour;
+  for (int i = 0; i < 4; ++i) d.OnTweet(Tw(now + i, 3));  // 4 < min_count
+  EXPECT_TRUE(d.Trending().empty());
+}
+
+TEST(TrendingTest, HottestFirst) {
+  TrendingDetector d(Opts());
+  FillWindows(d, 8, 10);
+  const Timestamp now = 8 * kSecondsPerHour;
+  for (int i = 0; i < 12; ++i) d.OnTweet(Tw(now + i, 1));
+  for (int i = 0; i < 5; ++i) d.OnTweet(Tw(now + 100 + i, 2));
+  for (int i = 0; i < 3; ++i) d.OnTweet(Tw(now + 200 + i, 0));
+  auto trending = d.Trending();
+  ASSERT_EQ(trending.size(), 2u);
+  EXPECT_EQ(trending[0].topic, TopicId(1));
+  EXPECT_EQ(trending[1].topic, TopicId(2));
+  EXPECT_GT(trending[0].z_score, trending[1].z_score);
+}
+
+TEST(TrendingTest, QuietGapsRollEmptyWindows) {
+  TrendingDetector d(Opts());
+  d.OnTweet(Tw(0, 4));
+  d.OnTweet(Tw(20 * kSecondsPerHour, 4));
+  EXPECT_EQ(d.completed_windows(), 12u);  // capped at history_windows
+  auto [mean, stddev] = d.Baseline(TopicId(4));
+  EXPECT_NEAR(mean, 0.0, 1e-9);  // the first window scrolled out
+}
+
+TEST(TrendingTest, HistoryIsBounded) {
+  TrendingOptions opts = Opts();
+  opts.history_windows = 3;
+  TrendingDetector d(opts);
+  FillWindows(d, 50, 2);
+  EXPECT_EQ(d.completed_windows(), 3u);
+}
+
+}  // namespace
+}  // namespace adrec::core

@@ -1,0 +1,111 @@
+#include "core/windowed_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::core {
+namespace {
+
+AnnotatedTweet MakeTweet(uint32_t user, Timestamp time, uint32_t topic,
+                         double score = 1.0) {
+  AnnotatedTweet t;
+  t.user = UserId(user);
+  t.time = time;
+  annotate::Annotation a;
+  a.topic = TopicId(topic);
+  a.score = score;
+  t.annotations.push_back(a);
+  return t;
+}
+
+feed::CheckIn MakeCheckIn(uint32_t user, Timestamp time, uint32_t loc) {
+  feed::CheckIn c;
+  c.user = UserId(user);
+  c.time = time;
+  c.location = LocationId(loc);
+  return c;
+}
+
+class WindowedTest : public ::testing::Test {
+ protected:
+  WindowedTest() : slots_(timeline::TimeSlotScheme::PaperScheme()) {}
+
+  WindowedOptions Opts(DurationSec window, DurationSec refresh) {
+    WindowedOptions o;
+    o.window = window;
+    o.refresh_every = refresh;
+    o.alpha = 0.5;
+    return o;
+  }
+
+  timeline::TimeSlotScheme slots_;
+};
+
+TEST_F(WindowedTest, FirstMaybeRefreshAlwaysRuns) {
+  WindowedAnalyzer wa(&slots_, 5, Opts(kSecondsPerDay, kSecondsPerHour));
+  auto r = wa.MaybeRefresh(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  EXPECT_EQ(wa.refresh_count(), 1u);
+}
+
+TEST_F(WindowedTest, RefreshCadenceIsHonoured) {
+  WindowedAnalyzer wa(&slots_, 5, Opts(kSecondsPerDay, kSecondsPerHour));
+  ASSERT_TRUE(wa.MaybeRefresh(0).ok());
+  // Too soon: no refresh.
+  auto r = wa.MaybeRefresh(kSecondsPerHour - 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+  // Due: refresh.
+  r = wa.MaybeRefresh(kSecondsPerHour);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  EXPECT_EQ(wa.refresh_count(), 2u);
+}
+
+TEST_F(WindowedTest, EventsInsideWindowAreAnalyzed) {
+  WindowedAnalyzer wa(&slots_, 5, Opts(kSecondsPerDay, kSecondsPerHour));
+  const Timestamp morning = 6 * kSecondsPerHour;
+  wa.OnTweet(MakeTweet(0, morning, 2));
+  wa.OnCheckIn(MakeCheckIn(0, morning, 4));
+  ASSERT_TRUE(wa.Refresh(morning + 100).ok());
+  EXPECT_EQ(wa.analysis().TopicCommunities(TopicId(2)).size(), 1u);
+  EXPECT_EQ(wa.analysis().LocationCommunities(LocationId(4)).size(), 1u);
+}
+
+TEST_F(WindowedTest, OldEventsAreEvicted) {
+  WindowedAnalyzer wa(&slots_, 5, Opts(kSecondsPerDay, kSecondsPerHour));
+  const Timestamp morning = 6 * kSecondsPerHour;
+  wa.OnTweet(MakeTweet(0, morning, 2));
+  wa.OnCheckIn(MakeCheckIn(0, morning, 4));
+  // Three days later both events left the 1-day window.
+  ASSERT_TRUE(wa.Refresh(morning + 3 * kSecondsPerDay).ok());
+  EXPECT_TRUE(wa.analysis().TopicCommunities(TopicId(2)).empty());
+  EXPECT_TRUE(wa.analysis().LocationCommunities(LocationId(4)).empty());
+  EXPECT_EQ(wa.buffered_tweets(), 0u);
+  EXPECT_EQ(wa.buffered_checkins(), 0u);
+}
+
+TEST_F(WindowedTest, RecentEventsSurviveEviction) {
+  WindowedAnalyzer wa(&slots_, 5, Opts(kSecondsPerDay, kSecondsPerHour));
+  const Timestamp old_time = 6 * kSecondsPerHour;
+  const Timestamp new_time = old_time + 2 * kSecondsPerDay;
+  wa.OnTweet(MakeTweet(0, old_time, 1));
+  wa.OnTweet(MakeTweet(1, new_time, 2));
+  ASSERT_TRUE(wa.Refresh(new_time + 100).ok());
+  EXPECT_TRUE(wa.analysis().TopicCommunities(TopicId(1)).empty());
+  EXPECT_EQ(wa.analysis().TopicCommunities(TopicId(2)).size(), 1u);
+  EXPECT_EQ(wa.buffered_tweets(), 1u);
+}
+
+TEST_F(WindowedTest, AlphaIsForwarded) {
+  WindowedOptions opts = Opts(kSecondsPerDay, kSecondsPerHour);
+  opts.alpha = 0.9;
+  WindowedAnalyzer wa(&slots_, 5, opts);
+  const Timestamp t = 6 * kSecondsPerHour;
+  wa.OnTweet(MakeTweet(0, t, 3, /*score=*/0.5));  // below alpha
+  ASSERT_TRUE(wa.Refresh(t + 1).ok());
+  EXPECT_TRUE(wa.analysis().TopicCommunities(TopicId(3)).empty());
+}
+
+}  // namespace
+}  // namespace adrec::core

@@ -1,0 +1,65 @@
+#include "eval/ab_test.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::eval {
+namespace {
+
+TEST(AbTestTest, IdenticalArmsNotSignificant) {
+  ArmStats a{10000, 300};
+  AbResult r = TwoProportionZTest(a, a);
+  EXPECT_DOUBLE_EQ(r.ctr_a, 0.03);
+  EXPECT_DOUBLE_EQ(r.lift, 0.0);
+  EXPECT_NEAR(r.z, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+  EXPECT_FALSE(r.significant_95);
+}
+
+TEST(AbTestTest, LargeLiftAtVolumeIsSignificant) {
+  ArmStats control{10000, 300};    // 3%
+  ArmStats treatment{10000, 450};  // 4.5%
+  AbResult r = TwoProportionZTest(control, treatment);
+  EXPECT_NEAR(r.lift, 0.5, 1e-9);
+  EXPECT_GT(r.z, 3.0);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_TRUE(r.significant_95);
+}
+
+TEST(AbTestTest, SmallSampleIsNotSignificant) {
+  ArmStats control{50, 2};
+  ArmStats treatment{50, 4};  // 2x lift but tiny n
+  AbResult r = TwoProportionZTest(control, treatment);
+  EXPECT_FALSE(r.significant_95);
+}
+
+TEST(AbTestTest, DirectionOfZ) {
+  ArmStats control{10000, 500};
+  ArmStats worse{10000, 300};
+  AbResult r = TwoProportionZTest(control, worse);
+  EXPECT_LT(r.z, 0.0);
+  EXPECT_LT(r.lift, 0.0);
+}
+
+TEST(AbTestTest, DegenerateInputs) {
+  AbResult empty = TwoProportionZTest({}, {});
+  EXPECT_DOUBLE_EQ(empty.p_value, 1.0);
+  EXPECT_FALSE(empty.significant_95);
+  // Zero pooled variance: nobody ever clicks.
+  AbResult novar = TwoProportionZTest({100, 0}, {100, 0});
+  EXPECT_DOUBLE_EQ(novar.p_value, 1.0);
+  // One empty arm.
+  AbResult onearm = TwoProportionZTest({100, 10}, {});
+  EXPECT_DOUBLE_EQ(onearm.p_value, 1.0);
+}
+
+TEST(AbTestTest, SymmetryOfPValue) {
+  ArmStats a{5000, 200};
+  ArmStats b{5000, 260};
+  AbResult ab = TwoProportionZTest(a, b);
+  AbResult ba = TwoProportionZTest(b, a);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-12);
+}
+
+}  // namespace
+}  // namespace adrec::eval

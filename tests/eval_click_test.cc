@@ -1,0 +1,104 @@
+#include "eval/click_model.h"
+
+#include <gtest/gtest.h>
+
+#include "profile/user_profile.h"
+
+namespace adrec::eval {
+namespace {
+
+class ClickModelTest : public ::testing::Test {
+ protected:
+  ClickModelTest() {
+    feed::WorkloadOptions opts;
+    opts.seed = 17;
+    opts.num_users = 10;
+    opts.num_places = 6;
+    opts.num_ads = 3;
+    opts.days = 2;
+    workload_ = feed::GenerateWorkload(opts);
+  }
+  feed::Workload workload_;
+};
+
+TEST_F(ClickModelTest, TiersMatchTruth) {
+  ClickModel model(&workload_);
+  for (size_t a = 0; a < workload_.ads.size(); ++a) {
+    for (size_t u = 0; u < workload_.truth.size(); ++u) {
+      const Timestamp noon = 12 * kSecondsPerHour;
+      const int tier = model.RelevanceTier(UserId(static_cast<uint32_t>(u)),
+                                           a, noon);
+      // Recompute expectations directly from truth.
+      const feed::UserTruth& truth = workload_.truth[u];
+      bool topical = false;
+      for (TopicId t : truth.interests) {
+        for (TopicId at : workload_.ad_topics[a]) topical |= (t == at);
+      }
+      if (!topical) {
+        EXPECT_EQ(tier, 0);
+        continue;
+      }
+      const SlotId slot = workload_.slots.SlotOf(noon);
+      bool located = false;
+      for (LocationId m : truth.frequented[slot.value]) {
+        for (LocationId am : workload_.ads[a].target_locations) {
+          located |= (m == am);
+        }
+      }
+      EXPECT_EQ(tier, located ? 2 : 1);
+    }
+  }
+}
+
+TEST_F(ClickModelTest, ProbabilitiesFollowTiers) {
+  ClickModelOptions opts;
+  opts.ctr_relevant = 0.5;
+  opts.ctr_topical = 0.2;
+  opts.ctr_irrelevant = 0.01;
+  ClickModel model(&workload_, opts);
+  for (size_t a = 0; a < workload_.ads.size(); ++a) {
+    for (size_t u = 0; u < workload_.truth.size(); ++u) {
+      const UserId user(static_cast<uint32_t>(u));
+      const double p = model.ClickProbability(user, a, 1000);
+      const int tier = model.RelevanceTier(user, a, 1000);
+      EXPECT_DOUBLE_EQ(p, tier == 2 ? 0.5 : (tier == 1 ? 0.2 : 0.01));
+    }
+  }
+}
+
+TEST_F(ClickModelTest, SampledRateApproachesProbability) {
+  ClickModelOptions opts;
+  opts.ctr_relevant = 1.0;
+  opts.ctr_topical = 0.3;
+  opts.ctr_irrelevant = 0.0;
+  ClickModel model(&workload_, opts);
+  // Find a (user, ad) pair per tier and check empirical frequency.
+  for (size_t a = 0; a < workload_.ads.size(); ++a) {
+    for (size_t u = 0; u < workload_.truth.size(); ++u) {
+      const UserId user(static_cast<uint32_t>(u));
+      const int tier = model.RelevanceTier(user, a, 0);
+      if (tier == 0) {
+        EXPECT_FALSE(model.SampleClick(user, a, 0));
+      } else if (tier == 2) {
+        EXPECT_TRUE(model.SampleClick(user, a, 0));
+      }
+    }
+  }
+}
+
+TEST(TopLocationTest, PicksHeaviestSlotLocation) {
+  timeline::TimeSlotScheme slots = timeline::TimeSlotScheme::PaperScheme();
+  profile::UserProfileStore store(&slots, 30 * kSecondsPerDay);
+  const Timestamp morning = 6 * kSecondsPerHour;
+  store.ObserveCheckIn(UserId(1), morning, LocationId(4));
+  store.ObserveCheckIn(UserId(1), morning + 60, LocationId(4));
+  store.ObserveCheckIn(UserId(1), morning + 120, LocationId(9));
+  EXPECT_EQ(store.TopLocation(UserId(1), SlotId(1)), LocationId(4));
+  // No check-ins in slot 2 for this user.
+  EXPECT_FALSE(store.TopLocation(UserId(1), SlotId(2)).valid());
+  // Unknown user.
+  EXPECT_FALSE(store.TopLocation(UserId(7), SlotId(1)).valid());
+}
+
+}  // namespace
+}  // namespace adrec::eval

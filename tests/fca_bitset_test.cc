@@ -1,0 +1,90 @@
+#include "fca/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::fca {
+namespace {
+
+TEST(BitsetTest, SetResetTest) {
+  Bitset b(100);
+  EXPECT_FALSE(b.Test(5));
+  b.Set(5);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_EQ(b.Count(), 2u);
+  b.Reset(5);
+  EXPECT_FALSE(b.Test(5));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitsetTest, FullRespectsTailBits) {
+  for (size_t n : {0u, 1u, 63u, 64u, 65u, 128u, 130u}) {
+    Bitset f = Bitset::Full(n);
+    EXPECT_EQ(f.Count(), n) << n;
+  }
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  Bitset a = Bitset::FromIndices(70, {1, 3, 65});
+  Bitset b = Bitset::FromIndices(70, {3, 65, 69});
+  Bitset i = And(a, b);
+  EXPECT_EQ(i.ToVector(), (std::vector<uint32_t>{3, 65}));
+  Bitset u = Or(a, b);
+  EXPECT_EQ(u.ToVector(), (std::vector<uint32_t>{1, 3, 65, 69}));
+  Bitset d = a;
+  d.SubtractInPlace(b);
+  EXPECT_EQ(d.ToVector(), (std::vector<uint32_t>{1}));
+}
+
+TEST(BitsetTest, SubsetAndIntersects) {
+  Bitset small = Bitset::FromIndices(70, {3, 65});
+  Bitset big = Bitset::FromIndices(70, {1, 3, 65});
+  Bitset other = Bitset::FromIndices(70, {2});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(Bitset(70).IsSubsetOf(small));
+  EXPECT_TRUE(small.Intersects(big));
+  EXPECT_FALSE(small.Intersects(other));
+  EXPECT_FALSE(Bitset(70).Intersects(big));
+}
+
+TEST(BitsetTest, FindFirstNext) {
+  Bitset b = Bitset::FromIndices(130, {0, 64, 129});
+  EXPECT_EQ(b.FindFirst(), 0u);
+  EXPECT_EQ(b.FindNext(1), 64u);
+  EXPECT_EQ(b.FindNext(64), 64u);
+  EXPECT_EQ(b.FindNext(65), 129u);
+  EXPECT_EQ(b.FindNext(130), 130u);
+  EXPECT_EQ(Bitset(130).FindFirst(), 130u);
+}
+
+TEST(BitsetTest, IterationViaToVector) {
+  std::vector<uint32_t> idx = {0, 7, 63, 64, 65, 127, 128};
+  Bitset b = Bitset::FromIndices(200, idx);
+  EXPECT_EQ(b.ToVector(), idx);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a = Bitset::FromIndices(70, {1, 2});
+  Bitset b = Bitset::FromIndices(70, {1, 2});
+  Bitset c = Bitset::FromIndices(70, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  // Same indices, different universe sizes: not equal.
+  EXPECT_FALSE(a == Bitset::FromIndices(71, {1, 2}));
+}
+
+TEST(BitsetTest, EmptyUniverse) {
+  Bitset b(0);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_EQ(b.FindFirst(), 0u);
+  EXPECT_TRUE(b.ToVector().empty());
+  EXPECT_EQ(b, Bitset::Full(0));
+}
+
+}  // namespace
+}  // namespace adrec::fca

@@ -1,0 +1,270 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fca/formal_context.h"
+#include "fca/fuzzy_context.h"
+#include "fca/lattice.h"
+
+namespace adrec::fca {
+namespace {
+
+// Brute-force concept enumeration: all maximal rectangles, via all subsets
+// of attributes (exponential; tiny contexts only).
+std::vector<Concept> BruteForceConcepts(const FormalContext& ctx) {
+  std::set<std::vector<uint32_t>> seen_intents;
+  std::vector<Concept> out;
+  const size_t m = ctx.num_attributes();
+  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    Bitset attrs(m);
+    for (size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) attrs.Set(i);
+    }
+    Bitset intent = ctx.CloseAttributes(attrs);
+    if (seen_intents.insert(intent.ToVector()).second) {
+      out.push_back(Concept{ctx.DeriveAttributes(intent), intent});
+    }
+  }
+  return out;
+}
+
+bool SameConceptSet(std::vector<Concept> a, std::vector<Concept> b) {
+  auto key = [](const Concept& c) {
+    return std::make_pair(c.extent.ToVector(), c.intent.ToVector());
+  };
+  auto cmp = [&](const Concept& x, const Concept& y) {
+    return key(x) < key(y);
+  };
+  std::sort(a.begin(), a.end(), cmp);
+  std::sort(b.begin(), b.end(), cmp);
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+TEST(FormalContextTest, DerivationsOnKnownContext) {
+  // Objects: 0,1,2. Attributes: a=0 (all), b=1 (0,1), c=2 (2 only).
+  FormalContext ctx(3, 3);
+  ctx.Set(0, 0);
+  ctx.Set(1, 0);
+  ctx.Set(2, 0);
+  ctx.Set(0, 1);
+  ctx.Set(1, 1);
+  ctx.Set(2, 2);
+
+  EXPECT_TRUE(ctx.Incidence(0, 0));
+  EXPECT_FALSE(ctx.Incidence(0, 2));
+
+  // {0,1}' = {a,b}
+  Bitset objs = Bitset::FromIndices(3, {0, 1});
+  EXPECT_EQ(ctx.DeriveObjects(objs).ToVector(),
+            (std::vector<uint32_t>{0, 1}));
+  // {a}' = all objects
+  Bitset attr_a = Bitset::FromIndices(3, {0});
+  EXPECT_EQ(ctx.DeriveAttributes(attr_a).Count(), 3u);
+  // {b,c}' = ∅, closure = full attribute set
+  Bitset bc = Bitset::FromIndices(3, {1, 2});
+  EXPECT_TRUE(ctx.DeriveAttributes(bc).Empty());
+  EXPECT_EQ(ctx.CloseAttributes(bc).Count(), 3u);
+}
+
+TEST(FormalContextTest, EmptyDerivations) {
+  FormalContext ctx(3, 2);
+  // ∅ of objects derives all attributes; ∅ of attributes derives all objects.
+  EXPECT_EQ(ctx.DeriveObjects(Bitset(3)).Count(), 2u);
+  EXPECT_EQ(ctx.DeriveAttributes(Bitset(2)).Count(), 3u);
+}
+
+TEST(NextClosureTest, MatchesBruteForceOnHandContext) {
+  FormalContext ctx(4, 4);
+  // A small "animals" style context.
+  ctx.Set(0, 0);
+  ctx.Set(0, 1);
+  ctx.Set(1, 0);
+  ctx.Set(1, 2);
+  ctx.Set(2, 1);
+  ctx.Set(2, 2);
+  ctx.Set(3, 0);
+  ctx.Set(3, 1);
+  ctx.Set(3, 3);
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(SameConceptSet(mined.value(), BruteForceConcepts(ctx)));
+}
+
+class NextClosureRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NextClosureRandomTest, MatchesBruteForceOnRandomContexts) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t objects = 1 + rng.NextBounded(7);
+  const size_t attrs = 1 + rng.NextBounded(8);
+  FormalContext ctx(objects, attrs);
+  for (size_t g = 0; g < objects; ++g) {
+    for (size_t m = 0; m < attrs; ++m) {
+      if (rng.NextBool(0.4)) ctx.Set(g, m);
+    }
+  }
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(SameConceptSet(mined.value(), BruteForceConcepts(ctx)))
+      << "seed " << GetParam() << " objects=" << objects
+      << " attrs=" << attrs;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomContexts, NextClosureRandomTest,
+                         ::testing::Range(1, 33));
+
+TEST(NextClosureTest, EmptyContextHasOneConcept) {
+  FormalContext ctx(3, 3);  // no incidences
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  // Concepts: (G, ∅) and (∅, M).
+  EXPECT_EQ(mined.value().size(), 2u);
+}
+
+TEST(NextClosureTest, FullContextHasOneConcept) {
+  FormalContext ctx(2, 2);
+  for (size_t g = 0; g < 2; ++g)
+    for (size_t m = 0; m < 2; ++m) ctx.Set(g, m);
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(mined.value().size(), 1u);  // (G, M) only
+}
+
+TEST(NextClosureTest, RespectsConceptCap) {
+  // A contranominal scale (complement of identity) has 2^n concepts.
+  const size_t n = 10;
+  FormalContext ctx(n, n);
+  for (size_t g = 0; g < n; ++g) {
+    for (size_t m = 0; m < n; ++m) {
+      if (g != m) ctx.Set(g, m);
+    }
+  }
+  EnumerateOptions opts;
+  opts.max_concepts = 100;
+  auto mined = EnumerateConcepts(ctx, opts);
+  ASSERT_FALSE(mined.ok());
+  EXPECT_EQ(mined.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NextClosureTest, ContranominalScaleCountIsPowerOfTwo) {
+  const size_t n = 6;
+  FormalContext ctx(n, n);
+  for (size_t g = 0; g < n; ++g) {
+    for (size_t m = 0; m < n; ++m) {
+      if (g != m) ctx.Set(g, m);
+    }
+  }
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(mined.value().size(), 1u << n);
+}
+
+TEST(ConceptInvariantTest, ExtentIntentAreClosedFixpoints) {
+  Rng rng(77);
+  FormalContext ctx(6, 6);
+  for (size_t g = 0; g < 6; ++g)
+    for (size_t m = 0; m < 6; ++m)
+      if (rng.NextBool(0.5)) ctx.Set(g, m);
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  for (const Concept& c : mined.value()) {
+    EXPECT_EQ(ctx.DeriveObjects(c.extent), c.intent);
+    EXPECT_EQ(ctx.DeriveAttributes(c.intent), c.extent);
+  }
+}
+
+TEST(FuzzyContextTest, DegreesClampAndKeepMax) {
+  FuzzyContext f(2, 2);
+  f.SetDegree(0, 0, 0.5);
+  f.SetDegree(0, 0, 0.3);  // lower value does not overwrite
+  EXPECT_DOUBLE_EQ(f.Degree(0, 0), 0.5);
+  f.SetDegree(0, 0, 0.9);
+  EXPECT_DOUBLE_EQ(f.Degree(0, 0), 0.9);
+  f.SetDegree(1, 1, 7.0);  // clamped
+  EXPECT_DOUBLE_EQ(f.Degree(1, 1), 1.0);
+  f.SetDegree(1, 0, -2.0);
+  EXPECT_DOUBLE_EQ(f.Degree(1, 0), 0.0);
+}
+
+TEST(FuzzyContextTest, AlphaCutIsInclusiveAndMonotone) {
+  FuzzyContext f(2, 2);
+  f.SetDegree(0, 0, 1.0);
+  f.SetDegree(0, 1, 0.6);
+  f.SetDegree(1, 0, 0.2);
+  FormalContext c06 = f.AlphaCut(0.6);
+  EXPECT_TRUE(c06.Incidence(0, 0));
+  EXPECT_TRUE(c06.Incidence(0, 1));  // inclusive boundary
+  EXPECT_FALSE(c06.Incidence(1, 0));
+  FormalContext c07 = f.AlphaCut(0.7);
+  EXPECT_FALSE(c07.Incidence(0, 1));
+  // Monotonicity: higher alpha ⇒ fewer incidences.
+  FormalContext c00 = f.AlphaCut(0.0);
+  size_t count00 = 0, count07 = 0;
+  for (size_t g = 0; g < 2; ++g)
+    for (size_t m = 0; m < 2; ++m) {
+      count00 += c00.Incidence(g, m);
+      count07 += c07.Incidence(g, m);
+    }
+  EXPECT_GE(count00, count07);
+  EXPECT_EQ(count00, 4u);  // alpha=0 includes the never-set zero cells too
+}
+
+TEST(LatticeTest, HandContextStructure) {
+  // Objects {0,1}, attributes {a,b}: 0 has a, 1 has b.
+  FormalContext ctx(2, 2);
+  ctx.Set(0, 0);
+  ctx.Set(1, 1);
+  auto built = ConceptLattice::Build(ctx);
+  ASSERT_TRUE(built.ok());
+  const ConceptLattice& lat = built.value();
+  // Concepts: (∅,{a,b}), ({0},{a}), ({1},{b}), ({0,1},∅) — a diamond.
+  ASSERT_EQ(lat.size(), 4u);
+  EXPECT_EQ(lat.concepts()[lat.TopIndex()].extent.Count(), 2u);
+  EXPECT_EQ(lat.concepts()[lat.BottomIndex()].extent.Count(), 0u);
+  EXPECT_EQ(lat.UpperCovers(lat.BottomIndex()).size(), 2u);
+  EXPECT_EQ(lat.LowerCovers(lat.TopIndex()).size(), 2u);
+  EXPECT_TRUE(lat.LessEqual(lat.BottomIndex(), lat.TopIndex()));
+  EXPECT_FALSE(lat.LessEqual(lat.TopIndex(), lat.BottomIndex()));
+}
+
+TEST(LatticeTest, ChainContext) {
+  // Nested extents produce a chain: attr i held by objects {i, .., n-1}.
+  const size_t n = 4;
+  FormalContext ctx(n, n);
+  for (size_t m = 0; m < n; ++m) {
+    for (size_t g = m; g < n; ++g) ctx.Set(g, m);
+  }
+  auto built = ConceptLattice::Build(ctx);
+  ASSERT_TRUE(built.ok());
+  const ConceptLattice& lat = built.value();
+  // Every non-top concept has exactly one upper cover in a chain.
+  for (size_t i = 0; i < lat.size(); ++i) {
+    if (i != lat.TopIndex()) {
+      EXPECT_EQ(lat.UpperCovers(i).size(), 1u) << i;
+    }
+  }
+}
+
+TEST(LatticeTest, CoversAreIrreflexiveAndConsistent) {
+  Rng rng(99);
+  FormalContext ctx(6, 5);
+  for (size_t g = 0; g < 6; ++g)
+    for (size_t m = 0; m < 5; ++m)
+      if (rng.NextBool(0.45)) ctx.Set(g, m);
+  auto built = ConceptLattice::Build(ctx);
+  ASSERT_TRUE(built.ok());
+  const ConceptLattice& lat = built.value();
+  for (size_t i = 0; i < lat.size(); ++i) {
+    for (size_t j : lat.UpperCovers(i)) {
+      EXPECT_NE(i, j);
+      EXPECT_TRUE(lat.LessEqual(i, j));
+      // Mutual registration.
+      const auto& lower = lat.LowerCovers(j);
+      EXPECT_NE(std::find(lower.begin(), lower.end(), i), lower.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adrec::fca

@@ -1,0 +1,116 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fca/triadic_context.h"
+
+namespace adrec::fca {
+namespace {
+
+FormalContext RandomDyadic(size_t g, size_t m, double density,
+                           uint64_t seed) {
+  Rng rng(seed);
+  FormalContext ctx(g, m);
+  for (size_t i = 0; i < g; ++i)
+    for (size_t j = 0; j < m; ++j)
+      if (rng.NextBool(density)) ctx.Set(i, j);
+  return ctx;
+}
+
+TriadicContext RandomTriadic(size_t g, size_t m, size_t b, double density,
+                             uint64_t seed) {
+  Rng rng(seed);
+  TriadicContext ctx(g, m, b);
+  for (size_t i = 0; i < g; ++i)
+    for (size_t j = 0; j < m; ++j)
+      for (size_t k = 0; k < b; ++k)
+        if (rng.NextBool(density)) ctx.Set(i, j, k);
+  return ctx;
+}
+
+TEST(IcebergDyadicTest, EqualsPostFilteredFullEnumeration) {
+  const FormalContext ctx = RandomDyadic(10, 8, 0.4, 7);
+  auto full = EnumerateConcepts(ctx);
+  ASSERT_TRUE(full.ok());
+  for (size_t support : {0u, 1u, 2u, 4u, 10u}) {
+    EnumerateOptions opts;
+    opts.min_extent = support;
+    auto iceberg = EnumerateConcepts(ctx, opts);
+    ASSERT_TRUE(iceberg.ok());
+    std::vector<Concept> expected;
+    for (const Concept& c : full.value()) {
+      if (c.extent.Count() >= support) expected.push_back(c);
+    }
+    ASSERT_EQ(iceberg.value().size(), expected.size()) << support;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(iceberg.value()[i], expected[i]);
+    }
+  }
+}
+
+TEST(IcebergDyadicTest, ZeroSupportIsFullLattice) {
+  const FormalContext ctx = RandomDyadic(8, 8, 0.5, 13);
+  auto a = EnumerateConcepts(ctx);
+  EnumerateOptions opts;
+  opts.min_extent = 0;
+  auto b = EnumerateConcepts(ctx, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().size(), b.value().size());
+}
+
+using Box = std::tuple<std::vector<uint32_t>, std::vector<uint32_t>,
+                       std::vector<uint32_t>>;
+
+std::set<Box> KeySet(const std::vector<TriConcept>& v) {
+  std::set<Box> out;
+  for (const TriConcept& tc : v) {
+    out.insert(Box{tc.objects.ToVector(), tc.attributes.ToVector(),
+                   tc.conditions.ToVector()});
+  }
+  return out;
+}
+
+class IcebergTriadicTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IcebergTriadicTest, EqualsPostFilteredFullMining) {
+  const TriadicContext ctx =
+      RandomTriadic(8, 4, 4, 0.3, static_cast<uint64_t>(GetParam()) * 31);
+  auto full = MineTriConcepts(ctx);
+  ASSERT_TRUE(full.ok());
+  for (size_t support : {1u, 2u, 3u}) {
+    EnumerateOptions opts;
+    opts.min_extent = support;
+    auto iceberg = MineTriConcepts(ctx, opts);
+    ASSERT_TRUE(iceberg.ok());
+    std::set<Box> expected;
+    for (const TriConcept& tc : full.value()) {
+      if (tc.objects.Count() >= support) {
+        expected.insert(Box{tc.objects.ToVector(), tc.attributes.ToVector(),
+                            tc.conditions.ToVector()});
+      }
+    }
+    EXPECT_EQ(KeySet(iceberg.value()), expected)
+        << "support=" << support << " seed=" << GetParam();
+
+    // The naive miner agrees under the same support.
+    auto naive = MineTriConceptsNaive(ctx, opts);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(KeySet(naive.value()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IcebergTriadicTest, ::testing::Range(1, 9));
+
+TEST(IcebergTriadicTest, HighSupportPrunesToEmpty) {
+  const TriadicContext ctx = RandomTriadic(5, 3, 3, 0.3, 5);
+  EnumerateOptions opts;
+  opts.min_extent = 100;
+  auto mined = MineTriConcepts(ctx, opts);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(mined.value().empty());
+}
+
+}  // namespace
+}  // namespace adrec::fca

@@ -1,0 +1,141 @@
+#include "fca/implications.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace adrec::fca {
+namespace {
+
+FormalContext RandomContext(size_t g, size_t m, double density,
+                            uint64_t seed) {
+  Rng rng(seed);
+  FormalContext ctx(g, m);
+  for (size_t i = 0; i < g; ++i)
+    for (size_t j = 0; j < m; ++j)
+      if (rng.NextBool(density)) ctx.Set(i, j);
+  return ctx;
+}
+
+Bitset Subset(size_t m, uint64_t mask) {
+  Bitset b(m);
+  for (size_t i = 0; i < m; ++i) {
+    if ((mask >> i) & 1) b.Set(i);
+  }
+  return b;
+}
+
+TEST(ImplicationClosureTest, FiresTransitively) {
+  // 0 -> 1, 1 -> 2: closing {0} must yield {0,1,2}.
+  std::vector<Implication> imps = {
+      {Subset(3, 0b001), Subset(3, 0b010)},
+      {Subset(3, 0b010), Subset(3, 0b100)},
+  };
+  EXPECT_EQ(CloseUnderImplications(imps, Subset(3, 0b001)),
+            Subset(3, 0b111));
+  // Closing {2} fires nothing.
+  EXPECT_EQ(CloseUnderImplications(imps, Subset(3, 0b100)),
+            Subset(3, 0b100));
+  // Empty implication set: identity.
+  EXPECT_EQ(CloseUnderImplications({}, Subset(3, 0b010)), Subset(3, 0b010));
+}
+
+TEST(ImplicationTest, HoldsInChecksSemantics) {
+  // Context: object 0 has {a,b}; object 1 has {a}.
+  FormalContext ctx(2, 2);
+  ctx.Set(0, 0);
+  ctx.Set(0, 1);
+  ctx.Set(1, 0);
+  // b -> a holds (the only b-object also has a); a -> b does not.
+  EXPECT_TRUE(HoldsIn(ctx, {Subset(2, 0b10), Subset(2, 0b01)}));
+  EXPECT_FALSE(HoldsIn(ctx, {Subset(2, 0b01), Subset(2, 0b10)}));
+}
+
+class StemBaseParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StemBaseParamTest, SoundAndCompleteOnRandomContexts) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131);
+  const size_t g = 2 + rng.NextBounded(6);
+  const size_t m = 2 + rng.NextBounded(5);  // <= 6 attrs: 2^m exhaustive
+  const FormalContext ctx = RandomContext(g, m, 0.45, rng.NextUint64());
+  auto basis = StemBase(ctx);
+  ASSERT_TRUE(basis.ok());
+
+  // Soundness: every implication of the basis holds in the context.
+  for (const Implication& imp : basis.value()) {
+    EXPECT_TRUE(HoldsIn(ctx, imp));
+  }
+  // Completeness: for every attribute subset X, closure under the basis
+  // equals the context closure X''.
+  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    const Bitset x = Subset(m, mask);
+    EXPECT_EQ(CloseUnderImplications(basis.value(), x),
+              ctx.CloseAttributes(x))
+        << "seed " << GetParam() << " mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, StemBaseParamTest, ::testing::Range(1, 21));
+
+TEST(StemBaseTest, MinimalityOnSmallContext) {
+  // Removing any implication from the stem base must break completeness.
+  const FormalContext ctx = RandomContext(5, 4, 0.5, 99);
+  auto basis = StemBase(ctx);
+  ASSERT_TRUE(basis.ok());
+  const size_t m = ctx.num_attributes();
+  for (size_t drop = 0; drop < basis.value().size(); ++drop) {
+    std::vector<Implication> reduced;
+    for (size_t i = 0; i < basis.value().size(); ++i) {
+      if (i != drop) reduced.push_back(basis.value()[i]);
+    }
+    bool complete = true;
+    for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+      const Bitset x = Subset(m, mask);
+      if (!(CloseUnderImplications(reduced, x) == ctx.CloseAttributes(x))) {
+        complete = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(complete) << "implication " << drop << " is redundant";
+  }
+}
+
+TEST(StemBaseTest, ClosedContextsHaveEmptyBasis) {
+  // A context where every attribute subset is an intent (contranominal
+  // scale) has no valid non-trivial implications.
+  const size_t n = 4;
+  FormalContext ctx(n, n);
+  for (size_t g = 0; g < n; ++g)
+    for (size_t m = 0; m < n; ++m)
+      if (g != m) ctx.Set(g, m);
+  auto basis = StemBase(ctx);
+  ASSERT_TRUE(basis.ok());
+  EXPECT_TRUE(basis.value().empty());
+}
+
+TEST(StemBaseTest, EmptyContextImpliesEverything) {
+  // No objects: ∅ -> M (everything follows from nothing).
+  FormalContext ctx(0, 3);
+  auto basis = StemBase(ctx);
+  ASSERT_TRUE(basis.ok());
+  ASSERT_EQ(basis.value().size(), 1u);
+  EXPECT_EQ(basis.value()[0].premise.Count(), 0u);
+  EXPECT_EQ(CloseUnderImplications(basis.value(), Bitset(3)).Count(), 3u);
+}
+
+TEST(StemBaseTest, ChainContextYieldsChainImplications) {
+  // attr i held by objects {i..n-1}: attribute i implies all j < i.
+  const size_t n = 4;
+  FormalContext ctx(n, n);
+  for (size_t m = 0; m < n; ++m)
+    for (size_t g = m; g < n; ++g) ctx.Set(g, m);
+  auto basis = StemBase(ctx);
+  ASSERT_TRUE(basis.ok());
+  // {3} must close to {0,1,2,3} under the basis.
+  Bitset just3(n);
+  just3.Set(3);
+  EXPECT_EQ(CloseUnderImplications(basis.value(), just3).Count(), 4u);
+}
+
+}  // namespace
+}  // namespace adrec::fca

@@ -1,0 +1,105 @@
+// Order-theoretic property tests for the concept lattice on random
+// contexts: partial-order axioms, Hasse-diagram acyclicity and cover
+// minimality, and the Galois connection between extents and intents.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fca/lattice.h"
+
+namespace adrec::fca {
+namespace {
+
+class LatticePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  FormalContext RandomContext() {
+    Rng rng(static_cast<uint64_t>(GetParam()) * 2713);
+    const size_t g = 3 + rng.NextBounded(6);
+    const size_t m = 3 + rng.NextBounded(5);
+    FormalContext ctx(g, m);
+    for (size_t i = 0; i < g; ++i)
+      for (size_t j = 0; j < m; ++j)
+        if (rng.NextBool(0.45)) ctx.Set(i, j);
+    return ctx;
+  }
+};
+
+TEST_P(LatticePropertyTest, PartialOrderAxioms) {
+  const FormalContext ctx = RandomContext();
+  auto built = ConceptLattice::Build(ctx);
+  ASSERT_TRUE(built.ok());
+  const ConceptLattice& lat = built.value();
+  const size_t n = lat.size();
+  for (size_t a = 0; a < n; ++a) {
+    EXPECT_TRUE(lat.LessEqual(a, a));  // reflexive
+    for (size_t b = 0; b < n; ++b) {
+      if (a != b && lat.LessEqual(a, b) && lat.LessEqual(b, a)) {
+        ADD_FAILURE() << "antisymmetry violated: " << a << " " << b;
+      }
+      for (size_t c = 0; c < n; ++c) {
+        if (lat.LessEqual(a, b) && lat.LessEqual(b, c)) {
+          EXPECT_TRUE(lat.LessEqual(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, GaloisConnection) {
+  const FormalContext ctx = RandomContext();
+  auto built = ConceptLattice::Build(ctx);
+  ASSERT_TRUE(built.ok());
+  const ConceptLattice& lat = built.value();
+  // Extent order and intent order are dual: A <= B iff intent(A) ⊇
+  // intent(B).
+  for (size_t a = 0; a < lat.size(); ++a) {
+    for (size_t b = 0; b < lat.size(); ++b) {
+      EXPECT_EQ(lat.LessEqual(a, b),
+                lat.concepts()[b].intent.IsSubsetOf(lat.concepts()[a].intent))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, CoversAreMinimalAndAcyclic) {
+  const FormalContext ctx = RandomContext();
+  auto built = ConceptLattice::Build(ctx);
+  ASSERT_TRUE(built.ok());
+  const ConceptLattice& lat = built.value();
+  for (size_t i = 0; i < lat.size(); ++i) {
+    for (size_t j : lat.UpperCovers(i)) {
+      EXPECT_TRUE(lat.LessEqual(i, j));
+      EXPECT_FALSE(lat.LessEqual(j, i));
+      // Minimality: nothing strictly between i and j.
+      for (size_t k = 0; k < lat.size(); ++k) {
+        if (k == i || k == j) continue;
+        EXPECT_FALSE(lat.LessEqual(i, k) && lat.LessEqual(k, j))
+            << k << " sits between " << i << " and " << j;
+      }
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, EveryConceptReachesTopAndBottom) {
+  const FormalContext ctx = RandomContext();
+  auto built = ConceptLattice::Build(ctx);
+  ASSERT_TRUE(built.ok());
+  const ConceptLattice& lat = built.value();
+  for (size_t i = 0; i < lat.size(); ++i) {
+    EXPECT_TRUE(lat.LessEqual(i, lat.TopIndex()));
+    EXPECT_TRUE(lat.LessEqual(lat.BottomIndex(), i));
+    // Everything except top has at least one upper cover, and dually.
+    if (i != lat.TopIndex()) {
+      EXPECT_FALSE(lat.UpperCovers(i).empty()) << i;
+    }
+    if (i != lat.BottomIndex()) {
+      EXPECT_FALSE(lat.LowerCovers(i).empty()) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, LatticePropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace adrec::fca

@@ -1,0 +1,133 @@
+#include "fca/stability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace adrec::fca {
+namespace {
+
+// Brute-force stability for verification.
+double BruteStability(const FormalContext& ctx, const Concept& c) {
+  const auto extent = c.extent.ToVector();
+  const size_t n = extent.size();
+  size_t hits = 0;
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Bitset derived = Bitset::Full(ctx.num_attributes());
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) derived &= ctx.Row(extent[i]);
+    }
+    if (derived == c.intent) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(1ull << n);
+}
+
+TEST(StabilityTest, MatchesBruteForceOnRandomContexts) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 17);
+    FormalContext ctx(8, 6);
+    for (size_t g = 0; g < 8; ++g)
+      for (size_t m = 0; m < 6; ++m)
+        if (rng.NextBool(0.5)) ctx.Set(g, m);
+    auto mined = EnumerateConcepts(ctx);
+    ASSERT_TRUE(mined.ok());
+    for (const Concept& c : mined.value()) {
+      EXPECT_NEAR(ConceptStability(ctx, c), BruteStability(ctx, c), 1e-12)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(StabilityTest, RedundantEvidenceIsStable) {
+  // Three identical objects {a,b}: every subset (including ∅, which
+  // derives the full attribute set = this intent) yields {a,b}.
+  // Stability = 8/8 = 1 — maximal robustness.
+  FormalContext ctx(3, 2);
+  for (size_t g = 0; g < 3; ++g) {
+    ctx.Set(g, 0);
+    ctx.Set(g, 1);
+  }
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_EQ(mined.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(ConceptStability(ctx, mined.value()[0]), 1.0);
+}
+
+TEST(StabilityTest, FragileConceptScoresLow) {
+  // Intent {a,b} held jointly only via the intersection of two different
+  // objects: row0={a,b,c}, row1={a,b,d}. The concept ({0,1},{a,b}) needs
+  // BOTH objects: only 1 of 4 subsets derives exactly {a,b}.
+  FormalContext ctx(2, 4);
+  ctx.Set(0, 0);
+  ctx.Set(0, 1);
+  ctx.Set(0, 2);
+  ctx.Set(1, 0);
+  ctx.Set(1, 1);
+  ctx.Set(1, 3);
+  Concept c;
+  c.extent = Bitset::FromIndices(2, {0, 1});
+  c.intent = Bitset::FromIndices(4, {0, 1});
+  EXPECT_NEAR(ConceptStability(ctx, c), 0.25, 1e-12);
+}
+
+TEST(StabilityTest, MonteCarloApproximatesExact) {
+  Rng rng(5);
+  FormalContext ctx(20, 6);
+  for (size_t g = 0; g < 20; ++g)
+    for (size_t m = 0; m < 6; ++m)
+      if (rng.NextBool(0.6)) ctx.Set(g, m);
+  auto mined = EnumerateConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  // Pick a mid-size concept and compare exact vs sampled.
+  for (const Concept& c : mined.value()) {
+    const size_t n = c.extent.Count();
+    if (n < 10 || n > 16) continue;
+    StabilityOptions exact;
+    exact.max_exact_extent = 20;
+    StabilityOptions sampled;
+    sampled.max_exact_extent = 4;
+    sampled.samples = 20000;
+    EXPECT_NEAR(ConceptStability(ctx, c, sampled),
+                ConceptStability(ctx, c, exact), 0.05);
+    break;
+  }
+}
+
+TEST(TriStabilityTest, SingleObjectBoxesAreHalfStable) {
+  // One object's box: subsets {∅, {g}}; {g} derives the reference, ∅
+  // derives the full set (different unless the context is degenerate).
+  TriadicContext ctx(3, 2, 2);
+  ctx.Set(0, 0, 0);
+  ctx.Set(1, 1, 1);
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  for (const TriConcept& tc : mined.value()) {
+    if (tc.objects.Count() == 1) {
+      EXPECT_NEAR(TriConceptStability(ctx, tc), 0.5, 1e-12);
+    }
+  }
+}
+
+TEST(TriStabilityTest, SharedBoxesMoreStableThanFragileOnes) {
+  // Users 0,1,2 all at (m0, t0); users 3,4 share (m1, t1) only jointly
+  // through different extra cells.
+  TriadicContext ctx(5, 2, 2);
+  for (uint32_t u : {0u, 1u, 2u}) ctx.Set(u, 0, 0);
+  ctx.Set(3, 1, 1);
+  ctx.Set(3, 0, 1);
+  ctx.Set(4, 1, 1);
+  ctx.Set(4, 1, 0);
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  double redundant = -1, fragile = -1;
+  for (const TriConcept& tc : mined.value()) {
+    if (tc.objects.Count() == 3) redundant = TriConceptStability(ctx, tc);
+    if (tc.objects.Count() == 2) fragile = TriConceptStability(ctx, tc);
+  }
+  ASSERT_GE(redundant, 0.0);
+  ASSERT_GE(fragile, 0.0);
+  EXPECT_GT(redundant, fragile);
+}
+
+}  // namespace
+}  // namespace adrec::fca

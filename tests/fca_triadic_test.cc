@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fca/triadic_context.h"
+
+namespace adrec::fca {
+namespace {
+
+using Box = std::tuple<std::vector<uint32_t>, std::vector<uint32_t>,
+                       std::vector<uint32_t>>;
+
+Box KeyOf(const TriConcept& tc) {
+  return {tc.objects.ToVector(), tc.attributes.ToVector(),
+          tc.conditions.ToVector()};
+}
+
+std::set<Box> KeySet(const std::vector<TriConcept>& v) {
+  std::set<Box> out;
+  for (const TriConcept& tc : v) out.insert(KeyOf(tc));
+  return out;
+}
+
+// Exponential brute-force oracle: enumerate all (A2, A3) subset pairs,
+// derive A1, and keep maximal boxes. Only for tiny contexts.
+std::set<Box> BruteForceTriConcepts(const TriadicContext& ctx) {
+  const size_t nm = ctx.num_attributes();
+  const size_t nb = ctx.num_conditions();
+  const size_t ng = ctx.num_objects();
+  std::set<Box> candidates;
+  for (uint64_t am = 0; am < (1ull << nm); ++am) {
+    for (uint64_t ab = 0; ab < (1ull << nb); ++ab) {
+      Bitset attrs(nm), conds(nb);
+      for (size_t i = 0; i < nm; ++i)
+        if ((am >> i) & 1) attrs.Set(i);
+      for (size_t i = 0; i < nb; ++i)
+        if ((ab >> i) & 1) conds.Set(i);
+      Bitset objects = ctx.DeriveExtent(attrs, conds);
+      candidates.insert(Box{objects.ToVector(), attrs.ToVector(),
+                            conds.ToVector()});
+      (void)ng;
+    }
+  }
+  // Keep only maximal boxes: no other candidate box strictly contains it
+  // (componentwise) while still being a box of Y. A candidate is a box by
+  // construction in the object dimension; we must also verify the
+  // attribute/condition dimensions are maximal.
+  auto contains = [](const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+    return std::includes(a.begin(), a.end(), b.begin(), b.end());
+  };
+  std::set<Box> maximal;
+  for (const Box& c : candidates) {
+    bool is_max = true;
+    for (const Box& other : candidates) {
+      if (other == c) continue;
+      if (contains(std::get<0>(other), std::get<0>(c)) &&
+          contains(std::get<1>(other), std::get<1>(c)) &&
+          contains(std::get<2>(other), std::get<2>(c))) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) maximal.insert(c);
+  }
+  return maximal;
+}
+
+TriadicContext PaperCheckInContext() {
+  // Table-3-style check-in context: users {Tom=0, Luke=1, Anna=2, Sam=3,
+  // Lia=4} x locations {m1=0, m2=1, m3=2} x slots {t1=0, t2=1, t3=2}.
+  TriadicContext ctx(5, 3, 3);
+  ctx.Set(0, 0, 0);
+  ctx.Set(0, 0, 1);
+  ctx.Set(0, 0, 2);  // Tom at m1 in all slots
+  ctx.Set(1, 1, 0);
+  ctx.Set(1, 1, 1);  // Luke at m2 in t1, t2
+  ctx.Set(1, 2, 2);  // Luke at m3 in t3
+  ctx.Set(3, 0, 2);  // Sam at m1 in t3
+  ctx.Set(4, 1, 0);
+  ctx.Set(4, 1, 1);
+  ctx.Set(4, 1, 2);  // Lia at m2 in all slots
+  return ctx;
+}
+
+TEST(TriadicContextTest, IncidenceAndCount) {
+  TriadicContext ctx = PaperCheckInContext();
+  EXPECT_TRUE(ctx.Incidence(0, 0, 0));
+  EXPECT_FALSE(ctx.Incidence(2, 0, 0));  // Anna checked in nowhere
+  EXPECT_EQ(ctx.IncidenceCount(), 10u);
+  EXPECT_EQ(ctx.num_objects(), 5u);
+  EXPECT_EQ(ctx.num_attributes(), 3u);
+  EXPECT_EQ(ctx.num_conditions(), 3u);
+}
+
+TEST(TriadicContextTest, DeriveExtent) {
+  TriadicContext ctx = PaperCheckInContext();
+  // Who was at m2 during t1 and t2? Luke and Lia.
+  Bitset attrs = Bitset::FromIndices(3, {1});
+  Bitset conds = Bitset::FromIndices(3, {0, 1});
+  EXPECT_EQ(ctx.DeriveExtent(attrs, conds).ToVector(),
+            (std::vector<uint32_t>{1, 4}));
+  // Who was at m1 during t3? Tom and Sam.
+  EXPECT_EQ(ctx.DeriveExtent(Bitset::FromIndices(3, {0}),
+                             Bitset::FromIndices(3, {2}))
+                .ToVector(),
+            (std::vector<uint32_t>{0, 3}));
+  // Empty attribute/condition sets derive everyone.
+  EXPECT_EQ(ctx.DeriveExtent(Bitset(3), Bitset(3)).Count(), 5u);
+}
+
+TEST(TriasTest, MatchesBruteForceOnPaperContext) {
+  TriadicContext ctx = PaperCheckInContext();
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(KeySet(mined.value()), BruteForceTriConcepts(ctx));
+}
+
+TEST(TriasTest, PaperContextContainsExpectedCommunities) {
+  TriadicContext ctx = PaperCheckInContext();
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  const std::set<Box> keys = KeySet(mined.value());
+  // ({Luke, Lia}, {m2}, {t1, t2})
+  EXPECT_TRUE(keys.count(Box{{1, 4}, {1}, {0, 1}}));
+  // ({Tom}, {m1}, {t1, t2, t3})
+  EXPECT_TRUE(keys.count(Box{{0}, {0}, {0, 1, 2}}));
+  // ({Lia}, {m2}, {t1, t2, t3})
+  EXPECT_TRUE(keys.count(Box{{4}, {1}, {0, 1, 2}}));
+  // ({Luke}, {m3}, {t3})
+  EXPECT_TRUE(keys.count(Box{{1}, {2}, {2}}));
+  // ({Tom, Sam}, {m1}, {t3}) — the maximal form of the worked example's
+  // ({Sam}, {m1}, {t3}).
+  EXPECT_TRUE(keys.count(Box{{0, 3}, {0}, {2}}));
+}
+
+TEST(TriasTest, NoDuplicateTriconcepts) {
+  TriadicContext ctx = PaperCheckInContext();
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(KeySet(mined.value()).size(), mined.value().size());
+}
+
+TEST(TriasTest, NaiveAgreesWithTrias) {
+  TriadicContext ctx = PaperCheckInContext();
+  auto fast = MineTriConcepts(ctx);
+  auto naive = MineTriConceptsNaive(ctx);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(KeySet(fast.value()), KeySet(naive.value()));
+}
+
+class TriasRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriasRandomTest, MatchesBruteForceOnRandomContexts) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const size_t ng = 1 + rng.NextBounded(5);
+  const size_t nm = 1 + rng.NextBounded(4);
+  const size_t nb = 1 + rng.NextBounded(4);
+  TriadicContext ctx(ng, nm, nb);
+  for (size_t g = 0; g < ng; ++g)
+    for (size_t m = 0; m < nm; ++m)
+      for (size_t b = 0; b < nb; ++b)
+        if (rng.NextBool(0.35)) ctx.Set(g, m, b);
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(KeySet(mined.value()), BruteForceTriConcepts(ctx))
+      << "seed=" << GetParam() << " dims=" << ng << "x" << nm << "x" << nb;
+
+  auto naive = MineTriConceptsNaive(ctx);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(KeySet(naive.value()), KeySet(mined.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTriadic, TriasRandomTest,
+                         ::testing::Range(1, 25));
+
+TEST(TriasTest, EmptyContext) {
+  TriadicContext ctx(3, 2, 2);
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(KeySet(mined.value()), BruteForceTriConcepts(ctx));
+  // Includes the trivial boxes (G, M, ∅) / (G, ∅, B) / (∅, M, B).
+  EXPECT_GE(mined.value().size(), 2u);
+}
+
+TEST(TriasTest, FullContextSingleConcept) {
+  TriadicContext ctx(2, 2, 2);
+  for (size_t g = 0; g < 2; ++g)
+    for (size_t m = 0; m < 2; ++m)
+      for (size_t b = 0; b < 2; ++b) ctx.Set(g, m, b);
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  // The only maximal box is (G, M, B).
+  ASSERT_EQ(mined.value().size(), 1u);
+  EXPECT_EQ(mined.value()[0].objects.Count(), 2u);
+  EXPECT_EQ(mined.value()[0].attributes.Count(), 2u);
+  EXPECT_EQ(mined.value()[0].conditions.Count(), 2u);
+}
+
+TEST(TriasTest, TriconceptsAreMaximalBoxes) {
+  Rng rng(4242);
+  TriadicContext ctx(5, 3, 3);
+  for (size_t g = 0; g < 5; ++g)
+    for (size_t m = 0; m < 3; ++m)
+      for (size_t b = 0; b < 3; ++b)
+        if (rng.NextBool(0.4)) ctx.Set(g, m, b);
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  for (const TriConcept& tc : mined.value()) {
+    // Box property: every (g, m, b) in the box is an incidence.
+    for (uint32_t g : tc.objects.ToVector())
+      for (uint32_t m : tc.attributes.ToVector())
+        for (uint32_t b : tc.conditions.ToVector())
+          EXPECT_TRUE(ctx.Incidence(g, m, b));
+    // Object-maximality: extent equals the derived extent.
+    EXPECT_EQ(ctx.DeriveExtent(tc.attributes, tc.conditions), tc.objects);
+  }
+}
+
+TEST(FilterMConceptsTest, SelectsSingletonAttributeConcepts) {
+  TriadicContext ctx = PaperCheckInContext();
+  auto mined = MineTriConcepts(ctx);
+  ASSERT_TRUE(mined.ok());
+  // m2 (=1) communities: ({Luke,Lia},{m2},{t1,t2}) and ({Lia},{m2},{t1..t3}).
+  auto m2 = FilterMConcepts(mined.value(), 1);
+  ASSERT_EQ(m2.size(), 2u);
+  for (const TriConcept& tc : m2) {
+    EXPECT_EQ(tc.attributes.ToVector(), (std::vector<uint32_t>{1}));
+  }
+  // m3 (=2): only ({Luke},{m3},{t3}).
+  auto m3 = FilterMConcepts(mined.value(), 2);
+  ASSERT_EQ(m3.size(), 1u);
+  EXPECT_EQ(m3[0].objects.ToVector(), (std::vector<uint32_t>{1}));
+}
+
+TEST(TriasTest, RespectsConceptCap) {
+  // Contranominal-flavoured triadic context to blow up the concept count.
+  const size_t n = 6;
+  TriadicContext ctx(n, n, 2);
+  for (size_t g = 0; g < n; ++g)
+    for (size_t m = 0; m < n; ++m)
+      for (size_t b = 0; b < 2; ++b)
+        if (g != m) ctx.Set(g, m, b);
+  EnumerateOptions opts;
+  opts.max_concepts = 10;
+  auto mined = MineTriConcepts(ctx, opts);
+  EXPECT_FALSE(mined.ok());
+  EXPECT_EQ(mined.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace adrec::fca

@@ -1,0 +1,90 @@
+#include "feed/stream_replayer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace adrec::feed {
+namespace {
+
+std::vector<FeedEvent> MakeEvents(size_t n, DurationSec spacing) {
+  std::vector<FeedEvent> events;
+  for (size_t i = 0; i < n; ++i) {
+    FeedEvent e;
+    e.kind = EventKind::kTweet;
+    e.time = static_cast<Timestamp>(i) * spacing;
+    e.tweet.user = UserId(static_cast<uint32_t>(i));
+    e.tweet.time = e.time;
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(ReplayerTest, UnpacedDeliversEverythingFast) {
+  StreamReplayer replayer;  // speedup 0 = as fast as possible
+  const auto events = MakeEvents(1000, 60);
+  size_t seen = 0;
+  auto stats = replayer.Replay(events, [&](const FeedEvent&) { ++seen; });
+  EXPECT_EQ(seen, 1000u);
+  EXPECT_EQ(stats.events_delivered, 1000u);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_LT(stats.wall_seconds, 1.0);
+  EXPECT_GT(stats.events_per_second, 1000.0);
+  EXPECT_EQ(stats.handler_micros.count(), 1000u);
+}
+
+TEST(ReplayerTest, EmptyStream) {
+  StreamReplayer replayer;
+  auto stats = replayer.Replay({}, [](const FeedEvent&) {});
+  EXPECT_EQ(stats.events_delivered, 0u);
+  EXPECT_DOUBLE_EQ(stats.events_per_second, 0.0);
+}
+
+TEST(ReplayerTest, PacingStretchesWallTime) {
+  // 10 events spaced 1 simulated second apart at 100x speedup: the
+  // replay must take at least ~90 ms of wall time.
+  ReplayOptions opts;
+  opts.speedup = 100.0;
+  StreamReplayer replayer(opts);
+  const auto events = MakeEvents(10, 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto stats = replayer.Replay(events, [](const FeedEvent&) {});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(stats.events_delivered, 10u);
+  EXPECT_GE(wall, 0.08);
+}
+
+TEST(ReplayerTest, SlowHandlerTriggersLoadShedding) {
+  // Events 1 simulated second apart, replayed at 1000x (1 ms per event),
+  // with a 5 ms handler: the replay falls behind immediately; with
+  // max_lag 2 simulated seconds, later events are dropped.
+  ReplayOptions opts;
+  opts.speedup = 1000.0;
+  opts.max_lag = 2;
+  StreamReplayer replayer(opts);
+  const auto events = MakeEvents(30, 1);
+  auto stats = replayer.Replay(events, [](const FeedEvent&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  EXPECT_GT(stats.events_dropped, 0u);
+  EXPECT_EQ(stats.events_delivered + stats.events_dropped, 30u);
+}
+
+TEST(ReplayerTest, NoSheddingWhenDisabled) {
+  ReplayOptions opts;
+  opts.speedup = 1000.0;
+  opts.max_lag = 0;  // never drop
+  StreamReplayer replayer(opts);
+  const auto events = MakeEvents(20, 1);
+  auto stats = replayer.Replay(events, [](const FeedEvent&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_EQ(stats.events_delivered, 20u);
+}
+
+}  // namespace
+}  // namespace adrec::feed

@@ -1,0 +1,171 @@
+#include "feed/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "annotate/annotator.h"
+
+namespace adrec::feed {
+namespace {
+
+WorkloadOptions SmallOptions(uint64_t seed = 7) {
+  WorkloadOptions opts;
+  opts.seed = seed;
+  opts.num_users = 8;
+  opts.num_places = 6;
+  opts.num_ads = 3;
+  opts.days = 3;
+  return opts;
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  Workload a = GenerateWorkload(SmallOptions(11));
+  Workload b = GenerateWorkload(SmallOptions(11));
+  ASSERT_EQ(a.tweets.size(), b.tweets.size());
+  for (size_t i = 0; i < a.tweets.size(); ++i) {
+    EXPECT_EQ(a.tweets[i].text, b.tweets[i].text);
+    EXPECT_EQ(a.tweets[i].time, b.tweets[i].time);
+    EXPECT_EQ(a.tweets[i].user, b.tweets[i].user);
+  }
+  ASSERT_EQ(a.check_ins.size(), b.check_ins.size());
+  ASSERT_EQ(a.ads.size(), b.ads.size());
+  for (size_t i = 0; i < a.ads.size(); ++i) {
+    EXPECT_EQ(a.ads[i].copy, b.ads[i].copy);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  Workload a = GenerateWorkload(SmallOptions(1));
+  Workload b = GenerateWorkload(SmallOptions(2));
+  // Extremely unlikely to coincide.
+  EXPECT_TRUE(a.tweets.size() != b.tweets.size() ||
+              a.tweets[0].text != b.tweets[0].text);
+}
+
+TEST(WorkloadTest, SizesMatchOptions) {
+  Workload w = GenerateWorkload(SmallOptions());
+  EXPECT_EQ(w.truth.size(), 8u);
+  EXPECT_EQ(w.places.size(), 6u);
+  EXPECT_EQ(w.ads.size(), 3u);
+  EXPECT_EQ(w.ad_topics.size(), 3u);
+  EXPECT_FALSE(w.tweets.empty());
+  EXPECT_FALSE(w.check_ins.empty());
+}
+
+TEST(WorkloadTest, EventsAreTimeOrderedAndInRange) {
+  Workload w = GenerateWorkload(SmallOptions());
+  const Timestamp horizon = 3 * kSecondsPerDay;
+  for (size_t i = 1; i < w.tweets.size(); ++i) {
+    EXPECT_LE(w.tweets[i - 1].time, w.tweets[i].time);
+  }
+  for (const Tweet& t : w.tweets) {
+    EXPECT_GE(t.time, 0);
+    EXPECT_LT(t.time, horizon);
+    EXPECT_LT(t.user.value, 8u);
+    EXPECT_FALSE(t.text.empty());
+  }
+  for (const CheckIn& c : w.check_ins) {
+    EXPECT_GE(c.time, 0);
+    EXPECT_LT(c.time, horizon);
+    EXPECT_LT(c.location.value, 6u);
+  }
+}
+
+TEST(WorkloadTest, TruthIsConsistent) {
+  Workload w = GenerateWorkload(SmallOptions());
+  for (const UserTruth& t : w.truth) {
+    EXPECT_GE(t.interests.size(), 2u);
+    EXPECT_LE(t.interests.size(), 4u);
+    std::set<uint32_t> uniq;
+    for (TopicId topic : t.interests) {
+      EXPECT_LT(topic.value, w.kb->size());
+      uniq.insert(topic.value);
+    }
+    EXPECT_EQ(uniq.size(), t.interests.size());  // distinct
+    ASSERT_EQ(t.frequented.size(), w.slots.size());
+    for (const auto& locs : t.frequented) {
+      EXPECT_GE(locs.size(), 1u);
+      for (LocationId l : locs) EXPECT_LT(l.value, 6u);
+    }
+  }
+}
+
+TEST(WorkloadTest, CheckInsRespectFrequentedTruth) {
+  Workload w = GenerateWorkload(SmallOptions());
+  for (const CheckIn& c : w.check_ins) {
+    const SlotId slot = w.slots.SlotOf(c.time);
+    const auto& allowed = w.truth[c.user.value].frequented[slot.value];
+    EXPECT_NE(std::find(allowed.begin(), allowed.end(), c.location),
+              allowed.end())
+        << "check-in at non-frequented location";
+  }
+}
+
+TEST(WorkloadTest, SlotIntensityShapesVolume) {
+  WorkloadOptions opts = SmallOptions();
+  opts.num_users = 20;
+  opts.days = 10;
+  Workload w = GenerateWorkload(opts);
+  // Count tweets per slot; slot2 (intensity 2.0) must exceed night (0.2).
+  std::vector<size_t> per_slot(w.slots.size(), 0);
+  for (const Tweet& t : w.tweets) ++per_slot[w.slots.SlotOf(t.time).value];
+  EXPECT_GT(per_slot[2], per_slot[0] * 2);
+  // And slot2 > slot1 (2.0 vs 1.0) with high probability at this volume.
+  EXPECT_GT(per_slot[2], per_slot[1]);
+}
+
+TEST(WorkloadTest, TweetsAreAnnotatable) {
+  Workload w = GenerateWorkload(SmallOptions());
+  annotate::SpotlightAnnotator annotator(w.kb.get());
+  size_t annotated = 0;
+  const size_t sample = std::min<size_t>(w.tweets.size(), 100);
+  for (size_t i = 0; i < sample; ++i) {
+    if (!annotator.Annotate(w.tweets[i].text).empty()) ++annotated;
+  }
+  // Nearly every generated tweet mentions a KB entity by construction.
+  EXPECT_GT(annotated, sample * 8 / 10);
+}
+
+TEST(WorkloadTest, AdsMentionTheirTopics) {
+  Workload w = GenerateWorkload(SmallOptions());
+  annotate::SpotlightAnnotator annotator(w.kb.get());
+  for (size_t a = 0; a < w.ads.size(); ++a) {
+    auto anns = annotator.Annotate(w.ads[a].copy);
+    std::set<uint32_t> found;
+    for (const auto& ann : anns) found.insert(ann.topic.value);
+    size_t hits = 0;
+    for (TopicId t : w.ad_topics[a]) hits += found.count(t.value);
+    EXPECT_GE(hits, 1u) << "ad " << a << " copy: " << w.ads[a].copy;
+    EXPECT_FALSE(w.ads[a].target_locations.empty());
+    EXPECT_FALSE(w.ads[a].target_slots.empty());
+  }
+}
+
+TEST(WorkloadTest, MergedEventsInterleaveInTimeOrder) {
+  Workload w = GenerateWorkload(SmallOptions());
+  auto events = w.MergedEvents();
+  EXPECT_EQ(events.size(), w.tweets.size() + w.check_ins.size());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  size_t tweets = 0, checkins = 0;
+  for (const FeedEvent& e : events) {
+    if (e.kind == EventKind::kTweet) ++tweets;
+    if (e.kind == EventKind::kCheckIn) ++checkins;
+  }
+  EXPECT_EQ(tweets, w.tweets.size());
+  EXPECT_EQ(checkins, w.check_ins.size());
+}
+
+TEST(WorkloadTest, CaseStudyScaleMatchesReportedCrawl) {
+  WorkloadOptions opts = CaseStudyOptions();
+  EXPECT_EQ(opts.num_users, 31u);
+  EXPECT_EQ(opts.num_places, 29u);
+  EXPECT_EQ(opts.num_ads, 5u);
+  EXPECT_EQ(opts.days, 30);
+}
+
+}  // namespace
+}  // namespace adrec::feed

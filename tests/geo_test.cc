@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+#include <set>
+
+#include "geo/geohash.h"
+#include "geo/grid_index.h"
+#include "geo/places.h"
+#include "geo/point.h"
+
+namespace adrec::geo {
+namespace {
+
+// Reference points.
+const GeoPoint kRome{41.9028, 12.4964};
+const GeoPoint kMilan{45.4642, 9.1900};
+const GeoPoint kNaples{40.8518, 14.2681};
+
+TEST(HaversineTest, ZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(HaversineMeters(kRome, kRome), 0.0);
+}
+
+TEST(HaversineTest, KnownDistances) {
+  // Rome-Milan great-circle distance is ~477 km.
+  EXPECT_NEAR(HaversineMeters(kRome, kMilan), 477000, 5000);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(HaversineMeters(kRome, kMilan),
+                   HaversineMeters(kMilan, kRome));
+}
+
+TEST(HaversineTest, TriangleInequalityHolds) {
+  const double rm = HaversineMeters(kRome, kMilan);
+  const double rn = HaversineMeters(kRome, kNaples);
+  const double mn = HaversineMeters(kMilan, kNaples);
+  EXPECT_LE(rm, rn + mn + 1e-6);
+  EXPECT_LE(rn, rm + mn + 1e-6);
+}
+
+TEST(PointTest, Validation) {
+  EXPECT_TRUE(IsValidPoint(kRome));
+  EXPECT_FALSE(IsValidPoint({91.0, 0.0}));
+  EXPECT_FALSE(IsValidPoint({0.0, -181.0}));
+  EXPECT_TRUE(IsValidPoint({-90.0, 180.0}));
+}
+
+TEST(GeohashTest, KnownEncoding) {
+  // Well-known reference: (57.64911, 10.40744) -> "u4pruydqqvj".
+  EXPECT_EQ(GeohashEncode({57.64911, 10.40744}, 11), "u4pruydqqvj");
+}
+
+TEST(GeohashTest, RoundTripWithinCellError) {
+  for (const GeoPoint& p : {kRome, kMilan, kNaples, GeoPoint{-33.86, 151.21}}) {
+    auto decoded = GeohashDecode(GeohashEncode(p, 9));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_NEAR(decoded.value().lat, p.lat, 1e-3);
+    EXPECT_NEAR(decoded.value().lon, p.lon, 1e-3);
+  }
+}
+
+TEST(GeohashTest, PrefixContainment) {
+  const std::string h9 = GeohashEncode(kRome, 9);
+  const std::string h5 = GeohashEncode(kRome, 5);
+  EXPECT_EQ(h9.substr(0, 5), h5);
+}
+
+TEST(GeohashTest, PrecisionClamped) {
+  EXPECT_EQ(GeohashEncode(kRome, 0).size(), 1u);
+  EXPECT_EQ(GeohashEncode(kRome, 99).size(), 12u);
+}
+
+TEST(GeohashTest, DecodeRejectsBadInput) {
+  EXPECT_FALSE(GeohashDecode("").ok());
+  EXPECT_FALSE(GeohashDecode("abc!").ok());
+  EXPECT_FALSE(GeohashDecode("ai").ok());  // 'a' and 'i' not in base32 set
+}
+
+TEST(GeohashTest, BoundsContainTheirCenter) {
+  const std::string h = GeohashEncode(kRome, 7);
+  auto bounds = GeohashDecodeBounds(h);
+  ASSERT_TRUE(bounds.ok());
+  const auto& b = bounds.value();
+  EXPECT_LE(b.lat_lo, kRome.lat);
+  EXPECT_GE(b.lat_hi, kRome.lat);
+  EXPECT_LE(b.lon_lo, kRome.lon);
+  EXPECT_GE(b.lon_hi, kRome.lon);
+  EXPECT_FALSE(GeohashDecodeBounds("").ok());
+}
+
+TEST(GeohashTest, NeighborsAreDistinctAdjacentCells) {
+  const std::string h = GeohashEncode(kRome, 6);
+  auto neighbors = GeohashNeighbors(h);
+  ASSERT_TRUE(neighbors.ok());
+  ASSERT_EQ(neighbors.value().size(), 8u);
+  std::set<std::string> unique(neighbors.value().begin(),
+                               neighbors.value().end());
+  EXPECT_EQ(unique.size(), 8u);       // all distinct away from the poles
+  EXPECT_EQ(unique.count(h), 0u);     // the cell itself is not a neighbor
+  for (const std::string& n : neighbors.value()) {
+    EXPECT_EQ(n.size(), h.size());
+    // Each neighbor's center is within ~2 cell diagonals of the center.
+    auto c = GeohashDecode(h);
+    auto cn = GeohashDecode(n);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(cn.ok());
+    EXPECT_LT(HaversineMeters(c.value(), cn.value()), 3000.0);
+  }
+}
+
+TEST(GeohashTest, NeighborhoodIsSymmetric) {
+  // If b is the east neighbor of a, then a is the west neighbor of b.
+  const std::string a = GeohashEncode(kMilan, 5);
+  auto na = GeohashNeighbors(a);
+  ASSERT_TRUE(na.ok());
+  const std::string east = na.value()[2];  // E
+  auto nb = GeohashNeighbors(east);
+  ASSERT_TRUE(nb.ok());
+  EXPECT_EQ(nb.value()[6], a);  // W
+}
+
+TEST(GeohashTest, NeighborsRejectBadInput) {
+  EXPECT_FALSE(GeohashNeighbors("").ok());
+  EXPECT_FALSE(GeohashNeighbors("a!").ok());
+}
+
+TEST(GridIndexTest, InsertAndRadiusQuery) {
+  GridIndex grid(0.05);
+  ASSERT_TRUE(grid.Insert(1, kRome).ok());
+  ASSERT_TRUE(grid.Insert(2, kMilan).ok());
+  ASSERT_TRUE(grid.Insert(3, kNaples).ok());
+  EXPECT_EQ(grid.size(), 3u);
+
+  // 250 km around Rome: Rome and Naples (188 km), not Milan (477 km).
+  auto hits = grid.QueryRadius(kRome, 250000);
+  EXPECT_EQ(hits, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(GridIndexTest, ResultsSortedByDistance) {
+  GridIndex grid(0.05);
+  ASSERT_TRUE(grid.Insert(10, kNaples).ok());
+  ASSERT_TRUE(grid.Insert(20, kRome).ok());
+  ASSERT_TRUE(grid.Insert(30, kMilan).ok());
+  auto hits = grid.QueryRadius(kRome, 1000000);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 20u);
+  EXPECT_EQ(hits[1], 10u);
+  EXPECT_EQ(hits[2], 30u);
+}
+
+TEST(GridIndexTest, RemoveWorksAndReportsMissing) {
+  GridIndex grid;
+  ASSERT_TRUE(grid.Insert(1, kRome).ok());
+  EXPECT_TRUE(grid.Remove(1, kRome).ok());
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_EQ(grid.Remove(1, kRome).code(), StatusCode::kNotFound);
+  EXPECT_EQ(grid.Remove(9, kMilan).code(), StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, RejectsInvalidPoint) {
+  GridIndex grid;
+  EXPECT_EQ(grid.Insert(1, {95.0, 0.0}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GridIndexTest, EmptyQuery) {
+  GridIndex grid;
+  EXPECT_TRUE(grid.QueryRadius(kRome, 1000).empty());
+}
+
+TEST(PlaceRegistryTest, AddFindSnap) {
+  PlaceRegistry places;
+  auto rome = places.AddPlace("rome_center", kRome);
+  auto milan = places.AddPlace("milan_duomo", kMilan);
+  ASSERT_TRUE(rome.ok());
+  ASSERT_TRUE(milan.ok());
+  EXPECT_EQ(places.size(), 2u);
+  EXPECT_EQ(places.place(rome.value()).name, "rome_center");
+
+  auto found = places.FindByName("milan_duomo");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), milan.value());
+  EXPECT_FALSE(places.FindByName("venice").ok());
+
+  // A GPS fix 200 m from the Rome point snaps to rome_center.
+  GeoPoint nearby{41.9041, 12.4980};
+  auto snapped = places.Nearest(nearby, 500);
+  ASSERT_TRUE(snapped.ok());
+  EXPECT_EQ(snapped.value(), rome.value());
+
+  // Nothing within 1 km of the open sea.
+  EXPECT_FALSE(places.Nearest({40.0, 6.0}, 1000).ok());
+}
+
+TEST(PlaceRegistryTest, DuplicateNameRejected) {
+  PlaceRegistry places;
+  ASSERT_TRUE(places.AddPlace("x", kRome).ok());
+  EXPECT_EQ(places.AddPlace("x", kMilan).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(PlaceRegistryTest, WithinReturnsNearestFirst) {
+  PlaceRegistry places;
+  ASSERT_TRUE(places.AddPlace("a", kRome).ok());
+  ASSERT_TRUE(places.AddPlace("b", kNaples).ok());
+  auto within = places.Within(kRome, 300000);
+  ASSERT_EQ(within.size(), 2u);
+  EXPECT_EQ(places.place(within[0]).name, "a");
+}
+
+}  // namespace
+}  // namespace adrec::geo

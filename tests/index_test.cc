@@ -1,0 +1,210 @@
+#include "index/ad_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace adrec::index {
+namespace {
+
+text::SparseVector Vec(std::vector<text::SparseEntry> entries) {
+  return text::SparseVector::FromUnsorted(std::move(entries));
+}
+
+AdQuery Query(text::SparseVector topics, size_t k = 10) {
+  AdQuery q;
+  q.topics = std::move(topics);
+  q.k = k;
+  return q;
+}
+
+TEST(AdIndexTest, InsertAndTopKBasic) {
+  AdIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(2), Vec({{0, 0.5}, {1, 0.5}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(3), Vec({{1, 1.0}}), {}, {}).ok());
+  EXPECT_EQ(idx.size(), 3u);
+
+  auto top = idx.TopK(Query(Vec({{0, 1.0}})));
+  ASSERT_EQ(top.size(), 2u);  // ad 3 has zero score and must not appear
+  EXPECT_EQ(top[0].ad, AdId(1));
+  EXPECT_DOUBLE_EQ(top[0].score, 1.0);
+  EXPECT_EQ(top[1].ad, AdId(2));
+  EXPECT_DOUBLE_EQ(top[1].score, 0.5);
+}
+
+TEST(AdIndexTest, DuplicateInsertRejected) {
+  AdIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  EXPECT_EQ(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(AdIndexTest, KLimitsResultCount) {
+  AdIndex idx;
+  for (uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        idx.Insert(AdId(i), Vec({{0, 1.0 / (i + 1)}}), {}, {}).ok());
+  }
+  auto top = idx.TopK(Query(Vec({{0, 1.0}}), 5));
+  ASSERT_EQ(top.size(), 5u);
+  // Highest weight (i=0) first.
+  EXPECT_EQ(top[0].ad, AdId(0));
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(AdIndexTest, BidScalesScores) {
+  AdIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 0.5}}), {}, {}, /*bid=*/4.0).ok());
+  ASSERT_TRUE(idx.Insert(AdId(2), Vec({{0, 1.0}}), {}, {}, /*bid=*/1.0).ok());
+  auto top = idx.TopK(Query(Vec({{0, 1.0}})));
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].ad, AdId(1));  // 0.5*4 = 2 beats 1.0
+  EXPECT_DOUBLE_EQ(top[0].score, 2.0);
+}
+
+TEST(AdIndexTest, LocationFilter) {
+  AdIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {LocationId(5)}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(2), Vec({{0, 0.9}}), {}, {}).ok());  // anywhere
+  AdQuery q = Query(Vec({{0, 1.0}}));
+  q.location = LocationId(7);
+  auto top = idx.TopK(q);
+  ASSERT_EQ(top.size(), 1u);  // ad 1 targets only location 5
+  EXPECT_EQ(top[0].ad, AdId(2));
+  q.location = LocationId(5);
+  EXPECT_EQ(idx.TopK(q).size(), 2u);
+  // No filter matches everything.
+  EXPECT_EQ(idx.TopK(Query(Vec({{0, 1.0}}))).size(), 2u);
+}
+
+TEST(AdIndexTest, SlotFilter) {
+  AdIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {SlotId(1)}).ok());
+  AdQuery q = Query(Vec({{0, 1.0}}));
+  q.slot = SlotId(2);
+  EXPECT_TRUE(idx.TopK(q).empty());
+  q.slot = SlotId(1);
+  EXPECT_EQ(idx.TopK(q).size(), 1u);
+}
+
+TEST(AdIndexTest, RemoveHidesAdAndCompacts) {
+  AdIndex idx;
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(idx.Insert(AdId(i), Vec({{0, 0.1 * (i + 1)}}), {}, {}).ok());
+  }
+  for (uint32_t i = 0; i < 9; ++i) {
+    ASSERT_TRUE(idx.Remove(AdId(i)).ok());
+  }
+  EXPECT_EQ(idx.size(), 1u);
+  auto top = idx.TopK(Query(Vec({{0, 1.0}})));
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].ad, AdId(9));
+  EXPECT_EQ(idx.Remove(AdId(0)).code(), StatusCode::kNotFound);
+}
+
+TEST(AdIndexTest, ReinsertAfterRemove) {
+  AdIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Remove(AdId(1)).ok());
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 0.5}}), {}, {}).ok());
+  auto top = idx.TopK(Query(Vec({{0, 1.0}})));
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.5);
+}
+
+TEST(AdIndexTest, EmptyCases) {
+  AdIndex idx;
+  EXPECT_TRUE(idx.TopK(Query(Vec({{0, 1.0}}))).empty());
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  EXPECT_TRUE(idx.TopK(Query({}, 10)).empty());      // empty query vector
+  EXPECT_TRUE(idx.TopK(Query(Vec({{0, 1.0}}), 0)).empty());  // k = 0
+  EXPECT_TRUE(idx.TopK(Query(Vec({{9, 1.0}}))).empty());     // unseen topic
+}
+
+TEST(AdIndexTest, EarlyTerminationScansFewerPostings) {
+  AdIndex idx;
+  const size_t n = 2000;
+  for (uint32_t i = 0; i < n; ++i) {
+    // One shared topic with smoothly decreasing weights.
+    ASSERT_TRUE(idx.Insert(AdId(i), Vec({{0, 1.0 / (i + 1.0)}}), {}, {}).ok());
+  }
+  auto top = idx.TopK(Query(Vec({{0, 1.0}}), 5));
+  ASSERT_EQ(top.size(), 5u);
+  // TA stops after ~k+1 sorted accesses here; exhaustive touches all n.
+  EXPECT_LT(idx.last_postings_scanned(), 50u);
+  idx.TopKExhaustive(Query(Vec({{0, 1.0}}), 5));
+  EXPECT_EQ(idx.last_postings_scanned(), n);
+}
+
+class IndexEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalenceTest, TopKMatchesExhaustiveOnRandomCorpora) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1299721);
+  AdIndex idx;
+  const size_t num_ads = 50 + rng.NextBounded(150);
+  const size_t num_topics = 20;
+  const size_t num_locations = 5;
+  const size_t num_slots = 4;
+  for (uint32_t i = 0; i < num_ads; ++i) {
+    std::vector<text::SparseEntry> entries;
+    const size_t nnz = 1 + rng.NextBounded(4);
+    for (size_t j = 0; j < nnz; ++j) {
+      entries.push_back({static_cast<uint32_t>(rng.NextBounded(num_topics)),
+                         rng.NextDouble()});
+    }
+    std::vector<LocationId> locs;
+    if (rng.NextBool(0.6)) {
+      locs.push_back(LocationId(
+          static_cast<uint32_t>(rng.NextBounded(num_locations))));
+    }
+    std::vector<SlotId> slots;
+    if (rng.NextBool(0.6)) {
+      slots.push_back(
+          SlotId(static_cast<uint32_t>(rng.NextBounded(num_slots))));
+    }
+    const double bid = 0.5 + rng.NextDouble();
+    ASSERT_TRUE(
+        idx.Insert(AdId(i), Vec(std::move(entries)), locs, slots, bid).ok());
+  }
+  // Random churn.
+  for (int d = 0; d < 20; ++d) {
+    const AdId victim(static_cast<uint32_t>(rng.NextBounded(num_ads)));
+    (void)idx.Remove(victim);  // may be NotFound; that's fine
+  }
+  for (int q = 0; q < 30; ++q) {
+    AdQuery query;
+    std::vector<text::SparseEntry> entries;
+    const size_t nnz = 1 + rng.NextBounded(3);
+    for (size_t j = 0; j < nnz; ++j) {
+      entries.push_back({static_cast<uint32_t>(rng.NextBounded(num_topics)),
+                         rng.NextDouble()});
+    }
+    query.topics = Vec(std::move(entries));
+    query.k = 1 + rng.NextBounded(10);
+    if (rng.NextBool(0.5)) {
+      query.location = LocationId(
+          static_cast<uint32_t>(rng.NextBounded(num_locations)));
+    }
+    if (rng.NextBool(0.5)) {
+      query.slot = SlotId(static_cast<uint32_t>(rng.NextBounded(num_slots)));
+    }
+    auto fast = idx.TopK(query);
+    auto slow = idx.TopKExhaustive(query);
+    ASSERT_EQ(fast.size(), slow.size()) << "query " << q;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].ad, slow[i].ad) << "query " << q << " rank " << i;
+      EXPECT_NEAR(fast[i].score, slow[i].score, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCorpora, IndexEquivalenceTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace adrec::index

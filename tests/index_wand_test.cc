@@ -1,0 +1,145 @@
+#include "index/wand_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace adrec::index {
+namespace {
+
+text::SparseVector Vec(std::vector<text::SparseEntry> entries) {
+  return text::SparseVector::FromUnsorted(std::move(entries));
+}
+
+AdQuery Query(text::SparseVector topics, size_t k = 10) {
+  AdQuery q;
+  q.topics = std::move(topics);
+  q.k = k;
+  return q;
+}
+
+TEST(WandIndexTest, BasicRankingAndZeroScoreExclusion) {
+  WandIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(2), Vec({{0, 0.5}, {1, 0.5}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(3), Vec({{1, 1.0}}), {}, {}).ok());
+  auto top = idx.TopK(Query(Vec({{0, 1.0}})));
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].ad, AdId(1));
+  EXPECT_EQ(top[1].ad, AdId(2));
+}
+
+TEST(WandIndexTest, DuplicateAndMissing) {
+  WandIndex idx;
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  EXPECT_EQ(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(idx.Remove(AdId(9)).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(idx.Remove(AdId(1)).ok());
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(idx.TopK(Query(Vec({{0, 1.0}}))).empty());
+}
+
+TEST(WandIndexTest, FiltersApply) {
+  WandIndex idx;
+  ASSERT_TRUE(
+      idx.Insert(AdId(1), Vec({{0, 1.0}}), {LocationId(5)}, {SlotId(1)})
+          .ok());
+  AdQuery q = Query(Vec({{0, 1.0}}));
+  q.location = LocationId(6);
+  EXPECT_TRUE(idx.TopK(q).empty());
+  q.location = LocationId(5);
+  q.slot = SlotId(2);
+  EXPECT_TRUE(idx.TopK(q).empty());
+  q.slot = SlotId(1);
+  EXPECT_EQ(idx.TopK(q).size(), 1u);
+}
+
+TEST(WandIndexTest, PivotSkippingDoesFewerFullEvaluations) {
+  WandIndex idx;
+  const size_t n = 5000;
+  Rng rng(3);
+  for (uint32_t i = 0; i < n; ++i) {
+    // Two-term ads over a small vocabulary with varied weights.
+    ASSERT_TRUE(idx.Insert(AdId(i),
+                           Vec({{i % 20, 0.1 + 0.9 * rng.NextDouble()},
+                                {20 + i % 7, 0.1 + 0.9 * rng.NextDouble()}}),
+                           {}, {})
+                    .ok());
+  }
+  auto top = idx.TopK(Query(Vec({{3, 1.0}, {21, 0.8}}), 5));
+  ASSERT_EQ(top.size(), 5u);
+  // The lists for terms 3 and 21 hold ~250 + ~715 postings; pivoting must
+  // evaluate well under the union.
+  EXPECT_LT(idx.last_full_evaluations(), 800u);
+  EXPECT_GT(idx.last_full_evaluations(), 0u);
+}
+
+class WandEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WandEquivalenceTest, AgreesWithTaAndExhaustive) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 60013);
+  WandIndex wand;
+  AdIndex ta;
+  const size_t num_ads = 40 + rng.NextBounded(160);
+  const size_t num_topics = 15;
+  for (uint32_t i = 0; i < num_ads; ++i) {
+    std::vector<text::SparseEntry> entries;
+    const size_t nnz = 1 + rng.NextBounded(4);
+    for (size_t j = 0; j < nnz; ++j) {
+      entries.push_back({static_cast<uint32_t>(rng.NextBounded(num_topics)),
+                         rng.NextDouble()});
+    }
+    std::vector<LocationId> locs;
+    if (rng.NextBool(0.5)) {
+      locs.push_back(LocationId(static_cast<uint32_t>(rng.NextBounded(4))));
+    }
+    std::vector<SlotId> slots;
+    if (rng.NextBool(0.5)) {
+      slots.push_back(SlotId(static_cast<uint32_t>(rng.NextBounded(3))));
+    }
+    const double bid = 0.5 + rng.NextDouble();
+    text::SparseVector v = Vec(std::move(entries));
+    ASSERT_TRUE(wand.Insert(AdId(i), v, locs, slots, bid).ok());
+    ASSERT_TRUE(ta.Insert(AdId(i), v, locs, slots, bid).ok());
+  }
+  for (int d = 0; d < 15; ++d) {
+    const AdId victim(static_cast<uint32_t>(rng.NextBounded(num_ads)));
+    const Status a = wand.Remove(victim);
+    const Status b = ta.Remove(victim);
+    EXPECT_EQ(a.code(), b.code());
+  }
+  for (int q = 0; q < 25; ++q) {
+    AdQuery query;
+    std::vector<text::SparseEntry> entries;
+    const size_t nnz = 1 + rng.NextBounded(3);
+    for (size_t j = 0; j < nnz; ++j) {
+      entries.push_back({static_cast<uint32_t>(rng.NextBounded(num_topics)),
+                         rng.NextDouble()});
+    }
+    query.topics = Vec(std::move(entries));
+    query.k = 1 + rng.NextBounded(8);
+    if (rng.NextBool(0.5)) {
+      query.location = LocationId(static_cast<uint32_t>(rng.NextBounded(4)));
+    }
+    if (rng.NextBool(0.5)) {
+      query.slot = SlotId(static_cast<uint32_t>(rng.NextBounded(3)));
+    }
+    auto w = wand.TopK(query);
+    auto t = ta.TopK(query);
+    auto e = ta.TopKExhaustive(query);
+    ASSERT_EQ(w.size(), e.size()) << "query " << q;
+    ASSERT_EQ(t.size(), e.size()) << "query " << q;
+    for (size_t i = 0; i < e.size(); ++i) {
+      EXPECT_EQ(w[i].ad, e[i].ad) << "query " << q << " rank " << i;
+      EXPECT_NEAR(w[i].score, e[i].score, 1e-9);
+      EXPECT_EQ(t[i].ad, e[i].ad);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCorpora, WandEquivalenceTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace adrec::index

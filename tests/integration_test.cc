@@ -1,0 +1,158 @@
+// Cross-module integration tests: the full pipeline driven end-to-end on
+// generated workloads, checking determinism, consistency between the
+// triadic path and its inputs, and windowed-vs-batch agreement.
+
+#include <gtest/gtest.h>
+
+#include "core/windowed_analyzer.h"
+#include "eval/experiment.h"
+
+namespace adrec {
+namespace {
+
+feed::WorkloadOptions SmallWorkload(uint64_t seed) {
+  feed::WorkloadOptions opts;
+  opts.seed = seed;
+  opts.num_users = 12;
+  opts.num_places = 8;
+  opts.num_ads = 4;
+  opts.days = 4;
+  return opts;
+}
+
+TEST(IntegrationTest, FullPipelineIsDeterministic) {
+  auto run = [] {
+    eval::ExperimentSetup setup = eval::BuildExperiment(SmallWorkload(50));
+    EXPECT_TRUE(setup.engine->RunAnalysis(0.5).ok());
+    std::vector<std::vector<uint32_t>> per_ad;
+    for (const feed::Ad& ad : setup.workload.ads) {
+      auto r = setup.engine->RecommendUsers(ad.id);
+      EXPECT_TRUE(r.ok());
+      std::vector<uint32_t> users;
+      for (const auto& mu : r.value().users) users.push_back(mu.user.value);
+      per_ad.push_back(std::move(users));
+    }
+    return per_ad;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IntegrationTest, MatchedUsersActuallyTweetedAndCheckedIn) {
+  eval::ExperimentSetup setup = eval::BuildExperiment(SmallWorkload(51));
+  ASSERT_TRUE(setup.engine->RunAnalysis(0.4).ok());
+  for (const feed::Ad& ad : setup.workload.ads) {
+    auto r = setup.engine->RecommendUsers(ad.id);
+    ASSERT_TRUE(r.ok());
+    for (const auto& mu : r.value().users) {
+      // Location side: the user checked in at one of the ad's target
+      // locations at some point (any slot).
+      bool checked_in_at_target = false;
+      for (const feed::CheckIn& c : setup.workload.check_ins) {
+        if (c.user != mu.user) continue;
+        for (LocationId m : ad.target_locations) {
+          checked_in_at_target |= (c.location == m);
+        }
+      }
+      EXPECT_TRUE(checked_in_at_target)
+          << "user " << mu.user.value << " matched ad " << ad.id.value
+          << " without ever visiting a target location";
+      // Both support counters are positive by construction of the join.
+      EXPECT_GT(mu.topic_support, 0);
+      EXPECT_GT(mu.location_support, 0);
+    }
+  }
+}
+
+TEST(IntegrationTest, WindowedAnalyzerAgreesWithBatchOnFullWindow) {
+  // A window covering the whole trace and one refresh at the end must
+  // produce exactly the communities of the batch analysis.
+  feed::Workload w = feed::GenerateWorkload(SmallWorkload(52));
+  core::SemanticRepresentation semantic(w.kb.get());
+
+  core::TimeAwareConceptAnalysis batch(&w.slots, w.kb->size());
+  core::WindowedOptions wopts;
+  wopts.window = 365 * kSecondsPerDay;
+  wopts.alpha = 0.5;
+  core::WindowedAnalyzer windowed(&w.slots, w.kb->size(), wopts);
+
+  for (const feed::Tweet& t : w.tweets) {
+    const core::AnnotatedTweet at = semantic.ProcessTweet(t);
+    batch.AddTweet(at);
+    windowed.OnTweet(at);
+  }
+  for (const feed::CheckIn& c : w.check_ins) {
+    batch.AddCheckIn(c);
+    windowed.OnCheckIn(c);
+  }
+  core::TfcaOptions topts;
+  topts.alpha = 0.5;
+  ASSERT_TRUE(batch.Analyze(topts).ok());
+  ASSERT_TRUE(windowed.Refresh(5 * kSecondsPerDay).ok());
+
+  auto communities_equal = [](const std::vector<core::Community>& a,
+                              const std::vector<core::Community>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].users.size() != b[i].users.size()) return false;
+      for (size_t j = 0; j < a[i].users.size(); ++j) {
+        if (!(a[i].users[j] == b[i].users[j])) return false;
+      }
+    }
+    return true;
+  };
+  for (uint32_t m = 0; m < 8; ++m) {
+    EXPECT_TRUE(communities_equal(
+        batch.LocationCommunities(LocationId(m)),
+        windowed.analysis().LocationCommunities(LocationId(m))))
+        << "location " << m;
+  }
+  for (uint32_t t = 0; t < w.kb->size(); ++t) {
+    EXPECT_TRUE(
+        communities_equal(batch.TopicCommunities(TopicId(t)),
+                          windowed.analysis().TopicCommunities(TopicId(t))))
+        << "topic " << t;
+  }
+}
+
+TEST(IntegrationTest, StreamingTopKNeverExceedsBudgets) {
+  eval::ExperimentSetup setup = eval::BuildExperiment(SmallWorkload(53));
+  // Re-insert ads with tiny budgets.
+  for (const feed::Ad& ad : setup.workload.ads) {
+    ASSERT_TRUE(setup.engine->RemoveAd(ad.id).ok());
+    feed::Ad limited = ad;
+    limited.budget_impressions = 3;
+    ASSERT_TRUE(setup.engine->InsertAd(limited).ok());
+  }
+  size_t impressions = 0;
+  for (const feed::Tweet& t : setup.workload.tweets) {
+    impressions += setup.engine->TopKAdsForTweet(t, 2).size();
+  }
+  EXPECT_LE(impressions, 3 * setup.workload.ads.size());
+  // And the store agrees.
+  setup.engine->ad_store().ForEach([](const ads::StoredAd& stored) {
+    EXPECT_LE(stored.impressions_served, 3);
+  });
+}
+
+TEST(IntegrationTest, AlphaMonotonicityOfTopicCells) {
+  // Raising alpha can only remove topic incidences, so the total number
+  // of users in topic communities (summed multiplicity) must not grow.
+  eval::ExperimentSetup setup = eval::BuildExperiment(SmallWorkload(54));
+  auto total_members = [&](double alpha) {
+    EXPECT_TRUE(setup.engine->RunAnalysis(alpha).ok());
+    size_t total = 0;
+    for (uint32_t t = 0; t < setup.workload.kb->size(); ++t) {
+      for (const auto& c :
+           setup.engine->analysis().TopicCommunities(TopicId(t))) {
+        total += c.users.size();
+      }
+    }
+    return total;
+  };
+  const size_t low = total_members(0.2);
+  const size_t high = total_members(0.9);
+  EXPECT_GE(low, high);
+}
+
+}  // namespace
+}  // namespace adrec

@@ -1,0 +1,183 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "annotate/annotator.h"
+#include "annotate/kb_io.h"
+#include "feed/trace_io.h"
+#include "feed/workload.h"
+
+namespace adrec {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  IoTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("adrec_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~IoTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TraceRoundTrip) {
+  feed::WorkloadOptions opts;
+  opts.seed = 3;
+  opts.num_users = 6;
+  opts.num_places = 5;
+  opts.days = 2;
+  feed::Workload w = feed::GenerateWorkload(opts);
+
+  const std::string path = Path("trace.tsv");
+  ASSERT_TRUE(feed::WriteTrace(path, w.tweets, w.check_ins).ok());
+  auto read = feed::ReadTrace(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const feed::Trace& trace = read.value();
+  ASSERT_EQ(trace.tweets.size(), w.tweets.size());
+  ASSERT_EQ(trace.check_ins.size(), w.check_ins.size());
+  for (size_t i = 0; i < trace.tweets.size(); ++i) {
+    EXPECT_EQ(trace.tweets[i].user, w.tweets[i].user);
+    EXPECT_EQ(trace.tweets[i].time, w.tweets[i].time);
+    EXPECT_EQ(trace.tweets[i].text, w.tweets[i].text);
+  }
+  for (size_t i = 0; i < trace.check_ins.size(); ++i) {
+    EXPECT_EQ(trace.check_ins[i].location, w.check_ins[i].location);
+  }
+}
+
+TEST_F(IoTest, TraceSanitizesTabsAndNewlines) {
+  feed::Tweet t;
+  t.user = UserId(1);
+  t.time = 5;
+  t.text = "line one\ttabbed\nline two";
+  const std::string path = Path("tabs.tsv");
+  ASSERT_TRUE(feed::WriteTrace(path, {t}, {}).ok());
+  auto read = feed::ReadTrace(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().tweets.size(), 1u);
+  EXPECT_EQ(read.value().tweets[0].text, "line one tabbed line two");
+}
+
+TEST_F(IoTest, AdsRoundTrip) {
+  feed::Ad ad;
+  ad.id = AdId(7);
+  ad.campaign = CampaignId(3);
+  ad.copy = "volleyball gear, 20% off";
+  ad.target_locations = {LocationId(2), LocationId(9)};
+  ad.target_slots = {SlotId(1)};
+  ad.budget_impressions = 500;
+  ad.bid = 2.5;
+  feed::Ad untargeted;
+  untargeted.id = AdId(8);
+  untargeted.copy = "anything anywhere";
+
+  const std::string path = Path("ads.tsv");
+  ASSERT_TRUE(feed::WriteAds(path, {ad, untargeted}).ok());
+  auto read = feed::ReadAds(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), 2u);
+  const feed::Ad& r = read.value()[0];
+  EXPECT_EQ(r.id, ad.id);
+  EXPECT_EQ(r.campaign, ad.campaign);
+  EXPECT_EQ(r.copy, ad.copy);
+  EXPECT_EQ(r.target_locations, ad.target_locations);
+  EXPECT_EQ(r.target_slots, ad.target_slots);
+  EXPECT_EQ(r.budget_impressions, 500);
+  EXPECT_DOUBLE_EQ(r.bid, 2.5);
+  EXPECT_TRUE(read.value()[1].target_locations.empty());
+  EXPECT_TRUE(read.value()[1].target_slots.empty());
+}
+
+TEST_F(IoTest, ReadTraceRejectsMalformedLines) {
+  const std::string path = Path("bad.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("T\t1\tnot_a_time\thello\n", f);
+    std::fclose(f);
+  }
+  auto read = feed::ReadTrace(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find(":1:"), std::string::npos);
+}
+
+TEST_F(IoTest, ReadTraceRejectsUnknownTag) {
+  const std::string path = Path("tag.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("Z\t1\t2\t3\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(feed::ReadTrace(path).ok());
+}
+
+TEST_F(IoTest, MissingFilesAreIoErrors) {
+  EXPECT_EQ(feed::ReadTrace(Path("nope.tsv")).status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(feed::ReadAds(Path("nope.tsv")).status().code(),
+            StatusCode::kIoError);
+  text::Analyzer analyzer;
+  EXPECT_EQ(
+      annotate::ReadKnowledgeBase(Path("nope.tsv"), &analyzer).status().code(),
+      StatusCode::kIoError);
+}
+
+TEST_F(IoTest, KnowledgeBaseRoundTrip) {
+  text::Analyzer analyzer;
+  auto kb = annotate::BuildDemoKnowledgeBase(&analyzer);
+  const std::string path = Path("kb.tsv");
+  ASSERT_TRUE(annotate::WriteKnowledgeBase(path, *kb).ok());
+
+  text::Analyzer analyzer2;
+  auto loaded = annotate::ReadKnowledgeBase(path, &analyzer2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value()->size(), kb->size());
+  for (uint32_t i = 0; i < kb->size(); ++i) {
+    const annotate::Entity& a = kb->entity(TopicId(i));
+    const annotate::Entity& b = loaded.value()->entity(TopicId(i));
+    EXPECT_EQ(a.uri, b.uri);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_NEAR(a.prior, b.prior, 1e-9);
+    EXPECT_EQ(a.surface_phrases, b.surface_phrases);
+    EXPECT_EQ(a.context_texts, b.context_texts);
+  }
+
+  // Behavioural equivalence: the loaded KB annotates identically.
+  annotate::SpotlightAnnotator orig(kb.get());
+  annotate::SpotlightAnnotator copy(loaded.value().get());
+  const char* text = "apple launch event new iphone volleyball match";
+  auto a1 = orig.Annotate(text);
+  auto a2 = copy.Annotate(text);
+  ASSERT_EQ(a1.size(), a2.size());
+  for (size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1[i].uri, a2[i].uri);
+    EXPECT_NEAR(a1[i].score, a2[i].score, 1e-9);
+  }
+}
+
+TEST_F(IoTest, KbIoRejectsDanglingReference) {
+  const std::string path = Path("dangling.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("S\thttp://x/Unknown\tsome phrase\n", f);
+    std::fclose(f);
+  }
+  text::Analyzer analyzer;
+  auto r = annotate::ReadKnowledgeBase(path, &analyzer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("undeclared"), std::string::npos);
+}
+
+TEST_F(IoTest, KbIoRejectsNullAnalyzer) {
+  EXPECT_EQ(
+      annotate::ReadKnowledgeBase(Path("x"), nullptr).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace adrec

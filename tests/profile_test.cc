@@ -1,0 +1,99 @@
+#include "profile/user_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::profile {
+namespace {
+
+annotate::Annotation Ann(uint32_t topic, double score) {
+  annotate::Annotation a;
+  a.topic = TopicId(topic);
+  a.score = score;
+  return a;
+}
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest()
+      : slots_(timeline::TimeSlotScheme::PaperScheme()),
+        store_(&slots_, /*half_life=*/3600) {}
+
+  timeline::TimeSlotScheme slots_;
+  UserProfileStore store_;
+};
+
+TEST_F(ProfileTest, UnknownUserIsEmpty) {
+  EXPECT_TRUE(store_.InterestsAt(UserId(5), 100).empty());
+  EXPECT_DOUBLE_EQ(store_.VisitMass(UserId(5), SlotId(0), LocationId(0)), 0.0);
+  EXPECT_EQ(store_.size(), 0u);
+}
+
+TEST_F(ProfileTest, TweetAccumulatesInterests) {
+  store_.ObserveTweet(UserId(1), 0, {Ann(3, 0.9), Ann(7, 0.5)});
+  store_.ObserveTweet(UserId(1), 0, {Ann(3, 0.6)});
+  auto v = store_.InterestsAt(UserId(1), 0);
+  EXPECT_DOUBLE_EQ(v.Get(3), 1.5);
+  EXPECT_DOUBLE_EQ(v.Get(7), 0.5);
+  EXPECT_EQ(store_.size(), 1u);
+}
+
+TEST_F(ProfileTest, InterestsDecayWithHalfLife) {
+  store_.ObserveTweet(UserId(1), 0, {Ann(3, 1.0)});
+  auto later = store_.InterestsAt(UserId(1), 3600);
+  EXPECT_NEAR(later.Get(3), 0.5, 1e-9);
+  auto much_later = store_.InterestsAt(UserId(1), 7200);
+  EXPECT_NEAR(much_later.Get(3), 0.25, 1e-9);
+}
+
+TEST_F(ProfileTest, FreshEvidenceOutweighsStale) {
+  store_.ObserveTweet(UserId(1), 0, {Ann(3, 1.0)});
+  store_.ObserveTweet(UserId(1), 7200, {Ann(9, 1.0)});
+  auto v = store_.InterestsAt(UserId(1), 7200);
+  EXPECT_GT(v.Get(9), v.Get(3));
+  EXPECT_NEAR(v.Get(3), 0.25, 1e-9);
+}
+
+TEST_F(ProfileTest, CheckInsBucketedBySlot) {
+  // Long half-life store so cross-slot decay is negligible here.
+  UserProfileStore store(&slots_, 30 * kSecondsPerDay);
+  const Timestamp morning = 6 * kSecondsPerHour;   // slot1
+  const Timestamp evening = 15 * kSecondsPerHour;  // slot2
+  store.ObserveCheckIn(UserId(2), morning, LocationId(4));
+  store.ObserveCheckIn(UserId(2), morning + 60, LocationId(4));
+  store.ObserveCheckIn(UserId(2), evening, LocationId(9));
+  const SlotId slot1(1), slot2(2);
+  EXPECT_GT(store.VisitMass(UserId(2), slot1, LocationId(4)), 1.5);
+  EXPECT_DOUBLE_EQ(store.VisitMass(UserId(2), slot1, LocationId(9)), 0.0);
+  EXPECT_GT(store.VisitMass(UserId(2), slot2, LocationId(9)), 0.9);
+}
+
+TEST_F(ProfileTest, VisitsDecayToo) {
+  store_.ObserveCheckIn(UserId(3), 6 * kSecondsPerHour, LocationId(1));
+  const double fresh = store_.VisitMass(UserId(3), SlotId(1), LocationId(1));
+  // Observing a later tweet advances the state and decays the visit mass.
+  store_.ObserveTweet(UserId(3), 6 * kSecondsPerHour + 3600, {});
+  const double staled = store_.VisitMass(UserId(3), SlotId(1), LocationId(1));
+  EXPECT_NEAR(staled, fresh * 0.5, 1e-9);
+}
+
+TEST_F(ProfileTest, KnownUsersInInsertionOrder) {
+  store_.ObserveTweet(UserId(9), 0, {Ann(1, 1.0)});
+  store_.ObserveCheckIn(UserId(2), 10, LocationId(0));
+  store_.ObserveTweet(UserId(9), 20, {Ann(1, 1.0)});
+  auto users = store_.KnownUsers();
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0], UserId(9));
+  EXPECT_EQ(users[1], UserId(2));
+}
+
+TEST_F(ProfileTest, OutOfOrderEventsDoNotRewindClock) {
+  store_.ObserveTweet(UserId(1), 7200, {Ann(3, 1.0)});
+  // A late-arriving older tweet is folded in at the current state time.
+  store_.ObserveTweet(UserId(1), 100, {Ann(5, 1.0)});
+  auto v = store_.InterestsAt(UserId(1), 7200);
+  EXPECT_DOUBLE_EQ(v.Get(5), 1.0);  // not decayed retroactively
+  EXPECT_DOUBLE_EQ(v.Get(3), 1.0);
+}
+
+}  // namespace
+}  // namespace adrec::profile

@@ -1,0 +1,135 @@
+// Cross-module property sweeps: the full pipeline run over a range of
+// generator seeds, checking invariants that must hold for ANY workload
+// (not just the pinned fixtures).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "eval/experiment.h"
+
+namespace adrec {
+namespace {
+
+class PipelinePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  feed::WorkloadOptions Options() {
+    feed::WorkloadOptions opts;
+    opts.seed = static_cast<uint64_t>(GetParam()) * 7001;
+    opts.num_users = 8 + GetParam() % 7;
+    opts.num_places = 5 + GetParam() % 5;
+    opts.num_ads = 2 + GetParam() % 3;
+    opts.days = 2 + GetParam() % 3;
+    opts.clustered_interest_probability = (GetParam() % 2) * 0.7;
+    return opts;
+  }
+};
+
+TEST_P(PipelinePropertyTest, CommunitiesContainOnlyActiveUsers) {
+  eval::ExperimentSetup setup = eval::BuildExperiment(Options());
+  ASSERT_TRUE(setup.engine->RunAnalysis(0.4).ok());
+  // The set of users with any event.
+  std::set<uint32_t> active;
+  for (const auto& t : setup.workload.tweets) active.insert(t.user.value);
+  for (const auto& c : setup.workload.check_ins) active.insert(c.user.value);
+
+  const auto& analysis = setup.engine->analysis();
+  for (uint32_t m = 0; m < setup.workload.places.size(); ++m) {
+    for (const core::Community& c :
+         analysis.LocationCommunities(LocationId(m))) {
+      EXPECT_FALSE(c.users.empty());
+      for (UserId u : c.users) EXPECT_TRUE(active.count(u.value));
+      for (SlotId s : c.slots) {
+        EXPECT_LT(s.value, setup.workload.slots.size());
+      }
+    }
+  }
+  for (uint32_t t = 0; t < setup.workload.kb->size(); ++t) {
+    for (const core::Community& c : analysis.TopicCommunities(TopicId(t))) {
+      for (UserId u : c.users) EXPECT_TRUE(active.count(u.value));
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, LocationCommunityMembersVisitedTheLocation) {
+  eval::ExperimentSetup setup = eval::BuildExperiment(Options());
+  ASSERT_TRUE(setup.engine->RunAnalysis(0.4).ok());
+  for (uint32_t m = 0; m < setup.workload.places.size(); ++m) {
+    for (const core::Community& c :
+         setup.engine->analysis().LocationCommunities(LocationId(m))) {
+      for (UserId u : c.users) {
+        for (SlotId s : c.slots) {
+          // Every (member, slot) pair must be witnessed by a check-in at
+          // this location in this slot.
+          bool witnessed = false;
+          for (const feed::CheckIn& ci : setup.workload.check_ins) {
+            if (ci.user == u && ci.location == LocationId(m) &&
+                setup.workload.slots.SlotOf(ci.time) == s) {
+              witnessed = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(witnessed)
+              << "user " << u.value << " location " << m << " slot "
+              << s.value << " seed " << GetParam();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, MatchResultsAreWellFormed) {
+  eval::ExperimentSetup setup = eval::BuildExperiment(Options());
+  ASSERT_TRUE(setup.engine->RunAnalysis(0.4).ok());
+  for (const feed::Ad& ad : setup.workload.ads) {
+    auto r = setup.engine->RecommendUsers(ad.id);
+    ASSERT_TRUE(r.ok());
+    std::set<uint32_t> seen;
+    double prev_score = 1e300;
+    for (const core::MatchedUser& mu : r.value().users) {
+      EXPECT_TRUE(seen.insert(mu.user.value).second);  // no duplicates
+      EXPECT_GT(mu.topic_support, 0);
+      EXPECT_GT(mu.location_support, 0);
+      EXPECT_LE(mu.score, prev_score);  // ranked descending
+      prev_score = mu.score;
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, AnnotationScoresAreConfidences) {
+  eval::ExperimentSetup setup = eval::BuildExperiment(Options());
+  const auto& semantic = setup.engine->semantic();
+  for (size_t i = 0; i < std::min<size_t>(setup.workload.tweets.size(), 50);
+       ++i) {
+    for (const auto& a :
+         semantic.ProcessTweet(setup.workload.tweets[i]).annotations) {
+      EXPECT_GE(a.score, 0.0);
+      EXPECT_LE(a.score, 1.0);
+      EXPECT_LT(a.topic.value, setup.workload.kb->size());
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, StreamingTopKIsBoundedAndSorted) {
+  eval::ExperimentSetup setup = eval::BuildExperiment(Options());
+  for (size_t i = 0; i < std::min<size_t>(setup.workload.tweets.size(), 30);
+       ++i) {
+    auto ads = setup.engine->TopKAdsForTweet(setup.workload.tweets[i], 3);
+    EXPECT_LE(ads.size(), 3u);
+    for (size_t j = 1; j < ads.size(); ++j) {
+      EXPECT_LE(ads[j].score, ads[j - 1].score);
+    }
+    for (const auto& sa : ads) {
+      EXPECT_GT(sa.score, 0.0);
+      EXPECT_NE(setup.engine->ad_store().Find(sa.ad), nullptr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace adrec

@@ -1,0 +1,120 @@
+// Parameterized sweeps over analyzer/tokenizer configurations: for every
+// option combination, the lexical pipeline must uphold its basic
+// contracts (determinism, vocabulary consistency, stopword and length
+// policies).
+
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+
+namespace adrec::text {
+namespace {
+
+struct AnalyzerCase {
+  bool remove_stopwords;
+  bool stem;
+  bool keep_hashtags;
+  bool keep_mentions;
+  bool keep_numbers;
+};
+
+class AnalyzerParamTest : public ::testing::TestWithParam<int> {
+ protected:
+  AnalyzerCase Case() const {
+    const int bits = GetParam();
+    return AnalyzerCase{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                        (bits & 8) != 0, (bits & 16) != 0};
+  }
+
+  AnalyzerOptions Options() const {
+    const AnalyzerCase c = Case();
+    AnalyzerOptions opts;
+    opts.remove_stopwords = c.remove_stopwords;
+    opts.stem = c.stem;
+    opts.tokenizer.keep_hashtags = c.keep_hashtags;
+    opts.tokenizer.keep_mentions = c.keep_mentions;
+    opts.tokenizer.keep_numbers = c.keep_numbers;
+    return opts;
+  }
+};
+
+constexpr const char* kCorpus[] = {
+    "The nation's best volleyball returns tomorrow night!",
+    "thanks @coach for the #win 21 points",
+    "RT this if you love pizza and coffee http://t.co/x",
+    "running Running RUNNING runs ran",
+    "",
+    "a b c",
+};
+
+TEST_P(AnalyzerParamTest, DeterministicAcrossInstances) {
+  Analyzer a(Options());
+  Analyzer b(Options());
+  for (const char* text : kCorpus) {
+    EXPECT_EQ(a.AnalyzeToStrings(text), b.AnalyzeToStrings(text)) << text;
+  }
+}
+
+TEST_P(AnalyzerParamTest, InternedIdsRoundTrip) {
+  Analyzer analyzer(Options());
+  for (const char* text : kCorpus) {
+    const auto ids = analyzer.Analyze(text);
+    const auto strings = analyzer.AnalyzeToStrings(text);
+    ASSERT_EQ(ids.size(), strings.size()) << text;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(analyzer.vocabulary().TermOf(ids[i]), strings[i]);
+    }
+  }
+}
+
+TEST_P(AnalyzerParamTest, ReadOnlyNeverGrowsVocabulary) {
+  Analyzer analyzer(Options());
+  analyzer.Analyze(kCorpus[0]);
+  const size_t size_before = analyzer.vocabulary().size();
+  for (const char* text : kCorpus) {
+    const auto ids = analyzer.AnalyzeReadOnly(text);
+    for (TermId id : ids) EXPECT_LT(id, size_before);
+  }
+  EXPECT_EQ(analyzer.vocabulary().size(), size_before);
+}
+
+TEST_P(AnalyzerParamTest, StopwordPolicyHonoured) {
+  Analyzer analyzer(Options());
+  const auto terms = analyzer.AnalyzeToStrings("the and of volleyball");
+  const bool has_the =
+      std::find(terms.begin(), terms.end(), "the") != terms.end();
+  EXPECT_EQ(has_the, !Case().remove_stopwords);
+}
+
+TEST_P(AnalyzerParamTest, StemmingPolicyHonoured) {
+  Analyzer analyzer(Options());
+  const auto a = analyzer.AnalyzeToStrings("running");
+  const auto b = analyzer.AnalyzeToStrings("runs");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  if (Case().stem) {
+    EXPECT_EQ(a[0], b[0]);  // variants collapse
+  } else {
+    EXPECT_EQ(a[0], "running");
+    EXPECT_EQ(b[0], "runs");
+  }
+}
+
+TEST_P(AnalyzerParamTest, TokenKindPoliciesHonoured) {
+  Analyzer analyzer(Options());
+  const auto terms = analyzer.AnalyzeToStrings("@coach #win 21");
+  auto contains = [&](const char* w) {
+    return std::find(terms.begin(), terms.end(),
+                     Case().stem ? PorterStem(w) : std::string(w)) !=
+           terms.end();
+  };
+  EXPECT_EQ(contains("coach"), Case().keep_mentions);
+  EXPECT_EQ(contains("win"), Case().keep_hashtags);
+  EXPECT_EQ(contains("21"), Case().keep_numbers);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptionCombos, AnalyzerParamTest,
+                         ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace adrec::text

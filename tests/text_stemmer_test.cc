@@ -1,0 +1,88 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::text {
+namespace {
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStemmerParamTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerParamTest, MatchesReferenceOutput) {
+  const StemCase& c = GetParam();
+  EXPECT_EQ(PorterStem(c.input), c.expected) << "input=" << c.input;
+}
+
+// Reference pairs from Porter's published test vocabulary.
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVocabulary, PorterStemmerParamTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("go"), "go");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, CollapsesInflectionsToSameKey) {
+  // The property the index relies on: morphological variants of the same
+  // word map to one key. (Porter is deliberately not idempotent in general,
+  // e.g. "volleyball" -> "volleybal" -> "volleyb", so we assert variant
+  // collapse rather than fixed-point behaviour.)
+  EXPECT_EQ(PorterStem("teams"), PorterStem("team"));
+  EXPECT_EQ(PorterStem("running"), PorterStem("runs"));
+  EXPECT_EQ(PorterStem("played"), PorterStem("playing"));
+  EXPECT_EQ(PorterStem("coaches"), PorterStem("coach"));
+  EXPECT_EQ(PorterStem("scores"), PorterStem("scored"));
+}
+
+TEST(PorterStemmerTest, SportsVocabulary) {
+  EXPECT_EQ(PorterStem("volleyball"), "volleybal");
+  EXPECT_EQ(PorterStem("tournament"), "tournament");  // m("tourna")==1 guard
+  EXPECT_EQ(PorterStem("national"), "nation");
+}
+
+}  // namespace
+}  // namespace adrec::text

@@ -1,0 +1,135 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace adrec::text {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const auto& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, BasicWords) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("The nation's best volleyball returns tomorrow");
+  EXPECT_EQ(Texts(toks),
+            (std::vector<std::string>{"the", "nation's", "best", "volleyball",
+                                      "returns", "tomorrow"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("Adidas SHOES");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"adidas", "shoes"}));
+}
+
+TEST(TokenizerTest, PreservesCaseWhenConfigured) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer tok(opts);
+  auto toks = tok.Tokenize("Adidas");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"Adidas"}));
+}
+
+TEST(TokenizerTest, HashtagsKeptWithoutHash) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("watching #Volleyball tonight");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "volleyball");
+  EXPECT_EQ(toks[1].kind, TokenKind::kHashtag);
+}
+
+TEST(TokenizerTest, HashtagsDroppedWhenConfigured) {
+  TokenizerOptions opts;
+  opts.keep_hashtags = false;
+  Tokenizer tok(opts);
+  auto toks = tok.Tokenize("watching #volleyball tonight");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"watching", "tonight"}));
+}
+
+TEST(TokenizerTest, MentionsDroppedByDefault) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("thanks @coach for everything");
+  EXPECT_EQ(Texts(toks),
+            (std::vector<std::string>{"thanks", "for", "everything"}));
+}
+
+TEST(TokenizerTest, MentionsKeptWhenConfigured) {
+  TokenizerOptions opts;
+  opts.keep_mentions = true;
+  Tokenizer tok(opts);
+  auto toks = tok.Tokenize("thanks @coach");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].text, "coach");
+  EXPECT_EQ(toks[1].kind, TokenKind::kMention);
+}
+
+TEST(TokenizerTest, UrlsSkippedByDefault) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("read this https://example.com/a?b=1 now");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"read", "this", "now"}));
+}
+
+TEST(TokenizerTest, UrlsKeptVerbatimWhenConfigured) {
+  TokenizerOptions opts;
+  opts.keep_urls = true;
+  Tokenizer tok(opts);
+  auto toks = tok.Tokenize("see http://t.co/xyz");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].text, "http://t.co/xyz");
+  EXPECT_EQ(toks[1].kind, TokenKind::kUrl);
+}
+
+TEST(TokenizerTest, NumbersDroppedByDefault) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("won 21 19 sets");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"won", "sets"}));
+}
+
+TEST(TokenizerTest, NumbersKeptWhenConfigured) {
+  TokenizerOptions opts;
+  opts.keep_numbers = true;
+  Tokenizer tok(opts);
+  auto toks = tok.Tokenize("won 21");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNumber);
+}
+
+TEST(TokenizerTest, MinLengthFiltersShortTokens) {
+  Tokenizer tok;  // min length 2
+  auto toks = tok.Tokenize("a b cd");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"cd"}));
+}
+
+TEST(TokenizerTest, OffsetsPointIntoInput) {
+  Tokenizer tok;
+  const std::string input = "go #team";
+  auto toks = tok.Tokenize(input);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(input.substr(toks[0].offset, 2), "go");
+  // Hashtag offset points at the body, not the '#'.
+  EXPECT_EQ(input.substr(toks[1].offset, 4), "team");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("!!! ... ???").empty());
+}
+
+TEST(TokenizerTest, AlphanumericMix) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("covid19 2pac");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"covid19", "2pac"}));
+}
+
+TEST(TokenizerTest, TrailingApostropheNotKept) {
+  Tokenizer tok;
+  auto toks = tok.Tokenize("teams' best");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"teams", "best"}));
+}
+
+}  // namespace
+}  // namespace adrec::text

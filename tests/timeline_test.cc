@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "timeline/decay.h"
+#include "timeline/time_slots.h"
+
+namespace adrec::timeline {
+namespace {
+
+TEST(TimeSlotSchemeTest, CreateValidatesCoverage) {
+  // Gap between slots.
+  EXPECT_FALSE(TimeSlotScheme::Create({{"a", 0, 1000}, {"b", 2000, 86400}})
+                   .ok());
+  // Doesn't reach end of day.
+  EXPECT_FALSE(TimeSlotScheme::Create({{"a", 0, 1000}}).ok());
+  // Doesn't start at 0.
+  EXPECT_FALSE(TimeSlotScheme::Create({{"a", 10, 86400}}).ok());
+  // Inverted slot.
+  EXPECT_FALSE(
+      TimeSlotScheme::Create({{"a", 0, 0}, {"b", 0, 86400}}).ok());
+  // Empty.
+  EXPECT_FALSE(TimeSlotScheme::Create({}).ok());
+  // Valid single slot.
+  EXPECT_TRUE(TimeSlotScheme::Create({{"all", 0, 86400}}).ok());
+}
+
+TEST(TimeSlotSchemeTest, PaperSchemeSlots) {
+  TimeSlotScheme scheme = TimeSlotScheme::PaperScheme();
+  EXPECT_EQ(scheme.size(), 4u);
+  // 06:00 falls into slot1 [05:00, 13:00).
+  SlotId morning = scheme.SlotOf(6 * kSecondsPerHour);
+  EXPECT_EQ(scheme.slot(morning).name, "slot1_05am_01pm");
+  // 15:30 falls into slot2 [13:00, 20:00).
+  SlotId afternoon = scheme.SlotOf(15 * kSecondsPerHour + 1800);
+  EXPECT_EQ(scheme.slot(afternoon).name, "slot2_01pm_08pm");
+  // 02:00 -> night; 22:00 -> late.
+  EXPECT_EQ(scheme.slot(scheme.SlotOf(2 * kSecondsPerHour)).name, "night");
+  EXPECT_EQ(scheme.slot(scheme.SlotOf(22 * kSecondsPerHour)).name, "late");
+}
+
+TEST(TimeSlotSchemeTest, BoundariesAreHalfOpen) {
+  TimeSlotScheme scheme = TimeSlotScheme::PaperScheme();
+  // Exactly 05:00 belongs to slot1, exactly 13:00 to slot2.
+  EXPECT_EQ(scheme.slot(scheme.SlotOf(5 * kSecondsPerHour)).name,
+            "slot1_05am_01pm");
+  EXPECT_EQ(scheme.slot(scheme.SlotOf(13 * kSecondsPerHour)).name,
+            "slot2_01pm_08pm");
+  // 24:00 wraps to 00:00 next day -> night.
+  EXPECT_EQ(scheme.slot(scheme.SlotOf(kSecondsPerDay)).name, "night");
+}
+
+TEST(TimeSlotSchemeTest, FindByName) {
+  TimeSlotScheme scheme = TimeSlotScheme::MorningAfternoonEvening();
+  auto r = scheme.FindByName("afternoon");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().value, 1u);
+  EXPECT_FALSE(scheme.FindByName("brunch").ok());
+}
+
+TEST(TimeSlotSchemeTest, SlotInstancesDistinguishDays) {
+  TimeSlotScheme scheme = TimeSlotScheme::MorningAfternoonEvening();
+  const Timestamp day0_morning = 8 * kSecondsPerHour;
+  const Timestamp day1_morning = kSecondsPerDay + 8 * kSecondsPerHour;
+  EXPECT_NE(scheme.SlotInstanceOf(day0_morning),
+            scheme.SlotInstanceOf(day1_morning));
+  // Same day, same slot -> same instance.
+  EXPECT_EQ(scheme.SlotInstanceOf(day0_morning),
+            scheme.SlotInstanceOf(day0_morning + 1000));
+}
+
+TEST(TimeSlotSchemeTest, DecomposeInstanceRoundTrips) {
+  TimeSlotScheme scheme = TimeSlotScheme::MorningAfternoonEvening();
+  const Timestamp t = 2 * kSecondsPerDay + 19 * kSecondsPerHour;
+  const uint32_t instance = scheme.SlotInstanceOf(t);
+  auto [day, slot] = scheme.DecomposeInstance(instance);
+  EXPECT_EQ(day, 2);
+  EXPECT_EQ(scheme.slot(slot).name, "evening");
+}
+
+TEST(TimeSlotSchemeTest, UniformFactory) {
+  TimeSlotScheme five = TimeSlotScheme::Uniform(5);
+  EXPECT_EQ(five.size(), 5u);
+  // 86400 / 5 = 17280; the last slot absorbs nothing here.
+  EXPECT_EQ(five.slot(SlotId(0)).end_second, 17280);
+  EXPECT_EQ(five.slot(SlotId(4)).end_second, kSecondsPerDay);
+  // Remainder case: 86400 % 7 != 0 -> last slot is wider.
+  TimeSlotScheme seven = TimeSlotScheme::Uniform(7);
+  EXPECT_EQ(seven.size(), 7u);
+  EXPECT_EQ(seven.slot(SlotId(6)).end_second, kSecondsPerDay);
+  // Degenerate inputs clamp.
+  EXPECT_EQ(TimeSlotScheme::Uniform(0).size(), 1u);
+}
+
+TEST(TimeSlotSchemeTest, HourlyFactory) {
+  TimeSlotScheme hourly = TimeSlotScheme::Hourly();
+  EXPECT_EQ(hourly.size(), 24u);
+  EXPECT_EQ(hourly.slot(hourly.SlotOf(13 * kSecondsPerHour + 59)).name,
+            "h13");
+  EXPECT_EQ(hourly.slot(SlotId(23)).end_second, kSecondsPerDay);
+}
+
+TEST(ExponentialDecayTest, HalfLifeSemantics) {
+  ExponentialDecay decay(3600);
+  EXPECT_DOUBLE_EQ(decay.WeightAtAge(0), 1.0);
+  EXPECT_NEAR(decay.WeightAtAge(3600), 0.5, 1e-12);
+  EXPECT_NEAR(decay.WeightAtAge(7200), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(decay.WeightAtAge(-5), 1.0);
+}
+
+TEST(ExponentialDecayTest, DecayFactorComposes) {
+  ExponentialDecay decay(1000);
+  const double f1 = decay.DecayFactor(0, 500);
+  const double f2 = decay.DecayFactor(500, 1500);
+  EXPECT_NEAR(f1 * f2, decay.DecayFactor(0, 1500), 1e-12);
+}
+
+TEST(ExponentialDecayTest, GuardsNonPositiveHalfLife) {
+  ExponentialDecay decay(0);
+  EXPECT_EQ(decay.half_life(), 1);
+}
+
+TEST(WindowDecayTest, RectangularWindow) {
+  WindowDecay w(100);
+  EXPECT_DOUBLE_EQ(w.WeightAtAge(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.WeightAtAge(99), 1.0);
+  EXPECT_DOUBLE_EQ(w.WeightAtAge(100), 0.0);
+  EXPECT_DOUBLE_EQ(w.WeightAtAge(-1), 0.0);
+}
+
+}  // namespace
+}  // namespace adrec::timeline
