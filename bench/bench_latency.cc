@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "common/table_writer.h"
 #include "index/ad_index.h"
+#include "obs/stats_export.h"
 
 int main() {
   adrec::Rng rng(991);
@@ -34,7 +35,12 @@ int main() {
   adrec::TableWriter table(
       "E4: per-query latency vs k (20k ads, indexed TA matcher)",
       {"k", "p50_us", "p95_us", "p99_us", "max_us", "postings_p50"});
+  adrec::obs::MetricRegistry metrics;
   for (size_t k : {1u, 5u, 10u, 20u, 50u}) {
+    adrec::obs::Timer* timer = metrics.GetTimer(
+        adrec::StringFormat("index.topk_us.k%zu", k));
+    adrec::obs::Counter* queries = metrics.GetCounter(
+        adrec::StringFormat("index.queries.k%zu", k));
     std::vector<double> lat;
     std::vector<size_t> scanned;
     for (int q = 0; q < 2000; ++q) {
@@ -51,8 +57,11 @@ int main() {
       auto result = index.TopK(query);
       const auto t1 = std::chrono::steady_clock::now();
       if (result.size() > k) return 1;  // defensive: k must bound results
-      lat.push_back(
-          std::chrono::duration<double, std::micro>(t1 - t0).count());
+      const double micros =
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      lat.push_back(micros);
+      timer->Record(micros);
+      queries->Inc();
       scanned.push_back(index.last_postings_scanned());
     }
     std::sort(lat.begin(), lat.end());
@@ -66,5 +75,10 @@ int main() {
                   adrec::StringFormat("%zu", scanned[scanned.size() / 2])});
   }
   table.Print();
+  // Machine-readable companion to the table (same timers, obs exporter).
+  std::printf("BENCH_METRICS_JSON %s\n",
+              adrec::obs::ExportJson(
+                  adrec::obs::BuildReport(metrics.Snapshot()))
+                  .c_str());
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "common/table_writer.h"
 #include "core/sharded_engine.h"
 #include "eval/experiment.h"
+#include "obs/stats_export.h"
 
 int main() {
   adrec::feed::WorkloadOptions opts;
@@ -28,6 +29,7 @@ int main() {
   adrec::TableWriter table(
       "E15: sharded triadic analysis (120 users, 14-day trace)",
       {"shards", "ingest_ms", "analyze_ms", "macroF"});
+  adrec::obs::MetricRegistry bench_metrics;
 
   for (size_t shards : {1u, 2u, 4u, 8u}) {
     adrec::core::ShardedEngine engine(workload.kb, workload.slots, shards);
@@ -68,6 +70,20 @@ int main() {
     }
     const adrec::eval::Prf prf = adrec::eval::MacroAverage(per_pair);
 
+    // Fold this configuration's merged per-shard engine view into the
+    // bench registry (one gauge/timer set per shard count).
+    const adrec::core::EngineStats es = engine.Stats();
+    const std::string prefix = adrec::StringFormat("shards%zu.", shards);
+    bench_metrics.GetGauge(prefix + "events")
+        ->Set(static_cast<double>(es.tweets + es.checkins));
+    bench_metrics.GetGauge(prefix + "analysis_ms_total")
+        ->Set(es.analysis_ms.sum());
+    bench_metrics.GetGauge(prefix + "topic_triconcepts")
+        ->Set(static_cast<double>(es.topic_triconcepts));
+    bench_metrics.GetGauge(prefix + "ingest_ms")
+        ->Set(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    bench_metrics.GetGauge(prefix + "macro_f")->Set(prf.f_score);
+
     table.AddRow(
         {adrec::StringFormat("%zu", shards),
          adrec::StringFormat(
@@ -79,5 +95,9 @@ int main() {
          adrec::StringFormat("%.3f", prf.f_score)});
   }
   table.Print();
+  std::printf("BENCH_METRICS_JSON %s\n",
+              adrec::obs::ExportJson(
+                  adrec::obs::BuildReport(bench_metrics.Snapshot()))
+                  .c_str());
   return 0;
 }

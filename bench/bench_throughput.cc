@@ -5,11 +5,22 @@
 // of the impact-ordered lists), the scan grows linearly, so the gap
 // widens with inventory size.
 
+// Additionally measures the cost of the obs instrumentation itself:
+// BM_EngineTopK_Instrumented vs BM_EngineTopK_Bare run the identical
+// engine hot path with stage timing on/off; the relative delta is the
+// instrumentation overhead recorded in EXPERIMENTS.md. The run ends by
+// emitting a BENCH_METRICS_JSON line (obs JSON exporter) with the
+// instrumented engine's own per-stage view.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "common/random.h"
+#include "eval/experiment.h"
 #include "index/ad_index.h"
 #include "index/wand_index.h"
+#include "obs/stats_export.h"
 
 namespace {
 
@@ -102,10 +113,65 @@ void BM_ExhaustiveTopK(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
+/// A small but full engine (annotation + profiles + index) whose tweets
+/// are replayed as the live feed — the end-to-end hot path the
+/// instrumentation sits on.
+adrec::eval::ExperimentSetup BuildEngineFixture(bool collect_timings) {
+  adrec::feed::WorkloadOptions opts;
+  opts.seed = 4242;
+  opts.num_users = 40;
+  opts.num_ads = 30;
+  opts.days = 7;
+  adrec::core::EngineOptions engine_opts;
+  engine_opts.collect_stage_timings = collect_timings;
+  return adrec::eval::BuildExperiment(opts, engine_opts);
+}
+
+void RunEngineTopK(benchmark::State& state, bool collect_timings) {
+  adrec::eval::ExperimentSetup setup = BuildEngineFixture(collect_timings);
+  const auto& tweets = setup.workload.tweets;
+  size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setup.engine->TopKAdsForTweet(tweets[t++ % tweets.size()], 5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_EngineTopK_Instrumented(benchmark::State& state) {
+  RunEngineTopK(state, /*collect_timings=*/true);
+}
+
+void BM_EngineTopK_Bare(benchmark::State& state) {
+  RunEngineTopK(state, /*collect_timings=*/false);
+}
+
+/// Replays the fixture once with full instrumentation and prints the
+/// engine's metric report as one machine-readable line.
+void EmitMetricsBlob() {
+  adrec::eval::ExperimentSetup setup = BuildEngineFixture(true);
+  for (const auto& tweet : setup.workload.tweets) {
+    benchmark::DoNotOptimize(setup.engine->TopKAdsForTweet(tweet, 5));
+  }
+  const adrec::obs::StatsReport report =
+      adrec::obs::BuildReport(setup.engine->metrics().Snapshot());
+  std::printf("BENCH_METRICS_JSON %s\n",
+              adrec::obs::ExportJson(report).c_str());
+}
+
 }  // namespace
 
 BENCHMARK(BM_IndexedTopK)->Arg(1000)->Arg(5000)->Arg(20000)->Arg(50000);
 BENCHMARK(BM_WandTopK)->Arg(1000)->Arg(5000)->Arg(20000)->Arg(50000);
 BENCHMARK(BM_ExhaustiveTopK)->Arg(1000)->Arg(5000)->Arg(20000)->Arg(50000);
+BENCHMARK(BM_EngineTopK_Instrumented);
+BENCHMARK(BM_EngineTopK_Bare);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitMetricsBlob();
+  return 0;
+}

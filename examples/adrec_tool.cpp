@@ -15,12 +15,20 @@
 //       (profiles, ads, impression counters — no replay) and prints the
 //       restored serving state.
 //
+//   adrec_tool stats <dir> [k]
+//       Replays the trace through a fully instrumented engine, serves
+//       top-k ads for every tweet, runs the analysis, then prints the
+//       per-stage latency tables and writes the same data as
+//       <dir>/stats.json (verified by parsing it back).
+//
 // The subcommands communicate only through the files, demonstrating that
 // the on-disk formats round-trip the full pipeline.
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "annotate/kb_io.h"
@@ -28,6 +36,7 @@
 #include "core/snapshot.h"
 #include "feed/trace_io.h"
 #include "feed/workload.h"
+#include "obs/stats_export.h"
 
 namespace {
 
@@ -124,6 +133,86 @@ int Recommend(const std::string& dir, int argc, char** argv) {
   return 0;
 }
 
+// Replays <dir>'s trace through an instrumented engine, exercising the
+// full hot path (annotate → profile update → index maintenance → top-k
+// match) plus the batch analysis, then prints the per-stage latency
+// tables and round-trips the same report through the JSON exporter.
+int Stats(const std::string& dir, int argc, char** argv) {
+  const size_t k = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 3;
+
+  auto analyzer = std::make_shared<adrec::text::Analyzer>();
+  auto kb_loaded =
+      adrec::annotate::ReadKnowledgeBase(dir + "/kb.tsv", analyzer.get());
+  if (!kb_loaded.ok()) {
+    std::fprintf(stderr, "kb: %s\n", kb_loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<adrec::annotate::KnowledgeBase> kb(
+      std::move(kb_loaded).value().release());
+  auto trace = adrec::feed::ReadTrace(dir + "/trace.tsv");
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  auto ads = adrec::feed::ReadAds(dir + "/ads.tsv");
+  if (!ads.ok()) {
+    std::fprintf(stderr, "ads: %s\n", ads.status().ToString().c_str());
+    return 1;
+  }
+
+  adrec::core::RecommendationEngine engine(
+      kb, adrec::timeline::TimeSlotScheme::PaperScheme());
+  for (const auto& ad : ads.value()) {
+    if (auto s = engine.InsertAd(ad); !s.ok()) {
+      std::fprintf(stderr, "insert ad %u: %s\n", ad.id.value,
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& c : trace.value().check_ins) engine.OnCheckIn(c);
+  size_t impressions = 0;
+  for (const auto& t : trace.value().tweets) {
+    engine.OnTweet(t);
+    impressions += engine.TopKAdsForTweet(t, k).size();
+  }
+  if (auto s = engine.RunAnalysis(); !s.ok()) {
+    std::fprintf(stderr, "analysis: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const adrec::obs::StatsReport report =
+      adrec::obs::BuildReport(engine.metrics().Snapshot());
+  std::printf("%s\n", adrec::obs::ExportText(report, "adrec engine").c_str());
+  std::printf("Served %zu impressions at k=%zu.\n", impressions, k);
+
+  const std::string json = adrec::obs::ExportJson(report);
+  const std::string json_path = dir + "/stats.json";
+  {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json << "\n";
+  }
+  // Round-trip check: the file must parse back to the identical report.
+  std::ifstream in(json_path);
+  std::string read_back((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  auto parsed = adrec::obs::ParseJson(read_back);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "stats.json re-parse: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  if (adrec::obs::ExportJson(parsed.value()) != json) {
+    std::fprintf(stderr, "stats.json round-trip mismatch\n");
+    return 1;
+  }
+  std::printf("Wrote %s (JSON round-trip verified).\n", json_path.c_str());
+  return 0;
+}
+
 int Resume(const std::string& dir) {
   auto analyzer = std::make_shared<adrec::text::Analyzer>();
   auto kb_loaded =
@@ -161,8 +250,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage:\n"
                  "  %s generate <dir> [users] [days] [ads] [seed]\n"
-                 "  %s recommend <dir> [alpha]\n",
-                 argv[0], argv[0]);
+                 "  %s recommend <dir> [alpha]\n"
+                 "  %s resume <dir>\n"
+                 "  %s stats <dir> [k]\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string command = argv[1];
@@ -170,6 +261,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(dir, argc, argv);
   if (command == "recommend") return Recommend(dir, argc, argv);
   if (command == "resume") return Resume(dir);
+  if (command == "stats") return Stats(dir, argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }

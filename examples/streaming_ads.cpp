@@ -12,6 +12,7 @@
 #include "core/engine.h"
 #include "eval/experiment.h"
 #include "feed/workload.h"
+#include "obs/stats_export.h"
 
 int main(int argc, char** argv) {
   adrec::feed::WorkloadOptions opts;
@@ -57,5 +58,13 @@ int main(int argc, char** argv) {
     std::printf("  ad %u: %zu impressions (%s)\n", it->first, it->second,
                 stored ? stored->ad.copy.substr(0, 48).c_str() : "?");
   }
+
+  // Engine-side observability: per-stage latency breakdown of everything
+  // the run just did, plus the machine-readable blob for tooling.
+  const adrec::obs::StatsReport report =
+      adrec::obs::BuildReport(engine.metrics().Snapshot());
+  std::printf("\n%s\n", adrec::obs::ExportText(report, "streaming_ads").c_str());
+  std::printf("STREAMING_ADS_METRICS_JSON %s\n",
+              adrec::obs::ExportJson(report).c_str());
   return 0;
 }

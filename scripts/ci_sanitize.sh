@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the concurrency-sensitive pieces: the obs
+# metric registry, the logging globals, histogram merge, and the sharded
+# engine (shard-parallel RunAnalysis + merged stats). A clean run here is
+# what certifies those paths race-free.
+#
+# Usage: scripts/ci_sanitize.sh [build-dir]   (default build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+TSAN_TESTS='obs_registry_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test'
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DADREC_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
+  obs_registry_test core_engine_stats_test core_sharded_test \
+  common_histogram_test feed_replayer_test
+ctest --test-dir "${BUILD_DIR}" -R "${TSAN_TESTS}" --output-on-failure -j "$(nproc)"
+echo "TSan gate passed."

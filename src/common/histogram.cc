@@ -67,6 +67,14 @@ std::string Histogram::Summary() const {
       Mean(), Quantile(0.5), Quantile(0.95), Quantile(0.99), max());
 }
 
+void Histogram::Reset() {
+  buckets_.assign(1, 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
 void Histogram::Merge(const Histogram& other) {
   if (other.count_ == 0) return;
   if (other.buckets_.size() > buckets_.size()) {

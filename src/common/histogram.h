@@ -38,8 +38,14 @@ class Histogram {
   /// "count=... mean=... p50=... p95=... p99=... max=..." summary line.
   std::string Summary() const;
 
-  /// Merges another histogram into this one.
+  /// Merges another histogram into this one. Empty operands are inert:
+  /// merging an empty histogram changes nothing, and merging into an
+  /// empty one adopts the other's min/max rather than absorbing the
+  /// empty-state 0 sentinel.
   void Merge(const Histogram& other);
+
+  /// Drops all recorded samples (periodic stats-reporting windows).
+  void Reset();
 
  private:
   size_t BucketOf(double value) const;

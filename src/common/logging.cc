@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,9 @@ namespace adrec {
 
 namespace {
 
-LogLevel g_min_level = LogLevel::kInfo;
+// Read on every log site from any shard thread, written by SetLogLevel;
+// atomic so concurrent readers/writers are race-free.
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,9 +28,13 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_min_level; }
+LogLevel GetLogLevel() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 
@@ -37,8 +44,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_min_level) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ >= GetLogLevel()) {
+    // One fwrite per line: concurrent shard threads may interleave whole
+    // lines, but never characters within a line.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

@@ -5,6 +5,23 @@
 
 namespace adrec::core {
 
+void EngineStats::Merge(const EngineStats& other) {
+  tweets += other.tweets;
+  checkins += other.checkins;
+  ads_inserted += other.ads_inserted;
+  ads_removed += other.ads_removed;
+  topk_queries += other.topk_queries;
+  impressions_served += other.impressions_served;
+  analyses_run += other.analyses_run;
+  location_triconcepts += other.location_triconcepts;
+  topic_triconcepts += other.topic_triconcepts;
+  annotate_us.Merge(other.annotate_us);
+  profile_update_us.Merge(other.profile_update_us);
+  index_update_us.Merge(other.index_update_us);
+  topk_us.Merge(other.topk_us);
+  analysis_ms.Merge(other.analysis_ms);
+}
+
 RecommendationEngine::RecommendationEngine(
     std::shared_ptr<annotate::KnowledgeBase> kb,
     timeline::TimeSlotScheme slots, EngineOptions options)
@@ -14,24 +31,51 @@ RecommendationEngine::RecommendationEngine(
       semantic_(kb_.get(), options.annotator),
       profiles_(&slots_, options.profile_half_life),
       tfca_(&slots_, kb_->size()),
-      capper_(options.frequency_cap) {
+      capper_(options.frequency_cap),
+      ctr_tweets_(metrics_.GetCounter("engine.tweets")),
+      ctr_checkins_(metrics_.GetCounter("engine.checkins")),
+      ctr_ads_inserted_(metrics_.GetCounter("engine.ads_inserted")),
+      ctr_ads_removed_(metrics_.GetCounter("engine.ads_removed")),
+      ctr_topk_queries_(metrics_.GetCounter("engine.topk_queries")),
+      ctr_impressions_(metrics_.GetCounter("engine.impressions_served")),
+      ctr_analyses_(metrics_.GetCounter("engine.analyses_run")),
+      g_location_triconcepts_(
+          metrics_.GetGauge("tfca.location_triconcepts")),
+      g_topic_triconcepts_(metrics_.GetGauge("tfca.topic_triconcepts")),
+      tm_annotate_(metrics_.GetTimer("engine.annotate_us")),
+      tm_profile_update_(metrics_.GetTimer("engine.profile_update_us")),
+      tm_index_update_(metrics_.GetTimer("engine.index_update_us")),
+      tm_topk_(metrics_.GetTimer("engine.topk_us")),
+      tm_analysis_ms_(metrics_.GetTimer("engine.analysis_ms")) {
   ADREC_CHECK(kb_ != nullptr);
 }
 
 void RecommendationEngine::OnTweet(const feed::Tweet& tweet) {
-  const AnnotatedTweet annotated = semantic_.ProcessTweet(tweet);
-  profiles_.ObserveTweet(tweet.user, tweet.time, annotated.annotations);
-  tfca_.AddTweet(annotated);
+  AnnotatedTweet annotated;
+  {
+    obs::ScopedTimer timer(StageTimer(tm_annotate_));
+    annotated = semantic_.ProcessTweet(tweet);
+  }
+  {
+    obs::ScopedTimer timer(StageTimer(tm_profile_update_));
+    profiles_.ObserveTweet(tweet.user, tweet.time, annotated.annotations);
+    tfca_.AddTweet(annotated);
+  }
   analysis_valid_ = false;
   ++tweets_ingested_;
+  ctr_tweets_->Inc();
 }
 
 void RecommendationEngine::OnCheckIn(const feed::CheckIn& check_in) {
-  profiles_.ObserveCheckIn(check_in.user, check_in.time, check_in.location);
-  tfca_.AddCheckIn(check_in);
-  current_location_[check_in.user.value] = check_in.location;
+  {
+    obs::ScopedTimer timer(StageTimer(tm_profile_update_));
+    profiles_.ObserveCheckIn(check_in.user, check_in.time, check_in.location);
+    tfca_.AddCheckIn(check_in);
+    current_location_[check_in.user.value] = check_in.location;
+  }
   analysis_valid_ = false;
   ++checkins_ingested_;
+  ctr_checkins_->Inc();
 }
 
 void RecommendationEngine::OnEvent(const feed::FeedEvent& event) {
@@ -52,7 +96,12 @@ void RecommendationEngine::OnEvent(const feed::FeedEvent& event) {
 }
 
 Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
-  const AdContext ctx = semantic_.ProcessAd(ad);
+  AdContext ctx;
+  {
+    obs::ScopedTimer timer(StageTimer(tm_annotate_));
+    ctx = semantic_.ProcessAd(ad);
+  }
+  obs::ScopedTimer timer(StageTimer(tm_index_update_));
   ADREC_RETURN_NOT_OK(store_.Insert(ad, ctx.topics));
   Status indexed = index_.Insert(ad.id, ctx.topics, ad.target_locations,
                                  ad.target_slots, ad.bid);
@@ -60,12 +109,16 @@ Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
     (void)store_.Remove(ad.id);  // keep store and index consistent
     return indexed;
   }
+  ctr_ads_inserted_->Inc();
   return Status::OK();
 }
 
 Status RecommendationEngine::RemoveAd(AdId id) {
+  obs::ScopedTimer timer(StageTimer(tm_index_update_));
   ADREC_RETURN_NOT_OK(store_.Remove(id));
-  return index_.Remove(id);
+  ADREC_RETURN_NOT_OK(index_.Remove(id));
+  ctr_ads_removed_->Inc();
+  return Status::OK();
 }
 
 Status RecommendationEngine::RunAnalysis() {
@@ -75,9 +128,39 @@ Status RecommendationEngine::RunAnalysis() {
 Status RecommendationEngine::RunAnalysis(double alpha) {
   TfcaOptions opts;
   opts.alpha = alpha;
+  const auto t0 = std::chrono::steady_clock::now();
   ADREC_RETURN_NOT_OK(tfca_.Analyze(opts));
+  tm_analysis_ms_->Record(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  ctr_analyses_->Inc();
+  g_location_triconcepts_->Set(
+      static_cast<double>(tfca_.stats().location_triconcepts));
+  g_topic_triconcepts_->Set(
+      static_cast<double>(tfca_.stats().topic_triconcepts));
   analysis_valid_ = true;
   return Status::OK();
+}
+
+EngineStats RecommendationEngine::Stats() const {
+  EngineStats stats;
+  stats.tweets = ctr_tweets_->value();
+  stats.checkins = ctr_checkins_->value();
+  stats.ads_inserted = ctr_ads_inserted_->value();
+  stats.ads_removed = ctr_ads_removed_->value();
+  stats.topk_queries = ctr_topk_queries_->value();
+  stats.impressions_served = ctr_impressions_->value();
+  stats.analyses_run = ctr_analyses_->value();
+  stats.location_triconcepts =
+      static_cast<uint64_t>(g_location_triconcepts_->value());
+  stats.topic_triconcepts =
+      static_cast<uint64_t>(g_topic_triconcepts_->value());
+  stats.annotate_us = tm_annotate_->Snapshot();
+  stats.profile_update_us = tm_profile_update_->Snapshot();
+  stats.index_update_us = tm_index_update_->Snapshot();
+  stats.topk_us = tm_topk_->Snapshot();
+  stats.analysis_ms = tm_analysis_ms_->Snapshot();
+  return stats;
 }
 
 Result<MatchResult> RecommendationEngine::RecommendUsers(AdId id) const {
@@ -130,6 +213,7 @@ index::AdQuery RecommendationEngine::BuildQuery(const feed::Tweet& tweet,
 
 std::vector<index::ScoredAd> RecommendationEngine::TopKAdsForTweet(
     const feed::Tweet& tweet, size_t k) {
+  obs::ScopedTimer timer(StageTimer(tm_topk_));
   // Over-fetch to survive budget filtering, then keep the first k with
   // budget and charge them.
   index::AdQuery query = BuildQuery(tweet, k * 2 + 4);
@@ -147,6 +231,8 @@ std::vector<index::ScoredAd> RecommendationEngine::TopKAdsForTweet(
       out.push_back(sa);
     }
   }
+  ctr_topk_queries_->Inc();
+  ctr_impressions_->Inc(out.size());
   return out;
 }
 

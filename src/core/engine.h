@@ -8,12 +8,14 @@
 #include "ads/ad_store.h"
 #include "ads/frequency_cap.h"
 #include "annotate/knowledge_base.h"
+#include "common/histogram.h"
 #include "common/status.h"
 #include "core/recommender.h"
 #include "core/semantic.h"
 #include "core/tfca.h"
 #include "feed/types.h"
 #include "index/ad_index.h"
+#include "obs/metrics.h"
 #include "profile/user_profile.h"
 #include "timeline/time_slots.h"
 
@@ -33,6 +35,39 @@ struct EngineOptions {
   /// frequency_cap.max_impressions <= 0 to disable.
   ads::FrequencyCapOptions frequency_cap{/*max_impressions=*/5,
                                          /*window=*/kSecondsPerDay};
+  /// Per-stage latency timing of the hot path. Event/impression counters
+  /// stay on either way (one relaxed atomic add each); disabling only
+  /// removes the steady_clock reads, which is what the instrumentation-
+  /// overhead benchmark toggles.
+  bool collect_stage_timings = true;
+};
+
+/// A typed snapshot of the engine's observable state: event counters,
+/// per-stage hot-path latency histograms (microseconds unless the name
+/// says otherwise), and the last analysis' lattice sizes. Mergeable
+/// across shards (counters add, histograms bucket-merge).
+struct EngineStats {
+  // Event counters.
+  uint64_t tweets = 0;
+  uint64_t checkins = 0;
+  uint64_t ads_inserted = 0;
+  uint64_t ads_removed = 0;
+  uint64_t topk_queries = 0;
+  uint64_t impressions_served = 0;
+  uint64_t analyses_run = 0;
+  // Last RunAnalysis' lattice counters (summed across shards when merged).
+  uint64_t location_triconcepts = 0;
+  uint64_t topic_triconcepts = 0;
+  // Hot-path stage timers.
+  Histogram annotate_us;
+  Histogram profile_update_us;
+  Histogram index_update_us;
+  Histogram topk_us;
+  // Batch path.
+  Histogram analysis_ms;
+
+  /// Folds another engine's stats into this one (sharded aggregation).
+  void Merge(const EngineStats& other);
 };
 
 /// The full context-aware advertisement recommendation engine — the
@@ -107,10 +142,22 @@ class RecommendationEngine {
   std::vector<index::ScoredAd> TopKAdsForTweetExhaustive(
       const feed::Tweet& tweet, size_t k);
 
-  // --- Introspection. ---
+  // --- Introspection / observability. ---
 
   const TimeAwareConceptAnalysis& analysis() const { return tfca_; }
   const profile::UserProfileStore& profiles() const { return profiles_; }
+
+  /// Typed snapshot of counters, stage timers and lattice sizes.
+  EngineStats Stats() const;
+
+  /// The engine's metric registry (named counters/gauges/timers under the
+  /// `engine.` / `tfca.` prefixes) — the generic export surface for
+  /// obs::BuildReport / ExportText / ExportJson.
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+  /// Zeroes all metrics (periodic reporting windows). The cumulative
+  /// tweets_ingested()/checkins_ingested() totals are unaffected.
+  void ResetMetrics() { metrics_.ResetAll(); }
 
   // --- Snapshot support (used by core/snapshot). The TFCA window is not
   // part of a snapshot; re-ingest the recent trace after a restore to
@@ -133,6 +180,11 @@ class RecommendationEngine {
  private:
   index::AdQuery BuildQuery(const feed::Tweet& tweet, size_t k) const;
 
+  /// The timer handle if stage timing is on, nullptr (no-op probe) if off.
+  obs::Timer* StageTimer(obs::Timer* timer) const {
+    return options_.collect_stage_timings ? timer : nullptr;
+  }
+
   std::shared_ptr<annotate::KnowledgeBase> kb_;
   timeline::TimeSlotScheme slots_;
   EngineOptions options_;
@@ -146,6 +198,24 @@ class RecommendationEngine {
   bool analysis_valid_ = false;
   size_t tweets_ingested_ = 0;
   size_t checkins_ingested_ = 0;
+
+  // Observability: the registry plus cached handles so the hot path never
+  // takes the registration lock.
+  obs::MetricRegistry metrics_;
+  obs::Counter* ctr_tweets_;
+  obs::Counter* ctr_checkins_;
+  obs::Counter* ctr_ads_inserted_;
+  obs::Counter* ctr_ads_removed_;
+  obs::Counter* ctr_topk_queries_;
+  obs::Counter* ctr_impressions_;
+  obs::Counter* ctr_analyses_;
+  obs::Gauge* g_location_triconcepts_;
+  obs::Gauge* g_topic_triconcepts_;
+  obs::Timer* tm_annotate_;
+  obs::Timer* tm_profile_update_;
+  obs::Timer* tm_index_update_;
+  obs::Timer* tm_topk_;
+  obs::Timer* tm_analysis_ms_;
 };
 
 }  // namespace adrec::core

@@ -98,6 +98,20 @@ Result<MatchResult> ShardedEngine::RecommendUsers(AdId id) const {
   return merged;
 }
 
+EngineStats ShardedEngine::Stats() const {
+  EngineStats merged;
+  for (const auto& shard : shards_) merged.Merge(shard->Stats());
+  return merged;
+}
+
+obs::MetricsSnapshot ShardedEngine::MergedMetrics() const {
+  obs::MetricsSnapshot merged;
+  for (const auto& shard : shards_) {
+    merged.MergeFrom(shard->metrics().Snapshot());
+  }
+  return merged;
+}
+
 std::vector<index::ScoredAd> ShardedEngine::TopKAdsForTweet(
     const feed::Tweet& tweet, size_t k) {
   return shards_[ShardOf(tweet.user)]->TopKAdsForTweet(tweet, k);

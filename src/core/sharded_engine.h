@@ -47,6 +47,17 @@ class ShardedEngine {
   size_t num_shards() const { return shards_.size(); }
   const RecommendationEngine& shard(size_t i) const { return *shards_[i]; }
 
+  // --- Observability. ---
+
+  /// Aggregate view: every shard's EngineStats folded together (counters
+  /// add, stage histograms merge via Histogram::Merge). Per-shard stats
+  /// remain reachable through shard(i).Stats().
+  EngineStats Stats() const;
+
+  /// Aggregate metric registry snapshot across shards (same merge rules),
+  /// for the generic obs exporters.
+  obs::MetricsSnapshot MergedMetrics() const;
+
   /// The shard owning a user.
   size_t ShardOf(UserId user) const;
 

@@ -3,9 +3,13 @@
 #include <chrono>
 #include <thread>
 
+#include "common/logging.h"
+#include "common/string_util.h"
+
 namespace adrec::feed {
 
-StreamReplayer::StreamReplayer(ReplayOptions options) : options_(options) {}
+StreamReplayer::StreamReplayer(ReplayOptions options)
+    : options_(std::move(options)) {}
 
 ReplayStats StreamReplayer::Replay(
     const std::vector<FeedEvent>& events,
@@ -17,7 +21,35 @@ ReplayStats StreamReplayer::Replay(
   const auto wall_start = Clock::now();
   const Timestamp sim_start = events.front().time;
 
+  double current_lag_sim = 0.0;
+  size_t processed = 0;
+
+  const auto report_progress = [&] {
+    ReplayProgress progress;
+    progress.events_delivered = stats.events_delivered;
+    progress.events_dropped = stats.events_dropped;
+    progress.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+    progress.events_per_second =
+        progress.wall_seconds > 0.0
+            ? static_cast<double>(stats.events_delivered) /
+                  progress.wall_seconds
+            : 0.0;
+    progress.lag_sim_seconds = current_lag_sim;
+    if (options_.on_progress) {
+      options_.on_progress(progress);
+    } else {
+      ADREC_LOG(kInfo) << "replay: " << progress.events_delivered
+                       << " delivered, " << progress.events_dropped
+                       << " dropped, "
+                       << StringFormat("%.0f ev/s, lag %.1fs",
+                                       progress.events_per_second,
+                                       progress.lag_sim_seconds);
+    }
+  };
+
   for (const FeedEvent& event : events) {
+    bool delivered = true;
     if (options_.speedup > 0.0) {
       // The wall time at which this event is due.
       const double due_wall =
@@ -25,24 +57,32 @@ ReplayStats StreamReplayer::Replay(
       const double now_wall =
           std::chrono::duration<double>(Clock::now() - wall_start).count();
       if (now_wall < due_wall) {
+        current_lag_sim = 0.0;
         std::this_thread::sleep_for(
             std::chrono::duration<double>(due_wall - now_wall));
-      } else if (options_.max_lag > 0) {
+      } else {
         // How far behind schedule are we, in simulated seconds?
-        const double lag_sim =
-            (now_wall - due_wall) * options_.speedup;
-        if (lag_sim > static_cast<double>(options_.max_lag)) {
+        current_lag_sim = (now_wall - due_wall) * options_.speedup;
+        if (options_.max_lag > 0 &&
+            current_lag_sim > static_cast<double>(options_.max_lag)) {
           ++stats.events_dropped;
-          continue;  // shed this event
+          delivered = false;  // shed this event
         }
       }
     }
-    const auto h0 = Clock::now();
-    handler(event);
-    const auto h1 = Clock::now();
-    stats.handler_micros.Record(
-        std::chrono::duration<double, std::micro>(h1 - h0).count());
-    ++stats.events_delivered;
+    if (delivered) {
+      const auto h0 = Clock::now();
+      handler(event);
+      const auto h1 = Clock::now();
+      stats.handler_micros.Record(
+          std::chrono::duration<double, std::micro>(h1 - h0).count());
+      ++stats.events_delivered;
+    }
+    ++processed;
+    if (options_.progress_every > 0 &&
+        processed % options_.progress_every == 0) {
+      report_progress();
+    }
   }
 
   stats.wall_seconds =

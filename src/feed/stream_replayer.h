@@ -20,6 +20,19 @@ struct ReplayStats {
   Histogram handler_micros;
 };
 
+/// A point-in-time progress report emitted mid-replay (see
+/// ReplayOptions::progress_every).
+struct ReplayProgress {
+  size_t events_delivered = 0;
+  size_t events_dropped = 0;
+  double wall_seconds = 0.0;
+  /// Cumulative delivery rate so far.
+  double events_per_second = 0.0;
+  /// How far behind the paced schedule the replay is, in simulated
+  /// seconds (0 when unpaced or on schedule).
+  double lag_sim_seconds = 0.0;
+};
+
 /// Replayer configuration.
 struct ReplayOptions {
   /// Time-compression factor: simulated seconds per wall second.
@@ -30,6 +43,12 @@ struct ReplayOptions {
   /// until it catches up (0 = never drop). Models the "high-speed feed
   /// outruns the consumer" regime.
   DurationSec max_lag = 0;
+  /// Emit a progress report every N processed (delivered + dropped)
+  /// events; 0 disables progress reporting.
+  size_t progress_every = 0;
+  /// Progress sink. When unset but progress_every > 0, each report is
+  /// logged as one INFO line (events/sec and lag).
+  std::function<void(const ReplayProgress&)> on_progress;
 };
 
 /// Drives a time-ordered event vector through a handler, optionally

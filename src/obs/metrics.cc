@@ -1,0 +1,62 @@
+#include "obs/metrics.h"
+
+namespace adrec::obs {
+
+namespace {
+
+template <typename T>
+T* FindOrCreate(std::map<std::string, std::unique_ptr<T>>* metrics,
+                std::string_view name) {
+  auto it = metrics->find(std::string(name));
+  if (it == metrics->end()) {
+    it = metrics->emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&counters_, name);
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&gauges_, name);
+}
+
+Timer* MetricRegistry::GetTimer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&timers_, name);
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, timer] : timers_) {
+    snap.timers.emplace(name, timer->Snapshot());
+  }
+  return snap;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, timer] : timers_) timer->Reset();
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.timers) timers[name].Merge(hist);
+}
+
+}  // namespace adrec::obs

@@ -1,0 +1,154 @@
+#ifndef ADREC_OBS_METRICS_H_
+#define ADREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace adrec::obs {
+
+/// A monotonically increasing event counter. Increment is a single relaxed
+/// atomic add — cheap enough for the per-event hot path and exact under
+/// concurrent writers (sharded deployments).
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time value (last analysis' lattice size, current window
+/// length, ...). Set overwrites; Add accumulates.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // std::atomic<double>::fetch_add only exists since C++20 for
+    // floating-point; use it directly.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A latency/size distribution: a Histogram behind a mutex. The lock is
+/// uncontended in the single-writer engine (tens of ns) and correct under
+/// sharded concurrent access; quantile reads take the same lock.
+class Timer {
+ public:
+  /// Records one sample (conventionally microseconds for *_us timers).
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(value);
+  }
+
+  /// Consistent copy of the underlying histogram.
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.count();
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// RAII stage timer: records elapsed wall time in microseconds into a
+/// Timer on scope exit. A null timer disables the probe (and the clock
+/// reads) entirely, so instrumentation can be compiled in but switched
+/// off per engine.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer) : timer_(timer) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (timer_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    timer_->Record(
+        std::chrono::duration<double, std::micro>(end - start_).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A consistent point-in-time view of a registry, detached from the live
+/// metrics: safe to merge, export, and ship across threads. Keys are
+/// ordered so exports are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> timers;
+
+  /// Merges another snapshot: counters and gauges add, timers merge
+  /// bucket-wise (Histogram::Merge) — the per-shard aggregation primitive.
+  void MergeFrom(const MetricsSnapshot& other);
+};
+
+/// Thread-safe registry of named metrics. Registration (Get*) takes a
+/// mutex and is meant for setup paths; the returned handles are stable
+/// for the registry's lifetime, so hot paths cache the pointer once and
+/// update lock-free (counters/gauges) or under a short uncontended lock
+/// (timers).
+///
+/// Naming scheme: dot-separated `<subsystem>.<metric>[_<unit>]`, e.g.
+/// `engine.annotate_us`, `engine.tweets`, `tfca.topic_triconcepts`.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Finds or creates the named metric. Never returns null.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Timer* GetTimer(std::string_view name);
+
+  /// Consistent copy of every registered metric.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (periodic reporting windows).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map gives stable node addresses (handles stay valid as the
+  // registry grows) and deterministic iteration order for snapshots.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+}  // namespace adrec::obs
+
+#endif  // ADREC_OBS_METRICS_H_

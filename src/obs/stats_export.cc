@@ -1,0 +1,248 @@
+#include "obs/stats_export.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+namespace adrec::obs {
+
+namespace {
+
+TimerStat SummarizeHistogram(const Histogram& h) {
+  TimerStat stat;
+  stat.count = h.count();
+  stat.mean = h.Mean();
+  stat.p50 = h.Quantile(0.50);
+  stat.p95 = h.Quantile(0.95);
+  stat.p99 = h.Quantile(0.99);
+  stat.min = h.min();
+  stat.max = h.max();
+  return stat;
+}
+
+// %.17g prints doubles with enough digits to round-trip exactly.
+std::string JsonNumber(double v) { return StringFormat("%.17g", v); }
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// Minimal recursive-descent parser for the subset ExportJson emits:
+/// objects whose values are numbers or nested objects of numbers.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<std::string> ParseString() {
+    SkipSpace();
+    if (!Consume('"')) return Fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out.push_back(c);
+    }
+    if (!Consume('"')) return Fail("unterminated string");
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return Fail("expected number");
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument(
+        StringFormat("stats json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Parses {"key": number, ...} into `out` via `emit(key, value)`.
+template <typename Emit>
+Status ParseNumberObject(JsonCursor* cur, const Emit& emit) {
+  if (!cur->Consume('{')) return cur->Fail("expected '{'");
+  if (cur->Consume('}')) return Status::OK();
+  do {
+    auto key = cur->ParseString();
+    ADREC_RETURN_NOT_OK(key.status());
+    if (!cur->Consume(':')) return cur->Fail("expected ':'");
+    auto value = cur->ParseNumber();
+    ADREC_RETURN_NOT_OK(value.status());
+    emit(key.value(), value.value());
+  } while (cur->Consume(','));
+  if (!cur->Consume('}')) return cur->Fail("expected '}'");
+  return Status::OK();
+}
+
+}  // namespace
+
+StatsReport BuildReport(const MetricsSnapshot& snapshot) {
+  StatsReport report;
+  report.counters = snapshot.counters;
+  report.gauges = snapshot.gauges;
+  for (const auto& [name, hist] : snapshot.timers) {
+    report.timers.emplace(name, SummarizeHistogram(hist));
+  }
+  return report;
+}
+
+std::string ExportText(const StatsReport& report, const std::string& title) {
+  std::string out;
+  if (!report.counters.empty() || !report.gauges.empty()) {
+    TableWriter counters(title + " — counters", {"name", "value"});
+    for (const auto& [name, value] : report.counters) {
+      counters.AddRow({name, StringFormat("%llu",
+                                          static_cast<unsigned long long>(
+                                              value))});
+    }
+    for (const auto& [name, value] : report.gauges) {
+      counters.AddRow({name, StringFormat("%.3f", value)});
+    }
+    out += counters.ToText();
+    out += "\n";
+  }
+  if (!report.timers.empty()) {
+    TableWriter timers(
+        title + " — stage timings (us)",
+        {"stage", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, t] : report.timers) {
+      timers.AddRow({name,
+                     StringFormat("%llu",
+                                  static_cast<unsigned long long>(t.count)),
+                     StringFormat("%.1f", t.mean),
+                     StringFormat("%.1f", t.p50),
+                     StringFormat("%.1f", t.p95),
+                     StringFormat("%.1f", t.p99),
+                     StringFormat("%.1f", t.max)});
+    }
+    out += timers.ToText();
+  }
+  return out;
+}
+
+std::string ExportJson(const StatsReport& report) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : report.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendQuoted(&out, name);
+    out += StringFormat(":%llu", static_cast<unsigned long long>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : report.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendQuoted(&out, name);
+    out.push_back(':');
+    out += JsonNumber(value);
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : report.timers) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendQuoted(&out, name);
+    out += StringFormat(":{\"count\":%llu,\"mean\":%s,\"p50\":%s,"
+                        "\"p95\":%s,\"p99\":%s,\"min\":%s,\"max\":%s}",
+                        static_cast<unsigned long long>(t.count),
+                        JsonNumber(t.mean).c_str(), JsonNumber(t.p50).c_str(),
+                        JsonNumber(t.p95).c_str(), JsonNumber(t.p99).c_str(),
+                        JsonNumber(t.min).c_str(), JsonNumber(t.max).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+Result<StatsReport> ParseJson(const std::string& json) {
+  StatsReport report;
+  JsonCursor cur(json);
+  if (!cur.Consume('{')) return cur.Fail("expected '{'");
+  do {
+    auto section = cur.ParseString();
+    ADREC_RETURN_NOT_OK(section.status());
+    if (!cur.Consume(':')) return cur.Fail("expected ':'");
+    if (section.value() == "counters") {
+      ADREC_RETURN_NOT_OK(ParseNumberObject(
+          &cur, [&](const std::string& k, double v) {
+            report.counters[k] = static_cast<uint64_t>(v);
+          }));
+    } else if (section.value() == "gauges") {
+      ADREC_RETURN_NOT_OK(ParseNumberObject(
+          &cur,
+          [&](const std::string& k, double v) { report.gauges[k] = v; }));
+    } else if (section.value() == "timers") {
+      if (!cur.Consume('{')) return cur.Fail("expected '{'");
+      if (!cur.Consume('}')) {
+        do {
+          auto name = cur.ParseString();
+          ADREC_RETURN_NOT_OK(name.status());
+          if (!cur.Consume(':')) return cur.Fail("expected ':'");
+          TimerStat t;
+          ADREC_RETURN_NOT_OK(ParseNumberObject(
+              &cur, [&](const std::string& k, double v) {
+                if (k == "count") t.count = static_cast<uint64_t>(v);
+                else if (k == "mean") t.mean = v;
+                else if (k == "p50") t.p50 = v;
+                else if (k == "p95") t.p95 = v;
+                else if (k == "p99") t.p99 = v;
+                else if (k == "min") t.min = v;
+                else if (k == "max") t.max = v;
+              }));
+          report.timers[name.value()] = t;
+        } while (cur.Consume(','));
+        if (!cur.Consume('}')) return cur.Fail("expected '}'");
+      }
+    } else {
+      return cur.Fail("unknown section '" + section.value() + "'");
+    }
+  } while (cur.Consume(','));
+  if (!cur.Consume('}')) return cur.Fail("expected '}'");
+  if (!cur.AtEnd()) return cur.Fail("trailing data");
+  return report;
+}
+
+}  // namespace adrec::obs

@@ -1,0 +1,53 @@
+#ifndef ADREC_OBS_STATS_EXPORT_H_
+#define ADREC_OBS_STATS_EXPORT_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace adrec::obs {
+
+/// Summary statistics of one timer distribution — what the exporters
+/// print per timer (the histogram buckets themselves stay internal).
+struct TimerStat {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// An export-ready view of a MetricsSnapshot: plain numbers only, so it
+/// round-trips losslessly through the JSON form.
+struct StatsReport {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+};
+
+/// Collapses a snapshot's histograms into quantile summaries.
+StatsReport BuildReport(const MetricsSnapshot& snapshot);
+
+/// Human-readable export: one aligned table per metric kind (rendered
+/// with common/table_writer). `title` heads the timer table.
+std::string ExportText(const StatsReport& report,
+                       const std::string& title = "metrics");
+
+/// Machine-readable export:
+///   {"counters":{...},"gauges":{...},
+///    "timers":{"name":{"count":..,"mean":..,"p50":..,...},...}}
+/// Deterministic key order (reports use ordered maps).
+std::string ExportJson(const StatsReport& report);
+
+/// Parses the output of ExportJson back into a report (the round-trip
+/// used by `adrec_tool stats` self-check and bench tooling). Accepts
+/// only the restricted JSON subset ExportJson emits.
+Result<StatsReport> ParseJson(const std::string& json);
+
+}  // namespace adrec::obs
+
+#endif  // ADREC_OBS_STATS_EXPORT_H_

@@ -83,6 +83,49 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.count(), before);
 }
 
+TEST(HistogramTest, MergeEmptyOperandsKeepNoSentinels) {
+  // Merging a non-empty histogram into an empty one must adopt the
+  // source's min/max — the empty target's 0-valued min must not survive.
+  Histogram empty_target, src;
+  src.Record(5.0);
+  src.Record(9.0);
+  empty_target.Merge(src);
+  EXPECT_EQ(empty_target.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty_target.min(), 5.0);
+  EXPECT_DOUBLE_EQ(empty_target.max(), 9.0);
+
+  // Merging an empty histogram into a non-empty one changes nothing:
+  // in particular min must not drop to the empty 0 sentinel.
+  Histogram target, empty_src;
+  target.Record(5.0);
+  target.Merge(empty_src);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.min(), 5.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5.0);
+
+  // Empty into empty stays empty.
+  Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(HistogramTest, ResetClearsEverythingAndIsReusable) {
+  Histogram h;
+  for (int i = 1; i <= 50; ++i) h.Record(static_cast<double>(i));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  // Recording after Reset behaves like a fresh histogram (no stale min).
+  h.Record(7.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+}
+
 TEST(HistogramTest, SummaryMentionsAllFields) {
   Histogram h;
   h.Record(5.0);

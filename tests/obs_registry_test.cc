@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/stats_export.h"
+
+namespace adrec::obs {
+namespace {
+
+TEST(MetricRegistryTest, HandlesAreStableAndNamed) {
+  MetricRegistry registry;
+  Counter* c1 = registry.GetCounter("engine.tweets");
+  // Registering more metrics must not invalidate earlier handles.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler." + std::to_string(i));
+  }
+  Counter* c2 = registry.GetCounter("engine.tweets");
+  EXPECT_EQ(c1, c2);
+  c1->Inc(3);
+  EXPECT_EQ(c2->value(), 3u);
+}
+
+TEST(MetricRegistryTest, ConcurrentCounterIncrementsSumExactly) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Half the threads re-resolve the handle, half cache it — both are
+      // legal usage patterns.
+      Counter* counter = registry.GetCounter("shared.counter");
+      for (int i = 0; i < kIncrements; ++i) counter->Inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter")->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricRegistryTest, ConcurrentTimerRecordsAllSamples) {
+  MetricRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kSamples = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      Timer* timer = registry.GetTimer("shared.timer_us");
+      for (int i = 0; i < kSamples; ++i) {
+        timer->Record(static_cast<double>(t * kSamples + i) * 0.01);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const Histogram h = registry.GetTimer("shared.timer_us")->Snapshot();
+  EXPECT_EQ(h.count(), static_cast<size_t>(kThreads) * kSamples);
+}
+
+TEST(MetricRegistryTest, TimerQuantilesSane) {
+  MetricRegistry registry;
+  Timer* timer = registry.GetTimer("t");
+  for (int i = 1; i <= 1000; ++i) timer->Record(static_cast<double>(i));
+  const Histogram h = timer->Snapshot();
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  // Log-bucketed quantiles stay within ~19% of exact.
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.2);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.2);
+}
+
+TEST(MetricRegistryTest, GaugeSetAddReset) {
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("g");
+  g->Set(4.5);
+  g->Add(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 5.0);
+  registry.ResetAll();
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+}
+
+TEST(MetricRegistryTest, ScopedTimerRecordsAndNullIsNoop) {
+  MetricRegistry registry;
+  Timer* timer = registry.GetTimer("scoped_us");
+  { ScopedTimer scope(timer); }
+  EXPECT_EQ(timer->count(), 1u);
+  { ScopedTimer scope(nullptr); }  // must not crash
+  EXPECT_EQ(timer->count(), 1u);
+}
+
+TEST(MetricRegistryTest, SnapshotMergeAddsCountersAndHistograms) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetCounter("events")->Inc(10);
+  b.GetCounter("events")->Inc(5);
+  b.GetCounter("only_b")->Inc(1);
+  a.GetTimer("lat_us")->Record(1.0);
+  b.GetTimer("lat_us")->Record(100.0);
+  b.GetGauge("load")->Set(2.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("events"), 15u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("load"), 2.0);
+  EXPECT_EQ(merged.timers.at("lat_us").count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.timers.at("lat_us").min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.timers.at("lat_us").max(), 100.0);
+}
+
+TEST(StatsExportTest, TextExportContainsMetricNames) {
+  MetricRegistry registry;
+  registry.GetCounter("engine.tweets")->Inc(7);
+  registry.GetTimer("engine.annotate_us")->Record(12.5);
+  const std::string text =
+      ExportText(BuildReport(registry.Snapshot()), "test");
+  EXPECT_NE(text.find("engine.tweets"), std::string::npos);
+  EXPECT_NE(text.find("engine.annotate_us"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(StatsExportTest, JsonRoundTripIsLossless) {
+  MetricRegistry registry;
+  registry.GetCounter("engine.tweets")->Inc(123456789);
+  registry.GetGauge("tfca.topic_triconcepts")->Set(37.0);
+  Timer* timer = registry.GetTimer("engine.topk_us");
+  for (int i = 0; i < 500; ++i) timer->Record(0.37 * i);
+
+  const StatsReport report = BuildReport(registry.Snapshot());
+  const std::string json = ExportJson(report);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().counters.at("engine.tweets"), 123456789u);
+  EXPECT_DOUBLE_EQ(parsed.value().gauges.at("tfca.topic_triconcepts"), 37.0);
+  const TimerStat& t = parsed.value().timers.at("engine.topk_us");
+  EXPECT_EQ(t.count, 500u);
+  EXPECT_DOUBLE_EQ(t.p50, report.timers.at("engine.topk_us").p50);
+  EXPECT_DOUBLE_EQ(t.p99, report.timers.at("engine.topk_us").p99);
+  // Byte-identical re-export proves nothing was lost or reordered.
+  EXPECT_EQ(ExportJson(parsed.value()), json);
+}
+
+TEST(StatsExportTest, JsonEscapesQuotesInNames) {
+  MetricRegistry registry;
+  registry.GetCounter("weird\"name\\x")->Inc(2);
+  const std::string json = ExportJson(BuildReport(registry.Snapshot()));
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().counters.at("weird\"name\\x"), 2u);
+}
+
+TEST(StatsExportTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"counters\":{").ok());
+  EXPECT_FALSE(ParseJson("{\"bogus_section\":{}}").ok());
+  EXPECT_FALSE(ParseJson("{\"counters\":{}} trailing").ok());
+}
+
+TEST(MetricRegistryTest, ResetAllZeroesEverything) {
+  MetricRegistry registry;
+  registry.GetCounter("c")->Inc(9);
+  registry.GetTimer("t")->Record(3.0);
+  registry.ResetAll();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_EQ(snap.timers.at("t").count(), 0u);
+}
+
+}  // namespace
+}  // namespace adrec::obs
