@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare two benchmark metric exports and gate on p95 regressions.
+
+Each input is either a raw obs::ExportJson blob or a benchmark log
+containing one or more ``BENCH_METRICS_JSON {...}`` lines (the last one
+wins — reruns overwrite earlier measurements). The export format is
+  {"counters": {...}, "gauges": {...},
+   "timers": {"name": {"count":..,"mean":..,"p50":..,"p95":..,...}, ...}}
+
+The gate compares every timer present in both exports and fails (exit 1)
+when any p95 regresses by more than --threshold (default 10%). Timers
+below --min-count samples are skipped as noise. Counters and gauges are
+reported informationally, never gated.
+
+Usage:
+  scripts/bench_diff.py baseline.log candidate.log [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+MARKER = "BENCH_METRICS_JSON"
+
+
+def load_report(path):
+    """Extracts the last metrics blob from a log file (or a raw JSON file)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    blob = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith(MARKER):
+            blob = line[len(MARKER):].strip()
+    if blob is None:
+        blob = text.strip()  # raw ExportJson file
+    if not blob:
+        raise ValueError(f"{path}: no {MARKER} line and no raw JSON content")
+    try:
+        report = json.loads(blob)
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path}: malformed metrics JSON: {err}") from err
+    for section in ("counters", "gauges", "timers"):
+        report.setdefault(section, {})
+    return report
+
+
+def relative_delta(base, cand):
+    if base == 0:
+        return float("inf") if cand > 0 else 0.0
+    return (cand - base) / base
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark timer p95 regressions.")
+    parser.add_argument("baseline", help="baseline log or ExportJson file")
+    parser.add_argument("candidate", help="candidate log or ExportJson file")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated relative p95 regression "
+                             "(default 0.10 = +10%%)")
+    parser.add_argument("--min-count", type=int, default=10,
+                        help="skip timers with fewer samples in either run "
+                             "(default 10)")
+    args = parser.parse_args(argv)
+
+    try:
+        base = load_report(args.baseline)
+        cand = load_report(args.candidate)
+    except (OSError, ValueError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    shared = sorted(set(base["timers"]) & set(cand["timers"]))
+    skipped = []
+    print(f"{'timer':40s} {'base p95':>12s} {'cand p95':>12s} {'delta':>8s}")
+    for name in shared:
+        b, c = base["timers"][name], cand["timers"][name]
+        if min(b.get("count", 0), c.get("count", 0)) < args.min_count:
+            skipped.append(name)
+            continue
+        bp95, cp95 = float(b.get("p95", 0.0)), float(c.get("p95", 0.0))
+        delta = relative_delta(bp95, cp95)
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, bp95, cp95, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:40s} {bp95:12.3f} {cp95:12.3f} {delta:+7.1%}{flag}")
+    for name in skipped:
+        print(f"{name:40s}  (skipped: < {args.min_count} samples)")
+    only_base = sorted(set(base["timers"]) - set(cand["timers"]))
+    only_cand = sorted(set(cand["timers"]) - set(base["timers"]))
+    if only_base:
+        print(f"timers only in baseline: {', '.join(only_base)}")
+    if only_cand:
+        print(f"timers only in candidate: {', '.join(only_cand)}")
+
+    changed = {
+        name: (base["counters"].get(name), cand["counters"].get(name))
+        for name in sorted(set(base["counters"]) | set(cand["counters"]))
+        if base["counters"].get(name) != cand["counters"].get(name)
+    }
+    if changed:
+        print("counter changes (informational):")
+        for name, (b, c) in changed.items():
+            print(f"  {name}: {b} -> {c}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} timer(s) regressed beyond "
+              f"{args.threshold:.0%} p95:", file=sys.stderr)
+        for name, bp95, cp95, delta in regressions:
+            print(f"  {name}: {bp95:.3f} -> {cp95:.3f} ({delta:+.1%})",
+                  file=sys.stderr)
+        return 1
+    print(f"\nOK: no timer p95 regression beyond {args.threshold:.0%} "
+          f"({len(shared) - len(skipped)} timers compared).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

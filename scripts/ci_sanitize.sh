@@ -1,21 +1,73 @@
 #!/usr/bin/env bash
-# ThreadSanitizer gate for the concurrency-sensitive pieces: the obs
-# metric registry, the logging globals, histogram merge, and the sharded
-# engine (shard-parallel RunAnalysis + merged stats). A clean run here is
-# what certifies those paths race-free.
+# Sanitizer gates.
 #
-# Usage: scripts/ci_sanitize.sh [build-dir]   (default build-tsan)
+#   tsan  — ThreadSanitizer over the concurrency-sensitive subset: the obs
+#           metric registry, the logging globals, histogram merge, and the
+#           sharded engine (shard-parallel RunAnalysis + merged stats).
+#   asan  — AddressSanitizer over the full suite minus the `fuzz` label
+#           (the high-volume testkit differential sweeps; instrumented
+#           builds run them ~10x slower for no extra memory-bug coverage —
+#           the same code paths are exercised by the tier1 tests).
+#   ubsan — UndefinedBehaviorSanitizer, same scope as asan, with
+#           halt_on_error so a UB report actually fails the gate.
+#   all   — tsan + asan + ubsan in sequence.
+#
+# Usage: scripts/ci_sanitize.sh [tsan|asan|ubsan|all] [build-dir]
+#        (default: tsan, build dir build-<mode>)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-tsan}"
-TSAN_TESTS='obs_registry_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test'
+MODE="${1:-tsan}"
+JOBS="$(nproc)"
 
-cmake -B "${BUILD_DIR}" -S . \
-  -DADREC_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
-  obs_registry_test core_engine_stats_test core_sharded_test \
-  common_histogram_test feed_replayer_test
-ctest --test-dir "${BUILD_DIR}" -R "${TSAN_TESTS}" --output-on-failure -j "$(nproc)"
-echo "TSan gate passed."
+run_tsan() {
+  local build_dir="${1:-build-tsan}"
+  local tsan_tests='obs_registry_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test'
+  cmake -B "${build_dir}" -S . \
+    -DADREC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}" -j "${JOBS}" --target \
+    obs_registry_test core_engine_stats_test core_sharded_test \
+    common_histogram_test feed_replayer_test
+  ctest --test-dir "${build_dir}" -R "${tsan_tests}" \
+    --output-on-failure -j "${JOBS}"
+  echo "TSan gate passed."
+}
+
+run_asan() {
+  local build_dir="${1:-build-asan}"
+  cmake -B "${build_dir}" -S . \
+    -DADREC_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ASAN_OPTIONS="detect_stack_use_after_return=1" \
+    ctest --test-dir "${build_dir}" -LE fuzz --output-on-failure -j "${JOBS}"
+  echo "ASan gate passed."
+}
+
+run_ubsan() {
+  local build_dir="${1:-build-ubsan}"
+  cmake -B "${build_dir}" -S . \
+    -DADREC_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}" -j "${JOBS}"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "${build_dir}" -LE fuzz --output-on-failure -j "${JOBS}"
+  echo "UBSan gate passed."
+}
+
+case "${MODE}" in
+  tsan)  run_tsan  "${2:-build-tsan}" ;;
+  asan)  run_asan  "${2:-build-asan}" ;;
+  ubsan) run_ubsan "${2:-build-ubsan}" ;;
+  all)
+    run_tsan
+    run_asan
+    run_ubsan
+    echo "All sanitizer gates passed."
+    ;;
+  *)
+    echo "usage: $0 [tsan|asan|ubsan|all] [build-dir]" >&2
+    exit 2
+    ;;
+esac

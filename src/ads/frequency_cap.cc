@@ -33,6 +33,26 @@ bool FrequencyCapper::TryServe(UserId user, AdId ad, Timestamp now) {
   return true;
 }
 
+void FrequencyCapper::ForEach(
+    const std::function<void(UserId, AdId, const std::deque<Timestamp>&)>&
+        fn) const {
+  for (const auto& [key, times] : impressions_) {
+    fn(UserId(static_cast<uint32_t>(key >> 32)),
+       AdId(static_cast<uint32_t>(key & 0xFFFFFFFF)), times);
+  }
+}
+
+void FrequencyCapper::RestoreHistory(UserId user, AdId ad,
+                                     std::vector<Timestamp> times) {
+  const uint64_t key = KeyOf(user, ad);
+  if (times.empty()) {
+    impressions_.erase(key);
+    return;
+  }
+  std::deque<Timestamp>& deque = impressions_[key];
+  deque.assign(times.begin(), times.end());
+}
+
 void FrequencyCapper::Expire(Timestamp now) {
   const Timestamp horizon = now - options_.window;
   for (auto it = impressions_.begin(); it != impressions_.end();) {

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/id_types.h"
 #include "common/sim_clock.h"
@@ -38,6 +40,18 @@ class FrequencyCapper {
 
   /// Drops all state older than the window (bulk housekeeping).
   void Expire(Timestamp now);
+
+  /// Visits every tracked (user, ad) pair with its in-window impression
+  /// timestamps, oldest first (snapshot serialization; unspecified pair
+  /// order — serializers sort).
+  void ForEach(const std::function<void(UserId, AdId,
+                                        const std::deque<Timestamp>&)>& fn)
+      const;
+
+  /// Replaces the impression history of one (user, ad) pair wholesale
+  /// (snapshot restore). `times` must be oldest-first; an empty vector
+  /// clears the pair.
+  void RestoreHistory(UserId user, AdId ad, std::vector<Timestamp> times);
 
   size_t tracked_pairs() const { return impressions_.size(); }
 

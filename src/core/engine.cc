@@ -95,6 +95,22 @@ void RecommendationEngine::OnEvent(const feed::FeedEvent& event) {
   }
 }
 
+void RecommendationEngine::ReplayForAnalysis(const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      tfca_.AddTweet(semantic_.ProcessTweet(event.tweet));
+      analysis_valid_ = false;
+      break;
+    case feed::EventKind::kCheckIn:
+      tfca_.AddCheckIn(event.check_in);
+      analysis_valid_ = false;
+      break;
+    case feed::EventKind::kAdInsert:
+    case feed::EventKind::kAdDelete:
+      break;  // inventory is part of the snapshot, not the window
+  }
+}
+
 Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
   AdContext ctx;
   {

@@ -159,6 +159,15 @@ class RecommendationEngine {
   /// tweets_ingested()/checkins_ingested() totals are unaffected.
   void ResetMetrics() { metrics_.ResetAll(); }
 
+  /// Re-feeds a past event into the TFCA analysis window ONLY — profiles,
+  /// counters, serving state and inventory are untouched. This is the
+  /// replay half of the snapshot + bounded-replay recovery procedure
+  /// (core/snapshot): after LoadEngineSnapshot, replay the last window of
+  /// the event log through this method (NOT OnEvent, which would
+  /// double-count the already-snapshotted profile mass), then RunAnalysis.
+  /// Ad events are ignored (inventory is part of the snapshot).
+  void ReplayForAnalysis(const feed::FeedEvent& event);
+
   // --- Snapshot support (used by core/snapshot). The TFCA window is not
   // part of a snapshot; re-ingest the recent trace after a restore to
   // rebuild concept analysis (event sourcing).
@@ -171,6 +180,8 @@ class RecommendationEngine {
     current_location_[user.value] = location;
   }
   const ads::AdStore& ad_store() const { return store_; }
+  const ads::FrequencyCapper& frequency_capper() const { return capper_; }
+  ads::FrequencyCapper* mutable_frequency_capper() { return &capper_; }
   const index::AdIndex& ad_index() const { return index_; }
   const timeline::TimeSlotScheme& slots() const { return slots_; }
   const SemanticRepresentation& semantic() const { return semantic_; }

@@ -17,6 +17,8 @@ struct MatchedUser {
   int location_support = 0;
   /// Ranking score: topic_support + location_support.
   double score = 0.0;
+
+  friend bool operator==(const MatchedUser&, const MatchedUser&) = default;
 };
 
 /// The result of matching one ad against the analysed window.

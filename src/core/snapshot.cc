@@ -1,7 +1,9 @@
 #include "core/snapshot.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <tuple>
 
 #include "common/string_util.h"
 #include "feed/trace_io.h"
@@ -19,12 +21,18 @@ std::string AdsPath(const std::string& dir) {
 std::string ImpressionsPath(const std::string& dir) {
   return dir + "/snapshot_impressions.tsv";
 }
+std::string FreqCapPath(const std::string& dir) {
+  return dir + "/snapshot_freqcap.tsv";
+}
 
+// %.17g round-trips IEEE doubles exactly through strtod, so a restored
+// engine is *bit-identical* to the saved one — the property the testkit
+// differential checker (single vs snapshot-restored engine) relies on.
 std::string EncodeVector(const text::SparseVector& v) {
   std::string out;
   for (const text::SparseEntry& e : v.entries()) {
     if (!out.empty()) out += ';';
-    out += StringFormat("%u:%.9g", e.id, e.weight);
+    out += StringFormat("%u:%.17g", e.id, e.weight);
   }
   return out.empty() ? "-" : out;
 }
@@ -63,29 +71,48 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create " + dir);
 
+  // Emission order is canonicalized everywhere below (sorted by id):
+  // the underlying stores iterate hash maps or insertion order, and a
+  // snapshot's bytes must not depend on either — byte-identical state
+  // must produce byte-identical snapshot files (testkit determinism).
+
   // --- Profiles + current locations. ---
   {
     std::ofstream out(ProfilesPath(dir));
     if (!out) return Status::IoError("cannot open profiles file");
-    engine.profiles().ForEachState([&](UserId user,
-                                       const profile::UserState& state) {
-      out << "P\t" << user.value << '\t' << state.as_of << '\n';
-      out << "I\t" << user.value << '\t' << EncodeVector(state.interests)
+    std::vector<std::pair<UserId, const profile::UserState*>> states;
+    engine.profiles().ForEachState(
+        [&](UserId user, const profile::UserState& state) {
+          states.emplace_back(user, &state);
+        });
+    std::sort(states.begin(), states.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [user, state] : states) {
+      out << "P\t" << user.value << '\t' << state->as_of << '\n';
+      out << "I\t" << user.value << '\t' << EncodeVector(state->interests)
           << '\n';
-      for (size_t slot = 0; slot < state.visits.size(); ++slot) {
-        if (state.visits[slot].empty()) continue;
+      for (size_t slot = 0; slot < state->visits.size(); ++slot) {
+        if (state->visits[slot].empty()) continue;
+        std::vector<std::pair<uint32_t, double>> visits(
+            state->visits[slot].begin(), state->visits[slot].end());
+        std::sort(visits.begin(), visits.end());
         out << "V\t" << user.value << '\t' << slot << '\t';
         bool first = true;
-        for (const auto& [loc, mass] : state.visits[slot]) {
+        for (const auto& [loc, mass] : visits) {
           if (!first) out << ';';
           first = false;
-          out << loc << ':' << StringFormat("%.9g", mass);
+          out << loc << ':' << StringFormat("%.17g", mass);
         }
         out << '\n';
       }
-    });
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> locations;
     for (const auto& [user, loc] : engine.current_locations()) {
-      out << "L\t" << user << '\t' << loc.value << '\n';
+      locations.emplace_back(user, loc.value);
+    }
+    std::sort(locations.begin(), locations.end());
+    for (const auto& [user, loc] : locations) {
+      out << "L\t" << user << '\t' << loc << '\n';
     }
     out.flush();
     if (!out) return Status::IoError("profiles write failed");
@@ -98,6 +125,9 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
     ads.push_back(stored.ad);
     impressions.emplace_back(stored.ad.id.value, stored.impressions_served);
   });
+  std::sort(ads.begin(), ads.end(),
+            [](const feed::Ad& a, const feed::Ad& b) { return a.id < b.id; });
+  std::sort(impressions.begin(), impressions.end());
   ADREC_RETURN_NOT_OK(feed::WriteAds(AdsPath(dir), ads));
   {
     std::ofstream out(ImpressionsPath(dir));
@@ -107,6 +137,37 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
     }
     out.flush();
     if (!out) return Status::IoError("impressions write failed");
+  }
+
+  // --- Frequency-cap state. Without it a restored engine re-serves ads
+  // the saved engine would cap, breaking save→load→continue equivalence.
+  {
+    std::ofstream out(FreqCapPath(dir));
+    if (!out) return Status::IoError("cannot open freqcap file");
+    struct CapRow {
+      uint32_t user;
+      uint32_t ad;
+      std::string times;
+    };
+    std::vector<CapRow> rows;
+    engine.frequency_capper().ForEach(
+        [&](UserId user, AdId ad, const std::deque<Timestamp>& times) {
+          CapRow row{user.value, ad.value, {}};
+          for (Timestamp t : times) {
+            if (!row.times.empty()) row.times += ';';
+            row.times += StringFormat("%lld", static_cast<long long>(t));
+          }
+          rows.push_back(std::move(row));
+        });
+    std::sort(rows.begin(), rows.end(), [](const CapRow& a, const CapRow& b) {
+      return std::tie(a.user, a.ad) < std::tie(b.user, b.ad);
+    });
+    for (const CapRow& row : rows) {
+      if (row.times.empty()) continue;
+      out << "F\t" << row.user << '\t' << row.ad << '\t' << row.times << '\n';
+    }
+    out.flush();
+    if (!out) return Status::IoError("freqcap write failed");
   }
   return Status::OK();
 }
@@ -209,6 +270,45 @@ Status LoadEngineSnapshot(const std::string& dir,
     }
   }
 
+  // --- Frequency-cap histories. The file is optional: snapshots written
+  // before the format carried cap state simply restore with an empty
+  // capper (the pre-existing behaviour).
+  struct CapEntry {
+    UserId user;
+    AdId ad;
+    std::vector<Timestamp> times;
+  };
+  std::vector<CapEntry> cap_entries;
+  {
+    std::ifstream cap(FreqCapPath(dir));
+    size_t cap_line = 0;
+    while (cap && std::getline(cap, line)) {
+      ++cap_line;
+      if (line.empty()) continue;
+      const auto fields = SplitString(line, '\t', true);
+      if (fields.size() != 4 || fields[0] != "F") {
+        return Status::InvalidArgument(
+            StringFormat("%s:%zu: bad freqcap record",
+                         FreqCapPath(dir).c_str(), cap_line));
+      }
+      CapEntry entry;
+      entry.user = UserId(static_cast<uint32_t>(
+          std::strtoul(std::string(fields[1]).c_str(), nullptr, 10)));
+      entry.ad = AdId(static_cast<uint32_t>(
+          std::strtoul(std::string(fields[2]).c_str(), nullptr, 10)));
+      for (std::string_view piece : SplitString(fields[3], ';')) {
+        entry.times.push_back(static_cast<Timestamp>(
+            std::strtoll(std::string(piece).c_str(), nullptr, 10)));
+      }
+      if (entry.times.empty()) {
+        return Status::InvalidArgument(
+            StringFormat("%s:%zu: empty freqcap history",
+                         FreqCapPath(dir).c_str(), cap_line));
+      }
+      cap_entries.push_back(std::move(entry));
+    }
+  }
+
   // --- Everything parsed: apply. ---
   for (const feed::Ad& ad : ads.value()) {
     ADREC_RETURN_NOT_OK(engine->InsertAd(ad));
@@ -222,6 +322,10 @@ Status LoadEngineSnapshot(const std::string& dir,
   }
   for (const auto& [user, loc] : locations) {
     engine->RestoreCurrentLocation(user, loc);
+  }
+  for (CapEntry& entry : cap_entries) {
+    engine->mutable_frequency_capper()->RestoreHistory(
+        entry.user, entry.ad, std::move(entry.times));
   }
   return Status::OK();
 }

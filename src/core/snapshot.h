@@ -22,6 +22,17 @@ namespace adrec::core {
 ///   snapshot_profiles.tsv   P/I/V/L records (see .cc)
 ///   snapshot_ads.tsv        feed::WriteAds format
 ///   snapshot_impressions.tsv  "M <ad> <served>" records
+///   snapshot_freqcap.tsv    "F <user> <ad> <t;t;...>" frequency-cap
+///                           histories (optional for older snapshots)
+///
+/// All files are emitted in canonical (sorted) order with `%.17g` float
+/// precision, so (a) identical engine state yields byte-identical files
+/// and (b) save→load round-trips doubles exactly. The recovery procedure
+/// after LoadEngineSnapshot is to replay the last window of the event log
+/// through RecommendationEngine::ReplayForAnalysis (window-only replay)
+/// and then RunAnalysis — after which the restored engine is
+/// indistinguishable from one that never restarted (testkit asserts
+/// exactly this).
 
 /// Writes the engine's snapshot into `dir` (created if needed).
 Status SaveEngineSnapshot(const RecommendationEngine& engine,

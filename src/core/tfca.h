@@ -40,7 +40,9 @@ struct TfcaOptions {
   bool compute_stability = false;
 };
 
-/// Summary counters of the last Analyze() call.
+/// Summary counters of the last Analyze() call. Equality-comparable so
+/// differential tests (testkit) can assert two independently-executed
+/// engines mined identical lattices.
 struct TfcaStats {
   size_t users = 0;
   size_t locations = 0;
@@ -49,6 +51,8 @@ struct TfcaStats {
   size_t tweet_cells = 0;
   size_t location_triconcepts = 0;
   size_t topic_triconcepts = 0;
+
+  friend bool operator==(const TfcaStats&, const TfcaStats&) = default;
 };
 
 /// Macro-phase 2: Time-aware concept analysis. Accumulates the window's

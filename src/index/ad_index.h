@@ -13,10 +13,14 @@
 
 namespace adrec::index {
 
-/// One top-k result.
+/// One top-k result. Exact equality (including the score bits) is
+/// meaningful: independent engines running identical arithmetic on the
+/// same stream must produce bit-identical results (testkit differential).
 struct ScoredAd {
   AdId ad;
   double score = 0.0;
+
+  friend bool operator==(const ScoredAd&, const ScoredAd&) = default;
 };
 
 /// A per-feed-event query: the event's topic vector plus its hard context

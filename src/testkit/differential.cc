@@ -1,0 +1,309 @@
+#include "testkit/differential.h"
+
+#include <functional>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/sharded_engine.h"
+#include "core/snapshot.h"
+
+namespace adrec::testkit {
+
+namespace {
+
+/// Streams `events` through `on_event`, probing `topk` on every
+/// `probe_every`-th tweet, starting at tweet ordinal `*tweet_ordinal`
+/// (carried across the snapshot variant's save/restore boundary).
+void StreamWithProbes(
+    const std::vector<feed::FeedEvent>& events, size_t begin, size_t end,
+    size_t probe_every, size_t top_k, size_t* tweet_ordinal,
+    const std::function<void(const feed::FeedEvent&)>& on_event,
+    const std::function<std::vector<index::ScoredAd>(const feed::Tweet&,
+                                                     size_t)>& topk,
+    RunOutcome* outcome) {
+  for (size_t i = begin; i < end; ++i) {
+    const feed::FeedEvent& event = events[i];
+    on_event(event);
+    if (event.kind != feed::EventKind::kTweet) continue;
+    const size_t ordinal = (*tweet_ordinal)++;
+    if (probe_every == 0 || ordinal % probe_every != 0) continue;
+    ProbeResult probe;
+    probe.event_index = i;
+    probe.ads = topk(event.tweet, top_k);
+    outcome->probes.push_back(std::move(probe));
+  }
+}
+
+std::string DescribeAds(const std::vector<index::ScoredAd>& ads) {
+  std::string out = "[";
+  for (const index::ScoredAd& sa : ads) {
+    if (out.size() > 1) out += ' ';
+    out += StringFormat("%u:%.17g", sa.ad.value, sa.score);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+DifferentialChecker::DifferentialChecker(
+    std::shared_ptr<annotate::KnowledgeBase> kb,
+    timeline::TimeSlotScheme slots, DifferentialOptions options)
+    : kb_(std::move(kb)), slots_(std::move(slots)),
+      options_(std::move(options)) {}
+
+RunOutcome DifferentialChecker::RunSingle(
+    const std::vector<feed::Ad>& ads,
+    const std::vector<feed::FeedEvent>& events) const {
+  core::RecommendationEngine engine(kb_, slots_, options_.engine);
+  for (const feed::Ad& ad : ads) (void)engine.InsertAd(ad);
+  RunOutcome outcome;
+  size_t tweet_ordinal = 0;
+  StreamWithProbes(
+      events, 0, events.size(), options_.probe_every, options_.top_k,
+      &tweet_ordinal,
+      [&](const feed::FeedEvent& e) { engine.OnEvent(e); },
+      [&](const feed::Tweet& t, size_t k) {
+        return engine.TopKAdsForTweet(t, k);
+      },
+      &outcome);
+  (void)engine.RunAnalysis(options_.alpha);
+  outcome.tfca = engine.analysis().stats();
+  for (const feed::Ad& ad : ads) {
+    Result<core::MatchResult> match = engine.RecommendUsers(ad.id);
+    outcome.matches.push_back(match.ok() ? std::move(match).value()
+                                         : core::MatchResult{});
+  }
+  const core::EngineStats stats = engine.Stats();
+  outcome.tweets = stats.tweets;
+  outcome.checkins = stats.checkins;
+  outcome.topk_queries = stats.topk_queries;
+  outcome.impressions = stats.impressions_served;
+  return outcome;
+}
+
+RunOutcome DifferentialChecker::RunSharded(
+    const std::vector<feed::Ad>& ads,
+    const std::vector<feed::FeedEvent>& events) const {
+  core::ShardedEngine sharded(kb_, slots_, options_.num_shards,
+                              options_.engine);
+  for (const feed::Ad& ad : ads) (void)sharded.InsertAd(ad);
+  RunOutcome outcome;
+  size_t tweet_ordinal = 0;
+  StreamWithProbes(
+      events, 0, events.size(), options_.probe_every, options_.top_k,
+      &tweet_ordinal,
+      [&](const feed::FeedEvent& e) { sharded.OnEvent(e); },
+      [&](const feed::Tweet& t, size_t k) {
+        return sharded.TopKAdsForTweet(t, k);
+      },
+      &outcome);
+  (void)sharded.RunAnalysis(options_.alpha);
+  // Shard-local mining: only the window-content sums are globally
+  // meaningful (each user lives in exactly one shard).
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    const core::TfcaStats& shard = sharded.shard(i).analysis().stats();
+    outcome.tfca.users += shard.users;
+    outcome.tfca.checkin_incidences += shard.checkin_incidences;
+    outcome.tfca.tweet_cells += shard.tweet_cells;
+  }
+  const core::EngineStats stats = sharded.Stats();
+  outcome.tweets = stats.tweets;
+  outcome.checkins = stats.checkins;
+  outcome.topk_queries = stats.topk_queries;
+  outcome.impressions = stats.impressions_served;
+  return outcome;
+}
+
+RunOutcome DifferentialChecker::RunSnapshotRestore(
+    const std::vector<feed::Ad>& ads,
+    const std::vector<feed::FeedEvent>& events) const {
+  const size_t split = static_cast<size_t>(
+      static_cast<double>(events.size()) * options_.snapshot_fraction);
+  RunOutcome outcome;
+  size_t tweet_ordinal = 0;
+  uint64_t pre_tweets = 0, pre_checkins = 0, pre_queries = 0,
+           pre_impressions = 0;
+
+  {
+    core::RecommendationEngine before(kb_, slots_, options_.engine);
+    for (const feed::Ad& ad : ads) (void)before.InsertAd(ad);
+    StreamWithProbes(
+        events, 0, split, options_.probe_every, options_.top_k,
+        &tweet_ordinal,
+        [&](const feed::FeedEvent& e) { before.OnEvent(e); },
+        [&](const feed::Tweet& t, size_t k) {
+          return before.TopKAdsForTweet(t, k);
+        },
+        &outcome);
+    (void)core::SaveEngineSnapshot(before, options_.snapshot_dir);
+    const core::EngineStats stats = before.Stats();
+    pre_tweets = stats.tweets;
+    pre_checkins = stats.checkins;
+    pre_queries = stats.topk_queries;
+    pre_impressions = stats.impressions_served;
+  }  // the pre-restart engine is gone — a real process restart
+
+  core::RecommendationEngine after(kb_, slots_, options_.engine);
+  (void)core::LoadEngineSnapshot(options_.snapshot_dir, &after);
+  // Recovery procedure: rebuild the analysis window from the event log
+  // without touching the restored cumulative state.
+  for (size_t i = 0; i < split; ++i) after.ReplayForAnalysis(events[i]);
+  StreamWithProbes(
+      events, split, events.size(), options_.probe_every, options_.top_k,
+      &tweet_ordinal,
+      [&](const feed::FeedEvent& e) { after.OnEvent(e); },
+      [&](const feed::Tweet& t, size_t k) {
+        return after.TopKAdsForTweet(t, k);
+      },
+      &outcome);
+  (void)after.RunAnalysis(options_.alpha);
+  outcome.tfca = after.analysis().stats();
+  for (const feed::Ad& ad : ads) {
+    Result<core::MatchResult> match = after.RecommendUsers(ad.id);
+    outcome.matches.push_back(match.ok() ? std::move(match).value()
+                                         : core::MatchResult{});
+  }
+  const core::EngineStats stats = after.Stats();
+  outcome.tweets = pre_tweets + stats.tweets;
+  outcome.checkins = pre_checkins + stats.checkins;
+  outcome.topk_queries = pre_queries + stats.topk_queries;
+  outcome.impressions = pre_impressions + stats.impressions_served;
+  return outcome;
+}
+
+Divergence DifferentialChecker::CompareOutcomes(const RunOutcome& a,
+                                                const RunOutcome& b,
+                                                const CompareOptions& compare,
+                                                std::string_view a_name,
+                                                std::string_view b_name) {
+  Divergence d;
+  const auto diverge = [&](size_t event_index, std::string detail) {
+    d.diverged = true;
+    d.event_index = event_index;
+    d.detail = std::string(a_name) + " vs " + std::string(b_name) + ": " +
+               std::move(detail);
+  };
+
+  if (compare.probes) {
+    const size_t n = std::min(a.probes.size(), b.probes.size());
+    for (size_t i = 0; i < n; ++i) {
+      const ProbeResult& pa = a.probes[i];
+      const ProbeResult& pb = b.probes[i];
+      if (pa.event_index != pb.event_index) {
+        diverge(std::min(pa.event_index, pb.event_index),
+                StringFormat("probe %zu at different events (%zu vs %zu)", i,
+                             pa.event_index, pb.event_index));
+        return d;
+      }
+      if (pa.ads != pb.ads) {
+        diverge(pa.event_index,
+                StringFormat("top-k mismatch at probe %zu: ", i) +
+                    DescribeAds(pa.ads) + " vs " + DescribeAds(pb.ads));
+        return d;
+      }
+    }
+    if (a.probes.size() != b.probes.size()) {
+      const size_t at = a.probes.size() < b.probes.size()
+                            ? b.probes[a.probes.size()].event_index
+                            : a.probes[b.probes.size()].event_index;
+      diverge(at, StringFormat("probe count mismatch (%zu vs %zu)",
+                               a.probes.size(), b.probes.size()));
+      return d;
+    }
+  }
+
+  if (compare.counters) {
+    if (a.tweets != b.tweets || a.checkins != b.checkins ||
+        a.topk_queries != b.topk_queries ||
+        a.impressions != b.impressions) {
+      diverge(SIZE_MAX,
+              StringFormat("event counters mismatch: "
+                           "tweets %llu/%llu checkins %llu/%llu "
+                           "queries %llu/%llu impressions %llu/%llu",
+                           static_cast<unsigned long long>(a.tweets),
+                           static_cast<unsigned long long>(b.tweets),
+                           static_cast<unsigned long long>(a.checkins),
+                           static_cast<unsigned long long>(b.checkins),
+                           static_cast<unsigned long long>(a.topk_queries),
+                           static_cast<unsigned long long>(b.topk_queries),
+                           static_cast<unsigned long long>(a.impressions),
+                           static_cast<unsigned long long>(b.impressions)));
+      return d;
+    }
+  }
+
+  if (compare.tfca_full && !(a.tfca == b.tfca)) {
+    diverge(SIZE_MAX,
+            StringFormat(
+                "TfcaStats mismatch: users %zu/%zu locations %zu/%zu "
+                "incidences %zu/%zu cells %zu/%zu "
+                "loc-concepts %zu/%zu topic-concepts %zu/%zu",
+                a.tfca.users, b.tfca.users, a.tfca.locations,
+                b.tfca.locations, a.tfca.checkin_incidences,
+                b.tfca.checkin_incidences, a.tfca.tweet_cells,
+                b.tfca.tweet_cells, a.tfca.location_triconcepts,
+                b.tfca.location_triconcepts, a.tfca.topic_triconcepts,
+                b.tfca.topic_triconcepts));
+    return d;
+  }
+
+  if (compare.tfca_sums &&
+      (a.tfca.users != b.tfca.users ||
+       a.tfca.checkin_incidences != b.tfca.checkin_incidences ||
+       a.tfca.tweet_cells != b.tfca.tweet_cells)) {
+    diverge(SIZE_MAX,
+            StringFormat("window-content sums mismatch: users %zu/%zu "
+                         "incidences %zu/%zu cells %zu/%zu",
+                         a.tfca.users, b.tfca.users,
+                         a.tfca.checkin_incidences,
+                         b.tfca.checkin_incidences, a.tfca.tweet_cells,
+                         b.tfca.tweet_cells));
+    return d;
+  }
+
+  if (compare.matches) {
+    if (a.matches.size() != b.matches.size()) {
+      diverge(SIZE_MAX, StringFormat("match count mismatch (%zu vs %zu)",
+                                     a.matches.size(), b.matches.size()));
+      return d;
+    }
+    for (size_t i = 0; i < a.matches.size(); ++i) {
+      if (a.matches[i].users != b.matches[i].users) {
+        diverge(SIZE_MAX,
+                StringFormat("RecommendUsers mismatch for ad #%zu "
+                             "(%zu vs %zu matched users)",
+                             i, a.matches[i].users.size(),
+                             b.matches[i].users.size()));
+        return d;
+      }
+    }
+  }
+  return d;
+}
+
+Divergence DifferentialChecker::Check(
+    const std::vector<feed::Ad>& ads,
+    const std::vector<feed::FeedEvent>& events) const {
+  const RunOutcome single = RunSingle(ads, events);
+
+  if (options_.run_sharded) {
+    const RunOutcome sharded = RunSharded(ads, events);
+    CompareOptions compare;
+    compare.tfca_full = false;
+    compare.tfca_sums = true;
+    compare.matches = false;
+    Divergence d =
+        CompareOutcomes(single, sharded, compare, "single", "sharded");
+    if (d) return d;
+  }
+
+  if (options_.run_snapshot) {
+    const RunOutcome restored = RunSnapshotRestore(ads, events);
+    Divergence d = CompareOutcomes(single, restored, CompareOptions{},
+                                   "single", "snapshot-restored");
+    if (d) return d;
+  }
+  return {};
+}
+
+}  // namespace adrec::testkit

@@ -1,0 +1,139 @@
+#ifndef ADREC_TESTKIT_DIFFERENTIAL_H_
+#define ADREC_TESTKIT_DIFFERENTIAL_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "annotate/knowledge_base.h"
+#include "core/engine.h"
+#include "core/recommender.h"
+#include "core/tfca.h"
+#include "feed/types.h"
+#include "index/ad_index.h"
+#include "timeline/time_slots.h"
+
+namespace adrec::testkit {
+
+/// One streaming top-k probe: the ads served for the tweet at
+/// `event_index` of the input trace.
+struct ProbeResult {
+  size_t event_index = 0;
+  std::vector<index::ScoredAd> ads;
+};
+
+/// Everything observable about one execution of a trace: the streamed
+/// top-k probes, the post-stream analysis counters, the per-ad triadic
+/// match results, and the event counters. Two correct engine variants
+/// executing the same trace must produce equal outcomes (bit-equal
+/// scores included — same arithmetic, same order).
+struct RunOutcome {
+  std::vector<ProbeResult> probes;
+  core::TfcaStats tfca;
+  /// MatchResult per input ad (input order); empty when the variant does
+  /// not support exact matching (sharded mining is shard-local).
+  std::vector<core::MatchResult> matches;
+  uint64_t tweets = 0;
+  uint64_t checkins = 0;
+  uint64_t topk_queries = 0;
+  uint64_t impressions = 0;
+};
+
+/// Which outcome facets a comparison asserts. The sharded variant only
+/// supports the summable facets: probe equality holds exactly (per-user
+/// routing; ad operations broadcast), but concept mining is shard-local
+/// by design (see core/sharded_engine.h), so only the window-content
+/// sums — users, check-in incidences, tweet cells — are comparable.
+struct CompareOptions {
+  bool probes = true;
+  bool counters = true;
+  bool tfca_full = true;
+  bool tfca_sums = false;
+  bool matches = true;
+};
+
+/// A divergence report: which facet disagreed, at which input event
+/// (SIZE_MAX for post-stream facets like analysis results).
+struct Divergence {
+  bool diverged = false;
+  size_t event_index = SIZE_MAX;
+  std::string detail;
+
+  explicit operator bool() const { return diverged; }
+};
+
+/// Differential execution of one trace across independent engine
+/// deployments: a single RecommendationEngine, a ShardedEngine with N
+/// shards, and an engine that is snapshot-saved mid-stream, restored
+/// into a fresh engine (core/snapshot), window-replayed and continued.
+/// All variants must agree; the first disagreement is reported with the
+/// input event index — the substrate every perf/refactor PR must pass
+/// before claiming the hot path got faster without getting wrong.
+struct DifferentialOptions {
+  size_t num_shards = 3;
+  /// Fraction of the trace after which the snapshot variant saves,
+  /// restores and continues.
+  double snapshot_fraction = 0.5;
+  size_t top_k = 3;
+  double alpha = 0.6;
+  /// Probe TopKAdsForTweet on every Nth tweet (1 = every tweet).
+  size_t probe_every = 1;
+  /// Directory for the snapshot variant's save/load cycle. Required when
+  /// run_snapshot is true.
+  std::string snapshot_dir;
+  core::EngineOptions engine;
+  bool run_sharded = true;
+  bool run_snapshot = true;
+};
+
+class DifferentialChecker {
+ public:
+  DifferentialChecker(std::shared_ptr<annotate::KnowledgeBase> kb,
+                      timeline::TimeSlotScheme slots,
+                      DifferentialOptions options);
+
+  /// One trace through the flat engine. Ads are inserted up front; the
+  /// trace supplies tweets and check-ins (ad churn events pass through
+  /// OnEvent as usual).
+  RunOutcome RunSingle(const std::vector<feed::Ad>& ads,
+                       const std::vector<feed::FeedEvent>& events) const;
+
+  /// Same trace through a ShardedEngine with options.num_shards shards.
+  /// The outcome's tfca carries only the summable fields (users,
+  /// checkin_incidences, tweet_cells, summed across shards) and matches
+  /// stays empty.
+  RunOutcome RunSharded(const std::vector<feed::Ad>& ads,
+                        const std::vector<feed::FeedEvent>& events) const;
+
+  /// Same trace with a save→load→window-replay→continue cycle at
+  /// options.snapshot_fraction. Counters are the sum of the pre-save and
+  /// post-restore engines' counters.
+  RunOutcome RunSnapshotRestore(
+      const std::vector<feed::Ad>& ads,
+      const std::vector<feed::FeedEvent>& events) const;
+
+  /// Runs every enabled variant and returns the first divergence (or a
+  /// non-diverged report).
+  Divergence Check(const std::vector<feed::Ad>& ads,
+                   const std::vector<feed::FeedEvent>& events) const;
+
+  /// Compares two outcomes facet by facet; `a_name`/`b_name` label the
+  /// variants in the report.
+  static Divergence CompareOutcomes(const RunOutcome& a, const RunOutcome& b,
+                                    const CompareOptions& compare,
+                                    std::string_view a_name,
+                                    std::string_view b_name);
+
+  const DifferentialOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<annotate::KnowledgeBase> kb_;
+  timeline::TimeSlotScheme slots_;
+  DifferentialOptions options_;
+};
+
+}  // namespace adrec::testkit
+
+#endif  // ADREC_TESTKIT_DIFFERENTIAL_H_

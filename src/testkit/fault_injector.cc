@@ -1,0 +1,247 @@
+#include "testkit/fault_injector.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace adrec::testkit {
+
+FaultOptions DefaultFaultMix(uint64_t seed) {
+  FaultOptions f;
+  f.seed = seed;
+  f.reorder_probability = 0.05;
+  f.reorder_window = 6;
+  f.duplicate_probability = 0.03;
+  f.drop_probability = 0.02;
+  f.skew_probability = 0.02;
+  f.max_skew = 10 * kSecondsPerMinute;
+  f.malform_probability = 0.02;
+  return f;
+}
+
+FaultOptions RecoverableFaultMix(uint64_t seed) {
+  FaultOptions f;
+  f.seed = seed;
+  f.reorder_probability = 0.08;
+  f.reorder_window = 6;
+  f.duplicate_probability = 0.05;
+  f.malform_probability = 0.03;
+  return f;
+}
+
+bool IsWellFormed(const feed::FeedEvent& event) {
+  if (event.time < 0) return false;
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      return event.tweet.user.valid() && !event.tweet.text.empty();
+    case feed::EventKind::kCheckIn:
+      return event.check_in.user.valid() && event.check_in.location.valid();
+    case feed::EventKind::kAdInsert:
+      return event.ad.id.valid() && !event.ad.copy.empty();
+    case feed::EventKind::kAdDelete:
+      return event.ad_id.valid();
+  }
+  return false;
+}
+
+std::string EventKey(const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      return StringFormat("T|%lld|%u|", static_cast<long long>(event.time),
+                          event.tweet.user.value) +
+             event.tweet.text;
+    case feed::EventKind::kCheckIn:
+      return StringFormat("C|%lld|%u|%u", static_cast<long long>(event.time),
+                          event.check_in.user.value,
+                          event.check_in.location.value);
+    case feed::EventKind::kAdInsert:
+      return StringFormat("A|%lld|%u|", static_cast<long long>(event.time),
+                          event.ad.id.value) +
+             event.ad.copy;
+    case feed::EventKind::kAdDelete:
+      return StringFormat("D|%lld|%u", static_cast<long long>(event.time),
+                          event.ad_id.value);
+  }
+  return "?";
+}
+
+namespace {
+
+/// Turns a valid event into one of the malformed records a truncated or
+/// garbled wire line parses into.
+void Corrupt(feed::FeedEvent* event, Rng& rng) {
+  switch (rng.NextBounded(3)) {
+    case 0:  // impossible timestamp
+      event->time = -1 - static_cast<Timestamp>(rng.NextBounded(1000));
+      break;
+    case 1:  // lost primary id
+      switch (event->kind) {
+        case feed::EventKind::kTweet:
+          event->tweet.user = UserId();
+          break;
+        case feed::EventKind::kCheckIn:
+          event->check_in.user = UserId();
+          break;
+        case feed::EventKind::kAdInsert:
+          event->ad.id = AdId();
+          break;
+        case feed::EventKind::kAdDelete:
+          event->ad_id = AdId();
+          break;
+      }
+      break;
+    default:  // truncated payload
+      switch (event->kind) {
+        case feed::EventKind::kTweet:
+          event->tweet.text.clear();
+          break;
+        case feed::EventKind::kCheckIn:
+          event->check_in.location = LocationId();
+          break;
+        case feed::EventKind::kAdInsert:
+          event->ad.copy.clear();
+          break;
+        case feed::EventKind::kAdDelete:
+          event->ad_id = AdId();
+          break;
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<feed::FeedEvent> InjectFaults(
+    const std::vector<feed::FeedEvent>& events, const FaultOptions& options,
+    FaultStats* stats) {
+  Rng rng(options.seed);
+  FaultStats local;
+  local.events_in = events.size();
+
+  std::vector<feed::FeedEvent> out;
+  out.reserve(events.size() + events.size() / 8);
+  for (const feed::FeedEvent& event : events) {
+    if (options.drop_probability > 0.0 &&
+        rng.NextBool(options.drop_probability)) {
+      ++local.dropped;
+      continue;
+    }
+    feed::FeedEvent copy = event;
+    if (options.malform_probability > 0.0 &&
+        rng.NextBool(options.malform_probability)) {
+      // A garbled wire line arrives alongside the real record (the
+      // original still flows) — which is what makes malformed records a
+      // recoverable fault: dropping the garbage loses nothing.
+      feed::FeedEvent garbled = copy;
+      Corrupt(&garbled, rng);
+      out.push_back(std::move(garbled));
+      ++local.malformed;
+    } else if (options.skew_probability > 0.0 && options.max_skew > 0 &&
+               rng.NextBool(options.skew_probability)) {
+      const DurationSec magnitude = rng.NextInt(1, options.max_skew);
+      copy.time += rng.NextBool(0.5) ? magnitude : -magnitude;
+      ++local.skewed;
+    }
+    out.push_back(copy);
+    if (options.duplicate_probability > 0.0 &&
+        rng.NextBool(options.duplicate_probability)) {
+      out.push_back(out.back());  // adjacent; the reorder pass displaces it
+      ++local.duplicated;
+    }
+  }
+
+  // Bounded forward displacement: the chosen event slides up to
+  // `reorder_window` positions downstream, everything else keeps its
+  // relative order (std::rotate).
+  if (options.reorder_probability > 0.0 && options.reorder_window > 0) {
+    for (size_t i = 0; i + 1 < out.size(); ++i) {
+      if (!rng.NextBool(options.reorder_probability)) continue;
+      const size_t target = std::min(
+          i + 1 + static_cast<size_t>(rng.NextBounded(options.reorder_window)),
+          out.size() - 1);
+      if (target == i) continue;
+      std::rotate(out.begin() + static_cast<ptrdiff_t>(i),
+                  out.begin() + static_cast<ptrdiff_t>(i) + 1,
+                  out.begin() + static_cast<ptrdiff_t>(target) + 1);
+      ++local.reordered;
+    }
+  }
+
+  local.events_out = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<feed::FeedEvent> SanitizeTrace(
+    const std::vector<feed::FeedEvent>& events, const SanitizeOptions& options,
+    SanitizeStats* stats) {
+  SanitizeStats local;
+  std::vector<feed::FeedEvent> out;
+  out.reserve(events.size());
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> keys;
+  for (const feed::FeedEvent& event : events) {
+    if (options.drop_malformed && !IsWellFormed(event)) {
+      ++local.dropped_malformed;
+      continue;
+    }
+    if (options.dedup) {
+      if (!seen.insert(EventKey(event)).second) {
+        ++local.deduplicated;
+        continue;
+      }
+    }
+    out.push_back(event);
+  }
+  if (options.resort) {
+    // Canonical total order: time, then content key. Deterministic for
+    // any input permutation, which is what makes bounded reordering a
+    // recoverable fault.
+    keys.reserve(out.size());
+    std::vector<size_t> order(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      order[i] = i;
+      keys.push_back(EventKey(out[i]));
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (out[a].time != out[b].time) return out[a].time < out[b].time;
+      return keys[a] < keys[b];
+    });
+    std::vector<feed::FeedEvent> sorted;
+    sorted.reserve(out.size());
+    for (size_t idx : order) sorted.push_back(std::move(out[idx]));
+    out = std::move(sorted);
+  }
+  local.events_out = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+FaultInjectingReplayer::FaultInjectingReplayer(FaultOptions faults,
+                                               feed::ReplayOptions replay,
+                                               obs::MetricRegistry* registry)
+    : faults_(faults), replay_options_(std::move(replay)),
+      registry_(registry) {}
+
+feed::ReplayStats FaultInjectingReplayer::Replay(
+    const std::vector<feed::FeedEvent>& events,
+    const std::function<void(const feed::FeedEvent&)>& handler) {
+  const std::vector<feed::FeedEvent> injected =
+      InjectFaults(events, faults_, &fault_stats_);
+  feed::StreamReplayer replayer(replay_options_);
+  feed::ReplayStats stats = replayer.Replay(injected, handler);
+  if (registry_ != nullptr) {
+    registry_->GetCounter("testkit.reordered")->Inc(fault_stats_.reordered);
+    registry_->GetCounter("testkit.duplicated")->Inc(fault_stats_.duplicated);
+    registry_->GetCounter("testkit.dropped")->Inc(fault_stats_.dropped);
+    registry_->GetCounter("testkit.skewed")->Inc(fault_stats_.skewed);
+    registry_->GetCounter("testkit.malformed")->Inc(fault_stats_.malformed);
+    registry_->GetCounter("testkit.events_delivered")
+        ->Inc(stats.events_delivered);
+  }
+  return stats;
+}
+
+}  // namespace adrec::testkit

@@ -1,0 +1,135 @@
+#ifndef ADREC_TESTKIT_FAULT_INJECTOR_H_
+#define ADREC_TESTKIT_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "feed/stream_replayer.h"
+#include "feed/types.h"
+#include "obs/metrics.h"
+
+namespace adrec::testkit {
+
+/// The fault model of the testkit: the ways a real high-speed feed
+/// deviates from the clean, time-ordered event vector the unit suite
+/// feeds the engine. Every fault is drawn from one pinned seed, so an
+/// injected trace is a pure function of (input trace, FaultOptions).
+struct FaultOptions {
+  uint64_t seed = 1;
+  /// Probability that an event is displaced forward by up to
+  /// `reorder_window` positions (bounded out-of-order arrival, the
+  /// shard-skew / network-jitter regime).
+  double reorder_probability = 0.0;
+  size_t reorder_window = 4;
+  /// Probability that an event is delivered twice (at-least-once
+  /// upstream). The duplicate lands a bounded distance downstream.
+  double duplicate_probability = 0.0;
+  /// Probability that an event is silently lost.
+  double drop_probability = 0.0;
+  /// Probability that an event's timestamp is perturbed by a uniform
+  /// offset in [-max_skew, +max_skew] \ {0} (clock skew across sources).
+  double skew_probability = 0.0;
+  DurationSec max_skew = 5 * kSecondsPerMinute;
+  /// Probability that a malformed record (empty text, invalid ids,
+  /// negative timestamp — what a truncated line in the wire format
+  /// parses into) is spliced into the stream next to an event. The
+  /// original event still arrives, so dropping malformed records
+  /// recovers the trace exactly.
+  double malform_probability = 0.0;
+};
+
+/// Per-fault injection counters (also exported through the metric
+/// registry as `testkit.*` when the replayer is given one).
+struct FaultStats {
+  size_t reordered = 0;
+  size_t duplicated = 0;
+  size_t dropped = 0;
+  size_t skewed = 0;
+  size_t malformed = 0;
+  size_t events_in = 0;
+  size_t events_out = 0;
+};
+
+/// A moderate all-faults-on preset used by the differential suite.
+FaultOptions DefaultFaultMix(uint64_t seed);
+
+/// A preset restricted to *recoverable* faults — reordering, duplicates
+/// and malformed records, the ones SanitizeTrace can undo exactly. Used
+/// by the recovery-differential tests, which compare an injected+
+/// sanitized run against the pristine run.
+FaultOptions RecoverableFaultMix(uint64_t seed);
+
+/// True iff the event is structurally valid: non-negative timestamp,
+/// valid ids, and (for tweets) non-empty text. The engine's input
+/// contract; SanitizeTrace drops everything else.
+bool IsWellFormed(const feed::FeedEvent& event);
+
+/// A content fingerprint of an event: two events with equal keys are the
+/// same record (kind, time and kind-specific payload). Dedup identity
+/// and the canonical-order tie-break.
+std::string EventKey(const feed::FeedEvent& event);
+
+/// Applies the fault plan to a time-ordered trace. Deterministic in
+/// (events, options). The output is generally NOT time-ordered — that is
+/// the point.
+std::vector<feed::FeedEvent> InjectFaults(
+    const std::vector<feed::FeedEvent>& events, const FaultOptions& options,
+    FaultStats* stats = nullptr);
+
+/// The repair pipeline a robust ingest front-end runs before the engine:
+/// drop malformed records, drop exact duplicates (keyed on EventKey),
+/// and restore canonical time order (stable total order: time, then
+/// EventKey). Each stage can be switched off to model a broken build —
+/// the differential tests use `dedup = false` to prove the harness
+/// catches a skipped dedup path.
+struct SanitizeOptions {
+  bool drop_malformed = true;
+  bool dedup = true;
+  bool resort = true;
+};
+
+struct SanitizeStats {
+  size_t dropped_malformed = 0;
+  size_t deduplicated = 0;
+  size_t events_out = 0;
+};
+
+std::vector<feed::FeedEvent> SanitizeTrace(
+    const std::vector<feed::FeedEvent>& events,
+    const SanitizeOptions& options = {}, SanitizeStats* stats = nullptr);
+
+/// A feed::StreamReplayer wrapper that injects the fault plan into the
+/// trace before delivery and exports the injection counters through an
+/// obs::MetricRegistry (`testkit.reordered`, `testkit.duplicated`,
+/// `testkit.dropped`, `testkit.skewed`, `testkit.malformed`,
+/// `testkit.events_delivered`). Pacing options are honoured, but the
+/// injected trace is replayed as-is (out of order when reordering is on),
+/// so paced runs should expect schedule jitter.
+class FaultInjectingReplayer {
+ public:
+  explicit FaultInjectingReplayer(FaultOptions faults,
+                                  feed::ReplayOptions replay = {},
+                                  obs::MetricRegistry* registry = nullptr);
+
+  /// Injects faults into `events`, replays the injected trace through
+  /// `handler`, and returns the replay stats.
+  feed::ReplayStats Replay(
+      const std::vector<feed::FeedEvent>& events,
+      const std::function<void(const feed::FeedEvent&)>& handler);
+
+  /// Fault counters of the last Replay call.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+ private:
+  FaultOptions faults_;
+  feed::ReplayOptions replay_options_;
+  obs::MetricRegistry* registry_;  // not owned, may be null
+  FaultStats fault_stats_;
+};
+
+}  // namespace adrec::testkit
+
+#endif  // ADREC_TESTKIT_FAULT_INJECTOR_H_

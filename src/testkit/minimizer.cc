@@ -1,0 +1,133 @@
+#include "testkit/minimizer.h"
+
+#include <algorithm>
+
+#include "feed/trace_io.h"
+#include "testkit/fault_injector.h"
+
+namespace adrec::testkit {
+
+namespace {
+
+std::string TracePath(const std::string& dir) {
+  return dir + "/repro_trace.tsv";
+}
+std::string AdsPath(const std::string& dir) { return dir + "/repro_ads.tsv"; }
+
+/// `trace` minus the half-open chunk [begin, end).
+std::vector<feed::FeedEvent> WithoutChunk(
+    const std::vector<feed::FeedEvent>& trace, size_t begin, size_t end) {
+  std::vector<feed::FeedEvent> out;
+  out.reserve(trace.size() - (end - begin));
+  out.insert(out.end(), trace.begin(),
+             trace.begin() + static_cast<ptrdiff_t>(begin));
+  out.insert(out.end(), trace.begin() + static_cast<ptrdiff_t>(end),
+             trace.end());
+  return out;
+}
+
+}  // namespace
+
+MinimizeOutcome MinimizeTrace(const std::vector<feed::FeedEvent>& failing,
+                              const FailurePredicate& still_fails,
+                              const MinimizeOptions& options) {
+  MinimizeOutcome outcome;
+  outcome.trace = failing;
+
+  const auto fails = [&](const std::vector<feed::FeedEvent>& t) {
+    ++outcome.predicate_calls;
+    return still_fails(t);
+  };
+
+  if (!fails(outcome.trace)) {
+    outcome.input_failed = false;
+    return outcome;
+  }
+
+  // ddmin (Zeller & Hildebrandt): delete chunks at granularity n,
+  // refining n up to the trace length. Deleting a chunk restarts the
+  // scan at coarser granularity, so large irrelevant spans go first.
+  size_t n = 2;
+  while (outcome.trace.size() >= 2 && n <= outcome.trace.size() &&
+         outcome.predicate_calls < options.max_predicate_calls) {
+    const size_t len = outcome.trace.size();
+    const size_t chunk = (len + n - 1) / n;
+    bool removed = false;
+    for (size_t begin = 0; begin < len; begin += chunk) {
+      const size_t end = std::min(begin + chunk, len);
+      std::vector<feed::FeedEvent> candidate =
+          WithoutChunk(outcome.trace, begin, end);
+      if (candidate.empty()) continue;
+      if (fails(candidate)) {
+        outcome.trace = std::move(candidate);
+        n = std::max<size_t>(2, n - 1);
+        removed = true;
+        break;
+      }
+      if (outcome.predicate_calls >= options.max_predicate_calls) break;
+    }
+    if (!removed) {
+      if (n >= outcome.trace.size()) break;  // 1-minimal
+      n = std::min(outcome.trace.size(), n * 2);
+    }
+  }
+  return outcome;
+}
+
+Status WriteReproducer(const std::string& dir,
+                       const std::vector<feed::FeedEvent>& events,
+                       const std::vector<feed::Ad>& ads) {
+  std::vector<feed::Tweet> tweets;
+  std::vector<feed::CheckIn> check_ins;
+  for (const feed::FeedEvent& event : events) {
+    switch (event.kind) {
+      case feed::EventKind::kTweet:
+        tweets.push_back(event.tweet);
+        break;
+      case feed::EventKind::kCheckIn:
+        check_ins.push_back(event.check_in);
+        break;
+      case feed::EventKind::kAdInsert:
+      case feed::EventKind::kAdDelete:
+        return Status::InvalidArgument(
+            "reproducer traces carry tweets/check-ins only; pass ads via "
+            "the ads argument");
+    }
+  }
+  ADREC_RETURN_NOT_OK(feed::WriteTrace(TracePath(dir), tweets, check_ins));
+  return feed::WriteAds(AdsPath(dir), ads);
+}
+
+Result<Reproducer> ReadReproducer(const std::string& dir) {
+  Result<feed::Trace> trace = feed::ReadTrace(TracePath(dir));
+  if (!trace.ok()) return trace.status();
+  Result<std::vector<feed::Ad>> ads = feed::ReadAds(AdsPath(dir));
+  if (!ads.ok()) return ads.status();
+
+  Reproducer repro;
+  repro.ads = std::move(ads).value();
+  for (const feed::Tweet& t : trace.value().tweets) {
+    feed::FeedEvent ev;
+    ev.kind = feed::EventKind::kTweet;
+    ev.time = t.time;
+    ev.tweet = t;
+    repro.events.push_back(std::move(ev));
+  }
+  for (const feed::CheckIn& c : trace.value().check_ins) {
+    feed::FeedEvent ev;
+    ev.kind = feed::EventKind::kCheckIn;
+    ev.time = c.time;
+    ev.check_in = c;
+    repro.events.push_back(std::move(ev));
+  }
+  // Canonical order (time, then content key) — the order every
+  // differential run uses, so a written-then-read reproducer replays the
+  // exact event sequence that failed.
+  SanitizeOptions resort_only;
+  resort_only.drop_malformed = false;
+  resort_only.dedup = false;
+  repro.events = SanitizeTrace(repro.events, resort_only);
+  return repro;
+}
+
+}  // namespace adrec::testkit

@@ -1,0 +1,59 @@
+#ifndef ADREC_TESTKIT_MINIMIZER_H_
+#define ADREC_TESTKIT_MINIMIZER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "feed/types.h"
+
+namespace adrec::testkit {
+
+/// The failure oracle: true iff the (sub)trace still reproduces the
+/// divergence. Must be deterministic — the minimizer calls it many times.
+using FailurePredicate =
+    std::function<bool(const std::vector<feed::FeedEvent>&)>;
+
+struct MinimizeOptions {
+  /// Hard cap on predicate evaluations (each one re-runs the
+  /// differential, which is the expensive part).
+  size_t max_predicate_calls = 2000;
+};
+
+struct MinimizeOutcome {
+  /// 1-minimal failing trace: removing any single remaining event makes
+  /// the failure disappear (up to the predicate-call budget).
+  std::vector<feed::FeedEvent> trace;
+  size_t predicate_calls = 0;
+  /// False when the input trace did not fail in the first place (the
+  /// input is returned unchanged).
+  bool input_failed = true;
+};
+
+/// Delta-debugging (ddmin) trace reduction: bisects the failing trace
+/// into progressively finer chunks, greedily deleting every chunk whose
+/// removal preserves the failure, until the trace is 1-minimal or the
+/// call budget runs out. Deterministic in (trace, predicate).
+MinimizeOutcome MinimizeTrace(const std::vector<feed::FeedEvent>& failing,
+                              const FailurePredicate& still_fails,
+                              const MinimizeOptions& options = {});
+
+/// Persists a minimized reproducer in the feed::trace_io golden format:
+/// `<dir>/repro_trace.tsv` (tweets + check-ins, WriteTrace format) and
+/// `<dir>/repro_ads.tsv` (WriteAds format). Ad insert/delete events in
+/// `events` are rejected (reproducer ads belong in the `ads` argument).
+Status WriteReproducer(const std::string& dir,
+                       const std::vector<feed::FeedEvent>& events,
+                       const std::vector<feed::Ad>& ads);
+
+/// Reads a reproducer back as (ads, merged time-ordered events).
+struct Reproducer {
+  std::vector<feed::Ad> ads;
+  std::vector<feed::FeedEvent> events;
+};
+Result<Reproducer> ReadReproducer(const std::string& dir);
+
+}  // namespace adrec::testkit
+
+#endif  // ADREC_TESTKIT_MINIMIZER_H_

@@ -1,7 +1,12 @@
 #include "core/snapshot.h"
 
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -78,6 +83,78 @@ TEST_F(SnapshotTest, RoundTripPreservesServingState) {
     EXPECT_EQ(orig_ads[i].ad, rest_ads[i].ad);
     EXPECT_NEAR(orig_ads[i].score, rest_ads[i].score, 1e-6);
   }
+}
+
+TEST_F(SnapshotTest, FrequencyCapHistoryRoundTrips) {
+  feed::WorkloadOptions opts;
+  opts.seed = 93;
+  opts.num_users = 8;
+  opts.num_places = 6;
+  opts.num_ads = 3;
+  opts.days = 2;
+  eval::ExperimentSetup setup = eval::BuildExperiment(opts);
+  RecommendationEngine& original = *setup.engine;
+
+  // Serve repeatedly so some (user, ad) pairs accumulate history and the
+  // default cap (5/day) starts to bind.
+  for (size_t i = 0; i < 60 && i < setup.workload.tweets.size(); ++i) {
+    original.TopKAdsForTweet(setup.workload.tweets[i], 2);
+  }
+  ASSERT_GT(original.frequency_capper().tracked_pairs(), 0u);
+
+  ASSERT_TRUE(SaveEngineSnapshot(original, dir_).ok());
+  RecommendationEngine restored(setup.workload.kb, setup.workload.slots);
+  ASSERT_TRUE(LoadEngineSnapshot(dir_, &restored).ok());
+
+  EXPECT_EQ(restored.frequency_capper().tracked_pairs(),
+            original.frequency_capper().tracked_pairs());
+  // Collect the pairs first: CountInWindow prunes lazily (mutates the
+  // underlying map), so it must not run inside ForEach's iteration.
+  std::vector<std::pair<UserId, AdId>> pairs;
+  original.frequency_capper().ForEach(
+      [&](UserId user, AdId ad, const std::deque<Timestamp>&) {
+        pairs.emplace_back(user, ad);
+      });
+  const Timestamp probe = setup.workload.tweets.back().time;
+  for (const auto& [user, ad] : pairs) {
+    EXPECT_EQ(restored.frequency_capper().CountInWindow(user, ad, probe),
+              original.frequency_capper().CountInWindow(user, ad, probe))
+        << "user " << user.value << " ad " << ad.value;
+  }
+}
+
+TEST_F(SnapshotTest, SnapshotFilesAreCanonical) {
+  // save -> load -> save again must reproduce every file byte for byte:
+  // emission is sorted and floats are written with exact round-trip
+  // precision, so no hash-map iteration order leaks into the files.
+  feed::WorkloadOptions opts;
+  opts.seed = 57;
+  opts.num_users = 9;
+  opts.num_places = 7;
+  opts.num_ads = 3;
+  opts.days = 2;
+  eval::ExperimentSetup setup = eval::BuildExperiment(opts);
+  for (size_t i = 0; i < 30 && i < setup.workload.tweets.size(); ++i) {
+    setup.engine->TopKAdsForTweet(setup.workload.tweets[i], 1);
+  }
+  ASSERT_TRUE(SaveEngineSnapshot(*setup.engine, dir_).ok());
+
+  RecommendationEngine restored(setup.workload.kb, setup.workload.slots);
+  ASSERT_TRUE(LoadEngineSnapshot(dir_, &restored).ok());
+  const std::string dir2 = dir_ + "_again";
+  ASSERT_TRUE(SaveEngineSnapshot(restored, dir2).ok());
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  for (const char* name :
+       {"/snapshot_profiles.tsv", "/snapshot_ads.tsv",
+        "/snapshot_impressions.tsv", "/snapshot_freqcap.tsv"}) {
+    EXPECT_EQ(slurp(dir_ + name), slurp(dir2 + name)) << name;
+  }
+  std::filesystem::remove_all(dir2);
 }
 
 TEST_F(SnapshotTest, LoadFailsCleanlyOnMissingDir) {

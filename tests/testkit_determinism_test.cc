@@ -1,0 +1,117 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "feed/workload.h"
+#include "testkit/differential.h"
+#include "testkit/fault_injector.h"
+
+namespace adrec::testkit {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  DeterminismTest() {
+    feed::WorkloadOptions opts;
+    opts.seed = 314;
+    opts.num_users = 10;
+    opts.num_places = 7;
+    opts.num_ads = 3;
+    opts.days = 3;
+    workload_ = feed::GenerateWorkload(opts);
+    events_ = SanitizeTrace(workload_.MergedEvents());
+  }
+
+  DifferentialChecker MakeChecker(DifferentialOptions diff = {}) const {
+    return DifferentialChecker(workload_.kb, workload_.slots, diff);
+  }
+
+  feed::Workload workload_;
+  std::vector<feed::FeedEvent> events_;
+};
+
+/// Three complete executions of the same seeded workload must agree on
+/// every observable facet — probes, counters, analysis stats, and the
+/// per-ad match lists — down to the score bits.
+TEST_F(DeterminismTest, RepeatedSingleEngineRunsAreIdentical) {
+  DifferentialOptions diff;
+  diff.run_sharded = false;
+  diff.run_snapshot = false;
+  const DifferentialChecker checker = MakeChecker(diff);
+  const RunOutcome first = checker.RunSingle(workload_.ads, events_);
+  for (int run = 2; run <= 3; ++run) {
+    const RunOutcome again = checker.RunSingle(workload_.ads, events_);
+    const Divergence d = DifferentialChecker::CompareOutcomes(
+        first, again, CompareOptions{}, "run1", "rerun");
+    ASSERT_FALSE(d) << "run " << run << ": " << d.detail;
+  }
+}
+
+/// ShardedEngine::RunAnalysis mines shards on concurrent threads;
+/// repeated runs must nevertheless be identical (no iteration-order or
+/// scheduling nondeterminism may leak into results).
+TEST_F(DeterminismTest, RepeatedShardedRunsAreIdentical) {
+  DifferentialOptions diff;
+  diff.num_shards = 3;
+  const DifferentialChecker checker = MakeChecker(diff);
+  const RunOutcome first = checker.RunSharded(workload_.ads, events_);
+  for (int run = 2; run <= 3; ++run) {
+    const RunOutcome again = checker.RunSharded(workload_.ads, events_);
+    CompareOptions compare;
+    compare.tfca_full = false;
+    compare.tfca_sums = true;
+    compare.matches = false;
+    const Divergence d = DifferentialChecker::CompareOutcomes(
+        first, again, compare, "run1", "rerun");
+    ASSERT_FALSE(d) << "run " << run << ": " << d.detail;
+  }
+}
+
+/// A one-shard ShardedEngine is the flat engine behind a router: every
+/// facet, including the full TfcaStats, must match bit for bit.
+TEST_F(DeterminismTest, SingleShardMatchesFlatEngine) {
+  DifferentialOptions diff;
+  diff.num_shards = 1;
+  const DifferentialChecker checker = MakeChecker(diff);
+  const RunOutcome flat = checker.RunSingle(workload_.ads, events_);
+  const RunOutcome sharded = checker.RunSharded(workload_.ads, events_);
+  CompareOptions compare;
+  compare.tfca_full = false;  // sharded outcomes carry only the sums...
+  compare.tfca_sums = true;   // ...which for one shard are the full values
+  compare.matches = false;
+  const Divergence d = DifferentialChecker::CompareOutcomes(
+      flat, sharded, compare, "flat", "one-shard");
+  ASSERT_FALSE(d) << d.detail;
+}
+
+/// Re-running the analysis pass on an unchanged engine is idempotent:
+/// same stats, same recommendation lists.
+TEST_F(DeterminismTest, ReanalysisIsIdempotent) {
+  core::RecommendationEngine engine(workload_.kb, workload_.slots);
+  for (const feed::Ad& ad : workload_.ads) {
+    ASSERT_TRUE(engine.InsertAd(ad).ok());
+  }
+  for (const feed::FeedEvent& e : events_) engine.OnEvent(e);
+
+  ASSERT_TRUE(engine.RunAnalysis(0.6).ok());
+  const core::TfcaStats stats1 = engine.analysis().stats();
+  std::vector<core::MatchResult> matches1;
+  for (const feed::Ad& ad : workload_.ads) {
+    Result<core::MatchResult> m = engine.RecommendUsers(ad.id);
+    ASSERT_TRUE(m.ok());
+    matches1.push_back(std::move(m).value());
+  }
+
+  ASSERT_TRUE(engine.RunAnalysis(0.6).ok());
+  EXPECT_TRUE(engine.analysis().stats() == stats1);
+  for (size_t i = 0; i < workload_.ads.size(); ++i) {
+    Result<core::MatchResult> m = engine.RecommendUsers(workload_.ads[i].id);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m.value().users, matches1[i].users) << "ad #" << i;
+  }
+}
+
+}  // namespace
+}  // namespace adrec::testkit

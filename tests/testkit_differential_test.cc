@@ -1,0 +1,144 @@
+#include "testkit/differential.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "feed/workload.h"
+#include "testkit/fault_injector.h"
+
+namespace adrec::testkit {
+namespace {
+
+std::string FreshDir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("adrec_diff_") + tag + "_" +
+                    std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// The differential CI sweep (ISSUE acceptance): >= 200 seeded injected
+/// traces through single / sharded / snapshot-restored engines with zero
+/// divergence. 8 base workloads x 25 fault seeds = 200 traces; every
+/// trace is injected, sanitized (the robust-ingest front end), then run
+/// through all three variants.
+TEST(DifferentialSweep, TwoHundredInjectedTracesZeroDivergence) {
+  const std::string dir = FreshDir("sweep");
+  constexpr uint64_t kBaseWorkloads = 8;
+  constexpr uint64_t kFaultSeedsPerWorkload = 25;
+  size_t traces = 0;
+
+  for (uint64_t w = 0; w < kBaseWorkloads; ++w) {
+    feed::WorkloadOptions opts;
+    opts.seed = 1000 + w;
+    opts.num_users = 6 + static_cast<size_t>(w % 4);
+    opts.num_places = 5 + static_cast<size_t>(w % 3);
+    opts.num_ads = 2 + static_cast<size_t>(w % 2);
+    opts.days = 2;
+    opts.tweets_per_user_day = 3.0;
+    opts.checkins_per_user_day = 1.5;
+    const feed::Workload workload = feed::GenerateWorkload(opts);
+    const std::vector<feed::FeedEvent> pristine = workload.MergedEvents();
+
+    DifferentialOptions diff;
+    diff.snapshot_dir = dir;
+    diff.num_shards = 2 + static_cast<size_t>(w % 3);
+    diff.snapshot_fraction = 0.3 + 0.05 * static_cast<double>(w);
+    diff.probe_every = 2;
+    const DifferentialChecker checker(workload.kb, workload.slots, diff);
+
+    for (uint64_t f = 0; f < kFaultSeedsPerWorkload; ++f) {
+      const uint64_t fault_seed = w * 100 + f + 1;
+      // Alternate the full fault mix (drops + skew included) with the
+      // recoverable-only mix, so both regimes stay covered.
+      const FaultOptions faults = (f % 2 == 0)
+                                      ? DefaultFaultMix(fault_seed)
+                                      : RecoverableFaultMix(fault_seed);
+      const std::vector<feed::FeedEvent> sanitized =
+          SanitizeTrace(InjectFaults(pristine, faults, nullptr));
+      ASSERT_FALSE(sanitized.empty());
+
+      const Divergence d = checker.Check(workload.ads, sanitized);
+      ASSERT_FALSE(d) << "workload " << w << " fault seed " << fault_seed
+                      << " diverged at event " << d.event_index << ": "
+                      << d.detail;
+      ++traces;
+    }
+  }
+  EXPECT_GE(traces, 200u);
+  std::filesystem::remove_all(dir);
+}
+
+/// Recovery differential: for *recoverable* fault mixes (reorder +
+/// duplicate + malform), the sanitized injected trace must produce an
+/// outcome identical to the sanitized pristine trace — the repair
+/// pipeline loses nothing.
+TEST(DifferentialSweep, SanitizedInjectedTraceMatchesPristineRun) {
+  feed::WorkloadOptions opts;
+  opts.seed = 2024;
+  opts.num_users = 8;
+  opts.num_places = 6;
+  opts.num_ads = 3;
+  opts.days = 3;
+  const feed::Workload workload = feed::GenerateWorkload(opts);
+  const std::vector<feed::FeedEvent> pristine = workload.MergedEvents();
+
+  DifferentialOptions diff;
+  diff.run_sharded = false;
+  diff.run_snapshot = false;
+  const DifferentialChecker checker(workload.kb, workload.slots, diff);
+  const RunOutcome reference =
+      checker.RunSingle(workload.ads, SanitizeTrace(pristine));
+
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::vector<feed::FeedEvent> repaired =
+        SanitizeTrace(InjectFaults(pristine, RecoverableFaultMix(seed)));
+    const RunOutcome outcome = checker.RunSingle(workload.ads, repaired);
+    const Divergence d = DifferentialChecker::CompareOutcomes(
+        reference, outcome, CompareOptions{}, "pristine", "repaired");
+    ASSERT_FALSE(d) << "seed " << seed << ": " << d.detail;
+  }
+}
+
+/// The checker must actually be able to see a divergence: feed the
+/// variants *different* traces and expect a report naming the first
+/// divergent event.
+TEST(DifferentialSweep, CheckerReportsFirstDivergentEvent) {
+  feed::WorkloadOptions opts;
+  opts.seed = 77;
+  opts.num_users = 6;
+  opts.num_places = 5;
+  opts.num_ads = 2;
+  opts.days = 2;
+  const feed::Workload workload = feed::GenerateWorkload(opts);
+  const std::vector<feed::FeedEvent> events =
+      SanitizeTrace(workload.MergedEvents());
+  ASSERT_GT(events.size(), 10u);
+
+  DifferentialOptions diff;
+  diff.run_sharded = false;
+  diff.run_snapshot = false;
+  const DifferentialChecker checker(workload.kb, workload.slots, diff);
+
+  const RunOutcome a = checker.RunSingle(workload.ads, events);
+  // Drop one mid-trace event: the truncated run must diverge, and the
+  // report must point at (or before) the index where traces differ.
+  std::vector<feed::FeedEvent> truncated = events;
+  const size_t removed = truncated.size() / 2;
+  truncated.erase(truncated.begin() + static_cast<ptrdiff_t>(removed));
+  const RunOutcome b = checker.RunSingle(workload.ads, truncated);
+
+  const Divergence d = DifferentialChecker::CompareOutcomes(
+      a, b, CompareOptions{}, "full", "truncated");
+  ASSERT_TRUE(d);
+  EXPECT_FALSE(d.detail.empty());
+}
+
+}  // namespace
+}  // namespace adrec::testkit

@@ -1,0 +1,179 @@
+#include "testkit/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "feed/workload.h"
+#include "obs/metrics.h"
+
+namespace adrec::testkit {
+namespace {
+
+std::vector<std::string> Keys(const std::vector<feed::FeedEvent>& events) {
+  std::vector<std::string> out;
+  out.reserve(events.size());
+  for (const feed::FeedEvent& e : events) out.push_back(EventKey(e));
+  return out;
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() {
+    feed::WorkloadOptions opts;
+    opts.seed = 909;
+    opts.num_users = 12;
+    opts.num_places = 8;
+    opts.num_ads = 3;
+    opts.days = 3;
+    workload_ = feed::GenerateWorkload(opts);
+    pristine_ = workload_.MergedEvents();
+  }
+
+  feed::Workload workload_;
+  std::vector<feed::FeedEvent> pristine_;
+};
+
+TEST_F(FaultInjectorTest, PristineWorkloadIsWellFormedAndOrdered) {
+  ASSERT_GT(pristine_.size(), 50u);
+  for (const feed::FeedEvent& e : pristine_) {
+    EXPECT_TRUE(IsWellFormed(e));
+  }
+  for (size_t i = 1; i < pristine_.size(); ++i) {
+    EXPECT_LE(pristine_[i - 1].time, pristine_[i].time);
+  }
+}
+
+TEST_F(FaultInjectorTest, InjectionIsAPureFunctionOfSeed) {
+  const FaultOptions opts = DefaultFaultMix(1234);
+  FaultStats s1, s2;
+  const auto a = InjectFaults(pristine_, opts, &s1);
+  const auto b = InjectFaults(pristine_, opts, &s2);
+  EXPECT_EQ(Keys(a), Keys(b));
+  EXPECT_EQ(s1.reordered, s2.reordered);
+  EXPECT_EQ(s1.duplicated, s2.duplicated);
+  EXPECT_EQ(s1.dropped, s2.dropped);
+  EXPECT_EQ(s1.skewed, s2.skewed);
+  EXPECT_EQ(s1.malformed, s2.malformed);
+
+  // A different seed draws a different fault plan.
+  const auto c = InjectFaults(pristine_, DefaultFaultMix(99), nullptr);
+  EXPECT_NE(Keys(a), Keys(c));
+}
+
+TEST_F(FaultInjectorTest, StatsAccountForEveryEvent) {
+  FaultOptions opts = DefaultFaultMix(7);
+  FaultStats stats;
+  const auto injected = InjectFaults(pristine_, opts, &stats);
+  EXPECT_EQ(stats.events_in, pristine_.size());
+  EXPECT_EQ(stats.events_out, injected.size());
+  EXPECT_EQ(injected.size(), pristine_.size() - stats.dropped +
+                                 stats.duplicated + stats.malformed);
+  // The default mix has every fault class switched on; on a trace this
+  // size each one fires.
+  EXPECT_GT(stats.reordered, 0u);
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.skewed, 0u);
+  EXPECT_GT(stats.malformed, 0u);
+}
+
+TEST_F(FaultInjectorTest, MalformedEventsAreDetectable) {
+  FaultOptions opts;
+  opts.seed = 11;
+  opts.malform_probability = 0.2;
+  FaultStats stats;
+  const auto injected = InjectFaults(pristine_, opts, &stats);
+  size_t malformed = 0;
+  for (const feed::FeedEvent& e : injected) {
+    if (!IsWellFormed(e)) ++malformed;
+  }
+  EXPECT_EQ(malformed, stats.malformed);
+  EXPECT_GT(malformed, 0u);
+}
+
+TEST_F(FaultInjectorTest, ReorderPermutesWithoutLoss) {
+  FaultOptions opts;
+  opts.seed = 5;
+  opts.reorder_probability = 0.3;
+  opts.reorder_window = 4;
+  FaultStats stats;
+  const auto injected = InjectFaults(pristine_, opts, &stats);
+  ASSERT_EQ(injected.size(), pristine_.size());
+  EXPECT_GT(stats.reordered, 0u);
+
+  // Reordering permutes the trace (no loss, no invention) and genuinely
+  // changes the order...
+  const auto keys_in = Keys(pristine_);
+  auto keys_out = Keys(injected);
+  EXPECT_NE(keys_in, keys_out);
+  auto sorted_in = keys_in;
+  auto sorted_out = keys_out;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+
+  // ...and the canonical resort undoes it exactly.
+  EXPECT_EQ(Keys(SanitizeTrace(injected)), Keys(SanitizeTrace(pristine_)));
+}
+
+TEST_F(FaultInjectorTest, SanitizeRecoversRecoverableFaultsExactly) {
+  // Reordering + duplicates + malformed records are exactly undone by the
+  // sanitize pipeline; the repaired trace matches the sanitized pristine
+  // trace event for event.
+  const auto canonical = SanitizeTrace(pristine_);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultStats fstats;
+    const auto injected =
+        InjectFaults(pristine_, RecoverableFaultMix(seed), &fstats);
+    SanitizeStats sstats;
+    const auto repaired = SanitizeTrace(injected, {}, &sstats);
+    EXPECT_EQ(Keys(repaired), Keys(canonical)) << "seed " << seed;
+    EXPECT_EQ(sstats.dropped_malformed, fstats.malformed) << "seed " << seed;
+    EXPECT_EQ(sstats.deduplicated, fstats.duplicated) << "seed " << seed;
+  }
+}
+
+TEST_F(FaultInjectorTest, SanitizeWithDedupDisabledKeepsDuplicates) {
+  FaultOptions opts;
+  opts.seed = 3;
+  opts.duplicate_probability = 0.15;
+  FaultStats fstats;
+  const auto injected = InjectFaults(pristine_, opts, &fstats);
+  ASSERT_GT(fstats.duplicated, 0u);
+
+  SanitizeOptions broken;  // models a build that skipped the dedup path
+  broken.dedup = false;
+  SanitizeStats sstats;
+  const auto kept = SanitizeTrace(injected, broken, &sstats);
+  EXPECT_EQ(kept.size(), pristine_.size() + fstats.duplicated);
+  EXPECT_EQ(sstats.deduplicated, 0u);
+}
+
+TEST_F(FaultInjectorTest, ReplayerDeliversInjectedTraceAndExportsCounters) {
+  obs::MetricRegistry registry;
+  FaultInjectingReplayer replayer(DefaultFaultMix(21), {}, &registry);
+  size_t delivered = 0;
+  const feed::ReplayStats rstats = replayer.Replay(
+      pristine_, [&](const feed::FeedEvent&) { ++delivered; });
+  const FaultStats& fstats = replayer.fault_stats();
+  EXPECT_EQ(delivered, fstats.events_out);
+  EXPECT_EQ(rstats.events_delivered, fstats.events_out);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const auto counter = [&](const std::string& name) -> uint64_t {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  EXPECT_EQ(counter("testkit.reordered"), fstats.reordered);
+  EXPECT_EQ(counter("testkit.duplicated"), fstats.duplicated);
+  EXPECT_EQ(counter("testkit.dropped"), fstats.dropped);
+  EXPECT_EQ(counter("testkit.skewed"), fstats.skewed);
+  EXPECT_EQ(counter("testkit.malformed"), fstats.malformed);
+  EXPECT_EQ(counter("testkit.events_delivered"), fstats.events_out);
+}
+
+}  // namespace
+}  // namespace adrec::testkit

@@ -1,0 +1,176 @@
+#include "testkit/minimizer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "feed/workload.h"
+#include "testkit/differential.h"
+#include "testkit/fault_injector.h"
+
+namespace adrec::testkit {
+namespace {
+
+std::string FreshDir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("adrec_min_") + tag + "_" +
+                    std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+feed::FeedEvent TweetEvent(uint32_t user, Timestamp time,
+                           const std::string& text) {
+  feed::FeedEvent ev;
+  ev.kind = feed::EventKind::kTweet;
+  ev.time = time;
+  ev.tweet.user = UserId(user);
+  ev.tweet.time = time;
+  ev.tweet.text = text;
+  return ev;
+}
+
+TEST(MinimizerTest, DdminShrinksToTheTwoCulprits) {
+  // 40 events; the failure needs exactly the "alpha" and "omega" tweets.
+  std::vector<feed::FeedEvent> trace;
+  for (uint32_t i = 0; i < 40; ++i) {
+    trace.push_back(TweetEvent(i, 100 + i, "filler " + std::to_string(i)));
+  }
+  trace[7] = TweetEvent(7, 107, "alpha");
+  trace[29] = TweetEvent(29, 129, "omega");
+
+  const auto fails = [](const std::vector<feed::FeedEvent>& t) {
+    bool alpha = false, omega = false;
+    for (const feed::FeedEvent& e : t) {
+      if (e.tweet.text == "alpha") alpha = true;
+      if (e.tweet.text == "omega") omega = true;
+    }
+    return alpha && omega;
+  };
+
+  const MinimizeOutcome out = MinimizeTrace(trace, fails);
+  EXPECT_TRUE(out.input_failed);
+  ASSERT_EQ(out.trace.size(), 2u);
+  EXPECT_EQ(out.trace[0].tweet.text, "alpha");
+  EXPECT_EQ(out.trace[1].tweet.text, "omega");
+  EXPECT_GT(out.predicate_calls, 0u);
+  EXPECT_LE(out.predicate_calls, MinimizeOptions{}.max_predicate_calls);
+}
+
+TEST(MinimizerTest, NonFailingInputIsReturnedUnchanged) {
+  std::vector<feed::FeedEvent> trace;
+  for (uint32_t i = 0; i < 5; ++i) {
+    trace.push_back(TweetEvent(i, 10 + i, "t"));
+  }
+  const MinimizeOutcome out = MinimizeTrace(
+      trace, [](const std::vector<feed::FeedEvent>&) { return false; });
+  EXPECT_FALSE(out.input_failed);
+  EXPECT_EQ(out.trace.size(), trace.size());
+  EXPECT_EQ(out.predicate_calls, 1u);
+}
+
+TEST(MinimizerTest, BudgetCapsPredicateCalls) {
+  std::vector<feed::FeedEvent> trace;
+  for (uint32_t i = 0; i < 64; ++i) {
+    trace.push_back(TweetEvent(i, 10 + i, "t"));
+  }
+  MinimizeOptions opts;
+  opts.max_predicate_calls = 10;
+  // Only the full trace fails — nothing can be removed, so ddmin would
+  // otherwise probe every granularity up to 1-minimality.
+  const MinimizeOutcome out = MinimizeTrace(
+      trace,
+      [&](const std::vector<feed::FeedEvent>& t) {
+        return t.size() == trace.size();
+      },
+      opts);
+  EXPECT_TRUE(out.input_failed);
+  EXPECT_LE(out.predicate_calls, opts.max_predicate_calls + 1);
+  EXPECT_EQ(out.trace.size(), trace.size());
+}
+
+/// The acceptance scenario: a deliberately-broken build (robust ingest
+/// with the dedup stage skipped) diverges from the correct build on a
+/// duplicate-injected trace; the minimizer bisects the trace to a minimal
+/// reproducer, which round-trips through the trace_io golden format and
+/// still fails.
+TEST(MinimizerTest, BrokenDedupIsCaughtAndMinimized) {
+  feed::WorkloadOptions opts;
+  opts.seed = 404;
+  opts.num_users = 6;
+  opts.num_places = 5;
+  opts.num_ads = 2;
+  opts.days = 2;
+  opts.tweets_per_user_day = 3.0;
+  const feed::Workload workload = feed::GenerateWorkload(opts);
+  const std::vector<feed::FeedEvent> pristine = workload.MergedEvents();
+
+  FaultOptions faults;
+  faults.seed = 5;
+  faults.duplicate_probability = 0.1;
+  FaultStats fstats;
+  const std::vector<feed::FeedEvent> injected =
+      InjectFaults(pristine, faults, &fstats);
+  ASSERT_GT(fstats.duplicated, 0u);
+
+  DifferentialOptions diff;
+  diff.run_sharded = false;
+  diff.run_snapshot = false;
+  const DifferentialChecker checker(workload.kb, workload.slots, diff);
+
+  SanitizeOptions broken;
+  broken.dedup = false;  // the bug under test: dedup path skipped
+
+  // Failure oracle: the broken ingest pipeline and the correct one
+  // disagree on this (sub)trace.
+  const auto broken_build_diverges =
+      [&](const std::vector<feed::FeedEvent>& t) {
+        const RunOutcome good =
+            checker.RunSingle(workload.ads, SanitizeTrace(t));
+        const RunOutcome bad =
+            checker.RunSingle(workload.ads, SanitizeTrace(t, broken));
+        return static_cast<bool>(DifferentialChecker::CompareOutcomes(
+            good, bad, CompareOptions{}, "good", "broken"));
+      };
+
+  ASSERT_TRUE(broken_build_diverges(injected))
+      << "duplicate injection did not expose the skipped dedup path";
+
+  const MinimizeOutcome minimized = MinimizeTrace(injected,
+                                                  broken_build_diverges);
+  EXPECT_TRUE(minimized.input_failed);
+  EXPECT_LT(minimized.trace.size(), injected.size());
+  // A duplicate pair is the smallest possible reproducer.
+  EXPECT_GE(minimized.trace.size(), 2u);
+  EXPECT_LE(minimized.trace.size(), 4u);
+  EXPECT_TRUE(broken_build_diverges(minimized.trace));
+
+  // Golden-file round trip: write the reproducer, read it back, and the
+  // replayed trace still fails.
+  const std::string dir = FreshDir("repro");
+  ASSERT_TRUE(WriteReproducer(dir, minimized.trace, workload.ads).ok());
+  ASSERT_TRUE(std::filesystem::exists(dir + "/repro_trace.tsv"));
+  ASSERT_TRUE(std::filesystem::exists(dir + "/repro_ads.tsv"));
+
+  Result<Reproducer> repro = ReadReproducer(dir);
+  ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+  EXPECT_EQ(repro.value().events.size(), minimized.trace.size());
+  EXPECT_EQ(repro.value().ads.size(), workload.ads.size());
+  EXPECT_TRUE(broken_build_diverges(repro.value().events));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MinimizerTest, WriteReproducerRejectsAdEvents) {
+  feed::FeedEvent ad_event;
+  ad_event.kind = feed::EventKind::kAdInsert;
+  const Status s = WriteReproducer("/tmp/unused_adrec_dir", {ad_event}, {});
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace adrec::testkit

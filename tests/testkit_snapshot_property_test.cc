@@ -1,0 +1,102 @@
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "feed/workload.h"
+#include "testkit/differential.h"
+#include "testkit/fault_injector.h"
+
+namespace adrec::testkit {
+namespace {
+
+std::string FreshDir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("adrec_snapprop_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Property: for randomized workloads and arbitrary snapshot points, a
+/// save -> restart -> load -> window-replay -> continue execution is
+/// indistinguishable from one that never restarted — identical probes,
+/// counters, TfcaStats and match lists, with frequency-cap state carried
+/// across the restart.
+TEST(SnapshotProperty, RestartMidStreamIsInvisible) {
+  const std::string dir = FreshDir();
+  const double fractions[] = {0.2, 0.5, 0.8};
+
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    feed::WorkloadOptions opts;
+    opts.seed = 5000 + seed;
+    opts.num_users = 6 + static_cast<size_t>(seed % 5);
+    opts.num_places = 4 + static_cast<size_t>(seed % 4);
+    opts.num_ads = 2 + static_cast<size_t>(seed % 3);
+    opts.days = 2 + static_cast<int>(seed % 2);
+    opts.tweets_per_user_day = 3.0;
+    const feed::Workload workload = feed::GenerateWorkload(opts);
+    const std::vector<feed::FeedEvent> events =
+        SanitizeTrace(workload.MergedEvents());
+
+    for (double fraction : fractions) {
+      DifferentialOptions diff;
+      diff.snapshot_dir = dir;
+      diff.snapshot_fraction = fraction;
+      diff.run_sharded = false;
+      // A tight frequency cap makes the capper state load-bearing: if the
+      // restart lost the impression histories, the restored engine would
+      // serve ads the uninterrupted engine suppresses.
+      diff.engine.frequency_cap.max_impressions = 2;
+      const DifferentialChecker checker(workload.kb, workload.slots, diff);
+
+      const RunOutcome uninterrupted =
+          checker.RunSingle(workload.ads, events);
+      const RunOutcome restarted =
+          checker.RunSnapshotRestore(workload.ads, events);
+      const Divergence d = DifferentialChecker::CompareOutcomes(
+          uninterrupted, restarted, CompareOptions{}, "uninterrupted",
+          "restarted");
+      ASSERT_FALSE(d) << "seed " << seed << " fraction " << fraction << ": "
+                      << d.detail;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+/// The restart must also be invisible on fault-injected (then sanitized)
+/// traces — the regime the differential sweep runs in CI.
+TEST(SnapshotProperty, RestartIsInvisibleOnInjectedTraces) {
+  const std::string dir = FreshDir();
+  feed::WorkloadOptions opts;
+  opts.seed = 606;
+  opts.num_users = 8;
+  opts.num_places = 6;
+  opts.num_ads = 3;
+  opts.days = 2;
+  const feed::Workload workload = feed::GenerateWorkload(opts);
+  const std::vector<feed::FeedEvent> pristine = workload.MergedEvents();
+
+  DifferentialOptions diff;
+  diff.snapshot_dir = dir;
+  diff.run_sharded = false;
+  const DifferentialChecker checker(workload.kb, workload.slots, diff);
+
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::vector<feed::FeedEvent> events =
+        SanitizeTrace(InjectFaults(pristine, DefaultFaultMix(seed)));
+    const RunOutcome uninterrupted = checker.RunSingle(workload.ads, events);
+    const RunOutcome restarted =
+        checker.RunSnapshotRestore(workload.ads, events);
+    const Divergence d = DifferentialChecker::CompareOutcomes(
+        uninterrupted, restarted, CompareOptions{}, "uninterrupted",
+        "restarted");
+    ASSERT_FALSE(d) << "fault seed " << seed << ": " << d.detail;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace adrec::testkit
