@@ -1,0 +1,229 @@
+// E18 — "Wire overhead of the serving daemon": closed-loop load against
+// an in-process adrecd, compared with direct engine calls on the same
+// workload. N client connections each issue a fixed mix of ingest
+// (tweet/checkin) and query (topk) commands synchronously; client-side
+// per-verb latency histograms give the end-to-end wire numbers, and the
+// same command stream applied straight to a ShardedEngine isolates the
+// protocol + loopback + event-loop cost from the engine cost.
+//
+// Not a google-benchmark binary: the unit of interest is a whole
+// closed-loop session (connections x commands), not a single call, so
+// this is a plain main emitting one BENCH_METRICS_JSON line with
+// per-verb client-side p50/p95/p99 plus the daemon's own serve.* view.
+//
+//   bench_serve [connections] [commands_per_connection]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/sharded_engine.h"
+#include "feed/workload.h"
+#include "obs/stats_export.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using adrec::Histogram;
+
+/// One client's closed loop: replay its slice of the workload over the
+/// wire, timing each verb round-trip.
+struct ClientStats {
+  Histogram tweet_us;
+  Histogram checkin_us;
+  Histogram topk_us;
+  size_t errors = 0;
+};
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RunClient(uint16_t port, const adrec::feed::Workload& workload,
+               size_t offset, size_t commands, ClientStats* stats) {
+  adrec::serve::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    stats->errors += commands;
+    return;
+  }
+  const auto& tweets = workload.tweets;
+  const auto& checkins = workload.check_ins;
+  for (size_t i = 0; i < commands; ++i) {
+    const size_t n = offset + i;
+    // Mix: 2 tweets : 1 check-in : 1 topk, round-robin.
+    switch (n % 4) {
+      case 0:
+      case 1: {
+        const auto& t = tweets[n % tweets.size()];
+        const double start = NowUs();
+        if (!client.SendTweet(t).ok()) ++stats->errors;
+        stats->tweet_us.Record(NowUs() - start);
+        break;
+      }
+      case 2: {
+        const auto& c = checkins[n % checkins.size()];
+        const double start = NowUs();
+        if (!client.SendCheckIn(c).ok()) ++stats->errors;
+        stats->checkin_us.Record(NowUs() - start);
+        break;
+      }
+      default: {
+        const auto& t = tweets[n % tweets.size()];
+        const double start = NowUs();
+        if (!client.TopK(t.user, 5, t.time, t.text).ok()) ++stats->errors;
+        stats->topk_us.Record(NowUs() - start);
+        break;
+      }
+    }
+  }
+  client.Quit();
+}
+
+/// The same command mix applied directly to the engine (no sockets, no
+/// parse): the baseline that prices the wire.
+void RunDirect(adrec::core::ShardedEngine* engine,
+               const adrec::feed::Workload& workload, size_t offset,
+               size_t commands, ClientStats* stats) {
+  const auto& tweets = workload.tweets;
+  const auto& checkins = workload.check_ins;
+  for (size_t i = 0; i < commands; ++i) {
+    const size_t n = offset + i;
+    switch (n % 4) {
+      case 0:
+      case 1: {
+        const auto& t = tweets[n % tweets.size()];
+        const double start = NowUs();
+        engine->OnTweet(t);
+        stats->tweet_us.Record(NowUs() - start);
+        break;
+      }
+      case 2: {
+        const auto& c = checkins[n % checkins.size()];
+        const double start = NowUs();
+        engine->OnCheckIn(c);
+        stats->checkin_us.Record(NowUs() - start);
+        break;
+      }
+      default: {
+        const auto& t = tweets[n % tweets.size()];
+        const double start = NowUs();
+        engine->TopKAdsForTweet(t, 5);
+        stats->topk_us.Record(NowUs() - start);
+        break;
+      }
+    }
+  }
+}
+
+void AddTimer(adrec::obs::StatsReport* report, const std::string& name,
+              const Histogram& hist) {
+  if (hist.count() == 0) return;
+  adrec::obs::TimerStat stat;
+  stat.count = hist.count();
+  stat.mean = hist.Mean();
+  stat.p50 = hist.Quantile(0.50);
+  stat.p95 = hist.Quantile(0.95);
+  stat.p99 = hist.Quantile(0.99);
+  stat.min = hist.min();
+  stat.max = hist.max();
+  report->timers[name] = stat;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t connections =
+      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 8;
+  const size_t commands =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 500;
+
+  adrec::feed::WorkloadOptions wopts = adrec::feed::CaseStudyOptions();
+  wopts.days = 14;
+  const adrec::feed::Workload workload =
+      adrec::feed::GenerateWorkload(wopts);
+
+  // --- Served run: daemon + N closed-loop connections. ---
+  adrec::core::ShardedEngine served_engine(
+      workload.kb, workload.slots, /*num_shards=*/1);
+  for (const auto& ad : workload.ads) {
+    if (auto s = served_engine.InsertAd(ad); !s.ok()) {
+      std::fprintf(stderr, "insert ad: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  adrec::serve::ServerOptions sopts;
+  sopts.max_connections = connections + 4;
+  adrec::serve::Server server(&served_engine, sopts);
+  if (auto s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::thread loop([&server] { server.Run(); });
+
+  std::vector<ClientStats> per_client(connections);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+      clients.emplace_back(RunClient, server.port(), std::cref(workload),
+                           c * commands, commands, &per_client[c]);
+    }
+    for (auto& t : clients) t.join();
+  }
+  server.RequestDrain();
+  loop.join();
+  // Loop thread has exited (join gives happens-before): the snapshot is
+  // race-free.
+  const adrec::obs::MetricsSnapshot serve_view = server.MergedSnapshot();
+
+  ClientStats wire;
+  for (const auto& cs : per_client) {
+    wire.tweet_us.Merge(cs.tweet_us);
+    wire.checkin_us.Merge(cs.checkin_us);
+    wire.topk_us.Merge(cs.topk_us);
+    wire.errors += cs.errors;
+  }
+
+  // --- Direct run: same commands, no wire. ---
+  adrec::core::ShardedEngine direct_engine(
+      workload.kb, workload.slots, /*num_shards=*/1);
+  for (const auto& ad : workload.ads) {
+    (void)direct_engine.InsertAd(ad);
+  }
+  ClientStats direct;
+  for (size_t c = 0; c < connections; ++c) {
+    RunDirect(&direct_engine, workload, c * commands, commands, &direct);
+  }
+
+  std::printf("bench_serve: %zu connections x %zu commands, %zu errors\n",
+              connections, commands, wire.errors);
+  std::printf("  wire   topk p50=%.1fus p95=%.1fus p99=%.1fus\n",
+              wire.topk_us.Quantile(0.5), wire.topk_us.Quantile(0.95),
+              wire.topk_us.Quantile(0.99));
+  std::printf("  direct topk p50=%.1fus p95=%.1fus p99=%.1fus\n",
+              direct.topk_us.Quantile(0.5), direct.topk_us.Quantile(0.95),
+              direct.topk_us.Quantile(0.99));
+
+  // Per-verb client-side wire/direct latencies, then the daemon's own
+  // serve.* counters and timers, in one machine-readable line.
+  adrec::obs::StatsReport report = adrec::obs::BuildReport(serve_view);
+  AddTimer(&report, "bench.wire_tweet_us", wire.tweet_us);
+  AddTimer(&report, "bench.wire_checkin_us", wire.checkin_us);
+  AddTimer(&report, "bench.wire_topk_us", wire.topk_us);
+  AddTimer(&report, "bench.direct_tweet_us", direct.tweet_us);
+  AddTimer(&report, "bench.direct_checkin_us", direct.checkin_us);
+  AddTimer(&report, "bench.direct_topk_us", direct.topk_us);
+  report.counters["bench.connections"] = connections;
+  report.counters["bench.commands_per_connection"] = commands;
+  report.counters["bench.client_errors"] = wire.errors;
+  std::printf("BENCH_METRICS_JSON %s\n",
+              adrec::obs::ExportJson(report).c_str());
+  return wire.errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// adrec_client — command-line client for adrecd:
+//
+//   adrec_client <host> <port> <verb> [args...]
+//
+// The verb and arguments are joined with tabs into one protocol line
+// (so `adrec_client 127.0.0.1 7311 topk 4 3` sends "topk\t4\t3"), the
+// framed response is printed one line per row. Exit status: 0 on OK-class
+// replies, 1 on NOT_FOUND / CLIENT_ERROR / SERVER_ERROR, 2 on usage or
+// connection errors.
+//
+//   adrec_client 127.0.0.1 7311 ping
+//   adrec_client 127.0.0.1 7311 tweet 4 86400 "coffee downtown"
+//   adrec_client 127.0.0.1 7311 topk 4 3
+//   adrec_client 127.0.0.1 7311 metrics
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "serve/client.h"
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: %s <host> <port> <verb> [args...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const int port = std::atoi(argv[2]);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port '%s'\n", argv[2]);
+    return 2;
+  }
+
+  std::string line;
+  for (int i = 3; i < argc; ++i) {
+    if (!line.empty()) line.push_back('\t');
+    line += argv[i];
+  }
+
+  adrec::serve::Client client;
+  if (auto s = client.Connect(host, static_cast<uint16_t>(port)); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (line == "quit") {
+    client.Quit();
+    return 0;
+  }
+  auto reply = client.Command(line);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", reply.value().c_str());
+  const bool error = adrec::StartsWith(reply.value(), "CLIENT_ERROR") ||
+                     adrec::StartsWith(reply.value(), "SERVER_ERROR") ||
+                     reply.value() == "NOT_FOUND";
+  return error ? 1 : 0;
+}

@@ -15,11 +15,14 @@
 //       (profiles, ads, impression counters — no replay) and prints the
 //       restored serving state.
 //
-//   adrec_tool stats <dir> [k]
+//   adrec_tool stats <dir> [k] [--format=text|prometheus]
 //       Replays the trace through a fully instrumented engine, serves
 //       top-k ads for every tweet, runs the analysis, then prints the
 //       per-stage latency tables and writes the same data as
 //       <dir>/stats.json (verified by parsing it back).
+//       --format=prometheus instead prints the snapshot in Prometheus
+//       text exposition format (the same payload adrecd serves for its
+//       `metrics` command) and skips the JSON file.
 //
 // The subcommands communicate only through the files, demonstrating that
 // the on-disk formats round-trip the full pipeline.
@@ -138,7 +141,20 @@ int Recommend(const std::string& dir, int argc, char** argv) {
 // match) plus the batch analysis, then prints the per-stage latency
 // tables and round-trips the same report through the JSON exporter.
 int Stats(const std::string& dir, int argc, char** argv) {
-  const size_t k = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 3;
+  size_t k = 3;
+  std::string format = "text";
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::string("--format=").size());
+      if (format != "text" && format != "prometheus") {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return 2;
+      }
+    } else {
+      k = static_cast<size_t>(std::atoi(argv[i]));
+    }
+  }
 
   auto analyzer = std::make_shared<adrec::text::Analyzer>();
   auto kb_loaded =
@@ -178,6 +194,12 @@ int Stats(const std::string& dir, int argc, char** argv) {
   if (auto s = engine.RunAnalysis(); !s.ok()) {
     std::fprintf(stderr, "analysis: %s\n", s.ToString().c_str());
     return 1;
+  }
+
+  if (format == "prometheus") {
+    std::printf("%s", adrec::obs::ExportPrometheus(
+                          engine.metrics().Snapshot()).c_str());
+    return 0;
   }
 
   const adrec::obs::StatsReport report =
@@ -252,7 +274,7 @@ int main(int argc, char** argv) {
                  "  %s generate <dir> [users] [days] [ads] [seed]\n"
                  "  %s recommend <dir> [alpha]\n"
                  "  %s resume <dir>\n"
-                 "  %s stats <dir> [k]\n",
+                 "  %s stats <dir> [k] [--format=text|prometheus]\n",
                  argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }

@@ -1,0 +1,162 @@
+// adrecd — the network serving daemon: an event-driven TCP front end
+// (src/serve) over a sharded recommendation engine.
+//
+//   adrecd [--port=N] [--shards=N] [--dir=DIR] [--alpha=A]
+//          [--report-interval=SEC] [--max-connections=N]
+//          [--idle-timeout=SEC]
+//
+// With --dir, the knowledge base is loaded from DIR/kb.tsv and, when
+// present, DIR/ads.tsv and DIR/trace.tsv are preloaded into the engine
+// (so the daemon starts warm). Without --dir, a synthetic case-study
+// knowledge base is generated — enough to serve the wire protocol
+// end-to-end with no files on disk.
+//
+// Prints `adrecd listening on <host>:<port>` once ready (the smoke test
+// and the bench harness parse this line), then serves until SIGTERM or
+// SIGINT, which trigger a graceful drain: stop accepting, flush pending
+// responses, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "annotate/kb_io.h"
+#include "core/sharded_engine.h"
+#include "feed/trace_io.h"
+#include "feed/workload.h"
+#include "serve/server.h"
+
+namespace {
+
+adrec::serve::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7311;
+  size_t shards = 1;
+  std::string dir;
+  double alpha = -1.0;
+  adrec::serve::ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--port", &v)) {
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--shards", &v)) {
+      shards = static_cast<size_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--dir", &v)) {
+      dir = v;
+    } else if (FlagValue(argv[i], "--alpha", &v)) {
+      alpha = std::atof(v);
+    } else if (FlagValue(argv[i], "--report-interval", &v)) {
+      options.report_interval = std::atof(v);
+    } else if (FlagValue(argv[i], "--max-connections", &v)) {
+      options.max_connections = static_cast<size_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--idle-timeout", &v)) {
+      options.idle_timeout = std::atoll(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--shards=N] [--dir=DIR] "
+                   "[--alpha=A] [--report-interval=SEC] "
+                   "[--max-connections=N] [--idle-timeout=SEC]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (shards == 0) shards = 1;
+  options.port = port;
+
+  // Knowledge base: from --dir when given, synthetic otherwise.
+  std::shared_ptr<adrec::annotate::KnowledgeBase> kb;
+  auto analyzer = std::make_shared<adrec::text::Analyzer>();
+  if (!dir.empty()) {
+    auto loaded =
+        adrec::annotate::ReadKnowledgeBase(dir + "/kb.tsv", analyzer.get());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "kb: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    kb = std::shared_ptr<adrec::annotate::KnowledgeBase>(
+        std::move(loaded).value().release());
+  } else {
+    adrec::feed::WorkloadOptions wopts = adrec::feed::CaseStudyOptions();
+    wopts.days = 1;  // the KB does not depend on trace length
+    kb = adrec::feed::GenerateWorkload(wopts).kb;
+  }
+
+  adrec::core::EngineOptions engine_opts;
+  if (alpha >= 0.0) engine_opts.alpha = alpha;
+  adrec::core::ShardedEngine engine(
+      kb, adrec::timeline::TimeSlotScheme::PaperScheme(), shards,
+      engine_opts);
+
+  // Warm start: preload the inventory and trace when the files exist.
+  if (!dir.empty()) {
+    if (std::filesystem::exists(dir + "/ads.tsv")) {
+      auto ads = adrec::feed::ReadAds(dir + "/ads.tsv");
+      if (!ads.ok()) {
+        std::fprintf(stderr, "ads: %s\n", ads.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& ad : ads.value()) {
+        if (auto s = engine.InsertAd(ad); !s.ok()) {
+          std::fprintf(stderr, "insert ad %u: %s\n", ad.id.value,
+                       s.ToString().c_str());
+          return 1;
+        }
+      }
+      std::printf("adrecd preloaded %zu ads\n", ads.value().size());
+    }
+    if (std::filesystem::exists(dir + "/trace.tsv")) {
+      auto trace = adrec::feed::ReadTrace(dir + "/trace.tsv");
+      if (!trace.ok()) {
+        std::fprintf(stderr, "trace: %s\n",
+                     trace.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& c : trace.value().check_ins) engine.OnCheckIn(c);
+      for (const auto& t : trace.value().tweets) engine.OnTweet(t);
+      std::printf("adrecd preloaded %zu tweets, %zu check-ins\n",
+                  trace.value().tweets.size(),
+                  trace.value().check_ins.size());
+    }
+  }
+
+  adrec::serve::Server server(&engine, options);
+  if (auto s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("adrecd listening on %s:%u (%zu shard%s)\n",
+              options.host.c_str(), server.port(), shards,
+              shards == 1 ? "" : "s");
+  std::fflush(stdout);
+
+  server.Run();
+  g_server = nullptr;
+  std::printf("adrecd drained, exiting\n");
+  return 0;
+}

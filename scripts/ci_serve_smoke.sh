@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the adrecd daemon through the CLI client:
+# boots the daemon on an ephemeral port, exercises one command of every
+# class over the real wire, and verifies a graceful SIGTERM drain.
+#
+#   ci_serve_smoke.sh <path-to-adrecd> <path-to-adrec_client>
+#
+# Registered as a tier1 ctest (see tests/CMakeLists.txt), so the default
+# gate covers the daemon binary itself, not just the serve library.
+set -euo pipefail
+
+ADRECD="${1:?usage: ci_serve_smoke.sh <adrecd> <adrec_client>}"
+CLIENT="${2:?usage: ci_serve_smoke.sh <adrecd> <adrec_client>}"
+
+LOG="$(mktemp)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+# --port=0 binds an ephemeral port; parse it from the listening line.
+"$ADRECD" --port=0 --report-interval=1 >"$LOG" 2>&1 &
+DAEMON_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/^adrecd listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$LOG"; echo "FAIL: daemon died during startup"; exit 1; }
+  sleep 0.2
+done
+[ -n "$PORT" ] && echo "smoke: daemon up on port $PORT" || { cat "$LOG"; echo "FAIL: no listening line"; exit 1; }
+
+expect() {  # expect <want-substring> <verb> [args...]
+  local want="$1"; shift
+  local got
+  got="$("$CLIENT" 127.0.0.1 "$PORT" "$@")" || true
+  case "$got" in
+    *"$want"*) echo "smoke: $* -> ok" ;;
+    *) echo "FAIL: '$*' returned '$got', wanted '$want'"; exit 1 ;;
+  esac
+}
+
+expect "PONG" ping
+expect "OK" tweet 4 86400 "coffee and live music downtown"
+expect "OK" checkin 4 86500 7
+expect "OK" adput 1 100 50 1.5 "" "" "coffee and music deals"
+expect "ADS" topk 4 3
+expect "OK" analyze 0.45
+expect "USERS" match 1
+expect "STAT engine.tweets 1" stats
+expect "adrec_serve_cmd_topk" metrics
+expect "adrec_engine_tweets_total 1" metrics
+expect "CLIENT_ERROR" frobnicate
+expect "OK" addel 1
+expect "NOT_FOUND" addel 1
+
+# Parse-or-reject: a malformed payload must not take the daemon down.
+expect "CLIENT_ERROR" topk 4 0
+kill -0 "$DAEMON_PID" || { echo "FAIL: daemon died on bad input"; exit 1; }
+
+# Graceful drain: SIGTERM must exit 0 after flushing.
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+[ "$RC" -eq 0 ] || { cat "$LOG"; echo "FAIL: drain exit code $RC"; exit 1; }
+grep -q "drained" "$LOG" || { cat "$LOG"; echo "FAIL: no drain log line"; exit 1; }
+
+echo "smoke: all serve checks passed"

@@ -75,6 +75,40 @@ void Histogram::Reset() {
   max_ = 0.0;
 }
 
+std::vector<HistogramBucket> Histogram::NonZeroBuckets() const {
+  std::vector<HistogramBucket> out;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] > 0) out.push_back({BucketUpper(b), buckets_[b]});
+  }
+  return out;
+}
+
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  Histogram delta;
+  delta.buckets_.assign(buckets_.size(), 0);
+  size_t first_nonzero = SIZE_MAX;
+  size_t last_nonzero = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const uint64_t before =
+        b < earlier.buckets_.size() ? earlier.buckets_[b] : 0;
+    if (buckets_[b] <= before) continue;  // clamp non-ancestor snapshots
+    delta.buckets_[b] = buckets_[b] - before;
+    delta.count_ += delta.buckets_[b];
+    if (first_nonzero == SIZE_MAX) first_nonzero = b;
+    last_nonzero = b;
+  }
+  if (delta.count_ == 0) {
+    delta.buckets_.assign(1, 0);
+    return delta;
+  }
+  delta.sum_ = sum_ > earlier.sum_ ? sum_ - earlier.sum_ : 0.0;
+  // Window extrema from the changed buckets: lower bound of the first,
+  // upper bound of the last (capped by the cumulative max).
+  delta.min_ = first_nonzero == 0 ? 0.0 : BucketUpper(first_nonzero - 1);
+  delta.max_ = std::min(BucketUpper(last_nonzero), max_);
+  return delta;
+}
+
 void Histogram::Merge(const Histogram& other) {
   if (other.count_ == 0) return;
   if (other.buckets_.size() > buckets_.size()) {

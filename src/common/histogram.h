@@ -8,6 +8,13 @@
 
 namespace adrec {
 
+/// One bucket of a Histogram's distribution: the bucket's inclusive upper
+/// value bound and the number of samples that landed in it.
+struct HistogramBucket {
+  double upper = 0.0;
+  uint64_t count = 0;
+};
+
 /// A log-bucketed histogram for latency/size measurements: O(1) record,
 /// approximate quantiles without retaining samples. Buckets grow
 /// geometrically (factor ~2^(1/4)), giving <= ~19% quantile error —
@@ -46,6 +53,20 @@ class Histogram {
 
   /// Drops all recorded samples (periodic stats-reporting windows).
   void Reset();
+
+  /// The non-empty buckets in ascending bound order. Cumulative
+  /// ("le"-style) exposition is derived by the caller (obs Prometheus
+  /// exporter).
+  std::vector<HistogramBucket> NonZeroBuckets() const;
+
+  /// The distribution recorded since `earlier` was copied from this
+  /// histogram: bucket-wise subtraction of the strictly-older snapshot
+  /// (buckets only grow, so every delta is non-negative). The windowed
+  /// half of periodic delta reporting — cumulative histograms stay
+  /// intact, no Reset required. min/max of the window are approximated
+  /// by the changed buckets' bounds. Passing a snapshot that is not an
+  /// ancestor of this histogram clamps instead of underflowing.
+  Histogram DeltaSince(const Histogram& earlier) const;
 
  private:
   size_t BucketOf(double value) const;

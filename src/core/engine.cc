@@ -20,6 +20,10 @@ void EngineStats::Merge(const EngineStats& other) {
   index_update_us.Merge(other.index_update_us);
   topk_us.Merge(other.topk_us);
   analysis_ms.Merge(other.analysis_ms);
+  analysis_build_ms.Merge(other.analysis_build_ms);
+  analysis_trias_location_ms.Merge(other.analysis_trias_location_ms);
+  analysis_trias_topic_ms.Merge(other.analysis_trias_topic_ms);
+  analysis_decode_ms.Merge(other.analysis_decode_ms);
 }
 
 RecommendationEngine::RecommendationEngine(
@@ -46,7 +50,13 @@ RecommendationEngine::RecommendationEngine(
       tm_profile_update_(metrics_.GetTimer("engine.profile_update_us")),
       tm_index_update_(metrics_.GetTimer("engine.index_update_us")),
       tm_topk_(metrics_.GetTimer("engine.topk_us")),
-      tm_analysis_ms_(metrics_.GetTimer("engine.analysis_ms")) {
+      tm_analysis_ms_(metrics_.GetTimer("engine.analysis_ms")),
+      tm_analysis_build_(metrics_.GetTimer("engine.analysis_build_ms")),
+      tm_analysis_trias_location_(
+          metrics_.GetTimer("engine.analysis_trias_location_ms")),
+      tm_analysis_trias_topic_(
+          metrics_.GetTimer("engine.analysis_trias_topic_ms")),
+      tm_analysis_decode_(metrics_.GetTimer("engine.analysis_decode_ms")) {
   ADREC_CHECK(kb_ != nullptr);
 }
 
@@ -149,6 +159,11 @@ Status RecommendationEngine::RunAnalysis(double alpha) {
   tm_analysis_ms_->Record(std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count());
+  const TfcaPhaseTimings& spans = tfca_.phase_timings();
+  tm_analysis_build_->Record(spans.build_context_ms);
+  tm_analysis_trias_location_->Record(spans.trias_location_ms);
+  tm_analysis_trias_topic_->Record(spans.trias_topic_ms);
+  tm_analysis_decode_->Record(spans.decode_ms);
   ctr_analyses_->Inc();
   g_location_triconcepts_->Set(
       static_cast<double>(tfca_.stats().location_triconcepts));
@@ -176,6 +191,10 @@ EngineStats RecommendationEngine::Stats() const {
   stats.index_update_us = tm_index_update_->Snapshot();
   stats.topk_us = tm_topk_->Snapshot();
   stats.analysis_ms = tm_analysis_ms_->Snapshot();
+  stats.analysis_build_ms = tm_analysis_build_->Snapshot();
+  stats.analysis_trias_location_ms = tm_analysis_trias_location_->Snapshot();
+  stats.analysis_trias_topic_ms = tm_analysis_trias_topic_->Snapshot();
+  stats.analysis_decode_ms = tm_analysis_decode_->Snapshot();
   return stats;
 }
 
@@ -254,7 +273,7 @@ std::vector<index::ScoredAd> RecommendationEngine::TopKAdsForTweet(
 
 std::vector<index::ScoredAd>
 RecommendationEngine::TopKAdsForTweetExhaustive(const feed::Tweet& tweet,
-                                                size_t k) {
+                                                size_t k) const {
   index::AdQuery query = BuildQuery(tweet, k);
   return index_.TopKExhaustive(query);
 }

@@ -63,8 +63,14 @@ struct EngineStats {
   Histogram profile_update_us;
   Histogram index_update_us;
   Histogram topk_us;
-  // Batch path.
+  // Batch path: the whole RunAnalysis plus its sub-phase spans (context
+  // build / TRIAS over each context / concept decode — see
+  // TfcaPhaseTimings), which attribute the superlinear analysis cost.
   Histogram analysis_ms;
+  Histogram analysis_build_ms;
+  Histogram analysis_trias_location_ms;
+  Histogram analysis_trias_topic_ms;
+  Histogram analysis_decode_ms;
 
   /// Folds another engine's stats into this one (sharded aggregation).
   void Merge(const EngineStats& other);
@@ -139,8 +145,10 @@ class RecommendationEngine {
                                                size_t k);
 
   /// The same query answered by the exhaustive scorer (baseline for E3).
+  /// Unlike TopKAdsForTweet it is read-only: no impressions are recorded,
+  /// so it is safe from const contexts (e.g. a serving dispatch loop).
   std::vector<index::ScoredAd> TopKAdsForTweetExhaustive(
-      const feed::Tweet& tweet, size_t k);
+      const feed::Tweet& tweet, size_t k) const;
 
   // --- Introspection / observability. ---
 
@@ -227,6 +235,10 @@ class RecommendationEngine {
   obs::Timer* tm_index_update_;
   obs::Timer* tm_topk_;
   obs::Timer* tm_analysis_ms_;
+  obs::Timer* tm_analysis_build_;
+  obs::Timer* tm_analysis_trias_location_;
+  obs::Timer* tm_analysis_trias_topic_;
+  obs::Timer* tm_analysis_decode_;
 };
 
 }  // namespace adrec::core

@@ -79,6 +79,21 @@ Status ShardedEngine::RunAnalysis(double alpha) {
   return Status::OK();
 }
 
+Status ShardedEngine::RunAnalysis() {
+  std::vector<Status> results(shards_.size());
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    workers.emplace_back(
+        [this, s, &results] { results[s] = shards_[s]->RunAnalysis(); });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const Status& st : results) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
 Result<MatchResult> ShardedEngine::RecommendUsers(AdId id) const {
   MatchResult merged;
   for (const auto& shard : shards_) {

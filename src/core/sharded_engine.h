@@ -34,8 +34,10 @@ class ShardedEngine {
   Status InsertAd(const feed::Ad& ad);
   Status RemoveAd(AdId id);
 
-  /// Runs the triadic analysis on every shard in parallel.
+  /// Runs the triadic analysis on every shard in parallel; the no-arg
+  /// form uses each shard's configured EngineOptions::alpha.
   Status RunAnalysis(double alpha);
+  Status RunAnalysis();
 
   /// Union of the shard matches, re-ranked (score desc, user asc).
   Result<MatchResult> RecommendUsers(AdId id) const;

@@ -1,5 +1,7 @@
 #include "core/tfca.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 #include "fca/stability.h"
 
@@ -68,11 +70,18 @@ Status TimeAwareConceptAnalysis::Analyze(const TfcaOptions& options) {
   stats_.users = user_ids_.size();
   stats_.locations = location_ids_.size();
   stats_.topics = num_topics_;
+  phase_timings_ = {};
 
   const size_t num_users = user_ids_.size();
   const size_t num_slots = slots_->size();
   fca::EnumerateOptions mine_opts;
   mine_opts.max_concepts = options.max_concepts;
+
+  using Clock = std::chrono::steady_clock;
+  auto span_ms = [](Clock::time_point from) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - from)
+        .count();
+  };
 
   auto decode = [&](const fca::TriConcept& tc,
                     const fca::TriadicContext& from) {
@@ -87,42 +96,54 @@ Status TimeAwareConceptAnalysis::Analyze(const TfcaOptions& options) {
 
   // --- Location context H = (U, M, T, I). ---
   if (!checkin_cells_.empty()) {
+    auto t0 = Clock::now();
     fca::TriadicContext h(num_users, location_ids_.size(), num_slots);
     for (const CheckInCell& cell : checkin_cells_) {
       h.Set(cell.user, cell.location, cell.slot);
     }
     stats_.checkin_incidences = h.IncidenceCount();
+    phase_timings_.build_context_ms += span_ms(t0);
+    t0 = Clock::now();
     Result<std::vector<fca::TriConcept>> mined =
         fca::MineTriConcepts(h, mine_opts);
+    phase_timings_.trias_location_ms = span_ms(t0);
     if (!mined.ok()) return mined.status();
     stats_.location_triconcepts = mined.value().size();
     // File the m-triadic concepts (singleton attribute sets) under their
     // location — Algorithm 1's Comm(H, m) for every m at once.
+    t0 = Clock::now();
     for (const fca::TriConcept& tc : mined.value()) {
       if (tc.attributes.Count() != 1 || tc.objects.Empty()) continue;
       const uint32_t dense_loc = tc.attributes.ToVector()[0];
       location_communities_[location_ids_[dense_loc].value].push_back(
           decode(tc, h));
     }
+    phase_timings_.decode_ms += span_ms(t0);
   }
 
   // --- Topic context TFC = (U, URIs, T, I), fuzzy with α-cut. ---
   if (!tweet_cells_.empty()) {
+    auto t0 = Clock::now();
     fca::FuzzyTriadicContext tfc(num_users, num_topics_, num_slots);
     for (const TweetCell& cell : tweet_cells_) {
       tfc.SetDegree(cell.user, cell.topic, cell.slot, cell.score);
     }
     stats_.tweet_cells = tfc.NonZeroCount();
     const fca::TriadicContext cut = tfc.AlphaCut(options.alpha);
+    phase_timings_.build_context_ms += span_ms(t0);
+    t0 = Clock::now();
     Result<std::vector<fca::TriConcept>> mined =
         fca::MineTriConcepts(cut, mine_opts);
+    phase_timings_.trias_topic_ms = span_ms(t0);
     if (!mined.ok()) return mined.status();
     stats_.topic_triconcepts = mined.value().size();
+    t0 = Clock::now();
     for (const fca::TriConcept& tc : mined.value()) {
       if (tc.attributes.Count() != 1 || tc.objects.Empty()) continue;
       const uint32_t topic = tc.attributes.ToVector()[0];
       topic_communities_[topic].push_back(decode(tc, cut));
     }
+    phase_timings_.decode_ms += span_ms(t0);
   }
   return Status::OK();
 }

@@ -55,6 +55,22 @@ struct TfcaStats {
   friend bool operator==(const TfcaStats&, const TfcaStats&) = default;
 };
 
+/// Wall-clock breakdown of the last Analyze() call, in milliseconds —
+/// the sub-phase spans that attribute `engine.analysis_ms` before
+/// optimising it. Deliberately NOT part of TfcaStats: timings vary run
+/// to run, and TfcaStats equality is the differential tests' lattice-
+/// identity check.
+struct TfcaPhaseTimings {
+  /// Dense cells → (fuzzy) triadic contexts, including the α-cut.
+  double build_context_ms = 0.0;
+  /// TRIAS over the binary location context H.
+  double trias_location_ms = 0.0;
+  /// TRIAS over the α-cut topic context TFC.
+  double trias_topic_ms = 0.0;
+  /// Concepts → Community decoding and filing (incl. stability).
+  double decode_ms = 0.0;
+};
+
 /// Macro-phase 2: Time-aware concept analysis. Accumulates the window's
 /// check-ins and annotated tweets, then mines two triadic timed contexts:
 ///
@@ -108,6 +124,9 @@ class TimeAwareConceptAnalysis {
   /// Counters of the last Analyze() run.
   const TfcaStats& stats() const { return stats_; }
 
+  /// Sub-phase wall times of the last Analyze() run.
+  const TfcaPhaseTimings& phase_timings() const { return phase_timings_; }
+
   /// Users seen in the window, in first-seen order.
   const std::vector<UserId>& known_users() const { return user_ids_; }
 
@@ -140,6 +159,7 @@ class TimeAwareConceptAnalysis {
   std::unordered_map<uint32_t, std::vector<Community>> topic_communities_;
   std::vector<Community> empty_;
   TfcaStats stats_;
+  TfcaPhaseTimings phase_timings_;
 };
 
 }  // namespace adrec::core

@@ -23,6 +23,9 @@ ReplayStats StreamReplayer::Replay(
 
   double current_lag_sim = 0.0;
   size_t processed = 0;
+  // Previous report's cut, for the windowed (per-interval) rate.
+  size_t last_delivered = 0;
+  double last_wall = 0.0;
 
   const auto report_progress = [&] {
     ReplayProgress progress;
@@ -35,6 +38,14 @@ ReplayStats StreamReplayer::Replay(
             ? static_cast<double>(stats.events_delivered) /
                   progress.wall_seconds
             : 0.0;
+    const double window = progress.wall_seconds - last_wall;
+    progress.interval_events_per_second =
+        window > 0.0 ? static_cast<double>(stats.events_delivered -
+                                           last_delivered) /
+                           window
+                     : 0.0;
+    last_delivered = stats.events_delivered;
+    last_wall = progress.wall_seconds;
     progress.lag_sim_seconds = current_lag_sim;
     if (options_.on_progress) {
       options_.on_progress(progress);
@@ -42,9 +53,11 @@ ReplayStats StreamReplayer::Replay(
       ADREC_LOG(kInfo) << "replay: " << progress.events_delivered
                        << " delivered, " << progress.events_dropped
                        << " dropped, "
-                       << StringFormat("%.0f ev/s, lag %.1fs",
-                                       progress.events_per_second,
-                                       progress.lag_sim_seconds);
+                       << StringFormat(
+                              "%.0f ev/s (window %.0f), lag %.1fs",
+                              progress.events_per_second,
+                              progress.interval_events_per_second,
+                              progress.lag_sim_seconds);
     }
   };
 

@@ -28,6 +28,11 @@ struct ReplayProgress {
   double wall_seconds = 0.0;
   /// Cumulative delivery rate so far.
   double events_per_second = 0.0;
+  /// Delivery rate of the window since the previous progress report —
+  /// the in-flight figure long-running deployments watch (cumulative
+  /// rates flatten out and hide regressions). Equals events_per_second
+  /// on the first report.
+  double interval_events_per_second = 0.0;
   /// How far behind the paced schedule the replay is, in simulated
   /// seconds (0 when unpaced or on schedule).
   double lag_sim_seconds = 0.0;

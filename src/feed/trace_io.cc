@@ -1,6 +1,8 @@
 #include "feed/trace_io.h"
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -62,6 +64,17 @@ Result<int64_t> ParseInt(std::string_view field) {
   return static_cast<int64_t>(v);
 }
 
+Result<uint32_t> ParseU32(std::string_view field) {
+  auto v = ParseInt(field);
+  if (!v.ok()) return v.status();
+  if (v.value() < 0 || v.value() > static_cast<int64_t>(UINT32_MAX)) {
+    return Status::InvalidArgument(
+        StringFormat("id out of range '%lld'",
+                     static_cast<long long>(v.value())));
+  }
+  return static_cast<uint32_t>(v.value());
+}
+
 Result<double> ParseDouble(std::string_view field) {
   const std::string s(field);
   char* end = nullptr;
@@ -74,6 +87,99 @@ Result<double> ParseDouble(std::string_view field) {
 
 }  // namespace
 
+Result<Tweet> ParseTweetFields(std::string_view payload) {
+  const size_t tab1 = payload.find('\t');
+  const size_t tab2 =
+      tab1 == std::string_view::npos ? tab1 : payload.find('\t', tab1 + 1);
+  if (tab2 == std::string_view::npos) {
+    return Status::InvalidArgument("tweet needs <user> <time> <text>");
+  }
+  auto user = ParseU32(payload.substr(0, tab1));
+  if (!user.ok()) return user.status();
+  auto time = ParseInt(payload.substr(tab1 + 1, tab2 - tab1 - 1));
+  if (!time.ok()) return time.status();
+  Tweet t;
+  t.user = UserId(user.value());
+  t.time = time.value();
+  // The text is the tail (may be empty, and joins any further tabs back —
+  // sanitised on write anyway).
+  t.text = std::string(payload.substr(tab2 + 1));
+  return t;
+}
+
+std::string FormatTweetFields(const Tweet& tweet) {
+  return StringFormat("%u\t%lld\t", tweet.user.value,
+                      static_cast<long long>(tweet.time)) +
+         Sanitize(tweet.text);
+}
+
+Result<CheckIn> ParseCheckInFields(std::string_view payload) {
+  const auto fields = SplitString(payload, '\t', /*keep_empty=*/true);
+  if (fields.size() != 3) {
+    return Status::InvalidArgument("check-in needs <user> <time> <location>");
+  }
+  auto user = ParseU32(fields[0]);
+  if (!user.ok()) return user.status();
+  auto time = ParseInt(fields[1]);
+  if (!time.ok()) return time.status();
+  auto loc = ParseU32(fields[2]);
+  if (!loc.ok()) return loc.status();
+  CheckIn c;
+  c.user = UserId(user.value());
+  c.time = time.value();
+  c.location = LocationId(loc.value());
+  return c;
+}
+
+std::string FormatCheckInFields(const CheckIn& check_in) {
+  return StringFormat("%u\t%lld\t%u", check_in.user.value,
+                      static_cast<long long>(check_in.time),
+                      check_in.location.value);
+}
+
+Result<Ad> ParseAdFields(std::string_view payload) {
+  // Six fixed fields, then the copy tail.
+  std::array<std::string_view, 6> f;
+  size_t pos = 0;
+  for (size_t i = 0; i < f.size(); ++i) {
+    const size_t tab = payload.find('\t', pos);
+    if (tab == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "ad needs <id> <campaign> <budget> <bid> <locs> <slots> <copy>");
+    }
+    f[i] = payload.substr(pos, tab - pos);
+    pos = tab + 1;
+  }
+  auto id = ParseU32(f[0]);
+  auto campaign = ParseU32(f[1]);
+  auto budget = ParseInt(f[2]);
+  auto bid = ParseDouble(f[3]);
+  auto locs = ParseIdList(f[4]);
+  auto slots = ParseIdList(f[5]);
+  if (!id.ok()) return id.status();
+  if (!campaign.ok()) return campaign.status();
+  if (!budget.ok()) return budget.status();
+  if (!bid.ok()) return bid.status();
+  if (!locs.ok()) return locs.status();
+  if (!slots.ok()) return slots.status();
+  Ad ad;
+  ad.id = AdId(id.value());
+  ad.campaign = CampaignId(campaign.value());
+  ad.budget_impressions = budget.value();
+  ad.bid = bid.value();
+  for (uint32_t v : locs.value()) ad.target_locations.push_back(LocationId(v));
+  for (uint32_t v : slots.value()) ad.target_slots.push_back(SlotId(v));
+  ad.copy = std::string(payload.substr(pos));
+  return ad;
+}
+
+std::string FormatAdFields(const Ad& ad) {
+  return StringFormat("%u\t%u\t%lld\t", ad.id.value, ad.campaign.value,
+                      static_cast<long long>(ad.budget_impressions)) +
+         StringFormat("%.6f", ad.bid) + '\t' + JoinIds(ad.target_locations) +
+         '\t' + JoinSlots(ad.target_slots) + '\t' + Sanitize(ad.copy);
+}
+
 Status WriteTrace(const std::string& path, const std::vector<Tweet>& tweets,
                   const std::vector<CheckIn>& check_ins) {
   std::ofstream out(path);
@@ -84,13 +190,9 @@ Status WriteTrace(const std::string& path, const std::vector<Tweet>& tweets,
         j >= check_ins.size() ||
         (i < tweets.size() && tweets[i].time <= check_ins[j].time);
     if (take_tweet) {
-      const Tweet& t = tweets[i++];
-      out << "T\t" << t.user.value << '\t' << t.time << '\t'
-          << Sanitize(t.text) << '\n';
+      out << "T\t" << FormatTweetFields(tweets[i++]) << '\n';
     } else {
-      const CheckIn& c = check_ins[j++];
-      out << "C\t" << c.user.value << '\t' << c.time << '\t'
-          << c.location.value << '\n';
+      out << "C\t" << FormatCheckInFields(check_ins[j++]) << '\n';
     }
   }
   out.flush();
@@ -102,15 +204,25 @@ Status WriteAds(const std::string& path, const std::vector<Ad>& ads) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   for (const Ad& ad : ads) {
-    out << "A\t" << ad.id.value << '\t' << ad.campaign.value << '\t'
-        << ad.budget_impressions << '\t' << StringFormat("%.6f", ad.bid)
-        << '\t' << JoinIds(ad.target_locations) << '\t'
-        << JoinSlots(ad.target_slots) << '\t' << Sanitize(ad.copy) << '\n';
+    out << "A\t" << FormatAdFields(ad) << '\n';
   }
   out.flush();
   if (!out) return Status::IoError("write failed on " + path);
   return Status::OK();
 }
+
+namespace {
+
+/// The payload after a one-letter record tag, or an error if the line is
+/// just the tag.
+Result<std::string_view> RecordPayload(const std::string& line) {
+  if (line.size() < 2 || line[1] != '\t') {
+    return Status::InvalidArgument("record has no payload");
+  }
+  return std::string_view(line).substr(2);
+}
+
+}  // namespace
 
 Result<Trace> ReadTrace(const std::string& path) {
   std::ifstream in(path);
@@ -125,37 +237,21 @@ Result<Trace> ReadTrace(const std::string& path) {
       return Status::InvalidArgument(
           StringFormat("%s:%zu: %s", path.c_str(), line_no, why.c_str()));
     };
-    const auto fields = SplitString(line, '\t', /*keep_empty=*/true);
-    if (fields.empty()) continue;
-    if (fields[0] == "T") {
-      if (fields.size() < 4) return bad("tweet needs 4 fields");
-      auto user = ParseInt(fields[1]);
-      auto time = ParseInt(fields[2]);
-      if (!user.ok() || !time.ok()) return bad("bad tweet numbers");
-      Tweet t;
-      t.user = UserId(static_cast<uint32_t>(user.value()));
-      t.time = time.value();
-      // The text is everything after the third tab (may itself be empty,
-      // and joins any further tabs back — sanitised on write anyway).
-      size_t pos = 0;
-      for (int k = 0; k < 3; ++k) pos = line.find('\t', pos) + 1;
-      t.text = line.substr(pos);
-      trace.tweets.push_back(std::move(t));
-    } else if (fields[0] == "C") {
-      if (fields.size() != 4) return bad("check-in needs 4 fields");
-      auto user = ParseInt(fields[1]);
-      auto time = ParseInt(fields[2]);
-      auto loc = ParseInt(fields[3]);
-      if (!user.ok() || !time.ok() || !loc.ok()) {
-        return bad("bad check-in numbers");
-      }
-      CheckIn c;
-      c.user = UserId(static_cast<uint32_t>(user.value()));
-      c.time = time.value();
-      c.location = LocationId(static_cast<uint32_t>(loc.value()));
-      trace.check_ins.push_back(c);
+    if (line[0] == 'T' && (line.size() == 1 || line[1] == '\t')) {
+      auto payload = RecordPayload(line);
+      if (!payload.ok()) return bad(payload.status().message());
+      auto t = ParseTweetFields(payload.value());
+      if (!t.ok()) return bad(t.status().message());
+      trace.tweets.push_back(std::move(t).value());
+    } else if (line[0] == 'C' && (line.size() == 1 || line[1] == '\t')) {
+      auto payload = RecordPayload(line);
+      if (!payload.ok()) return bad(payload.status().message());
+      auto c = ParseCheckInFields(payload.value());
+      if (!c.ok()) return bad(c.status().message());
+      trace.check_ins.push_back(c.value());
     } else {
-      return bad("unknown record tag '" + std::string(fields[0]) + "'");
+      const std::string tag(SplitString(line, '\t', /*keep_empty=*/true)[0]);
+      return bad("unknown record tag '" + tag + "'");
     }
   }
   return trace;
@@ -174,29 +270,14 @@ Result<std::vector<Ad>> ReadAds(const std::string& path) {
       return Status::InvalidArgument(
           StringFormat("%s:%zu: %s", path.c_str(), line_no, why.c_str()));
     };
-    const auto fields = SplitString(line, '\t', /*keep_empty=*/true);
-    if (fields.size() < 8 || fields[0] != "A") return bad("bad ad record");
-    auto id = ParseInt(fields[1]);
-    auto campaign = ParseInt(fields[2]);
-    auto budget = ParseInt(fields[3]);
-    auto bid = ParseDouble(fields[4]);
-    auto locs = ParseIdList(fields[5]);
-    auto slots = ParseIdList(fields[6]);
-    if (!id.ok() || !campaign.ok() || !budget.ok() || !bid.ok() ||
-        !locs.ok() || !slots.ok()) {
-      return bad("bad ad fields");
+    if (line[0] != 'A' || (line.size() > 1 && line[1] != '\t')) {
+      return bad("bad ad record");
     }
-    Ad ad;
-    ad.id = AdId(static_cast<uint32_t>(id.value()));
-    ad.campaign = CampaignId(static_cast<uint32_t>(campaign.value()));
-    ad.budget_impressions = budget.value();
-    ad.bid = bid.value();
-    for (uint32_t v : locs.value()) ad.target_locations.push_back(LocationId(v));
-    for (uint32_t v : slots.value()) ad.target_slots.push_back(SlotId(v));
-    size_t pos = 0;
-    for (int k = 0; k < 7; ++k) pos = line.find('\t', pos) + 1;
-    ad.copy = line.substr(pos);
-    ads.push_back(std::move(ad));
+    auto payload = RecordPayload(line);
+    if (!payload.ok()) return bad(payload.status().message());
+    auto ad = ParseAdFields(payload.value());
+    if (!ad.ok()) return bad(ad.status().message());
+    ads.push_back(std::move(ad).value());
   }
   return ads;
 }

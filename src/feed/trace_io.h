@@ -2,6 +2,7 @@
 #define ADREC_FEED_TRACE_IO_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -37,6 +38,28 @@ Result<Trace> ReadTrace(const std::string& path);
 
 /// Reads ads written by WriteAds.
 Result<std::vector<Ad>> ReadAds(const std::string& path);
+
+/// --- The field grammar itself, shared with the serve wire protocol. ---
+///
+/// A record's payload is the tab-separated field list after its leading
+/// tag. The parse/format pair below is the single definition of that
+/// grammar: ReadTrace/ReadAds consume it per line, and the src/serve
+/// daemon's `tweet`/`checkin`/`adput` commands carry exactly these
+/// payloads after the command verb. Formatters emit neither tag nor
+/// newline; free text is sanitised to be single-line and tab-free.
+
+/// "<user>\t<time>\t<text...>" (text is the tail and may be empty).
+Result<Tweet> ParseTweetFields(std::string_view payload);
+std::string FormatTweetFields(const Tweet& tweet);
+
+/// "<user>\t<time>\t<location>" (exactly three fields).
+Result<CheckIn> ParseCheckInFields(std::string_view payload);
+std::string FormatCheckInFields(const CheckIn& check_in);
+
+/// "<id>\t<campaign>\t<budget>\t<bid>\t<locs;...>\t<slots;...>\t<copy...>"
+/// ("-" stands for an empty id list; copy is the tail).
+Result<Ad> ParseAdFields(std::string_view payload);
+std::string FormatAdFields(const Ad& ad);
 
 }  // namespace adrec::feed
 

@@ -197,6 +197,76 @@ std::string ExportJson(const StatsReport& report) {
   return out;
 }
 
+namespace {
+
+/// `engine.topk_us` → `adrec_engine_topk` + scale 1e-6 (seconds), etc.
+struct PromName {
+  std::string name;
+  double scale = 1.0;  // multiplier into Prometheus base units
+  bool is_duration = false;
+};
+
+PromName PrometheusName(const std::string& raw) {
+  PromName out;
+  std::string base = raw;
+  if (EndsWith(base, "_us")) {
+    base.resize(base.size() - 3);
+    out.scale = 1e-6;
+    out.is_duration = true;
+  } else if (EndsWith(base, "_ms")) {
+    base.resize(base.size() - 3);
+    out.scale = 1e-3;
+    out.is_duration = true;
+  }
+  out.name = "adrec_";
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.name.push_back(ok ? c : '_');
+  }
+  if (out.is_duration) out.name += "_seconds";
+  return out;
+}
+
+// Shortest-exact float form for bucket bounds and sums.
+std::string PromNumber(double v) { return StringFormat("%.9g", v); }
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [raw, value] : snapshot.counters) {
+    const PromName p = PrometheusName(raw);
+    out += "# TYPE " + p.name + "_total counter\n";
+    out += p.name + StringFormat("_total %llu\n",
+                                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [raw, value] : snapshot.gauges) {
+    const PromName p = PrometheusName(raw);
+    out += "# TYPE " + p.name + " gauge\n";
+    out += p.name + " " + PromNumber(value) + "\n";
+  }
+  for (const auto& [raw, hist] : snapshot.timers) {
+    const PromName p = PrometheusName(raw);
+    out += "# TYPE " + p.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const HistogramBucket& b : hist.NonZeroBuckets()) {
+      cumulative += b.count;
+      out += p.name + "_bucket{le=\"" + PromNumber(b.upper * p.scale) +
+             StringFormat("\"} %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+    }
+    out += p.name + StringFormat("_bucket{le=\"+Inf\"} %llu\n",
+                                 static_cast<unsigned long long>(
+                                     hist.count()));
+    out += p.name + "_sum " + PromNumber(hist.sum() * p.scale) + "\n";
+    out += p.name + StringFormat("_count %llu\n",
+                                 static_cast<unsigned long long>(
+                                     hist.count()));
+  }
+  return out;
+}
+
 Result<StatsReport> ParseJson(const std::string& json) {
   StatsReport report;
   JsonCursor cur(json);

@@ -48,6 +48,23 @@ std::string ExportJson(const StatsReport& report);
 /// only the restricted JSON subset ExportJson emits.
 Result<StatsReport> ParseJson(const std::string& json);
 
+/// Prometheus text exposition (format version 0.0.4) of a full snapshot —
+/// the scrape payload served by the daemon's `metrics` command and
+/// `adrec_tool stats --format=prometheus`. Takes the snapshot (not the
+/// report) because histograms are exposed with their buckets.
+///
+/// Mapping rules:
+///  * names: dots become underscores under an `adrec_` namespace prefix
+///    (`serve.bytes_in` → `adrec_serve_bytes_in`);
+///  * counters get the `_total` suffix and TYPE `counter`;
+///  * gauges are emitted verbatim with TYPE `gauge`;
+///  * timers become TYPE `histogram` with cumulative `_bucket{le="..."}`
+///    series over the non-empty log buckets plus `+Inf`, `_sum` and
+///    `_count`;
+///  * unit suffixes are converted to Prometheus base units: a `_us` or
+///    `_ms` timer is renamed `_seconds` and its bounds/sum are scaled.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
 }  // namespace adrec::obs
 
 #endif  // ADREC_OBS_STATS_EXPORT_H_

@@ -1,0 +1,296 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace adrec::serve {
+
+namespace {
+
+/// Replies that are complete in one line (everything except the
+/// END-framed list/stat/metrics responses).
+bool IsSingleLineReply(std::string_view first) {
+  return first == "OK" || first == "PONG" || first == "NOT_FOUND" ||
+         StartsWith(first, "CLIENT_ERROR") ||
+         StartsWith(first, "SERVER_ERROR");
+}
+
+Status StatusFromReply(std::string_view reply) {
+  if (reply == "NOT_FOUND") return Status::NotFound("not found");
+  if (StartsWith(reply, "CLIENT_ERROR ")) {
+    return Status::InvalidArgument(
+        std::string(reply.substr(strlen("CLIENT_ERROR "))));
+  }
+  if (StartsWith(reply, "SERVER_ERROR ")) {
+    return Status::Internal(
+        std::string(reply.substr(strlen("SERVER_ERROR "))));
+  }
+  return Status::Internal("unexpected reply '" + std::string(reply) + "'");
+}
+
+Result<double> ParseScore(std::string_view field) {
+  const std::string s(field);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::Internal("bad score '" + s + "' in reply");
+  }
+  return v;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(StringFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IoError(StringFormat(
+        "connect %s:%u: %s", host.c_str(), port, std::strerror(errno)));
+    Close();
+    return st;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+Status Client::SendLine(std::string_view line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string frame(line);
+  frame.push_back('\n');
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(
+          StringFormat("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::ReadLine() {
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      size_t end = nl;
+      if (end > 0 && buffer_[end - 1] == '\r') --end;
+      std::string line = buffer_.substr(0, end);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(n == 0 ? "connection closed by server"
+                                      : StringFormat("recv: %s",
+                                                     std::strerror(errno)));
+  }
+}
+
+Result<std::string> Client::ReadBytes(size_t n) {
+  while (buffer_.size() < n) {
+    char chunk[4096];
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      buffer_.append(chunk, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return Status::IoError(r == 0 ? "connection closed by server"
+                                      : StringFormat("recv: %s",
+                                                     std::strerror(errno)));
+  }
+  std::string out = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return out;
+}
+
+Result<std::string> Client::ReadResponse() {
+  auto first = ReadLine();
+  if (!first.ok()) return first.status();
+  if (IsSingleLineReply(first.value())) return first;
+
+  std::string out = first.value();
+  if (StartsWith(first.value(), "METRICS ")) {
+    // Length-framed payload: "METRICS <bytes>\r\n" <bytes> "END\r\n".
+    char* end = nullptr;
+    const std::string count_str = first.value().substr(strlen("METRICS "));
+    const unsigned long long bytes = std::strtoull(count_str.c_str(), &end, 10);
+    if (end == count_str.c_str() || *end != '\0') {
+      return Status::Internal("bad METRICS frame '" + first.value() + "'");
+    }
+    auto payload = ReadBytes(static_cast<size_t>(bytes));
+    if (!payload.ok()) return payload.status();
+    out.push_back('\n');
+    out += payload.value();
+  }
+  for (;;) {
+    auto line = ReadLine();
+    if (!line.ok()) return line.status();
+    if (!out.empty() && out.back() != '\n') out.push_back('\n');
+    out += line.value();
+    if (line.value() == "END") return out;
+  }
+}
+
+Result<std::string> Client::Command(std::string_view line) {
+  ADREC_RETURN_NOT_OK(SendLine(line));
+  return ReadResponse();
+}
+
+Status Client::ExpectOk(std::string_view sent) {
+  auto reply = Command(sent);
+  if (!reply.ok()) return reply.status();
+  if (reply.value() == "OK") return Status::OK();
+  return StatusFromReply(reply.value());
+}
+
+Status Client::SendTweet(const feed::Tweet& tweet) {
+  return ExpectOk(FormatTweetCmd(tweet));
+}
+
+Status Client::SendCheckIn(const feed::CheckIn& check_in) {
+  return ExpectOk(FormatCheckInCmd(check_in));
+}
+
+Status Client::PutAd(const feed::Ad& ad) {
+  return ExpectOk(FormatAdPutCmd(ad));
+}
+
+Status Client::DeleteAd(AdId id) { return ExpectOk(FormatAdDelCmd(id)); }
+
+Result<std::vector<index::ScoredAd>> Client::TopK(UserId user, size_t k) {
+  return TopKCommand(FormatTopKCmd(user, k));
+}
+
+Result<std::vector<index::ScoredAd>> Client::TopK(UserId user, size_t k,
+                                                  Timestamp time,
+                                                  std::string_view text) {
+  return TopKCommand(FormatTopKCmd(user, k, time, text));
+}
+
+Result<std::vector<index::ScoredAd>> Client::TopKCommand(
+    std::string_view cmd) {
+  auto reply = Command(cmd);
+  if (!reply.ok()) return reply.status();
+  const auto lines = SplitString(reply.value(), '\n');
+  if (lines.empty() || !StartsWith(lines[0], "ADS ")) {
+    return StatusFromReply(lines.empty() ? "" : lines[0]);
+  }
+  std::vector<index::ScoredAd> ads;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i] == "END") break;
+    const auto fields = SplitString(lines[i], ' ');
+    if (fields.size() != 3 || fields[0] != "AD") {
+      return Status::Internal("bad AD line '" + std::string(lines[i]) + "'");
+    }
+    index::ScoredAd sa;
+    sa.ad = AdId(static_cast<uint32_t>(
+        std::strtoul(std::string(fields[1]).c_str(), nullptr, 10)));
+    auto score = ParseScore(fields[2]);
+    if (!score.ok()) return score.status();
+    sa.score = score.value();
+    ads.push_back(sa);
+  }
+  return ads;
+}
+
+Result<std::vector<core::MatchedUser>> Client::Match(AdId id) {
+  auto reply = Command(FormatMatchCmd(id));
+  if (!reply.ok()) return reply.status();
+  const auto lines = SplitString(reply.value(), '\n');
+  if (lines.empty() || !StartsWith(lines[0], "USERS ")) {
+    return StatusFromReply(lines.empty() ? "" : lines[0]);
+  }
+  std::vector<core::MatchedUser> users;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i] == "END") break;
+    const auto fields = SplitString(lines[i], ' ');
+    if (fields.size() != 3 || fields[0] != "USER") {
+      return Status::Internal("bad USER line '" + std::string(lines[i]) +
+                              "'");
+    }
+    core::MatchedUser mu;
+    mu.user = UserId(static_cast<uint32_t>(
+        std::strtoul(std::string(fields[1]).c_str(), nullptr, 10)));
+    auto score = ParseScore(fields[2]);
+    if (!score.ok()) return score.status();
+    mu.score = score.value();
+    users.push_back(mu);
+  }
+  return users;
+}
+
+Status Client::Analyze(double alpha) {
+  return ExpectOk(FormatAnalyzeCmd(alpha));
+}
+
+Status Client::Analyze() { return ExpectOk("analyze"); }
+
+Status Client::Snapshot(const std::string& dir) {
+  return ExpectOk(FormatSnapshotCmd(dir));
+}
+
+Result<std::string> Client::Metrics() {
+  auto reply = Command("metrics");
+  if (!reply.ok()) return reply.status();
+  const std::string& r = reply.value();
+  if (!StartsWith(r, "METRICS ")) return StatusFromReply(r);
+  // Strip the frame header and trailing END.
+  const size_t header_end = r.find('\n');
+  size_t tail = r.rfind("\nEND");
+  if (header_end == std::string::npos || tail == std::string::npos) {
+    return Status::Internal("bad metrics frame");
+  }
+  return r.substr(header_end + 1, tail - header_end);
+}
+
+Status Client::Ping() {
+  auto reply = Command("ping");
+  if (!reply.ok()) return reply.status();
+  if (reply.value() == "PONG") return Status::OK();
+  return StatusFromReply(reply.value());
+}
+
+void Client::Quit() {
+  if (fd_ < 0) return;
+  (void)SendLine("quit");
+  Close();
+}
+
+}  // namespace adrec::serve

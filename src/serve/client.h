@@ -1,0 +1,105 @@
+#ifndef ADREC_SERVE_CLIENT_H_
+#define ADREC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/recommender.h"
+#include "feed/types.h"
+#include "index/ad_index.h"
+#include "serve/protocol.h"
+
+namespace adrec::serve {
+
+/// A blocking adrecd client: one TCP connection, synchronous
+/// request/response. The typed helpers format a command, send it, and
+/// parse the framed reply; Command() is the generic escape hatch used by
+/// the CLI and tests (it returns the raw response including multi-line
+/// frames, CRLF stripped per line).
+///
+/// Not thread-safe: one Client per thread, like the protocol it speaks
+/// (responses carry no request ids; ordering is the correlation).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to an adrecd at host:port.
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // --- Typed commands. ---
+
+  Status SendTweet(const feed::Tweet& tweet);
+  Status SendCheckIn(const feed::CheckIn& check_in);
+  Status PutAd(const feed::Ad& ad);
+  /// NOT_FOUND surfaces as StatusCode::kNotFound.
+  Status DeleteAd(AdId id);
+
+  /// `topk <user> <k>` — query at the server's stream clock.
+  Result<std::vector<index::ScoredAd>> TopK(UserId user, size_t k);
+  /// `topk <user> <k> <time> [<text>]` — explicit query time and text.
+  Result<std::vector<index::ScoredAd>> TopK(UserId user, size_t k,
+                                            Timestamp time,
+                                            std::string_view text);
+  /// `match <ad>` — users recommended for an ad (score order).
+  Result<std::vector<core::MatchedUser>> Match(AdId id);
+
+  Status Analyze(double alpha);
+  /// Analyze with each shard's configured default alpha.
+  Status Analyze();
+  Status Snapshot(const std::string& dir);
+  /// The Prometheus payload of the `metrics` command.
+  Result<std::string> Metrics();
+  Status Ping();
+  /// Sends `quit` and closes the connection.
+  void Quit();
+
+  /// Sends one raw command line (no terminator) and returns the complete
+  /// framed response: every line CRLF-stripped, joined with '\n'. Knows
+  /// the framing (END-terminated lists, METRICS byte counts, single-line
+  /// statuses) so it never under- or over-reads a pipelined stream.
+  Result<std::string> Command(std::string_view line);
+
+ private:
+  /// Writes `line` + LF; loops over partial sends.
+  Status SendLine(std::string_view line);
+  /// Reads up to the next LF (CRLF stripped).
+  Result<std::string> ReadLine();
+  /// Reads exactly `n` bytes.
+  Result<std::string> ReadBytes(size_t n);
+  /// Reads a framed response for a command already sent.
+  Result<std::string> ReadResponse();
+  /// Sends a topk command line and parses the ADS frame.
+  Result<std::vector<index::ScoredAd>> TopKCommand(std::string_view cmd);
+  /// Expects a single-line "OK"-style reply, mapping error framing back
+  /// to Status codes.
+  Status ExpectOk(std::string_view sent);
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read but not yet consumed
+};
+
+}  // namespace adrec::serve
+
+#endif  // ADREC_SERVE_CLIENT_H_

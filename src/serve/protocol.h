@@ -1,0 +1,105 @@
+#ifndef ADREC_SERVE_PROTOCOL_H_
+#define ADREC_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/id_types.h"
+#include "common/status.h"
+#include "feed/types.h"
+
+namespace adrec::serve {
+
+/// The adrecd wire protocol: a memcached-style text protocol, one request
+/// per line, one (possibly multi-line) response per request, processed in
+/// order (clients may pipeline).
+///
+/// Framing: requests are LF-terminated (an optional preceding CR is
+/// stripped); responses terminate every line with CRLF. Fields within a
+/// request are TAB-separated — not space-separated as in memcached —
+/// because tweet text and ad copy are free text; the payload after each
+/// ingest verb is exactly the feed::trace_io field grammar, so a trace
+/// file line `T\t<user>\t<time>\t<text>` becomes the wire command
+/// `tweet\t<user>\t<time>\t<text>` and vice versa.
+///
+/// Requests:
+///   tweet <user> <time> <text...>      -> OK
+///   checkin <user> <time> <location>   -> OK
+///   adput <id> <campaign> <budget> <bid> <locs;> <slots;> <copy...> -> OK
+///   addel <id>                         -> OK | NOT_FOUND
+///   topk <user> <k> [<time> [<text...>]] -> ADS <n> / AD <id> <score> / END
+///        (time omitted: the server substitutes the newest event time it
+///        has seen — "what belongs on this user's feed right now")
+///   match <ad>                         -> USERS <n> / USER <id> <score> / END
+///   analyze [<alpha>]                  -> OK
+///   stats                              -> STAT <name> <value> ... / END
+///   metrics                            -> METRICS <bytes> / <payload> / END
+///        (payload is Prometheus text exposition, obs::ExportPrometheus)
+///   snapshot <dir>                     -> OK   (per-shard dir/shard<i>)
+///   ping                               -> PONG
+///   quit                               (server closes the connection)
+///
+/// Error replies: `CLIENT_ERROR <detail>` for anything that fails to
+/// parse (the connection stays usable — except over-long lines, which
+/// cannot be resynchronised and close it), `SERVER_ERROR <detail>` for
+/// engine-side failures, and `SERVER_ERROR busy` when the daemon sheds
+/// load instead of queueing without bound.
+
+/// Command verbs, in wire-name order (VerbName / per-verb metrics).
+enum class Verb {
+  kTweet = 0,
+  kCheckIn,
+  kAdPut,
+  kAdDel,
+  kTopK,
+  kMatch,
+  kAnalyze,
+  kStats,
+  kMetrics,
+  kSnapshot,
+  kPing,
+  kQuit,
+};
+
+inline constexpr size_t kNumVerbs = 12;
+
+/// The wire name of a verb ("tweet", "checkin", ...).
+std::string_view VerbName(Verb verb);
+
+/// One parsed request line. Only the fields of the given verb are
+/// meaningful.
+struct Request {
+  Verb verb = Verb::kPing;
+  feed::Tweet tweet;       // kTweet; kTopK (query context)
+  feed::CheckIn check_in;  // kCheckIn
+  feed::Ad ad;             // kAdPut
+  AdId ad_id;              // kAdDel, kMatch
+  size_t k = 0;            // kTopK
+  /// kTopK: false when the client omitted <time> and the server should
+  /// substitute its stream clock.
+  bool has_time = false;
+  /// kAnalyze: NaN-free; <0 means "use the engine's configured alpha".
+  double alpha = -1.0;
+  std::string dir;  // kSnapshot
+};
+
+/// Parses one request line (terminator already stripped). The error
+/// status' message is the `CLIENT_ERROR` detail the server sends back.
+Result<Request> ParseRequest(std::string_view line);
+
+/// Client-side request formatters: the exact line `Client` sends (no
+/// terminator). Ingest verbs delegate to the trace_io field formatters.
+std::string FormatTweetCmd(const feed::Tweet& tweet);
+std::string FormatCheckInCmd(const feed::CheckIn& check_in);
+std::string FormatAdPutCmd(const feed::Ad& ad);
+std::string FormatAdDelCmd(AdId id);
+std::string FormatTopKCmd(UserId user, size_t k);
+std::string FormatTopKCmd(UserId user, size_t k, Timestamp time,
+                          std::string_view text);
+std::string FormatMatchCmd(AdId id);
+std::string FormatAnalyzeCmd(double alpha);
+std::string FormatSnapshotCmd(std::string_view dir);
+
+}  // namespace adrec::serve
+
+#endif  // ADREC_SERVE_PROTOCOL_H_

@@ -1,0 +1,554 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/snapshot.h"
+#include "obs/stats_export.h"
+#include "serve/reporter.h"
+
+namespace adrec::serve {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(StringFormat("fcntl(O_NONBLOCK): %s",
+                                         std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Exact score text on the wire: round-trips doubles so differential
+/// clients see bit-identical rankings.
+std::string ScoreText(double score) { return StringFormat("%.17g", score); }
+
+}  // namespace
+
+/// Per-connection state, owned and touched only by the event loop.
+struct Server::Connection {
+  int fd = -1;
+  /// Unconsumed request bytes (partial or backpressured lines).
+  std::string in;
+  /// Response bytes not yet accepted by the socket.
+  std::string out;
+  std::chrono::steady_clock::time_point last_active;
+  /// Peer half-closed (or quit): flush `out`, then close.
+  bool closing = false;
+};
+
+Server::Server(core::ShardedEngine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      ctr_accepted_(metrics_.GetCounter("serve.connections_accepted")),
+      ctr_rejected_(metrics_.GetCounter("serve.connections_rejected")),
+      g_active_(metrics_.GetGauge("serve.connections_active")),
+      ctr_parse_errors_(metrics_.GetCounter("serve.parse_errors")),
+      ctr_sheds_(metrics_.GetCounter("serve.sheds")),
+      ctr_bytes_in_(metrics_.GetCounter("serve.bytes_in")),
+      ctr_bytes_out_(metrics_.GetCounter("serve.bytes_out")),
+      ctr_idle_closed_(metrics_.GetCounter("serve.idle_closed")) {
+  ADREC_CHECK(engine_ != nullptr);
+  for (size_t v = 0; v < kNumVerbs; ++v) {
+    const std::string name(VerbName(static_cast<Verb>(v)));
+    ctr_cmds_[v] = metrics_.GetCounter("serve.cmd_" + name);
+    tm_cmds_[v] = metrics_.GetTimer("serve.cmd_" + name + "_us");
+  }
+}
+
+Server::~Server() {
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+Status Server::Start() {
+  if (pipe(wake_fds_) != 0) {
+    return Status::Internal(StringFormat("pipe: %s", std::strerror(errno)));
+  }
+  ADREC_RETURN_NOT_OK(SetNonBlocking(wake_fds_[0]));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StringFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Internal(StringFormat("bind %s:%u: %s",
+                                         options_.host.c_str(), options_.port,
+                                         std::strerror(errno)));
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    return Status::Internal(StringFormat("listen: %s", std::strerror(errno)));
+  }
+  ADREC_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::Internal(StringFormat("getsockname: %s",
+                                         std::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void Server::RequestDrain() {
+  // Async-signal-safe: one byte down the self-pipe wakes poll(); the loop
+  // reads the pipe and flips into draining.
+  const char b = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+size_t Server::InflightBytes() const {
+  size_t total = 0;
+  for (const auto& [fd, conn] : connections_) total += conn.out.size();
+  return total;
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: back to poll
+    if (connections_.size() >= options_.max_connections || draining_) {
+      // Shed at the door: tell the client why, then hang up. The
+      // best-effort write is fine — the socket buffer of a fresh
+      // connection is empty.
+      const std::string busy = std::string("SERVER_ERROR busy") +
+                               std::string(kCrlf);
+      [[maybe_unused]] const ssize_t n = ::write(fd, busy.data(),
+                                                 busy.size());
+      ::close(fd);
+      ctr_rejected_->Inc();
+      ctr_sheds_->Inc();
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    conn.last_active = std::chrono::steady_clock::now();
+    connections_.emplace(fd, std::move(conn));
+    ctr_accepted_->Inc();
+    g_active_->Set(static_cast<double>(connections_.size()));
+  }
+}
+
+bool Server::ReadFrom(Connection* conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      ctr_bytes_in_->Inc(static_cast<uint64_t>(n));
+      conn->last_active = std::chrono::steady_clock::now();
+      // Oversized frame: no newline within the cap means the client lost
+      // the protocol; there is no safe resync point, so answer and close.
+      if (conn->in.size() > options_.max_line_bytes &&
+          conn->in.find('\n') == std::string::npos) {
+        ctr_parse_errors_->Inc();
+        conn->in.clear();
+        conn->out += "CLIENT_ERROR line too long";
+        conn->out += kCrlf;
+        conn->closing = true;
+        return true;
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) return true;
+      continue;  // possibly more buffered
+    }
+    if (n == 0) {
+      // Half-close: the peer is done sending but still reads. Process
+      // what arrived, flush, then close our side.
+      conn->closing = true;
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    CloseConnection(conn);  // ECONNRESET and friends
+    return false;
+  }
+}
+
+void Server::ProcessLines(Connection* conn) {
+  size_t start = 0;
+  while (start < conn->in.size()) {
+    // Backpressure: once this connection's pending responses pass the
+    // cap, stop consuming its pipeline — poll stops watching POLLIN until
+    // the peer drains the write buffer.
+    if (conn->out.size() >= options_.max_write_buffer_bytes) break;
+    const size_t nl = conn->in.find('\n', start);
+    if (nl == std::string::npos) {
+      // A partial line longer than the cap can never complete validly.
+      if (conn->in.size() - start > options_.max_line_bytes) {
+        ctr_parse_errors_->Inc();
+        conn->out += "CLIENT_ERROR line too long";
+        conn->out += kCrlf;
+        conn->closing = true;
+        start = conn->in.size();
+      }
+      break;
+    }
+    size_t end = nl;
+    if (end > start && conn->in[end - 1] == '\r') --end;
+    Dispatch(std::string_view(conn->in).substr(start, end - start), conn);
+    start = nl + 1;
+    if (conn->closing) {  // quit: drop any pipelined tail
+      start = conn->in.size();
+      break;
+    }
+  }
+  conn->in.erase(0, start);
+}
+
+void Server::Dispatch(std::string_view line, Connection* conn) {
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    ctr_parse_errors_->Inc();
+    conn->out += "CLIENT_ERROR " + parsed.status().message();
+    conn->out += kCrlf;
+    return;
+  }
+  const Request& req = parsed.value();
+  const size_t verb = static_cast<size_t>(req.verb);
+  ctr_cmds_[verb]->Inc();
+  if (req.verb == Verb::kQuit) {
+    conn->closing = true;
+    return;
+  }
+  // Global in-flight cap: executing a command whose response has nowhere
+  // to go just grows memory; shed instead.
+  if (InflightBytes() > options_.max_inflight_bytes) {
+    ctr_sheds_->Inc();
+    conn->out += "SERVER_ERROR busy";
+    conn->out += kCrlf;
+    return;
+  }
+  obs::ScopedTimer timer(tm_cmds_[verb]);
+  conn->out += Execute(req, conn);
+}
+
+std::string Server::Execute(const Request& req, Connection* conn) {
+  (void)conn;
+  auto status_reply = [](const Status& s) {
+    if (s.ok()) return "OK" + std::string(kCrlf);
+    if (s.code() == StatusCode::kNotFound) {
+      return "NOT_FOUND" + std::string(kCrlf);
+    }
+    if (s.code() == StatusCode::kInvalidArgument) {
+      return "CLIENT_ERROR " + s.message() + std::string(kCrlf);
+    }
+    return "SERVER_ERROR " + s.ToString() + std::string(kCrlf);
+  };
+
+  switch (req.verb) {
+    case Verb::kTweet:
+      engine_->OnTweet(req.tweet);
+      if (req.tweet.time > stream_now_) stream_now_ = req.tweet.time;
+      return "OK" + std::string(kCrlf);
+    case Verb::kCheckIn:
+      engine_->OnCheckIn(req.check_in);
+      if (req.check_in.time > stream_now_) stream_now_ = req.check_in.time;
+      return "OK" + std::string(kCrlf);
+    case Verb::kAdPut:
+      return status_reply(engine_->InsertAd(req.ad));
+    case Verb::kAdDel:
+      return status_reply(engine_->RemoveAd(req.ad_id));
+    case Verb::kTopK:
+      return ExecuteTopK(req);
+    case Verb::kMatch:
+      return ExecuteMatch(req);
+    case Verb::kAnalyze:
+      return status_reply(req.alpha < 0.0 ? engine_->RunAnalysis()
+                                          : engine_->RunAnalysis(req.alpha));
+    case Verb::kStats:
+      return ExecuteStats();
+    case Verb::kMetrics:
+      return ExecuteMetrics();
+    case Verb::kSnapshot:
+      return ExecuteSnapshot(req);
+    case Verb::kPing:
+      return "PONG" + std::string(kCrlf);
+    case Verb::kQuit:
+      break;  // handled in Dispatch
+  }
+  return "SERVER_ERROR unreachable" + std::string(kCrlf);
+}
+
+std::string Server::ExecuteTopK(const Request& req) {
+  feed::Tweet query = req.tweet;
+  if (!req.has_time) query.time = stream_now_;
+  const std::vector<index::ScoredAd> ads =
+      engine_->TopKAdsForTweet(query, req.k);
+  std::string out = StringFormat("ADS %zu", ads.size()) + std::string(kCrlf);
+  for (const index::ScoredAd& sa : ads) {
+    out += StringFormat("AD %u ", sa.ad.value) + ScoreText(sa.score);
+    out += kCrlf;
+  }
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
+std::string Server::ExecuteMatch(const Request& req) {
+  auto match = engine_->RecommendUsers(req.ad_id);
+  if (!match.ok()) {
+    if (match.status().code() == StatusCode::kNotFound) {
+      return "NOT_FOUND" + std::string(kCrlf);
+    }
+    return "SERVER_ERROR " + match.status().ToString() + std::string(kCrlf);
+  }
+  std::string out = StringFormat("USERS %zu", match.value().users.size()) +
+                    std::string(kCrlf);
+  for (const core::MatchedUser& mu : match.value().users) {
+    out += StringFormat("USER %u ", mu.user.value) + ScoreText(mu.score);
+    out += kCrlf;
+  }
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
+std::string Server::ExecuteStats() {
+  const obs::StatsReport report = obs::BuildReport(MergedSnapshot());
+  std::string out;
+  for (const auto& [name, value] : report.counters) {
+    out += "STAT " + name +
+           StringFormat(" %llu", static_cast<unsigned long long>(value));
+    out += kCrlf;
+  }
+  for (const auto& [name, value] : report.gauges) {
+    out += "STAT " + name + StringFormat(" %.6f", value);
+    out += kCrlf;
+  }
+  for (const auto& [name, t] : report.timers) {
+    out += "STAT " + name +
+           StringFormat(
+               " count=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+               static_cast<unsigned long long>(t.count), t.mean, t.p50,
+               t.p95, t.p99, t.max);
+    out += kCrlf;
+  }
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
+std::string Server::ExecuteMetrics() {
+  const std::string payload = obs::ExportPrometheus(MergedSnapshot());
+  std::string out = StringFormat("METRICS %zu", payload.size()) +
+                    std::string(kCrlf);
+  out += payload;
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
+std::string Server::ExecuteSnapshot(const Request& req) {
+  for (size_t s = 0; s < engine_->num_shards(); ++s) {
+    const std::string dir = req.dir + StringFormat("/shard%zu", s);
+    const Status st = core::SaveEngineSnapshot(engine_->shard(s), dir);
+    if (!st.ok()) {
+      return "SERVER_ERROR " + st.ToString() + std::string(kCrlf);
+    }
+  }
+  return "OK" + std::string(kCrlf);
+}
+
+obs::MetricsSnapshot Server::MergedSnapshot() const {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  snapshot.MergeFrom(engine_->MergedMetrics());
+  return snapshot;
+}
+
+bool Server::WriteTo(Connection* conn) {
+  while (!conn->out.empty()) {
+    const ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      ctr_bytes_out_->Inc(static_cast<uint64_t>(n));
+      conn->out.erase(0, static_cast<size_t>(n));
+      conn->last_active = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    CloseConnection(conn);  // EPIPE/ECONNRESET
+    return false;
+  }
+  if (conn->closing) {
+    CloseConnection(conn);
+    return false;
+  }
+  return true;
+}
+
+void Server::CloseConnection(Connection* conn) {
+  const int fd = conn->fd;
+  ::close(fd);
+  connections_.erase(fd);
+  g_active_->Set(static_cast<double>(connections_.size()));
+}
+
+void Server::CloseIdle() {
+  if (options_.idle_timeout <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    const double silent =
+        std::chrono::duration<double>(now - conn.last_active).count();
+    if (silent > static_cast<double>(options_.idle_timeout)) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : idle) {
+    ctr_idle_closed_->Inc();
+    CloseConnection(&connections_.at(fd));
+  }
+}
+
+void Server::Run() {
+  ADREC_CHECK(listen_fd_ >= 0);
+  PeriodicReporter reporter([this] { return MergedSnapshot(); },
+                            options_.report_interval > 0.0
+                                ? options_.report_interval
+                                : 1e9);
+  const auto drain_deadline_never = std::chrono::steady_clock::time_point::max();
+  auto drain_deadline = drain_deadline_never;
+
+  std::vector<pollfd> fds;
+  std::vector<int> conn_fds;
+  for (;;) {
+    if (draining_ && connections_.empty()) break;
+    if (draining_ && std::chrono::steady_clock::now() > drain_deadline) {
+      // Grace expired: drop whatever could not be flushed.
+      while (!connections_.empty()) {
+        CloseConnection(&connections_.begin()->second);
+      }
+      break;
+    }
+
+    fds.clear();
+    conn_fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    const bool listen_polled = !draining_;
+    if (listen_polled) fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& [fd, conn] : connections_) {
+      short events = 0;
+      // Backpressured or closing connections are not read further.
+      if (!conn.closing &&
+          conn.out.size() < options_.max_write_buffer_bytes) {
+        events |= POLLIN;
+      }
+      if (!conn.out.empty()) events |= POLLOUT;
+      if (events == 0) events = POLLHUP;  // still notice resets
+      fds.push_back({fd, events, 0});
+      conn_fds.push_back(fd);
+    }
+
+    // Timeout: the finest of idle sweep, reporter cadence, drain grace.
+    int timeout_ms = -1;
+    if (options_.idle_timeout > 0) timeout_ms = 1000;
+    if (options_.report_interval > 0.0) {
+      const int r = static_cast<int>(options_.report_interval * 1000 / 2);
+      timeout_ms = timeout_ms < 0 ? std::max(r, 10)
+                                  : std::min(timeout_ms, std::max(r, 10));
+    }
+    if (draining_) timeout_ms = 50;
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      ADREC_LOG(kError) << "poll: " << std::strerror(errno);
+      break;
+    }
+
+    size_t idx = 0;
+    if (fds[idx].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+      if (!draining_) {
+        draining_ = true;
+        drain_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.drain_timeout));
+        // Close the listening socket immediately: leaving it open would
+        // let the kernel keep accepting into the backlog, stranding
+        // clients that will never be served.
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ADREC_LOG(kInfo) << "serve: drain requested, "
+                         << connections_.size() << " connections open";
+      }
+    }
+    ++idx;
+    if (listen_polled) {
+      if (!draining_ && (fds[idx].revents & (POLLIN | POLLERR))) {
+        AcceptNew();
+      }
+      ++idx;
+    }
+
+    for (size_t c = 0; c < conn_fds.size(); ++c, ++idx) {
+      auto it = connections_.find(conn_fds[c]);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      Connection* conn = &it->second;
+      const short revents = fds[idx].revents;
+      if (revents & (POLLERR | POLLNVAL)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (revents & (POLLIN | POLLHUP)) {
+        if (!ReadFrom(conn)) continue;
+        ProcessLines(conn);
+      }
+      if (!conn->out.empty() || conn->closing) {
+        if (!WriteTo(conn)) continue;
+      }
+    }
+
+    CloseIdle();
+    if (options_.report_interval > 0.0 && !draining_) reporter.TickIfDue();
+    // Drain semantics: stop reading new requests, flush what is queued.
+    if (draining_) {
+      for (auto& [fd, conn] : connections_) conn.closing = true;
+      std::vector<int> done;
+      for (auto& [fd, conn] : connections_) {
+        if (conn.out.empty()) done.push_back(fd);
+      }
+      for (int fd : done) CloseConnection(&connections_.at(fd));
+    }
+  }
+  ADREC_LOG(kInfo) << "serve: drained, event loop exiting";
+}
+
+}  // namespace adrec::serve

@@ -1,0 +1,143 @@
+#ifndef ADREC_SERVE_SERVER_H_
+#define ADREC_SERVE_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "core/sharded_engine.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+
+namespace adrec::serve {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// Listen address; loopback by default (adrecd is an internal service).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Accepted connections beyond this are told `SERVER_ERROR busy` and
+  /// closed immediately.
+  size_t max_connections = 64;
+  /// A request line longer than this cannot be resynchronised; the
+  /// connection gets `CLIENT_ERROR line too long` and is closed.
+  size_t max_line_bytes = 64 * 1024;
+  /// Backpressure: a connection whose pending response bytes exceed this
+  /// stops being read (its socket buffer, then the client, blocks) until
+  /// the peer drains it.
+  size_t max_write_buffer_bytes = 1024 * 1024;
+  /// Global cap on pending response bytes across all connections; past
+  /// it, commands are shed with `SERVER_ERROR busy` instead of executed.
+  size_t max_inflight_bytes = 16 * 1024 * 1024;
+  /// Connections silent for this long are closed (0 = never).
+  DurationSec idle_timeout = 300;
+  /// Cadence of the windowed PeriodicReporter (0 = off): per-interval
+  /// events/sec, cmds/sec and per-verb p95 logged from the event loop.
+  double report_interval = 0.0;
+  /// After RequestDrain, pending responses get this long to flush before
+  /// remaining connections are dropped.
+  double drain_timeout = 5.0;
+};
+
+/// The adrecd network front end: a single-threaded, event-driven
+/// (poll + non-blocking sockets) TCP daemon speaking the line protocol of
+/// serve/protocol.h, dispatching onto a core::ShardedEngine.
+///
+/// Single-threaded by design, mirroring the engine's single-writer
+/// streaming model: the event loop is the sole mutator, so no locking is
+/// added to the hot path; scale-out is by shards within the engine (and
+/// eventually by daemon instances), not by threads in the loop. The loop
+/// multiplexes with poll(2) — connection counts here are bounded by
+/// max_connections, far below where poll's O(n) scan matters.
+///
+/// Lifecycle: Start() binds and listens (port() is valid after), Run()
+/// blocks in the event loop until RequestDrain() — which is async-signal-
+/// safe and thread-safe — stops accepting, flushes pending responses and
+/// returns. Tests run Run() on a background thread and drive blocking
+/// Clients against port().
+class Server {
+ public:
+  /// `engine` must outlive the server; the event loop is its only caller
+  /// while Run() executes.
+  explicit Server(core::ShardedEngine* engine, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates the listening socket. Fails if the port is taken.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop until drained. Call at most once, after Start().
+  void Run();
+
+  /// Initiates graceful drain: stop accepting, serve what is buffered,
+  /// then return from Run(). Safe from signal handlers and other threads
+  /// (single write(2) to a self-pipe).
+  void RequestDrain();
+
+  /// The serve.* metric registry (connections, per-verb commands and
+  /// latency, parse errors, sheds, bytes in/out).
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+  /// serve.* metrics merged with the engine's per-shard registries — the
+  /// view the `stats` and `metrics` commands export.
+  obs::MetricsSnapshot MergedSnapshot() const;
+
+ private:
+  struct Connection;
+
+  void AcceptNew();
+  /// Drains readable bytes; returns false when the connection is gone.
+  bool ReadFrom(Connection* conn);
+  /// Parses and executes every complete line the backpressure budget
+  /// allows, appending responses to the write buffer.
+  void ProcessLines(Connection* conn);
+  void Dispatch(std::string_view line, Connection* conn);
+  std::string Execute(const Request& req, Connection* conn);
+  /// Flushes the write buffer; returns false when the connection is gone.
+  bool WriteTo(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void CloseIdle();
+  size_t InflightBytes() const;
+
+  std::string ExecuteTopK(const Request& req);
+  std::string ExecuteMatch(const Request& req);
+  std::string ExecuteStats();
+  std::string ExecuteMetrics();
+  std::string ExecuteSnapshot(const Request& req);
+
+  core::ShardedEngine* engine_;  // not owned
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: RequestDrain -> event loop
+  bool draining_ = false;
+  /// Newest event timestamp ingested — substituted into `topk` queries
+  /// that omit <time> ("now" on the simulated stream clock).
+  Timestamp stream_now_ = 0;
+  std::map<int, Connection> connections_;
+
+  obs::MetricRegistry metrics_;
+  obs::Counter* ctr_accepted_;
+  obs::Counter* ctr_rejected_;
+  obs::Gauge* g_active_;
+  obs::Counter* ctr_parse_errors_;
+  obs::Counter* ctr_sheds_;
+  obs::Counter* ctr_bytes_in_;
+  obs::Counter* ctr_bytes_out_;
+  obs::Counter* ctr_idle_closed_;
+  obs::Counter* ctr_cmds_[kNumVerbs];
+  obs::Timer* tm_cmds_[kNumVerbs];
+};
+
+}  // namespace adrec::serve
+
+#endif  // ADREC_SERVE_SERVER_H_

@@ -126,6 +126,59 @@ TEST(HistogramTest, ResetClearsEverythingAndIsReusable) {
   EXPECT_DOUBLE_EQ(h.max(), 7.0);
 }
 
+TEST(HistogramTest, NonZeroBucketsCoverEverySample) {
+  Histogram h;
+  h.Record(0.5);
+  h.Record(10.0);
+  h.Record(10.0);
+  h.Record(5000.0);
+  const std::vector<HistogramBucket> buckets = h.NonZeroBuckets();
+  ASSERT_FALSE(buckets.empty());
+  uint64_t total = 0;
+  double prev_upper = 0.0;
+  for (const HistogramBucket& b : buckets) {
+    EXPECT_GT(b.count, 0u);             // only occupied buckets listed
+    EXPECT_GT(b.upper, prev_upper);     // strictly ascending bounds
+    prev_upper = b.upper;
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+
+  EXPECT_TRUE(Histogram().NonZeroBuckets().empty());
+}
+
+TEST(HistogramTest, DeltaSinceIsolatesTheWindow) {
+  Histogram earlier;
+  for (int i = 0; i < 100; ++i) earlier.Record(10.0);
+
+  Histogram later = earlier;  // snapshot, then more traffic
+  for (int i = 0; i < 5; ++i) later.Record(1000.0);
+
+  const Histogram window = later.DeltaSince(earlier);
+  EXPECT_EQ(window.count(), 5u);
+  // The window distribution is the new samples only: its p50 sits at the
+  // 1000 bucket, unmoved by the 100 old 10us samples.
+  EXPECT_GT(window.Quantile(0.5), 500.0);
+  EXPECT_NEAR(window.sum(), 5000.0, 5000.0 * 0.2);
+}
+
+TEST(HistogramTest, DeltaSinceOfIdenticalSnapshotsIsEmpty) {
+  Histogram h;
+  for (int i = 1; i <= 20; ++i) h.Record(static_cast<double>(i));
+  const Histogram window = h.DeltaSince(h);
+  EXPECT_EQ(window.count(), 0u);
+  EXPECT_DOUBLE_EQ(window.sum(), 0.0);
+}
+
+TEST(HistogramTest, DeltaSinceEmptyBaselineIsTheFullHistogram) {
+  Histogram h;
+  h.Record(3.0);
+  h.Record(7.0);
+  const Histogram window = h.DeltaSince(Histogram());
+  EXPECT_EQ(window.count(), 2u);
+  EXPECT_DOUBLE_EQ(window.sum(), h.sum());
+}
+
 TEST(HistogramTest, SummaryMentionsAllFields) {
   Histogram h;
   h.Record(5.0);

@@ -165,5 +165,36 @@ TEST_F(EngineStatsTest, ShardedMergeEqualsSumOfShards) {
             merged.topk_us.count());
 }
 
+TEST_F(EngineStatsTest, AnalysisSubPhaseSpansAreRecorded) {
+  auto engine = BuildAndReplay();
+  ASSERT_TRUE(engine->RunAnalysis(0.5).ok());
+  ASSERT_TRUE(engine->RunAnalysis(0.6).ok());
+  const EngineStats stats = engine->Stats();
+
+  // One sample per analysis in every sub-phase span.
+  EXPECT_EQ(stats.analysis_build_ms.count(), 2u);
+  EXPECT_EQ(stats.analysis_trias_location_ms.count(), 2u);
+  EXPECT_EQ(stats.analysis_trias_topic_ms.count(), 2u);
+  EXPECT_EQ(stats.analysis_decode_ms.count(), 2u);
+  EXPECT_EQ(stats.analysis_ms.count(), 2u);
+
+  // The sub-phases partition the analysis: their total cannot exceed the
+  // end-to-end time they are carved out of.
+  const double phases = stats.analysis_build_ms.sum() +
+                        stats.analysis_trias_location_ms.sum() +
+                        stats.analysis_trias_topic_ms.sum() +
+                        stats.analysis_decode_ms.sum();
+  EXPECT_LE(phases, stats.analysis_ms.sum() * 1.05);
+  EXPECT_GT(phases, 0.0);
+
+  // The spans reach the generic registry under their metric names.
+  const obs::MetricsSnapshot snap = engine->metrics().Snapshot();
+  EXPECT_EQ(snap.timers.at("engine.analysis_build_ms").count(), 2u);
+  EXPECT_EQ(snap.timers.at("engine.analysis_trias_location_ms").count(),
+            2u);
+  EXPECT_EQ(snap.timers.at("engine.analysis_trias_topic_ms").count(), 2u);
+  EXPECT_EQ(snap.timers.at("engine.analysis_decode_ms").count(), 2u);
+}
+
 }  // namespace
 }  // namespace adrec::core

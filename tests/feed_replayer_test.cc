@@ -127,5 +127,22 @@ TEST(ReplayerTest, ProgressReportsLagAndDropsWhenBehind) {
   EXPECT_GT(reports.back().lag_sim_seconds, 0.0);
 }
 
+TEST(ReplayerTest, ProgressReportsWindowedRate) {
+  ReplayOptions opts;
+  opts.progress_every = 100;
+  std::vector<ReplayProgress> reports;
+  opts.on_progress = [&](const ReplayProgress& p) { reports.push_back(p); };
+  StreamReplayer replayer(opts);
+  const auto events = MakeEvents(500, 60);
+  (void)replayer.Replay(events, [](const FeedEvent&) {});
+  ASSERT_EQ(reports.size(), 5u);
+  for (const ReplayProgress& p : reports) {
+    // The windowed rate covers only the events since the previous report
+    // (the cumulative rate flattens toward the lifetime mean; the window
+    // figure is what per-interval reporting shows).
+    EXPECT_GT(p.interval_events_per_second, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace adrec::feed

@@ -1,0 +1,130 @@
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/stats_export.h"
+
+namespace adrec::obs {
+namespace {
+
+/// A minimal 0.0.4 exposition checker: every non-comment line must be
+/// `name[{label}] value`, every series must follow its own # TYPE line.
+void CheckParseable(const std::string& payload) {
+  std::string current_family;
+  for (std::string_view line : SplitString(payload, '\n')) {
+    if (line.empty()) continue;
+    if (StartsWith(line, "# TYPE ")) {
+      const auto parts = SplitString(line, ' ');
+      ASSERT_EQ(parts.size(), 4u) << line;
+      current_family = std::string(parts[2]);
+      EXPECT_TRUE(parts[3] == "counter" || parts[3] == "gauge" ||
+                  parts[3] == "histogram")
+          << line;
+      continue;
+    }
+    ASSERT_FALSE(StartsWith(line, "#")) << "unknown comment: " << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string_view::npos) << line;
+    const std::string_view series = line.substr(0, space);
+    const std::string_view value = line.substr(space + 1);
+    // Series must belong to the current TYPE family.
+    EXPECT_TRUE(StartsWith(series, current_family))
+        << series << " after TYPE " << current_family;
+    // Value must parse as a number.
+    char* end = nullptr;
+    const std::string value_str(value);
+    std::strtod(value_str.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << line;
+  }
+}
+
+TEST(PrometheusExportTest, CountersGetTotalSuffixAndSanitizedNames) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["engine.tweets"] = 42;
+  const std::string out = ExportPrometheus(snapshot);
+  EXPECT_NE(out.find("# TYPE adrec_engine_tweets_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("adrec_engine_tweets_total 42\n"), std::string::npos);
+  CheckParseable(out);
+}
+
+TEST(PrometheusExportTest, GaugesAreVerbatim) {
+  MetricsSnapshot snapshot;
+  snapshot.gauges["serve.connections_active"] = 3.0;
+  const std::string out = ExportPrometheus(snapshot);
+  EXPECT_NE(out.find("# TYPE adrec_serve_connections_active gauge\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("adrec_serve_connections_active 3\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, MicrosecondTimersBecomeSeconds) {
+  MetricsSnapshot snapshot;
+  Histogram h;
+  h.Record(1000.0);  // 1000us = 1ms
+  h.Record(1000.0);
+  snapshot.timers["engine.annotate_us"] = h;
+  const std::string out = ExportPrometheus(snapshot);
+
+  // Renamed with base-unit suffix; no _us remnant.
+  EXPECT_NE(out.find("# TYPE adrec_engine_annotate_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_EQ(out.find("annotate_us"), std::string::npos);
+
+  // The sum is scaled to seconds: 2000us → 0.002s.
+  EXPECT_NE(out.find("adrec_engine_annotate_seconds_sum 0.002\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("adrec_engine_annotate_seconds_count 2\n"),
+            std::string::npos);
+  // Bucket bounds are scaled too: every le is well under one second.
+  EXPECT_EQ(out.find("le=\"1000"), std::string::npos);
+  CheckParseable(out);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeAndEndWithInf) {
+  MetricsSnapshot snapshot;
+  Histogram h;
+  h.Record(1.0);
+  h.Record(100.0);
+  h.Record(10000.0);
+  snapshot.timers["serve.cmd_topk_us"] = h;
+  const std::string out = ExportPrometheus(snapshot);
+
+  // Collect the bucket counts in order; they must be non-decreasing and
+  // finish at the +Inf bucket with the total count.
+  std::vector<uint64_t> counts;
+  for (std::string_view line : SplitString(out, '\n')) {
+    if (line.find("_bucket{") == std::string_view::npos) continue;
+    const size_t space = line.rfind(' ');
+    counts.push_back(
+        std::strtoull(std::string(line.substr(space + 1)).c_str(),
+                      nullptr, 10));
+  }
+  ASSERT_GE(counts.size(), 2u);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i], counts[i - 1]);
+  }
+  EXPECT_EQ(counts.back(), 3u);  // +Inf == _count
+  EXPECT_NE(out.find("_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, FullRegistryRoundIsParseable) {
+  MetricRegistry registry;
+  registry.GetCounter("engine.tweets")->Inc(10);
+  registry.GetCounter("serve.bytes_in")->Inc(1 << 20);
+  registry.GetGauge("tfca.lattice_size")->Set(128);
+  Timer* t = registry.GetTimer("engine.topk_us");
+  for (int i = 1; i <= 100; ++i) t->Record(static_cast<double>(i));
+  CheckParseable(ExportPrometheus(registry.Snapshot()));
+}
+
+TEST(PrometheusExportTest, EmptySnapshotIsEmptyPayload) {
+  EXPECT_EQ(ExportPrometheus(MetricsSnapshot{}), "");
+}
+
+}  // namespace
+}  // namespace adrec::obs

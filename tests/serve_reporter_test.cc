@@ -1,0 +1,84 @@
+#include "serve/reporter.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace adrec::serve {
+namespace {
+
+TEST(PeriodicReporterTest, ReportsCounterDeltasNotTotals) {
+  obs::MetricRegistry registry;
+  obs::Counter* events = registry.GetCounter("engine.tweets");
+  events->Inc(100);  // before the reporter's baseline
+
+  PeriodicReporter reporter([&registry] { return registry.Snapshot(); },
+                            /*interval_seconds=*/0.0,
+                            [](const WindowReport&) {});
+
+  events->Inc(7);
+  WindowReport w1 = reporter.Tick();
+  EXPECT_EQ(w1.counter_deltas.at("engine.tweets"), 7u);
+
+  // Second window starts from the last snapshot, not from zero.
+  events->Inc(3);
+  WindowReport w2 = reporter.Tick();
+  EXPECT_EQ(w2.counter_deltas.at("engine.tweets"), 3u);
+
+  // An idle window reports zero, not the cumulative 110.
+  WindowReport w3 = reporter.Tick();
+  EXPECT_EQ(w3.counter_deltas.at("engine.tweets"), 0u);
+}
+
+TEST(PeriodicReporterTest, TimerWindowsAreDeltasOfTheHistogram) {
+  obs::MetricRegistry registry;
+  obs::Timer* timer = registry.GetTimer("serve.cmd_topk_us");
+  for (int i = 0; i < 50; ++i) timer->Record(10.0);  // slow history
+
+  PeriodicReporter reporter([&registry] { return registry.Snapshot(); },
+                            0.0, [](const WindowReport&) {});
+
+  for (int i = 0; i < 5; ++i) timer->Record(1000.0);  // this window only
+  WindowReport w = reporter.Tick();
+  ASSERT_TRUE(w.timers.count("serve.cmd_topk_us"));
+  const obs::TimerStat& stat = w.timers.at("serve.cmd_topk_us");
+  EXPECT_EQ(stat.count, 5u);
+  // Window p50 reflects the 1000us samples, not the 10us history that a
+  // cumulative view would be dominated by.
+  EXPECT_GT(stat.p50, 500.0);
+
+  // No samples since → the timer is omitted from the next window.
+  WindowReport idle = reporter.Tick();
+  EXPECT_EQ(idle.timers.count("serve.cmd_topk_us"), 0u);
+}
+
+TEST(PeriodicReporterTest, RatesUseWallSeconds) {
+  obs::MetricRegistry registry;
+  obs::Counter* c = registry.GetCounter("serve.cmd_ping");
+  PeriodicReporter reporter([&registry] { return registry.Snapshot(); },
+                            0.0, [](const WindowReport&) {});
+  c->Inc(10);
+  WindowReport w = reporter.Tick();
+  ASSERT_GT(w.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(w.rates.at("serve.cmd_ping"),
+                   10.0 / w.wall_seconds);
+}
+
+TEST(PeriodicReporterTest, TickIfDueHonoursInterval) {
+  obs::MetricRegistry registry;
+  int reports = 0;
+  PeriodicReporter reporter([&registry] { return registry.Snapshot(); },
+                            /*interval_seconds=*/3600.0,
+                            [&reports](const WindowReport&) { ++reports; });
+  EXPECT_FALSE(reporter.TickIfDue());  // an hour has not passed
+  EXPECT_EQ(reports, 0);
+
+  PeriodicReporter eager([&registry] { return registry.Snapshot(); },
+                         /*interval_seconds=*/0.0,
+                         [&reports](const WindowReport&) { ++reports; });
+  EXPECT_TRUE(eager.TickIfDue());
+  EXPECT_EQ(reports, 1);
+}
+
+}  // namespace
+}  // namespace adrec::serve
