@@ -3,7 +3,10 @@
 //
 //   adrecd [--port=N] [--shards=N] [--dir=DIR] [--alpha=A]
 //          [--report-interval=SEC] [--max-connections=N]
-//          [--idle-timeout=SEC]
+//          [--idle-timeout=SEC] [--snapshot-root=DIR]
+//
+// The `snapshot` verb is disabled unless --snapshot-root names a base
+// directory; client-supplied targets are then confined under it.
 //
 // With --dir, the knowledge base is loaded from DIR/kb.tsv and, when
 // present, DIR/ads.tsv and DIR/trace.tsv are preloaded into the engine
@@ -72,11 +75,14 @@ int main(int argc, char** argv) {
       options.max_connections = static_cast<size_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--idle-timeout", &v)) {
       options.idle_timeout = std::atoll(v);
+    } else if (FlagValue(argv[i], "--snapshot-root", &v)) {
+      options.snapshot_root = v;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--shards=N] [--dir=DIR] "
                    "[--alpha=A] [--report-interval=SEC] "
-                   "[--max-connections=N] [--idle-timeout=SEC]\n",
+                   "[--max-connections=N] [--idle-timeout=SEC] "
+                   "[--snapshot-root=DIR]\n",
                    argv[0]);
       return 2;
     }

@@ -68,6 +68,9 @@ class Client {
   Status Analyze(double alpha);
   /// Analyze with each shard's configured default alpha.
   Status Analyze();
+  /// `snapshot <dir>` — `dir` is resolved server-side against the
+  /// daemon's configured snapshot root (relative, no `..`); fails unless
+  /// the server was started with one.
   Status Snapshot(const std::string& dir);
   /// The Prometheus payload of the `metrics` command.
   Result<std::string> Metrics();

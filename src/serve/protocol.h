@@ -35,7 +35,9 @@ namespace adrec::serve {
 ///   stats                              -> STAT <name> <value> ... / END
 ///   metrics                            -> METRICS <bytes> / <payload> / END
 ///        (payload is Prometheus text exposition, obs::ExportPrometheus)
-///   snapshot <dir>                     -> OK   (per-shard dir/shard<i>)
+///   snapshot <dir>                     -> OK   (per-shard dir/shard<i>;
+///        dir is relative, `..`-free, resolved under the server's
+///        snapshot root — the verb is disabled when no root is set)
 ///   ping                               -> PONG
 ///   quit                               (server closes the connection)
 ///

@@ -135,7 +135,18 @@ size_t Server::InflightBytes() const {
 void Server::AcceptNew() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error: back to poll
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EMFILE/ENFILE (and other persistent failures): the listening fd
+      // stays readable, so going straight back to poll would busy-spin
+      // at 100% CPU. Stop polling the listener briefly instead.
+      ADREC_LOG(kWarning) << "serve: accept: " << std::strerror(errno)
+                          << ", pausing accepts";
+      accept_pause_until_ = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(100);
+      return;
+    }
     if (connections_.size() >= options_.max_connections || draining_) {
       // Shed at the door: tell the client why, then hang up. The
       // best-effort write is fine — the socket buffer of a fresh
@@ -192,6 +203,7 @@ bool Server::ReadFrom(Connection* conn) {
       conn->closing = true;
       return true;
     }
+    if (errno == EINTR) continue;  // drain signal mid-recv: just retry
     if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
     CloseConnection(conn);  // ECONNRESET and friends
     return false;
@@ -219,9 +231,21 @@ void Server::ProcessLines(Connection* conn) {
     }
     size_t end = nl;
     if (end > start && conn->in[end - 1] == '\r') --end;
+    // The cap applies to complete lines too, even when the newline
+    // arrived in the same read batch (ReadFrom only sees newline-less
+    // overruns); a client this far out of protocol is cut off.
+    if (end - start > options_.max_line_bytes) {
+      ctr_parse_errors_->Inc();
+      conn->out += "CLIENT_ERROR line too long";
+      conn->out += kCrlf;
+      conn->closing = true;
+      start = conn->in.size();
+      break;
+    }
+    const bool was_closing = conn->closing;
     Dispatch(std::string_view(conn->in).substr(start, end - start), conn);
     start = nl + 1;
-    if (conn->closing) {  // quit: drop any pipelined tail
+    if (conn->closing && !was_closing) {  // quit: drop any pipelined tail
       start = conn->in.size();
       break;
     }
@@ -373,8 +397,31 @@ std::string Server::ExecuteMetrics() {
 }
 
 std::string Server::ExecuteSnapshot(const Request& req) {
+  // The target is client-supplied: never let it name an arbitrary
+  // filesystem location. Disabled unless a root is configured; when it
+  // is, the path must stay strictly under it.
+  if (options_.snapshot_root.empty()) {
+    return "SERVER_ERROR snapshot disabled (no snapshot root configured)" +
+           std::string(kCrlf);
+  }
+  if (req.dir.empty() || req.dir.front() == '/') {
+    return "CLIENT_ERROR snapshot dir must be a relative path" +
+           std::string(kCrlf);
+  }
+  for (size_t pos = 0; pos <= req.dir.size();) {
+    const size_t slash = req.dir.find('/', pos);
+    const size_t comp_end = slash == std::string::npos ? req.dir.size()
+                                                       : slash;
+    if (std::string_view(req.dir).substr(pos, comp_end - pos) == "..") {
+      return "CLIENT_ERROR snapshot dir must not contain .." +
+             std::string(kCrlf);
+    }
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  const std::string base = options_.snapshot_root + "/" + req.dir;
   for (size_t s = 0; s < engine_->num_shards(); ++s) {
-    const std::string dir = req.dir + StringFormat("/shard%zu", s);
+    const std::string dir = base + StringFormat("/shard%zu", s);
     const Status st = core::SaveEngineSnapshot(engine_->shard(s), dir);
     if (!st.ok()) {
       return "SERVER_ERROR " + st.ToString() + std::string(kCrlf);
@@ -399,11 +446,15 @@ bool Server::WriteTo(Connection* conn) {
       conn->last_active = std::chrono::steady_clock::now();
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;  // drain signal mid-send
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     CloseConnection(conn);  // EPIPE/ECONNRESET
     return false;
   }
-  if (conn->closing) {
+  // A half-closed peer may still have complete pipelined lines buffered
+  // in `in` (read before its EOF); those are owed responses, so only
+  // close once nothing processable remains.
+  if (conn->closing && conn->in.find('\n') == std::string::npos) {
     CloseConnection(conn);
     return false;
   }
@@ -458,7 +509,9 @@ void Server::Run() {
     fds.clear();
     conn_fds.clear();
     fds.push_back({wake_fds_[0], POLLIN, 0});
-    const bool listen_polled = !draining_;
+    const bool listen_polled =
+        !draining_ &&
+        std::chrono::steady_clock::now() >= accept_pause_until_;
     if (listen_polled) fds.push_back({listen_fd_, POLLIN, 0});
     for (auto& [fd, conn] : connections_) {
       short events = 0;
@@ -480,6 +533,11 @@ void Server::Run() {
       const int r = static_cast<int>(options_.report_interval * 1000 / 2);
       timeout_ms = timeout_ms < 0 ? std::max(r, 10)
                                   : std::min(timeout_ms, std::max(r, 10));
+    }
+    if (!draining_ && !listen_polled) {
+      // Accepts are paused (descriptor exhaustion): wake soon enough to
+      // resume the listener once the backoff lapses.
+      timeout_ms = timeout_ms < 0 ? 100 : std::min(timeout_ms, 100);
     }
     if (draining_) timeout_ms = 50;
 
@@ -529,10 +587,19 @@ void Server::Run() {
       }
       if (revents & (POLLIN | POLLHUP)) {
         if (!ReadFrom(conn)) continue;
-        ProcessLines(conn);
       }
-      if (!conn->out.empty() || conn->closing) {
-        if (!WriteTo(conn)) continue;
+      // Process-and-flush until quiescent. One pass is not enough: a
+      // backpressured connection keeps complete pipelined lines in `in`,
+      // and a peer waiting for those replies sends nothing more — no
+      // POLLIN ever fires again. So whenever a write drains the buffer
+      // back under the cap, resume consuming the pipeline right here
+      // instead of waiting on poll.
+      for (;;) {
+        ProcessLines(conn);
+        if (conn->out.empty() && !conn->closing) break;
+        if (!WriteTo(conn)) break;  // connection closed and erased
+        if (conn->out.size() >= options_.max_write_buffer_bytes) break;
+        if (conn->in.find('\n') == std::string::npos) break;
       }
     }
 

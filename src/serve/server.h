@@ -23,8 +23,8 @@ struct ServerOptions {
   /// Accepted connections beyond this are told `SERVER_ERROR busy` and
   /// closed immediately.
   size_t max_connections = 64;
-  /// A request line longer than this cannot be resynchronised; the
-  /// connection gets `CLIENT_ERROR line too long` and is closed.
+  /// A request line longer than this — terminated or not — gets
+  /// `CLIENT_ERROR line too long` and the connection is closed.
   size_t max_line_bytes = 64 * 1024;
   /// Backpressure: a connection whose pending response bytes exceed this
   /// stops being read (its socket buffer, then the client, blocks) until
@@ -41,6 +41,12 @@ struct ServerOptions {
   /// After RequestDrain, pending responses get this long to flush before
   /// remaining connections are dropped.
   double drain_timeout = 5.0;
+  /// Base directory the `snapshot` verb may write under. Empty (the
+  /// default) disables the verb entirely; when set, client-supplied
+  /// targets must be relative paths without `..` components and are
+  /// resolved against this root — a client can never name an arbitrary
+  /// filesystem location.
+  std::string snapshot_root;
 };
 
 /// The adrecd network front end: a single-threaded, event-driven
@@ -120,6 +126,10 @@ class Server {
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: RequestDrain -> event loop
   bool draining_ = false;
+  /// Accept backoff after EMFILE/ENFILE: until this instant the listen
+  /// fd is left out of the poll set so the loop cannot busy-spin on a
+  /// readable-but-unacceptable listener.
+  std::chrono::steady_clock::time_point accept_pause_until_{};
   /// Newest event timestamp ingested — substituted into `topk` queries
   /// that omit <time> ("now" on the simulated stream clock).
   Timestamp stream_now_ = 0;

@@ -8,6 +8,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -206,6 +207,92 @@ TEST_F(ServeDaemonTest, HalfClosedConnectionStillGetsResponses) {
   ::close(fd);
 }
 
+TEST_F(ServeDaemonTest, BackpressuredPipelineDrainsWithoutFurtherReads) {
+  // A pipeline whose responses overflow the write-buffer cap leaves
+  // complete lines parked in the connection's read buffer. The client
+  // then goes quiet, waiting for replies — no further POLLIN — so the
+  // server must resume consuming the parked lines as its writes drain,
+  // not wait for input that will never come.
+  ServerOptions options;
+  options.max_write_buffer_bytes = 64;  // well below the response volume
+  StartServer(options);
+
+  const int fd = RawConnect();
+  timeval rcv_timeout{5, 0};  // a hang fails fast instead of wedging CI
+  ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
+                       sizeof(rcv_timeout)),
+            0);
+  constexpr size_t kPings = 200;
+  std::string pipeline;
+  for (size_t i = 0; i < kPings; ++i) pipeline += "ping\n";
+  ASSERT_EQ(::send(fd, pipeline.data(), pipeline.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(pipeline.size()));
+
+  // Read every reply with the connection still open for writing.
+  const std::string expected_unit = "PONG\r\n";
+  const size_t expected = kPings * expected_unit.size();
+  std::string reply;
+  char buf[4096];
+  while (reply.size() < expected) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "pipeline stalled after " << reply.size() << "/"
+                    << expected << " bytes";
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  for (size_t i = 0; i < kPings; ++i) {
+    EXPECT_EQ(reply.compare(i * expected_unit.size(), expected_unit.size(),
+                            expected_unit),
+              0);
+  }
+  ::close(fd);
+}
+
+TEST_F(ServeDaemonTest, OversizedCompleteLineIsRejected) {
+  // The line cap applies even when the terminator arrives in the same
+  // read batch as the overrun (ReadFrom's check only covers unterminated
+  // input); earlier pipelined commands still get their replies.
+  ServerOptions options;
+  options.max_line_bytes = 1024;
+  StartServer(options);
+
+  const int fd = RawConnect();
+  const std::string batch = "ping\n" + std::string(4096, 'a') + "\n";
+  ASSERT_GT(::send(fd, batch.data(), batch.size(), MSG_NOSIGNAL), 0);
+  const std::string reply = RawReadAll(fd);  // ends when server closes
+  EXPECT_EQ(reply.rfind("PONG\r\n", 0), 0u);
+  EXPECT_NE(reply.find("CLIENT_ERROR line too long"), std::string::npos);
+  ::close(fd);
+}
+
+TEST_F(ServeDaemonTest, SnapshotVerbIsGatedAndSandboxed) {
+  // Default (no snapshot root): the verb is off entirely.
+  StartServer();
+  {
+    Client client = Connected();
+    auto reply = client.Command("snapshot\t/tmp/adrec_evil");
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().rfind("SERVER_ERROR snapshot disabled", 0), 0u);
+    client.Quit();
+  }
+  StopServer();
+
+  // With a root: absolute paths and `..` escapes are rejected, and the
+  // connection stays usable.
+  ServerOptions options;
+  options.snapshot_root =
+      (std::filesystem::temp_directory_path() / "adrec_snap_root").string();
+  StartServer(options);
+  Client client = Connected();
+  for (const char* bad : {"snapshot\t/tmp/adrec_evil", "snapshot\t../evil",
+                          "snapshot\ta/../../evil"}) {
+    auto reply = client.Command(bad);
+    ASSERT_TRUE(reply.ok()) << bad;
+    EXPECT_EQ(reply.value().rfind("CLIENT_ERROR", 0), 0u) << bad;
+  }
+  EXPECT_TRUE(client.Ping().ok());
+  client.Quit();
+}
+
 TEST_F(ServeDaemonTest, PipelinedCommandsAnswerInOrder) {
   StartServer();
   const int fd = RawConnect();
@@ -301,8 +388,11 @@ TEST_F(ServeDaemonTest, WireIngestMatchesDirectEngineByteForByte) {
   }
   ASSERT_TRUE(core::SaveEngineSnapshot(direct, direct_dir).ok());
 
-  // Wire: the same stream through the daemon (one shard).
-  StartServer({}, /*shards=*/1);
+  // Wire: the same stream through the daemon (one shard). Snapshots are
+  // confined under the configured root; the client names a relative dir.
+  ServerOptions options;
+  options.snapshot_root = base;
+  StartServer(options, /*shards=*/1);
   Client client = Connected();
   for (const feed::Ad& ad : workload_.ads) {
     ASSERT_TRUE(client.PutAd(ad).ok());
@@ -315,7 +405,7 @@ TEST_F(ServeDaemonTest, WireIngestMatchesDirectEngineByteForByte) {
       ASSERT_TRUE(client.SendCheckIn(e.check_in).ok());
     }
   }
-  ASSERT_TRUE(client.Snapshot(wire_dir).ok());
+  ASSERT_TRUE(client.Snapshot("wire").ok());
   client.Quit();
 
   // Byte-compare every snapshot file.
