@@ -24,6 +24,14 @@
 //       text exposition format (the same payload adrecd serves for its
 //       `metrics` command) and skips the JSON file.
 //
+//   adrec_tool wal <inspect|verify|dump> <wal-dir>
+//       Offline tooling for an adrecd write-ahead log directory.
+//       `inspect` prints a per-segment table plus the checkpoint
+//       manifest; `verify` checks CRCs, seqno contiguity and payload
+//       grammar (exit 0 with a warning for a torn final record, exit 1
+//       for any hard corruption); `dump` prints every record as
+//       `<seqno>\t<payload>` lines.
+//
 // The subcommands communicate only through the files, demonstrating that
 // the on-disk formats round-trip the full pipeline.
 
@@ -40,6 +48,7 @@
 #include "feed/trace_io.h"
 #include "feed/workload.h"
 #include "obs/stats_export.h"
+#include "wal/wal.h"
 
 namespace {
 
@@ -265,6 +274,104 @@ int Resume(const std::string& dir) {
   return 0;
 }
 
+// Offline WAL tooling: inspect / verify / dump a log directory without
+// touching it (none of the modes truncate a torn tail — recovery does).
+int Wal(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: %s wal <inspect|verify|dump> <wal-dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[2];
+  const std::string dir = argv[3];
+
+  if (mode == "dump") {
+    auto report = adrec::wal::ScanLog(
+        dir, {.truncate_torn_tail = false, .decode_payloads = false},
+        [](const adrec::wal::Record& r) {
+          std::printf("%llu\t%s\n", static_cast<unsigned long long>(r.seqno),
+                      r.payload.c_str());
+          return adrec::Status::OK();
+        });
+    if (!report.ok()) {
+      std::fprintf(stderr, "wal dump: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (report.value().torn_tail) {
+      std::fprintf(stderr, "warning: torn tail (%llu bytes): %s\n",
+                   static_cast<unsigned long long>(report.value().torn_bytes),
+                   report.value().torn_detail.c_str());
+    }
+    return 0;
+  }
+
+  if (mode == "verify") {
+    auto report = adrec::wal::VerifyLog(dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "wal verify FAILED: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const adrec::wal::LogReport& r = report.value();
+    if (r.torn_tail) {
+      std::fprintf(stderr,
+                   "warning: torn tail (%llu bytes, recovery will cut it): "
+                   "%s\n",
+                   static_cast<unsigned long long>(r.torn_bytes),
+                   r.torn_detail.c_str());
+    }
+    std::printf("wal verify OK: %zu segments, %zu records, seqnos %llu..%llu"
+                "%s\n",
+                r.segments.size(), r.records,
+                static_cast<unsigned long long>(r.first_seqno),
+                static_cast<unsigned long long>(r.last_seqno),
+                r.torn_tail ? " (torn tail)" : "");
+    return 0;
+  }
+
+  if (mode == "inspect") {
+    auto report = adrec::wal::ScanLog(dir, {});
+    if (!report.ok()) {
+      std::fprintf(stderr, "wal inspect: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const adrec::wal::LogReport& r = report.value();
+    std::printf("%-32s %20s %20s %10s %12s\n", "segment", "first_seqno",
+                "last_seqno", "records", "bytes");
+    for (const auto& seg : r.segments) {
+      std::printf("%-32s %20llu %20llu %10zu %12llu\n",
+                  std::filesystem::path(seg.path).filename().c_str(),
+                  static_cast<unsigned long long>(seg.first_seqno),
+                  static_cast<unsigned long long>(seg.last_seqno),
+                  seg.records, static_cast<unsigned long long>(seg.bytes));
+    }
+    std::printf("total: %zu records, seqnos %llu..%llu%s\n", r.records,
+                static_cast<unsigned long long>(r.first_seqno),
+                static_cast<unsigned long long>(r.last_seqno),
+                r.torn_tail ? " (TORN TAIL)" : "");
+    if (r.torn_tail) {
+      std::printf("torn tail: %llu bytes — %s\n",
+                  static_cast<unsigned long long>(r.torn_bytes),
+                  r.torn_detail.c_str());
+    }
+    const std::string manifest = dir + "/checkpoint/MANIFEST.tsv";
+    std::ifstream in(manifest);
+    if (in) {
+      std::string line;
+      std::getline(in, line);
+      std::printf("checkpoint manifest: %s\n", line.c_str());
+    } else {
+      std::printf("checkpoint manifest: (none)\n");
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown wal mode '%s'\n", mode.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,11 +381,13 @@ int main(int argc, char** argv) {
                  "  %s generate <dir> [users] [days] [ads] [seed]\n"
                  "  %s recommend <dir> [alpha]\n"
                  "  %s resume <dir>\n"
-                 "  %s stats <dir> [k] [--format=text|prometheus]\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "  %s stats <dir> [k] [--format=text|prometheus]\n"
+                 "  %s wal <inspect|verify|dump> <wal-dir>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "wal") return Wal(argc, argv);
   const std::string dir = argv[2];
   if (command == "generate") return Generate(dir, argc, argv);
   if (command == "recommend") return Recommend(dir, argc, argv);

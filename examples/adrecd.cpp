@@ -4,9 +4,21 @@
 //   adrecd [--port=N] [--shards=N] [--dir=DIR] [--alpha=A]
 //          [--report-interval=SEC] [--max-connections=N]
 //          [--idle-timeout=SEC] [--snapshot-root=DIR]
+//          [--wal-dir=DIR] [--wal-sync=none|interval|group]
+//          [--checkpoint-interval=SEC] [--wal-retain=SEC]
 //
 // The `snapshot` verb is disabled unless --snapshot-root names a base
 // directory; client-supplied targets are then confined under it.
+//
+// With --wal-dir, every ingest verb is written ahead to a durable log
+// (src/wal) before it executes, and startup runs crash recovery: the
+// newest checkpoint under the log directory is restored and the log tail
+// replayed (a torn final record is cut). --wal-sync picks the durability
+// policy (default group: acked ingests are on disk, one fdatasync per
+// event-loop batch). --checkpoint-interval takes periodic coordinated
+// checkpoints (the `checkpoint` admin verb does one on demand);
+// --wal-retain bounds how much replay history survives a checkpoint
+// (default: keep everything — exact analysis-window recovery).
 //
 // With --dir, the knowledge base is loaded from DIR/kb.tsv and, when
 // present, DIR/ads.tsv and DIR/trace.tsv are preloaded into the engine
@@ -32,6 +44,8 @@
 #include "feed/trace_io.h"
 #include "feed/workload.h"
 #include "serve/server.h"
+#include "wal/checkpoint.h"
+#include "wal/wal.h"
 
 namespace {
 
@@ -57,6 +71,9 @@ int main(int argc, char** argv) {
   size_t shards = 1;
   std::string dir;
   double alpha = -1.0;
+  std::string wal_dir;
+  adrec::wal::WalOptions wal_opts;
+  adrec::wal::CheckpointOptions ckpt_opts;
   adrec::serve::ServerOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,12 +94,28 @@ int main(int argc, char** argv) {
       options.idle_timeout = std::atoll(v);
     } else if (FlagValue(argv[i], "--snapshot-root", &v)) {
       options.snapshot_root = v;
+    } else if (FlagValue(argv[i], "--wal-dir", &v)) {
+      wal_dir = v;
+    } else if (FlagValue(argv[i], "--wal-sync", &v)) {
+      auto policy = adrec::wal::ParseSyncPolicy(v);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "--wal-sync: %s\n",
+                     policy.status().ToString().c_str());
+        return 2;
+      }
+      wal_opts.sync = policy.value();
+    } else if (FlagValue(argv[i], "--checkpoint-interval", &v)) {
+      options.checkpoint_interval = std::atof(v);
+    } else if (FlagValue(argv[i], "--wal-retain", &v)) {
+      ckpt_opts.analysis_retention = std::atoll(v);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--shards=N] [--dir=DIR] "
                    "[--alpha=A] [--report-interval=SEC] "
                    "[--max-connections=N] [--idle-timeout=SEC] "
-                   "[--snapshot-root=DIR]\n",
+                   "[--snapshot-root=DIR] [--wal-dir=DIR] "
+                   "[--wal-sync=none|interval|group] "
+                   "[--checkpoint-interval=SEC] [--wal-retain=SEC]\n",
                    argv[0]);
       return 2;
     }
@@ -146,7 +179,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Durability: recover from the WAL (checkpoint + tail replay), then
+  // open the writer at the first unused seqno. Recovery runs after the
+  // warm preload, so a preloaded inventory that was also checkpointed or
+  // logged re-applies idempotently (AlreadyExists is tolerated).
+  std::unique_ptr<adrec::wal::CheckpointManager> checkpointer;
+  std::unique_ptr<adrec::wal::WalWriter> wal;
+  adrec::Timestamp recovered_stream_time = 0;
+  if (!wal_dir.empty()) {
+    checkpointer =
+        std::make_unique<adrec::wal::CheckpointManager>(wal_dir, ckpt_opts);
+    auto recovered = checkpointer->Recover(&engine);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "wal recover: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    const adrec::wal::RecoveryResult& r = recovered.value();
+    std::printf(
+        "adrecd recovered from %s: checkpoint_seqno=%llu next_seqno=%llu "
+        "window_replayed=%zu live_replayed=%zu torn_bytes=%llu\n",
+        r.from_checkpoint ? "checkpoint+wal" : "wal",
+        static_cast<unsigned long long>(r.checkpoint_seqno),
+        static_cast<unsigned long long>(r.next_seqno), r.window_replayed,
+        r.live_replayed,
+        static_cast<unsigned long long>(r.torn_bytes_truncated));
+    auto opened =
+        adrec::wal::WalWriter::Open(wal_dir, wal_opts, r.next_seqno);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "wal open: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    wal = std::move(opened).value();
+    options.wal = wal.get();
+    options.checkpointer = checkpointer.get();
+    recovered_stream_time = r.max_event_time;
+  }
+
   adrec::serve::Server server(&engine, options);
+  // Resume the stream clock where the recovered trace left off, so the
+  // analysis window and ad expiry pick up where the crashed run was.
+  if (recovered_stream_time > 0) server.SeedStreamClock(recovered_stream_time);
   if (auto s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;

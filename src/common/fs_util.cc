@@ -1,0 +1,50 @@
+#include "common/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace adrec {
+
+namespace {
+
+Status FsyncAt(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    return Status::IoError(
+        StringFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError(
+        StringFormat("fsync %s: %s", path.c_str(), std::strerror(saved)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncFile(const std::string& path) {
+  return FsyncAt(path, O_RDONLY | O_CLOEXEC);
+}
+
+Status FsyncDir(const std::string& dir) {
+  return FsyncAt(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+}
+
+Status RenamePath(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError(StringFormat("rename %s -> %s: %s", from.c_str(),
+                                        to.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace adrec

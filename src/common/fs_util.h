@@ -1,0 +1,27 @@
+#ifndef ADREC_COMMON_FS_UTIL_H_
+#define ADREC_COMMON_FS_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace adrec {
+
+/// Durability primitives shared by the snapshot writer and the WAL.
+/// std::ofstream can flush to the kernel but cannot fsync; these helpers
+/// provide the missing "and make it survive power loss" step.
+
+/// fsync(2) on `path` (opened read-only). The file must exist.
+Status FsyncFile(const std::string& path);
+
+/// fsync(2) on the directory itself — required after rename/create/unlink
+/// for the directory entry to be durable (POSIX leaves metadata ordering
+/// undefined otherwise).
+Status FsyncDir(const std::string& dir);
+
+/// rename(2) with Status reporting; atomic within one filesystem.
+Status RenamePath(const std::string& from, const std::string& to);
+
+}  // namespace adrec
+
+#endif  // ADREC_COMMON_FS_UTIL_H_

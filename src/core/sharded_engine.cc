@@ -49,6 +49,20 @@ void ShardedEngine::OnEvent(const feed::FeedEvent& event) {
   }
 }
 
+void ShardedEngine::ReplayForAnalysis(const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      shards_[ShardOf(event.tweet.user)]->ReplayForAnalysis(event);
+      break;
+    case feed::EventKind::kCheckIn:
+      shards_[ShardOf(event.check_in.user)]->ReplayForAnalysis(event);
+      break;
+    case feed::EventKind::kAdInsert:
+    case feed::EventKind::kAdDelete:
+      break;  // inventory is snapshot state, never replayed
+  }
+}
+
 Status ShardedEngine::InsertAd(const feed::Ad& ad) {
   for (auto& shard : shards_) {
     ADREC_RETURN_NOT_OK(shard->InsertAd(ad));

@@ -34,6 +34,11 @@ class ShardedEngine {
   Status InsertAd(const feed::Ad& ad);
   Status RemoveAd(AdId id);
 
+  /// Window-only replay routed to the owner shard (same semantics as
+  /// RecommendationEngine::ReplayForAnalysis; ad events are ignored).
+  /// Used by snapshot + bounded-replay recovery (core/snapshot, wal).
+  void ReplayForAnalysis(const feed::FeedEvent& event);
+
   /// Runs the triadic analysis on every shard in parallel; the no-arg
   /// form uses each shard's configured EngineOptions::alpha.
   Status RunAnalysis(double alpha);
@@ -48,6 +53,9 @@ class ShardedEngine {
 
   size_t num_shards() const { return shards_.size(); }
   const RecommendationEngine& shard(size_t i) const { return *shards_[i]; }
+  /// Mutable shard access for snapshot restore (core/snapshot loads each
+  /// shard's files directly into its engine).
+  RecommendationEngine* mutable_shard(size_t i) { return shards_[i].get(); }
 
   // --- Observability. ---
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <tuple>
 
+#include "common/fs_util.h"
 #include "common/string_util.h"
 #include "feed/trace_io.h"
 
@@ -12,17 +13,26 @@ namespace adrec::core {
 
 namespace {
 
+constexpr std::string_view kProfilesFile = "snapshot_profiles.tsv";
+constexpr std::string_view kAdsFile = "snapshot_ads.tsv";
+constexpr std::string_view kImpressionsFile = "snapshot_impressions.tsv";
+constexpr std::string_view kFreqCapFile = "snapshot_freqcap.tsv";
+constexpr std::string_view kManifestFile = "snapshot_manifest.tsv";
+
 std::string ProfilesPath(const std::string& dir) {
-  return dir + "/snapshot_profiles.tsv";
+  return dir + "/" + std::string(kProfilesFile);
 }
 std::string AdsPath(const std::string& dir) {
-  return dir + "/snapshot_ads.tsv";
+  return dir + "/" + std::string(kAdsFile);
 }
 std::string ImpressionsPath(const std::string& dir) {
-  return dir + "/snapshot_impressions.tsv";
+  return dir + "/" + std::string(kImpressionsFile);
 }
 std::string FreqCapPath(const std::string& dir) {
-  return dir + "/snapshot_freqcap.tsv";
+  return dir + "/" + std::string(kFreqCapFile);
+}
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + std::string(kManifestFile);
 }
 
 // %.17g round-trips IEEE doubles exactly through strtod, so a restored
@@ -76,9 +86,15 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
   // snapshot's bytes must not depend on either — byte-identical state
   // must produce byte-identical snapshot files (testkit determinism).
 
+  // Each file is written to a `.tmp` sibling, fsynced and renamed into
+  // place — a crash mid-save never leaves a half-written file under its
+  // final name. The manifest (file sizes) is renamed LAST, so a crash
+  // between renames of the data files is detectable at load time: the
+  // surviving manifest's sizes no longer match the mixed file set.
+
   // --- Profiles + current locations. ---
   {
-    std::ofstream out(ProfilesPath(dir));
+    std::ofstream out(ProfilesPath(dir) + ".tmp");
     if (!out) return Status::IoError("cannot open profiles file");
     std::vector<std::pair<UserId, const profile::UserState*>> states;
     engine.profiles().ForEachState(
@@ -128,9 +144,9 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
   std::sort(ads.begin(), ads.end(),
             [](const feed::Ad& a, const feed::Ad& b) { return a.id < b.id; });
   std::sort(impressions.begin(), impressions.end());
-  ADREC_RETURN_NOT_OK(feed::WriteAds(AdsPath(dir), ads));
+  ADREC_RETURN_NOT_OK(feed::WriteAds(AdsPath(dir) + ".tmp", ads));
   {
-    std::ofstream out(ImpressionsPath(dir));
+    std::ofstream out(ImpressionsPath(dir) + ".tmp");
     if (!out) return Status::IoError("cannot open impressions file");
     for (const auto& [ad, served] : impressions) {
       out << "M\t" << ad << '\t' << served << '\n';
@@ -142,7 +158,7 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
   // --- Frequency-cap state. Without it a restored engine re-serves ads
   // the saved engine would cap, breaking save→load→continue equivalence.
   {
-    std::ofstream out(FreqCapPath(dir));
+    std::ofstream out(FreqCapPath(dir) + ".tmp");
     if (!out) return Status::IoError("cannot open freqcap file");
     struct CapRow {
       uint32_t user;
@@ -169,7 +185,37 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
     out.flush();
     if (!out) return Status::IoError("freqcap write failed");
   }
-  return Status::OK();
+
+  // --- Commit: fsync staged files, rename into place, manifest last. ---
+  const std::string files[] = {
+      std::string(kProfilesFile), std::string(kAdsFile),
+      std::string(kImpressionsFile), std::string(kFreqCapFile)};
+  std::string manifest;
+  for (const std::string& name : files) {
+    const std::string tmp = dir + "/" + name + ".tmp";
+    ADREC_RETURN_NOT_OK(FsyncFile(tmp));
+    std::error_code size_ec;
+    const uintmax_t bytes = std::filesystem::file_size(tmp, size_ec);
+    if (size_ec) return Status::IoError("stat " + tmp);
+    manifest += StringFormat("S\t%s\t%llu\n", name.c_str(),
+                             static_cast<unsigned long long>(bytes));
+  }
+  for (const std::string& name : files) {
+    ADREC_RETURN_NOT_OK(
+        RenamePath(dir + "/" + name + ".tmp", dir + "/" + name));
+  }
+  {
+    const std::string tmp = ManifestPath(dir) + ".tmp";
+    std::ofstream out(tmp);
+    if (!out) return Status::IoError("cannot open manifest file");
+    out << manifest;
+    out.flush();
+    if (!out) return Status::IoError("manifest write failed");
+    out.close();
+    ADREC_RETURN_NOT_OK(FsyncFile(tmp));
+    ADREC_RETURN_NOT_OK(RenamePath(tmp, ManifestPath(dir)));
+  }
+  return FsyncDir(dir);
 }
 
 Status LoadEngineSnapshot(const std::string& dir,
@@ -177,6 +223,51 @@ Status LoadEngineSnapshot(const std::string& dir,
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must not be null");
   }
+
+  // --- Manifest integrity gate. When present (every snapshot written by
+  // the atomic save path has one), each listed file must exist with
+  // exactly the recorded byte count: a truncated file — even one cut at
+  // a line boundary, which the per-record parsers below cannot see — is
+  // rejected here. Manifest-less snapshots (pre-durability format) are
+  // still loaded on parser trust alone.
+  {
+    std::ifstream mf(ManifestPath(dir));
+    std::string mline;
+    size_t mline_no = 0;
+    while (mf && std::getline(mf, mline)) {
+      ++mline_no;
+      if (mline.empty()) continue;
+      const auto fields = SplitString(mline, '\t', /*keep_empty=*/true);
+      if (fields.size() != 3 || fields[0] != "S") {
+        return Status::InvalidArgument(
+            StringFormat("%s:%zu: bad manifest record",
+                         ManifestPath(dir).c_str(), mline_no));
+      }
+      const std::string name(fields[1]);
+      char* end = nullptr;
+      const std::string bytes_str(fields[2]);
+      const unsigned long long want =
+          std::strtoull(bytes_str.c_str(), &end, 10);
+      if (end == bytes_str.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StringFormat("%s:%zu: bad manifest size",
+                         ManifestPath(dir).c_str(), mline_no));
+      }
+      const std::string path = dir + "/" + name;
+      std::error_code ec;
+      const uintmax_t have = std::filesystem::file_size(path, ec);
+      if (ec) {
+        return Status::IoError("snapshot file missing: " + path);
+      }
+      if (have != want) {
+        return Status::IoError(StringFormat(
+            "snapshot file truncated or altered: %s is %llu bytes, "
+            "manifest records %llu",
+            path.c_str(), static_cast<unsigned long long>(have), want));
+      }
+    }
+  }
+
   // --- Ads first (they define the index). ---
   Result<std::vector<feed::Ad>> ads = feed::ReadAds(AdsPath(dir));
   if (!ads.ok()) return ads.status();

@@ -24,6 +24,14 @@ namespace adrec::core {
 ///   snapshot_impressions.tsv  "M <ad> <served>" records
 ///   snapshot_freqcap.tsv    "F <user> <ad> <t;t;...>" frequency-cap
 ///                           histories (optional for older snapshots)
+///   snapshot_manifest.tsv   "S <file> <bytes>" integrity manifest —
+///                           written (and renamed into place) LAST;
+///                           loads verify the recorded sizes exactly
+///
+/// Saves are atomic per file: each file is staged as `<name>.tmp`,
+/// fsynced and renamed; a crash mid-save never leaves a torn file under
+/// a final name, and a crash between renames is caught at load time by
+/// the manifest size check.
 ///
 /// All files are emitted in canonical (sorted) order with `%.17g` float
 /// precision, so (a) identical engine state yields byte-identical files

@@ -10,8 +10,9 @@ namespace adrec::serve {
 namespace {
 
 constexpr std::string_view kVerbNames[kNumVerbs] = {
-    "tweet", "checkin", "adput",   "addel",    "topk", "match",
-    "analyze", "stats", "metrics", "snapshot", "ping", "quit"};
+    "tweet",   "checkin", "adput",   "addel",    "topk",       "match",
+    "analyze", "stats",   "metrics", "snapshot", "checkpoint", "ping",
+    "quit"};
 
 Result<uint64_t> ParseU64(std::string_view field) {
   const std::string s(field);
@@ -149,16 +150,17 @@ Result<Request> ParseRequest(std::string_view line) {
     req.dir = std::string(payload);
     return req;
   }
-  if (verb == "stats" || verb == "metrics" || verb == "ping" ||
-      verb == "quit") {
+  if (verb == "stats" || verb == "metrics" || verb == "checkpoint" ||
+      verb == "ping" || verb == "quit") {
     if (has_payload) {
       return Status::InvalidArgument(std::string(verb) +
                                      " takes no arguments");
     }
-    req.verb = verb == "stats"     ? Verb::kStats
-               : verb == "metrics" ? Verb::kMetrics
-               : verb == "ping"    ? Verb::kPing
-                                   : Verb::kQuit;
+    req.verb = verb == "stats"        ? Verb::kStats
+               : verb == "metrics"    ? Verb::kMetrics
+               : verb == "checkpoint" ? Verb::kCheckpoint
+               : verb == "ping"       ? Verb::kPing
+                                      : Verb::kQuit;
     return req;
   }
   return Status::InvalidArgument("unknown command '" + std::string(verb) +

@@ -38,6 +38,8 @@ namespace adrec::serve {
 ///   snapshot <dir>                     -> OK   (per-shard dir/shard<i>;
 ///        dir is relative, `..`-free, resolved under the server's
 ///        snapshot root — the verb is disabled when no root is set)
+///   checkpoint                         -> OK   (WAL-coordinated durable
+///        checkpoint — see wal/checkpoint.h; disabled without --wal-dir)
 ///   ping                               -> PONG
 ///   quit                               (server closes the connection)
 ///
@@ -59,11 +61,12 @@ enum class Verb {
   kStats,
   kMetrics,
   kSnapshot,
+  kCheckpoint,
   kPing,
   kQuit,
 };
 
-inline constexpr size_t kNumVerbs = 12;
+inline constexpr size_t kNumVerbs = 13;
 
 /// The wire name of a verb ("tweet", "checkin", ...).
 std::string_view VerbName(Verb verb);

@@ -18,6 +18,8 @@
 #include "core/snapshot.h"
 #include "obs/stats_export.h"
 #include "serve/reporter.h"
+#include "wal/checkpoint.h"
+#include "wal/wal.h"
 
 namespace adrec::serve {
 
@@ -276,6 +278,22 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
     conn->out += kCrlf;
     return;
   }
+  // Write-ahead: the raw request line is the log payload (the ingest
+  // grammar IS the wire grammar), appended before the engine mutates. An
+  // event the WAL cannot record is refused — never applied-but-lost.
+  if (options_.wal != nullptr &&
+      (req.verb == Verb::kTweet || req.verb == Verb::kCheckIn ||
+       req.verb == Verb::kAdPut || req.verb == Verb::kAdDel)) {
+    auto seqno = options_.wal->AppendDeferred(line);
+    if (!seqno.ok()) {
+      ADREC_LOG(kError) << "serve: wal append failed: "
+                        << seqno.status().ToString();
+      conn->out += "SERVER_ERROR wal append failed";
+      conn->out += kCrlf;
+      return;
+    }
+    wal_dirty_ = true;
+  }
   obs::ScopedTimer timer(tm_cmds_[verb]);
   conn->out += Execute(req, conn);
 }
@@ -319,6 +337,8 @@ std::string Server::Execute(const Request& req, Connection* conn) {
       return ExecuteMetrics();
     case Verb::kSnapshot:
       return ExecuteSnapshot(req);
+    case Verb::kCheckpoint:
+      return ExecuteCheckpoint();
     case Verb::kPing:
       return "PONG" + std::string(kCrlf);
     case Verb::kQuit:
@@ -430,9 +450,59 @@ std::string Server::ExecuteSnapshot(const Request& req) {
   return "OK" + std::string(kCrlf);
 }
 
+std::string Server::ExecuteCheckpoint() {
+  if (options_.checkpointer == nullptr || options_.wal == nullptr) {
+    return "SERVER_ERROR checkpoint disabled (no wal configured)" +
+           std::string(kCrlf);
+  }
+  const Status st =
+      options_.checkpointer->Checkpoint(*engine_, options_.wal, stream_now_);
+  if (!st.ok()) {
+    return "SERVER_ERROR " + st.ToString() + std::string(kCrlf);
+  }
+  last_checkpoint_ = std::chrono::steady_clock::now();
+  return "OK" + std::string(kCrlf);
+}
+
+void Server::CommitWal() {
+  if (options_.wal == nullptr || !wal_dirty_) return;
+  wal_dirty_ = false;
+  const Status st = options_.wal->Commit();
+  if (!st.ok()) {
+    // The replies for this batch were already formatted as OK; a failing
+    // fdatasync here means acknowledged-but-maybe-lost. There is no way
+    // to recall the replies, so make the breach loud.
+    ADREC_LOG(kError) << "serve: wal commit failed: " << st.ToString();
+  }
+}
+
+void Server::MaybeCheckpoint() {
+  if (options_.checkpointer == nullptr || options_.wal == nullptr ||
+      options_.checkpoint_interval <= 0.0) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const double since =
+      std::chrono::duration<double>(now - last_checkpoint_).count();
+  if (since < options_.checkpoint_interval) return;
+  last_checkpoint_ = now;
+  const Status st =
+      options_.checkpointer->Checkpoint(*engine_, options_.wal, stream_now_);
+  if (!st.ok()) {
+    ADREC_LOG(kError) << "serve: periodic checkpoint failed: "
+                      << st.ToString();
+  } else {
+    ADREC_LOG(kInfo) << "serve: checkpoint at wal seqno "
+                     << options_.wal->synced_seqno();
+  }
+}
+
 obs::MetricsSnapshot Server::MergedSnapshot() const {
   obs::MetricsSnapshot snapshot = metrics_.Snapshot();
   snapshot.MergeFrom(engine_->MergedMetrics());
+  if (options_.wal != nullptr) {
+    snapshot.MergeFrom(options_.wal->metrics().Snapshot());
+  }
   return snapshot;
 }
 
@@ -493,6 +563,7 @@ void Server::Run() {
                                 : 1e9);
   const auto drain_deadline_never = std::chrono::steady_clock::time_point::max();
   auto drain_deadline = drain_deadline_never;
+  last_checkpoint_ = std::chrono::steady_clock::now();
 
   std::vector<pollfd> fds;
   std::vector<int> conn_fds;
@@ -539,6 +610,11 @@ void Server::Run() {
       // resume the listener once the backoff lapses.
       timeout_ms = timeout_ms < 0 ? 100 : std::min(timeout_ms, 100);
     }
+    if (options_.checkpointer != nullptr &&
+        options_.checkpoint_interval > 0.0) {
+      // Periodic checkpoints must fire even on an idle stream.
+      timeout_ms = timeout_ms < 0 ? 1000 : std::min(timeout_ms, 1000);
+    }
     if (draining_) timeout_ms = 50;
 
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
@@ -576,6 +652,11 @@ void Server::Run() {
       ++idx;
     }
 
+    // Read + process every ready connection first — their WAL appends
+    // stay deferred — then run ONE durability barrier for the whole wave
+    // before any reply reaches a socket. This is what makes group commit
+    // group: the wave shares a single fdatasync instead of paying one per
+    // connection.
     for (size_t c = 0; c < conn_fds.size(); ++c, ++idx) {
       auto it = connections_.find(conn_fds[c]);
       if (it == connections_.end()) continue;  // closed earlier this round
@@ -588,22 +669,34 @@ void Server::Run() {
       if (revents & (POLLIN | POLLHUP)) {
         if (!ReadFrom(conn)) continue;
       }
-      // Process-and-flush until quiescent. One pass is not enough: a
+      ProcessLines(conn);
+    }
+    // Durability before visibility: every deferred WAL append of the
+    // wave is committed before any of the wave's replies can be written.
+    CommitWal();
+    for (size_t c = 0; c < conn_fds.size(); ++c) {
+      auto it = connections_.find(conn_fds[c]);
+      if (it == connections_.end()) continue;
+      Connection* conn = &it->second;
+      // Flush-and-resume until quiescent. One pass is not enough: a
       // backpressured connection keeps complete pipelined lines in `in`,
       // and a peer waiting for those replies sends nothing more — no
       // POLLIN ever fires again. So whenever a write drains the buffer
       // back under the cap, resume consuming the pipeline right here
-      // instead of waiting on poll.
+      // instead of waiting on poll (committing each resumed batch before
+      // its replies flush).
       for (;;) {
-        ProcessLines(conn);
         if (conn->out.empty() && !conn->closing) break;
         if (!WriteTo(conn)) break;  // connection closed and erased
         if (conn->out.size() >= options_.max_write_buffer_bytes) break;
         if (conn->in.find('\n') == std::string::npos) break;
+        ProcessLines(conn);
+        CommitWal();
       }
     }
 
     CloseIdle();
+    if (!draining_) MaybeCheckpoint();
     if (options_.report_interval > 0.0 && !draining_) reporter.TickIfDue();
     // Drain semantics: stop reading new requests, flush what is queued.
     if (draining_) {
@@ -613,6 +706,14 @@ void Server::Run() {
         if (conn.out.empty()) done.push_back(fd);
       }
       for (int fd : done) CloseConnection(&connections_.at(fd));
+    }
+  }
+  if (options_.wal != nullptr) {
+    // Final barrier: under kNone/kInterval the tail of the log may still
+    // be in page cache; a clean shutdown should not lose it.
+    const Status st = options_.wal->Sync();
+    if (!st.ok()) {
+      ADREC_LOG(kError) << "serve: final wal sync failed: " << st.ToString();
     }
   }
   ADREC_LOG(kInfo) << "serve: drained, event loop exiting";

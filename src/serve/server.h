@@ -12,6 +12,11 @@
 #include "obs/metrics.h"
 #include "serve/protocol.h"
 
+namespace adrec::wal {
+class CheckpointManager;
+class WalWriter;
+}  // namespace adrec::wal
+
 namespace adrec::serve {
 
 /// Daemon configuration.
@@ -47,6 +52,18 @@ struct ServerOptions {
   /// resolved against this root — a client can never name an arbitrary
   /// filesystem location.
   std::string snapshot_root;
+  /// Write-ahead log (not owned; nullptr = durability off). Every ingest
+  /// verb is appended (deferred) before it executes, and the event loop
+  /// runs a policy-aware Commit() barrier before releasing the batch's
+  /// replies — under SyncPolicy::kGroup an acknowledged ingest is on
+  /// disk, at one fdatasync per event-loop batch rather than per record.
+  wal::WalWriter* wal = nullptr;
+  /// Checkpoint coordinator (not owned; nullptr disables the
+  /// `checkpoint` verb and interval checkpointing). Requires `wal`.
+  wal::CheckpointManager* checkpointer = nullptr;
+  /// Take a checkpoint automatically every this many wall seconds
+  /// (0 = only on explicit `checkpoint` commands).
+  double checkpoint_interval = 0.0;
 };
 
 /// The adrecd network front end: a single-threaded, event-driven
@@ -93,9 +110,17 @@ class Server {
   /// latency, parse errors, sheds, bytes in/out).
   const obs::MetricRegistry& metrics() const { return metrics_; }
 
-  /// serve.* metrics merged with the engine's per-shard registries — the
-  /// view the `stats` and `metrics` commands export.
+  /// serve.* metrics merged with the engine's per-shard registries (and
+  /// the WAL's wal.* registry when one is attached) — the view the
+  /// `stats` and `metrics` commands export.
   obs::MetricsSnapshot MergedSnapshot() const;
+
+  /// Seeds the stream clock (newest-event-time substitution for `topk`)
+  /// after recovery, so a freshly restarted daemon answers time-less
+  /// queries at the recovered stream position, not at t=0.
+  void SeedStreamClock(Timestamp t) {
+    if (t > stream_now_) stream_now_ = t;
+  }
 
  private:
   struct Connection;
@@ -119,6 +144,12 @@ class Server {
   std::string ExecuteStats();
   std::string ExecuteMetrics();
   std::string ExecuteSnapshot(const Request& req);
+  std::string ExecuteCheckpoint();
+  /// Durability barrier for the deferred WAL appends of the current
+  /// event-loop batch; no-op when nothing was appended since the last
+  /// commit.
+  void CommitWal();
+  void MaybeCheckpoint();
 
   core::ShardedEngine* engine_;  // not owned
   ServerOptions options_;
@@ -133,6 +164,9 @@ class Server {
   /// Newest event timestamp ingested — substituted into `topk` queries
   /// that omit <time> ("now" on the simulated stream clock).
   Timestamp stream_now_ = 0;
+  /// Deferred WAL appends awaiting the batch Commit() barrier.
+  bool wal_dirty_ = false;
+  std::chrono::steady_clock::time_point last_checkpoint_{};
   std::map<int, Connection> connections_;
 
   obs::MetricRegistry metrics_;

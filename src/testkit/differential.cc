@@ -1,11 +1,17 @@
 #include "testkit/differential.h"
 
+#include <fstream>
 #include <functional>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/random.h"
 #include "common/string_util.h"
 #include "core/sharded_engine.h"
 #include "core/snapshot.h"
+#include "wal/checkpoint.h"
+#include "wal/record.h"
+#include "wal/wal.h"
 
 namespace adrec::testkit {
 
@@ -166,6 +172,143 @@ RunOutcome DifferentialChecker::RunSnapshotRestore(
   const core::EngineStats stats = after.Stats();
   outcome.tweets = pre_tweets + stats.tweets;
   outcome.checkins = pre_checkins + stats.checkins;
+  outcome.topk_queries = pre_queries + stats.topk_queries;
+  outcome.impressions = pre_impressions + stats.impressions_served;
+  return outcome;
+}
+
+RunOutcome DifferentialChecker::RunWalCrash(
+    const std::vector<feed::Ad>& ads,
+    const std::vector<feed::FeedEvent>& events,
+    wal::RecoveryResult* recovery) const {
+  ADREC_CHECK(!options_.wal_dir.empty());
+  const size_t crash = static_cast<size_t>(
+      static_cast<double>(events.size()) * options_.crash_fraction);
+  const bool with_checkpoint = options_.wal_checkpoint_fraction >= 0.0;
+  const size_t checkpoint_at =
+      with_checkpoint
+          ? std::min(static_cast<size_t>(
+                         static_cast<double>(events.size()) *
+                         options_.wal_checkpoint_fraction),
+                     crash)
+          : crash;  // only used as a stream split point
+
+  RunOutcome outcome;
+  size_t tweet_ordinal = 0;
+  // Counter bookkeeping across the crash: tweets/checkins up to the
+  // checkpoint live in the snapshot era (the recovered engine re-counts
+  // everything after the mark during live replay), while topk/impression
+  // counters accrue only where probes actually ran — the crashing engine
+  // up to the crash, the recovered engine after it.
+  uint64_t ckpt_tweets = 0, ckpt_checkins = 0;
+  uint64_t pre_queries = 0, pre_impressions = 0;
+  uint64_t crash_seqno = 0;  // seqno the first unacked record would get
+  wal::CheckpointManager checkpointer(options_.wal_dir);
+
+  {
+    core::ShardedEngine before(kb_, slots_, options_.wal_shards,
+                               options_.engine);
+    wal::WalOptions wal_options;
+    // Durability policy is irrelevant to this differential (the "disk"
+    // never loses synced data in-process); kNone keeps iterations fast.
+    wal_options.sync = wal::SyncPolicy::kNone;
+    wal_options.segment_bytes = options_.wal_segment_bytes;
+    auto writer = wal::WalWriter::Open(options_.wal_dir, wal_options);
+    ADREC_CHECK(writer.ok());
+    wal::WalWriter* w = writer.value().get();
+
+    // Upfront inventory is logged like any ingest, so a checkpoint-less
+    // recovery rebuilds it from the log alone.
+    for (const feed::Ad& ad : ads) {
+      feed::FeedEvent ev;
+      ev.kind = feed::EventKind::kAdInsert;
+      ev.ad = ad;
+      ADREC_CHECK(w->Append(wal::EncodeEventPayload(ev)).ok());
+      (void)before.InsertAd(ad);
+    }
+
+    const auto on_event = [&](const feed::FeedEvent& e) {
+      ADREC_CHECK(w->Append(wal::EncodeEventPayload(e)).ok());
+      before.OnEvent(e);
+    };
+    const auto topk = [&](const feed::Tweet& t, size_t k) {
+      return before.TopKAdsForTweet(t, k);
+    };
+    StreamWithProbes(events, 0, checkpoint_at, options_.probe_every,
+                     options_.top_k, &tweet_ordinal, on_event, topk,
+                     &outcome);
+    if (with_checkpoint) {
+      ADREC_CHECK(checkpointer.Checkpoint(before, w, 0).ok());
+      const core::EngineStats at_mark = before.Stats();
+      ckpt_tweets = at_mark.tweets;
+      ckpt_checkins = at_mark.checkins;
+    }
+    StreamWithProbes(events, checkpoint_at, crash, options_.probe_every,
+                     options_.top_k, &tweet_ordinal, on_event, topk,
+                     &outcome);
+
+    const core::EngineStats at_crash = before.Stats();
+    pre_queries = at_crash.topk_queries;
+    pre_impressions = at_crash.impressions_served;
+    crash_seqno = w->next_seqno();
+  }  // crash: the engine and the writer die with no goodbye
+
+  if (options_.crash_torn_tail && crash < events.size()) {
+    // The first unacknowledged event made it halfway into a frame before
+    // the lights went out.
+    const std::string frame = wal::EncodeFrame(
+        crash_seqno, wal::EncodeEventPayload(events[crash]));
+    Rng rng(options_.crash_seed);
+    const size_t keep =
+        1 + static_cast<size_t>(rng.NextBounded(frame.size() - 1));
+    auto report = wal::ScanLog(options_.wal_dir, {});
+    ADREC_CHECK(report.ok() && !report.value().segments.empty());
+    std::ofstream torn(report.value().segments.back().path,
+                       std::ios::binary | std::ios::app);
+    ADREC_CHECK(static_cast<bool>(torn));
+    torn.write(frame.data(), static_cast<std::streamsize>(keep));
+    torn.flush();
+    ADREC_CHECK(static_cast<bool>(torn));
+  }
+
+  core::ShardedEngine after(kb_, slots_, options_.wal_shards,
+                            options_.engine);
+  auto recovered = checkpointer.Recover(&after);
+  if (!recovered.ok()) {
+    ADREC_LOG(kError) << "RunWalCrash: recovery failed: "
+                      << recovered.status().ToString();
+    ADREC_CHECK(recovered.ok());
+  }
+  if (recovery != nullptr) *recovery = recovered.value();
+
+  StreamWithProbes(
+      events, crash, events.size(), options_.probe_every, options_.top_k,
+      &tweet_ordinal,
+      [&](const feed::FeedEvent& e) { after.OnEvent(e); },
+      [&](const feed::Tweet& t, size_t k) {
+        return after.TopKAdsForTweet(t, k);
+      },
+      &outcome);
+
+  (void)after.RunAnalysis(options_.alpha);
+  if (options_.wal_shards == 1) {
+    outcome.tfca = after.shard(0).analysis().stats();
+    for (const feed::Ad& ad : ads) {
+      Result<core::MatchResult> match = after.shard(0).RecommendUsers(ad.id);
+      outcome.matches.push_back(match.ok() ? std::move(match).value()
+                                           : core::MatchResult{});
+    }
+  } else {
+    for (size_t i = 0; i < after.num_shards(); ++i) {
+      const core::TfcaStats& shard = after.shard(i).analysis().stats();
+      outcome.tfca.users += shard.users;
+      outcome.tfca.checkin_incidences += shard.checkin_incidences;
+      outcome.tfca.tweet_cells += shard.tweet_cells;
+    }
+  }
+  const core::EngineStats stats = after.Stats();
+  outcome.tweets = ckpt_tweets + stats.tweets;
+  outcome.checkins = ckpt_checkins + stats.checkins;
   outcome.topk_queries = pre_queries + stats.topk_queries;
   outcome.impressions = pre_impressions + stats.impressions_served;
   return outcome;

@@ -15,6 +15,10 @@
 #include "index/ad_index.h"
 #include "timeline/time_slots.h"
 
+namespace adrec::wal {
+struct RecoveryResult;
+}  // namespace adrec::wal
+
 namespace adrec::testkit {
 
 /// One streaming top-k probe: the ads served for the tweet at
@@ -86,6 +90,29 @@ struct DifferentialOptions {
   core::EngineOptions engine;
   bool run_sharded = true;
   bool run_snapshot = true;
+
+  // --- WAL crash-recovery variant (RunWalCrash). ---
+  /// Log directory; must be fresh per run (leftover segments would be
+  /// replayed).
+  std::string wal_dir;
+  /// Fraction of the trace ingested — and WAL-acknowledged — before the
+  /// simulated crash.
+  double crash_fraction = 0.5;
+  /// Take a coordinated wal::CheckpointManager checkpoint at this
+  /// fraction of the trace (< 0 = crash recovers from the log alone;
+  /// otherwise must be <= crash_fraction).
+  double wal_checkpoint_fraction = -1.0;
+  /// Append a torn half-frame of the first unacknowledged event at the
+  /// crash point — recovery must detect and cut it, not fail.
+  bool crash_torn_tail = false;
+  /// Seeds the torn-frame cut length.
+  uint64_t crash_seed = 1;
+  /// Segment size for the crash variant; small, to force rotation and
+  /// multi-segment replay.
+  size_t wal_segment_bytes = 16 * 1024;
+  /// Shard count of the crashing engine. 1 (the default) keeps the
+  /// variant exactly comparable to RunSingle (full CompareOptions).
+  size_t wal_shards = 1;
 };
 
 class DifferentialChecker {
@@ -113,6 +140,22 @@ class DifferentialChecker {
   RunOutcome RunSnapshotRestore(
       const std::vector<feed::Ad>& ads,
       const std::vector<feed::FeedEvent>& events) const;
+
+  /// Same trace through a WAL-logged engine that is destroyed without
+  /// warning at options.crash_fraction (optionally leaving a torn final
+  /// frame behind), recovered via wal::CheckpointManager::Recover into a
+  /// fresh engine, and continued — the crash-consistency counterpart of
+  /// RunSnapshotRestore. `recovery`, when given, receives what Recover
+  /// reported (checkpoint use, replay counts, torn bytes).
+  ///
+  /// Exactness caveat: `topk` probes mutate serving state (impression
+  /// counters, frequency-cap histories) that is NOT write-ahead logged,
+  /// so exact equality with RunSingle requires a workload where serving
+  /// is ranking-stateless: unlimited ad budgets and
+  /// engine.frequency_cap.max_impressions <= 0.
+  RunOutcome RunWalCrash(const std::vector<feed::Ad>& ads,
+                         const std::vector<feed::FeedEvent>& events,
+                         wal::RecoveryResult* recovery = nullptr) const;
 
   /// Runs every enabled variant and returns the first divergence (or a
   /// non-diverged report).

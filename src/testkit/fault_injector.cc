@@ -1,12 +1,49 @@
 #include "testkit/fault_injector.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <unordered_set>
 #include <utility>
 
 #include "common/string_util.h"
 
 namespace adrec::testkit {
+
+Result<size_t> TornWriteTail(const std::string& path, uint64_t seed,
+                             size_t max_bytes) {
+  std::error_code ec;
+  const uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IoError("stat " + path + ": " + ec.message());
+  if (size == 0 || max_bytes == 0) return static_cast<size_t>(0);
+  Rng rng(seed);
+  const uint64_t cap = std::min<uint64_t>(max_bytes, size);
+  const size_t cut = static_cast<size_t>(1 + rng.NextBounded(cap));
+  std::filesystem::resize_file(path, size - cut, ec);
+  if (ec) return Status::IoError("truncate " + path + ": " + ec.message());
+  return cut;
+}
+
+Result<size_t> FlipRandomBit(const std::string& path, uint64_t seed) {
+  std::error_code ec;
+  const uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IoError("stat " + path + ": " + ec.message());
+  if (size == 0) {
+    return Status::InvalidArgument("cannot flip a bit of empty " + path);
+  }
+  Rng rng(seed);
+  const size_t offset = static_cast<size_t>(rng.NextBounded(size));
+  const int bit = static_cast<int>(rng.NextBounded(8));
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  if (!f.get(byte)) return Status::IoError("read " + path);
+  byte = static_cast<char>(byte ^ (1 << bit));
+  f.seekp(static_cast<std::streamoff>(offset));
+  if (!f.put(byte).flush()) return Status::IoError("write " + path);
+  return offset;
+}
 
 FaultOptions DefaultFaultMix(uint64_t seed) {
   FaultOptions f;

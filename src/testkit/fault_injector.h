@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "common/sim_clock.h"
+#include "common/status.h"
 #include "feed/stream_replayer.h"
 #include "feed/types.h"
 #include "obs/metrics.h"
@@ -100,6 +101,22 @@ struct SanitizeStats {
 std::vector<feed::FeedEvent> SanitizeTrace(
     const std::vector<feed::FeedEvent>& events,
     const SanitizeOptions& options = {}, SanitizeStats* stats = nullptr);
+
+// --- On-disk crash corruptors. The durability counterpart of the
+// stream fault model above: the ways a crash (or a failing disk) mangles
+// a log file. Both are pure functions of (file contents, seed), so a
+// corrupted-recovery differential is exactly reproducible.
+
+/// Simulates a torn write: removes a seeded number of trailing bytes
+/// (1..max_bytes, capped at the file size) from `path`, as if the
+/// process died mid-write(2). Returns the number of bytes removed.
+Result<size_t> TornWriteTail(const std::string& path, uint64_t seed,
+                             size_t max_bytes = 64);
+
+/// Flips one seeded bit of `path` (which must be non-empty) in place —
+/// the single-bit medium-corruption model a CRC frame must catch.
+/// Returns the byte offset of the flipped bit.
+Result<size_t> FlipRandomBit(const std::string& path, uint64_t seed);
 
 /// A feed::StreamReplayer wrapper that injects the fault plan into the
 /// trace before delivery and exports the injection counters through an

@@ -1,0 +1,228 @@
+#include "wal/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/snapshot.h"
+
+namespace adrec::wal {
+
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST.tsv";
+
+std::string ShardDir(const std::string& checkpoint_dir, size_t shard) {
+  return StringFormat("%s/shard%zu", checkpoint_dir.c_str(), shard);
+}
+
+struct CheckpointManifest {
+  uint64_t wal_seqno = 0;
+  size_t num_shards = 0;
+  Timestamp stream_time = 0;
+};
+
+Result<CheckpointManifest> ReadManifest(const std::string& checkpoint_dir) {
+  const std::string path =
+      checkpoint_dir + "/" + std::string(kManifestName);
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no checkpoint manifest at " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError(path + ": empty manifest");
+  }
+  const auto fields = SplitString(line, '\t', /*keep_empty=*/true);
+  if (fields.size() != 4 || fields[0] != "K") {
+    return Status::InvalidArgument(path + ": bad manifest record");
+  }
+  CheckpointManifest m;
+  char* end = nullptr;
+  const std::string seqno_str(fields[1]);
+  m.wal_seqno = std::strtoull(seqno_str.c_str(), &end, 10);
+  if (end == seqno_str.c_str() || *end != '\0') {
+    return Status::InvalidArgument(path + ": bad wal seqno");
+  }
+  const std::string shards_str(fields[2]);
+  end = nullptr;
+  m.num_shards = std::strtoul(shards_str.c_str(), &end, 10);
+  if (end == shards_str.c_str() || *end != '\0' || m.num_shards == 0) {
+    return Status::InvalidArgument(path + ": bad shard count");
+  }
+  const std::string time_str(fields[3]);
+  end = nullptr;
+  m.stream_time = std::strtoll(time_str.c_str(), &end, 10);
+  if (end == time_str.c_str() || *end != '\0') {
+    return Status::InvalidArgument(path + ": bad stream time");
+  }
+  return m;
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) return Status::IoError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string wal_dir,
+                                     CheckpointOptions options)
+    : wal_dir_(std::move(wal_dir)), options_(options) {}
+
+Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
+                                     WalWriter* wal, Timestamp stream_now) {
+  if (wal == nullptr) {
+    return Status::InvalidArgument("checkpoint needs a wal writer");
+  }
+  // Seal + sync first, so the mark covers every record the engine state
+  // below can reflect, and truncation later never touches the active
+  // segment.
+  ADREC_RETURN_NOT_OK(wal->Rotate());
+  ADREC_RETURN_NOT_OK(wal->Sync());
+  const uint64_t mark = wal->synced_seqno();
+
+  const std::string tmp = wal_dir_ + "/checkpoint.tmp";
+  ADREC_RETURN_NOT_OK(RemoveAll(tmp));
+  std::error_code ec;
+  std::filesystem::create_directories(tmp, ec);
+  if (ec) return Status::IoError("cannot create " + tmp + ": " + ec.message());
+
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    ADREC_RETURN_NOT_OK(
+        core::SaveEngineSnapshot(engine.shard(s), ShardDir(tmp, s)));
+  }
+  {
+    const std::string path = tmp + "/" + std::string(kManifestName);
+    std::ofstream out(path);
+    if (!out) return Status::IoError("cannot open " + path);
+    out << StringFormat("K\t%llu\t%zu\t%lld\n",
+                        static_cast<unsigned long long>(mark),
+                        engine.num_shards(),
+                        static_cast<long long>(stream_now));
+    out.flush();
+    if (!out) return Status::IoError("manifest write failed: " + path);
+    out.close();
+    ADREC_RETURN_NOT_OK(FsyncFile(path));
+  }
+  ADREC_RETURN_NOT_OK(FsyncDir(tmp));
+
+  // Swap. The previous checkpoint lives on as checkpoint.old until the
+  // new one is durably in place — recovery falls back to it if a crash
+  // lands inside this window.
+  const std::string current = checkpoint_dir();
+  const std::string old = current + ".old";
+  ADREC_RETURN_NOT_OK(RemoveAll(old));
+  if (std::filesystem::exists(current)) {
+    ADREC_RETURN_NOT_OK(RenamePath(current, old));
+  }
+  ADREC_RETURN_NOT_OK(RenamePath(tmp, current));
+  ADREC_RETURN_NOT_OK(FsyncDir(wal_dir_));
+  ADREC_RETURN_NOT_OK(RemoveAll(old));
+
+  if (options_.analysis_retention >= 0) {
+    const Timestamp floor = stream_now - options_.analysis_retention;
+    Result<size_t> deleted = wal->TruncateSealedBefore(mark + 1, floor);
+    if (!deleted.ok()) return deleted.status();
+    if (deleted.value() > 0) {
+      ADREC_LOG(kInfo) << "checkpoint: truncated " << deleted.value()
+                       << " sealed wal segment(s)";
+    }
+  }
+  return Status::OK();
+}
+
+Result<RecoveryResult> CheckpointManager::Recover(
+    core::ShardedEngine* engine) const {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("recover needs an engine");
+  }
+  RecoveryResult result;
+
+  // --- Pick the newest loadable checkpoint. ---
+  std::string chosen;
+  CheckpointManifest manifest;
+  for (const std::string& candidate :
+       {checkpoint_dir(), checkpoint_dir() + ".old"}) {
+    auto m = ReadManifest(candidate);
+    if (m.ok()) {
+      chosen = candidate;
+      manifest = m.value();
+      break;
+    }
+    if (m.status().code() != StatusCode::kNotFound) {
+      ADREC_LOG(kWarning) << "skipping unreadable checkpoint " << candidate
+                          << ": " << m.status().ToString();
+    }
+  }
+  if (!chosen.empty()) {
+    if (manifest.num_shards != engine->num_shards()) {
+      return Status::FailedPrecondition(StringFormat(
+          "checkpoint %s was taken with %zu shard(s), engine has %zu",
+          chosen.c_str(), manifest.num_shards, engine->num_shards()));
+    }
+    for (size_t s = 0; s < engine->num_shards(); ++s) {
+      ADREC_RETURN_NOT_OK(
+          core::LoadEngineSnapshot(ShardDir(chosen, s),
+                                   engine->mutable_shard(s)));
+    }
+    result.from_checkpoint = true;
+    result.checkpoint_seqno = manifest.wal_seqno;
+    result.checkpoint_stream_time = manifest.stream_time;
+    result.max_event_time = manifest.stream_time;
+  }
+
+  // --- Replay the log: window-only up to the mark, live ingest after. ---
+  ScanOptions scan;
+  scan.truncate_torn_tail = true;
+  Status replay_error = Status::OK();
+  auto report = ScanLog(wal_dir_, scan, [&](const Record& record) {
+    auto event = DecodeEventPayload(record.payload);
+    if (!event.ok()) {
+      replay_error = Status::IoError(StringFormat(
+          "wal record %llu: %s",
+          static_cast<unsigned long long>(record.seqno),
+          event.status().message().c_str()));
+      return replay_error;
+    }
+    feed::FeedEvent& ev = event.value();
+    if (ev.time > result.max_event_time) result.max_event_time = ev.time;
+    if (record.seqno <= result.checkpoint_seqno) {
+      engine->ReplayForAnalysis(ev);
+      ++result.window_replayed;
+      return Status::OK();
+    }
+    switch (ev.kind) {
+      case feed::EventKind::kTweet:
+      case feed::EventKind::kCheckIn:
+        engine->OnEvent(ev);
+        break;
+      case feed::EventKind::kAdInsert: {
+        // The checkpoint may already contain the ad (logged before the
+        // snapshot caught up with it): re-insertion is benign.
+        const Status st = engine->InsertAd(ev.ad);
+        if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+        break;
+      }
+      case feed::EventKind::kAdDelete: {
+        const Status st = engine->RemoveAd(ev.ad_id);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+        break;
+      }
+    }
+    ++result.live_replayed;
+    return Status::OK();
+  });
+  if (!report.ok()) return report.status();
+  if (!replay_error.ok()) return replay_error;
+
+  result.torn_bytes_truncated = report.value().torn_bytes;
+  result.next_seqno =
+      std::max(report.value().last_seqno, result.checkpoint_seqno) + 1;
+  return result;
+}
+
+}  // namespace adrec::wal

@@ -1,0 +1,92 @@
+#ifndef ADREC_WAL_CHECKPOINT_H_
+#define ADREC_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "core/sharded_engine.h"
+#include "wal/wal.h"
+
+namespace adrec::wal {
+
+/// Checkpoint + recovery coordination between the engine snapshot format
+/// (core/snapshot) and the WAL (wal/wal.h). Layout inside the log
+/// directory:
+///
+///   <wal_dir>/checkpoint/MANIFEST.tsv   "K <wal_seqno> <shards> <stream_time>"
+///   <wal_dir>/checkpoint/shard<i>/      one core snapshot per shard
+///   <wal_dir>/checkpoint.old/           previous checkpoint, kept only
+///                                       during the swap window
+///
+/// A checkpoint is taken by sealing the active WAL segment, snapshotting
+/// every shard into `checkpoint.tmp`, and swapping the directory into
+/// place (old → checkpoint.old, tmp → checkpoint, fsync, delete old).
+/// Recovery prefers `checkpoint`, falls back to `checkpoint.old` when the
+/// former is absent or torn, and replays the WAL on top.
+
+struct CheckpointOptions {
+  /// After a successful checkpoint, sealed WAL segments fully covered by
+  /// it AND older than `stream_now - analysis_retention` are deleted.
+  /// Negative = never truncate: the full log is kept, which lets recovery
+  /// rebuild the TFCA analysis window exactly (the checkpoint does not
+  /// contain it). A non-negative retention shorter than the engine's
+  /// analysis window trades window completeness for disk.
+  DurationSec analysis_retention = -1;
+};
+
+/// What Recover() did, for the daemon's startup report.
+struct RecoveryResult {
+  bool from_checkpoint = false;
+  /// WAL seqno the checkpoint covers (0 when none).
+  uint64_t checkpoint_seqno = 0;
+  /// First seqno a new WalWriter should assign — pass to WalWriter::Open.
+  uint64_t next_seqno = 1;
+  /// Records ≤ checkpoint_seqno re-fed window-only (ReplayForAnalysis).
+  size_t window_replayed = 0;
+  /// Records > checkpoint_seqno re-applied through normal ingest.
+  size_t live_replayed = 0;
+  /// Bytes of torn final frame cut off the newest segment (0 = clean).
+  uint64_t torn_bytes_truncated = 0;
+  /// Checkpointed stream time (manifest), for seeding the stream clock.
+  Timestamp checkpoint_stream_time = 0;
+  /// Largest event timestamp seen across checkpoint + replay.
+  Timestamp max_event_time = 0;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string wal_dir,
+                             CheckpointOptions options = {});
+
+  /// Takes a checkpoint of `engine` paired with the WAL position: seals
+  /// and syncs the active segment, snapshots every shard, swaps the
+  /// checkpoint directory atomically, then truncates sealed segments per
+  /// CheckpointOptions. On failure the previous checkpoint is untouched
+  /// (or survives as checkpoint.old across the swap window).
+  Status Checkpoint(const core::ShardedEngine& engine, WalWriter* wal,
+                    Timestamp stream_now);
+
+  /// Restores `engine` from the newest valid checkpoint (if any) and
+  /// replays the WAL tail: records the checkpoint already covers are
+  /// re-fed window-only via ShardedEngine::ReplayForAnalysis (profiles /
+  /// counters / inventory stay snapshot-accurate, no double counting),
+  /// records past the checkpoint go through normal ingest. A torn final
+  /// record is truncated off. `engine` must be freshly constructed with
+  /// the shard count the checkpoint was taken with.
+  Result<RecoveryResult> Recover(core::ShardedEngine* engine) const;
+
+  const std::string& wal_dir() const { return wal_dir_; }
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  std::string checkpoint_dir() const { return wal_dir_ + "/checkpoint"; }
+
+  const std::string wal_dir_;
+  const CheckpointOptions options_;
+};
+
+}  // namespace adrec::wal
+
+#endif  // ADREC_WAL_CHECKPOINT_H_

@@ -1,0 +1,183 @@
+#include "wal/record.h"
+
+#include <array>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "feed/trace_io.h"
+
+namespace adrec::wal {
+
+namespace {
+
+/// The CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table, built once.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr std::string_view kTweetVerb = "tweet";
+constexpr std::string_view kCheckInVerb = "checkin";
+constexpr std::string_view kAdPutVerb = "adput";
+constexpr std::string_view kAdDelVerb = "addel";
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const auto& table = CrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void AppendFrameTo(std::string* out, uint64_t seqno,
+                   std::string_view payload) {
+  char seq[20];
+  char* seq_end = seq + sizeof(seq);
+  char* seq_begin = seq_end;
+  uint64_t v = seqno;
+  do {
+    *--seq_begin = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  const std::string_view seq_sv(seq_begin,
+                                static_cast<size_t>(seq_end - seq_begin));
+  // The CRC covers "<seqno>\t<payload>", computed by chaining so the body
+  // never needs to exist as one contiguous string.
+  uint32_t crc = Crc32(seq_sv);
+  crc = Crc32("\t", crc);
+  crc = Crc32(payload, crc);
+
+  out->reserve(out->size() + 10 + seq_sv.size() + 2 + payload.size());
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(crc >> shift) & 0xFu]);
+  }
+  out->push_back('\t');
+  out->append(seq_sv);
+  out->push_back('\t');
+  out->append(payload);
+  out->push_back('\n');
+}
+
+std::string EncodeFrame(uint64_t seqno, std::string_view payload) {
+  std::string out;
+  AppendFrameTo(&out, seqno, payload);
+  return out;
+}
+
+Result<Record> DecodeFrame(std::string_view line) {
+  const size_t tab1 = line.find('\t');
+  if (tab1 == std::string_view::npos) {
+    return Status::InvalidArgument("frame needs <crc> <seqno> <payload>");
+  }
+  const std::string_view crc_field = line.substr(0, tab1);
+  const std::string_view body = line.substr(tab1 + 1);
+  if (crc_field.size() != 8) {
+    return Status::InvalidArgument("crc field must be 8 hex digits");
+  }
+  char* end = nullptr;
+  const std::string crc_str(crc_field);
+  const unsigned long crc_claimed = std::strtoul(crc_str.c_str(), &end, 16);
+  if (end != crc_str.c_str() + 8) {
+    return Status::InvalidArgument("bad crc field '" + crc_str + "'");
+  }
+  if (Crc32(body) != static_cast<uint32_t>(crc_claimed)) {
+    return Status::InvalidArgument("crc mismatch");
+  }
+  const size_t tab2 = body.find('\t');
+  if (tab2 == std::string_view::npos) {
+    return Status::InvalidArgument("frame needs <crc> <seqno> <payload>");
+  }
+  const std::string seqno_str(body.substr(0, tab2));
+  end = nullptr;
+  const unsigned long long seqno =
+      std::strtoull(seqno_str.c_str(), &end, 10);
+  if (end == seqno_str.c_str() || *end != '\0' || seqno == 0) {
+    return Status::InvalidArgument("bad seqno '" + seqno_str + "'");
+  }
+  Record record;
+  record.seqno = static_cast<uint64_t>(seqno);
+  record.payload = std::string(body.substr(tab2 + 1));
+  return record;
+}
+
+std::string EncodeEventPayload(const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      return std::string(kTweetVerb) + "\t" +
+             feed::FormatTweetFields(event.tweet);
+    case feed::EventKind::kCheckIn:
+      return std::string(kCheckInVerb) + "\t" +
+             feed::FormatCheckInFields(event.check_in);
+    case feed::EventKind::kAdInsert:
+      return std::string(kAdPutVerb) + "\t" + feed::FormatAdFields(event.ad);
+    case feed::EventKind::kAdDelete:
+      return StringFormat("%s\t%u", std::string(kAdDelVerb).c_str(),
+                          event.ad_id.value);
+  }
+  return {};
+}
+
+Result<feed::FeedEvent> DecodeEventPayload(std::string_view payload) {
+  const size_t tab = payload.find('\t');
+  const std::string_view verb =
+      tab == std::string_view::npos ? payload : payload.substr(0, tab);
+  const std::string_view fields =
+      tab == std::string_view::npos ? std::string_view() : payload.substr(tab + 1);
+
+  feed::FeedEvent event;
+  if (verb == kTweetVerb) {
+    auto t = feed::ParseTweetFields(fields);
+    if (!t.ok()) return t.status();
+    event.kind = feed::EventKind::kTweet;
+    event.tweet = std::move(t).value();
+    event.time = event.tweet.time;
+    return event;
+  }
+  if (verb == kCheckInVerb) {
+    auto c = feed::ParseCheckInFields(fields);
+    if (!c.ok()) return c.status();
+    event.kind = feed::EventKind::kCheckIn;
+    event.check_in = c.value();
+    event.time = event.check_in.time;
+    return event;
+  }
+  if (verb == kAdPutVerb) {
+    auto a = feed::ParseAdFields(fields);
+    if (!a.ok()) return a.status();
+    event.kind = feed::EventKind::kAdInsert;
+    event.ad = std::move(a).value();
+    return event;
+  }
+  if (verb == kAdDelVerb) {
+    if (fields.empty() || fields.find('\t') != std::string_view::npos) {
+      return Status::InvalidArgument("addel needs <ad>");
+    }
+    const std::string id_str(fields);
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(id_str.c_str(), &end, 10);
+    if (end == id_str.c_str() || *end != '\0' || id > UINT32_MAX) {
+      return Status::InvalidArgument("bad ad id '" + id_str + "'");
+    }
+    event.kind = feed::EventKind::kAdDelete;
+    event.ad_id = AdId(static_cast<uint32_t>(id));
+    return event;
+  }
+  return Status::InvalidArgument("unknown wal verb '" + std::string(verb) +
+                                 "'");
+}
+
+}  // namespace adrec::wal

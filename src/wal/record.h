@@ -1,0 +1,78 @@
+#ifndef ADREC_WAL_RECORD_H_
+#define ADREC_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "feed/types.h"
+
+namespace adrec::wal {
+
+/// The write-ahead-log record grammar.
+///
+/// A WAL file is a sequence of LF-terminated frames:
+///
+///   <crc32-hex8> TAB <seqno> TAB <payload...> LF
+///
+/// where <crc32-hex8> is the zero-padded lowercase hex CRC-32 (IEEE
+/// 802.3 polynomial, the zlib/`cksum -o 3` convention) of everything
+/// after the first TAB ("<seqno>\t<payload>"), <seqno> is the strictly
+/// increasing record sequence number (decimal, starting at 1), and
+/// <payload> is the tail of the line — it may itself contain TABs but
+/// never LF/CR (the trace grammar sanitises free text on write).
+///
+/// The payload reuses the serve wire-protocol ingest grammar verbatim:
+///
+///   tweet   TAB <user> TAB <time> TAB <text...>
+///   checkin TAB <user> TAB <time> TAB <location>
+///   adput   TAB <id> TAB <campaign> TAB <budget> TAB <bid>
+///           TAB <locs;...> TAB <slots;...> TAB <copy...>
+///   addel   TAB <id>
+///
+/// so a logged record is exactly the command the daemon executed, a
+/// trace file converts to a WAL by framing, and `adrec_tool wal dump`
+/// output replays through any protocol consumer.
+///
+/// Torn-write detection: a crash mid-append leaves either a frame with
+/// no trailing LF, or an LF-terminated frame whose CRC does not match.
+/// Both are detected by DecodeFrame and truncated away by recovery; a
+/// CRC mismatch anywhere *before* the tail of the newest segment is
+/// hard corruption (bit rot, splice), which recovery refuses by default.
+
+/// CRC-32 (IEEE) of `data`, optionally chained from a previous value.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// One decoded WAL frame.
+struct Record {
+  uint64_t seqno = 0;
+  /// The wire-grammar payload ("tweet\t...", "checkin\t...", ...).
+  std::string payload;
+};
+
+/// Encodes one frame, including the trailing LF.
+std::string EncodeFrame(uint64_t seqno, std::string_view payload);
+
+/// Appends one encoded frame to `out` without intermediate allocations —
+/// the hot-path form used by the writer's deferred-append buffer.
+void AppendFrameTo(std::string* out, uint64_t seqno,
+                   std::string_view payload);
+
+/// Decodes one frame (without the trailing LF). Fails with
+/// InvalidArgument on structural problems and with a "crc mismatch"
+/// message on checksum failure — recovery treats both as a torn tail
+/// when they occur at the end of the newest segment.
+Result<Record> DecodeFrame(std::string_view line);
+
+/// Formats a feed event as a WAL payload. Ad-delete events use the id in
+/// `event.ad_id`; all other kinds use their kind's struct.
+std::string EncodeEventPayload(const feed::FeedEvent& event);
+
+/// Parses a WAL payload back into a feed event (the inverse of
+/// EncodeEventPayload; also accepts any wire ingest command line).
+Result<feed::FeedEvent> DecodeEventPayload(std::string_view payload);
+
+}  // namespace adrec::wal
+
+#endif  // ADREC_WAL_RECORD_H_

@@ -1,0 +1,564 @@
+#include "wal/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adrec::wal {
+
+namespace {
+
+constexpr std::string_view kSegmentPrefix = "wal-";
+constexpr std::string_view kSegmentSuffix = ".log";
+
+std::string SegmentName(uint64_t first_seqno) {
+  return StringFormat("wal-%020llu.log",
+                      static_cast<unsigned long long>(first_seqno));
+}
+
+/// Parses `wal-<digits>.log`; returns 0 for non-segment names.
+uint64_t SegmentSeqno(std::string_view name) {
+  if (!StartsWith(name, kSegmentPrefix) || !EndsWith(name, kSegmentSuffix)) {
+    return 0;
+  }
+  const std::string_view digits = name.substr(
+      kSegmentPrefix.size(),
+      name.size() - kSegmentPrefix.size() - kSegmentSuffix.size());
+  if (digits.empty()) return 0;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Segment files of `dir`, sorted by first seqno. Missing dir -> empty.
+std::vector<SegmentSummary> ListSegments(const std::string& dir) {
+  std::vector<SegmentSummary> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const uint64_t seqno = SegmentSeqno(name);
+    if (seqno == 0) continue;
+    SegmentSummary seg;
+    seg.path = entry.path().string();
+    seg.first_seqno = seqno;
+    std::error_code size_ec;
+    seg.bytes = static_cast<uint64_t>(entry.file_size(size_ec));
+    out.push_back(std::move(seg));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentSummary& a, const SegmentSummary& b) {
+              return a.first_seqno < b.first_seqno;
+            });
+  return out;
+}
+
+Status WriteFully(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(
+          StringFormat("wal write: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SyncPolicy> ParseSyncPolicy(std::string_view name) {
+  if (name == "none") return SyncPolicy::kNone;
+  if (name == "interval") return SyncPolicy::kInterval;
+  if (name == "group") return SyncPolicy::kGroup;
+  return Status::InvalidArgument("unknown wal sync policy '" +
+                                 std::string(name) +
+                                 "' (want none|interval|group)");
+}
+
+std::string_view SyncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kNone:
+      return "none";
+    case SyncPolicy::kInterval:
+      return "interval";
+    case SyncPolicy::kGroup:
+      return "group";
+  }
+  return "?";
+}
+
+Result<LogReport> ScanLog(const std::string& dir, const ScanOptions& options,
+                          const std::function<Status(const Record&)>& fn) {
+  LogReport report;
+  report.segments = ListSegments(dir);
+  uint64_t expected = 0;  // 0 = first record seen defines the floor
+
+  for (size_t si = 0; si < report.segments.size(); ++si) {
+    SegmentSummary& seg = report.segments[si];
+    const bool last_segment = si + 1 == report.segments.size();
+
+    std::ifstream in(seg.path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open " + seg.path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    seg.bytes = contents.size();
+
+    auto corrupt = [&](size_t offset, const std::string& why) {
+      return Status::IoError(StringFormat("%s: offset %zu: %s",
+                                          seg.path.c_str(), offset,
+                                          why.c_str()));
+    };
+
+    size_t pos = 0;
+    while (pos < contents.size()) {
+      const size_t nl = contents.find('\n', pos);
+      std::string torn_why;
+      if (nl == std::string::npos) {
+        torn_why = "unterminated frame";
+      } else {
+        auto record = DecodeFrame(
+            std::string_view(contents).substr(pos, nl - pos));
+        if (!record.ok()) {
+          torn_why = record.status().message();
+        } else {
+          const Record& r = record.value();
+          if (expected != 0 && r.seqno != expected) {
+            // A seqno break cannot come from a torn append (the CRC
+            // covers the seqno): always hard corruption.
+            return corrupt(pos, StringFormat(
+                                    "seqno %llu, expected %llu",
+                                    static_cast<unsigned long long>(r.seqno),
+                                    static_cast<unsigned long long>(expected)));
+          }
+          if (seg.records == 0 && r.seqno != seg.first_seqno) {
+            return corrupt(pos,
+                           StringFormat("first record seqno %llu does not "
+                                        "match segment name",
+                                        static_cast<unsigned long long>(
+                                            r.seqno)));
+          }
+          if (options.decode_payloads) {
+            auto event = DecodeEventPayload(r.payload);
+            if (!event.ok()) {
+              return corrupt(pos, "bad payload: " + event.status().message());
+            }
+          }
+          if (fn) ADREC_RETURN_NOT_OK(fn(r));
+          if (report.records == 0) report.first_seqno = r.seqno;
+          report.last_seqno = r.seqno;
+          expected = r.seqno + 1;
+          ++report.records;
+          ++seg.records;
+          seg.last_seqno = r.seqno;
+          pos = nl + 1;
+          continue;
+        }
+      }
+      // Invalid frame. In the newest segment this is the signature of a
+      // crash mid-append: report (and optionally cut) the tail. Anywhere
+      // else the log is damaged, not torn.
+      if (!last_segment) return corrupt(pos, torn_why);
+      report.torn_tail = true;
+      report.torn_bytes = contents.size() - pos;
+      report.torn_detail = StringFormat("%s: offset %zu: %s",
+                                        seg.path.c_str(), pos,
+                                        torn_why.c_str());
+      if (options.truncate_torn_tail) {
+        std::error_code ec;
+        std::filesystem::resize_file(seg.path, pos, ec);
+        if (ec) {
+          return Status::IoError("truncate " + seg.path + ": " +
+                                 ec.message());
+        }
+        ADREC_RETURN_NOT_OK(FsyncFile(seg.path));
+        seg.bytes = pos;
+      }
+      break;
+    }
+  }
+  return report;
+}
+
+Result<LogReport> VerifyLog(const std::string& dir) {
+  ScanOptions options;
+  options.decode_payloads = true;
+  return ScanLog(dir, options);
+}
+
+// --- WalWriter. ---
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   WalOptions options,
+                                                   uint64_t next_seqno) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
+
+  std::vector<SegmentSummary> sealed;
+  if (next_seqno == 0) {
+    // Derive the resume point (and clean a torn tail) by scanning.
+    ScanOptions scan;
+    scan.truncate_torn_tail = true;
+    auto report = ScanLog(dir, scan);
+    if (!report.ok()) return report.status();
+    next_seqno = report.value().last_seqno + 1;
+    sealed = std::move(report.value().segments);
+  } else {
+    sealed = ListSegments(dir);
+  }
+  // Every pre-existing segment is sealed: this writer only appends to
+  // segments it creates. Drop empty leftovers (a torn tail truncated to
+  // nothing) so they cannot collide with the new active segment's name.
+  for (auto it = sealed.begin(); it != sealed.end();) {
+    std::error_code size_ec;
+    const uintmax_t size = std::filesystem::file_size(it->path, size_ec);
+    if (!size_ec && size == 0) {
+      std::filesystem::remove(it->path, size_ec);
+      it = sealed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(dir, options, next_seqno, std::move(sealed)));
+}
+
+WalWriter::WalWriter(std::string dir, WalOptions options, uint64_t next_seqno,
+                     std::vector<SegmentSummary> sealed)
+    : dir_(std::move(dir)),
+      options_(options),
+      next_seqno_(next_seqno),
+      synced_seqno_(next_seqno - 1),  // everything on disk pre-open is settled
+      sealed_(std::move(sealed)),
+      last_interval_sync_(std::chrono::steady_clock::now()),
+      ctr_appends_(metrics_.GetCounter("wal.appends")),
+      ctr_append_bytes_(metrics_.GetCounter("wal.append_bytes")),
+      ctr_fsyncs_(metrics_.GetCounter("wal.fsyncs")),
+      ctr_commits_(metrics_.GetCounter("wal.commits")),
+      ctr_rotations_(metrics_.GetCounter("wal.rotations")),
+      ctr_sealed_deleted_(metrics_.GetCounter("wal.sealed_deleted")),
+      tm_append_us_(metrics_.GetTimer("wal.append_us")),
+      tm_fsync_us_(metrics_.GetTimer("wal.fsync_us")),
+      g_active_segment_bytes_(metrics_.GetGauge("wal.active_segment_bytes")),
+      g_synced_seqno_(metrics_.GetGauge("wal.synced_seqno")),
+      g_next_seqno_(metrics_.GetGauge("wal.next_seqno")) {
+  g_synced_seqno_->Set(static_cast<double>(synced_seqno_));
+  g_next_seqno_->Set(static_cast<double>(next_seqno_));
+}
+
+WalWriter::~WalWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)FlushPendingLocked();
+  if (fd_ >= 0) {
+    ::fdatasync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WalWriter::FlushPendingLocked() {
+  if (pending_.empty()) return Status::OK();
+  ADREC_RETURN_NOT_OK(WriteFully(fd_, pending_));
+  active_bytes_ += pending_.size();
+  active_records_ += pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::OpenActiveLocked() {
+  active_first_seqno_ = next_seqno_;
+  const std::string path = dir_ + "/" + SegmentName(active_first_seqno_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    return Status::IoError(
+        StringFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  active_bytes_ = 0;
+  active_records_ = 0;
+  // Make the new directory entry itself durable.
+  return FsyncDir(dir_);
+}
+
+Status WalWriter::RotateLocked() {
+  ADREC_RETURN_NOT_OK(FlushPendingLocked());
+  if (fd_ < 0 || active_records_ == 0) return Status::OK();
+  // Never close an fd another appender may be fdatasync-ing.
+  while (sync_in_progress_) {
+    std::unique_lock<std::mutex> relock(mu_, std::adopt_lock);
+    sync_cv_.wait(relock);
+    relock.release();
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(
+        StringFormat("fdatasync on rotate: %s", std::strerror(errno)));
+  }
+  ctr_fsyncs_->Inc();
+  ::close(fd_);
+  fd_ = -1;
+  SegmentSummary seg;
+  seg.path = dir_ + "/" + SegmentName(active_first_seqno_);
+  seg.first_seqno = active_first_seqno_;
+  seg.last_seqno = next_seqno_ - 1;
+  seg.records = active_records_;
+  seg.bytes = active_bytes_;
+  sealed_.push_back(std::move(seg));
+  // Everything in the sealed segment is durable now.
+  if (next_seqno_ - 1 > synced_seqno_) {
+    synced_seqno_ = next_seqno_ - 1;
+    g_synced_seqno_->Set(static_cast<double>(synced_seqno_));
+  }
+  active_bytes_ = 0;
+  active_records_ = 0;
+  g_active_segment_bytes_->Set(0.0);
+  ctr_rotations_->Inc();
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::AppendLocked(std::string_view payload) {
+  obs::ScopedTimer timer(tm_append_us_);
+  if (payload.find('\n') != std::string_view::npos ||
+      payload.find('\r') != std::string_view::npos) {
+    return Status::InvalidArgument("wal payload must be single-line");
+  }
+  if (fd_ >= 0 &&
+      active_bytes_ + pending_.size() >= options_.segment_bytes) {
+    ADREC_RETURN_NOT_OK(RotateLocked());
+  }
+  if (fd_ < 0) ADREC_RETURN_NOT_OK(OpenActiveLocked());
+  ADREC_RETURN_NOT_OK(FlushPendingLocked());
+  const uint64_t seqno = next_seqno_;
+  const std::string frame = EncodeFrame(seqno, payload);
+  ADREC_RETURN_NOT_OK(WriteFully(fd_, frame));
+  ++next_seqno_;
+  active_bytes_ += frame.size();
+  ++active_records_;
+  ctr_appends_->Inc();
+  ctr_append_bytes_->Inc(frame.size());
+  g_active_segment_bytes_->Set(static_cast<double>(active_bytes_));
+  g_next_seqno_->Set(static_cast<double>(next_seqno_));
+  return seqno;
+}
+
+Status WalWriter::SyncLocked(std::unique_lock<std::mutex>& lock,
+                             uint64_t want_seqno) {
+  while (synced_seqno_ < want_seqno) {
+    if (sync_in_progress_) {
+      // A leader's fdatasync is in flight; it may already cover us.
+      sync_cv_.wait(lock);
+      continue;
+    }
+    // The fdatasync can only cover what write(2) has seen.
+    ADREC_RETURN_NOT_OK(FlushPendingLocked());
+    // Become the leader: sync everything appended so far, releasing the
+    // lock so concurrent appenders keep writing (they become the next
+    // group). fd_ cannot change underneath us — rotation waits for
+    // sync_in_progress_ to clear.
+    sync_in_progress_ = true;
+    const uint64_t target = next_seqno_ - 1;
+    const int fd = fd_;
+    lock.unlock();
+    int rc = 0;
+    {
+      obs::ScopedTimer timer(tm_fsync_us_);
+      rc = fd >= 0 ? ::fdatasync(fd) : 0;
+    }
+    const int saved = errno;
+    lock.lock();
+    sync_in_progress_ = false;
+    if (rc == 0) {
+      ctr_fsyncs_->Inc();
+      if (target > synced_seqno_) {
+        synced_seqno_ = target;
+        g_synced_seqno_->Set(static_cast<double>(synced_seqno_));
+      }
+    }
+    sync_cv_.notify_all();
+    if (rc != 0) {
+      return Status::IoError(
+          StringFormat("fdatasync: %s", std::strerror(saved)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::Append(std::string_view payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto seqno = AppendLocked(payload);
+  if (!seqno.ok()) return seqno;
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kInterval: {
+      const auto now = std::chrono::steady_clock::now();
+      const double since = std::chrono::duration<double>(
+                               now - last_interval_sync_).count();
+      if (since >= options_.sync_interval) {
+        last_interval_sync_ = now;
+        ADREC_RETURN_NOT_OK(SyncLocked(lock, seqno.value()));
+      }
+      break;
+    }
+    case SyncPolicy::kGroup:
+      ADREC_RETURN_NOT_OK(SyncLocked(lock, seqno.value()));
+      break;
+  }
+  return seqno;
+}
+
+Result<uint64_t> WalWriter::AppendDeferred(std::string_view payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // wal.append_us is sampled 1-in-16 here: a deferred append costs a few
+  // hundred nanoseconds, so timing every one (two clock reads plus the
+  // timer mutex) would cost as much as the work being measured.
+  const bool timed = (next_seqno_ & 0xF) == 0;
+  const auto timer_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+  if (payload.find('\n') != std::string_view::npos ||
+      payload.find('\r') != std::string_view::npos) {
+    return Status::InvalidArgument("wal payload must be single-line");
+  }
+  if (fd_ >= 0 &&
+      active_bytes_ + pending_.size() >= options_.segment_bytes) {
+    ADREC_RETURN_NOT_OK(RotateLocked());
+  }
+  if (fd_ < 0) ADREC_RETURN_NOT_OK(OpenActiveLocked());
+  const uint64_t seqno = next_seqno_;
+  const size_t before = pending_.size();
+  AppendFrameTo(&pending_, seqno, payload);
+  ++next_seqno_;
+  ++pending_records_;
+  ctr_appends_->Inc();
+  ctr_append_bytes_->Inc(pending_.size() - before);
+  g_next_seqno_->Set(static_cast<double>(next_seqno_));
+  if (timed) {
+    tm_append_us_->Record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - timer_start)
+                              .count());
+  }
+  return seqno;
+}
+
+Status WalWriter::Commit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ctr_commits_->Inc();
+  // Whatever the policy, the batch leaves user space here: kNone's loss
+  // bound is the OS page cache, not this process's lifetime, and the
+  // buffer cannot grow without bound on a policy that never syncs.
+  ADREC_RETURN_NOT_OK(FlushPendingLocked());
+  g_active_segment_bytes_->Set(static_cast<double>(active_bytes_));
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      return Status::OK();
+    case SyncPolicy::kInterval: {
+      const auto now = std::chrono::steady_clock::now();
+      const double since = std::chrono::duration<double>(
+                               now - last_interval_sync_).count();
+      if (since < options_.sync_interval) return Status::OK();
+      last_interval_sync_ = now;
+      return SyncLocked(lock, next_seqno_ - 1);
+    }
+    case SyncPolicy::kGroup:
+      return SyncLocked(lock, next_seqno_ - 1);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return SyncLocked(lock, next_seqno_ - 1);
+}
+
+Status WalWriter::Rotate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return RotateLocked();
+}
+
+Result<size_t> WalWriter::TruncateSealedBefore(uint64_t seqno,
+                                               Timestamp floor_time) {
+  // Snapshot the sealed list under the lock; the file reads below touch
+  // only immutable sealed segments.
+  std::vector<SegmentSummary> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed = sealed_;
+  }
+  size_t deleted = 0;
+  for (const SegmentSummary& seg : sealed) {
+    if (seg.last_seqno == 0 || seg.last_seqno >= seqno) break;
+    if (floor_time != INT64_MAX) {
+      // Retention check: keep the segment if any record is inside the
+      // analysis window. Sealed segments are immutable, so reading
+      // without the lock is safe.
+      Timestamp max_time = INT64_MIN;
+      std::ifstream in(seg.path, std::ios::binary);
+      if (!in) return Status::IoError("cannot open " + seg.path);
+      std::string line;
+      while (std::getline(in, line)) {
+        auto record = DecodeFrame(line);
+        if (!record.ok()) {
+          return Status::IoError(seg.path + ": " +
+                                 record.status().message());
+        }
+        auto event = DecodeEventPayload(record.value().payload);
+        if (event.ok() && event.value().time > max_time) {
+          max_time = event.value().time;
+        }
+      }
+      if (max_time >= floor_time) break;
+    }
+    std::error_code ec;
+    std::filesystem::remove(seg.path, ec);
+    if (ec) {
+      return Status::IoError("remove " + seg.path + ": " + ec.message());
+    }
+    ++deleted;
+    ctr_sealed_deleted_->Inc();
+  }
+  if (deleted > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed_.erase(sealed_.begin(),
+                  sealed_.begin() + static_cast<long>(deleted));
+    ADREC_RETURN_NOT_OK(FsyncDir(dir_));
+  }
+  return deleted;
+}
+
+uint64_t WalWriter::next_seqno() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seqno_;
+}
+
+uint64_t WalWriter::last_seqno() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seqno_ - 1;
+}
+
+uint64_t WalWriter::synced_seqno() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return synced_seqno_;
+}
+
+size_t WalWriter::active_segment_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_bytes_ + pending_.size();
+}
+
+}  // namespace adrec::wal

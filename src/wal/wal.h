@@ -1,0 +1,223 @@
+#ifndef ADREC_WAL_WAL_H_
+#define ADREC_WAL_WAL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "wal/record.h"
+
+namespace adrec::wal {
+
+/// The durable write-ahead log of the serving daemon (DESIGN.md §11).
+///
+/// A log directory holds segment files named `wal-<first-seqno>.log`
+/// (20-digit zero-padded decimal). Each segment is an append-only run of
+/// CRC-framed records (wal/record.h); seqnos are contiguous across the
+/// whole directory, so the segment name doubles as its index key. The
+/// newest segment is the only one ever appended to; older segments are
+/// sealed and immutable, which is what makes checkpoint truncation a
+/// plain unlink.
+
+/// When appended records reach the disk.
+enum class SyncPolicy {
+  /// Never fdatasync — the OS flushes when it pleases. Fastest; a crash
+  /// loses up to the dirty page cache.
+  kNone,
+  /// fdatasync at most once per `sync_interval` seconds, piggybacked on
+  /// appends/commits. Bounds loss to one interval.
+  kInterval,
+  /// Group commit: every record is durable before its Append returns (or
+  /// before Commit returns, for the deferred event-loop interface), and
+  /// concurrent waiters are batched into one fdatasync.
+  kGroup,
+};
+
+/// Parses "none" / "interval" / "group".
+Result<SyncPolicy> ParseSyncPolicy(std::string_view name);
+std::string_view SyncPolicyName(SyncPolicy policy);
+
+struct WalOptions {
+  SyncPolicy sync = SyncPolicy::kGroup;
+  /// Sync cadence for SyncPolicy::kInterval, in wall seconds.
+  double sync_interval = 0.05;
+  /// Rotate the active segment once it exceeds this many bytes.
+  size_t segment_bytes = 4 * 1024 * 1024;
+};
+
+/// One segment file of a log directory.
+struct SegmentSummary {
+  std::string path;
+  uint64_t first_seqno = 0;
+  /// Filled by scans; 0 for an empty segment.
+  uint64_t last_seqno = 0;
+  size_t records = 0;
+  uint64_t bytes = 0;
+};
+
+/// What a full scan of a log directory found.
+struct LogReport {
+  std::vector<SegmentSummary> segments;
+  size_t records = 0;
+  uint64_t first_seqno = 0;  ///< 0 when the log is empty
+  uint64_t last_seqno = 0;   ///< last *valid* seqno
+  /// A torn tail was found (crash mid-append): trailing bytes of the
+  /// newest segment that do not form a valid frame.
+  bool torn_tail = false;
+  uint64_t torn_bytes = 0;
+  std::string torn_detail;
+};
+
+struct ScanOptions {
+  /// Physically truncate a torn tail off the newest segment (fsyncs the
+  /// file). Corruption anywhere else is always a hard error.
+  bool truncate_torn_tail = false;
+  /// Also parse every payload with DecodeEventPayload and fail the scan
+  /// on grammar errors (verification mode).
+  bool decode_payloads = false;
+};
+
+/// Scans every segment of `dir` in seqno order, invoking `fn` (when
+/// given) per valid record. Enforces CRC integrity and seqno contiguity;
+/// a bad frame in the newest segment is reported (and optionally
+/// truncated) as a torn tail, a bad frame anywhere else fails the scan
+/// with IoError. An empty or missing directory yields an empty report.
+Result<LogReport> ScanLog(const std::string& dir, const ScanOptions& options,
+                          const std::function<Status(const Record&)>& fn = {});
+
+/// Scan in verification mode: CRCs, contiguity and payload grammar, no
+/// mutation. Hard corruption returns the error; a torn tail is reported
+/// in the (otherwise valid) LogReport.
+Result<LogReport> VerifyLog(const std::string& dir);
+
+/// The append side of the log. Thread-safe: concurrent Append calls are
+/// serialized on the record write and batched on the fdatasync (classic
+/// leader/follower group commit), which is what makes `kGroup` cheaper
+/// than one sync per record under concurrency. The single-threaded
+/// serving daemon instead uses AppendDeferred + Commit to group one event
+/// -loop batch of records into one sync before any reply is released.
+///
+/// Exported metrics (`wal.*`, via metrics()): appends, append_bytes,
+/// fsyncs, commits, rotations, torn_truncated_bytes, sealed_deleted
+/// counters; append_us / fsync_us timers; active_segment_bytes,
+/// synced_seqno, next_seqno gauges.
+class WalWriter {
+ public:
+  /// Opens (creating if needed) the log directory for appending. Scans
+  /// existing segments to resume seqnos, truncating a torn tail; pass
+  /// `next_seqno` > 0 (e.g. from wal::Recover) to skip re-reading
+  /// segment contents. Appends always go to a fresh segment — a writer
+  /// never extends a file a previous process wrote.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 WalOptions options = {},
+                                                 uint64_t next_seqno = 0);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and applies the sync policy (kGroup blocks until
+  /// the record is durable). Returns the record's seqno.
+  Result<uint64_t> Append(std::string_view payload);
+
+  /// Appends without applying the sync policy; pair with Commit(). The
+  /// frame buffers in user space — the write(2) happens at the next
+  /// Commit/Sync/Append/Rotate, so a whole event-loop batch costs one
+  /// syscall. A record is not durable (not even against SIGKILL) until
+  /// the buffer is flushed; that is fine because the daemon never
+  /// releases the record's reply before Commit().
+  Result<uint64_t> AppendDeferred(std::string_view payload);
+
+  /// Durability barrier for deferred appends: flushes the buffered
+  /// frames to the active segment (one write), then applies the sync
+  /// policy — kGroup fdatasyncs everything appended so far, kInterval
+  /// fdatasyncs if the interval lapsed, kNone stops at the page cache.
+  Status Commit();
+
+  /// Unconditional fdatasync barrier (checkpointing, shutdown).
+  Status Sync();
+
+  /// Seals the active segment (fdatasync + close); the next append opens
+  /// a new one. No-op when the active segment is empty.
+  Status Rotate();
+
+  /// Deletes sealed segments whose records are all (a) below `seqno` and
+  /// (b) timestamped before `floor_time` (pass INT64_MAX to skip the
+  /// time check). Only a contiguous prefix of segments is removed, so
+  /// seqno contiguity of the remaining log is preserved. Returns the
+  /// number of segments deleted.
+  Result<size_t> TruncateSealedBefore(uint64_t seqno, Timestamp floor_time);
+
+  const std::string& dir() const { return dir_; }
+  const WalOptions& options() const { return options_; }
+  uint64_t next_seqno() const;
+  /// Seqno of the last record appended (0 if none yet).
+  uint64_t last_seqno() const;
+  /// Seqno through which the log is known durable.
+  uint64_t synced_seqno() const;
+  size_t active_segment_bytes() const;
+
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+ private:
+  WalWriter(std::string dir, WalOptions options, uint64_t next_seqno,
+            std::vector<SegmentSummary> sealed);
+
+  /// Writes one frame to the active segment (creating/rotating as
+  /// needed). Caller holds mu_.
+  Result<uint64_t> AppendLocked(std::string_view payload);
+  /// Writes the deferred-append buffer to the active segment. Invariant:
+  /// the buffer is only non-empty while the active segment is open.
+  Status FlushPendingLocked();
+  Status OpenActiveLocked();
+  Status RotateLocked();
+  /// fdatasyncs the active segment; leader/follower batched. The lock is
+  /// released around the fdatasync so appenders are not blocked by it.
+  Status SyncLocked(std::unique_lock<std::mutex>& lock, uint64_t want_seqno);
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  int fd_ = -1;  ///< active segment, -1 until the first append
+  uint64_t active_first_seqno_ = 0;
+  size_t active_bytes_ = 0;
+  size_t active_records_ = 0;
+  uint64_t next_seqno_ = 1;
+  uint64_t synced_seqno_ = 0;
+  bool sync_in_progress_ = false;
+  /// Deferred-append frames not yet written to fd_ (see AppendDeferred).
+  std::string pending_;
+  size_t pending_records_ = 0;
+  /// Sealed segments, oldest first (paths + first seqnos; contents are
+  /// only read when truncation needs record times).
+  std::vector<SegmentSummary> sealed_;
+  std::chrono::steady_clock::time_point last_interval_sync_;
+
+  obs::MetricRegistry metrics_;
+  obs::Counter* ctr_appends_;
+  obs::Counter* ctr_append_bytes_;
+  obs::Counter* ctr_fsyncs_;
+  obs::Counter* ctr_commits_;
+  obs::Counter* ctr_rotations_;
+  obs::Counter* ctr_sealed_deleted_;
+  obs::Timer* tm_append_us_;
+  obs::Timer* tm_fsync_us_;
+  obs::Gauge* g_active_segment_bytes_;
+  obs::Gauge* g_synced_seqno_;
+  obs::Gauge* g_next_seqno_;
+};
+
+}  // namespace adrec::wal
+
+#endif  // ADREC_WAL_WAL_H_

@@ -1,0 +1,298 @@
+#include "wal/wal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "wal/record.h"
+
+namespace adrec::wal {
+namespace {
+
+class WalLogTest : public ::testing::Test {
+ protected:
+  WalLogTest() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("adrec_wal_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  ~WalLogTest() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<WalWriter> OpenWriter(WalOptions options = {}) {
+    auto writer = WalWriter::Open(dir_, options);
+    EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+    return std::move(writer).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalLogTest, AppendScanRoundTrip) {
+  {
+    auto w = OpenWriter();
+    for (int i = 1; i <= 25; ++i) {
+      auto seqno = w->Append("tweet\t1\t" + std::to_string(i * 10) + "\thello");
+      ASSERT_TRUE(seqno.ok());
+      EXPECT_EQ(seqno.value(), static_cast<uint64_t>(i));
+    }
+    EXPECT_EQ(w->last_seqno(), 25u);
+    EXPECT_EQ(w->synced_seqno(), 25u);  // kGroup: durable before return
+  }
+  std::vector<Record> records;
+  auto report = ScanLog(dir_, {}, [&](const Record& r) {
+    records.push_back(r);
+    return Status::OK();
+  });
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().records, 25u);
+  EXPECT_EQ(report.value().first_seqno, 1u);
+  EXPECT_EQ(report.value().last_seqno, 25u);
+  EXPECT_FALSE(report.value().torn_tail);
+  ASSERT_EQ(records.size(), 25u);
+  EXPECT_EQ(records[7].seqno, 8u);
+  EXPECT_EQ(records[7].payload, "tweet\t1\t80\thello");
+}
+
+TEST_F(WalLogTest, RotationSealsSegmentsAndResumesSeqnos) {
+  WalOptions options;
+  options.segment_bytes = 256;  // force frequent rotation
+  {
+    auto w = OpenWriter(options);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(w->Append("checkin\t2\t100\t5").ok());
+    }
+  }
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().segments.size(), 2u);
+  EXPECT_EQ(report.value().records, 40u);
+  EXPECT_EQ(report.value().last_seqno, 40u);
+
+  // Reopen: a new writer resumes after the existing records and never
+  // appends to a file a previous process wrote.
+  {
+    auto w = OpenWriter(options);
+    auto seqno = w->Append("checkin\t2\t100\t5");
+    ASSERT_TRUE(seqno.ok());
+    EXPECT_EQ(seqno.value(), 41u);
+  }
+  report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().last_seqno, 41u);
+}
+
+TEST_F(WalLogTest, TornTailIsReportedAndTruncatedOnlyOnRequest) {
+  {
+    auto w = OpenWriter();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(w->Append("tweet\t1\t10\tabc").ok());
+    }
+  }
+  // Simulate a crash mid-append: half a frame at the end of the newest
+  // segment.
+  auto clean = ScanLog(dir_, {});
+  ASSERT_TRUE(clean.ok());
+  const std::string tail_path = clean.value().segments.back().path;
+  const std::string frame = EncodeFrame(11, "tweet\t1\t10\tabc");
+  {
+    std::ofstream out(tail_path, std::ios::binary | std::ios::app);
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size() / 2));
+  }
+
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().torn_tail);
+  EXPECT_EQ(report.value().torn_bytes, frame.size() / 2);
+  EXPECT_EQ(report.value().records, 10u);  // valid prefix still scans
+  // Non-mutating scan left the bytes in place.
+  EXPECT_EQ(std::filesystem::file_size(tail_path),
+            clean.value().segments.back().bytes + frame.size() / 2);
+
+  ScanOptions truncate;
+  truncate.truncate_torn_tail = true;
+  report = ScanLog(dir_, truncate);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().torn_tail);
+  EXPECT_EQ(std::filesystem::file_size(tail_path),
+            clean.value().segments.back().bytes);
+  // After truncation the log is clean again.
+  report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().torn_tail);
+}
+
+TEST_F(WalLogTest, CorruptionInSealedSegmentIsHardError) {
+  WalOptions options;
+  options.segment_bytes = 256;
+  {
+    auto w = OpenWriter(options);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(w->Append("tweet\t3\t50\txyz").ok());
+    }
+  }
+  auto clean = ScanLog(dir_, {});
+  ASSERT_TRUE(clean.ok());
+  ASSERT_GT(clean.value().segments.size(), 1u);
+  // Flip a byte in the middle of the FIRST (sealed) segment: that is bit
+  // rot, not a torn write, and no option may paper over it.
+  const std::string sealed = clean.value().segments.front().path;
+  {
+    std::fstream f(sealed, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(
+        std::filesystem::file_size(sealed) / 2));
+    f.put('#');
+  }
+  ScanOptions truncate;
+  truncate.truncate_torn_tail = true;
+  auto report = ScanLog(dir_, truncate);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(WalLogTest, VerifyChecksPayloadGrammar) {
+  {
+    auto w = OpenWriter();
+    ASSERT_TRUE(w->Append("tweet\t1\t10\thello").ok());
+    // A structurally valid frame whose payload is not wire grammar.
+    ASSERT_TRUE(w->Append("not-a-verb\tstuff").ok());
+  }
+  EXPECT_TRUE(ScanLog(dir_, {}).ok());  // plain scan: CRC only
+  auto verify = VerifyLog(dir_);
+  EXPECT_FALSE(verify.ok());
+}
+
+TEST_F(WalLogTest, GroupCommitBatchesFsyncsUnderConcurrency) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  auto w = OpenWriter();  // kGroup default
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(w->Append("checkin\t4\t60\t2").ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snapshot = w->metrics().Snapshot();
+  const uint64_t appends = snapshot.counters.at("wal.appends");
+  const uint64_t fsyncs = snapshot.counters.at("wal.fsyncs");
+  EXPECT_EQ(appends, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(w->synced_seqno(), appends);
+  // Leader/follower batching: strictly fewer syncs than appends. The
+  // margin is workload-dependent, but 4 spinning threads against a real
+  // fdatasync must batch heavily.
+  EXPECT_LT(fsyncs, appends / 2) << "group commit did not batch";
+}
+
+TEST_F(WalLogTest, DeferredAppendsBufferUntilCommit) {
+  auto w = OpenWriter();
+  ASSERT_TRUE(w->AppendDeferred("tweet\t1\t10\ta").ok());
+  ASSERT_TRUE(w->AppendDeferred("tweet\t1\t20\tb").ok());
+  EXPECT_EQ(w->last_seqno(), 2u);
+  EXPECT_EQ(w->synced_seqno(), 0u);  // nothing durable yet
+  // The frames are still in user space: the active segment file has not
+  // grown (size counts the flushed bytes only).
+  auto mid = ScanLog(dir_, {});
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid.value().records, 0u);
+
+  ASSERT_TRUE(w->Commit().ok());
+  EXPECT_EQ(w->synced_seqno(), 2u);  // kGroup commit syncs
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records, 2u);
+  EXPECT_EQ(report.value().last_seqno, 2u);
+
+  // Interleaving a synchronous Append flushes the buffer first, so the
+  // on-disk order equals the seqno order.
+  ASSERT_TRUE(w->AppendDeferred("tweet\t1\t30\tc").ok());
+  ASSERT_TRUE(w->Append("tweet\t1\t40\td").ok());
+  std::vector<uint64_t> seqnos;
+  report = ScanLog(dir_, {}, [&](const Record& r) {
+    seqnos.push_back(r.seqno);
+    return Status::OK();
+  });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(seqnos, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST_F(WalLogTest, DeferredBufferSurvivesRotationBoundary) {
+  WalOptions options;
+  options.segment_bytes = 128;
+  auto w = OpenWriter(options);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(w->AppendDeferred("checkin\t5\t70\t3").ok());
+    if (i % 7 == 0) {
+      ASSERT_TRUE(w->Commit().ok());
+    }
+  }
+  ASSERT_TRUE(w->Commit().ok());
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().segments.size(), 1u);
+  EXPECT_EQ(report.value().records, 30u);
+  EXPECT_EQ(report.value().last_seqno, 30u);
+}
+
+TEST_F(WalLogTest, DestructorFlushesDeferredTail) {
+  {
+    auto w = OpenWriter();
+    ASSERT_TRUE(w->AppendDeferred("tweet\t9\t10\ttail").ok());
+    // No Commit: a clean shutdown (destructor) must not lose the buffer.
+  }
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records, 1u);
+}
+
+TEST_F(WalLogTest, RejectsMultilinePayloads) {
+  auto w = OpenWriter();
+  EXPECT_FALSE(w->Append("tweet\t1\t10\ttwo\nlines").ok());
+  EXPECT_FALSE(w->AppendDeferred("tweet\t1\t10\tcr\rhere").ok());
+  EXPECT_EQ(w->last_seqno(), 0u);
+}
+
+TEST_F(WalLogTest, TruncateSealedBeforeRemovesOnlyCoveredPrefix) {
+  WalOptions options;
+  options.segment_bytes = 200;
+  auto w = OpenWriter(options);
+  for (int i = 1; i <= 60; ++i) {
+    ASSERT_TRUE(
+        w->Append("tweet\t1\t" + std::to_string(i) + "\tpayload").ok());
+  }
+  ASSERT_TRUE(w->Rotate().ok());
+  auto before = ScanLog(dir_, {});
+  ASSERT_TRUE(before.ok());
+  const size_t total_segments = before.value().segments.size();
+  ASSERT_GT(total_segments, 3u);
+
+  // Truncate below seqno 30 with no time floor: only whole segments whose
+  // records are all < 30 go; contiguity of the rest is preserved.
+  auto deleted = w->TruncateSealedBefore(30, INT64_MAX);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_GT(deleted.value(), 0u);
+  auto after = ScanLog(dir_, {});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().segments.size(),
+            total_segments - deleted.value());
+  EXPECT_EQ(after.value().last_seqno, 60u);
+  EXPECT_LE(after.value().first_seqno, 30u);
+
+  // A time floor in the past blocks deletion even for covered seqnos.
+  auto blocked = w->TruncateSealedBefore(60, 0);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked.value(), 0u);
+}
+
+}  // namespace
+}  // namespace adrec::wal

@@ -1,0 +1,275 @@
+#include "wal/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "feed/workload.h"
+#include "wal/record.h"
+#include "wal/wal.h"
+
+namespace adrec::wal {
+namespace {
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  WalRecoveryTest() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("adrec_walrec_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+
+    feed::WorkloadOptions opts;
+    opts.seed = 4242;
+    opts.num_users = 8;
+    opts.num_places = 6;
+    opts.num_ads = 3;
+    opts.days = 2;
+    workload_ = feed::GenerateWorkload(opts);
+    events_ = workload_.MergedEvents();
+  }
+  ~WalRecoveryTest() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<core::ShardedEngine> NewEngine(size_t shards = 1) {
+    return std::make_unique<core::ShardedEngine>(workload_.kb,
+                                                 workload_.slots, shards);
+  }
+
+  /// Feeds ads + events[0, upto) through `engine`, logging each to `w`.
+  void Stream(core::ShardedEngine* engine, WalWriter* w, size_t upto) {
+    for (const feed::Ad& ad : workload_.ads) {
+      feed::FeedEvent ev;
+      ev.kind = feed::EventKind::kAdInsert;
+      ev.ad = ad;
+      ASSERT_TRUE(w->Append(EncodeEventPayload(ev)).ok());
+      (void)engine->InsertAd(ad);
+    }
+    for (size_t i = 0; i < upto && i < events_.size(); ++i) {
+      ASSERT_TRUE(w->Append(EncodeEventPayload(events_[i])).ok());
+      engine->OnEvent(events_[i]);
+    }
+  }
+
+  std::string dir_;
+  feed::Workload workload_;
+  std::vector<feed::FeedEvent> events_;
+};
+
+TEST_F(WalRecoveryTest, EmptyDirectoryRecoversToFreshState) {
+  CheckpointManager manager(dir_);
+  auto engine = NewEngine();
+  auto r = manager.Recover(engine.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().from_checkpoint);
+  EXPECT_EQ(r.value().next_seqno, 1u);
+  EXPECT_EQ(r.value().window_replayed, 0u);
+  EXPECT_EQ(r.value().live_replayed, 0u);
+  EXPECT_EQ(engine->Stats().tweets, 0u);
+}
+
+TEST_F(WalRecoveryTest, LogOnlyRecoveryRebuildsEverything) {
+  const size_t n = events_.size() / 2;
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    auto engine = NewEngine();
+    Stream(engine.get(), writer.value().get(), n);
+  }  // crash
+
+  CheckpointManager manager(dir_);
+  auto recovered = NewEngine();
+  auto r = manager.Recover(recovered.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().from_checkpoint);
+  EXPECT_EQ(r.value().live_replayed, workload_.ads.size() + n);
+  EXPECT_EQ(r.value().window_replayed, 0u);
+  EXPECT_EQ(r.value().next_seqno, workload_.ads.size() + n + 1);
+
+  // The recovered engine equals a never-crashed reference.
+  auto reference = NewEngine();
+  for (const feed::Ad& ad : workload_.ads) (void)reference->InsertAd(ad);
+  for (size_t i = 0; i < n; ++i) reference->OnEvent(events_[i]);
+  const core::EngineStats a = reference->Stats();
+  const core::EngineStats b = recovered->Stats();
+  EXPECT_EQ(a.tweets, b.tweets);
+  EXPECT_EQ(a.checkins, b.checkins);
+  EXPECT_EQ(a.ads_inserted, b.ads_inserted);
+
+  const feed::Tweet& probe = workload_.tweets.back();
+  const auto ra = reference->TopKAdsForTweet(probe, 3);
+  const auto rb = recovered->TopKAdsForTweet(probe, 3);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].ad, rb[i].ad);
+    EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score);
+  }
+}
+
+TEST_F(WalRecoveryTest, CheckpointSplitsReplayAtTheMark) {
+  const size_t mark = events_.size() / 2;
+  const size_t crash = events_.size() * 3 / 4;
+  CheckpointManager manager(dir_);
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    WalWriter* w = writer.value().get();
+    auto engine = NewEngine();
+    Stream(engine.get(), w, mark);
+    ASSERT_TRUE(manager.Checkpoint(*engine, w, events_[mark].time).ok());
+    for (size_t i = mark; i < crash; ++i) {
+      ASSERT_TRUE(w->Append(EncodeEventPayload(events_[i])).ok());
+      engine->OnEvent(events_[i]);
+    }
+  }  // crash
+
+  auto recovered = NewEngine();
+  auto r = manager.Recover(recovered.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().from_checkpoint);
+  EXPECT_EQ(r.value().checkpoint_seqno, workload_.ads.size() + mark);
+  // Everything the checkpoint covers is re-fed window-only; the tail goes
+  // through live ingest.
+  EXPECT_EQ(r.value().window_replayed, workload_.ads.size() + mark);
+  EXPECT_EQ(r.value().live_replayed, crash - mark);
+  EXPECT_EQ(r.value().next_seqno, workload_.ads.size() + crash + 1);
+  EXPECT_GT(r.value().max_event_time, 0);
+
+  auto reference = NewEngine();
+  for (const feed::Ad& ad : workload_.ads) (void)reference->InsertAd(ad);
+  for (size_t i = 0; i < crash; ++i) reference->OnEvent(events_[i]);
+  // Event counters are not part of the snapshot and window-only replay
+  // does not count: the recovered engine's counters cover the tail era
+  // only (the daemon adds the checkpoint-time stats when reporting).
+  uint64_t tail_tweets = 0, tail_checkins = 0;
+  for (size_t i = mark; i < crash; ++i) {
+    tail_tweets += events_[i].kind == feed::EventKind::kTweet;
+    tail_checkins += events_[i].kind == feed::EventKind::kCheckIn;
+  }
+  EXPECT_EQ(recovered->Stats().tweets, tail_tweets);
+  EXPECT_EQ(recovered->Stats().checkins, tail_checkins);
+
+  const feed::Tweet& probe = workload_.tweets.back();
+  const auto ra = reference->TopKAdsForTweet(probe, 3);
+  const auto rb = recovered->TopKAdsForTweet(probe, 3);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].ad, rb[i].ad);
+    EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score);
+  }
+}
+
+TEST_F(WalRecoveryTest, FallsBackToOldCheckpointAcrossSwapWindow) {
+  const size_t mark = events_.size() / 3;
+  CheckpointManager manager(dir_);
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    auto engine = NewEngine();
+    Stream(engine.get(), writer.value().get(), mark);
+    ASSERT_TRUE(
+        manager.Checkpoint(*engine, writer.value().get(), 0).ok());
+  }
+  // Simulate a crash inside the next checkpoint's swap window: the new
+  // checkpoint directory is gone, the previous one survives as .old.
+  std::filesystem::rename(dir_ + "/checkpoint", dir_ + "/checkpoint.old");
+
+  auto recovered = NewEngine();
+  auto r = manager.Recover(recovered.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().from_checkpoint);
+  EXPECT_EQ(r.value().checkpoint_seqno, workload_.ads.size() + mark);
+  EXPECT_GT(recovered->Stats().ads_inserted, 0u);
+}
+
+TEST_F(WalRecoveryTest, ShardCountMismatchIsRejected) {
+  const size_t mark = events_.size() / 4;
+  CheckpointManager manager(dir_);
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    auto engine = NewEngine(/*shards=*/2);
+    Stream(engine.get(), writer.value().get(), mark);
+    ASSERT_TRUE(
+        manager.Checkpoint(*engine, writer.value().get(), 0).ok());
+  }
+  auto wrong = NewEngine(/*shards=*/3);
+  EXPECT_FALSE(manager.Recover(wrong.get()).ok());
+  auto right = NewEngine(/*shards=*/2);
+  EXPECT_TRUE(manager.Recover(right.get()).ok());
+}
+
+TEST_F(WalRecoveryTest, TornFinalRecordIsCutNotFatal) {
+  const size_t n = events_.size() / 2;
+  uint64_t next = 0;
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    auto engine = NewEngine();
+    Stream(engine.get(), writer.value().get(), n);
+    next = writer.value()->next_seqno();
+  }
+  // The record that never got acknowledged tore halfway through.
+  const std::string frame = EncodeFrame(next, EncodeEventPayload(events_[n]));
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  {
+    std::ofstream out(report.value().segments.back().path,
+                      std::ios::binary | std::ios::app);
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size() / 3));
+  }
+
+  CheckpointManager manager(dir_);
+  auto recovered = NewEngine();
+  auto r = manager.Recover(recovered.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().torn_bytes_truncated, frame.size() / 3);
+  EXPECT_EQ(r.value().live_replayed, workload_.ads.size() + n);
+  // The torn record is NOT part of the recovered state, and the next
+  // writer reuses its seqno.
+  EXPECT_EQ(r.value().next_seqno, next);
+
+  // Recovery physically truncated the tail: a fresh scan is clean.
+  auto clean = ScanLog(dir_, {});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean.value().torn_tail);
+}
+
+TEST_F(WalRecoveryTest, RetentionTruncatesCoveredSegments) {
+  CheckpointOptions options;
+  options.analysis_retention = 0;  // keep nothing older than the mark
+  CheckpointManager manager(dir_, options);
+  WalOptions wal_options;
+  wal_options.segment_bytes = 2048;  // force several sealed segments
+  {
+    auto writer = WalWriter::Open(dir_, wal_options);
+    ASSERT_TRUE(writer.ok());
+    auto engine = NewEngine();
+    Stream(engine.get(), writer.value().get(), events_.size());
+    auto before = ScanLog(dir_, {});
+    ASSERT_TRUE(before.ok());
+    ASSERT_GT(before.value().segments.size(), 2u);
+    ASSERT_TRUE(manager
+                    .Checkpoint(*engine, writer.value().get(),
+                                events_.back().time)
+                    .ok());
+  }
+  auto after = ScanLog(dir_, {});
+  ASSERT_TRUE(after.ok());
+  // Sealed segments fully covered by the checkpoint and older than the
+  // stream time were unlinked; recovery still works off the checkpoint.
+  EXPECT_LT(after.value().segments.size(), 3u);
+  auto recovered = NewEngine();
+  auto r = manager.Recover(recovered.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().from_checkpoint);
+  EXPECT_EQ(r.value().live_replayed, 0u);
+}
+
+}  // namespace
+}  // namespace adrec::wal
