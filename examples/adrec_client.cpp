@@ -1,6 +1,6 @@
 // adrec_client — command-line client for adrecd:
 //
-//   adrec_client <host> <port> <verb> [args...]
+//   adrec_client [--retry] <host> <port> <verb> [args...]
 //
 // The verb and arguments are joined with tabs into one protocol line
 // (so `adrec_client 127.0.0.1 7311 topk 4 3` sends "topk\t4\t3"), the
@@ -8,40 +8,61 @@
 // replies, 1 on NOT_FOUND / CLIENT_ERROR / SERVER_ERROR, 2 on usage or
 // connection errors.
 //
+// --retry enables automatic reconnect with capped exponential backoff on
+// transport failures (connection refused/reset mid-command), riding
+// through a daemon restart or a follower promotion. At-least-once: a
+// mutation whose reply was lost may execute twice.
+//
 //   adrec_client 127.0.0.1 7311 ping
 //   adrec_client 127.0.0.1 7311 tweet 4 86400 "coffee downtown"
 //   adrec_client 127.0.0.1 7311 topk 4 3
 //   adrec_client 127.0.0.1 7311 metrics
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/string_util.h"
 #include "serve/client.h"
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: %s <host> <port> <verb> [args...]\n",
+  int argi = 1;
+  bool retry = false;
+  if (argi < argc && std::strcmp(argv[argi], "--retry") == 0) {
+    retry = true;
+    ++argi;
+  }
+  if (argc - argi < 3) {
+    std::fprintf(stderr, "usage: %s [--retry] <host> <port> <verb> [args...]\n",
                  argv[0]);
     return 2;
   }
-  const std::string host = argv[1];
-  const int port = std::atoi(argv[2]);
+  const std::string host = argv[argi];
+  const int port = std::atoi(argv[argi + 1]);
   if (port <= 0 || port > 65535) {
-    std::fprintf(stderr, "bad port '%s'\n", argv[2]);
+    std::fprintf(stderr, "bad port '%s'\n", argv[argi + 1]);
     return 2;
   }
 
   std::string line;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = argi + 2; i < argc; ++i) {
     if (!line.empty()) line.push_back('\t');
     line += argv[i];
   }
 
   adrec::serve::Client client;
+  if (retry) {
+    adrec::serve::ReconnectOptions ropts;
+    ropts.enabled = true;
+    client.SetReconnect(ropts);
+  }
   if (auto s = client.Connect(host, static_cast<uint16_t>(port)); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 2;
+    // With --retry, Command() below reconnects; tolerate a server that is
+    // not up yet at connect time instead of bailing before the first try.
+    if (!retry) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
   }
   if (line == "quit") {
     client.Quit();
@@ -55,6 +76,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", reply.value().c_str());
   const bool error = adrec::StartsWith(reply.value(), "CLIENT_ERROR") ||
                      adrec::StartsWith(reply.value(), "SERVER_ERROR") ||
-                     reply.value() == "NOT_FOUND";
+                     reply.value() == "NOT_FOUND" ||
+                     reply.value() == "READONLY";
   return error ? 1 : 0;
 }

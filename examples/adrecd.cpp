@@ -6,6 +6,7 @@
 //          [--idle-timeout=SEC] [--snapshot-root=DIR]
 //          [--wal-dir=DIR] [--wal-sync=none|interval|group]
 //          [--checkpoint-interval=SEC] [--wal-retain=SEC]
+//          [--follow=HOST:PORT]
 //
 // The `snapshot` verb is disabled unless --snapshot-root names a base
 // directory; client-supplied targets are then confined under it.
@@ -19,6 +20,14 @@
 // checkpoints (the `checkpoint` admin verb does one on demand);
 // --wal-retain bounds how much replay history survives a checkpoint
 // (default: keep everything — exact analysis-window recovery).
+//
+// With --follow=HOST:PORT (requires --wal-dir), the daemon runs as a
+// READ REPLICA of the adrecd at that address: it recovers its local log
+// as usual, then streams the leader's WAL tail from where its own log
+// ends, writing each record to its own log before applying it. Write
+// verbs answer `READONLY`; queries serve from replicated state. The
+// `promote` admin verb detaches from the leader, seals the local log and
+// starts accepting writes (DESIGN.md §12).
 //
 // With --dir, the knowledge base is loaded from DIR/kb.tsv and, when
 // present, DIR/ads.tsv and DIR/trace.tsv are preloaded into the engine
@@ -43,6 +52,7 @@
 #include "core/sharded_engine.h"
 #include "feed/trace_io.h"
 #include "feed/workload.h"
+#include "replica/follower.h"
 #include "serve/server.h"
 #include "wal/checkpoint.h"
 #include "wal/wal.h"
@@ -72,6 +82,7 @@ int main(int argc, char** argv) {
   std::string dir;
   double alpha = -1.0;
   std::string wal_dir;
+  std::string follow;
   adrec::wal::WalOptions wal_opts;
   adrec::wal::CheckpointOptions ckpt_opts;
   adrec::serve::ServerOptions options;
@@ -108,6 +119,8 @@ int main(int argc, char** argv) {
       options.checkpoint_interval = std::atof(v);
     } else if (FlagValue(argv[i], "--wal-retain", &v)) {
       ckpt_opts.analysis_retention = std::atoll(v);
+    } else if (FlagValue(argv[i], "--follow", &v)) {
+      follow = v;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--shards=N] [--dir=DIR] "
@@ -115,13 +128,34 @@ int main(int argc, char** argv) {
                    "[--max-connections=N] [--idle-timeout=SEC] "
                    "[--snapshot-root=DIR] [--wal-dir=DIR] "
                    "[--wal-sync=none|interval|group] "
-                   "[--checkpoint-interval=SEC] [--wal-retain=SEC]\n",
+                   "[--checkpoint-interval=SEC] [--wal-retain=SEC] "
+                   "[--follow=HOST:PORT]\n",
                    argv[0]);
       return 2;
     }
   }
   if (shards == 0) shards = 1;
   options.port = port;
+
+  adrec::replica::FollowerOptions follow_opts;
+  if (!follow.empty()) {
+    if (wal_dir.empty()) {
+      std::fprintf(stderr,
+                   "--follow requires --wal-dir (the follower logs every "
+                   "replicated record before applying it)\n");
+      return 2;
+    }
+    const size_t colon = follow.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == follow.size()) {
+      std::fprintf(stderr, "--follow wants HOST:PORT, got '%s'\n",
+                   follow.c_str());
+      return 2;
+    }
+    follow_opts.host = follow.substr(0, colon);
+    follow_opts.port =
+        static_cast<uint16_t>(std::atoi(follow.c_str() + colon + 1));
+  }
 
   // Knowledge base: from --dir when given, synthetic otherwise.
   std::shared_ptr<adrec::annotate::KnowledgeBase> kb;
@@ -215,6 +249,19 @@ int main(int argc, char** argv) {
     options.wal = wal.get();
     options.checkpointer = checkpointer.get();
     recovered_stream_time = r.max_event_time;
+  }
+
+  // Follower mode: replicate the leader's WAL tail from where the local
+  // (just-recovered) log ends. The Follower runs inside the server's
+  // event loop; the server starts read-only until `promote`.
+  std::unique_ptr<adrec::replica::Follower> follower;
+  if (!follow.empty()) {
+    follower = std::make_unique<adrec::replica::Follower>(&engine, wal.get(),
+                                                          follow_opts);
+    options.follower = follower.get();
+    std::printf("adrecd following %s:%u from cursor %llu (read-only)\n",
+                follow_opts.host.c_str(), follow_opts.port,
+                static_cast<unsigned long long>(wal->last_seqno()));
   }
 
   adrec::serve::Server server(&engine, options);

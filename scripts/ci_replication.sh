@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Failover smoke test of the adrecd replication path, through the shipped
+# binaries: boots a leader with a WAL, a follower replicating it
+# (--follow), streams acknowledged ingest over the real wire, waits for
+# the follower to catch up, SIGKILLs the leader (no drain, no goodbye),
+# promotes the follower and asserts every acknowledged record survived
+# the failover — present in the promoted daemon's own log and served by
+# its queries — and that the promoted daemon accepts writes.
+#
+#   ci_replication.sh <path-to-adrecd> <path-to-adrec_client> <path-to-adrec_tool>
+#
+# Registered as a tier1 ctest (see tests/CMakeLists.txt); the in-process
+# equivalents (serve_replica_test, replica_promotion_differential_test)
+# prove bit-exactness, this proves the shipped binaries wire it together.
+set -euo pipefail
+
+ADRECD="${1:?usage: ci_replication.sh <adrecd> <adrec_client> <adrec_tool>}"
+CLIENT="${2:?usage: ci_replication.sh <adrecd> <adrec_client> <adrec_tool>}"
+TOOL="${3:?usage: ci_replication.sh <adrecd> <adrec_client> <adrec_tool>}"
+
+LEADER_LOG="$(mktemp)"
+FOLLOWER_LOG="$(mktemp)"
+LEADER_WAL="$(mktemp -d)"
+FOLLOWER_WAL="$(mktemp -d)"
+LEADER_PID=""
+FOLLOWER_PID=""
+trap 'kill -9 "$LEADER_PID" "$FOLLOWER_PID" 2>/dev/null || true;
+      rm -rf "$LEADER_LOG" "$FOLLOWER_LOG" "$LEADER_WAL" "$FOLLOWER_WAL"' EXIT
+
+wait_port() {  # wait_port <logfile> <pid-varname>; sets REPLY to the port
+  local log="$1" pid="$2" port=""
+  for _ in $(seq 1 50); do
+    port="$(sed -n 's/^adrecd listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")"
+    [ -n "$port" ] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$log"; echo "FAIL: daemon died during startup"; exit 1; }
+    sleep 0.2
+  done
+  [ -n "$port" ] || { cat "$log"; echo "FAIL: no listening line"; exit 1; }
+  REPLY="$port"
+}
+
+expect() {  # expect <want-substring> <port> <verb> [args...]
+  local want="$1" port="$2"; shift 2
+  local got
+  got="$("$CLIENT" 127.0.0.1 "$port" "$@")" || true
+  case "$got" in
+    *"$want"*) ;;
+    *) echo "FAIL: '$*' on :$port returned '$got', wanted '$want'"
+       cat "$LEADER_LOG" "$FOLLOWER_LOG"; exit 1 ;;
+  esac
+}
+
+applied_seqno() {  # applied_seqno <port>
+  "$CLIENT" 127.0.0.1 "$1" metrics 2>/dev/null \
+    | awk '$1 == "adrec_replica_applied_seqno" { print int($2) }'
+}
+
+wait_applied() {  # wait_applied <port> <seqno>
+  local port="$1" want="$2" got=""
+  for _ in $(seq 1 100); do
+    got="$(applied_seqno "$port")"
+    [ -n "$got" ] && [ "$got" -ge "$want" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: follower stuck at applied_seqno='${got:-?}', wanted >= $want"
+  cat "$FOLLOWER_LOG"
+  exit 1
+}
+
+# --- Leader up, with pre-existing acknowledged records (catch-up material).
+"$ADRECD" --port=0 --wal-dir="$LEADER_WAL" --wal-sync=group >"$LEADER_LOG" 2>&1 &
+LEADER_PID=$!
+wait_port "$LEADER_LOG" "$LEADER_PID"; LEADER_PORT="$REPLY"
+
+ACKED=0
+expect "OK" "$LEADER_PORT" adput 1 100 0 1.5 "" "" "coffee and music deals"; ACKED=$((ACKED + 1))
+expect "OK" "$LEADER_PORT" adput 2 100 0 1.2 "" "" "late night food trucks"; ACKED=$((ACKED + 1))
+for i in $(seq 1 10); do
+  expect "OK" "$LEADER_PORT" tweet "$((i % 7))" "$((86400 + i * 60))" "coffee and live music downtown $i"; ACKED=$((ACKED + 1))
+  expect "OK" "$LEADER_PORT" checkin "$((i % 7))" "$((86400 + i * 60 + 30))" "$((i % 5))"; ACKED=$((ACKED + 1))
+done
+
+# --- Follower up: catches up from the segment files, then streams live.
+"$ADRECD" --port=0 --wal-dir="$FOLLOWER_WAL" --follow="127.0.0.1:$LEADER_PORT" \
+  >"$FOLLOWER_LOG" 2>&1 &
+FOLLOWER_PID=$!
+wait_port "$FOLLOWER_LOG" "$FOLLOWER_PID"; FOLLOWER_PORT="$REPLY"
+grep -q "adrecd following 127.0.0.1:$LEADER_PORT" "$FOLLOWER_LOG" \
+  || { cat "$FOLLOWER_LOG"; echo "FAIL: no following line"; exit 1; }
+
+wait_applied "$FOLLOWER_PORT" "$ACKED"
+echo "replication: follower caught up at seqno $ACKED"
+
+# Read replica semantics: queries serve, writes answer READONLY.
+expect "ADS" "$FOLLOWER_PORT" topk 1 3
+expect "READONLY" "$FOLLOWER_PORT" tweet 1 99999 "not on a replica"
+
+# Live tail: acknowledged while the stream is attached.
+for i in $(seq 11 20); do
+  expect "OK" "$LEADER_PORT" tweet "$((i % 7))" "$((86400 + i * 60))" "espresso refill round $i"; ACKED=$((ACKED + 1))
+done
+wait_applied "$FOLLOWER_PORT" "$ACKED"
+echo "replication: follower holds live tail at seqno $ACKED"
+
+# --- The failover: SIGKILL the leader, promote the follower.
+kill -9 "$LEADER_PID"
+wait "$LEADER_PID" 2>/dev/null || true
+
+expect "OK" "$FOLLOWER_PORT" promote
+grep -q "promoted" "$FOLLOWER_LOG" \
+  || { cat "$FOLLOWER_LOG"; echo "FAIL: no promotion line"; exit 1; }
+
+# Every acknowledged record survived the failover: the promoted daemon's
+# own WAL holds all of them (logged before applied), frame-valid...
+"$TOOL" wal verify "$FOLLOWER_WAL" >/dev/null || { echo "FAIL: wal verify on promoted log"; exit 1; }
+DUMPED="$("$TOOL" wal dump "$FOLLOWER_WAL" | wc -l)"
+[ "$DUMPED" -eq "$ACKED" ] || { echo "FAIL: promoted log has $DUMPED records, wanted $ACKED"; exit 1; }
+
+# ...and its serving state answers from them, now accepting writes too.
+expect "ADS" "$FOLLOWER_PORT" topk 1 3
+expect "OK" "$FOLLOWER_PORT" tweet 1 100000 "first write after promotion"
+expect "OK" "$FOLLOWER_PORT" addel 2
+expect "STAT" "$FOLLOWER_PORT" stats
+
+# Clean drain; the post-promotion writes are in the log on contiguous seqnos.
+kill -TERM "$FOLLOWER_PID"
+wait "$FOLLOWER_PID" || { echo "FAIL: drain exit after promotion"; exit 1; }
+"$TOOL" wal verify "$FOLLOWER_WAL" >/dev/null || { echo "FAIL: wal verify after drain"; exit 1; }
+DUMPED="$("$TOOL" wal dump "$FOLLOWER_WAL" | wc -l)"
+[ "$DUMPED" -eq $((ACKED + 2)) ] || { echo "FAIL: drained log has $DUMPED records, wanted $((ACKED + 2))"; exit 1; }
+
+echo "replication: all checks passed"

@@ -242,9 +242,18 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
                                  static_cast<unsigned long long>(value));
   }
   for (const auto& [raw, value] : snapshot.gauges) {
-    const PromName p = PrometheusName(raw);
-    out += "# TYPE " + p.name + " gauge\n";
-    out += p.name + " " + PromNumber(value) + "\n";
+    // Gauges keep their unit suffix (`replica.lag_ms` ->
+    // `adrec_replica_lag_ms`): the `_us`/`_ms` -> `_seconds` rewrite is
+    // a histogram-bucket rescale, and a renamed-but-unscaled gauge would
+    // lie about its unit.
+    std::string name = "adrec_";
+    for (char c : raw) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      name.push_back(ok ? c : '_');
+    }
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + PromNumber(value) + "\n";
   }
   for (const auto& [raw, hist] : snapshot.timers) {
     const PromName p = PrometheusName(raw);

@@ -1,0 +1,400 @@
+#include "replica/follower.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "wal/record.h"
+
+namespace adrec::replica {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+bool ParseU64Field(std::string_view field, uint64_t* out) {
+  const std::string s(field);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || s.empty() || s[0] == '-') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Follower::Follower(core::ShardedEngine* engine, wal::WalWriter* wal,
+                   FollowerOptions options)
+    : engine_(engine),
+      wal_(wal),
+      options_(std::move(options)),
+      applied_seqno_(wal->last_seqno()),
+      next_attempt_(std::chrono::steady_clock::now()),
+      g_lag_records_(metrics_.GetGauge("replica.lag_records")),
+      g_lag_ms_(metrics_.GetGauge("replica.lag_ms")),
+      g_applied_seqno_(metrics_.GetGauge("replica.applied_seqno")),
+      g_leader_seqno_(metrics_.GetGauge("replica.leader_seqno")),
+      g_connected_(metrics_.GetGauge("replica.connected")),
+      ctr_bytes_received_(metrics_.GetCounter("replica.bytes_received")),
+      ctr_records_applied_(metrics_.GetCounter("replica.records_applied")),
+      ctr_heartbeats_(metrics_.GetCounter("replica.heartbeats")),
+      ctr_reconnects_(metrics_.GetCounter("replica.reconnects")),
+      ctr_apply_errors_(metrics_.GetCounter("replica.apply_errors")) {
+  ADREC_CHECK(engine_ != nullptr);
+  ADREC_CHECK(wal_ != nullptr);
+  g_applied_seqno_->Set(static_cast<double>(applied_seqno_));
+}
+
+Follower::~Follower() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Follower::want_write() const {
+  return fd_ >= 0 && (state_ == State::kConnecting || !out_.empty());
+}
+
+void Follower::StartConnect() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0 || !SetNonBlocking(fd_)) {
+    CloseAndBackoff(StringFormat("socket: %s", std::strerror(errno)));
+    return;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseAndBackoff("bad leader address " + options_.host);
+    return;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+      0) {
+    state_ = State::kHandshake;
+    out_ = StringFormat("repl\t%llu\n",
+                        static_cast<unsigned long long>(wal_->last_seqno()));
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    state_ = State::kConnecting;
+    return;
+  }
+  CloseAndBackoff(StringFormat("connect %s:%u: %s", options_.host.c_str(),
+                               options_.port, std::strerror(errno)));
+}
+
+void Follower::CloseAndBackoff(const std::string& why) {
+  const bool was_streaming = state_ == State::kStreaming;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+  out_.clear();
+  pending_tips_.clear();
+  state_ = State::kDisconnected;
+  g_connected_->Set(0.0);
+  if (detached_) return;
+  backoff_ = backoff_ <= 0.0
+                 ? options_.backoff_initial
+                 : std::min(backoff_ * 2.0, options_.backoff_max);
+  next_attempt_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(backoff_));
+  ctr_reconnects_->Inc();
+  const std::string detail = StringFormat(
+      "replica: leader %s:%u unavailable (%s), retrying in %.1fs",
+      options_.host.c_str(), options_.port, why.c_str(), backoff_);
+  if (was_streaming) {
+    ADREC_LOG(kWarning) << detail;
+  } else {
+    ADREC_LOG(kInfo) << detail;
+  }
+  UpdateLagGauges();
+}
+
+bool Follower::FlushOut() {
+  while (!out_.empty()) {
+    const ssize_t n =
+        ::send(fd_, out_.data(), out_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      out_.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    CloseAndBackoff(StringFormat("send: %s", std::strerror(errno)));
+    return false;
+  }
+  return true;
+}
+
+bool Follower::ReadInput() {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<size_t>(n));
+      ctr_bytes_received_->Inc(static_cast<uint64_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) return true;
+      continue;
+    }
+    if (n == 0) {
+      CloseAndBackoff("leader closed the stream");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    CloseAndBackoff(StringFormat("recv: %s", std::strerror(errno)));
+    return false;
+  }
+}
+
+void Follower::HandleControlLine(std::string_view line) {
+  const auto fields = SplitString(line, ' ');
+  if (fields.size() >= 2 && fields[1] == "OK") {
+    if (state_ == State::kHandshake) {
+      state_ = State::kStreaming;
+      backoff_ = 0.0;
+      g_connected_->Set(1.0);
+      ADREC_LOG(kInfo) << "replica: streaming from " << options_.host << ":"
+                       << options_.port << " at cursor "
+                       << applied_seqno_;
+    }
+    return;
+  }
+  if (fields.size() >= 3 && fields[1] == "HB") {
+    uint64_t tip = 0;
+    if (!ParseU64Field(fields[2], &tip)) return;
+    ctr_heartbeats_->Inc();
+    if (tip > leader_tip_) leader_tip_ = tip;
+    if (tip > applied_seqno_ &&
+        (pending_tips_.empty() || tip > pending_tips_.back().first)) {
+      pending_tips_.emplace_back(tip, std::chrono::steady_clock::now());
+    }
+    UpdateLagGauges();
+    return;
+  }
+  // Unknown control line: tolerated for forward compatibility.
+}
+
+void Follower::ApplyEvent(const feed::FeedEvent& event) {
+  // The same apply semantics as crash recovery (wal/checkpoint.cc):
+  // re-insertion and double-deletion are benign — the leader's log may
+  // overlap what a checkpoint already restored.
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+    case feed::EventKind::kCheckIn:
+      engine_->OnEvent(event);
+      break;
+    case feed::EventKind::kAdInsert: {
+      const Status st = engine_->InsertAd(event.ad);
+      if (!st.ok() && st.code() != StatusCode::kAlreadyExists) {
+        ctr_apply_errors_->Inc();
+        ADREC_LOG(kError) << "replica: adput apply failed: "
+                          << st.ToString();
+      }
+      break;
+    }
+    case feed::EventKind::kAdDelete: {
+      const Status st = engine_->RemoveAd(event.ad_id);
+      if (!st.ok() && st.code() != StatusCode::kNotFound) {
+        ctr_apply_errors_->Inc();
+        ADREC_LOG(kError) << "replica: addel apply failed: "
+                          << st.ToString();
+      }
+      break;
+    }
+  }
+  if (event.time > max_event_time_) max_event_time_ = event.time;
+}
+
+void Follower::ProcessInput() {
+  std::vector<feed::FeedEvent> batch;
+  size_t start = 0;
+  std::string die_why;
+  bool die = false;
+
+  while (start < in_.size()) {
+    const size_t nl = in_.find('\n', start);
+    if (nl == std::string::npos) {
+      if (in_.size() - start > options_.max_line_bytes) {
+        die = true;
+        die_why = "oversized replication line";
+      }
+      break;
+    }
+    size_t end = nl;
+    if (end > start && in_[end - 1] == '\r') --end;
+    const std::string_view line(in_.data() + start, end - start);
+    start = nl + 1;
+
+    if (StartsWith(line, "REPL ")) {
+      HandleControlLine(line);
+      continue;
+    }
+    if (state_ != State::kStreaming) {
+      // The handshake was refused (READONLY leaderless target, cursor
+      // below retention, wal disabled, ...). The reply text says why.
+      die = true;
+      die_why = "handshake refused: " + std::string(line);
+      break;
+    }
+    auto record = wal::DecodeFrame(line);
+    if (!record.ok()) {
+      die = true;
+      die_why = "bad frame: " + record.status().message();
+      break;
+    }
+    const wal::Record& r = record.value();
+    const uint64_t expected = applied_seqno_ + batch.size() + 1;
+    if (r.seqno != expected) {
+      die = true;
+      die_why = StringFormat("stream seqno %llu, expected %llu",
+                             static_cast<unsigned long long>(r.seqno),
+                             static_cast<unsigned long long>(expected));
+      break;
+    }
+    auto event = wal::DecodeEventPayload(r.payload);
+    if (!event.ok()) {
+      die = true;
+      die_why = "bad payload: " + event.status().message();
+      break;
+    }
+    // Durability before visibility: the frame goes to the follower's own
+    // log (deferred; committed below, before any engine mutation).
+    auto seqno = wal_->AppendDeferred(r.payload);
+    if (!seqno.ok()) {
+      die = true;
+      die_why = "local wal append failed: " + seqno.status().ToString();
+      break;
+    }
+    batch.push_back(std::move(event).value());
+    if (r.seqno > leader_tip_) leader_tip_ = r.seqno;
+  }
+  in_.erase(0, start);
+
+  if (!batch.empty()) {
+    const Status st = wal_->Commit();
+    if (!st.ok()) {
+      // Loud, like the serving daemon: records already streamed cannot
+      // be un-received, and the leader holds them durably anyway.
+      ADREC_LOG(kError) << "replica: local wal commit failed: "
+                        << st.ToString();
+    }
+    for (const feed::FeedEvent& event : batch) ApplyEvent(event);
+    applied_seqno_ += batch.size();
+    ctr_records_applied_->Inc(batch.size());
+    while (!pending_tips_.empty() &&
+           pending_tips_.front().first <= applied_seqno_) {
+      pending_tips_.pop_front();
+    }
+    UpdateLagGauges();
+  }
+  if (die) CloseAndBackoff(die_why);
+}
+
+void Follower::OnPollEvents(short revents) {
+  if (fd_ < 0) return;
+  if (state_ == State::kConnecting &&
+      (revents & (POLLOUT | POLLERR | POLLHUP))) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      CloseAndBackoff(StringFormat("connect %s:%u: %s",
+                                   options_.host.c_str(), options_.port,
+                                   std::strerror(err != 0 ? err : errno)));
+      return;
+    }
+    state_ = State::kHandshake;
+    out_ = StringFormat("repl\t%llu\n",
+                        static_cast<unsigned long long>(wal_->last_seqno()));
+  }
+  if (!out_.empty() && !FlushOut()) return;
+  if (revents & (POLLIN | POLLHUP)) {
+    if (!ReadInput()) return;
+    ProcessInput();
+  }
+  if (fd_ >= 0 && (revents & (POLLERR | POLLNVAL))) {
+    CloseAndBackoff("socket error");
+  }
+}
+
+void Follower::Tick() {
+  if (detached_) return;
+  if (state_ == State::kDisconnected &&
+      std::chrono::steady_clock::now() >= next_attempt_) {
+    StartConnect();
+  }
+  UpdateLagGauges();
+}
+
+int Follower::TickDelayMs() const {
+  if (detached_) return 1000000;
+  if (state_ == State::kDisconnected) {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          next_attempt_ - std::chrono::steady_clock::now())
+                          .count();
+    return std::clamp(static_cast<int>(ms) + 1, 10, 1000);
+  }
+  // Streaming/connecting: wake often enough to keep the lag gauges and
+  // heartbeat bookkeeping fresh.
+  return 250;
+}
+
+void Follower::Detach() {
+  detached_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+  out_.clear();
+  pending_tips_.clear();
+  state_ = State::kDisconnected;
+  g_connected_->Set(0.0);
+  UpdateLagGauges();
+}
+
+FollowerLag Follower::Lag() const {
+  FollowerLag lag;
+  lag.records =
+      leader_tip_ > applied_seqno_ ? leader_tip_ - applied_seqno_ : 0;
+  if (!pending_tips_.empty()) {
+    lag.ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() -
+                 pending_tips_.front().second)
+                 .count();
+  }
+  return lag;
+}
+
+void Follower::UpdateLagGauges() {
+  const FollowerLag lag = Lag();
+  g_lag_records_->Set(static_cast<double>(lag.records));
+  g_lag_ms_->Set(lag.ms);
+  g_applied_seqno_->Set(static_cast<double>(applied_seqno_));
+  g_leader_seqno_->Set(static_cast<double>(leader_tip_));
+}
+
+}  // namespace adrec::replica

@@ -1,0 +1,159 @@
+#ifndef ADREC_REPLICA_FOLLOWER_H_
+#define ADREC_REPLICA_FOLLOWER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "core/sharded_engine.h"
+#include "obs/metrics.h"
+#include "wal/wal.h"
+
+namespace adrec::replica {
+
+/// WAL log-shipping replication, follower side (DESIGN.md §12).
+///
+/// A follower is Recover + live tail apply: the daemon first recovers
+/// its local log directory exactly as a restarting leader would, then a
+/// Follower connects to the leader, sends `repl <cursor>` with the seqno
+/// of the last record it already holds, and applies the resulting frame
+/// stream through the same path recovery uses — each frame is appended
+/// to the follower's OWN write-ahead log and committed before the event
+/// touches the engine, so durability-before-visibility holds on the
+/// replica too and a crashed follower restarts from its local log
+/// without re-fetching history.
+///
+/// The class is event-loop furniture, not a thread: serve::Server polls
+/// fd() alongside its client sockets and forwards readiness to
+/// OnPollEvents(); Tick() drives reconnect backoff and the lag gauges.
+/// All methods run on the server's event-loop thread — the follower
+/// mutates the engine, and the loop is the engine's only writer.
+
+struct FollowerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Reconnect backoff: first retry after `backoff_initial` seconds,
+  /// doubling per consecutive failure, capped at `backoff_max`.
+  double backoff_initial = 0.2;
+  double backoff_max = 5.0;
+  /// A control/frame line longer than this means the peer is not
+  /// speaking the replication protocol; drop and reconnect.
+  size_t max_line_bytes = 256 * 1024;
+};
+
+/// Lag and liveness, sampled for the replica.* gauges and bench_replica.
+struct FollowerLag {
+  /// leader tip seqno minus applied seqno (0 when caught up).
+  uint64_t records = 0;
+  /// Milliseconds the oldest not-yet-applied leader tip announcement has
+  /// been waiting, measured entirely on the follower's clock (a tip's
+  /// local arrival time is the reference) — no leader/follower clock
+  /// comparison, so skew cannot fake or hide lag.
+  double ms = 0.0;
+};
+
+class Follower {
+ public:
+  /// `engine` and `wal` must outlive the follower. `wal` is the
+  /// follower's local log (already recovered); its last_seqno() is the
+  /// replication cursor.
+  Follower(core::ShardedEngine* engine, wal::WalWriter* wal,
+           FollowerOptions options);
+  ~Follower();
+
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  /// The socket to poll, or -1 while disconnected/backing off.
+  int fd() const { return fd_; }
+  /// Poll for writability too (connect in progress / handshake pending).
+  bool want_write() const;
+  /// Streaming (handshake acknowledged by the leader).
+  bool streaming() const { return state_ == State::kStreaming; }
+  bool detached() const { return detached_; }
+
+  /// Handles poll readiness on fd(): completes the non-blocking connect,
+  /// flushes the handshake, reads and applies frames.
+  void OnPollEvents(short revents);
+
+  /// Time-driven work: reconnect when the backoff lapses, refresh the
+  /// lag gauges. Call once per event-loop iteration.
+  void Tick();
+  /// Upper bound (ms) the event loop may sleep without missing a
+  /// reconnect deadline or a lag-gauge refresh.
+  int TickDelayMs() const;
+
+  /// Promotion: close the leader connection and stop reconnecting.
+  /// Idempotent. The caller (the `promote` verb) seals the local log and
+  /// lifts the server's read-only gate.
+  void Detach();
+
+  /// Seqno of the last record applied to the engine (== the local log's
+  /// last_seqno once a batch commits).
+  uint64_t applied_seqno() const { return applied_seqno_; }
+  /// Highest leader tip seqno heard (heartbeats and applied frames).
+  uint64_t leader_seqno() const { return leader_tip_; }
+  /// Newest event timestamp applied — feeds the server's stream clock so
+  /// time-less `topk` on the replica queries at the replicated position.
+  Timestamp max_event_time() const { return max_event_time_; }
+  FollowerLag Lag() const;
+
+  /// replica.* registry: lag_records/lag_ms/applied_seqno/leader_seqno/
+  /// connected gauges; bytes_received/records_applied/heartbeats/
+  /// reconnects/apply_errors counters.
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+ private:
+  enum class State { kDisconnected, kConnecting, kHandshake, kStreaming };
+
+  void StartConnect();
+  void CloseAndBackoff(const std::string& why);
+  /// Flushes pending handshake bytes; returns false if the conn died.
+  bool FlushOut();
+  /// Drains readable bytes; returns false if the conn died.
+  bool ReadInput();
+  /// Consumes complete lines from in_: control lines inline, frames
+  /// batched into one local-WAL commit + engine apply.
+  void ProcessInput();
+  void HandleControlLine(std::string_view line);
+  void ApplyEvent(const feed::FeedEvent& event);
+  void UpdateLagGauges();
+
+  core::ShardedEngine* engine_;  // not owned
+  wal::WalWriter* wal_;          // not owned
+  const FollowerOptions options_;
+
+  State state_ = State::kDisconnected;
+  bool detached_ = false;
+  int fd_ = -1;
+  std::string in_;
+  std::string out_;
+  uint64_t applied_seqno_ = 0;
+  uint64_t leader_tip_ = 0;
+  Timestamp max_event_time_ = 0;
+  double backoff_ = 0.0;
+  std::chrono::steady_clock::time_point next_attempt_;
+  /// Leader tip announcements not yet covered by applied_seqno_, with
+  /// their local arrival instants (the lag_ms reference points).
+  std::deque<std::pair<uint64_t, std::chrono::steady_clock::time_point>>
+      pending_tips_;
+
+  obs::MetricRegistry metrics_;
+  obs::Gauge* g_lag_records_;
+  obs::Gauge* g_lag_ms_;
+  obs::Gauge* g_applied_seqno_;
+  obs::Gauge* g_leader_seqno_;
+  obs::Gauge* g_connected_;
+  obs::Counter* ctr_bytes_received_;
+  obs::Counter* ctr_records_applied_;
+  obs::Counter* ctr_heartbeats_;
+  obs::Counter* ctr_reconnects_;
+  obs::Counter* ctr_apply_errors_;
+};
+
+}  // namespace adrec::replica
+
+#endif  // ADREC_REPLICA_FOLLOWER_H_

@@ -6,9 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/string_util.h"
 
@@ -20,12 +23,16 @@ namespace {
 /// END-framed list/stat/metrics responses).
 bool IsSingleLineReply(std::string_view first) {
   return first == "OK" || first == "PONG" || first == "NOT_FOUND" ||
-         StartsWith(first, "CLIENT_ERROR") ||
+         first == "READONLY" || StartsWith(first, "CLIENT_ERROR") ||
          StartsWith(first, "SERVER_ERROR");
 }
 
 Status StatusFromReply(std::string_view reply) {
   if (reply == "NOT_FOUND") return Status::NotFound("not found");
+  if (reply == "READONLY") {
+    return Status::FailedPrecondition(
+        "read-only replica rejected the write");
+  }
   if (StartsWith(reply, "CLIENT_ERROR ")) {
     return Status::InvalidArgument(
         std::string(reply.substr(strlen("CLIENT_ERROR "))));
@@ -53,6 +60,8 @@ Client::~Client() { Close(); }
 
 Status Client::Connect(const std::string& host, uint16_t port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::Internal(StringFormat("socket: %s", std::strerror(errno)));
@@ -168,9 +177,37 @@ Result<std::string> Client::ReadResponse() {
   }
 }
 
-Result<std::string> Client::Command(std::string_view line) {
+Result<std::string> Client::CommandOnce(std::string_view line) {
   ADREC_RETURN_NOT_OK(SendLine(line));
   return ReadResponse();
+}
+
+Result<std::string> Client::Command(std::string_view line) {
+  Result<std::string> reply = CommandOnce(line);
+  if (reply.ok() || !reconnect_.enabled) return reply;
+  // Transport failure with reconnect enabled: ride through a daemon
+  // restart or a failover to a promoted follower. Only kIoError (socket
+  // died) and kFailedPrecondition (never connected — e.g. the daemon is
+  // not up yet) retry; a protocol-level error reply arrived fine and
+  // must surface as is.
+  double backoff = reconnect_.backoff_initial;
+  for (int attempt = 0; attempt < reconnect_.max_attempts; ++attempt) {
+    const StatusCode code = reply.status().code();
+    if (code != StatusCode::kIoError &&
+        code != StatusCode::kFailedPrecondition) {
+      return reply;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff = std::min(backoff * 2.0, reconnect_.backoff_max);
+    const Status conn = Connect(host_, port_);
+    if (!conn.ok()) {
+      reply = conn;
+      continue;
+    }
+    reply = CommandOnce(line);
+    if (reply.ok()) return reply;
+  }
+  return reply;
 }
 
 Status Client::ExpectOk(std::string_view sent) {

@@ -14,6 +14,24 @@
 
 namespace adrec::serve {
 
+/// Opt-in transport-failure recovery for Client: on ECONNRESET / EPIPE /
+/// connection-closed (any kIoError from the socket), the command is
+/// retried over a fresh connection with capped exponential backoff —
+/// what lets a client ride through a leader failover to a freshly
+/// promoted follower at the same address. Off by default because the
+/// retry is at-least-once: a mutation whose reply was lost in the reset
+/// may execute twice (harmless for the idempotent ingest grammar, but
+/// the caller should know).
+struct ReconnectOptions {
+  bool enabled = false;
+  /// Reconnect attempts per command before the error surfaces.
+  int max_attempts = 6;
+  /// First retry after this many seconds, doubling per attempt ...
+  double backoff_initial = 0.1;
+  /// ... capped here.
+  double backoff_max = 2.0;
+};
+
 /// A blocking adrecd client: one TCP connection, synchronous
 /// request/response. The typed helpers format a command, send it, and
 /// parse the framed reply; Command() is the generic escape hatch used by
@@ -30,7 +48,11 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept
-      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+      : fd_(other.fd_),
+        buffer_(std::move(other.buffer_)),
+        host_(std::move(other.host_)),
+        port_(other.port_),
+        reconnect_(other.reconnect_) {
     other.fd_ = -1;
   }
   Client& operator=(Client&& other) noexcept {
@@ -38,15 +60,22 @@ class Client {
       Close();
       fd_ = other.fd_;
       buffer_ = std::move(other.buffer_);
+      host_ = std::move(other.host_);
+      port_ = other.port_;
+      reconnect_ = other.reconnect_;
       other.fd_ = -1;
     }
     return *this;
   }
 
-  /// Connects to an adrecd at host:port.
+  /// Connects to an adrecd at host:port (remembered for reconnects).
   Status Connect(const std::string& host, uint16_t port);
   bool connected() const { return fd_ >= 0; }
   void Close();
+
+  /// Enables (or reconfigures) automatic reconnect for every subsequent
+  /// command. See ReconnectOptions for the at-least-once caveat.
+  void SetReconnect(ReconnectOptions options) { reconnect_ = options; }
 
   // --- Typed commands. ---
 
@@ -99,8 +128,14 @@ class Client {
   /// to Status codes.
   Status ExpectOk(std::string_view sent);
 
+  /// One send + framed read, no retry (the pre-reconnect Command body).
+  Result<std::string> CommandOnce(std::string_view line);
+
   int fd_ = -1;
   std::string buffer_;  // bytes read but not yet consumed
+  std::string host_;    // last Connect target, for reconnects
+  uint16_t port_ = 0;
+  ReconnectOptions reconnect_;
 };
 
 }  // namespace adrec::serve

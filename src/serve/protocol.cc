@@ -10,9 +10,9 @@ namespace adrec::serve {
 namespace {
 
 constexpr std::string_view kVerbNames[kNumVerbs] = {
-    "tweet",   "checkin", "adput",   "addel",    "topk",       "match",
-    "analyze", "stats",   "metrics", "snapshot", "checkpoint", "ping",
-    "quit"};
+    "tweet",   "checkin", "adput",   "addel",    "topk",
+    "match",   "analyze", "stats",   "metrics",  "snapshot",
+    "checkpoint", "repl", "promote", "ping",     "quit"};
 
 Result<uint64_t> ParseU64(std::string_view field) {
   const std::string s(field);
@@ -49,6 +49,34 @@ Result<uint32_t> ParseU32(std::string_view field) {
 
 std::string_view VerbName(Verb verb) {
   return kVerbNames[static_cast<size_t>(verb)];
+}
+
+bool IsWriteVerb(Verb verb) {
+  switch (verb) {
+    case Verb::kTweet:
+    case Verb::kCheckIn:
+    case Verb::kAdPut:
+    case Verb::kAdDel:
+      return true;
+    // Queries, introspection and local-only admin verbs. `analyze`
+    // rebuilds derived state from events the follower already replicated,
+    // and snapshot/checkpoint write only local artifacts — all fine on a
+    // read replica. `repl` stays readable so followers can cascade;
+    // `promote` is the verb that ENDS read-only mode.
+    case Verb::kTopK:
+    case Verb::kMatch:
+    case Verb::kAnalyze:
+    case Verb::kStats:
+    case Verb::kMetrics:
+    case Verb::kSnapshot:
+    case Verb::kCheckpoint:
+    case Verb::kRepl:
+    case Verb::kPromote:
+    case Verb::kPing:
+    case Verb::kQuit:
+      return false;
+  }
+  return false;
 }
 
 Result<Request> ParseRequest(std::string_view line) {
@@ -150,8 +178,18 @@ Result<Request> ParseRequest(std::string_view line) {
     req.dir = std::string(payload);
     return req;
   }
+  if (verb == "repl") {
+    req.verb = Verb::kRepl;
+    if (!has_payload || payload.find('\t') != std::string_view::npos) {
+      return Status::InvalidArgument("repl needs <cursor>");
+    }
+    auto cursor = ParseU64(payload);
+    if (!cursor.ok()) return cursor.status();
+    req.cursor = cursor.value();
+    return req;
+  }
   if (verb == "stats" || verb == "metrics" || verb == "checkpoint" ||
-      verb == "ping" || verb == "quit") {
+      verb == "promote" || verb == "ping" || verb == "quit") {
     if (has_payload) {
       return Status::InvalidArgument(std::string(verb) +
                                      " takes no arguments");
@@ -159,6 +197,7 @@ Result<Request> ParseRequest(std::string_view line) {
     req.verb = verb == "stats"        ? Verb::kStats
                : verb == "metrics"    ? Verb::kMetrics
                : verb == "checkpoint" ? Verb::kCheckpoint
+               : verb == "promote"    ? Verb::kPromote
                : verb == "ping"       ? Verb::kPing
                                       : Verb::kQuit;
     return req;
@@ -211,6 +250,10 @@ std::string FormatAnalyzeCmd(double alpha) {
 
 std::string FormatSnapshotCmd(std::string_view dir) {
   return "snapshot\t" + std::string(dir);
+}
+
+std::string FormatReplCmd(uint64_t cursor) {
+  return StringFormat("repl\t%llu", static_cast<unsigned long long>(cursor));
 }
 
 }  // namespace adrec::serve

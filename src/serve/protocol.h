@@ -40,14 +40,22 @@ namespace adrec::serve {
 ///        snapshot root — the verb is disabled when no root is set)
 ///   checkpoint                         -> OK   (WAL-coordinated durable
 ///        checkpoint — see wal/checkpoint.h; disabled without --wal-dir)
+///   repl <cursor>                      -> REPL OK <cursor> / <stream...>
+///        (replication handshake: the connection becomes a one-way WAL
+///        frame stream starting after seqno <cursor> — raw CRC frames
+///        interleaved with `REPL HB <tip>` heartbeats; DESIGN.md §12.
+///        Disabled without --wal-dir.)
+///   promote                            -> OK   (follower only: detach
+///        from the leader, seal the local log, begin accepting writes)
 ///   ping                               -> PONG
 ///   quit                               (server closes the connection)
 ///
 /// Error replies: `CLIENT_ERROR <detail>` for anything that fails to
 /// parse (the connection stays usable — except over-long lines, which
 /// cannot be resynchronised and close it), `SERVER_ERROR <detail>` for
-/// engine-side failures, and `SERVER_ERROR busy` when the daemon sheds
-/// load instead of queueing without bound.
+/// engine-side failures, `SERVER_ERROR busy` when the daemon sheds
+/// load instead of queueing without bound, and `READONLY` when a write
+/// verb reaches a follower (see IsWriteVerb).
 
 /// Command verbs, in wire-name order (VerbName / per-verb metrics).
 enum class Verb {
@@ -62,14 +70,24 @@ enum class Verb {
   kMetrics,
   kSnapshot,
   kCheckpoint,
+  kRepl,
+  kPromote,
   kPing,
   kQuit,
 };
 
-inline constexpr size_t kNumVerbs = 13;
+inline constexpr size_t kNumVerbs = 15;
 
 /// The wire name of a verb ("tweet", "checkin", ...).
 std::string_view VerbName(Verb verb);
+
+/// True for verbs that mutate replicated engine state — exactly the
+/// verbs the WAL records and a read-only follower refuses with
+/// `READONLY`. This is THE single classification point: a new verb added
+/// to the enum must be classified here (the switch is exhaustive, so
+/// forgetting is a compile error) and is covered by the verb-table test
+/// in serve_replica_test.cc.
+bool IsWriteVerb(Verb verb);
 
 /// One parsed request line. Only the fields of the given verb are
 /// meaningful.
@@ -86,6 +104,9 @@ struct Request {
   /// kAnalyze: NaN-free; <0 means "use the engine's configured alpha".
   double alpha = -1.0;
   std::string dir;  // kSnapshot
+  /// kRepl: last WAL seqno the follower already holds (0 = from the
+  /// beginning); streaming resumes at cursor + 1.
+  uint64_t cursor = 0;
 };
 
 /// Parses one request line (terminator already stripped). The error
@@ -104,6 +125,7 @@ std::string FormatTopKCmd(UserId user, size_t k, Timestamp time,
 std::string FormatMatchCmd(AdId id);
 std::string FormatAnalyzeCmd(double alpha);
 std::string FormatSnapshotCmd(std::string_view dir);
+std::string FormatReplCmd(uint64_t cursor);
 
 }  // namespace adrec::serve
 

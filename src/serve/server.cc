@@ -17,6 +17,7 @@
 #include "common/string_util.h"
 #include "core/snapshot.h"
 #include "obs/stats_export.h"
+#include "replica/follower.h"
 #include "serve/reporter.h"
 #include "wal/checkpoint.h"
 #include "wal/wal.h"
@@ -52,6 +53,14 @@ struct Server::Connection {
   std::chrono::steady_clock::time_point last_active;
   /// Peer half-closed (or quit): flush `out`, then close.
   bool closing = false;
+  /// Replication stream (post-`repl` handshake): exempt from the idle
+  /// reaper and the global in-flight cap, fed by PumpReplicas.
+  bool replica = false;
+  /// Next WAL seqno this replication stream is owed.
+  uint64_t repl_next_seqno = 0;
+  /// Byte-offset resume state so tail reads do not rescan the segment.
+  wal::CursorHint repl_hint;
+  std::chrono::steady_clock::time_point repl_last_hb;
 };
 
 Server::Server(core::ShardedEngine* engine, ServerOptions options)
@@ -64,8 +73,16 @@ Server::Server(core::ShardedEngine* engine, ServerOptions options)
       ctr_sheds_(metrics_.GetCounter("serve.sheds")),
       ctr_bytes_in_(metrics_.GetCounter("serve.bytes_in")),
       ctr_bytes_out_(metrics_.GetCounter("serve.bytes_out")),
-      ctr_idle_closed_(metrics_.GetCounter("serve.idle_closed")) {
+      ctr_idle_closed_(metrics_.GetCounter("serve.idle_closed")),
+      ctr_readonly_rejected_(
+          metrics_.GetCounter("serve.readonly_rejected")),
+      ctr_repl_bytes_shipped_(
+          metrics_.GetCounter("serve.repl_bytes_shipped")),
+      ctr_repl_heartbeats_(metrics_.GetCounter("serve.repl_heartbeats")),
+      g_repl_streams_(metrics_.GetGauge("serve.repl_streams")) {
   ADREC_CHECK(engine_ != nullptr);
+  // A follower starts read-only; `promote` is the only way out.
+  read_only_ = options_.follower != nullptr;
   for (size_t v = 0; v < kNumVerbs; ++v) {
     const std::string name(VerbName(static_cast<Verb>(v)));
     ctr_cmds_[v] = metrics_.GetCounter("serve.cmd_" + name);
@@ -129,8 +146,15 @@ void Server::RequestDrain() {
 }
 
 size_t Server::InflightBytes() const {
+  // Replication streams are exempt: a catching-up follower legitimately
+  // holds megabytes of frames in flight, and shedding CLIENT traffic
+  // because a REPLICA is slow would invert the service's priorities.
+  // Replica buffers are bounded separately (PumpReplicas stops feeding a
+  // stream past max_write_buffer_bytes).
   size_t total = 0;
-  for (const auto& [fd, conn] : connections_) total += conn.out.size();
+  for (const auto& [fd, conn] : connections_) {
+    if (!conn.replica) total += conn.out.size();
+  }
   return total;
 }
 
@@ -270,6 +294,15 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
     conn->closing = true;
     return;
   }
+  // Follower read-only gate. The classification lives in IsWriteVerb —
+  // one switch, compile-time exhaustive — so a future verb cannot reach
+  // the engine's write path here without being classified there first.
+  if (read_only_ && IsWriteVerb(req.verb)) {
+    ctr_readonly_rejected_->Inc();
+    conn->out += "READONLY";
+    conn->out += kCrlf;
+    return;
+  }
   // Global in-flight cap: executing a command whose response has nowhere
   // to go just grows memory; shed instead.
   if (InflightBytes() > options_.max_inflight_bytes) {
@@ -339,6 +372,10 @@ std::string Server::Execute(const Request& req, Connection* conn) {
       return ExecuteSnapshot(req);
     case Verb::kCheckpoint:
       return ExecuteCheckpoint();
+    case Verb::kRepl:
+      return ExecuteRepl(req, conn);
+    case Verb::kPromote:
+      return ExecutePromote();
     case Verb::kPing:
       return "PONG" + std::string(kCrlf);
     case Verb::kQuit:
@@ -464,6 +501,107 @@ std::string Server::ExecuteCheckpoint() {
   return "OK" + std::string(kCrlf);
 }
 
+std::string Server::ExecuteRepl(const Request& req, Connection* conn) {
+  if (options_.wal == nullptr) {
+    return "SERVER_ERROR replication disabled (no wal configured)" +
+           std::string(kCrlf);
+  }
+  // Handshake: from here on the connection is a one-way frame stream,
+  // fed by PumpReplicas after each wave's durability barrier. The
+  // follower's cursor is the last seqno it already holds.
+  conn->replica = true;
+  conn->repl_next_seqno = req.cursor + 1;
+  conn->repl_hint = wal::CursorHint{};
+  conn->repl_last_hb = std::chrono::steady_clock::now();
+  size_t streams = 0;
+  for (const auto& [fd, c] : connections_) streams += c.replica ? 1 : 0;
+  g_repl_streams_->Set(static_cast<double>(streams));
+  ADREC_LOG(kInfo) << "serve: replication stream attached at cursor "
+                   << req.cursor;
+  return StringFormat("REPL OK %llu",
+                      static_cast<unsigned long long>(req.cursor)) +
+         std::string(kCrlf);
+}
+
+std::string Server::ExecutePromote() {
+  if (options_.follower == nullptr) {
+    return "SERVER_ERROR not a follower (nothing to promote)" +
+           std::string(kCrlf);
+  }
+  if (!read_only_) return "OK" + std::string(kCrlf);  // idempotent
+  options_.follower->Detach();
+  if (options_.wal != nullptr) {
+    // Seal the replicated history: everything applied as a follower is
+    // fdatasynced and closed into an immutable segment before the first
+    // write of the new epoch can land.
+    const Status rotate = options_.wal->Rotate();
+    const Status sync = options_.wal->Sync();
+    if (!rotate.ok() || !sync.ok()) {
+      return "SERVER_ERROR promote seal failed: " +
+             (!rotate.ok() ? rotate.ToString() : sync.ToString()) +
+             std::string(kCrlf);
+    }
+  }
+  read_only_ = false;
+  ADREC_LOG(kInfo) << "serve: promoted to leader at wal seqno "
+                   << (options_.wal != nullptr
+                           ? options_.wal->last_seqno()
+                           : 0)
+                   << ", accepting writes";
+  return "OK" + std::string(kCrlf);
+}
+
+void Server::PumpReplicas() {
+  if (options_.wal == nullptr) return;
+  uint64_t limit = 0;
+  bool limit_known = false;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [fd, conn] : connections_) {
+    if (!conn.replica || conn.closing) continue;
+    if (!limit_known) {
+      // Ship only what the durability barrier has released: flushed
+      // frames are complete on disk and their replies (if any) are out,
+      // so a follower can never hold a record the leader would deny.
+      limit = options_.wal->flushed_seqno();
+      limit_known = true;
+    }
+    // Backpressure: a stream that cannot drain keeps its cursor; the
+    // log is the queue, so nothing is lost while it stalls.
+    if (conn.out.size() < options_.max_write_buffer_bytes &&
+        conn.repl_next_seqno <= limit) {
+      auto batch = wal::ReadFrames(options_.wal->dir(),
+                                   conn.repl_next_seqno, limit,
+                                   options_.repl_batch_bytes,
+                                   &conn.repl_hint);
+      if (!batch.ok()) {
+        // Cursor below retention (or log corruption): this stream can
+        // never be satisfied — tell it why and hang up; the follower
+        // must re-seed from a checkpoint.
+        ADREC_LOG(kWarning) << "serve: replication stream failed: "
+                            << batch.status().ToString();
+        conn.out += "SERVER_ERROR " + batch.status().ToString();
+        conn.out += kCrlf;
+        conn.closing = true;
+        continue;
+      }
+      if (!batch.value().frames.empty()) {
+        conn.out += batch.value().frames;
+        conn.repl_next_seqno = batch.value().next_seqno;
+        ctr_repl_bytes_shipped_->Inc(batch.value().frames.size());
+      }
+    }
+    const double since_hb =
+        std::chrono::duration<double>(now - conn.repl_last_hb).count();
+    if (since_hb >= options_.repl_heartbeat_interval) {
+      conn.out += StringFormat("REPL HB %llu",
+                               static_cast<unsigned long long>(limit));
+      conn.out += kCrlf;
+      conn.repl_last_hb = now;
+      ctr_repl_heartbeats_->Inc();
+    }
+  }
+}
+
 void Server::CommitWal() {
   if (options_.wal == nullptr || !wal_dirty_) return;
   wal_dirty_ = false;
@@ -503,6 +641,9 @@ obs::MetricsSnapshot Server::MergedSnapshot() const {
   if (options_.wal != nullptr) {
     snapshot.MergeFrom(options_.wal->metrics().Snapshot());
   }
+  if (options_.follower != nullptr) {
+    snapshot.MergeFrom(options_.follower->metrics().Snapshot());
+  }
   return snapshot;
 }
 
@@ -533,9 +674,15 @@ bool Server::WriteTo(Connection* conn) {
 
 void Server::CloseConnection(Connection* conn) {
   const int fd = conn->fd;
+  const bool was_replica = conn->replica;
   ::close(fd);
   connections_.erase(fd);
   g_active_->Set(static_cast<double>(connections_.size()));
+  if (was_replica) {
+    size_t streams = 0;
+    for (const auto& [f, c] : connections_) streams += c.replica ? 1 : 0;
+    g_repl_streams_->Set(static_cast<double>(streams));
+  }
 }
 
 void Server::CloseIdle() {
@@ -543,6 +690,12 @@ void Server::CloseIdle() {
   const auto now = std::chrono::steady_clock::now();
   std::vector<int> idle;
   for (const auto& [fd, conn] : connections_) {
+    // Replication streams are one-way by design: the follower never
+    // sends another byte after the handshake, so "idle since last read"
+    // is their steady state, not abandonment. Liveness comes from the
+    // stream itself — a dead follower surfaces as EPIPE/ECONNRESET on
+    // the next frame or heartbeat.
+    if (conn.replica) continue;
     const double silent =
         std::chrono::duration<double>(now - conn.last_active).count();
     if (silent > static_cast<double>(options_.idle_timeout)) {
@@ -584,6 +737,18 @@ void Server::Run() {
         !draining_ &&
         std::chrono::steady_clock::now() >= accept_pause_until_;
     if (listen_polled) fds.push_back({listen_fd_, POLLIN, 0});
+    // Follower mode: the leader connection lives in this poll set — the
+    // event loop stays the engine's only mutator, replication included.
+    replica::Follower* follower = options_.follower;
+    const bool follower_polled = follower != nullptr &&
+                                 !follower->detached() &&
+                                 follower->fd() >= 0;
+    if (follower_polled) {
+      short events = POLLIN;
+      if (follower->want_write()) events |= POLLOUT;
+      fds.push_back({follower->fd(), events, 0});
+    }
+    bool has_repl_stream = false;
     for (auto& [fd, conn] : connections_) {
       short events = 0;
       // Backpressured or closing connections are not read further.
@@ -595,6 +760,7 @@ void Server::Run() {
       if (events == 0) events = POLLHUP;  // still notice resets
       fds.push_back({fd, events, 0});
       conn_fds.push_back(fd);
+      has_repl_stream = has_repl_stream || conn.replica;
     }
 
     // Timeout: the finest of idle sweep, reporter cadence, drain grace.
@@ -614,6 +780,17 @@ void Server::Run() {
         options_.checkpoint_interval > 0.0) {
       // Periodic checkpoints must fire even on an idle stream.
       timeout_ms = timeout_ms < 0 ? 1000 : std::min(timeout_ms, 1000);
+    }
+    if (follower != nullptr && !follower->detached()) {
+      // Reconnect backoff and lag gauges are time-driven.
+      const int f = follower->TickDelayMs();
+      timeout_ms = timeout_ms < 0 ? f : std::min(timeout_ms, f);
+    }
+    if (has_repl_stream) {
+      // Heartbeats to attached followers must fire on an idle stream.
+      const int hb = std::max(
+          50, static_cast<int>(options_.repl_heartbeat_interval * 500));
+      timeout_ms = timeout_ms < 0 ? hb : std::min(timeout_ms, hb);
     }
     if (draining_) timeout_ms = 50;
 
@@ -651,6 +828,18 @@ void Server::Run() {
       }
       ++idx;
     }
+    if (follower_polled) {
+      if (fds[idx].revents != 0) follower->OnPollEvents(fds[idx].revents);
+      ++idx;
+    }
+    if (follower != nullptr) {
+      follower->Tick();
+      // Replicated events drive this daemon's stream clock so time-less
+      // `topk` on the replica answers at the replicated position.
+      if (follower->max_event_time() > stream_now_) {
+        stream_now_ = follower->max_event_time();
+      }
+    }
 
     // Read + process every ready connection first — their WAL appends
     // stay deferred — then run ONE durability barrier for the whole wave
@@ -674,6 +863,10 @@ void Server::Run() {
     // Durability before visibility: every deferred WAL append of the
     // wave is committed before any of the wave's replies can be written.
     CommitWal();
+    // ... and replication before acknowledgement-chasing: the wave's
+    // freshly durable frames fan out to attached followers in the same
+    // pass that flushes the wave's replies.
+    PumpReplicas();
     for (size_t c = 0; c < conn_fds.size(); ++c) {
       auto it = connections_.find(conn_fds[c]);
       if (it == connections_.end()) continue;

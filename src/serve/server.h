@@ -17,6 +17,10 @@ class CheckpointManager;
 class WalWriter;
 }  // namespace adrec::wal
 
+namespace adrec::replica {
+class Follower;
+}  // namespace adrec::replica
+
 namespace adrec::serve {
 
 /// Daemon configuration.
@@ -64,6 +68,21 @@ struct ServerOptions {
   /// Take a checkpoint automatically every this many wall seconds
   /// (0 = only on explicit `checkpoint` commands).
   double checkpoint_interval = 0.0;
+  /// Follower mode (not owned; nullptr = this daemon is a leader or a
+  /// standalone). When set, the server polls the follower's leader
+  /// connection inside its own event loop, starts read-only (write verbs
+  /// answer `READONLY`) and stays read-only until the `promote` verb
+  /// detaches the follower. Requires `wal` (the follower logs before it
+  /// applies).
+  replica::Follower* follower = nullptr;
+  /// Leader side of replication: cadence of `REPL HB <tip>` heartbeats
+  /// on idle replication streams (followers derive lag_ms from tip
+  /// announcements, so the cadence bounds lag resolution).
+  double repl_heartbeat_interval = 1.0;
+  /// Max bytes of WAL frames shipped to one replication stream per
+  /// event-loop wave. Bounds the per-wave read amplification while a
+  /// follower catches up; the live tail is far smaller.
+  size_t repl_batch_bytes = 256 * 1024;
 };
 
 /// The adrecd network front end: a single-threaded, event-driven
@@ -145,6 +164,12 @@ class Server {
   std::string ExecuteMetrics();
   std::string ExecuteSnapshot(const Request& req);
   std::string ExecuteCheckpoint();
+  std::string ExecuteRepl(const Request& req, Connection* conn);
+  std::string ExecutePromote();
+  /// Leader-side tail fan-out: after the wave's WAL commit, ships newly
+  /// flushed frames (and due heartbeats) to every replication stream
+  /// whose write buffer has room.
+  void PumpReplicas();
   /// Durability barrier for the deferred WAL appends of the current
   /// event-loop batch; no-op when nothing was appended since the last
   /// commit.
@@ -166,6 +191,9 @@ class Server {
   Timestamp stream_now_ = 0;
   /// Deferred WAL appends awaiting the batch Commit() barrier.
   bool wal_dirty_ = false;
+  /// Follower read-only gate: write verbs answer `READONLY` until
+  /// `promote` clears it. Starts true iff a follower is attached.
+  bool read_only_ = false;
   std::chrono::steady_clock::time_point last_checkpoint_{};
   std::map<int, Connection> connections_;
 
@@ -178,6 +206,10 @@ class Server {
   obs::Counter* ctr_bytes_in_;
   obs::Counter* ctr_bytes_out_;
   obs::Counter* ctr_idle_closed_;
+  obs::Counter* ctr_readonly_rejected_;
+  obs::Counter* ctr_repl_bytes_shipped_;
+  obs::Counter* ctr_repl_heartbeats_;
+  obs::Gauge* g_repl_streams_;
   obs::Counter* ctr_cmds_[kNumVerbs];
   obs::Timer* tm_cmds_[kNumVerbs];
 };

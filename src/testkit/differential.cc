@@ -1,7 +1,10 @@
 #include "testkit/differential.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <utility>
 
 #include "common/logging.h"
@@ -47,6 +50,61 @@ std::string DescribeAds(const std::vector<index::ScoredAd>& ads) {
     out += StringFormat("%u:%.17g", sa.ad.value, sa.score);
   }
   return out + "]";
+}
+
+/// The follower/recovery apply semantics (replica/follower.cc,
+/// wal/checkpoint.cc): tweets and check-ins stream through OnEvent,
+/// re-insertion and double-deletion of ads are benign.
+void ApplyReplicated(core::ShardedEngine* engine,
+                     const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+    case feed::EventKind::kCheckIn:
+      engine->OnEvent(event);
+      break;
+    case feed::EventKind::kAdInsert: {
+      const Status st = engine->InsertAd(event.ad);
+      ADREC_CHECK(st.ok() || st.code() == StatusCode::kAlreadyExists);
+      break;
+    }
+    case feed::EventKind::kAdDelete: {
+      const Status st = engine->RemoveAd(event.ad_id);
+      ADREC_CHECK(st.ok() || st.code() == StatusCode::kNotFound);
+      break;
+    }
+  }
+}
+
+/// Byte-compares two canonical snapshot trees. Returns "" when they are
+/// identical, else a one-line description of the first difference.
+std::string CompareSnapshotTrees(const std::string& a_dir,
+                                 const std::string& b_dir) {
+  namespace fs = std::filesystem;
+  const auto relative_files = [](const std::string& root) {
+    std::vector<std::string> rel;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file()) {
+        rel.push_back(fs::relative(entry.path(), root).string());
+      }
+    }
+    std::sort(rel.begin(), rel.end());
+    return rel;
+  };
+  const std::vector<std::string> a_files = relative_files(a_dir);
+  const std::vector<std::string> b_files = relative_files(b_dir);
+  if (a_files != b_files) {
+    return StringFormat("file sets differ (%zu vs %zu files)",
+                        a_files.size(), b_files.size());
+  }
+  for (const std::string& rel : a_files) {
+    const auto slurp = [&](const std::string& root) {
+      std::ifstream in(fs::path(root) / rel, std::ios::binary);
+      return std::string(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    };
+    if (slurp(a_dir) != slurp(b_dir)) return rel + ": bytes differ";
+  }
+  return "";
 }
 
 }  // namespace
@@ -312,6 +370,143 @@ RunOutcome DifferentialChecker::RunWalCrash(
   outcome.topk_queries = pre_queries + stats.topk_queries;
   outcome.impressions = pre_impressions + stats.impressions_served;
   return outcome;
+}
+
+ReplicaPromotionReport DifferentialChecker::RunReplicaPromotion(
+    const std::vector<feed::Ad>& ads,
+    const std::vector<feed::FeedEvent>& events) const {
+  ADREC_CHECK(!options_.wal_dir.empty());
+  ADREC_CHECK(!options_.replica_wal_dir.empty());
+  ADREC_CHECK(!options_.replica_snapshot_dir.empty());
+  ReplicaPromotionReport report;
+  const size_t crash = static_cast<size_t>(
+      static_cast<double>(events.size()) * options_.crash_fraction);
+  uint64_t crash_seqno = 0;
+
+  // --- Leader: execute and log the trace prefix, then die unwarned. ---
+  {
+    core::ShardedEngine leader(kb_, slots_, 1, options_.engine);
+    wal::WalOptions wal_options;
+    wal_options.sync = wal::SyncPolicy::kNone;
+    wal_options.segment_bytes = options_.wal_segment_bytes;
+    auto writer = wal::WalWriter::Open(options_.wal_dir, wal_options);
+    ADREC_CHECK(writer.ok());
+    wal::WalWriter* w = writer.value().get();
+    for (const feed::Ad& ad : ads) {
+      feed::FeedEvent ev;
+      ev.kind = feed::EventKind::kAdInsert;
+      ev.ad = ad;
+      ADREC_CHECK(w->Append(wal::EncodeEventPayload(ev)).ok());
+      (void)leader.InsertAd(ad);
+    }
+    for (size_t i = 0; i < crash; ++i) {
+      ADREC_CHECK(w->Append(wal::EncodeEventPayload(events[i])).ok());
+      leader.OnEvent(events[i]);
+    }
+    crash_seqno = w->next_seqno();
+  }  // SIGKILL: engine and writer are gone
+  report.acknowledged = crash_seqno - 1;
+
+  if (options_.crash_torn_tail && crash < events.size()) {
+    // The first unacknowledged record made it halfway into a frame. A
+    // replication cursor must never ship it: ReadFrames stops at the
+    // flushed prefix and treats the torn tail as end-of-log.
+    const std::string frame = wal::EncodeFrame(
+        crash_seqno, wal::EncodeEventPayload(events[crash]));
+    Rng rng(options_.crash_seed);
+    const size_t keep =
+        1 + static_cast<size_t>(rng.NextBounded(frame.size() - 1));
+    auto scan = wal::ScanLog(options_.wal_dir, {});
+    ADREC_CHECK(scan.ok() && !scan.value().segments.empty());
+    std::ofstream torn(scan.value().segments.back().path,
+                       std::ios::binary | std::ios::app);
+    ADREC_CHECK(static_cast<bool>(torn));
+    torn.write(frame.data(), static_cast<std::streamsize>(keep));
+    torn.flush();
+    ADREC_CHECK(static_cast<bool>(torn));
+  }
+
+  // --- Follower: replicate through the cursor reader, log-then-apply,
+  // alongside the reference engine fed the identical decoded records. ---
+  core::ShardedEngine follower(kb_, slots_, 1, options_.engine);
+  core::ShardedEngine reference(kb_, slots_, 1, options_.engine);
+  wal::WalOptions follower_wal_options;
+  follower_wal_options.sync = wal::SyncPolicy::kNone;
+  follower_wal_options.segment_bytes = options_.wal_segment_bytes;
+  auto opened =
+      wal::WalWriter::Open(options_.replica_wal_dir, follower_wal_options);
+  ADREC_CHECK(opened.ok());
+  wal::WalWriter* fw = opened.value().get();
+
+  const uint64_t replicate_to = static_cast<uint64_t>(
+      static_cast<double>(report.acknowledged) *
+      options_.replica_catchup_fraction);
+  wal::CursorHint hint;
+  uint64_t next = 1;
+  while (next <= replicate_to) {
+    auto batch = wal::ReadFrames(options_.wal_dir, next, replicate_to,
+                                 options_.replica_batch_bytes, &hint);
+    ADREC_CHECK(batch.ok());
+    const wal::CursorBatch& cb = batch.value();
+    std::vector<feed::FeedEvent> wave;
+    size_t pos = 0;
+    while (pos < cb.frames.size()) {
+      const size_t nl = cb.frames.find('\n', pos);
+      ADREC_CHECK(nl != std::string::npos);
+      auto record = wal::DecodeFrame(
+          std::string_view(cb.frames).substr(pos, nl - pos));
+      ADREC_CHECK(record.ok());
+      auto event = wal::DecodeEventPayload(record.value().payload);
+      ADREC_CHECK(event.ok());
+      // Durability before visibility, exactly as replica::Follower:
+      // the record reaches the follower's own log before the engine.
+      ADREC_CHECK(fw->AppendDeferred(record.value().payload).ok());
+      wave.push_back(std::move(event).value());
+      pos = nl + 1;
+    }
+    ADREC_CHECK(fw->Commit().ok());
+    for (const feed::FeedEvent& event : wave) {
+      ApplyReplicated(&follower, event);
+      ApplyReplicated(&reference, event);
+    }
+    report.replicated += wave.size();
+    ADREC_CHECK(cb.next_seqno > next);  // forward progress
+    next = cb.next_seqno;
+    if (cb.at_end) break;
+  }
+  ADREC_CHECK(report.replicated == replicate_to);
+
+  // --- Promote: seal the follower's log (what ExecutePromote does),
+  // then byte-compare the canonical snapshots. ---
+  ADREC_CHECK(fw->Rotate().ok());
+  ADREC_CHECK(fw->Sync().ok());
+  namespace fs = std::filesystem;
+  const fs::path snap_root(options_.replica_snapshot_dir);
+  const auto compare_at = [&](const char* mark) {
+    const std::string a = (snap_root / (std::string("follower_") + mark))
+                              .string();
+    const std::string b = (snap_root / (std::string("reference_") + mark))
+                              .string();
+    ADREC_CHECK(core::SaveEngineSnapshot(follower.shard(0), a).ok());
+    ADREC_CHECK(core::SaveEngineSnapshot(reference.shard(0), b).ok());
+    std::string diff = CompareSnapshotTrees(a, b);
+    if (!diff.empty()) diff = std::string(mark) + ": " + diff;
+    return diff;
+  };
+  report.detail = compare_at("promoted");
+  if (!report.detail.empty()) return report;
+
+  // --- Post-failover: clients re-submit the trace tail to the promoted
+  // follower, which now logs and applies as a leader. ---
+  for (size_t i = crash; i < events.size(); ++i) {
+    ADREC_CHECK(fw->Append(wal::EncodeEventPayload(events[i])).ok());
+    ApplyReplicated(&follower, events[i]);
+    ApplyReplicated(&reference, events[i]);
+    ++report.post_promote;
+  }
+  report.detail = compare_at("post");
+  report.identical = report.detail.empty();
+  return report;
 }
 
 Divergence DifferentialChecker::CompareOutcomes(const RunOutcome& a,

@@ -113,6 +113,39 @@ struct DifferentialOptions {
   /// Shard count of the crashing engine. 1 (the default) keeps the
   /// variant exactly comparable to RunSingle (full CompareOptions).
   size_t wal_shards = 1;
+
+  // --- Replica promotion variant (RunReplicaPromotion). ---
+  /// The follower's own log directory; fresh per run. (The leader logs
+  /// to wal_dir and dies at crash_fraction; crash_torn_tail/crash_seed
+  /// control the torn final frame exactly as in RunWalCrash.)
+  std::string replica_wal_dir;
+  /// Scratch directory for the canonical byte-compare: snapshot trees
+  /// for the promoted follower and the reference engine are written
+  /// under it.
+  std::string replica_snapshot_dir;
+  /// Fraction of the leader's acknowledged records the follower has
+  /// replicated when the leader dies (1.0 = fully caught up; smaller
+  /// kills the leader mid-catch-up, so promotion happens from a strict
+  /// prefix — the async-replication durability contract).
+  double replica_catchup_fraction = 1.0;
+  /// Frame bytes per wal::ReadFrames batch; small, to force the cursor
+  /// hint across many batches and segment boundaries.
+  size_t replica_batch_bytes = 4 * 1024;
+};
+
+/// What one RunReplicaPromotion execution observed.
+struct ReplicaPromotionReport {
+  /// Records the leader had flushed (= acknowledged) before it died.
+  uint64_t acknowledged = 0;
+  /// Records the follower logged to its own WAL and applied.
+  uint64_t replicated = 0;
+  /// Writes the promoted follower accepted after the failover.
+  uint64_t post_promote = 0;
+  /// Snapshot trees byte-identical both at promotion and after the
+  /// post-promotion writes.
+  bool identical = false;
+  /// First mismatch (file set or file bytes) when !identical.
+  std::string detail;
 };
 
 class DifferentialChecker {
@@ -156,6 +189,22 @@ class DifferentialChecker {
   RunOutcome RunWalCrash(const std::vector<feed::Ad>& ads,
                          const std::vector<feed::FeedEvent>& events,
                          wal::RecoveryResult* recovery = nullptr) const;
+
+  /// The log-shipping failover differential. A leader executes the trace
+  /// prefix up to crash_fraction while logging to wal_dir, then dies
+  /// without warning (optionally leaving a torn final frame). A follower
+  /// engine replicates the acknowledged prefix through wal::ReadFrames —
+  /// the same cursor reader the serving daemon's leader side ships from —
+  /// writing every record to its own log (replica_wal_dir) before
+  /// applying it, exactly as replica::Follower does. At
+  /// replica_catchup_fraction of the prefix the follower is promoted
+  /// (log sealed, writes accepted) and must be byte-identical — by
+  /// canonical core/snapshot compare — to a fresh engine fed the same
+  /// record prefix directly, both immediately after promotion and again
+  /// after the trace tail is re-submitted as post-failover writes.
+  ReplicaPromotionReport RunReplicaPromotion(
+      const std::vector<feed::Ad>& ads,
+      const std::vector<feed::FeedEvent>& events) const;
 
   /// Runs every enabled variant and returns the first divergence (or a
   /// non-diverged report).

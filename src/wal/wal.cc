@@ -201,6 +201,122 @@ Result<LogReport> VerifyLog(const std::string& dir) {
   return ScanLog(dir, options);
 }
 
+Result<CursorBatch> ReadFrames(const std::string& dir, uint64_t from_seqno,
+                               uint64_t limit_seqno, size_t max_bytes,
+                               CursorHint* hint) {
+  CursorBatch batch;
+  batch.next_seqno = from_seqno;
+  if (from_seqno == 0) {
+    return Status::InvalidArgument("wal cursor seqnos start at 1");
+  }
+  if (from_seqno > limit_seqno) {
+    batch.at_end = true;
+    return batch;
+  }
+  const std::vector<SegmentSummary> segments = ListSegments(dir);
+  if (segments.empty()) {
+    batch.at_end = true;
+    return batch;
+  }
+  if (from_seqno < segments.front().first_seqno) {
+    // Retention truncated past the cursor: the follower's log is too far
+    // behind to catch up from frames alone and must re-seed.
+    return Status::NotFound(StringFormat(
+        "cursor %llu precedes oldest retained segment (first seqno %llu)",
+        static_cast<unsigned long long>(from_seqno),
+        static_cast<unsigned long long>(segments.front().first_seqno)));
+  }
+  // The segment holding from_seqno: last one whose name is <= the cursor.
+  size_t si = 0;
+  while (si + 1 < segments.size() &&
+         segments[si + 1].first_seqno <= from_seqno) {
+    ++si;
+  }
+
+  uint64_t expected = from_seqno;
+  for (; si < segments.size(); ++si) {
+    const SegmentSummary& seg = segments[si];
+    const bool last_segment = si + 1 == segments.size();
+    if (seg.first_seqno > expected) {
+      return Status::IoError(StringFormat(
+          "segment gap: %s starts at %llu, expected %llu", seg.path.c_str(),
+          static_cast<unsigned long long>(seg.first_seqno),
+          static_cast<unsigned long long>(expected)));
+    }
+    std::ifstream in(seg.path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open " + seg.path);
+    size_t start_offset = 0;
+    if (hint != nullptr && hint->next_seqno == expected &&
+        hint->path == seg.path && hint->offset > 0) {
+      start_offset = static_cast<size_t>(hint->offset);
+      in.seekg(static_cast<std::streamoff>(start_offset));
+    }
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+
+    size_t pos = 0;
+    while (pos < contents.size()) {
+      const size_t nl = contents.find('\n', pos);
+      if (nl == std::string::npos) {
+        // Unterminated trailing bytes: a torn tail (or a frame mid-write
+        // beyond limit_seqno) in the newest segment, corruption anywhere
+        // else.
+        if (last_segment) {
+          batch.at_end = true;
+          break;
+        }
+        return Status::IoError(seg.path + ": unterminated frame");
+      }
+      auto record =
+          DecodeFrame(std::string_view(contents).substr(pos, nl - pos));
+      if (!record.ok()) {
+        if (last_segment) {  // torn tail: nothing further is readable
+          batch.at_end = true;
+          break;
+        }
+        return Status::IoError(seg.path + ": " + record.status().message());
+      }
+      const Record& r = record.value();
+      if (r.seqno < expected) {  // catch-up skip within the segment
+        pos = nl + 1;
+        continue;
+      }
+      if (r.seqno != expected) {
+        return Status::IoError(StringFormat(
+            "%s: seqno %llu, expected %llu", seg.path.c_str(),
+            static_cast<unsigned long long>(r.seqno),
+            static_cast<unsigned long long>(expected)));
+      }
+      if (r.seqno > limit_seqno) {
+        batch.at_end = true;
+        break;
+      }
+      batch.frames.append(contents, pos, nl - pos + 1);
+      ++batch.records;
+      ++expected;
+      pos = nl + 1;
+      if (hint != nullptr) {
+        hint->path = seg.path;
+        hint->offset = start_offset + pos;
+        hint->next_seqno = expected;
+      }
+      if (batch.frames.size() >= max_bytes) {
+        batch.next_seqno = expected;
+        return batch;
+      }
+    }
+    batch.next_seqno = expected;
+    if (batch.at_end) return batch;
+    if (last_segment) {
+      batch.at_end = true;  // consumed the whole log below the limit
+      return batch;
+    }
+  }
+  batch.at_end = true;
+  return batch;
+}
+
 // --- WalWriter. ---
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
@@ -554,6 +670,11 @@ uint64_t WalWriter::last_seqno() const {
 uint64_t WalWriter::synced_seqno() const {
   std::lock_guard<std::mutex> lock(mu_);
   return synced_seqno_;
+}
+
+uint64_t WalWriter::flushed_seqno() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seqno_ - pending_records_ - 1;
 }
 
 size_t WalWriter::active_segment_bytes() const {

@@ -99,6 +99,45 @@ Result<LogReport> ScanLog(const std::string& dir, const ScanOptions& options,
 /// in the (otherwise valid) LogReport.
 Result<LogReport> VerifyLog(const std::string& dir);
 
+/// Resume state for an incremental ReadFrames cursor. Opaque to callers:
+/// default-construct one per replication stream and pass the same object
+/// to every call — when the hint still matches the requested seqno, the
+/// read seeks straight to the remembered byte offset instead of
+/// re-scanning the segment from its first record.
+struct CursorHint {
+  std::string path;        ///< segment file the cursor stopped in
+  uint64_t offset = 0;     ///< byte offset of the next unread frame
+  uint64_t next_seqno = 0; ///< seqno expected at `offset` (0 = unset)
+};
+
+/// One batch of raw replication frames read from a log directory.
+struct CursorBatch {
+  /// Verbatim CRC-framed bytes (LF-terminated, exactly as on disk) —
+  /// ship them as-is; the follower re-verifies every CRC on apply.
+  std::string frames;
+  /// The cursor after this batch: seqno of the next unread record.
+  uint64_t next_seqno = 0;
+  size_t records = 0;
+  /// No more frames were available past next_seqno at read time (caught
+  /// up to limit_seqno, the log tip, or a torn tail). False means the
+  /// batch stopped at max_bytes and more data is ready now.
+  bool at_end = false;
+};
+
+/// Reads consecutive frames [from_seqno .. limit_seqno] from `dir`, up to
+/// ~max_bytes per call (always at least one frame when available) — the
+/// leader-side log shipper of DESIGN.md §12. Frames are returned as raw
+/// bytes so shipping is a copy, not a re-encode; every frame is still
+/// CRC-checked and contiguity-checked on the way through. Reading stops
+/// cleanly (at_end) at the tip or at a torn tail; pass `limit_seqno` no
+/// higher than the writer's flushed_seqno() so a mid-write frame is
+/// never read. Fails NotFound when from_seqno precedes the oldest
+/// retained segment (the follower must re-seed from a checkpoint) and
+/// IoError on corruption before the newest segment's tail.
+Result<CursorBatch> ReadFrames(const std::string& dir, uint64_t from_seqno,
+                               uint64_t limit_seqno, size_t max_bytes,
+                               CursorHint* hint = nullptr);
+
 /// The append side of the log. Thread-safe: concurrent Append calls are
 /// serialized on the record write and batched on the fdatasync (classic
 /// leader/follower group commit), which is what makes `kGroup` cheaper
@@ -164,6 +203,12 @@ class WalWriter {
   uint64_t last_seqno() const;
   /// Seqno through which the log is known durable.
   uint64_t synced_seqno() const;
+  /// Seqno through which frames have left user space (write(2) done, so
+  /// a ReadFrames on the same directory sees complete frames up to
+  /// here). Deferred appends still in the buffer are NOT included — the
+  /// replication shipper uses this as its limit so it never reads a
+  /// record whose reply the event loop has not released.
+  uint64_t flushed_seqno() const;
   size_t active_segment_bytes() const;
 
   const obs::MetricRegistry& metrics() const { return metrics_; }

@@ -130,6 +130,7 @@ TEST(ServeProtocolTest, VerbNamesMatchWireTokens) {
     if (verb == Verb::kAdDel || verb == Verb::kMatch) line += "\t1";
     if (verb == Verb::kTopK) line += "\t1\t3";
     if (verb == Verb::kSnapshot) line += "\t/tmp/x";
+    if (verb == Verb::kRepl) line += "\t0";
     auto req = ParseRequest(line);
     ASSERT_TRUE(req.ok()) << line << ": " << req.status().ToString();
     EXPECT_EQ(req.value().verb, verb);

@@ -1,0 +1,202 @@
+// wal::ReadFrames — the replication cursor reader: raw frame batches by
+// seqno range, opaque resume hints, retention and torn-tail semantics.
+
+#include "wal/wal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "wal/record.h"
+
+namespace adrec::wal {
+namespace {
+
+class WalCursorTest : public ::testing::Test {
+ protected:
+  WalCursorTest() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("adrec_walcursor_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  ~WalCursorTest() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes `n` records over small segments (forcing rotations).
+  std::unique_ptr<WalWriter> WriteLog(int n, size_t segment_bytes = 256) {
+    WalOptions options;
+    options.segment_bytes = segment_bytes;
+    auto writer = WalWriter::Open(dir_, options);
+    EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+    for (int i = 1; i <= n; ++i) {
+      EXPECT_TRUE(writer.value()
+                      ->Append("tweet\t1\t" + std::to_string(i) + "\tpayload")
+                      .ok());
+    }
+    return std::move(writer).value();
+  }
+
+  /// Decodes a raw frame blob back into its seqnos.
+  static std::vector<uint64_t> Seqnos(const std::string& frames) {
+    std::vector<uint64_t> seqnos;
+    size_t pos = 0;
+    while (pos < frames.size()) {
+      const size_t nl = frames.find('\n', pos);
+      EXPECT_NE(nl, std::string::npos);
+      auto record = DecodeFrame(std::string_view(frames).substr(
+          pos, nl - pos));
+      EXPECT_TRUE(record.ok()) << record.status().ToString();
+      seqnos.push_back(record.value().seqno);
+      pos = nl + 1;
+    }
+    return seqnos;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalCursorTest, StreamsWholeLogInBatchesWithHintResume) {
+  auto w = WriteLog(50);
+  CursorHint hint;
+  uint64_t next = 1;
+  std::vector<uint64_t> seen;
+  size_t calls = 0;
+  for (;;) {
+    auto batch = ReadFrames(dir_, next, UINT64_MAX, 300, &hint);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    const std::vector<uint64_t> seqnos = Seqnos(batch.value().frames);
+    EXPECT_EQ(seqnos.size(), batch.value().records);
+    seen.insert(seen.end(), seqnos.begin(), seqnos.end());
+    ASSERT_GE(batch.value().next_seqno, next);
+    next = batch.value().next_seqno;
+    ++calls;
+    if (batch.value().at_end) break;
+    ASSERT_LT(calls, 200u) << "no forward progress";
+  }
+  // Contiguous 1..50, across many batches (max_bytes bounded each) and
+  // many segments (segment_bytes bounded each).
+  ASSERT_EQ(seen.size(), 50u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+  EXPECT_GT(calls, 3u);
+  EXPECT_EQ(next, 51u);
+  // The hint landed at the tip: resuming from it is a cheap no-frame
+  // call, not a rescan.
+  auto tip = ReadFrames(dir_, next, UINT64_MAX, 300, &hint);
+  ASSERT_TRUE(tip.ok());
+  EXPECT_EQ(tip.value().records, 0u);
+  EXPECT_TRUE(tip.value().at_end);
+}
+
+TEST_F(WalCursorTest, HintlessAndHintedReadsAgree) {
+  auto w = WriteLog(30);
+  CursorHint hint;
+  // Warm the hint mid-log.
+  auto warm = ReadFrames(dir_, 10, 20, 1 << 20, &hint);
+  ASSERT_TRUE(warm.ok());
+  // Same range with and without the hint.
+  auto hinted = ReadFrames(dir_, 21, 25, 1 << 20, &hint);
+  auto fresh = ReadFrames(dir_, 21, 25, 1 << 20, nullptr);
+  ASSERT_TRUE(hinted.ok());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(hinted.value().frames, fresh.value().frames);
+  EXPECT_EQ(hinted.value().next_seqno, fresh.value().next_seqno);
+}
+
+TEST_F(WalCursorTest, LimitSeqnoStopsExactly) {
+  auto w = WriteLog(40);
+  auto batch = ReadFrames(dir_, 5, 17, 1 << 20, nullptr);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  const std::vector<uint64_t> seqnos = Seqnos(batch.value().frames);
+  ASSERT_EQ(seqnos.size(), 13u);
+  EXPECT_EQ(seqnos.front(), 5u);
+  EXPECT_EQ(seqnos.back(), 17u);
+  EXPECT_EQ(batch.value().next_seqno, 18u);
+  EXPECT_TRUE(batch.value().at_end);
+}
+
+TEST_F(WalCursorTest, TinyMaxBytesStillMakesProgress) {
+  auto w = WriteLog(5);
+  // max_bytes smaller than any frame: each call must still return at
+  // least one frame, or a catching-up follower would spin forever.
+  CursorHint hint;
+  uint64_t next = 1;
+  for (int i = 0; i < 5; ++i) {
+    auto batch = ReadFrames(dir_, next, UINT64_MAX, 1, &hint);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(batch.value().records, 1u);
+    next = batch.value().next_seqno;
+  }
+  EXPECT_EQ(next, 6u);
+}
+
+TEST_F(WalCursorTest, CursorBelowRetentionIsNotFound) {
+  auto w = WriteLog(60, 200);
+  ASSERT_TRUE(w->Rotate().ok());
+  auto deleted = w->TruncateSealedBefore(30, INT64_MAX);
+  ASSERT_TRUE(deleted.ok());
+  ASSERT_GT(deleted.value(), 0u);
+  auto scan = ScanLog(dir_, {});
+  ASSERT_TRUE(scan.ok());
+  const uint64_t oldest = scan.value().first_seqno;
+  ASSERT_GT(oldest, 1u);
+
+  // A cursor before the oldest retained record cannot be served — the
+  // follower must re-seed, not silently skip records.
+  auto below = ReadFrames(dir_, oldest - 1, UINT64_MAX, 1 << 20, nullptr);
+  ASSERT_FALSE(below.ok());
+  EXPECT_EQ(below.status().code(), StatusCode::kNotFound);
+
+  // From the oldest retained record on, everything streams.
+  auto from_oldest = ReadFrames(dir_, oldest, UINT64_MAX, 1 << 20, nullptr);
+  ASSERT_TRUE(from_oldest.ok()) << from_oldest.status().ToString();
+  const std::vector<uint64_t> seqnos = Seqnos(from_oldest.value().frames);
+  ASSERT_FALSE(seqnos.empty());
+  EXPECT_EQ(seqnos.front(), oldest);
+  EXPECT_EQ(seqnos.back(), 60u);
+}
+
+TEST_F(WalCursorTest, TornTailReadsAsEndOfLogNotError) {
+  {
+    auto w = WriteLog(10);
+  }  // sealed by destructor
+  // A torn half-frame at the very end, as a crash mid-append leaves.
+  const std::string frame = EncodeFrame(11, "tweet\t1\t999\ttorn");
+  auto scan = ScanLog(dir_, {});
+  ASSERT_TRUE(scan.ok() && !scan.value().segments.empty());
+  {
+    std::ofstream torn(scan.value().segments.back().path,
+                       std::ios::binary | std::ios::app);
+    torn.write(frame.data(),
+               static_cast<std::streamsize>(frame.size() / 2));
+  }
+
+  auto batch = ReadFrames(dir_, 1, UINT64_MAX, 1 << 20, nullptr);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  const std::vector<uint64_t> seqnos = Seqnos(batch.value().frames);
+  ASSERT_EQ(seqnos.size(), 10u);
+  EXPECT_EQ(seqnos.back(), 10u);
+  EXPECT_TRUE(batch.value().at_end);
+  EXPECT_EQ(batch.value().next_seqno, 11u);
+}
+
+TEST_F(WalCursorTest, EmptyLogIsAtEnd) {
+  auto w = WriteLog(0);
+  auto batch = ReadFrames(dir_, 1, UINT64_MAX, 1 << 20, nullptr);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch.value().records, 0u);
+  EXPECT_TRUE(batch.value().at_end);
+}
+
+TEST_F(WalCursorTest, RejectsZeroCursor) {
+  auto w = WriteLog(3);
+  auto batch = ReadFrames(dir_, 0, UINT64_MAX, 1 << 20, nullptr);
+  EXPECT_FALSE(batch.ok());
+}
+
+}  // namespace
+}  // namespace adrec::wal

@@ -1,9 +1,12 @@
 #include "wal/record.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "feed/types.h"
 
 namespace adrec::wal {
@@ -21,6 +24,59 @@ TEST(Crc32Test, ChainingMatchesOneShot) {
     const uint32_t chained =
         Crc32(data.substr(split), Crc32(data.substr(0, split)));
     EXPECT_EQ(chained, Crc32(data)) << "split at " << split;
+  }
+}
+
+/// The property behind incremental hashing across a segment rotation: a
+/// CRC chained over ANY split vector of the input — 0 bytes before the
+/// boundary, 1 byte, a mid-frame split, or the whole frame, with empty
+/// chunks and many boundaries — must equal the one-shot CRC. Random
+/// binary data plus real encoded frames.
+TEST(Crc32Test, MultiChunkChainingProperty) {
+  Rng rng(20260806);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random binary data half the time; a real frame the other half,
+    // the bytes a rotation boundary actually lands in.
+    std::string data;
+    if (iter % 2 == 0) {
+      data.resize(rng.NextBounded(512));
+      for (char& c : data) {
+        c = static_cast<char>(rng.NextBounded(256));
+      }
+    } else {
+      data = EncodeFrame(1 + rng.NextBounded(1u << 30),
+                         "tweet\t7\t1000\tquick brown fox " +
+                             std::to_string(iter));
+    }
+    const uint32_t one_shot = Crc32(data);
+
+    // A random split vector; 0 and data.size() are always among the
+    // candidate cuts, so the 0-byte / all-bytes chunk cases occur.
+    std::vector<size_t> cuts = {0, data.size()};
+    const size_t extra = rng.NextBounded(7);
+    for (size_t i = 0; i < extra; ++i) {
+      cuts.push_back(static_cast<size_t>(rng.NextBounded(data.size() + 1)));
+    }
+    std::sort(cuts.begin(), cuts.end());
+
+    uint32_t chained = 0;
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      chained = Crc32(
+          std::string_view(data).substr(cuts[i], cuts[i + 1] - cuts[i]),
+          chained);
+    }
+    chained = Crc32(std::string_view(data).substr(cuts.back()), chained);
+    EXPECT_EQ(chained, one_shot) << "iter " << iter;
+  }
+
+  // The canonical rotation split points, spelled out: 0, 1, mid, all.
+  const std::string frame = EncodeFrame(42, "checkin\t3\t500\t17");
+  for (const size_t split :
+       {size_t{0}, size_t{1}, frame.size() / 2, frame.size()}) {
+    EXPECT_EQ(Crc32(std::string_view(frame).substr(split),
+                    Crc32(std::string_view(frame).substr(0, split))),
+              Crc32(frame))
+        << "split " << split;
   }
 }
 
