@@ -24,6 +24,16 @@
 //       text exposition format (the same payload adrecd serves for its
 //       `metrics` command) and skips the JSON file.
 //
+//   adrec_tool trace <host:port> [trace|slow|conns]
+//              [--format=tsv|chrome|pretty] [--out=FILE]
+//       Fetches the flight recorder of a live adrecd: `trace` (default)
+//       dumps the recent-trace ring, `slow` the slow-request log, and
+//       `conns` the per-connection diagnostics. --format=chrome converts
+//       a trace dump to Chrome trace-event JSON (load the file in
+//       Perfetto / chrome://tracing); --format=pretty renders each trace
+//       as an indented span tree. --out writes the payload to FILE
+//       instead of stdout.
+//
 //   adrec_tool wal <inspect|verify|dump> <wal-dir>
 //       Offline tooling for an adrecd write-ahead log directory.
 //       `inspect` prints a per-segment table plus the checkpoint
@@ -41,6 +51,8 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "annotate/kb_io.h"
 #include "core/engine.h"
@@ -48,6 +60,7 @@
 #include "feed/trace_io.h"
 #include "feed/workload.h"
 #include "obs/stats_export.h"
+#include "serve/client.h"
 #include "wal/wal.h"
 
 namespace {
@@ -372,6 +385,156 @@ int Wal(int argc, char** argv) {
   return 2;
 }
 
+// Client-side pretty printer for the TSV of the `trace`/`slow` verbs:
+// one header line per trace, spans as an indented tree (the SPAN lines
+// carry 1-based indices and parent indices, parent 0 = the request).
+void PrintTraceTreeTsv(FILE* out, const std::string& tsv) {
+  struct Span {
+    uint32_t index = 0;
+    uint32_t parent = 0;
+    std::string name;
+    std::string start_us;
+    std::string dur_us;
+  };
+  auto split = [](std::string_view line, size_t max_fields) {
+    std::vector<std::string> fields;
+    while (!line.empty() && fields.size() + 1 < max_fields) {
+      const size_t tab = line.find('\t');
+      if (tab == std::string_view::npos) break;
+      fields.emplace_back(line.substr(0, tab));
+      line.remove_prefix(tab + 1);
+    }
+    fields.emplace_back(line);
+    return fields;
+  };
+  std::vector<Span> spans;
+  std::string header;
+  auto flush = [&] {
+    if (header.empty()) return;
+    std::fprintf(out, "%s\n", header.c_str());
+    // Depth-first over the parent links; spans arrive in start order, so
+    // a simple child scan preserves chronology.
+    auto walk = [&](auto&& self, uint32_t parent, int depth) -> void {
+      for (const Span& s : spans) {
+        if (s.parent != parent) continue;
+        std::fprintf(out, "  %*s- %-24s %8sus  @%sus\n", depth * 2, "",
+                     s.name.c_str(), s.dur_us.c_str(), s.start_us.c_str());
+        self(self, s.index, depth + 1);
+      }
+    };
+    walk(walk, 0, 0);
+    header.clear();
+    spans.clear();
+  };
+  std::string_view rest = tsv;
+  while (!rest.empty()) {
+    const size_t nl = rest.find('\n');
+    const std::string_view line =
+        rest.substr(0, nl == std::string_view::npos ? rest.size() : nl);
+    rest.remove_prefix(nl == std::string_view::npos ? rest.size() : nl + 1);
+    if (line.rfind("TRACE\t", 0) == 0) {
+      flush();
+      // TRACE <id> <wall_start_us> <dur_us> <outcome> <spans> <reason>
+      //       <detail...>
+      const auto f = split(line, 8);
+      if (f.size() < 8) continue;
+      header = "trace " + f[1] + "  " + f[4] + "  " + f[3] + "us  [" + f[7] +
+               "]";
+      if (f[6] != "-") header += "  reason=" + f[6];
+    } else if (line.rfind("SPAN\t", 0) == 0) {
+      // SPAN <id> <index> <parent> <name> <start_us> <dur_us>
+      const auto f = split(line, 7);
+      if (f.size() < 7) continue;
+      Span s;
+      s.index = static_cast<uint32_t>(std::atoi(f[2].c_str()));
+      s.parent = static_cast<uint32_t>(std::atoi(f[3].c_str()));
+      s.name = f[4];
+      s.start_us = f[5];
+      s.dur_us = f[6];
+      spans.push_back(std::move(s));
+    }
+  }
+  flush();
+}
+
+// Live-daemon flight-recorder front end (see the file comment).
+int Trace(int argc, char** argv) {
+  std::string what = "trace";
+  std::string format;
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::string("--format=").size());
+      if (format != "tsv" && format != "chrome" && format != "pretty") {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::string("--out=").size());
+    } else if (arg == "trace" || arg == "slow" || arg == "conns") {
+      what = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (format.empty()) format = what == "conns" ? "tsv" : "pretty";
+  if (what == "conns" && format != "tsv") {
+    std::fprintf(stderr, "conns has no %s form\n", format.c_str());
+    return 2;
+  }
+  const std::string target = argv[2];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "expected <host:port>, got '%s'\n", target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const uint16_t port =
+      static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+
+  adrec::serve::Client client;
+  if (auto s = client.Connect(host, port); !s.ok()) {
+    std::fprintf(stderr, "connect %s: %s\n", target.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  adrec::Result<std::string> payload = [&]() -> adrec::Result<std::string> {
+    if (what == "conns") return client.Command("conns");
+    if (what == "slow") return client.Slow();
+    return client.Trace(/*chrome=*/format == "chrome");
+  }();
+  client.Quit();
+  if (!payload.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what.c_str(),
+                 payload.status().ToString().c_str());
+    return 1;
+  }
+
+  FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  if (format == "pretty" && what != "conns") {
+    PrintTraceTreeTsv(out, payload.value());
+  } else {
+    std::fprintf(out, "%s", payload.value().c_str());
+    if (!payload.value().empty() && payload.value().back() != '\n') {
+      std::fprintf(out, "\n");
+    }
+  }
+  if (out != stdout) {
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -382,12 +545,15 @@ int main(int argc, char** argv) {
                  "  %s recommend <dir> [alpha]\n"
                  "  %s resume <dir>\n"
                  "  %s stats <dir> [k] [--format=text|prometheus]\n"
+                 "  %s trace <host:port> [trace|slow|conns] "
+                 "[--format=tsv|chrome|pretty] [--out=FILE]\n"
                  "  %s wal <inspect|verify|dump> <wal-dir>\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string command = argv[1];
   if (command == "wal") return Wal(argc, argv);
+  if (command == "trace") return Trace(argc, argv);
   const std::string dir = argv[2];
   if (command == "generate") return Generate(dir, argc, argv);
   if (command == "recommend") return Recommend(dir, argc, argv);

@@ -6,7 +6,8 @@
 //          [--idle-timeout=SEC] [--snapshot-root=DIR]
 //          [--wal-dir=DIR] [--wal-sync=none|interval|group]
 //          [--checkpoint-interval=SEC] [--wal-retain=SEC]
-//          [--follow=HOST:PORT]
+//          [--wal-append-sample=N] [--follow=HOST:PORT]
+//          [--trace-ring=N] [--trace-slow-ms=MS] [--trace-sample=N]
 //
 // The `snapshot` verb is disabled unless --snapshot-root names a base
 // directory; client-supplied targets are then confined under it.
@@ -29,6 +30,16 @@
 // `promote` admin verb detaches from the leader, seals the local log and
 // starts accepting writes (DESIGN.md §12).
 //
+// Request tracing (the flight recorder, DESIGN.md §13) is always on:
+// every request gets a span tree (serve dispatch -> engine stages -> WAL
+// commit wave; replica apply on a follower), retained tail-based —
+// errors/sheds and requests slower than --trace-slow-ms (default 10) are
+// pinned, the rest sampled 1-in---trace-sample (default 16) — in a
+// --trace-ring-slot ring (default 512; 0 disables tracing). Inspect with
+// the `trace` (TSV or Chrome JSON), `slow` and `conns` admin verbs, or
+// `adrec_tool trace`. --wal-append-sample tunes the wal.append_us timer
+// sampling rate (default 16, 0 off).
+//
 // With --dir, the knowledge base is loaded from DIR/kb.tsv and, when
 // present, DIR/ads.tsv and DIR/trace.tsv are preloaded into the engine
 // (so the daemon starts warm). Without --dir, a synthetic case-study
@@ -50,6 +61,7 @@
 
 #include "annotate/kb_io.h"
 #include "core/sharded_engine.h"
+#include "obs/trace.h"
 #include "feed/trace_io.h"
 #include "feed/workload.h"
 #include "replica/follower.h"
@@ -86,6 +98,7 @@ int main(int argc, char** argv) {
   adrec::wal::WalOptions wal_opts;
   adrec::wal::CheckpointOptions ckpt_opts;
   adrec::serve::ServerOptions options;
+  adrec::obs::TraceCollectorOptions trace_opts;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -119,8 +132,17 @@ int main(int argc, char** argv) {
       options.checkpoint_interval = std::atof(v);
     } else if (FlagValue(argv[i], "--wal-retain", &v)) {
       ckpt_opts.analysis_retention = std::atoll(v);
+    } else if (FlagValue(argv[i], "--wal-append-sample", &v)) {
+      wal_opts.append_sample_every =
+          static_cast<uint64_t>(std::atoll(v));
     } else if (FlagValue(argv[i], "--follow", &v)) {
       follow = v;
+    } else if (FlagValue(argv[i], "--trace-ring", &v)) {
+      trace_opts.ring_slots = static_cast<size_t>(std::atoll(v));
+    } else if (FlagValue(argv[i], "--trace-slow-ms", &v)) {
+      trace_opts.slow_us = std::atof(v) * 1000.0;
+    } else if (FlagValue(argv[i], "--trace-sample", &v)) {
+      trace_opts.sample_every = static_cast<uint64_t>(std::atoll(v));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--shards=N] [--dir=DIR] "
@@ -129,13 +151,20 @@ int main(int argc, char** argv) {
                    "[--snapshot-root=DIR] [--wal-dir=DIR] "
                    "[--wal-sync=none|interval|group] "
                    "[--checkpoint-interval=SEC] [--wal-retain=SEC] "
-                   "[--follow=HOST:PORT]\n",
+                   "[--wal-append-sample=N] [--follow=HOST:PORT] "
+                   "[--trace-ring=N] [--trace-slow-ms=MS] "
+                   "[--trace-sample=N]\n",
                    argv[0]);
       return 2;
     }
   }
   if (shards == 0) shards = 1;
   options.port = port;
+
+  // The flight recorder: always on unless --trace-ring=0. The collector
+  // outlives the server and the follower, both of which hold a pointer.
+  adrec::obs::TraceCollector tracer(trace_opts);
+  options.tracer = &tracer;
 
   adrec::replica::FollowerOptions follow_opts;
   if (!follow.empty()) {
@@ -256,6 +285,7 @@ int main(int argc, char** argv) {
   // event loop; the server starts read-only until `promote`.
   std::unique_ptr<adrec::replica::Follower> follower;
   if (!follow.empty()) {
+    follow_opts.tracer = &tracer;
     follower = std::make_unique<adrec::replica::Follower>(&engine, wal.get(),
                                                           follow_opts);
     options.follower = follower.get();

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Benchmark regression gate: runs the quick modes of bench_wal and
-# bench_serve, then diffs their timer p95s against the checked-in
-# baselines in bench/baselines/ with scripts/bench_diff.py. A timer
-# that regresses beyond the threshold fails the gate.
+# Benchmark regression gate: runs the quick modes of bench_wal,
+# bench_serve, and bench_trace, then diffs their timer p95s against the
+# checked-in baselines in bench/baselines/ with scripts/bench_diff.py.
+# A timer that regresses beyond the threshold fails the gate.
+# bench_trace additionally self-gates: it exits non-zero if the traced
+# topk p95 exceeds the untraced one by more than 2%.
 #
 #   scripts/ci_bench_gate.sh [--update-baseline] [build-dir]
 #
@@ -33,11 +35,12 @@ trap 'rm -rf "$TMP"' EXIT
 
 # Quick modes: small enough to finish in seconds, large enough that the
 # hot timers clear bench_diff's --min-count sample floor.
-BENCHES="bench_wal bench_serve"
+BENCHES="bench_wal bench_serve bench_trace"
 args_for() {
   case "$1" in
     bench_wal)   echo "5000" ;;        # max_events
     bench_serve) echo "4 200" ;;       # connections commands-per-conn
+    bench_trace) echo "2000 5" ;;      # queries-per-round rounds
   esac
 }
 

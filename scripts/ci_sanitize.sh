@@ -8,7 +8,10 @@
 #           drain, periodic reporter), the WAL writer (group commit,
 #           concurrent appenders batching one fdatasync), and the
 #           replication pair (leader and follower event loops streaming
-#           over a real socket, promotion under client traffic).
+#           over a real socket, promotion under client traffic), and the
+#           trace flight recorder (seqlock ring under concurrent
+#           writers/readers, collector Finish from many threads, traced
+#           daemon requests end to end).
 #   asan  — AddressSanitizer over the full suite minus the `fuzz` label
 #           (the high-volume testkit differential sweeps; instrumented
 #           builds run them ~10x slower for no extra memory-bug coverage —
@@ -27,14 +30,15 @@ JOBS="$(nproc)"
 
 run_tsan() {
   local build_dir="${1:-build-tsan}"
-  local tsan_tests='obs_registry_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|wal_log_test|serve_wal_test|serve_replica_test'
+  local tsan_tests='obs_registry_test|obs_trace_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|serve_trace_test|wal_log_test|serve_wal_test|serve_replica_test'
   cmake -B "${build_dir}" -S . \
     -DADREC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "${build_dir}" -j "${JOBS}" --target \
-    obs_registry_test core_engine_stats_test core_sharded_test \
-    common_histogram_test feed_replayer_test serve_daemon_test \
-    serve_reporter_test wal_log_test serve_wal_test serve_replica_test
+    obs_registry_test obs_trace_test core_engine_stats_test \
+    core_sharded_test common_histogram_test feed_replayer_test \
+    serve_daemon_test serve_reporter_test serve_trace_test \
+    wal_log_test serve_wal_test serve_replica_test
   ctest --test-dir "${build_dir}" -R "${tsan_tests}" \
     --output-on-failure -j "${JOBS}"
   echo "TSan gate passed."

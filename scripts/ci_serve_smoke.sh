@@ -16,7 +16,9 @@ LOG="$(mktemp)"
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
 # --port=0 binds an ephemeral port; parse it from the listening line.
-"$ADRECD" --port=0 --report-interval=1 >"$LOG" 2>&1 &
+# --trace-sample=1 keeps every completed trace so the flight-recorder
+# checks below see the topk request regardless of request count.
+"$ADRECD" --port=0 --report-interval=1 --trace-sample=1 >"$LOG" 2>&1 &
 DAEMON_PID=$!
 
 PORT=""
@@ -49,6 +51,18 @@ expect "STAT engine.tweets 1" stats
 expect "adrec_serve_cmd_topk" metrics
 expect "adrec_engine_tweets_total 1" metrics
 expect "CLIENT_ERROR" frobnicate
+
+# Observability surface: the topk above must have left a trace in the
+# flight recorder covering serve -> engine, and the Chrome export must
+# be loadable JSON.
+expect "TRACE" trace
+expect "serve.dispatch" trace
+expect "engine.topk" trace
+expect "traceEvents" trace chrome
+expect "SLOW" slow
+expect "CONN" conns
+expect "adrec_trace_traces_started_total" metrics
+
 expect "OK" addel 1
 expect "NOT_FOUND" addel 1
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace adrec::core {
 
@@ -63,11 +64,11 @@ RecommendationEngine::RecommendationEngine(
 void RecommendationEngine::OnTweet(const feed::Tweet& tweet) {
   AnnotatedTweet annotated;
   {
-    obs::ScopedTimer timer(StageTimer(tm_annotate_));
+    obs::StageSpan probe(StageTimer(tm_annotate_), "engine.annotate");
     annotated = semantic_.ProcessTweet(tweet);
   }
   {
-    obs::ScopedTimer timer(StageTimer(tm_profile_update_));
+    obs::StageSpan probe(StageTimer(tm_profile_update_), "engine.profile_update");
     profiles_.ObserveTweet(tweet.user, tweet.time, annotated.annotations);
     tfca_.AddTweet(annotated);
   }
@@ -78,7 +79,7 @@ void RecommendationEngine::OnTweet(const feed::Tweet& tweet) {
 
 void RecommendationEngine::OnCheckIn(const feed::CheckIn& check_in) {
   {
-    obs::ScopedTimer timer(StageTimer(tm_profile_update_));
+    obs::StageSpan probe(StageTimer(tm_profile_update_), "engine.profile_update");
     profiles_.ObserveCheckIn(check_in.user, check_in.time, check_in.location);
     tfca_.AddCheckIn(check_in);
     current_location_[check_in.user.value] = check_in.location;
@@ -124,10 +125,10 @@ void RecommendationEngine::ReplayForAnalysis(const feed::FeedEvent& event) {
 Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
   AdContext ctx;
   {
-    obs::ScopedTimer timer(StageTimer(tm_annotate_));
+    obs::StageSpan probe(StageTimer(tm_annotate_), "engine.annotate");
     ctx = semantic_.ProcessAd(ad);
   }
-  obs::ScopedTimer timer(StageTimer(tm_index_update_));
+  obs::StageSpan probe(StageTimer(tm_index_update_), "engine.index_update");
   ADREC_RETURN_NOT_OK(store_.Insert(ad, ctx.topics));
   Status indexed = index_.Insert(ad.id, ctx.topics, ad.target_locations,
                                  ad.target_slots, ad.bid);
@@ -140,7 +141,7 @@ Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
 }
 
 Status RecommendationEngine::RemoveAd(AdId id) {
-  obs::ScopedTimer timer(StageTimer(tm_index_update_));
+  obs::StageSpan probe(StageTimer(tm_index_update_), "engine.index_update");
   ADREC_RETURN_NOT_OK(store_.Remove(id));
   ADREC_RETURN_NOT_OK(index_.Remove(id));
   ctr_ads_removed_->Inc();
@@ -156,14 +157,35 @@ Status RecommendationEngine::RunAnalysis(double alpha) {
   opts.alpha = alpha;
   const auto t0 = std::chrono::steady_clock::now();
   ADREC_RETURN_NOT_OK(tfca_.Analyze(opts));
-  tm_analysis_ms_->Record(std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count());
+  const auto t1 = std::chrono::steady_clock::now();
+  tm_analysis_ms_->Record(
+      std::chrono::duration<double, std::milli>(t1 - t0).count());
   const TfcaPhaseTimings& spans = tfca_.phase_timings();
   tm_analysis_build_->Record(spans.build_context_ms);
   tm_analysis_trias_location_->Record(spans.trias_location_ms);
   tm_analysis_trias_topic_->Record(spans.trias_topic_ms);
   tm_analysis_decode_->Record(spans.decode_ms);
+  if (obs::TraceBuilder* trace = obs::ActiveTrace(); trace != nullptr) {
+    // The TFCA pipeline times its phases internally (they run in this
+    // fixed order), so the trace gets them as retroactive sub-spans at
+    // cumulative offsets under one engine.analysis parent.
+    const uint32_t parent = trace->AddSpan("engine.analysis", t0, t1);
+    auto at = t0;
+    const auto ms = [](double v) {
+      return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(v));
+    };
+    const std::pair<const char*, double> phases[] = {
+        {"engine.analysis.build", spans.build_context_ms},
+        {"engine.analysis.trias_location", spans.trias_location_ms},
+        {"engine.analysis.trias_topic", spans.trias_topic_ms},
+        {"engine.analysis.decode", spans.decode_ms},
+    };
+    for (const auto& [name, dur_ms] : phases) {
+      trace->AddSpan(name, at, at + ms(dur_ms), parent);
+      at += ms(dur_ms);
+    }
+  }
   ctr_analyses_->Inc();
   g_location_triconcepts_->Set(
       static_cast<double>(tfca_.stats().location_triconcepts));
@@ -248,7 +270,7 @@ index::AdQuery RecommendationEngine::BuildQuery(const feed::Tweet& tweet,
 
 std::vector<index::ScoredAd> RecommendationEngine::TopKAdsForTweet(
     const feed::Tweet& tweet, size_t k) {
-  obs::ScopedTimer timer(StageTimer(tm_topk_));
+  obs::StageSpan probe(StageTimer(tm_topk_), "engine.topk");
   // Over-fetch to survive budget filtering, then keep the first k with
   // budget and charge them.
   index::AdQuery query = BuildQuery(tweet, k * 2 + 4);

@@ -1,5 +1,7 @@
 #include "core/sharded_engine.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <thread>
 
@@ -81,8 +83,14 @@ Status ShardedEngine::RunAnalysis(double alpha) {
   std::vector<Status> results(shards_.size());
   std::vector<std::thread> workers;
   workers.reserve(shards_.size());
+  // The caller's request trace rides into shard 0's worker (the shards
+  // run the same phases in parallel, so shard 0 is representative; one
+  // shard only, because a TraceBuilder has a single writer). Safe: the
+  // caller blocks in join() for the worker's whole lifetime.
+  obs::TraceBuilder* trace = obs::ActiveTrace();
   for (size_t s = 0; s < shards_.size(); ++s) {
-    workers.emplace_back([this, s, alpha, &results] {
+    workers.emplace_back([this, s, alpha, &results, trace] {
+      obs::ScopedActiveTrace active(s == 0 ? trace : nullptr);
       results[s] = shards_[s]->RunAnalysis(alpha);
     });
   }
@@ -97,9 +105,12 @@ Status ShardedEngine::RunAnalysis() {
   std::vector<Status> results(shards_.size());
   std::vector<std::thread> workers;
   workers.reserve(shards_.size());
+  obs::TraceBuilder* trace = obs::ActiveTrace();
   for (size_t s = 0; s < shards_.size(); ++s) {
-    workers.emplace_back(
-        [this, s, &results] { results[s] = shards_[s]->RunAnalysis(); });
+    workers.emplace_back([this, s, &results, trace] {
+      obs::ScopedActiveTrace active(s == 0 ? trace : nullptr);
+      results[s] = shards_[s]->RunAnalysis();
+    });
   }
   for (std::thread& w : workers) w.join();
   for (const Status& st : results) {

@@ -1,0 +1,521 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace adrec::obs {
+
+namespace {
+
+/// Copies a (possibly truncated) view into a fixed NUL-terminated buffer.
+void CopyTruncated(char* dst, size_t cap, std::string_view src) {
+  const size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+thread_local TraceBuilder* g_active_trace = nullptr;
+
+// Span timing reads the clock on every StartSpan/EndSpan — six times on
+// a typical request — so its cost is the floor of the whole tracer. On
+// x86 an invariant-TSC read is ~8ns against ~30ns for the steady_clock
+// vDSO call; ticks are converted to nanoseconds through a scale
+// calibrated once against the steady clock (a 1ms sleep window: ±0.1%,
+// irrelevant for forensic timings). Everything outside this block keeps
+// std::chrono, so non-x86 builds just run on steady_clock.
+#if defined(__x86_64__) || defined(__i386__)
+inline uint64_t FastTicks() { return __builtin_ia32_rdtsc(); }
+double NsPerTick() {
+  static const double scale = [] {
+    const auto s0 = std::chrono::steady_clock::now();
+    const uint64_t t0 = FastTicks();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const uint64_t t1 = FastTicks();
+    const auto s1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
+            .count());
+    return t1 > t0 ? ns / static_cast<double>(t1 - t0) : 1.0;
+  }();
+  return scale;
+}
+#else
+inline uint64_t FastTicks() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+double NsPerTick() { return 1.0; }
+#endif
+
+}  // namespace
+
+std::string_view TraceOutcomeName(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kOk:
+      return "ok";
+    case TraceOutcome::kError:
+      return "error";
+    case TraceOutcome::kShed:
+      return "shed";
+    case TraceOutcome::kReadonly:
+      return "readonly";
+  }
+  return "unknown";
+}
+
+TraceBuilder* ActiveTrace() { return g_active_trace; }
+void SetActiveTrace(TraceBuilder* builder) { g_active_trace = builder; }
+
+// --- TraceBuilder ---
+
+void TraceBuilder::ClearRecord() {
+  rec_.trace_id = 0;
+  rec_.wall_start_us = 0;
+  rec_.dur_ns = 0;
+  rec_.num_spans = 0;
+  rec_.spans_dropped = 0;
+  rec_.outcome = TraceOutcome::kOk;
+  rec_.reason[0] = '\0';
+  rec_.detail[0] = '\0';
+  open_depth_ = 0;
+  closed_ = false;
+}
+
+void TraceBuilder::Start(uint64_t trace_id, std::string_view detail) {
+  ClearRecord();
+  rec_.trace_id = trace_id;
+  // If the process never built a collector, calibration lands here —
+  // before t0 is stamped, so it never inflates this trace's spans.
+  (void)NsPerTick();
+  t0_ = std::chrono::steady_clock::now();
+  t0_ticks_ = FastTicks();
+  // Wall time is derived from the steady clock through a process-wide
+  // anchor taken once: a second kernel clock read per request would buy
+  // only immunity to wall-clock steps (NTP), which forensic timestamps
+  // don't need.
+  static const int64_t wall_minus_steady_us = [] {
+    const auto wall = std::chrono::system_clock::now();
+    const auto steady = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               wall.time_since_epoch())
+               .count() -
+           std::chrono::duration_cast<std::chrono::microseconds>(
+               steady.time_since_epoch())
+               .count();
+  }();
+  rec_.wall_start_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          t0_.time_since_epoch())
+          .count() +
+      wall_minus_steady_us;
+  CopyTruncated(rec_.detail, kTraceDetailBytes, detail);
+}
+
+uint64_t TraceBuilder::NowRelNs() const {
+  const uint64_t now = FastTicks();
+  // A TSC not synchronized across cores could read "before" t0; clamp
+  // rather than wrap to a ~585-year duration.
+  if (now <= t0_ticks_) return 0;
+  return static_cast<uint64_t>(static_cast<double>(now - t0_ticks_) *
+                               NsPerTick());
+}
+
+uint32_t TraceBuilder::StartSpan(const char* name) {
+  if (rec_.trace_id == 0) return 0;
+  if (rec_.num_spans >= kTraceMaxSpans) {
+    ++rec_.spans_dropped;
+    return 0;
+  }
+  const uint32_t idx = rec_.num_spans++;
+  SpanRecord& span = rec_.spans[idx];
+  span.name = name;
+  span.parent = open_depth_ > 0 ? open_stack_[open_depth_ - 1] : 0;
+  span.start_ns = NowRelNs();
+  span.dur_ns = 0;
+  const uint32_t token = idx + 1;
+  open_stack_[open_depth_++] = token;
+  return token;
+}
+
+void TraceBuilder::EndSpan(uint32_t token) {
+  if (token == 0 || rec_.trace_id == 0) return;
+  SpanRecord& span = rec_.spans[token - 1];
+  const uint64_t now = NowRelNs();
+  span.dur_ns = now >= span.start_ns ? now - span.start_ns : 0;
+  // Pop through the token: tolerates a mismatched (already-popped) end.
+  uint32_t depth = open_depth_;
+  while (depth > 0) {
+    if (open_stack_[--depth] == token) {
+      open_depth_ = depth;
+      return;
+    }
+  }
+}
+
+uint32_t TraceBuilder::AddSpan(const char* name,
+                               std::chrono::steady_clock::time_point start,
+                               std::chrono::steady_clock::time_point end,
+                               uint32_t parent) {
+  if (rec_.trace_id == 0) return 0;
+  if (rec_.num_spans >= kTraceMaxSpans) {
+    ++rec_.spans_dropped;
+    return 0;
+  }
+  const uint32_t idx = rec_.num_spans++;
+  SpanRecord& span = rec_.spans[idx];
+  span.name = name;
+  // Like StartSpan, an unparented measured span lands under the
+  // innermost open span (the analysis sub-phases belong inside the
+  // dispatch span that is live while they are added); explicit parents
+  // override.
+  span.parent = parent != 0 ? parent
+               : open_depth_ > 0 ? open_stack_[open_depth_ - 1]
+                                 : 0;
+  // Clamp at the trace root: a shared interval (the commit wave) may
+  // technically begin a hair before a late-wave trace started.
+  const auto rel_start = start > t0_ ? start - t0_ : t0_ - t0_;
+  span.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(rel_start)
+          .count());
+  span.dur_ns =
+      end > start
+          ? static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                                     start)
+                    .count())
+          : 0;
+  return idx + 1;
+}
+
+void TraceBuilder::SetReason(std::string_view reason) {
+  CopyTruncated(rec_.reason, kTraceReasonBytes, reason);
+}
+
+void TraceBuilder::Close() {
+  if (rec_.trace_id == 0 || closed_) return;
+  closed_ = true;
+  // Close any span left open (a probe that never unwound — should not
+  // happen, but a half-open span must not export a zero duration that
+  // reads as "instant") before stamping the root, so every span end fits
+  // inside the root duration.
+  while (open_depth_ > 0) EndSpan(open_stack_[open_depth_ - 1]);
+  rec_.dur_ns = NowRelNs();
+  for (uint32_t i = 0; i < rec_.num_spans; ++i) {
+    SpanRecord& span = rec_.spans[i];
+    if (span.start_ns > rec_.dur_ns) span.start_ns = rec_.dur_ns;
+    if (span.start_ns + span.dur_ns > rec_.dur_ns) {
+      span.dur_ns = rec_.dur_ns - span.start_ns;
+    }
+  }
+}
+
+void TraceBuilder::Reset() { ClearRecord(); }
+
+// --- TraceRing ---
+
+TraceRing::TraceRing(size_t slots) : nslots_(slots) {
+  if (nslots_ > 0) slots_ = std::make_unique<Slot[]>(nslots_);
+}
+
+void TraceRing::Add(const TraceRecord& rec) {
+  if (nslots_ == 0) return;
+  // Stage the record as whole words (the tail of the last word is
+  // zero-padded) so publication is plain relaxed stores.
+  uint64_t staged[kWordsPerSlot] = {};
+  std::memcpy(staged, &rec, sizeof(rec));
+
+  const uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % nslots_];
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if ((seq & 1) != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    // Another writer holds this slot (the ring lapped itself inside one
+    // publication window). Never wait on the hot path: drop the record.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (size_t w = 0; w < kWordsPerSlot; ++w) {
+    slot.words[w].store(staged[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+std::vector<TraceRecord> TraceRing::Snapshot() const {
+  std::vector<TraceRecord> out;
+  if (nslots_ == 0) return out;
+  out.reserve(nslots_);
+  uint64_t staged[kWordsPerSlot];
+  for (size_t i = 0; i < nslots_; ++i) {
+    const Slot& slot = slots_[i];
+    // Optimistic read, bounded retries: a slot being rewritten right now
+    // is simply skipped — the recorder favours the writer.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before < 2 || (before & 1) != 0) break;  // never written / busy
+      // Acquire word loads keep the seq recheck below from being
+      // reordered ahead of any of them — the fence-free seqlock reader
+      // (an acquire *fence* here trips GCC's -Wtsan: TSan does not
+      // instrument fences). On x86 an acquire load is a plain load, and
+      // this is the cold dump path anyway.
+      for (size_t w = 0; w < kWordsPerSlot; ++w) {
+        staged[w] = slot.words[w].load(std::memory_order_acquire);
+      }
+      if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+      TraceRecord rec;
+      std::memcpy(&rec, staged, sizeof(rec));
+      if (rec.trace_id != 0) out.push_back(rec);
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.trace_id < b.trace_id;
+            });
+  return out;
+}
+
+// --- TraceCollector ---
+
+TraceCollector::TraceCollector(TraceCollectorOptions options)
+    : options_(options),
+      ring_(options.ring_slots),
+      slow_(options.ring_slots > 0 ? options.slow_slots : 0),
+      ctr_started_(metrics_.GetCounter("trace.traces_started")),
+      ctr_sampled_(metrics_.GetCounter("trace.traces_sampled")),
+      ctr_discarded_(metrics_.GetCounter("trace.traces_discarded")),
+      ctr_pinned_slow_(metrics_.GetCounter("trace.traces_pinned_slow")),
+      ctr_pinned_error_(metrics_.GetCounter("trace.traces_pinned_error")),
+      ctr_ring_dropped_(metrics_.GetCounter("trace.ring_dropped")) {
+  // Pay the one-time fast-clock calibration (~1ms) at construction —
+  // daemon startup — never inside a request.
+  if (enabled()) (void)NsPerTick();
+}
+
+uint64_t TraceCollector::NextTraceId() {
+  // traces_started is folded from next_id_ lazily in metrics() — one
+  // atomic RMW here instead of two.
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceCollector::Finish(TraceBuilder* builder) {
+  if (builder == nullptr || !builder->active()) return;
+  builder->Close();
+  const TraceRecord& rec = builder->record();
+  const double dur_us = static_cast<double>(rec.dur_ns) / 1000.0;
+  if (rec.outcome != TraceOutcome::kOk) {
+    ring_.Add(rec);
+    slow_.Add(rec);
+    ctr_pinned_error_->Inc();
+  } else if (dur_us >= options_.slow_us) {
+    ring_.Add(rec);
+    slow_.Add(rec);
+    ctr_pinned_slow_->Inc();
+  } else if (options_.sample_every <= 1 ||
+             rec.trace_id % options_.sample_every == 0) {
+    // The trace id doubles as the sampling tick: ids are already dense
+    // and monotone, so id % N == 0 is the same 1-in-N without another
+    // shared atomic on the hot path.
+    ring_.Add(rec);
+    ctr_sampled_->Inc();
+  } else {
+    ctr_discarded_->Inc();
+  }
+  builder->Reset();
+}
+
+const MetricRegistry& TraceCollector::metrics() const {
+  // Hot-path-free counters surface lazily: fold the ring collision
+  // counters and the id allocator in on read.
+  const uint64_t dropped = ring_.dropped() + slow_.dropped();
+  const uint64_t seen = ctr_ring_dropped_->value();
+  if (dropped > seen) ctr_ring_dropped_->Inc(dropped - seen);
+  const uint64_t started = next_id_.load(std::memory_order_relaxed) - 1;
+  const uint64_t started_seen = ctr_started_->value();
+  if (started > started_seen) ctr_started_->Inc(started - started_seen);
+  return metrics_;
+}
+
+// --- TraceBuilderPool ---
+
+std::unique_ptr<TraceBuilder> TraceBuilderPool::Acquire() {
+  if (free_.empty()) return std::make_unique<TraceBuilder>();
+  std::unique_ptr<TraceBuilder> builder = std::move(free_.back());
+  free_.pop_back();
+  return builder;
+}
+
+void TraceBuilderPool::Release(std::unique_ptr<TraceBuilder> builder) {
+  if (builder == nullptr) return;
+  builder->Reset();
+  free_.push_back(std::move(builder));
+}
+
+// --- Exporters ---
+
+namespace {
+
+double UsFromNs(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+/// JSON string escaping per RFC 8259 (control chars, quote, backslash).
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// First whitespace/tab-delimited token of the request line — the verb,
+/// used as the root event name in Chrome output.
+std::string_view RootName(const TraceRecord& rec) {
+  const std::string_view detail(rec.detail);
+  if (detail.empty()) return "request";
+  const size_t cut = detail.find_first_of("\t ");
+  return cut == std::string_view::npos ? detail : detail.substr(0, cut);
+}
+
+void SanitizeInto(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    out->push_back(c == '\t' || c == '\n' || c == '\r' ? ' ' : c);
+  }
+}
+
+}  // namespace
+
+std::string ExportTracesTsv(const std::vector<TraceRecord>& traces) {
+  std::string out;
+  for (const TraceRecord& rec : traces) {
+    out += StringFormat("TRACE\t%llu\t%lld\t%.1f\t",
+                        static_cast<unsigned long long>(rec.trace_id),
+                        static_cast<long long>(rec.wall_start_us),
+                        UsFromNs(rec.dur_ns));
+    out += TraceOutcomeName(rec.outcome);
+    out += StringFormat("\t%u\t", rec.num_spans);
+    if (rec.reason[0] == '\0') {
+      out += '-';
+    } else {
+      SanitizeInto(&out, rec.reason);
+    }
+    // The detail is the raw request line — tabs and all — so it rides
+    // last, where embedded tabs cannot shift earlier columns.
+    out += '\t';
+    out += rec.detail;
+    out += '\n';
+    for (uint32_t i = 0; i < rec.num_spans; ++i) {
+      const SpanRecord& span = rec.spans[i];
+      out += StringFormat("SPAN\t%llu\t%u\t%u\t%s\t%.1f\t%.1f\n",
+                          static_cast<unsigned long long>(rec.trace_id),
+                          i + 1, span.parent,
+                          span.name != nullptr ? span.name : "?",
+                          UsFromNs(span.start_ns), UsFromNs(span.dur_ns));
+    }
+  }
+  return out;
+}
+
+std::string ExportTracesChrome(const std::vector<TraceRecord>& traces) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceRecord& rec : traces) {
+    const double base_us = static_cast<double>(rec.wall_start_us);
+    if (!first) out += ',';
+    first = false;
+    // Root event: the whole request, one tid per trace so Perfetto
+    // renders each request as its own track.
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, RootName(rec));
+    out += StringFormat(
+        "\",\"cat\":\"adrec\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"outcome\":\"",
+        static_cast<unsigned long long>(rec.trace_id), base_us,
+        UsFromNs(rec.dur_ns));
+    AppendJsonEscaped(&out, TraceOutcomeName(rec.outcome));
+    out += "\",\"detail\":\"";
+    AppendJsonEscaped(&out, rec.detail);
+    if (rec.reason[0] != '\0') {
+      out += "\",\"reason\":\"";
+      AppendJsonEscaped(&out, rec.reason);
+    }
+    out += "\"}}";
+    for (uint32_t i = 0; i < rec.num_spans; ++i) {
+      const SpanRecord& span = rec.spans[i];
+      out += ",{\"name\":\"";
+      AppendJsonEscaped(&out,
+                        span.name != nullptr ? span.name : "?");
+      out += StringFormat(
+          "\",\"cat\":\"adrec\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,"
+          "\"ts\":%.3f,\"dur\":%.3f}",
+          static_cast<unsigned long long>(rec.trace_id),
+          base_us + UsFromNs(span.start_ns), UsFromNs(span.dur_ns));
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatTraceTree(const TraceRecord& rec) {
+  std::string out = StringFormat(
+      "trace %llu  %.1fus  ", static_cast<unsigned long long>(rec.trace_id),
+      UsFromNs(rec.dur_ns));
+  out += TraceOutcomeName(rec.outcome);
+  if (rec.reason[0] != '\0') {
+    out += "  (";
+    out += rec.reason;
+    out += ')';
+  }
+  out += "  ";
+  SanitizeInto(&out, rec.detail);
+  out += '\n';
+  // Children in record order under their parents: spans are appended in
+  // start order, so a simple recursive walk renders the tree.
+  struct Walker {
+    const TraceRecord& rec;
+    std::string* out;
+    void Emit(uint32_t parent, int depth) {
+      for (uint32_t i = 0; i < rec.num_spans; ++i) {
+        if (rec.spans[i].parent != parent) continue;
+        for (int d = 0; d < depth; ++d) *out += "  ";
+        *out += StringFormat("- %s  %.1fus  @%.1fus\n",
+                             rec.spans[i].name != nullptr ? rec.spans[i].name
+                                                          : "?",
+                             UsFromNs(rec.spans[i].dur_ns),
+                             UsFromNs(rec.spans[i].start_ns));
+        Emit(i + 1, depth + 1);
+      }
+    }
+  };
+  Walker{rec, &out}.Emit(0, 1);
+  if (rec.spans_dropped > 0) {
+    out += StringFormat("  (%u spans dropped)\n", rec.spans_dropped);
+  }
+  return out;
+}
+
+}  // namespace adrec::obs

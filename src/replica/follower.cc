@@ -230,6 +230,13 @@ void Follower::ApplyEvent(const feed::FeedEvent& event) {
 
 void Follower::ProcessInput() {
   std::vector<feed::FeedEvent> batch;
+  /// Parallel to `batch`: the per-frame traces (null when tracing is
+  /// off). Held open until after the batch commit so the shared barrier
+  /// is attributed to every frame it made durable — same shape as the
+  /// serving daemon's wave traces.
+  std::vector<std::unique_ptr<obs::TraceBuilder>> traces;
+  obs::TraceCollector* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
   size_t start = 0;
   std::string die_why;
   bool die = false;
@@ -280,28 +287,67 @@ void Follower::ProcessInput() {
       die_why = "bad payload: " + event.status().message();
       break;
     }
+    std::unique_ptr<obs::TraceBuilder> trace;
+    if (tracing) {
+      trace = trace_pool_.Acquire();
+      trace->Start(tracer->NextTraceId(), r.payload);
+    }
     // Durability before visibility: the frame goes to the follower's own
     // log (deferred; committed below, before any engine mutation).
+    const uint32_t append_span =
+        trace != nullptr ? trace->StartSpan("wal.append") : 0;
     auto seqno = wal_->AppendDeferred(r.payload);
+    if (trace != nullptr) trace->EndSpan(append_span);
     if (!seqno.ok()) {
       die = true;
       die_why = "local wal append failed: " + seqno.status().ToString();
+      if (trace != nullptr) {
+        trace->SetOutcome(obs::TraceOutcome::kError);
+        trace->SetReason(die_why);
+        tracer->Finish(trace.get());
+        trace_pool_.Release(std::move(trace));
+      }
       break;
     }
     batch.push_back(std::move(event).value());
+    traces.push_back(std::move(trace));
     if (r.seqno > leader_tip_) leader_tip_ = r.seqno;
   }
   in_.erase(0, start);
 
   if (!batch.empty()) {
+    const auto commit_t0 = std::chrono::steady_clock::now();
     const Status st = wal_->Commit();
+    const auto commit_t1 = std::chrono::steady_clock::now();
     if (!st.ok()) {
       // Loud, like the serving daemon: records already streamed cannot
       // be un-received, and the leader holds them durably anyway.
       ADREC_LOG(kError) << "replica: local wal commit failed: "
                         << st.ToString();
     }
-    for (const feed::FeedEvent& event : batch) ApplyEvent(event);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      obs::TraceBuilder* trace = i < traces.size() ? traces[i].get()
+                                                   : nullptr;
+      if (trace != nullptr) {
+        trace->AddSpan("wal.commit_wave", commit_t0, commit_t1);
+        if (!st.ok()) {
+          trace->SetOutcome(obs::TraceOutcome::kError);
+          trace->SetReason("local wal commit failed");
+        }
+      }
+      const uint32_t apply_span =
+          trace != nullptr ? trace->StartSpan("replica.apply") : 0;
+      {
+        // Engine stage probes land under replica.apply.
+        obs::ScopedActiveTrace active(trace);
+        ApplyEvent(batch[i]);
+      }
+      if (trace != nullptr) {
+        trace->EndSpan(apply_span);
+        tracer->Finish(trace);
+        trace_pool_.Release(std::move(traces[i]));
+      }
+    }
     applied_seqno_ += batch.size();
     ctr_records_applied_->Inc(batch.size());
     while (!pending_tips_.empty() &&

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/sharded_engine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wal/wal.h"
 
 namespace adrec::replica {
@@ -42,6 +43,10 @@ struct FollowerOptions {
   /// A control/frame line longer than this means the peer is not
   /// speaking the replication protocol; drop and reconnect.
   size_t max_line_bytes = 256 * 1024;
+  /// Flight recorder (not owned; nullptr = replica tracing off). Every
+  /// applied frame gets a trace: wal.append → wal.commit_wave →
+  /// replica.apply with the engine stage spans nested under the apply.
+  obs::TraceCollector* tracer = nullptr;
 };
 
 /// Lag and liveness, sampled for the replica.* gauges and bench_replica.
@@ -140,6 +145,7 @@ class Follower {
   /// their local arrival instants (the lag_ms reference points).
   std::deque<std::pair<uint64_t, std::chrono::steady_clock::time_point>>
       pending_tips_;
+  obs::TraceBuilderPool trace_pool_;
 
   obs::MetricRegistry metrics_;
   obs::Gauge* g_lag_records_;

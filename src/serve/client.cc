@@ -155,13 +155,22 @@ Result<std::string> Client::ReadResponse() {
   if (IsSingleLineReply(first.value())) return first;
 
   std::string out = first.value();
-  if (StartsWith(first.value(), "METRICS ")) {
-    // Length-framed payload: "METRICS <bytes>\r\n" <bytes> "END\r\n".
+  // Length-framed payloads: "<HEADER> <bytes>\r\n" <bytes> "END\r\n".
+  // `metrics` (Prometheus text) and `trace`/`slow` (TSV or JSON) carry
+  // arbitrary bytes, so the line loop below cannot frame them.
+  size_t header_len = 0;
+  for (const std::string_view header : {"METRICS ", "TRACE ", "SLOW "}) {
+    if (StartsWith(first.value(), header)) {
+      header_len = header.size();
+      break;
+    }
+  }
+  if (header_len > 0) {
     char* end = nullptr;
-    const std::string count_str = first.value().substr(strlen("METRICS "));
+    const std::string count_str = first.value().substr(header_len);
     const unsigned long long bytes = std::strtoull(count_str.c_str(), &end, 10);
     if (end == count_str.c_str() || *end != '\0') {
-      return Status::Internal("bad METRICS frame '" + first.value() + "'");
+      return Status::Internal("bad length frame '" + first.value() + "'");
     }
     auto payload = ReadBytes(static_cast<size_t>(bytes));
     if (!payload.ok()) return payload.status();
@@ -303,18 +312,39 @@ Status Client::Snapshot(const std::string& dir) {
   return ExpectOk(FormatSnapshotCmd(dir));
 }
 
+namespace {
+
+/// Strips the `<HEADER> <bytes>` first line and trailing END from a
+/// length-framed response, leaving the raw payload.
+Result<std::string> FramedPayload(const std::string& reply,
+                                  std::string_view header) {
+  if (!StartsWith(reply, header)) return StatusFromReply(reply);
+  const size_t header_end = reply.find('\n');
+  const size_t tail = reply.rfind("\nEND");
+  if (header_end == std::string::npos || tail == std::string::npos) {
+    return Status::Internal("bad " + std::string(header) + "frame");
+  }
+  return reply.substr(header_end + 1, tail - header_end);
+}
+
+}  // namespace
+
 Result<std::string> Client::Metrics() {
   auto reply = Command("metrics");
   if (!reply.ok()) return reply.status();
-  const std::string& r = reply.value();
-  if (!StartsWith(r, "METRICS ")) return StatusFromReply(r);
-  // Strip the frame header and trailing END.
-  const size_t header_end = r.find('\n');
-  size_t tail = r.rfind("\nEND");
-  if (header_end == std::string::npos || tail == std::string::npos) {
-    return Status::Internal("bad metrics frame");
-  }
-  return r.substr(header_end + 1, tail - header_end);
+  return FramedPayload(reply.value(), "METRICS ");
+}
+
+Result<std::string> Client::Trace(bool chrome) {
+  auto reply = Command(chrome ? "trace\tchrome" : "trace");
+  if (!reply.ok()) return reply.status();
+  return FramedPayload(reply.value(), "TRACE ");
+}
+
+Result<std::string> Client::Slow() {
+  auto reply = Command("slow");
+  if (!reply.ok()) return reply.status();
+  return FramedPayload(reply.value(), "SLOW ");
 }
 
 Status Client::Ping() {

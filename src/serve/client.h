@@ -103,6 +103,11 @@ class Client {
   Status Snapshot(const std::string& dir);
   /// The Prometheus payload of the `metrics` command.
   Result<std::string> Metrics();
+  /// The flight-recorder dump of the `trace` command: TSV, or Chrome
+  /// trace-event JSON (Perfetto-loadable) when `chrome` is set.
+  Result<std::string> Trace(bool chrome = false);
+  /// The slow-request log of the `slow` command (TSV).
+  Result<std::string> Slow();
   Status Ping();
   /// Sends `quit` and closes the connection.
   void Quit();

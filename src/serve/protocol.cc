@@ -12,7 +12,8 @@ namespace {
 constexpr std::string_view kVerbNames[kNumVerbs] = {
     "tweet",   "checkin", "adput",   "addel",    "topk",
     "match",   "analyze", "stats",   "metrics",  "snapshot",
-    "checkpoint", "repl", "promote", "ping",     "quit"};
+    "checkpoint", "repl", "promote", "trace",    "slow",
+    "conns",   "ping",    "quit"};
 
 Result<uint64_t> ParseU64(std::string_view field) {
   const std::string s(field);
@@ -72,6 +73,9 @@ bool IsWriteVerb(Verb verb) {
     case Verb::kCheckpoint:
     case Verb::kRepl:
     case Verb::kPromote:
+    case Verb::kTrace:
+    case Verb::kSlow:
+    case Verb::kConns:
     case Verb::kPing:
     case Verb::kQuit:
       return false;
@@ -188,8 +192,20 @@ Result<Request> ParseRequest(std::string_view line) {
     req.cursor = cursor.value();
     return req;
   }
+  if (verb == "trace") {
+    req.verb = Verb::kTrace;
+    if (has_payload) {
+      if (payload == "chrome") {
+        req.chrome = true;
+      } else if (payload != "tsv") {
+        return Status::InvalidArgument("trace takes at most tsv|chrome");
+      }
+    }
+    return req;
+  }
   if (verb == "stats" || verb == "metrics" || verb == "checkpoint" ||
-      verb == "promote" || verb == "ping" || verb == "quit") {
+      verb == "promote" || verb == "slow" || verb == "conns" ||
+      verb == "ping" || verb == "quit") {
     if (has_payload) {
       return Status::InvalidArgument(std::string(verb) +
                                      " takes no arguments");
@@ -198,6 +214,8 @@ Result<Request> ParseRequest(std::string_view line) {
                : verb == "metrics"    ? Verb::kMetrics
                : verb == "checkpoint" ? Verb::kCheckpoint
                : verb == "promote"    ? Verb::kPromote
+               : verb == "slow"       ? Verb::kSlow
+               : verb == "conns"      ? Verb::kConns
                : verb == "ping"       ? Verb::kPing
                                       : Verb::kQuit;
     return req;

@@ -47,6 +47,17 @@ namespace adrec::serve {
 ///        Disabled without --wal-dir.)
 ///   promote                            -> OK   (follower only: detach
 ///        from the leader, seal the local log, begin accepting writes)
+///   trace [tsv|chrome]                 -> TRACE <bytes> / <payload> / END
+///        (recent traces from the flight recorder: TSV by default,
+///        Chrome trace-event JSON — loadable in Perfetto — with
+///        `chrome`; obs/trace.h. Disabled when the daemon runs with
+///        --trace-ring=0.)
+///   slow                               -> SLOW <bytes> / <payload> / END
+///        (the slow-request log: pinned slow/error traces as TSV, with
+///        arguments and per-stage breakdown)
+///   conns                              -> CONNS <n> / CONN ... / END
+///        (per-connection diagnostics: age, idle, bytes, commands, last
+///        verb, buffer depths, backpressure/replica/closing flags)
 ///   ping                               -> PONG
 ///   quit                               (server closes the connection)
 ///
@@ -72,11 +83,14 @@ enum class Verb {
   kCheckpoint,
   kRepl,
   kPromote,
+  kTrace,
+  kSlow,
+  kConns,
   kPing,
   kQuit,
 };
 
-inline constexpr size_t kNumVerbs = 15;
+inline constexpr size_t kNumVerbs = 18;
 
 /// The wire name of a verb ("tweet", "checkin", ...).
 std::string_view VerbName(Verb verb);
@@ -107,6 +121,8 @@ struct Request {
   /// kRepl: last WAL seqno the follower already holds (0 = from the
   /// beginning); streaming resumes at cursor + 1.
   uint64_t cursor = 0;
+  /// kTrace: dump as Chrome trace-event JSON instead of TSV.
+  bool chrome = false;
 };
 
 /// Parses one request line (terminator already stripped). The error

@@ -53,6 +53,15 @@ struct Server::Connection {
   std::chrono::steady_clock::time_point last_active;
   /// Peer half-closed (or quit): flush `out`, then close.
   bool closing = false;
+  // --- `conns` diagnostics ---
+  /// Monotonic connection id (fds are recycled; ids are not).
+  uint64_t id = 0;
+  std::chrono::steady_clock::time_point created;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t cmds = 0;
+  /// Wire name of the last parsed verb (static storage via VerbName).
+  std::string_view last_verb = "-";
   /// Replication stream (post-`repl` handshake): exempt from the idle
   /// reaper and the global in-flight cap, fed by PumpReplicas.
   bool replica = false;
@@ -195,6 +204,8 @@ void Server::AcceptNew() {
     Connection conn;
     conn.fd = fd;
     conn.last_active = std::chrono::steady_clock::now();
+    conn.id = next_conn_id_++;
+    conn.created = conn.last_active;
     connections_.emplace(fd, std::move(conn));
     ctr_accepted_->Inc();
     g_active_->Set(static_cast<double>(connections_.size()));
@@ -208,6 +219,7 @@ bool Server::ReadFrom(Connection* conn) {
     if (n > 0) {
       conn->in.append(buf, static_cast<size_t>(n));
       ctr_bytes_in_->Inc(static_cast<uint64_t>(n));
+      conn->bytes_in += static_cast<uint64_t>(n);
       conn->last_active = std::chrono::steady_clock::now();
       // Oversized frame: no newline within the cap means the client lost
       // the protocol; there is no safe resync point, so answer and close.
@@ -280,18 +292,39 @@ void Server::ProcessLines(Connection* conn) {
 }
 
 void Server::Dispatch(std::string_view line, Connection* conn) {
+  // Every request gets a trace (when the flight recorder is on): started
+  // before parsing so even malformed lines leave a pinned record with
+  // the refusal reason — overload and abuse forensics need exactly the
+  // requests that never executed.
+  std::unique_ptr<obs::TraceBuilder> trace;
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    trace = trace_pool_.Acquire();
+    trace->Start(options_.tracer->NextTraceId(), line);
+  }
+  const uint32_t parse_span =
+      trace != nullptr ? trace->StartSpan("serve.parse") : 0;
   auto parsed = ParseRequest(line);
+  if (trace != nullptr) trace->EndSpan(parse_span);
   if (!parsed.ok()) {
     ctr_parse_errors_->Inc();
-    conn->out += "CLIENT_ERROR " + parsed.status().message();
+    const std::string detail = parsed.status().message();
+    conn->out += "CLIENT_ERROR " + detail;
     conn->out += kCrlf;
+    if (trace != nullptr) {
+      trace->SetOutcome(obs::TraceOutcome::kError);
+      trace->SetReason("CLIENT_ERROR " + detail);
+      FinishTrace(std::move(trace));
+    }
     return;
   }
   const Request& req = parsed.value();
   const size_t verb = static_cast<size_t>(req.verb);
   ctr_cmds_[verb]->Inc();
+  ++conn->cmds;
+  conn->last_verb = VerbName(req.verb);
   if (req.verb == Verb::kQuit) {
     conn->closing = true;
+    FinishTrace(std::move(trace));
     return;
   }
   // Follower read-only gate. The classification lives in IsWriteVerb —
@@ -301,6 +334,11 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
     ctr_readonly_rejected_->Inc();
     conn->out += "READONLY";
     conn->out += kCrlf;
+    if (trace != nullptr) {
+      trace->SetOutcome(obs::TraceOutcome::kReadonly);
+      trace->SetReason("READONLY");
+      FinishTrace(std::move(trace));
+    }
     return;
   }
   // Global in-flight cap: executing a command whose response has nowhere
@@ -309,26 +347,76 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
     ctr_sheds_->Inc();
     conn->out += "SERVER_ERROR busy";
     conn->out += kCrlf;
+    if (trace != nullptr) {
+      trace->SetOutcome(obs::TraceOutcome::kShed);
+      trace->SetReason("SERVER_ERROR busy");
+      FinishTrace(std::move(trace));
+    }
     return;
   }
   // Write-ahead: the raw request line is the log payload (the ingest
   // grammar IS the wire grammar), appended before the engine mutates. An
   // event the WAL cannot record is refused — never applied-but-lost.
+  bool wal_appended = false;
   if (options_.wal != nullptr &&
       (req.verb == Verb::kTweet || req.verb == Verb::kCheckIn ||
        req.verb == Verb::kAdPut || req.verb == Verb::kAdDel)) {
+    const uint32_t append_span =
+        trace != nullptr ? trace->StartSpan("wal.append") : 0;
     auto seqno = options_.wal->AppendDeferred(line);
+    if (trace != nullptr) trace->EndSpan(append_span);
     if (!seqno.ok()) {
       ADREC_LOG(kError) << "serve: wal append failed: "
                         << seqno.status().ToString();
       conn->out += "SERVER_ERROR wal append failed";
       conn->out += kCrlf;
+      if (trace != nullptr) {
+        trace->SetOutcome(obs::TraceOutcome::kError);
+        trace->SetReason("SERVER_ERROR wal append failed");
+        FinishTrace(std::move(trace));
+      }
       return;
     }
     wal_dirty_ = true;
+    wal_appended = true;
   }
-  obs::ScopedTimer timer(tm_cmds_[verb]);
-  conn->out += Execute(req, conn);
+  {
+    obs::ScopedTimer timer(tm_cmds_[verb]);
+    const uint32_t exec_span =
+        trace != nullptr ? trace->StartSpan("serve.dispatch") : 0;
+    // Engine stage probes (obs::StageSpan) attach to the active trace,
+    // so their spans nest under serve.dispatch without the engine ever
+    // seeing a trace parameter.
+    obs::ScopedActiveTrace active(trace.get());
+    const std::string reply = Execute(req, conn);
+    if (trace != nullptr) {
+      trace->EndSpan(exec_span);
+      if (StartsWith(reply, "CLIENT_ERROR") ||
+          StartsWith(reply, "SERVER_ERROR")) {
+        trace->SetOutcome(obs::TraceOutcome::kError);
+        const size_t eol = reply.find('\r');
+        trace->SetReason(std::string_view(reply).substr(
+            0, eol == std::string::npos ? reply.size() : eol));
+      }
+    }
+    conn->out += reply;
+  }
+  if (trace == nullptr) return;
+  if (wal_appended) {
+    // The request is not over: its reply is withheld until the wave's
+    // group commit. CommitWal appends the shared `wal.commit_wave` span
+    // and finishes these traces, so the root duration matches what the
+    // client observes.
+    wave_traces_.push_back(std::move(trace));
+  } else {
+    FinishTrace(std::move(trace));
+  }
+}
+
+void Server::FinishTrace(std::unique_ptr<obs::TraceBuilder> trace) {
+  if (trace == nullptr) return;
+  if (options_.tracer != nullptr) options_.tracer->Finish(trace.get());
+  trace_pool_.Release(std::move(trace));
 }
 
 std::string Server::Execute(const Request& req, Connection* conn) {
@@ -376,6 +464,12 @@ std::string Server::Execute(const Request& req, Connection* conn) {
       return ExecuteRepl(req, conn);
     case Verb::kPromote:
       return ExecutePromote();
+    case Verb::kTrace:
+      return ExecuteTrace(req);
+    case Verb::kSlow:
+      return ExecuteSlow();
+    case Verb::kConns:
+      return ExecuteConns(conn);
     case Verb::kPing:
       return "PONG" + std::string(kCrlf);
     case Verb::kQuit:
@@ -448,6 +542,73 @@ std::string Server::ExecuteMetrics() {
   std::string out = StringFormat("METRICS %zu", payload.size()) +
                     std::string(kCrlf);
   out += payload;
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
+std::string Server::ExecuteTrace(const Request& req) {
+  if (options_.tracer == nullptr || !options_.tracer->enabled()) {
+    return "SERVER_ERROR tracing disabled (no flight recorder configured)" +
+           std::string(kCrlf);
+  }
+  const std::vector<obs::TraceRecord> traces = options_.tracer->Recent();
+  const std::string payload = req.chrome ? obs::ExportTracesChrome(traces)
+                                         : obs::ExportTracesTsv(traces);
+  std::string out = StringFormat("TRACE %zu", payload.size()) +
+                    std::string(kCrlf);
+  out += payload;
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
+std::string Server::ExecuteSlow() {
+  if (options_.tracer == nullptr || !options_.tracer->enabled()) {
+    return "SERVER_ERROR tracing disabled (no flight recorder configured)" +
+           std::string(kCrlf);
+  }
+  const std::string payload =
+      obs::ExportTracesTsv(options_.tracer->Slow());
+  std::string out = StringFormat("SLOW %zu", payload.size()) +
+                    std::string(kCrlf);
+  out += payload;
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
+std::string Server::ExecuteConns(const Connection* self) {
+  const auto now = std::chrono::steady_clock::now();
+  std::string out = StringFormat("CONNS %zu", connections_.size()) +
+                    std::string(kCrlf);
+  for (const auto& [fd, conn] : connections_) {
+    out += StringFormat(
+        "CONN %llu fd=%d age_s=%.1f idle_s=%.1f cmds=%llu last=%.*s "
+        "bytes_in=%llu bytes_out=%llu inbuf=%zu outbuf=%zu flags=",
+        static_cast<unsigned long long>(conn.id), conn.fd,
+        std::chrono::duration<double>(now - conn.created).count(),
+        std::chrono::duration<double>(now - conn.last_active).count(),
+        static_cast<unsigned long long>(conn.cmds),
+        static_cast<int>(conn.last_verb.size()), conn.last_verb.data(),
+        static_cast<unsigned long long>(conn.bytes_in),
+        static_cast<unsigned long long>(conn.bytes_out), conn.in.size(),
+        conn.out.size());
+    std::string flags;
+    if (&conn == self) flags += "self,";
+    if (conn.replica) flags += "replica,";
+    if (conn.closing) flags += "closing,";
+    if (conn.out.size() >= options_.max_write_buffer_bytes) {
+      flags += "backpressured,";
+    }
+    if (flags.empty()) {
+      out += '-';
+    } else {
+      flags.pop_back();  // trailing comma
+      out += flags;
+    }
+    out += kCrlf;
+  }
   out += "END";
   out += kCrlf;
   return out;
@@ -605,12 +766,28 @@ void Server::PumpReplicas() {
 void Server::CommitWal() {
   if (options_.wal == nullptr || !wal_dirty_) return;
   wal_dirty_ = false;
+  const auto commit_t0 = std::chrono::steady_clock::now();
   const Status st = options_.wal->Commit();
   if (!st.ok()) {
     // The replies for this batch were already formatted as OK; a failing
     // fdatasync here means acknowledged-but-maybe-lost. There is no way
     // to recall the replies, so make the breach loud.
     ADREC_LOG(kError) << "serve: wal commit failed: " << st.ToString();
+  }
+  if (!wave_traces_.empty()) {
+    // Group commit is a wave-level event: one fdatasync covers every
+    // write of the batch. Each trace gets the same interval as a
+    // retroactive span — the per-request view of the shared barrier.
+    const auto commit_t1 = std::chrono::steady_clock::now();
+    for (std::unique_ptr<obs::TraceBuilder>& trace : wave_traces_) {
+      trace->AddSpan("wal.commit_wave", commit_t0, commit_t1);
+      if (!st.ok()) {
+        trace->SetOutcome(obs::TraceOutcome::kError);
+        trace->SetReason("wal commit failed");
+      }
+      FinishTrace(std::move(trace));
+    }
+    wave_traces_.clear();
   }
 }
 
@@ -644,6 +821,9 @@ obs::MetricsSnapshot Server::MergedSnapshot() const {
   if (options_.follower != nullptr) {
     snapshot.MergeFrom(options_.follower->metrics().Snapshot());
   }
+  if (options_.tracer != nullptr) {
+    snapshot.MergeFrom(options_.tracer->metrics().Snapshot());
+  }
   return snapshot;
 }
 
@@ -653,6 +833,7 @@ bool Server::WriteTo(Connection* conn) {
                              MSG_NOSIGNAL);
     if (n > 0) {
       ctr_bytes_out_->Inc(static_cast<uint64_t>(n));
+      conn->bytes_out += static_cast<uint64_t>(n);
       conn->out.erase(0, static_cast<size_t>(n));
       conn->last_active = std::chrono::steady_clock::now();
       continue;

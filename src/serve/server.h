@@ -4,12 +4,15 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "core/sharded_engine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 
 namespace adrec::wal {
@@ -83,6 +86,14 @@ struct ServerOptions {
   /// event-loop wave. Bounds the per-wave read amplification while a
   /// follower catches up; the live tail is far smaller.
   size_t repl_batch_bytes = 256 * 1024;
+  /// Flight recorder (not owned; nullptr or a disabled collector turns
+  /// request tracing off). When set, every request gets a trace ID and a
+  /// span tree (serve dispatch → engine stages → WAL append/commit wave),
+  /// retained tail-based in the collector's rings and served by the
+  /// `trace` / `slow` admin verbs. Write-verb traces stay open across the
+  /// wave's group-commit barrier so the commit wave is attributed to every
+  /// request it made durable.
+  obs::TraceCollector* tracer = nullptr;
 };
 
 /// The adrecd network front end: a single-threaded, event-driven
@@ -162,6 +173,9 @@ class Server {
   std::string ExecuteMatch(const Request& req);
   std::string ExecuteStats();
   std::string ExecuteMetrics();
+  std::string ExecuteTrace(const Request& req);
+  std::string ExecuteSlow();
+  std::string ExecuteConns(const Connection* self);
   std::string ExecuteSnapshot(const Request& req);
   std::string ExecuteCheckpoint();
   std::string ExecuteRepl(const Request& req, Connection* conn);
@@ -172,9 +186,12 @@ class Server {
   void PumpReplicas();
   /// Durability barrier for the deferred WAL appends of the current
   /// event-loop batch; no-op when nothing was appended since the last
-  /// commit.
+  /// commit. Closes the wave's write-verb traces with a retroactive
+  /// `wal.commit_wave` span.
   void CommitWal();
   void MaybeCheckpoint();
+  /// Finishes a trace through the collector and recycles the builder.
+  void FinishTrace(std::unique_ptr<obs::TraceBuilder> trace);
 
   core::ShardedEngine* engine_;  // not owned
   ServerOptions options_;
@@ -196,6 +213,13 @@ class Server {
   bool read_only_ = false;
   std::chrono::steady_clock::time_point last_checkpoint_{};
   std::map<int, Connection> connections_;
+  /// Connection ids are monotonic across the server's lifetime (fds are
+  /// recycled by the kernel; `conns` output should not be).
+  uint64_t next_conn_id_ = 1;
+  /// Traces of this wave's write verbs, held open until CommitWal — the
+  /// group-commit barrier is part of every one of their latencies.
+  std::vector<std::unique_ptr<obs::TraceBuilder>> wave_traces_;
+  obs::TraceBuilderPool trace_pool_;
 
   obs::MetricRegistry metrics_;
   obs::Counter* ctr_accepted_;

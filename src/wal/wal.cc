@@ -541,10 +541,10 @@ Result<uint64_t> WalWriter::Append(std::string_view payload) {
 
 Result<uint64_t> WalWriter::AppendDeferred(std::string_view payload) {
   std::unique_lock<std::mutex> lock(mu_);
-  // wal.append_us is sampled 1-in-16 here: a deferred append costs a few
-  // hundred nanoseconds, so timing every one (two clock reads plus the
-  // timer mutex) would cost as much as the work being measured.
-  const bool timed = (next_seqno_ & 0xF) == 0;
+  // wal.append_us is sampled 1-in-append_sample_every here — see the
+  // WalOptions field for why every append is not timed.
+  const bool timed = options_.append_sample_every != 0 &&
+                     next_seqno_ % options_.append_sample_every == 0;
   const auto timer_start = timed ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point();
   if (payload.find('\n') != std::string_view::npos ||

@@ -52,6 +52,13 @@ struct WalOptions {
   double sync_interval = 0.05;
   /// Rotate the active segment once it exceeds this many bytes.
   size_t segment_bytes = 4 * 1024 * 1024;
+  /// Sampling rate of the wal.append_us timer on the deferred-append
+  /// path: 1 in this many appends is timed (a deferred append costs a
+  /// few hundred nanoseconds, so timing every one — two clock reads plus
+  /// the timer mutex — would cost as much as the work being measured).
+  /// 1 times every append; 0 disables the probe. The daemon flag is
+  /// --wal-append-sample.
+  uint64_t append_sample_every = 16;
 };
 
 /// One segment file of a log directory.

@@ -1,4 +1,5 @@
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,102 @@ TEST(PrometheusExportTest, FullRegistryRoundIsParseable) {
 
 TEST(PrometheusExportTest, EmptySnapshotIsEmptyPayload) {
   EXPECT_EQ(ExportPrometheus(MetricsSnapshot{}), "");
+}
+
+// A timer that exists but was never recorded (a daemon scraped before
+// its first request) must still expose a complete, parseable histogram:
+// zero count, zero sum, and a zero +Inf bucket — not a missing family.
+TEST(PrometheusExportTest, EmptyHistogramExposesZeroSeries) {
+  MetricRegistry registry;
+  registry.GetTimer("serve.cmd_trace_us");  // created, never recorded
+  const std::string out = ExportPrometheus(registry.Snapshot());
+
+  EXPECT_NE(out.find("# TYPE adrec_serve_cmd_trace_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("adrec_serve_cmd_trace_seconds_count 0\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("adrec_serve_cmd_trace_seconds_sum 0\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  CheckParseable(out);
+}
+
+// The exposition is sparse: zero-count interior buckets are skipped
+// (Prometheus's cumulative-bucket semantics tolerate missing `le`s).
+// Samples far apart — a run of empty buckets between them — must still
+// yield a monotone cumulative run, strictly ascending bounds, and a
+// +Inf bucket equal to _count.
+TEST(PrometheusExportTest, ZeroCountBucketsSkipSafely) {
+  MetricsSnapshot snapshot;
+  Histogram h;
+  h.Record(1.0);  // lowest bucket
+  h.Record(1e6);  // far up the range; everything between is zero-count
+  snapshot.timers["wal.fsync_us"] = h;
+  const std::string out = ExportPrometheus(snapshot);
+
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  for (std::string_view line : SplitString(out, '\n')) {
+    const size_t le = line.find("_bucket{le=\"");
+    if (le == std::string_view::npos) continue;
+    const std::string bound(line.substr(le + 12, line.find('"', le + 12)));
+    bounds.push_back(bound.substr(0, 4) == "+Inf"
+                         ? std::numeric_limits<double>::infinity()
+                         : std::strtod(bound.c_str(), nullptr));
+    counts.push_back(std::strtoull(
+        std::string(line.substr(line.rfind(' ') + 1)).c_str(), nullptr, 10));
+  }
+  ASSERT_GE(counts.size(), 3u);  // two samples + +Inf, empty run skipped
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i], counts[i - 1]) << "cumulative count regressed";
+    EXPECT_GT(bounds[i], bounds[i - 1]) << "bucket bounds not ascending";
+  }
+  for (size_t i = 0; i + 1 < counts.size(); ++i) {
+    EXPECT_GT(counts[i], 0u) << "sparse exposition leaked an empty bucket";
+  }
+  EXPECT_EQ(counts.back(), 2u);  // +Inf == _count
+  CheckParseable(out);
+}
+
+// Raw metric names with characters Prometheus forbids must survive the
+// JSON report round-trip verbatim (the JSON carries raw names) and then
+// sanitise identically on exposition — the `stats.json` a daemon writes
+// and the `metrics` payload it serves must never disagree on a name.
+TEST(PrometheusExportTest, NameSanitisationRoundTripsThroughParseJson) {
+  MetricRegistry registry;
+  registry.GetCounter("serve.cmd-weird/name.events")->Inc(7);
+  registry.GetGauge("replica.lag ms")->Set(2.5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string prom = ExportPrometheus(snapshot);
+  EXPECT_NE(prom.find("adrec_serve_cmd_weird_name_events_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_replica_lag_ms 2.5\n"), std::string::npos);
+  CheckParseable(prom);
+
+  // Through the JSON reporter and back: raw names intact.
+  const StatsReport report = BuildReport(snapshot);
+  const std::string json = ExportJson(report);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(ExportJson(parsed.value()), json);
+  ASSERT_EQ(parsed.value().counters.count("serve.cmd-weird/name.events"), 1u);
+  EXPECT_EQ(parsed.value().counters.at("serve.cmd-weird/name.events"), 7u);
+  ASSERT_EQ(parsed.value().gauges.count("replica.lag ms"), 1u);
+  EXPECT_EQ(parsed.value().gauges.at("replica.lag ms"), 2.5);
+
+  // Re-exposing the parsed counters yields the same sanitised families.
+  MetricsSnapshot round;
+  for (const auto& [name, value] : parsed.value().counters) {
+    round.counters[name] = static_cast<int64_t>(value);
+  }
+  for (const auto& [name, value] : parsed.value().gauges) {
+    round.gauges[name] = value;
+  }
+  const std::string prom2 = ExportPrometheus(round);
+  EXPECT_NE(prom2.find("adrec_serve_cmd_weird_name_events_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom2.find("adrec_replica_lag_ms 2.5\n"), std::string::npos);
 }
 
 }  // namespace

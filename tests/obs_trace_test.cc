@@ -1,0 +1,539 @@
+// The flight recorder in isolation: TraceBuilder span trees, the
+// lock-free TraceRing (wrap-around, concurrent writers — the TSan
+// target), the TraceCollector's tail-based retention, and the TSV /
+// Chrome-JSON exporters.
+
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adrec::obs {
+namespace {
+
+using std::chrono::steady_clock;
+
+void SpinFor(std::chrono::microseconds us) {
+  const auto until = steady_clock::now() + us;
+  while (steady_clock::now() < until) {
+  }
+}
+
+// --- TraceBuilder ---
+
+TEST(TraceBuilderTest, RecordsNestedSpanTree) {
+  TraceBuilder b;
+  b.Start(7, "topk\t3\t5");
+  ASSERT_TRUE(b.active());
+  EXPECT_EQ(b.trace_id(), 7u);
+
+  const uint32_t outer = b.StartSpan("serve.dispatch");
+  ASSERT_NE(outer, 0u);
+  SpinFor(std::chrono::microseconds(200));
+  const uint32_t inner = b.StartSpan("engine.topk");
+  ASSERT_NE(inner, 0u);
+  SpinFor(std::chrono::microseconds(200));
+  b.EndSpan(inner);
+  b.EndSpan(outer);
+  b.Close();
+
+  const TraceRecord& rec = b.record();
+  ASSERT_EQ(rec.num_spans, 2u);
+  EXPECT_EQ(rec.spans_dropped, 0u);
+  EXPECT_STREQ(rec.spans[0].name, "serve.dispatch");
+  EXPECT_EQ(rec.spans[0].parent, 0u);  // child of the root
+  EXPECT_STREQ(rec.spans[1].name, "engine.topk");
+  EXPECT_EQ(rec.spans[1].parent, 1u);  // nested under serve.dispatch
+  EXPECT_STREQ(rec.detail, "topk\t3\t5");
+
+  // Chronology and containment: the inner span starts after the outer
+  // one, fits inside it, and both fit inside the root duration.
+  EXPECT_GE(rec.spans[1].start_ns, rec.spans[0].start_ns);
+  EXPECT_LE(rec.spans[1].start_ns + rec.spans[1].dur_ns,
+            rec.spans[0].start_ns + rec.spans[0].dur_ns);
+  EXPECT_LE(rec.spans[0].start_ns + rec.spans[0].dur_ns, rec.dur_ns);
+}
+
+TEST(TraceBuilderTest, InactiveBuilderIgnoresProbes) {
+  TraceBuilder b;
+  EXPECT_FALSE(b.active());
+  EXPECT_EQ(b.StartSpan("serve.dispatch"), 0u);
+  b.EndSpan(0);  // must be a no-op, not a crash
+  EXPECT_EQ(b.record().num_spans, 0u);
+}
+
+TEST(TraceBuilderTest, OverflowingSpansAreCountedNotRecorded) {
+  TraceBuilder b;
+  b.Start(1, "x");
+  std::vector<uint32_t> tokens;
+  for (size_t i = 0; i < kTraceMaxSpans + 5; ++i) {
+    const uint32_t tok = b.StartSpan("engine.annotate");
+    b.EndSpan(tok);
+    tokens.push_back(tok);
+  }
+  b.Close();
+  EXPECT_EQ(b.record().num_spans, kTraceMaxSpans);
+  EXPECT_EQ(b.record().spans_dropped, 5u);
+  // The overflowed probes got the sentinel token.
+  EXPECT_EQ(tokens.back(), 0u);
+}
+
+TEST(TraceBuilderTest, DetailAndReasonAreTruncatedSafely) {
+  TraceBuilder b;
+  b.Start(1, std::string(kTraceDetailBytes * 2, 'd'));
+  b.SetReason(std::string(kTraceReasonBytes * 2, 'r'));
+  b.Close();
+  EXPECT_EQ(std::strlen(b.record().detail), kTraceDetailBytes - 1);
+  EXPECT_EQ(std::strlen(b.record().reason), kTraceReasonBytes - 1);
+}
+
+TEST(TraceBuilderTest, CloseForceEndsOpenSpansAndIsIdempotent) {
+  TraceBuilder b;
+  b.Start(1, "x");
+  b.StartSpan("serve.dispatch");
+  b.StartSpan("engine.topk");  // never ended explicitly
+  b.Close();
+  const uint64_t dur = b.record().dur_ns;
+  ASSERT_EQ(b.record().num_spans, 2u);
+  for (uint32_t i = 0; i < 2; ++i) {
+    EXPECT_LE(b.record().spans[i].start_ns + b.record().spans[i].dur_ns,
+              b.record().dur_ns);
+  }
+  b.Close();  // second close must not re-stamp
+  EXPECT_EQ(b.record().dur_ns, dur);
+}
+
+TEST(TraceBuilderTest, AddSpanRecordsMeasuredIntervalAndParents) {
+  TraceBuilder b;
+  b.Start(1, "analyze");
+  const auto t0 = steady_clock::now();
+  SpinFor(std::chrono::microseconds(300));
+  const auto t1 = steady_clock::now();
+  const uint32_t parent = b.AddSpan("engine.analysis", t0, t1);
+  ASSERT_NE(parent, 0u);
+  const uint32_t child = b.AddSpan("engine.analysis.build", t0, t1, parent);
+  ASSERT_NE(child, 0u);
+  b.Close();
+  ASSERT_EQ(b.record().num_spans, 2u);
+  EXPECT_EQ(b.record().spans[child - 1].parent, parent);
+  EXPECT_GT(b.record().spans[parent - 1].dur_ns, 0u);
+}
+
+TEST(TraceBuilderTest, AddSpanClampsStartBeforeTraceBegin) {
+  // The commit wave of a batch can begin before a late-arriving request
+  // joined it; the retroactive span must not underflow the offset.
+  const auto before = steady_clock::now();
+  SpinFor(std::chrono::microseconds(200));
+  TraceBuilder b;
+  b.Start(1, "tweet");
+  const uint32_t tok =
+      b.AddSpan("wal.commit_wave", before, steady_clock::now());
+  ASSERT_NE(tok, 0u);
+  b.Close();
+  EXPECT_EQ(b.record().spans[tok - 1].start_ns, 0u);
+}
+
+TEST(TraceBuilderTest, ResetMakesBuilderReusable) {
+  TraceBuilder b;
+  b.Start(1, "x");
+  b.StartSpan("serve.dispatch");
+  b.SetOutcome(TraceOutcome::kError);
+  b.Close();
+  b.Reset();
+  EXPECT_FALSE(b.active());
+  b.Start(2, "y");
+  b.Close();
+  EXPECT_EQ(b.record().trace_id, 2u);
+  EXPECT_EQ(b.record().num_spans, 0u);
+  EXPECT_EQ(b.record().outcome, TraceOutcome::kOk);
+}
+
+// --- ActiveTrace / probes ---
+
+TEST(ActiveTraceTest, ScopedActiveTraceNestsAndRestores) {
+  ASSERT_EQ(ActiveTrace(), nullptr);
+  TraceBuilder outer, inner;
+  {
+    ScopedActiveTrace a(&outer);
+    EXPECT_EQ(ActiveTrace(), &outer);
+    {
+      ScopedActiveTrace b(&inner);
+      EXPECT_EQ(ActiveTrace(), &inner);
+    }
+    EXPECT_EQ(ActiveTrace(), &outer);
+  }
+  EXPECT_EQ(ActiveTrace(), nullptr);
+}
+
+TEST(ActiveTraceTest, TraceSpanAttachesToActiveBuilder) {
+  TraceBuilder b;
+  b.Start(1, "x");
+  {
+    ScopedActiveTrace active(&b);
+    TraceSpan span("engine.annotate");
+  }
+  { TraceSpan orphan("engine.annotate"); }  // no active trace: free no-op
+  b.Close();
+  ASSERT_EQ(b.record().num_spans, 1u);
+  EXPECT_STREQ(b.record().spans[0].name, "engine.annotate");
+}
+
+// --- TraceRing ---
+
+TraceRecord MakeRecord(uint64_t id) {
+  TraceRecord rec;
+  rec.trace_id = id;
+  rec.dur_ns = id * 1000;
+  rec.num_spans = 1;
+  rec.spans[0].name = "serve.dispatch";
+  rec.spans[0].dur_ns = id;
+  std::snprintf(rec.detail, sizeof(rec.detail), "req-%llu",
+                static_cast<unsigned long long>(id));
+  return rec;
+}
+
+TEST(TraceRingTest, DisabledRingDropsEverything) {
+  TraceRing ring(0);
+  EXPECT_FALSE(ring.enabled());
+  ring.Add(MakeRecord(1));
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(TraceRingTest, WrapAroundKeepsNewestRecords) {
+  TraceRing ring(4);
+  for (uint64_t id = 1; id <= 10; ++id) ring.Add(MakeRecord(id));
+  const std::vector<TraceRecord> got = ring.Snapshot();
+  ASSERT_EQ(got.size(), 4u);
+  // Snapshot is ascending by trace_id and holds exactly the newest four.
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].trace_id, 7 + i);
+    EXPECT_STREQ(got[i].spans[0].name, "serve.dispatch");
+  }
+}
+
+TEST(TraceRingTest, SnapshotSkipsEmptySlots) {
+  TraceRing ring(8);
+  ring.Add(MakeRecord(1));
+  ring.Add(MakeRecord(2));
+  const auto got = ring.Snapshot();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].trace_id, 1u);
+  EXPECT_EQ(got[1].trace_id, 2u);
+}
+
+// The TSan target: hammer one small ring from several writer threads
+// with a reader snapshotting concurrently. Correctness bar: no torn
+// records (every snapshot slot must be internally consistent) and no
+// data race reported.
+TEST(TraceRingTest, ConcurrentWritersAndReaderStayConsistent) {
+  TraceRing ring(16);
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 2000;
+  std::atomic<uint64_t> next_id{1};
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const TraceRecord& rec : ring.Snapshot()) {
+        // Internal consistency: dur and detail are derived from the id,
+        // so a torn read (fields from two different writes) is visible.
+        ASSERT_EQ(rec.dur_ns, rec.trace_id * 1000);
+        char want[32];
+        std::snprintf(want, sizeof(want), "req-%llu",
+                      static_cast<unsigned long long>(rec.trace_id));
+        ASSERT_STREQ(rec.detail, want);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        ring.Add(MakeRecord(next_id.fetch_add(1)));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Everything in the final snapshot is from the run, at most 16 slots.
+  const auto got = ring.Snapshot();
+  EXPECT_LE(got.size(), 16u);
+  EXPECT_FALSE(got.empty());
+  for (const auto& rec : got) {
+    EXPECT_GE(rec.trace_id, 1u);
+    EXPECT_LT(rec.trace_id, 1u + kWriters * kPerWriter);
+  }
+}
+
+// --- TraceCollector: tail-based retention ---
+
+std::unique_ptr<TraceBuilder> StartedTrace(TraceCollector* collector,
+                                           std::string_view detail) {
+  auto b = std::make_unique<TraceBuilder>();
+  b->Start(collector->NextTraceId(), detail);
+  return b;
+}
+
+TEST(TraceCollectorTest, ErrorAndShedTracesArePinnedIntoBothRings) {
+  TraceCollectorOptions opts;
+  opts.slow_us = 1e9;        // nothing is "slow"
+  opts.sample_every = 1000;  // sampling alone would drop everything
+  TraceCollector collector(opts);
+
+  auto err = StartedTrace(&collector, "tweet\tbad");
+  err->SetOutcome(TraceOutcome::kError);
+  err->SetReason("CLIENT_ERROR expected 5 fields");
+  collector.Finish(err.get());
+
+  auto shed = StartedTrace(&collector, "topk\t1\t3");
+  shed->SetOutcome(TraceOutcome::kShed);
+  shed->SetReason("SERVER_ERROR busy");
+  collector.Finish(shed.get());
+
+  auto ro = StartedTrace(&collector, "tweet\t...");
+  ro->SetOutcome(TraceOutcome::kReadonly);
+  ro->SetReason("READONLY");
+  collector.Finish(ro.get());
+
+  ASSERT_EQ(collector.Recent().size(), 3u);
+  ASSERT_EQ(collector.Slow().size(), 3u);
+  const auto slow = collector.Slow();
+  EXPECT_EQ(slow[0].outcome, TraceOutcome::kError);
+  EXPECT_STREQ(slow[0].reason, "CLIENT_ERROR expected 5 fields");
+  EXPECT_EQ(slow[1].outcome, TraceOutcome::kShed);
+  EXPECT_EQ(slow[2].outcome, TraceOutcome::kReadonly);
+
+  const auto snap = collector.metrics().Snapshot();
+  EXPECT_EQ(snap.counters.at("trace.traces_pinned_error"), 3);
+  EXPECT_EQ(snap.counters.at("trace.traces_sampled"), 0);
+}
+
+TEST(TraceCollectorTest, SlowTracesArePinnedRegardlessOfSampling) {
+  TraceCollectorOptions opts;
+  opts.slow_us = 0.0;  // every trace qualifies as slow
+  opts.sample_every = 1000;
+  TraceCollector collector(opts);
+
+  auto b = StartedTrace(&collector, "topk\t1\t3");
+  collector.Finish(b.get());
+
+  ASSERT_EQ(collector.Recent().size(), 1u);
+  ASSERT_EQ(collector.Slow().size(), 1u);
+  EXPECT_EQ(collector.Slow()[0].outcome, TraceOutcome::kOk);
+  EXPECT_EQ(
+      collector.metrics().Snapshot().counters.at("trace.traces_pinned_slow"),
+      1);
+}
+
+TEST(TraceCollectorTest, FastOkTracesAreSampledOneInN) {
+  TraceCollectorOptions opts;
+  opts.slow_us = 1e9;
+  opts.sample_every = 4;
+  TraceCollector collector(opts);
+
+  for (int i = 0; i < 16; ++i) {
+    auto b = StartedTrace(&collector, "ping");
+    collector.Finish(b.get());
+  }
+  EXPECT_EQ(collector.Recent().size(), 4u);  // 16 / 4
+  EXPECT_TRUE(collector.Slow().empty());
+  const auto snap = collector.metrics().Snapshot();
+  EXPECT_EQ(snap.counters.at("trace.traces_started"), 16);
+  EXPECT_EQ(snap.counters.at("trace.traces_sampled"), 4);
+  EXPECT_EQ(snap.counters.at("trace.traces_discarded"), 12);
+}
+
+TEST(TraceCollectorTest, FinishResetsBuilderForReuse) {
+  TraceCollector collector;
+  auto b = StartedTrace(&collector, "ping");
+  collector.Finish(b.get());
+  EXPECT_FALSE(b->active());
+  collector.Finish(b.get());  // inactive: no-op, no double count
+  EXPECT_EQ(collector.metrics().Snapshot().counters.at("trace.traces_started"),
+            1);
+}
+
+TEST(TraceCollectorTest, DisabledCollectorShortCircuits) {
+  TraceCollectorOptions opts;
+  opts.ring_slots = 0;
+  TraceCollector collector(opts);
+  EXPECT_FALSE(collector.enabled());
+  EXPECT_TRUE(collector.Recent().empty());
+}
+
+// Concurrent Finish from several threads (each with its own builder)
+// must neither race nor lose pinned traces — the follower and the event
+// loop can finish traces on different threads in tests.
+TEST(TraceCollectorTest, ConcurrentFinishIsSafe) {
+  TraceCollectorOptions opts;
+  opts.ring_slots = 64;
+  opts.slow_slots = 64;
+  opts.slow_us = 1e9;
+  opts.sample_every = 1;  // keep everything: makes loss visible
+  TraceCollector collector(opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      TraceBuilder b;
+      for (int i = 0; i < kPerThread; ++i) {
+        b.Start(collector.NextTraceId(), "ping");
+        collector.Finish(&b);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snap = collector.metrics().Snapshot();
+  EXPECT_EQ(snap.counters.at("trace.traces_started"), kThreads * kPerThread);
+  EXPECT_EQ(snap.counters.at("trace.traces_sampled"), kThreads * kPerThread);
+  // The ring holds the tail of the id space, no duplicates.
+  const auto got = collector.Recent();
+  EXPECT_EQ(got.size(), 64u);
+  std::set<uint64_t> ids;
+  for (const auto& rec : got) ids.insert(rec.trace_id);
+  EXPECT_EQ(ids.size(), got.size());
+}
+
+// --- Exporters ---
+
+TraceRecord ExportFixture() {
+  TraceRecord rec = MakeRecord(42);
+  rec.wall_start_us = 1700000000000000;
+  rec.num_spans = 2;
+  rec.spans[0].name = "serve.dispatch";
+  rec.spans[0].parent = 0;
+  rec.spans[0].start_ns = 1000;
+  rec.spans[0].dur_ns = 9000;
+  rec.spans[1].name = "engine.topk";
+  rec.spans[1].parent = 1;
+  rec.spans[1].start_ns = 2000;
+  rec.spans[1].dur_ns = 5000;
+  std::snprintf(rec.detail, sizeof(rec.detail), "topk\t3\t5");
+  return rec;
+}
+
+TEST(TraceExportTest, TsvEmitsTraceAndSpanLines) {
+  const std::string tsv = ExportTracesTsv({ExportFixture()});
+  EXPECT_NE(tsv.find("TRACE\t42\t"), std::string::npos);
+  EXPECT_NE(tsv.find("\tok\t2\t-\ttopk\t3\t5\n"), std::string::npos);
+  EXPECT_NE(tsv.find("SPAN\t42\t1\t0\tserve.dispatch\t1.0\t9.0\n"),
+            std::string::npos);
+  EXPECT_NE(tsv.find("SPAN\t42\t2\t1\tengine.topk\t2.0\t5.0\n"),
+            std::string::npos);
+}
+
+TEST(TraceExportTest, TsvSanitizesReasonButPreservesDetailTabs) {
+  TraceRecord rec = ExportFixture();
+  rec.outcome = TraceOutcome::kError;
+  std::snprintf(rec.reason, sizeof(rec.reason), "bad\targ");
+  const std::string tsv = ExportTracesTsv({rec});
+  // The reason's tab must not mint an extra column...
+  EXPECT_NE(tsv.find("\terror\t2\tbad arg\t"), std::string::npos);
+  // ...while the detail keeps its raw tabs as the trailing field.
+  EXPECT_NE(tsv.find("\ttopk\t3\t5\n"), std::string::npos);
+}
+
+// A small structural JSON validator — enough to prove the exporter
+// emits well-formed JSON (balanced containers, quoted strings, legal
+// escapes) without a full parser.
+void CheckJsonWellFormed(const std::string& json) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ASSERT_LT(i + 1, json.size());
+        const char e = json[i + 1];
+        ASSERT_TRUE(e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                    e == 'f' || e == 'n' || e == 'r' || e == 't' || e == 'u')
+            << "bad escape at " << i;
+        i += (e == 'u') ? 5 : 1;
+      } else if (c == '"') {
+        in_string = false;
+      } else {
+        ASSERT_GE(static_cast<unsigned char>(c), 0x20u)
+            << "raw control char at " << i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        ASSERT_FALSE(stack.empty()) << "unbalanced at " << i;
+        ASSERT_EQ(stack.back(), c) << "mismatched at " << i;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated string";
+  EXPECT_TRUE(stack.empty()) << "unbalanced containers";
+}
+
+TEST(TraceExportTest, ChromeJsonIsWellFormedAndCarriesSpans) {
+  TraceRecord rec = ExportFixture();
+  // Adversarial detail: quotes, backslashes, tabs and a control byte all
+  // must survive JSON escaping.
+  std::snprintf(rec.detail, sizeof(rec.detail), "topk\t\"q\"\\" "\x01" "end");
+  const std::string json = ExportTracesChrome({rec});
+  CheckJsonWellFormed(json);
+  EXPECT_EQ(json.find('\t'), std::string::npos);  // tabs escaped
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.topk\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeJsonOfEmptySnapshotIsValid) {
+  const std::string json = ExportTracesChrome({});
+  CheckJsonWellFormed(json);
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(TraceExportTest, FormatTraceTreeIndentsByParent) {
+  const std::string tree = FormatTraceTree(ExportFixture());
+  const size_t dispatch = tree.find("serve.dispatch");
+  const size_t topk = tree.find("engine.topk");
+  ASSERT_NE(dispatch, std::string::npos);
+  ASSERT_NE(topk, std::string::npos);
+  // The child line is indented deeper than its parent's line.
+  const size_t dispatch_bol = tree.rfind('\n', dispatch);
+  const size_t topk_bol = tree.rfind('\n', topk);
+  const size_t dispatch_indent = dispatch - (dispatch_bol + 1);
+  const size_t topk_indent = topk - (topk_bol + 1);
+  EXPECT_GT(topk_indent, dispatch_indent);
+}
+
+// --- TraceBuilderPool ---
+
+TEST(TraceBuilderPoolTest, RecyclesResetBuilders) {
+  TraceBuilderPool pool;
+  auto a = pool.Acquire();
+  TraceBuilder* raw = a.get();
+  a->Start(1, "x");
+  pool.Release(std::move(a));
+  auto b = pool.Acquire();
+  EXPECT_EQ(b.get(), raw);    // same object came back
+  EXPECT_FALSE(b->active());  // reset on release
+}
+
+}  // namespace
+}  // namespace adrec::obs
