@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation.dir/bench_ablation.cc.o"
+  "CMakeFiles/bench_ablation.dir/bench_ablation.cc.o.d"
+  "bench_ablation"
+  "bench_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

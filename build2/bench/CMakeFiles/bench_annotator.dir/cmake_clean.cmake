@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annotator.dir/bench_annotator.cc.o"
+  "CMakeFiles/bench_annotator.dir/bench_annotator.cc.o.d"
+  "bench_annotator"
+  "bench_annotator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

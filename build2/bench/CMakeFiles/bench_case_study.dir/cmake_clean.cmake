@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_study.dir/bench_case_study.cc.o"
+  "CMakeFiles/bench_case_study.dir/bench_case_study.cc.o.d"
+  "bench_case_study"
+  "bench_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

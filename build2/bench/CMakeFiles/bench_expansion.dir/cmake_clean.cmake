@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expansion.dir/bench_expansion.cc.o"
+  "CMakeFiles/bench_expansion.dir/bench_expansion.cc.o.d"
+  "bench_expansion"
+  "bench_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

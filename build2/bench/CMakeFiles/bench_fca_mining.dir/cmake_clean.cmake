@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fca_mining.dir/bench_fca_mining.cc.o"
+  "CMakeFiles/bench_fca_mining.dir/bench_fca_mining.cc.o.d"
+  "bench_fca_mining"
+  "bench_fca_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fca_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

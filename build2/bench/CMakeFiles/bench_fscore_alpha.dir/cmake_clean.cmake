@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fscore_alpha.dir/bench_fscore_alpha.cc.o"
+  "CMakeFiles/bench_fscore_alpha.dir/bench_fscore_alpha.cc.o.d"
+  "bench_fscore_alpha"
+  "bench_fscore_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fscore_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_ctr.dir/bench_online_ctr.cc.o"
+  "CMakeFiles/bench_online_ctr.dir/bench_online_ctr.cc.o.d"
+  "bench_online_ctr"
+  "bench_online_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

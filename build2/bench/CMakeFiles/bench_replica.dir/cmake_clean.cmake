@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replica.dir/bench_replica.cc.o"
+  "CMakeFiles/bench_replica.dir/bench_replica.cc.o.d"
+  "bench_replica"
+  "bench_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

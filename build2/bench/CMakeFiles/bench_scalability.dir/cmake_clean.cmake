@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability.dir/bench_scalability.cc.o"
+  "CMakeFiles/bench_scalability.dir/bench_scalability.cc.o.d"
+  "bench_scalability"
+  "bench_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

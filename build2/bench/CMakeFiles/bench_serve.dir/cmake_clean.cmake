@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve.dir/bench_serve.cc.o"
+  "CMakeFiles/bench_serve.dir/bench_serve.cc.o.d"
+  "bench_serve"
+  "bench_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

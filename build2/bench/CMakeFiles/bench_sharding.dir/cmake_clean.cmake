@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharding.dir/bench_sharding.cc.o"
+  "CMakeFiles/bench_sharding.dir/bench_sharding.cc.o.d"
+  "bench_sharding"
+  "bench_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strategies.dir/bench_strategies.cc.o"
+  "CMakeFiles/bench_strategies.dir/bench_strategies.cc.o.d"
+  "bench_strategies"
+  "bench_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

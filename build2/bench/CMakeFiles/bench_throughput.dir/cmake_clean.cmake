@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput.dir/bench_throughput.cc.o"
+  "CMakeFiles/bench_throughput.dir/bench_throughput.cc.o.d"
+  "bench_throughput"
+  "bench_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

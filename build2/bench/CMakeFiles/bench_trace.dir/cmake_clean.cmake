@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace.dir/bench_trace.cc.o"
+  "CMakeFiles/bench_trace.dir/bench_trace.cc.o.d"
+  "bench_trace"
+  "bench_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_churn.dir/bench_update_churn.cc.o"
+  "CMakeFiles/bench_update_churn.dir/bench_update_churn.cc.o.d"
+  "bench_update_churn"
+  "bench_update_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

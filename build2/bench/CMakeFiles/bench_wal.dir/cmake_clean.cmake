@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wal.dir/bench_wal.cc.o"
+  "CMakeFiles/bench_wal.dir/bench_wal.cc.o.d"
+  "bench_wal"
+  "bench_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

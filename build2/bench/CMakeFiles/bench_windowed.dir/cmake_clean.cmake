@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_windowed.dir/bench_windowed.cc.o"
+  "CMakeFiles/bench_windowed.dir/bench_windowed.cc.o.d"
+  "bench_windowed"
+  "bench_windowed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_windowed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

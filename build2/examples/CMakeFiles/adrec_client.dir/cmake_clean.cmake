@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrec_client.dir/adrec_client.cpp.o"
+  "CMakeFiles/adrec_client.dir/adrec_client.cpp.o.d"
+  "adrec_client"
+  "adrec_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrec_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

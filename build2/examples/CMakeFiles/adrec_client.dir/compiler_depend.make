@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adrec_client.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for adrec_client.
+# This may be replaced when dependencies are built.

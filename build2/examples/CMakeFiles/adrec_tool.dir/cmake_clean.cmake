@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrec_tool.dir/adrec_tool.cpp.o"
+  "CMakeFiles/adrec_tool.dir/adrec_tool.cpp.o.d"
+  "adrec_tool"
+  "adrec_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrec_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrecd.dir/adrecd.cpp.o"
+  "CMakeFiles/adrecd.dir/adrecd.cpp.o.d"
+  "adrecd"
+  "adrecd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrecd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audience_insights.dir/audience_insights.cpp.o"
+  "CMakeFiles/audience_insights.dir/audience_insights.cpp.o.d"
+  "audience_insights"
+  "audience_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audience_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

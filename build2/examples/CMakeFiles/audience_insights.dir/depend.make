@@ -1,0 +1,2 @@
+# Empty dependencies file for audience_insights.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_analytics.dir/campaign_analytics.cpp.o"
+  "CMakeFiles/campaign_analytics.dir/campaign_analytics.cpp.o.d"
+  "campaign_analytics"
+  "campaign_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

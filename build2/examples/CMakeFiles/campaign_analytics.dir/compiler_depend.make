@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for campaign_analytics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study.dir/case_study.cpp.o"
+  "CMakeFiles/case_study.dir/case_study.cpp.o.d"
+  "case_study"
+  "case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

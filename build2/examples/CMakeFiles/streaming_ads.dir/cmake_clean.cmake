@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_ads.dir/streaming_ads.cpp.o"
+  "CMakeFiles/streaming_ads.dir/streaming_ads.cpp.o.d"
+  "streaming_ads"
+  "streaming_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for streaming_ads.
+# This may be replaced when dependencies are built.

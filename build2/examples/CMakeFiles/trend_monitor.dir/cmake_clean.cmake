@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_monitor.dir/trend_monitor.cpp.o"
+  "CMakeFiles/trend_monitor.dir/trend_monitor.cpp.o.d"
+  "trend_monitor"
+  "trend_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

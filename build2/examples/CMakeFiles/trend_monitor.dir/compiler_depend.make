@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trend_monitor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ads/ad_store.cc" "src/CMakeFiles/adrec.dir/ads/ad_store.cc.o" "gcc" "src/CMakeFiles/adrec.dir/ads/ad_store.cc.o.d"
+  "/root/repo/src/ads/frequency_cap.cc" "src/CMakeFiles/adrec.dir/ads/frequency_cap.cc.o" "gcc" "src/CMakeFiles/adrec.dir/ads/frequency_cap.cc.o.d"
+  "/root/repo/src/annotate/annotator.cc" "src/CMakeFiles/adrec.dir/annotate/annotator.cc.o" "gcc" "src/CMakeFiles/adrec.dir/annotate/annotator.cc.o.d"
+  "/root/repo/src/annotate/kb_io.cc" "src/CMakeFiles/adrec.dir/annotate/kb_io.cc.o" "gcc" "src/CMakeFiles/adrec.dir/annotate/kb_io.cc.o.d"
+  "/root/repo/src/annotate/knowledge_base.cc" "src/CMakeFiles/adrec.dir/annotate/knowledge_base.cc.o" "gcc" "src/CMakeFiles/adrec.dir/annotate/knowledge_base.cc.o.d"
+  "/root/repo/src/common/fs_util.cc" "src/CMakeFiles/adrec.dir/common/fs_util.cc.o" "gcc" "src/CMakeFiles/adrec.dir/common/fs_util.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/adrec.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/adrec.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/adrec.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/adrec.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/adrec.dir/common/random.cc.o" "gcc" "src/CMakeFiles/adrec.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/adrec.dir/common/status.cc.o" "gcc" "src/CMakeFiles/adrec.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/adrec.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/adrec.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/table_writer.cc" "src/CMakeFiles/adrec.dir/common/table_writer.cc.o" "gcc" "src/CMakeFiles/adrec.dir/common/table_writer.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/adrec.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/decay_topic_model.cc" "src/CMakeFiles/adrec.dir/core/decay_topic_model.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/decay_topic_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/adrec.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/lda.cc" "src/CMakeFiles/adrec.dir/core/lda.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/lda.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/CMakeFiles/adrec.dir/core/recommender.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/recommender.cc.o.d"
+  "/root/repo/src/core/selling_points.cc" "src/CMakeFiles/adrec.dir/core/selling_points.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/selling_points.cc.o.d"
+  "/root/repo/src/core/semantic.cc" "src/CMakeFiles/adrec.dir/core/semantic.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/semantic.cc.o.d"
+  "/root/repo/src/core/sharded_engine.cc" "src/CMakeFiles/adrec.dir/core/sharded_engine.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/sharded_engine.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/adrec.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/tfca.cc" "src/CMakeFiles/adrec.dir/core/tfca.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/tfca.cc.o.d"
+  "/root/repo/src/core/trending.cc" "src/CMakeFiles/adrec.dir/core/trending.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/trending.cc.o.d"
+  "/root/repo/src/core/windowed_analyzer.cc" "src/CMakeFiles/adrec.dir/core/windowed_analyzer.cc.o" "gcc" "src/CMakeFiles/adrec.dir/core/windowed_analyzer.cc.o.d"
+  "/root/repo/src/eval/ab_test.cc" "src/CMakeFiles/adrec.dir/eval/ab_test.cc.o" "gcc" "src/CMakeFiles/adrec.dir/eval/ab_test.cc.o.d"
+  "/root/repo/src/eval/click_model.cc" "src/CMakeFiles/adrec.dir/eval/click_model.cc.o" "gcc" "src/CMakeFiles/adrec.dir/eval/click_model.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/adrec.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/adrec.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/adrec.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/adrec.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/oracle.cc" "src/CMakeFiles/adrec.dir/eval/oracle.cc.o" "gcc" "src/CMakeFiles/adrec.dir/eval/oracle.cc.o.d"
+  "/root/repo/src/fca/bitset.cc" "src/CMakeFiles/adrec.dir/fca/bitset.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/bitset.cc.o.d"
+  "/root/repo/src/fca/formal_context.cc" "src/CMakeFiles/adrec.dir/fca/formal_context.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/formal_context.cc.o.d"
+  "/root/repo/src/fca/fuzzy_context.cc" "src/CMakeFiles/adrec.dir/fca/fuzzy_context.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/fuzzy_context.cc.o.d"
+  "/root/repo/src/fca/fuzzy_triadic.cc" "src/CMakeFiles/adrec.dir/fca/fuzzy_triadic.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/fuzzy_triadic.cc.o.d"
+  "/root/repo/src/fca/implications.cc" "src/CMakeFiles/adrec.dir/fca/implications.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/implications.cc.o.d"
+  "/root/repo/src/fca/lattice.cc" "src/CMakeFiles/adrec.dir/fca/lattice.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/lattice.cc.o.d"
+  "/root/repo/src/fca/stability.cc" "src/CMakeFiles/adrec.dir/fca/stability.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/stability.cc.o.d"
+  "/root/repo/src/fca/triadic_context.cc" "src/CMakeFiles/adrec.dir/fca/triadic_context.cc.o" "gcc" "src/CMakeFiles/adrec.dir/fca/triadic_context.cc.o.d"
+  "/root/repo/src/feed/stream_replayer.cc" "src/CMakeFiles/adrec.dir/feed/stream_replayer.cc.o" "gcc" "src/CMakeFiles/adrec.dir/feed/stream_replayer.cc.o.d"
+  "/root/repo/src/feed/trace_io.cc" "src/CMakeFiles/adrec.dir/feed/trace_io.cc.o" "gcc" "src/CMakeFiles/adrec.dir/feed/trace_io.cc.o.d"
+  "/root/repo/src/feed/workload.cc" "src/CMakeFiles/adrec.dir/feed/workload.cc.o" "gcc" "src/CMakeFiles/adrec.dir/feed/workload.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/CMakeFiles/adrec.dir/geo/geohash.cc.o" "gcc" "src/CMakeFiles/adrec.dir/geo/geohash.cc.o.d"
+  "/root/repo/src/geo/grid_index.cc" "src/CMakeFiles/adrec.dir/geo/grid_index.cc.o" "gcc" "src/CMakeFiles/adrec.dir/geo/grid_index.cc.o.d"
+  "/root/repo/src/geo/places.cc" "src/CMakeFiles/adrec.dir/geo/places.cc.o" "gcc" "src/CMakeFiles/adrec.dir/geo/places.cc.o.d"
+  "/root/repo/src/geo/point.cc" "src/CMakeFiles/adrec.dir/geo/point.cc.o" "gcc" "src/CMakeFiles/adrec.dir/geo/point.cc.o.d"
+  "/root/repo/src/index/ad_index.cc" "src/CMakeFiles/adrec.dir/index/ad_index.cc.o" "gcc" "src/CMakeFiles/adrec.dir/index/ad_index.cc.o.d"
+  "/root/repo/src/index/wand_index.cc" "src/CMakeFiles/adrec.dir/index/wand_index.cc.o" "gcc" "src/CMakeFiles/adrec.dir/index/wand_index.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/adrec.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/adrec.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/stats_export.cc" "src/CMakeFiles/adrec.dir/obs/stats_export.cc.o" "gcc" "src/CMakeFiles/adrec.dir/obs/stats_export.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/adrec.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/adrec.dir/obs/trace.cc.o.d"
+  "/root/repo/src/profile/user_profile.cc" "src/CMakeFiles/adrec.dir/profile/user_profile.cc.o" "gcc" "src/CMakeFiles/adrec.dir/profile/user_profile.cc.o.d"
+  "/root/repo/src/replica/follower.cc" "src/CMakeFiles/adrec.dir/replica/follower.cc.o" "gcc" "src/CMakeFiles/adrec.dir/replica/follower.cc.o.d"
+  "/root/repo/src/serve/client.cc" "src/CMakeFiles/adrec.dir/serve/client.cc.o" "gcc" "src/CMakeFiles/adrec.dir/serve/client.cc.o.d"
+  "/root/repo/src/serve/protocol.cc" "src/CMakeFiles/adrec.dir/serve/protocol.cc.o" "gcc" "src/CMakeFiles/adrec.dir/serve/protocol.cc.o.d"
+  "/root/repo/src/serve/reporter.cc" "src/CMakeFiles/adrec.dir/serve/reporter.cc.o" "gcc" "src/CMakeFiles/adrec.dir/serve/reporter.cc.o.d"
+  "/root/repo/src/serve/server.cc" "src/CMakeFiles/adrec.dir/serve/server.cc.o" "gcc" "src/CMakeFiles/adrec.dir/serve/server.cc.o.d"
+  "/root/repo/src/testkit/differential.cc" "src/CMakeFiles/adrec.dir/testkit/differential.cc.o" "gcc" "src/CMakeFiles/adrec.dir/testkit/differential.cc.o.d"
+  "/root/repo/src/testkit/fault_injector.cc" "src/CMakeFiles/adrec.dir/testkit/fault_injector.cc.o" "gcc" "src/CMakeFiles/adrec.dir/testkit/fault_injector.cc.o.d"
+  "/root/repo/src/testkit/minimizer.cc" "src/CMakeFiles/adrec.dir/testkit/minimizer.cc.o" "gcc" "src/CMakeFiles/adrec.dir/testkit/minimizer.cc.o.d"
+  "/root/repo/src/text/analyzer.cc" "src/CMakeFiles/adrec.dir/text/analyzer.cc.o" "gcc" "src/CMakeFiles/adrec.dir/text/analyzer.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/CMakeFiles/adrec.dir/text/porter_stemmer.cc.o" "gcc" "src/CMakeFiles/adrec.dir/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/sparse_vector.cc" "src/CMakeFiles/adrec.dir/text/sparse_vector.cc.o" "gcc" "src/CMakeFiles/adrec.dir/text/sparse_vector.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/adrec.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/adrec.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/adrec.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/adrec.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/adrec.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/adrec.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/adrec.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/adrec.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/timeline/time_slots.cc" "src/CMakeFiles/adrec.dir/timeline/time_slots.cc.o" "gcc" "src/CMakeFiles/adrec.dir/timeline/time_slots.cc.o.d"
+  "/root/repo/src/wal/checkpoint.cc" "src/CMakeFiles/adrec.dir/wal/checkpoint.cc.o" "gcc" "src/CMakeFiles/adrec.dir/wal/checkpoint.cc.o.d"
+  "/root/repo/src/wal/record.cc" "src/CMakeFiles/adrec.dir/wal/record.cc.o" "gcc" "src/CMakeFiles/adrec.dir/wal/record.cc.o.d"
+  "/root/repo/src/wal/wal.cc" "src/CMakeFiles/adrec.dir/wal/wal.cc.o" "gcc" "src/CMakeFiles/adrec.dir/wal/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_frequency_test.dir/ads_frequency_test.cc.o"
+  "CMakeFiles/ads_frequency_test.dir/ads_frequency_test.cc.o.d"
+  "ads_frequency_test"
+  "ads_frequency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_frequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

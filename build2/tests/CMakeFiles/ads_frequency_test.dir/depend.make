@@ -1,0 +1,2 @@
+# Empty dependencies file for ads_frequency_test.
+# This may be replaced when dependencies are built.

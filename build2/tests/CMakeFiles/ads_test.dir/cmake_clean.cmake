@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_test.dir/ads_test.cc.o"
+  "CMakeFiles/ads_test.dir/ads_test.cc.o.d"
+  "ads_test"
+  "ads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_test.dir/annotate_test.cc.o"
+  "CMakeFiles/annotate_test.dir/annotate_test.cc.o.d"
+  "annotate_test"
+  "annotate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

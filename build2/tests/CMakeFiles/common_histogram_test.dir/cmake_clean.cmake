@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_histogram_test.dir/common_histogram_test.cc.o"
+  "CMakeFiles/common_histogram_test.dir/common_histogram_test.cc.o.d"
+  "common_histogram_test"
+  "common_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

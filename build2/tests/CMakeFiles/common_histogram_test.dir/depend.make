@@ -1,0 +1,2 @@
+# Empty dependencies file for common_histogram_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_random_test.dir/common_random_test.cc.o"
+  "CMakeFiles/common_random_test.dir/common_random_test.cc.o.d"
+  "common_random_test"
+  "common_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_status_test.dir/common_status_test.cc.o"
+  "CMakeFiles/common_status_test.dir/common_status_test.cc.o.d"
+  "common_status_test"
+  "common_status_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_util_test.dir/common_util_test.cc.o"
+  "CMakeFiles/common_util_test.dir/common_util_test.cc.o.d"
+  "common_util_test"
+  "common_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

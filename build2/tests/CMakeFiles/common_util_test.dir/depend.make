@@ -1,0 +1,2 @@
+# Empty dependencies file for common_util_test.
+# This may be replaced when dependencies are built.

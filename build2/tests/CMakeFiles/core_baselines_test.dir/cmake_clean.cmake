@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_baselines_test.dir/core_baselines_test.cc.o"
+  "CMakeFiles/core_baselines_test.dir/core_baselines_test.cc.o.d"
+  "core_baselines_test"
+  "core_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_decay_topic_test.dir/core_decay_topic_test.cc.o"
+  "CMakeFiles/core_decay_topic_test.dir/core_decay_topic_test.cc.o.d"
+  "core_decay_topic_test"
+  "core_decay_topic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_decay_topic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

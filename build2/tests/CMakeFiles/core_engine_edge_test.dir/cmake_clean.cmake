@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_engine_edge_test.dir/core_engine_edge_test.cc.o"
+  "CMakeFiles/core_engine_edge_test.dir/core_engine_edge_test.cc.o.d"
+  "core_engine_edge_test"
+  "core_engine_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_engine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for core_engine_stats_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_expansion_test.dir/core_expansion_test.cc.o"
+  "CMakeFiles/core_expansion_test.dir/core_expansion_test.cc.o.d"
+  "core_expansion_test"
+  "core_expansion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

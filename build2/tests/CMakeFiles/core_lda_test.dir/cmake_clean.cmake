@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lda_test.dir/core_lda_test.cc.o"
+  "CMakeFiles/core_lda_test.dir/core_lda_test.cc.o.d"
+  "core_lda_test"
+  "core_lda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

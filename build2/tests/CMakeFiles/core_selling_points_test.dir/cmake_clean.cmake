@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selling_points_test.dir/core_selling_points_test.cc.o"
+  "CMakeFiles/core_selling_points_test.dir/core_selling_points_test.cc.o.d"
+  "core_selling_points_test"
+  "core_selling_points_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selling_points_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_semantic_test.dir/core_semantic_test.cc.o"
+  "CMakeFiles/core_semantic_test.dir/core_semantic_test.cc.o.d"
+  "core_semantic_test"
+  "core_semantic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_semantic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

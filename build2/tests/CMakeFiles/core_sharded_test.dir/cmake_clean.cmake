@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sharded_test.dir/core_sharded_test.cc.o"
+  "CMakeFiles/core_sharded_test.dir/core_sharded_test.cc.o.d"
+  "core_sharded_test"
+  "core_sharded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sharded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_snapshot_test.dir/core_snapshot_test.cc.o"
+  "CMakeFiles/core_snapshot_test.dir/core_snapshot_test.cc.o.d"
+  "core_snapshot_test"
+  "core_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

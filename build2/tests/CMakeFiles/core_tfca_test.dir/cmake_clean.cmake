@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tfca_test.dir/core_tfca_test.cc.o"
+  "CMakeFiles/core_tfca_test.dir/core_tfca_test.cc.o.d"
+  "core_tfca_test"
+  "core_tfca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tfca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trending_test.dir/core_trending_test.cc.o"
+  "CMakeFiles/core_trending_test.dir/core_trending_test.cc.o.d"
+  "core_trending_test"
+  "core_trending_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trending_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_windowed_test.dir/core_windowed_test.cc.o"
+  "CMakeFiles/core_windowed_test.dir/core_windowed_test.cc.o.d"
+  "core_windowed_test"
+  "core_windowed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_windowed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_ab_test.dir/eval_ab_test.cc.o"
+  "CMakeFiles/eval_ab_test.dir/eval_ab_test.cc.o.d"
+  "eval_ab_test"
+  "eval_ab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_ab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

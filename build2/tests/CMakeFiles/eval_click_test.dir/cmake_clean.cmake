@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_click_test.dir/eval_click_test.cc.o"
+  "CMakeFiles/eval_click_test.dir/eval_click_test.cc.o.d"
+  "eval_click_test"
+  "eval_click_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_click_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eval_click_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fca_bitset_test.dir/fca_bitset_test.cc.o"
+  "CMakeFiles/fca_bitset_test.dir/fca_bitset_test.cc.o.d"
+  "fca_bitset_test"
+  "fca_bitset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fca_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

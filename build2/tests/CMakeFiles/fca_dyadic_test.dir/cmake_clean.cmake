@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fca_dyadic_test.dir/fca_dyadic_test.cc.o"
+  "CMakeFiles/fca_dyadic_test.dir/fca_dyadic_test.cc.o.d"
+  "fca_dyadic_test"
+  "fca_dyadic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fca_dyadic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fca_iceberg_test.dir/fca_iceberg_test.cc.o"
+  "CMakeFiles/fca_iceberg_test.dir/fca_iceberg_test.cc.o.d"
+  "fca_iceberg_test"
+  "fca_iceberg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fca_iceberg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

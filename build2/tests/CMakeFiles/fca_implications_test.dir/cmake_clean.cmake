@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fca_implications_test.dir/fca_implications_test.cc.o"
+  "CMakeFiles/fca_implications_test.dir/fca_implications_test.cc.o.d"
+  "fca_implications_test"
+  "fca_implications_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fca_implications_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

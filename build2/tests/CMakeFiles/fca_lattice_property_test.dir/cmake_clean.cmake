@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fca_lattice_property_test.dir/fca_lattice_property_test.cc.o"
+  "CMakeFiles/fca_lattice_property_test.dir/fca_lattice_property_test.cc.o.d"
+  "fca_lattice_property_test"
+  "fca_lattice_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fca_lattice_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

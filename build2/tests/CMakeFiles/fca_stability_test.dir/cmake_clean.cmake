@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fca_stability_test.dir/fca_stability_test.cc.o"
+  "CMakeFiles/fca_stability_test.dir/fca_stability_test.cc.o.d"
+  "fca_stability_test"
+  "fca_stability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fca_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

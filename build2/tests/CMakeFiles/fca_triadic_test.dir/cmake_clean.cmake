@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fca_triadic_test.dir/fca_triadic_test.cc.o"
+  "CMakeFiles/fca_triadic_test.dir/fca_triadic_test.cc.o.d"
+  "fca_triadic_test"
+  "fca_triadic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fca_triadic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_replayer_test.dir/feed_replayer_test.cc.o"
+  "CMakeFiles/feed_replayer_test.dir/feed_replayer_test.cc.o.d"
+  "feed_replayer_test"
+  "feed_replayer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_replayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_workload_test.dir/feed_workload_test.cc.o"
+  "CMakeFiles/feed_workload_test.dir/feed_workload_test.cc.o.d"
+  "feed_workload_test"
+  "feed_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

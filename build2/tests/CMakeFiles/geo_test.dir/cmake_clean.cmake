@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_test.dir/geo_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo_test.cc.o.d"
+  "geo_test"
+  "geo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_wand_test.dir/index_wand_test.cc.o"
+  "CMakeFiles/index_wand_test.dir/index_wand_test.cc.o.d"
+  "index_wand_test"
+  "index_wand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_wand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

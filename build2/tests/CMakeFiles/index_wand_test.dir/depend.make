@@ -1,0 +1,2 @@
+# Empty dependencies file for index_wand_test.
+# This may be replaced when dependencies are built.

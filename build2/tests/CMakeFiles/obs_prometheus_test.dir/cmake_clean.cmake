@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_prometheus_test.dir/obs_prometheus_test.cc.o"
+  "CMakeFiles/obs_prometheus_test.dir/obs_prometheus_test.cc.o.d"
+  "obs_prometheus_test"
+  "obs_prometheus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_prometheus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

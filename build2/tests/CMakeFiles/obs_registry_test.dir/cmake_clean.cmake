@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_registry_test.dir/obs_registry_test.cc.o"
+  "CMakeFiles/obs_registry_test.dir/obs_registry_test.cc.o.d"
+  "obs_registry_test"
+  "obs_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

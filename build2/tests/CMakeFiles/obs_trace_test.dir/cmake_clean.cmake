@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_trace_test.dir/obs_trace_test.cc.o"
+  "CMakeFiles/obs_trace_test.dir/obs_trace_test.cc.o.d"
+  "obs_trace_test"
+  "obs_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

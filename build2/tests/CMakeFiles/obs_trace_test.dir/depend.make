@@ -1,0 +1,2 @@
+# Empty dependencies file for obs_trace_test.
+# This may be replaced when dependencies are built.

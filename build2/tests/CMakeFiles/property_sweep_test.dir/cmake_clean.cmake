@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sweep_test.dir/property_sweep_test.cc.o"
+  "CMakeFiles/property_sweep_test.dir/property_sweep_test.cc.o.d"
+  "property_sweep_test"
+  "property_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_promotion_differential_test.dir/replica_promotion_differential_test.cc.o"
+  "CMakeFiles/replica_promotion_differential_test.dir/replica_promotion_differential_test.cc.o.d"
+  "replica_promotion_differential_test"
+  "replica_promotion_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_promotion_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for replica_promotion_differential_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_daemon_test.dir/serve_daemon_test.cc.o"
+  "CMakeFiles/serve_daemon_test.dir/serve_daemon_test.cc.o.d"
+  "serve_daemon_test"
+  "serve_daemon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

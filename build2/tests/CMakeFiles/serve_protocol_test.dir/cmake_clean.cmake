@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_protocol_test.dir/serve_protocol_test.cc.o"
+  "CMakeFiles/serve_protocol_test.dir/serve_protocol_test.cc.o.d"
+  "serve_protocol_test"
+  "serve_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_replica_test.dir/serve_replica_test.cc.o"
+  "CMakeFiles/serve_replica_test.dir/serve_replica_test.cc.o.d"
+  "serve_replica_test"
+  "serve_replica_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_reporter_test.dir/serve_reporter_test.cc.o"
+  "CMakeFiles/serve_reporter_test.dir/serve_reporter_test.cc.o.d"
+  "serve_reporter_test"
+  "serve_reporter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_reporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_trace_test.dir/serve_trace_test.cc.o"
+  "CMakeFiles/serve_trace_test.dir/serve_trace_test.cc.o.d"
+  "serve_trace_test"
+  "serve_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

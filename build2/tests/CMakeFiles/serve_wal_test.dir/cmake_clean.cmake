@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_wal_test.dir/serve_wal_test.cc.o"
+  "CMakeFiles/serve_wal_test.dir/serve_wal_test.cc.o.d"
+  "serve_wal_test"
+  "serve_wal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

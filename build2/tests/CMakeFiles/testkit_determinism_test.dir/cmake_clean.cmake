@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testkit_determinism_test.dir/testkit_determinism_test.cc.o"
+  "CMakeFiles/testkit_determinism_test.dir/testkit_determinism_test.cc.o.d"
+  "testkit_determinism_test"
+  "testkit_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testkit_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for testkit_determinism_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testkit_differential_test.dir/testkit_differential_test.cc.o"
+  "CMakeFiles/testkit_differential_test.dir/testkit_differential_test.cc.o.d"
+  "testkit_differential_test"
+  "testkit_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testkit_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testkit_fault_injector_test.dir/testkit_fault_injector_test.cc.o"
+  "CMakeFiles/testkit_fault_injector_test.dir/testkit_fault_injector_test.cc.o.d"
+  "testkit_fault_injector_test"
+  "testkit_fault_injector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testkit_fault_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

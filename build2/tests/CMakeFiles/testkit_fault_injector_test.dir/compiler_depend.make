@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for testkit_fault_injector_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testkit_minimizer_test.dir/testkit_minimizer_test.cc.o"
+  "CMakeFiles/testkit_minimizer_test.dir/testkit_minimizer_test.cc.o.d"
+  "testkit_minimizer_test"
+  "testkit_minimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testkit_minimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

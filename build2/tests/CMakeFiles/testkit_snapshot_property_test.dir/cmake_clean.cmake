@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testkit_snapshot_property_test.dir/testkit_snapshot_property_test.cc.o"
+  "CMakeFiles/testkit_snapshot_property_test.dir/testkit_snapshot_property_test.cc.o.d"
+  "testkit_snapshot_property_test"
+  "testkit_snapshot_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testkit_snapshot_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

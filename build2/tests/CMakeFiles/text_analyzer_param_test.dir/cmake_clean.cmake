@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_analyzer_param_test.dir/text_analyzer_param_test.cc.o"
+  "CMakeFiles/text_analyzer_param_test.dir/text_analyzer_param_test.cc.o.d"
+  "text_analyzer_param_test"
+  "text_analyzer_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_analyzer_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for text_analyzer_param_test.
+# This may be replaced when dependencies are built.

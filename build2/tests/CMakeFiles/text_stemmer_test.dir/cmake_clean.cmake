@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_stemmer_test.dir/text_stemmer_test.cc.o"
+  "CMakeFiles/text_stemmer_test.dir/text_stemmer_test.cc.o.d"
+  "text_stemmer_test"
+  "text_stemmer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_stemmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

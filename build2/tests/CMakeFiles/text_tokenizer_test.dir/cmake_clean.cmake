@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_tokenizer_test.dir/text_tokenizer_test.cc.o"
+  "CMakeFiles/text_tokenizer_test.dir/text_tokenizer_test.cc.o.d"
+  "text_tokenizer_test"
+  "text_tokenizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

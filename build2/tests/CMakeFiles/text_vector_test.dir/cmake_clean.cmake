@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_vector_test.dir/text_vector_test.cc.o"
+  "CMakeFiles/text_vector_test.dir/text_vector_test.cc.o.d"
+  "text_vector_test"
+  "text_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

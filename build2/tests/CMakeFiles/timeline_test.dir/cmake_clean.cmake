@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_test.dir/timeline_test.cc.o"
+  "CMakeFiles/timeline_test.dir/timeline_test.cc.o.d"
+  "timeline_test"
+  "timeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_crash_differential_test.dir/wal_crash_differential_test.cc.o"
+  "CMakeFiles/wal_crash_differential_test.dir/wal_crash_differential_test.cc.o.d"
+  "wal_crash_differential_test"
+  "wal_crash_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_crash_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_cursor_test.dir/wal_cursor_test.cc.o"
+  "CMakeFiles/wal_cursor_test.dir/wal_cursor_test.cc.o.d"
+  "wal_cursor_test"
+  "wal_cursor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wal_cursor_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_log_test.dir/wal_log_test.cc.o"
+  "CMakeFiles/wal_log_test.dir/wal_log_test.cc.o.d"
+  "wal_log_test"
+  "wal_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_record_test.dir/wal_record_test.cc.o"
+  "CMakeFiles/wal_record_test.dir/wal_record_test.cc.o.d"
+  "wal_record_test"
+  "wal_record_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wal_record_test.
+# This may be replaced when dependencies are built.

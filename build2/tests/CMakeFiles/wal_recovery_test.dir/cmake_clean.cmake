@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_recovery_test.dir/wal_recovery_test.cc.o"
+  "CMakeFiles/wal_recovery_test.dir/wal_recovery_test.cc.o.d"
+  "wal_recovery_test"
+  "wal_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
