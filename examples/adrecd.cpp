@@ -8,6 +8,7 @@
 //          [--checkpoint-interval=SEC] [--wal-retain=SEC]
 //          [--wal-append-sample=N] [--follow=HOST:PORT]
 //          [--trace-ring=N] [--trace-slow-ms=MS] [--trace-sample=N]
+//          [--topk-cache=N] [--topk-cache-admission=always|frequency]
 //
 // The `snapshot` verb is disabled unless --snapshot-root names a base
 // directory; client-supplied targets are then confined under it.
@@ -39,6 +40,16 @@
 // the `trace` (TSV or Chrome JSON), `slow` and `conns` admin verbs, or
 // `adrec_tool trace`. --wal-append-sample tunes the wal.append_us timer
 // sampling rate (default 16, 0 off).
+//
+// --topk-cache=N turns on the stream-clock-invalidated topk result cache
+// (DESIGN.md §14) with room for N entries (default 0 = off). Cached
+// replies are byte-identical to recomputed ones: every ingest (local or
+// replicated) evicts the entries it could influence, and hits revalidate
+// and charge budgets/frequency caps through the engine. Eviction is LRU;
+// --topk-cache-admission picks the fill gate (default `frequency`, a
+// doorkeeper that admits a key under pressure only on repeat sighting;
+// `always` admits everything). Watch cache.{hits,misses,invalidations,
+// evictions} and cache.hit_ratio via the `metrics` verb.
 //
 // With --dir, the knowledge base is loaded from DIR/kb.tsv and, when
 // present, DIR/ads.tsv and DIR/trace.tsv are preloaded into the engine
@@ -143,6 +154,20 @@ int main(int argc, char** argv) {
       trace_opts.slow_us = std::atof(v) * 1000.0;
     } else if (FlagValue(argv[i], "--trace-sample", &v)) {
       trace_opts.sample_every = static_cast<uint64_t>(std::atoll(v));
+    } else if (FlagValue(argv[i], "--topk-cache", &v)) {
+      options.topk_cache.capacity = static_cast<size_t>(std::atoll(v));
+    } else if (FlagValue(argv[i], "--topk-cache-admission", &v)) {
+      if (std::strcmp(v, "always") == 0) {
+        options.topk_cache.admission =
+            adrec::cache::TopkCacheOptions::Admission::kAlways;
+      } else if (std::strcmp(v, "frequency") == 0) {
+        options.topk_cache.admission =
+            adrec::cache::TopkCacheOptions::Admission::kFrequency;
+      } else {
+        std::fprintf(stderr,
+                     "--topk-cache-admission: want always|frequency\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--shards=N] [--dir=DIR] "
@@ -153,7 +178,8 @@ int main(int argc, char** argv) {
                    "[--checkpoint-interval=SEC] [--wal-retain=SEC] "
                    "[--wal-append-sample=N] [--follow=HOST:PORT] "
                    "[--trace-ring=N] [--trace-slow-ms=MS] "
-                   "[--trace-sample=N]\n",
+                   "[--trace-sample=N] [--topk-cache=N] "
+                   "[--topk-cache-admission=always|frequency]\n",
                    argv[0]);
       return 2;
     }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Benchmark regression gate: runs the quick modes of bench_wal,
-# bench_serve, and bench_trace, then diffs their timer p95s against the
-# checked-in baselines in bench/baselines/ with scripts/bench_diff.py.
-# A timer that regresses beyond the threshold fails the gate.
-# bench_trace additionally self-gates: it exits non-zero if the traced
-# topk p95 exceeds the untraced one by more than 2%.
+# bench_serve, bench_trace, and bench_cache, then diffs their timer p95s
+# against the checked-in baselines in bench/baselines/ with
+# scripts/bench_diff.py. A timer that regresses beyond the threshold
+# fails the gate. bench_trace additionally self-gates: it exits non-zero
+# if the traced topk p95 exceeds the untraced one by more than 2%.
+# bench_cache self-gates too: cached hit ratio must exceed 80% at
+# skew >= 0.99 and the cached topk p95 must stay within 1.25x of the
+# uncached skew-0 p95.
 #
 #   scripts/ci_bench_gate.sh [--update-baseline] [build-dir]
 #
@@ -35,12 +38,13 @@ trap 'rm -rf "$TMP"' EXIT
 
 # Quick modes: small enough to finish in seconds, large enough that the
 # hot timers clear bench_diff's --min-count sample floor.
-BENCHES="bench_wal bench_serve bench_trace"
+BENCHES="bench_wal bench_serve bench_trace bench_cache"
 args_for() {
   case "$1" in
     bench_wal)   echo "5000" ;;        # max_events
     bench_serve) echo "4 200" ;;       # connections commands-per-conn
     bench_trace) echo "2000 5" ;;      # queries-per-round rounds
+    bench_cache) echo "20000 0 0.99 --users=1000" ;;  # ops skews...
   esac
 }
 

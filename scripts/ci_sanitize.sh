@@ -8,10 +8,14 @@
 #           drain, periodic reporter), the WAL writer (group commit,
 #           concurrent appenders batching one fdatasync), and the
 #           replication pair (leader and follower event loops streaming
-#           over a real socket, promotion under client traffic), and the
+#           over a real socket, promotion under client traffic), the
 #           trace flight recorder (seqlock ring under concurrent
 #           writers/readers, collector Finish from many threads, traced
-#           daemon requests end to end).
+#           daemon requests end to end), and the topk result cache
+#           (cached daemons under client traffic, the follower's
+#           apply-observer invalidation hook, and the 20-seed
+#           cached≡uncached differential across restarts and
+#           replication).
 #   asan  — AddressSanitizer over the full suite minus the `fuzz` label
 #           (the high-volume testkit differential sweeps; instrumented
 #           builds run them ~10x slower for no extra memory-bug coverage —
@@ -30,7 +34,7 @@ JOBS="$(nproc)"
 
 run_tsan() {
   local build_dir="${1:-build-tsan}"
-  local tsan_tests='obs_registry_test|obs_trace_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|serve_trace_test|wal_log_test|serve_wal_test|serve_replica_test'
+  local tsan_tests='obs_registry_test|obs_trace_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|serve_trace_test|wal_log_test|serve_wal_test|serve_replica_test|serve_cache_test|cache_differential_test'
   cmake -B "${build_dir}" -S . \
     -DADREC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -38,7 +42,8 @@ run_tsan() {
     obs_registry_test obs_trace_test core_engine_stats_test \
     core_sharded_test common_histogram_test feed_replayer_test \
     serve_daemon_test serve_reporter_test serve_trace_test \
-    wal_log_test serve_wal_test serve_replica_test
+    wal_log_test serve_wal_test serve_replica_test \
+    serve_cache_test cache_differential_test
   ctest --test-dir "${build_dir}" -R "${tsan_tests}" \
     --output-on-failure -j "${JOBS}"
   echo "TSan gate passed."

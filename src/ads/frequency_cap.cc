@@ -9,14 +9,16 @@ int FrequencyCapper::CountInWindow(UserId user, AdId ad,
                                    Timestamp now) const {
   auto it = impressions_.find(KeyOf(user, ad));
   if (it == impressions_.end()) return 0;
-  auto& times = it->second;
+  const std::deque<Timestamp>& times = it->second;
   const Timestamp horizon = now - options_.window;
-  while (!times.empty() && times.front() <= horizon) times.pop_front();
-  if (times.empty()) {
-    impressions_.erase(it);
-    return 0;
+  // Pure count, no pruning: Record order is not guaranteed monotone in
+  // `now` (explicit-time probes, replays), so the deque may not be
+  // sorted — scan it rather than trusting front()/back().
+  int count = 0;
+  for (const Timestamp t : times) {
+    if (t > horizon) ++count;
   }
-  return static_cast<int>(times.size());
+  return count;
 }
 
 bool FrequencyCapper::Allowed(UserId user, AdId ad, Timestamp now) const {
@@ -24,7 +26,14 @@ bool FrequencyCapper::Allowed(UserId user, AdId ad, Timestamp now) const {
 }
 
 void FrequencyCapper::Record(UserId user, AdId ad, Timestamp now) {
-  impressions_[KeyOf(user, ad)].push_back(now);
+  std::deque<Timestamp>& times = impressions_[KeyOf(user, ad)];
+  // Writes carry the pruning burden so reads can stay pure. Only a
+  // leading run of expired entries is dropped: the deque is oldest-first
+  // under monotone serving, and under out-of-order replays keeping a
+  // few extra expired entries is harmless (reads count, not trust size).
+  const Timestamp horizon = now - options_.window;
+  while (!times.empty() && times.front() <= horizon) times.pop_front();
+  times.push_back(now);
 }
 
 bool FrequencyCapper::TryServe(UserId user, AdId ad, Timestamp now) {

@@ -21,7 +21,12 @@ struct FrequencyCapOptions {
 
 /// Per-(user, ad) sliding-window impression counter — the guard that
 /// stops the matcher from hammering one user with one ad. O(1) amortised
-/// per call; expired impressions are pruned lazily on access.
+/// per call. Reads (Allowed/CountInWindow/ForEach) never mutate state:
+/// expired impressions are pruned when the same pair Records again, or
+/// in bulk via Expire(). Side-effect-free reads are load-bearing for the
+/// topk result cache — a cache hit skips the engine's read path, so
+/// cached and uncached servers stay byte-identical only if reads cannot
+/// change subsequent answers (DESIGN.md §14).
 class FrequencyCapper {
  public:
   explicit FrequencyCapper(FrequencyCapOptions options = {});
@@ -41,9 +46,10 @@ class FrequencyCapper {
   /// Drops all state older than the window (bulk housekeeping).
   void Expire(Timestamp now);
 
-  /// Visits every tracked (user, ad) pair with its in-window impression
+  /// Visits every tracked (user, ad) pair with its retained impression
   /// timestamps, oldest first (snapshot serialization; unspecified pair
-  /// order — serializers sort).
+  /// order — serializers sort). May include impressions that have aged
+  /// out of the window but not yet been pruned by a Record/Expire.
   void ForEach(const std::function<void(UserId, AdId,
                                         const std::deque<Timestamp>&)>& fn)
       const;
@@ -62,7 +68,7 @@ class FrequencyCapper {
 
   FrequencyCapOptions options_;
   // (user, ad) -> timestamps of impressions, oldest first.
-  mutable std::unordered_map<uint64_t, std::deque<Timestamp>> impressions_;
+  std::unordered_map<uint64_t, std::deque<Timestamp>> impressions_;
 };
 
 }  // namespace adrec::ads

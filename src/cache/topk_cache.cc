@@ -1,0 +1,281 @@
+#include "cache/topk_cache.h"
+
+#include <algorithm>
+
+namespace adrec::cache {
+namespace {
+
+/// splitmix64 finisher — cheap, well-mixed.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t HashTopkKey(const TopkKey& key) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a over the text...
+  for (const char c : key.text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  // ...then the fixed fields mixed in.
+  h = Mix(h ^ key.user);
+  h = Mix(h ^ static_cast<uint64_t>(key.time));
+  return Mix(h ^ key.k);
+}
+
+// --- LruEviction. ---
+
+void LruEviction::PushFront(TopkCache::Entry* entry) {
+  entry->lru_prev = nullptr;
+  entry->lru_next = head_;
+  if (head_ != nullptr) head_->lru_prev = entry;
+  head_ = entry;
+  if (tail_ == nullptr) tail_ = entry;
+}
+
+void LruEviction::Unlink(TopkCache::Entry* entry) {
+  if (entry->lru_prev != nullptr) entry->lru_prev->lru_next = entry->lru_next;
+  if (entry->lru_next != nullptr) entry->lru_next->lru_prev = entry->lru_prev;
+  if (head_ == entry) head_ = entry->lru_next;
+  if (tail_ == entry) tail_ = entry->lru_prev;
+  entry->lru_prev = nullptr;
+  entry->lru_next = nullptr;
+}
+
+void LruEviction::OnInsert(TopkCache::Entry* entry) { PushFront(entry); }
+
+void LruEviction::OnAccess(TopkCache::Entry* entry) {
+  Unlink(entry);
+  PushFront(entry);
+}
+
+void LruEviction::OnErase(TopkCache::Entry* entry) { Unlink(entry); }
+
+// --- FrequencyAdmission. ---
+
+FrequencyAdmission::FrequencyAdmission(size_t window)
+    : window_(std::max<size_t>(window, 1)) {}
+
+bool FrequencyAdmission::Admit(uint64_t key_hash, bool has_free_slot) {
+  const bool seen = current_.count(key_hash) != 0 ||
+                    previous_.count(key_hash) != 0;
+  current_.insert(key_hash);
+  if (current_.size() >= window_) {
+    previous_ = std::move(current_);
+    current_.clear();
+  }
+  return has_free_slot || seen;
+}
+
+// --- TopkCache. ---
+
+TopkCache::TopkCache(TopkCacheOptions options,
+                     std::unique_ptr<EvictionPolicy> eviction,
+                     std::unique_ptr<AdmissionPolicy> admission)
+    : options_(options),
+      eviction_(std::move(eviction)),
+      admission_(std::move(admission)),
+      ctr_hits_(metrics_.GetCounter("cache.hits")),
+      ctr_misses_(metrics_.GetCounter("cache.misses")),
+      ctr_revalidation_misses_(
+          metrics_.GetCounter("cache.revalidation_misses")),
+      ctr_invalidations_(metrics_.GetCounter("cache.invalidations")),
+      ctr_evictions_(metrics_.GetCounter("cache.evictions")),
+      ctr_admission_rejects_(metrics_.GetCounter("cache.admission_rejects")),
+      g_entries_(metrics_.GetGauge("cache.entries")),
+      g_hit_ratio_(metrics_.GetGauge("cache.hit_ratio")),
+      tm_lookup_(metrics_.GetTimer("cache.lookup_us")),
+      tm_fill_(metrics_.GetTimer("cache.fill_us")) {
+  if (eviction_ == nullptr) eviction_ = std::make_unique<LruEviction>();
+  if (admission_ == nullptr) {
+    if (options_.admission == TopkCacheOptions::Admission::kFrequency) {
+      admission_ = std::make_unique<FrequencyAdmission>(
+          std::max<size_t>(options_.capacity, 64));
+    } else {
+      admission_ = std::make_unique<AlwaysAdmit>();
+    }
+  }
+}
+
+TopkCache::Entry* TopkCache::Find(const TopkKey& key) {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void TopkCache::UpdateRatioGauge() {
+  const uint64_t total = hits_ + misses_;
+  g_hit_ratio_->Set(total == 0 ? 0.0
+                               : static_cast<double>(hits_) /
+                                     static_cast<double>(total));
+}
+
+void TopkCache::RecordHit(Entry* entry) {
+  ++hits_;
+  ctr_hits_->Inc();
+  eviction_->OnAccess(entry);
+  UpdateRatioGauge();
+}
+
+void TopkCache::RecordMiss() {
+  ++misses_;
+  ctr_misses_->Inc();
+  UpdateRatioGauge();
+}
+
+void TopkCache::RecordRevalidationMiss(Entry* entry) {
+  ++misses_;
+  ctr_misses_->Inc();
+  ctr_revalidation_misses_->Inc();
+  EraseEntry(entry);
+  UpdateRatioGauge();
+}
+
+void TopkCache::Insert(const TopkKey& key, std::string reply,
+                       std::vector<AdId> ads, LocationId cell, SlotId slot) {
+  if (!enabled()) return;
+  if (Entry* existing = Find(key)) EraseEntry(existing);
+  const bool has_free_slot = map_.size() < options_.capacity;
+  if (!admission_->Admit(HashTopkKey(key), has_free_slot)) {
+    ctr_admission_rejects_->Inc();
+    return;
+  }
+  while (map_.size() >= options_.capacity) {
+    Entry* victim = eviction_->Victim();
+    if (victim == nullptr) break;
+    ctr_evictions_->Inc();
+    EraseEntry(victim);
+  }
+  Entry& entry = map_[key];
+  entry.key = key;
+  entry.reply = std::move(reply);
+  entry.ads = std::move(ads);
+  entry.cell = cell;
+  entry.slot = slot;
+  entry.stamp = clock_;
+  IndexEntry(&entry);
+  eviction_->OnInsert(&entry);
+  g_entries_->Set(static_cast<double>(map_.size()));
+}
+
+void TopkCache::IndexEntry(Entry* entry) {
+  by_user_[entry->key.user].insert(entry);
+  by_cell_[entry->cell.value].insert(entry);
+}
+
+void TopkCache::UnindexEntry(Entry* entry) {
+  auto by_u = by_user_.find(entry->key.user);
+  if (by_u != by_user_.end()) {
+    by_u->second.erase(entry);
+    if (by_u->second.empty()) by_user_.erase(by_u);
+  }
+  auto by_c = by_cell_.find(entry->cell.value);
+  if (by_c != by_cell_.end()) {
+    by_c->second.erase(entry);
+    if (by_c->second.empty()) by_cell_.erase(by_c);
+  }
+}
+
+void TopkCache::EraseEntry(Entry* entry) {
+  eviction_->OnErase(entry);
+  UnindexEntry(entry);
+  map_.erase(entry->key);  // invalidates `entry`
+  g_entries_->Set(static_cast<double>(map_.size()));
+}
+
+void TopkCache::InvalidateEntry(Entry* entry) {
+  ctr_invalidations_->Inc();
+  EraseEntry(entry);
+}
+
+void TopkCache::OnTweet(UserId user) {
+  if (!enabled()) return;
+  ++clock_;
+  auto it = by_user_.find(user.value);
+  if (it == by_user_.end()) return;
+  const std::vector<Entry*> victims(it->second.begin(), it->second.end());
+  for (Entry* entry : victims) InvalidateEntry(entry);
+}
+
+void TopkCache::OnCheckIn(UserId user, LocationId cell) {
+  if (!enabled()) return;
+  ++clock_;
+  std::unordered_set<Entry*> victims;
+  auto by_u = by_user_.find(user.value);
+  if (by_u != by_user_.end()) {
+    victims.insert(by_u->second.begin(), by_u->second.end());
+  }
+  auto by_c = by_cell_.find(cell.value);
+  if (by_c != by_cell_.end()) {
+    victims.insert(by_c->second.begin(), by_c->second.end());
+  }
+  for (Entry* entry : victims) InvalidateEntry(entry);
+}
+
+void TopkCache::OnAdPut(const std::vector<LocationId>& target_locations,
+                        const std::vector<SlotId>& target_slots) {
+  InvalidateForAd(target_locations, target_slots);
+}
+
+void TopkCache::OnAdRemoved(const std::vector<LocationId>& target_locations,
+                            const std::vector<SlotId>& target_slots) {
+  InvalidateForAd(target_locations, target_slots);
+}
+
+void TopkCache::InvalidateForAd(
+    const std::vector<LocationId>& target_locations,
+    const std::vector<SlotId>& target_slots) {
+  if (!enabled()) return;
+  ++clock_;
+  if (map_.empty()) return;
+
+  // Wildcard semantics mirror index::PassesFilters: an entry with no
+  // slot filter sees every ad; an untargeted ad is visible to every
+  // entry's filters.
+  auto slot_compatible = [&](const Entry* entry) {
+    if (!entry->slot.valid() || target_slots.empty()) return true;
+    return std::find(target_slots.begin(), target_slots.end(),
+                     entry->slot) != target_slots.end();
+  };
+
+  std::unordered_set<Entry*> candidates;
+  if (target_locations.empty()) {
+    for (auto& [key, entry] : map_) candidates.insert(&entry);
+  } else {
+    // Unfiltered (invalid-cell) entries match any targeted ad...
+    auto wildcard = by_cell_.find(LocationId::kInvalidValue);
+    if (wildcard != by_cell_.end()) {
+      candidates.insert(wildcard->second.begin(), wildcard->second.end());
+    }
+    // ...plus the entries pinned to each targeted cell.
+    for (const LocationId cell : target_locations) {
+      auto by_c = by_cell_.find(cell.value);
+      if (by_c != by_cell_.end()) {
+        candidates.insert(by_c->second.begin(), by_c->second.end());
+      }
+    }
+  }
+
+  std::vector<Entry*> victims;
+  victims.reserve(candidates.size());
+  for (Entry* entry : candidates) {
+    if (slot_compatible(entry)) victims.push_back(entry);
+  }
+  for (Entry* entry : victims) InvalidateEntry(entry);
+}
+
+void TopkCache::OnUserCharged(UserId user, const TopkKey& served) {
+  if (!enabled()) return;
+  auto it = by_user_.find(user.value);
+  if (it == by_user_.end()) return;
+  std::vector<Entry*> victims;
+  for (Entry* entry : it->second) {
+    if (!(entry->key == served)) victims.push_back(entry);
+  }
+  for (Entry* entry : victims) InvalidateEntry(entry);
+}
+
+}  // namespace adrec::cache

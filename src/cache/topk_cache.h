@@ -1,0 +1,267 @@
+#ifndef ADREC_CACHE_TOPK_CACHE_H_
+#define ADREC_CACHE_TOPK_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/sim_clock.h"
+#include "obs/metrics.h"
+
+namespace adrec::cache {
+
+/// Stream-clock-invalidated topk result cache (DESIGN.md §14).
+///
+/// Entries memoise the exact wire reply of a `topk` query, keyed by the
+/// fully-resolved query shape — (user, time, k, text) — and stamped with
+/// the cache's stream clock plus the location/slot filters the engine
+/// resolved at fill time. Consistency comes from two mechanisms working
+/// together:
+///
+///  * Eager invalidation: every ingest event advances the stream clock
+///    and evicts the entries it could influence — a tweet evicts its
+///    author's entries; a check-in evicts the author's entries and every
+///    entry pinned to that geo cell; ad churn evicts every entry whose
+///    (cell, slot) filters are compatible with the ad's targeting (an
+///    invalid cell means the query ran unfiltered, so it is compatible
+///    with everything — same wildcard rules as index::PassesFilters).
+///  * Hit-time revalidation and charging: serving a topk reply is a
+///    mutation (budget decrement + frequency-cap record), so the server
+///    re-runs exactly those checks and charges through the engine before
+///    a cached reply goes out (core::ChargeCachedTopK); if any served ad
+///    fails, the entry is dropped and the query recomputes.
+///
+/// The cache is event-loop furniture like the engine it fronts: single
+/// writer, no locks. Capacity 0 disables it entirely (enabled() false,
+/// all mutators no-op).
+///
+/// Eviction and admission are pluggable. The defaults are LRU eviction
+/// plus a frequency admission gate (a doorkeeper: while the cache is
+/// full, a key earns a slot only on its second sighting within the
+/// recent-miss window, so one-hit-wonder query shapes cannot flush the
+/// hot set).
+
+/// The fully-resolved identity of a topk query. `time` is the query's
+/// effective timestamp (the server substitutes its stream clock for
+/// time-less queries *before* keying), so two lookups collide only when
+/// the uncached engine would see byte-identical inputs.
+struct TopkKey {
+  uint32_t user = 0;
+  Timestamp time = 0;
+  uint32_t k = 0;
+  std::string text;
+
+  bool operator==(const TopkKey& other) const = default;
+};
+
+uint64_t HashTopkKey(const TopkKey& key);
+
+struct TopkKeyHash {
+  size_t operator()(const TopkKey& key) const {
+    return static_cast<size_t>(HashTopkKey(key));
+  }
+};
+
+struct TopkCacheOptions {
+  /// Maximum resident entries; 0 disables the cache.
+  size_t capacity = 0;
+
+  enum class Admission {
+    kAlways,     ///< every computed result is inserted
+    kFrequency,  ///< doorkeeper: admit under pressure on repeat sighting
+  };
+  Admission admission = Admission::kFrequency;
+};
+
+class TopkCache {
+ public:
+  /// One cached answer. Lives in the map (pointer-stable); the intrusive
+  /// links belong to the eviction policy.
+  struct Entry {
+    TopkKey key;
+    std::string reply;     ///< exact wire bytes served on a hit
+    std::vector<AdId> ads; ///< ads charged each time the reply serves
+    LocationId cell;       ///< resolved location filter (!valid() = none)
+    SlotId slot;           ///< resolved slot filter (!valid() = none)
+    uint64_t stamp = 0;    ///< stream clock at fill time
+    Entry* lru_prev = nullptr;
+    Entry* lru_next = nullptr;
+  };
+
+  /// Eviction policy: observes entry lifecycle, names a victim when the
+  /// cache is full. Entries are pointer-stable for their lifetime.
+  class EvictionPolicy {
+   public:
+    virtual ~EvictionPolicy() = default;
+    virtual void OnInsert(Entry* entry) = 0;
+    virtual void OnAccess(Entry* entry) = 0;
+    virtual void OnErase(Entry* entry) = 0;
+    /// The entry to evict next; nullptr if none tracked.
+    virtual Entry* Victim() = 0;
+  };
+
+  /// Admission policy: called once per fill attempt with the key's hash;
+  /// `has_free_slot` is true while inserting would evict nothing.
+  class AdmissionPolicy {
+   public:
+    virtual ~AdmissionPolicy() = default;
+    virtual bool Admit(uint64_t key_hash, bool has_free_slot) = 0;
+  };
+
+  /// Default-constructs policies from `options` when none are injected.
+  explicit TopkCache(TopkCacheOptions options,
+                     std::unique_ptr<EvictionPolicy> eviction = nullptr,
+                     std::unique_ptr<AdmissionPolicy> admission = nullptr);
+
+  TopkCache(const TopkCache&) = delete;
+  TopkCache& operator=(const TopkCache&) = delete;
+
+  bool enabled() const { return options_.capacity > 0; }
+  size_t size() const { return map_.size(); }
+  /// Ingest events seen so far (the invalidation stream clock). Entry
+  /// stamps are values of this clock.
+  uint64_t clock() const { return clock_; }
+
+  // --- Lookup / fill (the `topk` verb path). ---
+
+  /// The resident entry for `key`, or nullptr. No counters, no LRU
+  /// touch — the server decides hit vs revalidation-miss afterwards.
+  Entry* Find(const TopkKey& key);
+
+  /// A served hit: counts it and refreshes the eviction policy.
+  void RecordHit(Entry* entry);
+
+  /// A plain miss (no resident entry).
+  void RecordMiss();
+
+  /// A resident entry that failed hit-time revalidation: counted as a
+  /// miss (plus its own counter) and dropped.
+  void RecordRevalidationMiss(Entry* entry);
+
+  /// Memoises a computed reply. Admission-gated; evicts via the eviction
+  /// policy when full. No-op when disabled.
+  void Insert(const TopkKey& key, std::string reply, std::vector<AdId> ads,
+              LocationId cell, SlotId slot);
+
+  // --- Ingest-driven invalidation. Each call advances the stream clock
+  // (whether or not anything was resident to evict). ---
+
+  void OnTweet(UserId user);
+  void OnCheckIn(UserId user, LocationId cell);
+  /// Ad churn: evicts every entry whose (cell, slot) filters are
+  /// compatible with the ad's targeting. Call only after the engine
+  /// accepted the mutation (a rejected adput changes nothing).
+  void OnAdPut(const std::vector<LocationId>& target_locations,
+               const std::vector<SlotId>& target_slots);
+  /// Same fan-out rule; pass the targeting of the ad *as stored* (look
+  /// it up before removal — the store forgets it afterwards).
+  void OnAdRemoved(const std::vector<LocationId>& target_locations,
+                   const std::vector<SlotId>& target_slots);
+
+  // --- Charge-driven invalidation (no clock advance). ---
+
+  /// Serving ads to `user` recorded (user, ad) impressions, which can
+  /// reshape frequency-cap decisions embedded in the user's *other*
+  /// cached entries; those are dropped. The just-served `served` key
+  /// survives (its own ads are revalidated on every hit). Only needed
+  /// when the frequency cap is enabled.
+  void OnUserCharged(UserId user, const TopkKey& served);
+
+  // --- Observability. ---
+
+  /// cache.* registry: hits/misses/revalidation_misses/invalidations/
+  /// evictions/admission_rejects counters, entries/hit_ratio gauges,
+  /// lookup/fill timers.
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  obs::Timer* lookup_timer() { return tm_lookup_; }
+  obs::Timer* fill_timer() { return tm_fill_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  void IndexEntry(Entry* entry);
+  void UnindexEntry(Entry* entry);
+  /// Policy OnErase + unindex + map erase + entries gauge.
+  void EraseEntry(Entry* entry);
+  /// EraseEntry counted as an invalidation.
+  void InvalidateEntry(Entry* entry);
+  void InvalidateForAd(const std::vector<LocationId>& target_locations,
+                       const std::vector<SlotId>& target_slots);
+  void UpdateRatioGauge();
+
+  const TopkCacheOptions options_;
+  std::unique_ptr<EvictionPolicy> eviction_;
+  std::unique_ptr<AdmissionPolicy> admission_;
+
+  std::unordered_map<TopkKey, Entry, TopkKeyHash> map_;
+  /// Reverse indexes for invalidation fan-out. An entry sits in exactly
+  /// one bucket of each: its author's user bucket, and the bucket of its
+  /// resolved cell value (LocationId::kInvalidValue = the unfiltered /
+  /// wildcard bucket, which every targeted ad is compatible with).
+  std::unordered_map<uint32_t, std::unordered_set<Entry*>> by_user_;
+  std::unordered_map<uint32_t, std::unordered_set<Entry*>> by_cell_;
+
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  obs::MetricRegistry metrics_;
+  obs::Counter* ctr_hits_;
+  obs::Counter* ctr_misses_;
+  obs::Counter* ctr_revalidation_misses_;
+  obs::Counter* ctr_invalidations_;
+  obs::Counter* ctr_evictions_;
+  obs::Counter* ctr_admission_rejects_;
+  obs::Gauge* g_entries_;
+  obs::Gauge* g_hit_ratio_;
+  obs::Timer* tm_lookup_;
+  obs::Timer* tm_fill_;
+};
+
+/// Default eviction: intrusive LRU over the entries' embedded links.
+class LruEviction : public TopkCache::EvictionPolicy {
+ public:
+  void OnInsert(TopkCache::Entry* entry) override;
+  void OnAccess(TopkCache::Entry* entry) override;
+  void OnErase(TopkCache::Entry* entry) override;
+  TopkCache::Entry* Victim() override { return tail_; }
+
+ private:
+  void Unlink(TopkCache::Entry* entry);
+  void PushFront(TopkCache::Entry* entry);
+
+  TopkCache::Entry* head_ = nullptr;
+  TopkCache::Entry* tail_ = nullptr;
+};
+
+/// Admit everything.
+class AlwaysAdmit : public TopkCache::AdmissionPolicy {
+ public:
+  bool Admit(uint64_t, bool) override { return true; }
+};
+
+/// Doorkeeper admission: while the cache is full, a key is admitted only
+/// if its hash was already sighted within the last ~window misses (two
+/// alternating generations, rotated every `window` sightings). With free
+/// slots everything is admitted — the gate exists to protect a full hot
+/// set, not to slow warm-up.
+class FrequencyAdmission : public TopkCache::AdmissionPolicy {
+ public:
+  /// `window` defaults to the cache capacity (min 64).
+  explicit FrequencyAdmission(size_t window);
+  bool Admit(uint64_t key_hash, bool has_free_slot) override;
+
+ private:
+  const size_t window_;
+  std::unordered_set<uint64_t> current_;
+  std::unordered_set<uint64_t> previous_;
+};
+
+}  // namespace adrec::cache
+
+#endif  // ADREC_CACHE_TOPK_CACHE_H_

@@ -293,6 +293,41 @@ std::vector<index::ScoredAd> RecommendationEngine::TopKAdsForTweet(
   return out;
 }
 
+TopkContext RecommendationEngine::TopkContextFor(
+    const feed::Tweet& tweet) const {
+  // Mirrors BuildQuery's filter resolution without paying for annotation.
+  TopkContext ctx;
+  ctx.slot = slots_.SlotOf(tweet.time);
+  ctx.location = profiles_.TopLocation(tweet.user, ctx.slot);
+  if (!ctx.location.valid()) {
+    auto loc = current_location_.find(tweet.user.value);
+    if (loc != current_location_.end()) ctx.location = loc->second;
+  }
+  return ctx;
+}
+
+bool RecommendationEngine::ChargeCachedTopK(const feed::Tweet& tweet,
+                                            const std::vector<AdId>& ads) {
+  obs::StageSpan probe(StageTimer(tm_topk_), "engine.topk_cached");
+  const bool cap_enabled = frequency_cap_enabled();
+  // Validate everything before charging anything so a failure leaves the
+  // engine untouched and the caller can recompute from clean state.
+  for (const AdId ad : ads) {
+    if (!store_.HasBudget(ad)) return false;
+    if (cap_enabled && !capper_.Allowed(tweet.user, ad, tweet.time)) {
+      return false;
+    }
+  }
+  for (const AdId ad : ads) {
+    // Cannot fail: HasBudget held above and the engine is single-writer.
+    (void)store_.RecordImpression(ad);
+    if (cap_enabled) capper_.Record(tweet.user, ad, tweet.time);
+  }
+  ctr_topk_queries_->Inc();
+  ctr_impressions_->Inc(ads.size());
+  return true;
+}
+
 std::vector<index::ScoredAd>
 RecommendationEngine::TopKAdsForTweetExhaustive(const feed::Tweet& tweet,
                                                 size_t k) const {

@@ -42,6 +42,14 @@ struct EngineOptions {
   bool collect_stage_timings = true;
 };
 
+/// The serving context TopKAdsForTweet would resolve for a tweet: the
+/// location and slot filters its index query runs under. The topk result
+/// cache keys invalidation on these attributes (DESIGN.md §14).
+struct TopkContext {
+  LocationId location;  // !valid() = query carries no location filter
+  SlotId slot;          // !valid() = query carries no slot filter
+};
+
 /// A typed snapshot of the engine's observable state: event counters,
 /// per-stage hot-path latency histograms (microseconds unless the name
 /// says otherwise), and the last analysis' lattice sizes. Mergeable
@@ -143,6 +151,27 @@ class RecommendationEngine {
   /// impressions are recorded for returned ads.
   std::vector<index::ScoredAd> TopKAdsForTweet(const feed::Tweet& tweet,
                                                size_t k);
+
+  /// The location/slot context TopKAdsForTweet would resolve for `tweet`
+  /// right now — what the topk result cache stamps on an entry so ingest
+  /// can compute invalidation fan-out. Read-only.
+  TopkContext TopkContextFor(const feed::Tweet& tweet) const;
+
+  /// Cache-hit bookkeeping: revalidates that every ad in `ads` is still
+  /// servable to `tweet`'s author at `tweet`'s time (budget + frequency
+  /// cap), then charges them exactly as TopKAdsForTweet would — budget
+  /// decrement, cap record, topk/impression counters. Returns false
+  /// WITHOUT charging anything if any ad fails revalidation; the caller
+  /// must then drop the cached entry and recompute. This is what makes
+  /// serving a cached topk reply observably identical to recomputing it
+  /// (DESIGN.md §14).
+  bool ChargeCachedTopK(const feed::Tweet& tweet,
+                        const std::vector<AdId>& ads);
+
+  /// Whether the per-(user, ad) frequency cap participates in serving.
+  bool frequency_cap_enabled() const {
+    return options_.frequency_cap.max_impressions > 0;
+  }
 
   /// The same query answered by the exhaustive scorer (baseline for E3).
   /// Unlike TopKAdsForTweet it is read-only: no impressions are recorded,

@@ -157,4 +157,13 @@ std::vector<index::ScoredAd> ShardedEngine::TopKAdsForTweet(
   return shards_[ShardOf(tweet.user)]->TopKAdsForTweet(tweet, k);
 }
 
+TopkContext ShardedEngine::TopkContextFor(const feed::Tweet& tweet) const {
+  return shards_[ShardOf(tweet.user)]->TopkContextFor(tweet);
+}
+
+bool ShardedEngine::ChargeCachedTopK(const feed::Tweet& tweet,
+                                     const std::vector<AdId>& ads) {
+  return shards_[ShardOf(tweet.user)]->ChargeCachedTopK(tweet, ads);
+}
+
 }  // namespace adrec::core

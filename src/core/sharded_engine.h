@@ -51,6 +51,20 @@ class ShardedEngine {
   std::vector<index::ScoredAd> TopKAdsForTweet(const feed::Tweet& tweet,
                                                size_t k);
 
+  /// Cache support, routed to the author's shard (budgets and frequency
+  /// caps live per shard — impressions charge where the query serves).
+  TopkContext TopkContextFor(const feed::Tweet& tweet) const;
+  bool ChargeCachedTopK(const feed::Tweet& tweet,
+                        const std::vector<AdId>& ads);
+  bool frequency_cap_enabled() const {
+    return shards_[0]->frequency_cap_enabled();
+  }
+  /// Stored ad lookup (nullptr if absent). Ad inventory is broadcast, so
+  /// shard 0 is authoritative for targeting metadata.
+  const ads::StoredAd* FindAd(AdId id) const {
+    return shards_[0]->ad_store().Find(id);
+  }
+
   size_t num_shards() const { return shards_.size(); }
   const RecommendationEngine& shard(size_t i) const { return *shards_[i]; }
   /// Mutable shard access for snapshot restore (core/snapshot loads each

@@ -1,0 +1,123 @@
+#include "feed/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace adrec::feed {
+
+namespace {
+const std::string kEmptyPhrase;
+}  // namespace
+
+LoadGen::LoadGen(LoadGenOptions options, std::vector<std::string> phrases)
+    : options_(options),
+      phrases_(std::move(phrases)),
+      rng_(options.seed),
+      users_(std::max<size_t>(options.num_users, 1), options.user_skew),
+      cells_(std::max<size_t>(options.num_cells, 1), options.cell_skew),
+      now_(options.start_time) {}
+
+const std::string& LoadGen::PhraseFor(UserId user) const {
+  if (phrases_.empty()) return kEmptyPhrase;
+  return phrases_[user.value % phrases_.size()];
+}
+
+LoadOp LoadGen::Next() {
+  LoadOp op;
+  const UserId user(static_cast<uint32_t>(users_.Sample(rng_)));
+  if (rng_.NextBool(options_.ingest_fraction)) {
+    ++ingests_;
+    if (options_.ingests_per_second > 0 &&
+        ingests_ % options_.ingests_per_second == 0) {
+      ++now_;
+    }
+    if (rng_.NextBool(options_.checkin_fraction)) {
+      op.kind = LoadOp::Kind::kCheckIn;
+      op.check_in.user = user;
+      op.check_in.time = now_;
+      op.check_in.location =
+          LocationId(static_cast<uint32_t>(cells_.Sample(rng_)));
+    } else {
+      op.kind = LoadOp::Kind::kTweet;
+      op.tweet.user = user;
+      op.tweet.time = now_;
+      op.tweet.text = PhraseFor(user);
+    }
+  } else {
+    op.kind = LoadOp::Kind::kTopK;
+    op.k = options_.topk_k;
+    op.tweet.user = user;
+    if (options_.explicit_time_queries) {
+      op.has_time = true;
+      op.tweet.time = now_;
+      op.tweet.text = PhraseFor(user);
+    }
+  }
+  return op;
+}
+
+LoadRunStats RunLoad(serve::Client* client, LoadGen* gen,
+                     const LoadRunOptions& run) {
+  using Clock = std::chrono::steady_clock;
+  LoadRunStats stats;
+  const Clock::time_point start = Clock::now();
+  const bool open_loop = run.open_loop_rate > 0.0;
+  const std::chrono::nanoseconds interval(
+      open_loop ? static_cast<int64_t>(1e9 / run.open_loop_rate) : 0);
+
+  for (size_t i = 0; i < run.num_ops; ++i) {
+    Clock::time_point issue = Clock::now();
+    if (open_loop) {
+      // Latency is referenced to the scheduled arrival: if the service
+      // lags behind the arrival process, the wait shows up as latency.
+      const Clock::time_point scheduled = start + interval * i;
+      if (issue < scheduled) {
+        std::this_thread::sleep_until(scheduled);
+        issue = Clock::now();
+      } else {
+        issue = scheduled;
+      }
+    }
+
+    const LoadOp op = gen->Next();
+    bool ok = true;
+    bool is_topk = false;
+    switch (op.kind) {
+      case LoadOp::Kind::kTweet:
+        ok = client->SendTweet(op.tweet).ok();
+        break;
+      case LoadOp::Kind::kCheckIn:
+        ok = client->SendCheckIn(op.check_in).ok();
+        break;
+      case LoadOp::Kind::kTopK: {
+        is_topk = true;
+        const auto result =
+            op.has_time ? client->TopK(op.tweet.user, op.k, op.tweet.time,
+                                       op.tweet.text)
+                        : client->TopK(op.tweet.user, op.k);
+        ok = result.ok();
+        break;
+      }
+    }
+
+    ++stats.ops;
+    if (!ok) {
+      ++stats.errors;
+      continue;
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - issue)
+            .count();
+    (is_topk ? stats.topk_latency_us : stats.ingest_latency_us).Record(us);
+  }
+
+  stats.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  stats.achieved_ops_per_sec =
+      stats.seconds > 0.0 ? static_cast<double>(stats.ops) / stats.seconds
+                          : 0.0;
+  return stats;
+}
+
+}  // namespace adrec::feed

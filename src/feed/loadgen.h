@@ -1,0 +1,110 @@
+#ifndef ADREC_FEED_LOADGEN_H_
+#define ADREC_FEED_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "feed/types.h"
+#include "serve/client.h"
+
+namespace adrec::feed {
+
+/// Zipf-parameterised mixed ingest/query load (SNIPPETS.md §1 shape):
+/// the realistic traffic model for a high-speed feed front end, where a
+/// small set of hot users absorbs most topk calls and ingest trickles
+/// through the same connection. One LoadGen is one deterministic op
+/// stream — same options, same seed, same ops — so cached and uncached
+/// servers can be driven identically.
+struct LoadGenOptions {
+  uint64_t seed = 1;
+  size_t num_users = 1000;
+  /// Check-in cells are drawn from their own Zipf (hot venues).
+  size_t num_cells = 64;
+  /// Zipf exponent over users; 0 = uniform. Applies to both queries and
+  /// ingest (hot users are hot on both sides).
+  double user_skew = 0.99;
+  double cell_skew = 0.8;
+  /// Probability an op is ingest (the rest are topk queries).
+  double ingest_fraction = 0.10;
+  /// Of the ingest ops, the check-in share (the rest are tweets).
+  double checkin_fraction = 0.30;
+  size_t topk_k = 5;
+  /// Simulated stream time starts here and advances one second per
+  /// `ingests_per_second` generated ingest events — the knob for how
+  /// fast the server's stream clock (and with it the identity of
+  /// time-less topk queries) moves under load.
+  Timestamp start_time = 1;
+  size_t ingests_per_second = 64;
+  /// false: topk ops are time-less ("this user's feed right now" — the
+  /// server substitutes its stream clock). true: ops carry an explicit
+  /// <time> (the generator's current stream time) and the user's phrase.
+  bool explicit_time_queries = false;
+};
+
+/// One generated operation.
+struct LoadOp {
+  enum class Kind { kTweet, kCheckIn, kTopK };
+  Kind kind = Kind::kTopK;
+  Tweet tweet;        ///< kTweet payload; kTopK query (user[, time, text])
+  CheckIn check_in;   ///< kCheckIn payload
+  size_t k = 0;       ///< kTopK
+  bool has_time = false;  ///< kTopK: explicit time+text on the wire
+};
+
+/// Deterministic op-stream generator.
+class LoadGen {
+ public:
+  /// `phrases` is the text pool; each user tweets/queries one stable
+  /// phrase from it (realistic repeat-query shapes). May be empty.
+  LoadGen(LoadGenOptions options, std::vector<std::string> phrases);
+
+  LoadOp Next();
+
+  /// The generator's current simulated stream time.
+  Timestamp now() const { return now_; }
+
+ private:
+  const std::string& PhraseFor(UserId user) const;
+
+  const LoadGenOptions options_;
+  const std::vector<std::string> phrases_;
+  Rng rng_;
+  ZipfSampler users_;
+  ZipfSampler cells_;
+  Timestamp now_;
+  size_t ingests_ = 0;
+};
+
+/// One load run's outcome.
+struct LoadRunStats {
+  size_t ops = 0;
+  size_t errors = 0;
+  double seconds = 0.0;
+  double achieved_ops_per_sec = 0.0;
+  Histogram topk_latency_us;
+  Histogram ingest_latency_us;
+};
+
+struct LoadRunOptions {
+  size_t num_ops = 10000;
+  /// 0 = closed loop (back-to-back over the blocking client; achieved
+  /// throughput is the service rate). > 0 = open loop: ops are scheduled
+  /// at this uniform arrival rate and latency is measured from the
+  /// *scheduled* arrival instant, so queueing delay while the server
+  /// falls behind counts against it — no coordinated omission.
+  double open_loop_rate = 0.0;
+};
+
+/// Drives `gen` over `client` per `run`. Transport errors are counted
+/// and the affected op's latency is dropped; callers treat a non-zero
+/// error count as a failed run.
+LoadRunStats RunLoad(serve::Client* client, LoadGen* gen,
+                     const LoadRunOptions& run);
+
+}  // namespace adrec::feed
+
+#endif  // ADREC_FEED_LOADGEN_H_

@@ -198,6 +198,10 @@ void Follower::HandleControlLine(std::string_view line) {
 }
 
 void Follower::ApplyEvent(const feed::FeedEvent& event) {
+  // Pre-apply, so an addel observer can still look up the doomed ad's
+  // metadata in the store (the server's topk cache needs its targeting
+  // to compute invalidation fan-out).
+  if (apply_observer_) apply_observer_(event);
   // The same apply semantics as crash recovery (wal/checkpoint.cc):
   // re-insertion and double-deletion are benign — the leader's log may
   // overlap what a checkpoint already restored.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "common/sim_clock.h"
@@ -111,6 +112,15 @@ class Follower {
   /// reconnects/apply_errors counters.
   const obs::MetricRegistry& metrics() const { return metrics_; }
 
+  /// Observer invoked for every replicated event, immediately BEFORE it
+  /// is applied to the engine (so an addel observer can still read the
+  /// doomed ad's stored metadata). Runs on the event-loop thread. The
+  /// server uses this to invalidate its topk result cache per applied
+  /// frame — replicated ingest must evict exactly like local ingest.
+  void set_apply_observer(std::function<void(const feed::FeedEvent&)> fn) {
+    apply_observer_ = std::move(fn);
+  }
+
  private:
   enum class State { kDisconnected, kConnecting, kHandshake, kStreaming };
 
@@ -130,6 +140,7 @@ class Follower {
   core::ShardedEngine* engine_;  // not owned
   wal::WalWriter* wal_;          // not owned
   const FollowerOptions options_;
+  std::function<void(const feed::FeedEvent&)> apply_observer_;
 
   State state_ = State::kDisconnected;
   bool detached_ = false;

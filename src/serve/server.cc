@@ -41,6 +41,18 @@ Status SetNonBlocking(int fd) {
 /// clients see bit-identical rankings.
 std::string ScoreText(double score) { return StringFormat("%.17g", score); }
 
+/// The `topk` reply — also the byte sequence the result cache memoises.
+std::string FormatTopKReply(const std::vector<index::ScoredAd>& ads) {
+  std::string out = StringFormat("ADS %zu", ads.size()) + std::string(kCrlf);
+  for (const index::ScoredAd& sa : ads) {
+    out += StringFormat("AD %u ", sa.ad.value) + ScoreText(sa.score);
+    out += kCrlf;
+  }
+  out += "END";
+  out += kCrlf;
+  return out;
+}
+
 }  // namespace
 
 /// Per-connection state, owned and touched only by the event loop.
@@ -92,6 +104,15 @@ Server::Server(core::ShardedEngine* engine, ServerOptions options)
   ADREC_CHECK(engine_ != nullptr);
   // A follower starts read-only; `promote` is the only way out.
   read_only_ = options_.follower != nullptr;
+  if (options_.topk_cache.capacity > 0) {
+    cache_ = std::make_unique<cache::TopkCache>(options_.topk_cache);
+    if (options_.follower != nullptr) {
+      // Replicated ingest must invalidate exactly like local ingest; the
+      // observer fires pre-apply on the event-loop thread.
+      options_.follower->set_apply_observer(
+          [this](const feed::FeedEvent& event) { InvalidateCacheFor(event); });
+    }
+  }
   for (size_t v = 0; v < kNumVerbs; ++v) {
     const std::string name(VerbName(static_cast<Verb>(v)));
     ctr_cmds_[v] = metrics_.GetCounter("serve.cmd_" + name);
@@ -435,16 +456,42 @@ std::string Server::Execute(const Request& req, Connection* conn) {
   switch (req.verb) {
     case Verb::kTweet:
       engine_->OnTweet(req.tweet);
+      if (cache_ != nullptr) cache_->OnTweet(req.tweet.user);
       if (req.tweet.time > stream_now_) stream_now_ = req.tweet.time;
       return "OK" + std::string(kCrlf);
     case Verb::kCheckIn:
       engine_->OnCheckIn(req.check_in);
+      if (cache_ != nullptr) {
+        cache_->OnCheckIn(req.check_in.user, req.check_in.location);
+      }
       if (req.check_in.time > stream_now_) stream_now_ = req.check_in.time;
       return "OK" + std::string(kCrlf);
-    case Verb::kAdPut:
-      return status_reply(engine_->InsertAd(req.ad));
-    case Verb::kAdDel:
-      return status_reply(engine_->RemoveAd(req.ad_id));
+    case Verb::kAdPut: {
+      const Status st = engine_->InsertAd(req.ad);
+      if (cache_ != nullptr && st.ok()) {
+        cache_->OnAdPut(req.ad.target_locations, req.ad.target_slots);
+      }
+      return status_reply(st);
+    }
+    case Verb::kAdDel: {
+      // The fan-out needs the ad's targeting as stored, and the store
+      // forgets it on removal — look it up first.
+      std::vector<LocationId> target_locations;
+      std::vector<SlotId> target_slots;
+      bool stored = false;
+      if (cache_ != nullptr) {
+        if (const ads::StoredAd* ad = engine_->FindAd(req.ad_id)) {
+          stored = true;
+          target_locations = ad->ad.target_locations;
+          target_slots = ad->ad.target_slots;
+        }
+      }
+      const Status st = engine_->RemoveAd(req.ad_id);
+      if (cache_ != nullptr && stored && st.ok()) {
+        cache_->OnAdRemoved(target_locations, target_slots);
+      }
+      return status_reply(st);
+    }
     case Verb::kTopK:
       return ExecuteTopK(req);
     case Verb::kMatch:
@@ -481,16 +528,76 @@ std::string Server::Execute(const Request& req, Connection* conn) {
 std::string Server::ExecuteTopK(const Request& req) {
   feed::Tweet query = req.tweet;
   if (!req.has_time) query.time = stream_now_;
-  const std::vector<index::ScoredAd> ads =
-      engine_->TopKAdsForTweet(query, req.k);
-  std::string out = StringFormat("ADS %zu", ads.size()) + std::string(kCrlf);
-  for (const index::ScoredAd& sa : ads) {
-    out += StringFormat("AD %u ", sa.ad.value) + ScoreText(sa.score);
-    out += kCrlf;
+  if (cache_ != nullptr) return ExecuteTopKCached(query, req.k);
+  return FormatTopKReply(engine_->TopKAdsForTweet(query, req.k));
+}
+
+std::string Server::ExecuteTopKCached(const feed::Tweet& query, size_t k) {
+  cache::TopkKey key;
+  key.user = query.user.value;
+  key.time = query.time;
+  key.k = static_cast<uint32_t>(k);
+  key.text = query.text;
+
+  {
+    obs::StageSpan probe(cache_->lookup_timer(), "cache.lookup");
+    if (cache::TopkCache::Entry* entry = cache_->Find(key)) {
+      // Serving is a mutation: re-check and charge the memoised ads
+      // through the engine so a hit is observably identical to a
+      // recomputation. A failed revalidation falls through to recompute.
+      if (engine_->ChargeCachedTopK(query, entry->ads)) {
+        cache_->RecordHit(entry);
+        std::string reply = entry->reply;
+        if (!entry->ads.empty() && engine_->frequency_cap_enabled()) {
+          cache_->OnUserCharged(query.user, key);
+        }
+        return reply;
+      }
+      cache_->RecordRevalidationMiss(entry);
+    } else {
+      cache_->RecordMiss();
+    }
   }
-  out += "END";
-  out += kCrlf;
-  return out;
+
+  const std::vector<index::ScoredAd> ads = engine_->TopKAdsForTweet(query, k);
+  std::string reply = FormatTopKReply(ads);
+  {
+    obs::StageSpan probe(cache_->fill_timer(), "cache.fill");
+    const core::TopkContext ctx = engine_->TopkContextFor(query);
+    std::vector<AdId> ids;
+    ids.reserve(ads.size());
+    for (const index::ScoredAd& sa : ads) ids.push_back(sa.ad);
+    const bool charged = !ids.empty();
+    cache_->Insert(key, reply, std::move(ids), ctx.location, ctx.slot);
+    // The compute above charged this user's frequency caps, which can
+    // reshape cap decisions baked into their other entries.
+    if (charged && engine_->frequency_cap_enabled()) {
+      cache_->OnUserCharged(query.user, key);
+    }
+  }
+  return reply;
+}
+
+void Server::InvalidateCacheFor(const feed::FeedEvent& event) {
+  if (cache_ == nullptr) return;
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      cache_->OnTweet(event.tweet.user);
+      break;
+    case feed::EventKind::kCheckIn:
+      cache_->OnCheckIn(event.check_in.user, event.check_in.location);
+      break;
+    case feed::EventKind::kAdInsert:
+      cache_->OnAdPut(event.ad.target_locations, event.ad.target_slots);
+      break;
+    case feed::EventKind::kAdDelete:
+      // Pre-apply: the ad is still in the store. A missing ad means the
+      // delete will no-op, so nothing can change.
+      if (const ads::StoredAd* ad = engine_->FindAd(event.ad_id)) {
+        cache_->OnAdRemoved(ad->ad.target_locations, ad->ad.target_slots);
+      }
+      break;
+  }
 }
 
 std::string Server::ExecuteMatch(const Request& req) {
@@ -815,6 +922,9 @@ void Server::MaybeCheckpoint() {
 obs::MetricsSnapshot Server::MergedSnapshot() const {
   obs::MetricsSnapshot snapshot = metrics_.Snapshot();
   snapshot.MergeFrom(engine_->MergedMetrics());
+  if (cache_ != nullptr) {
+    snapshot.MergeFrom(cache_->metrics().Snapshot());
+  }
   if (options_.wal != nullptr) {
     snapshot.MergeFrom(options_.wal->metrics().Snapshot());
   }

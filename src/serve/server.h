@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/topk_cache.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "core/sharded_engine.h"
@@ -94,6 +95,13 @@ struct ServerOptions {
   /// wave's group-commit barrier so the commit wave is attributed to every
   /// request it made durable.
   obs::TraceCollector* tracer = nullptr;
+  /// Topk result cache (DESIGN.md §14). Off by default (capacity 0);
+  /// `--topk-cache=N` turns it on. The server owns the cache, consults it
+  /// under the `topk` verb (hit-time revalidation + charging through the
+  /// engine keeps cached replies byte-identical to recomputed ones), and
+  /// invalidates it on every ingest verb — and, on a follower, on every
+  /// replicated frame the follower applies.
+  cache::TopkCacheOptions topk_cache;
 };
 
 /// The adrecd network front end: a single-threaded, event-driven
@@ -170,6 +178,14 @@ class Server {
   size_t InflightBytes() const;
 
   std::string ExecuteTopK(const Request& req);
+  /// The cached topk path: lookup + revalidate-and-charge, else compute
+  /// and fill. `query` already has the stream clock substituted.
+  std::string ExecuteTopKCached(const feed::Tweet& query, size_t k);
+  /// Evicts the cache entries a feed event can influence. The follower's
+  /// apply observer routes every replicated frame through here (pre-
+  /// apply); the leader-side ingest verbs call the cache directly so
+  /// they can gate on the engine's accept/reject status.
+  void InvalidateCacheFor(const feed::FeedEvent& event);
   std::string ExecuteMatch(const Request& req);
   std::string ExecuteStats();
   std::string ExecuteMetrics();
@@ -195,6 +211,8 @@ class Server {
 
   core::ShardedEngine* engine_;  // not owned
   ServerOptions options_;
+  /// Topk result cache; nullptr when options_.topk_cache.capacity == 0.
+  std::unique_ptr<cache::TopkCache> cache_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: RequestDrain -> event loop

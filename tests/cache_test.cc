@@ -1,0 +1,252 @@
+#include "cache/topk_cache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/id_types.h"
+
+namespace adrec::cache {
+namespace {
+
+TopkKey Key(uint32_t user, Timestamp time, uint32_t k = 5,
+            std::string text = "") {
+  TopkKey key;
+  key.user = user;
+  key.time = time;
+  key.k = k;
+  key.text = std::move(text);
+  return key;
+}
+
+/// Inserts a canned entry; cell/slot default to "unfiltered".
+void Put(TopkCache* cache, const TopkKey& key,
+         LocationId cell = LocationId(), SlotId slot = SlotId()) {
+  cache->Insert(key, "ADS 1\r\nAD 1 0.5\r\nEND\r\n", {AdId(1)}, cell, slot);
+}
+
+uint64_t Counter(const TopkCache& cache, const std::string& name) {
+  const auto snapshot = cache.metrics().Snapshot();
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+TEST(TopkCacheTest, CapacityZeroDisablesCleanly) {
+  TopkCache cache(TopkCacheOptions{});
+  EXPECT_FALSE(cache.enabled());
+  Put(&cache, Key(1, 10));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Find(Key(1, 10)), nullptr);
+  // Mutators stay no-ops (and must not crash) while disabled.
+  cache.OnTweet(UserId(1));
+  cache.OnCheckIn(UserId(1), LocationId(2));
+  cache.OnAdPut({}, {});
+  cache.OnUserCharged(UserId(1), Key(1, 10));
+}
+
+TEST(TopkCacheTest, KeyIdentityIsExact) {
+  TopkCacheOptions options;
+  options.capacity = 8;
+  options.admission = TopkCacheOptions::Admission::kAlways;
+  TopkCache cache(options);
+  Put(&cache, Key(1, 10, 5, "coffee"));
+  EXPECT_NE(cache.Find(Key(1, 10, 5, "coffee")), nullptr);
+  // Any key component differing means a different query.
+  EXPECT_EQ(cache.Find(Key(2, 10, 5, "coffee")), nullptr);
+  EXPECT_EQ(cache.Find(Key(1, 11, 5, "coffee")), nullptr);
+  EXPECT_EQ(cache.Find(Key(1, 10, 6, "coffee")), nullptr);
+  EXPECT_EQ(cache.Find(Key(1, 10, 5, "tea")), nullptr);
+}
+
+TEST(TopkCacheTest, StreamClockStampsEntries) {
+  TopkCacheOptions options;
+  options.capacity = 8;
+  TopkCache cache(options);
+  EXPECT_EQ(cache.clock(), 0u);
+  // Pinned to cell 9 / slot 2 so the ad churn below (targeting cell 7,
+  // slot 1) is incompatible and the entry survives to keep its stamp.
+  Put(&cache, Key(1, 10), LocationId(9), SlotId(2));
+  EXPECT_EQ(cache.Find(Key(1, 10))->stamp, 0u);
+
+  // Every ingest advances the clock, even when nothing it touches is
+  // resident; later fills carry the later stamp.
+  cache.OnTweet(UserId(99));
+  cache.OnCheckIn(UserId(98), LocationId(3));
+  cache.OnAdPut({LocationId(7)}, {SlotId(1)});
+  EXPECT_EQ(cache.clock(), 3u);
+  Put(&cache, Key(2, 10), LocationId(9), SlotId(2));
+  EXPECT_EQ(cache.Find(Key(2, 10))->stamp, 3u);
+  // The survivor keeps its fill-time stamp.
+  ASSERT_NE(cache.Find(Key(1, 10)), nullptr);
+  EXPECT_EQ(cache.Find(Key(1, 10))->stamp, 0u);
+}
+
+TEST(TopkCacheTest, TweetInvalidatesExactlyTheAuthor) {
+  TopkCacheOptions options;
+  options.capacity = 8;
+  TopkCache cache(options);
+  Put(&cache, Key(1, 10));
+  Put(&cache, Key(1, 11));
+  Put(&cache, Key(2, 10));
+  cache.OnTweet(UserId(1));
+  EXPECT_EQ(cache.Find(Key(1, 10)), nullptr);
+  EXPECT_EQ(cache.Find(Key(1, 11)), nullptr);
+  EXPECT_NE(cache.Find(Key(2, 10)), nullptr);
+  EXPECT_EQ(Counter(cache, "cache.invalidations"), 2u);
+}
+
+TEST(TopkCacheTest, CheckInInvalidatesAuthorAndCell) {
+  TopkCacheOptions options;
+  options.capacity = 8;
+  TopkCache cache(options);
+  Put(&cache, Key(1, 10));                          // the author, no cell
+  Put(&cache, Key(2, 10), LocationId(7));           // pinned to cell 7
+  Put(&cache, Key(3, 10), LocationId(8));           // a different cell
+  cache.OnCheckIn(UserId(1), LocationId(7));
+  EXPECT_EQ(cache.Find(Key(1, 10)), nullptr);
+  EXPECT_EQ(cache.Find(Key(2, 10)), nullptr);
+  EXPECT_NE(cache.Find(Key(3, 10)), nullptr);
+}
+
+TEST(TopkCacheTest, AdChurnUsesTargetingCompatibility) {
+  TopkCacheOptions options;
+  options.capacity = 8;
+  TopkCache cache(options);
+  Put(&cache, Key(1, 10), LocationId(7), SlotId(2));
+  Put(&cache, Key(2, 10), LocationId(8), SlotId(2));
+  Put(&cache, Key(3, 10), LocationId(), SlotId());  // ran unfiltered
+
+  // Targeted ad: evicts matching-cell entries and every unfiltered entry
+  // (the wildcard could have surfaced it), spares the mismatched cell.
+  cache.OnAdPut({LocationId(7)}, {SlotId(2)});
+  EXPECT_EQ(cache.Find(Key(1, 10)), nullptr);
+  EXPECT_NE(cache.Find(Key(2, 10)), nullptr);
+  EXPECT_EQ(cache.Find(Key(3, 10)), nullptr);
+
+  // Slot-incompatible churn spares a slot-pinned entry.
+  Put(&cache, Key(4, 10), LocationId(8), SlotId(1));
+  cache.OnAdRemoved({LocationId(8)}, {SlotId(3)});
+  EXPECT_NE(cache.Find(Key(4, 10)), nullptr);
+
+  // Untargeted ad (empty lists = matches everything) evicts everything.
+  cache.OnAdPut({}, {});
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TopkCacheTest, OnUserChargedSparesTheServedKey) {
+  TopkCacheOptions options;
+  options.capacity = 8;
+  TopkCache cache(options);
+  const TopkKey served = Key(1, 10);
+  Put(&cache, served);
+  Put(&cache, Key(1, 11));
+  Put(&cache, Key(2, 10));
+  const uint64_t clock_before = cache.clock();
+  cache.OnUserCharged(UserId(1), served);
+  // The just-served entry survives (its ads revalidate on every hit);
+  // the user's other entry drops; other users are untouched; charging is
+  // not an ingest event, so the stream clock holds still.
+  EXPECT_NE(cache.Find(served), nullptr);
+  EXPECT_EQ(cache.Find(Key(1, 11)), nullptr);
+  EXPECT_NE(cache.Find(Key(2, 10)), nullptr);
+  EXPECT_EQ(cache.clock(), clock_before);
+}
+
+TEST(TopkCacheTest, LruEvictsColdestAndTouchRefreshes) {
+  TopkCacheOptions options;
+  options.capacity = 2;
+  options.admission = TopkCacheOptions::Admission::kAlways;
+  TopkCache cache(options);
+  Put(&cache, Key(1, 10));
+  Put(&cache, Key(2, 10));
+  // Touch 1 so 2 becomes the LRU victim.
+  cache.RecordHit(cache.Find(Key(1, 10)));
+  Put(&cache, Key(3, 10));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Find(Key(1, 10)), nullptr);
+  EXPECT_EQ(cache.Find(Key(2, 10)), nullptr);
+  EXPECT_NE(cache.Find(Key(3, 10)), nullptr);
+  EXPECT_EQ(Counter(cache, "cache.evictions"), 1u);
+}
+
+TEST(TopkCacheTest, FrequencyAdmissionRejectsOneHitWondersWhenFull) {
+  TopkCacheOptions options;
+  options.capacity = 2;  // admission = kFrequency by default
+  TopkCache cache(options);
+  // Warm-up: free slots admit everything.
+  Put(&cache, Key(1, 10));
+  Put(&cache, Key(2, 10));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Full: a first-sighted key is turned away without evicting anyone...
+  Put(&cache, Key(3, 10));
+  EXPECT_EQ(cache.Find(Key(3, 10)), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(Counter(cache, "cache.admission_rejects"), 1u);
+  EXPECT_EQ(Counter(cache, "cache.evictions"), 0u);
+
+  // ...but earns a slot on its second sighting.
+  Put(&cache, Key(3, 10));
+  EXPECT_NE(cache.Find(Key(3, 10)), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(Counter(cache, "cache.evictions"), 1u);
+}
+
+TEST(TopkCacheTest, InjectedAlwaysAdmitBypassesTheDoorkeeper) {
+  TopkCacheOptions options;
+  options.capacity = 1;
+  options.admission = TopkCacheOptions::Admission::kFrequency;
+  TopkCache cache(options, nullptr, std::make_unique<AlwaysAdmit>());
+  Put(&cache, Key(1, 10));
+  Put(&cache, Key(2, 10));  // admitted despite first sighting while full
+  EXPECT_NE(cache.Find(Key(2, 10)), nullptr);
+  EXPECT_EQ(Counter(cache, "cache.admission_rejects"), 0u);
+}
+
+TEST(TopkCacheTest, CounterAccounting) {
+  TopkCacheOptions options;
+  options.capacity = 8;
+  TopkCache cache(options);
+
+  cache.RecordMiss();
+  Put(&cache, Key(1, 10));
+  cache.RecordHit(cache.Find(Key(1, 10)));
+  cache.RecordHit(cache.Find(Key(1, 10)));
+  // A revalidation miss counts as a miss, bumps its own counter, and
+  // drops the entry.
+  cache.RecordRevalidationMiss(cache.Find(Key(1, 10)));
+  EXPECT_EQ(cache.Find(Key(1, 10)), nullptr);
+
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(Counter(cache, "cache.hits"), 2u);
+  EXPECT_EQ(Counter(cache, "cache.misses"), 2u);
+  EXPECT_EQ(Counter(cache, "cache.revalidation_misses"), 1u);
+
+  const auto snapshot = cache.metrics().Snapshot();
+  auto ratio = snapshot.gauges.find("cache.hit_ratio");
+  ASSERT_NE(ratio, snapshot.gauges.end());
+  EXPECT_DOUBLE_EQ(ratio->second, 0.5);
+  auto entries = snapshot.gauges.find("cache.entries");
+  ASSERT_NE(entries, snapshot.gauges.end());
+  EXPECT_DOUBLE_EQ(entries->second, 0.0);
+}
+
+TEST(TopkCacheTest, InsertReplacesExistingKey) {
+  TopkCacheOptions options;
+  options.capacity = 4;
+  TopkCache cache(options);
+  Put(&cache, Key(1, 10));
+  cache.Insert(Key(1, 10), "ADS 0\r\nEND\r\n", {}, LocationId(3), SlotId(1));
+  ASSERT_EQ(cache.size(), 1u);
+  TopkCache::Entry* entry = cache.Find(Key(1, 10));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->reply, "ADS 0\r\nEND\r\n");
+  EXPECT_TRUE(entry->ads.empty());
+  EXPECT_EQ(entry->cell, LocationId(3));
+}
+
+}  // namespace
+}  // namespace adrec::cache

@@ -134,6 +134,49 @@ TEST(ZipfSamplerTest, SampleWithinRange) {
   }
 }
 
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchPmf) {
+  // The load generator's realism rests on Sample() actually following
+  // Pmf(): check every rank's empirical frequency against a 5-sigma
+  // binomial band (sigma = sqrt(p(1-p)/N)), wide enough to never flake
+  // yet tight enough to catch an off-by-one in the CDF inversion.
+  const size_t n = 50;
+  const int draws = 200000;
+  ZipfSampler z(n, 0.99);
+  Rng rng(29);
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) ++counts[z.Sample(rng)];
+  for (size_t k = 0; k < n; ++k) {
+    const double p = z.Pmf(k);
+    const double sigma = std::sqrt(p * (1.0 - p) / draws);
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, p, 5.0 * sigma)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfSamplerTest, SkewZeroSamplesUniformly) {
+  const size_t n = 8;
+  const int draws = 80000;
+  ZipfSampler z(n, 0.0);
+  Rng rng(31);
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) ++counts[z.Sample(rng)];
+  const double expected = static_cast<double>(draws) / n;
+  const double sigma = std::sqrt(expected * (1.0 - 1.0 / n));
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k], expected, 5.0 * sigma) << "rank " << k;
+  }
+}
+
+TEST(ZipfSamplerTest, SingleItemDegenerate) {
+  ZipfSampler z(1, 1.2);
+  EXPECT_EQ(z.size(), 1u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(z.Sample(rng), 0u);
+  }
+}
+
 TEST(PermutationTest, IsAPermutation) {
   Rng rng(25);
   auto perm = RandomPermutation(50, rng);

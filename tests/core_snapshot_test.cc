@@ -108,8 +108,6 @@ TEST_F(SnapshotTest, FrequencyCapHistoryRoundTrips) {
 
   EXPECT_EQ(restored.frequency_capper().tracked_pairs(),
             original.frequency_capper().tracked_pairs());
-  // Collect the pairs first: CountInWindow prunes lazily (mutates the
-  // underlying map), so it must not run inside ForEach's iteration.
   std::vector<std::pair<UserId, AdId>> pairs;
   original.frequency_capper().ForEach(
       [&](UserId user, AdId ad, const std::deque<Timestamp>&) {

@@ -223,5 +223,61 @@ TEST(PrometheusExportTest, NameSanitisationRoundTripsThroughParseJson) {
   EXPECT_NE(prom2.find("adrec_replica_lag_ms 2.5\n"), std::string::npos);
 }
 
+// The topk cache's metric families (PR: --topk-cache): counters get the
+// adrec_ prefix and _total suffix, the hit-ratio gauge keeps its raw
+// value, and the lookup/fill timers expose as _seconds histograms — and
+// all of them survive the JSON round-trip with raw names intact.
+TEST(PrometheusExportTest, CacheMetricFamiliesExposeAndRoundTrip) {
+  MetricRegistry registry;
+  registry.GetCounter("cache.hits")->Inc(9);
+  registry.GetCounter("cache.misses")->Inc(3);
+  registry.GetCounter("cache.invalidations")->Inc(2);
+  registry.GetCounter("cache.evictions")->Inc(1);
+  registry.GetGauge("cache.hit_ratio")->Set(0.75);
+  registry.GetTimer("cache.lookup_us")->Record(12.5);
+  registry.GetTimer("cache.fill_us")->Record(80.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string prom = ExportPrometheus(snapshot);
+  EXPECT_NE(prom.find("# TYPE adrec_cache_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_cache_hits_total 9\n"), std::string::npos);
+  EXPECT_NE(prom.find("adrec_cache_misses_total 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("adrec_cache_invalidations_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_cache_evictions_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE adrec_cache_hit_ratio gauge\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_cache_hit_ratio 0.75\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE adrec_cache_lookup_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_cache_lookup_seconds_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE adrec_cache_fill_seconds histogram\n"),
+            std::string::npos);
+  CheckParseable(prom);
+
+  const StatsReport report = BuildReport(snapshot);
+  auto parsed = ParseJson(ExportJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().counters.at("cache.hits"), 9u);
+  EXPECT_EQ(parsed.value().gauges.at("cache.hit_ratio"), 0.75);
+  ASSERT_EQ(parsed.value().timers.count("cache.lookup_us"), 1u);
+  EXPECT_EQ(parsed.value().timers.at("cache.lookup_us").count, 1u);
+}
+
+// The cache trace span names (cache.lookup, cache.fill, and the
+// engine's cached-charge probe) follow the span-name grammar the trace
+// exporters rely on: single token, no whitespace, no tabs.
+TEST(PrometheusExportTest, CacheSpanNamesAreSingleCleanTokens) {
+  for (const std::string name :
+       {"cache.lookup", "cache.fill", "engine.topk_cached"}) {
+    EXPECT_EQ(name.find(' '), std::string::npos) << name;
+    EXPECT_EQ(name.find('\t'), std::string::npos) << name;
+    EXPECT_EQ(name.find('\n'), std::string::npos) << name;
+  }
+}
+
 }  // namespace
 }  // namespace adrec::obs
