@@ -15,7 +15,10 @@
 #           (cached daemons under client traffic, the follower's
 #           apply-observer invalidation hook, and the 20-seed
 #           cached≡uncached differential across restarts and
-#           replication).
+#           replication), and the compressed posting-list index (codec
+#           cursors, epoch seal/swap under engine churn, and the 20-seed
+#           compressed≡uncompressed differential with compressed
+#           followers tailing live daemons).
 #   asan  — AddressSanitizer over the full suite minus the `fuzz` label
 #           (the high-volume testkit differential sweeps; instrumented
 #           builds run them ~10x slower for no extra memory-bug coverage —
@@ -34,7 +37,7 @@ JOBS="$(nproc)"
 
 run_tsan() {
   local build_dir="${1:-build-tsan}"
-  local tsan_tests='obs_registry_test|obs_trace_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|serve_trace_test|wal_log_test|serve_wal_test|serve_replica_test|serve_cache_test|cache_differential_test'
+  local tsan_tests='obs_registry_test|obs_trace_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|serve_trace_test|wal_log_test|serve_wal_test|serve_replica_test|serve_cache_test|cache_differential_test|postings_codec_test|postings_index_test|postings_differential_test'
   cmake -B "${build_dir}" -S . \
     -DADREC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -43,7 +46,8 @@ run_tsan() {
     core_sharded_test common_histogram_test feed_replayer_test \
     serve_daemon_test serve_reporter_test serve_trace_test \
     wal_log_test serve_wal_test serve_replica_test \
-    serve_cache_test cache_differential_test
+    serve_cache_test cache_differential_test \
+    postings_codec_test postings_index_test postings_differential_test
   ctest --test-dir "${build_dir}" -R "${tsan_tests}" \
     --output-on-failure -j "${JOBS}"
   echo "TSan gate passed."

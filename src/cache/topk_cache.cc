@@ -2,18 +2,9 @@
 
 #include <algorithm>
 
+#include "common/hashing.h"
+
 namespace adrec::cache {
-namespace {
-
-/// splitmix64 finisher — cheap, well-mixed.
-uint64_t Mix(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 uint64_t HashTopkKey(const TopkKey& key) {
   uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a over the text...
@@ -21,10 +12,10 @@ uint64_t HashTopkKey(const TopkKey& key) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001B3ull;
   }
-  // ...then the fixed fields mixed in.
-  h = Mix(h ^ key.user);
-  h = Mix(h ^ static_cast<uint64_t>(key.time));
-  return Mix(h ^ key.k);
+  // ...then the fixed fields mixed in (splitmix64, common/hashing.h).
+  h = Mix64(h ^ key.user);
+  h = Mix64(h ^ static_cast<uint64_t>(key.time));
+  return Mix64(h ^ key.k);
 }
 
 // --- LruEviction. ---

@@ -1,0 +1,29 @@
+#ifndef ADREC_COMMON_HASHING_H_
+#define ADREC_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adrec {
+
+/// splitmix64 finisher — cheap, well-mixed; the one integer mixer used
+/// across the codebase (cache keys, shard routing, random streams share
+/// the same constants on purpose: one audited bit-mixer, not three).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Fibonacci-hash partitioning of a 32-bit id over `num_shards` buckets.
+/// Spreads sequential ids evenly; deterministic across processes, so a
+/// restarted or replicated deployment routes identically.
+inline size_t ShardOfId(uint32_t id, size_t num_shards) {
+  const uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(h >> 32) % num_shards;
+}
+
+}  // namespace adrec
+
+#endif  // ADREC_COMMON_HASHING_H_

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/hashing.h"
 #include "common/logging.h"
 
 namespace adrec::core {
@@ -21,9 +22,7 @@ ShardedEngine::ShardedEngine(std::shared_ptr<annotate::KnowledgeBase> kb,
 }
 
 size_t ShardedEngine::ShardOf(UserId user) const {
-  // Fibonacci hashing spreads sequential user ids evenly.
-  const uint64_t h = static_cast<uint64_t>(user.value) * 0x9E3779B97F4A7C15ull;
-  return static_cast<size_t>(h >> 32) % shards_.size();
+  return ShardOfId(user.value, shards_.size());
 }
 
 void ShardedEngine::OnTweet(const feed::Tweet& tweet) {

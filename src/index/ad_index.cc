@@ -1,61 +1,20 @@
 #include "index/ad_index.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/string_util.h"
+#include "index/topk_heap.h"
 
 namespace adrec::index {
 
-namespace {
-
-/// Keeps the best k (score, ad) pairs with deterministic tie-breaks
-/// (higher score first, then smaller ad id).
-struct TopKHeap {
-  struct Entry {
-    double score;
-    uint32_t ad;
-    // Min-heap on score; for equal scores the larger ad id is nearer the
-    // top so it is evicted first (final order prefers smaller ids).
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.ad < b.ad;
-    }
-  };
-
-  explicit TopKHeap(size_t k) : k(k) {}
-
-  void Offer(double score, uint32_t ad) {
-    if (score <= 0.0 || k == 0) return;
-    if (heap.size() < k) {
-      heap.push(Entry{score, ad});
-    } else if (Entry{score, ad} < heap.top()) {
-      heap.pop();
-      heap.push(Entry{score, ad});
-    }
-  }
-
-  /// Score an entry must strictly beat to enter a full heap.
-  double Threshold() const {
-    return heap.size() < k ? 0.0 : heap.top().score;
-  }
-
-  bool Full() const { return heap.size() >= k; }
-
-  std::vector<ScoredAd> Drain() {
-    std::vector<ScoredAd> out(heap.size());
-    for (size_t i = heap.size(); i-- > 0;) {
-      out[i] = ScoredAd{AdId(heap.top().ad), heap.top().score};
-      heap.pop();
-    }
-    return out;
-  }
-
-  size_t k;
-  std::priority_queue<Entry> heap;
-};
-
-}  // namespace
+size_t AdIndex::MetaBytes(const AdMeta& meta) {
+  // Approximate: payload plus ~32B per hash-set node and the struct +
+  // map-node shells. Good enough for capacity planning / E23 ratios.
+  return sizeof(AdMeta) + 64 +
+         meta.topic_ids.size() * sizeof(uint32_t) +
+         meta.topics.entries().size() * sizeof(text::SparseEntry) +
+         (meta.locations.size() + meta.slots.size()) * 32;
+}
 
 Status AdIndex::Insert(AdId id, const text::SparseVector& topics,
                        const std::vector<LocationId>& target_locations,
@@ -73,6 +32,7 @@ Status AdIndex::Insert(AdId id, const text::SparseVector& topics,
     if (e.weight <= 0.0) continue;
     meta.topic_ids.push_back(e.id);
     auto& list = postings_[e.id];
+    if (list.empty()) ++num_lists_;
     // Insert keeping impact (descending-weight) order.
     const Posting p{id.value, e.weight};
     auto it = std::lower_bound(list.begin(), list.end(), p,
@@ -81,8 +41,10 @@ Status AdIndex::Insert(AdId id, const text::SparseVector& topics,
                                });
     list.insert(it, p);
     ++live_counts_[e.id];
+    ++total_postings_;
   }
   max_bid_bound_ = std::max(max_bid_bound_, bid);
+  meta_bytes_ += MetaBytes(meta);
   ads_.emplace(id.value, std::move(meta));
   return Status::OK();
 }
@@ -94,6 +56,9 @@ Status AdIndex::Remove(AdId id) {
   }
   // Lazy delete: drop the meta entry; postings referencing the id become
   // tombstones skipped at query time and compacted when they dominate.
+  // (Tombstones stay in total_postings_ until CompactList drops them, so
+  // approx_bytes() keeps charging for them — they are resident.)
+  meta_bytes_ -= MetaBytes(it->second);
   std::vector<uint32_t> topics = std::move(it->second.topic_ids);
   ads_.erase(it);
   for (uint32_t topic : topics) {
@@ -112,14 +77,17 @@ void AdIndex::CompactList(uint32_t topic) {
   auto it = postings_.find(topic);
   if (it == postings_.end()) return;
   auto& list = it->second;
+  const size_t before = list.size();
   list.erase(std::remove_if(list.begin(), list.end(),
                             [this](const Posting& p) {
                               return ads_.find(p.ad) == ads_.end();
                             }),
              list.end());
+  total_postings_ -= before - list.size();
   if (list.empty()) {
     postings_.erase(it);
     live_counts_.erase(topic);
+    --num_lists_;
   } else {
     live_counts_[topic] = list.size();
   }

@@ -9,28 +9,10 @@
 #include "ads/ad_store.h"
 #include "common/id_types.h"
 #include "common/status.h"
+#include "index/query.h"
 #include "text/sparse_vector.h"
 
 namespace adrec::index {
-
-/// One top-k result. Exact equality (including the score bits) is
-/// meaningful: independent engines running identical arithmetic on the
-/// same stream must produce bit-identical results (testkit differential).
-struct ScoredAd {
-  AdId ad;
-  double score = 0.0;
-
-  friend bool operator==(const ScoredAd&, const ScoredAd&) = default;
-};
-
-/// A per-feed-event query: the event's topic vector plus its hard context
-/// filters (location and time slot). Ads failing a filter score zero.
-struct AdQuery {
-  text::SparseVector topics;        ///< annotation-derived topic weights
-  LocationId location;              ///< invalid() means "no location filter"
-  SlotId slot;                      ///< invalid() means "no slot filter"
-  size_t k = 10;
-};
 
 /// The high-speed matcher: an inverted index over ad topic vectors with
 /// impact-ordered postings and a threshold-based early-termination top-k,
@@ -68,6 +50,23 @@ class AdIndex {
   /// Diagnostics: postings touched by the last TopK call (E3/E4 report).
   size_t last_postings_scanned() const { return last_postings_scanned_; }
 
+  /// Number of posting lists currently held.
+  size_t num_lists() const { return num_lists_; }
+
+  /// Posting entries across all lists, including tombstones awaiting
+  /// compaction (they occupy memory until CompactList drops them).
+  size_t total_postings() const { return total_postings_; }
+
+  /// Approximate resident bytes of the index payload: posting entries
+  /// plus per-ad metadata (topic vectors, filter sets, bookkeeping).
+  /// Maintained incrementally on insert/remove/compact so reading it is
+  /// O(1); compared against postings.bytes of the compressed index in
+  /// bench_postings / E23.
+  size_t approx_bytes() const {
+    return total_postings_ * sizeof(Posting) + meta_bytes_ +
+           num_lists_ * kPerListOverhead;
+  }
+
  private:
   struct Posting {
     uint32_t ad;
@@ -82,6 +81,12 @@ class AdIndex {
     text::SparseVector topics;
   };
 
+  // Hash-node + vector-header overhead charged per posting list in
+  // approx_bytes(); a round figure, not a measurement.
+  static constexpr size_t kPerListOverhead = 64;
+
+  static size_t MetaBytes(const AdMeta& meta);
+
   bool PassesFilters(const AdMeta& meta, const AdQuery& query) const;
   void CompactList(uint32_t topic);
 
@@ -95,6 +100,10 @@ class AdIndex {
   // can never admit a wrong result.
   double max_bid_bound_ = 0.0;
   mutable size_t last_postings_scanned_ = 0;
+  // Incremental memory accounting (see approx_bytes()).
+  size_t total_postings_ = 0;
+  size_t num_lists_ = 0;
+  size_t meta_bytes_ = 0;
 };
 
 }  // namespace adrec::index

@@ -1,0 +1,244 @@
+#include "postings/codec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adrec::postings {
+
+namespace {
+
+void AppendVarint(std::vector<uint8_t>* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t ReadVarintAt(const std::vector<uint8_t>& data, size_t* pos) {
+  uint32_t v = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t b = data[(*pos)++];
+    v |= static_cast<uint32_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+}  // namespace
+
+// --- Build. ---
+
+CompressedList CompressedList::Build(const std::vector<uint32_t>& sorted) {
+  // Both encodings are cheap to produce at seal time; building both and
+  // keeping the smaller one makes the choice exact and deterministic.
+  CompressedList vb = BuildVarint(sorted);
+  CompressedList ef = BuildEliasFano(sorted);
+  return ef.bytes() < vb.bytes() ? std::move(ef) : std::move(vb);
+}
+
+CompressedList CompressedList::BuildWith(Codec codec,
+                                         const std::vector<uint32_t>& sorted) {
+  return codec == Codec::kVarint ? BuildVarint(sorted)
+                                 : BuildEliasFano(sorted);
+}
+
+CompressedList CompressedList::BuildVarint(
+    const std::vector<uint32_t>& sorted) {
+  CompressedList out;
+  out.codec_ = Codec::kVarint;
+  out.n_ = static_cast<uint32_t>(sorted.size());
+  for (size_t start = 0; start < sorted.size(); start += kBlock) {
+    out.skips_.push_back(
+        Skip{sorted[start], static_cast<uint32_t>(out.data_.size())});
+    const size_t end = std::min(start + kBlock, sorted.size());
+    for (size_t i = start + 1; i < end; ++i) {
+      ADREC_CHECK(sorted[i] >= sorted[i - 1]);
+      AppendVarint(&out.data_, sorted[i] - sorted[i - 1]);
+    }
+  }
+  return out;
+}
+
+CompressedList CompressedList::BuildEliasFano(
+    const std::vector<uint32_t>& sorted) {
+  CompressedList out;
+  out.codec_ = Codec::kEliasFano;
+  out.n_ = static_cast<uint32_t>(sorted.size());
+  if (sorted.empty()) return out;
+
+  const uint64_t n = sorted.size();
+  const uint64_t last = sorted.back();
+  const uint64_t u = last + 1;  // universe upper bound
+  // l = floor(log2(u/n)), clamped at 0: largest l with n << l <= u.
+  uint8_t l = 0;
+  while (l < 32 && (n << (l + 1)) <= u) ++l;
+  out.ef_l_ = l;
+
+  const uint64_t low_mask = (l == 64) ? ~0ull : ((1ull << l) - 1);
+  const size_t high_len = static_cast<size_t>(n + (last >> l) + 1);
+  out.low_.assign((static_cast<size_t>(n) * l + 63) / 64, 0);
+  out.high_.assign((high_len + 63) / 64, 0);
+  out.ef_num_zeros_ = static_cast<uint32_t>(high_len - n);
+
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ADREC_CHECK(i == 0 || sorted[i] >= sorted[i - 1]);
+    const uint64_t v = sorted[i];
+    if (l > 0) {
+      const size_t bit = i * l;
+      out.low_[bit / 64] |= (v & low_mask) << (bit % 64);
+      if (bit % 64 + l > 64) {
+        out.low_[bit / 64 + 1] |= (v & low_mask) >> (64 - bit % 64);
+      }
+    }
+    const size_t high_bit = static_cast<size_t>(v >> l) + i;
+    out.high_[high_bit / 64] |= 1ull << (high_bit % 64);
+  }
+
+  // Sample every kZeroSample-th zero for NextGEQ bucket jumps.
+  size_t zeros = 0;
+  for (size_t pos = 0; pos < high_len && zeros < out.ef_num_zeros_; ++pos) {
+    if ((out.high_[pos / 64] >> (pos % 64)) & 1) continue;
+    if (zeros % kZeroSample == 0) {
+      out.zero_samples_.push_back(static_cast<uint32_t>(pos));
+    }
+    ++zeros;
+  }
+  return out;
+}
+
+size_t CompressedList::bytes() const {
+  if (codec_ == Codec::kVarint) {
+    return skips_.size() * sizeof(Skip) + data_.size();
+  }
+  return low_.size() * sizeof(uint64_t) + high_.size() * sizeof(uint64_t) +
+         zero_samples_.size() * sizeof(uint32_t);
+}
+
+std::vector<uint32_t> CompressedList::Decode() const {
+  std::vector<uint32_t> out;
+  out.reserve(n_);
+  for (Cursor c = cursor(); c.valid(); c.Next()) out.push_back(c.value());
+  return out;
+}
+
+// --- Bit helpers. ---
+
+uint32_t CompressedList::ReadLow(size_t i) const {
+  const uint8_t l = ef_l_;
+  if (l == 0) return 0;
+  const size_t bit = i * l;
+  uint64_t v = low_[bit / 64] >> (bit % 64);
+  if (bit % 64 + l > 64) v |= low_[bit / 64 + 1] << (64 - bit % 64);
+  return static_cast<uint32_t>(v & ((1ull << l) - 1));
+}
+
+size_t CompressedList::FindNextOne(size_t pos) const {
+  size_t word = pos / 64;
+  uint64_t w = high_[word] & (~0ull << (pos % 64));
+  while (w == 0) w = high_[++word];
+  return word * 64 + static_cast<size_t>(__builtin_ctzll(w));
+}
+
+size_t CompressedList::FindNextZero(size_t pos) const {
+  size_t word = pos / 64;
+  uint64_t w = ~high_[word] & (~0ull << (pos % 64));
+  while (w == 0) w = ~high_[++word];
+  return word * 64 + static_cast<size_t>(__builtin_ctzll(w));
+}
+
+// --- Cursor. ---
+
+CompressedList::Cursor::Cursor(const CompressedList* list) : list_(list) {
+  if (list_->n_ == 0) {
+    i_ = list_->n_;
+    return;
+  }
+  if (list_->codec_ == Codec::kVarint) {
+    value_ = list_->skips_[0].first_value;
+    byte_pos_ = list_->skips_[0].byte_offset;
+  } else {
+    high_pos_ = list_->FindNextOne(0);
+    value_ = static_cast<uint32_t>(
+        (static_cast<uint64_t>(high_pos_) << list_->ef_l_) |
+        list_->ReadLow(0));
+  }
+}
+
+void CompressedList::Cursor::VarintLoadBlockFirst() {
+  const Skip& s = list_->skips_[i_ / kBlock];
+  value_ = s.first_value;
+  byte_pos_ = s.byte_offset;
+}
+
+void CompressedList::Cursor::EfLoadValue() {
+  value_ = static_cast<uint32_t>(
+      (static_cast<uint64_t>(high_pos_ - i_) << list_->ef_l_) |
+      list_->ReadLow(i_));
+}
+
+void CompressedList::Cursor::Next() {
+  ++i_;
+  if (i_ >= list_->n_) return;
+  if (list_->codec_ == Codec::kVarint) {
+    if (i_ % kBlock == 0) {
+      VarintLoadBlockFirst();
+    } else {
+      value_ += ReadVarintAt(list_->data_, &byte_pos_);
+    }
+  } else {
+    high_pos_ = list_->FindNextOne(high_pos_ + 1);
+    EfLoadValue();
+  }
+}
+
+void CompressedList::Cursor::EfSeekBucket(uint32_t bucket) {
+  // Position after zero number (bucket-1): elements before it are exactly
+  // those with high part < bucket. The z-th zero (0-indexed) at position
+  // p has p - z ones before it.
+  const size_t z = bucket - 1;
+  size_t j = z / kZeroSample;
+  size_t zeros = j * kZeroSample;
+  size_t pos = list_->zero_samples_[j];
+  while (zeros < z) {
+    pos = list_->FindNextZero(pos + 1);
+    ++zeros;
+  }
+  const size_t new_i = pos - z;
+  if (new_i <= i_) return;  // jump would not advance; linear scan instead
+  i_ = new_i;
+  if (i_ >= list_->n_) return;
+  high_pos_ = list_->FindNextOne(pos + 1);
+  EfLoadValue();
+}
+
+void CompressedList::Cursor::NextGEQ(uint32_t target) {
+  if (!valid() || value_ >= target) return;
+  if (list_->codec_ == Codec::kVarint) {
+    // Jump to the last block whose first value is <= target.
+    const auto& skips = list_->skips_;
+    auto it = std::upper_bound(skips.begin(), skips.end(), target,
+                               [](uint32_t t, const Skip& s) {
+                                 return t < s.first_value;
+                               });
+    const size_t block = static_cast<size_t>(it - skips.begin()) - 1;
+    if (block > i_ / kBlock) {
+      i_ = block * kBlock;
+      VarintLoadBlockFirst();
+    }
+  } else {
+    const uint32_t bucket = target >> list_->ef_l_;
+    if (bucket >= list_->ef_num_zeros_) {
+      // Every element's high part is < bucket, so none can reach target.
+      i_ = list_->n_;
+      return;
+    }
+    if (bucket > (value_ >> list_->ef_l_)) EfSeekBucket(bucket);
+  }
+  while (valid() && value_ < target) Next();
+}
+
+}  // namespace adrec::postings

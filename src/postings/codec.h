@@ -1,0 +1,120 @@
+#ifndef ADREC_POSTINGS_CODEC_H_
+#define ADREC_POSTINGS_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adrec::postings {
+
+/// Encodings for an immutable monotone (non-decreasing) uint32 sequence.
+enum class Codec : uint8_t {
+  kVarint,    ///< delta + LEB128 varint, 64-entry skip blocks
+  kEliasFano  ///< quasi-succinct: packed low bits + unary high bits
+};
+
+/// An immutable compressed posting list. Built once from a sorted vector,
+/// then read through streaming cursors supporting Next and NextGEQ (the
+/// skip primitive the cheapest-first conjunction relies on).
+///
+/// Build() picks the smaller of the two encodings for the given data:
+/// Elias-Fano wins on dense lists (its size depends on universe/density,
+/// not gap entropy), varint wins on short or clustered ones. The choice
+/// is deterministic — same input, same codec — so replicas agree.
+class CompressedList {
+ public:
+  CompressedList() = default;
+
+  /// `sorted` must be non-decreasing. Strictly increasing in practice
+  /// (ad ids / positions are unique per list), but duplicates round-trip.
+  static CompressedList Build(const std::vector<uint32_t>& sorted);
+  static CompressedList BuildWith(Codec codec,
+                                  const std::vector<uint32_t>& sorted);
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  Codec codec() const { return codec_; }
+
+  /// Encoded footprint: payload plus skip/sample structures.
+  size_t bytes() const;
+
+  /// Full decode (tests / seal-time merges).
+  std::vector<uint32_t> Decode() const;
+
+  /// Forward-only streaming reader. Starts positioned on the first
+  /// element (invalid immediately if the list is empty).
+  class Cursor {
+   public:
+    explicit Cursor(const CompressedList* list);
+
+    bool valid() const { return i_ < list_->n_; }
+    uint32_t value() const { return value_; }
+    size_t index() const { return i_; }
+
+    /// Advances one element.
+    void Next();
+
+    /// Advances to the first element >= target (no-op if already there).
+    /// Never moves backwards. Membership test: after NextGEQ(v), the
+    /// list contains v iff valid() && value() == v.
+    void NextGEQ(uint32_t target);
+
+   private:
+    void EfSeekBucket(uint32_t bucket);
+    void EfLoadValue();
+    void VarintLoadBlockFirst();
+
+    const CompressedList* list_;
+    size_t i_ = 0;           // element index
+    uint32_t value_ = 0;
+    // Elias-Fano state: bit position of element i's 1-bit in high_.
+    size_t high_pos_ = 0;
+    // Varint state: byte offset of the next delta in data_.
+    size_t byte_pos_ = 0;
+  };
+
+  Cursor cursor() const { return Cursor(this); }
+
+ private:
+  friend class Cursor;
+
+  static CompressedList BuildVarint(const std::vector<uint32_t>& sorted);
+  static CompressedList BuildEliasFano(const std::vector<uint32_t>& sorted);
+
+  uint32_t ReadLow(size_t i) const;
+  size_t FindNextOne(size_t pos) const;
+  size_t FindNextZero(size_t pos) const;
+
+  Codec codec_ = Codec::kVarint;
+  uint32_t n_ = 0;
+
+  // --- Varint representation. ---
+  // Elements are grouped in blocks of kBlock. Block b's first value and
+  // the byte offset of its delta stream live in skips_; the remaining
+  // kBlock-1 elements are LEB128-coded deltas in data_.
+  static constexpr size_t kBlock = 64;
+  struct Skip {
+    uint32_t first_value;
+    uint32_t byte_offset;
+  };
+  std::vector<Skip> skips_;
+  std::vector<uint8_t> data_;
+
+  // --- Elias-Fano representation. ---
+  // Element i contributes its low l bits to low_ (packed, l bits each)
+  // and a 1-bit at position (v_i >> l) + i of high_ (unary bucket code:
+  // bucket h's elements are 1s, terminated by the h-th zero).
+  uint8_t ef_l_ = 0;
+  uint32_t ef_num_zeros_ = 0;  // = number of high buckets
+  std::vector<uint64_t> low_;
+  std::vector<uint64_t> high_;
+  // Position of every kZeroSample-th zero in high_ (zero_samples_[j] =
+  // bit position of zero number j*kZeroSample), for O(1)-ish bucket
+  // jumps in NextGEQ.
+  static constexpr size_t kZeroSample = 64;
+  std::vector<uint32_t> zero_samples_;
+};
+
+}  // namespace adrec::postings
+
+#endif  // ADREC_POSTINGS_CODEC_H_

@@ -1,0 +1,746 @@
+#include "postings/compressed_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace adrec::postings {
+
+namespace {
+
+/// An OR-group of posting-list cursors: one mandatory conjunction term
+/// whose members are unioned (cell list ∪ untargeted list, etc.).
+template <typename CursorT>
+struct OrGroup {
+  std::vector<CursorT> cursors;
+};
+
+/// A topic-list cursor carrying its score upper bound: query weight x
+/// the largest posting weight in the list.
+template <typename CursorT>
+struct BoundedCursor {
+  CursorT cursor;
+  double ub = 0.0;
+};
+
+/// Multiplicative slack on the score bound. The bound and the real score
+/// are summed in different term orders, so pure FP rounding could make a
+/// mathematically-equal bound land an ulp below the threshold; inflating
+/// it by 1e-9 (orders of magnitude above any achievable rounding drift
+/// for these short sums) keeps "skip" decisions strictly sound.
+constexpr double kUbSlack = 1.0 + 1e-9;
+
+/// Max-score conjunction over one side of the index. `topics` are the
+/// query's reachable topic lists with their upper-bound impacts;
+/// `filters` are mandatory OR-groups (location, slot). Each round sorts
+/// the live topic cursors by current id and picks the pivot: the first
+/// id whose accumulated prefix bound x max_bid can still reach
+/// threshold() (the current k-th score, 0 while the heap is unfilled).
+/// Ids below the pivot cannot make the top-k — any such id appears only
+/// in the prefix lists, whose summed bound already falls short — so the
+/// scan leaps straight to it. The pivot is membership-probed against
+/// every filter group; a miss raises the skip floor to the group's next
+/// reachable id (no id in between can pass that mandatory filter), which
+/// is what lets a selective cell or slot list drive the whole scan.
+/// emit(v) fires for each survivor; *considered counts pivots examined.
+template <typename CursorT, typename ThresholdFn, typename EmitFn>
+void Conjunction(std::vector<BoundedCursor<CursorT>>* topics,
+                 std::vector<OrGroup<CursorT>>* filters, double max_bid,
+                 ThresholdFn threshold, size_t* considered, EmitFn emit) {
+  constexpr uint32_t kMaxId = 0xffffffffu;
+  std::vector<size_t> order(topics->size());
+  for (;;) {
+    order.clear();
+    for (size_t i = 0; i < topics->size(); ++i) {
+      if ((*topics)[i].cursor.valid()) order.push_back(i);
+    }
+    if (order.empty()) return;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*topics)[a].cursor.value() < (*topics)[b].cursor.value();
+    });
+
+    const double theta = threshold();
+    double acc = 0.0;
+    bool have_pivot = false;
+    uint32_t pivot = 0;
+    for (const size_t i : order) {
+      acc += (*topics)[i].ub;
+      if (acc * max_bid * kUbSlack >= theta) {
+        pivot = (*topics)[i].cursor.value();
+        have_pivot = true;
+        break;
+      }
+    }
+    if (!have_pivot) return;  // even all lists together fall short
+    ++*considered;
+
+    bool pass = true;
+    uint32_t floor = pivot;  // first id not yet ruled out by a filter
+    for (OrGroup<CursorT>& g : *filters) {
+      bool any = false;
+      uint32_t reach = kMaxId;
+      for (CursorT& c : g.cursors) {
+        c.NextGEQ(pivot);
+        if (c.valid()) {
+          any = true;
+          if (c.value() < reach) reach = c.value();
+          if (reach == pivot) break;
+        }
+      }
+      if (!any) return;  // a mandatory group is exhausted past the pivot
+      if (reach != pivot) {
+        pass = false;
+        if (reach > floor) floor = reach;
+      }
+    }
+    if (pass) {
+      emit(pivot);
+      if (pivot == kMaxId) return;  // nothing can follow the largest id
+      floor = pivot + 1;  // the pivot itself is settled now
+    }
+    // Ids below the pivot are bound-pruned; on a filter miss, ids below
+    // the raised floor fail a mandatory filter. Leap every lagging
+    // cursor to the first unsettled id.
+    for (BoundedCursor<CursorT>& t : *topics) {
+      if (t.cursor.valid() && t.cursor.value() < floor) {
+        t.cursor.NextGEQ(floor);
+      }
+    }
+  }
+}
+
+/// Streaming cursor over a plain sorted vector (the delta index's lists),
+/// satisfying the same concept as CompressedList::Cursor.
+struct VecCursor {
+  const std::vector<uint32_t>* v;
+  size_t pos = 0;
+
+  bool valid() const { return pos < v->size(); }
+  uint32_t value() const { return (*v)[pos]; }
+  void Next() { ++pos; }
+  void NextGEQ(uint32_t target) {
+    if (valid() && value() >= target) return;
+    pos = static_cast<size_t>(
+        std::lower_bound(v->begin() + static_cast<ptrdiff_t>(pos), v->end(),
+                         target) -
+        v->begin());
+  }
+};
+
+/// Inserts v into a sorted unique vector (no-op on duplicate).
+void SortedInsert(std::vector<uint32_t>* list, uint32_t v) {
+  auto it = std::lower_bound(list->begin(), list->end(), v);
+  if (it == list->end() || *it != v) list->insert(it, v);
+}
+
+/// Erases v from a sorted vector if present.
+void SortedErase(std::vector<uint32_t>* list, uint32_t v) {
+  auto it = std::lower_bound(list->begin(), list->end(), v);
+  if (it != list->end() && *it == v) list->erase(it);
+}
+
+/// Approximate resident bytes of one delta ad: its meta plus the posting
+/// entries it contributes. Symmetric for insert/remove accounting.
+size_t DeltaAdBytes(const text::SparseVector& topics,
+                    const std::vector<uint32_t>& locations,
+                    const std::vector<uint32_t>& slots) {
+  size_t postings = 0;
+  for (const text::SparseEntry& e : topics.entries()) {
+    if (e.weight > 0.0) ++postings;
+  }
+  postings += locations.empty() ? 1 : locations.size();
+  postings += slots.empty() ? 1 : slots.size();
+  return 64 /* map-node + struct shell */ +
+         topics.entries().size() * sizeof(text::SparseEntry) +
+         (locations.size() + slots.size()) * sizeof(uint32_t) +
+         postings * sizeof(uint32_t);
+}
+
+}  // namespace
+
+CompressedAdIndex::CompressedAdIndex(PostingsOptions options,
+                                     obs::MetricRegistry* metrics)
+    : options_(options) {
+  if (options_.seal_threshold == 0) options_.seal_threshold = 1;
+  if (metrics != nullptr) {
+    g_bytes_ = metrics->GetGauge("postings.bytes");
+    g_lists_ = metrics->GetGauge("postings.lists");
+    g_epochs_ = metrics->GetGauge("postings.epochs");
+    g_delta_ads_ = metrics->GetGauge("postings.delta_ads");
+    g_sealed_ads_ = metrics->GetGauge("postings.sealed_ads");
+    g_pruned_ratio_ = metrics->GetGauge("postings.pruned_ratio");
+    ctr_candidates_ = metrics->GetCounter("postings.candidates");
+    ctr_considered_ = metrics->GetCounter("postings.considered");
+    ctr_seals_ = metrics->GetCounter("postings.seals");
+  }
+  sealed_.topic_off.push_back(0);
+  sealed_.loc_off.push_back(0);
+  sealed_.slot_off.push_back(0);
+}
+
+bool CompressedAdIndex::SealedContains(uint32_t id) const {
+  return std::binary_search(sealed_.ids.begin(), sealed_.ids.end(), id);
+}
+
+bool CompressedAdIndex::SealedLive(uint32_t id) const {
+  return SealedContains(id) && dead_sealed_.find(id) == dead_sealed_.end();
+}
+
+Status CompressedAdIndex::Insert(AdId id, const text::SparseVector& topics,
+                                 const std::vector<LocationId>& target_locations,
+                                 const std::vector<SlotId>& target_slots,
+                                 double bid) {
+  const uint32_t v = id.value;
+  if (delta_ads_.find(v) != delta_ads_.end() || SealedLive(v)) {
+    return Status::AlreadyExists(
+        StringFormat("ad %u already indexed", v));
+  }
+  DeltaMeta meta;
+  meta.bid = bid;
+  meta.topics = topics;
+  for (LocationId l : target_locations) meta.locations.push_back(l.value);
+  for (SlotId s : target_slots) meta.slots.push_back(s.value);
+  std::sort(meta.locations.begin(), meta.locations.end());
+  meta.locations.erase(
+      std::unique(meta.locations.begin(), meta.locations.end()),
+      meta.locations.end());
+  std::sort(meta.slots.begin(), meta.slots.end());
+  meta.slots.erase(std::unique(meta.slots.begin(), meta.slots.end()),
+                   meta.slots.end());
+
+  for (const text::SparseEntry& e : topics.entries()) {
+    if (e.weight <= 0.0) continue;
+    SortedInsert(&delta_by_topic_[e.id], v);
+    double& maxw = delta_topic_maxw_[e.id];
+    if (e.weight > maxw) maxw = e.weight;
+  }
+  if (bid > delta_max_bid_) delta_max_bid_ = bid;
+  if (meta.locations.empty()) {
+    SortedInsert(&delta_wild_cell_, v);
+  } else {
+    for (uint32_t c : meta.locations) SortedInsert(&delta_by_cell_[c], v);
+  }
+  if (meta.slots.empty()) {
+    SortedInsert(&delta_wild_slot_, v);
+  } else {
+    for (uint32_t s : meta.slots) SortedInsert(&delta_by_slot_[s], v);
+  }
+  delta_bytes_ += DeltaAdBytes(meta.topics, meta.locations, meta.slots);
+  delta_ads_.emplace(v, std::move(meta));
+  MaybeSealAfterChange();
+  PublishGauges();
+  return Status::OK();
+}
+
+Status CompressedAdIndex::Remove(AdId id) {
+  const uint32_t v = id.value;
+  auto it = delta_ads_.find(v);
+  if (it != delta_ads_.end()) {
+    const DeltaMeta& meta = it->second;
+    delta_bytes_ -=
+        DeltaAdBytes(meta.topics, meta.locations, meta.slots);
+    for (const text::SparseEntry& e : meta.topics.entries()) {
+      if (e.weight <= 0.0) continue;
+      auto lt = delta_by_topic_.find(e.id);
+      if (lt == delta_by_topic_.end()) continue;
+      SortedErase(&lt->second, v);
+      if (lt->second.empty()) {
+        delta_by_topic_.erase(lt);
+        delta_topic_maxw_.erase(e.id);
+      }
+    }
+    if (meta.locations.empty()) {
+      SortedErase(&delta_wild_cell_, v);
+    } else {
+      for (uint32_t c : meta.locations) {
+        auto lc = delta_by_cell_.find(c);
+        if (lc == delta_by_cell_.end()) continue;
+        SortedErase(&lc->second, v);
+        if (lc->second.empty()) delta_by_cell_.erase(lc);
+      }
+    }
+    if (meta.slots.empty()) {
+      SortedErase(&delta_wild_slot_, v);
+    } else {
+      for (uint32_t s : meta.slots) {
+        auto ls = delta_by_slot_.find(s);
+        if (ls == delta_by_slot_.end()) continue;
+        SortedErase(&ls->second, v);
+        if (ls->second.empty()) delta_by_slot_.erase(ls);
+      }
+    }
+    delta_ads_.erase(it);
+    PublishGauges();
+    return Status::OK();
+  }
+  if (!SealedLive(v)) {
+    return Status::NotFound(StringFormat("ad %u not indexed", v));
+  }
+  dead_sealed_.insert(v);
+  MaybeSealAfterChange();
+  PublishGauges();
+  return Status::OK();
+}
+
+void CompressedAdIndex::MaybeSealAfterChange() {
+  if (delta_ads_.size() >= options_.seal_threshold) {
+    Seal();
+    return;
+  }
+  if (!sealed_.ids.empty() &&
+      static_cast<double>(dead_sealed_.size()) >
+          options_.tombstone_reseal_fraction *
+              static_cast<double>(sealed_.ids.size())) {
+    Seal();
+  }
+}
+
+void CompressedAdIndex::Seal() {
+  std::vector<uint32_t> dkeys;
+  dkeys.reserve(delta_ads_.size());
+  for (const auto& [did, meta] : delta_ads_) dkeys.push_back(did);
+  std::sort(dkeys.begin(), dkeys.end());
+
+  Sealed ns;
+  ns.topic_off.push_back(0);
+  ns.loc_off.push_back(0);
+  ns.slot_off.push_back(0);
+
+  auto append_sealed = [&](size_t pos) {
+    ns.ids.push_back(sealed_.ids[pos]);
+    ns.bids.push_back(sealed_.bids[pos]);
+    for (uint32_t i = sealed_.topic_off[pos]; i < sealed_.topic_off[pos + 1];
+         ++i) {
+      ns.topic_ids.push_back(sealed_.topic_ids[i]);
+      ns.topic_weights.push_back(sealed_.topic_weights[i]);
+    }
+    ns.topic_off.push_back(static_cast<uint32_t>(ns.topic_ids.size()));
+    for (uint32_t i = sealed_.loc_off[pos]; i < sealed_.loc_off[pos + 1]; ++i) {
+      ns.locs.push_back(sealed_.locs[i]);
+    }
+    ns.loc_off.push_back(static_cast<uint32_t>(ns.locs.size()));
+    for (uint32_t i = sealed_.slot_off[pos]; i < sealed_.slot_off[pos + 1];
+         ++i) {
+      ns.slots.push_back(sealed_.slots[i]);
+    }
+    ns.slot_off.push_back(static_cast<uint32_t>(ns.slots.size()));
+  };
+  auto append_delta = [&](uint32_t did, const DeltaMeta& meta) {
+    ns.ids.push_back(did);
+    ns.bids.push_back(meta.bid);
+    for (const text::SparseEntry& e : meta.topics.entries()) {
+      ns.topic_ids.push_back(e.id);
+      ns.topic_weights.push_back(e.weight);
+    }
+    ns.topic_off.push_back(static_cast<uint32_t>(ns.topic_ids.size()));
+    for (uint32_t c : meta.locations) ns.locs.push_back(c);
+    ns.loc_off.push_back(static_cast<uint32_t>(ns.locs.size()));
+    for (uint32_t s : meta.slots) ns.slots.push_back(s);
+    ns.slot_off.push_back(static_cast<uint32_t>(ns.slots.size()));
+  };
+
+  // Two-pointer merge by ascending id; dead sealed ads are dropped here
+  // (this is where tombstones are reclaimed). A dead sealed id that was
+  // re-inserted lives in the delta and re-enters through that side.
+  size_t si = 0, di = 0;
+  const size_t S = sealed_.ids.size(), D = dkeys.size();
+  for (;;) {
+    while (si < S &&
+           dead_sealed_.find(sealed_.ids[si]) != dead_sealed_.end()) {
+      ++si;
+    }
+    const bool hs = si < S, hd = di < D;
+    if (!hs && !hd) break;
+    if (hs && (!hd || sealed_.ids[si] < dkeys[di])) {
+      append_sealed(si++);
+    } else {
+      append_delta(dkeys[di], delta_ads_.at(dkeys[di]));
+      ++di;
+    }
+  }
+
+  // Rebuild the position-space posting lists and compress them.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> t_lists, c_lists,
+      s_lists;
+  std::vector<uint32_t> wild_c, wild_s;
+  const size_t n = ns.ids.size();
+  for (size_t pos = 0; pos < n; ++pos) {
+    const uint32_t p = static_cast<uint32_t>(pos);
+    if (ns.bids[pos] > ns.max_bid) ns.max_bid = ns.bids[pos];
+    for (uint32_t i = ns.topic_off[pos]; i < ns.topic_off[pos + 1]; ++i) {
+      if (ns.topic_weights[i] <= 0.0) continue;
+      t_lists[ns.topic_ids[i]].push_back(p);
+      double& maxw = ns.topic_maxw[ns.topic_ids[i]];
+      if (ns.topic_weights[i] > maxw) maxw = ns.topic_weights[i];
+    }
+    if (ns.loc_off[pos] == ns.loc_off[pos + 1]) {
+      wild_c.push_back(p);
+    } else {
+      for (uint32_t i = ns.loc_off[pos]; i < ns.loc_off[pos + 1]; ++i) {
+        c_lists[ns.locs[i]].push_back(p);
+      }
+    }
+    if (ns.slot_off[pos] == ns.slot_off[pos + 1]) {
+      wild_s.push_back(p);
+    } else {
+      for (uint32_t i = ns.slot_off[pos]; i < ns.slot_off[pos + 1]; ++i) {
+        s_lists[ns.slots[i]].push_back(p);
+      }
+    }
+  }
+  size_t bytes = 0, lists = 0;
+  auto compress_into =
+      [&](std::unordered_map<uint32_t, std::vector<uint32_t>>& raw,
+          std::unordered_map<uint32_t, CompressedList>* out) {
+        out->reserve(raw.size());
+        for (auto& [key, vec] : raw) {
+          CompressedList cl = CompressedList::Build(vec);
+          bytes += cl.bytes();
+          ++lists;
+          out->emplace(key, std::move(cl));
+        }
+      };
+  compress_into(t_lists, &ns.by_topic);
+  compress_into(c_lists, &ns.by_cell);
+  compress_into(s_lists, &ns.by_slot);
+  ns.wild_cell = CompressedList::Build(wild_c);
+  ns.wild_slot = CompressedList::Build(wild_s);
+  if (!ns.wild_cell.empty()) {
+    bytes += ns.wild_cell.bytes();
+    ++lists;
+  }
+  if (!ns.wild_slot.empty()) {
+    bytes += ns.wild_slot.bytes();
+    ++lists;
+  }
+  // Flat per-ad arrays are part of the resident footprint.
+  bytes += ns.ids.size() * sizeof(uint32_t) + ns.bids.size() * sizeof(double) +
+           (ns.topic_off.size() + ns.loc_off.size() + ns.slot_off.size()) *
+               sizeof(uint32_t) +
+           ns.topic_ids.size() * sizeof(uint32_t) +
+           ns.topic_weights.size() * sizeof(double) +
+           (ns.locs.size() + ns.slots.size()) * sizeof(uint32_t);
+
+  sealed_ = std::move(ns);
+  sealed_bytes_ = bytes;
+  sealed_lists_ = lists;
+  dead_sealed_.clear();
+  delta_ads_.clear();
+  delta_by_topic_.clear();
+  delta_by_cell_.clear();
+  delta_by_slot_.clear();
+  delta_wild_cell_.clear();
+  delta_wild_slot_.clear();
+  delta_topic_maxw_.clear();
+  delta_max_bid_ = 0.0;
+  delta_bytes_ = 0;
+  ++epochs_;
+  if (ctr_seals_ != nullptr) ctr_seals_->Inc();
+  PublishGauges();
+}
+
+double CompressedAdIndex::ScoreSealed(size_t pos,
+                                      const index::AdQuery& query) const {
+  // Merge-join dot product over the full stored topic vector — the exact
+  // arithmetic (term order and all) of SparseVector::Dot, so scores are
+  // bit-identical to the uncompressed index's.
+  const auto& q = query.topics.entries();
+  double sum = 0.0;
+  size_t i = 0;
+  uint32_t j = sealed_.topic_off[pos];
+  const uint32_t jend = sealed_.topic_off[pos + 1];
+  while (i < q.size() && j < jend) {
+    const uint32_t a = q[i].id;
+    const uint32_t b = sealed_.topic_ids[j];
+    if (a == b) {
+      sum += q[i].weight * sealed_.topic_weights[j];
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum * sealed_.bids[pos];
+}
+
+bool CompressedAdIndex::SealedPassesFilters(
+    size_t pos, const index::AdQuery& query) const {
+  if (query.location.valid() &&
+      sealed_.loc_off[pos] != sealed_.loc_off[pos + 1] &&
+      !std::binary_search(sealed_.locs.begin() + sealed_.loc_off[pos],
+                          sealed_.locs.begin() + sealed_.loc_off[pos + 1],
+                          query.location.value)) {
+    return false;
+  }
+  if (query.slot.valid() &&
+      sealed_.slot_off[pos] != sealed_.slot_off[pos + 1] &&
+      !std::binary_search(sealed_.slots.begin() + sealed_.slot_off[pos],
+                          sealed_.slots.begin() + sealed_.slot_off[pos + 1],
+                          query.slot.value)) {
+    return false;
+  }
+  return true;
+}
+
+void CompressedAdIndex::ScanSealed(const index::AdQuery& query,
+                                   index::TopKHeap* heap) const {
+  if (sealed_.ids.empty()) return;
+
+  // Cost model for the strategy pick: the conjunction only beats the
+  // accumulator when a mandatory filter group is selective enough to
+  // leapfrog most of the topic postings (its per-id probe costs several
+  // NextGEQ calls; the accumulator streams postings at a few ns each).
+  size_t topic_total = 0;
+  for (const text::SparseEntry& e : query.topics.entries()) {
+    if (e.weight <= 0.0) continue;
+    auto it = sealed_.by_topic.find(e.id);
+    if (it != sealed_.by_topic.end()) topic_total += it->second.size();
+  }
+  if (topic_total == 0) return;  // no reachable sealed ad
+
+  size_t cheapest_filter = sealed_.ids.size() + 1;
+  if (query.location.valid()) {
+    size_t total = sealed_.wild_cell.size();
+    auto it = sealed_.by_cell.find(query.location.value);
+    if (it != sealed_.by_cell.end()) total += it->second.size();
+    cheapest_filter = std::min(cheapest_filter, total);
+  }
+  if (query.slot.valid()) {
+    size_t total = sealed_.wild_slot.size();
+    auto it = sealed_.by_slot.find(query.slot.value);
+    if (it != sealed_.by_slot.end()) total += it->second.size();
+    cheapest_filter = std::min(cheapest_filter, total);
+  }
+  if (cheapest_filter * 4 < topic_total) {
+    ScanSealedConjunction(query, heap);
+  } else {
+    ScanSealedAccumulate(query, heap);
+  }
+}
+
+void CompressedAdIndex::ScanSealedAccumulate(const index::AdQuery& query,
+                                             index::TopKHeap* heap) const {
+  const size_t n = sealed_.ids.size();
+  if (acc_.size() < n) {
+    acc_.resize(n);
+    acc_stamp_.resize(n, 0);
+  }
+  if (++acc_gen_ == 0) {  // stamp wrap: invalidate everything once
+    std::fill(acc_stamp_.begin(), acc_stamp_.end(), 0);
+    acc_gen_ = 1;
+  }
+  touched_.clear();
+
+  // Stream each topic list in ascending topic-id order (the order the
+  // query stores its entries), so every position's partial sums grow in
+  // exactly the sequence SparseVector::Dot adds matched terms — the
+  // accumulated score is bit-identical to the merge-join one.
+  for (const text::SparseEntry& e : query.topics.entries()) {
+    if (e.weight <= 0.0) continue;
+    auto it = sealed_.by_topic.find(e.id);
+    if (it == sealed_.by_topic.end() || it->second.empty()) continue;
+    for (CompressedList::Cursor c = it->second.cursor(); c.valid();
+         c.Next()) {
+      const uint32_t p = c.value();
+      ++last_postings_scanned_;
+      double w = 0.0;
+      for (uint32_t j = sealed_.topic_off[p]; j < sealed_.topic_off[p + 1];
+           ++j) {
+        if (sealed_.topic_ids[j] == e.id) {
+          w = sealed_.topic_weights[j];
+          break;
+        }
+      }
+      if (acc_stamp_[p] != acc_gen_) {
+        acc_stamp_[p] = acc_gen_;
+        acc_[p] = 0.0;
+        touched_.push_back(p);
+      }
+      acc_[p] += e.weight * w;
+    }
+  }
+
+  for (const uint32_t p : touched_) {
+    const uint32_t id = sealed_.ids[p];
+    if (dead_sealed_.find(id) != dead_sealed_.end()) continue;
+    if (!SealedPassesFilters(p, query)) continue;
+    ++last_candidates_;
+    heap->Offer(acc_[p] * sealed_.bids[p], id);
+  }
+}
+
+void CompressedAdIndex::ScanSealedConjunction(const index::AdQuery& query,
+                                              index::TopKHeap* heap) const {
+  std::vector<BoundedCursor<CompressedList::Cursor>> topics;
+  for (const text::SparseEntry& e : query.topics.entries()) {
+    if (e.weight <= 0.0) continue;
+    auto it = sealed_.by_topic.find(e.id);
+    if (it == sealed_.by_topic.end() || it->second.empty()) continue;
+    topics.push_back({it->second.cursor(),
+                      e.weight * sealed_.topic_maxw.at(e.id)});
+  }
+  if (topics.empty()) return;  // no reachable sealed ad
+
+  std::vector<OrGroup<CompressedList::Cursor>> filters;
+  if (query.location.valid()) {
+    OrGroup<CompressedList::Cursor> g;
+    auto it = sealed_.by_cell.find(query.location.value);
+    if (it != sealed_.by_cell.end() && !it->second.empty()) {
+      g.cursors.push_back(it->second.cursor());
+    }
+    if (!sealed_.wild_cell.empty()) {
+      g.cursors.push_back(sealed_.wild_cell.cursor());
+    }
+    if (g.cursors.empty()) return;  // every sealed ad fails the filter
+    filters.push_back(std::move(g));
+  }
+  if (query.slot.valid()) {
+    OrGroup<CompressedList::Cursor> g;
+    auto it = sealed_.by_slot.find(query.slot.value);
+    if (it != sealed_.by_slot.end() && !it->second.empty()) {
+      g.cursors.push_back(it->second.cursor());
+    }
+    if (!sealed_.wild_slot.empty()) {
+      g.cursors.push_back(sealed_.wild_slot.cursor());
+    }
+    if (g.cursors.empty()) return;
+    filters.push_back(std::move(g));
+  }
+
+  Conjunction(
+      &topics, &filters, sealed_.max_bid,
+      [heap] { return heap->Threshold(); }, &last_postings_scanned_,
+      [&](uint32_t pos) {
+        const uint32_t id = sealed_.ids[pos];
+        if (dead_sealed_.find(id) != dead_sealed_.end()) return;
+        ++last_candidates_;
+        heap->Offer(ScoreSealed(pos, query), id);
+      });
+}
+
+void CompressedAdIndex::ScanDelta(const index::AdQuery& query,
+                                  index::TopKHeap* heap) const {
+  if (delta_ads_.empty()) return;
+
+  std::vector<BoundedCursor<VecCursor>> topics;
+  for (const text::SparseEntry& e : query.topics.entries()) {
+    if (e.weight <= 0.0) continue;
+    auto it = delta_by_topic_.find(e.id);
+    if (it == delta_by_topic_.end() || it->second.empty()) continue;
+    topics.push_back(
+        {VecCursor{&it->second}, e.weight * delta_topic_maxw_.at(e.id)});
+  }
+  if (topics.empty()) return;
+
+  std::vector<OrGroup<VecCursor>> filters;
+  if (query.location.valid()) {
+    OrGroup<VecCursor> g;
+    auto it = delta_by_cell_.find(query.location.value);
+    if (it != delta_by_cell_.end() && !it->second.empty()) {
+      g.cursors.push_back(VecCursor{&it->second});
+    }
+    if (!delta_wild_cell_.empty()) {
+      g.cursors.push_back(VecCursor{&delta_wild_cell_});
+    }
+    if (g.cursors.empty()) return;
+    filters.push_back(std::move(g));
+  }
+  if (query.slot.valid()) {
+    OrGroup<VecCursor> g;
+    auto it = delta_by_slot_.find(query.slot.value);
+    if (it != delta_by_slot_.end() && !it->second.empty()) {
+      g.cursors.push_back(VecCursor{&it->second});
+    }
+    if (!delta_wild_slot_.empty()) {
+      g.cursors.push_back(VecCursor{&delta_wild_slot_});
+    }
+    if (g.cursors.empty()) return;
+    filters.push_back(std::move(g));
+  }
+
+  Conjunction(
+      &topics, &filters, delta_max_bid_,
+      [heap] { return heap->Threshold(); }, &last_postings_scanned_,
+      [&](uint32_t id) {
+        ++last_candidates_;
+        const DeltaMeta& meta = delta_ads_.at(id);
+        heap->Offer(query.topics.Dot(meta.topics) * meta.bid, id);
+      });
+}
+
+std::vector<index::ScoredAd> CompressedAdIndex::TopK(
+    const index::AdQuery& query) const {
+  obs::TraceSpan span("index.candidates");
+  last_candidates_ = 0;
+  last_postings_scanned_ = 0;
+  if (query.k == 0 || query.topics.empty()) return {};
+
+  index::TopKHeap heap(query.k);
+  ScanSealed(query, &heap);
+  ScanDelta(query, &heap);
+
+  if (ctr_considered_ != nullptr) ctr_considered_->Inc(last_postings_scanned_);
+  if (ctr_candidates_ != nullptr) ctr_candidates_->Inc(last_candidates_);
+  if (g_pruned_ratio_ != nullptr) {
+    const size_t live = size();
+    g_pruned_ratio_->Set(
+        live == 0 ? 0.0
+                  : 1.0 - static_cast<double>(last_candidates_) /
+                              static_cast<double>(live));
+  }
+  return heap.Drain();
+}
+
+std::vector<index::ScoredAd> CompressedAdIndex::TopKExhaustive(
+    const index::AdQuery& query) const {
+  last_candidates_ = 0;
+  last_postings_scanned_ = size();
+  index::TopKHeap heap(query.k);
+  for (size_t pos = 0; pos < sealed_.ids.size(); ++pos) {
+    const uint32_t id = sealed_.ids[pos];
+    if (dead_sealed_.find(id) != dead_sealed_.end()) continue;
+    if (!SealedPassesFilters(pos, query)) continue;
+    heap.Offer(ScoreSealed(pos, query), id);
+  }
+  for (const auto& [id, meta] : delta_ads_) {
+    if (query.location.valid() && !meta.locations.empty() &&
+        !std::binary_search(meta.locations.begin(), meta.locations.end(),
+                            query.location.value)) {
+      continue;
+    }
+    if (query.slot.valid() && !meta.slots.empty() &&
+        !std::binary_search(meta.slots.begin(), meta.slots.end(),
+                            query.slot.value)) {
+      continue;
+    }
+    heap.Offer(query.topics.Dot(meta.topics) * meta.bid, id);
+  }
+  return heap.Drain();
+}
+
+PostingsStats CompressedAdIndex::stats() const {
+  PostingsStats s;
+  s.sealed_ads = sealed_.ids.size() - dead_sealed_.size();
+  s.sealed_dead = dead_sealed_.size();
+  s.delta_ads = delta_ads_.size();
+  s.epochs = epochs_;
+  s.lists = sealed_lists_;
+  s.sealed_bytes = sealed_bytes_;
+  s.bytes = sealed_bytes_ + delta_bytes_;
+  return s;
+}
+
+void CompressedAdIndex::PublishGauges() const {
+  if (g_bytes_ == nullptr) return;
+  const PostingsStats s = stats();
+  g_bytes_->Set(static_cast<double>(s.bytes));
+  g_lists_->Set(static_cast<double>(s.lists));
+  g_epochs_->Set(static_cast<double>(s.epochs));
+  g_delta_ads_->Set(static_cast<double>(s.delta_ads));
+  g_sealed_ads_->Set(static_cast<double>(s.sealed_ads));
+}
+
+}  // namespace adrec::postings

@@ -1,0 +1,211 @@
+#ifndef ADREC_POSTINGS_COMPRESSED_INDEX_H_
+#define ADREC_POSTINGS_COMPRESSED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/id_types.h"
+#include "common/status.h"
+#include "index/query.h"
+#include "index/topk_heap.h"
+#include "obs/metrics.h"
+#include "postings/codec.h"
+#include "text/sparse_vector.h"
+
+namespace adrec::postings {
+
+struct PostingsOptions {
+  /// Delta-index ads that trigger an epoch seal (compression rebuild).
+  size_t seal_threshold = 1024;
+  /// Reseal when sealed tombstones exceed this fraction of sealed ads.
+  double tombstone_reseal_fraction = 0.5;
+};
+
+/// Point-in-time footprint/shape of the compressed index.
+struct PostingsStats {
+  size_t bytes = 0;        ///< resident payload: sealed epoch + delta
+  size_t sealed_bytes = 0; ///< compressed lists + flat ad arrays
+  size_t lists = 0;        ///< compressed posting lists in the sealed epoch
+  size_t epochs = 0;       ///< seals performed since construction
+  size_t delta_ads = 0;    ///< ads in the uncompressed delta index
+  size_t sealed_ads = 0;   ///< live ads in the sealed epoch
+  size_t sealed_dead = 0;  ///< tombstoned sealed ads awaiting reseal
+};
+
+/// The compressed ad inventory index: an epoch-sealed, immutable set of
+/// compressed posting lists (topics, location cells, time slots) plus a
+/// small uncompressed delta index that absorbs churn. Ingest goes to the
+/// delta; when it reaches seal_threshold ads (or tombstones dominate the
+/// sealed epoch) the two are merged into a fresh sealed epoch and the
+/// lists recompressed — rebuild-and-swap, never in-place mutation.
+///
+/// Queries pick the cheaper of two exact strategies per side:
+///
+/// - Filter-driven max-score conjunction, when a mandatory filter group
+///   (cell ∪ untargeted, slot ∪ untargeted) is much rarer than the topic
+///   postings: topic cursors carry upper-bound impacts (query weight x
+///   list max weight), cursors sorted by id pick a pivot — the smallest
+///   id whose prefix bound x the side's max bid can still reach the
+///   current top-k threshold — and filter misses push the skip floor to
+///   the group's next reachable id via NextGEQ, so the rarest list
+///   drives the scan and everything in between is skipped undecoded.
+///
+/// - Term-at-a-time accumulation, otherwise: the query's topic lists are
+///   streamed in ascending topic-id order into a generation-stamped
+///   position accumulator. Because SparseVector::Dot also sums matched
+///   terms in ascending topic order, the accumulated partial dot is
+///   bit-identical to the merge-join score — exactness by construction,
+///   at a few ns per posting.
+///
+/// Survivors are offered to the same deterministic top-k heap as
+/// index::AdIndex, so the ranked result is byte-identical to the
+/// uncompressed index — the pruning is a candidate filter, never an
+/// approximation (the 20-seed differential in
+/// tests/postings_differential_test.cc holds the two implementations to
+/// that).
+class CompressedAdIndex {
+ public:
+  /// `metrics`, when given, receives the postings.* gauges/counters
+  /// (bytes, lists, epochs, candidate pruning); nullptr disables them.
+  explicit CompressedAdIndex(PostingsOptions options = {},
+                             obs::MetricRegistry* metrics = nullptr);
+
+  /// Same contract as index::AdIndex::Insert (AlreadyExists on dup).
+  Status Insert(AdId id, const text::SparseVector& topics,
+                const std::vector<LocationId>& target_locations,
+                const std::vector<SlotId>& target_slots, double bid = 1.0);
+
+  /// Same contract as index::AdIndex::Remove (NotFound if absent).
+  /// Sealed ads tombstone (lists are immutable); delta ads drop out.
+  Status Remove(AdId id);
+
+  /// Exact top-k, byte-identical to index::AdIndex::TopK on the same
+  /// live inventory.
+  std::vector<index::ScoredAd> TopK(const index::AdQuery& query) const;
+
+  /// Full-scan reference scorer (mirrors AdIndex::TopKExhaustive).
+  std::vector<index::ScoredAd> TopKExhaustive(
+      const index::AdQuery& query) const;
+
+  /// Number of live ads (sealed live + delta).
+  size_t size() const {
+    return sealed_.ids.size() - dead_sealed_.size() + delta_ads_.size();
+  }
+
+  /// Forces an epoch seal (tests / shutdown compaction).
+  void Seal();
+
+  PostingsStats stats() const;
+
+  /// Diagnostics for the last TopK call.
+  size_t last_candidates() const { return last_candidates_; }
+  size_t last_postings_scanned() const { return last_postings_scanned_; }
+
+  /// Resident payload bytes (stats().bytes): compressed lists + flat ad
+  /// arrays + delta estimate. The number index.postings_bytes exports.
+  size_t approx_bytes() const { return stats().bytes; }
+
+ private:
+  /// Uncompressed per-ad record in the delta index.
+  struct DeltaMeta {
+    double bid = 1.0;
+    text::SparseVector topics;
+    std::vector<uint32_t> locations;  // sorted; empty = everywhere
+    std::vector<uint32_t> slots;      // sorted; empty = always
+  };
+
+  /// One immutable compressed epoch. Per-ad data lives in flat arrays
+  /// indexed by position (ads sorted by id); posting lists hold
+  /// positions, which are dense and ascending — ideal codec input.
+  struct Sealed {
+    std::vector<uint32_t> ids;    // sorted ad ids
+    std::vector<double> bids;
+    // Full topic vectors, CSR-style: ad p's entries are
+    // [topic_off[p], topic_off[p+1]) of topic_ids/topic_weights,
+    // ascending by topic id (same order SparseVector stores them, so
+    // the merge-join dot product visits identical terms in identical
+    // order — the bit-exactness requirement).
+    std::vector<uint32_t> topic_off;
+    std::vector<uint32_t> topic_ids;
+    std::vector<double> topic_weights;
+    // Targeting filters, CSR-style, sorted; empty slice = wildcard.
+    std::vector<uint32_t> loc_off, locs;
+    std::vector<uint32_t> slot_off, slots;
+    // Posting lists over positions. by_topic indexes only weight > 0
+    // entries (what makes an ad reachable, mirroring AdIndex postings).
+    std::unordered_map<uint32_t, CompressedList> by_topic;
+    std::unordered_map<uint32_t, CompressedList> by_cell;
+    std::unordered_map<uint32_t, CompressedList> by_slot;
+    CompressedList wild_cell;  // positions with no location targeting
+    CompressedList wild_slot;  // positions with no slot targeting
+    // Score-bound inputs for max-score pruning: the largest weight in
+    // each topic list and the largest bid in the epoch. Tombstones can
+    // leave these stale-high — a looser bound is still a bound.
+    std::unordered_map<uint32_t, double> topic_maxw;
+    double max_bid = 0.0;
+  };
+
+  bool SealedContains(uint32_t id) const;
+  bool SealedLive(uint32_t id) const;
+  bool SealedPassesFilters(size_t pos, const index::AdQuery& query) const;
+  double ScoreSealed(size_t pos, const index::AdQuery& query) const;
+  void ScanSealed(const index::AdQuery& query, index::TopKHeap* heap) const;
+  void ScanSealedConjunction(const index::AdQuery& query,
+                             index::TopKHeap* heap) const;
+  void ScanSealedAccumulate(const index::AdQuery& query,
+                            index::TopKHeap* heap) const;
+  void ScanDelta(const index::AdQuery& query, index::TopKHeap* heap) const;
+  void MaybeSealAfterChange();
+  void PublishGauges() const;
+
+  PostingsOptions options_;
+  Sealed sealed_;
+  std::unordered_set<uint32_t> dead_sealed_;  // tombstoned sealed ids
+
+  // Delta index: sorted-vector posting lists over ad ids.
+  std::unordered_map<uint32_t, DeltaMeta> delta_ads_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> delta_by_topic_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> delta_by_cell_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> delta_by_slot_;
+  std::vector<uint32_t> delta_wild_cell_;
+  std::vector<uint32_t> delta_wild_slot_;
+  // Max-score bounds for the delta side, maintained on insert. Removals
+  // leave them stale-high until the next seal resets them (a looser
+  // bound only costs pruning power, never correctness).
+  std::unordered_map<uint32_t, double> delta_topic_maxw_;
+  double delta_max_bid_ = 0.0;
+
+  size_t epochs_ = 0;
+  size_t sealed_bytes_ = 0;
+  size_t sealed_lists_ = 0;
+  size_t delta_bytes_ = 0;  // incremental (O(1) stats/gauge updates)
+
+  mutable size_t last_candidates_ = 0;
+  mutable size_t last_postings_scanned_ = 0;
+
+  // Reusable term-at-a-time scoring scratch (position-indexed partial
+  // dot products, generation-stamped so clearing is O(touched), not
+  // O(n)). Query-time only; not part of the index footprint, and reused
+  // across queries like AdIndex's seen-set.
+  mutable std::vector<double> acc_;
+  mutable std::vector<uint32_t> acc_stamp_;
+  mutable uint32_t acc_gen_ = 0;
+  mutable std::vector<uint32_t> touched_;
+
+  // Observability (all nullable).
+  obs::Gauge* g_bytes_ = nullptr;
+  obs::Gauge* g_lists_ = nullptr;
+  obs::Gauge* g_epochs_ = nullptr;
+  obs::Gauge* g_delta_ads_ = nullptr;
+  obs::Gauge* g_sealed_ads_ = nullptr;
+  obs::Gauge* g_pruned_ratio_ = nullptr;
+  obs::Counter* ctr_candidates_ = nullptr;
+  obs::Counter* ctr_considered_ = nullptr;
+  obs::Counter* ctr_seals_ = nullptr;
+};
+
+}  // namespace adrec::postings
+
+#endif  // ADREC_POSTINGS_COMPRESSED_INDEX_H_

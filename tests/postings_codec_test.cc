@@ -1,0 +1,198 @@
+#include "postings/codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace adrec::postings {
+namespace {
+
+const Codec kCodecs[] = {Codec::kVarint, Codec::kEliasFano};
+
+/// Reference NextGEQ on the plain vector, honouring the cursor contract
+/// (forward-only: never before the current position).
+size_t RefNextGEQ(const std::vector<uint32_t>& v, size_t pos,
+                  uint32_t target) {
+  if (pos < v.size() && v[pos] >= target) return pos;
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + static_cast<ptrdiff_t>(pos), v.end(),
+                       target) -
+      v.begin());
+}
+
+void ExpectRoundTrip(Codec codec, const std::vector<uint32_t>& v) {
+  const CompressedList list = CompressedList::BuildWith(codec, v);
+  EXPECT_EQ(list.size(), v.size());
+  EXPECT_EQ(list.Decode(), v);
+}
+
+void ExpectNextGEQMatches(Codec codec, const std::vector<uint32_t>& v,
+                          const std::vector<uint32_t>& targets) {
+  const CompressedList list = CompressedList::BuildWith(codec, v);
+  CompressedList::Cursor c = list.cursor();
+  size_t ref = 0;
+  for (const uint32_t t : targets) {
+    c.NextGEQ(t);
+    ref = RefNextGEQ(v, ref, t);
+    ASSERT_EQ(c.valid(), ref < v.size()) << "target " << t;
+    if (ref < v.size()) {
+      ASSERT_EQ(c.value(), v[ref]) << "target " << t;
+      ASSERT_EQ(c.index(), ref);
+    }
+  }
+}
+
+TEST(PostingsCodecTest, EmptyList) {
+  for (const Codec codec : kCodecs) {
+    const CompressedList list = CompressedList::BuildWith(codec, {});
+    EXPECT_EQ(list.size(), 0u);
+    EXPECT_TRUE(list.empty());
+    EXPECT_TRUE(list.Decode().empty());
+    CompressedList::Cursor c = list.cursor();
+    EXPECT_FALSE(c.valid());
+    c.NextGEQ(0);
+    EXPECT_FALSE(c.valid());
+  }
+}
+
+TEST(PostingsCodecTest, SingleElement) {
+  for (const Codec codec : kCodecs) {
+    for (const uint32_t v : {0u, 1u, 63u, 64u, 1u << 20, 4294967294u}) {
+      ExpectRoundTrip(codec, {v});
+      const CompressedList list = CompressedList::BuildWith(codec, {v});
+      CompressedList::Cursor c = list.cursor();
+      ASSERT_TRUE(c.valid());
+      EXPECT_EQ(c.value(), v);
+      c.NextGEQ(v);
+      ASSERT_TRUE(c.valid());
+      EXPECT_EQ(c.value(), v);
+      if (v < 4294967295u) {
+        c.NextGEQ(v + 1);
+        EXPECT_FALSE(c.valid());
+      }
+    }
+  }
+}
+
+TEST(PostingsCodecTest, DenseListEqualsUniverse) {
+  // A maximally dense list (every value in [0, n)): the Elias-Fano
+  // degenerate case l = 0, where everything lives in the unary part.
+  std::vector<uint32_t> v(1000);
+  for (uint32_t i = 0; i < 1000; ++i) v[i] = i;
+  for (const Codec codec : kCodecs) {
+    ExpectRoundTrip(codec, v);
+    std::vector<uint32_t> targets;
+    for (uint32_t t = 0; t <= 1001; t += 7) targets.push_back(t);
+    ExpectNextGEQMatches(codec, v, targets);
+  }
+}
+
+TEST(PostingsCodecTest, ExhaustiveSmallUniverse) {
+  // Every subset of [0, 10): round-trip plus NextGEQ against the
+  // reference for every target in [0, 11], both codecs.
+  constexpr uint32_t kU = 10;
+  for (uint32_t mask = 0; mask < (1u << kU); ++mask) {
+    std::vector<uint32_t> v;
+    for (uint32_t b = 0; b < kU; ++b) {
+      if (mask & (1u << b)) v.push_back(b);
+    }
+    for (const Codec codec : kCodecs) {
+      ExpectRoundTrip(codec, v);
+      // Monotone target sweeps starting at every offset.
+      for (uint32_t start = 0; start <= kU; ++start) {
+        std::vector<uint32_t> targets;
+        for (uint32_t t = start; t <= kU + 1; ++t) targets.push_back(t);
+        ExpectNextGEQMatches(codec, v, targets);
+      }
+    }
+  }
+}
+
+TEST(PostingsCodecTest, RandomizedRoundTripAndSkips) {
+  Rng rng(20240817);
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = rng.NextBounded(500);
+    const uint32_t universe =
+        1u + static_cast<uint32_t>(rng.NextBounded(1u << 22));
+    std::vector<uint32_t> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<uint32_t>(rng.NextBounded(universe)));
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+
+    for (const Codec codec : kCodecs) {
+      ExpectRoundTrip(codec, v);
+      // Random non-decreasing target sequence.
+      std::vector<uint32_t> targets;
+      uint32_t t = 0;
+      while (targets.size() < 64 && t < universe + 2) {
+        targets.push_back(t);
+        t += static_cast<uint32_t>(rng.NextBounded(universe / 16 + 2));
+      }
+      ExpectNextGEQMatches(codec, v, targets);
+    }
+
+    // The two codecs must agree with each other through interleaved
+    // Next / NextGEQ traversal.
+    const CompressedList a = CompressedList::BuildWith(Codec::kVarint, v);
+    const CompressedList b = CompressedList::BuildWith(Codec::kEliasFano, v);
+    CompressedList::Cursor ca = a.cursor();
+    CompressedList::Cursor cb = b.cursor();
+    while (ca.valid() && cb.valid()) {
+      ASSERT_EQ(ca.value(), cb.value());
+      if (rng.NextBool(0.3)) {
+        const uint32_t jump =
+            ca.value() + static_cast<uint32_t>(rng.NextBounded(universe / 8 + 2));
+        ca.NextGEQ(jump);
+        cb.NextGEQ(jump);
+      } else {
+        ca.Next();
+        cb.Next();
+      }
+    }
+    EXPECT_EQ(ca.valid(), cb.valid());
+  }
+}
+
+TEST(PostingsCodecTest, SparseHugeGaps) {
+  // Values spread across the full uint32 range: varint deltas span many
+  // bytes, Elias-Fano gets a large l. Both must stay exact.
+  std::vector<uint32_t> v = {0,          1,         4096,      1u << 16,
+                             1u << 24,   1u << 30,  3000000000u, 4294967294u};
+  for (const Codec codec : kCodecs) {
+    ExpectRoundTrip(codec, v);
+    std::vector<uint32_t> targets = {0,        2,          5000,
+                                     1u << 20, 1u << 29,   2999999999u,
+                                     3000000001u, 4294967294u};
+    ExpectNextGEQMatches(codec, v, targets);
+  }
+}
+
+TEST(PostingsCodecTest, AutoPickChoosesSmaller) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + rng.NextBounded(300);
+    const uint32_t universe = 1u + static_cast<uint32_t>(
+        rng.NextBounded(round % 2 == 0 ? 1024u : (1u << 24)));
+    std::vector<uint32_t> v;
+    for (size_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<uint32_t>(rng.NextBounded(universe)));
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+
+    const CompressedList picked = CompressedList::Build(v);
+    const CompressedList vb = CompressedList::BuildWith(Codec::kVarint, v);
+    const CompressedList ef = CompressedList::BuildWith(Codec::kEliasFano, v);
+    EXPECT_EQ(picked.bytes(), std::min(vb.bytes(), ef.bytes()));
+    EXPECT_EQ(picked.Decode(), v);
+  }
+}
+
+}  // namespace
+}  // namespace adrec::postings

@@ -1,0 +1,414 @@
+// The compressed≡uncompressed differential that pins the compressed
+// posting-list inventory index (DESIGN.md §15): twenty seeded traces
+// drive a --compressed-index daemon A and an uncompressed oracle B in
+// lockstep over real sockets — every write mirrored to both, every topk
+// probe issued to both in the same order — and every reply must match
+// byte-for-byte at every stream clock. The trace interleaves tweets,
+// check-ins and heavy ad churn (inserts, deletes, re-inserts of dead
+// sealed ids) with a deliberately tiny seal threshold, so epochs seal
+// mid-trace, tombstones accumulate and reseal, and queries span every
+// delta/sealed mixture.
+//
+// Serving charges (budget decrements, frequency-cap records) are real
+// state and flow through whichever index produced the ranking, so a
+// single wrong candidate or score would compound into visibly different
+// replies for the rest of the trace.
+//
+// Restart phase: both daemons bounce together (even seeds through a
+// mid-run `checkpoint` + tail replay, odd seeds from the log alone); A
+// rebuilds its compressed epochs from recovery's InsertAd replay — seal
+// boundaries may land elsewhere, which must not matter — and
+// equivalence must hold for the rest of the trace.
+//
+// Follower phase: a compressed follower FA replicates from A while an
+// uncompressed follower FB replicates from B; both apply the same
+// frames and must answer probes identically.
+//
+// A trace whose delta never seals would pass trivially, so each seed
+// asserts the compressed daemon actually sealed epochs.
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "common/random.h"
+#include "core/sharded_engine.h"
+#include "feed/workload.h"
+#include "replica/follower.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "wal/checkpoint.h"
+#include "wal/wal.h"
+
+namespace adrec::serve {
+namespace {
+
+struct Daemon {
+  feed::Workload workload;
+  std::string wal_dir;
+  std::unique_ptr<wal::CheckpointManager> checkpointer;
+  std::unique_ptr<wal::WalWriter> wal;
+  std::unique_ptr<core::ShardedEngine> engine;
+  std::unique_ptr<replica::Follower> follower;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+
+  void Stop() {
+    if (server) {
+      server->RequestDrain();
+      if (thread.joinable()) thread.join();
+      server.reset();
+    }
+    follower.reset();
+    wal.reset();
+    engine.reset();
+    checkpointer.reset();
+  }
+  ~Daemon() { Stop(); }
+};
+
+class PostingsDifferentialTest : public ::testing::Test {
+ protected:
+  PostingsDifferentialTest() {
+    base_dir_ = (std::filesystem::temp_directory_path() /
+                 ("adrec_postdiff_" + std::to_string(::getpid())))
+                    .string();
+    std::filesystem::remove_all(base_dir_);
+    std::filesystem::create_directories(base_dir_);
+  }
+  ~PostingsDifferentialTest() override {
+    std::filesystem::remove_all(base_dir_);
+  }
+
+  void StartDaemon(Daemon* d, const feed::WorkloadOptions& wopts,
+                   const std::string& tag, size_t num_shards,
+                   const core::EngineOptions& eopts,
+                   uint16_t leader_port = 0) {
+    d->workload = feed::GenerateWorkload(wopts);
+    d->wal_dir = base_dir_ + "/" + tag;
+    d->checkpointer = std::make_unique<wal::CheckpointManager>(d->wal_dir);
+    d->engine = std::make_unique<core::ShardedEngine>(
+        d->workload.kb, d->workload.slots, num_shards, eopts);
+    auto recovered = d->checkpointer->Recover(d->engine.get());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+    wal::WalOptions wal_options;
+    wal_options.sync = wal::SyncPolicy::kNone;
+    auto writer = wal::WalWriter::Open(d->wal_dir, wal_options,
+                                       recovered.value().next_seqno);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    d->wal = std::move(writer).value();
+
+    ServerOptions options;
+    options.wal = d->wal.get();
+    options.checkpointer = d->checkpointer.get();
+    if (leader_port != 0) {
+      replica::FollowerOptions fopts;
+      fopts.host = "127.0.0.1";
+      fopts.port = leader_port;
+      fopts.backoff_initial = 0.05;
+      d->follower = std::make_unique<replica::Follower>(
+          d->engine.get(), d->wal.get(), fopts);
+      options.follower = d->follower.get();
+    }
+    d->server = std::make_unique<Server>(d->engine.get(), options);
+    if (recovered.value().max_event_time > 0) {
+      d->server->SeedStreamClock(recovered.value().max_event_time);
+    }
+    ASSERT_TRUE(d->server->Start().ok());
+    d->thread = std::thread([d] { d->server->Run(); });
+  }
+
+  Client Connected(const Daemon& d) {
+    Client client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", d.server->port()).ok());
+    return client;
+  }
+
+  static bool MetricValue(const std::string& payload,
+                          const std::string& name, double* value) {
+    const size_t pos = payload.find("\n" + name + " ");
+    if (pos == std::string::npos) return false;
+    *value = std::strtod(payload.c_str() + pos + 1 + name.size(), nullptr);
+    return true;
+  }
+
+  double Metric(Client* client, const std::string& name) {
+    auto metrics = client->Metrics();
+    EXPECT_TRUE(metrics.ok());
+    double v = 0.0;
+    MetricValue(metrics.value(), name, &v);
+    return v;
+  }
+
+  void WaitForApplied(Client* client, uint64_t seqno) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+      auto metrics = client->Metrics();
+      ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+      double applied = -1.0;
+      if (MetricValue(metrics.value(), "adrec_replica_applied_seqno",
+                      &applied) &&
+          applied >= static_cast<double>(seqno)) {
+        return;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "follower stuck at applied_seqno=" << applied << " want "
+          << seqno;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  std::string base_dir_;
+};
+
+void MirrorAndCompare(Client* a, Client* b, const std::string& line,
+                      uint64_t seed, size_t step) {
+  auto ra = a->Command(line);
+  auto rb = b->Command(line);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_EQ(ra.value(), rb.value())
+      << "seed " << seed << " step " << step << " diverged on: " << line;
+}
+
+TEST_F(PostingsDifferentialTest, TwentySeededTracesMatchUncompressedExactly) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const size_t num_shards = (seed % 3 == 0) ? 2 : 1;
+
+    feed::WorkloadOptions wopts;
+    wopts.seed = 4200 + seed;
+    wopts.num_users = 8 + static_cast<size_t>(seed % 5);
+    wopts.num_places = 6 + static_cast<size_t>(seed % 3);
+    wopts.num_ads = 4 + static_cast<size_t>(seed % 4);
+    wopts.days = 2;
+    wopts.tweets_per_user_day = 2.0;
+    wopts.checkins_per_user_day = 1.0;
+    const feed::Workload workload = feed::GenerateWorkload(wopts);
+
+    core::EngineOptions eopts;
+    // Odd seeds serve with a tight frequency cap so serving charges and
+    // cap records ride on the compared rankings too.
+    eopts.frequency_cap.max_impressions = (seed % 2 == 1) ? 3 : 0;
+    eopts.frequency_cap.window = 6 * 3600;
+
+    core::EngineOptions eopts_a = eopts;
+    eopts_a.compressed_index = true;
+    // Tiny thresholds: the trace's churn forces several epoch seals and
+    // (low tombstone fraction) mid-trace reseals.
+    eopts_a.postings.seal_threshold = 3 + static_cast<size_t>(seed % 4);
+    eopts_a.postings.tombstone_reseal_fraction = 0.3;
+
+    const std::string tag = "s" + std::to_string(seed);
+    Daemon a;  // compressed index
+    Daemon b;  // the uncompressed oracle
+    StartDaemon(&a, wopts, tag + "_a", num_shards, eopts_a);
+    StartDaemon(&b, wopts, tag + "_b", num_shards, eopts);
+    auto ca = std::make_unique<Client>(Connected(a));
+    auto cb = std::make_unique<Client>(Connected(b));
+
+    // Inventory over the wire so it is WAL-logged and replayed by the
+    // followers; every third seed tightens some budgets so exhaustion
+    // filtering rides on the compared rankings.
+    std::vector<feed::Ad> live_ads = workload.ads;
+    uint64_t acked = 0;
+    for (feed::Ad& ad : live_ads) {
+      if (seed % 3 == 0 && ad.id.value % 2 == 0) ad.budget_impressions = 7;
+      ASSERT_TRUE(ca->PutAd(ad).ok());
+      ASSERT_TRUE(cb->PutAd(ad).ok());
+      ++acked;
+    }
+
+    const std::vector<feed::FeedEvent> events = workload.MergedEvents();
+    Rng rng(seed * 131 + 9);
+    ZipfSampler hot_users(wopts.num_users, 1.1);
+    std::vector<std::string> replayable;
+    std::vector<AdId> removed;  // dead sealed ids eligible for re-insert
+    uint32_t next_ad_id = 20000;
+    size_t step = 0;
+
+    auto probe_batch = [&]() {
+      const uint32_t hot = static_cast<uint32_t>(hot_users.Sample(rng));
+      MirrorAndCompare(ca.get(), cb.get(), FormatTopKCmd(UserId(hot), 3),
+                       seed, step);
+      const uint32_t user =
+          static_cast<uint32_t>(rng.NextBounded(wopts.num_users));
+      const size_t k = 1 + static_cast<size_t>(rng.NextBounded(5));
+      if (rng.NextBool(0.5)) {
+        const feed::Tweet& t =
+            workload.tweets[rng.NextBounded(workload.tweets.size())];
+        const std::string line =
+            FormatTopKCmd(UserId(user), k, t.time, t.text);
+        replayable.push_back(line);
+        MirrorAndCompare(ca.get(), cb.get(), line, seed, step);
+      } else {
+        MirrorAndCompare(ca.get(), cb.get(), FormatTopKCmd(UserId(user), k),
+                         seed, step);
+      }
+      if (!replayable.empty() && rng.NextBool(0.4)) {
+        MirrorAndCompare(ca.get(), cb.get(),
+                         replayable[rng.NextBounded(replayable.size())],
+                         seed, step);
+      }
+    };
+
+    // One trace step: ingest into both daemons, frequent ad churn
+    // (inserts, deletes, re-inserts of previously removed ids — the
+    // dead-sealed-id path), then a lockstep probe batch.
+    auto run_steps = [&](size_t first_event, size_t last_event) {
+      for (size_t i = first_event; i < last_event; ++i) {
+        const feed::FeedEvent& event = events[i];
+        if (event.kind == feed::EventKind::kTweet) {
+          ASSERT_TRUE(ca->SendTweet(event.tweet).ok());
+          ASSERT_TRUE(cb->SendTweet(event.tweet).ok());
+          ++acked;
+        } else if (event.kind == feed::EventKind::kCheckIn) {
+          ASSERT_TRUE(ca->SendCheckIn(event.check_in).ok());
+          ASSERT_TRUE(cb->SendCheckIn(event.check_in).ok());
+          ++acked;
+        }
+        if (rng.NextBool(0.25)) {  // ad churn, heavier than the cache test
+          const double dice = rng.NextDouble();
+          if (!live_ads.empty() && dice < 0.35) {
+            const size_t victim = rng.NextBounded(live_ads.size());
+            const AdId doomed = live_ads[victim].id;
+            live_ads.erase(live_ads.begin() +
+                           static_cast<ptrdiff_t>(victim));
+            removed.push_back(doomed);
+            ASSERT_TRUE(ca->DeleteAd(doomed).ok());
+            ASSERT_TRUE(cb->DeleteAd(doomed).ok());
+            ++acked;
+          } else if (!removed.empty() && dice < 0.55) {
+            // Re-insert a removed id: in A it may still sit tombstoned
+            // inside a sealed epoch.
+            feed::Ad ad = workload.ads[rng.NextBounded(workload.ads.size())];
+            ad.id = removed.back();
+            removed.pop_back();
+            ASSERT_TRUE(ca->PutAd(ad).ok());
+            ASSERT_TRUE(cb->PutAd(ad).ok());
+            live_ads.push_back(ad);
+            ++acked;
+          } else {
+            feed::Ad ad = workload.ads[rng.NextBounded(workload.ads.size())];
+            ad.id = AdId(next_ad_id++);
+            if (rng.NextBool(0.3)) ad.target_locations.clear();
+            if (rng.NextBool(0.3)) ad.target_slots.clear();
+            if (rng.NextBool(0.3)) ad.budget_impressions = 5;
+            ASSERT_TRUE(ca->PutAd(ad).ok());
+            ASSERT_TRUE(cb->PutAd(ad).ok());
+            live_ads.push_back(ad);
+            ++acked;
+          }
+        }
+        if (i % 2 == 0) {
+          probe_batch();
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+        ++step;
+      }
+    };
+
+    const size_t phase1_end = events.size() / 2;
+    run_steps(0, phase1_end);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+    // Non-vacuity: the compressed daemon must have sealed epochs by now
+    // (the gauge sums across shards; each shard holds every ad).
+    EXPECT_GE(Metric(ca.get(), "adrec_postings_epochs"), 1.0)
+        << "delta never sealed — the differential is vacuous";
+    const double phase1_candidates =
+        Metric(ca.get(), "adrec_postings_candidates_total");
+
+    // --- Restart phase: both daemons bounce together. Even seeds write
+    // a checkpoint first; odd seeds recover from the log alone. A's
+    // epochs rebuild from InsertAd replay (boundaries may differ — the
+    // answers must not).
+    if (seed % 2 == 0) {
+      auto cpa = ca->Command("checkpoint");
+      ASSERT_TRUE(cpa.ok()) << cpa.status().ToString();
+      ASSERT_EQ(cpa.value().rfind("OK", 0), 0u) << cpa.value();
+      auto cpb = cb->Command("checkpoint");
+      ASSERT_TRUE(cpb.ok());
+      ASSERT_EQ(cpb.value().rfind("OK", 0), 0u) << cpb.value();
+    }
+    ca.reset();
+    cb.reset();
+    a.Stop();
+    b.Stop();
+    StartDaemon(&a, wopts, tag + "_a", num_shards, eopts_a);
+    StartDaemon(&b, wopts, tag + "_b", num_shards, eopts);
+    ca = std::make_unique<Client>(Connected(a));
+    cb = std::make_unique<Client>(Connected(b));
+
+    run_steps(phase1_end, events.size());
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    EXPECT_GE(Metric(ca.get(), "adrec_postings_epochs"), 1.0);
+    EXPECT_GE(phase1_candidates +
+                  Metric(ca.get(), "adrec_postings_candidates_total"),
+              1.0)
+        << "the pruned conjunction never emitted a candidate";
+
+    // --- Follower phase: compressed follower FA tails A, uncompressed
+    // follower FB tails B; identical applied frames must serve identical
+    // answers.
+    Daemon fa;
+    Daemon fb;
+    StartDaemon(&fa, wopts, tag + "_fa", num_shards, eopts_a,
+                a.server->port());
+    StartDaemon(&fb, wopts, tag + "_fb", num_shards, eopts,
+                b.server->port());
+    Client cfa = Connected(fa);
+    Client cfb = Connected(fb);
+    WaitForApplied(&cfa, acked);
+    WaitForApplied(&cfb, acked);
+
+    auto follower_probes = [&]() {
+      for (int round = 0; round < 6; ++round) {
+        const uint32_t hot = static_cast<uint32_t>(hot_users.Sample(rng));
+        MirrorAndCompare(&cfa, &cfb, FormatTopKCmd(UserId(hot), 3), seed,
+                         step);
+        if (!replayable.empty()) {
+          MirrorAndCompare(&cfa, &cfb,
+                           replayable[rng.NextBounded(replayable.size())],
+                           seed, step);
+        }
+        ++step;
+      }
+    };
+    follower_probes();
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+    // More leader writes (including churn) stream to the followers; the
+    // replicated epochs keep sealing and answers must still agree.
+    for (size_t i = 0; i < std::min<size_t>(events.size(), 10); ++i) {
+      feed::Tweet tweet = workload.tweets[i % workload.tweets.size()];
+      tweet.user = UserId(static_cast<uint32_t>(hot_users.Sample(rng)));
+      ASSERT_TRUE(ca->SendTweet(tweet).ok());
+      ASSERT_TRUE(cb->SendTweet(tweet).ok());
+      ++acked;
+      feed::Ad ad = workload.ads[rng.NextBounded(workload.ads.size())];
+      ad.id = AdId(next_ad_id++);
+      ASSERT_TRUE(ca->PutAd(ad).ok());
+      ASSERT_TRUE(cb->PutAd(ad).ok());
+      ++acked;
+    }
+    WaitForApplied(&cfa, acked);
+    WaitForApplied(&cfb, acked);
+    follower_probes();
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    EXPECT_GE(Metric(&cfa, "adrec_postings_epochs"), 1.0)
+        << "follower never sealed an epoch";
+  }
+}
+
+}  // namespace
+}  // namespace adrec::serve

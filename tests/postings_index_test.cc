@@ -1,0 +1,207 @@
+#include "postings/compressed_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/ad_index.h"
+#include "obs/metrics.h"
+
+namespace adrec::postings {
+namespace {
+
+text::SparseVector Vec(std::vector<text::SparseEntry> entries) {
+  return text::SparseVector::FromUnsorted(std::move(entries));
+}
+
+index::AdQuery Query(text::SparseVector topics, size_t k = 10,
+                     LocationId loc = LocationId(),
+                     SlotId slot = SlotId()) {
+  index::AdQuery q;
+  q.topics = std::move(topics);
+  q.k = k;
+  q.location = loc;
+  q.slot = slot;
+  return q;
+}
+
+TEST(CompressedAdIndexTest, BasicTopKMatchesUncompressed) {
+  CompressedAdIndex cidx;
+  index::AdIndex idx;
+  ASSERT_TRUE(cidx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  ASSERT_TRUE(cidx.Insert(AdId(2), Vec({{0, 0.5}, {1, 0.5}}), {}, {}).ok());
+  ASSERT_TRUE(cidx.Insert(AdId(3), Vec({{1, 1.0}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(2), Vec({{0, 0.5}, {1, 0.5}}), {}, {}).ok());
+  ASSERT_TRUE(idx.Insert(AdId(3), Vec({{1, 1.0}}), {}, {}).ok());
+  EXPECT_EQ(cidx.size(), 3u);
+
+  const auto q = Query(Vec({{0, 1.0}}));
+  EXPECT_EQ(cidx.TopK(q), idx.TopK(q));
+  EXPECT_EQ(cidx.TopKExhaustive(q), idx.TopKExhaustive(q));
+}
+
+TEST(CompressedAdIndexTest, StatusParityWithAdIndex) {
+  CompressedAdIndex cidx({/*seal_threshold=*/2});
+  ASSERT_TRUE(cidx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).ok());
+  EXPECT_EQ(cidx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(cidx.Remove(AdId(9)).code(), StatusCode::kNotFound);
+  // Force the ad into a sealed epoch; duplicate/missing still detected.
+  cidx.Seal();
+  EXPECT_EQ(cidx.Insert(AdId(1), Vec({{0, 1.0}}), {}, {}).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(cidx.Remove(AdId(1)).ok());
+  EXPECT_EQ(cidx.Remove(AdId(1)).code(), StatusCode::kNotFound);
+  // A tombstoned sealed id can be re-inserted (it lives in the delta
+  // while the dead sealed copy awaits the next reseal).
+  ASSERT_TRUE(cidx.Insert(AdId(1), Vec({{0, 0.25}}), {}, {}).ok());
+  EXPECT_EQ(cidx.size(), 1u);
+  const auto q = Query(Vec({{0, 1.0}}));
+  auto top = cidx.TopK(q);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].ad, AdId(1));
+  EXPECT_DOUBLE_EQ(top[0].score, 0.25);
+}
+
+TEST(CompressedAdIndexTest, SealCountsEpochsAndReclaimsTombstones) {
+  obs::MetricRegistry metrics;
+  PostingsOptions opts;
+  opts.seal_threshold = 4;
+  opts.tombstone_reseal_fraction = 0.5;
+  CompressedAdIndex cidx(opts, &metrics);
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        cidx.Insert(AdId(i), Vec({{i % 3, 1.0 + i}}), {}, {}).ok());
+  }
+  // Two automatic seals at 4 and 8 delta ads.
+  EXPECT_EQ(cidx.stats().epochs, 2u);
+  EXPECT_EQ(cidx.stats().sealed_ads, 8u);
+  EXPECT_EQ(cidx.stats().delta_ads, 0u);
+  EXPECT_GT(cidx.stats().bytes, 0u);
+  EXPECT_GT(cidx.stats().lists, 0u);
+
+  // Tombstoning more than half the sealed ads triggers a reseal that
+  // drops them from the arrays.
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cidx.Remove(AdId(i)).ok());
+  }
+  EXPECT_GE(cidx.stats().epochs, 3u);
+  EXPECT_EQ(cidx.stats().sealed_dead, 0u);
+  EXPECT_EQ(cidx.size(), 3u);
+  EXPECT_EQ(metrics.GetGauge("postings.epochs")->value(),
+            static_cast<double>(cidx.stats().epochs));
+}
+
+TEST(CompressedAdIndexTest, RandomizedChurnEquivalence) {
+  // The core exactness property: under arbitrary insert/remove churn and
+  // seal timing, TopK and TopKExhaustive are byte-identical to the
+  // uncompressed AdIndex on every query shape (with/without location and
+  // slot filters, varying k).
+  Rng rng(123457);
+  for (int round = 0; round < 12; ++round) {
+    PostingsOptions opts;
+    opts.seal_threshold = 1 + rng.NextBounded(30);
+    CompressedAdIndex cidx(opts);
+    index::AdIndex idx;
+    std::vector<uint32_t> live;
+
+    const uint32_t topics = 12, cells = 5, slots = 4;
+    uint32_t next_id = 0;
+    for (int step = 0; step < 400; ++step) {
+      const bool remove = !live.empty() && rng.NextBool(0.35);
+      if (remove) {
+        const size_t pick = rng.NextBounded(live.size());
+        const AdId id(live[pick]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+        ASSERT_TRUE(cidx.Remove(id).ok());
+        ASSERT_TRUE(idx.Remove(id).ok());
+      } else {
+        const AdId id(next_id++);
+        std::vector<text::SparseEntry> entries;
+        const size_t nt = 1 + rng.NextBounded(4);
+        for (size_t t = 0; t < nt; ++t) {
+          entries.push_back({static_cast<uint32_t>(rng.NextBounded(topics)),
+                             0.05 + rng.NextDouble()});
+        }
+        std::vector<LocationId> locs;
+        if (rng.NextBool(0.6)) {
+          const size_t nl = 1 + rng.NextBounded(3);
+          for (size_t l = 0; l < nl; ++l) {
+            locs.push_back(
+                LocationId(static_cast<uint32_t>(rng.NextBounded(cells))));
+          }
+        }
+        std::vector<SlotId> slot_ids;
+        if (rng.NextBool(0.5)) {
+          slot_ids.push_back(
+              SlotId(static_cast<uint32_t>(rng.NextBounded(slots))));
+        }
+        const double bid = 0.1 + rng.NextDouble() * 3.0;
+        const text::SparseVector v = Vec(std::move(entries));
+        ASSERT_TRUE(cidx.Insert(id, v, locs, slot_ids, bid).ok());
+        ASSERT_TRUE(idx.Insert(id, v, locs, slot_ids, bid).ok());
+        live.push_back(id.value);
+      }
+      ASSERT_EQ(cidx.size(), idx.size());
+
+      if (step % 7 != 0) continue;
+      // Query with a random shape.
+      std::vector<text::SparseEntry> qe;
+      const size_t nq = 1 + rng.NextBounded(4);
+      for (size_t t = 0; t < nq; ++t) {
+        qe.push_back({static_cast<uint32_t>(rng.NextBounded(topics)),
+                      0.05 + rng.NextDouble()});
+      }
+      index::AdQuery q;
+      q.topics = Vec(std::move(qe));
+      q.k = 1 + rng.NextBounded(12);
+      if (rng.NextBool(0.5)) {
+        q.location = LocationId(static_cast<uint32_t>(rng.NextBounded(cells)));
+      }
+      if (rng.NextBool(0.5)) {
+        q.slot = SlotId(static_cast<uint32_t>(rng.NextBounded(slots)));
+      }
+      ASSERT_EQ(cidx.TopK(q), idx.TopK(q))
+          << "round " << round << " step " << step;
+      ASSERT_EQ(cidx.TopKExhaustive(q), idx.TopKExhaustive(q))
+          << "round " << round << " step " << step;
+    }
+    // End state: a forced seal must not change any answer.
+    index::AdQuery q;
+    q.topics = Vec({{0, 1.0}, {5, 0.5}});
+    q.k = 20;
+    const auto before = cidx.TopK(q);
+    cidx.Seal();
+    EXPECT_EQ(cidx.TopK(q), before);
+    EXPECT_EQ(cidx.TopK(q), idx.TopK(q));
+    EXPECT_EQ(cidx.stats().delta_ads, 0u);
+  }
+}
+
+TEST(CompressedAdIndexTest, CandidatePruningIsVisible) {
+  // With a selective topic, the conjunction should consider far fewer
+  // candidates than the live inventory (the whole point of the index).
+  PostingsOptions opts;
+  opts.seal_threshold = 4096;
+  CompressedAdIndex cidx(opts);
+  for (uint32_t i = 0; i < 2000; ++i) {
+    // Topic 0 is rare (1 in 100); topic 1 is ubiquitous.
+    std::vector<text::SparseEntry> e = {{1, 0.5}};
+    if (i % 100 == 0) e.push_back({0, 1.0});
+    ASSERT_TRUE(cidx.Insert(AdId(i), Vec(std::move(e)), {}, {}).ok());
+  }
+  cidx.Seal();
+  index::AdQuery q;
+  q.topics = Vec({{0, 1.0}});
+  q.k = 5;
+  const auto top = cidx.TopK(q);
+  EXPECT_EQ(top.size(), 5u);
+  EXPECT_EQ(cidx.last_candidates(), 20u);  // only the rare-topic ads
+  EXPECT_LT(cidx.last_postings_scanned(), 100u);
+}
+
+}  // namespace
+}  // namespace adrec::postings
