@@ -61,6 +61,7 @@
 #include "feed/workload.h"
 #include "obs/stats_export.h"
 #include "serve/client.h"
+#include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
 namespace {
@@ -289,6 +290,110 @@ int Resume(const std::string& dir) {
 
 // Offline WAL tooling: inspect / verify / dump a log directory without
 // touching it (none of the modes truncate a torn tail — recovery does).
+// All three modes understand both layouts: a classic single-stream
+// directory, and the per-shard layout (`<dir>/<shard>/wal-*.log`) a
+// multi-worker daemon writes; seqnos are per stream.
+
+// `stream` is SIZE_MAX for the single-stream layout (no prefix column).
+int WalDumpOne(const std::string& dir, size_t stream) {
+  auto report = adrec::wal::ScanLog(
+      dir, {.truncate_torn_tail = false, .decode_payloads = false},
+      [stream](const adrec::wal::Record& r) {
+        if (stream == SIZE_MAX) {
+          std::printf("%llu\t%s\n", static_cast<unsigned long long>(r.seqno),
+                      r.payload.c_str());
+        } else {
+          std::printf("%zu\t%llu\t%s\n", stream,
+                      static_cast<unsigned long long>(r.seqno),
+                      r.payload.c_str());
+        }
+        return adrec::Status::OK();
+      });
+  if (!report.ok()) {
+    std::fprintf(stderr, "wal dump: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  if (report.value().torn_tail) {
+    std::fprintf(stderr, "warning: torn tail (%llu bytes): %s\n",
+                 static_cast<unsigned long long>(report.value().torn_bytes),
+                 report.value().torn_detail.c_str());
+  }
+  return 0;
+}
+
+int WalVerifyOne(const std::string& dir, const std::string& label) {
+  auto report = adrec::wal::VerifyLog(dir);
+  if (!report.ok()) {
+    std::fprintf(stderr, "wal verify%s FAILED: %s\n", label.c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const adrec::wal::LogReport& r = report.value();
+  if (r.torn_tail) {
+    std::fprintf(stderr,
+                 "warning:%s torn tail (%llu bytes, recovery will cut it): "
+                 "%s\n",
+                 label.c_str(), static_cast<unsigned long long>(r.torn_bytes),
+                 r.torn_detail.c_str());
+  }
+  std::printf("wal verify%s OK: %zu segments, %zu records, seqnos "
+              "%llu..%llu%s\n",
+              label.c_str(), r.segments.size(), r.records,
+              static_cast<unsigned long long>(r.first_seqno),
+              static_cast<unsigned long long>(r.last_seqno),
+              r.torn_tail ? " (torn tail)" : "");
+  return 0;
+}
+
+int WalInspectOne(const std::string& dir, const std::string& label) {
+  auto report = adrec::wal::ScanLog(dir, {});
+  if (!report.ok()) {
+    std::fprintf(stderr, "wal inspect%s: %s\n", label.c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const adrec::wal::LogReport& r = report.value();
+  std::printf("%-32s %20s %20s %10s %12s\n", "segment", "first_seqno",
+              "last_seqno", "records", "bytes");
+  for (const auto& seg : r.segments) {
+    std::printf("%-32s %20llu %20llu %10zu %12llu\n",
+                std::filesystem::path(seg.path).filename().c_str(),
+                static_cast<unsigned long long>(seg.first_seqno),
+                static_cast<unsigned long long>(seg.last_seqno),
+                seg.records, static_cast<unsigned long long>(seg.bytes));
+  }
+  std::printf("total%s: %zu records, seqnos %llu..%llu%s\n", label.c_str(),
+              r.records, static_cast<unsigned long long>(r.first_seqno),
+              static_cast<unsigned long long>(r.last_seqno),
+              r.torn_tail ? " (TORN TAIL)" : "");
+  if (r.torn_tail) {
+    std::printf("torn tail: %llu bytes — %s\n",
+                static_cast<unsigned long long>(r.torn_bytes),
+                r.torn_detail.c_str());
+  }
+  return 0;
+}
+
+void WalPrintManifest(const std::string& dir) {
+  const std::string manifest = dir + "/checkpoint/MANIFEST.tsv";
+  std::ifstream in(manifest);
+  if (!in) {
+    std::printf("checkpoint manifest: (none)\n");
+    return;
+  }
+  // The K line carries the engine-wide marks; a sharded checkpoint adds
+  // one S line per stream (its high-water seqno).
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::printf("checkpoint manifest%s: %s\n", first ? "" : " (stream)",
+                line.c_str());
+    first = false;
+  }
+}
+
 int Wal(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr, "usage: %s wal <inspect|verify|dump> <wal-dir>\n",
@@ -298,87 +403,43 @@ int Wal(int argc, char** argv) {
   const std::string mode = argv[2];
   const std::string dir = argv[3];
 
+  auto layout = adrec::wal::DetectStreamLayout(dir);
+  const size_t streams = layout.ok() ? layout.value() : 1;
+
   if (mode == "dump") {
-    auto report = adrec::wal::ScanLog(
-        dir, {.truncate_torn_tail = false, .decode_payloads = false},
-        [](const adrec::wal::Record& r) {
-          std::printf("%llu\t%s\n", static_cast<unsigned long long>(r.seqno),
-                      r.payload.c_str());
-          return adrec::Status::OK();
-        });
-    if (!report.ok()) {
-      std::fprintf(stderr, "wal dump: %s\n",
-                   report.status().ToString().c_str());
-      return 1;
+    if (streams <= 1) return WalDumpOne(dir, SIZE_MAX);
+    int rc = 0;
+    for (size_t s = 0; s < streams; ++s) {
+      rc |= WalDumpOne(adrec::wal::StreamDir(dir, s, streams), s);
     }
-    if (report.value().torn_tail) {
-      std::fprintf(stderr, "warning: torn tail (%llu bytes): %s\n",
-                   static_cast<unsigned long long>(report.value().torn_bytes),
-                   report.value().torn_detail.c_str());
-    }
-    return 0;
+    return rc;
   }
 
   if (mode == "verify") {
-    auto report = adrec::wal::VerifyLog(dir);
-    if (!report.ok()) {
-      std::fprintf(stderr, "wal verify FAILED: %s\n",
-                   report.status().ToString().c_str());
-      return 1;
+    if (streams <= 1) return WalVerifyOne(dir, "");
+    int rc = 0;
+    for (size_t s = 0; s < streams; ++s) {
+      rc |= WalVerifyOne(adrec::wal::StreamDir(dir, s, streams),
+                         " stream " + std::to_string(s));
     }
-    const adrec::wal::LogReport& r = report.value();
-    if (r.torn_tail) {
-      std::fprintf(stderr,
-                   "warning: torn tail (%llu bytes, recovery will cut it): "
-                   "%s\n",
-                   static_cast<unsigned long long>(r.torn_bytes),
-                   r.torn_detail.c_str());
-    }
-    std::printf("wal verify OK: %zu segments, %zu records, seqnos %llu..%llu"
-                "%s\n",
-                r.segments.size(), r.records,
-                static_cast<unsigned long long>(r.first_seqno),
-                static_cast<unsigned long long>(r.last_seqno),
-                r.torn_tail ? " (torn tail)" : "");
-    return 0;
+    if (rc == 0) std::printf("wal verify OK: %zu streams\n", streams);
+    return rc;
   }
 
   if (mode == "inspect") {
-    auto report = adrec::wal::ScanLog(dir, {});
-    if (!report.ok()) {
-      std::fprintf(stderr, "wal inspect: %s\n",
-                   report.status().ToString().c_str());
-      return 1;
-    }
-    const adrec::wal::LogReport& r = report.value();
-    std::printf("%-32s %20s %20s %10s %12s\n", "segment", "first_seqno",
-                "last_seqno", "records", "bytes");
-    for (const auto& seg : r.segments) {
-      std::printf("%-32s %20llu %20llu %10zu %12llu\n",
-                  std::filesystem::path(seg.path).filename().c_str(),
-                  static_cast<unsigned long long>(seg.first_seqno),
-                  static_cast<unsigned long long>(seg.last_seqno),
-                  seg.records, static_cast<unsigned long long>(seg.bytes));
-    }
-    std::printf("total: %zu records, seqnos %llu..%llu%s\n", r.records,
-                static_cast<unsigned long long>(r.first_seqno),
-                static_cast<unsigned long long>(r.last_seqno),
-                r.torn_tail ? " (TORN TAIL)" : "");
-    if (r.torn_tail) {
-      std::printf("torn tail: %llu bytes — %s\n",
-                  static_cast<unsigned long long>(r.torn_bytes),
-                  r.torn_detail.c_str());
-    }
-    const std::string manifest = dir + "/checkpoint/MANIFEST.tsv";
-    std::ifstream in(manifest);
-    if (in) {
-      std::string line;
-      std::getline(in, line);
-      std::printf("checkpoint manifest: %s\n", line.c_str());
+    if (streams > 1) std::printf("per-shard layout: %zu streams\n", streams);
+    int rc = 0;
+    if (streams <= 1) {
+      rc = WalInspectOne(dir, "");
     } else {
-      std::printf("checkpoint manifest: (none)\n");
+      for (size_t s = 0; s < streams; ++s) {
+        std::printf("--- stream %zu ---\n", s);
+        rc |= WalInspectOne(adrec::wal::StreamDir(dir, s, streams),
+                            " stream " + std::to_string(s));
+      }
     }
-    return 0;
+    WalPrintManifest(dir);
+    return rc;
   }
 
   std::fprintf(stderr, "unknown wal mode '%s'\n", mode.c_str());
@@ -434,13 +495,14 @@ void PrintTraceTreeTsv(FILE* out, const std::string& tsv) {
     rest.remove_prefix(nl == std::string_view::npos ? rest.size() : nl + 1);
     if (line.rfind("TRACE\t", 0) == 0) {
       flush();
-      // TRACE <id> <wall_start_us> <dur_us> <outcome> <spans> <reason>
-      //       <detail...>
-      const auto f = split(line, 8);
-      if (f.size() < 8) continue;
-      header = "trace " + f[1] + "  " + f[4] + "  " + f[3] + "us  [" + f[7] +
+      // TRACE <id> <wall_start_us> <dur_us> <outcome> <spans> <worker>
+      //       <reason> <detail...>
+      const auto f = split(line, 9);
+      if (f.size() < 9) continue;
+      header = "trace " + f[1] + "  " + f[4] + "  " + f[3] + "us  [" + f[8] +
                "]";
-      if (f[6] != "-") header += "  reason=" + f[6];
+      if (f[6] != "0") header += "  worker=" + f[6];
+      if (f[7] != "-") header += "  reason=" + f[7];
     } else if (line.rfind("SPAN\t", 0) == 0) {
       // SPAN <id> <index> <parent> <name> <start_us> <dur_us>
       const auto f = split(line, 7);

@@ -1,10 +1,11 @@
 // adrecd — the network serving daemon: an event-driven TCP front end
 // (src/serve) over a sharded recommendation engine.
 //
-//   adrecd [--port=N] [--shards=N] [--dir=DIR] [--alpha=A]
+//   adrecd [--port=N] [--shards=N] [--workers=N] [--dir=DIR] [--alpha=A]
 //          [--report-interval=SEC] [--max-connections=N]
 //          [--idle-timeout=SEC] [--snapshot-root=DIR]
-//          [--wal-dir=DIR] [--wal-sync=none|interval|group]
+//          [--wal-dir=DIR] [--wal-shards=N]
+//          [--wal-sync=none|interval|group]
 //          [--checkpoint-interval=SEC] [--wal-retain=SEC]
 //          [--wal-append-sample=N] [--follow=HOST:PORT]
 //          [--trace-ring=N] [--trace-slow-ms=MS] [--trace-sample=N]
@@ -59,6 +60,21 @@
 // postings.{bytes,lists,epochs,delta_ads,sealed_ads,pruned_ratio} and
 // index.{ads,postings_bytes} via the `metrics` verb.
 //
+// Multi-core serving (DESIGN.md §16): --workers=N (default = the shard
+// count) runs N shard-affine event-loop workers behind one acceptor
+// thread — worker `w` owns the engine shards `s % N == w` and runs the
+// full single-threaded machinery over its own connections; cross-shard
+// ops forward through lock-free mailboxes, rare admin verbs stop the
+// world. --workers=1 is the classic single-threaded server. With a WAL,
+// multi-worker mode requires --wal-shards equal to --shards so every
+// worker commits, checkpoints and recovers its own log streams
+// (wal/<shard>/wal-<seqno>.log); --wal-shards also works with
+// --workers=1 (parallel recovery, per-stream replication) and defaults
+// to 1 (the flat single-stream layout). --topk-cache is incompatible
+// with --workers>1. With --follow and --wal-shards=N>1, the daemon runs
+// one replication stream per shard (`repl <shard> <cursor>`), each
+// applied by the worker owning that shard.
+//
 // With --dir, the knowledge base is loaded from DIR/kb.tsv and, when
 // present, DIR/ads.tsv and DIR/trace.tsv are preloaded into the engine
 // (so the daemon starts warm). Without --dir, a synthetic case-study
@@ -78,22 +94,28 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "annotate/kb_io.h"
 #include "core/sharded_engine.h"
 #include "obs/trace.h"
 #include "feed/trace_io.h"
 #include "feed/workload.h"
 #include "replica/follower.h"
+#include "serve/pool/pool_server.h"
 #include "serve/server.h"
 #include "wal/checkpoint.h"
+#include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
 namespace {
 
 adrec::serve::Server* g_server = nullptr;
+adrec::serve::pool::PoolServer* g_pool = nullptr;
 
 void HandleSignal(int) {
   if (g_server != nullptr) g_server->RequestDrain();
+  if (g_pool != nullptr) g_pool->RequestDrain();
 }
 
 bool FlagValue(const char* arg, const char* name, const char** value) {
@@ -110,6 +132,8 @@ bool FlagValue(const char* arg, const char* name, const char** value) {
 int main(int argc, char** argv) {
   uint16_t port = 7311;
   size_t shards = 1;
+  size_t workers = 0;  // 0 = default to the shard count
+  size_t wal_shards = 1;
   std::string dir;
   double alpha = -1.0;
   std::string wal_dir;
@@ -127,6 +151,10 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--shards", &v)) {
       shards = static_cast<size_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--workers", &v)) {
+      workers = static_cast<size_t>(std::atoi(v));
+    } else if (FlagValue(argv[i], "--wal-shards", &v)) {
+      wal_shards = static_cast<size_t>(std::atoi(v));
     } else if (FlagValue(argv[i], "--dir", &v)) {
       dir = v;
     } else if (FlagValue(argv[i], "--alpha", &v)) {
@@ -184,10 +212,12 @@ int main(int argc, char** argv) {
       postings_opts.seal_threshold = static_cast<size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port=N] [--shards=N] [--dir=DIR] "
+                   "usage: %s [--port=N] [--shards=N] [--workers=N] "
+                   "[--dir=DIR] "
                    "[--alpha=A] [--report-interval=SEC] "
                    "[--max-connections=N] [--idle-timeout=SEC] "
                    "[--snapshot-root=DIR] [--wal-dir=DIR] "
+                   "[--wal-shards=N] "
                    "[--wal-sync=none|interval|group] "
                    "[--checkpoint-interval=SEC] [--wal-retain=SEC] "
                    "[--wal-append-sample=N] [--follow=HOST:PORT] "
@@ -200,6 +230,31 @@ int main(int argc, char** argv) {
     }
   }
   if (shards == 0) shards = 1;
+  if (workers == 0) workers = shards;  // shard-affine by default
+  if (wal_shards == 0) wal_shards = 1;
+  if (wal_shards != 1 && wal_shards != shards) {
+    std::fprintf(stderr,
+                 "--wal-shards must be 1 (single stream) or equal "
+                 "--shards (%zu), got %zu\n",
+                 shards, wal_shards);
+    return 2;
+  }
+  if (workers > 1 && !wal_dir.empty() && wal_shards != shards) {
+    std::fprintf(stderr,
+                 "--workers=%zu with a WAL requires --wal-shards=%zu "
+                 "(one log stream per shard; a single shared stream "
+                 "would serialise every worker's commit barrier)\n",
+                 workers, shards);
+    return 2;
+  }
+  if (workers > 1 && options.topk_cache.capacity > 0) {
+    std::fprintf(stderr,
+                 "--topk-cache is incompatible with --workers>1 (the "
+                 "cache is invalidated by pool-wide ingest; see "
+                 "DESIGN.md §16)\n");
+    return 2;
+  }
+  wal_opts.shards = wal_shards;
   options.port = port;
 
   // The flight recorder: always on unless --trace-ring=0. The collector
@@ -291,11 +346,14 @@ int main(int argc, char** argv) {
   // logged re-applies idempotently (AlreadyExists is tolerated).
   std::unique_ptr<adrec::wal::CheckpointManager> checkpointer;
   std::unique_ptr<adrec::wal::WalWriter> wal;
+  std::unique_ptr<adrec::wal::ShardedWal> sharded_wal;
   adrec::Timestamp recovered_stream_time = 0;
   if (!wal_dir.empty()) {
     checkpointer =
         std::make_unique<adrec::wal::CheckpointManager>(wal_dir, ckpt_opts);
-    auto recovered = checkpointer->Recover(&engine);
+    // Sharded recovery replays every stream concurrently (one thread per
+    // shard); wal_shards == 1 is the classic single-stream path.
+    auto recovered = checkpointer->Recover(&engine, wal_shards);
     if (!recovered.ok()) {
       std::fprintf(stderr, "wal recover: %s\n",
                    recovered.status().ToString().c_str());
@@ -304,21 +362,35 @@ int main(int argc, char** argv) {
     const adrec::wal::RecoveryResult& r = recovered.value();
     std::printf(
         "adrecd recovered from %s: checkpoint_seqno=%llu next_seqno=%llu "
-        "window_replayed=%zu live_replayed=%zu torn_bytes=%llu\n",
+        "window_replayed=%zu live_replayed=%zu torn_bytes=%llu "
+        "streams=%zu\n",
         r.from_checkpoint ? "checkpoint+wal" : "wal",
         static_cast<unsigned long long>(r.checkpoint_seqno),
         static_cast<unsigned long long>(r.next_seqno), r.window_replayed,
         r.live_replayed,
-        static_cast<unsigned long long>(r.torn_bytes_truncated));
-    auto opened =
-        adrec::wal::WalWriter::Open(wal_dir, wal_opts, r.next_seqno);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "wal open: %s\n",
-                   opened.status().ToString().c_str());
-      return 1;
+        static_cast<unsigned long long>(r.torn_bytes_truncated),
+        wal_shards);
+    if (wal_shards > 1) {
+      auto opened = adrec::wal::ShardedWal::Open(wal_dir, wal_opts,
+                                                 r.stream_next_seqnos);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "wal open: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      sharded_wal = std::move(opened).value();
+      options.sharded_wal = sharded_wal.get();
+    } else {
+      auto opened =
+          adrec::wal::WalWriter::Open(wal_dir, wal_opts, r.next_seqno);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "wal open: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      wal = std::move(opened).value();
+      options.wal = wal.get();
     }
-    wal = std::move(opened).value();
-    options.wal = wal.get();
     options.checkpointer = checkpointer.get();
     recovered_stream_time = r.max_event_time;
   }
@@ -326,37 +398,74 @@ int main(int argc, char** argv) {
   // Follower mode: replicate the leader's WAL tail from where the local
   // (just-recovered) log ends. The Follower runs inside the server's
   // event loop; the server starts read-only until `promote`.
-  std::unique_ptr<adrec::replica::Follower> follower;
+  std::vector<std::unique_ptr<adrec::replica::Follower>> followers;
   if (!follow.empty()) {
     follow_opts.tracer = &tracer;
-    follower = std::make_unique<adrec::replica::Follower>(&engine, wal.get(),
-                                                          follow_opts);
-    options.follower = follower.get();
-    std::printf("adrecd following %s:%u from cursor %llu (read-only)\n",
-                follow_opts.host.c_str(), follow_opts.port,
-                static_cast<unsigned long long>(wal->last_seqno()));
+    if (wal_shards > 1) {
+      // One replication stream per shard: follower `s` handshakes
+      // `repl <s> <cursor>`, logs into its own stream and applies only
+      // to engine shard `s` (the worker owning the shard polls it).
+      options.followers.assign(wal_shards, nullptr);
+      for (size_t s = 0; s < wal_shards; ++s) {
+        adrec::replica::FollowerOptions fo = follow_opts;
+        fo.shard = s;
+        followers.push_back(std::make_unique<adrec::replica::Follower>(
+            &engine, sharded_wal->stream(s), fo));
+        options.followers[s] = followers.back().get();
+      }
+      std::printf(
+          "adrecd following %s:%u with %zu shard streams (read-only)\n",
+          follow_opts.host.c_str(), follow_opts.port, wal_shards);
+    } else {
+      followers.push_back(std::make_unique<adrec::replica::Follower>(
+          &engine, wal.get(), follow_opts));
+      options.follower = followers.back().get();
+      std::printf("adrecd following %s:%u from cursor %llu (read-only)\n",
+                  follow_opts.host.c_str(), follow_opts.port,
+                  static_cast<unsigned long long>(wal->last_seqno()));
+    }
   }
 
-  adrec::serve::Server server(&engine, options);
-  // Resume the stream clock where the recovered trace left off, so the
-  // analysis window and ad expiry pick up where the crashed run was.
-  if (recovered_stream_time > 0) server.SeedStreamClock(recovered_stream_time);
-  if (auto s = server.Start(); !s.ok()) {
-    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  g_server = &server;
-  std::signal(SIGTERM, HandleSignal);
-  std::signal(SIGINT, HandleSignal);
   std::signal(SIGPIPE, SIG_IGN);
-
-  std::printf("adrecd listening on %s:%u (%zu shard%s)\n",
-              options.host.c_str(), server.port(), shards,
-              shards == 1 ? "" : "s");
-  std::fflush(stdout);
-
-  server.Run();
-  g_server = nullptr;
+  if (workers > 1) {
+    adrec::serve::pool::PoolServer pool(&engine, options, workers);
+    if (recovered_stream_time > 0) {
+      pool.SeedStreamClock(recovered_stream_time);
+    }
+    if (auto s = pool.Start(); !s.ok()) {
+      std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    g_pool = &pool;
+    std::signal(SIGTERM, HandleSignal);
+    std::signal(SIGINT, HandleSignal);
+    std::printf("adrecd listening on %s:%u (%zu shard%s, %zu workers)\n",
+                options.host.c_str(), pool.port(), shards,
+                shards == 1 ? "" : "s", workers);
+    std::fflush(stdout);
+    pool.Run();
+    g_pool = nullptr;
+  } else {
+    adrec::serve::Server server(&engine, options);
+    // Resume the stream clock where the recovered trace left off, so the
+    // analysis window and ad expiry pick up where the crashed run was.
+    if (recovered_stream_time > 0) {
+      server.SeedStreamClock(recovered_stream_time);
+    }
+    if (auto s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    g_server = &server;
+    std::signal(SIGTERM, HandleSignal);
+    std::signal(SIGINT, HandleSignal);
+    std::printf("adrecd listening on %s:%u (%zu shard%s)\n",
+                options.host.c_str(), server.port(), shards,
+                shards == 1 ? "" : "s");
+    std::fflush(stdout);
+    server.Run();
+    g_server = nullptr;
+  }
   std::printf("adrecd drained, exiting\n");
   return 0;
 }

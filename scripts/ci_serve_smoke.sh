@@ -7,13 +7,18 @@
 #
 # Registered as a tier1 ctest (see tests/CMakeLists.txt), so the default
 # gate covers the daemon binary itself, not just the serve library.
+#
+# Phase 2 reboots the daemon multi-core (--workers=2 --wal-shards=2,
+# DESIGN.md §16): worker-tagged conns output, per-shard WAL stream
+# directories on disk, and a restart that replays both streams.
 set -euo pipefail
 
 ADRECD="${1:?usage: ci_serve_smoke.sh <adrecd> <adrec_client>}"
 CLIENT="${2:?usage: ci_serve_smoke.sh <adrecd> <adrec_client>}"
 
 LOG="$(mktemp)"
-trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+WALDIR="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -f "$LOG"; rm -rf "$WALDIR"' EXIT
 
 # --port=0 binds an ephemeral port; parse it from the listening line.
 # --trace-sample=1 keeps every completed trace so the flight-recorder
@@ -76,5 +81,57 @@ RC=0
 wait "$DAEMON_PID" || RC=$?
 [ "$RC" -eq 0 ] || { cat "$LOG"; echo "FAIL: drain exit code $RC"; exit 1; }
 grep -q "drained" "$LOG" || { cat "$LOG"; echo "FAIL: no drain log line"; exit 1; }
+
+# --- Phase 2: multi-core daemon with per-shard WAL streams. ---
+
+boot() {  # boot [extra adrecd flags...]
+  : >"$LOG"
+  "$ADRECD" --port=0 --shards=2 --workers=2 \
+    --wal-dir="$WALDIR/wal" --wal-shards=2 \
+    "$@" >"$LOG" 2>&1 &
+  DAEMON_PID=$!
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT="$(sed -n 's/^adrecd listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")"
+    [ -n "$PORT" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$LOG"; echo "FAIL: pool daemon died during startup"; exit 1; }
+    sleep 0.2
+  done
+  [ -n "$PORT" ] || { cat "$LOG"; echo "FAIL: pool daemon printed no listening line"; exit 1; }
+}
+
+drain() {
+  kill -TERM "$DAEMON_PID"
+  local rc=0
+  wait "$DAEMON_PID" || rc=$?
+  [ "$rc" -eq 0 ] || { cat "$LOG"; echo "FAIL: pool drain exit code $rc"; exit 1; }
+}
+
+boot
+echo "smoke: pool daemon up on port $PORT (2 workers, 2 WAL streams)"
+expect "PONG" ping
+# Users 3 and 4 hash to different shards under the 2-shard split, so
+# both WAL streams see traffic.
+expect "OK" tweet 3 86400 "coffee and live music downtown"
+expect "OK" tweet 4 86401 "rooftop jazz tonight"
+expect "OK" adput 9 100 50 1.5 "" "" "coffee and music deals"
+expect "ADS" topk 4 3
+expect "STAT engine.tweets 2" stats
+expect "worker=" conns
+drain
+
+# Durability landed as one log stream per shard.
+for s in 0 1; do
+  [ -d "$WALDIR/wal/$s" ] || { ls -R "$WALDIR/wal"; echo "FAIL: no WAL stream dir $s"; exit 1; }
+done
+
+# Parallel recovery: a fresh boot over the same log must replay both
+# streams and answer from the recovered state.
+boot
+echo "smoke: pool daemon recovered on port $PORT"
+expect "STAT engine.tweets 2" stats
+expect "ADS" topk 3 3
+drain
+grep -q "drained" "$LOG" || { cat "$LOG"; echo "FAIL: no pool drain log line"; exit 1; }
 
 echo "smoke: all serve checks passed"

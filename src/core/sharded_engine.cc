@@ -64,6 +64,84 @@ void ShardedEngine::ReplayForAnalysis(const feed::FeedEvent& event) {
   }
 }
 
+void ShardedEngine::ApplyToShard(size_t shard,
+                                 const feed::FeedEvent& event) {
+  ADREC_CHECK(shard < shards_.size());
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      ADREC_CHECK(ShardOf(event.tweet.user) == shard);
+      shards_[shard]->OnTweet(event.tweet);
+      break;
+    case feed::EventKind::kCheckIn:
+      ADREC_CHECK(ShardOf(event.check_in.user) == shard);
+      shards_[shard]->OnCheckIn(event.check_in);
+      break;
+    case feed::EventKind::kAdInsert:
+      (void)shards_[shard]->InsertAd(event.ad);
+      break;
+    case feed::EventKind::kAdDelete:
+      (void)shards_[shard]->RemoveAd(event.ad_id);
+      break;
+  }
+}
+
+void ShardedEngine::ReplayForAnalysisShard(size_t shard,
+                                           const feed::FeedEvent& event) {
+  ADREC_CHECK(shard < shards_.size());
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+      ADREC_CHECK(ShardOf(event.tweet.user) == shard);
+      shards_[shard]->ReplayForAnalysis(event);
+      break;
+    case feed::EventKind::kCheckIn:
+      ADREC_CHECK(ShardOf(event.check_in.user) == shard);
+      shards_[shard]->ReplayForAnalysis(event);
+      break;
+    case feed::EventKind::kAdInsert:
+    case feed::EventKind::kAdDelete:
+      break;  // inventory is snapshot state, never replayed
+  }
+}
+
+Status ShardedEngine::InsertAdOnShard(size_t shard, const feed::Ad& ad) {
+  ADREC_CHECK(shard < shards_.size());
+  return shards_[shard]->InsertAd(ad);
+}
+
+Status ShardedEngine::RemoveAdOnShard(size_t shard, AdId id) {
+  ADREC_CHECK(shard < shards_.size());
+  return shards_[shard]->RemoveAd(id);
+}
+
+Status ShardedEngine::RunAnalysisOnShard(size_t shard, double alpha) {
+  ADREC_CHECK(shard < shards_.size());
+  return alpha < 0 ? shards_[shard]->RunAnalysis()
+                   : shards_[shard]->RunAnalysis(alpha);
+}
+
+Result<MatchResult> ShardedEngine::RecommendUsersOnShard(size_t shard,
+                                                         AdId id) const {
+  ADREC_CHECK(shard < shards_.size());
+  return shards_[shard]->RecommendUsers(id);
+}
+
+MatchResult ShardedEngine::MergeMatches(std::vector<MatchResult> parts) {
+  MatchResult merged;
+  for (MatchResult& part : parts) {
+    for (MatchedUser& mu : part.users) {
+      merged.users.push_back(mu);
+    }
+    merged.location_candidates += part.location_candidates;
+    merged.topic_candidates += part.topic_candidates;
+  }
+  std::sort(merged.users.begin(), merged.users.end(),
+            [](const MatchedUser& a, const MatchedUser& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user.value < b.user.value;
+            });
+  return merged;
+}
+
 Status ShardedEngine::InsertAd(const feed::Ad& ad) {
   for (auto& shard : shards_) {
     ADREC_RETURN_NOT_OK(shard->InsertAd(ad));
@@ -119,22 +197,14 @@ Status ShardedEngine::RunAnalysis() {
 }
 
 Result<MatchResult> ShardedEngine::RecommendUsers(AdId id) const {
-  MatchResult merged;
+  std::vector<MatchResult> parts;
+  parts.reserve(shards_.size());
   for (const auto& shard : shards_) {
     Result<MatchResult> r = shard->RecommendUsers(id);
     if (!r.ok()) return r.status();
-    for (const MatchedUser& mu : r.value().users) {
-      merged.users.push_back(mu);
-    }
-    merged.location_candidates += r.value().location_candidates;
-    merged.topic_candidates += r.value().topic_candidates;
+    parts.push_back(std::move(r).value());
   }
-  std::sort(merged.users.begin(), merged.users.end(),
-            [](const MatchedUser& a, const MatchedUser& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.user.value < b.user.value;
-            });
-  return merged;
+  return MergeMatches(std::move(parts));
 }
 
 EngineStats ShardedEngine::Stats() const {

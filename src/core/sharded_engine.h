@@ -39,6 +39,33 @@ class ShardedEngine {
   /// Used by snapshot + bounded-replay recovery (core/snapshot, wal).
   void ReplayForAnalysis(const feed::FeedEvent& event);
 
+  // --- Per-shard apply, for per-shard WAL streams and worker pools
+  // (wal/sharded_wal.h, serve/pool). The caller owns the routing
+  // invariant: tweets/check-ins handed to shard `s` must hash there
+  // (checked), while ad ops are applied to exactly the named shard —
+  // the per-stream log duplicates them into every stream, so replaying
+  // stream `s` into shard `s` reproduces the broadcast. ---
+
+  /// Live-apply one event to one shard (ad statuses ignored, like
+  /// OnEvent). Tweets/check-ins are checked against ShardOf.
+  void ApplyToShard(size_t shard, const feed::FeedEvent& event);
+  /// Window-only replay of one event into one shard (ad events ignored).
+  void ReplayForAnalysisShard(size_t shard, const feed::FeedEvent& event);
+  /// Inventory ops on a single shard, with the usual status surface
+  /// (kAlreadyExists / kNotFound for idempotent replay tolerance).
+  Status InsertAdOnShard(size_t shard, const feed::Ad& ad);
+  Status RemoveAdOnShard(size_t shard, AdId id);
+  /// The triadic analysis on one shard only (a pool worker runs its own
+  /// shards; the fan-out replaces the std::thread spread of
+  /// RunAnalysis). `alpha < 0` uses the shard's configured alpha.
+  Status RunAnalysisOnShard(size_t shard, double alpha);
+  /// One shard's match, un-merged (serve/pool fans these out and merges
+  /// with MergeMatches).
+  Result<MatchResult> RecommendUsersOnShard(size_t shard, AdId id) const;
+  /// Folds per-shard matches into the canonical union ranking (score
+  /// desc, user asc) — the exact merge RecommendUsers applies.
+  static MatchResult MergeMatches(std::vector<MatchResult> parts);
+
   /// Runs the triadic analysis on every shard in parallel; the no-arg
   /// form uses each shard's configured EngineOptions::alpha.
   Status RunAnalysis(double alpha);

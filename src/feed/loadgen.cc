@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 namespace adrec::feed {
 
@@ -118,6 +119,112 @@ LoadRunStats RunLoad(serve::Client* client, LoadGen* gen,
       stats.seconds > 0.0 ? static_cast<double>(stats.ops) / stats.seconds
                           : 0.0;
   return stats;
+}
+
+namespace {
+
+/// Issues one pre-generated op over `client`; returns false on a
+/// transport error. `is_topk` reports which latency bucket it belongs
+/// to.
+bool IssueOp(serve::Client* client, const LoadOp& op, bool* is_topk) {
+  *is_topk = false;
+  switch (op.kind) {
+    case LoadOp::Kind::kTweet:
+      return client->SendTweet(op.tweet).ok();
+    case LoadOp::Kind::kCheckIn:
+      return client->SendCheckIn(op.check_in).ok();
+    case LoadOp::Kind::kTopK: {
+      *is_topk = true;
+      const auto result =
+          op.has_time
+              ? client->TopK(op.tweet.user, op.k, op.tweet.time,
+                             op.tweet.text)
+              : client->TopK(op.tweet.user, op.k);
+      return result.ok();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LoadRunStats RunLoadMulti(const std::string& host, uint16_t port,
+                          LoadGen* gen, const LoadRunOptions& run) {
+  using Clock = std::chrono::steady_clock;
+  const size_t connections = std::max<size_t>(run.connections, 1);
+
+  // The op stream is generated once, up front, from the single
+  // deterministic generator: connection count changes only who carries
+  // each op, never what the ops are.
+  std::vector<LoadOp> ops;
+  ops.reserve(run.num_ops);
+  for (size_t i = 0; i < run.num_ops; ++i) ops.push_back(gen->Next());
+
+  const bool open_loop = run.open_loop_rate > 0.0;
+  const std::chrono::nanoseconds interval(
+      open_loop ? static_cast<int64_t>(1e9 / run.open_loop_rate) : 0);
+
+  std::vector<LoadRunStats> per_conn(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const Clock::time_point start = Clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      LoadRunStats& stats = per_conn[c];
+      serve::Client client;
+      if (!client.Connect(host, port).ok()) {
+        // The whole partition is lost, not silently skipped.
+        for (size_t i = c; i < ops.size(); i += connections) {
+          ++stats.ops;
+          ++stats.errors;
+        }
+        return;
+      }
+      for (size_t i = c; i < ops.size(); i += connections) {
+        Clock::time_point issue = Clock::now();
+        if (open_loop) {
+          // Each op keeps its *global* scheduled arrival instant, so N
+          // connections jointly realise the one arrival process and
+          // queueing delay still counts against latency.
+          const Clock::time_point scheduled = start + interval * i;
+          if (issue < scheduled) {
+            std::this_thread::sleep_until(scheduled);
+            issue = Clock::now();
+          } else {
+            issue = scheduled;
+          }
+        }
+        bool is_topk = false;
+        const bool ok = IssueOp(&client, ops[i], &is_topk);
+        ++stats.ops;
+        if (!ok) {
+          ++stats.errors;
+          continue;
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - issue)
+                .count();
+        (is_topk ? stats.topk_latency_us : stats.ingest_latency_us)
+            .Record(us);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadRunStats merged;
+  for (const LoadRunStats& stats : per_conn) {
+    merged.ops += stats.ops;
+    merged.errors += stats.errors;
+    merged.topk_latency_us.Merge(stats.topk_latency_us);
+    merged.ingest_latency_us.Merge(stats.ingest_latency_us);
+  }
+  merged.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  merged.achieved_ops_per_sec =
+      merged.seconds > 0.0
+          ? static_cast<double>(merged.ops) / merged.seconds
+          : 0.0;
+  return merged;
 }
 
 }  // namespace adrec::feed

@@ -97,13 +97,31 @@ struct LoadRunOptions {
   /// *scheduled* arrival instant, so queueing delay while the server
   /// falls behind counts against it — no coordinated omission.
   double open_loop_rate = 0.0;
+  /// Concurrent client connections for RunLoadMulti. One blocking socket
+  /// serialises the whole schedule at the server's per-request latency,
+  /// which can't saturate a multi-worker daemon; N connections split the
+  /// op stream round-robin (op i on connection i%N), each keeping its
+  /// globally scheduled arrival instant, so the aggregate open-loop rate
+  /// is preserved while requests genuinely overlap.
+  size_t connections = 1;
 };
 
-/// Drives `gen` over `client` per `run`. Transport errors are counted
-/// and the affected op's latency is dropped; callers treat a non-zero
-/// error count as a failed run.
+/// Drives `gen` over `client` per `run` on one connection (the classic
+/// closed/open single-socket loop; `run.connections` is ignored).
+/// Transport errors are counted and the affected op's latency is
+/// dropped; callers treat a non-zero error count as a failed run.
 LoadRunStats RunLoad(serve::Client* client, LoadGen* gen,
                      const LoadRunOptions& run);
+
+/// Multi-connection variant: pre-generates the deterministic op stream
+/// from `gen` (same seed -> same ops, independent of the connection
+/// count), opens `run.connections` sockets to host:port, and drives the
+/// round-robin partition of the stream over each from its own thread.
+/// Latencies are merged across connections; achieved throughput is
+/// aggregate ops over the whole run's wall time. A connection that
+/// fails to connect counts every op of its partition as an error.
+LoadRunStats RunLoadMulti(const std::string& host, uint16_t port,
+                          LoadGen* gen, const LoadRunOptions& run);
 
 }  // namespace adrec::feed
 

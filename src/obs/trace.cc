@@ -80,6 +80,7 @@ void TraceBuilder::ClearRecord() {
   rec_.num_spans = 0;
   rec_.spans_dropped = 0;
   rec_.outcome = TraceOutcome::kOk;
+  rec_.worker = 0;
   rec_.reason[0] = '\0';
   rec_.detail[0] = '\0';
   open_depth_ = 0;
@@ -417,7 +418,7 @@ std::string ExportTracesTsv(const std::vector<TraceRecord>& traces) {
                         static_cast<long long>(rec.wall_start_us),
                         UsFromNs(rec.dur_ns));
     out += TraceOutcomeName(rec.outcome);
-    out += StringFormat("\t%u\t", rec.num_spans);
+    out += StringFormat("\t%u\t%u\t", rec.num_spans, rec.worker);
     if (rec.reason[0] == '\0') {
       out += '-';
     } else {
@@ -453,9 +454,9 @@ std::string ExportTracesChrome(const std::vector<TraceRecord>& traces) {
     AppendJsonEscaped(&out, RootName(rec));
     out += StringFormat(
         "\",\"cat\":\"adrec\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,"
-        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"outcome\":\"",
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"worker\":%u,\"outcome\":\"",
         static_cast<unsigned long long>(rec.trace_id), base_us,
-        UsFromNs(rec.dur_ns));
+        UsFromNs(rec.dur_ns), rec.worker);
     AppendJsonEscaped(&out, TraceOutcomeName(rec.outcome));
     out += "\",\"detail\":\"";
     AppendJsonEscaped(&out, rec.detail);

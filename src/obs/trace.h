@@ -82,6 +82,9 @@ struct TraceRecord {
   uint32_t num_spans = 0;
   /// Spans dropped because the trace was full (kTraceMaxSpans).
   uint32_t spans_dropped = 0;
+  /// Pool worker that served the request (DESIGN.md §16); 0 in the
+  /// single-threaded server, 1-based worker id under `--workers=N`.
+  uint32_t worker = 0;
   /// The request line (truncated), NUL-terminated.
   char detail[kTraceDetailBytes] = {};
   /// Refusal/error reason for outcome != kOk (truncated), NUL-terminated.
@@ -120,6 +123,8 @@ class TraceBuilder {
   void SetOutcome(TraceOutcome outcome) { rec_.outcome = outcome; }
   TraceOutcome outcome() const { return rec_.outcome; }
   void SetReason(std::string_view reason);
+  /// Stamps the serving pool worker (1-based; 0 = single-threaded).
+  void SetWorker(uint32_t worker) { rec_.worker = worker; }
 
   /// Stamps the root duration (idempotent close; the collector calls it).
   void Close();
@@ -318,11 +323,13 @@ class TraceBuilderPool {
 };
 
 /// TSV export, one trace per record group:
-///   TRACE <id> <wall_start_us> <dur_us> <outcome> <spans> <reason> <detail>
+///   TRACE <id> <wall_start_us> <dur_us> <outcome> <spans> <worker> <reason>
+///         <detail>
 ///   SPAN <id> <index> <parent> <name> <start_us> <dur_us>
 /// Fields are TAB-separated; <detail> is the trailing field (it may
 /// itself contain tabs — it is the raw request line); <reason> has tabs
-/// replaced and is `-` when empty.
+/// replaced and is `-` when empty; <worker> is the pool worker id (0 =
+/// single-threaded server).
 std::string ExportTracesTsv(const std::vector<TraceRecord>& traces);
 
 /// Chrome trace-event JSON ("X" complete events, one tid per trace),

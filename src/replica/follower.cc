@@ -47,20 +47,38 @@ Follower::Follower(core::ShardedEngine* engine, wal::WalWriter* wal,
       wal_(wal),
       options_(std::move(options)),
       applied_seqno_(wal->last_seqno()),
-      next_attempt_(std::chrono::steady_clock::now()),
-      g_lag_records_(metrics_.GetGauge("replica.lag_records")),
-      g_lag_ms_(metrics_.GetGauge("replica.lag_ms")),
-      g_applied_seqno_(metrics_.GetGauge("replica.applied_seqno")),
-      g_leader_seqno_(metrics_.GetGauge("replica.leader_seqno")),
-      g_connected_(metrics_.GetGauge("replica.connected")),
-      ctr_bytes_received_(metrics_.GetCounter("replica.bytes_received")),
-      ctr_records_applied_(metrics_.GetCounter("replica.records_applied")),
-      ctr_heartbeats_(metrics_.GetCounter("replica.heartbeats")),
-      ctr_reconnects_(metrics_.GetCounter("replica.reconnects")),
-      ctr_apply_errors_(metrics_.GetCounter("replica.apply_errors")) {
+      next_attempt_(std::chrono::steady_clock::now()) {
   ADREC_CHECK(engine_ != nullptr);
   ADREC_CHECK(wal_ != nullptr);
+  if (options_.shard != SIZE_MAX) {
+    ADREC_CHECK(options_.shard < engine_->num_shards());
+  }
+  // Per-shard followers carry the stream index in their metric names so
+  // the N lag gauges survive a registry merge side by side.
+  const std::string prefix =
+      options_.shard == SIZE_MAX
+          ? std::string("replica.")
+          : StringFormat("replica.s%zu.", options_.shard);
+  g_lag_records_ = metrics_.GetGauge(prefix + "lag_records");
+  g_lag_ms_ = metrics_.GetGauge(prefix + "lag_ms");
+  g_applied_seqno_ = metrics_.GetGauge(prefix + "applied_seqno");
+  g_leader_seqno_ = metrics_.GetGauge(prefix + "leader_seqno");
+  g_connected_ = metrics_.GetGauge(prefix + "connected");
+  ctr_bytes_received_ = metrics_.GetCounter(prefix + "bytes_received");
+  ctr_records_applied_ = metrics_.GetCounter(prefix + "records_applied");
+  ctr_heartbeats_ = metrics_.GetCounter(prefix + "heartbeats");
+  ctr_reconnects_ = metrics_.GetCounter(prefix + "reconnects");
+  ctr_apply_errors_ = metrics_.GetCounter(prefix + "apply_errors");
   g_applied_seqno_->Set(static_cast<double>(applied_seqno_));
+}
+
+std::string Follower::HandshakeLine() const {
+  if (options_.shard == SIZE_MAX) {
+    return StringFormat("repl\t%llu\n",
+                        static_cast<unsigned long long>(wal_->last_seqno()));
+  }
+  return StringFormat("repl\t%zu\t%llu\n", options_.shard,
+                      static_cast<unsigned long long>(wal_->last_seqno()));
 }
 
 Follower::~Follower() {
@@ -89,8 +107,7 @@ void Follower::StartConnect() {
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
       0) {
     state_ = State::kHandshake;
-    out_ = StringFormat("repl\t%llu\n",
-                        static_cast<unsigned long long>(wal_->last_seqno()));
+    out_ = HandshakeLine();
     return;
   }
   if (errno == EINPROGRESS) {
@@ -205,13 +222,22 @@ void Follower::ApplyEvent(const feed::FeedEvent& event) {
   // The same apply semantics as crash recovery (wal/checkpoint.cc):
   // re-insertion and double-deletion are benign — the leader's log may
   // overlap what a checkpoint already restored.
+  const size_t shard = options_.shard;
   switch (event.kind) {
     case feed::EventKind::kTweet:
     case feed::EventKind::kCheckIn:
-      engine_->OnEvent(event);
+      if (shard == SIZE_MAX) {
+        engine_->OnEvent(event);
+      } else {
+        // Stream `shard` only carries this shard's users; ApplyToShard
+        // re-checks the routing invariant.
+        engine_->ApplyToShard(shard, event);
+      }
       break;
     case feed::EventKind::kAdInsert: {
-      const Status st = engine_->InsertAd(event.ad);
+      const Status st = shard == SIZE_MAX
+                            ? engine_->InsertAd(event.ad)
+                            : engine_->InsertAdOnShard(shard, event.ad);
       if (!st.ok() && st.code() != StatusCode::kAlreadyExists) {
         ctr_apply_errors_->Inc();
         ADREC_LOG(kError) << "replica: adput apply failed: "
@@ -220,7 +246,9 @@ void Follower::ApplyEvent(const feed::FeedEvent& event) {
       break;
     }
     case feed::EventKind::kAdDelete: {
-      const Status st = engine_->RemoveAd(event.ad_id);
+      const Status st = shard == SIZE_MAX
+                            ? engine_->RemoveAd(event.ad_id)
+                            : engine_->RemoveAdOnShard(shard, event.ad_id);
       if (!st.ok() && st.code() != StatusCode::kNotFound) {
         ctr_apply_errors_->Inc();
         ADREC_LOG(kError) << "replica: addel apply failed: "
@@ -377,8 +405,7 @@ void Follower::OnPollEvents(short revents) {
       return;
     }
     state_ = State::kHandshake;
-    out_ = StringFormat("repl\t%llu\n",
-                        static_cast<unsigned long long>(wal_->last_seqno()));
+    out_ = HandshakeLine();
   }
   if (!out_.empty() && !FlushOut()) return;
   if (revents & (POLLIN | POLLHUP)) {

@@ -48,6 +48,13 @@ struct FollowerOptions {
   /// applied frame gets a trace: wal.append → wal.commit_wave →
   /// replica.apply with the engine stage spans nested under the apply.
   obs::TraceCollector* tracer = nullptr;
+  /// Per-shard-stream replication (DESIGN.md §16): when set (!=
+  /// SIZE_MAX), the follower handshakes `repl <shard> <cursor>`, its
+  /// local `wal` is that shard's stream, applies touch only engine shard
+  /// `shard` (ad broadcasts are duplicated into every stream by the
+  /// leader), and the replica.* metrics are prefixed `replica.s<shard>.`
+  /// so N followers' lag gauges stay distinguishable after a merge.
+  size_t shard = SIZE_MAX;
 };
 
 /// Lag and liveness, sampled for the replica.* gauges and bench_replica.
@@ -136,6 +143,9 @@ class Follower {
   void HandleControlLine(std::string_view line);
   void ApplyEvent(const feed::FeedEvent& event);
   void UpdateLagGauges();
+  /// The `repl ...` handshake for this follower's stream (legacy or
+  /// per-shard form).
+  std::string HandshakeLine() const;
 
   core::ShardedEngine* engine_;  // not owned
   wal::WalWriter* wal_;          // not owned

@@ -1,0 +1,96 @@
+#include "serve/pool/barrier.h"
+
+#include "common/logging.h"
+#include "serve/pool/mailbox.h"
+
+namespace adrec::serve::pool {
+
+PoolBarrier::PoolBarrier(size_t workers)
+    : workers_(workers),
+      alive_(workers, true),
+      arrived_(workers, 0),
+      registered_(workers) {}
+
+size_t PoolBarrier::registered() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return registered_;
+}
+
+void PoolBarrier::WaitDoneLocked(std::unique_lock<std::mutex>& lk,
+                                 uint64_t gen) {
+  cv_.wait(lk, [&] { return done_generation_ >= gen; });
+}
+
+void PoolBarrier::CompleteLocked(std::unique_lock<std::mutex>& lk) {
+  // Every registered worker has arrived: the pool is quiescent. The
+  // operation runs outside the lock (parked workers wait on
+  // done_generation_, not the mutex), but nothing else can be running —
+  // that is the whole guarantee.
+  const uint64_t gen = generation_;
+  std::function<void()> fn = std::move(fn_);
+  fn_ = nullptr;
+  lk.unlock();
+  if (fn) fn();
+  lk.lock();
+  active_ = false;
+  done_generation_ = gen;
+  cv_.notify_all();
+}
+
+void PoolBarrier::ArriveLocked(size_t self,
+                               std::unique_lock<std::mutex>& lk) {
+  if (!active_ || !alive_[self]) return;
+  const uint64_t gen = generation_;
+  if (arrived_[self] != gen) {
+    arrived_[self] = gen;
+    ++arrivals_;
+    if (arrivals_ == registered_) {
+      CompleteLocked(lk);
+      return;
+    }
+  }
+  WaitDoneLocked(lk, gen);
+}
+
+void PoolBarrier::Arrive(size_t self, uint64_t generation) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Stale arrival (the barrier it was posted for already completed, or a
+  // newer one replaced it — the newer one posted its own arrivals).
+  if (!active_ || generation != generation_) return;
+  ArriveLocked(self, lk);
+}
+
+void PoolBarrier::Run(size_t self, Mailboxes* mail,
+                      std::function<void()> fn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ADREC_CHECK(alive_[self]);
+  // Another originator's barrier is in flight: join it first — refusing
+  // to arrive while waiting to claim would deadlock both.
+  while (active_) ArriveLocked(self, lk);
+  active_ = true;
+  ++generation_;
+  arrivals_ = 0;
+  fn_ = std::move(fn);
+  const uint64_t gen = generation_;
+  for (size_t w = 0; w < workers_; ++w) {
+    if (w == self || !alive_[w]) continue;
+    mail->Post(self, w, [this, w, gen] { Arrive(w, gen); });
+  }
+  ArriveLocked(self, lk);
+}
+
+void PoolBarrier::Deregister(size_t self) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!alive_[self]) return;
+  alive_[self] = false;
+  --registered_;
+  // A barrier waiting only on this worker completes now, executed here:
+  // every other registered worker is already parked, so the quiescence
+  // guarantee is intact.
+  if (active_ && arrived_[self] != generation_ && registered_ > 0 &&
+      arrivals_ == registered_) {
+    CompleteLocked(lk);
+  }
+}
+
+}  // namespace adrec::serve::pool

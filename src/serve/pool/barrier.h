@@ -1,0 +1,79 @@
+#ifndef ADREC_SERVE_POOL_BARRIER_H_
+#define ADREC_SERVE_POOL_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace adrec::serve::pool {
+
+class Mailboxes;
+
+/// Stop-the-world coordination for the worker pool's rare verbs
+/// (DESIGN.md §16): adput/addel, analyze, match, snapshot, checkpoint,
+/// promote, conns. Instead of per-verb fan-out/ack machinery, the
+/// originating worker parks EVERY worker at a rendezvous; the last
+/// arriver executes the whole operation with the pool quiescent — every
+/// other worker is blocked inside Arrive, so their shards, WAL streams
+/// and connection tables are race-free readable and writable — then all
+/// workers resume their event loops. Group commit, broadcasts and
+/// multi-shard reads reuse the existing single-threaded machinery
+/// unchanged, which is the point: correctness of the rare path never
+/// depends on fine-grained locking.
+///
+/// Arrival is delivered via the pool mailboxes: Run posts an arrival
+/// task to every other registered worker; a worker that is itself trying
+/// to Run while a barrier is pending arrives at the pending one first
+/// (so two concurrent originators serialize instead of deadlocking), and
+/// a worker that exits its loop Deregisters so a barrier never waits on
+/// a thread that will not come back.
+class PoolBarrier {
+ public:
+  explicit PoolBarrier(size_t workers);
+
+  /// Executes `fn` with every registered worker stopped. Called on
+  /// worker `self`'s event-loop thread; blocks until `fn` has run.
+  /// `mail` delivers the arrival tasks.
+  void Run(size_t self, Mailboxes* mail, std::function<void()> fn);
+
+  /// Arrival task body: parks `self` in the current barrier (if any)
+  /// until it completes. Ignores stale generations — a queued arrival
+  /// for an already-finished barrier is a no-op.
+  void Arrive(size_t self, uint64_t generation);
+
+  /// Permanently removes `self` from the rendezvous set (worker loop
+  /// exit during drain). If a barrier is currently waiting only on
+  /// `self`, the deregistering thread executes it — by then every other
+  /// registered worker is parked, so the stop-the-world guarantee holds.
+  void Deregister(size_t self);
+
+  size_t registered() const;
+
+ private:
+  /// Runs fn_ and releases the generation. Caller holds lk.
+  void CompleteLocked(std::unique_lock<std::mutex>& lk);
+  /// Parks until generation `gen` completes. Caller holds lk.
+  void WaitDoneLocked(std::unique_lock<std::mutex>& lk, uint64_t gen);
+  /// Counts `self` into the active barrier if not yet counted; runs fn_
+  /// when it is the last. Caller holds lk.
+  void ArriveLocked(size_t self, std::unique_lock<std::mutex>& lk);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const size_t workers_;
+  std::vector<bool> alive_;        ///< still registered
+  std::vector<uint64_t> arrived_;  ///< generation each worker last joined
+  size_t registered_ = 0;
+  bool active_ = false;
+  uint64_t generation_ = 0;  ///< current (active_) or last barrier id
+  uint64_t done_generation_ = 0;
+  size_t arrivals_ = 0;
+  std::function<void()> fn_;
+};
+
+}  // namespace adrec::serve::pool
+
+#endif  // ADREC_SERVE_POOL_BARRIER_H_

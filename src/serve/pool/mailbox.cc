@@ -1,0 +1,97 @@
+#include "serve/pool/mailbox.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace adrec::serve::pool {
+
+Mailboxes::Mailboxes(size_t workers, size_t ring_slots)
+    : workers_(workers),
+      retry_(workers, std::vector<std::deque<Task>>(workers)),
+      kicked_(std::make_unique<std::atomic<bool>[]>(workers)) {
+  rings_.reserve(workers * workers);
+  for (size_t i = 0; i < workers * workers; ++i) {
+    rings_.push_back(std::make_unique<SpscRing<Task>>(ring_slots));
+  }
+  wake_fds_.resize(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    ADREC_CHECK(pipe(wake_fds_[w].data()) == 0);
+    for (int end : wake_fds_[w]) {
+      const int flags = fcntl(end, F_GETFL, 0);
+      ADREC_CHECK(flags >= 0 &&
+                  fcntl(end, F_SETFL, flags | O_NONBLOCK) == 0);
+    }
+    kicked_[w].store(false, std::memory_order_relaxed);
+  }
+}
+
+Mailboxes::~Mailboxes() {
+  for (auto& fds : wake_fds_) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+}
+
+void Mailboxes::PushOrSpill(size_t from, size_t to, Task task) {
+  std::deque<Task>& spill = retry_[from][to];
+  // FIFO per pair: earlier spilled tasks must enter the ring before this
+  // one may.
+  while (!spill.empty()) {
+    if (!ring(from, to).TryPush(std::move(spill.front()))) break;
+    spill.pop_front();
+  }
+  if (!spill.empty() || !ring(from, to).TryPush(std::move(task))) {
+    spill.push_back(std::move(task));
+  }
+}
+
+void Mailboxes::Post(size_t from, size_t to, Task task) {
+  PushOrSpill(from, to, std::move(task));
+  Kick(to);
+}
+
+void Mailboxes::Kick(size_t to) {
+  // One pipe byte per sleep, not per post: the flag is re-armed by the
+  // drain, so a burst of posts costs one write(2).
+  if (!kicked_[to].exchange(true, std::memory_order_acq_rel)) {
+    const char b = 'k';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[to][1], &b, 1);
+  }
+}
+
+size_t Mailboxes::Drain(size_t to) {
+  // Re-arm the kick before popping: a producer that posts after this
+  // point writes the pipe again, so the consumer cannot sleep through a
+  // task (worst case is one spurious wakeup).
+  char buf[64];
+  while (::read(wake_fds_[to][0], buf, sizeof(buf)) > 0) {
+  }
+  kicked_[to].store(false, std::memory_order_release);
+  size_t ran = 0;
+  for (size_t from = 0; from < workers_; ++from) {
+    Task task;
+    while (ring(from, to).TryPop(&task)) {
+      task();
+      ++ran;
+    }
+  }
+  return ran;
+}
+
+void Mailboxes::FlushRetries(size_t from) {
+  for (size_t to = 0; to < workers_; ++to) {
+    std::deque<Task>& spill = retry_[from][to];
+    if (spill.empty()) continue;
+    while (!spill.empty()) {
+      if (!ring(from, to).TryPush(std::move(spill.front()))) break;
+      spill.pop_front();
+    }
+    Kick(to);
+  }
+}
+
+}  // namespace adrec::serve::pool

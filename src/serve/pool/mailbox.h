@@ -1,0 +1,83 @@
+#ifndef ADREC_SERVE_POOL_MAILBOX_H_
+#define ADREC_SERVE_POOL_MAILBOX_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serve/pool/spsc.h"
+
+namespace adrec::serve::pool {
+
+/// A closure shipped between pool workers: a forwarded ingest/query, a
+/// post-commit reply ack, or a barrier arrival. Runs on the destination
+/// worker's event-loop thread during its mailbox drain.
+using Task = std::function<void()>;
+
+/// The worker pool's cross-thread fabric: an N×N matrix of SPSC rings
+/// (one per ordered worker pair, so every lane has exactly one producer
+/// and one consumer — no multi-producer coordination anywhere), plus a
+/// per-worker wake pipe so a post can interrupt the destination's
+/// poll(2) sleep.
+///
+/// Delivery is guaranteed and FIFO per (from, to) pair: a push that
+/// finds its ring full spills into the producer's private retry deque
+/// (only ever touched by that producer's thread) and is re-driven by
+/// FlushRetries before the producer's next wave. Tasks between the same
+/// two workers are never reordered — the retry deque drains before new
+/// pushes for the same lane.
+class Mailboxes {
+ public:
+  /// `workers` lanes; each ring holds `ring_slots` tasks.
+  Mailboxes(size_t workers, size_t ring_slots = 1024);
+  ~Mailboxes();
+
+  Mailboxes(const Mailboxes&) = delete;
+  Mailboxes& operator=(const Mailboxes&) = delete;
+
+  size_t workers() const { return workers_; }
+
+  /// Posts `task` from worker `from` to worker `to` (FIFO per pair,
+  /// never dropped) and kicks `to`'s wake pipe when it may be asleep.
+  /// Must be called on worker `from`'s thread.
+  void Post(size_t from, size_t to, Task task);
+
+  /// Runs every task currently queued for worker `to`, in per-producer
+  /// FIFO order. Must be called on worker `to`'s thread. Returns the
+  /// number of tasks run.
+  size_t Drain(size_t to);
+
+  /// Re-drives worker `from`'s spilled tasks (ring-full overflow). Must
+  /// be called on worker `from`'s thread, once per wave.
+  void FlushRetries(size_t from);
+
+  /// The fd worker `to` polls (POLLIN) to sleep interruptibly.
+  int wake_fd(size_t to) const { return wake_fds_[to][0]; }
+
+  /// Wakes worker `to` without posting a task (drain requests).
+  void Kick(size_t to);
+
+ private:
+  SpscRing<Task>& ring(size_t from, size_t to) {
+    return *rings_[from * workers_ + to];
+  }
+  /// Push with order preservation: spilled tasks for the pair go first.
+  void PushOrSpill(size_t from, size_t to, Task task);
+
+  const size_t workers_;
+  std::vector<std::unique_ptr<SpscRing<Task>>> rings_;
+  /// retry_[from][to]: producer-private overflow, FIFO.
+  std::vector<std::vector<std::deque<Task>>> retry_;
+  /// One self-pipe per worker; [0] = read (polled), [1] = write (kick).
+  std::vector<std::array<int, 2>> wake_fds_;
+  /// Collapses kicks: a worker is kicked at most once between drains.
+  std::unique_ptr<std::atomic<bool>[]> kicked_;
+};
+
+}  // namespace adrec::serve::pool
+
+#endif  // ADREC_SERVE_POOL_MAILBOX_H_

@@ -1,0 +1,73 @@
+#ifndef ADREC_SERVE_POOL_SPSC_H_
+#define ADREC_SERVE_POOL_SPSC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace adrec::serve::pool {
+
+/// A bounded lock-free single-producer/single-consumer ring (the worker
+/// pool's mailbox lane, DESIGN.md §16). One thread calls TryPush, one
+/// thread calls TryPop; the only shared state is two monotonically
+/// increasing indices with acquire/release pairing — no CAS loops, no
+/// locks, wait-free on both sides.
+///
+/// Capacity is rounded up to a power of two so the slot index is a mask,
+/// not a modulo. A full ring rejects the push (the caller spills to its
+/// private retry queue); nothing is ever silently dropped.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (value untouched).
+  bool TryPush(T&& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (racy for producers, exact for the
+  /// consumer).
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  size_t mask_ = 0;
+  std::unique_ptr<T[]> slots_;
+  /// Padded apart so the producer's and consumer's cache lines do not
+  /// ping-pong on every operation.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace adrec::serve::pool
+
+#endif  // ADREC_SERVE_POOL_SPSC_H_

@@ -184,11 +184,27 @@ Result<Request> ParseRequest(std::string_view line) {
   }
   if (verb == "repl") {
     req.verb = Verb::kRepl;
-    if (!has_payload || payload.find('\t') != std::string_view::npos) {
+    if (!has_payload) {
       return Status::InvalidArgument("repl needs <cursor>");
     }
-    auto cursor = ParseU64(payload);
+    const size_t tab = payload.find('\t');
+    if (tab == std::string_view::npos) {
+      auto cursor = ParseU64(payload);
+      if (!cursor.ok()) return cursor.status();
+      req.cursor = cursor.value();
+      return req;
+    }
+    // Two-field form: repl <shard> <cursor> (per-shard log stream).
+    const std::string_view shard_field = payload.substr(0, tab);
+    const std::string_view cursor_field = payload.substr(tab + 1);
+    if (cursor_field.find('\t') != std::string_view::npos) {
+      return Status::InvalidArgument("repl needs <cursor> or <shard> <cursor>");
+    }
+    auto shard = ParseU64(shard_field);
+    if (!shard.ok()) return shard.status();
+    auto cursor = ParseU64(cursor_field);
     if (!cursor.ok()) return cursor.status();
+    req.repl_shard = static_cast<size_t>(shard.value());
     req.cursor = cursor.value();
     return req;
   }
@@ -272,6 +288,11 @@ std::string FormatSnapshotCmd(std::string_view dir) {
 
 std::string FormatReplCmd(uint64_t cursor) {
   return StringFormat("repl\t%llu", static_cast<unsigned long long>(cursor));
+}
+
+std::string FormatReplCmd(size_t shard, uint64_t cursor) {
+  return StringFormat("repl\t%zu\t%llu", shard,
+                      static_cast<unsigned long long>(cursor));
 }
 
 }  // namespace adrec::serve

@@ -1,6 +1,7 @@
 #ifndef ADREC_SERVE_PROTOCOL_H_
 #define ADREC_SERVE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -45,6 +46,11 @@ namespace adrec::serve {
 ///        frame stream starting after seqno <cursor> — raw CRC frames
 ///        interleaved with `REPL HB <tip>` heartbeats; DESIGN.md §12.
 ///        Disabled without --wal-dir.)
+///   repl <shard> <cursor>              -> REPL OK <shard> <cursor> / ...
+///        (per-shard-stream form for a sharded log, DESIGN.md §16: the
+///        connection streams shard <shard>'s WAL only; a follower opens
+///        one such connection per shard. The one-field legacy form is
+///        only valid against a single-stream log, and vice versa.)
 ///   promote                            -> OK   (follower only: detach
 ///        from the leader, seal the local log, begin accepting writes)
 ///   trace [tsv|chrome]                 -> TRACE <bytes> / <payload> / END
@@ -121,6 +127,9 @@ struct Request {
   /// kRepl: last WAL seqno the follower already holds (0 = from the
   /// beginning); streaming resumes at cursor + 1.
   uint64_t cursor = 0;
+  /// kRepl: WAL stream requested (two-field form); SIZE_MAX for the
+  /// legacy single-stream handshake.
+  size_t repl_shard = SIZE_MAX;
   /// kTrace: dump as Chrome trace-event JSON instead of TSV.
   bool chrome = false;
 };
@@ -142,6 +151,7 @@ std::string FormatMatchCmd(AdId id);
 std::string FormatAnalyzeCmd(double alpha);
 std::string FormatSnapshotCmd(std::string_view dir);
 std::string FormatReplCmd(uint64_t cursor);
+std::string FormatReplCmd(size_t shard, uint64_t cursor);
 
 }  // namespace adrec::serve
 

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <vector>
 
 #include "common/logging.h"
@@ -18,8 +19,10 @@
 #include "core/snapshot.h"
 #include "obs/stats_export.h"
 #include "replica/follower.h"
+#include "serve/pool/context.h"
 #include "serve/reporter.h"
 #include "wal/checkpoint.h"
+#include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
 namespace adrec::serve {
@@ -27,6 +30,11 @@ namespace adrec::serve {
 namespace {
 
 constexpr std::string_view kCrlf = "\r\n";
+
+/// Cap on forwarded ops in flight per connection (pool mode): past it,
+/// the pipeline stops being consumed until acks drain — per-connection
+/// backpressure toward the owning worker.
+constexpr size_t kMaxPendingForwards = 128;
 
 Status SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
@@ -53,7 +61,41 @@ std::string FormatTopKReply(const std::vector<index::ScoredAd>& ads) {
   return out;
 }
 
+/// Engine Status -> wire reply for the mutating verbs.
+std::string StatusReply(const Status& s) {
+  if (s.ok()) return "OK" + std::string(kCrlf);
+  if (s.code() == StatusCode::kNotFound) {
+    return "NOT_FOUND" + std::string(kCrlf);
+  }
+  if (s.code() == StatusCode::kInvalidArgument) {
+    return "CLIENT_ERROR " + s.message() + std::string(kCrlf);
+  }
+  return "SERVER_ERROR " + s.ToString() + std::string(kCrlf);
+}
+
 }  // namespace
+
+/// One reply position in a connection's pipeline (pool mode). Replies
+/// must leave in request order, but a forwarded op completes on another
+/// worker's schedule — so each request occupies a slot, local replies
+/// complete theirs instantly, and only the done prefix flushes.
+struct Server::ReplySlot {
+  uint64_t id = 0;
+  bool done = false;
+  std::string reply;
+  /// Open trace of a forwarded op; finished when the ack lands.
+  std::unique_ptr<obs::TraceBuilder> trace;
+};
+
+/// A forwarded op executed this wave whose ack is withheld until this
+/// worker's commit barrier (durability before visibility holds across
+/// workers too).
+struct Server::PendingAck {
+  size_t origin = 0;
+  uint64_t conn_id = 0;
+  uint64_t slot_id = 0;
+  std::string reply;
+};
 
 /// Per-connection state, owned and touched only by the event loop.
 struct Server::Connection {
@@ -77,11 +119,18 @@ struct Server::Connection {
   /// Replication stream (post-`repl` handshake): exempt from the idle
   /// reaper and the global in-flight cap, fed by PumpReplicas.
   bool replica = false;
+  /// WAL stream this replication connection follows.
+  size_t repl_stream = 0;
   /// Next WAL seqno this replication stream is owed.
   uint64_t repl_next_seqno = 0;
   /// Byte-offset resume state so tail reads do not rescan the segment.
   wal::CursorHint repl_hint;
   std::chrono::steady_clock::time_point repl_last_hb;
+  // --- Pool mode ---
+  /// In-order reply queue; non-empty only while forwarded ops are in
+  /// flight (empty pipeline bypasses it entirely).
+  std::deque<ReplySlot> pending;
+  uint64_t next_slot = 1;
 };
 
 Server::Server(core::ShardedEngine* engine, ServerOptions options)
@@ -100,16 +149,44 @@ Server::Server(core::ShardedEngine* engine, ServerOptions options)
       ctr_repl_bytes_shipped_(
           metrics_.GetCounter("serve.repl_bytes_shipped")),
       ctr_repl_heartbeats_(metrics_.GetCounter("serve.repl_heartbeats")),
-      g_repl_streams_(metrics_.GetGauge("serve.repl_streams")) {
+      g_repl_streams_(metrics_.GetGauge("serve.repl_streams")),
+      ctr_forwarded_(metrics_.GetCounter("serve.pool_forwarded")),
+      ctr_forward_acks_(metrics_.GetCounter("serve.pool_forward_acks")),
+      ctr_barrier_ops_(metrics_.GetCounter("serve.pool_barrier_ops")) {
   ADREC_CHECK(engine_ != nullptr);
-  // A follower starts read-only; `promote` is the only way out.
-  read_only_ = options_.follower != nullptr;
+  ADREC_CHECK(options_.wal == nullptr || options_.sharded_wal == nullptr);
+  if (options_.sharded_wal != nullptr) {
+    for (size_t s = 0; s < options_.sharded_wal->num_streams(); ++s) {
+      streams_.push_back(options_.sharded_wal->stream(s));
+    }
+    // Stream s holds exactly shard s's history (plus the ad broadcast):
+    // any other mapping would break per-shard replay.
+    ADREC_CHECK(streams_.size() == 1 ||
+                streams_.size() == engine_->num_shards());
+  } else if (options_.wal != nullptr) {
+    streams_.push_back(options_.wal);
+  }
+  stream_dirty_.assign(streams_.size(), false);
+  followers_ = options_.followers;
+  if (options_.follower != nullptr) {
+    followers_.push_back(options_.follower);
+  }
+  // A follower starts read-only; `promote` is the only way out. A pool
+  // worker also starts read-only when any sibling has a follower.
+  read_only_ = !followers_.empty() || options_.start_read_only;
+  pool_ = options_.pool;
+  if (pool_ != nullptr) {
+    ADREC_CHECK(options_.lane < pool_->workers);
+    // The topk cache is per-worker state invalidated by pool-wide ingest;
+    // pool mode runs without it (DESIGN.md §16).
+    ADREC_CHECK(options_.topk_cache.capacity == 0);
+  }
   if (options_.topk_cache.capacity > 0) {
     cache_ = std::make_unique<cache::TopkCache>(options_.topk_cache);
-    if (options_.follower != nullptr) {
+    for (replica::Follower* follower : followers_) {
       // Replicated ingest must invalidate exactly like local ingest; the
       // observer fires pre-apply on the event-loop thread.
-      options_.follower->set_apply_observer(
+      follower->set_apply_observer(
           [this](const feed::FeedEvent& event) { InvalidateCacheFor(event); });
     }
   }
@@ -123,9 +200,37 @@ Server::Server(core::ShardedEngine* engine, ServerOptions options)
 Server::~Server() {
   for (auto& [fd, conn] : connections_) ::close(fd);
   connections_.clear();
+  {
+    std::lock_guard<std::mutex> lk(adopt_mu_);
+    for (int fd : adopted_) ::close(fd);
+    adopted_.clear();
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
   if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+uint32_t Server::worker_id() const {
+  return pool_mode() ? static_cast<uint32_t>(options_.lane + 1) : 0;
+}
+
+bool Server::OwnsShard(size_t shard) const {
+  return !pool_mode() || shard % pool_->workers == options_.lane;
+}
+
+Timestamp Server::StreamNow() const {
+  return pool_mode()
+             ? static_cast<Timestamp>(
+                   pool_->stream_now.load(std::memory_order_relaxed))
+             : stream_now_;
+}
+
+void Server::BumpStreamClock(Timestamp t) {
+  if (pool_mode()) {
+    pool_->BumpStreamClock(static_cast<int64_t>(t));
+  } else if (t > stream_now_) {
+    stream_now_ = t;
+  }
 }
 
 Status Server::Start() {
@@ -133,6 +238,10 @@ Status Server::Start() {
     return Status::Internal(StringFormat("pipe: %s", std::strerror(errno)));
   }
   ADREC_RETURN_NOT_OK(SetNonBlocking(wake_fds_[0]));
+
+  // Pool workers do not listen: the PoolServer's acceptor thread owns
+  // the listening socket and hands accepted fds over via AdoptSocket.
+  if (pool_mode()) return Status::OK();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -170,8 +279,18 @@ Status Server::Start() {
 
 void Server::RequestDrain() {
   // Async-signal-safe: one byte down the self-pipe wakes poll(); the loop
-  // reads the pipe and flips into draining.
+  // reads the pipe, sees the flag and flips into draining.
+  drain_requested_.store(true, std::memory_order_release);
   const char b = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+void Server::AdoptSocket(int fd) {
+  {
+    std::lock_guard<std::mutex> lk(adopt_mu_);
+    adopted_.push_back(fd);
+  }
+  const char b = 'a';
   [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
 }
 
@@ -186,6 +305,35 @@ size_t Server::InflightBytes() const {
     if (!conn.replica) total += conn.out.size();
   }
   return total;
+}
+
+void Server::AdmitSocket(int fd) {
+  if (connections_.size() >= options_.max_connections || draining_) {
+    // Shed at the door: tell the client why, then hang up. The
+    // best-effort write is fine — the socket buffer of a fresh
+    // connection is empty.
+    const std::string busy = std::string("SERVER_ERROR busy") +
+                             std::string(kCrlf);
+    [[maybe_unused]] const ssize_t n = ::write(fd, busy.data(), busy.size());
+    ::close(fd);
+    ctr_rejected_->Inc();
+    ctr_sheds_->Inc();
+    return;
+  }
+  if (!SetNonBlocking(fd).ok()) {
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Connection conn;
+  conn.fd = fd;
+  conn.last_active = std::chrono::steady_clock::now();
+  conn.id = next_conn_id_++;
+  conn.created = conn.last_active;
+  connections_.emplace(fd, std::move(conn));
+  ctr_accepted_->Inc();
+  g_active_->Set(static_cast<double>(connections_.size()));
 }
 
 void Server::AcceptNew() {
@@ -203,34 +351,17 @@ void Server::AcceptNew() {
                             std::chrono::milliseconds(100);
       return;
     }
-    if (connections_.size() >= options_.max_connections || draining_) {
-      // Shed at the door: tell the client why, then hang up. The
-      // best-effort write is fine — the socket buffer of a fresh
-      // connection is empty.
-      const std::string busy = std::string("SERVER_ERROR busy") +
-                               std::string(kCrlf);
-      [[maybe_unused]] const ssize_t n = ::write(fd, busy.data(),
-                                                 busy.size());
-      ::close(fd);
-      ctr_rejected_->Inc();
-      ctr_sheds_->Inc();
-      continue;
-    }
-    if (!SetNonBlocking(fd).ok()) {
-      ::close(fd);
-      continue;
-    }
-    const int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    Connection conn;
-    conn.fd = fd;
-    conn.last_active = std::chrono::steady_clock::now();
-    conn.id = next_conn_id_++;
-    conn.created = conn.last_active;
-    connections_.emplace(fd, std::move(conn));
-    ctr_accepted_->Inc();
-    g_active_->Set(static_cast<double>(connections_.size()));
+    AdmitSocket(fd);
   }
+}
+
+void Server::AdoptPending() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lk(adopt_mu_);
+    fds.swap(adopted_);
+  }
+  for (int fd : fds) AdmitSocket(fd);
 }
 
 bool Server::ReadFrom(Connection* conn) {
@@ -248,8 +379,7 @@ bool Server::ReadFrom(Connection* conn) {
           conn->in.find('\n') == std::string::npos) {
         ctr_parse_errors_->Inc();
         conn->in.clear();
-        conn->out += "CLIENT_ERROR line too long";
-        conn->out += kCrlf;
+        EmitReply(conn, "CLIENT_ERROR line too long" + std::string(kCrlf));
         conn->closing = true;
         return true;
       }
@@ -276,13 +406,15 @@ void Server::ProcessLines(Connection* conn) {
     // cap, stop consuming its pipeline — poll stops watching POLLIN until
     // the peer drains the write buffer.
     if (conn->out.size() >= options_.max_write_buffer_bytes) break;
+    // Pool backpressure: too many forwarded ops awaiting acks — resume
+    // once the owner's acks drain the slot queue.
+    if (conn->pending.size() >= kMaxPendingForwards) break;
     const size_t nl = conn->in.find('\n', start);
     if (nl == std::string::npos) {
       // A partial line longer than the cap can never complete validly.
       if (conn->in.size() - start > options_.max_line_bytes) {
         ctr_parse_errors_->Inc();
-        conn->out += "CLIENT_ERROR line too long";
-        conn->out += kCrlf;
+        EmitReply(conn, "CLIENT_ERROR line too long" + std::string(kCrlf));
         conn->closing = true;
         start = conn->in.size();
       }
@@ -295,8 +427,7 @@ void Server::ProcessLines(Connection* conn) {
     // overruns); a client this far out of protocol is cut off.
     if (end - start > options_.max_line_bytes) {
       ctr_parse_errors_->Inc();
-      conn->out += "CLIENT_ERROR line too long";
-      conn->out += kCrlf;
+      EmitReply(conn, "CLIENT_ERROR line too long" + std::string(kCrlf));
       conn->closing = true;
       start = conn->in.size();
       break;
@@ -312,6 +443,27 @@ void Server::ProcessLines(Connection* conn) {
   conn->in.erase(0, start);
 }
 
+void Server::EmitReply(Connection* conn, std::string reply) {
+  if (conn->pending.empty()) {
+    // Fast path: no forwarded op ahead of us, the reply goes straight to
+    // the write buffer (this is every reply outside pool mode).
+    conn->out += reply;
+    return;
+  }
+  ReplySlot slot;
+  slot.id = conn->next_slot++;
+  slot.done = true;
+  slot.reply = std::move(reply);
+  conn->pending.push_back(std::move(slot));
+}
+
+void Server::FlushReplySlots(Connection* conn) {
+  while (!conn->pending.empty() && conn->pending.front().done) {
+    conn->out += conn->pending.front().reply;
+    conn->pending.pop_front();
+  }
+}
+
 void Server::Dispatch(std::string_view line, Connection* conn) {
   // Every request gets a trace (when the flight recorder is on): started
   // before parsing so even malformed lines leave a pinned record with
@@ -321,6 +473,7 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
   if (options_.tracer != nullptr && options_.tracer->enabled()) {
     trace = trace_pool_.Acquire();
     trace->Start(options_.tracer->NextTraceId(), line);
+    trace->SetWorker(worker_id());
   }
   const uint32_t parse_span =
       trace != nullptr ? trace->StartSpan("serve.parse") : 0;
@@ -329,8 +482,7 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
   if (!parsed.ok()) {
     ctr_parse_errors_->Inc();
     const std::string detail = parsed.status().message();
-    conn->out += "CLIENT_ERROR " + detail;
-    conn->out += kCrlf;
+    EmitReply(conn, "CLIENT_ERROR " + detail + std::string(kCrlf));
     if (trace != nullptr) {
       trace->SetOutcome(obs::TraceOutcome::kError);
       trace->SetReason("CLIENT_ERROR " + detail);
@@ -351,10 +503,12 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
   // Follower read-only gate. The classification lives in IsWriteVerb —
   // one switch, compile-time exhaustive — so a future verb cannot reach
   // the engine's write path here without being classified there first.
+  // Pool note: read_only_ is set identically on every worker at startup
+  // and cleared for all of them by the (barrier) promote, so gating at
+  // the receiving worker is gating the pool.
   if (read_only_ && IsWriteVerb(req.verb)) {
     ctr_readonly_rejected_->Inc();
-    conn->out += "READONLY";
-    conn->out += kCrlf;
+    EmitReply(conn, "READONLY" + std::string(kCrlf));
     if (trace != nullptr) {
       trace->SetOutcome(obs::TraceOutcome::kReadonly);
       trace->SetReason("READONLY");
@@ -366,8 +520,7 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
   // to go just grows memory; shed instead.
   if (InflightBytes() > options_.max_inflight_bytes) {
     ctr_sheds_->Inc();
-    conn->out += "SERVER_ERROR busy";
-    conn->out += kCrlf;
+    EmitReply(conn, "SERVER_ERROR busy" + std::string(kCrlf));
     if (trace != nullptr) {
       trace->SetOutcome(obs::TraceOutcome::kShed);
       trace->SetReason("SERVER_ERROR busy");
@@ -375,22 +528,96 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
     }
     return;
   }
+  // Pool routing (DESIGN.md §16). Hot verbs go to their shard's owner:
+  // locally when this worker owns the shard, else forwarded through the
+  // mailbox with an ordered reply slot. Rare coordination verbs
+  // stop-the-world instead of growing fan-out/merge machinery.
+  size_t shard = 0;
+  if (pool_mode()) {
+    switch (req.verb) {
+      case Verb::kTweet:
+        shard = engine_->ShardOf(req.tweet.user);
+        break;
+      case Verb::kCheckIn:
+        shard = engine_->ShardOf(req.check_in.user);
+        break;
+      case Verb::kTopK:
+        // Routed to the author's shard, same as the engine itself routes.
+        shard = engine_->ShardOf(req.tweet.user);
+        break;
+      case Verb::kAdPut:
+      case Verb::kAdDel:
+      case Verb::kAnalyze:
+      case Verb::kMatch:
+      case Verb::kSnapshot:
+      case Verb::kCheckpoint:
+      case Verb::kPromote:
+      case Verb::kConns:
+      case Verb::kStats:
+      case Verb::kMetrics: {
+        obs::ScopedTimer timer(tm_cmds_[verb]);
+        const uint32_t exec_span =
+            trace != nullptr ? trace->StartSpan("pool.barrier") : 0;
+        std::string reply = ExecuteBarrierVerb(req, line, conn);
+        if (trace != nullptr) {
+          trace->EndSpan(exec_span);
+          if (StartsWith(reply, "CLIENT_ERROR") ||
+              StartsWith(reply, "SERVER_ERROR")) {
+            trace->SetOutcome(obs::TraceOutcome::kError);
+            const size_t eol = reply.find('\r');
+            trace->SetReason(std::string_view(reply).substr(
+                0, eol == std::string::npos ? reply.size() : eol));
+          }
+        }
+        EmitReply(conn, std::move(reply));
+        FinishTrace(std::move(trace));
+        return;
+      }
+      default:
+        break;  // trace/slow/repl/ping: purely local
+    }
+    if ((req.verb == Verb::kTweet || req.verb == Verb::kCheckIn ||
+         req.verb == Verb::kTopK) &&
+        !OwnsShard(shard)) {
+      obs::ScopedTimer timer(tm_cmds_[verb]);
+      ForwardRequest(conn, req, line, shard, std::move(trace));
+      return;
+    }
+  }
   // Write-ahead: the raw request line is the log payload (the ingest
   // grammar IS the wire grammar), appended before the engine mutates. An
   // event the WAL cannot record is refused — never applied-but-lost.
+  // With per-shard streams, a feed event goes to its owner shard's
+  // stream only; ad ops are duplicated into every stream so each stream
+  // alone totally orders everything that touches its shard.
   bool wal_appended = false;
-  if (options_.wal != nullptr &&
+  if (!streams_.empty() &&
       (req.verb == Verb::kTweet || req.verb == Verb::kCheckIn ||
        req.verb == Verb::kAdPut || req.verb == Verb::kAdDel)) {
     const uint32_t append_span =
         trace != nullptr ? trace->StartSpan("wal.append") : 0;
-    auto seqno = options_.wal->AppendDeferred(line);
+    Status append_status = Status::OK();
+    if (req.verb == Verb::kAdPut || req.verb == Verb::kAdDel) {
+      for (size_t s = 0; s < streams_.size() && append_status.ok(); ++s) {
+        auto seqno = streams_[s]->AppendDeferred(line);
+        if (!seqno.ok()) append_status = seqno.status();
+        stream_dirty_[s] = true;
+      }
+    } else {
+      const size_t user_shard =
+          req.verb == Verb::kTweet ? engine_->ShardOf(req.tweet.user)
+                                   : engine_->ShardOf(req.check_in.user);
+      const size_t s = StreamIndexFor(user_shard);
+      auto seqno = streams_[s]->AppendDeferred(line);
+      if (!seqno.ok()) append_status = seqno.status();
+      stream_dirty_[s] = true;
+    }
     if (trace != nullptr) trace->EndSpan(append_span);
-    if (!seqno.ok()) {
+    if (!append_status.ok()) {
       ADREC_LOG(kError) << "serve: wal append failed: "
-                        << seqno.status().ToString();
-      conn->out += "SERVER_ERROR wal append failed";
-      conn->out += kCrlf;
+                        << append_status.ToString();
+      EmitReply(conn,
+                "SERVER_ERROR wal append failed" + std::string(kCrlf));
       if (trace != nullptr) {
         trace->SetOutcome(obs::TraceOutcome::kError);
         trace->SetReason("SERVER_ERROR wal append failed");
@@ -409,7 +636,7 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
     // so their spans nest under serve.dispatch without the engine ever
     // seeing a trace parameter.
     obs::ScopedActiveTrace active(trace.get());
-    const std::string reply = Execute(req, conn);
+    std::string reply = Execute(req, conn);
     if (trace != nullptr) {
       trace->EndSpan(exec_span);
       if (StartsWith(reply, "CLIENT_ERROR") ||
@@ -420,7 +647,7 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
             0, eol == std::string::npos ? reply.size() : eol));
       }
     }
-    conn->out += reply;
+    EmitReply(conn, std::move(reply));
   }
   if (trace == nullptr) return;
   if (wal_appended) {
@@ -434,6 +661,180 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
   }
 }
 
+void Server::ForwardRequest(Connection* conn, const Request& req,
+                            std::string_view line, size_t shard,
+                            std::unique_ptr<obs::TraceBuilder> trace) {
+  const size_t owner = shard % pool_->workers;
+  ReplySlot slot;
+  slot.id = conn->next_slot++;
+  slot.trace = std::move(trace);
+  const uint64_t slot_id = slot.id;
+  conn->pending.push_back(std::move(slot));
+  ctr_forwarded_->Inc();
+  Server* target = pool_->servers[owner];
+  pool_->mail.Post(
+      options_.lane, owner,
+      [target, req, line = std::string(line), origin = options_.lane,
+       conn_id = conn->id, slot_id]() mutable {
+        target->ExecuteForwarded(std::move(req), std::move(line), origin,
+                                 conn_id, slot_id);
+      });
+}
+
+void Server::ExecuteForwarded(Request req, std::string line, size_t origin,
+                              uint64_t conn_id, uint64_t slot_id) {
+  std::string reply;
+  switch (req.verb) {
+    case Verb::kTweet:
+    case Verb::kCheckIn: {
+      // Same write-ahead discipline as the local path: the owner logs to
+      // its own shard stream before it applies, and the ack is withheld
+      // until the owner's commit barrier (FlushWaveAcks).
+      const size_t user_shard =
+          req.verb == Verb::kTweet ? engine_->ShardOf(req.tweet.user)
+                                   : engine_->ShardOf(req.check_in.user);
+      if (!streams_.empty()) {
+        const size_t s = StreamIndexFor(user_shard);
+        auto seqno = streams_[s]->AppendDeferred(line);
+        if (!seqno.ok()) {
+          ADREC_LOG(kError) << "serve: forwarded wal append failed: "
+                            << seqno.status().ToString();
+          reply = "SERVER_ERROR wal append failed" + std::string(kCrlf);
+          break;
+        }
+        stream_dirty_[s] = true;
+        wal_dirty_ = true;
+      }
+      if (req.verb == Verb::kTweet) {
+        engine_->OnTweet(req.tweet);
+        BumpStreamClock(req.tweet.time);
+      } else {
+        engine_->OnCheckIn(req.check_in);
+        BumpStreamClock(req.check_in.time);
+      }
+      reply = "OK" + std::string(kCrlf);
+      break;
+    }
+    case Verb::kTopK:
+      reply = ExecuteTopK(req);
+      break;
+    default:
+      reply = "SERVER_ERROR bad forward" + std::string(kCrlf);
+      break;
+  }
+  wave_acks_.push_back({origin, conn_id, slot_id, std::move(reply)});
+}
+
+void Server::FlushWaveAcks() {
+  if (wave_acks_.empty()) return;
+  for (PendingAck& ack : wave_acks_) {
+    Server* origin = pool_->servers[ack.origin];
+    pool_->mail.Post(options_.lane, ack.origin,
+                     [origin, conn_id = ack.conn_id, slot_id = ack.slot_id,
+                      reply = std::move(ack.reply)]() mutable {
+                       origin->CompleteSlot(conn_id, slot_id,
+                                            std::move(reply));
+                     });
+  }
+  wave_acks_.clear();
+}
+
+void Server::CompleteSlot(uint64_t conn_id, uint64_t slot_id,
+                          std::string reply) {
+  ctr_forward_acks_->Inc();
+  for (auto& [fd, conn] : connections_) {
+    if (conn.id != conn_id) continue;
+    for (ReplySlot& slot : conn.pending) {
+      if (slot.id != slot_id) continue;
+      slot.done = true;
+      slot.reply = std::move(reply);
+      if (slot.trace != nullptr) {
+        if (StartsWith(slot.reply, "CLIENT_ERROR") ||
+            StartsWith(slot.reply, "SERVER_ERROR")) {
+          slot.trace->SetOutcome(obs::TraceOutcome::kError);
+          const size_t eol = slot.reply.find('\r');
+          slot.trace->SetReason(std::string_view(slot.reply).substr(
+              0, eol == std::string::npos ? slot.reply.size() : eol));
+        }
+        FinishTrace(std::move(slot.trace));
+      }
+      return;
+    }
+    return;  // slot vanished (connection reset its pipeline): drop
+  }
+  // Connection closed while the op was in flight: the reply has no
+  // recipient. The write itself is durable on the owner — same semantics
+  // as a client disconnecting before reading its reply.
+}
+
+std::string Server::ExecuteBarrierVerb(const Request& req,
+                                       std::string_view line,
+                                       Connection* conn) {
+  ctr_barrier_ops_->Inc();
+  std::string reply;
+  pool_->barrier.Run(options_.lane, &pool_->mail,
+                     [&] { reply = ExecuteQuiesced(req, line, conn); });
+  return reply;
+}
+
+std::string Server::ExecuteQuiesced(const Request& req,
+                                    std::string_view line, Connection* conn) {
+  // Runs with the pool quiescent: every worker is parked in the barrier,
+  // so shards, WAL streams and sibling connection tables are all safe to
+  // touch — the single-threaded machinery below needs no extra locking.
+  switch (req.verb) {
+    case Verb::kAdPut:
+    case Verb::kAdDel: {
+      // Broadcast: the ad op is appended to EVERY stream (each stream
+      // alone must totally order everything touching its shard), then
+      // applied to every shard. The appends stay deferred — the
+      // originating worker's commit barrier (which covers all streams it
+      // dirtied) runs before its reply can flush.
+      for (size_t s = 0; s < streams_.size(); ++s) {
+        auto seqno = streams_[s]->AppendDeferred(line);
+        if (!seqno.ok()) {
+          ADREC_LOG(kError) << "serve: barrier wal append failed: "
+                            << seqno.status().ToString();
+          return "SERVER_ERROR wal append failed" + std::string(kCrlf);
+        }
+        stream_dirty_[s] = true;
+        wal_dirty_ = true;
+      }
+      const Status st = req.verb == Verb::kAdPut
+                            ? engine_->InsertAd(req.ad)
+                            : engine_->RemoveAd(req.ad_id);
+      return StatusReply(st);
+    }
+    case Verb::kAnalyze:
+      return StatusReply(req.alpha < 0.0 ? engine_->RunAnalysis()
+                                         : engine_->RunAnalysis(req.alpha));
+    case Verb::kMatch:
+      return ExecuteMatch(req);
+    case Verb::kSnapshot:
+      return ExecuteSnapshot(req);
+    case Verb::kCheckpoint:
+      return ExecuteCheckpoint();
+    case Verb::kPromote:
+      return ExecutePromote();
+    case Verb::kStats:
+      return ExecuteStats();
+    case Verb::kMetrics:
+      return ExecuteMetrics();
+    case Verb::kConns: {
+      size_t total = 0;
+      for (Server* s : pool_->servers) total += s->num_connections();
+      std::string out = StringFormat("CONNS %zu", total) +
+                        std::string(kCrlf);
+      for (Server* s : pool_->servers) s->AppendConnsTo(&out, conn);
+      out += "END";
+      out += kCrlf;
+      return out;
+    }
+    default:
+      return "SERVER_ERROR unreachable" + std::string(kCrlf);
+  }
+}
+
 void Server::FinishTrace(std::unique_ptr<obs::TraceBuilder> trace) {
   if (trace == nullptr) return;
   if (options_.tracer != nullptr) options_.tracer->Finish(trace.get());
@@ -442,36 +843,25 @@ void Server::FinishTrace(std::unique_ptr<obs::TraceBuilder> trace) {
 
 std::string Server::Execute(const Request& req, Connection* conn) {
   (void)conn;
-  auto status_reply = [](const Status& s) {
-    if (s.ok()) return "OK" + std::string(kCrlf);
-    if (s.code() == StatusCode::kNotFound) {
-      return "NOT_FOUND" + std::string(kCrlf);
-    }
-    if (s.code() == StatusCode::kInvalidArgument) {
-      return "CLIENT_ERROR " + s.message() + std::string(kCrlf);
-    }
-    return "SERVER_ERROR " + s.ToString() + std::string(kCrlf);
-  };
-
   switch (req.verb) {
     case Verb::kTweet:
       engine_->OnTweet(req.tweet);
       if (cache_ != nullptr) cache_->OnTweet(req.tweet.user);
-      if (req.tweet.time > stream_now_) stream_now_ = req.tweet.time;
+      BumpStreamClock(req.tweet.time);
       return "OK" + std::string(kCrlf);
     case Verb::kCheckIn:
       engine_->OnCheckIn(req.check_in);
       if (cache_ != nullptr) {
         cache_->OnCheckIn(req.check_in.user, req.check_in.location);
       }
-      if (req.check_in.time > stream_now_) stream_now_ = req.check_in.time;
+      BumpStreamClock(req.check_in.time);
       return "OK" + std::string(kCrlf);
     case Verb::kAdPut: {
       const Status st = engine_->InsertAd(req.ad);
       if (cache_ != nullptr && st.ok()) {
         cache_->OnAdPut(req.ad.target_locations, req.ad.target_slots);
       }
-      return status_reply(st);
+      return StatusReply(st);
     }
     case Verb::kAdDel: {
       // The fan-out needs the ad's targeting as stored, and the store
@@ -490,15 +880,15 @@ std::string Server::Execute(const Request& req, Connection* conn) {
       if (cache_ != nullptr && stored && st.ok()) {
         cache_->OnAdRemoved(target_locations, target_slots);
       }
-      return status_reply(st);
+      return StatusReply(st);
     }
     case Verb::kTopK:
       return ExecuteTopK(req);
     case Verb::kMatch:
       return ExecuteMatch(req);
     case Verb::kAnalyze:
-      return status_reply(req.alpha < 0.0 ? engine_->RunAnalysis()
-                                          : engine_->RunAnalysis(req.alpha));
+      return StatusReply(req.alpha < 0.0 ? engine_->RunAnalysis()
+                                         : engine_->RunAnalysis(req.alpha));
     case Verb::kStats:
       return ExecuteStats();
     case Verb::kMetrics:
@@ -527,7 +917,7 @@ std::string Server::Execute(const Request& req, Connection* conn) {
 
 std::string Server::ExecuteTopK(const Request& req) {
   feed::Tweet query = req.tweet;
-  if (!req.has_time) query.time = stream_now_;
+  if (!req.has_time) query.time = StreamNow();
   if (cache_ != nullptr) return ExecuteTopKCached(query, req.k);
   return FormatTopKReply(engine_->TopKAdsForTweet(query, req.k));
 }
@@ -685,15 +1075,14 @@ std::string Server::ExecuteSlow() {
   return out;
 }
 
-std::string Server::ExecuteConns(const Connection* self) {
+void Server::AppendConnsTo(std::string* out, const void* self) const {
   const auto now = std::chrono::steady_clock::now();
-  std::string out = StringFormat("CONNS %zu", connections_.size()) +
-                    std::string(kCrlf);
   for (const auto& [fd, conn] : connections_) {
-    out += StringFormat(
-        "CONN %llu fd=%d age_s=%.1f idle_s=%.1f cmds=%llu last=%.*s "
-        "bytes_in=%llu bytes_out=%llu inbuf=%zu outbuf=%zu flags=",
-        static_cast<unsigned long long>(conn.id), conn.fd,
+    *out += StringFormat(
+        "CONN %llu fd=%d worker=%u age_s=%.1f idle_s=%.1f cmds=%llu "
+        "last=%.*s bytes_in=%llu bytes_out=%llu inbuf=%zu outbuf=%zu "
+        "flags=",
+        static_cast<unsigned long long>(conn.id), conn.fd, worker_id(),
         std::chrono::duration<double>(now - conn.created).count(),
         std::chrono::duration<double>(now - conn.last_active).count(),
         static_cast<unsigned long long>(conn.cmds),
@@ -702,20 +1091,26 @@ std::string Server::ExecuteConns(const Connection* self) {
         static_cast<unsigned long long>(conn.bytes_out), conn.in.size(),
         conn.out.size());
     std::string flags;
-    if (&conn == self) flags += "self,";
+    if (static_cast<const void*>(&conn) == self) flags += "self,";
     if (conn.replica) flags += "replica,";
     if (conn.closing) flags += "closing,";
     if (conn.out.size() >= options_.max_write_buffer_bytes) {
       flags += "backpressured,";
     }
     if (flags.empty()) {
-      out += '-';
+      *out += '-';
     } else {
       flags.pop_back();  // trailing comma
-      out += flags;
+      *out += flags;
     }
-    out += kCrlf;
+    *out += kCrlf;
   }
+}
+
+std::string Server::ExecuteConns(const Connection* self) {
+  std::string out = StringFormat("CONNS %zu", connections_.size()) +
+                    std::string(kCrlf);
+  AppendConnsTo(&out, self);
   out += "END";
   out += kCrlf;
   return out;
@@ -756,12 +1151,16 @@ std::string Server::ExecuteSnapshot(const Request& req) {
 }
 
 std::string Server::ExecuteCheckpoint() {
-  if (options_.checkpointer == nullptr || options_.wal == nullptr) {
+  if (options_.checkpointer == nullptr || streams_.empty()) {
     return "SERVER_ERROR checkpoint disabled (no wal configured)" +
            std::string(kCrlf);
   }
   const Status st =
-      options_.checkpointer->Checkpoint(*engine_, options_.wal, stream_now_);
+      options_.sharded_wal != nullptr
+          ? options_.checkpointer->Checkpoint(*engine_, options_.sharded_wal,
+                                              StreamNow())
+          : options_.checkpointer->Checkpoint(*engine_, streams_[0],
+                                              StreamNow());
   if (!st.ok()) {
     return "SERVER_ERROR " + st.ToString() + std::string(kCrlf);
   }
@@ -770,40 +1169,99 @@ std::string Server::ExecuteCheckpoint() {
 }
 
 std::string Server::ExecuteRepl(const Request& req, Connection* conn) {
-  if (options_.wal == nullptr) {
+  if (streams_.empty()) {
     return "SERVER_ERROR replication disabled (no wal configured)" +
            std::string(kCrlf);
+  }
+  // Stream selection: the legacy one-field handshake only makes sense
+  // against a single-stream log; a sharded log requires the explicit
+  // `repl <shard> <cursor>` form, one connection per stream.
+  size_t stream = 0;
+  if (req.repl_shard == SIZE_MAX) {
+    if (num_streams() > 1) {
+      return StringFormat(
+                 "CLIENT_ERROR sharded log: use repl <shard> <cursor> "
+                 "(shards 0..%zu)",
+                 num_streams() - 1) +
+             std::string(kCrlf);
+    }
+  } else {
+    if (req.repl_shard >= num_streams()) {
+      return StringFormat("CLIENT_ERROR repl shard %zu out of range (log "
+                          "has %zu streams)",
+                          req.repl_shard, num_streams()) +
+             std::string(kCrlf);
+    }
+    stream = req.repl_shard;
   }
   // Handshake: from here on the connection is a one-way frame stream,
   // fed by PumpReplicas after each wave's durability barrier. The
   // follower's cursor is the last seqno it already holds.
   conn->replica = true;
+  conn->repl_stream = stream;
   conn->repl_next_seqno = req.cursor + 1;
   conn->repl_hint = wal::CursorHint{};
   conn->repl_last_hb = std::chrono::steady_clock::now();
-  size_t streams = 0;
-  for (const auto& [fd, c] : connections_) streams += c.replica ? 1 : 0;
-  g_repl_streams_->Set(static_cast<double>(streams));
-  ADREC_LOG(kInfo) << "serve: replication stream attached at cursor "
-                   << req.cursor;
-  return StringFormat("REPL OK %llu",
+  size_t repl_conns = 0;
+  for (const auto& [fd, c] : connections_) repl_conns += c.replica ? 1 : 0;
+  g_repl_streams_->Set(static_cast<double>(repl_conns));
+  ADREC_LOG(kInfo) << "serve: replication stream attached (stream "
+                   << stream << ") at cursor " << req.cursor;
+  if (req.repl_shard == SIZE_MAX) {
+    return StringFormat("REPL OK %llu",
+                        static_cast<unsigned long long>(req.cursor)) +
+           std::string(kCrlf);
+  }
+  return StringFormat("REPL OK %zu %llu", stream,
                       static_cast<unsigned long long>(req.cursor)) +
          std::string(kCrlf);
 }
 
 std::string Server::ExecutePromote() {
-  if (options_.follower == nullptr) {
+  if (pool_mode()) {
+    // Runs quiesced (barrier). Promote is pool-wide: every worker's
+    // followers detach, every stream seals, every worker opens for
+    // writes — a pool is promoted once, not worker by worker.
+    bool any_follower = false;
+    for (Server* s : pool_->servers) {
+      any_follower = any_follower || !s->followers().empty();
+    }
+    if (!any_follower) {
+      return "SERVER_ERROR not a follower (nothing to promote)" +
+             std::string(kCrlf);
+    }
+    if (!read_only_) return "OK" + std::string(kCrlf);  // idempotent
+    for (Server* s : pool_->servers) {
+      for (replica::Follower* follower : s->followers()) follower->Detach();
+    }
+    for (wal::WalWriter* stream : streams_) {
+      const Status rotate = stream->Rotate();
+      const Status sync = stream->Sync();
+      if (!rotate.ok() || !sync.ok()) {
+        return "SERVER_ERROR promote seal failed: " +
+               (!rotate.ok() ? rotate.ToString() : sync.ToString()) +
+               std::string(kCrlf);
+      }
+    }
+    for (Server* s : pool_->servers) s->set_read_only(false);
+    ADREC_LOG(kInfo) << "serve: pool promoted to leader ("
+                     << streams_.size() << " streams sealed), accepting "
+                     << "writes";
+    return "OK" + std::string(kCrlf);
+  }
+  if (followers_.empty()) {
     return "SERVER_ERROR not a follower (nothing to promote)" +
            std::string(kCrlf);
   }
   if (!read_only_) return "OK" + std::string(kCrlf);  // idempotent
-  options_.follower->Detach();
-  if (options_.wal != nullptr) {
-    // Seal the replicated history: everything applied as a follower is
-    // fdatasynced and closed into an immutable segment before the first
-    // write of the new epoch can land.
-    const Status rotate = options_.wal->Rotate();
-    const Status sync = options_.wal->Sync();
+  for (replica::Follower* follower : followers_) follower->Detach();
+  // Seal the replicated history: everything applied as a follower is
+  // fdatasynced and closed into an immutable segment before the first
+  // write of the new epoch can land. Every stream seals — promotion is a
+  // log-wide epoch boundary, not a per-stream one.
+  for (wal::WalWriter* stream : streams_) {
+    const Status rotate = stream->Rotate();
+    const Status sync = stream->Sync();
     if (!rotate.ok() || !sync.ok()) {
       return "SERVER_ERROR promote seal failed: " +
              (!rotate.ok() ? rotate.ToString() : sync.ToString()) +
@@ -811,33 +1269,35 @@ std::string Server::ExecutePromote() {
     }
   }
   read_only_ = false;
-  ADREC_LOG(kInfo) << "serve: promoted to leader at wal seqno "
-                   << (options_.wal != nullptr
-                           ? options_.wal->last_seqno()
-                           : 0)
-                   << ", accepting writes";
+  ADREC_LOG(kInfo) << "serve: promoted to leader ("
+                   << streams_.size() << " streams sealed), accepting "
+                   << "writes";
   return "OK" + std::string(kCrlf);
 }
 
 void Server::PumpReplicas() {
-  if (options_.wal == nullptr) return;
-  uint64_t limit = 0;
-  bool limit_known = false;
+  if (streams_.empty()) return;
+  // Per-stream durability horizon, computed lazily: ship only what each
+  // stream's barrier has released — flushed frames are complete on disk
+  // and their replies (if any) are out, so a follower can never hold a
+  // record the leader would deny. (flushed_seqno takes the stream's
+  // mutex: fine, this reads at most num_streams locks per wave.)
+  std::vector<uint64_t> limits(streams_.size(), 0);
+  std::vector<bool> limit_known(streams_.size(), false);
   const auto now = std::chrono::steady_clock::now();
   for (auto& [fd, conn] : connections_) {
     if (!conn.replica || conn.closing) continue;
-    if (!limit_known) {
-      // Ship only what the durability barrier has released: flushed
-      // frames are complete on disk and their replies (if any) are out,
-      // so a follower can never hold a record the leader would deny.
-      limit = options_.wal->flushed_seqno();
-      limit_known = true;
+    const size_t s = conn.repl_stream;
+    if (!limit_known[s]) {
+      limits[s] = streams_[s]->flushed_seqno();
+      limit_known[s] = true;
     }
+    const uint64_t limit = limits[s];
     // Backpressure: a stream that cannot drain keeps its cursor; the
     // log is the queue, so nothing is lost while it stalls.
     if (conn.out.size() < options_.max_write_buffer_bytes &&
         conn.repl_next_seqno <= limit) {
-      auto batch = wal::ReadFrames(options_.wal->dir(),
+      auto batch = wal::ReadFrames(streams_[s]->dir(),
                                    conn.repl_next_seqno, limit,
                                    options_.repl_batch_bytes,
                                    &conn.repl_hint);
@@ -871,24 +1331,31 @@ void Server::PumpReplicas() {
 }
 
 void Server::CommitWal() {
-  if (options_.wal == nullptr || !wal_dirty_) return;
+  if (!wal_dirty_) return;
   wal_dirty_ = false;
   const auto commit_t0 = std::chrono::steady_clock::now();
-  const Status st = options_.wal->Commit();
-  if (!st.ok()) {
+  Status first_error = Status::OK();
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    if (!stream_dirty_[s]) continue;
+    stream_dirty_[s] = false;
+    const Status st = streams_[s]->Commit();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  if (!first_error.ok()) {
     // The replies for this batch were already formatted as OK; a failing
     // fdatasync here means acknowledged-but-maybe-lost. There is no way
     // to recall the replies, so make the breach loud.
-    ADREC_LOG(kError) << "serve: wal commit failed: " << st.ToString();
+    ADREC_LOG(kError) << "serve: wal commit failed: "
+                      << first_error.ToString();
   }
   if (!wave_traces_.empty()) {
-    // Group commit is a wave-level event: one fdatasync covers every
-    // write of the batch. Each trace gets the same interval as a
-    // retroactive span — the per-request view of the shared barrier.
+    // Group commit is a wave-level event: one fdatasync per dirty stream
+    // covers every write of the batch. Each trace gets the same interval
+    // as a retroactive span — the per-request view of the shared barrier.
     const auto commit_t1 = std::chrono::steady_clock::now();
     for (std::unique_ptr<obs::TraceBuilder>& trace : wave_traces_) {
       trace->AddSpan("wal.commit_wave", commit_t0, commit_t1);
-      if (!st.ok()) {
+      if (!first_error.ok()) {
         trace->SetOutcome(obs::TraceOutcome::kError);
         trace->SetReason("wal commit failed");
       }
@@ -899,7 +1366,7 @@ void Server::CommitWal() {
 }
 
 void Server::MaybeCheckpoint() {
-  if (options_.checkpointer == nullptr || options_.wal == nullptr ||
+  if (options_.checkpointer == nullptr || streams_.empty() ||
       options_.checkpoint_interval <= 0.0) {
     return;
   }
@@ -908,28 +1375,48 @@ void Server::MaybeCheckpoint() {
       std::chrono::duration<double>(now - last_checkpoint_).count();
   if (since < options_.checkpoint_interval) return;
   last_checkpoint_ = now;
-  const Status st =
-      options_.checkpointer->Checkpoint(*engine_, options_.wal, stream_now_);
-  if (!st.ok()) {
-    ADREC_LOG(kError) << "serve: periodic checkpoint failed: "
-                      << st.ToString();
+  auto do_checkpoint = [this] {
+    const Status st =
+        options_.sharded_wal != nullptr
+            ? options_.checkpointer->Checkpoint(
+                  *engine_, options_.sharded_wal, StreamNow())
+            : options_.checkpointer->Checkpoint(*engine_, streams_[0],
+                                                StreamNow());
+    if (!st.ok()) {
+      ADREC_LOG(kError) << "serve: periodic checkpoint failed: "
+                        << st.ToString();
+    } else {
+      ADREC_LOG(kInfo) << "serve: checkpoint at wal seqno "
+                       << streams_[0]->synced_seqno();
+    }
+  };
+  if (pool_mode()) {
+    // Checkpointing reads every shard: stop the world, exactly like the
+    // explicit `checkpoint` verb. Only lane 0 initiates (Run gates it).
+    pool_->barrier.Run(options_.lane, &pool_->mail, do_checkpoint);
   } else {
-    ADREC_LOG(kInfo) << "serve: checkpoint at wal seqno "
-                     << options_.wal->synced_seqno();
+    do_checkpoint();
   }
 }
 
 obs::MetricsSnapshot Server::MergedSnapshot() const {
+  if (pool_mode() && pool_->merged_snapshot) {
+    // The pool-wide view. Only safe quiescent (stats/metrics run under
+    // the barrier in pool mode) or after the workers stopped.
+    return pool_->merged_snapshot();
+  }
   obs::MetricsSnapshot snapshot = metrics_.Snapshot();
   snapshot.MergeFrom(engine_->MergedMetrics());
   if (cache_ != nullptr) {
     snapshot.MergeFrom(cache_->metrics().Snapshot());
   }
-  if (options_.wal != nullptr) {
+  if (options_.sharded_wal != nullptr) {
+    snapshot.MergeFrom(options_.sharded_wal->MergedMetrics());
+  } else if (options_.wal != nullptr) {
     snapshot.MergeFrom(options_.wal->metrics().Snapshot());
   }
-  if (options_.follower != nullptr) {
-    snapshot.MergeFrom(options_.follower->metrics().Snapshot());
+  for (const replica::Follower* follower : followers_) {
+    snapshot.MergeFrom(follower->metrics().Snapshot());
   }
   if (options_.tracer != nullptr) {
     snapshot.MergeFrom(options_.tracer->metrics().Snapshot());
@@ -955,8 +1442,10 @@ bool Server::WriteTo(Connection* conn) {
   }
   // A half-closed peer may still have complete pipelined lines buffered
   // in `in` (read before its EOF); those are owed responses, so only
-  // close once nothing processable remains.
-  if (conn->closing && conn->in.find('\n') == std::string::npos) {
+  // close once nothing processable remains — including forwarded ops
+  // whose acks have not come back yet.
+  if (conn->closing && conn->in.find('\n') == std::string::npos &&
+      conn->pending.empty()) {
     CloseConnection(conn);
     return false;
   }
@@ -970,9 +1459,9 @@ void Server::CloseConnection(Connection* conn) {
   connections_.erase(fd);
   g_active_->Set(static_cast<double>(connections_.size()));
   if (was_replica) {
-    size_t streams = 0;
-    for (const auto& [f, c] : connections_) streams += c.replica ? 1 : 0;
-    g_repl_streams_->Set(static_cast<double>(streams));
+    size_t repl_conns = 0;
+    for (const auto& [f, c] : connections_) repl_conns += c.replica ? 1 : 0;
+    g_repl_streams_->Set(static_cast<double>(repl_conns));
   }
 }
 
@@ -1000,17 +1489,20 @@ void Server::CloseIdle() {
 }
 
 void Server::Run() {
-  ADREC_CHECK(listen_fd_ >= 0);
+  ADREC_CHECK(listen_fd_ >= 0 || pool_mode());
+  // Pool workers skip the reporter: its merged scrape is only safe
+  // quiescent, and per-worker console cadence would interleave anyway.
+  // The pool view is the `stats` verb (a barrier op).
+  const bool reporting = options_.report_interval > 0.0 && !pool_mode();
   PeriodicReporter reporter([this] { return MergedSnapshot(); },
-                            options_.report_interval > 0.0
-                                ? options_.report_interval
-                                : 1e9);
+                            reporting ? options_.report_interval : 1e9);
   const auto drain_deadline_never = std::chrono::steady_clock::time_point::max();
   auto drain_deadline = drain_deadline_never;
   last_checkpoint_ = std::chrono::steady_clock::now();
 
   std::vector<pollfd> fds;
   std::vector<int> conn_fds;
+  std::vector<replica::Follower*> polled_followers;
   for (;;) {
     if (draining_ && connections_.empty()) break;
     if (draining_ && std::chrono::steady_clock::now() > drain_deadline) {
@@ -1023,28 +1515,35 @@ void Server::Run() {
 
     fds.clear();
     conn_fds.clear();
+    polled_followers.clear();
     fds.push_back({wake_fds_[0], POLLIN, 0});
     const bool listen_polled =
-        !draining_ &&
+        listen_fd_ >= 0 && !draining_ &&
         std::chrono::steady_clock::now() >= accept_pause_until_;
     if (listen_polled) fds.push_back({listen_fd_, POLLIN, 0});
-    // Follower mode: the leader connection lives in this poll set — the
-    // event loop stays the engine's only mutator, replication included.
-    replica::Follower* follower = options_.follower;
-    const bool follower_polled = follower != nullptr &&
-                                 !follower->detached() &&
-                                 follower->fd() >= 0;
-    if (follower_polled) {
+    // Pool mode: sleep interruptibly on the mailbox wake pipe too, so a
+    // forwarded op or a barrier arrival lands within this poll wave.
+    const bool mail_polled = pool_mode();
+    if (mail_polled) {
+      fds.push_back({pool_->mail.wake_fd(options_.lane), POLLIN, 0});
+    }
+    // Follower mode: every leader connection lives in this poll set —
+    // the event loop stays the engine's only mutator, replication
+    // included. (A pool worker polls the followers of its own shards.)
+    for (replica::Follower* follower : followers_) {
+      if (follower->detached() || follower->fd() < 0) continue;
       short events = POLLIN;
       if (follower->want_write()) events |= POLLOUT;
       fds.push_back({follower->fd(), events, 0});
+      polled_followers.push_back(follower);
     }
     bool has_repl_stream = false;
     for (auto& [fd, conn] : connections_) {
       short events = 0;
       // Backpressured or closing connections are not read further.
       if (!conn.closing &&
-          conn.out.size() < options_.max_write_buffer_bytes) {
+          conn.out.size() < options_.max_write_buffer_bytes &&
+          conn.pending.size() < kMaxPendingForwards) {
         events |= POLLIN;
       }
       if (!conn.out.empty()) events |= POLLOUT;
@@ -1057,22 +1556,24 @@ void Server::Run() {
     // Timeout: the finest of idle sweep, reporter cadence, drain grace.
     int timeout_ms = -1;
     if (options_.idle_timeout > 0) timeout_ms = 1000;
-    if (options_.report_interval > 0.0) {
+    if (reporting) {
       const int r = static_cast<int>(options_.report_interval * 1000 / 2);
       timeout_ms = timeout_ms < 0 ? std::max(r, 10)
                                   : std::min(timeout_ms, std::max(r, 10));
     }
-    if (!draining_ && !listen_polled) {
+    if (listen_fd_ >= 0 && !draining_ && !listen_polled) {
       // Accepts are paused (descriptor exhaustion): wake soon enough to
       // resume the listener once the backoff lapses.
       timeout_ms = timeout_ms < 0 ? 100 : std::min(timeout_ms, 100);
     }
     if (options_.checkpointer != nullptr &&
-        options_.checkpoint_interval > 0.0) {
+        options_.checkpoint_interval > 0.0 &&
+        (!pool_mode() || options_.lane == 0)) {
       // Periodic checkpoints must fire even on an idle stream.
       timeout_ms = timeout_ms < 0 ? 1000 : std::min(timeout_ms, 1000);
     }
-    if (follower != nullptr && !follower->detached()) {
+    for (replica::Follower* follower : followers_) {
+      if (follower->detached()) continue;
       // Reconnect backoff and lag gauges are time-driven.
       const int f = follower->TickDelayMs();
       timeout_ms = timeout_ms < 0 ? f : std::min(timeout_ms, f);
@@ -1096,47 +1597,59 @@ void Server::Run() {
       char buf[64];
       while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
       }
-      if (!draining_) {
-        draining_ = true;
-        drain_deadline = std::chrono::steady_clock::now() +
-                         std::chrono::duration_cast<
-                             std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double>(
-                                 options_.drain_timeout));
+    }
+    // The wake pipe multiplexes drain requests and socket adoption; the
+    // flag and the queue say which (possibly both).
+    AdoptPending();
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               options_.drain_timeout));
+      if (listen_fd_ >= 0) {
         // Close the listening socket immediately: leaving it open would
         // let the kernel keep accepting into the backlog, stranding
         // clients that will never be served.
         ::close(listen_fd_);
         listen_fd_ = -1;
-        ADREC_LOG(kInfo) << "serve: drain requested, "
-                         << connections_.size() << " connections open";
       }
+      ADREC_LOG(kInfo) << "serve: drain requested, "
+                       << connections_.size() << " connections open";
     }
     ++idx;
     if (listen_polled) {
-      if (!draining_ && (fds[idx].revents & (POLLIN | POLLERR))) {
+      if (!draining_ && listen_fd_ >= 0 &&
+          (fds[idx].revents & (POLLIN | POLLERR))) {
         AcceptNew();
       }
       ++idx;
     }
-    if (follower_polled) {
+    if (mail_polled) ++idx;  // Drain() below reads the pipe itself
+    // Mailbox drain: forwarded ops execute here (their WAL appends stay
+    // deferred into this wave's commit barrier), acks complete reply
+    // slots, barrier arrivals park this worker.
+    if (pool_mode()) {
+      pool_->mail.FlushRetries(options_.lane);
+      pool_->mail.Drain(options_.lane);
+    }
+    for (replica::Follower* follower : polled_followers) {
       if (fds[idx].revents != 0) follower->OnPollEvents(fds[idx].revents);
       ++idx;
     }
-    if (follower != nullptr) {
+    for (replica::Follower* follower : followers_) {
       follower->Tick();
       // Replicated events drive this daemon's stream clock so time-less
       // `topk` on the replica answers at the replicated position.
-      if (follower->max_event_time() > stream_now_) {
-        stream_now_ = follower->max_event_time();
-      }
+      BumpStreamClock(follower->max_event_time());
     }
 
     // Read + process every ready connection first — their WAL appends
     // stay deferred — then run ONE durability barrier for the whole wave
     // before any reply reaches a socket. This is what makes group commit
-    // group: the wave shares a single fdatasync instead of paying one per
-    // connection.
+    // group: the wave shares a single fdatasync (per dirty stream)
+    // instead of paying one per connection.
     for (size_t c = 0; c < conn_fds.size(); ++c, ++idx) {
       auto it = connections_.find(conn_fds[c]);
       if (it == connections_.end()) continue;  // closed earlier this round
@@ -1154,6 +1667,9 @@ void Server::Run() {
     // Durability before visibility: every deferred WAL append of the
     // wave is committed before any of the wave's replies can be written.
     CommitWal();
+    // ... and before any forwarded op executed here is acknowledged to
+    // its origin worker — the ack rides behind the same barrier.
+    FlushWaveAcks();
     // ... and replication before acknowledgement-chasing: the wave's
     // freshly durable frames fan out to attached followers in the same
     // pass that flushes the wave's replies.
@@ -1170,34 +1686,55 @@ void Server::Run() {
       // instead of waiting on poll (committing each resumed batch before
       // its replies flush).
       for (;;) {
-        if (conn->out.empty() && !conn->closing) break;
-        if (!WriteTo(conn)) break;  // connection closed and erased
+        FlushReplySlots(conn);
+        if (!conn->out.empty() || conn->closing) {
+          if (!WriteTo(conn)) break;  // connection closed and erased
+        }
         if (conn->out.size() >= options_.max_write_buffer_bytes) break;
         if (conn->in.find('\n') == std::string::npos) break;
+        const size_t in_before = conn->in.size();
+        const size_t pending_before = conn->pending.size();
         ProcessLines(conn);
         CommitWal();
+        FlushWaveAcks();
+        // No progress (e.g. the forward-slot cap): the resume point is
+        // the acks draining the slots, not this loop.
+        if (conn->in.size() == in_before &&
+            conn->pending.size() == pending_before) {
+          break;
+        }
       }
     }
 
     CloseIdle();
-    if (!draining_) MaybeCheckpoint();
-    if (options_.report_interval > 0.0 && !draining_) reporter.TickIfDue();
+    if (!draining_ && (!pool_mode() || options_.lane == 0)) {
+      MaybeCheckpoint();
+    }
+    if (reporting && !draining_) reporter.TickIfDue();
     // Drain semantics: stop reading new requests, flush what is queued.
     if (draining_) {
       for (auto& [fd, conn] : connections_) conn.closing = true;
       std::vector<int> done;
       for (auto& [fd, conn] : connections_) {
-        if (conn.out.empty()) done.push_back(fd);
+        if (conn.out.empty() && conn.pending.empty()) done.push_back(fd);
       }
       for (int fd : done) CloseConnection(&connections_.at(fd));
     }
   }
-  if (options_.wal != nullptr) {
-    // Final barrier: under kNone/kInterval the tail of the log may still
-    // be in page cache; a clean shutdown should not lose it.
-    const Status st = options_.wal->Sync();
-    if (!st.ok()) {
-      ADREC_LOG(kError) << "serve: final wal sync failed: " << st.ToString();
+  if (pool_mode()) {
+    // Leave the rendezvous set so a sibling's in-flight barrier never
+    // waits on this thread; the PoolServer syncs the streams after every
+    // worker has joined.
+    pool_->barrier.Deregister(options_.lane);
+  } else {
+    for (wal::WalWriter* stream : streams_) {
+      // Final barrier: under kNone/kInterval the tail of the log may
+      // still be in page cache; a clean shutdown should not lose it.
+      const Status st = stream->Sync();
+      if (!st.ok()) {
+        ADREC_LOG(kError) << "serve: final wal sync failed: "
+                          << st.ToString();
+      }
     }
   }
   ADREC_LOG(kInfo) << "serve: drained, event loop exiting";

@@ -1,10 +1,12 @@
 #ifndef ADREC_SERVE_SERVER_H_
 #define ADREC_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 
 namespace adrec::wal {
 class CheckpointManager;
+class ShardedWal;
 class WalWriter;
 }  // namespace adrec::wal
 
@@ -26,6 +29,10 @@ class Follower;
 }  // namespace adrec::replica
 
 namespace adrec::serve {
+
+namespace pool {
+struct PoolContext;
+}  // namespace pool
 
 /// Daemon configuration.
 struct ServerOptions {
@@ -65,9 +72,17 @@ struct ServerOptions {
   /// runs a policy-aware Commit() barrier before releasing the batch's
   /// replies — under SyncPolicy::kGroup an acknowledged ingest is on
   /// disk, at one fdatasync per event-loop batch rather than per record.
+  /// Mutually exclusive with `sharded_wal`.
   wal::WalWriter* wal = nullptr;
+  /// Per-shard log streams (DESIGN.md §16; not owned; mutually exclusive
+  /// with `wal`). Stream count must equal the engine shard count:
+  /// tweets/check-ins append to their owner shard's stream, ad ops are
+  /// duplicated into every stream, and the commit barrier covers every
+  /// stream the wave dirtied. Replication handshakes use the
+  /// `repl <shard> <cursor>` form, one connection per stream.
+  wal::ShardedWal* sharded_wal = nullptr;
   /// Checkpoint coordinator (not owned; nullptr disables the
-  /// `checkpoint` verb and interval checkpointing). Requires `wal`.
+  /// `checkpoint` verb and interval checkpointing). Requires a log.
   wal::CheckpointManager* checkpointer = nullptr;
   /// Take a checkpoint automatically every this many wall seconds
   /// (0 = only on explicit `checkpoint` commands).
@@ -76,9 +91,18 @@ struct ServerOptions {
   /// standalone). When set, the server polls the follower's leader
   /// connection inside its own event loop, starts read-only (write verbs
   /// answer `READONLY`) and stays read-only until the `promote` verb
-  /// detaches the follower. Requires `wal` (the follower logs before it
-  /// applies).
+  /// detaches the follower. Requires a log (the follower logs before it
+  /// applies). Merged into `followers`.
   replica::Follower* follower = nullptr;
+  /// Per-shard-stream follower mode: one Follower per WAL stream, every
+  /// one polled by this server's event loop (a pool worker gets the
+  /// followers of the shards it owns). All must detach before `promote`
+  /// lifts the read-only gate.
+  std::vector<replica::Follower*> followers;
+  /// Start read-only even with no follower attached locally: a pool
+  /// worker whose shards happen to have no follower still must refuse
+  /// writes while its siblings replicate.
+  bool start_read_only = false;
   /// Leader side of replication: cadence of `REPL HB <tip>` heartbeats
   /// on idle replication streams (followers derive lag_ms from tip
   /// announcements, so the cadence bounds lag resolution).
@@ -93,26 +117,40 @@ struct ServerOptions {
   /// retained tail-based in the collector's rings and served by the
   /// `trace` / `slow` admin verbs. Write-verb traces stay open across the
   /// wave's group-commit barrier so the commit wave is attributed to every
-  /// request it made durable.
+  /// request it made durable. Shared by all pool workers (the rings are
+  /// multi-writer safe); records carry the worker id.
   obs::TraceCollector* tracer = nullptr;
   /// Topk result cache (DESIGN.md §14). Off by default (capacity 0);
   /// `--topk-cache=N` turns it on. The server owns the cache, consults it
   /// under the `topk` verb (hit-time revalidation + charging through the
   /// engine keeps cached replies byte-identical to recomputed ones), and
   /// invalidates it on every ingest verb — and, on a follower, on every
-  /// replicated frame the follower applies.
+  /// replicated frame the follower applies. Forced off in pool mode
+  /// (cross-worker invalidation would reintroduce the coordination the
+  /// pool exists to avoid).
   cache::TopkCacheOptions topk_cache;
+  /// Worker-pool mode (DESIGN.md §16; not owned). When set, this Server
+  /// is one event-loop worker of a PoolServer: it owns engine shards
+  /// `s % pool->workers == lane` and their WAL streams, adopts sockets
+  /// from the acceptor instead of listening, forwards cross-shard ops
+  /// through the pool mailboxes, and joins the stop-the-world barrier
+  /// for the rare coordination verbs.
+  pool::PoolContext* pool = nullptr;
+  /// This worker's lane in [0, pool->workers). The user-visible worker
+  /// id (traces, `conns`) is lane + 1.
+  size_t lane = 0;
 };
 
-/// The adrecd network front end: a single-threaded, event-driven
-/// (poll + non-blocking sockets) TCP daemon speaking the line protocol of
-/// serve/protocol.h, dispatching onto a core::ShardedEngine.
+/// The adrecd network front end: an event-driven (poll + non-blocking
+/// sockets) TCP daemon speaking the line protocol of serve/protocol.h,
+/// dispatching onto a core::ShardedEngine.
 ///
 /// Single-threaded by design, mirroring the engine's single-writer
-/// streaming model: the event loop is the sole mutator, so no locking is
-/// added to the hot path; scale-out is by shards within the engine (and
-/// eventually by daemon instances), not by threads in the loop. The loop
-/// multiplexes with poll(2) — connection counts here are bounded by
+/// streaming model: the event loop is the sole mutator of its shards, so
+/// no locking is added to the hot path. Scale-out across cores is by
+/// running several of these loops side by side (serve/pool/pool_server.h)
+/// with disjoint shard ownership — not by threads inside one loop. The
+/// loop multiplexes with poll(2) — connection counts here are bounded by
 /// max_connections, far below where poll's O(n) scan matters.
 ///
 /// Lifecycle: Start() binds and listens (port() is valid after), Run()
@@ -130,10 +168,12 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Creates the listening socket. Fails if the port is taken.
+  /// Creates the listening socket (pool workers only create their wake
+  /// pipe — the PoolServer's acceptor owns the listener). Fails if the
+  /// port is taken.
   Status Start();
 
-  /// The bound port (valid after a successful Start).
+  /// The bound port (valid after a successful Start; 0 for pool workers).
   uint16_t port() const { return port_; }
 
   /// Runs the event loop until drained. Call at most once, after Start().
@@ -144,26 +184,55 @@ class Server {
   /// (single write(2) to a self-pipe).
   void RequestDrain();
 
+  /// Hands an accepted socket to this worker's event loop (pool mode;
+  /// thread-safe, called from the acceptor thread). The worker applies
+  /// its own max_connections shed at adoption.
+  void AdoptSocket(int fd);
+
   /// The serve.* metric registry (connections, per-verb commands and
   /// latency, parse errors, sheds, bytes in/out).
   const obs::MetricRegistry& metrics() const { return metrics_; }
 
   /// serve.* metrics merged with the engine's per-shard registries (and
-  /// the WAL's wal.* registry when one is attached) — the view the
-  /// `stats` and `metrics` commands export.
+  /// the log's wal.* registry when one is attached) — the view the
+  /// `stats` and `metrics` commands export. In pool mode this is the
+  /// pool-wide view (PoolContext::merged_snapshot).
   obs::MetricsSnapshot MergedSnapshot() const;
 
   /// Seeds the stream clock (newest-event-time substitution for `topk`)
   /// after recovery, so a freshly restarted daemon answers time-less
   /// queries at the recovered stream position, not at t=0.
-  void SeedStreamClock(Timestamp t) {
-    if (t > stream_now_) stream_now_ = t;
+  void SeedStreamClock(Timestamp t) { BumpStreamClock(t); }
+
+  // --- Pool-barrier surface: called only while the pool is quiescent
+  // (every worker parked in the barrier), or from this server's own
+  // event-loop thread. ---
+
+  /// Appends this worker's `conns` lines (without header/END) to `out`;
+  /// `self` marks the requesting connection when it lives here.
+  void AppendConnsTo(std::string* out, const void* self) const;
+  size_t num_connections() const { return connections_.size(); }
+  const std::vector<replica::Follower*>& followers() const {
+    return followers_;
   }
+  void set_read_only(bool read_only) { read_only_ = read_only; }
+  bool read_only() const { return read_only_; }
+
+  /// Completes a forwarded op's reply slot (runs on this worker's thread
+  /// via a mailbox ack task). Drops silently when the connection is
+  /// already gone.
+  void CompleteSlot(uint64_t conn_id, uint64_t slot_id, std::string reply);
 
  private:
   struct Connection;
+  struct ReplySlot;
+  struct PendingAck;
 
   void AcceptNew();
+  /// Registers one accepted/adopted socket (or sheds it at the door).
+  void AdmitSocket(int fd);
+  /// Adopts sockets queued by the acceptor thread (pool mode).
+  void AdoptPending();
   /// Drains readable bytes; returns false when the connection is gone.
   bool ReadFrom(Connection* conn);
   /// Parses and executes every complete line the backpressure budget
@@ -171,11 +240,54 @@ class Server {
   void ProcessLines(Connection* conn);
   void Dispatch(std::string_view line, Connection* conn);
   std::string Execute(const Request& req, Connection* conn);
+  /// Appends a reply in pipeline order: straight to the write buffer, or
+  /// as a completed slot when forwarded ops are still in flight ahead of
+  /// it.
+  void EmitReply(Connection* conn, std::string reply);
+  /// Flushes the completed prefix of the reply-slot queue into the write
+  /// buffer.
+  void FlushReplySlots(Connection* conn);
   /// Flushes the write buffer; returns false when the connection is gone.
   bool WriteTo(Connection* conn);
   void CloseConnection(Connection* conn);
   void CloseIdle();
   size_t InflightBytes() const;
+
+  // --- Pool mode. ---
+  bool pool_mode() const { return pool_ != nullptr; }
+  /// 1-based worker id for traces/conns; 0 in the single-threaded server.
+  uint32_t worker_id() const;
+  bool OwnsShard(size_t shard) const;
+  /// Ships a tweet/checkin/topk whose shard another worker owns; the
+  /// reply arrives later as a mailbox ack into the connection's ordered
+  /// slot queue.
+  void ForwardRequest(Connection* conn, const Request& req,
+                      std::string_view line,
+                      size_t shard,
+                      std::unique_ptr<obs::TraceBuilder> trace);
+  /// Owner-side execution of a forwarded op (runs on this worker's
+  /// thread). The ack is withheld until this worker's commit barrier.
+  void ExecuteForwarded(Request req, std::string line, size_t origin,
+                        uint64_t conn_id, uint64_t slot_id);
+  /// Posts the wave's withheld acks back to their origin workers (after
+  /// CommitWal, so a forwarded write is durable before its reply moves).
+  void FlushWaveAcks();
+  /// Stop-the-world execution of a rare coordination verb.
+  std::string ExecuteBarrierVerb(const Request& req, std::string_view line,
+                                 Connection* conn);
+  /// The barrier verb body; runs with the pool quiescent.
+  std::string ExecuteQuiesced(const Request& req, std::string_view line,
+                              Connection* conn);
+
+  // --- Stream clock (plain member single-threaded, pool atomic). ---
+  Timestamp StreamNow() const;
+  void BumpStreamClock(Timestamp t);
+
+  // --- Log streams. ---
+  size_t num_streams() const { return streams_.size(); }
+  size_t StreamIndexFor(size_t shard) const {
+    return streams_.size() <= 1 ? 0 : shard;
+  }
 
   std::string ExecuteTopK(const Request& req);
   /// The cached topk path: lookup + revalidate-and-charge, else compute
@@ -202,8 +314,8 @@ class Server {
   void PumpReplicas();
   /// Durability barrier for the deferred WAL appends of the current
   /// event-loop batch; no-op when nothing was appended since the last
-  /// commit. Closes the wave's write-verb traces with a retroactive
-  /// `wal.commit_wave` span.
+  /// commit. Commits every stream the wave dirtied; closes the wave's
+  /// write-verb traces with a retroactive `wal.commit_wave` span.
   void CommitWal();
   void MaybeCheckpoint();
   /// Finishes a trace through the collector and recycles the builder.
@@ -211,29 +323,46 @@ class Server {
 
   core::ShardedEngine* engine_;  // not owned
   ServerOptions options_;
+  /// The log as a list of streams: empty (durability off), one (classic
+  /// single log), or one per engine shard (options_.sharded_wal).
+  std::vector<wal::WalWriter*> streams_;
+  /// Streams with deferred appends awaiting the wave's Commit barrier.
+  std::vector<bool> stream_dirty_;
+  bool wal_dirty_ = false;
+  /// All attached followers (options_.follower merged into
+  /// options_.followers).
+  std::vector<replica::Follower*> followers_;
+  pool::PoolContext* pool_ = nullptr;  // not owned
   /// Topk result cache; nullptr when options_.topk_cache.capacity == 0.
   std::unique_ptr<cache::TopkCache> cache_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: RequestDrain -> event loop
+  std::atomic<bool> drain_requested_{false};
   bool draining_ = false;
+  /// Sockets handed over by the pool acceptor, awaiting adoption.
+  std::mutex adopt_mu_;
+  std::vector<int> adopted_;
   /// Accept backoff after EMFILE/ENFILE: until this instant the listen
   /// fd is left out of the poll set so the loop cannot busy-spin on a
   /// readable-but-unacceptable listener.
   std::chrono::steady_clock::time_point accept_pause_until_{};
   /// Newest event timestamp ingested — substituted into `topk` queries
-  /// that omit <time> ("now" on the simulated stream clock).
+  /// that omit <time> ("now" on the simulated stream clock). Pool mode
+  /// uses the shared PoolContext::stream_now instead.
   Timestamp stream_now_ = 0;
-  /// Deferred WAL appends awaiting the batch Commit() barrier.
-  bool wal_dirty_ = false;
   /// Follower read-only gate: write verbs answer `READONLY` until
-  /// `promote` clears it. Starts true iff a follower is attached.
+  /// `promote` clears it. Starts true iff a follower is attached (or
+  /// options_.start_read_only).
   bool read_only_ = false;
   std::chrono::steady_clock::time_point last_checkpoint_{};
   std::map<int, Connection> connections_;
   /// Connection ids are monotonic across the server's lifetime (fds are
   /// recycled by the kernel; `conns` output should not be).
   uint64_t next_conn_id_ = 1;
+  /// Acks for forwarded ops executed this wave, withheld until the
+  /// wave's commit barrier.
+  std::vector<PendingAck> wave_acks_;
   /// Traces of this wave's write verbs, held open until CommitWal — the
   /// group-commit barrier is part of every one of their latencies.
   std::vector<std::unique_ptr<obs::TraceBuilder>> wave_traces_;
@@ -252,6 +381,9 @@ class Server {
   obs::Counter* ctr_repl_bytes_shipped_;
   obs::Counter* ctr_repl_heartbeats_;
   obs::Gauge* g_repl_streams_;
+  obs::Counter* ctr_forwarded_;
+  obs::Counter* ctr_forward_acks_;
+  obs::Counter* ctr_barrier_ops_;
   obs::Counter* ctr_cmds_[kNumVerbs];
   obs::Timer* tm_cmds_[kNumVerbs];
 };

@@ -14,6 +14,7 @@
 #include "core/snapshot.h"
 #include "wal/checkpoint.h"
 #include "wal/record.h"
+#include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
 namespace adrec::testkit {
@@ -69,6 +70,29 @@ void ApplyReplicated(core::ShardedEngine* engine,
     }
     case feed::EventKind::kAdDelete: {
       const Status st = engine->RemoveAd(event.ad_id);
+      ADREC_CHECK(st.ok() || st.code() == StatusCode::kNotFound);
+      break;
+    }
+  }
+}
+
+/// Per-shard-stream apply: a record read from stream `shard` touches
+/// only that shard (replica::Follower's N-cursor mode). Ad ops arrive
+/// once per stream, so each shard sees its own copy exactly once.
+void ApplyReplicatedToShard(core::ShardedEngine* engine, size_t shard,
+                            const feed::FeedEvent& event) {
+  switch (event.kind) {
+    case feed::EventKind::kTweet:
+    case feed::EventKind::kCheckIn:
+      engine->ApplyToShard(shard, event);
+      break;
+    case feed::EventKind::kAdInsert: {
+      const Status st = engine->InsertAdOnShard(shard, event.ad);
+      ADREC_CHECK(st.ok() || st.code() == StatusCode::kAlreadyExists);
+      break;
+    }
+    case feed::EventKind::kAdDelete: {
+      const Status st = engine->RemoveAdOnShard(shard, event.ad_id);
       ADREC_CHECK(st.ok() || st.code() == StatusCode::kNotFound);
       break;
     }
@@ -260,7 +284,11 @@ RunOutcome DifferentialChecker::RunWalCrash(
   // up to the crash, the recovered engine after it.
   uint64_t ckpt_tweets = 0, ckpt_checkins = 0;
   uint64_t pre_queries = 0, pre_impressions = 0;
-  uint64_t crash_seqno = 0;  // seqno the first unacked record would get
+  const size_t num_streams = options_.wal_shards;
+  // Per-stream seqno the first unacked record would get, plus which
+  // stream owns the event that crashed mid-frame.
+  std::vector<uint64_t> crash_seqnos(num_streams, 0);
+  size_t torn_stream = 0;
   wal::CheckpointManager checkpointer(options_.wal_dir);
 
   {
@@ -271,9 +299,37 @@ RunOutcome DifferentialChecker::RunWalCrash(
     // never loses synced data in-process); kNone keeps iterations fast.
     wal_options.sync = wal::SyncPolicy::kNone;
     wal_options.segment_bytes = options_.wal_segment_bytes;
-    auto writer = wal::WalWriter::Open(options_.wal_dir, wal_options);
+    wal_options.shards = num_streams;
+    auto writer = wal::ShardedWal::Open(options_.wal_dir, wal_options);
     ADREC_CHECK(writer.ok());
-    wal::WalWriter* w = writer.value().get();
+    wal::ShardedWal* w = writer.value().get();
+
+    // Feed events go to the owner shard's stream; ad ops are broadcast
+    // to every stream so each stream alone totally orders everything
+    // that touches its shard (wal/sharded_wal.h). One stream collapses
+    // to the classic layout.
+    const auto stream_of = [&](const feed::FeedEvent& e) -> size_t {
+      if (num_streams <= 1) return 0;
+      switch (e.kind) {
+        case feed::EventKind::kTweet:
+          return before.ShardOf(e.tweet.user);
+        case feed::EventKind::kCheckIn:
+          return before.ShardOf(e.check_in.user);
+        default:
+          return 0;
+      }
+    };
+    const auto append = [&](const feed::FeedEvent& e) {
+      const std::string payload = wal::EncodeEventPayload(e);
+      if (e.kind == feed::EventKind::kAdInsert ||
+          e.kind == feed::EventKind::kAdDelete) {
+        for (size_t s = 0; s < num_streams; ++s) {
+          ADREC_CHECK(w->stream(s)->Append(payload).ok());
+        }
+      } else {
+        ADREC_CHECK(w->stream(stream_of(e))->Append(payload).ok());
+      }
+    };
 
     // Upfront inventory is logged like any ingest, so a checkpoint-less
     // recovery rebuilds it from the log alone.
@@ -281,12 +337,12 @@ RunOutcome DifferentialChecker::RunWalCrash(
       feed::FeedEvent ev;
       ev.kind = feed::EventKind::kAdInsert;
       ev.ad = ad;
-      ADREC_CHECK(w->Append(wal::EncodeEventPayload(ev)).ok());
+      append(ev);
       (void)before.InsertAd(ad);
     }
 
     const auto on_event = [&](const feed::FeedEvent& e) {
-      ADREC_CHECK(w->Append(wal::EncodeEventPayload(e)).ok());
+      append(e);
       before.OnEvent(e);
     };
     const auto topk = [&](const feed::Tweet& t, size_t k) {
@@ -308,18 +364,23 @@ RunOutcome DifferentialChecker::RunWalCrash(
     const core::EngineStats at_crash = before.Stats();
     pre_queries = at_crash.topk_queries;
     pre_impressions = at_crash.impressions_served;
-    crash_seqno = w->next_seqno();
+    for (size_t s = 0; s < num_streams; ++s) {
+      crash_seqnos[s] = w->stream(s)->next_seqno();
+    }
+    if (crash < events.size()) torn_stream = stream_of(events[crash]);
   }  // crash: the engine and the writer die with no goodbye
 
   if (options_.crash_torn_tail && crash < events.size()) {
     // The first unacknowledged event made it halfway into a frame before
-    // the lights went out.
+    // the lights went out — in the stream that owns it.
+    const std::string stream_dir =
+        wal::StreamDir(options_.wal_dir, torn_stream, num_streams);
     const std::string frame = wal::EncodeFrame(
-        crash_seqno, wal::EncodeEventPayload(events[crash]));
+        crash_seqnos[torn_stream], wal::EncodeEventPayload(events[crash]));
     Rng rng(options_.crash_seed);
     const size_t keep =
         1 + static_cast<size_t>(rng.NextBounded(frame.size() - 1));
-    auto report = wal::ScanLog(options_.wal_dir, {});
+    auto report = wal::ScanLog(stream_dir, {});
     ADREC_CHECK(report.ok() && !report.value().segments.empty());
     std::ofstream torn(report.value().segments.back().path,
                        std::ios::binary | std::ios::app);
@@ -331,7 +392,7 @@ RunOutcome DifferentialChecker::RunWalCrash(
 
   core::ShardedEngine after(kb_, slots_, options_.wal_shards,
                             options_.engine);
-  auto recovered = checkpointer.Recover(&after);
+  auto recovered = checkpointer.Recover(&after, num_streams);
   if (!recovered.ok()) {
     ADREC_LOG(kError) << "RunWalCrash: recovery failed: "
                       << recovered.status().ToString();
@@ -381,42 +442,81 @@ ReplicaPromotionReport DifferentialChecker::RunReplicaPromotion(
   ReplicaPromotionReport report;
   const size_t crash = static_cast<size_t>(
       static_cast<double>(events.size()) * options_.crash_fraction);
-  uint64_t crash_seqno = 0;
+  const size_t num_streams = options_.wal_shards;
+  std::vector<uint64_t> acked(num_streams, 0);
+  std::vector<uint64_t> crash_seqnos(num_streams, 0);
+  size_t torn_stream = 0;
+
+  // Stream routing mirrors the daemon: feed events to the owner shard's
+  // stream, ad ops broadcast to every stream. One stream collapses to
+  // the classic single-cursor layout.
+  const auto stream_of = [&](const core::ShardedEngine& engine,
+                             const feed::FeedEvent& e) -> size_t {
+    if (num_streams <= 1) return 0;
+    switch (e.kind) {
+      case feed::EventKind::kTweet:
+        return engine.ShardOf(e.tweet.user);
+      case feed::EventKind::kCheckIn:
+        return engine.ShardOf(e.check_in.user);
+      default:
+        return 0;
+    }
+  };
+  const auto append_routed = [&](wal::ShardedWal* w,
+                                 const core::ShardedEngine& engine,
+                                 const feed::FeedEvent& e) {
+    const std::string payload = wal::EncodeEventPayload(e);
+    if (e.kind == feed::EventKind::kAdInsert ||
+        e.kind == feed::EventKind::kAdDelete) {
+      for (size_t s = 0; s < num_streams; ++s) {
+        ADREC_CHECK(w->stream(s)->Append(payload).ok());
+      }
+    } else {
+      ADREC_CHECK(w->stream(stream_of(engine, e))->Append(payload).ok());
+    }
+  };
 
   // --- Leader: execute and log the trace prefix, then die unwarned. ---
   {
-    core::ShardedEngine leader(kb_, slots_, 1, options_.engine);
+    core::ShardedEngine leader(kb_, slots_, num_streams, options_.engine);
     wal::WalOptions wal_options;
     wal_options.sync = wal::SyncPolicy::kNone;
     wal_options.segment_bytes = options_.wal_segment_bytes;
-    auto writer = wal::WalWriter::Open(options_.wal_dir, wal_options);
+    wal_options.shards = num_streams;
+    auto writer = wal::ShardedWal::Open(options_.wal_dir, wal_options);
     ADREC_CHECK(writer.ok());
-    wal::WalWriter* w = writer.value().get();
+    wal::ShardedWal* w = writer.value().get();
     for (const feed::Ad& ad : ads) {
       feed::FeedEvent ev;
       ev.kind = feed::EventKind::kAdInsert;
       ev.ad = ad;
-      ADREC_CHECK(w->Append(wal::EncodeEventPayload(ev)).ok());
+      append_routed(w, leader, ev);
       (void)leader.InsertAd(ad);
     }
     for (size_t i = 0; i < crash; ++i) {
-      ADREC_CHECK(w->Append(wal::EncodeEventPayload(events[i])).ok());
+      append_routed(w, leader, events[i]);
       leader.OnEvent(events[i]);
     }
-    crash_seqno = w->next_seqno();
+    for (size_t s = 0; s < num_streams; ++s) {
+      crash_seqnos[s] = w->stream(s)->next_seqno();
+      acked[s] = crash_seqnos[s] - 1;
+      report.acknowledged += acked[s];
+    }
+    if (crash < events.size()) torn_stream = stream_of(leader, events[crash]);
   }  // SIGKILL: engine and writer are gone
-  report.acknowledged = crash_seqno - 1;
 
   if (options_.crash_torn_tail && crash < events.size()) {
-    // The first unacknowledged record made it halfway into a frame. A
-    // replication cursor must never ship it: ReadFrames stops at the
-    // flushed prefix and treats the torn tail as end-of-log.
+    // The first unacknowledged record made it halfway into a frame in
+    // the stream that owns it. A replication cursor must never ship it:
+    // ReadFrames stops at the flushed prefix and treats the torn tail
+    // as end-of-log.
     const std::string frame = wal::EncodeFrame(
-        crash_seqno, wal::EncodeEventPayload(events[crash]));
+        crash_seqnos[torn_stream], wal::EncodeEventPayload(events[crash]));
     Rng rng(options_.crash_seed);
     const size_t keep =
         1 + static_cast<size_t>(rng.NextBounded(frame.size() - 1));
-    auto scan = wal::ScanLog(options_.wal_dir, {});
+    auto scan = wal::ScanLog(
+        wal::StreamDir(options_.wal_dir, torn_stream, num_streams), {});
     ADREC_CHECK(scan.ok() && !scan.value().segments.empty());
     std::ofstream torn(scan.value().segments.back().path,
                        std::ios::binary | std::ios::app);
@@ -426,70 +526,86 @@ ReplicaPromotionReport DifferentialChecker::RunReplicaPromotion(
     ADREC_CHECK(static_cast<bool>(torn));
   }
 
-  // --- Follower: replicate through the cursor reader, log-then-apply,
-  // alongside the reference engine fed the identical decoded records. ---
-  core::ShardedEngine follower(kb_, slots_, 1, options_.engine);
-  core::ShardedEngine reference(kb_, slots_, 1, options_.engine);
+  // --- Follower: one cursor per stream (`repl <shard> <cursor>`),
+  // log-then-apply into the follower's own per-shard log, alongside the
+  // reference engine fed the identical decoded records. Shard states
+  // are disjoint, so draining streams sequentially is equivalent to any
+  // concurrent interleaving. ---
+  core::ShardedEngine follower(kb_, slots_, num_streams, options_.engine);
+  core::ShardedEngine reference(kb_, slots_, num_streams, options_.engine);
   wal::WalOptions follower_wal_options;
   follower_wal_options.sync = wal::SyncPolicy::kNone;
   follower_wal_options.segment_bytes = options_.wal_segment_bytes;
+  follower_wal_options.shards = num_streams;
   auto opened =
-      wal::WalWriter::Open(options_.replica_wal_dir, follower_wal_options);
+      wal::ShardedWal::Open(options_.replica_wal_dir, follower_wal_options);
   ADREC_CHECK(opened.ok());
-  wal::WalWriter* fw = opened.value().get();
+  wal::ShardedWal* fw = opened.value().get();
 
-  const uint64_t replicate_to = static_cast<uint64_t>(
-      static_cast<double>(report.acknowledged) *
-      options_.replica_catchup_fraction);
-  wal::CursorHint hint;
-  uint64_t next = 1;
-  while (next <= replicate_to) {
-    auto batch = wal::ReadFrames(options_.wal_dir, next, replicate_to,
-                                 options_.replica_batch_bytes, &hint);
-    ADREC_CHECK(batch.ok());
-    const wal::CursorBatch& cb = batch.value();
-    std::vector<feed::FeedEvent> wave;
-    size_t pos = 0;
-    while (pos < cb.frames.size()) {
-      const size_t nl = cb.frames.find('\n', pos);
-      ADREC_CHECK(nl != std::string::npos);
-      auto record = wal::DecodeFrame(
-          std::string_view(cb.frames).substr(pos, nl - pos));
-      ADREC_CHECK(record.ok());
-      auto event = wal::DecodeEventPayload(record.value().payload);
-      ADREC_CHECK(event.ok());
-      // Durability before visibility, exactly as replica::Follower:
-      // the record reaches the follower's own log before the engine.
-      ADREC_CHECK(fw->AppendDeferred(record.value().payload).ok());
-      wave.push_back(std::move(event).value());
-      pos = nl + 1;
+  uint64_t replicate_total = 0;
+  for (size_t s = 0; s < num_streams; ++s) {
+    const std::string leader_stream =
+        wal::StreamDir(options_.wal_dir, s, num_streams);
+    const uint64_t replicate_to = static_cast<uint64_t>(
+        static_cast<double>(acked[s]) * options_.replica_catchup_fraction);
+    replicate_total += replicate_to;
+    wal::CursorHint hint;
+    uint64_t next = 1;
+    while (next <= replicate_to) {
+      auto batch = wal::ReadFrames(leader_stream, next, replicate_to,
+                                   options_.replica_batch_bytes, &hint);
+      ADREC_CHECK(batch.ok());
+      const wal::CursorBatch& cb = batch.value();
+      std::vector<feed::FeedEvent> wave;
+      size_t pos = 0;
+      while (pos < cb.frames.size()) {
+        const size_t nl = cb.frames.find('\n', pos);
+        ADREC_CHECK(nl != std::string::npos);
+        auto record = wal::DecodeFrame(
+            std::string_view(cb.frames).substr(pos, nl - pos));
+        ADREC_CHECK(record.ok());
+        auto event = wal::DecodeEventPayload(record.value().payload);
+        ADREC_CHECK(event.ok());
+        // Durability before visibility, exactly as replica::Follower:
+        // the record reaches the follower's own log before the engine.
+        ADREC_CHECK(fw->stream(s)->AppendDeferred(record.value().payload)
+                        .ok());
+        wave.push_back(std::move(event).value());
+        pos = nl + 1;
+      }
+      ADREC_CHECK(fw->stream(s)->Commit().ok());
+      for (const feed::FeedEvent& event : wave) {
+        ApplyReplicatedToShard(&follower, s, event);
+        ApplyReplicatedToShard(&reference, s, event);
+      }
+      report.replicated += wave.size();
+      ADREC_CHECK(cb.next_seqno > next);  // forward progress
+      next = cb.next_seqno;
+      if (cb.at_end) break;
     }
-    ADREC_CHECK(fw->Commit().ok());
-    for (const feed::FeedEvent& event : wave) {
-      ApplyReplicated(&follower, event);
-      ApplyReplicated(&reference, event);
-    }
-    report.replicated += wave.size();
-    ADREC_CHECK(cb.next_seqno > next);  // forward progress
-    next = cb.next_seqno;
-    if (cb.at_end) break;
   }
-  ADREC_CHECK(report.replicated == replicate_to);
+  ADREC_CHECK(report.replicated == replicate_total);
 
-  // --- Promote: seal the follower's log (what ExecutePromote does),
-  // then byte-compare the canonical snapshots. ---
-  ADREC_CHECK(fw->Rotate().ok());
-  ADREC_CHECK(fw->Sync().ok());
+  // --- Promote: seal every stream of the follower's log (what
+  // ExecutePromote does), then byte-compare the canonical snapshots of
+  // every shard. ---
+  ADREC_CHECK(fw->RotateAll().ok());
+  ADREC_CHECK(fw->SyncAll().ok());
   namespace fs = std::filesystem;
   const fs::path snap_root(options_.replica_snapshot_dir);
   const auto compare_at = [&](const char* mark) {
-    const std::string a = (snap_root / (std::string("follower_") + mark))
-                              .string();
-    const std::string b = (snap_root / (std::string("reference_") + mark))
-                              .string();
-    ADREC_CHECK(core::SaveEngineSnapshot(follower.shard(0), a).ok());
-    ADREC_CHECK(core::SaveEngineSnapshot(reference.shard(0), b).ok());
-    std::string diff = CompareSnapshotTrees(a, b);
+    const fs::path a = snap_root / (std::string("follower_") + mark);
+    const fs::path b = snap_root / (std::string("reference_") + mark);
+    for (size_t i = 0; i < num_streams; ++i) {
+      const std::string sub = StringFormat("shard%zu", i);
+      ADREC_CHECK(
+          core::SaveEngineSnapshot(follower.shard(i), (a / sub).string())
+              .ok());
+      ADREC_CHECK(
+          core::SaveEngineSnapshot(reference.shard(i), (b / sub).string())
+              .ok());
+    }
+    std::string diff = CompareSnapshotTrees(a.string(), b.string());
     if (!diff.empty()) diff = std::string(mark) + ": " + diff;
     return diff;
   };
@@ -499,7 +615,7 @@ ReplicaPromotionReport DifferentialChecker::RunReplicaPromotion(
   // --- Post-failover: clients re-submit the trace tail to the promoted
   // follower, which now logs and applies as a leader. ---
   for (size_t i = crash; i < events.size(); ++i) {
-    ADREC_CHECK(fw->Append(wal::EncodeEventPayload(events[i])).ok());
+    append_routed(fw, follower, events[i]);
     ApplyReplicated(&follower, events[i]);
     ApplyReplicated(&reference, events[i]);
     ++report.post_promote;

@@ -110,8 +110,13 @@ struct DifferentialOptions {
   /// Segment size for the crash variant; small, to force rotation and
   /// multi-segment replay.
   size_t wal_segment_bytes = 16 * 1024;
-  /// Shard count of the crashing engine. 1 (the default) keeps the
-  /// variant exactly comparable to RunSingle (full CompareOptions).
+  /// Shard count of the crashing/replicating engine AND its WAL stream
+  /// count (wal::WalOptions::shards): the crash variant logs through a
+  /// wal::ShardedWal (feed events to the owner shard's stream, ad ops
+  /// broadcast) and recovers all streams; the promotion variant runs one
+  /// replication cursor per stream. 1 (the default) collapses to the
+  /// classic single-stream layout, exactly comparable to RunSingle
+  /// (full CompareOptions).
   size_t wal_shards = 1;
 
   // --- Replica promotion variant (RunReplicaPromotion). ---

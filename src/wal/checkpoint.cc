@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "common/fs_util.h"
 #include "common/logging.h"
@@ -23,6 +25,9 @@ struct CheckpointManifest {
   uint64_t wal_seqno = 0;
   size_t num_shards = 0;
   Timestamp stream_time = 0;
+  /// Per-stream high-water marks ("S <stream> <seqno>" lines); empty for
+  /// a single-stream (classic) manifest.
+  std::vector<uint64_t> stream_seqnos;
 };
 
 Result<CheckpointManifest> ReadManifest(const std::string& checkpoint_dir) {
@@ -56,6 +61,28 @@ Result<CheckpointManifest> ReadManifest(const std::string& checkpoint_dir) {
   m.stream_time = std::strtoll(time_str.c_str(), &end, 10);
   if (end == time_str.c_str() || *end != '\0') {
     return Status::InvalidArgument(path + ": bad stream time");
+  }
+  // Per-stream marks must be dense and in order: "S 0 ..", "S 1 ..", ...
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = SplitString(line, '\t', /*keep_empty=*/true);
+    if (f.size() != 3 || f[0] != "S") {
+      return Status::InvalidArgument(path + ": bad stream record");
+    }
+    const std::string stream_str(f[1]);
+    end = nullptr;
+    const size_t stream = std::strtoul(stream_str.c_str(), &end, 10);
+    if (end == stream_str.c_str() || *end != '\0' ||
+        stream != m.stream_seqnos.size()) {
+      return Status::InvalidArgument(path + ": out-of-order stream record");
+    }
+    const std::string mark_str(f[2]);
+    end = nullptr;
+    const uint64_t mark = std::strtoull(mark_str.c_str(), &end, 10);
+    if (end == mark_str.c_str() || *end != '\0') {
+      return Status::InvalidArgument(path + ": bad stream seqno");
+    }
+    m.stream_seqnos.push_back(mark);
   }
   return m;
 }
@@ -222,6 +249,249 @@ Result<RecoveryResult> CheckpointManager::Recover(
   result.torn_bytes_truncated = report.value().torn_bytes;
   result.next_seqno =
       std::max(report.value().last_seqno, result.checkpoint_seqno) + 1;
+  result.stream_checkpoint_seqnos = {result.checkpoint_seqno};
+  result.stream_next_seqnos = {result.next_seqno};
+  return result;
+}
+
+Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
+                                     ShardedWal* wal, Timestamp stream_now) {
+  if (wal == nullptr) {
+    return Status::InvalidArgument("checkpoint needs a wal writer");
+  }
+  if (wal->num_streams() == 1) {
+    return Checkpoint(engine, wal->stream(0), stream_now);
+  }
+  if (wal->num_streams() != engine.num_shards()) {
+    return Status::FailedPrecondition(StringFormat(
+        "wal has %zu stream(s), engine has %zu shard(s)",
+        wal->num_streams(), engine.num_shards()));
+  }
+
+  const std::string tmp = wal_dir_ + "/checkpoint.tmp";
+  ADREC_RETURN_NOT_OK(RemoveAll(tmp));
+  std::error_code ec;
+  std::filesystem::create_directories(tmp, ec);
+  if (ec) return Status::IoError("cannot create " + tmp + ": " + ec.message());
+
+  // Seal + snapshot every shard concurrently: each thread touches only
+  // its own stream and engine shard. The mark is taken after the sync,
+  // so it covers every record the shard snapshot can reflect.
+  const size_t n = wal->num_streams();
+  std::vector<uint64_t> marks(n, 0);
+  std::vector<Status> results(n);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      workers.emplace_back([&, s] {
+        WalWriter* stream = wal->stream(s);
+        results[s] = stream->Rotate();
+        if (results[s].ok()) results[s] = stream->Sync();
+        if (!results[s].ok()) return;
+        marks[s] = stream->synced_seqno();
+        results[s] =
+            core::SaveEngineSnapshot(engine.shard(s), ShardDir(tmp, s));
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (const Status& st : results) ADREC_RETURN_NOT_OK(st);
+
+  {
+    const std::string path = tmp + "/" + std::string(kManifestName);
+    std::ofstream out(path);
+    if (!out) return Status::IoError("cannot open " + path);
+    const uint64_t max_mark = *std::max_element(marks.begin(), marks.end());
+    out << StringFormat("K\t%llu\t%zu\t%lld\n",
+                        static_cast<unsigned long long>(max_mark),
+                        engine.num_shards(),
+                        static_cast<long long>(stream_now));
+    for (size_t s = 0; s < n; ++s) {
+      out << StringFormat("S\t%zu\t%llu\n", s,
+                          static_cast<unsigned long long>(marks[s]));
+    }
+    out.flush();
+    if (!out) return Status::IoError("manifest write failed: " + path);
+    out.close();
+    ADREC_RETURN_NOT_OK(FsyncFile(path));
+  }
+  ADREC_RETURN_NOT_OK(FsyncDir(tmp));
+
+  const std::string current = checkpoint_dir();
+  const std::string old = current + ".old";
+  ADREC_RETURN_NOT_OK(RemoveAll(old));
+  if (std::filesystem::exists(current)) {
+    ADREC_RETURN_NOT_OK(RenamePath(current, old));
+  }
+  ADREC_RETURN_NOT_OK(RenamePath(tmp, current));
+  ADREC_RETURN_NOT_OK(FsyncDir(wal_dir_));
+  ADREC_RETURN_NOT_OK(RemoveAll(old));
+
+  if (options_.analysis_retention >= 0) {
+    const Timestamp floor = stream_now - options_.analysis_retention;
+    size_t deleted = 0;
+    for (size_t s = 0; s < n; ++s) {
+      Result<size_t> d =
+          wal->stream(s)->TruncateSealedBefore(marks[s] + 1, floor);
+      if (!d.ok()) return d.status();
+      deleted += d.value();
+    }
+    if (deleted > 0) {
+      ADREC_LOG(kInfo) << "checkpoint: truncated " << deleted
+                       << " sealed wal segment(s) across " << n
+                       << " stream(s)";
+    }
+  }
+  return Status::OK();
+}
+
+Result<RecoveryResult> CheckpointManager::Recover(
+    core::ShardedEngine* engine, size_t wal_shards) const {
+  if (wal_shards <= 1) return Recover(engine);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("recover needs an engine");
+  }
+  if (engine->num_shards() != wal_shards) {
+    return Status::FailedPrecondition(StringFormat(
+        "wal has %zu stream(s), engine has %zu shard(s)", wal_shards,
+        engine->num_shards()));
+  }
+  RecoveryResult result;
+  result.stream_checkpoint_seqnos.assign(wal_shards, 0);
+  result.stream_next_seqnos.assign(wal_shards, 1);
+
+  // --- Pick the newest loadable checkpoint. ---
+  std::string chosen;
+  CheckpointManifest manifest;
+  for (const std::string& candidate :
+       {checkpoint_dir(), checkpoint_dir() + ".old"}) {
+    auto m = ReadManifest(candidate);
+    if (m.ok()) {
+      chosen = candidate;
+      manifest = m.value();
+      break;
+    }
+    if (m.status().code() != StatusCode::kNotFound) {
+      ADREC_LOG(kWarning) << "skipping unreadable checkpoint " << candidate
+                          << ": " << m.status().ToString();
+    }
+  }
+  if (!chosen.empty()) {
+    if (manifest.num_shards != engine->num_shards()) {
+      return Status::FailedPrecondition(StringFormat(
+          "checkpoint %s was taken with %zu shard(s), engine has %zu",
+          chosen.c_str(), manifest.num_shards, engine->num_shards()));
+    }
+    if (manifest.stream_seqnos.size() != wal_shards) {
+      return Status::FailedPrecondition(StringFormat(
+          "checkpoint %s records %zu wal stream(s), expected %zu",
+          chosen.c_str(), manifest.stream_seqnos.size(), wal_shards));
+    }
+    result.from_checkpoint = true;
+    result.stream_checkpoint_seqnos = manifest.stream_seqnos;
+    result.checkpoint_stream_time = manifest.stream_time;
+    result.max_event_time = manifest.stream_time;
+  }
+
+  // --- Load + replay every shard concurrently: thread s touches only
+  // engine shard s and log stream s. ---
+  struct PerShard {
+    Status status = Status::OK();
+    size_t window_replayed = 0;
+    size_t live_replayed = 0;
+    uint64_t torn_bytes = 0;
+    uint64_t last_seqno = 0;
+    Timestamp max_event_time = INT64_MIN;
+  };
+  std::vector<PerShard> per_shard(wal_shards);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(wal_shards);
+    for (size_t s = 0; s < wal_shards; ++s) {
+      workers.emplace_back([&, s] {
+        PerShard& out = per_shard[s];
+        const uint64_t mark = result.stream_checkpoint_seqnos[s];
+        if (result.from_checkpoint) {
+          out.status = core::LoadEngineSnapshot(ShardDir(chosen, s),
+                                                engine->mutable_shard(s));
+          if (!out.status.ok()) return;
+        }
+        ScanOptions scan;
+        scan.truncate_torn_tail = true;
+        Status replay_error = Status::OK();
+        auto report = ScanLog(
+            StreamDir(wal_dir_, s, wal_shards), scan,
+            [&](const Record& record) {
+              auto event = DecodeEventPayload(record.payload);
+              if (!event.ok()) {
+                replay_error = Status::IoError(StringFormat(
+                    "wal stream %zu record %llu: %s", s,
+                    static_cast<unsigned long long>(record.seqno),
+                    event.status().message().c_str()));
+                return replay_error;
+              }
+              feed::FeedEvent& ev = event.value();
+              if (ev.time > out.max_event_time) out.max_event_time = ev.time;
+              if (record.seqno <= mark) {
+                engine->ReplayForAnalysisShard(s, ev);
+                ++out.window_replayed;
+                return Status::OK();
+              }
+              switch (ev.kind) {
+                case feed::EventKind::kTweet:
+                case feed::EventKind::kCheckIn:
+                  engine->ApplyToShard(s, ev);
+                  break;
+                case feed::EventKind::kAdInsert: {
+                  const Status st = engine->InsertAdOnShard(s, ev.ad);
+                  if (!st.ok() &&
+                      st.code() != StatusCode::kAlreadyExists) {
+                    return st;
+                  }
+                  break;
+                }
+                case feed::EventKind::kAdDelete: {
+                  const Status st = engine->RemoveAdOnShard(s, ev.ad_id);
+                  if (!st.ok() && st.code() != StatusCode::kNotFound) {
+                    return st;
+                  }
+                  break;
+                }
+              }
+              ++out.live_replayed;
+              return Status::OK();
+            });
+        if (!report.ok()) {
+          out.status = report.status();
+          return;
+        }
+        if (!replay_error.ok()) {
+          out.status = replay_error;
+          return;
+        }
+        out.torn_bytes = report.value().torn_bytes;
+        out.last_seqno = report.value().last_seqno;
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (size_t s = 0; s < wal_shards; ++s) {
+    const PerShard& out = per_shard[s];
+    ADREC_RETURN_NOT_OK(out.status);
+    result.window_replayed += out.window_replayed;
+    result.live_replayed += out.live_replayed;
+    result.torn_bytes_truncated += out.torn_bytes;
+    if (out.max_event_time > result.max_event_time) {
+      result.max_event_time = out.max_event_time;
+    }
+    result.stream_next_seqnos[s] =
+        std::max(out.last_seqno, result.stream_checkpoint_seqnos[s]) + 1;
+    result.checkpoint_seqno = std::max(result.checkpoint_seqno,
+                                       result.stream_checkpoint_seqnos[s]);
+    result.next_seqno =
+        std::max(result.next_seqno, result.stream_next_seqnos[s]);
+  }
   return result;
 }
 

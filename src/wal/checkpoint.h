@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "core/sharded_engine.h"
+#include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
 namespace adrec::wal {
@@ -16,6 +18,10 @@ namespace adrec::wal {
 /// directory:
 ///
 ///   <wal_dir>/checkpoint/MANIFEST.tsv   "K <wal_seqno> <shards> <stream_time>"
+///                                       then, for a per-shard log
+///                                       (wal/sharded_wal.h), one
+///                                       "S <stream> <stream_seqno>" line
+///                                       per stream high-water mark
 ///   <wal_dir>/checkpoint/shard<i>/      one core snapshot per shard
 ///   <wal_dir>/checkpoint.old/           previous checkpoint, kept only
 ///                                       during the swap window
@@ -24,7 +30,9 @@ namespace adrec::wal {
 /// every shard into `checkpoint.tmp`, and swapping the directory into
 /// place (old → checkpoint.old, tmp → checkpoint, fsync, delete old).
 /// Recovery prefers `checkpoint`, falls back to `checkpoint.old` when the
-/// former is absent or torn, and replays the WAL on top.
+/// former is absent or torn, and replays the WAL on top. With a
+/// per-shard log, every stream is sealed/snapshotted and later replayed
+/// concurrently — one thread per shard, disjoint engine state.
 
 struct CheckpointOptions {
   /// After a successful checkpoint, sealed WAL segments fully covered by
@@ -53,6 +61,12 @@ struct RecoveryResult {
   Timestamp checkpoint_stream_time = 0;
   /// Largest event timestamp seen across checkpoint + replay.
   Timestamp max_event_time = 0;
+  /// Per-stream view, one entry per WAL stream (a single-stream recovery
+  /// fills one entry mirroring the scalar fields). `stream_next_seqnos`
+  /// feeds ShardedWal::Open; for a sharded log the scalar
+  /// `checkpoint_seqno`/`next_seqno` hold the per-stream maxima.
+  std::vector<uint64_t> stream_checkpoint_seqnos;
+  std::vector<uint64_t> stream_next_seqnos;
 };
 
 class CheckpointManager {
@@ -68,6 +82,14 @@ class CheckpointManager {
   Status Checkpoint(const core::ShardedEngine& engine, WalWriter* wal,
                     Timestamp stream_now);
 
+  /// Per-shard-stream checkpoint: seals + syncs every stream and
+  /// snapshots every shard concurrently (one thread per shard), records
+  /// a per-stream high-water mark in the manifest, swaps atomically,
+  /// then truncates each stream. A 1-stream wal delegates to the
+  /// single-writer overload (byte-identical manifest).
+  Status Checkpoint(const core::ShardedEngine& engine, ShardedWal* wal,
+                    Timestamp stream_now);
+
   /// Restores `engine` from the newest valid checkpoint (if any) and
   /// replays the WAL tail: records the checkpoint already covers are
   /// re-fed window-only via ShardedEngine::ReplayForAnalysis (profiles /
@@ -76,6 +98,14 @@ class CheckpointManager {
   /// record is truncated off. `engine` must be freshly constructed with
   /// the shard count the checkpoint was taken with.
   Result<RecoveryResult> Recover(core::ShardedEngine* engine) const;
+
+  /// Per-shard-stream recovery: loads every shard snapshot and replays
+  /// its stream concurrently — one thread per shard, each thread
+  /// touching only its own engine shard and log stream. `wal_shards`
+  /// must match the layout on disk and the engine shard count;
+  /// `wal_shards == 1` delegates to Recover().
+  Result<RecoveryResult> Recover(core::ShardedEngine* engine,
+                                 size_t wal_shards) const;
 
   const std::string& wal_dir() const { return wal_dir_; }
   const CheckpointOptions& options() const { return options_; }

@@ -59,6 +59,14 @@ struct WalOptions {
   /// 1 times every append; 0 disables the probe. The daemon flag is
   /// --wal-append-sample.
   uint64_t append_sample_every = 16;
+  /// Number of per-shard log streams the directory is split into
+  /// (wal/sharded_wal.h). 1 keeps the classic single-stream layout
+  /// (segments directly under the log dir); N > 1 puts stream `s` under
+  /// `<dir>/<s>/` with its own independent seqno space, so group commit,
+  /// checkpointing, recovery and replication all parallelise per shard.
+  /// Must equal the engine shard count when > 1. The daemon flag is
+  /// --wal-shards.
+  size_t shards = 1;
 };
 
 /// One segment file of a log directory.

@@ -195,6 +195,9 @@ TraceRecord MakeRecord(uint64_t id) {
   rec.num_spans = 1;
   rec.spans[0].name = "serve.dispatch";
   rec.spans[0].dur_ns = id;
+  // Derived from the id like the other fields, so a torn read of the
+  // worker stamp is detectable too.
+  rec.worker = static_cast<uint32_t>(id % 7 + 1);
   std::snprintf(rec.detail, sizeof(rec.detail), "req-%llu",
                 static_cast<unsigned long long>(id));
   return rec;
@@ -229,13 +232,15 @@ TEST(TraceRingTest, SnapshotSkipsEmptySlots) {
   EXPECT_EQ(got[1].trace_id, 2u);
 }
 
-// The TSan target: hammer one small ring from several writer threads
-// with a reader snapshotting concurrently. Correctness bar: no torn
-// records (every snapshot slot must be internally consistent) and no
-// data race reported.
+// The TSan target: hammer one small ring from several writer threads —
+// the pool deployment shape, every event-loop worker finishing traces
+// into the shared slow ring — with a reader snapshotting concurrently.
+// Correctness bar: no torn records (every snapshot slot must be
+// internally consistent, including the worker stamp) and no data race
+// reported.
 TEST(TraceRingTest, ConcurrentWritersAndReaderStayConsistent) {
   TraceRing ring(16);
-  constexpr int kWriters = 4;
+  constexpr int kWriters = 8;
   constexpr uint64_t kPerWriter = 2000;
   std::atomic<uint64_t> next_id{1};
   std::atomic<bool> stop{false};
@@ -243,9 +248,11 @@ TEST(TraceRingTest, ConcurrentWritersAndReaderStayConsistent) {
   std::thread reader([&] {
     while (!stop.load(std::memory_order_acquire)) {
       for (const TraceRecord& rec : ring.Snapshot()) {
-        // Internal consistency: dur and detail are derived from the id,
-        // so a torn read (fields from two different writes) is visible.
+        // Internal consistency: dur, worker and detail are derived from
+        // the id, so a torn read (fields from two different writes) is
+        // visible.
         ASSERT_EQ(rec.dur_ns, rec.trace_id * 1000);
+        ASSERT_EQ(rec.worker, rec.trace_id % 7 + 1);
         char want[32];
         std::snprintf(want, sizeof(want), "req-%llu",
                       static_cast<unsigned long long>(rec.trace_id));
@@ -429,7 +436,7 @@ TraceRecord ExportFixture() {
 TEST(TraceExportTest, TsvEmitsTraceAndSpanLines) {
   const std::string tsv = ExportTracesTsv({ExportFixture()});
   EXPECT_NE(tsv.find("TRACE\t42\t"), std::string::npos);
-  EXPECT_NE(tsv.find("\tok\t2\t-\ttopk\t3\t5\n"), std::string::npos);
+  EXPECT_NE(tsv.find("\tok\t2\t1\t-\ttopk\t3\t5\n"), std::string::npos);
   EXPECT_NE(tsv.find("SPAN\t42\t1\t0\tserve.dispatch\t1.0\t9.0\n"),
             std::string::npos);
   EXPECT_NE(tsv.find("SPAN\t42\t2\t1\tengine.topk\t2.0\t5.0\n"),
@@ -442,7 +449,7 @@ TEST(TraceExportTest, TsvSanitizesReasonButPreservesDetailTabs) {
   std::snprintf(rec.reason, sizeof(rec.reason), "bad\targ");
   const std::string tsv = ExportTracesTsv({rec});
   // The reason's tab must not mint an extra column...
-  EXPECT_NE(tsv.find("\terror\t2\tbad arg\t"), std::string::npos);
+  EXPECT_NE(tsv.find("\terror\t2\t1\tbad arg\t"), std::string::npos);
   // ...while the detail keeps its raw tabs as the trailing field.
   EXPECT_NE(tsv.find("\ttopk\t3\t5\n"), std::string::npos);
 }

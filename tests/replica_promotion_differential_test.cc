@@ -38,9 +38,12 @@ feed::Workload SmallWorkload(uint64_t seed) {
 /// leader deaths — several leaving a torn final frame, several killing
 /// the leader while the follower is still mid-catch-up — after which the
 /// promoted follower must be byte-identical (canonical snapshot compare)
-/// to a single engine fed the replicated prefix of acknowledged records,
-/// and must stay identical through post-failover writes.
-TEST(ReplicaPromotionDifferential, TwentySeededLeaderKillsPromoteExactly) {
+/// to a reference engine fed the replicated prefix of acknowledged
+/// records, and must stay identical through post-failover writes. At
+/// wal_shards > 1 the leader logs per-shard streams and the follower
+/// runs one replication cursor per stream (`repl <shard> <cursor>`),
+/// promotion sealing every stream; every shard's snapshot is compared.
+void TwentySeededLeaderKills(size_t wal_shards) {
   size_t iterations = 0;
   size_t torn_iterations = 0;
   size_t midcatchup_iterations = 0;
@@ -49,10 +52,13 @@ TEST(ReplicaPromotionDifferential, TwentySeededLeaderKillsPromoteExactly) {
     const std::vector<feed::FeedEvent> events = workload.MergedEvents();
     ASSERT_GT(events.size(), 10u) << "seed " << seed;
 
+    const std::string tag =
+        std::to_string(wal_shards) + "_" + std::to_string(seed);
     DifferentialOptions diff;
-    diff.wal_dir = FreshDir("leader" + std::to_string(seed));
-    diff.replica_wal_dir = FreshDir("follower" + std::to_string(seed));
-    diff.replica_snapshot_dir = FreshDir("snap" + std::to_string(seed));
+    diff.wal_shards = wal_shards;
+    diff.wal_dir = FreshDir("leader" + tag);
+    diff.replica_wal_dir = FreshDir("follower" + tag);
+    diff.replica_snapshot_dir = FreshDir("snap" + tag);
     diff.crash_fraction = 0.25 + 0.03 * static_cast<double>(seed % 10);
     // Every fourth leader dies mid-append, leaving a torn final frame
     // the replication cursor must stop short of.
@@ -92,6 +98,18 @@ TEST(ReplicaPromotionDifferential, TwentySeededLeaderKillsPromoteExactly) {
   EXPECT_EQ(iterations, 20u);
   EXPECT_GE(torn_iterations, 1u);
   EXPECT_GE(midcatchup_iterations, 1u);
+}
+
+TEST(ReplicaPromotionDifferential, TwentySeededLeaderKillsPromoteExactly) {
+  TwentySeededLeaderKills(1);
+}
+
+TEST(ReplicaPromotionDifferential, TwentySeededLeaderKillsTwoStreams) {
+  TwentySeededLeaderKills(2);
+}
+
+TEST(ReplicaPromotionDifferential, TwentySeededLeaderKillsFourStreams) {
+  TwentySeededLeaderKills(4);
 }
 
 /// The follower's own log is itself recoverable: after promotion, a

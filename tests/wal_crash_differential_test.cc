@@ -44,8 +44,12 @@ feed::Workload StatelessServingWorkload(uint64_t seed) {
 /// The kill-and-recover differential of the ISSUE acceptance: 20 seeded
 /// crash points (several through a mid-stream checkpoint, at least one
 /// with an injected torn final record) must replay to an outcome
-/// bit-identical to a run that never crashed.
-TEST(WalCrashDifferential, TwentySeededCrashesMatchSingleRunExactly) {
+/// bit-identical to a run that never crashed. At wal_shards == 1 the
+/// reference is RunSingle with the full facet compare; at 2 and 4 the
+/// engine and WAL are sharded (per-shard log streams, concurrent-replay
+/// layout) and the reference is the equally-sharded no-crash run, with
+/// probes and counters still compared byte-for-byte.
+void TwentySeededCrashes(size_t wal_shards) {
   size_t iterations = 0;
   size_t torn_iterations = 0;
   for (uint64_t seed = 1; seed <= 20; ++seed) {
@@ -54,11 +58,14 @@ TEST(WalCrashDifferential, TwentySeededCrashesMatchSingleRunExactly) {
     ASSERT_GT(events.size(), 10u) << "seed " << seed;
 
     DifferentialOptions diff;
-    diff.run_sharded = false;
+    diff.run_sharded = wal_shards > 1;
     diff.run_snapshot = false;
+    diff.num_shards = wal_shards;
+    diff.wal_shards = wal_shards;
     diff.engine.frequency_cap.max_impressions = 0;  // ranking-stateless
     diff.probe_every = 2;
-    diff.wal_dir = FreshDir("iter" + std::to_string(seed));
+    diff.wal_dir = FreshDir("iter" + std::to_string(wal_shards) + "_" +
+                            std::to_string(seed));
     diff.crash_fraction = 0.25 + 0.03 * static_cast<double>(seed % 10);
     // Every third iteration recovers through a checkpoint + tail replay;
     // the rest from the log alone.
@@ -69,12 +76,23 @@ TEST(WalCrashDifferential, TwentySeededCrashesMatchSingleRunExactly) {
     diff.crash_seed = seed;
     const DifferentialChecker checker(workload.kb, workload.slots, diff);
 
-    const RunOutcome reference = checker.RunSingle(workload.ads, events);
+    const RunOutcome reference =
+        wal_shards == 1 ? checker.RunSingle(workload.ads, events)
+                        : checker.RunSharded(workload.ads, events);
     wal::RecoveryResult recovery;
     const RunOutcome crashed =
         checker.RunWalCrash(workload.ads, events, &recovery);
+    CompareOptions compare;
+    if (wal_shards > 1) {
+      // Analysis facets only sum across shards; probes and counters are
+      // still exact.
+      compare.tfca_full = false;
+      compare.tfca_sums = true;
+      compare.matches = false;
+    }
     const Divergence d = DifferentialChecker::CompareOutcomes(
-        reference, crashed, CompareOptions{}, "single", "wal-crash");
+        reference, crashed, compare,
+        wal_shards == 1 ? "single" : "sharded", "wal-crash");
     ASSERT_FALSE(d) << "seed " << seed << " diverged at event "
                     << d.event_index << ": " << d.detail;
 
@@ -91,12 +109,26 @@ TEST(WalCrashDifferential, TwentySeededCrashesMatchSingleRunExactly) {
       EXPECT_FALSE(recovery.from_checkpoint) << "seed " << seed;
     }
     EXPECT_GT(recovery.live_replayed, 0u) << "seed " << seed;
+    EXPECT_EQ(recovery.stream_next_seqnos.size(), wal_shards)
+        << "seed " << seed;
 
     std::filesystem::remove_all(diff.wal_dir);
     ++iterations;
   }
   EXPECT_EQ(iterations, 20u);
   EXPECT_GE(torn_iterations, 1u);
+}
+
+TEST(WalCrashDifferential, TwentySeededCrashesMatchSingleRunExactly) {
+  TwentySeededCrashes(1);
+}
+
+TEST(WalCrashDifferential, TwentySeededCrashesTwoStreams) {
+  TwentySeededCrashes(2);
+}
+
+TEST(WalCrashDifferential, TwentySeededCrashesFourStreams) {
+  TwentySeededCrashes(4);
 }
 
 /// A sharded deployment recovers too: the summable window facets of a
