@@ -34,13 +34,23 @@
 //       as an indented span tree. --out writes the payload to FILE
 //       instead of stdout.
 //
-//   adrec_tool wal <inspect|verify|dump> <wal-dir>
+//   adrec_tool wal <inspect|verify|dump|compact> <wal-dir>
 //       Offline tooling for an adrecd write-ahead log directory.
 //       `inspect` prints a per-segment table plus the checkpoint
 //       manifest; `verify` checks CRCs, seqno contiguity and payload
 //       grammar (exit 0 with a warning for a torn final record, exit 1
 //       for any hard corruption); `dump` prints every record as
-//       `<seqno>\t<payload>` lines.
+//       `<seqno>\t<payload>` lines; `compact` rewrites the sealed
+//       segments dropping superseded ad-inventory records (the daemon
+//       must not have the log open — the newest segment is left alone
+//       as the potential torn-tail owner).
+//
+//   adrec_tool checkpoint inspect <wal-dir>
+//       Prints the checkpoint state of a log directory: the classic
+//       manifest (when present) and the full delta chain — every
+//       generation with its WAL mark, diff base, rebase depth and how
+//       many of its files are physically written vs carried by
+//       reference (DESIGN.md §17).
 //
 // The subcommands communicate only through the files, demonstrating that
 // the on-disk formats round-trip the full pipeline.
@@ -61,6 +71,8 @@
 #include "feed/workload.h"
 #include "obs/stats_export.h"
 #include "serve/client.h"
+#include "wal/delta/compactor.h"
+#include "wal/delta/delta_checkpoint.h"
 #include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
@@ -394,9 +406,91 @@ void WalPrintManifest(const std::string& dir) {
   }
 }
 
+int WalCompactOne(const std::string& dir, const std::string& label) {
+  auto report = adrec::wal::delta::CompactLogDir(dir, {});
+  if (!report.ok()) {
+    std::fprintf(stderr, "wal compact%s: %s\n", label.c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const adrec::wal::delta::CompactionReport& r = report.value();
+  if (!r.ran) {
+    std::printf("wal compact%s: nothing to compact\n", label.c_str());
+    return 0;
+  }
+  std::printf("wal compact%s: %zu -> %zu segments, dropped %llu of %llu "
+              "records, %llu -> %llu bytes\n",
+              label.c_str(), r.segments_in, r.segments_out,
+              static_cast<unsigned long long>(r.records_dropped),
+              static_cast<unsigned long long>(r.records_in),
+              static_cast<unsigned long long>(r.bytes_in),
+              static_cast<unsigned long long>(r.bytes_out));
+  return 0;
+}
+
+// `checkpoint inspect`: the classic manifest plus the delta chain.
+int CheckpointInspect(const std::string& dir) {
+  WalPrintManifest(dir);
+  auto gens = adrec::wal::delta::ListGenerations(dir);
+  if (!gens.ok()) {
+    std::fprintf(stderr, "checkpoint inspect: %s\n",
+                 gens.status().ToString().c_str());
+    return 1;
+  }
+  if (gens.value().empty()) {
+    std::printf("delta chain: (none)\n");
+    return 0;
+  }
+  auto head = adrec::wal::delta::ResolveHead(dir);
+  const uint64_t head_gen = head.ok() ? head.value().gen : 0;
+  std::printf("%-24s %12s %8s %6s %14s %14s %6s\n", "generation",
+              "wal_seqno", "base", "depth", "files(own/all)",
+              "bytes(own/all)", "head");
+  for (const adrec::wal::delta::DeltaManifest& m : gens.value()) {
+    size_t own_files = 0;
+    uint64_t own_bytes = 0;
+    uint64_t all_bytes = 0;
+    for (const adrec::wal::delta::FileRef& f : m.files) {
+      all_bytes += f.bytes;
+      if (f.src_gen == m.gen) {
+        ++own_files;
+        own_bytes += f.bytes;
+      }
+    }
+    std::printf("%-24s %12llu %8llu %6llu %7zu/%-6zu %7llu/%-6llu %6s\n",
+                adrec::wal::delta::GenDirName(m.gen).c_str(),
+                static_cast<unsigned long long>(m.wal_seqno),
+                static_cast<unsigned long long>(m.base_gen),
+                static_cast<unsigned long long>(m.depth), own_files,
+                m.files.size(), static_cast<unsigned long long>(own_bytes),
+                static_cast<unsigned long long>(all_bytes),
+                m.gen == head_gen ? "*" : "");
+  }
+  if (head.ok()) {
+    std::printf("head: %s chain_len=%zu shards=%zu stream_time=%lld\n",
+                adrec::wal::delta::GenDirName(head.value().gen).c_str(),
+                head.value().ChainLength(), head.value().num_shards,
+                static_cast<long long>(head.value().stream_time));
+  } else {
+    std::printf("head: (unresolvable: %s)\n",
+                head.status().ToString().c_str());
+  }
+  return 0;
+}
+
+int Checkpoint(int argc, char** argv) {
+  if (argc < 4 || std::string(argv[2]) != "inspect") {
+    std::fprintf(stderr, "usage: %s checkpoint inspect <wal-dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  return CheckpointInspect(argv[3]);
+}
+
 int Wal(int argc, char** argv) {
   if (argc < 4) {
-    std::fprintf(stderr, "usage: %s wal <inspect|verify|dump> <wal-dir>\n",
+    std::fprintf(stderr,
+                 "usage: %s wal <inspect|verify|dump|compact> <wal-dir>\n",
                  argv[0]);
     return 2;
   }
@@ -411,6 +505,16 @@ int Wal(int argc, char** argv) {
     int rc = 0;
     for (size_t s = 0; s < streams; ++s) {
       rc |= WalDumpOne(adrec::wal::StreamDir(dir, s, streams), s);
+    }
+    return rc;
+  }
+
+  if (mode == "compact") {
+    if (streams <= 1) return WalCompactOne(dir, "");
+    int rc = 0;
+    for (size_t s = 0; s < streams; ++s) {
+      rc |= WalCompactOne(adrec::wal::StreamDir(dir, s, streams),
+                          " stream " + std::to_string(s));
     }
     return rc;
   }
@@ -609,12 +713,15 @@ int main(int argc, char** argv) {
                  "  %s stats <dir> [k] [--format=text|prometheus]\n"
                  "  %s trace <host:port> [trace|slow|conns] "
                  "[--format=tsv|chrome|pretty] [--out=FILE]\n"
-                 "  %s wal <inspect|verify|dump> <wal-dir>\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 "  %s wal <inspect|verify|dump|compact> <wal-dir>\n"
+                 "  %s checkpoint inspect <wal-dir>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+                 argv[0]);
     return 2;
   }
   const std::string command = argv[1];
   if (command == "wal") return Wal(argc, argv);
+  if (command == "checkpoint") return Checkpoint(argc, argv);
   if (command == "trace") return Trace(argc, argv);
   const std::string dir = argv[2];
   if (command == "generate") return Generate(dir, argc, argv);

@@ -6,7 +6,9 @@
 //          [--idle-timeout=SEC] [--snapshot-root=DIR]
 //          [--wal-dir=DIR] [--wal-shards=N]
 //          [--wal-sync=none|interval|group]
-//          [--checkpoint-interval=SEC] [--wal-retain=SEC]
+//          [--checkpoint-interval=SEC] [--checkpoint-mode=full|delta]
+//          [--checkpoint-rebase-every=N] [--compact-interval=SEC]
+//          [--wal-retain=SEC]
 //          [--wal-append-sample=N] [--follow=HOST:PORT]
 //          [--trace-ring=N] [--trace-slow-ms=MS] [--trace-sample=N]
 //          [--topk-cache=N] [--topk-cache-admission=always|frequency]
@@ -24,6 +26,15 @@
 // checkpoints (the `checkpoint` admin verb does one on demand);
 // --wal-retain bounds how much replay history survives a checkpoint
 // (default: keep everything — exact analysis-window recovery).
+// --checkpoint-mode=delta switches to incremental delta-chain snapshots
+// (DESIGN.md §17): each checkpoint writes only the shard snapshots whose
+// content changed, bounding the save pause by churn rather than total
+// state size; --checkpoint-rebase-every=N (default 8) forces a full
+// rebase generation every N saves to bound the chain recovery resolves.
+// --compact-interval=SEC periodically rewrites sealed WAL segments
+// dropping superseded ad-inventory records (the `compact` admin verb
+// does one on demand); segments a connected follower still needs are
+// preserved.
 //
 // With --follow=HOST:PORT (requires --wal-dir), the daemon runs as a
 // READ REPLICA of the adrecd at that address: it recovers its local log
@@ -179,6 +190,18 @@ int main(int argc, char** argv) {
       wal_opts.sync = policy.value();
     } else if (FlagValue(argv[i], "--checkpoint-interval", &v)) {
       options.checkpoint_interval = std::atof(v);
+    } else if (FlagValue(argv[i], "--checkpoint-mode", &v)) {
+      auto mode = adrec::wal::ParseCheckpointMode(v);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "--checkpoint-mode: %s\n",
+                     mode.status().ToString().c_str());
+        return 2;
+      }
+      ckpt_opts.mode = mode.value();
+    } else if (FlagValue(argv[i], "--checkpoint-rebase-every", &v)) {
+      ckpt_opts.rebase_every = static_cast<size_t>(std::atoll(v));
+    } else if (FlagValue(argv[i], "--compact-interval", &v)) {
+      options.compact_interval = std::atof(v);
     } else if (FlagValue(argv[i], "--wal-retain", &v)) {
       ckpt_opts.analysis_retention = std::atoll(v);
     } else if (FlagValue(argv[i], "--wal-append-sample", &v)) {
@@ -219,7 +242,10 @@ int main(int argc, char** argv) {
                    "[--snapshot-root=DIR] [--wal-dir=DIR] "
                    "[--wal-shards=N] "
                    "[--wal-sync=none|interval|group] "
-                   "[--checkpoint-interval=SEC] [--wal-retain=SEC] "
+                   "[--checkpoint-interval=SEC] "
+                   "[--checkpoint-mode=full|delta] "
+                   "[--checkpoint-rebase-every=N] "
+                   "[--compact-interval=SEC] [--wal-retain=SEC] "
                    "[--wal-append-sample=N] [--follow=HOST:PORT] "
                    "[--trace-ring=N] [--trace-slow-ms=MS] "
                    "[--trace-sample=N] [--topk-cache=N] "
@@ -364,7 +390,8 @@ int main(int argc, char** argv) {
         "adrecd recovered from %s: checkpoint_seqno=%llu next_seqno=%llu "
         "window_replayed=%zu live_replayed=%zu torn_bytes=%llu "
         "streams=%zu\n",
-        r.from_checkpoint ? "checkpoint+wal" : "wal",
+        r.from_delta ? "delta-checkpoint+wal"
+                     : (r.from_checkpoint ? "checkpoint+wal" : "wal"),
         static_cast<unsigned long long>(r.checkpoint_seqno),
         static_cast<unsigned long long>(r.next_seqno), r.window_replayed,
         r.live_replayed,

@@ -14,7 +14,11 @@
 # largest scale run. bench_pool self-gates the multi-core scaling curve
 # (E24): >=1.6x at 2 workers and >=2.5x at 4 workers over the
 # single-threaded daemon when the host has that many cores, degrading
-# to a non-collapse bound (>=0.3x) on smaller machines.
+# to a non-collapse bound (>=0.3x) on smaller machines. bench_checkpoint
+# self-gates the durability bars (E25): the delta save pause must stay
+# <=0.25x of a full save at the largest benched size, and recovery from
+# a rebase + chained deltas + compacted tail must stay <=1.25x of
+# recovery from a single full checkpoint.
 #
 #   scripts/ci_bench_gate.sh [--update-baseline] [build-dir]
 #
@@ -45,7 +49,7 @@ trap 'rm -rf "$TMP"' EXIT
 
 # Quick modes: small enough to finish in seconds, large enough that the
 # hot timers clear bench_diff's --min-count sample floor.
-BENCHES="bench_wal bench_serve bench_trace bench_cache bench_postings bench_pool"
+BENCHES="bench_wal bench_serve bench_trace bench_cache bench_postings bench_pool bench_checkpoint"
 args_for() {
   case "$1" in
     bench_wal)      echo "5000" ;;        # max_events
@@ -54,6 +58,7 @@ args_for() {
     bench_cache)    echo "20000 0 0.99 --users=1000" ;;  # ops skews...
     bench_postings) echo "10000 100000 --queries=2000" ;;  # inventory scales
     bench_pool)     echo "6000 8" ;;      # ops connections
+    bench_checkpoint) echo "6000 200" ;;  # events churn-events
   esac
 }
 

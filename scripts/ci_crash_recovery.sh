@@ -6,6 +6,14 @@
 # the recovered state serves. Runs the loop twice: once recovering from
 # the log alone, once through an explicit `checkpoint` + tail replay.
 #
+# Two more phases cover the incremental-durability paths: a kill landing
+# inside a delta checkpoint save (staging wreckage left in
+# checkpoint.delta/ and checkpoint.tmp/ must be ignored, the intact
+# chain recovered), and a kill landing inside a compaction swap (the
+# .clog outputs renamed in but the superseded .log inputs not yet
+# unlinked, plus a stray .clog.tmp — restart must detect the stale
+# inputs, sweep them, and serve the identical state).
+#
 #   ci_crash_recovery.sh <path-to-adrecd> <path-to-adrec_client> <path-to-adrec_tool>
 #
 # Registered as a tier1 ctest (see tests/CMakeLists.txt); the in-process
@@ -22,9 +30,9 @@ WAL_DIR="$(mktemp -d)"
 DAEMON_PID=""
 trap 'kill -9 "$DAEMON_PID" 2>/dev/null || true; rm -rf "$LOG" "$WAL_DIR"' EXIT
 
-start_daemon() {
+start_daemon() {  # start_daemon [extra adrecd flags...]
   : >"$LOG"
-  "$ADRECD" --port=0 --wal-dir="$WAL_DIR" --wal-sync=group >"$LOG" 2>&1 &
+  "$ADRECD" --port=0 --wal-dir="$WAL_DIR" --wal-sync=group "$@" >"$LOG" 2>&1 &
   DAEMON_PID=$!
   PORT=""
   for _ in $(seq 1 50); do
@@ -97,5 +105,68 @@ for ROUND in log-only checkpointed; do
   wait "$DAEMON_PID" || { echo "FAIL: drain exit after recovery"; exit 1; }
   "$TOOL" wal verify "$WAL_DIR" >/dev/null || { echo "FAIL: wal verify after drain"; exit 1; }
 done
+
+echo "crash-recovery: round kill-during-checkpoint-save"
+rm -rf "$WAL_DIR"; mkdir -p "$WAL_DIR"
+start_daemon --checkpoint-mode=delta
+expect "OK" adput 1 100 0 1.5 "" "" "coffee and music deals"
+expect "OK" adput 2 100 0 1.2 "" "" "late night food trucks"
+ingest 10 86400
+expect "OK" checkpoint        # gen 1: the rebase
+ingest 5 88400
+expect "OK" checkpoint        # gen 2: a delta riding on gen 1
+[ -f "$WAL_DIR/checkpoint.delta/CURRENT" ] || { echo "FAIL: no delta CURRENT"; exit 1; }
+ingest 5 90400
+
+# The crash lands inside the NEXT save: SIGKILL, then the wreckage a
+# death between staging and publish leaves behind — a torn delta staging
+# generation and a torn classic checkpoint.tmp. Neither is published, so
+# recovery must ignore both and use the intact gen-2 head.
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+STAGING="$WAL_DIR/checkpoint.delta/gen-00000000000000000099.tmp"
+mkdir -p "$STAGING"
+printf 'K 7 torn-mid-write' >"$STAGING/MANIFEST.tsv"
+mkdir -p "$WAL_DIR/checkpoint.tmp/shard0"
+printf 'half a snapshot' >"$WAL_DIR/checkpoint.tmp/shard0/snapshot_ads.tsv"
+
+"$TOOL" wal verify "$WAL_DIR" >/dev/null || { echo "FAIL: wal verify after checkpoint-save kill"; exit 1; }
+"$TOOL" checkpoint inspect "$WAL_DIR" >/dev/null || { echo "FAIL: checkpoint inspect"; exit 1; }
+start_daemon --checkpoint-mode=delta
+grep -q "adrecd recovered from delta-checkpoint+wal" "$LOG" \
+  || { cat "$LOG"; echo "FAIL: recovery did not use the delta chain"; exit 1; }
+expect "PONG" ping
+expect "ADS" topk 1 3
+expect "OK" tweet 1 92000 "one more after the checkpoint-save kill"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "FAIL: drain exit after checkpoint-save kill"; exit 1; }
+
+echo "crash-recovery: round kill-during-compaction-swap"
+# Reuse the log above. Snapshot the directory, compact the original,
+# then rebuild the exact mid-swap state in the snapshot: every .clog
+# output renamed in, every superseded .log input still present, plus a
+# stray .clog.tmp from the torn staging write.
+PRE_DIR="$(mktemp -d)"
+cp -r "$WAL_DIR/." "$PRE_DIR/"
+"$TOOL" wal compact "$WAL_DIR" >/dev/null || { echo "FAIL: wal compact"; exit 1; }
+CLOGS="$(find "$WAL_DIR" -maxdepth 1 -name '*.clog' | wc -l)"
+[ "$CLOGS" -ge 1 ] || { echo "FAIL: compaction produced no .clog output"; exit 1; }
+find "$WAL_DIR" -maxdepth 1 -name '*.clog' -exec cp {} "$PRE_DIR/" \;
+printf 'torn compaction staging' >"$PRE_DIR/wal-00000000000000000999.clog.tmp"
+rm -rf "$WAL_DIR"; mv "$PRE_DIR" "$WAL_DIR"
+
+"$TOOL" wal verify "$WAL_DIR" >/dev/null || { echo "FAIL: wal verify after compaction-swap kill"; exit 1; }
+start_daemon --checkpoint-mode=delta
+grep -q "adrecd recovered from delta-checkpoint+wal" "$LOG" \
+  || { cat "$LOG"; echo "FAIL: recovery over half-swapped log"; exit 1; }
+expect "PONG" ping
+expect "ADS" topk 1 3
+expect "OK" tweet 1 94000 "one more after the compaction-swap kill"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "FAIL: drain exit after compaction-swap kill"; exit 1; }
+# The stale inputs and staging leftovers must be gone after the restart.
+STALE="$(find "$WAL_DIR" -maxdepth 1 -name '*.clog.tmp' | wc -l)"
+[ "$STALE" -eq 0 ] || { echo "FAIL: $STALE stray .clog.tmp left behind"; exit 1; }
+"$TOOL" wal verify "$WAL_DIR" >/dev/null || { echo "FAIL: wal verify after sweep"; exit 1; }
 
 echo "crash-recovery: all checks passed"

@@ -22,7 +22,11 @@
 #           pool (acceptor handing sockets to event-loop workers over
 #           SPSC mailboxes, cross-worker stats/trace merge, per-shard
 #           WAL streams with group commit, and the per-stream repl
-#           handshake).
+#           handshake), and the incremental-durability subsystem (delta
+#           checkpoint saves with shard-parallel serialization, sealed-
+#           segment compaction racing appends, checkpoint load
+#           rejection, and the 20-seed delta≡full≡reference crash
+#           differential with kill-points inside saves and swaps).
 #   asan  — AddressSanitizer over the full suite minus the `fuzz` label
 #           (the high-volume testkit differential sweeps; instrumented
 #           builds run them ~10x slower for no extra memory-bug coverage —
@@ -41,7 +45,7 @@ JOBS="$(nproc)"
 
 run_tsan() {
   local build_dir="${1:-build-tsan}"
-  local tsan_tests='obs_registry_test|obs_trace_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|serve_trace_test|wal_log_test|serve_wal_test|serve_replica_test|serve_cache_test|cache_differential_test|postings_codec_test|postings_index_test|postings_differential_test|serve_pool_test'
+  local tsan_tests='obs_registry_test|obs_trace_test|core_engine_stats_test|core_sharded_test|common_histogram_test|feed_replayer_test|serve_daemon_test|serve_reporter_test|serve_trace_test|wal_log_test|serve_wal_test|serve_replica_test|serve_cache_test|cache_differential_test|postings_codec_test|postings_index_test|postings_differential_test|serve_pool_test|wal_delta_checkpoint_test|wal_compact_test|wal_checkpoint_load_test|wal_delta_differential_test'
   cmake -B "${build_dir}" -S . \
     -DADREC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -52,7 +56,8 @@ run_tsan() {
     wal_log_test serve_wal_test serve_replica_test \
     serve_cache_test cache_differential_test \
     postings_codec_test postings_index_test postings_differential_test \
-    serve_pool_test
+    serve_pool_test wal_delta_checkpoint_test wal_compact_test \
+    wal_checkpoint_load_test wal_delta_differential_test
   ctest --test-dir "${build_dir}" -R "${tsan_tests}" \
     --output-on-failure -j "${JOBS}"
   echo "TSan gate passed."

@@ -16,6 +16,32 @@ inline uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Content hash of an arbitrary byte string, built by chaining Mix64
+/// over 8-byte little-endian words (tail bytes are zero-padded and the
+/// length is folded in last, so "a" and "a\0" hash differently). Used
+/// where a *stable on-disk fingerprint* is needed — delta-checkpoint
+/// manifests record one per snapshot file — so the function must never
+/// change across versions; it shares Mix64's audited constants rather
+/// than introducing a second mixer.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0x8445D61A4E774912ull;  // arbitrary non-zero seed
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w = 0;
+    for (size_t b = 0; b < 8; ++b) {
+      w |= static_cast<uint64_t>(p[i + b]) << (8 * b);
+    }
+    h = Mix64(h ^ w);
+  }
+  uint64_t tail = 0;
+  for (size_t b = 0; i + b < len; ++b) {
+    tail |= static_cast<uint64_t>(p[i + b]) << (8 * b);
+  }
+  h = Mix64(h ^ tail);
+  return Mix64(h ^ static_cast<uint64_t>(len));
+}
+
 /// Fibonacci-hash partitioning of a 32-bit id over `num_shards` buckets.
 /// Spreads sequential ids evenly; deterministic across processes, so a
 /// restarted or replicated deployment routes identically.

@@ -68,6 +68,7 @@ RecommendationEngine::RecommendationEngine(
 }
 
 void RecommendationEngine::OnTweet(const feed::Tweet& tweet) {
+  ++mutation_epoch_;
   AnnotatedTweet annotated;
   {
     obs::StageSpan probe(StageTimer(tm_annotate_), "engine.annotate");
@@ -84,6 +85,7 @@ void RecommendationEngine::OnTweet(const feed::Tweet& tweet) {
 }
 
 void RecommendationEngine::OnCheckIn(const feed::CheckIn& check_in) {
+  ++mutation_epoch_;
   {
     obs::StageSpan probe(StageTimer(tm_profile_update_), "engine.profile_update");
     profiles_.ObserveCheckIn(check_in.user, check_in.time, check_in.location);
@@ -129,6 +131,7 @@ void RecommendationEngine::ReplayForAnalysis(const feed::FeedEvent& event) {
 }
 
 Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
+  ++mutation_epoch_;
   AdContext ctx;
   {
     obs::StageSpan probe(StageTimer(tm_annotate_), "engine.annotate");
@@ -152,6 +155,7 @@ Status RecommendationEngine::InsertAd(const feed::Ad& ad) {
 }
 
 Status RecommendationEngine::RemoveAd(AdId id) {
+  ++mutation_epoch_;
   obs::StageSpan probe(StageTimer(tm_index_update_), "engine.index_update");
   ADREC_RETURN_NOT_OK(store_.Remove(id));
   ADREC_RETURN_NOT_OK(cindex_ != nullptr ? cindex_->Remove(id)
@@ -294,6 +298,7 @@ index::AdQuery RecommendationEngine::BuildQuery(const feed::Tweet& tweet,
 
 std::vector<index::ScoredAd> RecommendationEngine::TopKAdsForTweet(
     const feed::Tweet& tweet, size_t k) {
+  ++mutation_epoch_;
   obs::StageSpan probe(StageTimer(tm_topk_), "engine.topk");
   // Over-fetch to survive budget filtering, then keep the first k with
   // budget and charge them.
@@ -333,6 +338,7 @@ TopkContext RecommendationEngine::TopkContextFor(
 
 bool RecommendationEngine::ChargeCachedTopK(const feed::Tweet& tweet,
                                             const std::vector<AdId>& ads) {
+  ++mutation_epoch_;
   obs::StageSpan probe(StageTimer(tm_topk_), "engine.topk_cached");
   const bool cap_enabled = frequency_cap_enabled();
   // Validate everything before charging anything so a failure leaves the

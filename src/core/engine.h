@@ -239,6 +239,14 @@ class RecommendationEngine {
   size_t tweets_ingested() const { return tweets_ingested_; }
   size_t checkins_ingested() const { return checkins_ingested_; }
 
+  /// Monotone counter bumped by every entry point that can mutate
+  /// snapshot state (ingest, inventory changes, serving-side impression
+  /// charging). The delta checkpointer (wal/delta) skips re-serializing
+  /// a shard whose epoch is unchanged since its last save — a spurious
+  /// bump only costs a redundant serialize, a missed one would corrupt
+  /// the delta chain, so mutators bump unconditionally at entry.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   index::AdQuery BuildQuery(const feed::Tweet& tweet, size_t k) const;
 
@@ -268,6 +276,7 @@ class RecommendationEngine {
   bool analysis_valid_ = false;
   size_t tweets_ingested_ = 0;
   size_t checkins_ingested_ = 0;
+  uint64_t mutation_epoch_ = 0;
 
   // Observability: the registry plus cached handles so the hot path never
   // takes the registration lock.

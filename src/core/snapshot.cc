@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <tuple>
 
 #include "common/fs_util.h"
@@ -75,27 +76,19 @@ Result<text::SparseVector> DecodeVector(std::string_view field) {
 
 }  // namespace
 
-Status SaveEngineSnapshot(const RecommendationEngine& engine,
-                          const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) return Status::IoError("cannot create " + dir);
-
+Result<std::vector<SnapshotFile>> SerializeEngineSnapshot(
+    const RecommendationEngine& engine) {
   // Emission order is canonicalized everywhere below (sorted by id):
   // the underlying stores iterate hash maps or insertion order, and a
   // snapshot's bytes must not depend on either — byte-identical state
-  // must produce byte-identical snapshot files (testkit determinism).
+  // must produce byte-identical snapshot files (testkit determinism,
+  // and the delta-checkpoint diff: an unchanged store must hash equal).
 
-  // Each file is written to a `.tmp` sibling, fsynced and renamed into
-  // place — a crash mid-save never leaves a half-written file under its
-  // final name. The manifest (file sizes) is renamed LAST, so a crash
-  // between renames of the data files is detectable at load time: the
-  // surviving manifest's sizes no longer match the mixed file set.
+  std::vector<SnapshotFile> files;
 
   // --- Profiles + current locations. ---
   {
-    std::ofstream out(ProfilesPath(dir) + ".tmp");
-    if (!out) return Status::IoError("cannot open profiles file");
+    std::ostringstream out;
     std::vector<std::pair<UserId, const profile::UserState*>> states;
     engine.profiles().ForEachState(
         [&](UserId user, const profile::UserState& state) {
@@ -130,11 +123,11 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
     for (const auto& [user, loc] : locations) {
       out << "L\t" << user << '\t' << loc << '\n';
     }
-    out.flush();
-    if (!out) return Status::IoError("profiles write failed");
+    files.push_back({std::string(kProfilesFile), out.str()});
   }
 
-  // --- Ads + impressions. ---
+  // --- Ads + impressions. The ads file is byte-for-byte the
+  // feed::WriteAds format so feed::ReadAds loads it unchanged. ---
   std::vector<feed::Ad> ads;
   std::vector<std::pair<uint32_t, int64_t>> impressions;
   engine.ad_store().ForEach([&](const ads::StoredAd& stored) {
@@ -144,22 +137,25 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
   std::sort(ads.begin(), ads.end(),
             [](const feed::Ad& a, const feed::Ad& b) { return a.id < b.id; });
   std::sort(impressions.begin(), impressions.end());
-  ADREC_RETURN_NOT_OK(feed::WriteAds(AdsPath(dir) + ".tmp", ads));
   {
-    std::ofstream out(ImpressionsPath(dir) + ".tmp");
-    if (!out) return Status::IoError("cannot open impressions file");
+    std::ostringstream out;
+    for (const feed::Ad& ad : ads) {
+      out << "A\t" << feed::FormatAdFields(ad) << '\n';
+    }
+    files.push_back({std::string(kAdsFile), out.str()});
+  }
+  {
+    std::ostringstream out;
     for (const auto& [ad, served] : impressions) {
       out << "M\t" << ad << '\t' << served << '\n';
     }
-    out.flush();
-    if (!out) return Status::IoError("impressions write failed");
+    files.push_back({std::string(kImpressionsFile), out.str()});
   }
 
   // --- Frequency-cap state. Without it a restored engine re-serves ads
   // the saved engine would cap, breaking save→load→continue equivalence.
   {
-    std::ofstream out(FreqCapPath(dir) + ".tmp");
-    if (!out) return Status::IoError("cannot open freqcap file");
+    std::ostringstream out;
     struct CapRow {
       uint32_t user;
       uint32_t ad;
@@ -182,40 +178,58 @@ Status SaveEngineSnapshot(const RecommendationEngine& engine,
       if (row.times.empty()) continue;
       out << "F\t" << row.user << '\t' << row.ad << '\t' << row.times << '\n';
     }
-    out.flush();
-    if (!out) return Status::IoError("freqcap write failed");
+    files.push_back({std::string(kFreqCapFile), out.str()});
   }
 
-  // --- Commit: fsync staged files, rename into place, manifest last. ---
-  const std::string files[] = {
-      std::string(kProfilesFile), std::string(kAdsFile),
-      std::string(kImpressionsFile), std::string(kFreqCapFile)};
+  // --- Integrity manifest, derived from the in-memory byte counts
+  // (identical to what file_size reports after an untranslated write). ---
   std::string manifest;
-  for (const std::string& name : files) {
-    const std::string tmp = dir + "/" + name + ".tmp";
-    ADREC_RETURN_NOT_OK(FsyncFile(tmp));
-    std::error_code size_ec;
-    const uintmax_t bytes = std::filesystem::file_size(tmp, size_ec);
-    if (size_ec) return Status::IoError("stat " + tmp);
-    manifest += StringFormat("S\t%s\t%llu\n", name.c_str(),
-                             static_cast<unsigned long long>(bytes));
+  for (const SnapshotFile& f : files) {
+    manifest += StringFormat("S\t%s\t%llu\n", f.name.c_str(),
+                             static_cast<unsigned long long>(f.contents.size()));
   }
-  for (const std::string& name : files) {
-    ADREC_RETURN_NOT_OK(
-        RenamePath(dir + "/" + name + ".tmp", dir + "/" + name));
+  files.push_back({std::string(kManifestFile), std::move(manifest)});
+  return files;
+}
+
+Status WriteSnapshotFiles(const std::string& dir,
+                          const std::vector<SnapshotFile>& files) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir);
+
+  // Each file is written to a `.tmp` sibling, fsynced and renamed into
+  // place — a crash mid-save never leaves a half-written file under its
+  // final name. The manifest (file sizes) is renamed LAST, so a crash
+  // between renames of the data files is detectable at load time: the
+  // surviving manifest's sizes no longer match the mixed file set.
+  if (files.empty() || files.back().name != kManifestFile) {
+    return Status::InvalidArgument("snapshot files must end with manifest");
   }
-  {
-    const std::string tmp = ManifestPath(dir) + ".tmp";
+  for (const SnapshotFile& f : files) {
+    const std::string tmp = dir + "/" + f.name + ".tmp";
     std::ofstream out(tmp);
-    if (!out) return Status::IoError("cannot open manifest file");
-    out << manifest;
+    if (!out) return Status::IoError("cannot open " + tmp);
+    out << f.contents;
     out.flush();
-    if (!out) return Status::IoError("manifest write failed");
+    if (!out) return Status::IoError("write failed on " + tmp);
     out.close();
     ADREC_RETURN_NOT_OK(FsyncFile(tmp));
-    ADREC_RETURN_NOT_OK(RenamePath(tmp, ManifestPath(dir)));
   }
+  for (size_t i = 0; i + 1 < files.size(); ++i) {
+    ADREC_RETURN_NOT_OK(RenamePath(dir + "/" + files[i].name + ".tmp",
+                                   dir + "/" + files[i].name));
+  }
+  ADREC_RETURN_NOT_OK(RenamePath(dir + "/" + files.back().name + ".tmp",
+                                 dir + "/" + files.back().name));
   return FsyncDir(dir);
+}
+
+Status SaveEngineSnapshot(const RecommendationEngine& engine,
+                          const std::string& dir) {
+  Result<std::vector<SnapshotFile>> files = SerializeEngineSnapshot(engine);
+  if (!files.ok()) return files.status();
+  return WriteSnapshotFiles(dir, files.value());
 }
 
 Status LoadEngineSnapshot(const std::string& dir,

@@ -2,6 +2,7 @@
 #define ADREC_CORE_SNAPSHOT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/engine.h"
@@ -41,6 +42,28 @@ namespace adrec::core {
 /// and then RunAnalysis — after which the restored engine is
 /// indistinguishable from one that never restarted (testkit asserts
 /// exactly this).
+
+/// One snapshot file, fully materialized in memory. `name` is the
+/// basename it would carry on disk (e.g. "snapshot_ads.tsv").
+struct SnapshotFile {
+  std::string name;
+  std::string contents;
+};
+
+/// Serializes the engine's snapshot into in-memory files — byte-for-byte
+/// what SaveEngineSnapshot would write, in write order with the
+/// integrity manifest last. Callers that want to diff, hash, or persist
+/// selectively (the delta-checkpoint path) use this; SaveEngineSnapshot
+/// is implemented on top of it.
+Result<std::vector<SnapshotFile>> SerializeEngineSnapshot(
+    const RecommendationEngine& engine);
+
+/// Persists serialized snapshot files into `dir` (created if needed)
+/// with the atomic-save protocol: every file staged as `<name>.tmp`,
+/// fsynced and renamed, the manifest renamed LAST, directory fsynced.
+/// `files` must be in SerializeEngineSnapshot order (manifest last).
+Status WriteSnapshotFiles(const std::string& dir,
+                          const std::vector<SnapshotFile>& files);
 
 /// Writes the engine's snapshot into `dir` (created if needed).
 Status SaveEngineSnapshot(const RecommendationEngine& engine,

@@ -12,8 +12,8 @@ namespace {
 constexpr std::string_view kVerbNames[kNumVerbs] = {
     "tweet",   "checkin", "adput",   "addel",    "topk",
     "match",   "analyze", "stats",   "metrics",  "snapshot",
-    "checkpoint", "repl", "promote", "trace",    "slow",
-    "conns",   "ping",    "quit"};
+    "checkpoint", "compact", "repl", "promote",  "trace",
+    "slow",    "conns",   "ping",    "quit"};
 
 Result<uint64_t> ParseU64(std::string_view field) {
   const std::string s(field);
@@ -71,6 +71,7 @@ bool IsWriteVerb(Verb verb) {
     case Verb::kMetrics:
     case Verb::kSnapshot:
     case Verb::kCheckpoint:
+    case Verb::kCompact:
     case Verb::kRepl:
     case Verb::kPromote:
     case Verb::kTrace:
@@ -220,8 +221,8 @@ Result<Request> ParseRequest(std::string_view line) {
     return req;
   }
   if (verb == "stats" || verb == "metrics" || verb == "checkpoint" ||
-      verb == "promote" || verb == "slow" || verb == "conns" ||
-      verb == "ping" || verb == "quit") {
+      verb == "compact" || verb == "promote" || verb == "slow" ||
+      verb == "conns" || verb == "ping" || verb == "quit") {
     if (has_payload) {
       return Status::InvalidArgument(std::string(verb) +
                                      " takes no arguments");
@@ -229,6 +230,7 @@ Result<Request> ParseRequest(std::string_view line) {
     req.verb = verb == "stats"        ? Verb::kStats
                : verb == "metrics"    ? Verb::kMetrics
                : verb == "checkpoint" ? Verb::kCheckpoint
+               : verb == "compact"    ? Verb::kCompact
                : verb == "promote"    ? Verb::kPromote
                : verb == "slow"       ? Verb::kSlow
                : verb == "conns"      ? Verb::kConns

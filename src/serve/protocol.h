@@ -41,6 +41,10 @@ namespace adrec::serve {
 ///        snapshot root — the verb is disabled when no root is set)
 ///   checkpoint                         -> OK   (WAL-coordinated durable
 ///        checkpoint — see wal/checkpoint.h; disabled without --wal-dir)
+///   compact                            -> OK   (rewrite sealed WAL
+///        segments dropping superseded inventory records — see
+///        wal/delta/compactor.h; disabled without --wal-dir. Segments a
+///        connected follower still needs are preserved.)
 ///   repl <cursor>                      -> REPL OK <cursor> / <stream...>
 ///        (replication handshake: the connection becomes a one-way WAL
 ///        frame stream starting after seqno <cursor> — raw CRC frames
@@ -87,6 +91,7 @@ enum class Verb {
   kMetrics,
   kSnapshot,
   kCheckpoint,
+  kCompact,
   kRepl,
   kPromote,
   kTrace,
@@ -96,7 +101,7 @@ enum class Verb {
   kQuit,
 };
 
-inline constexpr size_t kNumVerbs = 18;
+inline constexpr size_t kNumVerbs = 19;
 
 /// The wire name of a verb ("tweet", "checkin", ...).
 std::string_view VerbName(Verb verb);

@@ -22,6 +22,7 @@
 #include "serve/pool/context.h"
 #include "serve/reporter.h"
 #include "wal/checkpoint.h"
+#include "wal/delta/compactor.h"
 #include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
@@ -551,6 +552,7 @@ void Server::Dispatch(std::string_view line, Connection* conn) {
       case Verb::kMatch:
       case Verb::kSnapshot:
       case Verb::kCheckpoint:
+      case Verb::kCompact:
       case Verb::kPromote:
       case Verb::kConns:
       case Verb::kStats:
@@ -814,6 +816,8 @@ std::string Server::ExecuteQuiesced(const Request& req,
       return ExecuteSnapshot(req);
     case Verb::kCheckpoint:
       return ExecuteCheckpoint();
+    case Verb::kCompact:
+      return ExecuteCompact();
     case Verb::kPromote:
       return ExecutePromote();
     case Verb::kStats:
@@ -897,6 +901,8 @@ std::string Server::Execute(const Request& req, Connection* conn) {
       return ExecuteSnapshot(req);
     case Verb::kCheckpoint:
       return ExecuteCheckpoint();
+    case Verb::kCompact:
+      return ExecuteCompact();
     case Verb::kRepl:
       return ExecuteRepl(req, conn);
     case Verb::kPromote:
@@ -1168,6 +1174,60 @@ std::string Server::ExecuteCheckpoint() {
   return "OK" + std::string(kCrlf);
 }
 
+uint64_t Server::ReplCursorFloor(size_t stream) const {
+  uint64_t floor = UINT64_MAX;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.replica && conn.repl_stream == stream) {
+      floor = std::min<uint64_t>(floor, conn.repl_next_seqno);
+    }
+  }
+  return floor;
+}
+
+std::string Server::ExecuteCompact() {
+  if (streams_.empty()) {
+    return "SERVER_ERROR compaction disabled (no wal configured)" +
+           std::string(kCrlf);
+  }
+  size_t segments_in = 0;
+  size_t segments_out = 0;
+  uint64_t records_dropped = 0;
+  uint64_t bytes_reclaimed = 0;
+  for (size_t s = 0; s < num_streams(); ++s) {
+    wal::delta::CompactionOptions opts;
+    // Frames an attached follower has not consumed yet must survive
+    // verbatim: the preserve floor is the min resume cursor across every
+    // worker's replication connections on this stream.
+    opts.preserve_floor = ReplCursorFloor(s);
+    if (pool_mode()) {
+      for (Server* srv : pool_->servers) {
+        opts.preserve_floor =
+            std::min(opts.preserve_floor, srv->ReplCursorFloor(s));
+      }
+    }
+    auto report = wal::delta::CompactSealed(streams_[s], opts);
+    if (!report.ok()) {
+      ADREC_LOG(kError) << "serve: wal compaction failed (stream " << s
+                        << "): " << report.status().ToString();
+      return "SERVER_ERROR " + report.status().ToString() +
+             std::string(kCrlf);
+    }
+    if (!report.value().ran) continue;
+    segments_in += report.value().segments_in;
+    segments_out += report.value().segments_out;
+    records_dropped += report.value().records_dropped;
+    bytes_reclaimed += report.value().bytes_in - report.value().bytes_out;
+  }
+  last_compact_ = std::chrono::steady_clock::now();
+  if (segments_in > 0) {
+    ADREC_LOG(kInfo) << "serve: compacted " << segments_in << " -> "
+                     << segments_out << " sealed segments, dropped "
+                     << records_dropped << " records, reclaimed "
+                     << bytes_reclaimed << " bytes";
+  }
+  return "OK" + std::string(kCrlf);
+}
+
 std::string Server::ExecuteRepl(const Request& req, Connection* conn) {
   if (streams_.empty()) {
     return "SERVER_ERROR replication disabled (no wal configured)" +
@@ -1399,6 +1459,29 @@ void Server::MaybeCheckpoint() {
   }
 }
 
+void Server::MaybeCompact() {
+  if (streams_.empty() || options_.compact_interval <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double since =
+      std::chrono::duration<double>(now - last_compact_).count();
+  if (since < options_.compact_interval) return;
+  last_compact_ = now;
+  auto do_compact = [this] {
+    const std::string reply = ExecuteCompact();
+    if (!StartsWith(reply, "OK")) {
+      ADREC_LOG(kError) << "serve: idle compaction failed: " << reply;
+    }
+  };
+  if (pool_mode()) {
+    // Compaction rewrites every stream's sealed files and scans sibling
+    // connection tables for replica cursors: stop the world, exactly
+    // like the explicit `compact` verb. Only lane 0 initiates.
+    pool_->barrier.Run(options_.lane, &pool_->mail, do_compact);
+  } else {
+    do_compact();
+  }
+}
+
 obs::MetricsSnapshot Server::MergedSnapshot() const {
   if (pool_mode() && pool_->merged_snapshot) {
     // The pool-wide view. Only safe quiescent (stats/metrics run under
@@ -1417,6 +1500,9 @@ obs::MetricsSnapshot Server::MergedSnapshot() const {
   }
   for (const replica::Follower* follower : followers_) {
     snapshot.MergeFrom(follower->metrics().Snapshot());
+  }
+  if (options_.checkpointer != nullptr) {
+    snapshot.MergeFrom(options_.checkpointer->metrics().Snapshot());
   }
   if (options_.tracer != nullptr) {
     snapshot.MergeFrom(options_.tracer->metrics().Snapshot());
@@ -1499,6 +1585,7 @@ void Server::Run() {
   const auto drain_deadline_never = std::chrono::steady_clock::time_point::max();
   auto drain_deadline = drain_deadline_never;
   last_checkpoint_ = std::chrono::steady_clock::now();
+  last_compact_ = last_checkpoint_;
 
   std::vector<pollfd> fds;
   std::vector<int> conn_fds;
@@ -1709,6 +1796,7 @@ void Server::Run() {
     CloseIdle();
     if (!draining_ && (!pool_mode() || options_.lane == 0)) {
       MaybeCheckpoint();
+      MaybeCompact();
     }
     if (reporting && !draining_) reporter.TickIfDue();
     // Drain semantics: stop reading new requests, flush what is queued.

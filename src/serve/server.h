@@ -87,6 +87,12 @@ struct ServerOptions {
   /// Take a checkpoint automatically every this many wall seconds
   /// (0 = only on explicit `checkpoint` commands).
   double checkpoint_interval = 0.0;
+  /// Idle-time WAL segment compaction cadence in wall seconds (0 = only
+  /// on explicit `compact` commands): sealed segments are rewritten
+  /// dropping superseded inventory records (wal/delta/compactor.h).
+  /// Segments a connected follower still needs are never touched.
+  /// Requires a log.
+  double compact_interval = 0.0;
   /// Follower mode (not owned; nullptr = this daemon is a leader or a
   /// standalone). When set, the server polls the follower's leader
   /// connection inside its own event loop, starts read-only (write verbs
@@ -218,6 +224,13 @@ class Server {
   void set_read_only(bool read_only) { read_only_ = read_only; }
   bool read_only() const { return read_only_; }
 
+  /// Smallest WAL seqno a replication connection on THIS worker still
+  /// needs from `stream` (its next unshipped frame), UINT64_MAX when no
+  /// replica is attached here. Compaction takes the min across workers
+  /// as its preserve floor so a follower's resume cursor never lands in
+  /// a compacted gap.
+  uint64_t ReplCursorFloor(size_t stream) const;
+
   /// Completes a forwarded op's reply slot (runs on this worker's thread
   /// via a mailbox ack task). Drops silently when the connection is
   /// already gone.
@@ -306,6 +319,9 @@ class Server {
   std::string ExecuteConns(const Connection* self);
   std::string ExecuteSnapshot(const Request& req);
   std::string ExecuteCheckpoint();
+  /// The `compact` verb body: compacts every stream's sealed segments,
+  /// preserving everything at or past the attached replicas' cursors.
+  std::string ExecuteCompact();
   std::string ExecuteRepl(const Request& req, Connection* conn);
   std::string ExecutePromote();
   /// Leader-side tail fan-out: after the wave's WAL commit, ships newly
@@ -318,6 +334,9 @@ class Server {
   /// write-verb traces with a retroactive `wal.commit_wave` span.
   void CommitWal();
   void MaybeCheckpoint();
+  /// Idle-time compaction trigger (options_.compact_interval), run from
+  /// the event loop between waves like MaybeCheckpoint.
+  void MaybeCompact();
   /// Finishes a trace through the collector and recycles the builder.
   void FinishTrace(std::unique_ptr<obs::TraceBuilder> trace);
 
@@ -356,6 +375,7 @@ class Server {
   /// options_.start_read_only).
   bool read_only_ = false;
   std::chrono::steady_clock::time_point last_checkpoint_{};
+  std::chrono::steady_clock::time_point last_compact_{};
   std::map<int, Connection> connections_;
   /// Connection ids are monotonic across the server's lifetime (fds are
   /// recycled by the kernel; `conns` output should not be).

@@ -284,12 +284,23 @@ RunOutcome DifferentialChecker::RunWalCrash(
   // up to the crash, the recovered engine after it.
   uint64_t ckpt_tweets = 0, ckpt_checkins = 0;
   uint64_t pre_queries = 0, pre_impressions = 0;
+  // Ingest counters frozen at each checkpoint mark, keyed by the mark's
+  // synced seqno (per-stream max): recovery may land on an OLDER mark
+  // than the last one taken (delta-chain fallback after damage), and the
+  // counter split below must credit the mark actually recovered.
+  struct CheckpointMark {
+    uint64_t seqno;
+    uint64_t tweets;
+    uint64_t checkins;
+  };
+  std::vector<CheckpointMark> ckpt_marks;
   const size_t num_streams = options_.wal_shards;
   // Per-stream seqno the first unacked record would get, plus which
   // stream owns the event that crashed mid-frame.
   std::vector<uint64_t> crash_seqnos(num_streams, 0);
   size_t torn_stream = 0;
-  wal::CheckpointManager checkpointer(options_.wal_dir);
+  wal::CheckpointManager checkpointer(options_.wal_dir,
+                                      options_.wal_checkpoint_options);
 
   {
     core::ShardedEngine before(kb_, slots_, options_.wal_shards,
@@ -348,14 +359,30 @@ RunOutcome DifferentialChecker::RunWalCrash(
     const auto topk = [&](const feed::Tweet& t, size_t k) {
       return before.TopKAdsForTweet(t, k);
     };
-    StreamWithProbes(events, 0, checkpoint_at, options_.probe_every,
-                     options_.top_k, &tweet_ordinal, on_event, topk,
-                     &outcome);
     if (with_checkpoint) {
-      ADREC_CHECK(checkpointer.Checkpoint(before, w, 0).ok());
-      const core::EngineStats at_mark = before.Stats();
-      ckpt_tweets = at_mark.tweets;
-      ckpt_checkins = at_mark.checkins;
+      // Evenly spaced checkpoints through [0, checkpoint_at]; more than
+      // one builds a delta chain in kDelta mode. The recovery mark is
+      // the LAST checkpoint, so its stats split the counters.
+      const size_t ckpts = std::max<size_t>(1, options_.wal_checkpoint_count);
+      size_t streamed = 0;
+      for (size_t c = 1; c <= ckpts; ++c) {
+        const size_t upto = checkpoint_at * c / ckpts;
+        StreamWithProbes(events, streamed, upto, options_.probe_every,
+                         options_.top_k, &tweet_ordinal, on_event, topk,
+                         &outcome);
+        streamed = upto;
+        ADREC_CHECK(checkpointer.Checkpoint(before, w, 0).ok());
+        uint64_t mark_seqno = 0;
+        for (size_t s = 0; s < num_streams; ++s) {
+          mark_seqno = std::max(mark_seqno, w->stream(s)->synced_seqno());
+        }
+        const core::EngineStats at_mark = before.Stats();
+        ckpt_marks.push_back({mark_seqno, at_mark.tweets, at_mark.checkins});
+      }
+    } else {
+      StreamWithProbes(events, 0, checkpoint_at, options_.probe_every,
+                       options_.top_k, &tweet_ordinal, on_event, topk,
+                       &outcome);
     }
     StreamWithProbes(events, checkpoint_at, crash, options_.probe_every,
                      options_.top_k, &tweet_ordinal, on_event, topk,
@@ -390,6 +417,8 @@ RunOutcome DifferentialChecker::RunWalCrash(
     ADREC_CHECK(static_cast<bool>(torn));
   }
 
+  if (options_.post_crash_hook) options_.post_crash_hook(options_.wal_dir);
+
   core::ShardedEngine after(kb_, slots_, options_.wal_shards,
                             options_.engine);
   auto recovered = checkpointer.Recover(&after, num_streams);
@@ -399,6 +428,18 @@ RunOutcome DifferentialChecker::RunWalCrash(
     ADREC_CHECK(recovered.ok());
   }
   if (recovery != nullptr) *recovery = recovered.value();
+  if (recovered.value().from_checkpoint) {
+    // Credit the counters frozen at the mark recovery actually used —
+    // live replay re-counts everything past it. Marks are ascending, so
+    // the last one at or below the recovered seqno wins; a log-only
+    // fallback (from_checkpoint false) keeps the split at zero.
+    for (const CheckpointMark& m : ckpt_marks) {
+      if (m.seqno <= recovered.value().checkpoint_seqno) {
+        ckpt_tweets = m.tweets;
+        ckpt_checkins = m.checkins;
+      }
+    }
+  }
 
   StreamWithProbes(
       events, crash, events.size(), options_.probe_every, options_.top_k,

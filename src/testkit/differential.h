@@ -2,6 +2,7 @@
 #define ADREC_TESTKIT_DIFFERENTIAL_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -14,6 +15,7 @@
 #include "feed/types.h"
 #include "index/ad_index.h"
 #include "timeline/time_slots.h"
+#include "wal/checkpoint.h"
 
 namespace adrec::wal {
 struct RecoveryResult;
@@ -118,6 +120,19 @@ struct DifferentialOptions {
   /// classic single-stream layout, exactly comparable to RunSingle
   /// (full CompareOptions).
   size_t wal_shards = 1;
+  /// Checkpoint manager configuration for the crash variant: set
+  /// mode = kDelta / rebase_every to exercise the delta-chain save path
+  /// (wal/delta/delta_checkpoint.h) instead of full snapshots.
+  wal::CheckpointOptions wal_checkpoint_options;
+  /// Checkpoints taken, evenly spaced through the first
+  /// wal_checkpoint_fraction of the trace (>= 1; several build a delta
+  /// chain in kDelta mode — rebase generation plus deltas).
+  size_t wal_checkpoint_count = 1;
+  /// Runs between the crash (after torn-tail injection) and recovery,
+  /// with the log directory fully quiescent — the hook for offline
+  /// compaction and kill-point surgery on checkpoint / compaction-swap
+  /// artifacts.
+  std::function<void(const std::string& wal_dir)> post_crash_hook;
 
   // --- Replica promotion variant (RunReplicaPromotion). ---
   /// The follower's own log directory; fresh per run. (The leader logs

@@ -1,6 +1,7 @@
 #include "wal/checkpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -10,8 +11,21 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/snapshot.h"
+#include "obs/trace.h"
+#include "wal/delta/delta_checkpoint.h"
 
 namespace adrec::wal {
+
+Result<CheckpointMode> ParseCheckpointMode(std::string_view name) {
+  if (name == "full") return CheckpointMode::kFull;
+  if (name == "delta") return CheckpointMode::kDelta;
+  return Status::InvalidArgument("unknown checkpoint mode '" +
+                                 std::string(name) + "' (full|delta)");
+}
+
+std::string_view CheckpointModeName(CheckpointMode mode) {
+  return mode == CheckpointMode::kDelta ? "delta" : "full";
+}
 
 namespace {
 
@@ -94,6 +108,118 @@ Status RemoveAll(const std::string& path) {
   return Status::OK();
 }
 
+/// Counts files/bytes a full checkpoint is about to swap in, for the
+/// checkpoint.files_written / checkpoint.bytes_written families.
+void DirStats(const std::string& dir, uint64_t* files, uint64_t* bytes) {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::error_code size_ec;
+    const uintmax_t sz = entry.file_size(size_ec);
+    *files += 1;
+    if (!size_ec) *bytes += sz;
+  }
+}
+
+/// The checkpoint recovery should restore from: the newer of the classic
+/// directory (checkpoint / checkpoint.old) and the delta-chain head
+/// (checkpoint.delta), compared by (wal_seqno, stream_time). A chosen
+/// delta head is materialised — with strict size + content-hash
+/// verification of every referenced file — into
+/// `<wal_dir>/checkpoint.restore.tmp`, laid out exactly like a classic
+/// checkpoint, so the per-shard load path is identical either way. A
+/// generation that fails verification is skipped, falling back to older
+/// generations and finally the classic directory. Never hard-fails:
+/// worst case is `found == false` (recover from the log alone).
+struct PickedCheckpoint {
+  bool found = false;
+  std::string dir;      ///< directory holding shard<i>/ + MANIFEST.tsv
+  std::string staging;  ///< non-empty: materialised copy, delete after load
+  CheckpointManifest manifest;
+  bool is_delta = false;
+  uint64_t delta_gen = 0;
+  size_t delta_chain_len = 0;
+};
+
+PickedCheckpoint PickCheckpoint(const std::string& wal_dir,
+                                const std::string& classic_dir) {
+  PickedCheckpoint picked;
+
+  bool have_classic = false;
+  std::string classic_chosen;
+  CheckpointManifest classic_manifest;
+  for (const std::string& candidate : {classic_dir, classic_dir + ".old"}) {
+    auto m = ReadManifest(candidate);
+    if (m.ok()) {
+      have_classic = true;
+      classic_chosen = candidate;
+      classic_manifest = m.value();
+      break;
+    }
+    if (m.status().code() != StatusCode::kNotFound) {
+      ADREC_LOG(kWarning) << "skipping unreadable checkpoint " << candidate
+                          << ": " << m.status().ToString();
+    }
+  }
+
+  const std::string staging = wal_dir + "/checkpoint.restore.tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(staging, ec);  // leftover of a crashed restore
+
+  // Delta candidates, best first: the resolved head, then every other
+  // generation newest-first (the head resolution already prefers CURRENT
+  // and verifies file presence; materialisation adds the hash check).
+  std::vector<delta::DeltaManifest> candidates;
+  {
+    auto head = delta::ResolveHead(wal_dir);
+    if (head.ok()) candidates.push_back(std::move(head).value());
+    auto gens = delta::ListGenerations(wal_dir);
+    if (gens.ok()) {
+      std::sort(gens.value().begin(), gens.value().end(),
+                [](const delta::DeltaManifest& a,
+                   const delta::DeltaManifest& b) { return a.gen > b.gen; });
+      for (delta::DeltaManifest& m : gens.value()) {
+        if (candidates.empty() || m.gen != candidates.front().gen) {
+          candidates.push_back(std::move(m));
+        }
+      }
+    }
+  }
+  for (const delta::DeltaManifest& cand : candidates) {
+    const bool newer_than_classic =
+        !have_classic ||
+        std::make_pair(cand.wal_seqno, cand.stream_time) >=
+            std::make_pair(classic_manifest.wal_seqno,
+                           classic_manifest.stream_time);
+    if (!newer_than_classic) break;  // older candidates only get older
+    const Status st = delta::MaterializeCheckpoint(wal_dir, cand, staging);
+    if (!st.ok()) {
+      ADREC_LOG(kWarning) << "skipping delta checkpoint generation "
+                          << cand.gen << ": " << st.ToString();
+      continue;
+    }
+    picked.found = true;
+    picked.dir = staging;
+    picked.staging = staging;
+    picked.is_delta = true;
+    picked.delta_gen = cand.gen;
+    picked.delta_chain_len = cand.ChainLength();
+    picked.manifest.wal_seqno = cand.wal_seqno;
+    picked.manifest.num_shards = cand.num_shards;
+    picked.manifest.stream_time = cand.stream_time;
+    picked.manifest.stream_seqnos = cand.stream_seqnos;
+    return picked;
+  }
+
+  if (have_classic) {
+    picked.found = true;
+    picked.dir = classic_chosen;
+    picked.manifest = classic_manifest;
+  }
+  return picked;
+}
+
 }  // namespace
 
 CheckpointManager::CheckpointManager(std::string wal_dir,
@@ -105,6 +231,8 @@ Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
   if (wal == nullptr) {
     return Status::InvalidArgument("checkpoint needs a wal writer");
   }
+  obs::TraceSpan span("checkpoint.save");
+  const auto save_start = std::chrono::steady_clock::now();
   // Seal + sync first, so the mark covers every record the engine state
   // below can reflect, and truncation later never touches the active
   // segment.
@@ -112,6 +240,38 @@ Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
   ADREC_RETURN_NOT_OK(wal->Sync());
   const uint64_t mark = wal->synced_seqno();
 
+  if (options_.mode == CheckpointMode::kDelta) {
+    ADREC_RETURN_NOT_OK(DeltaSave(engine, mark, {}, stream_now));
+  } else {
+    ADREC_RETURN_NOT_OK(FullSave(engine, mark, {}, stream_now));
+  }
+
+  if (options_.analysis_retention >= 0) {
+    const Timestamp floor = stream_now - options_.analysis_retention;
+    Result<size_t> deleted = wal->TruncateSealedBefore(mark + 1, floor);
+    if (!deleted.ok()) return deleted.status();
+    if (deleted.value() > 0) {
+      ADREC_LOG(kInfo) << "checkpoint: truncated " << deleted.value()
+                       << " sealed wal segment(s)";
+    }
+  }
+  RecordSave(save_start);
+  return Status::OK();
+}
+
+void CheckpointManager::RecordSave(
+    std::chrono::steady_clock::time_point save_start) {
+  metrics_.GetCounter("checkpoint.saves")->Inc();
+  metrics_.GetTimer("checkpoint.save_ms")
+      ->Record(std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - save_start)
+                   .count());
+}
+
+Status CheckpointManager::FullSave(const core::ShardedEngine& engine,
+                                   uint64_t wal_seqno,
+                                   const std::vector<uint64_t>& stream_seqnos,
+                                   Timestamp stream_now) {
   const std::string tmp = wal_dir_ + "/checkpoint.tmp";
   ADREC_RETURN_NOT_OK(RemoveAll(tmp));
   std::error_code ec;
@@ -122,20 +282,40 @@ Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
     ADREC_RETURN_NOT_OK(
         core::SaveEngineSnapshot(engine.shard(s), ShardDir(tmp, s)));
   }
-  {
-    const std::string path = tmp + "/" + std::string(kManifestName);
-    std::ofstream out(path);
-    if (!out) return Status::IoError("cannot open " + path);
-    out << StringFormat("K\t%llu\t%zu\t%lld\n",
-                        static_cast<unsigned long long>(mark),
-                        engine.num_shards(),
-                        static_cast<long long>(stream_now));
-    out.flush();
-    if (!out) return Status::IoError("manifest write failed: " + path);
-    out.close();
-    ADREC_RETURN_NOT_OK(FsyncFile(path));
+  ADREC_RETURN_NOT_OK(
+      WriteFullManifest(tmp, engine.num_shards(), wal_seqno, stream_seqnos,
+                        stream_now));
+  return SwapFullCheckpoint(tmp);
+}
+
+Status CheckpointManager::WriteFullManifest(
+    const std::string& tmp, size_t num_shards, uint64_t wal_seqno,
+    const std::vector<uint64_t>& stream_seqnos, Timestamp stream_now) {
+  const std::string path = tmp + "/" + std::string(kManifestName);
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << StringFormat("K\t%llu\t%zu\t%lld\n",
+                      static_cast<unsigned long long>(wal_seqno), num_shards,
+                      static_cast<long long>(stream_now));
+  for (size_t s = 0; s < stream_seqnos.size(); ++s) {
+    out << StringFormat("S\t%zu\t%llu\n", s,
+                        static_cast<unsigned long long>(stream_seqnos[s]));
   }
-  ADREC_RETURN_NOT_OK(FsyncDir(tmp));
+  out.flush();
+  if (!out) return Status::IoError("manifest write failed: " + path);
+  out.close();
+  ADREC_RETURN_NOT_OK(FsyncFile(path));
+  return FsyncDir(tmp);
+}
+
+Status CheckpointManager::SwapFullCheckpoint(const std::string& tmp) {
+  // Account what the swap publishes before it moves.
+  uint64_t files = 0;
+  uint64_t bytes = 0;
+  DirStats(tmp, &files, &bytes);
+  metrics_.GetCounter("checkpoint.files_written")->Inc(files);
+  metrics_.GetCounter("checkpoint.bytes_written")->Inc(bytes);
+  metrics_.GetGauge("checkpoint.delta_chain_len")->Set(1.0);
 
   // Swap. The previous checkpoint lives on as checkpoint.old until the
   // new one is durably in place — recovery falls back to it if a crash
@@ -148,17 +328,45 @@ Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
   }
   ADREC_RETURN_NOT_OK(RenamePath(tmp, current));
   ADREC_RETURN_NOT_OK(FsyncDir(wal_dir_));
-  ADREC_RETURN_NOT_OK(RemoveAll(old));
+  return RemoveAll(old);
+}
 
-  if (options_.analysis_retention >= 0) {
-    const Timestamp floor = stream_now - options_.analysis_retention;
-    Result<size_t> deleted = wal->TruncateSealedBefore(mark + 1, floor);
-    if (!deleted.ok()) return deleted.status();
-    if (deleted.value() > 0) {
-      ADREC_LOG(kInfo) << "checkpoint: truncated " << deleted.value()
-                       << " sealed wal segment(s)";
+Status CheckpointManager::DeltaSave(const core::ShardedEngine& engine,
+                                    uint64_t wal_seqno,
+                                    const std::vector<uint64_t>& stream_seqnos,
+                                    Timestamp stream_now) {
+  obs::TraceSpan span("checkpoint.delta_save");
+  delta::DeltaSaveOptions opts;
+  opts.rebase_every = options_.rebase_every;
+  // Capture epochs BEFORE serialization: a mutation racing the capture
+  // can only make a shard look dirty (re-serialized), never clean.
+  std::vector<uint64_t> epochs(engine.num_shards(), 0);
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    epochs[s] = engine.shard(s).mutation_epoch();
+  }
+  if (last_epochs_.size() == engine.num_shards()) {
+    opts.shard_clean.resize(engine.num_shards());
+    for (size_t s = 0; s < engine.num_shards(); ++s) {
+      opts.shard_clean[s] = last_epochs_[s] == epochs[s];
     }
   }
+  Result<delta::DeltaSaveStats> stats = delta::SaveDeltaCheckpoint(
+      wal_dir_, engine, wal_seqno, stream_seqnos, stream_now, opts);
+  if (!stats.ok()) return stats.status();
+  last_epochs_ = std::move(epochs);
+
+  const delta::DeltaSaveStats& st = stats.value();
+  metrics_.GetCounter("checkpoint.files_written")->Inc(st.files_written);
+  metrics_.GetCounter("checkpoint.bytes_written")->Inc(st.bytes_written);
+  metrics_.GetGauge("checkpoint.delta_chain_len")
+      ->Set(static_cast<double>(st.chain_len));
+  if (st.rebase) metrics_.GetCounter("checkpoint.rebases")->Inc();
+  ADREC_LOG(kInfo) << "delta checkpoint gen " << st.gen
+                   << (st.rebase ? " (rebase)" : "") << ": wrote "
+                   << st.files_written << "/" << st.files_total
+                   << " file(s), " << st.bytes_written << "/"
+                   << st.bytes_total << " byte(s), chain length "
+                   << st.chain_len;
   return Status::OK();
 }
 
@@ -169,37 +377,32 @@ Result<RecoveryResult> CheckpointManager::Recover(
   }
   RecoveryResult result;
 
-  // --- Pick the newest loadable checkpoint. ---
-  std::string chosen;
-  CheckpointManifest manifest;
-  for (const std::string& candidate :
-       {checkpoint_dir(), checkpoint_dir() + ".old"}) {
-    auto m = ReadManifest(candidate);
-    if (m.ok()) {
-      chosen = candidate;
-      manifest = m.value();
-      break;
-    }
-    if (m.status().code() != StatusCode::kNotFound) {
-      ADREC_LOG(kWarning) << "skipping unreadable checkpoint " << candidate
-                          << ": " << m.status().ToString();
-    }
-  }
-  if (!chosen.empty()) {
-    if (manifest.num_shards != engine->num_shards()) {
+  // --- Pick the newest loadable checkpoint (classic or delta head). ---
+  const PickedCheckpoint picked = PickCheckpoint(wal_dir_, checkpoint_dir());
+  if (picked.found) {
+    if (picked.manifest.num_shards != engine->num_shards()) {
       return Status::FailedPrecondition(StringFormat(
           "checkpoint %s was taken with %zu shard(s), engine has %zu",
-          chosen.c_str(), manifest.num_shards, engine->num_shards()));
+          picked.dir.c_str(), picked.manifest.num_shards,
+          engine->num_shards()));
     }
     for (size_t s = 0; s < engine->num_shards(); ++s) {
       ADREC_RETURN_NOT_OK(
-          core::LoadEngineSnapshot(ShardDir(chosen, s),
+          core::LoadEngineSnapshot(ShardDir(picked.dir, s),
                                    engine->mutable_shard(s)));
     }
     result.from_checkpoint = true;
-    result.checkpoint_seqno = manifest.wal_seqno;
-    result.checkpoint_stream_time = manifest.stream_time;
-    result.max_event_time = manifest.stream_time;
+    result.from_delta = picked.is_delta;
+    result.delta_gen = picked.delta_gen;
+    result.delta_chain_len = picked.delta_chain_len;
+    result.checkpoint_seqno = picked.manifest.wal_seqno;
+    result.checkpoint_stream_time = picked.manifest.stream_time;
+    result.max_event_time = picked.manifest.stream_time;
+  }
+  if (!picked.staging.empty()) {
+    // The materialised copy served its purpose; errors only cost disk.
+    const Status st = RemoveAll(picked.staging);
+    if (!st.ok()) ADREC_LOG(kWarning) << st.ToString();
   }
 
   // --- Replay the log: window-only up to the mark, live ingest after. ---
@@ -267,17 +470,27 @@ Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
         "wal has %zu stream(s), engine has %zu shard(s)",
         wal->num_streams(), engine.num_shards()));
   }
-
-  const std::string tmp = wal_dir_ + "/checkpoint.tmp";
-  ADREC_RETURN_NOT_OK(RemoveAll(tmp));
-  std::error_code ec;
-  std::filesystem::create_directories(tmp, ec);
-  if (ec) return Status::IoError("cannot create " + tmp + ": " + ec.message());
-
-  // Seal + snapshot every shard concurrently: each thread touches only
-  // its own stream and engine shard. The mark is taken after the sync,
-  // so it covers every record the shard snapshot can reflect.
+  obs::TraceSpan span("checkpoint.save");
+  const auto save_start = std::chrono::steady_clock::now();
   const size_t n = wal->num_streams();
+
+  std::string tmp;
+  if (options_.mode == CheckpointMode::kFull) {
+    tmp = wal_dir_ + "/checkpoint.tmp";
+    ADREC_RETURN_NOT_OK(RemoveAll(tmp));
+    std::error_code ec;
+    std::filesystem::create_directories(tmp, ec);
+    if (ec) {
+      return Status::IoError("cannot create " + tmp + ": " + ec.message());
+    }
+  }
+
+  // Seal (+ snapshot, in full mode) every shard concurrently: each
+  // thread touches only its own stream and engine shard. The mark is
+  // taken after the sync, so it covers every record the shard snapshot
+  // can reflect. Delta mode snapshots after the barrier instead — the
+  // diff needs the previous generation's manifest as a whole, and quiet
+  // shards skip serialization entirely.
   std::vector<uint64_t> marks(n, 0);
   std::vector<Status> results(n);
   {
@@ -290,43 +503,25 @@ Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
         if (results[s].ok()) results[s] = stream->Sync();
         if (!results[s].ok()) return;
         marks[s] = stream->synced_seqno();
-        results[s] =
-            core::SaveEngineSnapshot(engine.shard(s), ShardDir(tmp, s));
+        if (options_.mode == CheckpointMode::kFull) {
+          results[s] =
+              core::SaveEngineSnapshot(engine.shard(s), ShardDir(tmp, s));
+        }
       });
     }
     for (std::thread& w : workers) w.join();
   }
   for (const Status& st : results) ADREC_RETURN_NOT_OK(st);
+  const uint64_t max_mark = *std::max_element(marks.begin(), marks.end());
 
-  {
-    const std::string path = tmp + "/" + std::string(kManifestName);
-    std::ofstream out(path);
-    if (!out) return Status::IoError("cannot open " + path);
-    const uint64_t max_mark = *std::max_element(marks.begin(), marks.end());
-    out << StringFormat("K\t%llu\t%zu\t%lld\n",
-                        static_cast<unsigned long long>(max_mark),
-                        engine.num_shards(),
-                        static_cast<long long>(stream_now));
-    for (size_t s = 0; s < n; ++s) {
-      out << StringFormat("S\t%zu\t%llu\n", s,
-                          static_cast<unsigned long long>(marks[s]));
-    }
-    out.flush();
-    if (!out) return Status::IoError("manifest write failed: " + path);
-    out.close();
-    ADREC_RETURN_NOT_OK(FsyncFile(path));
+  if (options_.mode == CheckpointMode::kDelta) {
+    ADREC_RETURN_NOT_OK(DeltaSave(engine, max_mark, marks, stream_now));
+  } else {
+    ADREC_RETURN_NOT_OK(
+        WriteFullManifest(tmp, engine.num_shards(), max_mark, marks,
+                          stream_now));
+    ADREC_RETURN_NOT_OK(SwapFullCheckpoint(tmp));
   }
-  ADREC_RETURN_NOT_OK(FsyncDir(tmp));
-
-  const std::string current = checkpoint_dir();
-  const std::string old = current + ".old";
-  ADREC_RETURN_NOT_OK(RemoveAll(old));
-  if (std::filesystem::exists(current)) {
-    ADREC_RETURN_NOT_OK(RenamePath(current, old));
-  }
-  ADREC_RETURN_NOT_OK(RenamePath(tmp, current));
-  ADREC_RETURN_NOT_OK(FsyncDir(wal_dir_));
-  ADREC_RETURN_NOT_OK(RemoveAll(old));
 
   if (options_.analysis_retention >= 0) {
     const Timestamp floor = stream_now - options_.analysis_retention;
@@ -343,6 +538,7 @@ Status CheckpointManager::Checkpoint(const core::ShardedEngine& engine,
                        << " stream(s)";
     }
   }
+  RecordSave(save_start);
   return Status::OK();
 }
 
@@ -361,37 +557,28 @@ Result<RecoveryResult> CheckpointManager::Recover(
   result.stream_checkpoint_seqnos.assign(wal_shards, 0);
   result.stream_next_seqnos.assign(wal_shards, 1);
 
-  // --- Pick the newest loadable checkpoint. ---
-  std::string chosen;
-  CheckpointManifest manifest;
-  for (const std::string& candidate :
-       {checkpoint_dir(), checkpoint_dir() + ".old"}) {
-    auto m = ReadManifest(candidate);
-    if (m.ok()) {
-      chosen = candidate;
-      manifest = m.value();
-      break;
-    }
-    if (m.status().code() != StatusCode::kNotFound) {
-      ADREC_LOG(kWarning) << "skipping unreadable checkpoint " << candidate
-                          << ": " << m.status().ToString();
-    }
-  }
-  if (!chosen.empty()) {
-    if (manifest.num_shards != engine->num_shards()) {
+  // --- Pick the newest loadable checkpoint (classic or delta head). ---
+  const PickedCheckpoint picked = PickCheckpoint(wal_dir_, checkpoint_dir());
+  if (picked.found) {
+    if (picked.manifest.num_shards != engine->num_shards()) {
       return Status::FailedPrecondition(StringFormat(
           "checkpoint %s was taken with %zu shard(s), engine has %zu",
-          chosen.c_str(), manifest.num_shards, engine->num_shards()));
+          picked.dir.c_str(), picked.manifest.num_shards,
+          engine->num_shards()));
     }
-    if (manifest.stream_seqnos.size() != wal_shards) {
+    if (picked.manifest.stream_seqnos.size() != wal_shards) {
       return Status::FailedPrecondition(StringFormat(
           "checkpoint %s records %zu wal stream(s), expected %zu",
-          chosen.c_str(), manifest.stream_seqnos.size(), wal_shards));
+          picked.dir.c_str(), picked.manifest.stream_seqnos.size(),
+          wal_shards));
     }
     result.from_checkpoint = true;
-    result.stream_checkpoint_seqnos = manifest.stream_seqnos;
-    result.checkpoint_stream_time = manifest.stream_time;
-    result.max_event_time = manifest.stream_time;
+    result.from_delta = picked.is_delta;
+    result.delta_gen = picked.delta_gen;
+    result.delta_chain_len = picked.delta_chain_len;
+    result.stream_checkpoint_seqnos = picked.manifest.stream_seqnos;
+    result.checkpoint_stream_time = picked.manifest.stream_time;
+    result.max_event_time = picked.manifest.stream_time;
   }
 
   // --- Load + replay every shard concurrently: thread s touches only
@@ -413,7 +600,7 @@ Result<RecoveryResult> CheckpointManager::Recover(
         PerShard& out = per_shard[s];
         const uint64_t mark = result.stream_checkpoint_seqnos[s];
         if (result.from_checkpoint) {
-          out.status = core::LoadEngineSnapshot(ShardDir(chosen, s),
+          out.status = core::LoadEngineSnapshot(ShardDir(picked.dir, s),
                                                 engine->mutable_shard(s));
           if (!out.status.ok()) return;
         }
@@ -475,6 +662,10 @@ Result<RecoveryResult> CheckpointManager::Recover(
       });
     }
     for (std::thread& w : workers) w.join();
+  }
+  if (!picked.staging.empty()) {
+    const Status st = RemoveAll(picked.staging);
+    if (!st.ok()) ADREC_LOG(kWarning) << st.ToString();
   }
   for (size_t s = 0; s < wal_shards; ++s) {
     const PerShard& out = per_shard[s];

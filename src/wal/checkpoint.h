@@ -1,6 +1,7 @@
 #ifndef ADREC_WAL_CHECKPOINT_H_
 #define ADREC_WAL_CHECKPOINT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "core/sharded_engine.h"
+#include "obs/metrics.h"
 #include "wal/sharded_wal.h"
 #include "wal/wal.h"
 
@@ -33,6 +35,26 @@ namespace adrec::wal {
 /// former is absent or torn, and replays the WAL on top. With a
 /// per-shard log, every stream is sealed/snapshotted and later replayed
 /// concurrently — one thread per shard, disjoint engine state.
+///
+/// In CheckpointMode::kDelta the full-directory snapshot is replaced by
+/// an incremental delta-chain save under `<wal_dir>/checkpoint.delta`
+/// (wal/delta/delta_checkpoint.h): only snapshot files whose content
+/// hash changed since the previous generation are written, bounding the
+/// save pause by the *churn* since the last checkpoint instead of the
+/// total state size. Recovery transparently picks whichever of the
+/// classic directory and the delta head is newer, materialises a delta
+/// head into `checkpoint.restore.tmp` with strict hash verification, and
+/// loads it through the same per-shard snapshot path.
+
+/// How CheckpointManager persists engine state.
+enum class CheckpointMode {
+  kFull,   ///< classic full-directory snapshot per checkpoint
+  kDelta,  ///< delta-chain incremental snapshots (wal/delta)
+};
+
+/// Parses "full" / "delta".
+Result<CheckpointMode> ParseCheckpointMode(std::string_view name);
+std::string_view CheckpointModeName(CheckpointMode mode);
 
 struct CheckpointOptions {
   /// After a successful checkpoint, sealed WAL segments fully covered by
@@ -42,6 +64,13 @@ struct CheckpointOptions {
   /// contain it). A non-negative retention shorter than the engine's
   /// analysis window trades window completeness for disk.
   DurationSec analysis_retention = -1;
+  /// Full snapshots per checkpoint, or incremental delta chains. The
+  /// daemon flag is --checkpoint-mode.
+  CheckpointMode mode = CheckpointMode::kFull;
+  /// Delta mode only: force a full rebase generation every N saves,
+  /// bounding the chain recovery must resolve. The daemon flag is
+  /// --checkpoint-rebase-every.
+  size_t rebase_every = 8;
 };
 
 /// What Recover() did, for the daemon's startup report.
@@ -67,6 +96,12 @@ struct RecoveryResult {
   /// `checkpoint_seqno`/`next_seqno` hold the per-stream maxima.
   std::vector<uint64_t> stream_checkpoint_seqnos;
   std::vector<uint64_t> stream_next_seqnos;
+  /// State was restored from a delta chain (from_checkpoint also true),
+  /// with the head generation and the number of generations the restored
+  /// file set spanned.
+  bool from_delta = false;
+  uint64_t delta_gen = 0;
+  size_t delta_chain_len = 0;
 };
 
 class CheckpointManager {
@@ -110,11 +145,42 @@ class CheckpointManager {
   const std::string& wal_dir() const { return wal_dir_; }
   const CheckpointOptions& options() const { return options_; }
 
+  /// Save-side metric families, for the daemon's merged exposition:
+  /// checkpoint.saves / checkpoint.rebases / checkpoint.files_written /
+  /// checkpoint.bytes_written counters, checkpoint.save_ms timer,
+  /// checkpoint.delta_chain_len gauge.
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
  private:
   std::string checkpoint_dir() const { return wal_dir_ + "/checkpoint"; }
 
+  /// The delta-mode save path shared by both Checkpoint overloads; the
+  /// caller has already sealed + synced every stream and taken marks.
+  Status DeltaSave(const core::ShardedEngine& engine, uint64_t wal_seqno,
+                   const std::vector<uint64_t>& stream_seqnos,
+                   Timestamp stream_now);
+  /// Classic full-directory save (serial shard snapshots + swap).
+  Status FullSave(const core::ShardedEngine& engine, uint64_t wal_seqno,
+                  const std::vector<uint64_t>& stream_seqnos,
+                  Timestamp stream_now);
+  Status WriteFullManifest(const std::string& tmp, size_t num_shards,
+                           uint64_t wal_seqno,
+                           const std::vector<uint64_t>& stream_seqnos,
+                           Timestamp stream_now);
+  /// Publishes checkpoint.tmp (metrics + atomic directory swap).
+  Status SwapFullCheckpoint(const std::string& tmp);
+  void RecordSave(std::chrono::steady_clock::time_point save_start);
+
   const std::string wal_dir_;
   const CheckpointOptions options_;
+
+  obs::MetricRegistry metrics_;
+  /// Per-shard RecommendationEngine::mutation_epoch at the last
+  /// successful delta save — the "shard unchanged" hints that let a
+  /// delta save skip serializing quiet shards. In-memory only: after a
+  /// restart the first delta save serializes everything (and usually
+  /// still writes little, because the content hashes match).
+  std::vector<uint64_t> last_epochs_;
 };
 
 }  // namespace adrec::wal

@@ -1,0 +1,341 @@
+#include "wal/delta/compactor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "wal/record.h"
+
+namespace adrec::wal::delta {
+
+namespace {
+
+constexpr size_t kOfflineTargetBytes = 4 * 1024 * 1024;
+
+struct Frame {
+  std::string line;  ///< verbatim frame, including the trailing LF
+  uint64_t seqno = 0;
+  std::string payload;
+  bool keep = true;
+};
+
+struct InputSegment {
+  SegmentSummary summary;
+  std::vector<Frame> frames;  ///< non-stale frames only
+  uint64_t file_bytes = 0;
+  size_t stale_records = 0;
+};
+
+/// Reads and decodes one sealed segment. Sealed segments must be fully
+/// valid: any torn or corrupt frame is a hard error (the active segment
+/// is never an input, so torn-tail tolerance does not apply here).
+Result<std::vector<Frame>> ReadSealedSegment(const std::string& path,
+                                             uint64_t* file_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed on " + path);
+  *file_bytes = contents.size();
+
+  std::vector<Frame> frames;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      return Status::IoError(path +
+                             ": sealed segment ends without LF (torn frame "
+                             "outside the newest segment)");
+    }
+    Frame f;
+    f.line = contents.substr(pos, nl - pos + 1);
+    Result<Record> rec =
+        DecodeFrame(std::string_view(f.line).substr(0, f.line.size() - 1));
+    if (!rec.ok()) {
+      return Status::IoError(path + ": " + rec.status().message());
+    }
+    f.seqno = rec.value().seqno;
+    f.payload = std::move(rec.value().payload);
+    frames.push_back(std::move(f));
+    pos = nl + 1;
+  }
+  return frames;
+}
+
+/// Marks frames to drop under the superseded-inventory rule documented
+/// in compactor.h: per ad id, keep only the last addel and the first
+/// adput after it. Returns the number of frames dropped.
+uint64_t MarkSupersededFrames(std::vector<InputSegment>* inputs) {
+  struct AdKeep {
+    ptrdiff_t last_del = -1;
+    ptrdiff_t first_put_after = -1;
+  };
+  // Global frame index -> (segment, frame) mapping via flat pointer list.
+  std::vector<Frame*> flat;
+  for (InputSegment& seg : *inputs) {
+    for (Frame& f : seg.frames) flat.push_back(&f);
+  }
+  std::unordered_map<AdId, AdKeep> ads;
+  std::vector<ptrdiff_t> ad_event_of(flat.size(), -1);  // index into flat
+  for (size_t i = 0; i < flat.size(); ++i) {
+    Result<feed::FeedEvent> ev = DecodeEventPayload(flat[i]->payload);
+    if (!ev.ok()) continue;  // undecodable: force-kept, never dropped
+    if (ev.value().kind == feed::EventKind::kAdInsert) {
+      AdKeep& k = ads[ev.value().ad.id];
+      if (k.first_put_after < 0) {
+        k.first_put_after = static_cast<ptrdiff_t>(i);
+      }
+      ad_event_of[i] = 1;
+    } else if (ev.value().kind == feed::EventKind::kAdDelete) {
+      AdKeep& k = ads[ev.value().ad_id];
+      k.last_del = static_cast<ptrdiff_t>(i);
+      k.first_put_after = -1;  // a put must follow the final delete to count
+      ad_event_of[i] = 1;
+    }
+  }
+  std::set<ptrdiff_t> keep_indices;
+  for (const auto& [id, k] : ads) {
+    if (k.last_del >= 0) keep_indices.insert(k.last_del);
+    if (k.first_put_after >= 0) keep_indices.insert(k.first_put_after);
+  }
+  uint64_t dropped = 0;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (ad_event_of[i] < 0) continue;  // tweet/checkin/undecodable: keep
+    if (keep_indices.count(static_cast<ptrdiff_t>(i))) continue;
+    flat[i]->keep = false;
+    ++dropped;
+  }
+  return dropped;
+}
+
+struct OutputGroup {
+  uint64_t name_seqno = 0;
+  std::string contents;
+  size_t records = 0;
+  uint64_t first_kept = 0;
+  uint64_t last_kept = 0;
+};
+
+Result<CompactionReport> CompactCore(const std::string& dir,
+                                     const std::vector<SegmentSummary>& sealed,
+                                     const CompactionOptions& options,
+                                     size_t target_bytes,
+                                     obs::MetricRegistry* metrics,
+                                     size_t* consumed_out,
+                                     std::vector<SegmentSummary>* outputs_out) {
+  CompactionReport report;
+  *consumed_out = 0;
+  outputs_out->clear();
+
+  // --- Read the eligible prefix: every record strictly below the
+  // preserve floor, deduplicating seqnos already covered by an earlier
+  // (compacted) input — leftovers of a crashed swap. ---
+  std::vector<InputSegment> inputs;
+  uint64_t last_seen = 0;
+  size_t stale_inputs = 0;
+  for (const SegmentSummary& seg : sealed) {
+    uint64_t file_bytes = 0;
+    Result<std::vector<Frame>> frames =
+        ReadSealedSegment(seg.path, &file_bytes);
+    if (!frames.ok()) return frames.status();
+    bool eligible = true;
+    for (const Frame& f : frames.value()) {
+      if (f.seqno >= options.preserve_floor) {
+        eligible = false;
+        break;
+      }
+    }
+    if (!eligible) break;
+    InputSegment input;
+    input.summary = seg;
+    input.file_bytes = file_bytes;
+    for (Frame& f : frames.value()) {
+      if (f.seqno <= last_seen) {
+        ++input.stale_records;
+        continue;
+      }
+      last_seen = f.seqno;
+      input.frames.push_back(std::move(f));
+    }
+    if (input.frames.empty() && input.stale_records > 0) ++stale_inputs;
+    inputs.push_back(std::move(input));
+  }
+  if (inputs.size() < std::max<size_t>(options.min_input_segments, 1)) {
+    return report;  // ran = false
+  }
+
+  report.segments_in = inputs.size();
+  for (const InputSegment& seg : inputs) {
+    report.records_in += seg.frames.size();
+    report.bytes_in += seg.file_bytes;
+  }
+
+  report.records_dropped = MarkSupersededFrames(&inputs);
+
+  // Never emit an empty run: a compacted range must keep at least one
+  // frame so the name/record chain stays anchored.
+  size_t total_kept = static_cast<size_t>(report.records_in) -
+                      static_cast<size_t>(report.records_dropped);
+  if (total_kept == 0 && report.records_in > 0) {
+    for (auto it = inputs.rbegin(); it != inputs.rend(); ++it) {
+      if (!it->frames.empty()) {
+        it->frames.back().keep = true;
+        --report.records_dropped;
+        total_kept = 1;
+        break;
+      }
+    }
+  }
+
+  // --- Group consecutive inputs into outputs, cutting only at input
+  // boundaries. A group that kept nothing folds forward; the name is
+  // always the FIRST grouped input's, so it never exceeds the first
+  // kept record's seqno. ---
+  std::vector<OutputGroup> groups;
+  OutputGroup cur;
+  bool cur_open = false;
+  for (const InputSegment& seg : inputs) {
+    size_t kept_bytes = 0;
+    for (const Frame& f : seg.frames) {
+      if (f.keep) kept_bytes += f.line.size();
+    }
+    if (cur_open && cur.records > 0 &&
+        cur.contents.size() + kept_bytes > target_bytes) {
+      groups.push_back(std::move(cur));
+      cur = OutputGroup{};
+      cur_open = false;
+    }
+    if (!cur_open) {
+      cur.name_seqno = seg.summary.first_seqno;
+      cur_open = true;
+    }
+    for (const Frame& f : seg.frames) {
+      if (!f.keep) continue;
+      cur.contents += f.line;
+      if (cur.records == 0) cur.first_kept = f.seqno;
+      cur.last_kept = f.seqno;
+      ++cur.records;
+    }
+  }
+  // A trailing group that kept nothing is simply not emitted: its range
+  // becomes a boundary gap after a compacted segment, which scans
+  // tolerate and followers resolve by re-seeding.
+  if (cur_open && cur.records > 0) groups.push_back(std::move(cur));
+
+  report.segments_out = groups.size();
+  for (const OutputGroup& g : groups) report.bytes_out += g.contents.size();
+
+  // Nothing dropped, nothing coalesced, no stale inputs shed: no-op.
+  if (report.records_dropped == 0 && groups.size() == inputs.size() &&
+      stale_inputs == 0) {
+    return report;  // ran = false
+  }
+  report.ran = true;
+
+  // --- Crash-safe swap (see compactor.h). ---
+  std::set<std::string> output_paths;
+  std::vector<std::pair<std::string, std::string>> renames;  // tmp -> final
+  for (const OutputGroup& g : groups) {
+    const std::string path =
+        dir + "/" + SegmentFileName(g.name_seqno, /*compacted=*/true);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return Status::IoError("cannot open " + tmp);
+      out << g.contents;
+      out.flush();
+      if (!out) return Status::IoError("write failed on " + tmp);
+    }
+    ADREC_RETURN_NOT_OK(FsyncFile(tmp));
+    output_paths.insert(path);
+    renames.emplace_back(tmp, path);
+  }
+  for (const auto& [tmp, path] : renames) {
+    ADREC_RETURN_NOT_OK(RenamePath(tmp, path));
+  }
+  ADREC_RETURN_NOT_OK(FsyncDir(dir));
+  bool unlinked = false;
+  for (const InputSegment& seg : inputs) {
+    if (output_paths.count(seg.summary.path)) continue;  // rewritten in place
+    std::error_code ec;
+    std::filesystem::remove(seg.summary.path, ec);
+    if (ec) {
+      // A survivor input is fully shadowed by the outputs; scans skip it
+      // as stale, so a failed unlink costs disk, not correctness.
+      ADREC_LOG(kWarning) << "compaction: cannot remove " << seg.summary.path
+                          << ": " << ec.message();
+    } else {
+      unlinked = true;
+    }
+  }
+  if (unlinked) ADREC_RETURN_NOT_OK(FsyncDir(dir));
+
+  *consumed_out = inputs.size();
+  for (const OutputGroup& g : groups) {
+    SegmentSummary s;
+    s.path = dir + "/" + SegmentFileName(g.name_seqno, /*compacted=*/true);
+    s.first_seqno = g.name_seqno;
+    s.last_seqno = g.last_kept;
+    s.records = g.records;
+    s.bytes = g.contents.size();
+    s.compacted = true;
+    outputs_out->push_back(std::move(s));
+  }
+
+  if (metrics != nullptr) {
+    metrics->GetCounter("compact.runs")->Inc();
+    metrics->GetCounter("compact.segments_in")->Inc(report.segments_in);
+    metrics->GetCounter("compact.segments_out")->Inc(report.segments_out);
+    metrics->GetCounter("compact.records_dropped")
+        ->Inc(report.records_dropped);
+    if (report.bytes_in > report.bytes_out) {
+      metrics->GetCounter("compact.bytes_reclaimed")
+          ->Inc(report.bytes_in - report.bytes_out);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<CompactionReport> CompactSealed(WalWriter* writer,
+                                       const CompactionOptions& options) {
+  obs::MetricRegistry* metrics = writer->mutable_metrics();
+  obs::ScopedTimer run_timer(metrics->GetTimer("compact.run_us"));
+  const size_t target = options.target_segment_bytes != 0
+                            ? options.target_segment_bytes
+                            : writer->options().segment_bytes;
+  size_t consumed = 0;
+  std::vector<SegmentSummary> outputs;
+  Result<CompactionReport> report =
+      CompactCore(writer->dir(), writer->sealed_segments(), options, target,
+                  metrics, &consumed, &outputs);
+  if (report.ok() && report.value().ran) {
+    writer->ReplaceSealedPrefix(consumed, std::move(outputs));
+  }
+  return report;
+}
+
+Result<CompactionReport> CompactLogDir(const std::string& dir,
+                                       const CompactionOptions& options,
+                                       obs::MetricRegistry* metrics) {
+  std::vector<SegmentSummary> segments = ListSegments(dir);
+  if (!segments.empty()) {
+    segments.pop_back();  // the newest segment owns torn-tail semantics
+  }
+  const size_t target = options.target_segment_bytes != 0
+                            ? options.target_segment_bytes
+                            : kOfflineTargetBytes;
+  size_t consumed = 0;
+  std::vector<SegmentSummary> outputs;
+  return CompactCore(dir, segments, options, target, metrics, &consumed,
+                     &outputs);
+}
+
+}  // namespace adrec::wal::delta

@@ -1,0 +1,100 @@
+#ifndef ADREC_WAL_DELTA_COMPACTOR_H_
+#define ADREC_WAL_DELTA_COMPACTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "wal/wal.h"
+
+namespace adrec::wal::delta {
+
+/// WAL segment compaction — DESIGN.md §17.
+///
+/// Rewrites a prefix of *sealed* segments into `wal-<N>.clog` files,
+/// dropping records whose effects are superseded, and coalescing small
+/// inputs into fewer outputs. The active segment is never touched, so
+/// torn-tail recovery semantics are unchanged.
+///
+/// What may be dropped. The engine's ad inventory is first-write-wins
+/// (InsertAd of an existing id fails kAlreadyExists and changes
+/// nothing), the daemon logs before applying, recovery tolerates
+/// kAlreadyExists/kNotFound on inventory replay, and window replay
+/// (ReplayForAnalysis) ignores ad events entirely. Hence, per ad id
+/// within the compacted range, replaying only
+///
+///   { the last addel L, the first adput after L }
+///
+/// (just the first adput overall when the id has no addel) reproduces
+/// the exact post-range inventory state from ANY recovery mark:
+/// - a suffix starting before L ends, in both logs, with L's delete
+///   followed by that first adput — identical final fields;
+/// - a suffix starting at/after that adput finds the ad already present
+///   in the checkpoint (the full prefix contained the adput), so every
+///   later adput was a no-op and dropping it changes nothing.
+/// Tweets and check-ins are always kept (they feed the analysis window),
+/// as is any payload that fails to decode — the compactor never guesses.
+///
+/// Outputs preserve original frames verbatim (bytes, CRCs, seqnos), so a
+/// compacted segment may carry seqno gaps and start after its name's
+/// seqno; wal::ScanLog tolerates exactly that (wal/wal.h). Output groups
+/// cut only at input-segment boundaries and take the FIRST grouped
+/// input's name, keeping name-ordering and truncation keys intact. An
+/// output is never empty: a group whose records were all dropped folds
+/// into the next group, and if everything in the run would be dropped
+/// the last frame is force-kept.
+///
+/// Swap protocol (crash-safe at every point): write each output as
+/// `.clog.tmp` (fsynced) -> rename all to `.clog`, ascending -> one
+/// directory fsync -> unlink every input whose name differs from every
+/// output -> directory fsync. Any durable subset of the renames is
+/// recoverable: ListSegments prefers `.clog` on a name collision, and
+/// ScanLog skips inputs whose records all duplicate already-seen seqnos
+/// (LogReport::stale_segments).
+struct CompactionOptions {
+  /// Records at/above this seqno must survive verbatim: segments
+  /// containing one are not eligible inputs. The server passes the
+  /// minimum over live replication cursors so a connected follower's
+  /// contiguous tail is never rewritten under it (a follower whose
+  /// cursor falls below the floor re-seeds via the ReadFrames NotFound
+  /// path).
+  uint64_t preserve_floor = UINT64_MAX;
+  /// Coalescing target for output files. 0 = the writer's
+  /// WalOptions::segment_bytes (live), or 4 MiB (offline).
+  size_t target_segment_bytes = 0;
+  /// Skip the run when fewer eligible input segments than this.
+  size_t min_input_segments = 1;
+};
+
+struct CompactionReport {
+  /// False when the run was skipped (too few inputs, or nothing to drop
+  /// and nothing to coalesce); the directory is untouched.
+  bool ran = false;
+  size_t segments_in = 0;
+  size_t segments_out = 0;
+  uint64_t records_in = 0;
+  uint64_t records_dropped = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+/// Compacts the eligible sealed prefix of a live writer's log, updating
+/// the writer's bookkeeping (ReplaceSealedPrefix) and its `compact.*`
+/// metrics. Concurrent appends are safe: only sealed files are read and
+/// the active segment is never an input. The caller serialises
+/// compaction against checkpoint truncation (the daemon runs both from
+/// its event loop).
+Result<CompactionReport> CompactSealed(WalWriter* writer,
+                                       const CompactionOptions& options);
+
+/// Offline compaction of a log directory no writer has open
+/// (`adrec_tool wal compact`). The newest segment is excluded — it is
+/// the potential torn-tail owner. `metrics` may be null.
+Result<CompactionReport> CompactLogDir(const std::string& dir,
+                                       const CompactionOptions& options,
+                                       obs::MetricRegistry* metrics = nullptr);
+
+}  // namespace adrec::wal::delta
+
+#endif  // ADREC_WAL_DELTA_COMPACTOR_H_

@@ -1,0 +1,471 @@
+#include "wal/delta/delta_checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+
+#include "common/fs_util.h"
+#include "common/hashing.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/snapshot.h"
+
+namespace adrec::wal::delta {
+
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST.tsv";
+constexpr std::string_view kCurrentName = "CURRENT";
+constexpr std::string_view kGenPrefix = "gen-";
+
+bool ParseUll(const std::string& s, uint64_t* out, int base = 10) {
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, base);
+  return end != s.c_str() && *end == '\0';
+}
+
+/// Parses `gen-<digits>` (no suffix); 0 for non-generation names.
+uint64_t GenOfName(std::string_view name) {
+  if (!StartsWith(name, kGenPrefix)) return 0;
+  const std::string_view digits = name.substr(kGenPrefix.size());
+  if (digits.empty()) return 0;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+Status ReadFileFully(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed on " + path);
+  return Status::OK();
+}
+
+Status WriteFileDurably(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << contents;
+  out.flush();
+  if (!out) return Status::IoError("write failed on " + path);
+  out.close();
+  return FsyncFile(path);
+}
+
+/// Referenced files all present with recorded sizes? (Hashes are checked
+/// at materialization, where the bytes are read anyway.)
+bool GenerationLoadable(const std::string& delta_dir,
+                        const DeltaManifest& m) {
+  for (const FileRef& f : m.files) {
+    const std::string path =
+        delta_dir + "/" + GenDirName(f.src_gen) + "/" + f.rel;
+    std::error_code ec;
+    const uintmax_t have = std::filesystem::file_size(path, ec);
+    if (ec || have != f.bytes) return false;
+  }
+  return true;
+}
+
+/// All generation numbers present under the delta dir, ascending.
+std::vector<uint64_t> ListGenDirs(const std::string& delta_dir) {
+  std::vector<uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(delta_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const uint64_t gen = GenOfName(entry.path().filename().string());
+    if (gen != 0) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+}  // namespace
+
+size_t DeltaManifest::ChainLength() const {
+  std::set<uint64_t> gens;
+  for (const FileRef& f : files) gens.insert(f.src_gen);
+  return gens.empty() ? 1 : gens.size();
+}
+
+std::string GenDirName(uint64_t gen) {
+  return StringFormat("gen-%020llu", static_cast<unsigned long long>(gen));
+}
+
+std::string DeltaDir(const std::string& wal_dir) {
+  return wal_dir + "/checkpoint.delta";
+}
+
+Result<DeltaManifest> ReadDeltaManifest(const std::string& gen_dir) {
+  const std::string path = gen_dir + "/" + std::string(kManifestName);
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no delta manifest at " + path);
+
+  DeltaManifest m;
+  m.gen = GenOfName(
+      std::filesystem::path(gen_dir).filename().string());
+  std::string line;
+  size_t line_no = 0;
+  bool saw_k = false;
+  bool saw_b = false;
+  auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument(
+        StringFormat("%s:%zu: %s", path.c_str(), line_no, why.c_str()));
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = SplitString(line, '\t', /*keep_empty=*/true);
+    if (f[0] == "K") {
+      if (saw_k || f.size() != 4) return bad("bad K record");
+      uint64_t shards = 0;
+      uint64_t time_raw = 0;
+      if (!ParseUll(std::string(f[1]), &m.wal_seqno) ||
+          !ParseUll(std::string(f[2]), &shards) || shards == 0) {
+        return bad("bad K fields");
+      }
+      char* end = nullptr;
+      const std::string time_str(f[3]);
+      m.stream_time = std::strtoll(time_str.c_str(), &end, 10);
+      if (end == time_str.c_str() || *end != '\0') return bad("bad K time");
+      m.num_shards = static_cast<size_t>(shards);
+      (void)time_raw;
+      saw_k = true;
+    } else if (f[0] == "S") {
+      uint64_t stream = 0;
+      uint64_t mark = 0;
+      if (f.size() != 3 || !ParseUll(std::string(f[1]), &stream) ||
+          !ParseUll(std::string(f[2]), &mark) ||
+          stream != m.stream_seqnos.size()) {
+        return bad("bad or out-of-order S record");
+      }
+      m.stream_seqnos.push_back(mark);
+    } else if (f[0] == "B") {
+      if (saw_b || f.size() != 3 ||
+          !ParseUll(std::string(f[1]), &m.base_gen) ||
+          !ParseUll(std::string(f[2]), &m.depth)) {
+        return bad("bad B record");
+      }
+      saw_b = true;
+    } else if (f[0] == "F") {
+      FileRef ref;
+      if (f.size() != 5) return bad("bad F record");
+      ref.rel = std::string(f[1]);
+      if (ref.rel.empty() || ref.rel[0] == '/' ||
+          ref.rel.find("..") != std::string::npos) {
+        return bad("unsafe F path");
+      }
+      if (!ParseUll(std::string(f[2]), &ref.bytes) ||
+          !ParseUll(std::string(f[3]), &ref.hash, 16) ||
+          !ParseUll(std::string(f[4]), &ref.src_gen) || ref.src_gen == 0) {
+        return bad("bad F fields");
+      }
+      m.files.push_back(std::move(ref));
+    } else {
+      return bad("unknown record tag");
+    }
+  }
+  if (!saw_k || !saw_b) {
+    return Status::InvalidArgument(path + ": manifest missing K or B record");
+  }
+  if (m.files.empty()) {
+    return Status::InvalidArgument(path + ": manifest lists no files");
+  }
+  return m;
+}
+
+Result<DeltaSaveStats> SaveDeltaCheckpoint(
+    const std::string& wal_dir, const core::ShardedEngine& engine,
+    uint64_t wal_seqno, const std::vector<uint64_t>& stream_seqnos,
+    Timestamp stream_time, const DeltaSaveOptions& options) {
+  const std::string delta_dir = DeltaDir(wal_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(delta_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + delta_dir + ": " +
+                           ec.message());
+  }
+
+  // Clear staging leftovers of a save that never completed its rename.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(delta_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (StartsWith(name, kGenPrefix) && EndsWith(name, ".tmp")) {
+      std::error_code rm_ec;
+      std::filesystem::remove_all(entry.path(), rm_ec);
+    }
+  }
+
+  // Previous head: any failure to resolve one (first save, corrupted
+  // chain) simply forces a full rebase — the safe default.
+  DeltaManifest prev;
+  bool have_prev = false;
+  {
+    Result<DeltaManifest> head = ResolveHead(wal_dir);
+    if (head.ok()) {
+      prev = std::move(head).value();
+      have_prev = true;
+    }
+  }
+  const uint64_t gen = have_prev ? prev.gen + 1 : 1;
+  const bool rebase = !have_prev || options.rebase_every <= 1 ||
+                      prev.depth + 1 >= options.rebase_every;
+
+  // Previous refs by rel path, for the diff.
+  std::unordered_map<std::string, const FileRef*> prev_refs;
+  if (have_prev && !rebase) {
+    for (const FileRef& f : prev.files) prev_refs[f.rel] = &f;
+  }
+
+  DeltaSaveStats stats;
+  stats.gen = gen;
+  stats.rebase = rebase;
+
+  struct Pending {
+    FileRef ref;
+    std::string contents;  ///< only for files this generation writes
+    bool write = false;
+  };
+  std::vector<Pending> pending;
+  const bool use_clean_hints =
+      !rebase && have_prev &&
+      options.shard_clean.size() == engine.num_shards();
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    const std::string shard_prefix = StringFormat("shard%zu/", s);
+    if (use_clean_hints && options.shard_clean[s]) {
+      // Shard state is known unchanged: carry every previous ref over
+      // verbatim, no serialization. (A shard missing from the previous
+      // manifest falls through to the serialize path below.)
+      std::vector<const FileRef*> carried;
+      for (const FileRef& f : prev.files) {
+        if (StartsWith(f.rel, shard_prefix)) carried.push_back(&f);
+      }
+      if (!carried.empty()) {
+        for (const FileRef* f : carried) {
+          Pending p;
+          p.ref = *f;
+          pending.push_back(std::move(p));
+        }
+        continue;
+      }
+    }
+    Result<std::vector<core::SnapshotFile>> serialized =
+        core::SerializeEngineSnapshot(engine.shard(s));
+    if (!serialized.ok()) return serialized.status();
+    for (core::SnapshotFile& file : serialized.value()) {
+      Pending p;
+      p.ref.rel = shard_prefix + file.name;
+      p.ref.bytes = file.contents.size();
+      p.ref.hash = HashBytes(file.contents.data(), file.contents.size());
+      auto it = prev_refs.find(p.ref.rel);
+      if (it != prev_refs.end() && it->second->hash == p.ref.hash &&
+          it->second->bytes == p.ref.bytes) {
+        p.ref.src_gen = it->second->src_gen;  // unchanged: one-hop pointer
+      } else {
+        p.ref.src_gen = gen;
+        p.contents = std::move(file.contents);
+        p.write = true;
+      }
+      pending.push_back(std::move(p));
+    }
+  }
+
+  // --- Stage the generation directory. ---
+  const std::string final_dir = delta_dir + "/" + GenDirName(gen);
+  const std::string tmp_dir = final_dir + ".tmp";
+  std::filesystem::remove_all(tmp_dir, ec);
+  std::filesystem::create_directories(tmp_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + tmp_dir + ": " + ec.message());
+  }
+  for (Pending& p : pending) {
+    stats.files_total += 1;
+    stats.bytes_total += p.ref.bytes;
+    if (!p.write) continue;
+    const std::string path = tmp_dir + "/" + p.ref.rel;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    if (ec) return Status::IoError("cannot create dirs for " + path);
+    ADREC_RETURN_NOT_OK(WriteFileDurably(path, p.contents));
+    stats.files_written += 1;
+    stats.bytes_written += p.ref.bytes;
+  }
+  {
+    std::string manifest = StringFormat(
+        "K\t%llu\t%zu\t%lld\n", static_cast<unsigned long long>(wal_seqno),
+        engine.num_shards(), static_cast<long long>(stream_time));
+    for (size_t s = 0; s < stream_seqnos.size(); ++s) {
+      manifest += StringFormat(
+          "S\t%zu\t%llu\n", s,
+          static_cast<unsigned long long>(stream_seqnos[s]));
+    }
+    manifest += StringFormat(
+        "B\t%llu\t%llu\n",
+        static_cast<unsigned long long>(rebase ? 0 : prev.gen),
+        static_cast<unsigned long long>(rebase ? 0 : prev.depth + 1));
+    for (const Pending& p : pending) {
+      manifest += StringFormat(
+          "F\t%s\t%llu\t%016llx\t%llu\n", p.ref.rel.c_str(),
+          static_cast<unsigned long long>(p.ref.bytes),
+          static_cast<unsigned long long>(p.ref.hash),
+          static_cast<unsigned long long>(p.ref.src_gen));
+    }
+    ADREC_RETURN_NOT_OK(WriteFileDurably(
+        tmp_dir + "/" + std::string(kManifestName), manifest));
+  }
+  ADREC_RETURN_NOT_OK(FsyncDir(tmp_dir));
+  ADREC_RETURN_NOT_OK(RenamePath(tmp_dir, final_dir));
+  ADREC_RETURN_NOT_OK(FsyncDir(delta_dir));
+
+  // --- Publish: CURRENT names the new head. ---
+  {
+    const std::string current = delta_dir + "/" + std::string(kCurrentName);
+    ADREC_RETURN_NOT_OK(
+        WriteFileDurably(current + ".tmp", GenDirName(gen) + "\n"));
+    ADREC_RETURN_NOT_OK(RenamePath(current + ".tmp", current));
+    ADREC_RETURN_NOT_OK(FsyncDir(delta_dir));
+  }
+
+  // --- GC generations the new head no longer references. Failures are
+  // logged, not fatal: a leaked generation only costs disk. ---
+  {
+    std::set<uint64_t> referenced;
+    referenced.insert(gen);
+    for (const Pending& p : pending) referenced.insert(p.ref.src_gen);
+    stats.chain_len = referenced.size();
+    bool removed = false;
+    for (uint64_t old_gen : ListGenDirs(delta_dir)) {
+      if (referenced.count(old_gen)) continue;
+      std::error_code rm_ec;
+      std::filesystem::remove_all(delta_dir + "/" + GenDirName(old_gen),
+                                  rm_ec);
+      if (rm_ec) {
+        ADREC_LOG(kWarning) << "delta checkpoint gc: cannot remove gen "
+                            << old_gen << ": " << rm_ec.message();
+      } else {
+        removed = true;
+      }
+    }
+    if (removed) {
+      const Status st = FsyncDir(delta_dir);
+      if (!st.ok()) {
+        ADREC_LOG(kWarning) << "delta checkpoint gc: " << st.ToString();
+      }
+    }
+  }
+  return stats;
+}
+
+Result<DeltaManifest> ResolveHead(const std::string& wal_dir) {
+  const std::string delta_dir = DeltaDir(wal_dir);
+  std::error_code ec;
+  if (!std::filesystem::is_directory(delta_dir, ec)) {
+    return Status::NotFound("no delta checkpoint dir at " + delta_dir);
+  }
+
+  // CURRENT is a hint, not an authority: a crash can leave it pointing
+  // at a GC'd generation or not yet at the newest one.
+  uint64_t current_gen = 0;
+  {
+    std::string contents;
+    if (ReadFileFully(delta_dir + "/" + std::string(kCurrentName),
+                      &contents)
+            .ok()) {
+      while (!contents.empty() &&
+             (contents.back() == '\n' || contents.back() == '\r')) {
+        contents.pop_back();
+      }
+      current_gen = GenOfName(contents);
+    }
+  }
+
+  std::vector<uint64_t> candidates;
+  if (current_gen != 0) candidates.push_back(current_gen);
+  std::vector<uint64_t> gens = ListGenDirs(delta_dir);
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    if (*it != current_gen) candidates.push_back(*it);
+  }
+  // Prefer the newest loadable generation overall; CURRENT only breaks
+  // the tie in its own favour by being probed first.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](uint64_t a, uint64_t b) { return a > b; });
+
+  for (uint64_t gen : candidates) {
+    auto m = ReadDeltaManifest(delta_dir + "/" + GenDirName(gen));
+    if (!m.ok()) {
+      if (m.status().code() != StatusCode::kNotFound) {
+        ADREC_LOG(kWarning) << "skipping delta generation " << gen << ": "
+                            << m.status().ToString();
+      }
+      continue;
+    }
+    if (!GenerationLoadable(delta_dir, m.value())) {
+      ADREC_LOG(kWarning) << "skipping delta generation " << gen
+                          << ": referenced files missing or resized";
+      continue;
+    }
+    return m;
+  }
+  return Status::NotFound("no loadable delta generation under " + delta_dir);
+}
+
+Status MaterializeCheckpoint(const std::string& wal_dir,
+                             const DeltaManifest& head,
+                             const std::string& staging_dir) {
+  const std::string delta_dir = DeltaDir(wal_dir);
+  std::error_code ec;
+  std::filesystem::remove_all(staging_dir, ec);
+  std::filesystem::create_directories(staging_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + staging_dir + ": " +
+                           ec.message());
+  }
+  for (const FileRef& f : head.files) {
+    const std::string src =
+        delta_dir + "/" + GenDirName(f.src_gen) + "/" + f.rel;
+    std::string contents;
+    ADREC_RETURN_NOT_OK(ReadFileFully(src, &contents));
+    if (contents.size() != f.bytes) {
+      return Status::IoError(StringFormat(
+          "%s: %zu bytes, delta manifest records %llu", src.c_str(),
+          contents.size(), static_cast<unsigned long long>(f.bytes)));
+    }
+    const uint64_t hash = HashBytes(contents.data(), contents.size());
+    if (hash != f.hash) {
+      return Status::IoError(StringFormat(
+          "%s: content hash %016llx does not match delta manifest %016llx",
+          src.c_str(), static_cast<unsigned long long>(hash),
+          static_cast<unsigned long long>(f.hash)));
+    }
+    const std::string dst = staging_dir + "/" + f.rel;
+    std::filesystem::create_directories(
+        std::filesystem::path(dst).parent_path(), ec);
+    if (ec) return Status::IoError("cannot create dirs for " + dst);
+    std::ofstream out(dst, std::ios::binary);
+    if (!out) return Status::IoError("cannot open " + dst);
+    out << contents;
+    out.flush();
+    if (!out) return Status::IoError("write failed on " + dst);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DeltaManifest>> ListGenerations(
+    const std::string& wal_dir) {
+  const std::string delta_dir = DeltaDir(wal_dir);
+  std::vector<DeltaManifest> out;
+  for (uint64_t gen : ListGenDirs(delta_dir)) {
+    auto m = ReadDeltaManifest(delta_dir + "/" + GenDirName(gen));
+    if (m.ok()) out.push_back(std::move(m).value());
+  }
+  return out;
+}
+
+}  // namespace adrec::wal::delta

@@ -1,0 +1,138 @@
+#ifndef ADREC_WAL_DELTA_DELTA_CHECKPOINT_H_
+#define ADREC_WAL_DELTA_DELTA_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "core/sharded_engine.h"
+
+namespace adrec::wal::delta {
+
+/// Incremental (delta-chain) checkpoints — DESIGN.md §17.
+///
+/// A full checkpoint rewrites O(engine-state) bytes every time, so the
+/// save pause grows with history. A *delta* checkpoint serializes the
+/// engine in memory, content-hashes every snapshot file
+/// (common/hashing.h), diffs the hashes against the previous
+/// generation's manifest, and persists only the files that changed —
+/// unchanged files are referenced by hash from the generation that
+/// physically holds them. Every `rebase_every`-th generation is a full
+/// rebase (all files persisted, no references), which bounds the chain
+/// a recovery must resolve.
+///
+/// Layout inside the log directory:
+///
+///   <wal_dir>/checkpoint.delta/CURRENT          "gen-<20 digits>\n"
+///   <wal_dir>/checkpoint.delta/gen-<N>/MANIFEST.tsv
+///   <wal_dir>/checkpoint.delta/gen-<N>/shard<i>/<file>   changed files
+///
+/// MANIFEST.tsv grammar (tab-separated):
+///
+///   K <wal_seqno> <shards> <stream_time>     (same as the classic manifest)
+///   S <stream> <stream_seqno>                per WAL stream, sharded logs
+///   B <base_gen> <depth>                     diff base; 0 0 = full rebase
+///   F <rel> <bytes> <hash16hex> <src_gen>    one per snapshot file, with a
+///                                            DIRECT pointer to the gen that
+///                                            physically holds it (one-hop
+///                                            resolution: pointers propagate
+///                                            from the base, they never chain)
+///
+/// Save protocol: stage everything as `gen-<N>.tmp` (files + manifest,
+/// each fsynced), rename to `gen-<N>`, fsync the delta dir, then update
+/// CURRENT via tmp + rename + fsync, then garbage-collect generations
+/// the new head no longer references. A crash at any point leaves either
+/// the previous head fully intact (stage/rename/CURRENT windows) or the
+/// new head fully durable (GC window); recovery verifies sizes up front
+/// and hashes on materialization, falling back generation by generation.
+struct FileRef {
+  std::string rel;       ///< e.g. "shard0/snapshot_ads.tsv"
+  uint64_t bytes = 0;
+  uint64_t hash = 0;     ///< adrec::HashBytes of the contents
+  uint64_t src_gen = 0;  ///< generation dir physically holding the bytes
+};
+
+struct DeltaManifest {
+  uint64_t gen = 0;       ///< from the directory name
+  uint64_t base_gen = 0;  ///< generation diffed against; 0 = full rebase
+  /// Deltas since the last rebase (0 for a rebase) — save uses this to
+  /// decide when the next generation must rebase.
+  uint64_t depth = 0;
+  uint64_t wal_seqno = 0;
+  size_t num_shards = 0;
+  Timestamp stream_time = 0;
+  /// Per-stream high-water marks; empty for a single-stream log
+  /// (mirroring the classic manifest's S lines).
+  std::vector<uint64_t> stream_seqnos;
+  std::vector<FileRef> files;
+
+  /// Distinct generations the file set spans (>= 1); the delta_chain_len
+  /// metric and `adrec_tool checkpoint inspect` headline number.
+  size_t ChainLength() const;
+};
+
+/// "gen-<20-digit zero-padded N>".
+std::string GenDirName(uint64_t gen);
+
+/// "<wal_dir>/checkpoint.delta".
+std::string DeltaDir(const std::string& wal_dir);
+
+/// Parses `<gen_dir>/MANIFEST.tsv`. NotFound when absent.
+Result<DeltaManifest> ReadDeltaManifest(const std::string& gen_dir);
+
+struct DeltaSaveOptions {
+  /// Force a full rebase every N generations (1 = every save is full).
+  size_t rebase_every = 8;
+  /// Optional per-shard hint: true = the shard's snapshot state is known
+  /// unchanged since the previous generation (its engine mutation_epoch
+  /// did not move), so serialization is skipped and the previous
+  /// generation's file refs are carried over verbatim. Ignored on a
+  /// rebase or when no previous generation exists. Size must be 0 (no
+  /// hints) or num_shards.
+  std::vector<bool> shard_clean;
+};
+
+struct DeltaSaveStats {
+  uint64_t gen = 0;
+  bool rebase = false;
+  size_t files_total = 0;
+  size_t files_written = 0;
+  uint64_t bytes_total = 0;
+  uint64_t bytes_written = 0;
+  size_t chain_len = 1;
+};
+
+/// Persists one generation for `engine` at WAL position `wal_seqno`
+/// (+ optional per-stream marks for a sharded log). The caller must
+/// already have sealed + synced the WAL so the mark covers everything
+/// the engine state reflects (wal/checkpoint.cc does this).
+Result<DeltaSaveStats> SaveDeltaCheckpoint(
+    const std::string& wal_dir, const core::ShardedEngine& engine,
+    uint64_t wal_seqno, const std::vector<uint64_t>& stream_seqnos,
+    Timestamp stream_time, const DeltaSaveOptions& options);
+
+/// The newest generation whose manifest parses and whose referenced
+/// files all exist with the recorded sizes. Tries CURRENT first, then
+/// every generation newest-first. NotFound when the delta dir is absent
+/// or holds no loadable generation. Hashes are NOT checked here — that
+/// happens (strictly) in MaterializeCheckpoint.
+Result<DeltaManifest> ResolveHead(const std::string& wal_dir);
+
+/// Copies every file `head` references into `staging_dir` (created
+/// fresh), laid out exactly like a classic checkpoint directory
+/// (`shard<i>/<file>`), verifying byte count AND content hash of every
+/// file on the way — a silently corrupted delta link fails recovery
+/// here rather than restoring a wrong engine.
+Status MaterializeCheckpoint(const std::string& wal_dir,
+                             const DeltaManifest& head,
+                             const std::string& staging_dir);
+
+/// All generations with a readable manifest, oldest first (for
+/// `adrec_tool checkpoint inspect`).
+Result<std::vector<DeltaManifest>> ListGenerations(const std::string& wal_dir);
+
+}  // namespace adrec::wal::delta
+
+#endif  // ADREC_WAL_DELTA_DELTA_CHECKPOINT_H_

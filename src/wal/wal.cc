@@ -19,51 +19,79 @@ namespace {
 
 constexpr std::string_view kSegmentPrefix = "wal-";
 constexpr std::string_view kSegmentSuffix = ".log";
+constexpr std::string_view kCompactedSuffix = ".clog";
 
 std::string SegmentName(uint64_t first_seqno) {
-  return StringFormat("wal-%020llu.log",
-                      static_cast<unsigned long long>(first_seqno));
+  return SegmentFileName(first_seqno, /*compacted=*/false);
 }
 
-/// Parses `wal-<digits>.log`; returns 0 for non-segment names.
-uint64_t SegmentSeqno(std::string_view name) {
-  if (!StartsWith(name, kSegmentPrefix) || !EndsWith(name, kSegmentSuffix)) {
+/// Parses `wal-<digits>.log` / `wal-<digits>.clog`; returns 0 for
+/// non-segment names, and reports compactedness through `compacted`.
+uint64_t SegmentSeqno(std::string_view name, bool* compacted = nullptr) {
+  if (!StartsWith(name, kSegmentPrefix)) return 0;
+  bool is_compacted = false;
+  std::string_view suffix = kSegmentSuffix;
+  if (EndsWith(name, kCompactedSuffix)) {
+    is_compacted = true;
+    suffix = kCompactedSuffix;
+  } else if (!EndsWith(name, kSegmentSuffix)) {
     return 0;
   }
   const std::string_view digits = name.substr(
       kSegmentPrefix.size(),
-      name.size() - kSegmentPrefix.size() - kSegmentSuffix.size());
+      name.size() - kSegmentPrefix.size() - suffix.size());
   if (digits.empty()) return 0;
   uint64_t v = 0;
   for (char c : digits) {
     if (c < '0' || c > '9') return 0;
     v = v * 10 + static_cast<uint64_t>(c - '0');
   }
+  if (compacted != nullptr) *compacted = is_compacted;
   return v;
 }
 
-/// Segment files of `dir`, sorted by first seqno. Missing dir -> empty.
+}  // namespace
+
+std::string SegmentFileName(uint64_t first_seqno, bool compacted) {
+  return StringFormat(compacted ? "wal-%020llu.clog" : "wal-%020llu.log",
+                      static_cast<unsigned long long>(first_seqno));
+}
+
 std::vector<SegmentSummary> ListSegments(const std::string& dir) {
   std::vector<SegmentSummary> out;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
-    const uint64_t seqno = SegmentSeqno(name);
+    bool compacted = false;
+    const uint64_t seqno = SegmentSeqno(name, &compacted);
     if (seqno == 0) continue;
     SegmentSummary seg;
     seg.path = entry.path().string();
     seg.first_seqno = seqno;
+    seg.compacted = compacted;
     std::error_code size_ec;
     seg.bytes = static_cast<uint64_t>(entry.file_size(size_ec));
     out.push_back(std::move(seg));
   }
   std::sort(out.begin(), out.end(),
             [](const SegmentSummary& a, const SegmentSummary& b) {
-              return a.first_seqno < b.first_seqno;
+              if (a.first_seqno != b.first_seqno) {
+                return a.first_seqno < b.first_seqno;
+              }
+              // wal-X.log + wal-X.clog pair: compacted sorts first so the
+              // dedup below keeps it (the later, durable rewrite).
+              return a.compacted > b.compacted;
             });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const SegmentSummary& a, const SegmentSummary& b) {
+                          return a.first_seqno == b.first_seqno;
+                        }),
+            out.end());
   return out;
 }
+
+namespace {
 
 Status WriteFully(int fd, std::string_view data) {
   size_t off = 0;
@@ -107,6 +135,15 @@ Result<LogReport> ScanLog(const std::string& dir, const ScanOptions& options,
   LogReport report;
   report.segments = ListSegments(dir);
   uint64_t expected = 0;  // 0 = first record seen defines the floor
+  bool any_compacted = false;
+  for (const SegmentSummary& seg : report.segments) {
+    if (seg.compacted) {
+      any_compacted = true;
+      ++report.compacted_segments;
+    }
+  }
+  bool prev_compacted = false;
+  std::vector<size_t> stale_indices;
 
   for (size_t si = 0; si < report.segments.size(); ++si) {
     SegmentSummary& seg = report.segments[si];
@@ -125,6 +162,7 @@ Result<LogReport> ScanLog(const std::string& dir, const ScanOptions& options,
                                           why.c_str()));
     };
 
+    size_t stale_records = 0;
     size_t pos = 0;
     while (pos < contents.size()) {
       const size_t nl = contents.find('\n', pos);
@@ -138,20 +176,53 @@ Result<LogReport> ScanLog(const std::string& dir, const ScanOptions& options,
           torn_why = record.status().message();
         } else {
           const Record& r = record.value();
-          if (expected != 0 && r.seqno != expected) {
-            // A seqno break cannot come from a torn append (the CRC
-            // covers the seqno): always hard corruption.
-            return corrupt(pos, StringFormat(
-                                    "seqno %llu, expected %llu",
-                                    static_cast<unsigned long long>(r.seqno),
-                                    static_cast<unsigned long long>(expected)));
+          if (expected != 0 && r.seqno < expected) {
+            // A duplicate of an already-scanned seqno. With compaction
+            // in play this is the fingerprint of a swap that crashed
+            // after renaming the coalesced output but before unlinking
+            // its superseded input: skip the shadowed record. Without
+            // any compacted segment present it stays hard corruption.
+            if (!any_compacted) {
+              return corrupt(pos, StringFormat(
+                                      "seqno %llu, expected %llu",
+                                      static_cast<unsigned long long>(r.seqno),
+                                      static_cast<unsigned long long>(
+                                          expected)));
+            }
+            ++stale_records;
+            pos = nl + 1;
+            continue;
           }
-          if (seg.records == 0 && r.seqno != seg.first_seqno) {
-            return corrupt(pos,
-                           StringFormat("first record seqno %llu does not "
-                                        "match segment name",
-                                        static_cast<unsigned long long>(
-                                            r.seqno)));
+          if (expected != 0 && r.seqno > expected) {
+            // Forward gap. Compaction drops superseded records, so a gap
+            // is legal inside a compacted segment and at the boundary
+            // right after one; anywhere else a seqno break cannot come
+            // from a torn append (the CRC covers the seqno): always hard
+            // corruption.
+            const bool at_boundary =
+                seg.records == 0 && stale_records == 0 && prev_compacted;
+            if (!seg.compacted && !at_boundary) {
+              return corrupt(pos, StringFormat(
+                                      "seqno %llu, expected %llu",
+                                      static_cast<unsigned long long>(r.seqno),
+                                      static_cast<unsigned long long>(
+                                          expected)));
+            }
+            report.gap_records += r.seqno - expected;
+          }
+          if (seg.records == 0 && stale_records == 0) {
+            // A compacted segment keeps its original range's name, so
+            // its first surviving record may exceed it — never precede.
+            const bool name_ok = seg.compacted
+                                     ? r.seqno >= seg.first_seqno
+                                     : r.seqno == seg.first_seqno;
+            if (!name_ok) {
+              return corrupt(pos,
+                             StringFormat("first record seqno %llu does not "
+                                          "match segment name",
+                                          static_cast<unsigned long long>(
+                                              r.seqno)));
+            }
           }
           if (options.decode_payloads) {
             auto event = DecodeEventPayload(r.payload);
@@ -191,6 +262,27 @@ Result<LogReport> ScanLog(const std::string& dir, const ScanOptions& options,
       }
       break;
     }
+    if (stale_records > 0 && seg.records == 0) {
+      // Every record in this segment shadowed an already-scanned seqno:
+      // a superseded compaction input whose unlink never happened.
+      report.stale_segments.push_back(seg.path);
+      stale_indices.push_back(si);
+      continue;  // a fully-shadowed segment does not move the window
+    }
+    prev_compacted = seg.compacted;
+  }
+  if (options.remove_stale_segments && !stale_indices.empty()) {
+    for (auto it = stale_indices.rbegin(); it != stale_indices.rend(); ++it) {
+      std::error_code ec;
+      std::filesystem::remove(report.segments[*it].path, ec);
+      if (ec) {
+        return Status::IoError("remove stale " + report.segments[*it].path +
+                               ": " + ec.message());
+      }
+      report.segments.erase(report.segments.begin() +
+                            static_cast<long>(*it));
+    }
+    ADREC_RETURN_NOT_OK(FsyncDir(dir));
   }
   return report;
 }
@@ -238,6 +330,16 @@ Result<CursorBatch> ReadFrames(const std::string& dir, uint64_t from_seqno,
     const SegmentSummary& seg = segments[si];
     const bool last_segment = si + 1 == segments.size();
     if (seg.first_seqno > expected) {
+      if (seg.compacted || (si > 0 && segments[si - 1].compacted)) {
+        // Compaction dropped the records the cursor wants: replication
+        // only ships the contiguous tail, so the follower re-seeds from
+        // a checkpoint — the same path as a retention miss.
+        return Status::NotFound(StringFormat(
+            "cursor %llu falls in a compacted-away range (%s starts at "
+            "%llu); follower must re-seed",
+            static_cast<unsigned long long>(expected), seg.path.c_str(),
+            static_cast<unsigned long long>(seg.first_seqno)));
+      }
       return Status::IoError(StringFormat(
           "segment gap: %s starts at %llu, expected %llu", seg.path.c_str(),
           static_cast<unsigned long long>(seg.first_seqno),
@@ -283,6 +385,13 @@ Result<CursorBatch> ReadFrames(const std::string& dir, uint64_t from_seqno,
         continue;
       }
       if (r.seqno != expected) {
+        if (seg.compacted) {
+          return Status::NotFound(StringFormat(
+              "cursor %llu falls in a compacted-away range (%s resumes at "
+              "%llu); follower must re-seed",
+              static_cast<unsigned long long>(expected), seg.path.c_str(),
+              static_cast<unsigned long long>(r.seqno)));
+        }
         return Status::IoError(StringFormat(
             "%s: seqno %llu, expected %llu", seg.path.c_str(),
             static_cast<unsigned long long>(r.seqno),
@@ -319,6 +428,50 @@ Result<CursorBatch> ReadFrames(const std::string& dir, uint64_t from_seqno,
 
 // --- WalWriter. ---
 
+namespace {
+
+/// Full decode of one candidate resume segment (reopen coalescing):
+/// every frame must parse and seqnos must be contiguous, else the
+/// segment is sealed as-is and appends go to a fresh file.
+struct TailScan {
+  uint64_t first_seqno = 0;
+  uint64_t last_seqno = 0;
+  size_t records = 0;
+  uint64_t bytes = 0;
+};
+
+Result<TailScan> ScanResumeCandidate(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  TailScan out;
+  out.bytes = contents.size();
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      return Status::IoError(path + ": unterminated frame");
+    }
+    auto record =
+        DecodeFrame(std::string_view(contents).substr(pos, nl - pos));
+    if (!record.ok()) return record.status();
+    if (out.records == 0) {
+      out.first_seqno = record.value().seqno;
+    } else if (record.value().seqno != out.last_seqno + 1) {
+      return Status::IoError(path + ": seqno gap");
+    }
+    out.last_seqno = record.value().seqno;
+    ++out.records;
+    pos = nl + 1;
+  }
+  if (out.records == 0) return Status::IoError(path + ": empty");
+  return out;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
                                                    WalOptions options,
                                                    uint64_t next_seqno) {
@@ -326,11 +479,47 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
 
+  // Clear compaction-swap leftovers: staged outputs that never got
+  // renamed (`*.clog.tmp`) and superseded `.log` inputs shadowed by a
+  // renamed `.clog` rewrite of the same range.
+  {
+    bool removed = false;
+    std::vector<std::filesystem::path> doomed;
+    std::error_code iter_ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, iter_ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (StartsWith(name, kSegmentPrefix) && EndsWith(name, ".tmp")) {
+        doomed.push_back(entry.path());
+        continue;
+      }
+      bool compacted = false;
+      const uint64_t seqno = SegmentSeqno(name, &compacted);
+      if (seqno != 0 && !compacted) {
+        std::error_code exists_ec;
+        const std::string twin =
+            dir + "/" + SegmentFileName(seqno, /*compacted=*/true);
+        if (std::filesystem::exists(twin, exists_ec)) {
+          doomed.push_back(entry.path());
+        }
+      }
+    }
+    for (const auto& path : doomed) {
+      std::error_code rm_ec;
+      std::filesystem::remove(path, rm_ec);
+      removed = removed || !rm_ec;
+    }
+    if (removed) ADREC_RETURN_NOT_OK(FsyncDir(dir));
+  }
+
   std::vector<SegmentSummary> sealed;
   if (next_seqno == 0) {
-    // Derive the resume point (and clean a torn tail) by scanning.
+    // Derive the resume point (and clean a torn tail + any segments a
+    // crashed compaction swap left fully shadowed) by scanning.
     ScanOptions scan;
     scan.truncate_torn_tail = true;
+    scan.remove_stale_segments = true;
     auto report = ScanLog(dir, scan);
     if (!report.ok()) return report.status();
     next_seqno = report.value().last_seqno + 1;
@@ -351,8 +540,44 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
       ++it;
     }
   }
-  return std::unique_ptr<WalWriter>(
+  // Reopen coalescing: resume appending into the previous run's tail
+  // segment when it is uncompacted, below the rotation threshold,
+  // frame-clean and ends exactly at next_seqno - 1 (recovery truncated
+  // any torn tail before we got here). Without this, every restart
+  // minted a fresh segment regardless of how little the old tail held.
+  TailScan resume;
+  bool resume_tail = false;
+  if (!sealed.empty() && !sealed.back().compacted) {
+    const SegmentSummary& tail = sealed.back();
+    std::error_code size_ec;
+    const uintmax_t size = std::filesystem::file_size(tail.path, size_ec);
+    if (!size_ec && size > 0 && size < options.segment_bytes) {
+      auto scanned = ScanResumeCandidate(tail.path);
+      if (scanned.ok() && scanned.value().last_seqno + 1 == next_seqno &&
+          scanned.value().first_seqno == tail.first_seqno) {
+        resume = scanned.value();
+        resume_tail = true;
+      }
+    }
+  }
+  std::unique_ptr<WalWriter> writer(
       new WalWriter(dir, options, next_seqno, std::move(sealed)));
+  if (resume_tail) {
+    const std::string path =
+        dir + "/" + SegmentFileName(resume.first_seqno, /*compacted=*/false);
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+    if (fd >= 0) {  // failure: fall back to a fresh segment
+      writer->fd_ = fd;
+      writer->active_first_seqno_ = resume.first_seqno;
+      writer->active_bytes_ = resume.bytes;
+      writer->active_records_ = resume.records;
+      writer->sealed_.pop_back();
+      writer->g_active_segment_bytes_->Set(
+          static_cast<double>(resume.bytes));
+    }
+  }
+  return writer;
 }
 
 WalWriter::WalWriter(std::string dir, WalOptions options, uint64_t next_seqno,
@@ -680,6 +905,21 @@ uint64_t WalWriter::flushed_seqno() const {
 size_t WalWriter::active_segment_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_bytes_ + pending_.size();
+}
+
+std::vector<SegmentSummary> WalWriter::sealed_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
+}
+
+void WalWriter::ReplaceSealedPrefix(size_t count,
+                                    std::vector<SegmentSummary> replacement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count > sealed_.size()) count = sealed_.size();
+  sealed_.erase(sealed_.begin(), sealed_.begin() + static_cast<long>(count));
+  sealed_.insert(sealed_.begin(),
+                 std::make_move_iterator(replacement.begin()),
+                 std::make_move_iterator(replacement.end()));
 }
 
 }  // namespace adrec::wal

@@ -27,6 +27,16 @@ namespace adrec::wal {
 /// newest segment is the only one ever appended to; older segments are
 /// sealed and immutable, which is what makes checkpoint truncation a
 /// plain unlink.
+///
+/// Sealed segments may additionally be *compacted* (wal/delta/compactor.h)
+/// into `wal-<first-seqno>.clog` files: same frame grammar and original
+/// seqnos, but records whose effects are superseded are dropped, so a
+/// compacted segment may carry seqno gaps and may begin after the seqno
+/// its name records (the name keeps the *original* range's first seqno so
+/// ordering and truncation keys are unchanged). Scans tolerate forward
+/// gaps only inside/after compacted segments; everywhere else a seqno
+/// break is still hard corruption. The active (newest) segment is never
+/// compacted, so torn-tail semantics are untouched.
 
 /// When appended records reach the disk.
 enum class SyncPolicy {
@@ -77,7 +87,20 @@ struct SegmentSummary {
   uint64_t last_seqno = 0;
   size_t records = 0;
   uint64_t bytes = 0;
+  /// A `.clog` segment rewritten by the compactor: may contain seqno
+  /// gaps, and its first record may exceed the name's seqno.
+  bool compacted = false;
 };
+
+/// The on-disk file name for a segment starting at `first_seqno`
+/// (`wal-<20 digits>.log`, or `.clog` when compacted).
+std::string SegmentFileName(uint64_t first_seqno, bool compacted);
+
+/// Segment files of `dir`, sorted by first seqno; missing dir -> empty.
+/// When both `wal-X.log` and `wal-X.clog` exist (a compaction swap was
+/// interrupted between rename and unlink), only the compacted one is
+/// listed — it is the later, durable rewrite of the same range.
+std::vector<SegmentSummary> ListSegments(const std::string& dir);
 
 /// What a full scan of a log directory found.
 struct LogReport {
@@ -90,6 +113,16 @@ struct LogReport {
   bool torn_tail = false;
   uint64_t torn_bytes = 0;
   std::string torn_detail;
+  /// Compaction bookkeeping: how many segments are compacted rewrites,
+  /// and how many seqnos the scan legitimately skipped over (dropped,
+  /// superseded records — only ever inside/after compacted segments).
+  size_t compacted_segments = 0;
+  uint64_t gap_records = 0;
+  /// Segments whose every record duplicated an already-scanned seqno:
+  /// superseded inputs of a compaction swap that crashed between the
+  /// output rename and the input unlink. Safe to delete (and deleted,
+  /// under ScanOptions::remove_stale_segments).
+  std::vector<std::string> stale_segments;
 };
 
 struct ScanOptions {
@@ -99,6 +132,10 @@ struct ScanOptions {
   /// Also parse every payload with DecodeEventPayload and fail the scan
   /// on grammar errors (verification mode).
   bool decode_payloads = false;
+  /// Unlink segments found fully shadowed by a crashed compaction swap
+  /// (see LogReport::stale_segments) and drop them from the report's
+  /// segment list. Recovery-time scans set this; read-only scans do not.
+  bool remove_stale_segments = false;
 };
 
 /// Scans every segment of `dir` in seqno order, invoking `fn` (when
@@ -147,8 +184,10 @@ struct CursorBatch {
 /// cleanly (at_end) at the tip or at a torn tail; pass `limit_seqno` no
 /// higher than the writer's flushed_seqno() so a mid-write frame is
 /// never read. Fails NotFound when from_seqno precedes the oldest
-/// retained segment (the follower must re-seed from a checkpoint) and
-/// IoError on corruption before the newest segment's tail.
+/// retained segment, and also when the requested range crosses a seqno
+/// gap left by segment compaction — replication only ships the
+/// contiguous tail, so either way the follower must re-seed from a
+/// checkpoint. IoError on corruption before the newest segment's tail.
 Result<CursorBatch> ReadFrames(const std::string& dir, uint64_t from_seqno,
                                uint64_t limit_seqno, size_t max_bytes,
                                CursorHint* hint = nullptr);
@@ -169,8 +208,12 @@ class WalWriter {
   /// Opens (creating if needed) the log directory for appending. Scans
   /// existing segments to resume seqnos, truncating a torn tail; pass
   /// `next_seqno` > 0 (e.g. from wal::Recover) to skip re-reading
-  /// segment contents. Appends always go to a fresh segment — a writer
-  /// never extends a file a previous process wrote.
+  /// segment contents. When the newest existing segment is uncompacted,
+  /// below the rotation threshold, frame-clean and contiguous with
+  /// `next_seqno`, appends RESUME into it — without this, every restart
+  /// minted a fresh segment and short-lived daemons accumulated heaps
+  /// of near-empty files. Anything else (torn, gapped, full, compacted)
+  /// seals it and appends go to a fresh segment.
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
                                                  WalOptions options = {},
                                                  uint64_t next_seqno = 0);
@@ -210,6 +253,21 @@ class WalWriter {
   /// seqno contiguity of the remaining log is preserved. Returns the
   /// number of segments deleted.
   Result<size_t> TruncateSealedBefore(uint64_t seqno, Timestamp floor_time);
+
+  /// Snapshot of the sealed (immutable) segments, oldest first. Entries
+  /// from an Open that skipped scanning carry last_seqno/records == 0.
+  std::vector<SegmentSummary> sealed_segments() const;
+
+  /// Replaces the first `count` sealed segments with `replacement` —
+  /// the bookkeeping half of a compaction swap, called after the
+  /// rewritten files are durably in place (wal/delta/compactor.cc).
+  /// Safe against concurrent appends: rotation only ever push_backs.
+  void ReplaceSealedPrefix(size_t count,
+                           std::vector<SegmentSummary> replacement);
+
+  /// The writer's registry, for subsystems that account their work
+  /// against this log (the segment compactor's `compact.*` families).
+  obs::MetricRegistry* mutable_metrics() { return &metrics_; }
 
   const std::string& dir() const { return dir_; }
   const WalOptions& options() const { return options_; }

@@ -267,6 +267,64 @@ TEST(PrometheusExportTest, CacheMetricFamiliesExposeAndRoundTrip) {
   EXPECT_EQ(parsed.value().timers.at("cache.lookup_us").count, 1u);
 }
 
+// The checkpoint saver's and WAL compactor's metric families (PR:
+// --checkpoint-mode=delta): save counters get the adrec_ prefix and
+// _total suffix, the delta-chain-length gauge keeps its raw value, the
+// save/run timers expose as _seconds histograms, and raw names survive
+// the JSON round-trip.
+TEST(PrometheusExportTest, CheckpointMetricFamiliesExposeAndRoundTrip) {
+  MetricRegistry registry;
+  registry.GetCounter("checkpoint.saves")->Inc(4);
+  registry.GetCounter("checkpoint.rebases")->Inc(1);
+  registry.GetCounter("checkpoint.files_written")->Inc(12);
+  registry.GetCounter("checkpoint.bytes_written")->Inc(65536);
+  registry.GetGauge("checkpoint.delta_chain_len")->Set(3);
+  registry.GetTimer("checkpoint.save_ms")->Record(7.5);
+  registry.GetCounter("compact.runs")->Inc(2);
+  registry.GetCounter("compact.segments_in")->Inc(6);
+  registry.GetCounter("compact.segments_out")->Inc(2);
+  registry.GetCounter("compact.records_dropped")->Inc(40);
+  registry.GetCounter("compact.bytes_reclaimed")->Inc(2048);
+  registry.GetTimer("compact.run_us")->Record(900.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string prom = ExportPrometheus(snapshot);
+  EXPECT_NE(prom.find("# TYPE adrec_checkpoint_saves_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_checkpoint_saves_total 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("adrec_checkpoint_rebases_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_checkpoint_files_written_total 12\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_checkpoint_bytes_written_total 65536\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE adrec_checkpoint_delta_chain_len gauge\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_checkpoint_delta_chain_len 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE adrec_checkpoint_save_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_checkpoint_save_seconds_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_compact_runs_total 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("adrec_compact_records_dropped_total 40\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("adrec_compact_bytes_reclaimed_total 2048\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE adrec_compact_run_seconds histogram\n"),
+            std::string::npos);
+  CheckParseable(prom);
+
+  const StatsReport report = BuildReport(snapshot);
+  auto parsed = ParseJson(ExportJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().counters.at("checkpoint.saves"), 4u);
+  EXPECT_EQ(parsed.value().counters.at("compact.records_dropped"), 40u);
+  EXPECT_EQ(parsed.value().gauges.at("checkpoint.delta_chain_len"), 3.0);
+  ASSERT_EQ(parsed.value().timers.count("checkpoint.save_ms"), 1u);
+  EXPECT_EQ(parsed.value().timers.at("checkpoint.save_ms").count, 1u);
+}
+
 // The cache trace span names (cache.lookup, cache.fill, and the
 // engine's cached-charge probe) follow the span-name grammar the trace
 // exporters rely on: single token, no whitespace, no tabs.

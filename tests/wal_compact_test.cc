@@ -1,0 +1,344 @@
+#include "wal/delta/compactor.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "core/snapshot.h"
+#include "feed/workload.h"
+#include "wal/checkpoint.h"
+#include "wal/record.h"
+#include "wal/wal.h"
+
+namespace adrec::wal::delta {
+namespace {
+
+class WalCompactTest : public ::testing::Test {
+ protected:
+  WalCompactTest() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("adrec_compact_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+
+    feed::WorkloadOptions opts;
+    opts.seed = 99;
+    opts.num_users = 8;
+    opts.num_places = 6;
+    opts.num_ads = 3;
+    opts.days = 2;
+    workload_ = feed::GenerateWorkload(opts);
+    events_ = workload_.MergedEvents();
+  }
+  ~WalCompactTest() override { std::filesystem::remove_all(dir_); }
+
+  feed::FeedEvent AdPut(uint32_t id, double bid) {
+    feed::FeedEvent ev;
+    ev.kind = feed::EventKind::kAdInsert;
+    ev.ad = workload_.ads.front();
+    ev.ad.id = AdId(id);
+    ev.ad.bid = bid;  // distinguishes successive puts of the same id
+    return ev;
+  }
+  feed::FeedEvent AdDel(uint32_t id) {
+    feed::FeedEvent ev;
+    ev.kind = feed::EventKind::kAdDelete;
+    ev.ad_id = AdId(id);
+    return ev;
+  }
+  feed::FeedEvent TweetEv(size_t i) { return events_.at(i); }
+
+  void Append(WalWriter* w, const std::vector<feed::FeedEvent>& evs) {
+    for (const feed::FeedEvent& ev : evs) {
+      ASSERT_TRUE(w->Append(EncodeEventPayload(ev)).ok());
+    }
+  }
+
+  /// All surviving payloads of `dir` in seqno order.
+  std::vector<std::string> Payloads(const std::string& dir) {
+    std::vector<std::string> out;
+    auto report = ScanLog(dir, {}, [&](const Record& rec) {
+      out.push_back(rec.payload);
+      return Status::OK();
+    });
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return out;
+  }
+
+  /// Engine recovered from `dir` by the standard recovery path.
+  std::unique_ptr<core::ShardedEngine> Recover(const std::string& dir) {
+    CheckpointManager manager(dir);
+    auto engine = std::make_unique<core::ShardedEngine>(workload_.kb,
+                                                        workload_.slots, 1);
+    auto r = manager.Recover(engine.get());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return engine;
+  }
+
+  std::vector<std::string> Serialized(const core::ShardedEngine& engine) {
+    std::vector<std::string> out;
+    for (size_t s = 0; s < engine.num_shards(); ++s) {
+      auto files = core::SerializeEngineSnapshot(engine.shard(s));
+      EXPECT_TRUE(files.ok()) << files.status().ToString();
+      for (const core::SnapshotFile& f : files.value()) {
+        out.push_back(f.name + "\n" + f.contents);
+      }
+    }
+    return out;
+  }
+
+  std::string dir_;
+  feed::Workload workload_;
+  std::vector<feed::FeedEvent> events_;
+};
+
+TEST_F(WalCompactTest, KeepSetDropsSupersededAdChurn) {
+  // Ad 900: put, del, put, del, put, put -> keep {last del, first put
+  // after it} = {del#2, put#3}; drop put#1, del#1, put#2, put#4.
+  // Ad 901: put, put (no del) -> keep the first put, drop the second.
+  // Tweets always survive.
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    WalWriter* w = writer.value().get();
+    Append(w, {AdPut(900, 1.0), TweetEv(0), AdDel(900), AdPut(900, 2.0),
+               AdPut(901, 1.0)});
+    ASSERT_TRUE(w->Rotate().ok());
+    Append(w, {TweetEv(1), AdDel(900), AdPut(900, 3.0), AdPut(900, 4.0),
+               AdPut(901, 2.0)});
+    ASSERT_TRUE(w->Rotate().ok());
+    Append(w, {TweetEv(2)});  // newest segment: never an input
+  }
+
+  auto report = CompactLogDir(dir_, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().ran);
+  EXPECT_EQ(report.value().segments_in, 2u);
+  EXPECT_EQ(report.value().segments_out, 1u);  // tiny inputs coalesce
+  EXPECT_EQ(report.value().records_in, 10u);
+  EXPECT_EQ(report.value().records_dropped, 5u);
+  EXPECT_LT(report.value().bytes_out, report.value().bytes_in);
+
+  const std::vector<std::string> payloads = Payloads(dir_);
+  ASSERT_EQ(payloads.size(), 6u);  // 5 kept + newest-segment tweet
+  size_t puts = 0, dels = 0, tweets = 0;
+  for (const std::string& p : payloads) {
+    auto ev = DecodeEventPayload(p);
+    ASSERT_TRUE(ev.ok()) << p;
+    switch (ev.value().kind) {
+      case feed::EventKind::kAdInsert:
+        ++puts;
+        if (ev.value().ad.id == AdId(900)) {
+          EXPECT_DOUBLE_EQ(ev.value().ad.bid, 3.0);  // put#3 survives
+        } else {
+          EXPECT_DOUBLE_EQ(ev.value().ad.bid, 1.0);  // first 901 put
+        }
+        break;
+      case feed::EventKind::kAdDelete:
+        ++dels;
+        EXPECT_EQ(ev.value().ad_id, AdId(900));
+        break;
+      default:
+        ++tweets;
+    }
+  }
+  EXPECT_EQ(puts, 2u);
+  EXPECT_EQ(dels, 1u);
+  EXPECT_EQ(tweets, 3u);
+
+  // The scan accounts the dropped seqnos as compaction gaps, not
+  // corruption, and the seqno range is unchanged. One of the five drops
+  // (put#1, the very first record of the log) leaves a LEADING gap the
+  // scan cannot observe — gaps are counted between records — so 4.
+  auto scan = ScanLog(dir_, {});
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().gap_records, 4u);
+  EXPECT_EQ(scan.value().compacted_segments, 1u);
+  EXPECT_EQ(scan.value().last_seqno, 11u);
+}
+
+TEST_F(WalCompactTest, CompactedLogRecoversIdentically) {
+  // A realistic interleaving: workload tweets/check-ins plus ad churn,
+  // compacted after the crash; recovery over the compacted log must be
+  // byte-identical to a never-crashed reference fed the original trace.
+  std::vector<feed::FeedEvent> trace;
+  for (size_t i = 0; i < events_.size() / 2; ++i) {
+    trace.push_back(events_[i]);
+    if (i % 7 == 3) trace.push_back(AdPut(800 + (i % 3), 1.0 + i));
+    if (i % 11 == 6) trace.push_back(AdDel(800 + (i % 3)));
+  }
+
+  auto reference = std::make_unique<core::ShardedEngine>(workload_.kb,
+                                                         workload_.slots, 1);
+  {
+    WalOptions wopts;
+    wopts.segment_bytes = 4 * 1024;  // force many sealed segments
+    auto writer = WalWriter::Open(dir_, wopts);
+    ASSERT_TRUE(writer.ok());
+    for (const feed::FeedEvent& ev : trace) {
+      ASSERT_TRUE(writer.value()->Append(EncodeEventPayload(ev)).ok());
+      reference->OnEvent(ev);
+    }
+  }  // crash
+
+  auto report = CompactLogDir(dir_, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report.value().ran);
+  EXPECT_GT(report.value().records_dropped, 0u);
+
+  auto recovered = Recover(dir_);
+  EXPECT_EQ(Serialized(*reference), Serialized(*recovered));
+}
+
+TEST_F(WalCompactTest, PreserveFloorShieldsSegmentsFromRewriting) {
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    WalWriter* w = writer.value().get();
+    Append(w, {AdPut(700, 1.0), AdPut(700, 2.0), TweetEv(0)});  // seq 1-3
+    ASSERT_TRUE(w->Rotate().ok());
+    Append(w, {AdPut(700, 3.0), TweetEv(1)});  // seq 4-5
+    ASSERT_TRUE(w->Rotate().ok());
+    Append(w, {TweetEv(2)});
+  }
+
+  // A follower's cursor sits at seqno 4: the second sealed segment must
+  // survive verbatim as an appendable-shape .log file.
+  CompactionOptions opts;
+  opts.preserve_floor = 4;
+  auto report = CompactLogDir(dir_, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().ran);
+  EXPECT_EQ(report.value().segments_in, 1u);
+  EXPECT_EQ(report.value().records_dropped, 1u);  // only put#1 of 700
+
+  const auto segments = ListSegments(dir_);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_TRUE(segments[0].compacted);
+  EXPECT_FALSE(segments[1].compacted);
+  EXPECT_FALSE(segments[2].compacted);
+  EXPECT_EQ(segments[1].first_seqno, 4u);
+
+  // The preserved tail is still frame-contiguous and shippable.
+  auto batch = ReadFrames(dir_, 4, 6, 1 << 20);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch.value().records, 3u);
+}
+
+TEST_F(WalCompactTest, LiveWriterCompactsSealedPrefixAndKeepsAppending) {
+  auto writer = WalWriter::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  WalWriter* w = writer.value().get();
+  Append(w, {AdPut(600, 1.0), AdPut(600, 2.0), TweetEv(0)});
+  ASSERT_TRUE(w->Rotate().ok());
+  Append(w, {AdPut(600, 3.0), TweetEv(1)});
+  ASSERT_TRUE(w->Rotate().ok());
+  Append(w, {TweetEv(2)});  // active segment
+
+  auto report = CompactSealed(w, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().ran);
+  EXPECT_EQ(report.value().segments_in, 2u);
+  EXPECT_EQ(report.value().records_dropped, 2u);  // puts #1 and #2
+
+  // Bookkeeping swapped in place: the sealed list now holds the rewrite.
+  const auto sealed = w->sealed_segments();
+  ASSERT_EQ(sealed.size(), 1u);
+  EXPECT_TRUE(sealed[0].compacted);
+
+  // `compact.*` accounting lands in the writer's registry.
+  const obs::MetricsSnapshot snap = w->metrics().Snapshot();
+  EXPECT_EQ(snap.counters.at("compact.runs"), 1u);
+  EXPECT_EQ(snap.counters.at("compact.records_dropped"), 2u);
+
+  // Appending continues seamlessly across the swap.
+  Append(w, {TweetEv(3), TweetEv(4)});
+  ASSERT_TRUE(w->Sync().ok());
+  auto scan = ScanLog(dir_, {});
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan.value().last_seqno, 8u);
+  EXPECT_FALSE(scan.value().torn_tail);
+}
+
+TEST_F(WalCompactTest, TooFewInputsSkipsTheRun) {
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    Append(writer.value().get(), {AdPut(500, 1.0), AdPut(500, 2.0)});
+    ASSERT_TRUE(writer.value()->Rotate().ok());
+    Append(writer.value().get(), {TweetEv(0)});
+  }
+  CompactionOptions opts;
+  opts.min_input_segments = 5;
+  auto report = CompactLogDir(dir_, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().ran);
+  for (const auto& seg : ListSegments(dir_)) EXPECT_FALSE(seg.compacted);
+}
+
+TEST_F(WalCompactTest, InterruptedSwapIsFullyRecoverable) {
+  {
+    auto writer = WalWriter::Open(dir_);
+    ASSERT_TRUE(writer.ok());
+    WalWriter* w = writer.value().get();
+    Append(w, {AdPut(400, 1.0), AdPut(400, 2.0), TweetEv(0)});
+    ASSERT_TRUE(w->Rotate().ok());
+    Append(w, {AdDel(400), AdPut(400, 3.0), TweetEv(1)});
+    ASSERT_TRUE(w->Rotate().ok());
+    Append(w, {TweetEv(2)});
+  }
+  // Freeze the pre-compaction state, then compact the original.
+  const std::string crashed = dir_ + ".crashed";
+  std::filesystem::remove_all(crashed);
+  std::filesystem::copy(dir_, crashed);
+  ASSERT_TRUE(CompactLogDir(dir_, {}).value().ran);
+
+  // Reconstruct a crash between the output rename and the input unlink:
+  // the .clog outputs are durable AND every .log input still exists —
+  // plus a stray staging file from a hypothetical second run.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".clog") {
+      std::filesystem::copy(entry.path(), crashed + "/" +
+                            entry.path().filename().string());
+    }
+  }
+  std::ofstream(crashed + "/" + SegmentFileName(999, true) + ".tmp")
+      << "partial";
+
+  // Scan-level handling: name collisions resolve to the .clog rewrite,
+  // shadowed inputs are identified as stale and removable, and the
+  // record stream equals the cleanly-compacted directory's.
+  ScanOptions sopts;
+  sopts.remove_stale_segments = true;
+  auto scan = ScanLog(crashed, sopts);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(Payloads(crashed), Payloads(dir_));
+
+  // Recovery-level handling: both directories restore identical engines.
+  auto a = Recover(dir_);
+  auto b = Recover(crashed);
+  EXPECT_EQ(Serialized(*a), Serialized(*b));
+
+  // A writer reopening the crashed directory sweeps the staging stray
+  // and keeps appending.
+  {
+    auto writer = WalWriter::Open(crashed);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    Append(writer.value().get(), {TweetEv(3)});
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(crashed)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+  auto rescan = ScanLog(crashed, {});
+  ASSERT_TRUE(rescan.ok()) << rescan.status().ToString();
+  std::filesystem::remove_all(crashed);
+}
+
+}  // namespace
+}  // namespace adrec::wal::delta

@@ -1,0 +1,290 @@
+#include "testkit/differential.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "feed/workload.h"
+#include "wal/checkpoint.h"
+#include "wal/delta/compactor.h"
+#include "wal/delta/delta_checkpoint.h"
+#include "wal/sharded_wal.h"
+
+namespace adrec::testkit {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("adrec_deltadiff_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Ranking-stateless workload (unlimited budgets, no frequency cap), the
+/// precondition for RunWalCrash to equal the no-crash run exactly.
+feed::Workload StatelessServingWorkload(uint64_t seed) {
+  feed::WorkloadOptions opts;
+  opts.seed = seed;
+  opts.num_users = 6 + static_cast<size_t>(seed % 4);
+  opts.num_places = 5 + static_cast<size_t>(seed % 3);
+  opts.num_ads = 2 + static_cast<size_t>(seed % 3);
+  opts.days = 2;
+  opts.tweets_per_user_day = 3.0;
+  opts.checkins_per_user_day = 1.5;
+  feed::Workload workload = feed::GenerateWorkload(opts);
+  for (feed::Ad& ad : workload.ads) {
+    ad.budget_impressions = 0;  // unlimited
+  }
+  return workload;
+}
+
+/// Interleaves repeated adput/addel churn of two extra ad ids into the
+/// trace so WAL compaction has superseded records to drop — without
+/// churn every record is a tweet/check-in and compaction is a no-op.
+std::vector<feed::FeedEvent> WithAdChurn(const feed::Workload& workload,
+                                         std::vector<feed::FeedEvent> events) {
+  std::vector<feed::FeedEvent> out;
+  out.reserve(events.size() + events.size() / 4);
+  for (size_t i = 0; i < events.size(); ++i) {
+    out.push_back(events[i]);
+    const uint32_t id = 500 + static_cast<uint32_t>(i % 2);
+    if (i % 9 == 4) {
+      feed::FeedEvent ev;
+      ev.kind = feed::EventKind::kAdInsert;
+      ev.time = events[i].time;
+      ev.ad = workload.ads.front();
+      ev.ad.id = AdId(id);
+      ev.ad.bid = 1.0 + static_cast<double>(i);
+      ev.ad.budget_impressions = 0;
+      out.push_back(ev);
+    }
+    if (i % 13 == 8) {
+      feed::FeedEvent ev;
+      ev.kind = feed::EventKind::kAdDelete;
+      ev.time = events[i].time;
+      ev.ad_id = AdId(id);
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
+/// Post-crash surgery simulating a kill at a protocol-critical point,
+/// applied while the crashed log directory is quiescent.
+enum class KillPoint {
+  kNone,
+  kCheckpointStaging,  ///< killed mid-save: stray staging dir/file left
+  kCurrentUpdate,      ///< killed before the CURRENT hint was rewritten
+  kCompactionSwap,     ///< killed between output rename and input unlink
+  kHeadGenDamage,      ///< head generation file truncated: older gen wins
+};
+
+/// The delta differential of the ISSUE acceptance: 20 seeded crashes per
+/// shard count, each recovered twice — once from classic full
+/// checkpoints, once from a delta chain (rebase + deltas, rebase_every=3
+/// over 3 checkpoints) — and both must match the never-crashed reference
+/// bit-identically. Crashed logs are offline-compacted before recovery
+/// on even seeds, and seed-dependent kill-point surgery corrupts the
+/// checkpoint/compaction swap state exactly where a real kill would.
+void TwentySeededDeltaCrashes(size_t wal_shards) {
+  size_t iterations = 0;
+  uint64_t total_dropped = 0;
+  std::map<KillPoint, size_t> kills_exercised;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const feed::Workload workload = StatelessServingWorkload(seed);
+    const std::vector<feed::FeedEvent> events =
+        WithAdChurn(workload, workload.MergedEvents());
+    ASSERT_GT(events.size(), 10u) << "seed " << seed;
+
+    DifferentialOptions base;
+    base.run_sharded = wal_shards > 1;
+    base.run_snapshot = false;
+    base.num_shards = wal_shards;
+    base.wal_shards = wal_shards;
+    base.engine.frequency_cap.max_impressions = 0;  // ranking-stateless
+    base.probe_every = 2;
+    base.wal_segment_bytes = 1024;  // many sealed segments -> compactable
+    base.crash_fraction = 0.35 + 0.025 * static_cast<double>(seed % 10);
+    base.wal_checkpoint_fraction = base.crash_fraction * 0.6;
+    base.wal_checkpoint_count = 3;  // rebase + two deltas per chain
+    base.crash_torn_tail = (seed % 4 == 0);
+    base.crash_seed = seed;
+
+    const bool compact = (seed % 2 == 0);
+    const KillPoint kill = static_cast<KillPoint>(seed % 5);
+    kills_exercised[kill] += 1;
+
+    const auto hook = [&](bool delta_mode) {
+      return [&, delta_mode](const std::string& wal_dir) {
+        for (size_t s = 0; s < wal_shards; ++s) {
+          const std::string dir = wal::StreamDir(wal_dir, s, wal_shards);
+          std::map<std::string, std::string> inputs;  // for kCompactionSwap
+          if (compact || kill == KillPoint::kCompactionSwap) {
+            if (kill == KillPoint::kCompactionSwap) {
+              for (const auto& e : std::filesystem::directory_iterator(dir)) {
+                if (e.path().extension() != ".log") continue;
+                std::ifstream in(e.path(), std::ios::binary);
+                inputs[e.path().string()] = std::string(
+                    std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+              }
+            }
+            auto report = wal::delta::CompactLogDir(dir, {});
+            ASSERT_TRUE(report.ok()) << report.status().ToString();
+            if (report.value().ran) {
+              total_dropped += report.value().records_dropped;
+            }
+          }
+          switch (kill) {
+            case KillPoint::kCompactionSwap: {
+              // Resurrect every unlinked input next to its .clog rewrite
+              // and leave a torn staging output: the on-disk state of a
+              // kill between the rename pass and the unlink pass.
+              for (const auto& [path, contents] : inputs) {
+                if (!std::filesystem::exists(path)) {
+                  std::ofstream(path, std::ios::binary) << contents;
+                }
+              }
+              std::ofstream(dir + "/" + wal::SegmentFileName(998, true) +
+                            ".tmp")
+                  << "torn compaction output";
+              break;
+            }
+            default:
+              break;
+          }
+        }
+        if (!delta_mode) {
+          if (kill == KillPoint::kCheckpointStaging) {
+            // Killed mid full-save: half-written checkpoint.tmp.
+            std::filesystem::create_directories(wal_dir +
+                                                "/checkpoint.tmp/shard0");
+            std::ofstream(wal_dir + "/checkpoint.tmp/MANIFEST.tsv")
+                << "K 1 1";  // no newline, torn
+          }
+          return;
+        }
+        const std::string delta_dir = wal::delta::DeltaDir(wal_dir);
+        switch (kill) {
+          case KillPoint::kCheckpointStaging: {
+            const std::string stray =
+                delta_dir + "/" + wal::delta::GenDirName(777) + ".tmp";
+            std::filesystem::create_directories(stray + "/shard0");
+            std::ofstream(stray + "/MANIFEST.tsv") << "K 1 1";
+            break;
+          }
+          case KillPoint::kCurrentUpdate:
+            std::filesystem::remove(delta_dir + "/CURRENT");
+            break;
+          case KillPoint::kHeadGenDamage: {
+            auto head = wal::delta::ResolveHead(wal_dir);
+            ASSERT_TRUE(head.ok()) << head.status().ToString();
+            for (const wal::delta::FileRef& f : head.value().files) {
+              if (f.src_gen != head.value().gen || f.bytes < 2) continue;
+              std::filesystem::resize_file(
+                  delta_dir + "/" +
+                      wal::delta::GenDirName(head.value().gen) + "/" + f.rel,
+                  f.bytes / 2);
+              break;  // damaging one owned file is enough
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      };
+    };
+
+    DifferentialOptions full = base;
+    full.wal_dir = FreshDir("full" + std::to_string(wal_shards) + "_" +
+                            std::to_string(seed));
+    full.wal_checkpoint_options.mode = wal::CheckpointMode::kFull;
+    full.post_crash_hook = hook(/*delta_mode=*/false);
+
+    DifferentialOptions delta = base;
+    delta.wal_dir = FreshDir("delta" + std::to_string(wal_shards) + "_" +
+                             std::to_string(seed));
+    delta.wal_checkpoint_options.mode = wal::CheckpointMode::kDelta;
+    delta.wal_checkpoint_options.rebase_every = 3;
+    delta.post_crash_hook = hook(/*delta_mode=*/true);
+
+    const DifferentialChecker ref_checker(workload.kb, workload.slots, base);
+    const DifferentialChecker full_checker(workload.kb, workload.slots, full);
+    const DifferentialChecker delta_checker(workload.kb, workload.slots,
+                                            delta);
+
+    const RunOutcome reference =
+        wal_shards == 1 ? ref_checker.RunSingle(workload.ads, events)
+                        : ref_checker.RunSharded(workload.ads, events);
+    wal::RecoveryResult full_rec;
+    const RunOutcome full_run =
+        full_checker.RunWalCrash(workload.ads, events, &full_rec);
+    wal::RecoveryResult delta_rec;
+    const RunOutcome delta_run =
+        delta_checker.RunWalCrash(workload.ads, events, &delta_rec);
+
+    CompareOptions compare;
+    if (wal_shards > 1) {
+      compare.tfca_full = false;
+      compare.tfca_sums = true;
+      compare.matches = false;
+    }
+    const char* ref_name = wal_shards == 1 ? "single" : "sharded";
+    const Divergence df = DifferentialChecker::CompareOutcomes(
+        reference, full_run, compare, ref_name, "full-ckpt-crash");
+    ASSERT_FALSE(df) << "seed " << seed << " (full) diverged at event "
+                     << df.event_index << ": " << df.detail;
+    const Divergence dd = DifferentialChecker::CompareOutcomes(
+        reference, delta_run, compare, ref_name, "delta-ckpt-crash");
+    ASSERT_FALSE(dd) << "seed " << seed << " (delta) diverged at event "
+                     << dd.event_index << ": " << dd.detail;
+    const Divergence dx = DifferentialChecker::CompareOutcomes(
+        full_run, delta_run, compare, "full-ckpt-crash", "delta-ckpt-crash");
+    ASSERT_FALSE(dx) << "seed " << seed << " full/delta diverged at event "
+                     << dx.event_index << ": " << dx.detail;
+
+    // Both recoveries restored through their checkpoint flavor.
+    EXPECT_TRUE(full_rec.from_checkpoint) << "seed " << seed;
+    EXPECT_FALSE(full_rec.from_delta) << "seed " << seed;
+    EXPECT_TRUE(delta_rec.from_checkpoint) << "seed " << seed;
+    EXPECT_TRUE(delta_rec.from_delta) << "seed " << seed;
+    EXPECT_GE(delta_rec.delta_chain_len, 1u) << "seed " << seed;
+    if (kill == KillPoint::kNone && !compact) {
+      // Undisturbed chains resolve the newest generation with the full
+      // three-checkpoint history behind it.
+      EXPECT_GE(delta_rec.delta_gen, 3u) << "seed " << seed;
+    }
+    EXPECT_EQ(full_rec.next_seqno, delta_rec.next_seqno) << "seed " << seed;
+
+    std::filesystem::remove_all(full.wal_dir);
+    std::filesystem::remove_all(delta.wal_dir);
+    ++iterations;
+  }
+  EXPECT_EQ(iterations, 20u);
+  // The churn injection guarantees compaction had superseded records to
+  // drop somewhere across the even seeds.
+  EXPECT_GT(total_dropped, 0u);
+  // All five kill-points ran (20 seeds mod 5).
+  EXPECT_EQ(kills_exercised.size(), 5u);
+}
+
+TEST(WalDeltaDifferential, TwentySeededDeltaCrashesSingleStream) {
+  TwentySeededDeltaCrashes(1);
+}
+
+TEST(WalDeltaDifferential, TwentySeededDeltaCrashesTwoStreams) {
+  TwentySeededDeltaCrashes(2);
+}
+
+TEST(WalDeltaDifferential, TwentySeededDeltaCrashesFourStreams) {
+  TwentySeededDeltaCrashes(4);
+}
+
+}  // namespace
+}  // namespace adrec::testkit

@@ -75,8 +75,9 @@ TEST_F(WalLogTest, RotationSealsSegmentsAndResumesSeqnos) {
   EXPECT_EQ(report.value().records, 40u);
   EXPECT_EQ(report.value().last_seqno, 40u);
 
-  // Reopen: a new writer resumes after the existing records and never
-  // appends to a file a previous process wrote.
+  // Reopen: a new writer resumes after the existing records (coalescing
+  // into the partial tail segment when it is clean and under the
+  // rotation threshold).
   {
     auto w = OpenWriter(options);
     auto seqno = w->Append("checkin\t2\t100\t5");
@@ -86,6 +87,85 @@ TEST_F(WalLogTest, RotationSealsSegmentsAndResumesSeqnos) {
   report = ScanLog(dir_, {});
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report.value().last_seqno, 41u);
+}
+
+TEST_F(WalLogTest, ReopenCoalescesIntoPartialTailSegment) {
+  // The regression: every restart used to mint a fresh segment, so a
+  // daemon restarted N times accumulated N near-empty files. Now a
+  // clean, under-threshold tail is resumed — three runs, one file.
+  for (int run = 0; run < 3; ++run) {
+    auto w = OpenWriter();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(w->Append("tweet\t1\t10\thello").ok());
+    }
+  }
+  const auto segments = ListSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].first_seqno, 1u);
+
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().records, 15u);
+  EXPECT_EQ(report.value().last_seqno, 15u);
+  EXPECT_FALSE(report.value().torn_tail);
+
+  // The explicit-next_seqno fast path (recovery already scanned) also
+  // resumes the tail rather than rotating.
+  {
+    auto w = WalWriter::Open(dir_, {}, /*next_seqno=*/16);
+    ASSERT_TRUE(w.ok());
+    auto seqno = w.value()->Append("tweet\t1\t10\tbye");
+    ASSERT_TRUE(seqno.ok());
+    EXPECT_EQ(seqno.value(), 16u);
+  }
+  EXPECT_EQ(ListSegments(dir_).size(), 1u);
+  report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records, 16u);
+}
+
+TEST_F(WalLogTest, ReopenDoesNotCoalesceIntoFullOrCompactedTail) {
+  // A tail at/over the rotation threshold is sealed, not resumed.
+  WalOptions tiny;
+  tiny.segment_bytes = 16;  // any one frame exceeds this
+  {
+    auto w = OpenWriter(tiny);
+    ASSERT_TRUE(w->Append("tweet\t1\t10\tsized-past-the-threshold").ok());
+  }
+  {
+    auto w = OpenWriter(tiny);
+    ASSERT_TRUE(w->Append("tweet\t1\t10\tsized-past-the-threshold").ok());
+  }
+  EXPECT_EQ(ListSegments(dir_).size(), 2u);
+
+  // A compacted tail is immutable by contract: reopening must leave it
+  // untouched and append into a fresh .log segment.
+  std::filesystem::remove_all(dir_);
+  {
+    auto w = OpenWriter();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(w->Append("tweet\t1\t10\thello").ok());
+    }
+  }
+  const auto before = ListSegments(dir_);
+  ASSERT_EQ(before.size(), 1u);
+  const std::string clog =
+      dir_ + "/" + SegmentFileName(before[0].first_seqno, /*compacted=*/true);
+  std::filesystem::rename(before[0].path, clog);
+  {
+    auto w = OpenWriter();
+    auto seqno = w->Append("tweet\t1\t10\tfresh");
+    ASSERT_TRUE(seqno.ok());
+    EXPECT_EQ(seqno.value(), 6u);
+  }
+  const auto after = ListSegments(dir_);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_TRUE(after[0].compacted);
+  EXPECT_FALSE(after[1].compacted);
+  auto report = ScanLog(dir_, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().records, 6u);
+  EXPECT_EQ(report.value().last_seqno, 6u);
 }
 
 TEST_F(WalLogTest, TornTailIsReportedAndTruncatedOnlyOnRequest) {
